@@ -1,0 +1,133 @@
+//! Ablation benches for the design decisions DESIGN.md §3 calls out:
+//! the bitfield-theory simplifier, the solver's query cache, copy-on-
+//! write state forking, and the translation-block cache.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use s2e_expr::{ExprBuilder, ExprRef, Width};
+use s2e_solver::{Solver, SolverConfig};
+use s2e_vm::machine::Machine;
+
+/// A bitfield-heavy constraint like the flag-register expressions the
+/// DBT produces: flag bits assembled next to *masked-away* multiplier
+/// noise. The demanded-bits pass removes the multiplications entirely,
+/// which is where the simplifier earns its keep — a 32-bit multiplier
+/// costs thousands of CNF clauses to blast.
+fn flaggy_constraint(b: &ExprBuilder) -> Vec<ExprRef> {
+    let x = b.var("x", Width::W32);
+    let mut acc = b.constant(0, Width::W32);
+    for i in 0..8u32 {
+        let bit = b.and(
+            b.lshr(x.clone(), b.constant(i as u64 * 4, Width::W32)),
+            b.constant(1, Width::W32),
+        );
+        acc = b.or(b.shl(acc, b.constant(1, Width::W32)), bit);
+    }
+    // High-half noise: multiplications whose bits the final mask discards.
+    let noise = b.shl(
+        b.mul(x.clone(), b.var("y", Width::W32)),
+        b.constant(16, Width::W32),
+    );
+    let word = b.or(b.and(acc, b.constant(0xffff, Width::W32)), noise);
+    let masked = b.and(word, b.constant(0xff, Width::W32));
+    vec![b.eq(masked, b.constant(0xa5, Width::W32))]
+}
+
+fn bench_simplifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_simplifier");
+    for (name, simplify) in [("with_simplifier", true), ("without_simplifier", false)] {
+        g.bench_function(name, |bench| {
+            bench.iter_batched(
+                || {
+                    let b = ExprBuilder::new();
+                    let cs = flaggy_constraint(&b);
+                    let solver = Solver::with_config(SolverConfig {
+                        simplify_queries: simplify,
+                        enable_cache: false,
+                        ..SolverConfig::default()
+                    });
+                    (cs, solver)
+                },
+                |(cs, mut solver)| solver.check(&cs),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_solver_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_solver_cache");
+    for (name, cache) in [("with_cache", true), ("without_cache", false)] {
+        g.bench_function(name, |bench| {
+            let b = ExprBuilder::new();
+            let cs = flaggy_constraint(&b);
+            let mut solver = Solver::with_config(SolverConfig {
+                enable_cache: cache,
+                ..SolverConfig::default()
+            });
+            // Warm once, then measure repeat queries (the common pattern:
+            // every fork re-checks the same prefix).
+            solver.check(&cs);
+            bench.iter(|| solver.check(&cs));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cow_fork(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cow_fork");
+    // A machine with a substantial touched working set.
+    let mut big = Machine::new();
+    for page in 0..256u32 {
+        big.mem.write_u32(0x10_0000 + page * 4096, page).unwrap();
+    }
+    g.bench_function("cow_clone", |bench| {
+        bench.iter(|| big.clone());
+    });
+    g.bench_function("deep_rebuild", |bench| {
+        // What forking would cost without CoW: re-materialize every page.
+        bench.iter(|| {
+            let mut m = Machine::new();
+            for page in 0..256u32 {
+                m.mem.write_u32(0x10_0000 + page * 4096, page).unwrap();
+            }
+            m
+        });
+    });
+    g.finish();
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    use s2e_dbt::BlockCache;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+    let mut g = c.benchmark_group("ablation_block_cache");
+    let mut a = Assembler::new(0x2000);
+    for i in 0..32 {
+        a.addi(reg::R0, reg::R0, i);
+    }
+    a.halt();
+    let p = a.finish();
+    let mut mem = s2e_vm::mem::Memory::new();
+    mem.load_image(p.base, &p.image);
+
+    g.bench_function("cached_lookup", |bench| {
+        let mut cache = BlockCache::new();
+        cache.translate(&mem, 0x2000, &mut |_, _| {});
+        bench.iter(|| cache.translate(&mem, 0x2000, &mut |_, _| {}));
+    });
+    g.bench_function("retranslate_every_time", |bench| {
+        bench.iter(|| {
+            let mut cache = BlockCache::new();
+            cache.translate(&mem, 0x2000, &mut |_, _| {})
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simplifier, bench_solver_cache, bench_cow_fork, bench_block_cache
+}
+criterion_main!(benches);

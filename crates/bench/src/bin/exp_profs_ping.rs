@@ -1,0 +1,39 @@
+//! §6.1.3 reproduction (experiment 2): PROFS on ping.
+//!
+//! Paper shape: the analysis "does not find a bound on execution time,
+//! and it points to a path that could hit an infinite loop" — the
+//! record-route option with length 3. "Once we patched ping, we found
+//! the performance envelope to be 1,645 to 129,086 executed
+//! instructions."
+
+use s2e_tools::profs::{profile_ping, ProfsConfig};
+
+fn main() {
+    let reply_len: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let config = ProfsConfig {
+        max_steps: 500_000,
+        path_fuel: 8_000,
+        ..ProfsConfig::default()
+    };
+
+    println!("PROFS / ping ({}-byte symbolic reply)", reply_len);
+    println!();
+    for (label, patched) in [("buggy", false), ("patched", true)] {
+        let report = profile_ping(patched, reply_len, &config);
+        let unbounded = report.unbounded_suspects().count();
+        let completed = report.completed().count();
+        print!("{label:>8}: {completed} bounded paths, {unbounded} unbounded suspect(s)");
+        match report.instruction_envelope() {
+            Some((lo, hi)) => println!(", envelope {lo}..{hi} instructions"),
+            None => println!(),
+        }
+        if unbounded > 0 {
+            println!(
+                "          -> no upper bound found: a reply with a record-route option of\n             length 3 re-enters the option loop without advancing (the paper's bug)"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! §6.1.3 reproduction (experiment 1): PROFS on the URL parser.
+//!
+//! Paper shape: "for every additional '/' character present in the URL,
+//! there are 10 extra instructions being executed ... no upper bound on
+//! the execution of URL parsing"; total cache misses per path nearly
+//! constant (15,984 ± 20).
+
+use s2e_tools::profs::{profile_url_parser, ProfsConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let len: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let config = ProfsConfig {
+        max_steps: 400_000,
+        ..ProfsConfig::default()
+    };
+    let rows = profile_url_parser(len, &config);
+    println!(
+        "PROFS / URL parser: {} paths over all {}-char URLs",
+        rows.len(),
+        len
+    );
+    println!("(paper: ~4.3e6 instrs/path, +10 instrs per '/', 15,984±20 cache misses)");
+    println!();
+    let mut by_slash: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for (slashes, instrs, misses) in &rows {
+        let e = by_slash.entry(*slashes).or_insert((*instrs, *misses));
+        e.0 = e.0.max(*instrs);
+        e.1 = e.1.max(*misses);
+    }
+    let widths = [10, 14, 14, 12];
+    bench::print_row(
+        &[
+            "slashes".into(),
+            "instructions".into(),
+            "cache misses".into(),
+            "delta".into(),
+        ],
+        &widths,
+    );
+    let mut prev: Option<u64> = None;
+    for (slashes, (instrs, misses)) in &by_slash {
+        let delta = prev.map(|p| format!("{:+}", *instrs as i64 - p as i64)).unwrap_or_default();
+        bench::print_row(
+            &[
+                slashes.to_string(),
+                instrs.to_string(),
+                misses.to_string(),
+                delta,
+            ],
+            &widths,
+        );
+        prev = Some(*instrs);
+    }
+    let misses: Vec<u64> = rows.iter().map(|(_, _, m)| *m).collect();
+    if let (Some(lo), Some(hi)) = (misses.iter().min(), misses.iter().max()) {
+        let mid = (lo + hi) / 2;
+        println!();
+        println!("cache misses: {mid} ± {}", (hi - lo) / 2);
+    }
+}

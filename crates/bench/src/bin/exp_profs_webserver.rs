@@ -1,0 +1,39 @@
+//! §6.1.3 reproduction (experiment 3): page faults in the web server's
+//! crypto module.
+//!
+//! Paper shape: "We found no page faults in the SSL code along any of
+//! the paths, and only a constant number of them in gzip.dll" — i.e. the
+//! page-fault count in the crypto region does not depend on the request,
+//! so page faults are not a usable side channel.
+
+use s2e_tools::profs::{profile_webserver, ProfsConfig};
+
+fn main() {
+    let len: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let config = ProfsConfig {
+        max_steps: 300_000,
+        ..ProfsConfig::default()
+    };
+    let report = profile_webserver(len, &config);
+    let completed = report.completed().count();
+    println!("PROFS / web server ({len}-char symbolic request): {completed} paths");
+    match report.page_fault_envelope() {
+        Some((lo, hi)) if hi - lo <= 1 => {
+            println!("page faults per path: {lo}..{hi} — constant across all requests");
+            println!("=> no page-fault side channel in the crypto module (paper's conclusion)");
+        }
+        Some((lo, hi)) => {
+            println!("page faults per path: {lo}..{hi} — input-dependent (side-channel risk!)");
+        }
+        None => println!("no completed paths within budget"),
+    }
+    if let Some((lo, hi)) = report.instruction_envelope() {
+        println!("instruction envelope: {lo}..{hi}");
+    }
+    if let Some((lo, hi)) = report.cache_miss_envelope() {
+        println!("cache-miss envelope:  {lo}..{hi}");
+    }
+}

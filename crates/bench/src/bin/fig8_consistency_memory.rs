@@ -1,0 +1,58 @@
+//! Fig. 8 reproduction: memory high-watermark by consistency model.
+//!
+//! Paper shape: LC uses the most memory (slow exploration of
+//! registry-dependent subtrees keeps many states alive, 8 GB for PCnet);
+//! RC-OC about half of that; the strict models far less because they
+//! admit fewer states.
+
+use bench::{run_driver_experiment, run_script_experiment, Budget};
+use s2e_core::ConsistencyModel;
+use s2e_guests::drivers::{pcnet, smc91c111};
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.0}KiB", b as f64 / 1024.0)
+    }
+}
+
+fn main() {
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let budget = Budget {
+        max_steps: steps,
+        ..Budget::default()
+    };
+    println!("Fig 8: memory high-watermark by consistency model ({steps}-step budget)");
+    println!("(paper, GB: PCnet 4(RC-OC) / 8(LC) / <2 strict; 91C111 and Lua lower)");
+    println!();
+    let widths = [8, 12, 12, 12];
+    bench::print_row(
+        &["model".into(), "91C111".into(), "PCnet".into(), "script".into()],
+        &widths,
+    );
+    let c111 = smc91c111::build();
+    let pc = pcnet::build();
+    for model in [
+        ConsistencyModel::RcOc,
+        ConsistencyModel::Lc,
+        ConsistencyModel::ScSe,
+        ConsistencyModel::ScUe,
+    ] {
+        let a = run_driver_experiment(&c111, model, &budget);
+        let b = run_driver_experiment(&pc, model, &budget);
+        let c = run_script_experiment(model, &budget);
+        bench::print_row(
+            &[
+                model.name().into(),
+                fmt_bytes(a.memory_watermark),
+                fmt_bytes(b.memory_watermark),
+                fmt_bytes(c.memory_watermark),
+            ],
+            &widths,
+        );
+    }
+}

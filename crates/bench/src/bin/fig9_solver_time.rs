@@ -1,0 +1,61 @@
+//! Fig. 9 reproduction: impact of the consistency model on constraint
+//! solving — fraction of time in the solver (left plot) and average time
+//! per query (right plot).
+//!
+//! Paper shape: solving time decreases with stricter consistency (less
+//! symbolic data); RC-OC's unconstrained inputs make queries ~10× more
+//! expensive than LC for 91C111; the interpreter spends most of its time
+//! in the solver.
+
+use bench::{run_driver_experiment, run_script_experiment, Budget};
+use s2e_core::ConsistencyModel;
+use s2e_guests::drivers::{pcnet, smc91c111};
+
+fn main() {
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let budget = Budget {
+        max_steps: steps,
+        ..Budget::default()
+    };
+    println!("Fig 9: solver time by consistency model ({steps}-step budget)");
+    println!();
+    let widths = [8, 10, 16, 14, 10];
+    bench::print_row(
+        &[
+            "model".into(),
+            "target".into(),
+            "solver fraction".into(),
+            "avg query".into(),
+            "queries".into(),
+        ],
+        &widths,
+    );
+    let c111 = smc91c111::build();
+    let pc = pcnet::build();
+    for model in [
+        ConsistencyModel::RcOc,
+        ConsistencyModel::Lc,
+        ConsistencyModel::ScSe,
+        ConsistencyModel::ScUe,
+    ] {
+        for (name, stats) in [
+            ("91C111", run_driver_experiment(&c111, model, &budget)),
+            ("PCnet", run_driver_experiment(&pc, model, &budget)),
+            ("script", run_script_experiment(model, &budget)),
+        ] {
+            bench::print_row(
+                &[
+                    model.name().into(),
+                    name.into(),
+                    format!("{:.1}%", 100.0 * stats.solver_fraction()),
+                    format!("{:.3}ms", stats.avg_query().as_secs_f64() * 1e3),
+                    stats.solver_queries.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 6 reproduction: time to finish the exploration experiment under
+//! each consistency model, for the 91C111 and PCnet drivers and the
+//! script interpreter (the Lua analog).
+//!
+//! Paper shape (seconds): RC-OC and LC take similar, longest times (they
+//! admit the most paths); SC-SE is shorter for PCnet; SC-UE finishes
+//! almost immediately (concretized inputs stop the driver from loading).
+
+use bench::{run_driver_experiment, run_script_experiment, Budget};
+use s2e_core::ConsistencyModel;
+use s2e_guests::drivers::{pcnet, smc91c111};
+
+fn main() {
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let budget = Budget {
+        max_steps: steps,
+        ..Budget::default()
+    };
+    let models = [
+        ConsistencyModel::RcOc,
+        ConsistencyModel::Lc,
+        ConsistencyModel::ScSe,
+        ConsistencyModel::ScUe,
+    ];
+    println!("Table 6: exploration time by consistency model ({steps}-step budget)");
+    println!("(paper, seconds: 91C111 1400/1600/1700/5 — PCnet 3300/3200/1300/7 — Lua 1103/1114/1148/-)");
+    println!();
+    let widths = [8, 14, 12, 10, 8];
+    bench::print_row(
+        &["model".into(), "target".into(), "time".into(), "paths".into(), "steps".into()],
+        &widths,
+    );
+    let c111 = smc91c111::build();
+    let pc = pcnet::build();
+    for model in models {
+        for (name, stats) in [
+            ("91C111", run_driver_experiment(&c111, model, &budget)),
+            ("PCnet", run_driver_experiment(&pc, model, &budget)),
+            ("script", run_script_experiment(model, &budget)),
+        ] {
+            bench::print_row(
+                &[
+                    model.name().into(),
+                    name.into(),
+                    format!("{:.2}s", stats.time.as_secs_f64()),
+                    stats.paths.to_string(),
+                    stats.steps.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+}

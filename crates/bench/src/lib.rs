@@ -1,0 +1,435 @@
+//! Experiment harness: reusable runners behind the per-table/per-figure
+//! reproduction binaries (see DESIGN.md §4 for the experiment index).
+//!
+//! Each runner returns plain data; the `src/bin/*` entry points format it
+//! into the same rows/series the paper reports. Absolute numbers differ
+//! from the paper (different substrate, different decade of hardware);
+//! the *shape* — which consistency model wins, rough factors, crossovers
+//! — is what EXPERIMENTS.md compares.
+
+use s2e_core::analyzers::{Coverage, PathKiller};
+use s2e_core::selectors::{
+    constrain_range, make_config_symbolic, make_cstring_symbolic, make_mem_symbolic,
+};
+use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
+use s2e_expr::Width;
+use s2e_guests::drivers::{build_exerciser, Driver};
+use s2e_guests::kernel::{boot, standard_annotations};
+use s2e_guests::layout::{cfg_keys, INPUT_BUF};
+use s2e_guests::script::{self, ScriptGuest};
+use std::time::{Duration, Instant};
+
+/// Metrics from one exploration run (the columns of Table 6 and
+/// Figs 7–9).
+#[derive(Clone, Debug)]
+pub struct ModelRunStats {
+    /// Consistency model used.
+    pub model: ConsistencyModel,
+    /// Wall-clock time of the exploration.
+    pub time: Duration,
+    /// Unit basic blocks covered.
+    pub covered_blocks: usize,
+    /// Static unit block total (coverage denominator).
+    pub total_blocks: usize,
+    /// Peak private state memory across live states (bytes).
+    pub memory_watermark: usize,
+    /// Paths terminated.
+    pub paths: usize,
+    /// Engine steps executed.
+    pub steps: u64,
+    /// Time spent in the constraint solver.
+    pub solver_time: Duration,
+    /// Solver queries issued.
+    pub solver_queries: u64,
+    /// Instructions executed concretely / symbolically.
+    pub instrs: (u64, u64),
+}
+
+impl ModelRunStats {
+    /// Coverage fraction in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.covered_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Fraction of wall time spent in the solver (Fig. 9 left).
+    pub fn solver_fraction(&self) -> f64 {
+        if self.time.is_zero() {
+            0.0
+        } else {
+            (self.solver_time.as_secs_f64() / self.time.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Mean solver time per query (Fig. 9 right).
+    pub fn avg_query(&self) -> Duration {
+        if self.solver_queries == 0 {
+            Duration::ZERO
+        } else {
+            self.solver_time / self.solver_queries as u32
+        }
+    }
+}
+
+/// Exploration budget shared by the consistency-model experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Engine step cap.
+    pub max_steps: u64,
+    /// Live-state cap.
+    pub max_states: usize,
+    /// Stagnation window (steps without new unit coverage before all but
+    /// one path is killed — the paper's 60-second timer analog).
+    pub stagnation: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_steps: 40_000,
+            max_states: 64,
+            stagnation: 3_000,
+        }
+    }
+}
+
+fn drive_to_exhaustion(
+    engine: &mut Engine,
+    budget: &Budget,
+    cov: &std::sync::Arc<parking_lot::Mutex<s2e_core::analyzers::CoverageData>>,
+) -> u64 {
+    let mut steps = 0u64;
+    let mut last_new = 0u64;
+    let mut last_count = 0usize;
+    while steps < budget.max_steps {
+        if engine.step().is_none() {
+            break;
+        }
+        steps += 1;
+        let covered = cov.lock().covered();
+        if covered > last_count {
+            last_count = covered;
+            last_new = steps;
+        } else if steps - last_new > budget.stagnation && engine.live_count() > 1 {
+            let keep = engine
+                .live_states()
+                .max_by_key(|s| s.instrs_retired)
+                .map(|s| s.id)
+                .expect("live states");
+            engine.kill_all_except(keep);
+            last_new = steps;
+        }
+    }
+    steps
+}
+
+fn collect_stats(
+    engine: &Engine,
+    model: ConsistencyModel,
+    time: Duration,
+    covered: usize,
+    total: usize,
+    steps: u64,
+) -> ModelRunStats {
+    let st = engine.stats();
+    let ss = engine.solver_stats();
+    ModelRunStats {
+        model,
+        time,
+        covered_blocks: covered,
+        total_blocks: total,
+        memory_watermark: st.memory_watermark_bytes,
+        paths: engine.terminated().len(),
+        steps,
+        solver_time: ss.total_time,
+        solver_queries: ss.queries,
+        instrs: (st.instrs_concrete, st.instrs_symbolic),
+    }
+}
+
+/// Runs the §6.3 driver experiment: exercise every entry point of
+/// `driver` under `model`, with the per-model symbolic-input policy
+/// (symbolic hardware under SC-SE/RC-OC, symbolic registry + arguments
+/// under the relaxed models, concretized boundary data under SC-UE).
+pub fn run_driver_experiment(
+    driver: &Driver,
+    model: ConsistencyModel,
+    budget: &Budget,
+) -> ModelRunStats {
+    let started = Instant::now();
+    let (mut machine, _k) = boot();
+    machine.load_aux(&driver.program);
+    let symbolic_args = matches!(
+        model,
+        ConsistencyModel::Lc | ConsistencyModel::RcOc | ConsistencyModel::RcCc
+    );
+    machine.load(&build_exerciser(driver, symbolic_args));
+
+    let mut ec = EngineConfig::with_model(model);
+    ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
+    ec.max_states = budget.max_states;
+    if model == ConsistencyModel::Lc {
+        ec.annotations = standard_annotations();
+    }
+    // RC-OC targets hardware/value results; opaque allocator pointers keep
+    // their identity (see `rc_oc_excluded_syscalls`).
+    ec.rc_oc_excluded_syscalls = vec![s2e_guests::kernel::sys::ALLOC];
+    let mut engine = Engine::new(machine, ec);
+    // Coverage-guided path selection, as the paper's driver experiments use.
+    engine.set_strategy(Box::new(s2e_core::search::MaxCoverage::new()));
+    let (coverage, cov) = Coverage::new(Some(driver.code_range.clone()));
+    engine.add_plugin(Box::new(coverage));
+    engine.add_plugin(Box::new(PathKiller::new(2_000)));
+
+    if symbolic_args {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        let state = engine.state_mut(id).unwrap();
+        let card = make_config_symbolic(state, &b, cfg_keys::CARD_TYPE, "CardType");
+        constrain_range(state, &b, &card, 0, 7);
+        let flags = make_config_symbolic(state, &b, cfg_keys::FLAGS, "Flags");
+        constrain_range(state, &b, &flags, 0, 3);
+    }
+    engine.apply_model_hardware_policy();
+
+    let steps = drive_to_exhaustion(&mut engine, budget, &cov);
+    let covered = cov.lock().covered();
+    collect_stats(
+        &engine,
+        model,
+        started.elapsed(),
+        covered,
+        driver.total_blocks(),
+        steps,
+    )
+}
+
+/// Runs the §6.3 script-interpreter (Lua analog) experiment under one
+/// model:
+///
+/// - **SC-SE / SC-UE**: the raw *source string* is symbolic; exploration
+///   must fight through the lexer.
+/// - **LC**: the parser runs concretely on a seed program; constrained
+///   symbolic opcodes are injected after the parsing stage.
+/// - **RC-OC**: as LC but the injected opcodes are unconstrained.
+pub fn run_script_experiment(model: ConsistencyModel, budget: &Budget) -> ModelRunStats {
+    let started = Instant::now();
+    let guest: ScriptGuest = script::build();
+    let (mut machine, _k) = boot();
+    let seed_src = b"a = 1 + 2; p a;";
+    machine.mem.load_image(INPUT_BUF, seed_src);
+    machine
+        .mem
+        .load_image(INPUT_BUF + seed_src.len() as u32, &[0]);
+    machine.load(&guest.program);
+
+    let mut ec = EngineConfig::with_model(model);
+    ec.max_states = budget.max_states;
+    ec.max_instrs_per_path = 100_000;
+    // The unit is the interpreter; the parser and kernel are environment.
+    ec.code_ranges = CodeRanges::all().include(guest.interp_range.clone());
+    if model == ConsistencyModel::Lc {
+        ec.annotations = standard_annotations();
+    }
+    let mut engine = Engine::new(machine, ec);
+    let (coverage, cov) = Coverage::new(Some(guest.interp_range.clone()));
+    engine.add_plugin(Box::new(coverage));
+    engine.add_plugin(Box::new(PathKiller::new(3_000)));
+
+    let interp_total = {
+        let cfg = s2e_dbt::cfg::build_cfg(&guest.program, &[guest.program.symbol("interp")]);
+        cfg.block_starts()
+            .filter(|pc| guest.interp_range.contains(pc))
+            .count()
+    };
+
+    match model {
+        ConsistencyModel::ScSe | ConsistencyModel::ScUe => {
+            // Symbolic source text (printable, as the CommandLine selector
+            // would produce).
+            let id = engine.sole_state().unwrap();
+            let b = engine.builder_arc();
+            make_cstring_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, 6, "src");
+            let steps = drive_to_exhaustion(&mut engine, budget, &cov);
+            let covered = cov.lock().covered();
+            return collect_stats(&engine, model, started.elapsed(), covered, interp_total, steps);
+        }
+        _ => {}
+    }
+
+    // LC / RC-OC / SC-CE: run the parser concretely, then (for the
+    // relaxed models) inject symbolic opcodes at the parse→interpret
+    // boundary.
+    let interp_entry = guest.program.symbol("interp");
+    let mut steps = 0u64;
+    let mut injected = model == ConsistencyModel::ScCe;
+    let mut last_new = 0u64;
+    let mut last_count = 0usize;
+    while steps < budget.max_steps {
+        if !injected {
+            if let Some(id) = engine.sole_state() {
+                if engine.state(id).unwrap().machine.cpu.pc == interp_entry {
+                    let b = engine.builder_arc();
+                    let state = engine.state_mut(id).unwrap();
+                    // Overwrite the first three bytecode records with
+                    // symbolic (op, arg) pairs.
+                    let vars = make_mem_symbolic(state, &b, script::BYTECODE_BUF, 6, "bc");
+                    if model == ConsistencyModel::Lc {
+                        // Constrained within the bytecode contract.
+                        for (i, v) in vars.iter().enumerate() {
+                            if i % 2 == 0 {
+                                let op = b.zext(v.clone(), Width::W32);
+                                state
+                                    .add_constraint(b.ule(b.constant(1, Width::W32), op.clone()));
+                                state.add_constraint(
+                                    b.ule(op, b.constant(script::bc::MAX as u64, Width::W32)),
+                                );
+                            } else {
+                                let arg = b.zext(v.clone(), Width::W32);
+                                state.add_constraint(b.ult(arg, b.constant(26, Width::W32)));
+                            }
+                        }
+                    }
+                    injected = true;
+                }
+            }
+        }
+        if engine.step().is_none() {
+            break;
+        }
+        steps += 1;
+        let covered = cov.lock().covered();
+        if covered > last_count {
+            last_count = covered;
+            last_new = steps;
+        } else if steps - last_new > budget.stagnation && engine.live_count() > 1 {
+            let keep = engine
+                .live_states()
+                .max_by_key(|s| s.instrs_retired)
+                .map(|s| s.id)
+                .expect("live states");
+            engine.kill_all_except(keep);
+            last_new = steps;
+        }
+    }
+    let covered = cov.lock().covered();
+    collect_stats(&engine, model, started.elapsed(), covered, interp_total, steps)
+}
+
+/// §6.2 symbolic-pointer experiment: explore the table-lookup guest with
+/// a given solver page size; returns (paths completed, avg query time,
+/// solver time, wall time).
+pub fn run_symbolic_pointer_experiment(
+    page_size: u32,
+    rounds: u32,
+    max_steps: u64,
+) -> (usize, Duration, Duration, Duration) {
+    let started = Instant::now();
+    let (mut machine, _k) = boot();
+    machine.load(&s2e_guests::lookup::program(rounds));
+    let mut ec = EngineConfig::with_model(ConsistencyModel::ScSe);
+    ec.symbolic_page_size = page_size;
+    ec.max_states = 512;
+    let mut engine = Engine::new(machine, ec);
+    {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        make_mem_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, rounds, "in");
+    }
+    engine.run(max_steps);
+    let ss = engine.solver_stats();
+    (
+        engine.terminated().len(),
+        if ss.queries == 0 {
+            Duration::ZERO
+        } else {
+            ss.total_time / ss.queries as u32
+        },
+        ss.total_time,
+        started.elapsed(),
+    )
+}
+
+/// Counts non-blank, non-comment lines in the `.rs` files under `dir` —
+/// the SLOCCount analog used for Table 4.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn count_loc(dir: &std::path::Path) -> std::io::Result<usize> {
+    let mut total = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            total += count_loc(&path)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            let text = std::fs::read_to_string(&path)?;
+            total += text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with("//"))
+                .count();
+        }
+    }
+    Ok(total)
+}
+
+/// Prints a right-aligned table row.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let cells: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", cells.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_experiment_produces_stats() {
+        let d = s2e_guests::drivers::rtl8139::build();
+        let budget = Budget {
+            max_steps: 5_000,
+            max_states: 16,
+            stagnation: 1_000,
+        };
+        let s = run_driver_experiment(&d, ConsistencyModel::Lc, &budget);
+        assert!(s.covered_blocks > 0);
+        assert!(s.coverage() <= 1.0);
+        assert!(s.steps > 0);
+        assert!(s.paths > 0);
+    }
+
+    #[test]
+    fn script_experiment_lc_covers_interpreter() {
+        let budget = Budget {
+            max_steps: 20_000,
+            max_states: 64,
+            stagnation: 3_000,
+        };
+        let lc = run_script_experiment(ConsistencyModel::Lc, &budget);
+        assert!(lc.covered_blocks > 5, "LC covered {}", lc.covered_blocks);
+        // SC-SE with a symbolic source string covers less of the
+        // interpreter in the same budget (it drowns in the parser).
+        let se = run_script_experiment(ConsistencyModel::ScSe, &budget);
+        assert!(
+            lc.covered_blocks >= se.covered_blocks,
+            "LC {} < SC-SE {}",
+            lc.covered_blocks,
+            se.covered_blocks
+        );
+    }
+
+    #[test]
+    fn loc_counter_counts_this_crate() {
+        let n = count_loc(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        assert!(n > 100);
+    }
+}

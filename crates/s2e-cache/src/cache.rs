@@ -1,0 +1,226 @@
+//! A single set-associative cache level with LRU replacement.
+
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+    /// Ways per set.
+    pub associativity: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a power of two and the geometry divides
+    /// evenly into at least one set.
+    pub fn new(size_bytes: u32, line_size: u32, associativity: u32) -> CacheConfig {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(associativity >= 1, "associativity must be at least 1");
+        let lines = size_bytes / line_size;
+        assert!(
+            lines >= associativity && lines.is_multiple_of(associativity),
+            "geometry does not divide into sets: {size_bytes}B / {line_size}B / {associativity}-way"
+        );
+        let sets = lines / associativity;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig {
+            size_bytes,
+            line_size,
+            associativity,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / self.line_size / self.associativity
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; 0 for no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// One cache level. Tags are stored per set in LRU order (most recent
+/// last).
+///
+/// ```
+/// use s2e_cache::{CacheConfig, CacheLevel};
+/// // Tiny direct-mapped cache: 2 lines of 64 bytes.
+/// let mut c = CacheLevel::new(CacheConfig::new(128, 64, 1));
+/// assert!(!c.access(0));      // cold miss
+/// assert!(c.access(0));       // hit
+/// assert!(!c.access(128));    // conflicts with line 0 (same set)
+/// assert!(!c.access(0));      // evicted
+/// ```
+#[derive(Clone)]
+pub struct CacheLevel {
+    config: CacheConfig,
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl fmt::Debug for CacheLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheLevel")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl CacheLevel {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> CacheLevel {
+        CacheLevel {
+            config,
+            sets: vec![Vec::with_capacity(config.associativity as usize); config.sets() as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Simulates an access to `addr`; returns `true` on hit. On a miss the
+    /// line is filled (and the LRU way evicted if the set is full).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_size as u64;
+        let set_idx = (line % self.config.sets() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.push(t);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.associativity as usize {
+                set.remove(0); // evict LRU
+            }
+            set.push(line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Forgets all cached lines but keeps the counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        let c = CacheConfig::new(64 * 1024, 64, 2);
+        assert_eq!(c.sets(), 512);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_line_rejected() {
+        CacheConfig::new(1024, 48, 2);
+    }
+
+    #[test]
+    fn cold_misses_then_hits() {
+        let mut c = CacheLevel::new(CacheConfig::new(1024, 64, 2));
+        for i in 0..8u64 {
+            assert!(!c.access(i * 64));
+        }
+        for i in 0..8u64 {
+            assert!(c.access(i * 64));
+        }
+        assert_eq!(c.stats().hits, 8);
+        assert_eq!(c.stats().misses, 8);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = CacheLevel::new(CacheConfig::new(1024, 64, 2));
+        assert!(!c.access(100));
+        assert!(c.access(101));
+        assert!(c.access(127));
+        assert!(!c.access(128)); // next line
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2-way, 2 sets, 64B lines: lines 0,2,4 map to set 0.
+        let mut c = CacheLevel::new(CacheConfig::new(256, 64, 2));
+        c.access(0);
+        c.access(2 * 64);
+        c.access(0); // refresh line 0 → LRU is line 2
+        c.access(4 * 64); // evicts line 2
+        assert!(c.access(0), "line 0 must have survived");
+        assert!(!c.access(2 * 64), "line 2 must have been evicted");
+    }
+
+    #[test]
+    fn flush_keeps_stats() {
+        let mut c = CacheLevel::new(CacheConfig::new(256, 64, 2));
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = CacheLevel::new(CacheConfig::new(256, 64, 2));
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clone_is_independent_per_path_state() {
+        let mut a = CacheLevel::new(CacheConfig::new(256, 64, 2));
+        a.access(0);
+        let mut b = a.clone();
+        b.access(64);
+        assert_eq!(a.stats().accesses(), 1);
+        assert_eq!(b.stats().accesses(), 2);
+    }
+}

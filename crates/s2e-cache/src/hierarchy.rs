@@ -1,0 +1,272 @@
+//! A full memory hierarchy: split L1, shared lower levels, TLB, paging.
+
+use crate::cache::{CacheConfig, CacheLevel, CacheStats};
+use crate::page::PageModel;
+use crate::tlb::Tlb;
+
+/// Kind of memory access fed to the hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Instruction fetch (goes through I1).
+    Instruction,
+    /// Data read (goes through D1).
+    Read,
+    /// Data write (goes through D1; write-allocate).
+    Write,
+}
+
+/// Geometry of the whole hierarchy.
+#[derive(Clone, Debug)]
+pub struct HierarchyConfig {
+    /// Instruction L1.
+    pub i1: CacheConfig,
+    /// Data L1.
+    pub d1: CacheConfig,
+    /// Unified lower levels, outermost last (L2, L3, ...). May be empty.
+    pub lower: Vec<CacheConfig>,
+    /// TLB entries (0 disables the TLB model).
+    pub tlb_entries: usize,
+    /// Page size for TLB and page-fault models.
+    pub page_size: u32,
+}
+
+impl HierarchyConfig {
+    /// The configuration used in the paper's PROFS experiments: 64 KiB
+    /// 2-way split L1s with 64-byte lines, 1 MiB 4-way L2.
+    pub fn paper() -> HierarchyConfig {
+        HierarchyConfig {
+            i1: CacheConfig::new(64 * 1024, 64, 2),
+            d1: CacheConfig::new(64 * 1024, 64, 2),
+            lower: vec![CacheConfig::new(1024 * 1024, 64, 4)],
+            tlb_entries: 64,
+            page_size: 4096,
+        }
+    }
+}
+
+/// Per-level and per-model counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Instruction L1.
+    pub i1: CacheStats,
+    /// Data L1.
+    pub d1: CacheStats,
+    /// Lower levels, in configuration order.
+    pub lower: Vec<CacheStats>,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Page faults.
+    pub page_faults: u64,
+    /// Instructions fetched.
+    pub instructions: u64,
+    /// Data accesses.
+    pub data_accesses: u64,
+}
+
+impl HierarchyStats {
+    /// Total misses across every cache level (the paper's headline cache
+    ///-miss count).
+    pub fn total_cache_misses(&self) -> u64 {
+        self.i1.misses + self.d1.misses + self.lower.iter().map(|s| s.misses).sum::<u64>()
+    }
+}
+
+/// A complete simulated memory hierarchy.
+///
+/// ```
+/// use s2e_cache::{AccessKind, Hierarchy};
+/// let mut h = Hierarchy::paper_config();
+/// h.access(AccessKind::Instruction, 0x2000);
+/// h.access(AccessKind::Read, 0x9000);
+/// let s = h.stats();
+/// assert_eq!(s.instructions, 1);
+/// assert_eq!(s.data_accesses, 1);
+/// assert!(s.total_cache_misses() >= 2); // both cold-missed
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    i1: CacheLevel,
+    d1: CacheLevel,
+    lower: Vec<CacheLevel>,
+    tlb: Option<Tlb>,
+    pages: PageModel,
+    instructions: u64,
+    data_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from a configuration.
+    pub fn new(config: &HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            i1: CacheLevel::new(config.i1),
+            d1: CacheLevel::new(config.d1),
+            lower: config.lower.iter().map(|c| CacheLevel::new(*c)).collect(),
+            tlb: if config.tlb_entries > 0 {
+                Some(Tlb::new(config.tlb_entries, config.page_size))
+            } else {
+                None
+            },
+            pages: PageModel::new(config.page_size),
+            instructions: 0,
+            data_accesses: 0,
+        }
+    }
+
+    /// The paper's evaluation configuration.
+    pub fn paper_config() -> Hierarchy {
+        Hierarchy::new(&HierarchyConfig::paper())
+    }
+
+    /// Pre-faults a loaded image region (see [`PageModel::prefault`]).
+    pub fn prefault(&mut self, addr: u64, len: u64) {
+        self.pages.prefault(addr, len);
+    }
+
+    /// Simulates one access; lower levels are consulted only on an L1
+    /// miss.
+    pub fn access(&mut self, kind: AccessKind, addr: u64) {
+        let l1 = match kind {
+            AccessKind::Instruction => {
+                self.instructions += 1;
+                &mut self.i1
+            }
+            AccessKind::Read | AccessKind::Write => {
+                self.data_accesses += 1;
+                &mut self.d1
+            }
+        };
+        let mut missed = !l1.access(addr);
+        for level in &mut self.lower {
+            if !missed {
+                break;
+            }
+            missed = !level.access(addr);
+        }
+        if let Some(tlb) = &mut self.tlb {
+            tlb.access(addr);
+        }
+        self.pages.access(addr);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            i1: self.i1.stats(),
+            d1: self.d1.stats(),
+            lower: self.lower.iter().map(|l| l.stats()).collect(),
+            tlb_misses: self.tlb.as_ref().map(|t| t.misses()).unwrap_or(0),
+            page_faults: self.pages.faults(),
+            instructions: self.instructions,
+            data_accesses: self.data_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(&HierarchyConfig {
+            i1: CacheConfig::new(128, 64, 1),
+            d1: CacheConfig::new(128, 64, 1),
+            lower: vec![CacheConfig::new(512, 64, 2)],
+            tlb_entries: 2,
+            page_size: 4096,
+        })
+    }
+
+    #[test]
+    fn l2_consulted_only_on_l1_miss() {
+        let mut h = tiny();
+        h.access(AccessKind::Read, 0);
+        h.access(AccessKind::Read, 0); // L1 hit: L2 untouched
+        let s = h.stats();
+        assert_eq!(s.d1.hits, 1);
+        assert_eq!(s.d1.misses, 1);
+        assert_eq!(s.lower[0].accesses(), 1);
+    }
+
+    #[test]
+    fn l2_absorbs_l1_conflicts() {
+        let mut h = tiny();
+        // Lines 0 and 128 conflict in direct-mapped D1 but coexist in
+        // 2-way L2.
+        h.access(AccessKind::Read, 0);
+        h.access(AccessKind::Read, 128);
+        h.access(AccessKind::Read, 0);
+        h.access(AccessKind::Read, 128);
+        let s = h.stats();
+        assert_eq!(s.d1.misses, 4);
+        assert_eq!(s.lower[0].misses, 2);
+        assert_eq!(s.lower[0].hits, 2);
+    }
+
+    #[test]
+    fn instruction_and_data_split() {
+        let mut h = tiny();
+        h.access(AccessKind::Instruction, 0);
+        h.access(AccessKind::Read, 0);
+        let s = h.stats();
+        // Same address cold-misses in both split L1s.
+        assert_eq!(s.i1.misses, 1);
+        assert_eq!(s.d1.misses, 1);
+        assert_eq!(s.instructions, 1);
+        assert_eq!(s.data_accesses, 1);
+    }
+
+    #[test]
+    fn page_faults_and_tlb_count() {
+        let mut h = tiny();
+        h.access(AccessKind::Read, 0x1000);
+        h.access(AccessKind::Read, 0x2000);
+        h.access(AccessKind::Read, 0x1008);
+        let s = h.stats();
+        assert_eq!(s.page_faults, 2);
+        assert_eq!(s.tlb_misses, 2);
+    }
+
+    #[test]
+    fn no_lower_levels_works() {
+        let mut h = Hierarchy::new(&HierarchyConfig {
+            i1: CacheConfig::new(128, 64, 1),
+            d1: CacheConfig::new(128, 64, 1),
+            lower: vec![],
+            tlb_entries: 0,
+            page_size: 4096,
+        });
+        h.access(AccessKind::Write, 0);
+        let s = h.stats();
+        assert!(s.lower.is_empty());
+        assert_eq!(s.tlb_misses, 0);
+        assert_eq!(s.total_cache_misses(), 1);
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let h = Hierarchy::paper_config();
+        let s = h.stats();
+        assert_eq!(s.lower.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_same_trace() {
+        let trace: Vec<(AccessKind, u64)> = (0..1000)
+            .map(|i| {
+                let kind = match i % 3 {
+                    0 => AccessKind::Instruction,
+                    1 => AccessKind::Read,
+                    _ => AccessKind::Write,
+                };
+                (kind, (i * 97 % 8192) as u64)
+            })
+            .collect();
+        let mut a = Hierarchy::paper_config();
+        let mut b = Hierarchy::paper_config();
+        for &(k, addr) in &trace {
+            a.access(k, addr);
+            b.access(k, addr);
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -1,0 +1,22 @@
+//! Performance models for the multi-path in-vivo profiler (PROFS).
+//!
+//! PROFS (§6.1.3 of the paper) counts instructions, cache misses, TLB
+//! misses, and page faults *per execution path*, for arbitrary memory
+//! hierarchies — "any number of cache levels, size, associativity, line
+//! sizes". This crate provides those models as plain-data values: the
+//! `PerformanceProfile` analyzer keeps one per path, and the value is
+//! cloned whenever the execution state forks (per-path plugin state, §4.2).
+//!
+//! The paper's evaluation configuration — 64 KiB split I1/D1, 2-way,
+//! 64-byte lines, plus a 1 MiB 4-way unified L2 — is available as
+//! [`Hierarchy::paper_config`].
+
+mod cache;
+mod hierarchy;
+mod page;
+mod tlb;
+
+pub use cache::{CacheConfig, CacheLevel, CacheStats};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};
+pub use page::PageModel;
+pub use tlb::Tlb;

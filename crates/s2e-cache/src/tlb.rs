@@ -1,0 +1,103 @@
+//! A fully-associative TLB with LRU replacement.
+
+/// Translation lookaside buffer model.
+///
+/// Fully associative over page numbers, LRU replacement — adequate for
+/// counting TLB misses along a path, which is what PROFS reports.
+///
+/// ```
+/// use s2e_cache::Tlb;
+/// let mut t = Tlb::new(2, 4096);
+/// assert!(!t.access(0x1000));
+/// assert!(t.access(0x1fff)); // same page
+/// t.access(0x2000);
+/// t.access(0x3000);          // evicts page 1
+/// assert!(!t.access(0x1000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: usize,
+    page_size: u32,
+    /// Page numbers in LRU order (most recent last).
+    resident: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots over pages of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_size` is not a power of two.
+    pub fn new(entries: usize, page_size: u32) -> Tlb {
+        assert!(entries > 0);
+        assert!(page_size.is_power_of_two());
+        Tlb {
+            entries,
+            page_size,
+            resident: Vec::with_capacity(entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Simulates a translation of `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr / self.page_size as u64;
+        if let Some(pos) = self.resident.iter().position(|&p| p == page) {
+            let p = self.resident.remove(pos);
+            self.resident.push(p);
+            self.hits += 1;
+            true
+        } else {
+            if self.resident.len() == self.entries {
+                self.resident.remove(0);
+            }
+            self.resident.push(page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_within_page() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0x5000);
+        assert!(t.access(0x5abc));
+        assert_eq!(t.misses(), 1);
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x1000);
+        t.access(0x2000);
+        t.access(0x1000); // refresh
+        t.access(0x3000); // evicts 0x2000
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_rejected() {
+        Tlb::new(0, 4096);
+    }
+}

@@ -1,0 +1,115 @@
+//! Crash catcher (the `WinBugCheck` analog).
+//!
+//! Converts machine faults — null dereferences, invalid opcodes, kernel
+//! panics ("blue screen of death" events in the paper), failed guest
+//! assertions — into deduplicated bug reports with reproducing inputs.
+
+use crate::plugin::{BugKind, ExecCtx, Plugin};
+use crate::state::{ExecState, TerminationReason};
+use s2e_vm::cpu::FaultKind;
+use std::collections::HashSet;
+
+/// The bug-check plugin.
+#[derive(Debug, Default)]
+pub struct BugCheck {
+    seen: HashSet<(BugKind, u32)>,
+}
+
+impl BugCheck {
+    /// Creates the plugin.
+    pub fn new() -> BugCheck {
+        BugCheck::default()
+    }
+}
+
+fn classify(f: &FaultKind) -> (BugKind, u32, String) {
+    match f {
+        FaultKind::NullAccess { addr, pc } => (
+            BugKind::NullDereference,
+            *pc,
+            format!("null dereference of {addr:#010x}"),
+        ),
+        FaultKind::InvalidOpcode { pc } => {
+            (BugKind::InvalidOpcode, *pc, "invalid opcode executed".into())
+        }
+        FaultKind::AssertFailed { pc } => (
+            BugKind::AssertionFailure,
+            *pc,
+            "guest assertion failed".into(),
+        ),
+        FaultKind::SymbolicPc { pc } => (
+            BugKind::InvalidOpcode,
+            *pc,
+            "unresolvable symbolic control flow".into(),
+        ),
+        FaultKind::KernelPanic { code, pc } => (
+            BugKind::KernelPanic,
+            *pc,
+            format!("kernel panic, code {code:#x}"),
+        ),
+    }
+}
+
+impl Plugin for BugCheck {
+    fn name(&self) -> &'static str {
+        "bugcheck"
+    }
+
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+        let TerminationReason::Fault(f) = reason else {
+            return;
+        };
+        // Assertion failures are reported at the assert site by the
+        // executor itself; avoid double counting.
+        if matches!(f, FaultKind::AssertFailed { .. }) {
+            return;
+        }
+        let (kind, pc, description) = classify(f);
+        if self.seen.insert((kind, pc)) {
+            ctx.report_bug(state, kind, pc, description);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::machine::Machine;
+
+    #[test]
+    fn faults_become_deduplicated_bugs() {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let mut ctx = ExecCtx {
+            builder: &b,
+            solver: &mut solver,
+            config: &config,
+            stats: &mut stats,
+            bugs: &mut bugs,
+            log: &mut log,
+        };
+        let mut bc = BugCheck::new();
+        let mut state = ExecState::initial(Machine::new());
+        let fault = TerminationReason::Fault(FaultKind::NullAccess { addr: 4, pc: 0x2000 });
+        bc.on_state_terminated(&mut state, &mut ctx, &fault);
+        bc.on_state_terminated(&mut state, &mut ctx, &fault); // duplicate
+        bc.on_state_terminated(
+            &mut state,
+            &mut ctx,
+            &TerminationReason::Fault(FaultKind::KernelPanic { code: 7, pc: 0x3000 }),
+        );
+        bc.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
+        assert_eq!(bugs.len(), 2);
+        assert_eq!(bugs[0].kind, BugKind::NullDereference);
+        assert_eq!(bugs[1].kind, BugKind::KernelPanic);
+    }
+}

@@ -1,0 +1,196 @@
+//! Energy profiler — the paper's first "other use" (§6.1.4).
+//!
+//! "S2E could be used to profile energy use of embedded applications:
+//! given a power consumption model, S2E could find energy-hogging paths
+//! and help the developer optimize them." This analyzer attaches a
+//! per-opcode-class energy model and accumulates a per-path energy
+//! figure, giving energy *envelopes* over path families just like PROFS
+//! gives instruction envelopes.
+
+use crate::impl_plugin_state;
+use crate::plugin::{ExecCtx, MemAccess, Plugin};
+use crate::state::{ExecState, StateId, TerminationReason};
+use parking_lot::Mutex;
+use s2e_vm::isa::{Instr, Opcode};
+use std::sync::Arc;
+
+/// Energy cost model in arbitrary charge units per event.
+#[derive(Clone, Debug)]
+pub struct EnergyModel {
+    /// Plain ALU / move instructions.
+    pub alu: u64,
+    /// Multiplies and divides.
+    pub muldiv: u64,
+    /// Control transfers.
+    pub branch: u64,
+    /// Memory instruction base cost (plus per-access cost below).
+    pub memory: u64,
+    /// Additional cost per byte moved to/from memory.
+    pub per_byte: u64,
+    /// Port I/O (device activation).
+    pub io: u64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        // Loosely shaped like embedded-class cores: multiplies ~4× ALU,
+        // memory ~3×, device I/O an order of magnitude above that.
+        EnergyModel {
+            alu: 1,
+            muldiv: 4,
+            branch: 2,
+            memory: 3,
+            per_byte: 1,
+            io: 30,
+        }
+    }
+}
+
+impl EnergyModel {
+    fn instr_cost(&self, op: Opcode) -> u64 {
+        match op {
+            Opcode::Mul
+            | Opcode::MulI
+            | Opcode::Divu
+            | Opcode::Divs
+            | Opcode::Remu
+            | Opcode::Rems => self.muldiv,
+            op if op.is_conditional_branch() => self.branch,
+            Opcode::Jmp | Opcode::JmpR | Opcode::Call | Opcode::CallR | Opcode::Ret => {
+                self.branch
+            }
+            op if op.is_load() || op.is_store() => self.memory,
+            Opcode::In | Opcode::Out => self.io,
+            _ => self.alu,
+        }
+    }
+}
+
+/// Per-path accumulated energy.
+#[derive(Clone, Debug, Default)]
+struct EnergyState {
+    charge: u64,
+}
+impl_plugin_state!(EnergyState);
+
+/// Completed-path energy figures.
+pub type EnergyResults = Arc<Mutex<Vec<(StateId, TerminationReason, u64)>>>;
+
+/// The energy-profiling plugin.
+#[derive(Debug)]
+pub struct EnergyProfile {
+    model: EnergyModel,
+    results: EnergyResults,
+}
+
+impl EnergyProfile {
+    /// Creates the profiler with a cost model.
+    pub fn new(model: EnergyModel) -> (EnergyProfile, EnergyResults) {
+        let results: EnergyResults = Arc::new(Mutex::new(Vec::new()));
+        (
+            EnergyProfile {
+                model,
+                results: Arc::clone(&results),
+            },
+            results,
+        )
+    }
+}
+
+impl Plugin for EnergyProfile {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn wants_all_instructions(&self) -> bool {
+        true
+    }
+
+    fn on_instr_execution(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        _pc: u32,
+        instr: &Instr,
+    ) {
+        let cost = self.model.instr_cost(instr.op);
+        state.plugin_state_mut::<EnergyState>("energy").charge += cost;
+    }
+
+    fn on_memory_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &MemAccess) {
+        let cost = self.model.per_byte * a.width as u64;
+        state.plugin_state_mut::<EnergyState>("energy").charge += cost;
+    }
+
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+        let charge = state.plugin_state_mut::<EnergyState>("energy").charge;
+        self.results.lock().push((state.id, reason.clone(), charge));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::isa::Instr;
+    use s2e_vm::machine::Machine;
+
+    #[test]
+    fn accumulates_per_opcode_costs() {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let mut ctx = ExecCtx {
+            builder: &b,
+            solver: &mut solver,
+            config: &config,
+            stats: &mut stats,
+            bugs: &mut bugs,
+            log: &mut log,
+        };
+        let (mut e, results) = EnergyProfile::new(EnergyModel::default());
+        let mut state = ExecState::initial(Machine::new());
+        e.on_instr_execution(&mut state, &mut ctx, 0, &Instr::new(Opcode::Add, 0, 0, 0, 0));
+        e.on_instr_execution(&mut state, &mut ctx, 8, &Instr::new(Opcode::Mul, 0, 0, 0, 0));
+        e.on_instr_execution(&mut state, &mut ctx, 16, &Instr::new(Opcode::Out, 0, 0, 0, 0));
+        e.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
+        let r = results.lock();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].2, 1 + 4 + 30);
+    }
+
+    #[test]
+    fn forked_paths_account_independently() {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let mut ctx = ExecCtx {
+            builder: &b,
+            solver: &mut solver,
+            config: &config,
+            stats: &mut stats,
+            bugs: &mut bugs,
+            log: &mut log,
+        };
+        let (mut e, results) = EnergyProfile::new(EnergyModel::default());
+        let mut parent = ExecState::initial(Machine::new());
+        e.on_instr_execution(&mut parent, &mut ctx, 0, &Instr::new(Opcode::Add, 0, 0, 0, 0));
+        let mut child = parent.fork_child(StateId(1));
+        e.on_instr_execution(&mut child, &mut ctx, 8, &Instr::new(Opcode::Mul, 0, 0, 0, 0));
+        e.on_state_terminated(&mut parent, &mut ctx, &TerminationReason::Halted(0));
+        e.on_state_terminated(&mut child, &mut ctx, &TerminationReason::Halted(0));
+        let r = results.lock();
+        assert_eq!(r[0].2, 1);
+        assert_eq!(r[1].2, 1 + 4);
+    }
+}

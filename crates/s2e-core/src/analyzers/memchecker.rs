@@ -1,0 +1,376 @@
+//! Heap memory checker (the paper's `MemoryChecker` analyzer).
+//!
+//! Tracks the guest kernel's allocation API per path and reports
+//! use-after-free, out-of-bounds heap accesses, double frees, and — at
+//! path termination — leaks. This is the bug-finding workhorse of DDT+
+//! (§6.1.1: "memory leaks, segmentation faults, race conditions, and
+//! memory corruption").
+
+use crate::impl_plugin_state;
+use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin};
+use crate::state::{ExecState, TerminationReason};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Where the heap lives and which syscalls manage it.
+#[derive(Clone, Debug)]
+pub struct HeapConfig {
+    /// Syscall number of `alloc(size) -> ptr` (0 on failure).
+    pub alloc_syscall: u32,
+    /// Syscall number of `free(ptr)`.
+    pub free_syscall: u32,
+    /// The heap address range; accesses here must fall inside live
+    /// allocations.
+    pub heap_range: Range<u32>,
+}
+
+/// Per-path heap bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct HeapState {
+    /// Live allocations: base → (size, touched).
+    live: BTreeMap<u32, (u32, bool)>,
+    /// Freed allocations kept for UAF classification: base → size.
+    freed: BTreeMap<u32, u32>,
+    /// Size argument of an alloc currently in flight.
+    pending_alloc: Option<u32>,
+    /// Pointer argument of a free currently in flight.
+    pending_free: Option<u32>,
+}
+impl_plugin_state!(HeapState);
+
+impl HeapState {
+    fn containing(map: &BTreeMap<u32, u32>, addr: u32) -> Option<(u32, u32)> {
+        map.range(..=addr)
+            .next_back()
+            .filter(|(base, size)| addr < *base + **size)
+            .map(|(b, s)| (*b, *s))
+    }
+
+    fn containing_live(map: &BTreeMap<u32, (u32, bool)>, addr: u32) -> Option<u32> {
+        map.range(..=addr)
+            .next_back()
+            .filter(|(base, (size, _))| addr < *base + *size)
+            .map(|(b, _)| *b)
+    }
+}
+
+/// The memory-checker plugin.
+#[derive(Debug)]
+pub struct MemoryChecker {
+    config: HeapConfig,
+    /// Report leaks when a path halts normally (leaks on crashed paths
+    /// are usually side effects of the crash).
+    pub leak_check: bool,
+}
+
+impl MemoryChecker {
+    /// Creates the checker for the given heap ABI.
+    pub fn new(config: HeapConfig) -> MemoryChecker {
+        MemoryChecker {
+            config,
+            leak_check: true,
+        }
+    }
+}
+
+impl Plugin for MemoryChecker {
+    fn name(&self) -> &'static str {
+        "memchecker"
+    }
+
+    fn on_syscall(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, num: u32, args: [u32; 4]) {
+        let hs = state.plugin_state_mut::<HeapState>("memchecker");
+        if num == self.config.alloc_syscall {
+            hs.pending_alloc = Some(args[0]);
+        } else if num == self.config.free_syscall {
+            hs.pending_free = Some(args[0]);
+        }
+    }
+
+    fn on_syscall_return(
+        &mut self,
+        state: &mut ExecState,
+        ctx: &mut ExecCtx,
+        num: u32,
+        ret: Option<u32>,
+    ) {
+        let pc = state.machine.cpu.pc;
+        if num == self.config.alloc_syscall {
+            let hs = state.plugin_state_mut::<HeapState>("memchecker");
+            let size = hs.pending_alloc.take().unwrap_or(0);
+            if let Some(ptr) = ret {
+                if ptr != 0 {
+                    hs.live.insert(ptr, (size.max(1), false));
+                    hs.freed.remove(&ptr);
+                }
+            }
+        } else if num == self.config.free_syscall {
+            let (ptr, double, invalid) = {
+                let hs = state.plugin_state_mut::<HeapState>("memchecker");
+                let ptr = hs.pending_free.take().unwrap_or(0);
+                if ptr == 0 {
+                    (ptr, false, false)
+                } else if let Some((size, _)) = hs.live.remove(&ptr) {
+                    hs.freed.insert(ptr, size);
+                    (ptr, false, false)
+                } else if hs.freed.contains_key(&ptr) {
+                    (ptr, true, false)
+                } else {
+                    (ptr, false, true)
+                }
+            };
+            if double {
+                ctx.report_bug(
+                    state,
+                    BugKind::DoubleFree,
+                    pc,
+                    format!("double free of {ptr:#010x}"),
+                );
+            } else if invalid {
+                ctx.report_bug(
+                    state,
+                    BugKind::HeapOutOfBounds,
+                    pc,
+                    format!("free of invalid pointer {ptr:#010x}"),
+                );
+            }
+        }
+    }
+
+    fn on_memory_access(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, a: &MemAccess) {
+        if !self.config.heap_range.contains(&a.addr) {
+            return;
+        }
+        // Accesses from inside the kernel (the allocator itself) are
+        // exempt: only unit code is checked.
+        if state.env_depth() > 0 {
+            return;
+        }
+        let (live_hit, freed_hit) = {
+            let hs = state.plugin_state_mut::<HeapState>("memchecker");
+            let live = HeapState::containing_live(&hs.live, a.addr);
+            if let Some(base) = live {
+                hs.live.get_mut(&base).expect("present").1 = true;
+            }
+            (live.is_some(), HeapState::containing(&hs.freed, a.addr).is_some())
+        };
+        if live_hit {
+            return;
+        }
+        if freed_hit {
+            ctx.report_bug(
+                state,
+                BugKind::UseAfterFree,
+                a.pc,
+                format!(
+                    "{} of freed heap memory at {:#010x}",
+                    if a.is_write { "write" } else { "read" },
+                    a.addr
+                ),
+            );
+        } else {
+            ctx.report_bug(
+                state,
+                BugKind::HeapOutOfBounds,
+                a.pc,
+                format!(
+                    "{} outside any live allocation at {:#010x}",
+                    if a.is_write { "write" } else { "read" },
+                    a.addr
+                ),
+            );
+        }
+    }
+
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+        if !self.leak_check || !matches!(reason, TerminationReason::Halted(_)) {
+            return;
+        }
+        // Only allocations the unit actually used count as leaks: on
+        // contract-failure forks (alloc annotated to return 0) the unit
+        // never touches the environment-side allocation, and reporting it
+        // would be a false positive from the unit's perspective.
+        let leaks: Vec<(u32, u32)> = state
+            .plugin_state_mut::<HeapState>("memchecker")
+            .live
+            .iter()
+            .filter(|(_, (_, touched))| *touched)
+            .map(|(b, (s, _))| (*b, *s))
+            .collect();
+        let pc = state.machine.cpu.pc;
+        for (base, size) in leaks {
+            ctx.report_bug(
+                state,
+                BugKind::MemoryLeak,
+                pc,
+                format!("{size}-byte allocation at {base:#010x} never freed"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::machine::Machine;
+
+    fn harness() -> (MemoryChecker, ExecState) {
+        let checker = MemoryChecker::new(HeapConfig {
+            alloc_syscall: 1,
+            free_syscall: 2,
+            heap_range: 0x10000..0x20000,
+        });
+        (checker, ExecState::initial(Machine::new()))
+    }
+
+    macro_rules! ctx {
+        ($bugs:ident, $body:expr) => {{
+            let b = s2e_expr::ExprBuilder::new();
+            let mut solver = s2e_solver::Solver::new();
+            let config = crate::config::EngineConfig::default();
+            let mut stats = crate::stats::EngineStats::default();
+            let mut $bugs = Vec::new();
+            let mut log = Vec::new();
+            {
+                let mut ctx = ExecCtx {
+                    builder: &b,
+                    solver: &mut solver,
+                    config: &config,
+                    stats: &mut stats,
+                    bugs: &mut $bugs,
+                    log: &mut log,
+                };
+                #[allow(clippy::redundant_closure_call)]
+                ($body)(&mut ctx);
+            }
+            $bugs
+        }};
+    }
+
+    fn access(addr: u32, is_write: bool) -> MemAccess {
+        MemAccess {
+            pc: 0x2000,
+            addr,
+            width: 4,
+            is_write,
+            value: Some(0),
+            symbolic_addr: false,
+            symbolic_value: false,
+        }
+    }
+
+    #[test]
+    fn valid_lifecycle_no_bugs() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [64, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            mc.on_memory_access(&mut state, ctx, &access(0x10010, true));
+            mc.on_syscall(&mut state, ctx, 2, [0x10000, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 2, Some(0));
+            mc.on_state_terminated(&mut state, ctx, &TerminationReason::Halted(0));
+        });
+        assert!(bugs.is_empty(), "{bugs:?}");
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [64, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            mc.on_syscall(&mut state, ctx, 2, [0x10000, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 2, Some(0));
+            mc.on_memory_access(&mut state, ctx, &access(0x10004, false));
+        });
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].kind, BugKind::UseAfterFree);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [8, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            // One past the allocation.
+            mc.on_memory_access(&mut state, ctx, &access(0x10008, true));
+        });
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].kind, BugKind::HeapOutOfBounds);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [8, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            mc.on_syscall(&mut state, ctx, 2, [0x10000, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 2, Some(0));
+            mc.on_syscall(&mut state, ctx, 2, [0x10000, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 2, Some(0));
+        });
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].kind, BugKind::DoubleFree);
+    }
+
+    #[test]
+    fn leak_detected_on_clean_halt_only() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [8, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            mc.on_memory_access(&mut state, ctx, &access(0x10000, true));
+            mc.on_state_terminated(&mut state, ctx, &TerminationReason::Halted(0));
+        });
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].kind, BugKind::MemoryLeak);
+
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [8, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            mc.on_memory_access(&mut state, ctx, &access(0x10000, true));
+            mc.on_state_terminated(&mut state, ctx, &TerminationReason::Killed(0));
+        });
+        assert!(bugs.is_empty());
+    }
+
+    #[test]
+    fn untouched_allocation_not_reported_as_leak() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [8, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0x10000));
+            mc.on_state_terminated(&mut state, ctx, &TerminationReason::Halted(0));
+        });
+        assert!(bugs.is_empty(), "{bugs:?}");
+    }
+
+    #[test]
+    fn failed_alloc_not_tracked() {
+        let (mut mc, mut state) = harness();
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_syscall(&mut state, ctx, 1, [8, 0, 0, 0]);
+            mc.on_syscall_return(&mut state, ctx, 1, Some(0)); // alloc failed
+            mc.on_state_terminated(&mut state, ctx, &TerminationReason::Halted(0));
+        });
+        assert!(bugs.is_empty());
+    }
+
+    #[test]
+    fn kernel_accesses_exempt() {
+        let (mut mc, mut state) = harness();
+        state.env_stack.push(crate::state::EnvFrame::Marker);
+        let bugs = ctx!(bugs, |ctx: &mut ExecCtx| {
+            mc.on_memory_access(&mut state, ctx, &access(0x10004, true));
+        });
+        assert!(bugs.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! Stock analyzer plugins (§4.1's "path analyzers").
+//!
+//! Each analyzer follows the same pattern: the constructor returns the
+//! plugin plus a shared results handle (`Arc<Mutex<…>>`) that remains
+//! valid after the plugin is moved into the engine. Per-path data lives
+//! in [`crate::state::PluginState`] so it forks with the execution state;
+//! aggregated results live behind the handle.
+
+mod bugcheck;
+mod coverage;
+mod energy;
+mod memchecker;
+mod pathkiller;
+mod perf;
+mod privacy;
+mod racedetector;
+mod tracer;
+
+pub use bugcheck::BugCheck;
+pub use coverage::{Coverage, CoverageData};
+pub use energy::{EnergyModel, EnergyProfile, EnergyResults};
+pub use memchecker::{HeapConfig, MemoryChecker};
+pub use pathkiller::PathKiller;
+pub use perf::{PathProfile, PerformanceProfile, ProfileResults};
+pub use privacy::PrivacyLeakDetector;
+pub use racedetector::DataRaceDetector;
+pub use tracer::{ExecutionTracer, TraceEntry, TraceStore};

@@ -1,0 +1,207 @@
+//! The `PathKiller` selector (§4.1).
+//!
+//! Kills paths that are no longer of interest. The stock policy matches
+//! the paper's example: "paths can be killed if a fixed sequence of
+//! program counters repeats more than n times; this avoids getting stuck
+//! in polling loops". A bound-based policy supports PROFS's
+//! best-case-input search, which abandons any path whose running metric
+//! exceeds the best known lower bound.
+
+use crate::impl_plugin_state;
+use crate::plugin::{ExecCtx, Plugin};
+use crate::state::{ExecState, TerminationReason};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Exit code used by killer-terminated paths.
+pub const KILLED_BY_PATHKILLER: u32 = 0xdead;
+
+/// Per-path block-repeat counters.
+#[derive(Clone, Debug, Default)]
+struct KillerState {
+    counts: HashMap<u32, u32>,
+}
+impl_plugin_state!(KillerState);
+
+type BoundFn = dyn Fn(&ExecState) -> Option<u64> + Send;
+
+/// The path-killer plugin.
+pub struct PathKiller {
+    repeat_threshold: u32,
+    /// Optional metric: paths whose metric exceeds the shared minimum are
+    /// killed (lower-bound pruning).
+    metric: Option<Box<BoundFn>>,
+    best: Arc<Mutex<Option<u64>>>,
+}
+
+impl std::fmt::Debug for PathKiller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathKiller")
+            .field("repeat_threshold", &self.repeat_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PathKiller {
+    /// Kills any path that re-enters the same block more than
+    /// `repeat_threshold` times.
+    pub fn new(repeat_threshold: u32) -> PathKiller {
+        PathKiller {
+            repeat_threshold,
+            metric: None,
+            best: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Adds lower-bound pruning: `metric` extracts a running cost from a
+    /// state; once any path completes, paths whose cost exceeds the best
+    /// completed cost are killed. Returns the shared best-bound cell.
+    pub fn with_lower_bound(
+        mut self,
+        metric: impl Fn(&ExecState) -> Option<u64> + Send + 'static,
+    ) -> (PathKiller, Arc<Mutex<Option<u64>>>) {
+        self.metric = Some(Box::new(metric));
+        let best = Arc::clone(&self.best);
+        (self, best)
+    }
+}
+
+impl Plugin for PathKiller {
+    fn name(&self) -> &'static str {
+        "pathkiller"
+    }
+
+    fn on_block_start(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, pc: u32) {
+        let threshold = self.repeat_threshold;
+        {
+            let ks = state.plugin_state_mut::<KillerState>("pathkiller");
+            let n = ks.counts.entry(pc).or_insert(0);
+            *n += 1;
+            if *n > threshold {
+                state.kill_requested =
+                    Some(TerminationReason::Killed(KILLED_BY_PATHKILLER));
+                return;
+            }
+        }
+        if let Some(metric) = &self.metric {
+            if let (Some(cost), Some(best)) = (metric(state), *self.best.lock()) {
+                if cost > best {
+                    state.kill_requested =
+                        Some(TerminationReason::Killed(KILLED_BY_PATHKILLER));
+                }
+            }
+        }
+    }
+
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+        // Completed paths update the best bound. Guest-initiated kills
+        // (KillPath status reports) count as completion; killer-pruned
+        // paths do not.
+        let completed = matches!(reason, TerminationReason::Halted(_))
+            || matches!(reason, TerminationReason::Killed(c) if *c != KILLED_BY_PATHKILLER);
+        if completed {
+            if let Some(metric) = &self.metric {
+                if let Some(cost) = metric(state) {
+                    let mut best = self.best.lock();
+                    *best = Some(best.map_or(cost, |b| b.min(cost)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::machine::Machine;
+
+    fn ctx_run(f: impl FnOnce(&mut ExecCtx)) {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let mut ctx = ExecCtx {
+            builder: &b,
+            solver: &mut solver,
+            config: &config,
+            stats: &mut stats,
+            bugs: &mut bugs,
+            log: &mut log,
+        };
+        f(&mut ctx);
+    }
+
+    #[test]
+    fn repeated_block_triggers_kill() {
+        ctx_run(|ctx| {
+            let mut pk = PathKiller::new(3);
+            let mut state = ExecState::initial(Machine::new());
+            for _ in 0..3 {
+                pk.on_block_start(&mut state, ctx, 0x2000);
+                assert!(state.kill_requested.is_none());
+            }
+            pk.on_block_start(&mut state, ctx, 0x2000);
+            assert!(matches!(
+                state.kill_requested,
+                Some(TerminationReason::Killed(KILLED_BY_PATHKILLER))
+            ));
+        });
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_trigger() {
+        ctx_run(|ctx| {
+            let mut pk = PathKiller::new(2);
+            let mut state = ExecState::initial(Machine::new());
+            for i in 0..10 {
+                pk.on_block_start(&mut state, ctx, 0x2000 + i * 8);
+            }
+            assert!(state.kill_requested.is_none());
+        });
+    }
+
+    #[test]
+    fn lower_bound_prunes_expensive_paths() {
+        ctx_run(|ctx| {
+            let (mut pk, best) =
+                PathKiller::new(u32::MAX).with_lower_bound(|s| Some(s.instrs_retired));
+            let mut cheap = ExecState::initial(Machine::new());
+            cheap.instrs_retired = 100;
+            pk.on_state_terminated(&mut cheap, ctx, &TerminationReason::Halted(0));
+            assert_eq!(*best.lock(), Some(100));
+
+            let mut expensive = ExecState::initial(Machine::new());
+            expensive.instrs_retired = 500;
+            pk.on_block_start(&mut expensive, ctx, 0x2000);
+            assert!(expensive.kill_requested.is_some());
+
+            let mut promising = ExecState::initial(Machine::new());
+            promising.instrs_retired = 50;
+            pk.on_block_start(&mut promising, ctx, 0x2000);
+            assert!(promising.kill_requested.is_none());
+        });
+    }
+
+    #[test]
+    fn best_bound_takes_minimum() {
+        ctx_run(|ctx| {
+            let (mut pk, best) =
+                PathKiller::new(u32::MAX).with_lower_bound(|s| Some(s.instrs_retired));
+            let mut a = ExecState::initial(Machine::new());
+            a.instrs_retired = 300;
+            pk.on_state_terminated(&mut a, ctx, &TerminationReason::Halted(0));
+            let mut b2 = ExecState::initial(Machine::new());
+            b2.instrs_retired = 200;
+            pk.on_state_terminated(&mut b2, ctx, &TerminationReason::Halted(0));
+            assert_eq!(*best.lock(), Some(200));
+        });
+    }
+}

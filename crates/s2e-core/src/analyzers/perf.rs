@@ -1,0 +1,288 @@
+//! Multi-path performance profiler plugin (the `PerformanceProfile`
+//! analyzer behind PROFS, §6.1.3).
+//!
+//! Counts instructions and simulates a configurable memory hierarchy
+//! (caches, TLB, page faults) *per path*. The per-path simulator state is
+//! plugin state, so it forks with the execution state: sibling paths have
+//! independent, consistent cache histories — something single-path
+//! profilers like Valgrind cannot produce.
+
+use crate::impl_plugin_state;
+use crate::plugin::{ExecCtx, MemAccess, Plugin};
+use crate::state::{ExecState, StateId, TerminationReason};
+use parking_lot::Mutex;
+use s2e_cache::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};
+use s2e_vm::isa::Instr;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Completed-path profile.
+#[derive(Clone, Debug)]
+pub struct PathProfile {
+    /// The path's state id.
+    pub state: StateId,
+    /// How the path ended.
+    pub reason: TerminationReason,
+    /// Instructions executed within the profiled range.
+    pub instructions: u64,
+    /// Memory-hierarchy counters.
+    pub hierarchy: HierarchyStats,
+}
+
+/// Shared results: one profile per completed path.
+pub type ProfileResults = Arc<Mutex<Vec<PathProfile>>>;
+
+/// Per-path simulator state.
+#[derive(Clone, Debug)]
+struct PerfState {
+    hierarchy: Hierarchy,
+    instructions: u64,
+}
+
+impl Default for PerfState {
+    fn default() -> PerfState {
+        PerfState {
+            hierarchy: Hierarchy::paper_config(),
+            instructions: 0,
+        }
+    }
+}
+impl_plugin_state!(PerfState);
+
+/// The profiler plugin.
+pub struct PerformanceProfile {
+    config: HierarchyConfig,
+    /// Restrict profiling to instructions inside this range (e.g. the
+    /// unit); `None` profiles everything, including the kernel — the
+    /// "in-vivo" mode that sees OS effects on the unit's cache behavior.
+    range: Option<Range<u32>>,
+    results: ProfileResults,
+}
+
+impl std::fmt::Debug for PerformanceProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerformanceProfile")
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PerformanceProfile {
+    /// Creates the profiler with the paper's hierarchy configuration.
+    pub fn new(range: Option<Range<u32>>) -> (PerformanceProfile, ProfileResults) {
+        Self::with_hierarchy(HierarchyConfig::paper(), range)
+    }
+
+    /// Creates the profiler with a custom hierarchy.
+    pub fn with_hierarchy(
+        config: HierarchyConfig,
+        range: Option<Range<u32>>,
+    ) -> (PerformanceProfile, ProfileResults) {
+        let results: ProfileResults = Arc::new(Mutex::new(Vec::new()));
+        (
+            PerformanceProfile {
+                config,
+                range,
+                results: Arc::clone(&results),
+            },
+            results,
+        )
+    }
+
+    fn state_of<'s>(&self, state: &'s mut ExecState) -> &'s mut PerfState {
+        let ps = state.plugin_state_mut::<PerfState>("perf");
+        ps
+    }
+
+    fn in_range(&self, pc: u32) -> bool {
+        self.range.as_ref().map(|r| r.contains(&pc)).unwrap_or(true)
+    }
+}
+
+impl Plugin for PerformanceProfile {
+    fn name(&self) -> &'static str {
+        "perf"
+    }
+
+    fn wants_all_instructions(&self) -> bool {
+        true
+    }
+
+    fn on_instr_execution(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        pc: u32,
+        _instr: &Instr,
+    ) {
+        if !self.in_range(pc) {
+            return;
+        }
+        // Ensure a fresh hierarchy uses the configured geometry, not the
+        // Default (they coincide for paper config, but custom configs must
+        // win).
+        if state.plugin_state::<PerfState>("perf").is_none() {
+            let init = PerfState {
+                hierarchy: Hierarchy::new(&self.config),
+                instructions: 0,
+            };
+            *state.plugin_state_mut::<PerfState>("perf") = init;
+        }
+        let ps = self.state_of(state);
+        ps.instructions += 1;
+        ps.hierarchy.access(AccessKind::Instruction, pc as u64);
+    }
+
+    fn on_memory_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &MemAccess) {
+        if !self.in_range(a.pc) {
+            return;
+        }
+        let kind = if a.is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let ps = self.state_of(state);
+        for i in 0..a.width {
+            // Word accesses touch one line in practice; feed each byte so
+            // line-straddling accesses count correctly.
+            if i == 0 || (a.addr as u64 + i as u64).is_multiple_of(64) {
+                ps.hierarchy.access(kind, a.addr as u64 + i as u64);
+            }
+        }
+    }
+
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+        let id = state.id;
+        let ps = self.state_of(state);
+        self.results.lock().push(PathProfile {
+            state: id,
+            reason: reason.clone(),
+            instructions: ps.instructions,
+            hierarchy: ps.hierarchy.stats(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::isa::{Instr, Opcode};
+    use s2e_vm::machine::Machine;
+
+    fn run(f: impl FnOnce(&mut PerformanceProfile, &mut ExecState, &mut ExecCtx)) -> Vec<PathProfile> {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let (mut perf, results) = PerformanceProfile::new(None);
+        {
+            let mut ctx = ExecCtx {
+                builder: &b,
+                solver: &mut solver,
+                config: &config,
+                stats: &mut stats,
+                bugs: &mut bugs,
+                log: &mut log,
+            };
+            let mut state = ExecState::initial(Machine::new());
+            f(&mut perf, &mut state, &mut ctx);
+        }
+        let r = results.lock().clone();
+        r
+    }
+
+    #[test]
+    fn counts_instructions_and_accesses() {
+        let profiles = run(|perf, state, ctx| {
+            let i = Instr::new(Opcode::Nop, 0, 0, 0, 0);
+            for k in 0..10 {
+                perf.on_instr_execution(state, ctx, 0x2000 + k * 8, &i);
+            }
+            perf.on_memory_access(
+                state,
+                ctx,
+                &MemAccess {
+                    pc: 0x2000,
+                    addr: 0x8000,
+                    width: 4,
+                    is_write: false,
+                    value: Some(0),
+                    symbolic_addr: false,
+                    symbolic_value: false,
+                },
+            );
+            perf.on_state_terminated(state, ctx, &TerminationReason::Halted(0));
+        });
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].instructions, 10);
+        assert_eq!(profiles[0].hierarchy.data_accesses, 1);
+        assert!(profiles[0].hierarchy.total_cache_misses() >= 2);
+    }
+
+    #[test]
+    fn forked_paths_profile_independently() {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let (mut perf, results) = PerformanceProfile::new(None);
+        {
+            let mut ctx = ExecCtx {
+                builder: &b,
+                solver: &mut solver,
+                config: &config,
+                stats: &mut stats,
+                bugs: &mut bugs,
+                log: &mut log,
+            };
+            let mut parent = ExecState::initial(Machine::new());
+            let i = Instr::new(Opcode::Nop, 0, 0, 0, 0);
+            perf.on_instr_execution(&mut parent, &mut ctx, 0x2000, &i);
+            let mut child = parent.fork_child(crate::state::StateId(1));
+            perf.on_instr_execution(&mut child, &mut ctx, 0x2008, &i);
+            perf.on_instr_execution(&mut child, &mut ctx, 0x2010, &i);
+            perf.on_state_terminated(&mut parent, &mut ctx, &TerminationReason::Halted(0));
+            perf.on_state_terminated(&mut child, &mut ctx, &TerminationReason::Halted(0));
+        }
+        let profiles = results.lock();
+        assert_eq!(profiles[0].instructions, 1);
+        assert_eq!(profiles[1].instructions, 3); // inherited 1 + 2 own
+    }
+
+    #[test]
+    fn range_filter_applies() {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let (mut perf, results) = PerformanceProfile::new(Some(0x2000..0x3000));
+        {
+            let mut ctx = ExecCtx {
+                builder: &b,
+                solver: &mut solver,
+                config: &config,
+                stats: &mut stats,
+                bugs: &mut bugs,
+                log: &mut log,
+            };
+            let mut state = ExecState::initial(Machine::new());
+            let i = Instr::new(Opcode::Nop, 0, 0, 0, 0);
+            perf.on_instr_execution(&mut state, &mut ctx, 0x2000, &i);
+            perf.on_instr_execution(&mut state, &mut ctx, 0x9000, &i); // filtered
+            perf.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
+        }
+        assert_eq!(results.lock()[0].instructions, 1);
+    }
+}

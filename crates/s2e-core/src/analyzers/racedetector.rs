@@ -1,0 +1,191 @@
+//! Interrupt data-race detector (the `DataRaceDetector` analyzer).
+//!
+//! Driver-style race detection: a memory location written both from
+//! interrupt context and from non-interrupt context *with interrupts
+//! enabled* (i.e., without the Cli/Sti "lock" held) is racy — the IRQ
+//! handler can fire between the mainline's read-modify-write.
+
+use crate::impl_plugin_state;
+use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin};
+use crate::state::ExecState;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Per-address access summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct AccessFlags(u8);
+
+impl AccessFlags {
+    const IRQ_WRITE: AccessFlags = AccessFlags(1);
+    const UNLOCKED_WRITE: AccessFlags = AccessFlags(2);
+
+    fn insert(&mut self, other: AccessFlags) {
+        self.0 |= other.0;
+    }
+
+    fn contains(&self, other: AccessFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// Per-path race bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct RaceState {
+    flags: HashMap<u32, AccessFlags>,
+    reported: bool,
+}
+impl_plugin_state!(RaceState);
+
+/// The race-detector plugin.
+#[derive(Debug)]
+pub struct DataRaceDetector {
+    /// Shared-data region to watch (e.g. the driver's data segment);
+    /// watching everything drowns in stack traffic.
+    watch: Range<u32>,
+}
+
+impl DataRaceDetector {
+    /// Creates the detector over the watched address range.
+    pub fn new(watch: Range<u32>) -> DataRaceDetector {
+        DataRaceDetector { watch }
+    }
+}
+
+impl Plugin for DataRaceDetector {
+    fn name(&self) -> &'static str {
+        "racedetector"
+    }
+
+    fn on_memory_access(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, a: &MemAccess) {
+        if !a.is_write || !self.watch.contains(&a.addr) {
+            return;
+        }
+        let in_irq = state.in_irq();
+        let ints_enabled = state.machine.cpu.interrupts_enabled;
+        let racy = {
+            let rs = state.plugin_state_mut::<RaceState>("racedetector");
+            let flags = rs.flags.entry(a.addr).or_default();
+            if in_irq {
+                flags.insert(AccessFlags::IRQ_WRITE);
+            } else if ints_enabled {
+                flags.insert(AccessFlags::UNLOCKED_WRITE);
+            }
+            let racy = flags.contains(AccessFlags::IRQ_WRITE)
+                && flags.contains(AccessFlags::UNLOCKED_WRITE)
+                && !rs.reported;
+            if racy {
+                rs.reported = true;
+            }
+            racy
+        };
+        if racy {
+            ctx.report_bug(
+                state,
+                BugKind::DataRace,
+                a.pc,
+                format!(
+                    "location {:#010x} written from both IRQ and unlocked mainline context",
+                    a.addr
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EnvFrame;
+    use s2e_vm::machine::Machine;
+
+    fn write_at(addr: u32) -> MemAccess {
+        MemAccess {
+            pc: 0x2000,
+            addr,
+            width: 4,
+            is_write: true,
+            value: Some(1),
+            symbolic_addr: false,
+            symbolic_value: false,
+        }
+    }
+
+    fn run(f: impl FnOnce(&mut DataRaceDetector, &mut ExecState, &mut ExecCtx)) -> usize {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        {
+            let mut ctx = ExecCtx {
+                builder: &b,
+                solver: &mut solver,
+                config: &config,
+                stats: &mut stats,
+                bugs: &mut bugs,
+                log: &mut log,
+            };
+            let mut det = DataRaceDetector::new(0x8000..0x9000);
+            let mut state = ExecState::initial(Machine::new());
+            f(&mut det, &mut state, &mut ctx);
+        }
+        bugs.len()
+    }
+
+    #[test]
+    fn unlocked_write_plus_irq_write_races() {
+        let n = run(|det, state, ctx| {
+            state.machine.cpu.interrupts_enabled = true;
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+            state.env_stack.push(EnvFrame::Irq { line: 0 });
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cli_protected_write_is_safe() {
+        let n = run(|det, state, ctx| {
+            state.machine.cpu.interrupts_enabled = false; // "lock held"
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+            state.env_stack.push(EnvFrame::Irq { line: 0 });
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn different_addresses_do_not_race() {
+        let n = run(|det, state, ctx| {
+            state.machine.cpu.interrupts_enabled = true;
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+            state.env_stack.push(EnvFrame::Irq { line: 0 });
+            det.on_memory_access(state, ctx, &write_at(0x8004));
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn outside_watch_range_ignored() {
+        let n = run(|det, state, ctx| {
+            state.machine.cpu.interrupts_enabled = true;
+            det.on_memory_access(state, ctx, &write_at(0xf000));
+            state.env_stack.push(EnvFrame::Irq { line: 0 });
+            det.on_memory_access(state, ctx, &write_at(0xf000));
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reported_once_per_path() {
+        let n = run(|det, state, ctx| {
+            state.machine.cpu.interrupts_enabled = true;
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+            state.env_stack.push(EnvFrame::Irq { line: 0 });
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+            det.on_memory_access(state, ctx, &write_at(0x8000));
+        });
+        assert_eq!(n, 1);
+    }
+}

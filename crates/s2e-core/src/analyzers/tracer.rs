@@ -1,0 +1,230 @@
+//! Execution tracer (the paper's `ExecutionTracer` analyzer).
+//!
+//! Records, per path, the executed blocks, memory accesses, port I/O, and
+//! syscalls. Completed-path traces land in a shared [`TraceStore`], where
+//! REV+'s offline analysis consumes them (the paper's reverse-engineering
+//! pipeline logs "executed instructions, memory and register accesses,
+//! and hardware I/O" and post-processes them offline).
+
+use crate::impl_plugin_state;
+use crate::plugin::{ExecCtx, MemAccess, Plugin, PortAccess};
+use crate::state::{ExecState, StateId, TerminationReason};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// One event in a path trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEntry {
+    /// A translation block started at this PC.
+    Block {
+        /// Block start address.
+        pc: u32,
+    },
+    /// A memory access.
+    Mem {
+        /// Instruction PC.
+        pc: u32,
+        /// Data address.
+        addr: u32,
+        /// Width in bytes.
+        width: u32,
+        /// True for stores.
+        is_write: bool,
+        /// Concrete value if known.
+        value: Option<u32>,
+    },
+    /// A port I/O access (hardware interaction).
+    Port {
+        /// Instruction PC.
+        pc: u32,
+        /// Port number.
+        port: u16,
+        /// True for `Out`.
+        is_write: bool,
+        /// Concrete value if known.
+        value: Option<u32>,
+    },
+    /// A syscall trap.
+    Syscall {
+        /// Syscall number.
+        num: u32,
+    },
+}
+
+/// Per-path trace (plugin state).
+#[derive(Clone, Debug, Default)]
+pub struct PathTrace {
+    entries: Vec<TraceEntry>,
+}
+impl_plugin_state!(PathTrace);
+
+/// Completed traces by state id.
+pub type TraceStore = Arc<Mutex<Vec<(StateId, TerminationReason, Vec<TraceEntry>)>>>;
+
+/// The tracer plugin.
+#[derive(Debug)]
+pub struct ExecutionTracer {
+    range: Option<Range<u32>>,
+    store: TraceStore,
+    max_entries: usize,
+}
+
+impl ExecutionTracer {
+    /// Creates the tracer. `range` restricts block/memory events to PCs
+    /// inside the module of interest; `max_entries` bounds per-path trace
+    /// growth.
+    pub fn new(range: Option<Range<u32>>, max_entries: usize) -> (ExecutionTracer, TraceStore) {
+        let store: TraceStore = Arc::new(Mutex::new(Vec::new()));
+        (
+            ExecutionTracer {
+                range,
+                store: Arc::clone(&store),
+                max_entries,
+            },
+            store,
+        )
+    }
+
+    fn in_range(&self, pc: u32) -> bool {
+        self.range.as_ref().map(|r| r.contains(&pc)).unwrap_or(true)
+    }
+
+    fn push(&self, state: &mut ExecState, entry: TraceEntry) {
+        let max = self.max_entries;
+        let t = state.plugin_state_mut::<PathTrace>("tracer");
+        if t.entries.len() < max {
+            t.entries.push(entry);
+        }
+    }
+}
+
+impl Plugin for ExecutionTracer {
+    fn name(&self) -> &'static str {
+        "tracer"
+    }
+
+    fn on_block_start(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, pc: u32) {
+        if self.in_range(pc) {
+            self.push(state, TraceEntry::Block { pc });
+        }
+    }
+
+    fn on_memory_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &MemAccess) {
+        if self.in_range(a.pc) {
+            self.push(
+                state,
+                TraceEntry::Mem {
+                    pc: a.pc,
+                    addr: a.addr,
+                    width: a.width,
+                    is_write: a.is_write,
+                    value: a.value,
+                },
+            );
+        }
+    }
+
+    fn on_port_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &PortAccess) {
+        if self.in_range(a.pc) {
+            self.push(
+                state,
+                TraceEntry::Port {
+                    pc: a.pc,
+                    port: a.port,
+                    is_write: a.is_write,
+                    value: a.value,
+                },
+            );
+        }
+    }
+
+    fn on_syscall(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, num: u32, _args: [u32; 4]) {
+        self.push(state, TraceEntry::Syscall { num });
+    }
+
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+        let entries = std::mem::take(
+            &mut state.plugin_state_mut::<PathTrace>("tracer").entries,
+        );
+        self.store.lock().push((state.id, reason.clone(), entries));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::machine::Machine;
+
+    fn with_ctx(f: impl FnOnce(&mut ExecCtx, &mut ExecutionTracer, &mut ExecState, TraceStore)) {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let mut ctx = ExecCtx {
+            builder: &b,
+            solver: &mut solver,
+            config: &config,
+            stats: &mut stats,
+            bugs: &mut bugs,
+            log: &mut log,
+        };
+        let (mut tracer, store) = ExecutionTracer::new(Some(0x2000..0x3000), 1000);
+        let mut state = ExecState::initial(Machine::new());
+        f(&mut ctx, &mut tracer, &mut state, store);
+    }
+
+    #[test]
+    fn trace_collects_and_flushes_on_termination() {
+        with_ctx(|ctx, tracer, state, store| {
+            tracer.on_block_start(state, ctx, 0x2000);
+            tracer.on_block_start(state, ctx, 0x9000); // filtered
+            tracer.on_syscall(state, ctx, 3, [0; 4]);
+            tracer.on_state_terminated(state, ctx, &TerminationReason::Halted(0));
+            let s = store.lock();
+            assert_eq!(s.len(), 1);
+            let (_, reason, entries) = &s[0];
+            assert_eq!(*reason, TerminationReason::Halted(0));
+            assert_eq!(
+                entries,
+                &vec![
+                    TraceEntry::Block { pc: 0x2000 },
+                    TraceEntry::Syscall { num: 3 }
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn trace_bounded_by_max_entries() {
+        let b = s2e_expr::ExprBuilder::new();
+        let mut solver = s2e_solver::Solver::new();
+        let config = crate::config::EngineConfig::default();
+        let mut stats = crate::stats::EngineStats::default();
+        let mut bugs = Vec::new();
+        let mut log = Vec::new();
+        let mut ctx = ExecCtx {
+            builder: &b,
+            solver: &mut solver,
+            config: &config,
+            stats: &mut stats,
+            bugs: &mut bugs,
+            log: &mut log,
+        };
+        let (mut tracer, store) = ExecutionTracer::new(None, 3);
+        let mut state = ExecState::initial(Machine::new());
+        for i in 0..10 {
+            tracer.on_block_start(&mut state, &mut ctx, 0x2000 + i * 8);
+        }
+        tracer.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
+        assert_eq!(store.lock()[0].2.len(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! Engine configuration: consistency models, code selection, limits.
+
+use std::ops::Range;
+
+/// The paper's six execution consistency models (§3).
+///
+/// The model dictates how the engine converts data at the unit/environment
+/// boundary and how it treats branches inside environment code; see the
+/// per-variant docs and Table 1 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConsistencyModel {
+    /// Strictly-consistent concrete execution: no symbolic data at all.
+    /// Single path; classic fuzzing territory.
+    ScCe,
+    /// Strictly-consistent unit-level execution: symbolic data is
+    /// concretized whenever it would escape into the environment, and the
+    /// concretization is a *hard* constraint. Environment constraints are
+    /// not tracked.
+    ScUe,
+    /// Strictly-consistent system-level execution: symbolic data flows
+    /// everywhere, the environment executes symbolically too.
+    /// Concretizations are *soft* constraints. Complete but expensive.
+    ScSe,
+    /// Local consistency: the environment runs concretely; its results are
+    /// re-symbolified within the API contract via annotations. Paths where
+    /// the environment branches on unit-injected symbolic data are
+    /// aborted.
+    Lc,
+    /// Overapproximate consistency: environment call results become
+    /// completely unconstrained symbolic values; API contracts are
+    /// ignored. Complete, fast, admits locally-infeasible paths.
+    RcOc,
+    /// CFG consistency: all branch outcomes inside the unit are pursued
+    /// without consulting the solver (dynamic-disassembly mode).
+    RcCc,
+}
+
+impl ConsistencyModel {
+    /// All models, strongest first.
+    pub const ALL: [ConsistencyModel; 6] = [
+        ConsistencyModel::ScCe,
+        ConsistencyModel::ScUe,
+        ConsistencyModel::ScSe,
+        ConsistencyModel::Lc,
+        ConsistencyModel::RcOc,
+        ConsistencyModel::RcCc,
+    ];
+
+    /// Display name matching the paper's abbreviations.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConsistencyModel::ScCe => "SC-CE",
+            ConsistencyModel::ScUe => "SC-UE",
+            ConsistencyModel::ScSe => "SC-SE",
+            ConsistencyModel::Lc => "LC",
+            ConsistencyModel::RcOc => "RC-OC",
+            ConsistencyModel::RcCc => "RC-CC",
+        }
+    }
+
+    /// True if the environment executes symbolically under this model.
+    pub fn env_symbolic(self) -> bool {
+        matches!(self, ConsistencyModel::ScSe)
+    }
+}
+
+impl std::fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Code-based path selection (the `CodeSelector` plugin of §4.1): address
+/// ranges where multi-path execution is allowed.
+///
+/// An empty selector allows everywhere. Exclusion ranges override
+/// inclusion ranges.
+#[derive(Clone, Debug, Default)]
+pub struct CodeRanges {
+    include: Vec<Range<u32>>,
+    exclude: Vec<Range<u32>>,
+}
+
+impl CodeRanges {
+    /// Allows multi-path everywhere.
+    pub fn all() -> CodeRanges {
+        CodeRanges::default()
+    }
+
+    /// Adds an inclusion range.
+    pub fn include(mut self, r: Range<u32>) -> CodeRanges {
+        self.include.push(r);
+        self
+    }
+
+    /// Adds an exclusion range.
+    pub fn exclude(mut self, r: Range<u32>) -> CodeRanges {
+        self.exclude.push(r);
+        self
+    }
+
+    /// True if multi-path execution is allowed at `pc`.
+    pub fn allows(&self, pc: u32) -> bool {
+        if self.exclude.iter().any(|r| r.contains(&pc)) {
+            return false;
+        }
+        self.include.is_empty() || self.include.iter().any(|r| r.contains(&pc))
+    }
+}
+
+/// An interface annotation (paper §6.1.1): a conversion applied to the
+/// machine state at the unit/environment boundary, used to implement
+/// local consistency. Return annotations typically replace the syscall's
+/// return value in `r0` with a symbolic value constrained by the API
+/// contract; entry annotations typically concretize (softly) arguments
+/// the environment will branch on.
+pub type AnnotationFn = std::sync::Arc<
+    dyn Fn(&mut crate::state::ExecState, &mut crate::plugin::ExecCtx) + Send + Sync,
+>;
+
+/// Annotation registered for a syscall number.
+#[derive(Clone, Default)]
+pub struct Annotation {
+    /// Syscall this annotation applies to.
+    pub syscall: u32,
+    /// Applied when the unit traps into the environment (before argument
+    /// snapshotting).
+    pub on_entry: Option<AnnotationFn>,
+    /// Applied when the environment call returns to the unit.
+    pub on_return: Option<AnnotationFn>,
+}
+
+impl Annotation {
+    /// A return-conversion annotation for `syscall`.
+    pub fn on_return(
+        syscall: u32,
+        f: impl Fn(&mut crate::state::ExecState, &mut crate::plugin::ExecCtx)
+            + Send
+            + Sync
+            + 'static,
+    ) -> Annotation {
+        Annotation {
+            syscall,
+            on_entry: None,
+            on_return: Some(std::sync::Arc::new(f)),
+        }
+    }
+
+    /// An entry-conversion annotation for `syscall`.
+    pub fn on_entry(
+        syscall: u32,
+        f: impl Fn(&mut crate::state::ExecState, &mut crate::plugin::ExecCtx)
+            + Send
+            + Sync
+            + 'static,
+    ) -> Annotation {
+        Annotation {
+            syscall,
+            on_entry: Some(std::sync::Arc::new(f)),
+            on_return: None,
+        }
+    }
+
+    /// Adds an entry conversion to this annotation.
+    pub fn with_entry(
+        mut self,
+        f: impl Fn(&mut crate::state::ExecState, &mut crate::plugin::ExecCtx)
+            + Send
+            + Sync
+            + 'static,
+    ) -> Annotation {
+        self.on_entry = Some(std::sync::Arc::new(f));
+        self
+    }
+}
+
+impl std::fmt::Debug for Annotation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Annotation")
+            .field("syscall", &self.syscall)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The active execution consistency model.
+    pub consistency: ConsistencyModel,
+    /// Where multi-path execution may happen (the *unit*, in the paper's
+    /// terms, is the included region).
+    pub code_ranges: CodeRanges,
+    /// LC annotations, applied at environment-call returns.
+    pub annotations: Vec<Annotation>,
+    /// Live-state cap: forks beyond this are curtailed (the weaker side is
+    /// killed).
+    pub max_states: usize,
+    /// Fork-depth cap per path.
+    pub max_depth: u32,
+    /// Per-path instruction budget.
+    pub max_instrs_per_path: u64,
+    /// Granularity (bytes, power of two) of the memory regions handed to
+    /// the solver for symbolic-pointer accesses — the paper's
+    /// configurable small pages (§5, evaluated in §6.2).
+    pub symbolic_page_size: u32,
+    /// Divisor applied to virtual time while executing symbolically, so
+    /// timer interrupts do not overwhelm symbolic paths (§5).
+    pub symbolic_time_slowdown: u64,
+    /// When false, even `S2Op::EnableForking` cannot enable multi-path
+    /// (used to implement SC-CE).
+    pub allow_forking: bool,
+    /// Syscalls whose return values RC-OC does *not* overapproximate.
+    /// Tools exclude pointer-returning calls here: overapproximating an
+    /// opaque pointer merely makes the unit scribble over arbitrary
+    /// memory, whereas the paper's RC-OC use case (RevNIC) targets
+    /// hardware inputs and value-typed results.
+    pub rc_oc_excluded_syscalls: Vec<u32>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            consistency: ConsistencyModel::Lc,
+            code_ranges: CodeRanges::all(),
+            annotations: Vec::new(),
+            max_states: 512,
+            max_depth: 10_000,
+            max_instrs_per_path: 10_000_000,
+            symbolic_page_size: 256,
+            symbolic_time_slowdown: 16,
+            allow_forking: true,
+            rc_oc_excluded_syscalls: Vec::new(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience: a config with the given consistency model and defaults
+    /// otherwise.
+    pub fn with_model(consistency: ConsistencyModel) -> EngineConfig {
+        EngineConfig {
+            consistency,
+            allow_forking: consistency != ConsistencyModel::ScCe,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The annotation registered for a syscall, if any.
+    pub fn annotation_for(&self, syscall: u32) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| a.syscall == syscall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names() {
+        assert_eq!(ConsistencyModel::ScSe.name(), "SC-SE");
+        assert_eq!(ConsistencyModel::RcOc.to_string(), "RC-OC");
+        assert_eq!(ConsistencyModel::ALL.len(), 6);
+    }
+
+    #[test]
+    fn code_ranges_default_allows_all() {
+        let r = CodeRanges::all();
+        assert!(r.allows(0));
+        assert!(r.allows(u32::MAX));
+    }
+
+    #[test]
+    fn include_restricts() {
+        let r = CodeRanges::all().include(0x1000..0x2000);
+        assert!(r.allows(0x1000));
+        assert!(r.allows(0x1fff));
+        assert!(!r.allows(0x2000));
+        assert!(!r.allows(0x500));
+    }
+
+    #[test]
+    fn exclude_overrides_include() {
+        let r = CodeRanges::all()
+            .include(0x1000..0x3000)
+            .exclude(0x1800..0x1900);
+        assert!(r.allows(0x1400));
+        assert!(!r.allows(0x1850));
+        assert!(r.allows(0x1900));
+    }
+
+    #[test]
+    fn sc_ce_disables_forking() {
+        let c = EngineConfig::with_model(ConsistencyModel::ScCe);
+        assert!(!c.allow_forking);
+        let c = EngineConfig::with_model(ConsistencyModel::Lc);
+        assert!(c.allow_forking);
+    }
+
+    #[test]
+    fn annotation_lookup() {
+        let mut c = EngineConfig::default();
+        c.annotations.push(Annotation::on_return(7, |_, _| {}));
+        assert!(c.annotation_for(7).is_some());
+        assert!(c.annotation_for(8).is_none());
+        assert!(c.annotation_for(7).unwrap().on_return.is_some());
+        assert!(c.annotation_for(7).unwrap().on_entry.is_none());
+        // Debug impl is non-empty.
+        assert!(!format!("{:?}", c.annotation_for(7).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn annotation_with_entry_chains() {
+        let a = Annotation::on_return(3, |_, _| {}).with_entry(|_, _| {});
+        assert!(a.on_entry.is_some());
+        assert!(a.on_return.is_some());
+    }
+
+    #[test]
+    fn env_symbolic_only_under_sc_se() {
+        for m in ConsistencyModel::ALL {
+            assert_eq!(m.env_symbolic(), m == ConsistencyModel::ScSe);
+        }
+    }
+}

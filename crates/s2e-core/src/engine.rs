@@ -1,0 +1,451 @@
+//! The path-exploration engine.
+//!
+//! The engine is the paper's "automated path explorer": it owns the set of
+//! live execution states, runs them block by block under a pluggable
+//! search strategy, forks them at symbolic branches, and dispatches events
+//! to plugins. Analysis tools are built by configuring an engine with
+//! selectors and analyzers and then driving [`Engine::run`] (or calling
+//! [`Engine::step`] from a custom loop, as the driver-exerciser tools do).
+
+use crate::config::{ConsistencyModel, EngineConfig};
+use crate::exec::{execute_block, BlockOutcome, ExecEnv, ForkRequest};
+use crate::plugin::{BugReport, ExecCtx, Plugin};
+use crate::search::{Dfs, SearchStrategy};
+use crate::state::{ExecState, StateId, TerminationReason};
+use crate::stats::EngineStats;
+use s2e_dbt::BlockCache;
+use s2e_expr::ExprBuilder;
+use s2e_solver::Solver;
+use s2e_vm::machine::Machine;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What happened during one [`Engine::step`].
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// The state executed a block and continues.
+    Continued,
+    /// The state forked; the new child's id.
+    Forked(StateId),
+    /// The state terminated.
+    Terminated(TerminationReason),
+}
+
+/// Report for one engine step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// The state that ran.
+    pub state: StateId,
+    /// PC of the executed block.
+    pub pc: u32,
+    /// Outcome.
+    pub outcome: StepOutcome,
+}
+
+/// Why [`Engine::run`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// No live states remain.
+    Exhausted,
+    /// The step budget ran out.
+    MaxSteps,
+}
+
+/// Summary of an [`Engine::run`] call.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Steps (blocks) executed.
+    pub steps: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// The S2E engine: explorer plus plugin host.
+pub struct Engine {
+    builder: Arc<ExprBuilder>,
+    solver: Solver,
+    config: EngineConfig,
+    cache: BlockCache,
+    marks: HashSet<u32>,
+    plugins: Vec<Box<dyn Plugin>>,
+    states: HashMap<StateId, ExecState>,
+    strategy: Box<dyn SearchStrategy>,
+    next_state_id: u64,
+    stats: EngineStats,
+    bugs: Vec<BugReport>,
+    log: Vec<String>,
+    terminated: Vec<(StateId, TerminationReason)>,
+    retain_terminated: bool,
+    retained: Vec<ExecState>,
+    seen_blocks: HashSet<u32>,
+    steps_since_watermark: u32,
+}
+
+impl Engine {
+    /// Creates an engine around an initial machine snapshot.
+    pub fn new(machine: Machine, config: EngineConfig) -> Engine {
+        let mut engine = Engine {
+            builder: Arc::new(ExprBuilder::new()),
+            solver: Solver::new(),
+            config,
+            cache: BlockCache::new(),
+            marks: HashSet::new(),
+            plugins: Vec::new(),
+            states: HashMap::new(),
+            strategy: Box::new(Dfs::new()),
+            next_state_id: 1,
+            stats: EngineStats::default(),
+            bugs: Vec::new(),
+            log: Vec::new(),
+            terminated: Vec::new(),
+            retain_terminated: false,
+            retained: Vec::new(),
+            seen_blocks: HashSet::new(),
+            steps_since_watermark: 0,
+        };
+        let initial = ExecState::initial(machine);
+        engine.stats.states_created = 1;
+        engine.strategy.push(initial.id);
+        engine.states.insert(initial.id, initial);
+        engine
+    }
+
+    /// Replaces the search strategy (default: depth-first).
+    pub fn set_strategy(&mut self, strategy: Box<dyn SearchStrategy>) {
+        // Re-offer all live states to the new strategy.
+        self.strategy = strategy;
+        let ids: Vec<StateId> = self.states.keys().copied().collect();
+        for id in ids {
+            self.strategy.push(id);
+        }
+    }
+
+    /// Registers a selector or analyzer plugin.
+    pub fn add_plugin(&mut self, plugin: Box<dyn Plugin>) {
+        self.plugins.push(plugin);
+    }
+
+    /// The shared expression builder.
+    pub fn builder(&self) -> &ExprBuilder {
+        &self.builder
+    }
+
+    /// A shared handle to the expression builder, convenient when symbolic
+    /// values must be injected while the engine is also borrowed mutably.
+    pub fn builder_arc(&self) -> Arc<ExprBuilder> {
+        Arc::clone(&self.builder)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (between steps).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Solver statistics (Fig. 9's raw data).
+    pub fn solver_stats(&self) -> &s2e_solver::SolverStats {
+        self.solver.stats()
+    }
+
+    /// Mutable solver access (to reconfigure between runs).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Translator statistics.
+    pub fn dbt_stats(&self) -> s2e_dbt::DbtStats {
+        self.cache.stats()
+    }
+
+    /// Bugs reported so far.
+    pub fn bugs(&self) -> &[BugReport] {
+        &self.bugs
+    }
+
+    /// Guest and plugin log messages.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Block start addresses executed at least once (basic-block
+    /// coverage).
+    pub fn seen_blocks(&self) -> &HashSet<u32> {
+        &self.seen_blocks
+    }
+
+    /// Live states.
+    pub fn live_states(&self) -> impl Iterator<Item = &ExecState> {
+        self.states.values()
+    }
+
+    /// Number of live states.
+    pub fn live_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// A live state by id.
+    pub fn state(&self, id: StateId) -> Option<&ExecState> {
+        self.states.get(&id)
+    }
+
+    /// Mutable access to a live state (for selectors between steps).
+    pub fn state_mut(&mut self, id: StateId) -> Option<&mut ExecState> {
+        self.states.get_mut(&id)
+    }
+
+    /// The id of the single live state, if exactly one exists.
+    pub fn sole_state(&self) -> Option<StateId> {
+        if self.states.len() == 1 {
+            self.states.keys().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Terminated states and their reasons, in termination order.
+    pub fn terminated(&self) -> &[(StateId, TerminationReason)] {
+        &self.terminated
+    }
+
+    /// When enabled, terminated execution states are kept and can be
+    /// inspected via [`Engine::terminated_states`] (used by tools that
+    /// replay paths or read final register/memory values).
+    pub fn set_retain_terminated(&mut self, on: bool) {
+        self.retain_terminated = on;
+    }
+
+    /// Retained terminated states (empty unless
+    /// [`Engine::set_retain_terminated`] was enabled).
+    pub fn terminated_states(&self) -> &[ExecState] {
+        &self.retained
+    }
+
+    /// Estimated private memory across live states, in bytes (Fig. 8's
+    /// metric, sampled).
+    pub fn live_memory_bytes(&self) -> usize {
+        self.states.values().map(|s| s.machine.private_state_bytes()).sum()
+    }
+
+    /// Kills a live state (PathKiller-style).
+    pub fn kill_state(&mut self, id: StateId, reason: TerminationReason) {
+        if let Some(mut state) = self.states.remove(&id) {
+            self.finish_state(&mut state, reason);
+        }
+    }
+
+    /// Kills every live state except `keep` (the §6.3 exploration
+    /// methodology: on stagnation, keep one path and move on).
+    pub fn kill_all_except(&mut self, keep: StateId) {
+        let victims: Vec<StateId> = self.states.keys().copied().filter(|&id| id != keep).collect();
+        for id in victims {
+            self.kill_state(id, TerminationReason::Killed(0));
+        }
+    }
+
+    fn alloc_state_id(&mut self) -> StateId {
+        let id = StateId(self.next_state_id);
+        self.next_state_id += 1;
+        id
+    }
+
+    fn finish_state(&mut self, state: &mut ExecState, reason: TerminationReason) {
+        let mut plugins = std::mem::take(&mut self.plugins);
+        {
+            let mut ctx = ExecCtx {
+                builder: &self.builder,
+                solver: &mut self.solver,
+                config: &self.config,
+                stats: &mut self.stats,
+                bugs: &mut self.bugs,
+                log: &mut self.log,
+            };
+            for p in plugins.iter_mut() {
+                p.on_state_terminated(state, &mut ctx, &reason);
+            }
+        }
+        self.plugins = plugins;
+        self.stats.states_terminated += 1;
+        self.terminated.push((state.id, reason.clone()));
+        if self.retain_terminated {
+            let mut retained = state.clone();
+            retained.status = Some(reason);
+            self.retained.push(retained);
+        }
+    }
+
+    /// Runs one live state for one translation block.
+    ///
+    /// Returns `None` when no live states remain.
+    pub fn step(&mut self) -> Option<StepReport> {
+        let started = Instant::now();
+        let id = loop {
+            let id = self.strategy.pop()?;
+            if self.states.contains_key(&id) {
+                break id;
+            }
+        };
+        let mut state = self.states.remove(&id).expect("live state");
+        let pc = state.machine.cpu.pc;
+        let newly_seen = self.seen_blocks.insert(pc);
+
+        let mut plugins = std::mem::take(&mut self.plugins);
+        let outcome = {
+            let mut env = ExecEnv {
+                ctx: ExecCtx {
+                    builder: &self.builder,
+                    solver: &mut self.solver,
+                    config: &self.config,
+                    stats: &mut self.stats,
+                    bugs: &mut self.bugs,
+                    log: &mut self.log,
+                },
+                cache: &mut self.cache,
+                marks: &mut self.marks,
+                seen_blocks: &self.seen_blocks,
+            };
+            execute_block(&mut state, &mut env, &mut plugins)
+        };
+        self.plugins = plugins;
+        if newly_seen {
+            self.strategy.notify_coverage(id, 1);
+        }
+
+        let report_outcome = match outcome {
+            BlockOutcome::Continue => {
+                self.states.insert(id, state);
+                self.strategy.push(id);
+                StepOutcome::Continued
+            }
+            BlockOutcome::Fork(fork) => self.handle_fork(state, fork),
+            BlockOutcome::Terminated(reason) => {
+                self.finish_state(&mut state, reason.clone());
+                StepOutcome::Terminated(reason)
+            }
+        };
+
+        self.steps_since_watermark += 1;
+        if self.steps_since_watermark >= 32 || matches!(report_outcome, StepOutcome::Forked(_)) {
+            self.steps_since_watermark = 0;
+            let mem = self.live_memory_bytes();
+            self.stats.memory_watermark_bytes = self.stats.memory_watermark_bytes.max(mem);
+        }
+        self.stats.max_live_states = self.stats.max_live_states.max(self.states.len());
+        self.stats.exec_time += started.elapsed();
+
+        Some(StepReport {
+            state: id,
+            pc,
+            outcome: report_outcome,
+        })
+    }
+
+    fn handle_fork(&mut self, mut parent: ExecState, fork: ForkRequest) -> StepOutcome {
+        let can_fork =
+            self.states.len() + 1 < self.config.max_states && parent.depth < self.config.max_depth;
+        if !can_fork {
+            // Curtail: follow ONE side only. For constrained forks take
+            // the else side under ¬cond — for a fork_on_null request the
+            // then side is the guaranteed crash, and for branch forks
+            // both sides were proven feasible, so ¬cond is always safe.
+            if fork.constrained {
+                parent.add_constraint(self.builder.bool_not(fork.cond));
+                parent.machine.cpu.pc = fork.else_pc;
+            } else {
+                parent.machine.cpu.pc = fork.then_pc;
+            }
+            let id = parent.id;
+            self.states.insert(id, parent);
+            self.strategy.push(id);
+            return StepOutcome::Continued;
+        }
+
+        let child_id = self.alloc_state_id();
+        let mut child = parent.fork_child(child_id);
+        parent.machine.cpu.pc = fork.then_pc;
+        child.machine.cpu.pc = fork.else_pc;
+        if fork.constrained {
+            parent.add_constraint(fork.cond.clone());
+            child.add_constraint(self.builder.bool_not(fork.cond.clone()));
+        }
+        self.stats.forks += 1;
+        self.stats.states_created += 1;
+
+        let mut plugins = std::mem::take(&mut self.plugins);
+        {
+            let mut ctx = ExecCtx {
+                builder: &self.builder,
+                solver: &mut self.solver,
+                config: &self.config,
+                stats: &mut self.stats,
+                bugs: &mut self.bugs,
+                log: &mut self.log,
+            };
+            for p in plugins.iter_mut() {
+                p.on_fork(&mut parent, &mut child, &mut ctx, &fork.cond);
+            }
+        }
+        self.plugins = plugins;
+
+        let pid = parent.id;
+        self.states.insert(pid, parent);
+        self.states.insert(child_id, child);
+        // Child first so DFS explores the else-branch eagerly after the
+        // parent's then-branch (both orders are valid; this one keeps the
+        // taken side on top of the stack).
+        self.strategy.push(child_id);
+        self.strategy.push(pid);
+        StepOutcome::Forked(child_id)
+    }
+
+    /// Steps until exhaustion or `max_steps` blocks.
+    pub fn run(&mut self, max_steps: u64) -> RunSummary {
+        let mut steps = 0;
+        let mut stop = StopReason::MaxSteps;
+        while steps < max_steps {
+            if self.step().is_none() {
+                stop = StopReason::Exhausted;
+                break;
+            }
+            steps += 1;
+        }
+        // Final watermark sample so short runs report real numbers.
+        let mem = self.live_memory_bytes();
+        self.stats.memory_watermark_bytes = self.stats.memory_watermark_bytes.max(mem);
+        RunSummary { steps, stop }
+    }
+
+    /// Enables the consistency model's default hardware symbolication:
+    /// under SC-SE and RC-OC the NIC returns unconstrained symbolic values
+    /// (the paper's *symbolic hardware*).
+    pub fn apply_model_hardware_policy(&mut self) {
+        let symbolic = matches!(
+            self.config.consistency,
+            ConsistencyModel::ScSe | ConsistencyModel::RcOc
+        );
+        for state in self.states.values_mut() {
+            if let Some(nic) = state.machine.devices.nic_mut() {
+                nic.symbolic_hardware = symbolic;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("live_states", &self.states.len())
+            .field("terminated", &self.terminated.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,1327 @@
+//! The symbolic-capable executor.
+//!
+//! Executes one translation block on one execution state, weaving between
+//! the concrete fast path (all operands concrete: direct evaluation, no
+//! expression nodes built) and the embedded symbolic executor (any operand
+//! symbolic: build expression DAGs, consult the solver at control-flow
+//! decisions). This mirrors S2E's QEMU/KLEE split (§5): "most instructions
+//! run natively ... even in the symbolic domain, because most instructions
+//! do not operate on symbolic state".
+//!
+//! All consistency-model mechanics live here: boundary conversions at
+//! syscall entry/exit, soft vs hard concretization constraints, the LC
+//! abort rule for environment branches on symbolic data, and RC-CC's
+//! solver-free forking.
+
+use crate::config::ConsistencyModel;
+use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin, PortAccess};
+use crate::state::{EnvFrame, ExecState, TerminationReason};
+use s2e_dbt::{BlockCache, TranslationBlock};
+use s2e_expr::{ExprRef, Width};
+use s2e_vm::cpu::FaultKind;
+use s2e_vm::interp::{alu_binop, branch_taken, mem_width};
+use s2e_vm::isa::{irq, reg, vector, Instr, Opcode, S2Op, INSTR_SIZE};
+use s2e_vm::value::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A fork requested by a symbolic branch.
+#[derive(Clone, Debug)]
+pub struct ForkRequest {
+    /// Branch condition (true = branch taken).
+    pub cond: ExprRef,
+    /// PC for the taken side.
+    pub then_pc: u32,
+    /// PC for the fall-through side.
+    pub else_pc: u32,
+    /// Whether the children receive `cond` / `¬cond` as constraints
+    /// (false only under RC-CC, which ignores path constraints).
+    pub constrained: bool,
+}
+
+/// Result of executing one block.
+#[derive(Clone, Debug)]
+pub enum BlockOutcome {
+    /// The state continues at its updated PC.
+    Continue,
+    /// Execution must fork.
+    Fork(ForkRequest),
+    /// The path ended.
+    Terminated(TerminationReason),
+}
+
+/// Everything the executor needs besides the state and the plugins.
+pub struct ExecEnv<'a> {
+    /// Plugin services bundle.
+    pub ctx: ExecCtx<'a>,
+    /// The shared translation-block cache.
+    pub cache: &'a mut BlockCache,
+    /// Instructions marked by plugins at translation time.
+    pub marks: &'a mut HashSet<u32>,
+    /// Block start PCs already executed at least once (coverage; used by
+    /// RC-CC edge forcing).
+    pub seen_blocks: &'a HashSet<u32>,
+}
+
+enum Flow {
+    Next,
+    Jump(u32),
+    Fork(ForkRequest),
+    Stop(TerminationReason),
+}
+
+/// Executes one translation block (plus pending-interrupt dispatch).
+///
+/// Interrupts are block-granular: devices tick once per block and at most
+/// one pending IRQ is dispatched per block boundary, so back-to-back timer
+/// expiries within a single block coalesce (the reference interpreter,
+/// which ticks per instruction, can deliver more). This is the standard
+/// virtualization trade-off the paper's own virtual-time design makes;
+/// guests must not rely on cycle-exact interrupt counts.
+pub fn execute_block(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+) -> BlockOutcome {
+    if let Some(reason) = pending_termination(state) {
+        return BlockOutcome::Terminated(reason);
+    }
+
+    if state.machine.cpu.interrupts_enabled {
+        dispatch_interrupt(state, env);
+    }
+
+    let pc = state.machine.cpu.pc;
+
+    // Self-modifying / decrypting code support: concretize any symbolic
+    // code bytes in the upcoming block window before translation.
+    concretize_code_window(state, env, pc);
+
+    let tb = translate(state, env, plugins, pc);
+    if tb.instrs.is_empty() {
+        state.machine.cpu.fault = Some(FaultKind::InvalidOpcode { pc });
+        return BlockOutcome::Terminated(TerminationReason::Fault(FaultKind::InvalidOpcode {
+            pc,
+        }));
+    }
+
+    for p in plugins.iter_mut() {
+        p.on_block_start(state, &mut env.ctx, pc);
+    }
+    env.ctx.stats.blocks_executed += 1;
+
+    let mut concrete_count: u64 = 0;
+    let mut symbolic_count: u64 = 0;
+
+    let mut outcome = BlockOutcome::Continue;
+    for (idx, instr) in tb.instrs.iter().enumerate() {
+        let ipc = tb.pc_of(idx);
+        state.machine.cpu.pc = ipc;
+
+        if state.instrs_retired >= env.ctx.config.max_instrs_per_path {
+            outcome = BlockOutcome::Terminated(TerminationReason::FuelExhausted);
+            break;
+        }
+        state.instrs_retired += 1;
+
+        let marked = env.marks.contains(&ipc);
+        for p in plugins.iter_mut() {
+            if marked || p.wants_all_instructions() {
+                p.on_instr_execution(state, &mut env.ctx, ipc, instr);
+            }
+        }
+        if let Some(reason) = state.kill_requested.take() {
+            outcome = BlockOutcome::Terminated(reason);
+            break;
+        }
+
+        let symbolic_instr = touches_symbolic(state, instr);
+        if symbolic_instr {
+            symbolic_count += 1;
+        } else {
+            concrete_count += 1;
+        }
+
+        match execute_instr(state, env, plugins, instr, ipc, &tb) {
+            Flow::Next => {}
+            Flow::Jump(target) => {
+                state.machine.cpu.pc = target;
+                outcome = BlockOutcome::Continue;
+                break;
+            }
+            Flow::Fork(f) => {
+                outcome = BlockOutcome::Fork(f);
+                break;
+            }
+            Flow::Stop(reason) => {
+                outcome = BlockOutcome::Terminated(reason);
+                break;
+            }
+        }
+
+        // Fall-through off the end of the block.
+        if idx + 1 == tb.instrs.len() {
+            state.machine.cpu.pc = tb.end();
+        }
+    }
+
+    env.ctx.stats.instrs_concrete += concrete_count;
+    env.ctx.stats.instrs_symbolic += symbolic_count;
+
+    // Per-state virtual time, slowed down in symbolic mode (§5). The
+    // fractional remainder carries across blocks so sparse symbolic
+    // instructions are still slowed.
+    let slow = env.ctx.config.symbolic_time_slowdown.max(1);
+    let pool = state.sym_time_accum + symbolic_count;
+    state.sym_time_accum = pool % slow;
+    let cycles = concrete_count + pool / slow;
+    state.machine.vtime += cycles;
+    for line in state.machine.devices.tick(cycles) {
+        state.machine.cpu.raise_irq(line);
+    }
+
+    if let Some(reason) = state.kill_requested.take() {
+        return BlockOutcome::Terminated(reason);
+    }
+    if let BlockOutcome::Continue = outcome {
+        if let Some(reason) = pending_termination(state) {
+            return BlockOutcome::Terminated(reason);
+        }
+    }
+    outcome
+}
+
+fn pending_termination(state: &ExecState) -> Option<TerminationReason> {
+    if let Some(code) = state.machine.cpu.halted {
+        return Some(TerminationReason::Halted(code));
+    }
+    if let Some(f) = &state.machine.cpu.fault {
+        return Some(TerminationReason::Fault(f.clone()));
+    }
+    state.status.clone()
+}
+
+fn dispatch_interrupt(state: &mut ExecState, env: &mut ExecEnv) {
+    let Some(line) = state.machine.cpu.take_irq() else {
+        return;
+    };
+    let vec_addr = match line {
+        irq::TIMER => vector::TIMER,
+        irq::NIC => vector::NIC,
+        _ => return,
+    };
+    let handler = state.machine.mem.read_u32_concrete(vec_addr).unwrap_or(0);
+    if handler == 0 {
+        return;
+    }
+    let Some(sp) = state.machine.cpu.reg(reg::SP).as_concrete() else {
+        return; // symbolic SP: drop the interrupt rather than corrupt state
+    };
+    let sp = sp.wrapping_sub(4);
+    if state.machine.mem.write_u32(sp, state.machine.cpu.pc).is_err() {
+        return;
+    }
+    state.machine.cpu.set_reg(reg::SP, Value::Concrete(sp));
+    state.machine.cpu.pc = handler;
+    state.machine.cpu.interrupts_enabled = false;
+    state.env_stack.push(EnvFrame::Irq { line });
+    env.ctx.stats.interrupts_delivered += 1;
+}
+
+fn concretize_code_window(state: &mut ExecState, env: &mut ExecEnv, pc: u32) {
+    let window = s2e_dbt::MAX_BLOCK_INSTRS as u32 * INSTR_SIZE;
+    if !state.machine.mem.range_has_symbolic(pc, window) {
+        return;
+    }
+    for i in 0..window {
+        let addr = pc.wrapping_add(i);
+        if let Ok(Value::Symbolic(e)) = state.machine.mem.read_u8(addr) {
+            // A solver failure must terminate the path like every other
+            // concretization site — fabricating a value would corrupt
+            // both the decoded code and the constraint set.
+            let Some((val, _)) = env.ctx.solver.concretize(&state.constraints, &e) else {
+                state.kill_requested = Some(TerminationReason::SolverTimeout);
+                return;
+            };
+            let val = val as u32;
+            let c = env.ctx.builder.constant(val as u64, Width::W8);
+            let eq = env.ctx.builder.eq(e, c);
+            state.add_soft_constraint(eq);
+            env.ctx.stats.concretizations += 1;
+            let _ = state.machine.mem.write_u8(addr, Value::Concrete(val));
+        }
+    }
+    env.cache.invalidate_write(pc, window);
+}
+
+fn translate(
+    state: &ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    pc: u32,
+) -> Arc<TranslationBlock> {
+    let mut requests = crate::plugin::MarkRequests::default();
+    let tb = env.cache.translate(&state.machine.mem, pc, &mut |ipc, instr| {
+        for p in plugins.iter_mut() {
+            p.on_instr_translation(ipc, instr, &mut requests);
+        }
+    });
+    env.marks.extend(requests.take());
+    tb
+}
+
+/// True if any operand the instruction reads is symbolic (registers only;
+/// memory symbolically is discovered during the access itself).
+fn touches_symbolic(state: &ExecState, i: &Instr) -> bool {
+    let cpu = &state.machine.cpu;
+    let r = |x: u8| cpu.reg(x).is_symbolic();
+    match i.op {
+        Opcode::Nop | Opcode::MovI | Opcode::Jmp | Opcode::Call | Opcode::Halt => false,
+        Opcode::Mov | Opcode::Not => r(i.rs1),
+        Opcode::JmpR | Opcode::CallR => r(i.rs1),
+        Opcode::Ret => r(reg::LR),
+        Opcode::Push => r(i.rs1) || r(reg::SP),
+        Opcode::Pop | Opcode::Iret => r(reg::SP),
+        Opcode::Syscall => r(reg::SP),
+        Opcode::In => r(i.rs1),
+        Opcode::Out => r(i.rs1) || r(i.rs2),
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => r(i.rs1),
+        Opcode::St8 | Opcode::St16 | Opcode::St32 => r(i.rs1) || r(i.rs2),
+        Opcode::AddI
+        | Opcode::SubI
+        | Opcode::MulI
+        | Opcode::AndI
+        | Opcode::OrI
+        | Opcode::XorI
+        | Opcode::ShlI
+        | Opcode::ShrI
+        | Opcode::SarI => r(i.rs1),
+        Opcode::Beq | Opcode::Bne | Opcode::Bltu | Opcode::Bgeu | Opcode::Blts | Opcode::Bges => {
+            r(i.rs1) || r(i.rs2)
+        }
+        Opcode::Cli | Opcode::Sti | Opcode::S2eOp => false,
+        _ => r(i.rs1) || r(i.rs2),
+    }
+}
+
+fn reg_expr(state: &ExecState, env: &ExecEnv, r: u8) -> ExprRef {
+    state.machine.cpu.reg(r).to_expr(env.ctx.builder, Width::W32)
+}
+
+/// Concretizes `e` under the current constraints. Adds `e == value` as a
+/// soft or hard constraint depending on `soft`. Returns `None` when the
+/// solver fails (caller terminates the path).
+fn concretize(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    e: &ExprRef,
+    soft: bool,
+) -> Option<u32> {
+    if let Some(v) = e.as_const() {
+        return Some(v as u32);
+    }
+    let (v, _model) = env.ctx.solver.concretize(&state.constraints, e)?;
+    let c = env.ctx.builder.constant(v, e.width());
+    let eq = env.ctx.builder.eq(e.clone(), c);
+    if soft {
+        state.add_soft_constraint(eq);
+    } else {
+        state.add_constraint(eq);
+    }
+    env.ctx.stats.concretizations += 1;
+    Some(v as u32)
+}
+
+/// Whether concretizations at the current location are soft (retractable
+/// under SC-SE-style re-exploration) or hard.
+fn concretization_is_soft(model: ConsistencyModel) -> bool {
+    model != ConsistencyModel::ScUe
+}
+
+/// Policy for a symbolic branch condition encountered in *environment*
+/// code.
+enum EnvBranchPolicy {
+    Concretize { soft: bool },
+    Abort,
+    ForkNormally,
+}
+
+fn env_branch_policy(model: ConsistencyModel) -> EnvBranchPolicy {
+    match model {
+        ConsistencyModel::ScCe => EnvBranchPolicy::Concretize { soft: false },
+        ConsistencyModel::ScUe => EnvBranchPolicy::Concretize { soft: false },
+        ConsistencyModel::ScSe => EnvBranchPolicy::ForkNormally,
+        ConsistencyModel::Lc => EnvBranchPolicy::Abort,
+        ConsistencyModel::RcOc | ConsistencyModel::RcCc => {
+            EnvBranchPolicy::Concretize { soft: true }
+        }
+    }
+}
+
+fn execute_instr(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+    tb: &TranslationBlock,
+) -> Flow {
+    let next_pc = pc.wrapping_add(INSTR_SIZE);
+    let _ = tb;
+    match i.op {
+        Opcode::Nop => Flow::Next,
+        Opcode::MovI => {
+            state.machine.cpu.set_reg(i.rd, Value::Concrete(i.imm));
+            Flow::Next
+        }
+        Opcode::Mov => {
+            let v = state.machine.cpu.reg(i.rs1).clone();
+            state.machine.cpu.set_reg(i.rd, v);
+            Flow::Next
+        }
+        Opcode::Not => {
+            match state.machine.cpu.reg(i.rs1).as_concrete() {
+                Some(v) => state.machine.cpu.set_reg(i.rd, Value::Concrete(!v)),
+                None => {
+                    let e = reg_expr(state, env, i.rs1);
+                    let r = env.ctx.builder.not(e);
+                    state.machine.cpu.set_reg(i.rd, Value::from_expr(r));
+                }
+            }
+            Flow::Next
+        }
+        op if alu_binop(op).is_some() => exec_alu(state, env, i),
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => exec_load(state, env, plugins, i, pc),
+        Opcode::St8 | Opcode::St16 | Opcode::St32 => exec_store(state, env, plugins, i, pc),
+        Opcode::Push => exec_push(state, env, plugins, i, pc),
+        Opcode::Pop => exec_pop(state, env, plugins, i, pc),
+        Opcode::Jmp => Flow::Jump(i.imm),
+        Opcode::Call => {
+            state.machine.cpu.set_reg(reg::LR, Value::Concrete(next_pc));
+            Flow::Jump(i.imm)
+        }
+        Opcode::JmpR => exec_indirect(state, env, i.rs1, pc, None),
+        Opcode::CallR => exec_indirect(state, env, i.rs1, pc, Some(next_pc)),
+        Opcode::Ret => exec_indirect(state, env, reg::LR, pc, None),
+        op if op.is_conditional_branch() => exec_branch(state, env, i, pc, next_pc),
+        Opcode::Syscall => exec_syscall(state, env, plugins, i, pc, next_pc),
+        Opcode::Iret => exec_iret(state, env, plugins, pc),
+        Opcode::Cli => {
+            state.machine.cpu.interrupts_enabled = false;
+            Flow::Next
+        }
+        Opcode::Sti => {
+            state.machine.cpu.interrupts_enabled = true;
+            Flow::Next
+        }
+        Opcode::In => exec_in(state, env, plugins, i, pc),
+        Opcode::Out => exec_out(state, env, plugins, i, pc),
+        Opcode::Halt => Flow::Stop(TerminationReason::Halted(i.imm)),
+        Opcode::S2eOp => exec_s2e_op(state, env, plugins, i, pc, next_pc),
+        other => {
+            let _ = other;
+            state.machine.cpu.fault = Some(FaultKind::InvalidOpcode { pc });
+            Flow::Stop(TerminationReason::Fault(FaultKind::InvalidOpcode { pc }))
+        }
+    }
+}
+
+fn uses_imm(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::AddI
+            | Opcode::SubI
+            | Opcode::MulI
+            | Opcode::AndI
+            | Opcode::OrI
+            | Opcode::XorI
+            | Opcode::ShlI
+            | Opcode::ShrI
+            | Opcode::SarI
+    )
+}
+
+fn exec_alu(state: &mut ExecState, env: &mut ExecEnv, i: &Instr) -> Flow {
+    let bop = alu_binop(i.op).expect("checked by caller");
+    let a = state.machine.cpu.reg(i.rs1).clone();
+    let b = if uses_imm(i.op) {
+        Value::Concrete(i.imm)
+    } else {
+        state.machine.cpu.reg(i.rs2).clone()
+    };
+    let result = match (a.as_concrete(), b.as_concrete()) {
+        (Some(x), Some(y)) => Value::Concrete(s2e_expr::fold::apply_binop(
+            bop,
+            x as u64,
+            y as u64,
+            Width::W32,
+        ) as u32),
+        _ => {
+            let ea = a.to_expr(env.ctx.builder, Width::W32);
+            let eb = b.to_expr(env.ctx.builder, Width::W32);
+            Value::from_expr(env.ctx.builder.binop(bop, ea, eb))
+        }
+    };
+    state.machine.cpu.set_reg(i.rd, result);
+    Flow::Next
+}
+
+fn fire_mem_access(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    access: MemAccess,
+) {
+    for p in plugins.iter_mut() {
+        p.on_memory_access(state, &mut env.ctx, &access);
+    }
+}
+
+fn null_fault(state: &mut ExecState, addr: u32, pc: u32) -> Flow {
+    let f = FaultKind::NullAccess { addr, pc };
+    state.machine.cpu.fault = Some(f.clone());
+    Flow::Stop(TerminationReason::Fault(f))
+}
+
+fn exec_load(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+) -> Flow {
+    let width = mem_width(i.op);
+    let base = state.machine.cpu.reg(i.rs1).clone();
+    match base.as_concrete() {
+        Some(b) => {
+            let addr = b.wrapping_add(i.imm);
+            match state.machine.mem.read(addr, width, env.ctx.builder) {
+                Ok(v) => {
+                    let symbolic_value = v.is_symbolic();
+                    let value = v.as_concrete();
+                    state.machine.cpu.set_reg(i.rd, v);
+                    fire_mem_access(
+                        state,
+                        env,
+                        plugins,
+                        MemAccess {
+                            pc,
+                            addr,
+                            width,
+                            is_write: false,
+                            value,
+                            symbolic_addr: false,
+                            symbolic_value,
+                        },
+                    );
+                    Flow::Next
+                }
+                Err(_) => null_fault(state, addr, pc),
+            }
+        }
+        None => exec_symbolic_load(state, env, plugins, i, pc, width),
+    }
+}
+
+/// When a symbolic address may point both into the null guard page and
+/// into valid memory, fork on that predicate and re-execute the access on
+/// each side (then/else both target the access PC). The null side then
+/// concretizes inside the guard page and faults — this is how a single
+/// unchecked `ite(alloc_ok, ptr, 0)` dereference yields *both* the crash
+/// report and a surviving valid path, instead of the solver silently
+/// picking one.
+///
+/// Re-execution means the access instruction is retired (and observed by
+/// `wants_all_instructions` plugins) once more on each side; per-path
+/// instruction counts include that extra occurrence.
+fn fork_on_null(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    addr_e: &ExprRef,
+    pc: u32,
+) -> Option<Flow> {
+    if !forking_allowed(state, env, pc) {
+        return None;
+    }
+    let b: &s2e_expr::ExprBuilder = env.ctx.builder;
+    let is_null = b.ult(addr_e.clone(), b.constant(0x1000, Width::W32));
+    let may_null = env.ctx.solver.may_be_true(&state.constraints, &is_null)?;
+    if !may_null {
+        return None;
+    }
+    let not_null = b.bool_not(is_null.clone());
+    let may_valid = env.ctx.solver.may_be_true(&state.constraints, &not_null)?;
+    if !may_valid {
+        return None;
+    }
+    Some(Flow::Fork(ForkRequest {
+        cond: is_null,
+        then_pc: pc,
+        else_pc: pc,
+        constrained: true,
+    }))
+}
+
+/// Symbolic-pointer load: restrict the pointer to a solver page around a
+/// concretized base and build an if-then-else chain over the page's
+/// contents — the paper's "split memory into small pages of configurable
+/// size so the constraint solver need not reason about large areas of
+/// symbolic memory" (§5).
+fn exec_symbolic_load(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+    width: u32,
+) -> Flow {
+    env.ctx.stats.symbolic_ptr_accesses += 1;
+    let base_e = reg_expr(state, env, i.rs1);
+    let addr_e = env
+        .ctx
+        .builder
+        .add(base_e, env.ctx.builder.constant(i.imm as u64, Width::W32));
+    if let Some(fork) = fork_on_null(state, env, &addr_e, pc) {
+        return fork;
+    }
+    // Pick a concrete base consistent with the constraints, but do NOT pin
+    // the pointer to it — only to its page.
+    let Some((base_c, _)) = env.ctx.solver.concretize(&state.constraints, &addr_e) else {
+        return Flow::Stop(TerminationReason::SolverTimeout);
+    };
+    let base_c = base_c as u32;
+    let psz = env.ctx.config.symbolic_page_size.max(8);
+    let page = base_c & !(psz - 1);
+    if page < 0x1000 {
+        return null_fault(state, base_c, pc);
+    }
+    // Copy the builder reference out of the context so the closure below
+    // does not hold a borrow of `env`.
+    let b: &s2e_expr::ExprBuilder = env.ctx.builder;
+    let lo = b.ule(b.constant(page as u64, Width::W32), addr_e.clone());
+    state.add_soft_constraint(lo);
+    // The upper bound wraps to 0 for a page at the top of the address
+    // space; the lo constraint alone is exact there.
+    let page_end = page as u64 + psz as u64;
+    if page_end <= u32::MAX as u64 {
+        let hi = b.ult(addr_e.clone(), b.constant(page_end, Width::W32));
+        state.add_soft_constraint(hi);
+    }
+    env.ctx.stats.concretizations += 1;
+
+    // Default: the concretized location's value; then ITE over the rest of
+    // the page.
+    let read_at = |state: &ExecState, a: u32| -> Option<ExprRef> {
+        state
+            .machine
+            .mem
+            .read(a, width, b)
+            .ok()
+            .map(|v| v.to_expr(b, Width::W32))
+    };
+    let Some(mut result) = read_at(state, base_c) else {
+        return null_fault(state, base_c, pc);
+    };
+    for off in 0..psz {
+        let a = page + off;
+        if a == base_c {
+            continue;
+        }
+        let Some(v) = read_at(state, a) else { continue };
+        let cond = b.eq(addr_e.clone(), b.constant(a as u64, Width::W32));
+        result = b.ite(cond, v, result);
+    }
+    state.machine.cpu.set_reg(i.rd, Value::from_expr(result));
+    fire_mem_access(
+        state,
+        env,
+        plugins,
+        MemAccess {
+            pc,
+            addr: base_c,
+            width,
+            is_write: false,
+            value: None,
+            symbolic_addr: true,
+            symbolic_value: true,
+        },
+    );
+    Flow::Next
+}
+
+fn exec_store(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+) -> Flow {
+    let width = mem_width(i.op);
+    let base = state.machine.cpu.reg(i.rs1).clone();
+    let addr = match base.as_concrete() {
+        Some(b) => b.wrapping_add(i.imm),
+        None => {
+            // Symbolic store addresses are concretized (soft), like S2E's
+            // default write handling; the page-ITE treatment is applied to
+            // loads, which dominate. A possibly-null pointer first forks
+            // so both the crashing and the valid continuation survive.
+            env.ctx.stats.symbolic_ptr_accesses += 1;
+            let base_e = reg_expr(state, env, i.rs1);
+            let addr_e = env
+                .ctx
+                .builder
+                .add(base_e, env.ctx.builder.constant(i.imm as u64, Width::W32));
+            if let Some(fork) = fork_on_null(state, env, &addr_e, pc) {
+                return fork;
+            }
+            let soft = concretization_is_soft(env.ctx.config.consistency);
+            match concretize(state, env, &addr_e, soft) {
+                Some(a) => a,
+                None => return Flow::Stop(TerminationReason::SolverTimeout),
+            }
+        }
+    };
+    let v = state.machine.cpu.reg(i.rs2).clone();
+    let symbolic_value = v.is_symbolic();
+    let value = v.as_concrete();
+    // Truncate concrete values to the store width for the event payload.
+    let value = value.map(|x| if width == 4 { x } else { x & ((1 << (8 * width)) - 1) });
+    match state.machine.mem.write(addr, width, &truncate_for_store(&v, width, env), env.ctx.builder)
+    {
+        Ok(()) => {
+            if env.cache.page_has_code(addr) {
+                env.cache.invalidate_write(addr, width);
+            }
+            fire_mem_access(
+                state,
+                env,
+                plugins,
+                MemAccess {
+                    pc,
+                    addr,
+                    width,
+                    is_write: true,
+                    value,
+                    symbolic_addr: base.is_symbolic(),
+                    symbolic_value,
+                },
+            );
+            Flow::Next
+        }
+        Err(_) => null_fault(state, addr, pc),
+    }
+}
+
+fn truncate_for_store(v: &Value, width: u32, env: &ExecEnv) -> Value {
+    match v {
+        Value::Concrete(_) => v.clone(),
+        Value::Symbolic(e) => {
+            if width == 4 {
+                v.clone()
+            } else {
+                let narrowed = env
+                    .ctx
+                    .builder
+                    .extract(e.clone(), 0, Width::new(8 * width));
+                Value::from_expr(env.ctx.builder.zext(narrowed, Width::W32))
+            }
+        }
+    }
+}
+
+fn exec_push(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+) -> Flow {
+    let Some(sp) = state.machine.cpu.reg(reg::SP).as_concrete() else {
+        let e = reg_expr(state, env, reg::SP);
+        match concretize(state, env, &e, concretization_is_soft(env.ctx.config.consistency)) {
+            Some(v) => state.machine.cpu.set_reg(reg::SP, Value::Concrete(v)),
+            None => return Flow::Stop(TerminationReason::SolverTimeout),
+        }
+        return exec_push(state, env, plugins, i, pc);
+    };
+    let sp = sp.wrapping_sub(4);
+    let v = state.machine.cpu.reg(i.rs1).clone();
+    let symbolic_value = v.is_symbolic();
+    let value = v.as_concrete();
+    match state.machine.mem.write(sp, 4, &v, env.ctx.builder) {
+        Ok(()) => {
+            state.machine.cpu.set_reg(reg::SP, Value::Concrete(sp));
+            fire_mem_access(
+                state,
+                env,
+                plugins,
+                MemAccess {
+                    pc,
+                    addr: sp,
+                    width: 4,
+                    is_write: true,
+                    value,
+                    symbolic_addr: false,
+                    symbolic_value,
+                },
+            );
+            Flow::Next
+        }
+        Err(_) => null_fault(state, sp, pc),
+    }
+}
+
+fn exec_pop(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+) -> Flow {
+    let Some(sp) = state.machine.cpu.reg(reg::SP).as_concrete() else {
+        let e = reg_expr(state, env, reg::SP);
+        match concretize(state, env, &e, concretization_is_soft(env.ctx.config.consistency)) {
+            Some(v) => state.machine.cpu.set_reg(reg::SP, Value::Concrete(v)),
+            None => return Flow::Stop(TerminationReason::SolverTimeout),
+        }
+        return exec_pop(state, env, plugins, i, pc);
+    };
+    match state.machine.mem.read(sp, 4, env.ctx.builder) {
+        Ok(v) => {
+            let symbolic_value = v.is_symbolic();
+            let value = v.as_concrete();
+            state.machine.cpu.set_reg(i.rd, v);
+            state.machine.cpu.set_reg(reg::SP, Value::Concrete(sp.wrapping_add(4)));
+            fire_mem_access(
+                state,
+                env,
+                plugins,
+                MemAccess {
+                    pc,
+                    addr: sp,
+                    width: 4,
+                    is_write: false,
+                    value,
+                    symbolic_addr: false,
+                    symbolic_value,
+                },
+            );
+            Flow::Next
+        }
+        Err(_) => null_fault(state, sp, pc),
+    }
+}
+
+fn exec_indirect(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    target_reg: u8,
+    pc: u32,
+    link: Option<u32>,
+) -> Flow {
+    let t = state.machine.cpu.reg(target_reg).clone();
+    let target = match t.as_concrete() {
+        Some(v) => v,
+        None => {
+            let e = reg_expr(state, env, target_reg);
+            match concretize(state, env, &e, concretization_is_soft(env.ctx.config.consistency)) {
+                Some(v) => {
+                    state.machine.cpu.set_reg(target_reg, Value::Concrete(v));
+                    v
+                }
+                None => {
+                    let f = FaultKind::SymbolicPc { pc };
+                    state.machine.cpu.fault = Some(f.clone());
+                    return Flow::Stop(TerminationReason::Fault(f));
+                }
+            }
+        }
+    };
+    if let Some(ret) = link {
+        state.machine.cpu.set_reg(reg::LR, Value::Concrete(ret));
+    }
+    Flow::Jump(target)
+}
+
+fn branch_cond_expr(env: &ExecEnv, op: Opcode, a: ExprRef, b: ExprRef) -> ExprRef {
+    let bd = env.ctx.builder;
+    match op {
+        Opcode::Beq => bd.eq(a, b),
+        Opcode::Bne => bd.ne(a, b),
+        Opcode::Bltu => bd.ult(a, b),
+        Opcode::Bgeu => bd.ule(b, a),
+        Opcode::Blts => bd.slt(a, b),
+        Opcode::Bges => bd.sle(b, a),
+        _ => unreachable!("not a branch"),
+    }
+}
+
+fn exec_branch(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    i: &Instr,
+    pc: u32,
+    next_pc: u32,
+) -> Flow {
+    let a = state.machine.cpu.reg(i.rs1).clone();
+    let b = state.machine.cpu.reg(i.rs2).clone();
+    let then_pc = i.imm;
+
+    if let (Some(x), Some(y)) = (a.as_concrete(), b.as_concrete()) {
+        let taken = branch_taken(i.op, x, y);
+        // RC-CC edge forcing: also explore the not-taken CFG edge if its
+        // block was never seen (dynamic-disassembly mode).
+        if env.ctx.config.consistency == ConsistencyModel::RcCc
+            && forking_allowed(state, env, pc)
+        {
+            let other = if taken { next_pc } else { then_pc };
+            if !env.seen_blocks.contains(&other) {
+                let (t, e) = if taken {
+                    (then_pc, next_pc)
+                } else {
+                    (next_pc, then_pc)
+                };
+                return Flow::Fork(ForkRequest {
+                    cond: env.ctx.builder.true_(),
+                    then_pc: t,
+                    else_pc: e,
+                    constrained: false,
+                });
+            }
+        }
+        return Flow::Jump(if taken { then_pc } else { next_pc });
+    }
+
+    let ea = a.to_expr(env.ctx.builder, Width::W32);
+    let eb = b.to_expr(env.ctx.builder, Width::W32);
+    let cond = branch_cond_expr(env, i.op, ea, eb);
+    resolve_symbolic_branch(state, env, cond, then_pc, next_pc, pc)
+}
+
+fn forking_allowed(state: &ExecState, env: &ExecEnv, pc: u32) -> bool {
+    let model = env.ctx.config.consistency;
+    // The CodeSelector gates multi-path execution regardless of model;
+    // environment code (syscall/IRQ nesting) additionally requires a model
+    // that executes the environment symbolically.
+    let in_ranges = env.ctx.config.code_ranges.allows(pc);
+    let env_ok = state.env_depth() == 0 || model.env_symbolic();
+    env.ctx.config.allow_forking && state.forking_enabled && in_ranges && env_ok
+}
+
+fn resolve_symbolic_branch(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    cond: ExprRef,
+    then_pc: u32,
+    else_pc: u32,
+    pc: u32,
+) -> Flow {
+    let model = env.ctx.config.consistency;
+    let in_env = state.env_depth() > 0;
+    let forking = forking_allowed(state, env, pc);
+
+    // Environment code branching on symbolic data: model-specific policy.
+    // (Unit code outside the selected ranges is merely non-forking, not
+    // environment — it falls through to the concretize-and-follow case.)
+    if in_env && !model.env_symbolic() {
+        match env_branch_policy(model) {
+            EnvBranchPolicy::Abort => {
+                return Flow::Stop(TerminationReason::EnvInconsistency);
+            }
+            EnvBranchPolicy::Concretize { soft } => {
+                return match concretize(state, env, &cond, soft) {
+                    Some(v) => Flow::Jump(if v == 1 { then_pc } else { else_pc }),
+                    None => Flow::Stop(TerminationReason::SolverTimeout),
+                };
+            }
+            EnvBranchPolicy::ForkNormally => {}
+        }
+    }
+
+    // RC-CC: all unit edges, no solver.
+    if model == ConsistencyModel::RcCc && forking {
+        return Flow::Fork(ForkRequest {
+            cond,
+            then_pc,
+            else_pc,
+            constrained: false,
+        });
+    }
+
+    let may_t = env
+        .ctx
+        .solver
+        .may_be_true(&state.constraints, &cond);
+    let not_cond = env.ctx.builder.bool_not(cond.clone());
+    let may_f = env.ctx.solver.may_be_true(&state.constraints, &not_cond);
+    match (may_t, may_f) {
+        (Some(true), Some(true)) => {
+            if forking {
+                Flow::Fork(ForkRequest {
+                    cond,
+                    then_pc,
+                    else_pc,
+                    constrained: true,
+                })
+            } else {
+                // Multi-path disabled here: follow one feasible outcome
+                // under a soft constraint (hard under SC-UE).
+                let soft = concretization_is_soft(model);
+                match concretize(state, env, &cond, soft) {
+                    Some(v) => Flow::Jump(if v == 1 { then_pc } else { else_pc }),
+                    None => Flow::Stop(TerminationReason::SolverTimeout),
+                }
+            }
+        }
+        (Some(true), Some(false)) => {
+            state.add_constraint(cond);
+            Flow::Jump(then_pc)
+        }
+        (Some(false), Some(true)) => {
+            state.add_constraint(not_cond);
+            Flow::Jump(else_pc)
+        }
+        (Some(false), Some(false)) => Flow::Stop(TerminationReason::Infeasible),
+        _ => Flow::Stop(TerminationReason::SolverTimeout),
+    }
+}
+
+fn exec_in(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+) -> Flow {
+    let port = match state.machine.cpu.reg(i.rs1).as_concrete() {
+        Some(p) => p as u16,
+        None => {
+            let e = reg_expr(state, env, i.rs1);
+            match concretize(state, env, &e, concretization_is_soft(env.ctx.config.consistency)) {
+                Some(v) => v as u16,
+                None => return Flow::Stop(TerminationReason::SolverTimeout),
+            }
+        }
+    };
+    let v = state.machine.devices.read_port(port, env.ctx.builder);
+    let symbolic_value = v.is_symbolic();
+    let value = v.as_concrete();
+    let expr = match &v {
+        Value::Symbolic(e) => Some(e.clone()),
+        Value::Concrete(_) => None,
+    };
+    state.machine.cpu.set_reg(i.rd, v);
+    let access = PortAccess {
+        pc,
+        port,
+        is_write: false,
+        value,
+        symbolic_value,
+        expr,
+    };
+    for p in plugins.iter_mut() {
+        p.on_port_access(state, &mut env.ctx, &access);
+    }
+    Flow::Next
+}
+
+fn exec_out(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+) -> Flow {
+    let port = match state.machine.cpu.reg(i.rs1).as_concrete() {
+        Some(p) => p as u16,
+        None => {
+            let e = reg_expr(state, env, i.rs1);
+            match concretize(state, env, &e, concretization_is_soft(env.ctx.config.consistency)) {
+                Some(v) => v as u16,
+                None => return Flow::Stop(TerminationReason::SolverTimeout),
+            }
+        }
+    };
+    let v = state.machine.cpu.reg(i.rs2).clone();
+    let symbolic_value = v.is_symbolic();
+    let value = v.as_concrete();
+    let expr = match &v {
+        Value::Symbolic(e) => Some(e.clone()),
+        Value::Concrete(_) => None,
+    };
+    state.machine.devices.write_port(port, &v, env.ctx.builder);
+    let access = PortAccess {
+        pc,
+        port,
+        is_write: true,
+        value,
+        symbolic_value,
+        expr,
+    };
+    for p in plugins.iter_mut() {
+        p.on_port_access(state, &mut env.ctx, &access);
+    }
+    Flow::Next
+}
+
+fn exec_syscall(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+    next_pc: u32,
+) -> Flow {
+    let handler = state
+        .machine
+        .mem
+        .read_u32_concrete(vector::SYSCALL)
+        .unwrap_or(0);
+    if handler == 0 {
+        let f = FaultKind::KernelPanic { code: i.imm, pc };
+        state.machine.cpu.fault = Some(f.clone());
+        return Flow::Stop(TerminationReason::Fault(f));
+    }
+    env.ctx.stats.syscalls += 1;
+
+    // Boundary conversions at unit→environment entry (§3.2).
+    let model = env.ctx.config.consistency;
+    if model == ConsistencyModel::ScUe {
+        // Concretize every symbolic argument register; hard constraints.
+        for r in [reg::R0, reg::R1, reg::R2, reg::R3] {
+            if state.machine.cpu.reg(r).is_symbolic() {
+                let e = reg_expr(state, env, r);
+                match concretize(state, env, &e, false) {
+                    Some(v) => state.machine.cpu.set_reg(r, Value::Concrete(v)),
+                    None => return Flow::Stop(TerminationReason::SolverTimeout),
+                }
+            }
+        }
+    }
+    // LC entry annotations (e.g. concretize specific args softly).
+    if model == ConsistencyModel::Lc {
+        if let Some(ann) = env.ctx.config.annotation_for(i.imm) {
+            if let Some(f) = ann.on_entry.clone() {
+                f(state, &mut env.ctx);
+            }
+        }
+    }
+
+    let args = [
+        state.machine.cpu.reg(reg::R0).as_concrete().unwrap_or(0),
+        state.machine.cpu.reg(reg::R1).as_concrete().unwrap_or(0),
+        state.machine.cpu.reg(reg::R2).as_concrete().unwrap_or(0),
+        state.machine.cpu.reg(reg::R3).as_concrete().unwrap_or(0),
+    ];
+    for p in plugins.iter_mut() {
+        p.on_syscall(state, &mut env.ctx, i.imm, args);
+    }
+
+    let Some(sp) = state.machine.cpu.reg(reg::SP).as_concrete() else {
+        let f = FaultKind::SymbolicPc { pc };
+        state.machine.cpu.fault = Some(f.clone());
+        return Flow::Stop(TerminationReason::Fault(f));
+    };
+    let sp = sp.wrapping_sub(4);
+    if state.machine.mem.write_u32(sp, next_pc).is_err() {
+        return null_fault(state, sp, pc);
+    }
+    state.machine.cpu.set_reg(reg::SP, Value::Concrete(sp));
+    state.machine.cpu.set_reg(reg::KR, Value::Concrete(i.imm));
+    state.machine.cpu.interrupts_enabled = false;
+    state.env_stack.push(EnvFrame::Syscall { num: i.imm, args });
+    Flow::Jump(handler)
+}
+
+fn exec_iret(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    pc: u32,
+) -> Flow {
+    let Some(sp) = state.machine.cpu.reg(reg::SP).as_concrete() else {
+        let f = FaultKind::SymbolicPc { pc };
+        state.machine.cpu.fault = Some(f.clone());
+        return Flow::Stop(TerminationReason::Fault(f));
+    };
+    let ret = match state.machine.mem.read(sp, 4, env.ctx.builder) {
+        Ok(v) => match v.as_concrete() {
+            Some(r) => r,
+            None => {
+                let e = v.to_expr(env.ctx.builder, Width::W32);
+                let soft = concretization_is_soft(env.ctx.config.consistency);
+                match concretize(state, env, &e, soft) {
+                    Some(r) => r,
+                    None => return Flow::Stop(TerminationReason::SolverTimeout),
+                }
+            }
+        },
+        Err(_) => return null_fault(state, sp, pc),
+    };
+    state.machine.cpu.set_reg(reg::SP, Value::Concrete(sp.wrapping_add(4)));
+    state.machine.cpu.interrupts_enabled = true;
+
+    // Unit/environment boundary: environment→unit conversions (§3.2).
+    if let Some(EnvFrame::Syscall { num, .. }) = state.env_stack.pop() {
+        {
+            // Analyzers observe the environment's *actual* (pre-conversion)
+            // result: the conversion below is an analysis relaxation, not a
+            // change to what the environment did.
+            let actual_ret = state.machine.cpu.reg(reg::R0).as_concrete();
+            apply_return_conversion(state, env, num);
+            for p in plugins.iter_mut() {
+                p.on_syscall_return(state, &mut env.ctx, num, actual_ret);
+            }
+        }
+    }
+    Flow::Jump(ret)
+}
+
+fn apply_return_conversion(state: &mut ExecState, env: &mut ExecEnv, syscall: u32) {
+    match env.ctx.config.consistency {
+        // RC-OC: the result becomes completely unconstrained, interface
+        // contract ignored (§3.2.3). Pointer-typed results may be kept
+        // concrete via `rc_oc_excluded_syscalls`.
+        ConsistencyModel::RcOc => {
+            if env.ctx.config.rc_oc_excluded_syscalls.contains(&syscall) {
+                return;
+            }
+            let name = format!("env_ret_{syscall}");
+            let v = env.ctx.builder.var(&name, Width::W32);
+            state.machine.cpu.set_reg(reg::R0, Value::Symbolic(v));
+        }
+        // LC: apply the interface annotation, which re-symbolifies the
+        // result within the API contract (§3.2.2).
+        ConsistencyModel::Lc => {
+            if let Some(ann) = env.ctx.config.annotation_for(syscall) {
+                if let Some(f) = ann.on_return.clone() {
+                    f(state, &mut env.ctx);
+                }
+            }
+        }
+        // Strict models keep the concrete result.
+        _ => {}
+    }
+}
+
+fn exec_s2e_op(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    i: &Instr,
+    pc: u32,
+    _next_pc: u32,
+) -> Flow {
+    let Some(op) = S2Op::from_u32(i.imm) else {
+        let f = FaultKind::InvalidOpcode { pc };
+        state.machine.cpu.fault = Some(f.clone());
+        return Flow::Stop(TerminationReason::Fault(f));
+    };
+    for p in plugins.iter_mut() {
+        p.on_custom_opcode(state, &mut env.ctx, op);
+    }
+    match op {
+        S2Op::SymbolicReg => {
+            let name = match state.machine.cpu.reg(reg::R1).as_concrete() {
+                Some(p) if p != 0 => state.machine.mem.read_cstr(p),
+                _ => format!("sym_{pc:x}"),
+            };
+            let v = env.ctx.builder.var(&name, Width::W32);
+            state.machine.cpu.set_reg(reg::R0, Value::Symbolic(v));
+            Flow::Next
+        }
+        S2Op::SymbolicMem => {
+            let addr = state.machine.cpu.reg(reg::R0).as_concrete().unwrap_or(0);
+            let len = state
+                .machine
+                .cpu
+                .reg(reg::R1)
+                .as_concrete()
+                .unwrap_or(0)
+                .min(4096);
+            for off in 0..len {
+                let name = format!("mem_{:x}_{off}", addr);
+                let v = env.ctx.builder.var(&name, Width::W8);
+                if state
+                    .machine
+                    .mem
+                    .write_u8(addr.wrapping_add(off), Value::Symbolic(v))
+                    .is_err()
+                {
+                    return null_fault(state, addr.wrapping_add(off), pc);
+                }
+            }
+            Flow::Next
+        }
+        S2Op::EnableForking => {
+            state.forking_enabled = true;
+            Flow::Next
+        }
+        S2Op::DisableForking => {
+            state.forking_enabled = false;
+            Flow::Next
+        }
+        S2Op::LogMessage => {
+            let addr = state.machine.cpu.reg(reg::R0).as_concrete().unwrap_or(0);
+            let msg = state.machine.mem.read_cstr(addr);
+            env.ctx.log.push(msg);
+            Flow::Next
+        }
+        S2Op::KillPath => {
+            let code = state.machine.cpu.reg(reg::R0).as_concrete().unwrap_or(0);
+            Flow::Stop(TerminationReason::Killed(code))
+        }
+        S2Op::Assert => {
+            let v = state.machine.cpu.reg(reg::R0).clone();
+            let can_fail = match v.as_concrete() {
+                Some(c) => c == 0,
+                None => {
+                    let e = v.to_expr(env.ctx.builder, Width::W32);
+                    let zero = env.ctx.builder.constant(0, Width::W32);
+                    let is_zero = env.ctx.builder.eq(e, zero);
+                    let fails = env.ctx
+                        .solver
+                        .may_be_true(&state.constraints, &is_zero)
+                        .unwrap_or(true);
+                    if fails {
+                        // Pin the path to the violating case so the bug
+                        // report's inputs actually trigger the assertion.
+                        state.add_constraint(is_zero);
+                    }
+                    fails
+                }
+            };
+            if can_fail {
+                env.ctx.report_bug(
+                    state,
+                    BugKind::AssertionFailure,
+                    pc,
+                    format!("guest assertion can fail at {pc:#010x}"),
+                );
+                let f = FaultKind::AssertFailed { pc };
+                state.machine.cpu.fault = Some(f.clone());
+                Flow::Stop(TerminationReason::Fault(f))
+            } else {
+                Flow::Next
+            }
+        }
+        S2Op::EnterEnv => {
+            state.env_stack.push(EnvFrame::Marker);
+            Flow::Next
+        }
+        S2Op::LeaveEnv => {
+            if matches!(state.env_stack.last(), Some(EnvFrame::Marker)) {
+                state.env_stack.pop();
+            }
+            Flow::Next
+        }
+        S2Op::NoInterrupts => {
+            state.machine.cpu.interrupts_enabled = false;
+            Flow::Next
+        }
+        S2Op::AllowInterrupts => {
+            state.machine.cpu.interrupts_enabled = true;
+            Flow::Next
+        }
+    }
+}

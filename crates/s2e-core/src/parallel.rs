@@ -1,0 +1,210 @@
+//! Parallel path exploration.
+//!
+//! The S2E project parallelizes exploration by running multiple engine
+//! instances over a *partitioned* input space (each node owns a slice of
+//! the first symbolic input and explores the subtree it induces). This
+//! module reproduces that architecture in-process: N workers each build
+//! an engine, constrain their state to partition `i` of `n`, explore
+//! independently — no shared mutable state, so scaling is embarrassing —
+//! and the reports are merged afterwards.
+//!
+//! ```
+//! use s2e_core::parallel::{explore_parallel, partition_constraint};
+//! use s2e_core::selectors::make_reg_symbolic;
+//! use s2e_core::{ConsistencyModel, Engine, EngineConfig};
+//! use s2e_vm::asm::Assembler;
+//! use s2e_vm::isa::reg;
+//! use s2e_vm::machine::Machine;
+//!
+//! let reports = explore_parallel(2, 10_000, |worker, workers| {
+//!     let mut a = Assembler::new(0x2000);
+//!     a.movi(reg::R1, 128);
+//!     a.bltu(reg::R0, reg::R1, "low");
+//!     a.halt_code(1);
+//!     a.label("low");
+//!     a.halt_code(2);
+//!     let mut m = Machine::new();
+//!     m.load(&a.finish());
+//!     let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+//!     let id = e.sole_state().unwrap();
+//!     let b = e.builder_arc();
+//!     let x = make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
+//!     partition_constraint(e.state_mut(id).unwrap(), &b, &x, worker, workers);
+//!     e
+//! });
+//! let total: usize = reports.iter().map(|r| r.paths).sum();
+//! assert!(total >= 2);
+//! ```
+
+use crate::engine::Engine;
+use crate::plugin::BugReport;
+use crate::state::ExecState;
+use crate::stats::EngineStats;
+use s2e_expr::{ExprBuilder, ExprRef, Width};
+use std::collections::HashSet;
+
+/// What one worker produced.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Paths terminated by this worker.
+    pub paths: usize,
+    /// Bugs found by this worker's analyzers.
+    pub bugs: Vec<BugReport>,
+    /// Block-start addresses this worker executed.
+    pub covered_blocks: HashSet<u32>,
+    /// This worker's engine statistics.
+    pub stats: EngineStats,
+}
+
+/// Constrains `input` to worker `i`'s slice of the 32-bit value space,
+/// the standard way to partition an exploration across workers.
+pub fn partition_constraint(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    input: &ExprRef,
+    worker: usize,
+    workers: usize,
+) {
+    assert!(workers > 0 && worker < workers, "bad partition {worker}/{workers}");
+    let span = (u32::MAX / workers as u32).saturating_add(1);
+    let lo = span.saturating_mul(worker as u32);
+    if worker > 0 {
+        state.add_constraint(builder.ule(
+            builder.constant(lo as u64, Width::W32),
+            input.clone(),
+        ));
+    }
+    if worker + 1 < workers {
+        let hi = lo.saturating_add(span - 1);
+        state.add_constraint(builder.ule(
+            input.clone(),
+            builder.constant(hi as u64, Width::W32),
+        ));
+    }
+}
+
+/// Runs `workers` independent engines in parallel. `setup(i, n)` builds
+/// worker `i`'s engine (typically: load the same image, inject the same
+/// symbolic inputs, then apply [`partition_constraint`]).
+pub fn explore_parallel<F>(workers: usize, max_steps: u64, setup: F) -> Vec<WorkerReport>
+where
+    F: Fn(usize, usize) -> Engine + Sync,
+{
+    assert!(workers > 0);
+    let setup = &setup;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut engine = setup(w, workers);
+                    engine.run(max_steps);
+                    WorkerReport {
+                        worker: w,
+                        paths: engine.terminated().len(),
+                        bugs: engine.bugs().to_vec(),
+                        covered_blocks: engine.seen_blocks().clone(),
+                        stats: engine.stats().clone(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked")
+}
+
+/// Merges worker coverage into one set.
+pub fn merge_coverage(reports: &[WorkerReport]) -> HashSet<u32> {
+    let mut out = HashSet::new();
+    for r in reports {
+        out.extend(r.covered_blocks.iter().copied());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ConsistencyModel, EngineConfig};
+    use crate::selectors::make_reg_symbolic;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+    use s2e_vm::machine::Machine;
+
+    fn branchy_engine(worker: usize, workers: usize) -> Engine {
+        let mut a = Assembler::new(0x2000);
+        // Two nested branches on x: 4 leaf outcomes.
+        a.movi(reg::R1, 0x4000_0000);
+        a.bltu(reg::R0, reg::R1, "q1");
+        a.movi(reg::R1, 0xc000_0000);
+        a.bltu(reg::R0, reg::R1, "mid");
+        a.halt_code(3);
+        a.label("mid");
+        a.halt_code(2);
+        a.label("q1");
+        a.halt_code(1);
+        let mut m = Machine::new();
+        m.load(&a.finish());
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+        let id = e.sole_state().unwrap();
+        let b = e.builder_arc();
+        let x = make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
+        partition_constraint(e.state_mut(id).unwrap(), &b, &x, worker, workers);
+        e
+    }
+
+    #[test]
+    fn workers_cover_the_whole_space_together() {
+        let reports = explore_parallel(4, 10_000, branchy_engine);
+        assert_eq!(reports.len(), 4);
+        // Each worker's slice admits at most 2 of the 3 outcomes; jointly
+        // they admit all 3 (some outcomes found by several workers).
+        let total_paths: usize = reports.iter().map(|r| r.paths).sum();
+        assert!(total_paths >= 3, "{total_paths}");
+        for r in &reports {
+            assert!(r.paths >= 1, "worker {} found nothing", r.worker);
+            assert!(r.stats.blocks_executed > 0);
+        }
+        let merged = merge_coverage(&reports);
+        assert!(merged.len() >= 4, "merged coverage {merged:?}");
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let par = explore_parallel(1, 10_000, branchy_engine);
+        assert_eq!(par.len(), 1);
+        let mut seq = branchy_engine(0, 1);
+        seq.run(10_000);
+        assert_eq!(par[0].paths, seq.terminated().len());
+    }
+
+    #[test]
+    fn partition_constraints_disjoint() {
+        // A worker's partition excludes values owned by other workers.
+        let b = ExprBuilder::new();
+        let mut st = ExecState::initial(Machine::new());
+        let x = b.var("x", Width::W32);
+        partition_constraint(&mut st, &b, &x, 1, 4);
+        let mut solver = s2e_solver::Solver::new();
+        // 0 belongs to worker 0, not worker 1.
+        let is_zero = b.eq(x.clone(), b.constant(0, Width::W32));
+        assert_eq!(solver.may_be_true(&st.constraints, &is_zero), Some(false));
+        // 0x5000_0000 belongs to worker 1.
+        let in_slice = b.eq(x, b.constant(0x5000_0000, Width::W32));
+        assert_eq!(solver.may_be_true(&st.constraints, &in_slice), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad partition")]
+    fn partition_validates_indices() {
+        let b = ExprBuilder::new();
+        let mut st = ExecState::initial(Machine::new());
+        let x = b.var("x", Width::W32);
+        partition_constraint(&mut st, &b, &x, 4, 4);
+    }
+}

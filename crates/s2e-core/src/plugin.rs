@@ -1,0 +1,313 @@
+//! The plugin interface: selectors and analyzers.
+//!
+//! S2E's modular architecture (§4) exposes a small set of core events —
+//! instruction translation, instruction execution, state forking,
+//! exceptions, memory accesses — and lets plugins subscribe. Selectors
+//! influence execution (toggle multi-path, kill paths, inject symbolic
+//! data); analyzers are passive observers. Both use the same [`Plugin`]
+//! trait here; selectors simply mutate the state they are handed.
+//!
+//! The `onInstrTranslation` / `onInstrExecution` split follows §4.2:
+//! during translation (once per block) a plugin may *mark* instructions;
+//! the engine then raises execution events only for marked instructions,
+//! so unmarked code runs at full speed. Plugins that really want every
+//! instruction opt in via [`Plugin::wants_all_instructions`].
+
+use crate::config::EngineConfig;
+use crate::state::{ExecState, StateId, TerminationReason};
+use crate::stats::EngineStats;
+use s2e_expr::{Assignment, ExprBuilder, ExprRef};
+use s2e_solver::Solver;
+use s2e_vm::isa::{Instr, S2Op};
+use std::collections::HashSet;
+
+/// A memory access observed during execution (the `onMemoryAccess` event).
+#[derive(Clone, Debug)]
+pub struct MemAccess {
+    /// PC of the accessing instruction.
+    pub pc: u32,
+    /// Accessed address (concretized if the pointer was symbolic).
+    pub addr: u32,
+    /// Access width in bytes.
+    pub width: u32,
+    /// True for stores.
+    pub is_write: bool,
+    /// The value read/written, when concrete.
+    pub value: Option<u32>,
+    /// True if the address was symbolic before concretization.
+    pub symbolic_addr: bool,
+    /// True if the data value is symbolic.
+    pub symbolic_value: bool,
+}
+
+/// A port I/O access (hardware interaction).
+#[derive(Clone, Debug)]
+pub struct PortAccess {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Port number.
+    pub port: u16,
+    /// True for `Out`.
+    pub is_write: bool,
+    /// The value, when concrete.
+    pub value: Option<u32>,
+    /// True if the value is symbolic.
+    pub symbolic_value: bool,
+    /// The symbolic expression written/read, when symbolic — lets
+    /// taint-style analyzers (e.g. the privacy-leak checker) inspect which
+    /// variables reach the device.
+    pub expr: Option<ExprRef>,
+}
+
+/// Classification of a reported bug.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BugKind {
+    /// Null-pointer dereference (null guard page access).
+    NullDereference,
+    /// Undecodable instruction executed.
+    InvalidOpcode,
+    /// Guest assertion (`S2Op::Assert`) can fail.
+    AssertionFailure,
+    /// Guest kernel panicked (the "blue screen" analog).
+    KernelPanic,
+    /// Access to freed heap memory.
+    UseAfterFree,
+    /// Heap access outside any live allocation.
+    HeapOutOfBounds,
+    /// Double free.
+    DoubleFree,
+    /// Allocation never freed by path end.
+    MemoryLeak,
+    /// Racy access between interrupt and non-interrupt context.
+    DataRace,
+    /// Path suspected of unbounded execution.
+    UnboundedExecution,
+    /// Sensitive data left the system through an output device.
+    PrivacyLeak,
+}
+
+/// Snapshot of the machine at the moment a bug was reported — the crash
+/// dump's register block ("S2E generates crash dumps readable by
+/// Microsoft WinDbg", §6.1.1).
+#[derive(Clone, Debug)]
+pub struct MachineSnapshot {
+    /// General registers; `None` where the register held a symbolic
+    /// value.
+    pub regs: [Option<u32>; 16],
+    /// Program counter.
+    pub pc: u32,
+    /// Instructions retired on the path so far.
+    pub instrs_retired: u64,
+    /// Environment nesting depth (0 = unit code).
+    pub env_depth: usize,
+    /// Number of path constraints at the time.
+    pub constraints: usize,
+}
+
+impl MachineSnapshot {
+    /// Captures a snapshot from a state.
+    pub fn capture(state: &ExecState) -> MachineSnapshot {
+        let mut regs = [None; 16];
+        for (r, slot) in regs.iter_mut().enumerate() {
+            *slot = state.machine.cpu.reg(r as u8).as_concrete();
+        }
+        MachineSnapshot {
+            regs,
+            pc: state.machine.cpu.pc,
+            instrs_retired: state.instrs_retired,
+            env_depth: state.env_depth(),
+            constraints: state.constraints.len(),
+        }
+    }
+}
+
+/// A bug found by an analyzer, with the concrete inputs that reach it
+/// (computed from the path constraints, as DDT does for its crash
+/// reports).
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    /// Classification.
+    pub kind: BugKind,
+    /// State in which the bug manifested.
+    pub state: StateId,
+    /// Guest PC at the bug.
+    pub pc: u32,
+    /// Human-readable description.
+    pub description: String,
+    /// A satisfying assignment of the path constraints: concrete inputs
+    /// that drive execution to the bug.
+    pub inputs: Option<Assignment>,
+    /// Machine state at report time (the crash dump's register block).
+    pub snapshot: MachineSnapshot,
+}
+
+/// Mutable services available to plugins during event callbacks.
+pub struct ExecCtx<'a> {
+    /// Expression factory (shared by all states).
+    pub builder: &'a ExprBuilder,
+    /// The constraint solver.
+    pub solver: &'a mut Solver,
+    /// Engine configuration.
+    pub config: &'a EngineConfig,
+    /// Engine statistics (plugins may read and bump).
+    pub stats: &'a mut EngineStats,
+    /// Bug sink.
+    pub bugs: &'a mut Vec<BugReport>,
+    /// Message log (`S2Op::LogMessage` and plugin output).
+    pub log: &'a mut Vec<String>,
+}
+
+impl ExecCtx<'_> {
+    /// Files a bug report, solving the path constraints for concrete
+    /// inputs that reproduce it.
+    pub fn report_bug(&mut self, state: &ExecState, kind: BugKind, pc: u32, description: String) {
+        let inputs = match self.solver.check(&state.constraints) {
+            s2e_solver::SatResult::Sat(m) => Some(m),
+            _ => None,
+        };
+        self.bugs.push(BugReport {
+            kind,
+            state: state.id,
+            pc,
+            description,
+            inputs,
+            snapshot: MachineSnapshot::capture(state),
+        });
+    }
+}
+
+/// Requests made during instruction translation.
+#[derive(Debug, Default)]
+pub struct MarkRequests {
+    marks: HashSet<u32>,
+}
+
+impl MarkRequests {
+    /// Marks the instruction at `pc` for `onInstrExecution` events.
+    pub fn mark(&mut self, pc: u32) {
+        self.marks.insert(pc);
+    }
+
+    /// Drains the requested marks.
+    pub fn take(&mut self) -> HashSet<u32> {
+        std::mem::take(&mut self.marks)
+    }
+
+    /// True if nothing was marked.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+/// A selector or analyzer plugged into the engine.
+///
+/// All hooks have empty default bodies: implement only what you need.
+#[allow(unused_variables)]
+pub trait Plugin: Send {
+    /// Unique plugin name; also the key for per-path
+    /// [`crate::state::PluginState`].
+    fn name(&self) -> &'static str;
+
+    /// If true, `on_instr_execution` fires for *every* instruction, not
+    /// just marked ones. Expensive; used by the performance profiler.
+    fn wants_all_instructions(&self) -> bool {
+        false
+    }
+
+    /// A new instruction is being translated (fires once per cached
+    /// block).
+    fn on_instr_translation(&mut self, pc: u32, instr: &Instr, marks: &mut MarkRequests) {}
+
+    /// A marked instruction (or any instruction, when
+    /// [`Plugin::wants_all_instructions`]) is about to execute.
+    fn on_instr_execution(
+        &mut self,
+        state: &mut ExecState,
+        ctx: &mut ExecCtx,
+        pc: u32,
+        instr: &Instr,
+    ) {
+    }
+
+    /// A translation block is about to execute on `state`.
+    fn on_block_start(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, pc: u32) {}
+
+    /// Execution forked: `state` is the parent (already constrained to the
+    /// true branch), `child` the new state.
+    fn on_fork(
+        &mut self,
+        state: &mut ExecState,
+        child: &mut ExecState,
+        ctx: &mut ExecCtx,
+        cond: &ExprRef,
+    ) {
+    }
+
+    /// A memory access completed.
+    fn on_memory_access(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, access: &MemAccess) {}
+
+    /// A port I/O access completed.
+    fn on_port_access(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, access: &PortAccess) {}
+
+    /// The unit trapped into the environment (syscall). `args` are r0..r3
+    /// best-effort concretized for reporting.
+    fn on_syscall(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, num: u32, args: [u32; 4]) {}
+
+    /// A syscall returned to the unit (after consistency conversions).
+    /// `ret` is r0 if concrete.
+    fn on_syscall_return(
+        &mut self,
+        state: &mut ExecState,
+        ctx: &mut ExecCtx,
+        num: u32,
+        ret: Option<u32>,
+    ) {
+    }
+
+    /// An S2E custom opcode executed.
+    fn on_custom_opcode(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, op: S2Op) {}
+
+    /// The state is terminating (fires before removal).
+    fn on_state_terminated(
+        &mut self,
+        state: &mut ExecState,
+        ctx: &mut ExecCtx,
+        reason: &TerminationReason,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_requests_collect() {
+        let mut m = MarkRequests::default();
+        assert!(m.is_empty());
+        m.mark(0x2000);
+        m.mark(0x2000);
+        m.mark(0x2008);
+        let taken = m.take();
+        assert_eq!(taken.len(), 2);
+        assert!(m.is_empty());
+    }
+
+    struct NullPlugin;
+    impl Plugin for NullPlugin {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        // Just exercise the default bodies for object safety.
+        let mut p: Box<dyn Plugin> = Box::new(NullPlugin);
+        assert_eq!(p.name(), "null");
+        assert!(!p.wants_all_instructions());
+        let mut marks = MarkRequests::default();
+        p.on_instr_translation(0, &Instr::new(s2e_vm::isa::Opcode::Nop, 0, 0, 0, 0), &mut marks);
+        assert!(marks.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Data-based selectors: ways of introducing symbolic values (§4.1).
+//!
+//! The paper's `CommandLine`, `Environment`, and `MSWinRegistry` selectors
+//! all reduce to "replace a concrete input source with a (possibly
+//! constrained) symbolic value". These helpers operate directly on an
+//! execution state; tools call them before starting exploration or from a
+//! plugin hook (the `Annotation` plugin pattern).
+
+use crate::state::ExecState;
+use s2e_expr::{ExprBuilder, ExprRef, Width};
+use s2e_vm::value::Value;
+
+/// Replaces register `r` with a fresh symbolic word; returns the variable.
+pub fn make_reg_symbolic(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    r: u8,
+    name: &str,
+) -> ExprRef {
+    let v = builder.var(name, Width::W32);
+    state.machine.cpu.set_reg(r, Value::Symbolic(v.clone()));
+    v
+}
+
+/// Replaces register `r` with a symbolic word constrained to
+/// `[lo, hi]` (inclusive, unsigned) — the `Annotation` plugin's
+/// "custom-constrained symbolic value".
+pub fn make_reg_symbolic_in_range(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    r: u8,
+    name: &str,
+    lo: u32,
+    hi: u32,
+) -> ExprRef {
+    let v = make_reg_symbolic(state, builder, r, name);
+    constrain_range(state, builder, &v, lo, hi);
+    v
+}
+
+/// Adds `lo <= e <= hi` (unsigned) to the path constraints.
+pub fn constrain_range(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    e: &ExprRef,
+    lo: u32,
+    hi: u32,
+) {
+    if lo > 0 {
+        state.add_constraint(builder.ule(builder.constant(lo as u64, Width::W32), e.clone()));
+    }
+    state.add_constraint(builder.ule(e.clone(), builder.constant(hi as u64, Width::W32)));
+}
+
+/// Makes `len` bytes of guest memory symbolic; returns the byte
+/// variables. Used for symbolic buffers (command lines, packets, file
+/// contents).
+///
+/// # Panics
+///
+/// Panics if the range touches the null guard page.
+pub fn make_mem_symbolic(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    addr: u32,
+    len: u32,
+    prefix: &str,
+) -> Vec<ExprRef> {
+    (0..len)
+        .map(|i| {
+            let v = builder.var(&format!("{prefix}_{i}"), Width::W8);
+            state
+                .machine
+                .mem
+                .write_u8(addr + i, Value::Symbolic(v.clone()))
+                .expect("symbolic buffer must not touch the null page");
+            v
+        })
+        .collect()
+}
+
+/// Makes a NUL-terminated guest string of exactly `len` symbolic bytes
+/// (each constrained to be non-NUL printable ASCII) followed by a
+/// concrete NUL — the shape the `CommandLine` selector produces.
+pub fn make_cstring_symbolic(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    addr: u32,
+    len: u32,
+    prefix: &str,
+) -> Vec<ExprRef> {
+    let vars = make_mem_symbolic(state, builder, addr, len, prefix);
+    for v in &vars {
+        // Printable, non-NUL: 0x20..=0x7e.
+        state.add_constraint(builder.ule(builder.constant(0x20, Width::W8), v.clone()));
+        state.add_constraint(builder.ule(v.clone(), builder.constant(0x7e, Width::W8)));
+    }
+    state
+        .machine
+        .mem
+        .write_u8(addr + len, Value::Concrete(0))
+        .expect("terminator in mapped memory");
+    vars
+}
+
+/// Injects a symbolic value for a configuration-store key (the
+/// `MSWinRegistry` selector analog): the guest reads it through the
+/// config device ports.
+pub fn make_config_symbolic(
+    state: &mut ExecState,
+    builder: &ExprBuilder,
+    key: u32,
+    name: &str,
+) -> ExprRef {
+    let v = builder.var(name, Width::W32);
+    state
+        .machine
+        .devices
+        .config_mut()
+        .expect("config store attached")
+        .set(key, Value::Symbolic(v.clone()));
+    v
+}
+
+/// Concretizes register `r` under the current path constraints, recording
+/// the choice as a *soft* constraint (retractable under SC-SE). The
+/// standard building block for LC entry annotations that must keep
+/// symbolic unit data out of environment control flow.
+///
+/// Returns `None` if the solver gave up.
+pub fn concretize_reg_soft(
+    state: &mut ExecState,
+    ctx: &mut crate::plugin::ExecCtx,
+    r: u8,
+) -> Option<u32> {
+    let v = state.machine.cpu.reg(r).clone();
+    if let Some(c) = v.as_concrete() {
+        return Some(c);
+    }
+    let e = v.to_expr(ctx.builder, Width::W32);
+    let (val, _) = ctx.solver.concretize(&state.constraints, &e)?;
+    let c = ctx.builder.constant(val, Width::W32);
+    let eq = ctx.builder.eq(e, c);
+    state.add_soft_constraint(eq);
+    state.machine.cpu.set_reg(r, Value::Concrete(val as u32));
+    ctx.stats.concretizations += 1;
+    Some(val as u32)
+}
+
+/// Turns the NIC's symbolic-hardware mode on or off for this state.
+pub fn set_symbolic_hardware(state: &mut ExecState, enabled: bool) {
+    if let Some(nic) = state.machine.devices.nic_mut() {
+        nic.symbolic_hardware = enabled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::machine::Machine;
+
+    fn setup() -> (ExecState, ExprBuilder) {
+        (ExecState::initial(Machine::new()), ExprBuilder::new())
+    }
+
+    #[test]
+    fn reg_symbolic() {
+        let (mut s, b) = setup();
+        let v = make_reg_symbolic(&mut s, &b, 3, "arg");
+        assert!(s.machine.cpu.reg(3).is_symbolic());
+        assert_eq!(v.width(), Width::W32);
+        assert!(s.constraints.is_empty());
+    }
+
+    #[test]
+    fn reg_symbolic_with_range() {
+        let (mut s, b) = setup();
+        make_reg_symbolic_in_range(&mut s, &b, 0, "x", 1, 10);
+        assert_eq!(s.constraints.len(), 2);
+        // lo == 0 drops the lower bound.
+        let (mut s, b) = setup();
+        make_reg_symbolic_in_range(&mut s, &b, 0, "x", 0, 10);
+        assert_eq!(s.constraints.len(), 1);
+    }
+
+    #[test]
+    fn mem_symbolic_buffer() {
+        let (mut s, b) = setup();
+        let vars = make_mem_symbolic(&mut s, &b, 0x8000, 4, "buf");
+        assert_eq!(vars.len(), 4);
+        assert_eq!(s.machine.mem.symbolic_byte_count(), 4);
+        assert!(s.machine.mem.range_has_symbolic(0x8000, 4));
+    }
+
+    #[test]
+    fn cstring_constrained_and_terminated() {
+        let (mut s, b) = setup();
+        let vars = make_cstring_symbolic(&mut s, &b, 0x8000, 3, "url");
+        assert_eq!(vars.len(), 3);
+        assert_eq!(s.constraints.len(), 6); // two bounds per byte
+        assert_eq!(
+            s.machine.mem.read_u8(0x8003).unwrap().as_concrete(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn config_key_symbolic() {
+        let (mut s, b) = setup();
+        make_config_symbolic(&mut s, &b, 42, "CardType");
+        let v = s.machine.devices.config_mut().unwrap().get(42);
+        assert!(v.is_symbolic());
+    }
+
+    #[test]
+    fn symbolic_hardware_toggle() {
+        let (mut s, _) = setup();
+        set_symbolic_hardware(&mut s, true);
+        assert!(s.machine.devices.nic().unwrap().symbolic_hardware);
+        set_symbolic_hardware(&mut s, false);
+        assert!(!s.machine.devices.nic().unwrap().symbolic_hardware);
+    }
+}

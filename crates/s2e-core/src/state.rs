@@ -1,0 +1,318 @@
+//! Execution states: one forkable snapshot of the entire system per path.
+
+use s2e_expr::ExprRef;
+use s2e_vm::cpu::FaultKind;
+use s2e_vm::machine::Machine;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an execution state (unique within an engine).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(pub u64);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Why a path stopped executing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// The guest executed `Halt`.
+    Halted(u32),
+    /// A machine fault (crash).
+    Fault(FaultKind),
+    /// A plugin or the guest (`S2Op::KillPath`) killed the path.
+    Killed(u32),
+    /// Local consistency was violated: the environment branched on
+    /// symbolic data injected into or derived by the unit (paper §3.2.2 —
+    /// the path must be aborted to preserve LC).
+    EnvInconsistency,
+    /// The path's constraints became unsatisfiable (dead path).
+    Infeasible,
+    /// The solver gave up on this path.
+    SolverTimeout,
+    /// Per-path instruction budget exhausted.
+    FuelExhausted,
+    /// Fork-depth bound reached.
+    MaxDepth,
+}
+
+impl TerminationReason {
+    /// True for reasons that indicate a crash-like outcome.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, TerminationReason::Fault(_))
+    }
+}
+
+/// Entry of the unit/environment boundary stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvFrame {
+    /// Entered the environment through a syscall trap; holds the syscall
+    /// number and the concrete-or-symbolic argument snapshot (r0..r3) at
+    /// entry time.
+    Syscall {
+        /// Syscall number.
+        num: u32,
+        /// r0..r3 at trap time, concretized best-effort for reporting.
+        args: [u32; 4],
+    },
+    /// Entered an interrupt handler.
+    Irq {
+        /// IRQ line.
+        line: u32,
+    },
+    /// Entered environment code marked by `S2Op::EnterEnv`.
+    Marker,
+}
+
+/// Per-path plugin state (the paper's `PluginState`, §4.2): cloned with
+/// the execution state on every fork.
+pub trait PluginState: fmt::Debug + Send {
+    /// Clones the state (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn PluginState>;
+
+    /// Upcast for typed access.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for typed access.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl Clone for Box<dyn PluginState> {
+    fn clone(&self) -> Box<dyn PluginState> {
+        self.clone_box()
+    }
+}
+
+/// One execution state: the complete machine plus path constraints and
+/// per-path analysis state.
+///
+/// Forking a state clones everything; memory is copy-on-write so the cost
+/// is proportional to what the child subsequently writes, not to machine
+/// size (paper §5).
+#[derive(Clone, Debug)]
+pub struct ExecState {
+    /// Unique id.
+    pub id: StateId,
+    /// Parent state, if forked.
+    pub parent: Option<StateId>,
+    /// The machine snapshot.
+    pub machine: Machine,
+    /// Hard path constraints (boolean expressions, conjoined).
+    pub constraints: Vec<ExprRef>,
+    /// Indices into `constraints` of *soft* constraints — added by
+    /// concretization at the symbolic→concrete boundary rather than by
+    /// guest branches (§2.2). SC-SE can retract them; stricter models
+    /// treat them as hard.
+    pub soft_constraints: Vec<usize>,
+    /// Multi-path execution toggle (`S2ENA`/`S2DIS` and selectors).
+    pub forking_enabled: bool,
+    /// Unit/environment boundary stack (syscalls, IRQs, markers).
+    pub env_stack: Vec<EnvFrame>,
+    /// Fork depth.
+    pub depth: u32,
+    /// Instructions retired on this path.
+    pub instrs_retired: u64,
+    /// Fractional symbolic-instruction cycles not yet charged to the
+    /// virtual clock (the §5 symbolic-time slowdown remainder).
+    pub sym_time_accum: u64,
+    /// Set by plugins to request termination of this path; honored by the
+    /// engine after the current block.
+    pub kill_requested: Option<TerminationReason>,
+    /// Termination, once decided.
+    pub status: Option<TerminationReason>,
+    /// Per-path plugin state, keyed by plugin name.
+    plugin_state: HashMap<&'static str, Box<dyn PluginState>>,
+}
+
+impl ExecState {
+    /// Creates the initial state around a machine.
+    pub fn initial(machine: Machine) -> ExecState {
+        ExecState {
+            id: StateId(0),
+            parent: None,
+            machine,
+            constraints: Vec::new(),
+            soft_constraints: Vec::new(),
+            forking_enabled: true,
+            env_stack: Vec::new(),
+            depth: 0,
+            instrs_retired: 0,
+            sym_time_accum: 0,
+            kill_requested: None,
+            status: None,
+            plugin_state: HashMap::new(),
+        }
+    }
+
+    /// True while the path can still execute.
+    pub fn is_active(&self) -> bool {
+        self.status.is_none() && self.machine.cpu.is_running()
+    }
+
+    /// Nesting depth in environment code (0 = executing the unit).
+    pub fn env_depth(&self) -> usize {
+        self.env_stack.len()
+    }
+
+    /// True if currently handling an interrupt.
+    pub fn in_irq(&self) -> bool {
+        self.env_stack
+            .iter()
+            .any(|f| matches!(f, EnvFrame::Irq { .. }))
+    }
+
+    /// Adds a hard path constraint.
+    pub fn add_constraint(&mut self, c: ExprRef) {
+        self.constraints.push(c);
+    }
+
+    /// Adds a soft constraint (from boundary concretization).
+    pub fn add_soft_constraint(&mut self, c: ExprRef) {
+        self.soft_constraints.push(self.constraints.len());
+        self.constraints.push(c);
+    }
+
+    /// Number of soft constraints on this path.
+    pub fn soft_constraint_count(&self) -> usize {
+        self.soft_constraints.len()
+    }
+
+    /// Fetches (or lazily initializes) this path's state for a plugin.
+    pub fn plugin_state_mut<T: PluginState + Default + 'static>(
+        &mut self,
+        plugin: &'static str,
+    ) -> &mut T {
+        self.plugin_state
+            .entry(plugin)
+            .or_insert_with(|| Box::new(T::default()))
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("plugin state type mismatch")
+    }
+
+    /// Read-only access to a plugin's per-path state, if initialized.
+    pub fn plugin_state<T: PluginState + 'static>(&self, plugin: &'static str) -> Option<&T> {
+        self.plugin_state
+            .get(plugin)
+            .and_then(|b| b.as_any().downcast_ref::<T>())
+    }
+
+    /// Creates a child state for a fork; the caller sets PC/registers and
+    /// the differing constraint.
+    pub fn fork_child(&self, id: StateId) -> ExecState {
+        let mut child = self.clone();
+        child.id = id;
+        child.parent = Some(self.id);
+        child.depth = self.depth + 1;
+        child
+    }
+}
+
+/// Declares a type as per-path plugin state.
+///
+/// ```
+/// use s2e_core::impl_plugin_state;
+///
+/// #[derive(Clone, Debug, Default)]
+/// struct Counters { blocks: u64 }
+/// impl_plugin_state!(Counters);
+/// ```
+#[macro_export]
+macro_rules! impl_plugin_state {
+    ($ty:ty) => {
+        impl $crate::state::PluginState for $ty {
+            fn clone_box(&self) -> Box<dyn $crate::state::PluginState> {
+                Box::new(self.clone())
+            }
+
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_expr::{ExprBuilder, Width};
+
+    #[derive(Clone, Debug, Default, PartialEq)]
+    struct TestState {
+        count: u64,
+    }
+    impl_plugin_state!(TestState);
+
+    fn state() -> ExecState {
+        ExecState::initial(Machine::new())
+    }
+
+    #[test]
+    fn initial_state_is_active() {
+        let s = state();
+        assert!(s.is_active());
+        assert_eq!(s.env_depth(), 0);
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn constraints_hard_and_soft() {
+        let b = ExprBuilder::new();
+        let mut s = state();
+        let x = b.var("x", Width::BOOL);
+        s.add_constraint(x.clone());
+        s.add_soft_constraint(x.clone());
+        s.add_constraint(x);
+        assert_eq!(s.constraints.len(), 3);
+        assert_eq!(s.soft_constraints, vec![1]);
+        assert_eq!(s.soft_constraint_count(), 1);
+    }
+
+    #[test]
+    fn plugin_state_lazily_initialized_and_cloned() {
+        let mut s = state();
+        s.plugin_state_mut::<TestState>("test").count = 7;
+        let child = s.fork_child(StateId(1));
+        assert_eq!(child.plugin_state::<TestState>("test").unwrap().count, 7);
+        // Divergence after fork.
+        let mut child = child;
+        child.plugin_state_mut::<TestState>("test").count = 9;
+        assert_eq!(s.plugin_state::<TestState>("test").unwrap().count, 7);
+    }
+
+    #[test]
+    fn fork_child_links_parent_and_depth() {
+        let s = state();
+        let c = s.fork_child(StateId(5));
+        assert_eq!(c.parent, Some(StateId(0)));
+        assert_eq!(c.depth, 1);
+        assert_eq!(c.id, StateId(5));
+    }
+
+    #[test]
+    fn env_stack_and_irq_detection() {
+        let mut s = state();
+        assert!(!s.in_irq());
+        s.env_stack.push(EnvFrame::Syscall { num: 1, args: [0; 4] });
+        assert!(!s.in_irq());
+        s.env_stack.push(EnvFrame::Irq { line: 0 });
+        assert!(s.in_irq());
+        assert_eq!(s.env_depth(), 2);
+    }
+
+    #[test]
+    fn termination_classification() {
+        assert!(TerminationReason::Fault(FaultKind::InvalidOpcode { pc: 0 }).is_crash());
+        assert!(!TerminationReason::Halted(0).is_crash());
+        let mut s = state();
+        s.status = Some(TerminationReason::Halted(0));
+        assert!(!s.is_active());
+    }
+}

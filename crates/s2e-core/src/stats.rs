@@ -1,0 +1,74 @@
+//! Engine-wide statistics.
+//!
+//! These counters back the paper's quantitative evaluation: concrete vs
+//! symbolic instruction mix (§6.2's overhead discussion), fork and state
+//! counts, and the memory high-watermark reported in Fig. 8.
+
+use std::time::Duration;
+
+/// Counters accumulated by the engine across all states.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// States created (initial + forked).
+    pub states_created: u64,
+    /// States terminated.
+    pub states_terminated: u64,
+    /// Fork events.
+    pub forks: u64,
+    /// Translation blocks executed.
+    pub blocks_executed: u64,
+    /// Instructions executed on the concrete fast path.
+    pub instrs_concrete: u64,
+    /// Instructions that touched symbolic data (dispatched to the
+    /// embedded symbolic executor).
+    pub instrs_symbolic: u64,
+    /// Memory accesses with a symbolic address (solver-backed page
+    /// handling).
+    pub symbolic_ptr_accesses: u64,
+    /// Concretization events (symbolic→concrete conversions).
+    pub concretizations: u64,
+    /// Interrupts delivered.
+    pub interrupts_delivered: u64,
+    /// Syscall traps.
+    pub syscalls: u64,
+    /// Maximum number of simultaneously live states.
+    pub max_live_states: usize,
+    /// High-watermark of estimated private state memory across live
+    /// states, in bytes (Fig. 8's metric).
+    pub memory_watermark_bytes: usize,
+    /// Wall-clock time spent in [`crate::engine::Engine::step`].
+    pub exec_time: Duration,
+}
+
+impl EngineStats {
+    /// Total instructions executed.
+    pub fn total_instrs(&self) -> u64 {
+        self.instrs_concrete + self.instrs_symbolic
+    }
+
+    /// Ratio of concretely-executed instructions (the paper reports ~4
+    /// orders of magnitude more concrete than symbolic for ping).
+    pub fn concrete_ratio(&self) -> f64 {
+        let total = self.total_instrs();
+        if total == 0 {
+            0.0
+        } else {
+            self.instrs_concrete as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.concrete_ratio(), 0.0);
+        s.instrs_concrete = 3;
+        s.instrs_symbolic = 1;
+        assert_eq!(s.total_instrs(), 4);
+        assert!((s.concrete_ratio() - 0.75).abs() < 1e-12);
+    }
+}

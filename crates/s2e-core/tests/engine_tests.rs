@@ -1,0 +1,704 @@
+//! End-to-end engine tests: selective symbolic execution and all six
+//! consistency models exercised against small assembled guests.
+
+use s2e_core::analyzers::PathKiller;
+use s2e_core::selectors::{make_mem_symbolic, make_reg_symbolic};
+use s2e_core::{
+    Annotation, BugKind, CodeRanges, ConsistencyModel, Engine, EngineConfig, StopReason,
+    TerminationReason,
+};
+use s2e_expr::{eval, Width};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::{reg, vector, S2Op};
+use s2e_vm::machine::Machine;
+use s2e_vm::value::Value;
+
+/// Syscall numbers implemented by the test kernel.
+const SYS_RET42: u32 = 1;
+const SYS_BRANCHY: u32 = 2;
+
+/// A miniature kernel: dispatches on the syscall number in KR.
+///
+/// - `SYS_RET42`: returns 42 in r0.
+/// - `SYS_BRANCHY`: branches on r0 (`r0 < 10 → r0=1 else r0=0`) — used to
+///   probe environment-branch policies.
+fn test_kernel() -> Program {
+    let mut a = Assembler::new(0x1100);
+    a.label("handler");
+    a.movi(reg::R10, SYS_RET42);
+    a.beq(reg::KR, reg::R10, "ret42");
+    a.movi(reg::R10, SYS_BRANCHY);
+    a.beq(reg::KR, reg::R10, "branchy");
+    a.iret();
+    a.label("ret42");
+    a.movi(reg::R0, 42);
+    a.iret();
+    a.label("branchy");
+    a.movi(reg::R10, 10);
+    a.bltu(reg::R0, reg::R10, "small");
+    a.movi(reg::R0, 0);
+    a.iret();
+    a.label("small");
+    a.movi(reg::R0, 1);
+    a.iret();
+    a.finish()
+}
+
+/// Builds a machine with the test kernel installed and a user program.
+fn machine_with(build: impl FnOnce(&mut Assembler)) -> Machine {
+    let kernel = test_kernel();
+    let mut a = Assembler::new(0x4000);
+    build(&mut a);
+    let prog = a.finish();
+    let mut m = Machine::new();
+    m.load_aux(&kernel);
+    m.mem.write_u32(vector::SYSCALL, kernel.symbol("handler")).unwrap();
+    m.load(&prog);
+    m
+}
+
+fn engine_with(model: ConsistencyModel, build: impl FnOnce(&mut Assembler)) -> Engine {
+    let m = machine_with(build);
+    let mut e = Engine::new(m, EngineConfig::with_model(model));
+    e.set_retain_terminated(true);
+    e
+}
+
+fn symbolize_r0(e: &mut Engine, name: &str) -> s2e_expr::ExprRef {
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, name)
+}
+
+fn exit_codes(e: &Engine) -> Vec<u32> {
+    let mut codes: Vec<u32> = e
+        .terminated()
+        .iter()
+        .filter_map(|(_, r)| match r {
+            TerminationReason::Halted(c) => Some(*c),
+            _ => None,
+        })
+        .collect();
+    codes.sort();
+    codes
+}
+
+#[test]
+fn concrete_program_single_path() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R0, 0);
+        a.movi(reg::R1, 100);
+        a.label("loop");
+        a.addi(reg::R0, reg::R0, 1);
+        a.bltu(reg::R0, reg::R1, "loop");
+        a.halt_code(7);
+    });
+    let summary = e.run(100_000);
+    assert_eq!(summary.stop, StopReason::Exhausted);
+    assert_eq!(exit_codes(&e), vec![7]);
+    assert_eq!(e.stats().forks, 0);
+    assert!(e.stats().instrs_concrete > 200);
+    assert_eq!(e.stats().instrs_symbolic, 0);
+}
+
+#[test]
+fn symbolic_branch_forks_and_constrains() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R1, 5);
+        a.bltu(reg::R0, reg::R1, "small");
+        a.halt_code(1); // r0 >= 5
+        a.label("small");
+        a.halt_code(2); // r0 < 5
+    });
+    let x = symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(exit_codes(&e), vec![1, 2]);
+    assert_eq!(e.stats().forks, 1);
+
+    // Each retained path's constraints must pin x to the right side.
+    let paths: Vec<_> = e.terminated_states().to_vec();
+    for st in &paths {
+        let code = match st.status.as_ref().unwrap() {
+            TerminationReason::Halted(c) => *c,
+            other => panic!("unexpected {other:?}"),
+        };
+        let model = match e.solver_mut().check(&st.constraints) {
+            s2e_solver::SatResult::Sat(m) => m,
+            other => panic!("path constraints unsat: {other:?}"),
+        };
+        let xv = eval(&x, &model).unwrap();
+        if code == 2 {
+            assert!(xv < 5, "x={xv} on the <5 path");
+        } else {
+            assert!(xv >= 5, "x={xv} on the >=5 path");
+        }
+    }
+}
+
+#[test]
+fn nested_branches_make_four_paths() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R2, 10);
+        a.movi(reg::R3, 20);
+        a.movi(reg::R4, 0);
+        a.bltu(reg::R0, reg::R2, "b1");
+        a.ori(reg::R4, reg::R4, 1);
+        a.label("b1");
+        a.bltu(reg::R1, reg::R3, "b2");
+        a.ori(reg::R4, reg::R4, 2);
+        a.label("b2");
+        a.mov(reg::R0, reg::R4);
+        a.s2e(S2Op::KillPath); // exit with status r0
+    });
+    {
+        let id = e.sole_state().unwrap();
+        let b = e.builder_arc();
+        make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
+        make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R1, "y");
+    }
+    e.run(10_000);
+    let mut statuses: Vec<u32> = e
+        .terminated()
+        .iter()
+        .filter_map(|(_, r)| match r {
+            TerminationReason::Killed(c) => Some(*c),
+            _ => None,
+        })
+        .collect();
+    statuses.sort();
+    assert_eq!(statuses, vec![0, 1, 2, 3]);
+    assert_eq!(e.stats().forks, 3);
+}
+
+#[test]
+fn disable_forking_follows_single_path() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.s2e(S2Op::DisableForking);
+        a.movi(reg::R1, 5);
+        a.bltu(reg::R0, reg::R1, "small");
+        a.halt_code(1);
+        a.label("small");
+        a.halt_code(2);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(e.terminated().len(), 1);
+    assert_eq!(e.stats().forks, 0);
+    // The taken side was chosen under a soft constraint.
+    let st = &e.terminated_states()[0];
+    assert_eq!(st.soft_constraint_count(), 1);
+}
+
+#[test]
+fn code_ranges_corset_forking() {
+    // The branch lives at 0x4008..; exclude the program region.
+    let m = machine_with(|a| {
+        a.movi(reg::R1, 5);
+        a.bltu(reg::R0, reg::R1, "small");
+        a.halt_code(1);
+        a.label("small");
+        a.halt_code(2);
+    });
+    let mut config = EngineConfig::with_model(ConsistencyModel::ScSe);
+    config.code_ranges = CodeRanges::all().include(0x9000..0xa000); // elsewhere
+    let mut e = Engine::new(m, config);
+    e.set_retain_terminated(true);
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(e.terminated().len(), 1);
+    assert_eq!(e.stats().forks, 0);
+}
+
+#[test]
+fn sc_ue_concretizes_env_args_hard() {
+    // Unit passes symbolic r0 to SYS_BRANCHY; the kernel branches on it.
+    let mut e = engine_with(ConsistencyModel::ScUe, |a| {
+        a.syscall(SYS_BRANCHY);
+        a.halt_code(9);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(exit_codes(&e), vec![9]);
+    // The argument concretization must be a HARD constraint (no soft).
+    let st = &e.terminated_states()[0];
+    assert_eq!(st.soft_constraint_count(), 0);
+    assert!(!st.constraints.is_empty());
+}
+
+#[test]
+fn lc_aborts_on_env_branch_on_symbolic() {
+    let mut e = engine_with(ConsistencyModel::Lc, |a| {
+        a.syscall(SYS_BRANCHY);
+        a.halt_code(9);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(e.terminated().len(), 1);
+    assert!(matches!(
+        e.terminated()[0].1,
+        TerminationReason::EnvInconsistency
+    ));
+}
+
+#[test]
+fn sc_se_forks_inside_environment() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.syscall(SYS_BRANCHY);
+        a.halt_code(9);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    // The kernel's branch on symbolic r0 forks: two complete paths.
+    assert_eq!(exit_codes(&e), vec![9, 9]);
+    assert_eq!(e.stats().forks, 1);
+}
+
+#[test]
+fn rc_oc_unconstrains_env_returns() {
+    let guest = |a: &mut Assembler| {
+        a.syscall(SYS_RET42);
+        a.movi(reg::R1, 42);
+        a.beq(reg::R0, reg::R1, "was42");
+        a.halt_code(1); // impossible in a strict world
+        a.label("was42");
+        a.halt_code(2);
+    };
+    // Under LC with no annotation the return stays concrete 42: one path.
+    let mut lc = engine_with(ConsistencyModel::Lc, guest);
+    lc.run(10_000);
+    assert_eq!(exit_codes(&lc), vec![2]);
+
+    // Under RC-OC the return is unconstrained: both paths, including the
+    // locally-infeasible one.
+    let mut oc = engine_with(ConsistencyModel::RcOc, guest);
+    oc.run(10_000);
+    assert_eq!(exit_codes(&oc), vec![1, 2]);
+}
+
+#[test]
+fn lc_annotation_symbolifies_within_contract() {
+    let m = machine_with(|a| {
+        a.syscall(SYS_RET42);
+        a.movi(reg::R1, 42);
+        a.beq(reg::R0, reg::R1, "ok");
+        // Contract says ret ∈ {0, 42}: the failure path must also exist.
+        a.halt_code(1);
+        a.label("ok");
+        a.halt_code(2);
+    });
+    let mut config = EngineConfig::with_model(ConsistencyModel::Lc);
+    config.annotations.push(Annotation::on_return(SYS_RET42, |state, ctx| {
+        // ret ∈ {0, 42}: λ = ite(c, 42, 0)
+        let b = ctx.builder;
+        let c = b.var("ret42_ok", Width::BOOL);
+        let v = b.ite(
+            c,
+            b.constant(42, Width::W32),
+            b.constant(0, Width::W32),
+        );
+        state.machine.cpu.set_reg(reg::R0, Value::Symbolic(v));
+    }));
+    let mut e = Engine::new(m, config);
+    e.set_retain_terminated(true);
+    e.run(10_000);
+    assert_eq!(exit_codes(&e), vec![1, 2]);
+}
+
+#[test]
+fn rc_cc_explores_locally_infeasible_paths() {
+    let guest = |a: &mut Assembler| {
+        a.movi(reg::R1, 5);
+        a.movi(reg::R2, 100);
+        a.bltu(reg::R0, reg::R1, "first_lt");
+        a.halt_code(1);
+        a.label("first_lt");
+        // Given r0 < 5, r0 > 100 is infeasible.
+        a.bltu(reg::R2, reg::R0, "impossible");
+        a.halt_code(2);
+        a.label("impossible");
+        a.halt_code(3);
+    };
+    let mut se = engine_with(ConsistencyModel::ScSe, guest);
+    symbolize_r0(&mut se, "x");
+    se.run(10_000);
+    assert_eq!(exit_codes(&se), vec![1, 2]); // 3 pruned as infeasible
+
+    let mut cc = engine_with(ConsistencyModel::RcCc, guest);
+    symbolize_r0(&mut cc, "x");
+    cc.run(10_000);
+    let codes = exit_codes(&cc);
+    assert!(codes.contains(&3), "RC-CC must reach the infeasible block: {codes:?}");
+}
+
+#[test]
+fn max_states_curtails_forking() {
+    let m = machine_with(|a| {
+        // 8 independent symbolic branches → up to 256 paths.
+        for k in 0..8 {
+            a.movi(reg::R2, k);
+            let lbl = format!("b{k}");
+            a.beq(reg::R1, reg::R2, &lbl);
+            a.label(&lbl);
+        }
+        a.halt_code(0);
+    });
+    let mut config = EngineConfig::with_model(ConsistencyModel::ScSe);
+    config.max_states = 4;
+    let mut e = Engine::new(m, config);
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R1, "x");
+    e.run(100_000);
+    assert!(e.stats().max_live_states <= 4, "{}", e.stats().max_live_states);
+    // Completed paths may exceed the live cap (slots recycle), but far
+    // fewer than the unconstrained 256.
+    assert!(e.terminated().len() < 256);
+}
+
+#[test]
+fn fuel_exhaustion_terminates_path() {
+    let m = machine_with(|a| {
+        a.label("forever");
+        a.jmp("forever");
+    });
+    let config = EngineConfig {
+        max_instrs_per_path: 100,
+        ..EngineConfig::default()
+    };
+    let mut e = Engine::new(m, config);
+    e.run(10_000);
+    assert!(matches!(
+        e.terminated()[0].1,
+        TerminationReason::FuelExhausted
+    ));
+}
+
+#[test]
+fn symbolic_pointer_load_reads_table() {
+    // table[4] = {11,22,33,44}; load table[x & 3] and branch on result.
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi_label(reg::R5, "table");
+        a.andi(reg::R0, reg::R0, 3);
+        a.muli(reg::R0, reg::R0, 4);
+        a.add(reg::R5, reg::R5, reg::R0);
+        a.ld32(reg::R6, reg::R5, 0);
+        a.movi(reg::R7, 33);
+        a.beq(reg::R6, reg::R7, "got33");
+        a.halt_code(1);
+        a.label("got33");
+        a.halt_code(2);
+        a.align(8);
+        a.label("table");
+        a.word(11);
+        a.word(22);
+        a.word(33);
+        a.word(44);
+    });
+    let x = symbolize_r0(&mut e, "x");
+    e.run(100_000);
+    let codes = exit_codes(&e);
+    assert!(codes.contains(&2), "index 2 must reach the 33 path: {codes:?}");
+    assert!(codes.contains(&1), "other indices reach the other path: {codes:?}");
+    assert!(e.stats().symbolic_ptr_accesses >= 1);
+
+    // On the 33-path, x & 3 must equal 2.
+    let paths: Vec<_> = e.terminated_states().to_vec();
+    for st in &paths {
+        if st.status == Some(TerminationReason::Halted(2)) {
+            let model = match e.solver_mut().check(&st.constraints) {
+                s2e_solver::SatResult::Sat(m) => m,
+                other => panic!("unsat 33-path: {other:?}"),
+            };
+            let xv = eval(&x, &model).unwrap();
+            assert_eq!(xv & 3, 2, "x={xv:#x}");
+        }
+    }
+}
+
+#[test]
+fn bug_inputs_reproduce_crash() {
+    // Crash iff x == 1234: the engine must synthesize that input.
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R1, 1234);
+        a.bne(reg::R0, reg::R1, "safe");
+        a.movi(reg::R2, 0);
+        a.st32(reg::R2, 4, reg::R3); // null write
+        a.label("safe");
+        a.halt_code(0);
+    });
+    e.add_plugin(Box::new(s2e_core::analyzers::BugCheck::new()));
+    let x = symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    let bugs = e.bugs();
+    assert_eq!(bugs.len(), 1);
+    assert_eq!(bugs[0].kind, BugKind::NullDereference);
+    let inputs = bugs[0].inputs.as_ref().expect("solver model for the bug");
+    assert_eq!(eval(&x, inputs).unwrap(), 1234);
+}
+
+#[test]
+fn pathkiller_breaks_polling_loops() {
+    let m = machine_with(|a| {
+        a.label("poll");
+        a.jmp("poll");
+    });
+    let mut e = Engine::new(m, EngineConfig::default());
+    e.add_plugin(Box::new(PathKiller::new(5)));
+    e.run(10_000);
+    assert!(matches!(e.terminated()[0].1, TerminationReason::Killed(_)));
+    // Killed long before fuel would run out.
+    assert!(e.stats().blocks_executed < 100);
+}
+
+#[test]
+fn kill_all_except_keeps_one() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R1, 5);
+        a.bltu(reg::R0, reg::R1, "small");
+        a.label("spin1");
+        a.jmp("spin1");
+        a.label("small");
+        a.label("spin2");
+        a.jmp("spin2");
+    });
+    symbolize_r0(&mut e, "x");
+    for _ in 0..50 {
+        e.step();
+        if e.live_count() >= 2 {
+            break;
+        }
+    }
+    assert!(e.live_count() >= 2);
+    let keep = e.live_states().next().unwrap().id;
+    e.kill_all_except(keep);
+    assert_eq!(e.live_count(), 1);
+    assert_eq!(e.sole_state(), Some(keep));
+}
+
+#[test]
+fn interrupts_delivered_under_engine() {
+    use s2e_vm::device::ports;
+    let mut e = engine_with(ConsistencyModel::Lc, |a| {
+        a.movi_label(reg::R1, "tick");
+        a.movi(reg::R2, vector::TIMER);
+        a.st32(reg::R2, 0, reg::R1);
+        a.movi(reg::R3, ports::TIMER_LOAD as u32);
+        a.movi(reg::R4, 32);
+        a.outp(reg::R3, reg::R4);
+        a.movi(reg::R3, ports::TIMER_CTRL as u32);
+        a.movi(reg::R4, 1);
+        a.outp(reg::R3, reg::R4);
+        a.movi(reg::R5, 0);
+        a.sti();
+        a.label("spin");
+        a.movi(reg::R6, 2);
+        a.bne(reg::R5, reg::R6, "spin");
+        a.halt_code(0);
+        a.label("tick");
+        a.addi(reg::R5, reg::R5, 1);
+        a.iret();
+    });
+    e.run(100_000);
+    assert_eq!(exit_codes(&e), vec![0]);
+    assert!(e.stats().interrupts_delivered >= 2);
+}
+
+#[test]
+fn symbolic_memory_buffer_drives_forks() {
+    // Branch on a symbolic byte loaded from memory.
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R1, 0x8000);
+        a.ld8(reg::R2, reg::R1, 0);
+        a.movi(reg::R3, b'A' as u32);
+        a.beq(reg::R2, reg::R3, "is_a");
+        a.halt_code(1);
+        a.label("is_a");
+        a.halt_code(2);
+    });
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    make_mem_symbolic(e.state_mut(id).unwrap(), &b, 0x8000, 1, "buf");
+    e.run(10_000);
+    assert_eq!(exit_codes(&e), vec![1, 2]);
+}
+
+#[test]
+fn infeasible_second_branch_pruned() {
+    // if x < 5 and then x == 7 → second branch infeasible on the <5 path.
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R1, 5);
+        a.bgeu(reg::R0, reg::R1, "big");
+        a.movi(reg::R2, 7);
+        a.beq(reg::R0, reg::R2, "seven");
+        a.halt_code(1);
+        a.label("seven");
+        a.halt_code(2); // unreachable: x<5 && x==7
+        a.label("big");
+        a.halt_code(3);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(exit_codes(&e), vec![1, 3]);
+    assert_eq!(e.stats().forks, 1);
+}
+
+#[test]
+fn stats_and_memory_watermark_populate() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R1, 5);
+        a.bltu(reg::R0, reg::R1, "x");
+        a.halt_code(1);
+        a.label("x");
+        a.halt_code(2);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    let st = e.stats();
+    assert_eq!(st.states_created, 2);
+    assert_eq!(st.states_terminated, 2);
+    assert!(st.blocks_executed >= 2);
+    assert!(st.memory_watermark_bytes > 0);
+    assert!(st.total_instrs() > 0);
+    assert!(e.solver_stats().queries > 0);
+}
+
+#[test]
+fn s2e_opcodes_log_and_markers() {
+    let mut e = engine_with(ConsistencyModel::Lc, |a| {
+        // Log a message through S2OUT.
+        a.movi_label(reg::R0, "msg");
+        a.s2e(S2Op::LogMessage);
+        // EnterEnv/LeaveEnv markers toggle the unit/environment boundary.
+        a.s2e(S2Op::EnterEnv);
+        a.s2e(S2Op::LeaveEnv);
+        a.halt_code(0);
+        a.label("msg");
+        a.asciiz("hello from the guest");
+    });
+    e.run(10_000);
+    assert!(e.log().iter().any(|m| m == "hello from the guest"));
+    assert_eq!(exit_codes(&e), vec![0]);
+}
+
+#[test]
+fn enter_env_marker_suppresses_forking() {
+    // A symbolic branch between EnterEnv/LeaveEnv is environment code:
+    // under LC it aborts the path instead of forking.
+    let mut e = engine_with(ConsistencyModel::Lc, |a| {
+        a.s2e(S2Op::EnterEnv);
+        a.movi(reg::R1, 5);
+        a.bltu(reg::R0, reg::R1, "x");
+        a.label("x");
+        a.s2e(S2Op::LeaveEnv);
+        a.halt_code(0);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(e.terminated().len(), 1);
+    assert!(matches!(
+        e.terminated()[0].1,
+        TerminationReason::EnvInconsistency
+    ));
+}
+
+#[test]
+fn symbolic_mem_opcode_injects_bytes() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R0, 0x8000);
+        a.movi(reg::R1, 2);
+        a.s2e(S2Op::SymbolicMem);
+        a.movi(reg::R2, 0x8000);
+        a.ld8(reg::R3, reg::R2, 0);
+        a.movi(reg::R4, 7);
+        a.beq(reg::R3, reg::R4, "seven");
+        a.halt_code(1);
+        a.label("seven");
+        a.halt_code(2);
+    });
+    e.run(10_000);
+    assert_eq!(exit_codes(&e), vec![1, 2]);
+}
+
+#[test]
+fn symbolic_assert_reports_when_falsifiable() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        // assert(x != 3): falsifiable for symbolic x.
+        a.movi(reg::R1, 3);
+        a.sub(reg::R0, reg::R0, reg::R1);
+        a.s2e(S2Op::Assert);
+        a.halt_code(0);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert_eq!(e.bugs().len(), 1);
+    assert_eq!(e.bugs()[0].kind, BugKind::AssertionFailure);
+    // The reproducing input pins x to 3.
+    let inputs = e.bugs()[0].inputs.as_ref().unwrap();
+    let (_, v) = inputs.iter().next().unwrap();
+    assert_eq!(v, 3);
+}
+
+#[test]
+fn symbolic_assert_passes_when_provable() {
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        // assert(x | 1 != 0): always true.
+        a.ori(reg::R0, reg::R0, 1);
+        a.s2e(S2Op::Assert);
+        a.halt_code(0);
+    });
+    symbolize_r0(&mut e, "x");
+    e.run(10_000);
+    assert!(e.bugs().is_empty());
+    assert_eq!(exit_codes(&e), vec![0]);
+}
+
+#[test]
+fn rc_cc_forces_untaken_concrete_edges() {
+    // A concrete branch whose not-taken side is never reached normally:
+    // RC-CC's edge forcing explores it anyway (dynamic disassembly).
+    let mut e = engine_with(ConsistencyModel::RcCc, |a| {
+        a.movi(reg::R0, 1);
+        a.movi(reg::R1, 1);
+        a.beq(reg::R0, reg::R1, "taken"); // always taken concretely
+        a.halt_code(9); // dead code under any consistent model
+        a.label("taken");
+        a.halt_code(0);
+    });
+    e.run(10_000);
+    let codes = exit_codes(&e);
+    assert!(codes.contains(&0));
+    assert!(
+        codes.contains(&9),
+        "RC-CC must force the dead edge: {codes:?}"
+    );
+}
+
+#[test]
+fn virtual_time_slows_in_symbolic_mode() {
+    // Two identical loops, one on concrete data, one symbolic: the
+    // symbolic state's virtual clock advances more slowly (§5).
+    let build = |a: &mut Assembler| {
+        a.movi(reg::R1, 0);
+        a.movi(reg::R2, 50);
+        a.label("loop");
+        a.add(reg::R0, reg::R0, reg::R0); // touches r0 (maybe symbolic)
+        a.addi(reg::R1, reg::R1, 1);
+        a.bltu(reg::R1, reg::R2, "loop");
+        a.halt_code(0);
+    };
+    let mut conc = engine_with(ConsistencyModel::ScSe, build);
+    conc.set_retain_terminated(true);
+    conc.run(10_000);
+    let vt_concrete = conc.terminated_states()[0].machine.vtime;
+
+    let mut sym = engine_with(ConsistencyModel::ScSe, build);
+    sym.set_retain_terminated(true);
+    symbolize_r0(&mut sym, "x");
+    sym.run(10_000);
+    let vt_symbolic = sym.terminated_states()[0].machine.vtime;
+
+    assert!(
+        vt_symbolic < vt_concrete,
+        "symbolic vtime {vt_symbolic} should lag concrete {vt_concrete}"
+    );
+}

@@ -1,0 +1,266 @@
+//! Static control-flow-graph recovery from a program image.
+//!
+//! Used for two purposes in the reproduction:
+//!
+//! - ground-truth basic-block counts for the coverage experiments (the
+//!   denominators of Table 5 / Fig. 7);
+//! - the offline half of REV+, which rebuilds a driver's CFG from traces
+//!   and synthesizes equivalent code — the static CFG of the original
+//!   driver is what the synthesized output is checked against.
+//!
+//! Static recovery is *best effort* (indirect jumps contribute no edges);
+//! for the assembled guests in this repository, whose indirect control
+//! flow is limited to returns, the leader analysis is exact.
+
+use crate::MAX_BLOCK_INSTRS;
+use s2e_vm::asm::Program;
+use s2e_vm::isa::{Instr, Opcode, INSTR_SIZE};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A static basic block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Start address.
+    pub start: u32,
+    /// Instructions in the block.
+    pub instrs: Vec<Instr>,
+    /// Static successor addresses (indirect targets omitted).
+    pub successors: Vec<u32>,
+}
+
+impl BasicBlock {
+    /// Address one past the block.
+    pub fn end(&self) -> u32 {
+        self.start + self.instrs.len() as u32 * INSTR_SIZE
+    }
+}
+
+/// A static CFG over a program image.
+#[derive(Clone, Debug, Default)]
+pub struct StaticCfg {
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u32, BasicBlock>,
+}
+
+impl StaticCfg {
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block start addresses.
+    pub fn block_starts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.keys().copied()
+    }
+
+    /// The block containing `pc`, if any.
+    pub fn block_containing(&self, pc: u32) -> Option<&BasicBlock> {
+        self.blocks
+            .range(..=pc)
+            .next_back()
+            .map(|(_, b)| b)
+            .filter(|b| pc < b.end())
+    }
+}
+
+fn decode_at(image: &[u8], base: u32, addr: u32) -> Option<Instr> {
+    let off = addr.checked_sub(base)? as usize;
+    if off + 8 > image.len() {
+        return None;
+    }
+    let bytes: [u8; 8] = image[off..off + 8].try_into().ok()?;
+    Instr::decode(&bytes)
+}
+
+fn static_successors(i: &Instr, pc: u32) -> (Vec<u32>, bool) {
+    let next = pc + INSTR_SIZE;
+    match i.op {
+        Opcode::Jmp => (vec![i.imm], true),
+        Opcode::Call => (vec![i.imm], true),
+        Opcode::Beq | Opcode::Bne | Opcode::Bltu | Opcode::Bgeu | Opcode::Blts | Opcode::Bges => {
+            (vec![i.imm, next], true)
+        }
+        Opcode::Halt => (vec![], true),
+        // Indirect flow and traps: fall-through edge only where meaningful.
+        Opcode::Ret | Opcode::JmpR | Opcode::Iret => (vec![], true),
+        Opcode::CallR | Opcode::Syscall => (vec![next], true),
+        _ => (vec![next], false),
+    }
+}
+
+/// Recovers the static CFG of a program's executable region.
+///
+/// `roots` seed the reachability walk (entry points); every reachable
+/// instruction is decoded and blocks are split at branch targets, exactly
+/// like leaders in a classic two-pass disassembler.
+pub fn build_cfg(prog: &Program, roots: &[u32]) -> StaticCfg {
+    // Pass 1: discover reachable instructions and leaders.
+    let mut reachable: BTreeSet<u32> = BTreeSet::new();
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    let mut work: Vec<u32> = roots.to_vec();
+    for &r in roots {
+        leaders.insert(r);
+    }
+    while let Some(mut pc) = work.pop() {
+        loop {
+            if !reachable.insert(pc) {
+                break;
+            }
+            let Some(i) = decode_at(&prog.image, prog.base, pc) else {
+                break;
+            };
+            let (succs, is_term) = static_successors(&i, pc);
+            if is_term {
+                for s in &succs {
+                    if leaders.insert(*s) && !reachable.contains(s) {
+                        work.push(*s);
+                    } else if leaders.insert(*s) {
+                        // already reachable: just a new split point
+                    } else if !reachable.contains(s) {
+                        work.push(*s);
+                    }
+                }
+                // Calls also continue at the return site.
+                if i.op == Opcode::Call {
+                    let next = pc + INSTR_SIZE;
+                    leaders.insert(next);
+                    if !reachable.contains(&next) {
+                        work.push(next);
+                    }
+                }
+                break;
+            }
+            pc += INSTR_SIZE;
+        }
+    }
+
+    // Pass 2: linear sweep within reachable code, splitting at leaders.
+    let mut cfg = StaticCfg::default();
+    for &start in &leaders {
+        if !reachable.contains(&start) {
+            continue;
+        }
+        let mut instrs = Vec::new();
+        let mut pc = start;
+        let mut successors = Vec::new();
+        while let Some(i) = decode_at(&prog.image, prog.base, pc) {
+            let (succs, is_term) = static_successors(&i, pc);
+            instrs.push(i);
+            let next = pc + INSTR_SIZE;
+            if is_term {
+                successors = succs;
+                if i.op == Opcode::Call {
+                    successors.push(next);
+                    successors.dedup();
+                }
+                break;
+            }
+            if leaders.contains(&next) || instrs.len() >= MAX_BLOCK_INSTRS {
+                successors = vec![next];
+                break;
+            }
+            pc = next;
+        }
+        if !instrs.is_empty() {
+            cfg.blocks.insert(
+                start,
+                BasicBlock {
+                    start,
+                    instrs,
+                    successors,
+                },
+            );
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+
+    fn diamond() -> Program {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 5); // B0
+        a.bltu(reg::R0, reg::R1, "left");
+        a.movi(reg::R2, 1); // B1
+        a.jmp("join");
+        a.label("left"); // B2
+        a.movi(reg::R2, 2);
+        a.label("join"); // B3
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let p = diamond();
+        let cfg = build_cfg(&p, &[p.entry]);
+        assert_eq!(cfg.block_count(), 4);
+        // Entry block has two successors.
+        let entry = &cfg.blocks[&0x2000];
+        assert_eq!(entry.successors.len(), 2);
+        // Join block ends in halt with no successors.
+        let join = &cfg.blocks[&p.symbol("join")];
+        assert!(join.successors.is_empty());
+    }
+
+    #[test]
+    fn fallthrough_split_at_label_target() {
+        let p = diamond();
+        let cfg = build_cfg(&p, &[p.entry]);
+        // The "movi r2,2" block falls through into "join".
+        let left = &cfg.blocks[&p.symbol("left")];
+        assert_eq!(left.successors, vec![p.symbol("join")]);
+    }
+
+    #[test]
+    fn call_creates_return_site_leader() {
+        let mut a = Assembler::new(0x3000);
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.finish();
+        let cfg = build_cfg(&p, &[p.entry]);
+        // Blocks: entry(call), return-site(halt), f(ret).
+        assert_eq!(cfg.block_count(), 3);
+        assert!(cfg.blocks.contains_key(&0x3008));
+    }
+
+    #[test]
+    fn unreachable_code_excluded() {
+        let mut a = Assembler::new(0x4000);
+        a.jmp("end");
+        a.movi(reg::R0, 9); // dead
+        a.label("end");
+        a.halt();
+        let p = a.finish();
+        let cfg = build_cfg(&p, &[p.entry]);
+        assert_eq!(cfg.block_count(), 2);
+        assert!(!cfg.blocks.contains_key(&0x4008));
+    }
+
+    #[test]
+    fn multiple_roots_union() {
+        let mut a = Assembler::new(0x5000);
+        a.label("f1");
+        a.halt();
+        a.label("f2");
+        a.halt();
+        let p = a.finish();
+        let cfg = build_cfg(&p, &[p.symbol("f1"), p.symbol("f2")]);
+        assert_eq!(cfg.block_count(), 2);
+    }
+
+    #[test]
+    fn block_containing_lookup() {
+        let p = diamond();
+        let cfg = build_cfg(&p, &[p.entry]);
+        let b = cfg.block_containing(0x2008).unwrap();
+        assert_eq!(b.start, 0x2000);
+        assert!(cfg.block_containing(0x9999_0000).is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! Dynamic binary translation for the S2E platform.
+//!
+//! The original S2E modifies QEMU's DBT so that guest code is translated
+//! once into host code (or LLVM, for symbolic execution) and cached. This
+//! crate reproduces the structure: guest instructions are decoded into
+//! *translation blocks* — straight-line runs ending at a control-flow
+//! instruction — that are cached by start address and shared between all
+//! execution states (translation is state-independent; only execution
+//! differs per state).
+//!
+//! The split between translation and execution is what makes the paper's
+//! `onInstrTranslation` / `onInstrExecution` event pair cheap (§4.2): a
+//! block is translated once but executed millions of times, so analyzers
+//! mark interesting instructions at translation time and pay per-execution
+//! cost only for marked ones. The engine (`s2e-core`) fires those events;
+//! this crate exposes the translation hook they build on.
+//!
+//! # Example
+//!
+//! ```
+//! use s2e_dbt::BlockCache;
+//! use s2e_vm::asm::Assembler;
+//! use s2e_vm::isa::reg;
+//! use s2e_vm::mem::Memory;
+//!
+//! let mut a = Assembler::new(0x2000);
+//! a.movi(reg::R0, 1);
+//! a.addi(reg::R0, reg::R0, 2);
+//! a.jmp("next");
+//! a.label("next");
+//! a.halt();
+//! let p = a.finish();
+//!
+//! let mut mem = Memory::new();
+//! mem.load_image(p.base, &p.image);
+//!
+//! let mut cache = BlockCache::new();
+//! let tb = cache.translate(&mem, 0x2000, &mut |_, _| {});
+//! assert_eq!(tb.instrs.len(), 3); // ends at the jmp
+//! // Second lookup hits the cache.
+//! cache.translate(&mem, 0x2000, &mut |_, _| {});
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+pub mod cfg;
+
+use parking_lot::Mutex;
+use s2e_vm::isa::{Instr, INSTR_SIZE};
+use s2e_vm::mem::Memory;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Maximum instructions per translation block.
+pub const MAX_BLOCK_INSTRS: usize = 64;
+
+/// A decoded straight-line block of guest code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranslationBlock {
+    /// Guest address of the first instruction.
+    pub start: u32,
+    /// Decoded instructions, in order.
+    pub instrs: Vec<Instr>,
+    /// True if decoding stopped at an undecodable instruction; executing
+    /// past the last decoded instruction must fault.
+    pub ends_in_invalid: bool,
+}
+
+impl TranslationBlock {
+    /// Guest address of the instruction at `index`.
+    pub fn pc_of(&self, index: usize) -> u32 {
+        self.start + (index as u32) * INSTR_SIZE
+    }
+
+    /// Byte length of the decoded portion.
+    pub fn byte_len(&self) -> u32 {
+        self.instrs.len() as u32 * INSTR_SIZE
+    }
+
+    /// Guest address one past the block (fall-through PC).
+    pub fn end(&self) -> u32 {
+        self.start + self.byte_len()
+    }
+}
+
+/// Counters for the translator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbtStats {
+    /// Blocks translated (cache misses).
+    pub translations: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Instructions decoded in total.
+    pub instrs_translated: u64,
+    /// Blocks discarded by invalidation (self-modifying code).
+    pub invalidations: u64,
+}
+
+/// Cache of translation blocks, keyed by start address.
+///
+/// The cache is shared by all execution states: like in QEMU, translated
+/// code is a pure function of guest memory contents, and stores into
+/// translated pages invalidate the affected blocks
+/// ([`BlockCache::invalidate_write`]).
+#[derive(Debug, Default)]
+pub struct BlockCache {
+    blocks: HashMap<u32, Arc<TranslationBlock>>,
+    /// Page index → block start addresses translated from that page.
+    page_index: HashMap<u32, HashSet<u32>>,
+    stats: DbtStats,
+}
+
+const PAGE_SHIFT: u32 = 12;
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> BlockCache {
+        BlockCache::default()
+    }
+
+    /// Translator statistics.
+    pub fn stats(&self) -> DbtStats {
+        self.stats
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Returns the block starting at `pc`, translating and caching it on a
+    /// miss. `on_translate` is invoked once per newly-decoded instruction
+    /// with its guest address — this is the hook the engine uses to raise
+    /// `onInstrTranslation` events.
+    pub fn translate(
+        &mut self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> Arc<TranslationBlock> {
+        if let Some(tb) = self.blocks.get(&pc) {
+            self.stats.hits += 1;
+            return Arc::clone(tb);
+        }
+        let tb = Arc::new(Self::decode_block(mem, pc, on_translate));
+        self.stats.translations += 1;
+        self.stats.instrs_translated += tb.instrs.len() as u64;
+        for page in (tb.start >> PAGE_SHIFT)..=(tb.end().max(tb.start) >> PAGE_SHIFT) {
+            self.page_index.entry(page).or_default().insert(pc);
+        }
+        self.blocks.insert(pc, Arc::clone(&tb));
+        tb
+    }
+
+    fn decode_block(
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> TranslationBlock {
+        let mut instrs = Vec::new();
+        let mut cur = pc;
+        let mut ends_in_invalid = false;
+        while instrs.len() < MAX_BLOCK_INSTRS {
+            let raw = mem.read_bytes_concrete(cur, INSTR_SIZE);
+            let bytes: [u8; 8] = raw.try_into().expect("8 bytes");
+            match Instr::decode(&bytes) {
+                None => {
+                    ends_in_invalid = true;
+                    break;
+                }
+                Some(i) => {
+                    on_translate(cur, &i);
+                    let term = i.op.is_terminator();
+                    instrs.push(i);
+                    cur += INSTR_SIZE;
+                    if term {
+                        break;
+                    }
+                }
+            }
+        }
+        TranslationBlock {
+            start: pc,
+            instrs,
+            ends_in_invalid,
+        }
+    }
+
+    /// Invalidates every block overlapping a guest store at `addr` of
+    /// `len` bytes. Call on stores into pages containing translated code
+    /// (self-modifying or JITed guests).
+    pub fn invalidate_write(&mut self, addr: u32, len: u32) {
+        let first = addr >> PAGE_SHIFT;
+        let last = addr.saturating_add(len.saturating_sub(1)) >> PAGE_SHIFT;
+        let mut victims: Vec<u32> = Vec::new();
+        for page in first..=last {
+            if let Some(starts) = self.page_index.get(&page) {
+                for &s in starts {
+                    if let Some(tb) = self.blocks.get(&s) {
+                        let tb_end = tb.end();
+                        if s < addr.saturating_add(len) && tb_end > addr {
+                            victims.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        for s in victims {
+            self.blocks.remove(&s);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// True if `addr` lies in a page containing translated code (cheap
+    /// pre-check before [`BlockCache::invalidate_write`]).
+    pub fn page_has_code(&self, addr: u32) -> bool {
+        self.page_index
+            .get(&(addr >> PAGE_SHIFT))
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Drops all cached blocks.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.page_index.clear();
+    }
+}
+
+/// A thread-safe shared block cache for the parallel explorer.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBlockCache(Arc<Mutex<BlockCache>>);
+
+impl SharedBlockCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> SharedBlockCache {
+        SharedBlockCache::default()
+    }
+
+    /// See [`BlockCache::translate`].
+    pub fn translate(
+        &self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> Arc<TranslationBlock> {
+        self.0.lock().translate(mem, pc, on_translate)
+    }
+
+    /// See [`BlockCache::invalidate_write`].
+    pub fn invalidate_write(&self, addr: u32, len: u32) {
+        self.0.lock().invalidate_write(addr, len)
+    }
+
+    /// See [`BlockCache::page_has_code`].
+    pub fn page_has_code(&self, addr: u32) -> bool {
+        self.0.lock().page_has_code(addr)
+    }
+
+    /// See [`BlockCache::stats`].
+    pub fn stats(&self) -> DbtStats {
+        self.0.lock().stats()
+    }
+
+    /// See [`BlockCache::clear`].
+    pub fn clear(&self) {
+        self.0.lock().clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::{reg, Opcode};
+
+    fn asm_mem(build: impl FnOnce(&mut Assembler)) -> Memory {
+        let mut a = Assembler::new(0x2000);
+        build(&mut a);
+        let p = a.finish();
+        let mut mem = Memory::new();
+        mem.load_image(p.base, &p.image);
+        mem
+    }
+
+    #[test]
+    fn block_ends_at_terminator() {
+        let mem = asm_mem(|a| {
+            a.movi(reg::R0, 1);
+            a.movi(reg::R1, 2);
+            a.beq(reg::R0, reg::R1, "target");
+            a.movi(reg::R2, 3); // next block
+            a.label("target");
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(tb.instrs.len(), 3);
+        assert_eq!(tb.instrs[2].op, Opcode::Beq);
+        assert_eq!(tb.end(), 0x2018);
+        assert!(!tb.ends_in_invalid);
+    }
+
+    #[test]
+    fn invalid_instruction_marks_block() {
+        let mut mem = Memory::new();
+        mem.load_image(0x2000, &[0xff; 8]);
+        let mut c = BlockCache::new();
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert!(tb.instrs.is_empty());
+        assert!(tb.ends_in_invalid);
+    }
+
+    #[test]
+    fn block_caps_at_max_instrs() {
+        let mem = asm_mem(|a| {
+            for _ in 0..(MAX_BLOCK_INSTRS + 10) {
+                a.nop();
+            }
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(tb.instrs.len(), MAX_BLOCK_INSTRS);
+        assert!(!tb.ends_in_invalid);
+    }
+
+    #[test]
+    fn translation_fires_hook_once_per_instr() {
+        let mem = asm_mem(|a| {
+            a.movi(reg::R0, 1);
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        let mut seen = Vec::new();
+        c.translate(&mem, 0x2000, &mut |pc, i| seen.push((pc, i.op)));
+        assert_eq!(seen, vec![(0x2000, Opcode::MovI), (0x2008, Opcode::Halt)]);
+        // Cache hit: hook must NOT fire again.
+        c.translate(&mem, 0x2000, &mut |_, _| panic!("retranslated"));
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mem = asm_mem(|a| {
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        let s = c.stats();
+        assert_eq!(s.translations, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.instrs_translated, 1);
+    }
+
+    #[test]
+    fn invalidation_on_store() {
+        let mem = asm_mem(|a| {
+            a.movi(reg::R0, 1);
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert!(c.page_has_code(0x2004));
+        // A write inside the block invalidates it.
+        c.invalidate_write(0x2004, 4);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().invalidations, 1);
+        // Retranslation is a miss again.
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(c.stats().translations, 2);
+    }
+
+    #[test]
+    fn invalidation_misses_disjoint_write() {
+        let mem = asm_mem(|a| {
+            a.movi(reg::R0, 1);
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        c.invalidate_write(0x2100, 4); // same page, outside the block
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn pc_of_indexes_instructions() {
+        let mem = asm_mem(|a| {
+            a.nop();
+            a.nop();
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(tb.pc_of(0), 0x2000);
+        assert_eq!(tb.pc_of(2), 0x2010);
+    }
+
+    #[test]
+    fn shared_cache_is_cloneable_and_shared() {
+        let mem = asm_mem(|a| {
+            a.halt();
+        });
+        let c1 = SharedBlockCache::new();
+        let c2 = c1.clone();
+        c1.translate(&mem, 0x2000, &mut |_, _| {});
+        c2.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(c1.stats().translations, 1);
+        assert_eq!(c1.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mem = asm_mem(|a| {
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.page_has_code(0x2000));
+    }
+}

@@ -1,0 +1,560 @@
+//! Smart constructors for expressions.
+
+use crate::expr::{BinOp, ExprKind, ExprRef, UnOp, VarId};
+use crate::fold::{apply_binop, apply_concat, apply_extract, apply_unop};
+use crate::width::Width;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Factory for expression nodes.
+///
+/// The builder performs constant folding and cheap algebraic
+/// simplifications at construction time, so that the common case — concrete
+/// data flowing through translated guest code — never materializes a
+/// symbolic DAG at all. The heavier bitfield-theory simplifier lives in
+/// [`crate::simplify`].
+///
+/// The builder also issues fresh [`VarId`]s. Every execution state in the
+/// platform shares one builder so variable ids are globally unique.
+///
+/// # Example
+///
+/// ```
+/// use s2e_expr::{ExprBuilder, Width};
+///
+/// let mut b = ExprBuilder::new();
+/// let x = b.var("x", Width::W32);
+/// let zero = b.constant(0, Width::W32);
+/// // x + 0 folds to x.
+/// assert!(b.add(x.clone(), zero).ptr_eq(&x));
+/// ```
+#[derive(Debug, Default)]
+pub struct ExprBuilder {
+    next_var: AtomicU64,
+}
+
+impl ExprBuilder {
+    /// Creates a builder with no variables yet.
+    pub fn new() -> ExprBuilder {
+        ExprBuilder {
+            next_var: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn var_count(&self) -> u64 {
+        self.next_var.load(Ordering::Relaxed)
+    }
+
+    /// Creates a fresh symbolic variable.
+    pub fn var(&self, name: &str, width: Width) -> ExprRef {
+        let id = self.next_var.fetch_add(1, Ordering::Relaxed);
+        ExprRef::new(ExprKind::Var(VarId(id), Arc::from(name)), width)
+    }
+
+    /// Creates a constant of the given width (value is truncated).
+    pub fn constant(&self, value: u64, width: Width) -> ExprRef {
+        ExprRef::new(ExprKind::Const(width.truncate(value)), width)
+    }
+
+    /// The boolean constant `true`.
+    pub fn true_(&self) -> ExprRef {
+        self.constant(1, Width::BOOL)
+    }
+
+    /// The boolean constant `false`.
+    pub fn false_(&self) -> ExprRef {
+        self.constant(0, Width::BOOL)
+    }
+
+    /// Bitwise complement.
+    pub fn not(&self, e: ExprRef) -> ExprRef {
+        if let Some(v) = e.as_const() {
+            return self.constant(apply_unop(UnOp::Not, v, e.width()), e.width());
+        }
+        // not(not(x)) == x
+        if let ExprKind::Unary(UnOp::Not, inner) = e.kind() {
+            return inner.clone();
+        }
+        ExprRef::new(ExprKind::Unary(UnOp::Not, e.clone()), e.width())
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self, e: ExprRef) -> ExprRef {
+        if let Some(v) = e.as_const() {
+            return self.constant(apply_unop(UnOp::Neg, v, e.width()), e.width());
+        }
+        if let ExprKind::Unary(UnOp::Neg, inner) = e.kind() {
+            return inner.clone();
+        }
+        ExprRef::new(ExprKind::Unary(UnOp::Neg, e.clone()), e.width())
+    }
+
+    /// General binary operation; prefer the named helpers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths disagree (except `Concat`, which accepts
+    /// any widths summing to at most 64 bits).
+    pub fn binop(&self, op: BinOp, a: ExprRef, b: ExprRef) -> ExprRef {
+        if op == BinOp::Concat {
+            return self.concat(a, b);
+        }
+        assert_eq!(
+            a.width(),
+            b.width(),
+            "operand width mismatch for {op:?}: {} vs {}",
+            a.width(),
+            b.width()
+        );
+        let w = a.width();
+        let out_w = if op.is_comparison() { Width::BOOL } else { w };
+
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return self.constant(apply_binop(op, x, y, w), out_w);
+        }
+
+        // Canonicalize: constants on the right of commutative operators.
+        let (a, b) = if op.is_commutative() && a.is_const() {
+            (b, a)
+        } else {
+            (a, b)
+        };
+
+        if let Some(e) = self.identity_fold(op, &a, &b) {
+            return e;
+        }
+
+        ExprRef::new(ExprKind::Binary(op, a, b), out_w)
+    }
+
+    /// Algebraic identities that need no bit-level analysis.
+    fn identity_fold(&self, op: BinOp, a: &ExprRef, b: &ExprRef) -> Option<ExprRef> {
+        let w = a.width();
+        let bc = b.as_const();
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Xor | BinOp::Or | BinOp::Shl | BinOp::LShr
+            | BinOp::AShr
+                if bc == Some(0) =>
+            {
+                Some(a.clone())
+            }
+            BinOp::Mul if bc == Some(0) => Some(self.constant(0, w)),
+            BinOp::Mul if bc == Some(1) => Some(a.clone()),
+            BinOp::And if bc == Some(0) => Some(self.constant(0, w)),
+            BinOp::And if bc == Some(w.mask()) => Some(a.clone()),
+            BinOp::Or if bc == Some(w.mask()) => Some(self.constant(w.mask(), w)),
+            BinOp::Sub if a == b => Some(self.constant(0, w)),
+            BinOp::Xor if a == b => Some(self.constant(0, w)),
+            BinOp::And | BinOp::Or if a == b => Some(a.clone()),
+            BinOp::Eq | BinOp::ULe | BinOp::SLe if a == b => Some(self.true_()),
+            BinOp::Ne | BinOp::ULt | BinOp::SLt if a == b => Some(self.false_()),
+            _ => None,
+        }
+    }
+
+    /// Wrapping addition.
+    pub fn add(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Mul, a, b)
+    }
+
+    /// Unsigned division (x/0 == all ones).
+    pub fn udiv(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::UDiv, a, b)
+    }
+
+    /// Signed division (x/0 == all ones).
+    pub fn sdiv(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::SDiv, a, b)
+    }
+
+    /// Unsigned remainder (x%0 == x).
+    pub fn urem(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::URem, a, b)
+    }
+
+    /// Signed remainder (x%0 == x).
+    pub fn srem(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::SRem, a, b)
+    }
+
+    /// Bitwise and.
+    pub fn and(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::And, a, b)
+    }
+
+    /// Bitwise or.
+    pub fn or(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Or, a, b)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Xor, a, b)
+    }
+
+    /// Left shift.
+    pub fn shl(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Shl, a, b)
+    }
+
+    /// Logical right shift.
+    pub fn lshr(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::LShr, a, b)
+    }
+
+    /// Arithmetic right shift.
+    pub fn ashr(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::AShr, a, b)
+    }
+
+    /// Equality test (boolean result).
+    pub fn eq(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Eq, a, b)
+    }
+
+    /// Inequality test (boolean result).
+    pub fn ne(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::ULt, a, b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::ULe, a, b)
+    }
+
+    /// Signed less-than.
+    pub fn slt(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::SLt, a, b)
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        self.binop(BinOp::SLe, a, b)
+    }
+
+    /// Boolean negation of a 1-bit expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not boolean-width.
+    pub fn bool_not(&self, e: ExprRef) -> ExprRef {
+        assert_eq!(e.width(), Width::BOOL, "bool_not requires a boolean");
+        self.xor(e, self.true_())
+    }
+
+    /// Boolean conjunction of 1-bit expressions.
+    pub fn bool_and(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        assert_eq!(a.width(), Width::BOOL);
+        assert_eq!(b.width(), Width::BOOL);
+        self.and(a, b)
+    }
+
+    /// Boolean disjunction of 1-bit expressions.
+    pub fn bool_or(&self, a: ExprRef, b: ExprRef) -> ExprRef {
+        assert_eq!(a.width(), Width::BOOL);
+        assert_eq!(b.width(), Width::BOOL);
+        self.or(a, b)
+    }
+
+    /// Concatenation: `hi` occupies the high bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64 bits.
+    pub fn concat(&self, hi: ExprRef, lo: ExprRef) -> ExprRef {
+        let w = Width::new(hi.width().bits() + lo.width().bits());
+        if let (Some(h), Some(l)) = (hi.as_const(), lo.as_const()) {
+            return self.constant(apply_concat(h, hi.width(), l, lo.width()), w);
+        }
+        ExprRef::new(ExprKind::Binary(BinOp::Concat, hi, lo), w)
+    }
+
+    /// Extracts `width` bits starting at bit `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + width` exceeds the source width.
+    pub fn extract(&self, src: ExprRef, lo: u32, width: Width) -> ExprRef {
+        assert!(
+            lo + width.bits() <= src.width().bits(),
+            "extract [{lo}, {}) out of range for {}",
+            lo + width.bits(),
+            src.width()
+        );
+        if lo == 0 && width == src.width() {
+            return src;
+        }
+        if let Some(v) = src.as_const() {
+            return self.constant(apply_extract(v, lo, width), width);
+        }
+        // extract(concat(hi, lo_e)) that falls entirely within one side.
+        if let ExprKind::Binary(BinOp::Concat, hi, lo_e) = src.kind() {
+            let lo_bits = lo_e.width().bits();
+            if lo + width.bits() <= lo_bits {
+                return self.extract(lo_e.clone(), lo, width);
+            }
+            if lo >= lo_bits {
+                return self.extract(hi.clone(), lo - lo_bits, width);
+            }
+        }
+        // extract(zext(x)) within x's width.
+        if let ExprKind::ZExt(inner) = src.kind() {
+            if lo + width.bits() <= inner.width().bits() {
+                return self.extract(inner.clone(), lo, width);
+            }
+            if lo >= inner.width().bits() {
+                return self.constant(0, width);
+            }
+        }
+        // extract(extract(x)) composes.
+        if let ExprKind::Extract { src: inner, lo: lo2 } = src.kind() {
+            return self.extract(inner.clone(), lo + lo2, width);
+        }
+        ExprRef::new(ExprKind::Extract { src, lo }, width)
+    }
+
+    /// Zero-extends to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is narrower than the source.
+    pub fn zext(&self, src: ExprRef, width: Width) -> ExprRef {
+        assert!(width.bits() >= src.width().bits(), "zext must widen");
+        if width == src.width() {
+            return src;
+        }
+        if let Some(v) = src.as_const() {
+            return self.constant(v, width);
+        }
+        if let ExprKind::ZExt(inner) = src.kind() {
+            return self.zext(inner.clone(), width);
+        }
+        ExprRef::new(ExprKind::ZExt(src), width)
+    }
+
+    /// Sign-extends to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is narrower than the source.
+    pub fn sext(&self, src: ExprRef, width: Width) -> ExprRef {
+        assert!(width.bits() >= src.width().bits(), "sext must widen");
+        if width == src.width() {
+            return src;
+        }
+        if let Some(v) = src.as_const() {
+            return self.constant(src.width().sign_extend(v) as u64, width);
+        }
+        ExprRef::new(ExprKind::SExt(src), width)
+    }
+
+    /// If-then-else over same-width branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not boolean or the branch widths differ.
+    pub fn ite(&self, cond: ExprRef, then_e: ExprRef, else_e: ExprRef) -> ExprRef {
+        assert_eq!(cond.width(), Width::BOOL, "ite condition must be boolean");
+        assert_eq!(then_e.width(), else_e.width(), "ite branch width mismatch");
+        if let Some(c) = cond.as_const() {
+            return if c == 1 { then_e } else { else_e };
+        }
+        if then_e == else_e {
+            return then_e;
+        }
+        let w = then_e.width();
+        // ite(c, 1, 0) at boolean width is just c.
+        if w == Width::BOOL {
+            if then_e.as_const() == Some(1) && else_e.as_const() == Some(0) {
+                return cond;
+            }
+            if then_e.as_const() == Some(0) && else_e.as_const() == Some(1) {
+                return self.bool_not(cond);
+            }
+        }
+        ExprRef::new(ExprKind::Ite(cond, then_e, else_e), w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> ExprBuilder {
+        ExprBuilder::new()
+    }
+
+    #[test]
+    fn constants_fold() {
+        let b = b();
+        let e = b.add(b.constant(2, Width::W8), b.constant(3, Width::W8));
+        assert_eq!(e.as_const(), Some(5));
+        let e = b.mul(b.constant(16, Width::W8), b.constant(16, Width::W8));
+        assert_eq!(e.as_const(), Some(0));
+    }
+
+    #[test]
+    fn var_ids_are_fresh() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let y = b.var("y", Width::W32);
+        assert_ne!(x, y);
+        assert_eq!(b.var_count(), 2);
+    }
+
+    #[test]
+    fn identities() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let zero = b.constant(0, Width::W32);
+        let ones = b.constant(u64::MAX, Width::W32);
+        assert!(b.add(x.clone(), zero.clone()).ptr_eq(&x));
+        assert!(b.sub(x.clone(), zero.clone()).ptr_eq(&x));
+        assert!(b.or(x.clone(), zero.clone()).ptr_eq(&x));
+        assert!(b.xor(x.clone(), zero.clone()).ptr_eq(&x));
+        assert!(b.and(x.clone(), ones.clone()).ptr_eq(&x));
+        assert_eq!(b.and(x.clone(), zero.clone()).as_const(), Some(0));
+        assert_eq!(b.mul(x.clone(), zero.clone()).as_const(), Some(0));
+        assert_eq!(b.or(x.clone(), ones).as_const(), Some(0xffff_ffff));
+        assert_eq!(b.sub(x.clone(), x.clone()).as_const(), Some(0));
+        assert_eq!(b.xor(x.clone(), x.clone()).as_const(), Some(0));
+        assert!(b.and(x.clone(), x.clone()).ptr_eq(&x));
+    }
+
+    #[test]
+    fn self_comparisons_fold() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        assert_eq!(b.eq(x.clone(), x.clone()).as_const(), Some(1));
+        assert_eq!(b.ne(x.clone(), x.clone()).as_const(), Some(0));
+        assert_eq!(b.ult(x.clone(), x.clone()).as_const(), Some(0));
+        assert_eq!(b.ule(x.clone(), x.clone()).as_const(), Some(1));
+    }
+
+    #[test]
+    fn commutative_constant_moves_right() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let e = b.add(b.constant(5, Width::W32), x.clone());
+        match e.kind() {
+            ExprKind::Binary(BinOp::Add, l, r) => {
+                assert_eq!(*l, x);
+                assert_eq!(r.as_const(), Some(5));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        assert!(b.not(b.not(x.clone())).ptr_eq(&x));
+        assert!(b.neg(b.neg(x.clone())).ptr_eq(&x));
+    }
+
+    #[test]
+    fn ite_folds() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let c = b.var("c", Width::BOOL);
+        assert!(b.ite(b.true_(), x.clone(), y.clone()).ptr_eq(&x));
+        assert!(b.ite(b.false_(), x.clone(), y.clone()).ptr_eq(&y));
+        assert!(b.ite(c.clone(), x.clone(), x.clone()).ptr_eq(&x));
+        // Boolean ite collapses to the condition.
+        let one = b.true_();
+        let zero = b.false_();
+        assert!(b.ite(c.clone(), one, zero).ptr_eq(&c));
+    }
+
+    #[test]
+    fn extract_of_concat_selects_side() {
+        let b = b();
+        let hi = b.var("hi", Width::W8);
+        let lo = b.var("lo", Width::W8);
+        let c = b.concat(hi.clone(), lo.clone());
+        assert!(b.extract(c.clone(), 0, Width::W8).ptr_eq(&lo));
+        assert!(b.extract(c, 8, Width::W8).ptr_eq(&hi));
+    }
+
+    #[test]
+    fn extract_of_zext_high_bits_is_zero() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let z = b.zext(x.clone(), Width::W32);
+        assert_eq!(b.extract(z.clone(), 16, Width::W8).as_const(), Some(0));
+        assert!(b.extract(z, 0, Width::W8).ptr_eq(&x));
+    }
+
+    #[test]
+    fn nested_extract_composes() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let inner = b.extract(x.clone(), 8, Width::W16);
+        let outer = b.extract(inner, 4, Width::W8);
+        match outer.kind() {
+            ExprKind::Extract { src, lo } => {
+                assert_eq!(*src, x);
+                assert_eq!(*lo, 12);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extensions_fold_constants() {
+        let b = b();
+        assert_eq!(
+            b.sext(b.constant(0x80, Width::W8), Width::W16).as_const(),
+            Some(0xff80)
+        );
+        assert_eq!(
+            b.zext(b.constant(0x80, Width::W8), Width::W16).as_const(),
+            Some(0x80)
+        );
+    }
+
+    #[test]
+    fn zext_of_zext_flattens() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let z = b.zext(b.zext(x, Width::W16), Width::W32);
+        assert!(matches!(z.kind(), ExprKind::ZExt(inner) if inner.width() == Width::W8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn width_mismatch_panics() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W16);
+        b.add(x, y);
+    }
+
+    #[test]
+    fn shifts_by_zero_identity() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let zero = b.constant(0, Width::W32);
+        assert!(b.shl(x.clone(), zero.clone()).ptr_eq(&x));
+        assert!(b.lshr(x.clone(), zero.clone()).ptr_eq(&x));
+        assert!(b.ashr(x.clone(), zero).ptr_eq(&x));
+    }
+}

@@ -1,0 +1,95 @@
+//! Human-readable rendering of expressions (SMT-LIB-flavored prefix form).
+
+use crate::expr::{BinOp, Expr, ExprKind, UnOp};
+use std::fmt;
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "bvadd",
+        BinOp::Sub => "bvsub",
+        BinOp::Mul => "bvmul",
+        BinOp::UDiv => "bvudiv",
+        BinOp::SDiv => "bvsdiv",
+        BinOp::URem => "bvurem",
+        BinOp::SRem => "bvsrem",
+        BinOp::And => "bvand",
+        BinOp::Or => "bvor",
+        BinOp::Xor => "bvxor",
+        BinOp::Shl => "bvshl",
+        BinOp::LShr => "bvlshr",
+        BinOp::AShr => "bvashr",
+        BinOp::Eq => "=",
+        BinOp::Ne => "distinct",
+        BinOp::ULt => "bvult",
+        BinOp::ULe => "bvule",
+        BinOp::SLt => "bvslt",
+        BinOp::SLe => "bvsle",
+        BinOp::Concat => "concat",
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            ExprKind::Const(v) => write!(f, "#x{v:x}:{}", self.width()),
+            ExprKind::Var(id, name) => write!(f, "{name}@{id}:{}", self.width()),
+            ExprKind::Unary(UnOp::Not, a) => write!(f, "(bvnot {})", **a),
+            ExprKind::Unary(UnOp::Neg, a) => write!(f, "(bvneg {})", **a),
+            ExprKind::Binary(op, a, b) => write!(f, "({} {} {})", binop_name(*op), **a, **b),
+            ExprKind::Extract { src, lo } => {
+                let hi = lo + self.width().bits() - 1;
+                write!(f, "((_ extract {hi} {lo}) {})", **src)
+            }
+            ExprKind::ZExt(src) => write!(
+                f,
+                "((_ zero_extend {}) {})",
+                self.width().bits() - src.width().bits(),
+                **src
+            ),
+            ExprKind::SExt(src) => write!(
+                f,
+                "((_ sign_extend {}) {})",
+                self.width().bits() - src.width().bits(),
+                **src
+            ),
+            ExprKind::Ite(c, t, e) => write!(f, "(ite {} {} {})", **c, **t, **e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ExprBuilder;
+    use crate::width::Width;
+
+    #[test]
+    fn renders_constants_and_vars() {
+        let b = ExprBuilder::new();
+        assert_eq!(format!("{}", *b.constant(255, Width::W8)), "#xff:w8");
+        let x = b.var("x", Width::W32);
+        assert_eq!(format!("{}", *x), "x@v0:w32");
+    }
+
+    #[test]
+    fn renders_nested_ops() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let e = b.add(x, b.constant(1, Width::W8));
+        assert_eq!(format!("{}", *e), "(bvadd x@v0:w8 #x1:w8)");
+    }
+
+    #[test]
+    fn renders_extract_range() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W32);
+        let e = b.extract(x, 8, Width::W8);
+        assert_eq!(format!("{}", *e), "((_ extract 15 8) x@v0:w32)");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        assert!(!format!("{x:?}").is_empty());
+    }
+}

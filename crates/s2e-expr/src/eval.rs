@@ -1,0 +1,242 @@
+//! Concrete evaluation of expressions under a variable assignment.
+
+use crate::expr::{BinOp, ExprKind, ExprRef, VarId};
+use crate::fold::{apply_binop, apply_concat, apply_extract, apply_unop};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A mapping from symbolic variables to concrete values.
+///
+/// Used to evaluate expressions (e.g. to check a solver model, to replay a
+/// concrete path for a bug report, or to concretize a value at a
+/// symbolic→concrete transition).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    by_id: HashMap<VarId, u64>,
+    by_name: HashMap<String, u64>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Binds a variable id to a value.
+    pub fn set(&mut self, var: VarId, value: u64) {
+        self.by_id.insert(var, value);
+    }
+
+    /// Binds every variable with the given name to a value.
+    ///
+    /// Name bindings are consulted when no id binding exists; they are
+    /// convenient in tests and reports.
+    pub fn set_by_name(&mut self, name: &str, value: u64) {
+        self.by_name.insert(name.to_string(), value);
+    }
+
+    /// Looks up a variable, ids taking precedence over names.
+    pub fn get(&self, var: VarId, name: &str) -> Option<u64> {
+        self.by_id
+            .get(&var)
+            .or_else(|| self.by_name.get(name))
+            .copied()
+    }
+
+    /// Iterates over id bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.by_id.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of id bindings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if there are no bindings at all.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty() && self.by_name.is_empty()
+    }
+}
+
+impl FromIterator<(VarId, u64)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (VarId, u64)>>(iter: T) -> Assignment {
+        let mut a = Assignment::new();
+        for (k, v) in iter {
+            a.set(k, v);
+        }
+        a
+    }
+}
+
+/// Error produced when evaluation meets an unbound variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError {
+    /// The unbound variable.
+    pub var: VarId,
+    /// Its human-readable name.
+    pub name: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unbound variable {} ({})", self.var, self.name)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `e` under `asg`, returning the value truncated to the
+/// expression width.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if a variable in `e` has no binding.
+///
+/// ```
+/// use s2e_expr::{eval, Assignment, ExprBuilder, Width};
+/// let b = ExprBuilder::new();
+/// let x = b.var("x", Width::W8);
+/// let e = b.add(x, b.constant(1, Width::W8));
+/// let mut asg = Assignment::new();
+/// asg.set_by_name("x", 0xff);
+/// assert_eq!(eval(&e, &asg).unwrap(), 0); // wraps at 8 bits
+/// ```
+pub fn eval(e: &ExprRef, asg: &Assignment) -> Result<u64, EvalError> {
+    let mut memo: HashMap<usize, u64> = HashMap::new();
+    eval_rec(e, asg, &mut memo)
+}
+
+fn eval_rec(
+    e: &ExprRef,
+    asg: &Assignment,
+    memo: &mut HashMap<usize, u64>,
+) -> Result<u64, EvalError> {
+    let k = {
+        let p: &crate::expr::Expr = e;
+        p as *const _ as usize
+    };
+    if let Some(v) = memo.get(&k) {
+        return Ok(*v);
+    }
+    let w = e.width();
+    let v = match e.kind() {
+        ExprKind::Const(v) => *v,
+        ExprKind::Var(id, name) => asg.get(*id, name).map(|v| w.truncate(v)).ok_or_else(|| {
+            EvalError {
+                var: *id,
+                name: name.to_string(),
+            }
+        })?,
+        ExprKind::Unary(op, a) => apply_unop(*op, eval_rec(a, asg, memo)?, w),
+        ExprKind::Binary(BinOp::Concat, hi, lo) => {
+            let h = eval_rec(hi, asg, memo)?;
+            let l = eval_rec(lo, asg, memo)?;
+            apply_concat(h, hi.width(), l, lo.width())
+        }
+        ExprKind::Binary(op, a, b) => {
+            let x = eval_rec(a, asg, memo)?;
+            let y = eval_rec(b, asg, memo)?;
+            apply_binop(*op, x, y, a.width())
+        }
+        ExprKind::Extract { src, lo } => apply_extract(eval_rec(src, asg, memo)?, *lo, w),
+        ExprKind::ZExt(src) => eval_rec(src, asg, memo)?,
+        ExprKind::SExt(src) => {
+            let v = eval_rec(src, asg, memo)?;
+            w.truncate(src.width().sign_extend(v) as u64)
+        }
+        ExprKind::Ite(c, t, f) => {
+            if eval_rec(c, asg, memo)? == 1 {
+                eval_rec(t, asg, memo)?
+            } else {
+                eval_rec(f, asg, memo)?
+            }
+        }
+    };
+    memo.insert(k, v);
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ExprBuilder;
+    use crate::width::Width;
+
+    #[test]
+    fn unbound_variable_errors() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let err = eval(&x, &Assignment::new()).unwrap_err();
+        assert_eq!(err.name, "x");
+    }
+
+    #[test]
+    fn id_binding_beats_name_binding() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let mut asg = Assignment::new();
+        asg.set_by_name("x", 1);
+        if let ExprKind::Var(id, _) = x.kind() {
+            asg.set(*id, 2);
+        }
+        assert_eq!(eval(&x, &asg).unwrap(), 2);
+    }
+
+    #[test]
+    fn evaluates_nested_expression() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W16);
+        let y = b.var("y", Width::W16);
+        // (x + y) * 2 == ...
+        let e = b.mul(b.add(x, y), b.constant(2, Width::W16));
+        let mut asg = Assignment::new();
+        asg.set_by_name("x", 10);
+        asg.set_by_name("y", 20);
+        assert_eq!(eval(&e, &asg).unwrap(), 60);
+    }
+
+    #[test]
+    fn evaluates_ite_both_ways() {
+        let b = ExprBuilder::new();
+        let c = b.var("c", Width::BOOL);
+        let e = b.ite(c, b.constant(7, Width::W8), b.constant(9, Width::W8));
+        let mut asg = Assignment::new();
+        asg.set_by_name("c", 1);
+        assert_eq!(eval(&e, &asg).unwrap(), 7);
+        asg.set_by_name("c", 0);
+        assert_eq!(eval(&e, &asg).unwrap(), 9);
+    }
+
+    #[test]
+    fn values_truncated_to_width() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let mut asg = Assignment::new();
+        asg.set_by_name("x", 0x1234);
+        assert_eq!(eval(&x, &asg).unwrap(), 0x34);
+    }
+
+    #[test]
+    fn concat_extract_round_trip() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let c = b.concat(x, y);
+        let mut asg = Assignment::new();
+        asg.set_by_name("x", 0xab);
+        asg.set_by_name("y", 0xcd);
+        assert_eq!(eval(&c, &asg).unwrap(), 0xabcd);
+        let hi = b.extract(c, 8, Width::W8);
+        assert_eq!(eval(&hi, &asg).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn assignment_from_iterator() {
+        let asg: Assignment = vec![(VarId(0), 5u64), (VarId(1), 6u64)]
+            .into_iter()
+            .collect();
+        assert_eq!(asg.len(), 2);
+        assert_eq!(asg.get(VarId(0), ""), Some(5));
+    }
+}

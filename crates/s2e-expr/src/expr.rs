@@ -1,0 +1,279 @@
+//! Expression node definitions.
+
+use crate::width::Width;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Identifier of a symbolic variable.
+///
+/// Variables are created by [`crate::ExprBuilder::var`]; the id is unique
+/// within a builder. Fresh variables introduced by consistency models (e.g.
+/// the re-symbolified return value of an environment call under local
+/// consistency) get their own ids so constraints never alias.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u64);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Unary bitvector operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+}
+
+/// Binary bitvector operators.
+///
+/// Comparison operators produce a [`Width::BOOL`] result; all others
+/// produce a result of the operand width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero yields all-ones (hardware-style).
+    UDiv,
+    /// Signed division; division by zero yields all-ones.
+    SDiv,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    URem,
+    /// Signed remainder; remainder by zero yields the dividend.
+    SRem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift; shift amounts >= width produce zero.
+    Shl,
+    /// Logical right shift; shift amounts >= width produce zero.
+    LShr,
+    /// Arithmetic right shift; shift amounts >= width produce the sign fill.
+    AShr,
+    /// Equality (boolean result).
+    Eq,
+    /// Inequality (boolean result).
+    Ne,
+    /// Unsigned less-than (boolean result).
+    ULt,
+    /// Unsigned less-or-equal (boolean result).
+    ULe,
+    /// Signed less-than (boolean result).
+    SLt,
+    /// Signed less-or-equal (boolean result).
+    SLe,
+    /// Concatenation: `Concat(hi, lo)` has width `hi.width + lo.width`.
+    Concat,
+}
+
+impl BinOp {
+    /// True if this operator yields a 1-bit (boolean) result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::ULt | BinOp::ULe | BinOp::SLt | BinOp::SLe
+        )
+    }
+
+    /// True for operators `op` with `x op y == y op x`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Eq
+                | BinOp::Ne
+        )
+    }
+}
+
+/// The shape of an expression node.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ExprKind {
+    /// A constant, truncated to the node width.
+    Const(u64),
+    /// A free symbolic variable with a human-readable name.
+    Var(VarId, Arc<str>),
+    /// Unary operation.
+    Unary(UnOp, ExprRef),
+    /// Binary operation.
+    Binary(BinOp, ExprRef, ExprRef),
+    /// Bit extraction: bits `lo .. lo + width` of the operand.
+    Extract { src: ExprRef, lo: u32 },
+    /// Zero extension to the node width.
+    ZExt(ExprRef),
+    /// Sign extension to the node width.
+    SExt(ExprRef),
+    /// If-then-else; the condition has boolean width, branches have the
+    /// node width.
+    Ite(ExprRef, ExprRef, ExprRef),
+}
+
+/// An expression node: kind, result width, and a cached structural hash.
+#[derive(Debug)]
+pub struct Expr {
+    kind: ExprKind,
+    width: Width,
+    hash: u64,
+}
+
+impl Expr {
+    pub(crate) fn new(kind: ExprKind, width: Width) -> Expr {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        kind.hash(&mut hasher);
+        width.hash(&mut hasher);
+        let hash = hasher.finish();
+        Expr { kind, width, hash }
+    }
+
+    /// The shape of this node.
+    pub fn kind(&self) -> &ExprKind {
+        &self.kind
+    }
+
+    /// Result width of this node.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Cached structural hash (stable across clones, not across processes).
+    pub fn cached_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// If the expression is a constant, its value.
+    pub fn as_const(&self) -> Option<u64> {
+        match self.kind {
+            ExprKind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the expression is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self.kind, ExprKind::Const(_))
+    }
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.width == other.width && self.kind == other.kind
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Shared reference to an immutable expression node.
+///
+/// Cloning is a reference-count bump; equality is structural (fast-rejected
+/// by the cached hash). Pointer-equal references are trivially equal, which
+/// makes comparisons cheap for shared sub-DAGs.
+#[derive(Clone, Debug)]
+pub struct ExprRef(Arc<Expr>);
+
+impl ExprRef {
+    pub(crate) fn new(kind: ExprKind, width: Width) -> ExprRef {
+        ExprRef(Arc::new(Expr::new(kind, width)))
+    }
+
+    /// True if both references point at the very same node.
+    pub fn ptr_eq(&self, other: &ExprRef) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl std::ops::Deref for ExprRef {
+    type Target = Expr;
+
+    fn deref(&self) -> &Expr {
+        &self.0
+    }
+}
+
+impl PartialEq for ExprRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || *self.0 == *other.0
+    }
+}
+
+impl Eq for ExprRef {}
+
+impl Hash for ExprRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_accessors() {
+        let e = ExprRef::new(ExprKind::Const(42), Width::W32);
+        assert!(e.is_const());
+        assert_eq!(e.as_const(), Some(42));
+        assert_eq!(e.width(), Width::W32);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = ExprRef::new(ExprKind::Const(7), Width::W8);
+        let b = ExprRef::new(ExprKind::Const(7), Width::W8);
+        let c = ExprRef::new(ExprKind::Const(7), Width::W16);
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clone_is_ptr_eq() {
+        let a = ExprRef::new(ExprKind::Const(1), Width::BOOL);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+    }
+
+    #[test]
+    fn comparison_ops_classified() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::SLt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::Concat.is_comparison());
+    }
+
+    #[test]
+    fn commutativity_classified() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(BinOp::Xor.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Shl.is_commutative());
+        assert!(!BinOp::Concat.is_commutative());
+    }
+
+    #[test]
+    fn hash_equal_for_equal_nodes() {
+        let a = ExprRef::new(ExprKind::Const(9), Width::W32);
+        let b = ExprRef::new(ExprKind::Const(9), Width::W32);
+        assert_eq!(a.cached_hash(), b.cached_hash());
+    }
+}

@@ -1,0 +1,198 @@
+//! Concrete semantics of the expression operators.
+//!
+//! These functions define the ground truth for every operator: the constant
+//! folder, the evaluator, the simplifier's correctness tests, and the
+//! solver's bit-blaster must all agree with them.
+
+use crate::expr::{BinOp, UnOp};
+use crate::width::Width;
+
+/// Applies a unary operator to a concrete value at the given width.
+pub fn apply_unop(op: UnOp, v: u64, w: Width) -> u64 {
+    match op {
+        UnOp::Not => w.truncate(!v),
+        UnOp::Neg => w.truncate(v.wrapping_neg()),
+    }
+}
+
+/// Applies a binary operator to concrete values.
+///
+/// `w` is the width of the *operands*. Comparison operators return 0 or 1;
+/// `Concat` is not handled here (its result width depends on both operands)
+/// — use [`apply_concat`].
+///
+/// # Panics
+///
+/// Panics if `op` is [`BinOp::Concat`].
+pub fn apply_binop(op: BinOp, a: u64, b: u64, w: Width) -> u64 {
+    let a = w.truncate(a);
+    let b = w.truncate(b);
+    match op {
+        BinOp::Add => w.truncate(a.wrapping_add(b)),
+        BinOp::Sub => w.truncate(a.wrapping_sub(b)),
+        BinOp::Mul => w.truncate(a.wrapping_mul(b)),
+        BinOp::UDiv => match a.checked_div(b) {
+            Some(q) => w.truncate(q),
+            None => w.mask(),
+        },
+        BinOp::SDiv => {
+            let (sa, sb) = (w.sign_extend(a), w.sign_extend(b));
+            if sb == 0 {
+                w.mask()
+            } else {
+                w.truncate(sa.wrapping_div(sb) as u64)
+            }
+        }
+        BinOp::URem => {
+            if b == 0 {
+                a
+            } else {
+                w.truncate(a % b)
+            }
+        }
+        BinOp::SRem => {
+            let (sa, sb) = (w.sign_extend(a), w.sign_extend(b));
+            if sb == 0 {
+                a
+            } else {
+                w.truncate(sa.wrapping_rem(sb) as u64)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= w.bits() as u64 {
+                0
+            } else {
+                w.truncate(a << b)
+            }
+        }
+        BinOp::LShr => {
+            if b >= w.bits() as u64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinOp::AShr => {
+            let sa = w.sign_extend(a);
+            let sh = (b as u32).min(w.bits() - 1).min(63);
+            if b >= w.bits() as u64 {
+                w.truncate((sa >> (w.bits() - 1).min(63)) as u64)
+            } else {
+                w.truncate((sa >> sh) as u64)
+            }
+        }
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::ULt => (a < b) as u64,
+        BinOp::ULe => (a <= b) as u64,
+        BinOp::SLt => (w.sign_extend(a) < w.sign_extend(b)) as u64,
+        BinOp::SLe => (w.sign_extend(a) <= w.sign_extend(b)) as u64,
+        BinOp::Concat => panic!("Concat width depends on both operands; use apply_concat"),
+    }
+}
+
+/// Concatenation: `hi` in the high bits, `lo` in the low bits.
+pub fn apply_concat(hi: u64, hi_w: Width, lo: u64, lo_w: Width) -> u64 {
+    let total = Width::new(hi_w.bits() + lo_w.bits());
+    total.truncate((hi_w.truncate(hi) << lo_w.bits()) | lo_w.truncate(lo))
+}
+
+/// Extraction of `out_w.bits()` bits starting at bit `lo`.
+pub fn apply_extract(v: u64, lo: u32, out_w: Width) -> u64 {
+    out_w.truncate(v >> lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W8: Width = Width::W8;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(apply_binop(BinOp::Add, 0xff, 1, W8), 0);
+        assert_eq!(apply_binop(BinOp::Add, 200, 100, W8), 44);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(apply_binop(BinOp::Sub, 0, 1, W8), 0xff);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        assert_eq!(apply_binop(BinOp::Mul, 16, 16, W8), 0);
+        assert_eq!(apply_binop(BinOp::Mul, 3, 5, W8), 15);
+    }
+
+    #[test]
+    fn division_by_zero_is_all_ones() {
+        assert_eq!(apply_binop(BinOp::UDiv, 5, 0, W8), 0xff);
+        assert_eq!(apply_binop(BinOp::SDiv, 5, 0, W8), 0xff);
+    }
+
+    #[test]
+    fn remainder_by_zero_is_dividend() {
+        assert_eq!(apply_binop(BinOp::URem, 5, 0, W8), 5);
+        assert_eq!(apply_binop(BinOp::SRem, 5, 0, W8), 5);
+    }
+
+    #[test]
+    fn signed_division() {
+        // -8 / 2 == -4 at 8 bits
+        assert_eq!(apply_binop(BinOp::SDiv, 0xf8, 2, W8), 0xfc);
+        // -7 % 2 == -1 at 8 bits (truncated toward zero)
+        assert_eq!(apply_binop(BinOp::SRem, 0xf9, 2, W8), 0xff);
+    }
+
+    #[test]
+    fn shifts_saturate_to_zero() {
+        assert_eq!(apply_binop(BinOp::Shl, 1, 8, W8), 0);
+        assert_eq!(apply_binop(BinOp::LShr, 0x80, 8, W8), 0);
+        assert_eq!(apply_binop(BinOp::Shl, 1, 7, W8), 0x80);
+    }
+
+    #[test]
+    fn ashr_fills_with_sign() {
+        assert_eq!(apply_binop(BinOp::AShr, 0x80, 1, W8), 0xc0);
+        assert_eq!(apply_binop(BinOp::AShr, 0x80, 100, W8), 0xff);
+        assert_eq!(apply_binop(BinOp::AShr, 0x40, 100, W8), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(apply_binop(BinOp::ULt, 1, 2, W8), 1);
+        assert_eq!(apply_binop(BinOp::ULt, 2, 1, W8), 0);
+        // Signed: 0xff == -1 < 1
+        assert_eq!(apply_binop(BinOp::SLt, 0xff, 1, W8), 1);
+        assert_eq!(apply_binop(BinOp::ULt, 0xff, 1, W8), 0);
+        assert_eq!(apply_binop(BinOp::SLe, 0xff, 0xff, W8), 1);
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(apply_unop(UnOp::Not, 0x0f, W8), 0xf0);
+        assert_eq!(apply_unop(UnOp::Neg, 1, W8), 0xff);
+        assert_eq!(apply_unop(UnOp::Neg, 0, W8), 0);
+    }
+
+    #[test]
+    fn concat_and_extract() {
+        let v = apply_concat(0xab, W8, 0xcd, W8);
+        assert_eq!(v, 0xabcd);
+        assert_eq!(apply_extract(v, 8, W8), 0xab);
+        assert_eq!(apply_extract(v, 0, W8), 0xcd);
+        assert_eq!(apply_extract(v, 4, W8), 0xbc);
+    }
+
+    #[test]
+    fn full_width_operations() {
+        let w = Width::W64;
+        assert_eq!(apply_binop(BinOp::Add, u64::MAX, 1, w), 0);
+        assert_eq!(apply_binop(BinOp::AShr, u64::MAX, 63, w), u64::MAX);
+        assert_eq!(apply_binop(BinOp::Shl, 1, 63, w), 1 << 63);
+    }
+}

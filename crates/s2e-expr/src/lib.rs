@@ -1,0 +1,47 @@
+//! Symbolic bitvector expressions for the S2E platform.
+//!
+//! This crate implements the expression substrate that the original S2E
+//! obtained from KLEE: a directed acyclic graph of bitvector operations with
+//! cached structural hashes, aggressive constant folding, and the
+//! *bitfield-theory expression simplifier* described in §5 of the paper
+//! (bottom-up known-bits propagation plus top-down demanded-bits
+//! elimination).
+//!
+//! Expressions are immutable and shared via [`ExprRef`] (an `Arc`), so a
+//! forked execution state can share whole sub-DAGs with its parent at zero
+//! cost — the same copy-on-write discipline the paper applies to machine
+//! state.
+//!
+//! # Example
+//!
+//! ```
+//! use s2e_expr::{ExprBuilder, Width};
+//!
+//! let mut b = ExprBuilder::new();
+//! let x = b.var("x", Width::W32);
+//! // (x & 0xff00) >> 8 keeps only bits 8..16 of x.
+//! let masked = b.and(x.clone(), b.constant(0xff00, Width::W32));
+//! let byte = b.lshr(masked, b.constant(8, Width::W32));
+//! // The simplifier knows the upper 16 bits are zero.
+//! let kb = s2e_expr::known_bits(&byte);
+//! assert_eq!(kb.known_zero & 0xffff_ff00, 0xffff_ff00);
+//! ```
+
+mod builder;
+mod display;
+mod eval;
+mod expr;
+pub mod fold;
+mod simplify;
+mod visit;
+mod width;
+
+pub use builder::ExprBuilder;
+pub use eval::{eval, Assignment, EvalError};
+pub use expr::{BinOp, Expr, ExprKind, ExprRef, UnOp, VarId};
+pub use simplify::{known_bits, simplify, simplify_with_demanded, KnownBits};
+pub use visit::{collect_vars, depth, node_count, postorder};
+pub use width::Width;
+
+#[cfg(test)]
+mod proptests;

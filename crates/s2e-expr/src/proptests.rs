@@ -1,0 +1,208 @@
+//! Property-based tests: random expressions checked against concrete
+//! semantics.
+
+use crate::builder::ExprBuilder;
+use crate::eval::{eval, Assignment};
+use crate::expr::{BinOp, ExprRef, UnOp};
+use crate::simplify::{known_bits, simplify};
+use crate::width::Width;
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 4;
+
+/// A compact recipe for building a random expression over `NUM_VARS`
+/// 8-bit variables. Using a recipe (rather than a recursive strategy over
+/// ExprRef) keeps shrinking fast.
+#[derive(Clone, Debug)]
+enum Node {
+    Var(u8),
+    Const(u8),
+    Un(u8, Box<Node>),
+    Bin(u8, Box<Node>, Box<Node>),
+    Ite(Box<Node>, Box<Node>, Box<Node>),
+    Extract(u8, Box<Node>),
+    Ext(bool, Box<Node>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        (0..NUM_VARS as u8).prop_map(Node::Var),
+        any::<u8>().prop_map(Node::Const),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone()).prop_map(|(op, a)| Node::Un(op, Box::new(a))),
+            (any::<u8>(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| Node::Ite(Box::new(c), Box::new(t), Box::new(f))),
+            (0u8..8, inner.clone()).prop_map(|(lo, a)| Node::Extract(lo, Box::new(a))),
+            (any::<bool>(), inner).prop_map(|(s, a)| Node::Ext(s, Box::new(a))),
+        ]
+    })
+}
+
+const BINOPS: [BinOp; 18] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::UDiv,
+    BinOp::SDiv,
+    BinOp::URem,
+    BinOp::SRem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::LShr,
+    BinOp::AShr,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::ULt,
+    BinOp::ULe,
+    BinOp::SLt,
+];
+
+/// Builds an expression of width 8 from the recipe. Narrower intermediate
+/// results are widened back to 8 bits so operand widths always line up.
+fn build(node: &Node, b: &ExprBuilder, vars: &[ExprRef]) -> ExprRef {
+    let w8 = Width::W8;
+    let widen = |e: ExprRef, b: &ExprBuilder| {
+        if e.width() == w8 {
+            e
+        } else {
+            b.zext(e, w8)
+        }
+    };
+    match node {
+        Node::Var(i) => vars[*i as usize % NUM_VARS].clone(),
+        Node::Const(v) => b.constant(*v as u64, w8),
+        Node::Un(op, a) => {
+            let a = widen(build(a, b, vars), b);
+            let op = if op % 2 == 0 { UnOp::Not } else { UnOp::Neg };
+            match op {
+                UnOp::Not => b.not(a),
+                UnOp::Neg => b.neg(a),
+            }
+        }
+        Node::Bin(op, x, y) => {
+            let x = widen(build(x, b, vars), b);
+            let y = widen(build(y, b, vars), b);
+            let op = BINOPS[*op as usize % BINOPS.len()];
+            widen(b.binop(op, x, y), b)
+        }
+        Node::Ite(c, t, f) => {
+            let c = widen(build(c, b, vars), b);
+            let cond = b.ne(c, b.constant(0, w8));
+            let t = widen(build(t, b, vars), b);
+            let f = widen(build(f, b, vars), b);
+            b.ite(cond, t, f)
+        }
+        Node::Extract(lo, a) => {
+            let a = widen(build(a, b, vars), b);
+            let lo = lo % 8;
+            let width = Width::new((8 - lo as u32).clamp(1, 4));
+            widen(b.extract(a, lo as u32, width), b)
+        }
+        Node::Ext(signed, a) => {
+            let a = widen(build(a, b, vars), b);
+            let narrow = b.extract(a, 0, Width::new(4));
+            
+            if *signed {
+                b.sext(narrow, w8)
+            } else {
+                b.zext(narrow, w8)
+            }
+        }
+    }
+}
+
+fn assignment(vals: &[u8; NUM_VARS]) -> Assignment {
+    let mut asg = Assignment::new();
+    for (i, v) in vals.iter().enumerate() {
+        asg.set_by_name(&format!("x{i}"), *v as u64);
+    }
+    asg
+}
+
+fn make_vars(b: &ExprBuilder) -> Vec<ExprRef> {
+    (0..NUM_VARS)
+        .map(|i| b.var(&format!("x{i}"), Width::W8))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The simplifier must preserve semantics under every assignment tried.
+    #[test]
+    fn simplify_preserves_semantics(node in node_strategy(), vals in any::<[u8; NUM_VARS]>()) {
+        let b = ExprBuilder::new();
+        let vars = make_vars(&b);
+        let e = build(&node, &b, &vars);
+        let s = simplify(&e, &b);
+        let asg = assignment(&vals);
+        prop_assert_eq!(eval(&e, &asg).unwrap(), eval(&s, &asg).unwrap());
+    }
+
+    /// Known-bits must never contradict a concrete evaluation.
+    #[test]
+    fn known_bits_sound(node in node_strategy(), vals in any::<[u8; NUM_VARS]>()) {
+        let b = ExprBuilder::new();
+        let vars = make_vars(&b);
+        let e = build(&node, &b, &vars);
+        let kb = known_bits(&e);
+        let asg = assignment(&vals);
+        let v = eval(&e, &asg).unwrap();
+        prop_assert_eq!(v & kb.known_zero, 0, "known-zero violated: v={:#x}", v);
+        prop_assert_eq!(v & kb.known_one, kb.known_one, "known-one violated: v={:#x}", v);
+    }
+
+    /// Simplification must not grow the DAG.
+    #[test]
+    fn simplify_never_grows(node in node_strategy()) {
+        let b = ExprBuilder::new();
+        let vars = make_vars(&b);
+        let e = build(&node, &b, &vars);
+        let s = simplify(&e, &b);
+        prop_assert!(crate::visit::node_count(&s) <= crate::visit::node_count(&e) + 1);
+    }
+
+    /// Simplification is idempotent up to structural equality.
+    #[test]
+    fn simplify_idempotent(node in node_strategy()) {
+        let b = ExprBuilder::new();
+        let vars = make_vars(&b);
+        let e = build(&node, &b, &vars);
+        let s1 = simplify(&e, &b);
+        let s2 = simplify(&s1, &b);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Width invariants hold everywhere in the DAG.
+    #[test]
+    fn widths_consistent(node in node_strategy()) {
+        let b = ExprBuilder::new();
+        let vars = make_vars(&b);
+        let e = build(&node, &b, &vars);
+        crate::visit::postorder(&e, |n| {
+            use crate::expr::ExprKind;
+            match n.kind() {
+                ExprKind::Binary(op, a, bb) if *op != BinOp::Concat => {
+                    assert_eq!(a.width(), bb.width());
+                    if op.is_comparison() {
+                        assert_eq!(n.width(), Width::BOOL);
+                    } else {
+                        assert_eq!(n.width(), a.width());
+                    }
+                }
+                ExprKind::Ite(c, t, f) => {
+                    assert_eq!(c.width(), Width::BOOL);
+                    assert_eq!(t.width(), f.width());
+                    assert_eq!(n.width(), t.width());
+                }
+                _ => {}
+            }
+        });
+    }
+}

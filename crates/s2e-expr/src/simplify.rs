@@ -1,0 +1,738 @@
+//! The bitfield-theory expression simplifier (paper §5).
+//!
+//! Translating machine code (rather than source) into the symbolic domain
+//! produces expressions dominated by bitfield manipulation: flag extraction,
+//! masking, shifting, re-assembly of sub-word values. The paper's simplifier
+//! exploits this in two passes:
+//!
+//! 1. **Bottom-up known-bits propagation** — starting from the leaves,
+//!    compute for every node which bits are statically known to be 0 or 1;
+//!    a node whose bits are all known is replaced by a constant.
+//! 2. **Top-down demanded-bits propagation** — starting from the root,
+//!    track which bits of each operand the consumers can possibly observe;
+//!    an operation that only modifies unobserved bits is removed.
+
+use crate::builder::ExprBuilder;
+use crate::expr::{BinOp, ExprKind, ExprRef, UnOp};
+use crate::width::Width;
+use std::collections::HashMap;
+
+/// Result of the known-bits analysis for one expression.
+///
+/// Invariant: `known_zero & known_one == 0`, and both masks are confined to
+/// the expression width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Bits statically known to be zero.
+    pub known_zero: u64,
+    /// Bits statically known to be one.
+    pub known_one: u64,
+}
+
+impl KnownBits {
+    fn nothing() -> KnownBits {
+        KnownBits {
+            known_zero: 0,
+            known_one: 0,
+        }
+    }
+
+    fn constant(v: u64, w: Width) -> KnownBits {
+        KnownBits {
+            known_zero: !v & w.mask(),
+            known_one: v & w.mask(),
+        }
+    }
+
+    /// True if every bit within `mask` is known.
+    pub fn all_known(&self, mask: u64) -> bool {
+        (self.known_zero | self.known_one) & mask == mask
+    }
+
+    /// The constant value, if all bits of the width are known.
+    pub fn as_const(&self, w: Width) -> Option<u64> {
+        if self.all_known(w.mask()) {
+            Some(self.known_one)
+        } else {
+            None
+        }
+    }
+
+    /// Minimum possible unsigned value.
+    pub fn umin(&self) -> u64 {
+        self.known_one
+    }
+
+    /// Maximum possible unsigned value at width `w`.
+    pub fn umax(&self, w: Width) -> u64 {
+        w.mask() & !self.known_zero
+    }
+}
+
+fn low_ones(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Computes known bits for `e`, memoizing shared sub-DAGs.
+pub fn known_bits(e: &ExprRef) -> KnownBits {
+    let mut memo: HashMap<usize, KnownBits> = HashMap::new();
+    known_bits_rec(e, &mut memo)
+}
+
+fn key(e: &ExprRef) -> usize {
+    let p: &crate::expr::Expr = e;
+    p as *const _ as usize
+}
+
+fn known_bits_rec(e: &ExprRef, memo: &mut HashMap<usize, KnownBits>) -> KnownBits {
+    if let Some(k) = memo.get(&key(e)) {
+        return *k;
+    }
+    let w = e.width();
+    let m = w.mask();
+    let kb = match e.kind() {
+        ExprKind::Const(v) => KnownBits::constant(*v, w),
+        ExprKind::Var(..) => KnownBits::nothing(),
+        ExprKind::Unary(UnOp::Not, a) => {
+            let ka = known_bits_rec(a, memo);
+            KnownBits {
+                known_zero: ka.known_one,
+                known_one: ka.known_zero,
+            }
+        }
+        ExprKind::Unary(UnOp::Neg, a) => {
+            let ka = known_bits_rec(a, memo);
+            // neg(x) = not(x) + 1: only trailing bits propagate reliably.
+            // If the low k bits of x are known, the low k bits of -x are too.
+            let mut kz = 0u64;
+            let mut ko = 0u64;
+            let mut borrow_known = true;
+            let mut carry = 1u64; // +1 of two's complement after NOT
+            for i in 0..w.bits() {
+                let bit = 1u64 << i;
+                let known = (ka.known_zero | ka.known_one) & bit != 0;
+                if !(known && borrow_known) {
+                    borrow_known = false;
+                    continue;
+                }
+                let xv = u64::from(ka.known_one & bit != 0);
+                let nb = (1 - xv) + carry;
+                if nb & 1 == 1 {
+                    ko |= bit;
+                } else {
+                    kz |= bit;
+                }
+                carry = nb >> 1;
+            }
+            KnownBits {
+                known_zero: kz & m,
+                known_one: ko & m,
+            }
+        }
+        ExprKind::Binary(op, a, b) => {
+            let ka = known_bits_rec(a, memo);
+            let kb = known_bits_rec(b, memo);
+            binary_known_bits(*op, a, b, ka, kb, w)
+        }
+        ExprKind::Extract { src, lo } => {
+            let ks = known_bits_rec(src, memo);
+            KnownBits {
+                known_zero: (ks.known_zero >> lo) & m,
+                known_one: (ks.known_one >> lo) & m,
+            }
+        }
+        ExprKind::ZExt(src) => {
+            let ks = known_bits_rec(src, memo);
+            let high = m & !src.width().mask();
+            KnownBits {
+                known_zero: ks.known_zero | high,
+                known_one: ks.known_one,
+            }
+        }
+        ExprKind::SExt(src) => {
+            let ks = known_bits_rec(src, memo);
+            let sw = src.width();
+            let sign = 1u64 << (sw.bits() - 1);
+            let high = m & !sw.mask();
+            if ks.known_zero & sign != 0 {
+                KnownBits {
+                    known_zero: ks.known_zero | high,
+                    known_one: ks.known_one,
+                }
+            } else if ks.known_one & sign != 0 {
+                KnownBits {
+                    known_zero: ks.known_zero,
+                    known_one: ks.known_one | high,
+                }
+            } else {
+                KnownBits {
+                    known_zero: ks.known_zero,
+                    known_one: ks.known_one,
+                }
+            }
+        }
+        ExprKind::Ite(c, t, f) => {
+            let kc = known_bits_rec(c, memo);
+            if kc.known_one & 1 != 0 {
+                known_bits_rec(t, memo)
+            } else if kc.known_zero & 1 != 0 {
+                known_bits_rec(f, memo)
+            } else {
+                let kt = known_bits_rec(t, memo);
+                let kf = known_bits_rec(f, memo);
+                KnownBits {
+                    known_zero: kt.known_zero & kf.known_zero,
+                    known_one: kt.known_one & kf.known_one,
+                }
+            }
+        }
+    };
+    debug_assert_eq!(kb.known_zero & kb.known_one, 0, "contradictory known bits");
+    memo.insert(key(e), kb);
+    kb
+}
+
+fn binary_known_bits(
+    op: BinOp,
+    a: &ExprRef,
+    b: &ExprRef,
+    ka: KnownBits,
+    kb: KnownBits,
+    w: Width,
+) -> KnownBits {
+    let m = w.mask();
+    match op {
+        BinOp::And => KnownBits {
+            known_zero: ka.known_zero | kb.known_zero,
+            known_one: ka.known_one & kb.known_one,
+        },
+        BinOp::Or => KnownBits {
+            known_zero: ka.known_zero & kb.known_zero,
+            known_one: ka.known_one | kb.known_one,
+        },
+        BinOp::Xor => KnownBits {
+            known_zero: (ka.known_zero & kb.known_zero) | (ka.known_one & kb.known_one),
+            known_one: (ka.known_zero & kb.known_one) | (ka.known_one & kb.known_zero),
+        },
+        BinOp::Add | BinOp::Sub => {
+            // Ripple known bits from the bottom while the carry/borrow is
+            // known.
+            let mut kz = 0u64;
+            let mut ko = 0u64;
+            let mut carry_known = true;
+            let mut carry: u64 = if op == BinOp::Sub { 1 } else { 0 };
+            for i in 0..w.bits() {
+                let bit = 1u64 << i;
+                let a_known = (ka.known_zero | ka.known_one) & bit != 0;
+                let b_known = (kb.known_zero | kb.known_one) & bit != 0;
+                if !(a_known && b_known && carry_known) {
+                    carry_known = false;
+                    continue;
+                }
+                let av = u64::from(ka.known_one & bit != 0);
+                // Sub is a + not(b) + 1.
+                let bv = {
+                    let raw = u64::from(kb.known_one & bit != 0);
+                    if op == BinOp::Sub {
+                        1 - raw
+                    } else {
+                        raw
+                    }
+                };
+                let s = av + bv + carry;
+                if s & 1 == 1 {
+                    ko |= bit;
+                } else {
+                    kz |= bit;
+                }
+                carry = s >> 1;
+            }
+            KnownBits {
+                known_zero: kz & m,
+                known_one: ko & m,
+            }
+        }
+        BinOp::Mul => {
+            // Trailing zeros add up.
+            let tz_a = (ka.known_zero.trailing_ones()).min(w.bits());
+            let tz_b = (kb.known_zero.trailing_ones()).min(w.bits());
+            let tz = (tz_a + tz_b).min(w.bits());
+            KnownBits {
+                known_zero: low_ones(tz) & m,
+                known_one: 0,
+            }
+        }
+        BinOp::Shl => {
+            if let Some(sh) = b.as_const() {
+                if sh >= w.bits() as u64 {
+                    KnownBits::constant(0, w)
+                } else {
+                    let sh = sh as u32;
+                    KnownBits {
+                        known_zero: ((ka.known_zero << sh) | low_ones(sh)) & m,
+                        known_one: (ka.known_one << sh) & m,
+                    }
+                }
+            } else {
+                // At least the trailing zeros of the operand survive.
+                let tz = ka.known_zero.trailing_ones().min(w.bits());
+                KnownBits {
+                    known_zero: low_ones(tz) & m,
+                    known_one: 0,
+                }
+            }
+        }
+        BinOp::LShr => {
+            if let Some(sh) = b.as_const() {
+                if sh >= w.bits() as u64 {
+                    KnownBits::constant(0, w)
+                } else {
+                    let sh = sh as u32;
+                    let high = m & !(m >> sh);
+                    KnownBits {
+                        known_zero: ((ka.known_zero >> sh) | high) & m,
+                        known_one: (ka.known_one >> sh) & m,
+                    }
+                }
+            } else {
+                KnownBits::nothing()
+            }
+        }
+        BinOp::AShr => {
+            if let Some(sh) = b.as_const() {
+                let sign = 1u64 << (w.bits() - 1);
+                let sh = (sh as u32).min(w.bits() - 1);
+                let high = m & !(m >> sh);
+                let base_z = (ka.known_zero >> sh) & (m >> sh);
+                let base_o = (ka.known_one >> sh) & (m >> sh);
+                if ka.known_zero & sign != 0 {
+                    KnownBits {
+                        known_zero: base_z | high,
+                        known_one: base_o,
+                    }
+                } else if ka.known_one & sign != 0 {
+                    KnownBits {
+                        known_zero: base_z,
+                        known_one: base_o | high,
+                    }
+                } else {
+                    KnownBits {
+                        known_zero: base_z & !high,
+                        known_one: base_o & !high,
+                    }
+                }
+            } else {
+                KnownBits::nothing()
+            }
+        }
+        BinOp::Concat => {
+            let lo_bits = b.width().bits();
+            KnownBits {
+                known_zero: ((ka.known_zero << lo_bits) | kb.known_zero) & m,
+                known_one: ((ka.known_one << lo_bits) | kb.known_one) & m,
+            }
+        }
+        BinOp::Eq | BinOp::Ne => {
+            // Conflicting known bits decide (in)equality statically.
+            let conflict =
+                (ka.known_one & kb.known_zero) | (ka.known_zero & kb.known_one) != 0;
+            if conflict {
+                let v = u64::from(op == BinOp::Ne);
+                KnownBits::constant(v, Width::BOOL)
+            } else {
+                KnownBits::nothing()
+            }
+        }
+        BinOp::ULt | BinOp::ULe => {
+            let ow = a.width();
+            let (amin, amax) = (ka.umin(), ka.umax(ow));
+            let (bmin, bmax) = (kb.umin(), kb.umax(ow));
+            let strictly = op == BinOp::ULt;
+            let surely_true = if strictly { amax < bmin } else { amax <= bmin };
+            let surely_false = if strictly { amin >= bmax } else { amin > bmax };
+            if surely_true {
+                KnownBits::constant(1, Width::BOOL)
+            } else if surely_false {
+                KnownBits::constant(0, Width::BOOL)
+            } else {
+                KnownBits::nothing()
+            }
+        }
+        BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem | BinOp::SLt | BinOp::SLe => {
+            KnownBits::nothing()
+        }
+    }
+}
+
+/// Simplifies an expression with all bits demanded.
+///
+/// This is the entry point used on path constraints and solver queries.
+///
+/// ```
+/// use s2e_expr::{simplify, ExprBuilder, Width};
+/// let b = ExprBuilder::new();
+/// let x = b.var("x", Width::W32);
+/// // ((x | 0xff) & 0xff) is the constant 0xff.
+/// let e = b.and(
+///     b.or(x, b.constant(0xff, Width::W32)),
+///     b.constant(0xff, Width::W32),
+/// );
+/// let s = simplify(&e, &b);
+/// assert_eq!(s.as_const(), Some(0xff));
+/// ```
+pub fn simplify(e: &ExprRef, builder: &ExprBuilder) -> ExprRef {
+    simplify_with_demanded(e, e.width().mask(), builder)
+}
+
+/// Simplifies an expression given that only the bits in `demanded` can be
+/// observed by the consumer.
+pub fn simplify_with_demanded(e: &ExprRef, demanded: u64, builder: &ExprBuilder) -> ExprRef {
+    let mut memo = HashMap::new();
+    let out = demand_rec(e, demanded & e.width().mask(), builder, &mut memo);
+    // Final known-bits sweep: collapse to a constant if everything the
+    // consumer can see is known.
+    let kb = known_bits(&out);
+    if kb.all_known(demanded & out.width().mask()) && !out.is_const() {
+        return builder.constant(kb.known_one & demanded, out.width());
+    }
+    out
+}
+
+type DemandMemo = HashMap<(usize, u64), ExprRef>;
+
+fn demand_rec(e: &ExprRef, demanded: u64, b: &ExprBuilder, memo: &mut DemandMemo) -> ExprRef {
+    let w = e.width();
+    let demanded = demanded & w.mask();
+    if demanded == 0 {
+        return b.constant(0, w);
+    }
+    if let Some(hit) = memo.get(&(key(e), demanded)) {
+        return hit.clone();
+    }
+    let kb = known_bits(e);
+    if kb.all_known(demanded) {
+        let out = b.constant(kb.known_one & demanded, w);
+        memo.insert((key(e), demanded), out.clone());
+        return out;
+    }
+    let out = match e.kind() {
+        ExprKind::Const(_) | ExprKind::Var(..) => e.clone(),
+        ExprKind::Unary(UnOp::Not, a) => {
+            let sa = demand_rec(a, demanded, b, memo);
+            b.not(sa)
+        }
+        ExprKind::Unary(UnOp::Neg, a) => {
+            // Low bits up to the highest demanded bit matter (carries flow
+            // upward only).
+            let hi = 63 - demanded.leading_zeros().min(63);
+            let sa = demand_rec(a, low_ones(hi + 1), b, memo);
+            b.neg(sa)
+        }
+        ExprKind::Binary(op, x, y) => demand_binary(*op, x, y, demanded, w, b, memo),
+        ExprKind::Extract { src, lo } => {
+            let sa = demand_rec(src, demanded << lo, b, memo);
+            b.extract(sa, *lo, w)
+        }
+        ExprKind::ZExt(src) => {
+            let sa = demand_rec(src, demanded & src.width().mask(), b, memo);
+            b.zext(sa, w)
+        }
+        ExprKind::SExt(src) => {
+            let inner_mask = src.width().mask();
+            if demanded & !inner_mask == 0 {
+                // High (sign) bits unobserved: a zext of the simplified
+                // source produces the same demanded bits.
+                let sa = demand_rec(src, demanded & inner_mask, b, memo);
+                b.zext(sa, w)
+            } else {
+                let sa = demand_rec(src, inner_mask, b, memo);
+                b.sext(sa, w)
+            }
+        }
+        ExprKind::Ite(c, t, f) => {
+            let sc = demand_rec(c, 1, b, memo);
+            let st = demand_rec(t, demanded, b, memo);
+            let sf = demand_rec(f, demanded, b, memo);
+            b.ite(sc, st, sf)
+        }
+    };
+    memo.insert((key(e), demanded), out.clone());
+    out
+}
+
+fn demand_binary(
+    op: BinOp,
+    x: &ExprRef,
+    y: &ExprRef,
+    demanded: u64,
+    w: Width,
+    b: &ExprBuilder,
+    memo: &mut DemandMemo,
+) -> ExprRef {
+    match op {
+        BinOp::And => {
+            // Bits masked off by known zeros of one side are not demanded of
+            // the other.
+            let kx = known_bits(x);
+            let ky = known_bits(y);
+            // If y's known-one bits cover all demanded bits, y is identity.
+            if ky.known_one & demanded == demanded {
+                return demand_rec(x, demanded, b, memo);
+            }
+            if kx.known_one & demanded == demanded {
+                return demand_rec(y, demanded, b, memo);
+            }
+            let sx = demand_rec(x, demanded & !ky.known_zero, b, memo);
+            let sy = demand_rec(y, demanded & !kx.known_zero, b, memo);
+            b.and(sx, sy)
+        }
+        BinOp::Or => {
+            let kx = known_bits(x);
+            let ky = known_bits(y);
+            if ky.known_zero & demanded == demanded {
+                return demand_rec(x, demanded, b, memo);
+            }
+            if kx.known_zero & demanded == demanded {
+                return demand_rec(y, demanded, b, memo);
+            }
+            let sx = demand_rec(x, demanded & !ky.known_one, b, memo);
+            let sy = demand_rec(y, demanded & !kx.known_one, b, memo);
+            b.or(sx, sy)
+        }
+        BinOp::Xor => {
+            let sx = demand_rec(x, demanded, b, memo);
+            let sy = demand_rec(y, demanded, b, memo);
+            b.xor(sx, sy)
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            let hi = 63 - demanded.leading_zeros().min(63);
+            let dm = low_ones(hi + 1);
+            let sx = demand_rec(x, dm, b, memo);
+            let sy = demand_rec(y, dm, b, memo);
+            b.binop(op, sx, sy)
+        }
+        BinOp::Shl => {
+            if let Some(sh) = y.as_const() {
+                if sh < w.bits() as u64 {
+                    let sx = demand_rec(x, demanded >> sh, b, memo);
+                    return b.shl(sx, y.clone());
+                }
+            }
+            let sx = demand_rec(x, w.mask(), b, memo);
+            let sy = demand_rec(y, w.mask(), b, memo);
+            b.shl(sx, sy)
+        }
+        BinOp::LShr => {
+            if let Some(sh) = y.as_const() {
+                if sh < w.bits() as u64 {
+                    let sx = demand_rec(x, (demanded << sh) & w.mask(), b, memo);
+                    return b.lshr(sx, y.clone());
+                }
+            }
+            let sx = demand_rec(x, w.mask(), b, memo);
+            let sy = demand_rec(y, w.mask(), b, memo);
+            b.lshr(sx, sy)
+        }
+        BinOp::Concat => {
+            let lo_bits = y.width().bits();
+            let d_lo = demanded & y.width().mask();
+            let d_hi = demanded >> lo_bits;
+            if d_hi == 0 {
+                let sy = demand_rec(y, d_lo, b, memo);
+                return b.zext(sy, w);
+            }
+            let sx = demand_rec(x, d_hi, b, memo);
+            let sy = if d_lo == 0 {
+                b.constant(0, y.width())
+            } else {
+                demand_rec(y, d_lo, b, memo)
+            };
+            b.concat(sx, sy)
+        }
+        // Every operand bit can influence the result: demand all of them,
+        // but still simplify the children.
+        _ => {
+            let full = x.width().mask();
+            let sx = demand_rec(x, full, b, memo);
+            let sy = demand_rec(y, full, b, memo);
+            b.binop(op, sx, sy)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Assignment};
+
+    fn b() -> ExprBuilder {
+        ExprBuilder::new()
+    }
+
+    #[test]
+    fn known_bits_of_masked_value() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let e = b.and(x, b.constant(0x0000_ff00, Width::W32));
+        let kb = known_bits(&e);
+        assert_eq!(kb.known_zero, 0xffff_00ff);
+        assert_eq!(kb.known_one, 0);
+    }
+
+    #[test]
+    fn known_bits_through_or() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let e = b.or(x, b.constant(0xf0, Width::W8));
+        let kb = known_bits(&e);
+        assert_eq!(kb.known_one, 0xf0);
+        assert_eq!(kb.known_zero, 0);
+    }
+
+    #[test]
+    fn known_bits_through_shifts() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let e = b.shl(x.clone(), b.constant(4, Width::W8));
+        let kb = known_bits(&e);
+        assert_eq!(kb.known_zero & 0x0f, 0x0f);
+        let e = b.lshr(x, b.constant(4, Width::W8));
+        let kb = known_bits(&e);
+        assert_eq!(kb.known_zero & 0xf0, 0xf0);
+    }
+
+    #[test]
+    fn known_bits_add_carry() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        // (x & 0xf0) + 1: the low 4 bits are known 0001.
+        let masked = b.and(x, b.constant(0xf0, Width::W8));
+        let e = b.add(masked, b.constant(1, Width::W8));
+        let kb = known_bits(&e);
+        assert_eq!(kb.known_one & 0x0f, 0x01);
+        assert_eq!(kb.known_zero & 0x0f, 0x0e);
+    }
+
+    #[test]
+    fn eq_decided_by_conflicting_bits() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let lhs = b.or(x.clone(), b.constant(0x01, Width::W8));
+        // lhs has bit 0 set; comparing with an even constant is stably false.
+        let e = b.eq(lhs, b.constant(0x10, Width::W8));
+        assert_eq!(known_bits(&e).as_const(Width::BOOL), Some(0));
+        let s = simplify(&e, &b);
+        assert_eq!(s.as_const(), Some(0));
+    }
+
+    #[test]
+    fn ult_decided_by_ranges() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let small = b.and(x.clone(), b.constant(0x0f, Width::W8)); // <= 15
+        let big = b.or(x, b.constant(0x80, Width::W8)); // >= 128
+        let e = b.ult(small, big);
+        let s = simplify(&e, &b);
+        assert_eq!(s.as_const(), Some(1));
+    }
+
+    #[test]
+    fn demanded_bits_removes_dead_or() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        // Setting high bits then looking at only the low byte: the OR dies.
+        let e = b.or(x.clone(), b.constant(0xff00_0000, Width::W32));
+        let s = simplify_with_demanded(&e, 0xff, &b);
+        assert_eq!(s, x);
+    }
+
+    #[test]
+    fn demanded_bits_removes_dead_mask() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        // Masking to the low 16 bits is invisible if only bit 3 is demanded.
+        let e = b.and(x.clone(), b.constant(0xffff, Width::W32));
+        let s = simplify_with_demanded(&e, 0x8, &b);
+        assert_eq!(s, x);
+    }
+
+    #[test]
+    fn flag_extraction_pattern_collapses() {
+        // The eflags pattern from the paper: assemble flags into a word,
+        // mask one back out.
+        let b = b();
+        let zf = b.var("zf", Width::BOOL);
+        let cf = b.var("cf", Width::BOOL);
+        let zf32 = b.zext(zf.clone(), Width::W32);
+        let cf32 = b.zext(cf, Width::W32);
+        let flags = b.or(
+            b.shl(zf32, b.constant(6, Width::W32)),
+            b.shl(cf32, b.constant(0, Width::W32)),
+        );
+        // Extract ZF: (flags >> 6) & 1
+        let zf_back = b.and(
+            b.lshr(flags, b.constant(6, Width::W32)),
+            b.constant(1, Width::W32),
+        );
+        let s = simplify(&zf_back, &b);
+        // The CF contribution must be gone: result depends only on zf.
+        let vars = crate::visit::collect_vars(&s);
+        assert_eq!(vars.len(), 1);
+        assert_eq!(&*vars[0].1, "zf");
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_smoke() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let e = b.add(
+            b.and(x.clone(), b.constant(0x3c, Width::W8)),
+            b.constant(0x11, Width::W8),
+        );
+        let s = simplify(&e, &b);
+        for v in [0u64, 1, 0x3c, 0x7f, 0xff, 0xa5] {
+            let mut asg = Assignment::new();
+            asg.set_by_name("x", v);
+            assert_eq!(eval(&e, &asg).unwrap(), eval(&s, &asg).unwrap());
+        }
+    }
+
+    #[test]
+    fn fully_known_collapses_to_constant() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        // (x | 0xff) has all bits known.
+        let e = b.or(x, b.constant(0xff, Width::W8));
+        let s = simplify(&e, &b);
+        assert_eq!(s.as_const(), Some(0xff));
+    }
+
+    #[test]
+    fn zero_demanded_is_zero() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let s = simplify_with_demanded(&x, 0, &b);
+        assert_eq!(s.as_const(), Some(0));
+    }
+
+    #[test]
+    fn node_count_shrinks() {
+        let b = b();
+        let x = b.var("x", Width::W32);
+        let mut e = x.clone();
+        // Pile up masking noise.
+        for i in 0..8 {
+            e = b.or(e, b.constant(1 << (i + 16), Width::W32));
+            e = b.and(e, b.constant(0xffff_ffff, Width::W32));
+        }
+        let before = crate::visit::node_count(&e);
+        let s = simplify_with_demanded(&e, 0xffff, &b);
+        let after = crate::visit::node_count(&s);
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(s, x);
+    }
+}

@@ -1,0 +1,140 @@
+//! Traversal utilities over expression DAGs.
+
+use crate::expr::{ExprKind, ExprRef, VarId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn key(e: &ExprRef) -> usize {
+    let p: &crate::expr::Expr = e;
+    p as *const _ as usize
+}
+
+/// Visits every distinct node of the DAG in post-order (children first).
+///
+/// Shared sub-DAGs are visited once.
+pub fn postorder(root: &ExprRef, mut f: impl FnMut(&ExprRef)) {
+    let mut seen: HashSet<usize> = HashSet::new();
+    // Explicit stack: (node, children_done).
+    let mut stack: Vec<(ExprRef, bool)> = vec![(root.clone(), false)];
+    while let Some((node, children_done)) = stack.pop() {
+        if children_done {
+            f(&node);
+            continue;
+        }
+        if !seen.insert(key(&node)) {
+            continue;
+        }
+        stack.push((node.clone(), true));
+        match node.kind() {
+            ExprKind::Const(_) | ExprKind::Var(..) => {}
+            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a) => {
+                stack.push((a.clone(), false));
+            }
+            ExprKind::Extract { src, .. } => stack.push((src.clone(), false)),
+            ExprKind::Binary(_, a, b) => {
+                stack.push((a.clone(), false));
+                stack.push((b.clone(), false));
+            }
+            ExprKind::Ite(c, t, e) => {
+                stack.push((c.clone(), false));
+                stack.push((t.clone(), false));
+                stack.push((e.clone(), false));
+            }
+        }
+    }
+}
+
+/// Collects the distinct variables of an expression, sorted by id.
+pub fn collect_vars(root: &ExprRef) -> Vec<(VarId, Arc<str>, crate::Width)> {
+    let mut vars = Vec::new();
+    let mut seen = HashSet::new();
+    postorder(root, |n| {
+        if let ExprKind::Var(id, name) = n.kind() {
+            if seen.insert(*id) {
+                vars.push((*id, name.clone(), n.width()));
+            }
+        }
+    });
+    vars.sort_by_key(|(id, _, _)| *id);
+    vars
+}
+
+/// Number of distinct nodes in the DAG.
+pub fn node_count(root: &ExprRef) -> usize {
+    let mut n = 0;
+    postorder(root, |_| n += 1);
+    n
+}
+
+/// Depth of the DAG (a leaf has depth 1).
+pub fn depth(root: &ExprRef) -> usize {
+    fn rec(e: &ExprRef, memo: &mut std::collections::HashMap<usize, usize>) -> usize {
+        if let Some(d) = memo.get(&key(e)) {
+            return *d;
+        }
+        let d = 1 + match e.kind() {
+            ExprKind::Const(_) | ExprKind::Var(..) => 0,
+            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a) => rec(a, memo),
+            ExprKind::Extract { src, .. } => rec(src, memo),
+            ExprKind::Binary(_, a, b) => rec(a, memo).max(rec(b, memo)),
+            ExprKind::Ite(c, t, f) => rec(c, memo).max(rec(t, memo)).max(rec(f, memo)),
+        };
+        memo.insert(key(e), d);
+        d
+    }
+    rec(root, &mut std::collections::HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ExprBuilder;
+    use crate::width::Width;
+
+    #[test]
+    fn collects_vars_once() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let e = b.add(b.add(x.clone(), y.clone()), x.clone());
+        let vars = collect_vars(&e);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(&*vars[0].1, "x");
+        assert_eq!(&*vars[1].1, "y");
+    }
+
+    #[test]
+    fn node_count_counts_shared_once() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let shared = b.add(x.clone(), b.constant(1, Width::W8));
+        let e = b.mul(shared.clone(), shared.clone());
+        // Nodes: x, 1, shared, e == 4 (shared counted once).
+        assert_eq!(node_count(&e), 4);
+    }
+
+    #[test]
+    fn depth_of_leaf_is_one() {
+        let b = ExprBuilder::new();
+        assert_eq!(depth(&b.constant(0, Width::W8)), 1);
+        let x = b.var("x", Width::W8);
+        assert_eq!(depth(&x), 1);
+        let e = b.add(x, b.constant(1, Width::W8));
+        assert_eq!(depth(&e), 2);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let e = b.add(x, b.constant(1, Width::W8));
+        let mut order = Vec::new();
+        postorder(&e, |n| {
+            order.push(format!("{:?}", std::mem::discriminant(n.kind())))
+        });
+        assert_eq!(order.len(), 3);
+        // The root (Binary) must come last.
+        let root_disc = format!("{:?}", std::mem::discriminant(e.kind()));
+        assert_eq!(order.last().unwrap(), &root_disc);
+    }
+}

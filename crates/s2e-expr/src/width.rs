@@ -1,0 +1,146 @@
+//! Bit widths of expression values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Width of a bitvector value in bits, between 1 and 64.
+///
+/// Guest machine words are 32 bits wide, but sub-word memory accesses and
+/// flag computations produce 1/8/16-bit values, and address arithmetic in
+/// the translator can widen to 64 bits, so the full range is supported.
+///
+/// ```
+/// use s2e_expr::Width;
+/// assert_eq!(Width::W8.bits(), 8);
+/// assert_eq!(Width::W8.mask(), 0xff);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Width(u32);
+
+impl Width {
+    /// A single bit (boolean results of comparisons).
+    pub const BOOL: Width = Width(1);
+    /// One byte.
+    pub const W8: Width = Width(8);
+    /// Half word.
+    pub const W16: Width = Width(16);
+    /// Guest machine word.
+    pub const W32: Width = Width(32);
+    /// Double word.
+    pub const W64: Width = Width(64);
+
+    /// Creates a width of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    pub fn new(bits: u32) -> Width {
+        assert!((1..=64).contains(&bits), "width out of range: {bits}");
+        Width(bits)
+    }
+
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of whole bytes needed to store a value of this width.
+    pub fn bytes(self) -> u32 {
+        self.0.div_ceil(8)
+    }
+
+    /// Mask with the low `bits()` bits set.
+    pub fn mask(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// Truncates `v` to this width.
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extends the low `bits()` bits of `v` to a full `i64`.
+    pub fn sign_extend(self, v: u64) -> i64 {
+        let v = self.truncate(v);
+        let shift = 64 - self.0;
+        ((v << shift) as i64) >> shift
+    }
+
+    /// True if the sign bit (most significant bit at this width) of `v` is
+    /// set.
+    pub fn sign_bit(self, v: u64) -> bool {
+        self.truncate(v) >> (self.0 - 1) == 1
+    }
+}
+
+impl fmt::Debug for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(Width::BOOL.mask(), 1);
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W32.mask(), 0xffff_ffff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn truncate_masks_high_bits() {
+        assert_eq!(Width::W8.truncate(0x1ff), 0xff);
+        assert_eq!(Width::W32.truncate(u64::MAX), 0xffff_ffff);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Width::W8.sign_extend(0x80), -128);
+        assert_eq!(Width::W8.sign_extend(0x7f), 127);
+        assert_eq!(Width::W16.sign_extend(0xffff), -1);
+        assert_eq!(Width::W64.sign_extend(u64::MAX), -1);
+        assert_eq!(Width::BOOL.sign_extend(1), -1);
+    }
+
+    #[test]
+    fn sign_bit() {
+        assert!(Width::W8.sign_bit(0x80));
+        assert!(!Width::W8.sign_bit(0x7f));
+        assert!(Width::W32.sign_bit(0x8000_0000));
+    }
+
+    #[test]
+    fn bytes_rounds_up() {
+        assert_eq!(Width::BOOL.bytes(), 1);
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::new(12).bytes(), 2);
+        assert_eq!(Width::W32.bytes(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        Width::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_width_rejected() {
+        Width::new(65);
+    }
+}

@@ -1,0 +1,288 @@
+//! Synthetic NIC drivers: the kernel-mode units under analysis.
+//!
+//! Four drivers mirror the paper's targets (§6.1, §6.3): AMD PCnet and
+//! RTL8029 carry the seven injected bugs DDT+ must find — two reachable
+//! under SC-SE (symbolic hardware only) and five more requiring LC's
+//! symbolic registry/arguments — while SMC 91C111 and RTL8139 are clean
+//! and exist for the coverage/consistency experiments.
+//!
+//! Every driver follows the same binary interface:
+//!
+//! - entry points `init`, `send(buf, len)`, `receive`, `query_info(id)`,
+//!   `set_info(id, value)`, `unload`, called with the standard register
+//!   convention and returning via `Ret`;
+//! - an interrupt handler installed at the NIC vector by `init`;
+//! - globals in the [`crate::layout::DRIVER_DATA`] region.
+
+pub mod pcnet;
+pub mod rtl8029;
+pub mod rtl8139;
+pub mod smc91c111;
+
+use crate::layout::{DRIVER_BASE, DRIVER_DATA, HARNESS_BASE, INPUT_BUF};
+use s2e_dbt::cfg::{build_cfg, StaticCfg};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::{reg, S2Op};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Driver global-data offsets (relative to [`DRIVER_DATA`]).
+pub mod data {
+    /// Packets received (shared with the IRQ handler — race detector
+    /// target).
+    pub const RX_COUNT: u32 = 0x00;
+    /// Packets transmitted.
+    pub const TX_COUNT: u32 = 0x04;
+    /// Receive-buffer pointer (heap allocation).
+    pub const BUF_PTR: u32 = 0x08;
+    /// Card type read from the registry.
+    pub const CARD_TYPE: u32 = 0x0c;
+    /// Feature flags read from the registry.
+    pub const FLAGS: u32 = 0x10;
+    /// Interrupts serviced.
+    pub const IRQ_COUNT: u32 = 0x14;
+    /// Negotiated media speed.
+    pub const MEDIA: u32 = 0x18;
+}
+
+/// The standard entry-point names, in exercise order.
+pub const ENTRY_ORDER: [&str; 6] = ["init", "send", "receive", "query_info", "set_info", "unload"];
+
+/// A built driver image plus its interface metadata.
+#[derive(Clone, Debug)]
+pub struct Driver {
+    /// Driver name (matches the paper's target list).
+    pub name: &'static str,
+    /// The code image.
+    pub program: Program,
+    /// Entry-point addresses by name (includes `irq`).
+    pub entries: HashMap<&'static str, u32>,
+    /// Code range (the symbolic domain for driver analyses).
+    pub code_range: Range<u32>,
+    /// Receive-buffer size the driver allocates (bug-relevant).
+    pub rx_buf_size: u32,
+}
+
+impl Driver {
+    pub(crate) fn from_program(name: &'static str, program: Program, rx_buf_size: u32) -> Driver {
+        let mut entries = HashMap::new();
+        for e in ENTRY_ORDER {
+            entries.insert(e, program.symbol(e));
+        }
+        entries.insert("irq", program.symbol("irq"));
+        let code_range = program.base..program.end();
+        Driver {
+            name,
+            program,
+            entries,
+            code_range,
+            rx_buf_size,
+        }
+    }
+
+    /// Address of an entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names (driver-construction bug).
+    pub fn entry(&self, name: &str) -> u32 {
+        *self
+            .entries
+            .get(name)
+            .unwrap_or_else(|| panic!("no entry point {name:?} in {}", self.name))
+    }
+
+    /// Static CFG over the driver, rooted at every entry point — the
+    /// ground truth for basic-block coverage percentages.
+    pub fn static_cfg(&self) -> StaticCfg {
+        let roots: Vec<u32> = ENTRY_ORDER
+            .iter()
+            .map(|e| self.entry(e))
+            .chain([self.entry("irq")])
+            .collect();
+        build_cfg(&self.program, &roots)
+    }
+
+    /// Total statically-reachable basic blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.static_cfg().block_count()
+    }
+}
+
+/// All four drivers.
+pub fn all_drivers() -> Vec<Driver> {
+    vec![
+        pcnet::build(),
+        rtl8029::build(),
+        smc91c111::build(),
+        rtl8139::build(),
+    ]
+}
+
+/// Builds the exercise harness for a driver: calls every entry point in
+/// order, supplying symbolic arguments when `symbolic_args` is set (the
+/// DDT+/LC configuration) or fixed concrete defaults (the SC
+/// configurations, where the only symbolic input is hardware).
+pub fn build_exerciser(driver: &Driver, symbolic_args: bool) -> Program {
+    let mut a = Assembler::new(HARNESS_BASE);
+    let call = |a: &mut Assembler, target: u32| {
+        a.movi(reg::R5, target);
+        a.callr(reg::R5);
+    };
+
+    // init; then enable interrupts for the rest of the exercise.
+    call(&mut a, driver.entry("init"));
+    a.sti();
+
+    // send(buf = INPUT_BUF, len = 16): the buffer *contents* are symbolic
+    // under the relaxed models, but the length stays concrete — an
+    // unconstrained symbolic length would make every loop in the stack
+    // unbounded, which helps no analysis (the paper's tools inject
+    // "suitably constrained" values at interfaces).
+    if symbolic_args {
+        a.movi(reg::R0, INPUT_BUF);
+        a.movi(reg::R1, 16);
+        a.s2e(S2Op::SymbolicMem);
+    }
+    a.movi(reg::R0, INPUT_BUF);
+    a.movi(reg::R1, 16);
+    call(&mut a, driver.entry("send"));
+
+    // receive()
+    call(&mut a, driver.entry("receive"));
+
+    // query_info(id)
+    if symbolic_args {
+        a.movi(reg::R1, 0); // anonymous symbol name
+        a.s2e(S2Op::SymbolicReg);
+    } else {
+        a.movi(reg::R0, 1);
+    }
+    call(&mut a, driver.entry("query_info"));
+
+    // set_info(id, value)
+    if symbolic_args {
+        a.movi(reg::R1, 0);
+        a.s2e(S2Op::SymbolicReg);
+        a.mov(reg::R6, reg::R0); // id
+        a.movi(reg::R1, 0);
+        a.s2e(S2Op::SymbolicReg);
+        a.mov(reg::R1, reg::R0); // value
+        a.mov(reg::R0, reg::R6);
+    } else {
+        a.movi(reg::R0, 1);
+        a.movi(reg::R1, 0);
+    }
+    call(&mut a, driver.entry("set_info"));
+
+    // unload()
+    call(&mut a, driver.entry("unload"));
+    a.halt_code(0);
+    a.finish()
+}
+
+/// Shared fragment: read a registry key into `r0` (clobbers the syscall
+/// scratch registers).
+pub(crate) fn emit_getcfg(a: &mut Assembler, key: u32) {
+    a.movi(reg::R0, key);
+    a.syscall(crate::kernel::sys::GETCFG);
+}
+
+/// Shared fragment: the standard interrupt handler — acknowledge the NIC,
+/// bump `RX_COUNT` and `IRQ_COUNT`. Registers are preserved.
+pub(crate) fn emit_irq_handler(a: &mut Assembler) {
+    use s2e_vm::device::{nic_cmd, ports};
+    a.label("irq");
+    a.push(reg::R5);
+    a.push(reg::R6);
+    a.movi(reg::R5, ports::NIC_CMD as u32);
+    a.movi(reg::R6, nic_cmd::ACK_IRQ);
+    a.outp(reg::R5, reg::R6);
+    a.movi(reg::R5, DRIVER_DATA);
+    a.ld32(reg::R6, reg::R5, data::RX_COUNT);
+    a.addi(reg::R6, reg::R6, 1);
+    a.st32(reg::R5, data::RX_COUNT, reg::R6);
+    a.ld32(reg::R6, reg::R5, data::IRQ_COUNT);
+    a.addi(reg::R6, reg::R6, 1);
+    a.st32(reg::R5, data::IRQ_COUNT, reg::R6);
+    a.pop(reg::R6);
+    a.pop(reg::R5);
+    a.iret();
+}
+
+/// Shared fragment: install the `irq` label at the NIC vector, reset and
+/// enable the NIC.
+pub(crate) fn emit_nic_bringup(a: &mut Assembler) {
+    use s2e_vm::device::{nic_cmd, ports};
+    use s2e_vm::isa::vector;
+    a.movi_label(reg::R6, "irq");
+    a.movi(reg::R7, vector::NIC);
+    a.st32(reg::R7, 0, reg::R6);
+    a.movi(reg::R6, ports::NIC_CMD as u32);
+    a.movi(reg::R7, nic_cmd::RESET);
+    a.outp(reg::R6, reg::R7);
+    a.movi(reg::R7, nic_cmd::ENABLE);
+    a.outp(reg::R6, reg::R7);
+}
+
+/// Shared fragment: a card-type dispatch ladder with `n` variants, each
+/// setting MEDIA to a distinct speed (coverage-relevant branching that
+/// depends on the registry).
+pub(crate) fn emit_card_type_dispatch(a: &mut Assembler, n: u32, speeds: &[u32]) {
+    // Expects the card type in r5 and DRIVER_DATA in r4.
+    for k in 0..n {
+        a.movi(reg::R6, k);
+        a.beq(reg::R5, reg::R6, &format!("ct{k}"));
+    }
+    a.movi(reg::R7, 0);
+    a.st32(reg::R4, data::MEDIA, reg::R7);
+    a.jmp("ct_done");
+    for k in 0..n {
+        a.label(&format!("ct{k}"));
+        a.movi(reg::R7, speeds[k as usize % speeds.len()]);
+        a.st32(reg::R4, data::MEDIA, reg::R7);
+        a.jmp("ct_done");
+    }
+    a.label("ct_done");
+}
+
+/// Creates the assembler positioned at the driver code base.
+pub(crate) fn driver_asm() -> Assembler {
+    Assembler::new(DRIVER_BASE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_drivers_build_with_entries() {
+        for d in all_drivers() {
+            for e in ENTRY_ORDER {
+                assert!(d.entries.contains_key(e), "{}: missing {e}", d.name);
+                assert!(d.code_range.contains(&d.entry(e)));
+            }
+            assert!(d.entries.contains_key("irq"));
+            assert!(d.total_blocks() > 10, "{} too small", d.name);
+        }
+    }
+
+    #[test]
+    fn drivers_have_distinct_sizes() {
+        let sizes: Vec<usize> = all_drivers().iter().map(|d| d.total_blocks()).collect();
+        // The coverage experiments need structural variety.
+        let mut uniq = sizes.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() >= 3, "driver sizes too uniform: {sizes:?}");
+    }
+
+    #[test]
+    fn exerciser_builds_for_both_modes() {
+        let d = pcnet::build();
+        let conc = build_exerciser(&d, false);
+        let sym = build_exerciser(&d, true);
+        assert!(sym.image.len() > conc.image.len());
+        assert_eq!(conc.base, HARNESS_BASE);
+    }
+}

@@ -1,0 +1,230 @@
+//! The AMD PCnet driver analog — carries four of the seven injected bugs.
+//!
+//! | Bug | Where | Trigger | Found under |
+//! |-----|-------|---------|-------------|
+//! | B1 null write | `init` diag path | impossible NIC status bit 0x80 | SC-SE (symbolic hardware) |
+//! | B2 null deref | `init` | alloc failure path used unchecked | LC (alloc annotation: ret ∈ {ptr, 0}) |
+//! | B3 leak | `send` | registry FLAGS bit0 set skips the free | LC (symbolic registry) |
+//! | B4 data race | `receive` vs IRQ | registry FLAGS bit1 selects the unlocked fast path | LC (symbolic registry) |
+
+use super::{data, emit_card_type_dispatch, emit_getcfg, emit_irq_handler, emit_nic_bringup};
+use crate::kernel::sys;
+use crate::layout::{cfg_keys, DRIVER_DATA};
+use s2e_vm::device::ports;
+use s2e_vm::isa::reg;
+
+/// Receive-buffer size allocated by `init`.
+pub const RX_BUF_SIZE: u32 = 128;
+
+/// Builds the driver image.
+pub fn build() -> super::Driver {
+    let mut a = super::driver_asm();
+
+    // ---- init --------------------------------------------------------
+    a.label("init");
+    a.movi(reg::R4, DRIVER_DATA);
+    // Card type from the registry.
+    emit_getcfg(&mut a, cfg_keys::CARD_TYPE);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::CARD_TYPE, reg::R0);
+    a.mov(reg::R5, reg::R0);
+    emit_card_type_dispatch(&mut a, 4, &[10, 100, 1000, 2500]);
+    // Feature flags from the registry.
+    emit_getcfg(&mut a, cfg_keys::FLAGS);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::FLAGS, reg::R0);
+    // Allocate the receive buffer.
+    a.movi(reg::R0, RX_BUF_SIZE);
+    a.syscall(sys::ALLOC);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::BUF_PTR, reg::R0);
+    // B2: stamp a signature into the buffer WITHOUT checking for
+    // allocation failure — a null dereference on the alloc-failed path.
+    a.movi(reg::R6, 0x5043_4e54); // 'PCNT'
+    a.st32(reg::R0, 0, reg::R6);
+    // Bring up the hardware.
+    emit_nic_bringup(&mut a);
+    // Read the status register.
+    a.movi(reg::R6, ports::NIC_STATUS as u32);
+    a.inp(reg::R5, reg::R6);
+    // B1: "diagnostic mode" on status bit 0x80 — a bit real hardware
+    // never sets; only symbolic hardware reaches the buggy path.
+    a.andi(reg::R6, reg::R5, 0x80);
+    a.movi(reg::R7, 0);
+    a.beq(reg::R6, reg::R7, "init_ok");
+    a.movi(reg::R6, 0);
+    a.st32(reg::R6, 4, reg::R5); // null write
+    a.label("init_ok");
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- send(buf: r0, len: r1) ---------------------------------------
+    a.label("send");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.mov(reg::R8, reg::R0); // buf
+    a.mov(reg::R9, reg::R1); // len
+    // Hardware ready?
+    a.movi(reg::R6, ports::NIC_STATUS as u32);
+    a.inp(reg::R5, reg::R6);
+    a.andi(reg::R5, reg::R5, s2e_vm::device::nic_status::READY);
+    a.movi(reg::R6, 0);
+    a.beq(reg::R5, reg::R6, "send_fail");
+    // Shadow buffer for the frame.
+    a.mov(reg::R0, reg::R9);
+    a.syscall(sys::ALLOC);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.mov(reg::R7, reg::R0);
+    a.movi(reg::R6, 0);
+    a.beq(reg::R7, reg::R6, "send_fail"); // correct null check here
+    // Copy caller bytes into the shadow buffer.
+    a.movi(reg::R5, 0);
+    a.label("send_copy");
+    a.bgeu(reg::R5, reg::R9, "send_go");
+    a.add(reg::R6, reg::R8, reg::R5);
+    a.ld8(reg::R6, reg::R6, 0);
+    a.add(reg::R3, reg::R7, reg::R5);
+    a.st8(reg::R3, 0, reg::R6);
+    a.addi(reg::R5, reg::R5, 1);
+    a.jmp("send_copy");
+    a.label("send_go");
+    a.mov(reg::R0, reg::R7);
+    a.mov(reg::R1, reg::R9);
+    a.syscall(sys::SEND);
+    a.movi(reg::R4, DRIVER_DATA);
+    // tx_count++ under the interrupt lock (correct).
+    a.cli();
+    a.ld32(reg::R5, reg::R4, data::TX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::TX_COUNT, reg::R5);
+    a.sti();
+    // B3: the shadow buffer is freed only when FLAGS bit0 is clear; the
+    // "zero-copy" configuration leaks one allocation per send.
+    a.ld32(reg::R5, reg::R4, data::FLAGS);
+    a.andi(reg::R5, reg::R5, 1);
+    a.movi(reg::R6, 0);
+    a.bne(reg::R5, reg::R6, "send_done"); // bit0 set → leak
+    a.mov(reg::R0, reg::R7);
+    a.syscall(sys::FREE);
+    a.label("send_done");
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("send_fail");
+    a.movi(reg::R0, 0xffff_ffff);
+    a.ret();
+
+    // ---- receive() ----------------------------------------------------
+    a.label("receive");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, ports::NIC_RXLEN as u32);
+    a.inp(reg::R5, reg::R6);
+    // Clamp to the buffer size (correct bounds handling in this driver).
+    a.movi(reg::R6, RX_BUF_SIZE);
+    a.bltu(reg::R5, reg::R6, "rx_clamped");
+    a.movi(reg::R5, RX_BUF_SIZE);
+    a.label("rx_clamped");
+    a.ld32(reg::R8, reg::R4, data::BUF_PTR);
+    a.movi(reg::R7, 0);
+    a.label("rx_loop");
+    a.bgeu(reg::R7, reg::R5, "rx_counted");
+    a.movi(reg::R6, ports::NIC_DATA as u32);
+    a.inp(reg::R6, reg::R6);
+    a.add(reg::R3, reg::R8, reg::R7);
+    a.st8(reg::R3, 0, reg::R6);
+    a.addi(reg::R7, reg::R7, 1);
+    a.jmp("rx_loop");
+    a.label("rx_counted");
+    // B4: FLAGS bit1 selects an "optimized" unlocked increment of
+    // rx_count — which the IRQ handler also writes.
+    a.ld32(reg::R5, reg::R4, data::FLAGS);
+    a.andi(reg::R5, reg::R5, 2);
+    a.movi(reg::R6, 0);
+    a.beq(reg::R5, reg::R6, "rx_locked");
+    a.sti();
+    a.ld32(reg::R5, reg::R4, data::RX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::RX_COUNT, reg::R5); // racy write
+    a.jmp("rx_done");
+    a.label("rx_locked");
+    a.cli();
+    a.ld32(reg::R5, reg::R4, data::RX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::RX_COUNT, reg::R5);
+    a.sti();
+    a.label("rx_done");
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- query_info(id: r0) -> r0 --------------------------------------
+    a.label("query_info");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, 1);
+    a.beq(reg::R0, reg::R6, "qi_tx");
+    a.movi(reg::R6, 2);
+    a.beq(reg::R0, reg::R6, "qi_rx");
+    a.movi(reg::R6, 3);
+    a.beq(reg::R0, reg::R6, "qi_media");
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("qi_tx");
+    a.ld32(reg::R0, reg::R4, data::TX_COUNT);
+    a.ret();
+    a.label("qi_rx");
+    a.ld32(reg::R0, reg::R4, data::RX_COUNT);
+    a.ret();
+    a.label("qi_media");
+    a.ld32(reg::R0, reg::R4, data::MEDIA);
+    a.ret();
+
+    // ---- set_info(id: r0, value: r1) ------------------------------------
+    a.label("set_info");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, 1);
+    a.beq(reg::R0, reg::R6, "si_flags");
+    a.movi(reg::R6, 2);
+    a.beq(reg::R0, reg::R6, "si_media");
+    a.movi(reg::R0, 0xffff_ffff);
+    a.ret();
+    a.label("si_flags");
+    a.st32(reg::R4, data::FLAGS, reg::R1);
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("si_media");
+    a.st32(reg::R4, data::MEDIA, reg::R1);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- unload() -------------------------------------------------------
+    a.label("unload");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.ld32(reg::R0, reg::R4, data::BUF_PTR);
+    a.movi(reg::R5, 0);
+    a.beq(reg::R0, reg::R5, "ul_done");
+    a.syscall(sys::FREE);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R5, 0);
+    a.st32(reg::R4, data::BUF_PTR, reg::R5);
+    a.label("ul_done");
+    // Mask our interrupt.
+    a.movi(reg::R5, s2e_vm::isa::vector::NIC);
+    a.movi(reg::R6, 0);
+    a.st32(reg::R5, 0, reg::R6);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    emit_irq_handler(&mut a);
+
+    super::Driver::from_program("pcnet", a.finish(), RX_BUF_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_exposes_interface() {
+        let d = build();
+        assert_eq!(d.name, "pcnet");
+        assert!(d.entry("init") < d.entry("send"));
+        assert!(d.total_blocks() > 20);
+    }
+}

@@ -1,0 +1,180 @@
+//! The RTL8029 driver analog — carries three of the seven injected bugs.
+//!
+//! | Bug | Where | Trigger | Found under |
+//! |-----|-------|---------|-------------|
+//! | B5 heap overflow | `receive` | hardware RX length copied without clamping into a 32-byte buffer | SC-SE (symbolic hardware) |
+//! | B6 double free | `query_info(4)` | registry card type 7 takes a "deep reset" path that frees the RX buffer twice | LC (symbolic registry) |
+//! | B7 kernel panic | `set_info(2, 0xBAD)` | an unvalidated value is forwarded into a kernel panic | LC (symbolic arguments) |
+
+use super::{data, emit_card_type_dispatch, emit_getcfg, emit_irq_handler, emit_nic_bringup};
+use crate::kernel::sys;
+use crate::layout::{cfg_keys, DRIVER_DATA};
+use s2e_vm::device::ports;
+use s2e_vm::isa::reg;
+
+/// Receive-buffer size allocated by `init` (small, so the overflow is a
+/// shallow path).
+pub const RX_BUF_SIZE: u32 = 32;
+
+/// Builds the driver image.
+pub fn build() -> super::Driver {
+    let mut a = super::driver_asm();
+
+    // ---- init --------------------------------------------------------
+    a.label("init");
+    a.movi(reg::R4, DRIVER_DATA);
+    emit_getcfg(&mut a, cfg_keys::CARD_TYPE);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::CARD_TYPE, reg::R0);
+    a.mov(reg::R5, reg::R0);
+    emit_card_type_dispatch(&mut a, 3, &[10, 100, 100]);
+    // Allocate the receive buffer WITH a proper failure check.
+    a.movi(reg::R0, RX_BUF_SIZE);
+    a.syscall(sys::ALLOC);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::BUF_PTR, reg::R0);
+    a.movi(reg::R5, 0);
+    a.bne(reg::R0, reg::R5, "init_hw");
+    a.movi(reg::R0, 0xffff_ffff); // alloc failed: report and bail
+    a.ret();
+    a.label("init_hw");
+    emit_nic_bringup(&mut a);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- send(buf: r0, len: r1) ---------------------------------------
+    a.label("send");
+    a.movi(reg::R4, DRIVER_DATA);
+    // Forward straight to the kernel (no shadow buffer in this driver).
+    a.syscall(sys::SEND);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.cli();
+    a.ld32(reg::R5, reg::R4, data::TX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::TX_COUNT, reg::R5);
+    a.sti();
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- receive() ----------------------------------------------------
+    a.label("receive");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, ports::NIC_RXLEN as u32);
+    a.inp(reg::R5, reg::R6);
+    // B5: NO clamp — the hardware-reported length is trusted, and the
+    // copy below overruns the 32-byte heap buffer for lengths > 32.
+    a.ld32(reg::R8, reg::R4, data::BUF_PTR);
+    a.movi(reg::R7, 0);
+    a.label("rx_loop");
+    a.bgeu(reg::R7, reg::R5, "rx_done");
+    a.movi(reg::R6, ports::NIC_DATA as u32);
+    a.inp(reg::R6, reg::R6);
+    a.add(reg::R3, reg::R8, reg::R7);
+    a.st8(reg::R3, 0, reg::R6);
+    a.addi(reg::R7, reg::R7, 1);
+    a.jmp("rx_loop");
+    a.label("rx_done");
+    a.cli();
+    a.ld32(reg::R5, reg::R4, data::RX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::RX_COUNT, reg::R5);
+    a.sti();
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- query_info(id: r0) -> r0 --------------------------------------
+    a.label("query_info");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, 1);
+    a.beq(reg::R0, reg::R6, "qi_tx");
+    a.movi(reg::R6, 2);
+    a.beq(reg::R0, reg::R6, "qi_rx");
+    a.movi(reg::R6, 4);
+    a.beq(reg::R0, reg::R6, "qi_vendor");
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("qi_tx");
+    a.ld32(reg::R0, reg::R4, data::TX_COUNT);
+    a.ret();
+    a.label("qi_rx");
+    a.ld32(reg::R0, reg::R4, data::RX_COUNT);
+    a.ret();
+    // Vendor-specific query: card type 7 triggers a "deep reset" that
+    // releases and reallocates the RX ring... except the legacy path
+    // frees it twice (B6).
+    a.label("qi_vendor");
+    a.ld32(reg::R5, reg::R4, data::CARD_TYPE);
+    a.movi(reg::R6, 7);
+    a.bne(reg::R5, reg::R6, "qi_vendor_plain");
+    a.ld32(reg::R7, reg::R4, data::BUF_PTR);
+    a.mov(reg::R0, reg::R7);
+    a.syscall(sys::FREE);
+    a.mov(reg::R0, reg::R7);
+    a.syscall(sys::FREE); // B6: double free
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R5, 0);
+    a.st32(reg::R4, data::BUF_PTR, reg::R5);
+    a.movi(reg::R0, 1);
+    a.ret();
+    a.label("qi_vendor_plain");
+    a.ld32(reg::R0, reg::R4, data::CARD_TYPE);
+    a.ret();
+
+    // ---- set_info(id: r0, value: r1) ------------------------------------
+    a.label("set_info");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, 1);
+    a.beq(reg::R0, reg::R6, "si_flags");
+    a.movi(reg::R6, 2);
+    a.beq(reg::R0, reg::R6, "si_power");
+    a.movi(reg::R0, 0xffff_ffff);
+    a.ret();
+    a.label("si_flags");
+    a.st32(reg::R4, data::FLAGS, reg::R1);
+    a.movi(reg::R0, 0);
+    a.ret();
+    // Power-management command: the magic teardown value is forwarded to
+    // the kernel unvalidated (B7).
+    a.label("si_power");
+    a.movi(reg::R6, 0xBAD);
+    a.bne(reg::R1, reg::R6, "si_power_ok");
+    a.mov(reg::R0, reg::R1);
+    a.syscall(sys::PANIC); // B7: guest bluescreen
+    a.label("si_power_ok");
+    a.st32(reg::R4, data::MEDIA, reg::R1);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- unload() -------------------------------------------------------
+    a.label("unload");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.ld32(reg::R0, reg::R4, data::BUF_PTR);
+    a.movi(reg::R5, 0);
+    a.beq(reg::R0, reg::R5, "ul_done");
+    a.syscall(sys::FREE);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R5, 0);
+    a.st32(reg::R4, data::BUF_PTR, reg::R5);
+    a.label("ul_done");
+    a.movi(reg::R5, s2e_vm::isa::vector::NIC);
+    a.movi(reg::R6, 0);
+    a.st32(reg::R5, 0, reg::R6);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    emit_irq_handler(&mut a);
+
+    super::Driver::from_program("rtl8029", a.finish(), RX_BUF_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_exposes_interface() {
+        let d = build();
+        assert_eq!(d.name, "rtl8029");
+        assert!(d.total_blocks() > 15);
+    }
+}

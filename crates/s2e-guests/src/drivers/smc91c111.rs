@@ -1,0 +1,219 @@
+//! The SMC 91C111 driver analog — bug-free, structurally rich.
+//!
+//! Exists for the coverage and consistency-model experiments (Tables 5–6,
+//! Figs 6–8): six card variants, PHY auto-negotiation, a wide
+//! `query_info` surface. Its registry-dependent breadth is what makes the
+//! coverage gap between strict and relaxed models visible.
+
+use super::{data, emit_card_type_dispatch, emit_getcfg, emit_irq_handler, emit_nic_bringup};
+use crate::kernel::sys;
+use crate::layout::{cfg_keys, DRIVER_DATA};
+use s2e_vm::device::ports;
+use s2e_vm::isa::reg;
+
+/// Receive-buffer size.
+pub const RX_BUF_SIZE: u32 = 64;
+
+/// Builds the driver image.
+pub fn build() -> super::Driver {
+    let mut a = super::driver_asm();
+
+    // ---- init --------------------------------------------------------
+    a.label("init");
+    a.movi(reg::R4, DRIVER_DATA);
+    emit_getcfg(&mut a, cfg_keys::CARD_TYPE);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::CARD_TYPE, reg::R0);
+    a.mov(reg::R5, reg::R0);
+    emit_card_type_dispatch(&mut a, 6, &[10, 100, 1000, 10, 100, 1000]);
+    // Media override from the registry.
+    emit_getcfg(&mut a, cfg_keys::MEDIA);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R5, 0);
+    a.beq(reg::R0, reg::R5, "no_media_override");
+    a.st32(reg::R4, data::MEDIA, reg::R0);
+    a.label("no_media_override");
+    // PHY auto-negotiation: poll link-up a bounded number of times.
+    a.movi(reg::R7, 0); // tries
+    a.label("phy_poll");
+    a.movi(reg::R6, ports::NIC_STATUS as u32);
+    a.inp(reg::R5, reg::R6);
+    a.andi(reg::R5, reg::R5, s2e_vm::device::nic_status::LINK_UP);
+    a.movi(reg::R6, 0);
+    a.bne(reg::R5, reg::R6, "phy_up");
+    a.addi(reg::R7, reg::R7, 1);
+    a.movi(reg::R6, 8);
+    a.bltu(reg::R7, reg::R6, "phy_poll");
+    // Link never came up: record half-duplex fallback.
+    a.movi(reg::R5, 1);
+    a.st32(reg::R4, data::FLAGS, reg::R5);
+    a.jmp("phy_done");
+    a.label("phy_up");
+    a.movi(reg::R5, 2);
+    a.st32(reg::R4, data::FLAGS, reg::R5);
+    a.label("phy_done");
+    // Receive buffer, checked.
+    a.movi(reg::R0, RX_BUF_SIZE);
+    a.syscall(sys::ALLOC);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.st32(reg::R4, data::BUF_PTR, reg::R0);
+    a.movi(reg::R5, 0);
+    a.bne(reg::R0, reg::R5, "init_hw");
+    a.movi(reg::R0, 0xffff_ffff);
+    a.ret();
+    a.label("init_hw");
+    emit_nic_bringup(&mut a);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- send(buf: r0, len: r1) ---------------------------------------
+    a.label("send");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.mov(reg::R8, reg::R0);
+    a.mov(reg::R9, reg::R1);
+    // Frames over 64 bytes are split into two transmissions.
+    a.movi(reg::R6, 64);
+    a.bgeu(reg::R9, reg::R6, "send_split");
+    a.mov(reg::R0, reg::R8);
+    a.mov(reg::R1, reg::R9);
+    a.syscall(sys::SEND);
+    a.jmp("send_count");
+    a.label("send_split");
+    a.mov(reg::R0, reg::R8);
+    a.movi(reg::R1, 64);
+    a.syscall(sys::SEND);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.addi(reg::R0, reg::R8, 64);
+    a.subi(reg::R1, reg::R9, 64);
+    a.syscall(sys::SEND);
+    a.label("send_count");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.cli();
+    a.ld32(reg::R5, reg::R4, data::TX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::TX_COUNT, reg::R5);
+    a.sti();
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- receive() ----------------------------------------------------
+    a.label("receive");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, ports::NIC_RXLEN as u32);
+    a.inp(reg::R5, reg::R6);
+    a.movi(reg::R6, RX_BUF_SIZE);
+    a.bltu(reg::R5, reg::R6, "rx_clamped");
+    a.movi(reg::R5, RX_BUF_SIZE);
+    a.label("rx_clamped");
+    a.ld32(reg::R8, reg::R4, data::BUF_PTR);
+    a.movi(reg::R7, 0);
+    a.label("rx_loop");
+    a.bgeu(reg::R7, reg::R5, "rx_done");
+    a.movi(reg::R6, ports::NIC_DATA as u32);
+    a.inp(reg::R6, reg::R6);
+    a.add(reg::R3, reg::R8, reg::R7);
+    a.st8(reg::R3, 0, reg::R6);
+    a.addi(reg::R7, reg::R7, 1);
+    a.jmp("rx_loop");
+    a.label("rx_done");
+    a.cli();
+    a.ld32(reg::R5, reg::R4, data::RX_COUNT);
+    a.addi(reg::R5, reg::R5, 1);
+    a.st32(reg::R4, data::RX_COUNT, reg::R5);
+    a.sti();
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- query_info(id: r0) -> r0 --------------------------------------
+    a.label("query_info");
+    a.movi(reg::R4, DRIVER_DATA);
+    for (id, label) in [(1u32, "qi_tx"), (2, "qi_rx"), (3, "qi_media"), (4, "qi_flags"), (5, "qi_irqs")]
+    {
+        a.movi(reg::R6, id);
+        a.beq(reg::R0, reg::R6, label);
+    }
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("qi_tx");
+    a.ld32(reg::R0, reg::R4, data::TX_COUNT);
+    a.ret();
+    a.label("qi_rx");
+    a.ld32(reg::R0, reg::R4, data::RX_COUNT);
+    a.ret();
+    a.label("qi_media");
+    a.ld32(reg::R0, reg::R4, data::MEDIA);
+    a.ret();
+    a.label("qi_flags");
+    a.ld32(reg::R0, reg::R4, data::FLAGS);
+    a.ret();
+    a.label("qi_irqs");
+    a.ld32(reg::R0, reg::R4, data::IRQ_COUNT);
+    a.ret();
+
+    // ---- set_info(id: r0, value: r1) ------------------------------------
+    a.label("set_info");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R6, 1);
+    a.beq(reg::R0, reg::R6, "si_flags");
+    a.movi(reg::R6, 2);
+    a.beq(reg::R0, reg::R6, "si_media");
+    a.movi(reg::R6, 3);
+    a.beq(reg::R0, reg::R6, "si_promisc");
+    a.movi(reg::R0, 0xffff_ffff);
+    a.ret();
+    a.label("si_flags");
+    a.st32(reg::R4, data::FLAGS, reg::R1);
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("si_media");
+    // Validate the requested speed.
+    for (v, label) in [(10u32, "media_ok"), (100, "media_ok"), (1000, "media_ok")] {
+        a.movi(reg::R6, v);
+        a.beq(reg::R1, reg::R6, label);
+    }
+    a.movi(reg::R0, 0xffff_ffff);
+    a.ret();
+    a.label("media_ok");
+    a.st32(reg::R4, data::MEDIA, reg::R1);
+    a.movi(reg::R0, 0);
+    a.ret();
+    a.label("si_promisc");
+    a.ld32(reg::R5, reg::R4, data::FLAGS);
+    a.ori(reg::R5, reg::R5, 4);
+    a.st32(reg::R4, data::FLAGS, reg::R5);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    // ---- unload() -------------------------------------------------------
+    a.label("unload");
+    a.movi(reg::R4, DRIVER_DATA);
+    a.ld32(reg::R0, reg::R4, data::BUF_PTR);
+    a.movi(reg::R5, 0);
+    a.beq(reg::R0, reg::R5, "ul_done");
+    a.syscall(sys::FREE);
+    a.movi(reg::R4, DRIVER_DATA);
+    a.movi(reg::R5, 0);
+    a.st32(reg::R4, data::BUF_PTR, reg::R5);
+    a.label("ul_done");
+    a.movi(reg::R5, s2e_vm::isa::vector::NIC);
+    a.movi(reg::R6, 0);
+    a.st32(reg::R5, 0, reg::R6);
+    a.movi(reg::R0, 0);
+    a.ret();
+
+    emit_irq_handler(&mut a);
+
+    super::Driver::from_program("91c111", a.finish(), RX_BUF_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_is_large() {
+        let d = build();
+        assert_eq!(d.name, "91c111");
+        assert!(d.total_blocks() > 30, "{}", d.total_blocks());
+    }
+}

@@ -1,0 +1,390 @@
+//! The guest kernel: syscall table, allocator, device services.
+//!
+//! Stands in for the OS layer the paper runs under its drivers (a Windows
+//! kernel with the NDIS interface). The kernel is real guest code: it
+//! executes inside the VM exactly like the unit under analysis, which is
+//! what makes the platform's analyses *in-vivo* — environment effects are
+//! produced by actually running the environment, never by a model.
+//!
+//! The kernel's API contracts (documented per syscall below) are what the
+//! LC interface annotations in [`standard_annotations`] encode.
+
+use crate::layout::{self, HEAP_BASE, HEAP_END, HEAP_PTR_CELL, KERNEL_BASE};
+use s2e_core::analyzers::HeapConfig;
+use s2e_core::selectors::concretize_reg_soft;
+use s2e_core::Annotation;
+use s2e_expr::Width;
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::device::{nic_cmd, ports};
+use s2e_vm::isa::{reg, vector};
+use s2e_vm::machine::Machine;
+use s2e_vm::value::Value;
+
+/// Syscall numbers (the kernel ABI).
+pub mod sys {
+    /// `alloc(size: r0) -> ptr: r0` — bump allocation; returns 0 when the
+    /// heap is exhausted. Contract: result is 0 or a fresh heap pointer.
+    pub const ALLOC: u32 = 1;
+    /// `free(ptr: r0)` — releases an allocation (no-op in the bump
+    /// allocator; tracked logically by the memory checker).
+    pub const FREE: u32 = 2;
+    /// `write(fd: r0, buf: r1, len: r2) -> r0` — writes to the console
+    /// when `fd == 1`. Contract: returns −1 or 0..=len.
+    pub const WRITE: u32 = 3;
+    /// `send(buf: r0, len: r1) -> r0` — transmits a frame through the
+    /// NIC. Contract: returns 0 (success) or −1.
+    pub const SEND: u32 = 4;
+    /// `getcfg(key: r0) -> r0` — reads a configuration-store value (the
+    /// registry lookup).
+    pub const GETCFG: u32 = 5;
+    /// `panic(code: r0)` — unrecoverable kernel condition; never returns.
+    pub const PANIC: u32 = 6;
+}
+
+/// Registers the kernel may clobber across a syscall (by ABI convention
+/// guests keep nothing live in r10..r12).
+pub const CLOBBERED: [u8; 3] = [reg::R10, reg::R11, reg::R12];
+
+/// Assembles the kernel image.
+pub fn kernel_program() -> Program {
+    let mut a = Assembler::new(KERNEL_BASE);
+
+    a.label("handler");
+    // Dispatch on the syscall number in KR.
+    let table = [
+        (sys::ALLOC, "sys_alloc"),
+        (sys::FREE, "sys_free"),
+        (sys::WRITE, "sys_write"),
+        (sys::SEND, "sys_send"),
+        (sys::GETCFG, "sys_getcfg"),
+        (sys::PANIC, "sys_panic"),
+    ];
+    for (num, label) in table {
+        a.movi(reg::R11, num);
+        a.beq(reg::KR, reg::R11, label);
+    }
+    a.iret(); // unknown syscall: ignore
+
+    // alloc(size) -> ptr | 0
+    a.label("sys_alloc");
+    a.movi(reg::R11, HEAP_PTR_CELL);
+    a.ld32(reg::R12, reg::R11, 0); // cur
+    a.add(reg::R10, reg::R12, reg::R0); // new = cur + size
+    a.addi(reg::R10, reg::R10, 3);
+    a.andi(reg::R10, reg::R10, 0xffff_fffc); // align 4
+    a.movi(reg::R11, HEAP_END);
+    a.bgeu(reg::R10, reg::R11, "alloc_fail");
+    a.movi(reg::R11, HEAP_PTR_CELL);
+    a.st32(reg::R11, 0, reg::R10);
+    a.mov(reg::R0, reg::R12);
+    a.iret();
+    a.label("alloc_fail");
+    a.movi(reg::R0, 0);
+    a.iret();
+
+    // free(ptr): bump allocator — logical free only.
+    a.label("sys_free");
+    a.movi(reg::R0, 0);
+    a.iret();
+
+    // write(fd, buf, len) -> len
+    a.label("sys_write");
+    a.movi(reg::R11, 1);
+    a.bne(reg::R0, reg::R11, "write_done");
+    a.movi(reg::R11, 0); // i = 0
+    a.label("write_loop");
+    a.bgeu(reg::R11, reg::R2, "write_done");
+    a.add(reg::R12, reg::R1, reg::R11);
+    a.ld8(reg::R10, reg::R12, 0);
+    a.movi(reg::R12, ports::CONSOLE_OUT as u32);
+    a.outp(reg::R12, reg::R10);
+    a.addi(reg::R11, reg::R11, 1);
+    a.jmp("write_loop");
+    a.label("write_done");
+    a.mov(reg::R0, reg::R2);
+    a.iret();
+
+    // send(buf, len) -> 0
+    a.label("sys_send");
+    a.movi(reg::R11, 0); // i = 0
+    a.label("send_loop");
+    a.bgeu(reg::R11, reg::R1, "send_flush");
+    a.add(reg::R12, reg::R0, reg::R11);
+    a.ld8(reg::R10, reg::R12, 0);
+    a.movi(reg::R12, ports::NIC_DATA as u32);
+    a.outp(reg::R12, reg::R10);
+    a.addi(reg::R11, reg::R11, 1);
+    a.jmp("send_loop");
+    a.label("send_flush");
+    a.movi(reg::R12, ports::NIC_CMD as u32);
+    a.movi(reg::R10, nic_cmd::SEND);
+    a.outp(reg::R12, reg::R10);
+    a.movi(reg::R0, 0);
+    a.iret();
+
+    // getcfg(key) -> value
+    a.label("sys_getcfg");
+    a.movi(reg::R11, ports::CFG_SELECT as u32);
+    a.outp(reg::R11, reg::R0);
+    a.movi(reg::R11, ports::CFG_DATA as u32);
+    a.inp(reg::R0, reg::R11);
+    a.iret();
+
+    // panic(code): clear the syscall vector and re-trap — an unhandled
+    // trap is the machine's "blue screen".
+    a.label("sys_panic");
+    a.movi(reg::R11, vector::SYSCALL);
+    a.movi(reg::R12, 0);
+    a.st32(reg::R11, 0, reg::R12);
+    a.syscall(0xdead);
+
+    a.finish()
+}
+
+/// Creates a machine with the kernel installed, vectors set, and the heap
+/// initialized. Returns the machine and the kernel image (for symbol
+/// lookups).
+pub fn boot() -> (Machine, Program) {
+    let k = kernel_program();
+    let mut m = Machine::new();
+    m.load_aux(&k);
+    m.mem
+        .write_u32(vector::SYSCALL, k.symbol("handler"))
+        .expect("vector page mapped");
+    m.mem
+        .write_u32(HEAP_PTR_CELL, HEAP_BASE)
+        .expect("kernel data mapped");
+    (m, k)
+}
+
+/// Heap ABI description for the `MemoryChecker` analyzer.
+pub fn heap_config() -> HeapConfig {
+    HeapConfig {
+        alloc_syscall: sys::ALLOC,
+        free_syscall: sys::FREE,
+        heap_range: layout::heap_range(),
+    }
+}
+
+/// The kernel's LC interface annotations (paper §6.1.1: DDT+ "provides
+/// the necessary kernel/driver interface annotations to implement LC").
+///
+/// - entry conversions concretize (softly) arguments the kernel's code
+///   branches on, so symbolic unit data never reaches environment control
+///   flow;
+/// - return conversions re-symbolify results within each syscall's
+///   documented contract.
+pub fn standard_annotations() -> Vec<Annotation> {
+    vec![
+        // alloc: entry concretizes size; return λ ∈ {ptr, 0}.
+        Annotation::on_return(sys::ALLOC, |state, ctx| {
+            let Some(ptr) = state.machine.cpu.reg(reg::R0).as_concrete() else {
+                return;
+            };
+            if ptr == 0 {
+                return; // concretely failed: 0 is within the contract
+            }
+            let b = ctx.builder;
+            let ok = b.var("alloc_ok", Width::BOOL);
+            let v = b.ite(
+                ok,
+                b.constant(ptr as u64, Width::W32),
+                b.constant(0, Width::W32),
+            );
+            state.machine.cpu.set_reg(reg::R0, Value::Symbolic(v));
+        })
+        .with_entry(|state, ctx| {
+            concretize_reg_soft(state, ctx, reg::R0);
+        }),
+        // write: entry concretizes len; return λ ∈ {-1} ∪ [0, len].
+        Annotation::on_return(sys::WRITE, |state, ctx| {
+            let Some(len) = state.machine.cpu.reg(reg::R0).as_concrete() else {
+                return;
+            };
+            let b = ctx.builder;
+            let partial = b.var("write_ret", Width::W32);
+            state.add_constraint(b.ule(partial.clone(), b.constant(len as u64, Width::W32)));
+            let fail = b.var("write_fail", Width::BOOL);
+            let v = b.ite(fail, b.constant(u32::MAX as u64, Width::W32), partial);
+            state.machine.cpu.set_reg(reg::R0, Value::Symbolic(v));
+        })
+        .with_entry(|state, ctx| {
+            concretize_reg_soft(state, ctx, reg::R2);
+        }),
+        // free: entry concretizes the pointer so the heap analyzers see
+        // the concrete allocation being released.
+        Annotation::on_entry(sys::FREE, |state, ctx| {
+            concretize_reg_soft(state, ctx, reg::R0);
+        }),
+        // send: entry concretizes len; return λ ∈ {0, -1}.
+        Annotation::on_return(sys::SEND, |state, ctx| {
+            let b = ctx.builder;
+            let fail = b.var("send_fail", Width::BOOL);
+            let v = b.ite(
+                fail,
+                b.constant(u32::MAX as u64, Width::W32),
+                b.constant(0, Width::W32),
+            );
+            state.machine.cpu.set_reg(reg::R0, Value::Symbolic(v));
+        })
+        .with_entry(|state, ctx| {
+            concretize_reg_soft(state, ctx, reg::R1);
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::interp::{run_concrete, RunOutcome};
+
+    fn run_user(build: impl FnOnce(&mut Assembler)) -> (Machine, RunOutcome) {
+        let (mut m, _k) = boot();
+        let mut a = Assembler::new(layout::APP_BASE);
+        build(&mut a);
+        let p = a.finish();
+        m.load(&p);
+        let out = run_concrete(&mut m, 1_000_000).unwrap();
+        (m, out)
+    }
+
+    #[test]
+    fn alloc_returns_heap_pointers() {
+        let (m, out) = run_user(|a| {
+            a.movi(reg::R0, 64);
+            a.syscall(sys::ALLOC);
+            a.mov(reg::R5, reg::R0); // first ptr
+            a.movi(reg::R0, 32);
+            a.syscall(sys::ALLOC);
+            a.mov(reg::R6, reg::R0); // second ptr
+            a.halt();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.cpu.reg(reg::R5).as_concrete(), Some(HEAP_BASE));
+        assert_eq!(m.cpu.reg(reg::R6).as_concrete(), Some(HEAP_BASE + 64));
+    }
+
+    #[test]
+    fn alloc_fails_when_heap_exhausted() {
+        let (m, out) = run_user(|a| {
+            a.movi(reg::R0, HEAP_END - HEAP_BASE + 64);
+            a.syscall(sys::ALLOC);
+            a.halt();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(0));
+    }
+
+    #[test]
+    fn write_echoes_to_console() {
+        let (m, out) = run_user(|a| {
+            a.movi(reg::R1, layout::INPUT_BUF);
+            a.movi(reg::R2, b'h' as u32);
+            a.st8(reg::R1, 0, reg::R2);
+            a.movi(reg::R2, b'i' as u32);
+            a.st8(reg::R1, 1, reg::R2);
+            a.movi(reg::R0, 1); // fd = stdout
+            a.movi(reg::R2, 2); // len
+            a.syscall(sys::WRITE);
+            a.halt();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.devices.console().unwrap().output_string(), "hi");
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(2));
+    }
+
+    #[test]
+    fn write_to_other_fd_is_silent() {
+        let (m, _) = run_user(|a| {
+            a.movi(reg::R0, 3);
+            a.movi(reg::R1, layout::INPUT_BUF);
+            a.movi(reg::R2, 4);
+            a.syscall(sys::WRITE);
+            a.halt();
+        });
+        assert!(m.devices.console().unwrap().output().is_empty());
+    }
+
+    #[test]
+    fn send_transmits_frame() {
+        let (m, out) = run_user(|a| {
+            a.movi(reg::R5, layout::INPUT_BUF);
+            for (i, b) in [0xaau32, 0xbb, 0xcc].iter().enumerate() {
+                a.movi(reg::R6, *b);
+                a.st8(reg::R5, i as u32, reg::R6);
+            }
+            a.movi(reg::R0, layout::INPUT_BUF);
+            a.movi(reg::R1, 3);
+            a.syscall(sys::SEND);
+            a.halt();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        let frames = m.devices.nic().unwrap().sent_frames();
+        assert_eq!(frames.len(), 1);
+        let bytes: Vec<u32> = frames[0].iter().map(|v| v.as_concrete().unwrap()).collect();
+        assert_eq!(bytes, vec![0xaa, 0xbb, 0xcc]);
+    }
+
+    #[test]
+    fn getcfg_reads_registry() {
+        let (mut m, k) = boot();
+        m.devices
+            .config_mut()
+            .unwrap()
+            .set(layout::cfg_keys::CARD_TYPE, Value::Concrete(3));
+        let mut a = Assembler::new(layout::APP_BASE);
+        a.movi(reg::R0, layout::cfg_keys::CARD_TYPE);
+        a.syscall(sys::GETCFG);
+        a.halt();
+        let p = a.finish();
+        m.load(&p);
+        let _ = k;
+        let out = run_concrete(&mut m, 100_000).unwrap();
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(3));
+    }
+
+    #[test]
+    fn panic_bluescreens() {
+        let (_, out) = run_user(|a| {
+            a.movi(reg::R0, 0x7777);
+            a.syscall(sys::PANIC);
+            a.halt(); // unreachable
+        });
+        assert!(matches!(
+            out,
+            RunOutcome::Faulted(s2e_vm::cpu::FaultKind::KernelPanic { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_syscall_is_ignored() {
+        let (m, out) = run_user(|a| {
+            a.movi(reg::R5, 77);
+            a.syscall(999);
+            a.halt();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.cpu.reg(reg::R5).as_concrete(), Some(77));
+    }
+
+    #[test]
+    fn annotations_cover_contracted_syscalls() {
+        let anns = standard_annotations();
+        let nums: Vec<u32> = anns.iter().map(|a| a.syscall).collect();
+        assert!(nums.contains(&sys::ALLOC));
+        assert!(nums.contains(&sys::FREE));
+        assert!(nums.contains(&sys::WRITE));
+        assert!(nums.contains(&sys::SEND));
+        for a in &anns {
+            assert!(a.on_return.is_some() || a.on_entry.is_some());
+        }
+    }
+
+    #[test]
+    fn heap_config_matches_layout() {
+        let hc = heap_config();
+        assert_eq!(hc.alloc_syscall, sys::ALLOC);
+        assert_eq!(hc.heap_range, HEAP_BASE..HEAP_END);
+    }
+}

@@ -1,0 +1,73 @@
+//! Guest physical-memory layout conventions.
+
+use std::ops::Range;
+
+/// Kernel data page (heap pointer cell and scratch).
+pub const KERNEL_DATA: u32 = 0x0000_1080;
+/// Heap-pointer cell (holds the bump allocator's next free address).
+pub const HEAP_PTR_CELL: u32 = KERNEL_DATA;
+/// Kernel code.
+pub const KERNEL_BASE: u32 = 0x0000_1100;
+/// Application programs.
+pub const APP_BASE: u32 = 0x0000_4000;
+/// Driver code segment.
+pub const DRIVER_BASE: u32 = 0x0002_0000;
+/// Driver global data (shared between entry points and IRQ handlers;
+/// the data-race detector watches this region).
+pub const DRIVER_DATA: u32 = 0x0003_0000;
+/// Driver data region size.
+pub const DRIVER_DATA_SIZE: u32 = 0x100;
+/// Test harness / exerciser programs.
+pub const HARNESS_BASE: u32 = 0x0004_0000;
+/// Input buffers (symbolic data is injected here).
+pub const INPUT_BUF: u32 = 0x0008_0000;
+/// Heap managed by the kernel's allocator.
+pub const HEAP_BASE: u32 = 0x0010_0000;
+/// One past the heap.
+pub const HEAP_END: u32 = 0x0014_0000;
+
+/// The heap as a range (for the memory checker).
+pub fn heap_range() -> Range<u32> {
+    HEAP_BASE..HEAP_END
+}
+
+/// The driver data region as a range (for the race detector).
+pub fn driver_data_range() -> Range<u32> {
+    DRIVER_DATA..DRIVER_DATA + DRIVER_DATA_SIZE
+}
+
+/// Well-known configuration-store ("registry") keys.
+pub mod cfg_keys {
+    /// NIC card type / variant selector.
+    pub const CARD_TYPE: u32 = 0x10;
+    /// Driver feature flags.
+    pub const FLAGS: u32 = 0x11;
+    /// Media/link speed selection.
+    pub const MEDIA: u32 = 0x12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let regions = [
+            (KERNEL_DATA, KERNEL_BASE),
+            (KERNEL_BASE, APP_BASE),
+            (APP_BASE, DRIVER_BASE),
+            (DRIVER_BASE, DRIVER_DATA),
+            (DRIVER_DATA, HARNESS_BASE),
+            (HARNESS_BASE, INPUT_BUF),
+            (INPUT_BUF, HEAP_BASE),
+            (HEAP_BASE, HEAP_END),
+        ];
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{w:?}");
+        }
+        for (lo, hi) in regions {
+            assert!(lo < hi);
+            assert!(lo >= 0x1000, "must stay off the null guard page");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The guest software stack for the S2E platform reproduction.
+//!
+//! Everything the paper's evaluation runs *inside* the VM is rebuilt here
+//! as assembled guest programs:
+//!
+//! - [`kernel`] — a miniature operating system: syscall table (alloc,
+//!   free, write, send, config lookup, panic), interrupt plumbing, and the
+//!   LC interface annotations for its API contracts (the substitute for
+//!   the Windows kernel + NDIS interface the paper instruments);
+//! - [`drivers`] — four synthetic NIC drivers in the mold of the paper's
+//!   RTL8029 / AMD PCnet / SMC 91C111 / RTL8139 targets, two of them with
+//!   the seven injected bug classes DDT+ must find (§6.1.1);
+//! - [`url_parser`] — the Apache URL-parser analog whose per-path
+//!   instruction count grows by a fixed amount per `/` (§6.1.3);
+//! - [`ping`] — the `ping` clone with the record-route infinite-loop bug
+//!   (§6.1.3), in buggy and patched variants;
+//! - [`webserver`] — the IIS/SSL analog with a constant-page-fault crypto
+//!   kernel (§6.1.3);
+//! - [`script`] — the Lua-interpreter analog: a lexer+parser front end
+//!   (environment) feeding a bytecode interpreter (unit) (§6.3);
+//! - [`license`] — the license-key checking example from the paper's
+//!   introduction (§1), used as the quickstart;
+//! - [`lookup`] — a table-lookup utility exercising symbolic pointers
+//!   (§6.2's page-size experiments);
+//! - [`packed`] — a self-decrypting (packed) binary for the RC-CC
+//!   dynamic-disassembly use case (§3.1.3).
+
+pub mod drivers;
+pub mod kernel;
+pub mod layout;
+pub mod license;
+pub mod lookup;
+pub mod packed;
+pub mod ping;
+pub mod script;
+pub mod url_parser;
+pub mod webserver;

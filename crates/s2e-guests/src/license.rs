@@ -1,0 +1,101 @@
+//! The license-key checker from the paper's introduction (§1).
+//!
+//! "One may want to verify the code that handles license keys in a
+//! proprietary program ... S2E then automatically explores the code paths
+//! influenced by the value of the license key." This guest validates an
+//! 8-byte key at [`crate::layout::INPUT_BUF`] through a cascade of
+//! checks; the platform finds the accepting path and its constraints
+//! yield a *valid key* — the quickstart demo.
+
+use crate::layout::{APP_BASE, INPUT_BUF};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::reg;
+
+/// Key length in bytes.
+pub const KEY_LEN: u32 = 8;
+/// Exit code of the accepting path.
+pub const VALID: u32 = 1;
+/// Exit code of rejecting paths.
+pub const INVALID: u32 = 0;
+
+/// A reference checker (host-side) used to validate generated keys.
+pub fn is_valid_key(key: &[u8]) -> bool {
+    key.len() == KEY_LEN as usize
+        && key[0] == b'S'
+        && key[1] == b'2'
+        && key[2] == b'E'
+        && key[3] == b'-'
+        && key[4..8].iter().all(|c| c.is_ascii_digit())
+        && (key[4..8].iter().map(|&c| (c - b'0') as u32).sum::<u32>()) % 7 == 3
+}
+
+/// Builds the checker guest.
+pub fn program() -> Program {
+    let mut a = Assembler::new(APP_BASE);
+
+    a.label("main");
+    a.movi(reg::R4, INPUT_BUF);
+    // Prefix "S2E-".
+    for (i, ch) in [b'S', b'2', b'E', b'-'].iter().enumerate() {
+        a.ld8(reg::R5, reg::R4, i as u32);
+        a.movi(reg::R6, *ch as u32);
+        a.bne(reg::R5, reg::R6, "reject");
+    }
+    // Four digits whose sum ≡ 3 (mod 7).
+    a.movi(reg::R7, 0); // digit sum
+    for i in 4..8u32 {
+        a.ld8(reg::R5, reg::R4, i);
+        a.movi(reg::R6, b'0' as u32);
+        a.bltu(reg::R5, reg::R6, "reject");
+        a.movi(reg::R6, b'9' as u32 + 1);
+        a.bgeu(reg::R5, reg::R6, "reject");
+        a.subi(reg::R5, reg::R5, b'0' as u32);
+        a.add(reg::R7, reg::R7, reg::R5);
+    }
+    a.movi(reg::R6, 7);
+    a.remu(reg::R7, reg::R7, reg::R6);
+    a.movi(reg::R6, 3);
+    a.bne(reg::R7, reg::R6, "reject");
+    a.halt_code(VALID);
+    a.label("reject");
+    a.halt_code(INVALID);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+
+    fn run_key(key: &[u8]) -> u32 {
+        let (mut m, _) = boot();
+        m.mem.load_image(INPUT_BUF, key);
+        m.load(&program());
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.run(100_000);
+        match e.terminated()[0].1 {
+            TerminationReason::Halted(c) => c,
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_and_guest_agree() {
+        let cases: [&[u8]; 5] = [
+            b"S2E-1200", // 1+2+0+0 = 3 → valid
+            b"S2E-0003",
+            b"S2E-1111", // sum 4 → invalid
+            b"X2E-1200",
+            b"S2E-12a0",
+        ];
+        for key in cases {
+            assert_eq!(
+                run_key(key) == VALID,
+                is_valid_key(key),
+                "{}",
+                String::from_utf8_lossy(key)
+            );
+        }
+    }
+}

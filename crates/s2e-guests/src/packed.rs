@@ -1,0 +1,191 @@
+//! A packed (self-decrypting) guest — the RC-CC use case (§3.1.3).
+//!
+//! "The RC-CC model is useful in disassembling obfuscated and/or
+//! encrypted code: after letting the unit code decrypt itself under an LC
+//! model (thus ensuring the correctness of decryption), a disassembler
+//! can switch to the RC-CC model to reach high coverage of the decrypted
+//! code."
+//!
+//! The guest carries an XOR-packed payload and a decryption stub. At
+//! runtime the stub rewrites the payload region in place (exercising the
+//! translator's self-modifying-code invalidation) and jumps into it. The
+//! payload itself is branchy, so single-path execution leaves blocks
+//! undisassembled — RC-CC's edge forcing recovers them.
+
+use crate::layout::APP_BASE;
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::{reg, INSTR_SIZE};
+use std::ops::Range;
+
+/// XOR key baked into the stub.
+pub const KEY: u32 = 0x5a;
+
+/// The packed guest plus the payload's address range.
+#[derive(Clone, Debug)]
+pub struct PackedGuest {
+    /// The program image (payload stored encrypted).
+    pub program: Program,
+    /// Where the decrypted payload executes.
+    pub payload_range: Range<u32>,
+    /// Number of instructions in the payload (disassembly ground truth).
+    pub payload_instrs: usize,
+}
+
+/// Assembles the plaintext payload at its final address.
+fn payload(at: u32) -> Program {
+    let mut a = Assembler::new(at);
+    a.label("p_entry");
+    // Branch on r0: both sides must be disassembled.
+    a.movi(reg::R1, 10);
+    a.bltu(reg::R0, reg::R1, "p_low");
+    a.movi(reg::R2, 0xbeef);
+    a.jmp("p_join");
+    a.label("p_low");
+    a.movi(reg::R2, 0xcafe);
+    a.label("p_join");
+    // A second branch nested behind the first.
+    a.movi(reg::R3, 0xbeef);
+    a.bne(reg::R2, reg::R3, "p_alt");
+    a.halt_code(1);
+    a.label("p_alt");
+    a.halt_code(2);
+    a.finish()
+}
+
+/// Builds the packed guest. When `symbolic_key_name` is set, the stub
+/// fetches the key via `S2Op::SymbolicReg` instead of an immediate —
+/// decryption then *writes symbolic bytes into the code region*, and the
+/// engine must concretize them (under the path constraints) before it
+/// can translate the payload.
+pub fn build(symbolic_key: bool) -> PackedGuest {
+    // Payload is placed one page after the stub.
+    let payload_at = APP_BASE + 0x1000;
+    let plain = payload(payload_at);
+    let encrypted: Vec<u8> = plain.image.iter().map(|b| b ^ KEY as u8).collect();
+    let n = encrypted.len() as u32;
+
+    let mut a = Assembler::new(APP_BASE);
+    a.label("stub");
+    if symbolic_key {
+        // Key arrives as a symbolic value (r0); the caller constrains it.
+        a.movi(reg::R1, 0);
+        a.s2e(s2e_vm::isa::S2Op::SymbolicReg);
+        a.mov(reg::R7, reg::R0);
+    } else {
+        a.movi(reg::R7, KEY);
+    }
+    a.movi(reg::R4, payload_at); // cursor
+    a.movi(reg::R5, n); // remaining
+    a.label("decrypt");
+    a.movi(reg::R6, 0);
+    a.beq(reg::R5, reg::R6, "run");
+    a.ld8(reg::R6, reg::R4, 0);
+    a.xor(reg::R6, reg::R6, reg::R7);
+    a.st8(reg::R4, 0, reg::R6);
+    a.addi(reg::R4, reg::R4, 1);
+    a.subi(reg::R5, reg::R5, 1);
+    a.jmp("decrypt");
+    a.label("run");
+    a.movi(reg::R8, payload_at);
+    a.jmpr(reg::R8);
+    // Encrypted payload bytes live at their execution address.
+    a.align(0x1000);
+    assert_eq!(a.here(), payload_at, "payload must land at its link address");
+    a.bytes(&encrypted);
+    let program = a.finish();
+    PackedGuest {
+        program,
+        payload_range: payload_at..payload_at + n,
+        payload_instrs: (n / INSTR_SIZE) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+    use s2e_expr::Width;
+
+    #[test]
+    fn stub_decrypts_and_runs_payload() {
+        let g = build(false);
+        let (mut m, _k) = boot();
+        m.load(&g.program);
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.run(100_000);
+        // r0 = 0 initially → low branch → 0xcafe ≠ 0xbeef → exit 2.
+        assert!(matches!(e.terminated()[0].1, TerminationReason::Halted(2)));
+    }
+
+    #[test]
+    fn encrypted_payload_is_not_directly_executable() {
+        let g = build(false);
+        let (mut m, _k) = boot();
+        m.load(&g.program);
+        // Jump straight into the encrypted bytes: garbage.
+        m.cpu.pc = g.payload_range.start;
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.run(10_000);
+        assert!(
+            !matches!(e.terminated()[0].1, TerminationReason::Halted(1 | 2)),
+            "encrypted code must not behave like the plaintext payload"
+        );
+    }
+
+    #[test]
+    fn symbolic_key_decryption_constrained_to_real_key() {
+        // The paper's flow: decrypt under LC with the key symbolic but
+        // constrained; the engine concretizes the symbolic code bytes
+        // consistently with the constraints and execution proceeds.
+        let g = build(true);
+        let (mut m, _k) = boot();
+        m.load(&g.program);
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::Lc));
+        e.set_retain_terminated(true);
+        // Constrain the injected key variable to the true key. The
+        // variable is created by the stub's SymbolicReg at runtime, so
+        // pin it by name through a plugin-free trick: run until the stub
+        // created it, then add the constraint.
+        let mut constrained = false;
+        for _ in 0..200_000 {
+            if !constrained {
+                if let Some(id) = e.sole_state() {
+                    let has_sym = e
+                        .state(id)
+                        .unwrap()
+                        .machine
+                        .cpu
+                        .reg(s2e_vm::isa::reg::R7)
+                        .is_symbolic();
+                    if has_sym {
+                        let b = e.builder_arc();
+                        let st = e.state_mut(id).unwrap();
+                        let key_expr = st
+                            .machine
+                            .cpu
+                            .reg(s2e_vm::isa::reg::R7)
+                            .to_expr(&b, Width::W32);
+                        let eq = b.eq(key_expr, b.constant(KEY as u64, Width::W32));
+                        st.add_constraint(eq);
+                        constrained = true;
+                    }
+                }
+            }
+            if e.step().is_none() {
+                break;
+            }
+        }
+        assert!(constrained, "stub must have produced a symbolic key");
+        // With the key pinned, decryption is correct and the payload
+        // runs. (r0 still holds the key value 0x5a at payload entry, so
+        // the payload's `r0 < 10` branch takes the high side: exit 1.)
+        assert!(
+            e.terminated()
+                .iter()
+                .any(|(_, r)| matches!(r, TerminationReason::Halted(1))),
+            "payload must execute correctly: {:?}",
+            e.terminated()
+        );
+    }
+}

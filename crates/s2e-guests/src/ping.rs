@@ -1,0 +1,175 @@
+//! The `ping` analog with the record-route infinite-loop bug (§6.1.3).
+//!
+//! The paper's PROFS run on `ping` found a path that never terminates:
+//! when the echo reply carries a record-route (RR) option whose length
+//! field is 3 — too short to hold any address — the option parser
+//! "does `continue` without updating the loop counter". This guest
+//! reproduces that bug bit for bit, plus a patched variant whose
+//! performance envelope is boundable.
+//!
+//! Reply layout at [`crate::layout::INPUT_BUF`]:
+//!
+//! ```text
+//! +0  icmp type (0 = echo reply)
+//! +1  option-block length in bytes (0 = no options)
+//! +2.. option blocks: [type, len, payload...]; type 0 ends the list,
+//!      type 7 is record-route whose payload holds 4-byte addresses.
+//! ```
+
+use crate::kernel::sys;
+use crate::layout::{APP_BASE, INPUT_BUF};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::reg;
+
+/// ICMP option type for record-route.
+pub const OPT_RR: u32 = 7;
+/// Option type terminating the list.
+pub const OPT_END: u32 = 0;
+
+/// Builds the guest; `patched` selects the fixed option parser.
+pub fn program(patched: bool) -> Program {
+    let mut a = Assembler::new(APP_BASE);
+
+    a.label("main");
+    // Build an 8-byte echo request in scratch space and send it.
+    let scratch = INPUT_BUF + 0x100;
+    a.movi(reg::R4, scratch);
+    a.movi(reg::R5, 8); // icmp type: echo request
+    a.st8(reg::R4, 0, reg::R5);
+    a.movi(reg::R5, 0);
+    a.st8(reg::R4, 1, reg::R5);
+    a.movi(reg::R5, 0x1234); // id
+    a.st16(reg::R4, 2, reg::R5);
+    a.movi(reg::R5, 1); // seq
+    a.st16(reg::R4, 4, reg::R5);
+    a.movi(reg::R0, scratch);
+    a.movi(reg::R1, 8);
+    a.syscall(sys::SEND);
+
+    // Parse the reply.
+    a.movi(reg::R4, INPUT_BUF);
+    a.ld8(reg::R5, reg::R4, 0); // icmp type
+    a.movi(reg::R6, 0);
+    a.beq(reg::R5, reg::R6, "parse_options");
+    a.halt_code(2); // not an echo reply
+
+    a.label("parse_options");
+    a.ld8(reg::R5, reg::R4, 1); // option-block length
+    a.movi(reg::R9, 2); // j: offset of the first option
+    a.addi(reg::R5, reg::R5, 2); // end offset
+
+    a.label("opt_loop");
+    a.bgeu(reg::R9, reg::R5, "parse_done");
+    a.add(reg::R6, reg::R4, reg::R9);
+    a.ld8(reg::R7, reg::R6, 0); // option type
+    a.movi(reg::R8, OPT_END);
+    a.beq(reg::R7, reg::R8, "parse_done");
+    a.movi(reg::R8, OPT_RR);
+    a.beq(reg::R7, reg::R8, "opt_rr");
+    // Unknown option: skip by its length byte (minimum 2).
+    a.ld8(reg::R7, reg::R6, 1);
+    a.movi(reg::R8, 2);
+    a.bgeu(reg::R7, reg::R8, "skip_ok");
+    a.movi(reg::R7, 2);
+    a.label("skip_ok");
+    a.add(reg::R9, reg::R9, reg::R7);
+    a.jmp("opt_loop");
+
+    // Record-route option: walk the address list.
+    a.label("opt_rr");
+    a.ld8(reg::R7, reg::R6, 1); // option length
+    a.movi(reg::R8, 4);
+    a.bgeu(reg::R7, reg::R8, "rr_walk");
+    // Length < 4: "the list of addresses is empty".
+    if patched {
+        // Patched: skip the malformed option and keep scanning.
+        a.movi(reg::R7, 2);
+        a.add(reg::R9, reg::R9, reg::R7);
+        a.jmp("opt_loop");
+    } else {
+        // THE BUG: `continue` without updating the loop counter.
+        a.jmp("opt_loop");
+    }
+
+    a.label("rr_walk");
+    // Sum the recorded addresses (entries of 4 bytes after the 2-byte
+    // option header).
+    a.movi(reg::R10, 2); // k: offset within the option
+    a.movi(reg::R11, 0); // accumulator
+    a.label("rr_addr_loop");
+    a.bgeu(reg::R10, reg::R7, "rr_done");
+    a.add(reg::R12, reg::R6, reg::R10);
+    a.ld32(reg::R12, reg::R12, 0);
+    a.add(reg::R11, reg::R11, reg::R12);
+    a.addi(reg::R10, reg::R10, 4);
+    a.jmp("rr_addr_loop");
+    a.label("rr_done");
+    a.add(reg::R9, reg::R9, reg::R7);
+    a.jmp("opt_loop");
+
+    a.label("parse_done");
+    a.halt_code(0);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+
+    fn run_reply(patched: bool, reply: &[u8], fuel: u64) -> (TerminationReason, u64) {
+        let (mut m, _) = boot();
+        m.mem.load_image(INPUT_BUF, reply);
+        m.load(&program(patched));
+        let mut config = EngineConfig::with_model(ConsistencyModel::ScCe);
+        config.max_instrs_per_path = fuel;
+        let mut e = Engine::new(m, config);
+        e.set_retain_terminated(true);
+        e.run(10_000_000);
+        (
+            e.terminated()[0].1.clone(),
+            e.terminated_states()[0].instrs_retired,
+        )
+    }
+
+    #[test]
+    fn plain_reply_parses() {
+        // Echo reply, no options.
+        let (r, _) = run_reply(false, &[0, 0], 100_000);
+        assert_eq!(r, TerminationReason::Halted(0));
+    }
+
+    #[test]
+    fn valid_rr_option_parses() {
+        // Option block: RR option, length 6 (one 4-byte address).
+        let reply = [0u8, 6, 7, 6, 1, 2, 3, 4];
+        let (r, _) = run_reply(false, &reply, 100_000);
+        assert_eq!(r, TerminationReason::Halted(0));
+        let (r, _) = run_reply(true, &reply, 100_000);
+        assert_eq!(r, TerminationReason::Halted(0));
+    }
+
+    #[test]
+    fn rr_length_3_hangs_buggy_ping() {
+        // RR option with length 3: no room for addresses.
+        let reply = [0u8, 4, 7, 3];
+        let (r, instrs) = run_reply(false, &reply, 50_000);
+        assert_eq!(r, TerminationReason::FuelExhausted);
+        assert!(instrs >= 50_000);
+    }
+
+    #[test]
+    fn rr_length_3_terminates_patched_ping() {
+        let reply = [0u8, 4, 7, 3];
+        let (r, instrs) = run_reply(true, &reply, 50_000);
+        assert_eq!(r, TerminationReason::Halted(0));
+        assert!(instrs < 1_000);
+    }
+
+    #[test]
+    fn non_echo_reply_rejected() {
+        let (r, _) = run_reply(false, &[8, 0], 100_000);
+        assert_eq!(r, TerminationReason::Halted(2));
+    }
+}

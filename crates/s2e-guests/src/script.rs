@@ -1,0 +1,510 @@
+//! The Lua-interpreter analog (§6.3's user-mode consistency target).
+//!
+//! A tiny scripting language: statements `x = expr ;` and `p x ;`
+//! (print), expressions over `+ - *`, integer literals, and variables
+//! `a`..`z`. The **lexer+parser** compiles source text to bytecode; the
+//! **interpreter** executes the bytecode on an operand stack.
+//!
+//! The split matters because it reproduces the paper's experiment design:
+//! "the concrete domain consists of the lexer+parser and the environment,
+//! while the symbolic domain is the remaining code (e.g., the
+//! interpreter). Parsers are the bane of symbolic execution engines."
+//! Under SC-SE the *source string* is symbolic and exploration drowns in
+//! the lexer; under LC the parser runs concretely and suitably
+//! constrained symbolic *opcodes* are injected after the parsing stage;
+//! under RC-OC the opcodes are unconstrained and exploration falls into
+//! the interpreter's crash paths.
+
+use crate::layout::{APP_BASE, INPUT_BUF};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::device::ports;
+use s2e_vm::isa::reg;
+use std::ops::Range;
+
+/// Where the compiled bytecode lives.
+pub const BYTECODE_BUF: u32 = INPUT_BUF + 0x400;
+/// Variable slots (`a`..`z`, one word each).
+pub const VARS_BUF: u32 = INPUT_BUF + 0x600;
+/// Operand stack.
+pub const STACK_BUF: u32 = INPUT_BUF + 0x700;
+
+/// Bytecode opcodes (2-byte records: `[op, arg]`).
+pub mod bc {
+    /// Push an immediate (arg).
+    pub const LOADI: u32 = 1;
+    /// Push a variable (arg = index).
+    pub const LOADV: u32 = 2;
+    /// Pop two, push sum.
+    pub const ADD: u32 = 3;
+    /// Pop two, push difference.
+    pub const SUB: u32 = 4;
+    /// Pop two, push product.
+    pub const MUL: u32 = 5;
+    /// Pop into a variable (arg = index).
+    pub const STORE: u32 = 6;
+    /// Print a variable (arg = index).
+    pub const PRINT: u32 = 7;
+    /// Stop.
+    pub const END: u32 = 9;
+    /// Highest valid opcode value.
+    pub const MAX: u32 = 9;
+}
+
+/// Exit codes for the interpreter's failure paths.
+pub mod exit {
+    /// Clean completion.
+    pub const OK: u32 = 0;
+    /// Parse error.
+    pub const PARSE_ERROR: u32 = 0xE1;
+    /// Invalid opcode.
+    pub const BAD_OPCODE: u32 = 0xEE;
+    /// Variable index out of range.
+    pub const BAD_VAR: u32 = 0xEB;
+    /// Operand-stack underflow.
+    pub const UNDERFLOW: u32 = 0xEC;
+}
+
+/// The assembled guest plus its module boundaries.
+#[derive(Clone, Debug)]
+pub struct ScriptGuest {
+    /// The program image.
+    pub program: Program,
+    /// Lexer+parser code range (the environment in the §6.3 experiment).
+    pub parser_range: Range<u32>,
+    /// Interpreter code range (the unit).
+    pub interp_range: Range<u32>,
+}
+
+/// Builds the guest.
+pub fn build() -> ScriptGuest {
+    let mut a = Assembler::new(APP_BASE);
+    let mut ws_tag = 0u32;
+
+    // Skip spaces; leaves the current character in r6.
+    let mut skipws = |a: &mut Assembler| {
+        ws_tag += 1;
+        let lbl = format!("ws{ws_tag}");
+        let out = format!("ws_out{ws_tag}");
+        a.label(&lbl);
+        a.ld8(reg::R6, reg::R4, 0);
+        a.movi(reg::R7, b' ' as u32);
+        a.bne(reg::R6, reg::R7, &out);
+        a.addi(reg::R4, reg::R4, 1);
+        a.jmp(&lbl);
+        a.label(&out);
+    };
+    // Emit a bytecode record [op, r8].
+    let emit_bc = |a: &mut Assembler, op: u32| {
+        a.movi(reg::R7, op);
+        a.st8(reg::R5, 0, reg::R7);
+        a.st8(reg::R5, 1, reg::R8);
+        a.addi(reg::R5, reg::R5, 2);
+    };
+
+    a.label("main");
+    a.call("parse");
+    a.call("interp");
+    a.halt_code(exit::OK);
+
+    // ==== lexer + parser (environment) ==================================
+    a.label("parse");
+    a.push(reg::LR);
+    a.movi(reg::R4, INPUT_BUF); // source cursor
+    a.movi(reg::R5, BYTECODE_BUF); // bytecode cursor
+
+    a.label("p_stmt");
+    skipws(&mut a);
+    a.movi(reg::R7, 0);
+    a.beq(reg::R6, reg::R7, "p_end"); // NUL: done
+    a.movi(reg::R7, b'p' as u32);
+    a.beq(reg::R6, reg::R7, "p_print");
+    // assignment: ident '=' expr ';'
+    a.movi(reg::R7, b'a' as u32);
+    a.bltu(reg::R6, reg::R7, "p_err");
+    a.movi(reg::R7, b'z' as u32 + 1);
+    a.bgeu(reg::R6, reg::R7, "p_err");
+    a.subi(reg::R9, reg::R6, b'a' as u32); // target var index
+    a.addi(reg::R4, reg::R4, 1);
+    skipws(&mut a);
+    a.movi(reg::R7, b'=' as u32);
+    a.bne(reg::R6, reg::R7, "p_err");
+    a.addi(reg::R4, reg::R4, 1);
+    a.push(reg::R9);
+    a.call("p_expr");
+    a.pop(reg::R9);
+    a.mov(reg::R8, reg::R9);
+    emit_bc(&mut a, bc::STORE);
+    skipws(&mut a);
+    a.movi(reg::R7, b';' as u32);
+    a.bne(reg::R6, reg::R7, "p_err");
+    a.addi(reg::R4, reg::R4, 1);
+    a.jmp("p_stmt");
+
+    a.label("p_print");
+    a.addi(reg::R4, reg::R4, 1);
+    skipws(&mut a);
+    a.movi(reg::R7, b'a' as u32);
+    a.bltu(reg::R6, reg::R7, "p_err");
+    a.movi(reg::R7, b'z' as u32 + 1);
+    a.bgeu(reg::R6, reg::R7, "p_err");
+    a.subi(reg::R8, reg::R6, b'a' as u32);
+    a.addi(reg::R4, reg::R4, 1);
+    emit_bc(&mut a, bc::PRINT);
+    skipws(&mut a);
+    a.movi(reg::R7, b';' as u32);
+    a.bne(reg::R6, reg::R7, "p_err");
+    a.addi(reg::R4, reg::R4, 1);
+    a.jmp("p_stmt");
+
+    a.label("p_end");
+    a.movi(reg::R8, 0);
+    emit_bc(&mut a, bc::END);
+    a.pop(reg::LR);
+    a.ret();
+
+    a.label("p_err");
+    a.halt_code(exit::PARSE_ERROR);
+
+    // expr := operand ((+|-|*) operand)*
+    a.label("p_expr");
+    a.push(reg::LR);
+    a.call("p_operand");
+    a.label("e_loop");
+    skipws(&mut a);
+    a.movi(reg::R7, b'+' as u32);
+    a.beq(reg::R6, reg::R7, "e_add");
+    a.movi(reg::R7, b'-' as u32);
+    a.beq(reg::R6, reg::R7, "e_sub");
+    a.movi(reg::R7, b'*' as u32);
+    a.beq(reg::R6, reg::R7, "e_mul");
+    a.pop(reg::LR);
+    a.ret();
+    for (lbl, op) in [("e_add", bc::ADD), ("e_sub", bc::SUB), ("e_mul", bc::MUL)] {
+        a.label(lbl);
+        a.addi(reg::R4, reg::R4, 1);
+        a.call("p_operand");
+        a.movi(reg::R8, 0);
+        emit_bc(&mut a, op);
+        a.jmp("e_loop");
+    }
+
+    // operand := number | ident
+    a.label("p_operand");
+    skipws(&mut a);
+    a.movi(reg::R7, b'0' as u32);
+    a.bltu(reg::R6, reg::R7, "o_ident");
+    a.movi(reg::R7, b'9' as u32 + 1);
+    a.bgeu(reg::R6, reg::R7, "o_ident");
+    a.movi(reg::R8, 0);
+    a.label("o_num_loop");
+    a.ld8(reg::R6, reg::R4, 0);
+    a.movi(reg::R7, b'0' as u32);
+    a.bltu(reg::R6, reg::R7, "o_num_done");
+    a.movi(reg::R7, b'9' as u32 + 1);
+    a.bgeu(reg::R6, reg::R7, "o_num_done");
+    a.muli(reg::R8, reg::R8, 10);
+    a.subi(reg::R6, reg::R6, b'0' as u32);
+    a.add(reg::R8, reg::R8, reg::R6);
+    a.addi(reg::R4, reg::R4, 1);
+    a.jmp("o_num_loop");
+    a.label("o_num_done");
+    a.andi(reg::R8, reg::R8, 0xff);
+    emit_bc(&mut a, bc::LOADI);
+    a.ret();
+    a.label("o_ident");
+    a.movi(reg::R7, b'a' as u32);
+    a.bltu(reg::R6, reg::R7, "p_err");
+    a.movi(reg::R7, b'z' as u32 + 1);
+    a.bgeu(reg::R6, reg::R7, "p_err");
+    a.subi(reg::R8, reg::R6, b'a' as u32);
+    a.addi(reg::R4, reg::R4, 1);
+    emit_bc(&mut a, bc::LOADV);
+    a.ret();
+
+    a.align(16);
+    a.label("parse_end");
+
+    // ==== interpreter (unit) =============================================
+    a.label("interp");
+    a.movi(reg::R4, BYTECODE_BUF); // ip
+    a.movi(reg::R5, STACK_BUF); // sp (grows upward)
+
+    a.label("i_loop");
+    a.ld8(reg::R6, reg::R4, 0); // opcode
+    a.ld8(reg::R7, reg::R4, 1); // arg
+    a.addi(reg::R4, reg::R4, 2);
+    for (op, lbl) in [
+        (bc::LOADI, "i_loadi"),
+        (bc::LOADV, "i_loadv"),
+        (bc::ADD, "i_add"),
+        (bc::SUB, "i_sub"),
+        (bc::MUL, "i_mul"),
+        (bc::STORE, "i_store"),
+        (bc::PRINT, "i_print"),
+        (bc::END, "i_end"),
+    ] {
+        a.movi(reg::R8, op);
+        a.beq(reg::R6, reg::R8, lbl);
+    }
+    a.halt_code(exit::BAD_OPCODE);
+
+    a.label("i_loadi");
+    a.st32(reg::R5, 0, reg::R7);
+    a.addi(reg::R5, reg::R5, 4);
+    a.jmp("i_loop");
+
+    a.label("i_loadv");
+    a.movi(reg::R8, 26);
+    a.bgeu(reg::R7, reg::R8, "i_badvar");
+    a.shli(reg::R7, reg::R7, 2);
+    a.movi(reg::R8, VARS_BUF);
+    a.add(reg::R7, reg::R8, reg::R7);
+    a.ld32(reg::R7, reg::R7, 0);
+    a.st32(reg::R5, 0, reg::R7);
+    a.addi(reg::R5, reg::R5, 4);
+    a.jmp("i_loop");
+
+    for (lbl, is_add, is_sub) in [("i_add", true, false), ("i_sub", false, true), ("i_mul", false, false)] {
+        a.label(lbl);
+        // Stack underflow check: need two operands.
+        a.movi(reg::R8, STACK_BUF + 8);
+        a.bltu(reg::R5, reg::R8, "i_underflow");
+        a.subi(reg::R5, reg::R5, 4);
+        a.ld32(reg::R8, reg::R5, 0); // rhs
+        a.subi(reg::R5, reg::R5, 4);
+        a.ld32(reg::R9, reg::R5, 0); // lhs
+        if is_add {
+            a.add(reg::R9, reg::R9, reg::R8);
+        } else if is_sub {
+            a.sub(reg::R9, reg::R9, reg::R8);
+        } else {
+            a.mul(reg::R9, reg::R9, reg::R8);
+        }
+        a.st32(reg::R5, 0, reg::R9);
+        a.addi(reg::R5, reg::R5, 4);
+        a.jmp("i_loop");
+    }
+
+    a.label("i_store");
+    a.movi(reg::R8, 26);
+    a.bgeu(reg::R7, reg::R8, "i_badvar");
+    a.movi(reg::R8, STACK_BUF + 4);
+    a.bltu(reg::R5, reg::R8, "i_underflow");
+    a.subi(reg::R5, reg::R5, 4);
+    a.ld32(reg::R9, reg::R5, 0);
+    a.shli(reg::R7, reg::R7, 2);
+    a.movi(reg::R8, VARS_BUF);
+    a.add(reg::R7, reg::R8, reg::R7);
+    a.st32(reg::R7, 0, reg::R9);
+    a.jmp("i_loop");
+
+    a.label("i_print");
+    a.movi(reg::R8, 26);
+    a.bgeu(reg::R7, reg::R8, "i_badvar");
+    a.shli(reg::R7, reg::R7, 2);
+    a.movi(reg::R8, VARS_BUF);
+    a.add(reg::R7, reg::R8, reg::R7);
+    a.ld32(reg::R7, reg::R7, 0);
+    a.andi(reg::R7, reg::R7, 0x7f);
+    a.movi(reg::R8, ports::CONSOLE_OUT as u32);
+    a.outp(reg::R8, reg::R7);
+    a.jmp("i_loop");
+
+    a.label("i_end");
+    a.ret();
+
+    a.label("i_badvar");
+    a.halt_code(exit::BAD_VAR);
+    a.label("i_underflow");
+    a.halt_code(exit::UNDERFLOW);
+
+    a.align(16);
+    a.label("interp_end");
+
+    let program = a.finish();
+    let parser_range = program.symbol("parse")..program.symbol("parse_end");
+    let interp_range = program.symbol("interp")..program.symbol("interp_end");
+    ScriptGuest {
+        program,
+        parser_range,
+        interp_range,
+    }
+}
+
+/// Compiles `src` on the host (reference implementation) — used by tests
+/// to validate the guest parser, and by tools that need a valid baseline
+/// bytecode image.
+pub fn reference_compile(src: &str) -> Result<Vec<u8>, String> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    let skip = |i: &mut usize| {
+        while *i < b.len() && b[*i] == b' ' {
+            *i += 1;
+        }
+    };
+    let operand = |i: &mut usize, out: &mut Vec<u8>| -> Result<(), String> {
+        skip(i);
+        let c = *b.get(*i).ok_or("eof in operand")?;
+        if c.is_ascii_digit() {
+            let mut v: u32 = 0;
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                v = v * 10 + (b[*i] - b'0') as u32;
+                *i += 1;
+            }
+            out.push(bc::LOADI as u8);
+            out.push((v & 0xff) as u8);
+            Ok(())
+        } else if c.is_ascii_lowercase() {
+            *i += 1;
+            out.push(bc::LOADV as u8);
+            out.push(c - b'a');
+            Ok(())
+        } else {
+            Err(format!("bad operand at {i:?}"))
+        }
+    };
+    loop {
+        skip(&mut i);
+        let Some(&c) = b.get(i) else { break };
+        if c == b'p' {
+            i += 1;
+            skip(&mut i);
+            let v = *b.get(i).ok_or("eof")?;
+            if !v.is_ascii_lowercase() {
+                return Err("bad print target".into());
+            }
+            i += 1;
+            out.push(bc::PRINT as u8);
+            out.push(v - b'a');
+        } else if c.is_ascii_lowercase() {
+            let target = c - b'a';
+            i += 1;
+            skip(&mut i);
+            if b.get(i) != Some(&b'=') {
+                return Err("expected '='".into());
+            }
+            i += 1;
+            operand(&mut i, &mut out)?;
+            loop {
+                skip(&mut i);
+                let op = match b.get(i) {
+                    Some(b'+') => bc::ADD,
+                    Some(b'-') => bc::SUB,
+                    Some(b'*') => bc::MUL,
+                    _ => break,
+                };
+                i += 1;
+                operand(&mut i, &mut out)?;
+                out.push(op as u8);
+                out.push(0);
+            }
+            out.push(bc::STORE as u8);
+            out.push(target);
+        } else {
+            return Err(format!("bad statement at {i}"));
+        }
+        skip(&mut i);
+        if b.get(i) != Some(&b';') {
+            return Err("expected ';'".into());
+        }
+        i += 1;
+    }
+    out.push(bc::END as u8);
+    out.push(0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+
+    fn run_script(src: &str) -> (u32, String, Vec<u8>) {
+        let g = build();
+        let (mut m, _) = boot();
+        m.mem.load_image(INPUT_BUF, src.as_bytes());
+        m.mem.load_image(INPUT_BUF + src.len() as u32, &[0]);
+        m.load(&g.program);
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.set_retain_terminated(true);
+        e.run(1_000_000);
+        let code = match e.terminated()[0].1 {
+            TerminationReason::Halted(c) => c,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        let st = &e.terminated_states()[0];
+        let out = st.machine.devices.console().unwrap().output_string();
+        let bc_len = reference_compile(src).map(|v| v.len()).unwrap_or(64);
+        let bytecode = st.machine.mem.read_bytes_concrete(BYTECODE_BUF, bc_len as u32);
+        (code, out, bytecode)
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        // c = 2 + 3 * ... left-assoc: (2+3)*4 = 20 = 0x14 → printed & 0x7f
+        let (code, out, _) = run_script("c = 2 + 3 * 4; p c;");
+        assert_eq!(code, exit::OK);
+        assert_eq!(out.as_bytes(), &[20]);
+    }
+
+    #[test]
+    fn variables_flow_between_statements() {
+        let (code, out, _) = run_script("a = 60; b = a + 5; p b;");
+        assert_eq!(code, exit::OK);
+        assert_eq!(out.as_bytes(), &[65]); // 'A'
+    }
+
+    #[test]
+    fn subtraction_wraps_through_mask() {
+        let (code, out, _) = run_script("x = 3 - 1; p x;");
+        assert_eq!(code, exit::OK);
+        assert_eq!(out.as_bytes(), &[2]);
+    }
+
+    #[test]
+    fn parse_error_detected() {
+        let (code, _, _) = run_script("= 5;");
+        assert_eq!(code, exit::PARSE_ERROR);
+        let (code, _, _) = run_script("a 5;");
+        assert_eq!(code, exit::PARSE_ERROR);
+    }
+
+    #[test]
+    fn guest_parser_matches_reference_compiler() {
+        for src in ["a = 1;", "b = 2 + 3; p b;", "z = 9 * 9 - 1;", "a=5;b=a;p b;"] {
+            let (code, _, guest_bc) = run_script(src);
+            assert_eq!(code, exit::OK, "{src}");
+            let reference = reference_compile(src).unwrap();
+            assert_eq!(guest_bc, reference, "bytecode mismatch for {src:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_is_a_crash_path() {
+        // Hand-plant invalid bytecode and run only the interpreter.
+        let g = build();
+        let (mut m, _) = boot();
+        m.mem.load_image(BYTECODE_BUF, &[0xff, 0x00]);
+        m.load(&g.program);
+        m.cpu.pc = g.program.symbol("interp");
+        // Give `interp`'s final `ret` somewhere to go: halt at `main+16`.
+        m.cpu
+            .set_reg(reg::LR, s2e_vm::value::Value::Concrete(g.program.symbol("main") + 16));
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.run(100_000);
+        assert!(matches!(
+            e.terminated()[0].1,
+            TerminationReason::Halted(c) if c == exit::BAD_OPCODE
+        ));
+    }
+
+    #[test]
+    fn module_ranges_are_disjoint() {
+        let g = build();
+        assert!(g.parser_range.end <= g.interp_range.start);
+        assert!(g.parser_range.contains(&g.program.symbol("p_expr")));
+        assert!(g.interp_range.contains(&g.program.symbol("i_loop")));
+    }
+}

@@ -1,0 +1,120 @@
+//! The Apache URL-parser analog (§6.1.3's first PROFS experiment).
+//!
+//! Parses a NUL-terminated URL at [`crate::layout::INPUT_BUF`]: validates
+//! characters, hashes the route, and does a fixed amount of extra
+//! bookkeeping per `/` segment separator. The paper's finding — "for
+//! every additional `/` character present in the URL, there are 10 extra
+//! instructions being executed", with no upper bound on parsing time — is
+//! engineered to hold exactly: the slash path executes
+//! [`EXTRA_INSTRS_PER_SLASH`] more instructions than the ordinary-char
+//! path.
+
+use crate::layout::{APP_BASE, INPUT_BUF};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::reg;
+
+/// Instructions executed on the `/` branch beyond the ordinary-character
+/// branch.
+pub const EXTRA_INSTRS_PER_SLASH: u64 = 10;
+
+/// Exit status: the path's slash count is reported via `KillPath`.
+pub fn program() -> Program {
+    let mut a = Assembler::new(APP_BASE);
+
+    a.label("main");
+    a.movi(reg::R4, INPUT_BUF); // cursor
+    a.movi(reg::R5, 0); // slash count
+    a.movi(reg::R6, 0); // route hash
+
+    a.label("loop");
+    a.ld8(reg::R7, reg::R4, 0);
+    a.movi(reg::R8, 0);
+    a.beq(reg::R7, reg::R8, "done"); // NUL terminator
+    a.movi(reg::R8, b'/' as u32);
+    a.bne(reg::R7, reg::R8, "ordinary");
+
+    // Segment separator: start a new route component. This block is the
+    // ordinary-character block plus exactly EXTRA_INSTRS_PER_SLASH
+    // additional instructions (count them: 10 before the shared "next").
+    a.addi(reg::R5, reg::R5, 1); // 1
+    a.muli(reg::R6, reg::R6, 31); // 2
+    a.addi(reg::R6, reg::R6, 47); // 3
+    a.andi(reg::R6, reg::R6, 0xffff); // 4
+    a.shli(reg::R9, reg::R5, 2); // 5
+    a.add(reg::R6, reg::R6, reg::R9); // 6
+    a.xori(reg::R6, reg::R6, 0x55); // 7
+    a.andi(reg::R6, reg::R6, 0xffff); // 8
+    a.muli(reg::R9, reg::R5, 3); // 9
+    a.add(reg::R6, reg::R6, reg::R9); // 10
+    // Shared per-character hashing (same as the ordinary branch).
+    a.muli(reg::R6, reg::R6, 31);
+    a.add(reg::R6, reg::R6, reg::R7);
+    a.andi(reg::R6, reg::R6, 0xffff);
+    a.jmp("next");
+
+    a.label("ordinary");
+    a.muli(reg::R6, reg::R6, 31);
+    a.add(reg::R6, reg::R6, reg::R7);
+    a.andi(reg::R6, reg::R6, 0xffff);
+    a.jmp("next");
+
+    a.label("next");
+    a.addi(reg::R4, reg::R4, 1);
+    a.jmp("loop");
+
+    a.label("done");
+    // Report the slash count as the path status.
+    a.mov(reg::R0, reg::R5);
+    a.s2e(s2e_vm::isa::S2Op::KillPath);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+
+    fn run_url(url: &[u8]) -> (u32, u64) {
+        let (mut m, _) = boot();
+        let p = program();
+        m.mem.load_image(INPUT_BUF, url);
+        m.mem.load_image(INPUT_BUF + url.len() as u32, &[0]);
+        m.load(&p);
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.set_retain_terminated(true);
+        e.run(1_000_000);
+        let status = match e.terminated()[0].1 {
+            TerminationReason::Killed(c) => c,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        (status, e.terminated_states()[0].instrs_retired)
+    }
+
+    #[test]
+    fn counts_slashes() {
+        assert_eq!(run_url(b"/a/b/c").0, 3);
+        assert_eq!(run_url(b"nosl").0, 0);
+        assert_eq!(run_url(b"/").0, 1);
+    }
+
+    #[test]
+    fn ten_extra_instructions_per_slash() {
+        // Same length, different slash counts.
+        let (_, i0) = run_url(b"aaaa");
+        let (_, i1) = run_url(b"aaa/");
+        let (_, i2) = run_url(b"aa//");
+        let (_, i3) = run_url(b"a///");
+        assert_eq!(i1 - i0, EXTRA_INSTRS_PER_SLASH);
+        assert_eq!(i2 - i1, EXTRA_INSTRS_PER_SLASH);
+        assert_eq!(i3 - i2, EXTRA_INSTRS_PER_SLASH);
+    }
+
+    #[test]
+    fn no_upper_bound_in_length() {
+        // Instruction count grows linearly with URL length: no bound.
+        let (_, short) = run_url(b"/ab");
+        let (_, long) = run_url(b"/ab/ab/ab/ab/ab/ab");
+        assert!(long > short * 3);
+    }
+}

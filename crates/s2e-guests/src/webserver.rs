@@ -1,0 +1,136 @@
+//! The IIS/SSL analog (§6.1.3's page-fault experiment).
+//!
+//! A request handler that parses an HTTP-ish request line, runs a
+//! fixed-footprint "cryptographic" mixing loop (the SSL module stand-in),
+//! and writes a response. The crypto loop touches a constant set of pages
+//! regardless of the request content, so the page-fault count in the
+//! crypto region is input-independent — the property the paper checked
+//! when probing IIS for page-fault side channels.
+
+use crate::kernel::sys;
+use crate::layout::{APP_BASE, INPUT_BUF};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::reg;
+
+/// Number of mixing rounds in the crypto loop.
+pub const CRYPTO_ROUNDS: u32 = 64;
+
+/// Builds the web-handler guest. The request is read from
+/// [`INPUT_BUF`]; the response goes to the console via `write`.
+pub fn program() -> Program {
+    let mut a = Assembler::new(APP_BASE);
+
+    a.label("main");
+    // Method check: first byte must be 'G'.
+    a.movi(reg::R4, INPUT_BUF);
+    a.ld8(reg::R5, reg::R4, 0);
+    a.movi(reg::R6, b'G' as u32);
+    a.beq(reg::R5, reg::R6, "method_ok");
+    // 405 Method Not Allowed.
+    a.movi_label(reg::R1, "resp405");
+    a.movi(reg::R0, 1);
+    a.movi(reg::R2, 3);
+    a.syscall(sys::WRITE);
+    a.halt_code(45);
+    a.label("method_ok");
+
+    // "TLS handshake": mix the key schedule. The table is 16 words in the
+    // program image — every request touches exactly the same pages.
+    a.movi_label(reg::R4, "key_schedule");
+    a.movi(reg::R5, 0); // round
+    a.movi(reg::R6, 0x5a5a); // state
+    a.label("crypto_loop");
+    a.movi(reg::R7, CRYPTO_ROUNDS);
+    a.bgeu(reg::R5, reg::R7, "crypto_done");
+    a.andi(reg::R7, reg::R5, 0xf);
+    a.shli(reg::R7, reg::R7, 2);
+    a.add(reg::R7, reg::R4, reg::R7);
+    a.ld32(reg::R7, reg::R7, 0);
+    a.muli(reg::R6, reg::R6, 33);
+    a.add(reg::R6, reg::R6, reg::R7);
+    a.xori(reg::R6, reg::R6, 0x1f2e);
+    a.addi(reg::R5, reg::R5, 1);
+    a.jmp("crypto_loop");
+    a.label("crypto_done");
+
+    // Route on the first path character: '/' 'a'..'z' are 200, others 404.
+    a.ld8(reg::R5, reg::R4, 0); // dummy keep-alive read of the schedule
+    a.movi(reg::R4, INPUT_BUF);
+    a.ld8(reg::R5, reg::R4, 5); // first path byte after "GET /"
+    a.movi(reg::R6, b'a' as u32);
+    a.bltu(reg::R5, reg::R6, "not_found");
+    a.movi(reg::R6, b'z' as u32 + 1);
+    a.bgeu(reg::R5, reg::R6, "not_found");
+    a.movi_label(reg::R1, "resp200");
+    a.movi(reg::R0, 1);
+    a.movi(reg::R2, 3);
+    a.syscall(sys::WRITE);
+    a.halt_code(0);
+    a.label("not_found");
+    a.movi_label(reg::R1, "resp404");
+    a.movi(reg::R0, 1);
+    a.movi(reg::R2, 3);
+    a.syscall(sys::WRITE);
+    a.halt_code(44);
+
+    a.align(4);
+    a.label("key_schedule");
+    for k in 0..16u32 {
+        a.word(0x9e37_79b9u32.wrapping_mul(k + 1));
+    }
+    a.label("resp200");
+    a.asciiz("200");
+    a.label("resp405");
+    a.asciiz("405");
+    a.label("resp404");
+    a.asciiz("404");
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+
+    fn run_req(req: &[u8]) -> (u32, String) {
+        let (mut m, _) = boot();
+        m.mem.load_image(INPUT_BUF, req);
+        m.load(&program());
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScCe));
+        e.set_retain_terminated(true);
+        e.run(1_000_000);
+        let code = match e.terminated()[0].1 {
+            TerminationReason::Halted(c) => c,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        let out = e.terminated_states()[0]
+            .machine
+            .devices
+            .console()
+            .unwrap()
+            .output_string();
+        (code, out)
+    }
+
+    #[test]
+    fn get_known_path_returns_200() {
+        let (code, out) = run_req(b"GET /index");
+        assert_eq!(code, 0);
+        assert_eq!(out, "200");
+    }
+
+    #[test]
+    fn get_bad_path_returns_404() {
+        let (code, out) = run_req(b"GET /0dd");
+        assert_eq!(code, 44);
+        assert_eq!(out, "404");
+    }
+
+    #[test]
+    fn non_get_returns_405() {
+        let (code, out) = run_req(b"PUT /index");
+        assert_eq!(code, 45);
+        assert_eq!(out, "405");
+    }
+}

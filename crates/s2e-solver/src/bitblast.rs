@@ -1,0 +1,685 @@
+//! Tseitin bit-blasting of bitvector expressions into CNF.
+//!
+//! Every [`ExprRef`] node is lowered to a vector of SAT literals, one per
+//! bit (LSB first), with shared sub-DAGs blasted once. Arithmetic uses
+//! textbook circuits: ripple-carry adders, shift-add multipliers, restoring
+//! dividers, and logarithmic barrel shifters for data-dependent shift
+//! amounts. The circuits match the concrete semantics in `s2e_expr::fold`
+//! bit for bit (division by zero yields all-ones, remainder by zero yields
+//! the dividend, over-shifting yields zero / sign fill).
+
+use crate::sat::{Lit, SatSolver, Var};
+use s2e_expr::{BinOp, ExprKind, ExprRef, UnOp, VarId, Width};
+use std::collections::HashMap;
+
+/// Bit-blasting context layered over a [`SatSolver`].
+///
+/// The blaster owns the mapping from symbolic variables to SAT variable
+/// ranges so a model can be decoded back into bitvector values.
+#[derive(Debug)]
+pub struct BitBlaster {
+    /// The literal that is constant-true in every model.
+    true_lit: Lit,
+    memo: HashMap<usize, Vec<Lit>>,
+    var_bits: HashMap<VarId, Vec<Var>>,
+}
+
+fn node_key(e: &ExprRef) -> usize {
+    let p: &s2e_expr::Expr = e;
+    p as *const _ as usize
+}
+
+impl BitBlaster {
+    /// Creates a blaster, allocating the constant-true variable in `sat`.
+    pub fn new(sat: &mut SatSolver) -> BitBlaster {
+        let t = sat.new_var();
+        sat.add_clause(&[Lit::pos(t)]);
+        BitBlaster {
+            true_lit: Lit::pos(t),
+            memo: HashMap::new(),
+            var_bits: HashMap::new(),
+        }
+    }
+
+    /// The always-true literal.
+    pub fn true_lit(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The always-false literal.
+    pub fn false_lit(&self) -> Lit {
+        !self.true_lit
+    }
+
+    fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            self.true_lit
+        } else {
+            !self.true_lit
+        }
+    }
+
+    fn const_bits(&self, v: u64, w: Width) -> Vec<Lit> {
+        (0..w.bits()).map(|i| self.const_lit(v >> i & 1 == 1)).collect()
+    }
+
+    /// SAT variables backing a symbolic variable, if it was blasted.
+    pub fn bits_of_var(&self, id: VarId) -> Option<&[Var]> {
+        self.var_bits.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Iterates over all blasted symbolic variables.
+    pub fn blasted_vars(&self) -> impl Iterator<Item = (VarId, &[Var])> {
+        self.var_bits.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Asserts a boolean expression to be true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not of boolean width.
+    pub fn assert_true(&mut self, sat: &mut SatSolver, e: &ExprRef) {
+        assert_eq!(e.width(), Width::BOOL, "can only assert boolean expressions");
+        let bits = self.blast(sat, e);
+        sat.add_clause(&[bits[0]]);
+    }
+
+    /// Lowers an expression to its bit literals (LSB first).
+    pub fn blast(&mut self, sat: &mut SatSolver, e: &ExprRef) -> Vec<Lit> {
+        if let Some(bits) = self.memo.get(&node_key(e)) {
+            return bits.clone();
+        }
+        let w = e.width();
+        let bits = match e.kind() {
+            ExprKind::Const(v) => self.const_bits(*v, w),
+            ExprKind::Var(id, _) => {
+                let vars: Vec<Var> = (0..w.bits()).map(|_| sat.new_var()).collect();
+                self.var_bits.insert(*id, vars.clone());
+                vars.into_iter().map(Lit::pos).collect()
+            }
+            ExprKind::Unary(UnOp::Not, a) => {
+                let ab = self.blast(sat, a);
+                ab.into_iter().map(|l| !l).collect()
+            }
+            ExprKind::Unary(UnOp::Neg, a) => {
+                // -a == ~a + 1
+                let ab = self.blast(sat, a);
+                let nb: Vec<Lit> = ab.into_iter().map(|l| !l).collect();
+                let one = self.const_bits(1, w);
+                self.adder(sat, &nb, &one, self.false_lit()).0
+            }
+            ExprKind::Binary(op, a, b) => self.blast_binary(sat, *op, a, b, w),
+            ExprKind::Extract { src, lo } => {
+                let sb = self.blast(sat, src);
+                sb[*lo as usize..(*lo + w.bits()) as usize].to_vec()
+            }
+            ExprKind::ZExt(src) => {
+                let mut sb = self.blast(sat, src);
+                sb.resize(w.bits() as usize, self.false_lit());
+                sb
+            }
+            ExprKind::SExt(src) => {
+                let sb = self.blast(sat, src);
+                let sign = *sb.last().expect("non-empty");
+                let mut out = sb;
+                out.resize(w.bits() as usize, sign);
+                out
+            }
+            ExprKind::Ite(c, t, f) => {
+                let cb = self.blast(sat, c)[0];
+                let tb = self.blast(sat, t);
+                let fb = self.blast(sat, f);
+                self.mux_vec(sat, cb, &tb, &fb)
+            }
+        };
+        debug_assert_eq!(bits.len(), w.bits() as usize);
+        self.memo.insert(node_key(e), bits.clone());
+        bits
+    }
+
+    fn blast_binary(
+        &mut self,
+        sat: &mut SatSolver,
+        op: BinOp,
+        a: &ExprRef,
+        b: &ExprRef,
+        out_w: Width,
+    ) -> Vec<Lit> {
+        let ab = self.blast(sat, a);
+        let bb = self.blast(sat, b);
+        match op {
+            BinOp::And => self.zip_gate(sat, &ab, &bb, Self::and_gate),
+            BinOp::Or => self.zip_gate(sat, &ab, &bb, Self::or_gate),
+            BinOp::Xor => self.zip_gate(sat, &ab, &bb, Self::xor_gate),
+            BinOp::Add => self.adder(sat, &ab, &bb, self.false_lit()).0,
+            BinOp::Sub => {
+                let nb: Vec<Lit> = bb.iter().map(|&l| !l).collect();
+                self.adder(sat, &ab, &nb, self.true_lit()).0
+            }
+            BinOp::Mul => self.multiplier(sat, &ab, &bb),
+            BinOp::UDiv => self.divider(sat, &ab, &bb).0,
+            BinOp::URem => self.divider(sat, &ab, &bb).1,
+            BinOp::SDiv => self.signed_div_rem(sat, &ab, &bb).0,
+            BinOp::SRem => self.signed_div_rem(sat, &ab, &bb).1,
+            BinOp::Shl => self.barrel_shift(sat, &ab, &bb, ShiftKind::Left),
+            BinOp::LShr => self.barrel_shift(sat, &ab, &bb, ShiftKind::LogicalRight),
+            BinOp::AShr => self.barrel_shift(sat, &ab, &bb, ShiftKind::ArithRight),
+            BinOp::Eq => vec![self.equals(sat, &ab, &bb)],
+            BinOp::Ne => vec![!self.equals(sat, &ab, &bb)],
+            BinOp::ULt => vec![self.ult(sat, &ab, &bb)],
+            BinOp::ULe => vec![!self.ult(sat, &bb, &ab)],
+            BinOp::SLt => {
+                let (fa, fb) = (self.flip_sign(&ab), self.flip_sign(&bb));
+                vec![self.ult(sat, &fa, &fb)]
+            }
+            BinOp::SLe => {
+                let (fa, fb) = (self.flip_sign(&ab), self.flip_sign(&bb));
+                vec![!self.ult(sat, &fb, &fa)]
+            }
+            BinOp::Concat => {
+                // a is the high part.
+                let mut out = bb;
+                out.extend(ab);
+                debug_assert_eq!(out.len(), out_w.bits() as usize);
+                out
+            }
+        }
+    }
+
+    /// Flips the sign bit so unsigned comparison implements signed order.
+    fn flip_sign(&self, a: &[Lit]) -> Vec<Lit> {
+        let mut out = a.to_vec();
+        let last = out.len() - 1;
+        out[last] = !out[last];
+        out
+    }
+
+    fn fresh(&self, sat: &mut SatSolver) -> Lit {
+        Lit::pos(sat.new_var())
+    }
+
+    fn and_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        // Constant short-circuits.
+        if a == self.false_lit() || b == self.false_lit() {
+            return self.false_lit();
+        }
+        if a == self.true_lit {
+            return b;
+        }
+        if b == self.true_lit {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.false_lit();
+        }
+        let o = self.fresh(sat);
+        sat.add_clause(&[!a, !b, o]);
+        sat.add_clause(&[a, !o]);
+        sat.add_clause(&[b, !o]);
+        o
+    }
+
+    fn or_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        !self.and_gate(sat, !a, !b)
+    }
+
+    fn xor_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        if a == self.false_lit() {
+            return b;
+        }
+        if b == self.false_lit() {
+            return a;
+        }
+        if a == self.true_lit {
+            return !b;
+        }
+        if b == self.true_lit {
+            return !a;
+        }
+        if a == b {
+            return self.false_lit();
+        }
+        if a == !b {
+            return self.true_lit;
+        }
+        let o = self.fresh(sat);
+        sat.add_clause(&[!a, !b, !o]);
+        sat.add_clause(&[a, b, !o]);
+        sat.add_clause(&[!a, b, o]);
+        sat.add_clause(&[a, !b, o]);
+        o
+    }
+
+    /// `if c then t else f` for single literals.
+    fn mux(&mut self, sat: &mut SatSolver, c: Lit, t: Lit, f: Lit) -> Lit {
+        if c == self.true_lit {
+            return t;
+        }
+        if c == self.false_lit() {
+            return f;
+        }
+        if t == f {
+            return t;
+        }
+        let o = self.fresh(sat);
+        sat.add_clause(&[!c, !t, o]);
+        sat.add_clause(&[!c, t, !o]);
+        sat.add_clause(&[c, !f, o]);
+        sat.add_clause(&[c, f, !o]);
+        o
+    }
+
+    fn mux_vec(&mut self, sat: &mut SatSolver, c: Lit, t: &[Lit], f: &[Lit]) -> Vec<Lit> {
+        t.iter()
+            .zip(f)
+            .map(|(&tb, &fb)| self.mux(sat, c, tb, fb))
+            .collect()
+    }
+
+    fn zip_gate(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        b: &[Lit],
+        gate: fn(&mut Self, &mut SatSolver, Lit, Lit) -> Lit,
+    ) -> Vec<Lit> {
+        a.iter().zip(b).map(|(&x, &y)| gate(self, sat, x, y)).collect()
+    }
+
+    /// Ripple-carry adder; returns (sum bits, carry out).
+    fn adder(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+        let mut out = Vec::with_capacity(a.len());
+        let mut carry = cin;
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor_gate(sat, x, y);
+            let sum = self.xor_gate(sat, xy, carry);
+            // carry' = (x & y) | (carry & (x ^ y))
+            let c1 = self.and_gate(sat, x, y);
+            let c2 = self.and_gate(sat, carry, xy);
+            carry = self.or_gate(sat, c1, c2);
+            out.push(sum);
+        }
+        (out, carry)
+    }
+
+    /// Shift-add multiplier (width of `a`).
+    fn multiplier(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.false_lit(); w];
+        for (i, &bi) in b.iter().enumerate() {
+            if i >= w {
+                break;
+            }
+            // addend = (a << i) masked by bi
+            let mut addend = vec![self.false_lit(); w];
+            for j in 0..(w - i) {
+                addend[i + j] = self.and_gate(sat, a[j], bi);
+            }
+            acc = self.adder(sat, &acc, &addend, self.false_lit()).0;
+        }
+        acc
+    }
+
+    /// Restoring divider; returns (quotient, remainder) with the
+    /// divide-by-zero semantics of `s2e_expr` (q = all ones, r = dividend).
+    fn divider(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        // The working remainder is w+1 bits wide: after the shift-in step it
+        // can reach 2*(b-1)+1 which does not fit in w bits.
+        let mut rem = vec![self.false_lit(); w + 1];
+        let mut wb: Vec<Lit> = b.to_vec();
+        wb.push(self.false_lit());
+        let mut quo = vec![self.false_lit(); w];
+        for i in (0..w).rev() {
+            // rem = (rem << 1) | a[i]; the dropped top bit is provably zero
+            // because rem < b <= 2^w - 1 before every shift.
+            for j in (1..=w).rev() {
+                rem[j] = rem[j - 1];
+            }
+            rem[0] = a[i];
+            // ge = rem >= b  computed as !(rem < b)
+            let lt = self.ult(sat, &rem, &wb);
+            let ge = !lt;
+            // if ge { rem -= b; q[i] = 1 }
+            let nb: Vec<Lit> = wb.iter().map(|&l| !l).collect();
+            let diff = self.adder(sat, &rem, &nb, self.true_lit()).0;
+            rem = self.mux_vec(sat, ge, &diff, &rem);
+            quo[i] = ge;
+        }
+        let rem: Vec<Lit> = rem.into_iter().take(w).collect();
+        // Divide-by-zero fixup.
+        let zero = vec![self.false_lit(); w];
+        let b_is_zero = self.equals(sat, b, &zero);
+        let all_ones = vec![self.true_lit; w];
+        let quo = self.mux_vec(sat, b_is_zero, &all_ones, &quo);
+        let rem = self.mux_vec(sat, b_is_zero, a, &rem);
+        (quo, rem)
+    }
+
+    /// Signed division/remainder via absolute values and sign fixups.
+    fn signed_div_rem(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        b: &[Lit],
+    ) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let sign_a = a[w - 1];
+        let sign_b = b[w - 1];
+        let abs_a = self.abs(sat, a);
+        let abs_b = self.abs(sat, b);
+        let (uq, ur) = self.divider(sat, &abs_a, &abs_b);
+        // Quotient negative iff signs differ.
+        let q_neg = self.xor_gate(sat, sign_a, sign_b);
+        let neg_uq = self.negate(sat, &uq);
+        let q_signed = self.mux_vec(sat, q_neg, &neg_uq, &uq);
+        // Remainder takes the dividend's sign.
+        let neg_ur = self.negate(sat, &ur);
+        let r_signed = self.mux_vec(sat, sign_a, &neg_ur, &ur);
+        // Divide-by-zero semantics are defined on the *raw* operands.
+        let zero = vec![self.false_lit(); w];
+        let b_is_zero = self.equals(sat, b, &zero);
+        let all_ones = vec![self.true_lit; w];
+        let q = self.mux_vec(sat, b_is_zero, &all_ones, &q_signed);
+        let r = self.mux_vec(sat, b_is_zero, a, &r_signed);
+        (q, r)
+    }
+
+    fn negate(&mut self, sat: &mut SatSolver, a: &[Lit]) -> Vec<Lit> {
+        let nb: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        let one = {
+            let mut v = vec![self.false_lit(); a.len()];
+            v[0] = self.true_lit;
+            v
+        };
+        self.adder(sat, &nb, &one, self.false_lit()).0
+    }
+
+    fn abs(&mut self, sat: &mut SatSolver, a: &[Lit]) -> Vec<Lit> {
+        let sign = a[a.len() - 1];
+        let neg = self.negate(sat, a);
+        self.mux_vec(sat, sign, &neg, a)
+    }
+
+    fn equals(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.true_lit;
+        for (&x, &y) in a.iter().zip(b) {
+            let same = !self.xor_gate(sat, x, y);
+            acc = self.and_gate(sat, acc, same);
+        }
+        acc
+    }
+
+    /// Unsigned `a < b` comparator, MSB downward.
+    fn ult(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut lt = self.false_lit();
+        for (&x, &y) in a.iter().zip(b) {
+            // From LSB to MSB: lt' = (¬x ∧ y) ∨ ((x ≡ y) ∧ lt)
+            let xlty = self.and_gate(sat, !x, y);
+            let eq = !self.xor_gate(sat, x, y);
+            let keep = self.and_gate(sat, eq, lt);
+            lt = self.or_gate(sat, xlty, keep);
+        }
+        lt
+    }
+
+    fn barrel_shift(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        amount: &[Lit],
+        kind: ShiftKind,
+    ) -> Vec<Lit> {
+        let w = a.len();
+        let fill = match kind {
+            ShiftKind::ArithRight => a[w - 1],
+            _ => self.false_lit(),
+        };
+        let stages = (usize::BITS - (w - 1).leading_zeros()) as usize; // ceil(log2 w)
+        let mut cur = a.to_vec();
+        for (k, &amount_bit) in amount.iter().enumerate().take(stages) {
+            let sh = 1usize << k;
+            let shifted: Vec<Lit> = (0..w)
+                .map(|i| match kind {
+                    ShiftKind::Left => {
+                        if i >= sh {
+                            cur[i - sh]
+                        } else {
+                            self.false_lit()
+                        }
+                    }
+                    ShiftKind::LogicalRight | ShiftKind::ArithRight => {
+                        if i + sh < w {
+                            cur[i + sh]
+                        } else {
+                            fill
+                        }
+                    }
+                })
+                .collect();
+            cur = self.mux_vec(sat, amount_bit, &shifted, &cur);
+        }
+        // Any set bit at position >= ceil(log2 w) (or, for non-power-of-two
+        // widths, a shift amount >= w within the staged bits) means
+        // over-shift.
+        let mut over = self.false_lit();
+        for (k, &bit) in amount.iter().enumerate() {
+            if (1u128 << k.min(127)) >= w as u128 {
+                over = self.or_gate(sat, over, bit);
+            }
+        }
+        if !w.is_power_of_two() {
+            // staged amount can still be >= w: compare the low stage bits.
+            let low: Vec<Lit> = amount.iter().copied().take(stages).collect();
+            let w_bits: Vec<Lit> = (0..stages)
+                .map(|i| self.const_lit(w >> i & 1 == 1))
+                .collect();
+            let lt_w = self.ult(sat, &low, &w_bits);
+            over = self.or_gate(sat, over, !lt_w);
+        }
+        let fill_vec = vec![fill; w];
+        self.mux_vec(sat, over, &fill_vec, &cur)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithRight,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatOutcome;
+    use s2e_expr::{eval, Assignment, ExprBuilder};
+
+    /// Blasts `expr == expected` for all 4-bit values of `x` and `y` and
+    /// checks SAT/UNSAT against concrete evaluation.
+    fn exhaustive_check(op: BinOp, w: Width) {
+        let b = ExprBuilder::new();
+        let x = b.var("x", w);
+        let y = b.var("y", w);
+        let e = b.binop(op, x.clone(), y.clone());
+        for xv in 0..(1u64 << w.bits()) {
+            for yv in 0..(1u64 << w.bits()) {
+                let mut asg = Assignment::new();
+                asg.set_by_name("x", xv);
+                asg.set_by_name("y", yv);
+                let expected = eval(&e, &asg).unwrap();
+                // Assert x == xv, y == yv, e != expected: must be UNSAT.
+                let mut sat = SatSolver::new();
+                let mut bb = BitBlaster::new(&mut sat);
+                let cx = b.eq(x.clone(), b.constant(xv, w));
+                let cy = b.eq(y.clone(), b.constant(yv, w));
+                let ew = e.width();
+                let cne = b.ne(e.clone(), b.constant(expected, ew));
+                bb.assert_true(&mut sat, &cx);
+                bb.assert_true(&mut sat, &cy);
+                bb.assert_true(&mut sat, &cne);
+                assert_eq!(
+                    sat.solve(u64::MAX),
+                    SatOutcome::Unsat,
+                    "{op:?}: {xv} op {yv} != {expected} should be unsat"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_semantics() {
+        exhaustive_check(BinOp::Add, Width::new(4));
+    }
+
+    #[test]
+    fn sub_matches_semantics() {
+        exhaustive_check(BinOp::Sub, Width::new(4));
+    }
+
+    #[test]
+    fn mul_matches_semantics() {
+        exhaustive_check(BinOp::Mul, Width::new(4));
+    }
+
+    #[test]
+    fn udiv_matches_semantics() {
+        exhaustive_check(BinOp::UDiv, Width::new(3));
+    }
+
+    #[test]
+    fn urem_matches_semantics() {
+        exhaustive_check(BinOp::URem, Width::new(3));
+    }
+
+    #[test]
+    fn sdiv_matches_semantics() {
+        exhaustive_check(BinOp::SDiv, Width::new(3));
+    }
+
+    #[test]
+    fn srem_matches_semantics() {
+        exhaustive_check(BinOp::SRem, Width::new(3));
+    }
+
+    #[test]
+    fn shl_matches_semantics() {
+        exhaustive_check(BinOp::Shl, Width::new(4));
+    }
+
+    #[test]
+    fn lshr_matches_semantics() {
+        exhaustive_check(BinOp::LShr, Width::new(4));
+    }
+
+    #[test]
+    fn ashr_matches_semantics() {
+        exhaustive_check(BinOp::AShr, Width::new(4));
+    }
+
+    #[test]
+    fn shifts_at_non_power_of_two_width() {
+        exhaustive_check(BinOp::Shl, Width::new(3));
+        exhaustive_check(BinOp::LShr, Width::new(3));
+        exhaustive_check(BinOp::AShr, Width::new(3));
+    }
+
+    #[test]
+    fn comparisons_match_semantics() {
+        for op in [BinOp::Eq, BinOp::Ne, BinOp::ULt, BinOp::ULe, BinOp::SLt, BinOp::SLe] {
+            exhaustive_check(op, Width::new(3));
+        }
+    }
+
+    #[test]
+    fn bitwise_match_semantics() {
+        for op in [BinOp::And, BinOp::Or, BinOp::Xor] {
+            exhaustive_check(op, Width::new(4));
+        }
+    }
+
+    #[test]
+    fn model_extraction_decodes_variables() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let c = b.eq(x.clone(), b.constant(0xa5, Width::W8));
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        bb.assert_true(&mut sat, &c);
+        assert_eq!(sat.solve(u64::MAX), SatOutcome::Sat);
+        let (id, bits) = bb.blasted_vars().next().unwrap();
+        let mut v = 0u64;
+        for (i, &bit) in bits.iter().enumerate() {
+            if sat.model_value(bit).unwrap() {
+                v |= 1 << i;
+            }
+        }
+        assert_eq!(v, 0xa5);
+        assert!(bb.bits_of_var(id).is_some());
+    }
+
+    #[test]
+    fn concat_extract_blast() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let cat = b.concat(x.clone(), y.clone());
+        // Assert concat == 0xab_cd, then x must be 0xab and y 0xcd.
+        let c = b.eq(cat, b.constant(0xabcd, Width::W16));
+        let cx = b.ne(x, b.constant(0xab, Width::W8));
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        bb.assert_true(&mut sat, &c);
+        bb.assert_true(&mut sat, &cx);
+        assert_eq!(sat.solve(u64::MAX), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn sext_blast() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let wide = b.sext(x.clone(), Width::W16);
+        // x == 0x80 (negative) forces the wide value to 0xff80.
+        let c1 = b.eq(x, b.constant(0x80, Width::W8));
+        let c2 = b.ne(wide, b.constant(0xff80, Width::W16));
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        bb.assert_true(&mut sat, &c1);
+        bb.assert_true(&mut sat, &c2);
+        assert_eq!(sat.solve(u64::MAX), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn ite_blast() {
+        let b = ExprBuilder::new();
+        let c = b.var("c", Width::BOOL);
+        let e = b.ite(c.clone(), b.constant(3, Width::W8), b.constant(7, Width::W8));
+        // e == 7 forces c == 0.
+        let q1 = b.eq(e, b.constant(7, Width::W8));
+        let q2 = b.eq(c, b.true_());
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        bb.assert_true(&mut sat, &q1);
+        bb.assert_true(&mut sat, &q2);
+        assert_eq!(sat.solve(u64::MAX), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn shared_subdag_blasted_once() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let shared = b.add(x.clone(), b.constant(1, Width::W8));
+        let e = b.eq(shared.clone(), shared.clone());
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        let before = sat.num_vars();
+        let bits = bb.blast(&mut sat, &e);
+        // x (8 vars) plus gate vars; the shared add must not double the
+        // count. (eq of identical vectors folds to true at the gate level.)
+        assert_eq!(bits[0], bb.true_lit());
+        assert!(sat.num_vars() <= before + 8 + 32);
+    }
+}

@@ -1,0 +1,38 @@
+//! Constraint solving for the S2E platform.
+//!
+//! The original S2E inherits the STP bitvector solver through KLEE. This
+//! crate provides the equivalent substrate, built from scratch:
+//!
+//! - [`sat`] — a CDCL SAT solver (two-watched literals, first-UIP clause
+//!   learning, VSIDS-style activity, Luby restarts, phase saving);
+//! - [`bitblast`] — a Tseitin bit-blaster translating
+//!   [`s2e_expr`] bitvector DAGs into CNF (ripple-carry adders, shift-add
+//!   multipliers, restoring dividers, barrel shifters);
+//! - [`Solver`] — the high-level query interface used by the execution
+//!   engine, with a query cache, a counterexample (model) pool as in KLEE,
+//!   and the per-query timing statistics that the paper's Fig. 9 reports.
+//!
+//! # Example
+//!
+//! ```
+//! use s2e_expr::{ExprBuilder, Width};
+//! use s2e_solver::{SatResult, Solver};
+//!
+//! let b = ExprBuilder::new();
+//! let x = b.var("x", Width::W8);
+//! // x + 10 == 2 at 8 bits: satisfiable by x = 248.
+//! let c = b.eq(b.add(x.clone(), b.constant(10, Width::W8)), b.constant(2, Width::W8));
+//! let mut solver = Solver::new();
+//! match solver.check(&[c]) {
+//!     SatResult::Sat(model) => {
+//!         assert_eq!(s2e_expr::eval(&x, &model).unwrap(), 248);
+//!     }
+//!     other => panic!("expected sat, got {other:?}"),
+//! }
+//! ```
+
+pub mod bitblast;
+pub mod sat;
+mod solver;
+
+pub use solver::{QueryKind, SatResult, Solver, SolverConfig, SolverStats};

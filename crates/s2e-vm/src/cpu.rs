@@ -1,0 +1,209 @@
+//! The virtual CPU state.
+
+use crate::isa::reg::NUM_REGS;
+use crate::value::Value;
+use std::fmt;
+
+/// Machine faults. A fault terminates the current path; the platform's
+/// bug-checking analyzers (the `WinBugCheck` analog) turn faults into bug
+/// reports with the faulting address and program counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Load or store touched the null guard page.
+    NullAccess {
+        /// Faulting data address.
+        addr: u32,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// Undecodable instruction.
+    InvalidOpcode {
+        /// Program counter of the bad instruction.
+        pc: u32,
+    },
+    /// An `S2Op::Assert` failed.
+    AssertFailed {
+        /// Program counter of the assertion.
+        pc: u32,
+    },
+    /// Control transferred to a symbolic program counter that could not be
+    /// resolved.
+    SymbolicPc {
+        /// Program counter of the jump.
+        pc: u32,
+    },
+    /// The kernel reported an unrecoverable condition (guest "panic" /
+    /// blue screen).
+    KernelPanic {
+        /// Panic code passed by the guest.
+        code: u32,
+        /// Program counter of the panic.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::NullAccess { addr, pc } => {
+                write!(f, "null access at {addr:#010x} (pc={pc:#010x})")
+            }
+            FaultKind::InvalidOpcode { pc } => write!(f, "invalid opcode (pc={pc:#010x})"),
+            FaultKind::AssertFailed { pc } => write!(f, "assertion failed (pc={pc:#010x})"),
+            FaultKind::SymbolicPc { pc } => write!(f, "symbolic program counter (pc={pc:#010x})"),
+            FaultKind::KernelPanic { code, pc } => {
+                write!(f, "kernel panic {code:#x} (pc={pc:#010x})")
+            }
+        }
+    }
+}
+
+/// The virtual CPU: sixteen general registers (each possibly symbolic), a
+/// concrete program counter, and interrupt state.
+///
+/// The program counter is always concrete: a branch on a symbolic
+/// condition is resolved by the execution engine (fork or concretize)
+/// *before* the PC is updated — this is where the paper's state forking
+/// happens.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    regs: [Value; NUM_REGS],
+    /// Program counter.
+    pub pc: u32,
+    /// Maskable-interrupt enable flag.
+    pub interrupts_enabled: bool,
+    /// Pending IRQ lines (bitmask).
+    pub pending_irqs: u32,
+    /// Exit code when halted.
+    pub halted: Option<u32>,
+    /// Terminal fault, if any.
+    pub fault: Option<FaultKind>,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed registers, PC 0, interrupts disabled.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: Default::default(),
+            pc: 0,
+            interrupts_enabled: false,
+            pending_irqs: 0,
+            halted: None,
+            fault: None,
+        }
+    }
+
+    /// Reads a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16` (encodings are validated at decode time).
+    pub fn reg(&self, r: u8) -> &Value {
+        &self.regs[r as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: u8, v: Value) {
+        self.regs[r as usize] = v;
+    }
+
+    /// True if the machine can make progress (not halted, not faulted).
+    pub fn is_running(&self) -> bool {
+        self.halted.is_none() && self.fault.is_none()
+    }
+
+    /// Raises an IRQ line.
+    pub fn raise_irq(&mut self, line: u32) {
+        self.pending_irqs |= 1 << line;
+    }
+
+    /// Takes (clears and returns) the lowest pending IRQ if interrupts are
+    /// enabled.
+    pub fn take_irq(&mut self) -> Option<u32> {
+        if !self.interrupts_enabled || self.pending_irqs == 0 {
+            return None;
+        }
+        let line = self.pending_irqs.trailing_zeros();
+        self.pending_irqs &= !(1 << line);
+        Some(line)
+    }
+
+    /// Number of registers currently holding symbolic values.
+    pub fn symbolic_reg_count(&self) -> usize {
+        self.regs.iter().filter(|v| v.is_symbolic()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_default_to_zero() {
+        let c = Cpu::new();
+        for r in 0..16 {
+            assert_eq!(c.reg(r).as_concrete(), Some(0));
+        }
+    }
+
+    #[test]
+    fn reg_write_read() {
+        let mut c = Cpu::new();
+        c.set_reg(5, Value::Concrete(42));
+        assert_eq!(c.reg(5).as_concrete(), Some(42));
+    }
+
+    #[test]
+    fn irq_masking() {
+        let mut c = Cpu::new();
+        c.raise_irq(1);
+        assert_eq!(c.take_irq(), None); // disabled
+        c.interrupts_enabled = true;
+        assert_eq!(c.take_irq(), Some(1));
+        assert_eq!(c.take_irq(), None); // consumed
+    }
+
+    #[test]
+    fn irq_priority_lowest_first() {
+        let mut c = Cpu::new();
+        c.interrupts_enabled = true;
+        c.raise_irq(1);
+        c.raise_irq(0);
+        assert_eq!(c.take_irq(), Some(0));
+        assert_eq!(c.take_irq(), Some(1));
+    }
+
+    #[test]
+    fn running_state() {
+        let mut c = Cpu::new();
+        assert!(c.is_running());
+        c.halted = Some(0);
+        assert!(!c.is_running());
+        let mut c = Cpu::new();
+        c.fault = Some(FaultKind::InvalidOpcode { pc: 0 });
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn symbolic_reg_count() {
+        use s2e_expr::{ExprBuilder, Width};
+        let b = ExprBuilder::new();
+        let mut c = Cpu::new();
+        assert_eq!(c.symbolic_reg_count(), 0);
+        c.set_reg(0, Value::Symbolic(b.var("x", Width::W32)));
+        c.set_reg(1, Value::Symbolic(b.var("y", Width::W32)));
+        assert_eq!(c.symbolic_reg_count(), 2);
+    }
+
+    #[test]
+    fn fault_display_nonempty() {
+        let f = FaultKind::NullAccess { addr: 4, pc: 0x2000 };
+        assert!(!f.to_string().is_empty());
+    }
+}

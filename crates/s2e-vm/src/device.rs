@@ -1,0 +1,558 @@
+//! Virtual devices with port-mapped I/O.
+//!
+//! Four devices model the hardware the paper's experiments need:
+//!
+//! - [`Console`] — byte output (the guest's debug channel);
+//! - [`Timer`] — interval timer driving IRQ 0, used to exercise interrupt
+//!   paths and per-state virtual time;
+//! - [`Nic`] — a synthetic network interface with status/command/data
+//!   ports, receive/transmit FIFOs, and a *symbolic hardware* mode: when
+//!   enabled, reads return fresh unconstrained symbolic values, exactly how
+//!   DDT/RevNIC model hardware inputs (paper §3.2, §6.1);
+//! - [`ConfigStore`] — a key/value configuration space standing in for the
+//!   Windows registry: the platform injects symbolic values here to
+//!   implement data-based selectors like `MSWinRegistry`.
+//!
+//! Devices are cloned when an execution state forks, so all their state is
+//! plain data.
+
+use crate::value::Value;
+use s2e_expr::{ExprBuilder, Width};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Well-known port numbers.
+pub mod ports {
+    /// Console byte output (write).
+    pub const CONSOLE_OUT: u16 = 0x01;
+    /// Console status (read; always ready).
+    pub const CONSOLE_STATUS: u16 = 0x02;
+    /// Timer reload value (write) / current count (read).
+    pub const TIMER_LOAD: u16 = 0x10;
+    /// Timer control: 1 = enable, 0 = disable (write).
+    pub const TIMER_CTRL: u16 = 0x11;
+    /// NIC status register (read).
+    pub const NIC_STATUS: u16 = 0x20;
+    /// NIC command register (write).
+    pub const NIC_CMD: u16 = 0x21;
+    /// NIC data FIFO (read pops RX, write pushes TX).
+    pub const NIC_DATA: u16 = 0x22;
+    /// NIC receive queue length (read).
+    pub const NIC_RXLEN: u16 = 0x23;
+    /// Config store: select key (write).
+    pub const CFG_SELECT: u16 = 0x30;
+    /// Config store: read/write value of the selected key.
+    pub const CFG_DATA: u16 = 0x31;
+}
+
+/// NIC status bits.
+pub mod nic_status {
+    /// Device is initialized and ready.
+    pub const READY: u32 = 1 << 0;
+    /// At least one RX byte is available.
+    pub const RX_AVAIL: u32 = 1 << 1;
+    /// The last transmit completed.
+    pub const TX_DONE: u32 = 1 << 2;
+    /// Link is up.
+    pub const LINK_UP: u32 = 1 << 3;
+}
+
+/// NIC commands.
+pub mod nic_cmd {
+    /// Reset the device.
+    pub const RESET: u32 = 1;
+    /// Enable the device (sets READY).
+    pub const ENABLE: u32 = 2;
+    /// Mark the TX FIFO contents as one sent frame.
+    pub const SEND: u32 = 3;
+    /// Acknowledge/clear pending NIC interrupt.
+    pub const ACK_IRQ: u32 = 4;
+}
+
+/// A virtual device attached to the port bus.
+pub trait Device: fmt::Debug + Send {
+    /// Device name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Upcast for typed access ([`DeviceSet::nic`] and friends).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for typed access.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Handles a port read; `None` if this device does not own the port.
+    fn read_port(&mut self, port: u16, builder: &ExprBuilder) -> Option<Value>;
+
+    /// Handles a port write; `true` if this device owns the port.
+    fn write_port(&mut self, port: u16, value: &Value, builder: &ExprBuilder) -> bool;
+
+    /// Advances device time by `cycles` executed instructions; returns an
+    /// IRQ line to raise, if any.
+    fn tick(&mut self, cycles: u64) -> Option<u32>;
+
+    /// Clones the device (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn Device>;
+}
+
+impl Clone for Box<dyn Device> {
+    fn clone(&self) -> Box<dyn Device> {
+        self.box_clone()
+    }
+}
+
+/// Byte-output console.
+#[derive(Clone, Debug, Default)]
+pub struct Console {
+    output: Vec<u8>,
+}
+
+impl Console {
+    /// Creates a console with empty output.
+    pub fn new() -> Console {
+        Console::default()
+    }
+
+    /// The bytes written so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Output interpreted as UTF-8 (lossy).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+impl Device for Console {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "console"
+    }
+
+    fn read_port(&mut self, port: u16, _b: &ExprBuilder) -> Option<Value> {
+        match port {
+            ports::CONSOLE_STATUS => Some(Value::Concrete(1)),
+            _ => None,
+        }
+    }
+
+    fn write_port(&mut self, port: u16, value: &Value, _b: &ExprBuilder) -> bool {
+        if port == ports::CONSOLE_OUT {
+            // Symbolic console bytes are recorded as '?' — the console is
+            // a debug channel, not analysis input.
+            self.output.push(value.as_concrete().map(|v| v as u8).unwrap_or(b'?'));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn tick(&mut self, _cycles: u64) -> Option<u32> {
+        None
+    }
+
+    fn box_clone(&self) -> Box<dyn Device> {
+        Box::new(self.clone())
+    }
+}
+
+/// Interval timer raising IRQ 0.
+///
+/// The S2E engine slows the timer down while executing symbolically
+/// (paper §5: virtual time) by scaling the cycle counts it feeds to
+/// `tick`.
+#[derive(Clone, Debug)]
+pub struct Timer {
+    reload: u32,
+    remaining: u64,
+    enabled: bool,
+}
+
+impl Default for Timer {
+    fn default() -> Timer {
+        Timer::new()
+    }
+}
+
+impl Timer {
+    /// Creates a disabled timer with a 10 000-cycle period.
+    pub fn new() -> Timer {
+        Timer {
+            reload: 10_000,
+            remaining: 10_000,
+            enabled: false,
+        }
+    }
+
+    /// True if the timer is counting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Device for Timer {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "timer"
+    }
+
+    fn read_port(&mut self, port: u16, _b: &ExprBuilder) -> Option<Value> {
+        match port {
+            ports::TIMER_LOAD => Some(Value::Concrete(self.remaining as u32)),
+            _ => None,
+        }
+    }
+
+    fn write_port(&mut self, port: u16, value: &Value, _b: &ExprBuilder) -> bool {
+        match port {
+            ports::TIMER_LOAD => {
+                let v = value.as_concrete().unwrap_or(10_000).max(1);
+                self.reload = v;
+                self.remaining = v as u64;
+                true
+            }
+            ports::TIMER_CTRL => {
+                self.enabled = value.as_concrete().unwrap_or(0) != 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn tick(&mut self, cycles: u64) -> Option<u32> {
+        if !self.enabled {
+            return None;
+        }
+        if cycles >= self.remaining {
+            self.remaining = self.reload as u64;
+            Some(crate::isa::irq::TIMER)
+        } else {
+            self.remaining -= cycles;
+            None
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn Device> {
+        Box::new(self.clone())
+    }
+}
+
+/// Synthetic network interface.
+#[derive(Clone, Debug, Default)]
+pub struct Nic {
+    ready: bool,
+    link_up: bool,
+    rx: VecDeque<Value>,
+    tx: Vec<Value>,
+    sent_frames: Vec<Vec<Value>>,
+    irq_pending: bool,
+    /// When set, port reads return fresh unconstrained symbolic values —
+    /// the paper's *symbolic hardware*.
+    pub symbolic_hardware: bool,
+    sym_counter: u32,
+}
+
+impl Nic {
+    /// Creates a NIC with link up and empty FIFOs.
+    pub fn new() -> Nic {
+        Nic {
+            link_up: true,
+            ..Nic::default()
+        }
+    }
+
+    /// Queues bytes for the guest to receive.
+    pub fn inject_rx(&mut self, bytes: impl IntoIterator<Item = Value>) {
+        self.rx.extend(bytes);
+    }
+
+    /// Frames the guest transmitted (each `SEND` command flushes the TX
+    /// FIFO into one frame).
+    pub fn sent_frames(&self) -> &[Vec<Value>] {
+        &self.sent_frames
+    }
+
+    /// True if an interrupt is pending (for tests).
+    pub fn irq_pending(&self) -> bool {
+        self.irq_pending
+    }
+
+    fn fresh_sym(&mut self, b: &ExprBuilder, what: &str) -> Value {
+        self.sym_counter += 1;
+        Value::Symbolic(b.var(&format!("hw_{what}_{}", self.sym_counter), Width::W32))
+    }
+}
+
+impl Device for Nic {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "nic"
+    }
+
+    fn read_port(&mut self, port: u16, b: &ExprBuilder) -> Option<Value> {
+        match port {
+            ports::NIC_STATUS => {
+                if self.symbolic_hardware {
+                    return Some(self.fresh_sym(b, "status"));
+                }
+                let mut s = 0;
+                if self.ready {
+                    s |= nic_status::READY;
+                }
+                if !self.rx.is_empty() {
+                    s |= nic_status::RX_AVAIL;
+                }
+                s |= nic_status::TX_DONE;
+                if self.link_up {
+                    s |= nic_status::LINK_UP;
+                }
+                Some(Value::Concrete(s))
+            }
+            ports::NIC_DATA => {
+                if self.symbolic_hardware {
+                    return Some(self.fresh_sym(b, "data"));
+                }
+                Some(self.rx.pop_front().unwrap_or(Value::Concrete(0)))
+            }
+            ports::NIC_RXLEN => {
+                if self.symbolic_hardware {
+                    return Some(self.fresh_sym(b, "rxlen"));
+                }
+                Some(Value::Concrete(self.rx.len() as u32))
+            }
+            _ => None,
+        }
+    }
+
+    fn write_port(&mut self, port: u16, value: &Value, _b: &ExprBuilder) -> bool {
+        match port {
+            ports::NIC_CMD => {
+                match value.as_concrete() {
+                    Some(nic_cmd::RESET) => {
+                        self.ready = false;
+                        self.rx.clear();
+                        self.tx.clear();
+                        self.irq_pending = false;
+                    }
+                    Some(nic_cmd::ENABLE) => self.ready = true,
+                    Some(nic_cmd::SEND) => {
+                        self.sent_frames.push(std::mem::take(&mut self.tx));
+                        self.irq_pending = true;
+                    }
+                    Some(nic_cmd::ACK_IRQ) => self.irq_pending = false,
+                    _ => {}
+                }
+                true
+            }
+            ports::NIC_DATA => {
+                self.tx.push(value.clone());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn tick(&mut self, _cycles: u64) -> Option<u32> {
+        if self.irq_pending {
+            self.irq_pending = false;
+            Some(crate::isa::irq::NIC)
+        } else {
+            None
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn Device> {
+        Box::new(self.clone())
+    }
+}
+
+/// Key/value configuration store (the "registry").
+#[derive(Clone, Debug, Default)]
+pub struct ConfigStore {
+    values: HashMap<u32, Value>,
+    selected: u32,
+}
+
+impl ConfigStore {
+    /// Creates an empty store.
+    pub fn new() -> ConfigStore {
+        ConfigStore::default()
+    }
+
+    /// Sets a key's value (possibly symbolic — this is how data-based
+    /// selectors inject symbolic configuration).
+    pub fn set(&mut self, key: u32, value: Value) {
+        self.values.insert(key, value);
+    }
+
+    /// Reads a key's value.
+    pub fn get(&self, key: u32) -> Value {
+        self.values.get(&key).cloned().unwrap_or(Value::Concrete(0))
+    }
+}
+
+impl Device for ConfigStore {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        "config"
+    }
+
+    fn read_port(&mut self, port: u16, _b: &ExprBuilder) -> Option<Value> {
+        match port {
+            ports::CFG_DATA => Some(self.get(self.selected)),
+            _ => None,
+        }
+    }
+
+    fn write_port(&mut self, port: u16, value: &Value, _b: &ExprBuilder) -> bool {
+        match port {
+            ports::CFG_SELECT => {
+                self.selected = value.as_concrete().unwrap_or(0);
+                true
+            }
+            ports::CFG_DATA => {
+                self.values.insert(self.selected, value.clone());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn tick(&mut self, _cycles: u64) -> Option<u32> {
+        None
+    }
+
+    fn box_clone(&self) -> Box<dyn Device> {
+        Box::new(self.clone())
+    }
+}
+
+/// The set of devices on the port bus.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceSet {
+    devices: Vec<Box<dyn Device>>,
+}
+
+impl DeviceSet {
+    /// Creates the standard device complement: console, timer, NIC,
+    /// config store.
+    pub fn standard() -> DeviceSet {
+        DeviceSet {
+            devices: vec![
+                Box::new(Console::new()),
+                Box::new(Timer::new()),
+                Box::new(Nic::new()),
+                Box::new(ConfigStore::new()),
+            ],
+        }
+    }
+
+    /// Creates an empty bus.
+    pub fn empty() -> DeviceSet {
+        DeviceSet::default()
+    }
+
+    /// Attaches a device.
+    pub fn attach(&mut self, dev: Box<dyn Device>) {
+        self.devices.push(dev);
+    }
+
+    /// Reads a port; unclaimed ports read as 0.
+    pub fn read_port(&mut self, port: u16, builder: &ExprBuilder) -> Value {
+        for d in &mut self.devices {
+            if let Some(v) = d.read_port(port, builder) {
+                return v;
+            }
+        }
+        Value::Concrete(0)
+    }
+
+    /// Writes a port; unclaimed ports swallow the write.
+    pub fn write_port(&mut self, port: u16, value: &Value, builder: &ExprBuilder) {
+        for d in &mut self.devices {
+            if d.write_port(port, value, builder) {
+                return;
+            }
+        }
+    }
+
+    /// Advances all devices; returns the IRQ lines raised.
+    pub fn tick(&mut self, cycles: u64) -> Vec<u32> {
+        self.devices.iter_mut().filter_map(|d| d.tick(cycles)).collect()
+    }
+
+    /// Mutable access to a device by downcasting its name.
+    ///
+    /// Devices are looked up by their `name()`; returns the first match.
+    pub fn by_name_mut(&mut self, name: &str) -> Option<&mut Box<dyn Device>> {
+        self.devices.iter_mut().find(|d| d.name() == name)
+    }
+
+    /// Typed accessor for the console (if attached as "console").
+    pub fn console(&self) -> Option<&Console> {
+        self.devices
+            .iter()
+            .find(|d| d.name() == "console")
+            .and_then(|d| d.as_any().downcast_ref::<Console>())
+    }
+
+    /// Typed mutable accessor for the NIC.
+    pub fn nic_mut(&mut self) -> Option<&mut Nic> {
+        self.devices
+            .iter_mut()
+            .find(|d| d.name() == "nic")
+            .and_then(|d| d.as_any_mut().downcast_mut::<Nic>())
+    }
+
+    /// Typed accessor for the NIC.
+    pub fn nic(&self) -> Option<&Nic> {
+        self.devices
+            .iter()
+            .find(|d| d.name() == "nic")
+            .and_then(|d| d.as_any().downcast_ref::<Nic>())
+    }
+
+    /// Typed mutable accessor for the config store.
+    pub fn config_mut(&mut self) -> Option<&mut ConfigStore> {
+        self.devices
+            .iter_mut()
+            .find(|d| d.name() == "config")
+            .and_then(|d| d.as_any_mut().downcast_mut::<ConfigStore>())
+    }
+
+    /// Typed mutable accessor for the timer.
+    pub fn timer_mut(&mut self) -> Option<&mut Timer> {
+        self.devices
+            .iter_mut()
+            .find(|d| d.name() == "timer")
+            .and_then(|d| d.as_any_mut().downcast_mut::<Timer>())
+    }
+}

@@ -1,0 +1,648 @@
+//! Concrete reference interpreter.
+//!
+//! Defines the authoritative concrete semantics of the guest ISA and
+//! serves as the "vanilla QEMU" baseline in the §6.2 overhead experiments:
+//! no symbolic-memory checks, no event dispatch, no state forking — just
+//! fetch/decode/execute. It refuses to operate on symbolic data; guests
+//! that need symbolic execution run under the `s2e-core` engine instead.
+//!
+//! The instruction semantics here and in the engine both bottom out in
+//! [`s2e_expr::fold`], so the two executors cannot drift apart.
+
+use crate::cpu::FaultKind;
+use crate::isa::{irq, reg, vector, Instr, Opcode, S2Op, INSTR_SIZE};
+use crate::machine::Machine;
+use crate::mem::MemError;
+use crate::value::Value;
+use s2e_expr::fold::apply_binop;
+use s2e_expr::{BinOp, ExprBuilder, Width};
+use std::fmt;
+
+/// Why the concrete interpreter had to stop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// A symbolic value reached the concrete interpreter.
+    SymbolicValue {
+        /// PC of the instruction that read it.
+        pc: u32,
+        /// Description of where it surfaced.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::SymbolicValue { pc, what } => {
+                write!(f, "symbolic value in concrete interpreter: {what} (pc={pc:#010x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result of running the interpreter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// `Halt` executed with this exit code.
+    Halted(u32),
+    /// A machine fault terminated execution.
+    Faulted(FaultKind),
+    /// The instruction budget ran out.
+    OutOfFuel,
+}
+
+/// Maps an ALU opcode to its expression operator (shared with the
+/// symbolic engine).
+pub fn alu_binop(op: Opcode) -> Option<BinOp> {
+    Some(match op {
+        Opcode::Add | Opcode::AddI => BinOp::Add,
+        Opcode::Sub | Opcode::SubI => BinOp::Sub,
+        Opcode::Mul | Opcode::MulI => BinOp::Mul,
+        Opcode::Divu => BinOp::UDiv,
+        Opcode::Divs => BinOp::SDiv,
+        Opcode::Remu => BinOp::URem,
+        Opcode::Rems => BinOp::SRem,
+        Opcode::And | Opcode::AndI => BinOp::And,
+        Opcode::Or | Opcode::OrI => BinOp::Or,
+        Opcode::Xor | Opcode::XorI => BinOp::Xor,
+        Opcode::Shl | Opcode::ShlI => BinOp::Shl,
+        Opcode::Shr | Opcode::ShrI => BinOp::LShr,
+        Opcode::Sar | Opcode::SarI => BinOp::AShr,
+        _ => return None,
+    })
+}
+
+/// Evaluates a conditional branch on concrete operands.
+pub fn branch_taken(op: Opcode, a: u32, b: u32) -> bool {
+    let w = Width::W32;
+    match op {
+        Opcode::Beq => apply_binop(BinOp::Eq, a as u64, b as u64, w) == 1,
+        Opcode::Bne => apply_binop(BinOp::Ne, a as u64, b as u64, w) == 1,
+        Opcode::Bltu => apply_binop(BinOp::ULt, a as u64, b as u64, w) == 1,
+        Opcode::Bgeu => apply_binop(BinOp::ULt, a as u64, b as u64, w) == 0,
+        Opcode::Blts => apply_binop(BinOp::SLt, a as u64, b as u64, w) == 1,
+        Opcode::Bges => apply_binop(BinOp::SLt, a as u64, b as u64, w) == 0,
+        _ => unreachable!("not a branch: {op:?}"),
+    }
+}
+
+/// Memory width in bytes for a load/store opcode.
+pub fn mem_width(op: Opcode) -> u32 {
+    match op {
+        Opcode::Ld8 | Opcode::St8 => 1,
+        Opcode::Ld16 | Opcode::St16 => 2,
+        _ => 4,
+    }
+}
+
+fn get_concrete(m: &Machine, r: u8, what: &'static str) -> Result<u32, VmError> {
+    m.cpu
+        .reg(r)
+        .as_concrete()
+        .ok_or(VmError::SymbolicValue { pc: m.cpu.pc, what })
+}
+
+fn fault(m: &mut Machine, f: FaultKind) {
+    m.cpu.fault = Some(f);
+}
+
+fn mem_fault(m: &mut Machine, e: MemError) {
+    let MemError::NullPage { addr } = e;
+    let pc = m.cpu.pc;
+    fault(m, FaultKind::NullAccess { addr, pc });
+}
+
+/// Dispatches a pending interrupt if the CPU accepts one. Returns true if
+/// a handler was entered.
+pub fn dispatch_interrupt(m: &mut Machine) -> bool {
+    let Some(line) = m.cpu.take_irq() else {
+        return false;
+    };
+    let vec_addr = match line {
+        irq::TIMER => vector::TIMER,
+        irq::NIC => vector::NIC,
+        _ => return false,
+    };
+    let handler = m.mem.read_u32_concrete(vec_addr).unwrap_or(0);
+    if handler == 0 {
+        return false; // unhandled IRQ lines are dropped
+    }
+    let sp = m.cpu.reg(reg::SP).as_concrete().unwrap_or(0).wrapping_sub(4);
+    if m.mem.write_u32(sp, m.cpu.pc).is_err() {
+        return false;
+    }
+    m.cpu.set_reg(reg::SP, Value::Concrete(sp));
+    m.cpu.pc = handler;
+    m.cpu.interrupts_enabled = false;
+    true
+}
+
+/// Executes one instruction concretely.
+///
+/// Faults are recorded in `m.cpu.fault` (the caller observes them via
+/// [`RunOutcome::Faulted`]); the `Err` variant is reserved for symbolic
+/// data reaching the interpreter.
+///
+/// # Errors
+///
+/// Returns [`VmError::SymbolicValue`] if any operand, address, or fetched
+/// code byte is symbolic.
+pub fn step_concrete(m: &mut Machine, builder: &ExprBuilder) -> Result<(), VmError> {
+    debug_assert!(m.cpu.is_running());
+    if m.cpu.interrupts_enabled {
+        dispatch_interrupt(m);
+    }
+
+    // Fetch (possibly from the interrupt handler's address).
+    let pc = m.cpu.pc;
+    if m.mem.range_has_symbolic(pc, INSTR_SIZE) {
+        return Err(VmError::SymbolicValue { pc, what: "instruction fetch" });
+    }
+    let raw = m.mem.read_bytes_concrete(pc, INSTR_SIZE);
+    let bytes: [u8; 8] = raw.try_into().expect("fetched 8 bytes");
+    let Some(i) = Instr::decode(&bytes) else {
+        fault(m, FaultKind::InvalidOpcode { pc });
+        return Ok(());
+    };
+
+    let mut next_pc = pc.wrapping_add(INSTR_SIZE);
+    let w32 = Width::W32;
+
+    match i.op {
+        Opcode::Nop => {}
+        Opcode::MovI => m.cpu.set_reg(i.rd, Value::Concrete(i.imm)),
+        Opcode::Mov => {
+            let v = m.cpu.reg(i.rs1).clone();
+            m.cpu.set_reg(i.rd, v);
+        }
+        Opcode::Not => {
+            let a = get_concrete(m, i.rs1, "ALU operand")?;
+            m.cpu.set_reg(i.rd, Value::Concrete(!a));
+        }
+        op if alu_binop(op).is_some() => {
+            let bop = alu_binop(op).unwrap();
+            let a = get_concrete(m, i.rs1, "ALU operand")? as u64;
+            let uses_imm = matches!(
+                op,
+                Opcode::AddI
+                    | Opcode::SubI
+                    | Opcode::MulI
+                    | Opcode::AndI
+                    | Opcode::OrI
+                    | Opcode::XorI
+                    | Opcode::ShlI
+                    | Opcode::ShrI
+                    | Opcode::SarI
+            );
+            let b = if uses_imm {
+                i.imm as u64
+            } else {
+                get_concrete(m, i.rs2, "ALU operand")? as u64
+            };
+            let v = apply_binop(bop, a, b, w32) as u32;
+            m.cpu.set_reg(i.rd, Value::Concrete(v));
+        }
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => {
+            let base = get_concrete(m, i.rs1, "load address")?;
+            let addr = base.wrapping_add(i.imm);
+            match m.mem.read(addr, mem_width(i.op), builder) {
+                Ok(v) => {
+                    if v.is_symbolic() {
+                        return Err(VmError::SymbolicValue { pc, what: "load result" });
+                    }
+                    m.cpu.set_reg(i.rd, v);
+                }
+                Err(e) => mem_fault(m, e),
+            }
+        }
+        Opcode::St8 | Opcode::St16 | Opcode::St32 => {
+            let base = get_concrete(m, i.rs1, "store address")?;
+            let addr = base.wrapping_add(i.imm);
+            let v = m.cpu.reg(i.rs2).clone();
+            if v.is_symbolic() {
+                return Err(VmError::SymbolicValue { pc, what: "store value" });
+            }
+            if let Err(e) = m.mem.write(addr, mem_width(i.op), &v, builder) {
+                mem_fault(m, e);
+            }
+        }
+        Opcode::Push => {
+            let sp = get_concrete(m, reg::SP, "stack pointer")?.wrapping_sub(4);
+            let v = m.cpu.reg(i.rs1).clone();
+            if v.is_symbolic() {
+                return Err(VmError::SymbolicValue { pc, what: "push value" });
+            }
+            match m.mem.write(sp, 4, &v, builder) {
+                Ok(()) => m.cpu.set_reg(reg::SP, Value::Concrete(sp)),
+                Err(e) => mem_fault(m, e),
+            }
+        }
+        Opcode::Pop => {
+            let sp = get_concrete(m, reg::SP, "stack pointer")?;
+            match m.mem.read(sp, 4, builder) {
+                Ok(v) => {
+                    if v.is_symbolic() {
+                        return Err(VmError::SymbolicValue { pc, what: "pop value" });
+                    }
+                    m.cpu.set_reg(i.rd, v);
+                    m.cpu.set_reg(reg::SP, Value::Concrete(sp.wrapping_add(4)));
+                }
+                Err(e) => mem_fault(m, e),
+            }
+        }
+        Opcode::Jmp => next_pc = i.imm,
+        Opcode::JmpR => next_pc = get_concrete(m, i.rs1, "jump target")?,
+        Opcode::Call => {
+            m.cpu.set_reg(reg::LR, Value::Concrete(next_pc));
+            next_pc = i.imm;
+        }
+        Opcode::CallR => {
+            let t = get_concrete(m, i.rs1, "call target")?;
+            m.cpu.set_reg(reg::LR, Value::Concrete(next_pc));
+            next_pc = t;
+        }
+        Opcode::Ret => next_pc = get_concrete(m, reg::LR, "return address")?,
+        op if op.is_conditional_branch() => {
+            let a = get_concrete(m, i.rs1, "branch operand")?;
+            let b = get_concrete(m, i.rs2, "branch operand")?;
+            if branch_taken(op, a, b) {
+                next_pc = i.imm;
+            }
+        }
+        Opcode::Syscall => {
+            let handler = m.mem.read_u32_concrete(vector::SYSCALL).unwrap_or(0);
+            if handler == 0 {
+                fault(m, FaultKind::KernelPanic { code: i.imm, pc });
+            } else {
+                let sp = get_concrete(m, reg::SP, "stack pointer")?.wrapping_sub(4);
+                match m.mem.write_u32(sp, next_pc) {
+                    Ok(()) => {
+                        m.cpu.set_reg(reg::SP, Value::Concrete(sp));
+                        m.cpu.set_reg(reg::KR, Value::Concrete(i.imm));
+                        m.cpu.interrupts_enabled = false;
+                        next_pc = handler;
+                    }
+                    Err(e) => mem_fault(m, e),
+                }
+            }
+        }
+        Opcode::Iret => {
+            let sp = get_concrete(m, reg::SP, "stack pointer")?;
+            match m.mem.read(sp, 4, builder) {
+                Ok(v) => match v.as_concrete() {
+                    Some(ret) => {
+                        m.cpu.set_reg(reg::SP, Value::Concrete(sp.wrapping_add(4)));
+                        m.cpu.interrupts_enabled = true;
+                        next_pc = ret;
+                    }
+                    None => {
+                        return Err(VmError::SymbolicValue { pc, what: "iret address" })
+                    }
+                },
+                Err(e) => mem_fault(m, e),
+            }
+        }
+        Opcode::Cli => m.cpu.interrupts_enabled = false,
+        Opcode::Sti => m.cpu.interrupts_enabled = true,
+        Opcode::In => {
+            let port = get_concrete(m, i.rs1, "port number")? as u16;
+            let v = m.devices.read_port(port, builder);
+            if v.is_symbolic() {
+                return Err(VmError::SymbolicValue { pc, what: "port read" });
+            }
+            m.cpu.set_reg(i.rd, v);
+        }
+        Opcode::Out => {
+            let port = get_concrete(m, i.rs1, "port number")? as u16;
+            let v = m.cpu.reg(i.rs2).clone();
+            if v.is_symbolic() {
+                return Err(VmError::SymbolicValue { pc, what: "port write" });
+            }
+            m.devices.write_port(port, &v, builder);
+        }
+        Opcode::Halt => m.cpu.halted = Some(i.imm),
+        Opcode::S2eOp => match S2Op::from_u32(i.imm) {
+            // Outside the S2E engine the custom opcodes are inert, except
+            // the ones with concrete architectural effects.
+            Some(S2Op::Assert) => {
+                if get_concrete(m, reg::R0, "assert operand")? == 0 {
+                    fault(m, FaultKind::AssertFailed { pc });
+                }
+            }
+            Some(S2Op::KillPath) => {
+                m.cpu.halted = Some(get_concrete(m, reg::R0, "kill status")?);
+            }
+            Some(S2Op::NoInterrupts) => m.cpu.interrupts_enabled = false,
+            Some(S2Op::AllowInterrupts) => m.cpu.interrupts_enabled = true,
+            Some(_) => {}
+            None => fault(m, FaultKind::InvalidOpcode { pc }),
+        },
+        _ => unreachable!("unhandled opcode {:?}", i.op),
+    }
+
+    if m.cpu.is_running() {
+        m.cpu.pc = next_pc;
+    }
+    m.vtime += 1;
+    for line in m.devices.tick(1) {
+        m.cpu.raise_irq(line);
+    }
+    Ok(())
+}
+
+/// Runs until halt, fault, or `fuel` instructions.
+///
+/// # Errors
+///
+/// Returns [`VmError`] if symbolic data reaches the interpreter.
+pub fn run_concrete(m: &mut Machine, fuel: u64) -> Result<RunOutcome, VmError> {
+    let builder = ExprBuilder::new();
+    for _ in 0..fuel {
+        if let Some(code) = m.cpu.halted {
+            return Ok(RunOutcome::Halted(code));
+        }
+        if let Some(f) = m.cpu.fault.clone() {
+            return Ok(RunOutcome::Faulted(f));
+        }
+        step_concrete(m, &builder)?;
+    }
+    if let Some(code) = m.cpu.halted {
+        return Ok(RunOutcome::Halted(code));
+    }
+    if let Some(f) = m.cpu.fault.clone() {
+        return Ok(RunOutcome::Faulted(f));
+    }
+    Ok(RunOutcome::OutOfFuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::device::ports;
+
+    fn run_prog(build: impl FnOnce(&mut Assembler)) -> (Machine, RunOutcome) {
+        let mut a = Assembler::new(0x2000);
+        build(&mut a);
+        let p = a.finish();
+        let mut m = Machine::new();
+        m.load(&p);
+        let out = run_concrete(&mut m, 100_000).unwrap();
+        (m, out)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (m, out) = run_prog(|a| {
+            a.movi(reg::R1, 6);
+            a.movi(reg::R2, 7);
+            a.mul(reg::R0, reg::R1, reg::R2);
+            a.halt_code(5);
+        });
+        assert_eq!(out, RunOutcome::Halted(5));
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(42));
+    }
+
+    #[test]
+    fn loop_counts_to_ten() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R0, 0);
+            a.movi(reg::R1, 10);
+            a.label("loop");
+            a.addi(reg::R0, reg::R0, 1);
+            a.bltu(reg::R0, reg::R1, "loop");
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(10));
+    }
+
+    #[test]
+    fn signed_branches() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R1, (-5i32) as u32);
+            a.movi(reg::R2, 3);
+            a.movi(reg::R0, 0);
+            a.blts(reg::R1, reg::R2, "neg_less");
+            a.halt();
+            a.label("neg_less");
+            a.movi(reg::R0, 1);
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(1));
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R1, 0x8000);
+            a.movi(reg::R2, 0xabcd_1234);
+            a.st32(reg::R1, 0, reg::R2);
+            a.ld32(reg::R3, reg::R1, 0);
+            a.ld16(reg::R4, reg::R1, 0);
+            a.ld8(reg::R5, reg::R1, 3);
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(reg::R3).as_concrete(), Some(0xabcd_1234));
+        assert_eq!(m.cpu.reg(reg::R4).as_concrete(), Some(0x1234));
+        assert_eq!(m.cpu.reg(reg::R5).as_concrete(), Some(0xab));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R0, 1);
+            a.call("double");
+            a.call("double");
+            a.halt();
+            a.label("double");
+            a.add(reg::R0, reg::R0, reg::R0);
+            a.ret();
+        });
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(4));
+    }
+
+    #[test]
+    fn push_pop_stack_discipline() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R1, 11);
+            a.movi(reg::R2, 22);
+            a.push(reg::R1);
+            a.push(reg::R2);
+            a.pop(reg::R3); // 22
+            a.pop(reg::R4); // 11
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(reg::R3).as_concrete(), Some(22));
+        assert_eq!(m.cpu.reg(reg::R4).as_concrete(), Some(11));
+        assert_eq!(
+            m.cpu.reg(reg::SP).as_concrete(),
+            Some(crate::machine::DEFAULT_STACK_TOP)
+        );
+    }
+
+    #[test]
+    fn null_store_faults() {
+        let (_, out) = run_prog(|a| {
+            a.movi(reg::R1, 0);
+            a.st32(reg::R1, 4, reg::R2);
+            a.halt();
+        });
+        match out {
+            RunOutcome::Faulted(FaultKind::NullAccess { addr: 4, .. }) => {}
+            other => panic!("expected null fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_faults() {
+        let mut m = Machine::new();
+        m.mem.load_image(0x2000, &[0xff; 8]);
+        m.cpu.pc = 0x2000;
+        let out = run_concrete(&mut m, 10).unwrap();
+        assert!(matches!(
+            out,
+            RunOutcome::Faulted(FaultKind::InvalidOpcode { pc: 0x2000 })
+        ));
+    }
+
+    #[test]
+    fn console_output() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R1, ports::CONSOLE_OUT as u32);
+            for &c in b"hi" {
+                a.movi(reg::R2, c as u32);
+                a.outp(reg::R1, reg::R2);
+            }
+            a.halt();
+        });
+        assert_eq!(m.devices.console().unwrap().output_string(), "hi");
+    }
+
+    #[test]
+    fn syscall_traps_to_handler() {
+        let (m, out) = run_prog(|a| {
+            // Vector setup: store handler address at the syscall vector.
+            a.movi_label(reg::R1, "handler");
+            a.movi(reg::R2, vector::SYSCALL);
+            a.st32(reg::R2, 0, reg::R1);
+            a.syscall(7);
+            // After iret, r3 must hold 99.
+            a.halt_code(1);
+            a.label("handler");
+            // Syscall number arrives in KR.
+            a.mov(reg::R3, reg::KR);
+            a.movi(reg::R4, 99);
+            a.iret();
+        });
+        // iret returns to the instruction after syscall: halt_code(1).
+        assert_eq!(out, RunOutcome::Halted(1));
+        assert_eq!(m.cpu.reg(reg::R3).as_concrete(), Some(7));
+        assert!(m.cpu.interrupts_enabled);
+    }
+
+    #[test]
+    fn syscall_without_handler_panics() {
+        let (_, out) = run_prog(|a| {
+            a.syscall(3);
+            a.halt();
+        });
+        assert!(matches!(
+            out,
+            RunOutcome::Faulted(FaultKind::KernelPanic { code: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn timer_interrupt_fires() {
+        let (m, out) = run_prog(|a| {
+            a.movi_label(reg::R1, "tick");
+            a.movi(reg::R2, vector::TIMER);
+            a.st32(reg::R2, 0, reg::R1);
+            // Program the timer for a short period and enable interrupts.
+            a.movi(reg::R3, ports::TIMER_LOAD as u32);
+            a.movi(reg::R4, 16);
+            a.outp(reg::R3, reg::R4);
+            a.movi(reg::R3, ports::TIMER_CTRL as u32);
+            a.movi(reg::R4, 1);
+            a.outp(reg::R3, reg::R4);
+            a.movi(reg::R5, 0); // tick counter
+            a.sti();
+            a.label("spin");
+            a.movi(reg::R6, 3);
+            a.bne(reg::R5, reg::R6, "spin");
+            a.halt_code(0);
+            a.label("tick");
+            a.addi(reg::R5, reg::R5, 1);
+            a.iret();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.cpu.reg(reg::R5).as_concrete(), Some(3));
+    }
+
+    #[test]
+    fn s2e_opcodes_inert_concretely() {
+        let (m, out) = run_prog(|a| {
+            a.movi(reg::R0, 5);
+            a.s2e(S2Op::EnableForking);
+            a.s2e(S2Op::DisableForking);
+            a.s2e(S2Op::Assert); // r0 != 0: passes
+            a.halt();
+        });
+        assert_eq!(out, RunOutcome::Halted(0));
+        assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(5));
+    }
+
+    #[test]
+    fn s2e_assert_fails_on_zero() {
+        let (_, out) = run_prog(|a| {
+            a.movi(reg::R0, 0);
+            a.s2e(S2Op::Assert);
+            a.halt();
+        });
+        assert!(matches!(
+            out,
+            RunOutcome::Faulted(FaultKind::AssertFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn symbolic_register_rejected() {
+        use s2e_expr::{ExprBuilder, Width};
+        let mut a = Assembler::new(0x2000);
+        a.addi(reg::R0, reg::R0, 1);
+        a.halt();
+        let p = a.finish();
+        let mut m = Machine::new();
+        m.load(&p);
+        let b = ExprBuilder::new();
+        m.cpu.set_reg(reg::R0, Value::Symbolic(b.var("x", Width::W32)));
+        let err = run_concrete(&mut m, 10).unwrap_err();
+        assert!(matches!(err, VmError::SymbolicValue { .. }));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let (_, out) = run_prog(|a| {
+            a.label("forever");
+            a.jmp("forever");
+        });
+        assert_eq!(out, RunOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn config_store_round_trip() {
+        let (m, _) = run_prog(|a| {
+            a.movi(reg::R1, ports::CFG_SELECT as u32);
+            a.movi(reg::R2, 42); // key
+            a.outp(reg::R1, reg::R2);
+            a.movi(reg::R1, ports::CFG_DATA as u32);
+            a.movi(reg::R2, 1234);
+            a.outp(reg::R1, reg::R2); // write value
+            a.inp(reg::R3, reg::R1); // read back
+            a.halt();
+        });
+        assert_eq!(m.cpu.reg(reg::R3).as_concrete(), Some(1234));
+    }
+}

@@ -1,0 +1,463 @@
+//! The guest instruction set.
+//!
+//! A 32-bit RISC-style ISA with a fixed 8-byte instruction encoding:
+//!
+//! ```text
+//! byte 0      1     2     3     4..7
+//! [opcode] [rd] [rs1] [rs2] [imm: u32 little-endian]
+//! ```
+//!
+//! Sixteen general registers; by convention `r13` is the stack pointer and
+//! `r14` the link register. The program counter is architectural state, not
+//! a register. Conditional branches take absolute targets in `imm`.
+//!
+//! The `S2eOp` opcode carries the paper's custom guest instructions
+//! (§4.2): creating symbolic values, toggling multi-path execution,
+//! logging, and killing paths. A plain VM treats them as cheap no-ops
+//! (guests run unmodified outside the platform); the S2E engine interprets
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one encoded instruction in bytes.
+pub const INSTR_SIZE: u32 = 8;
+
+/// Register names.
+pub mod reg {
+    /// General-purpose registers; `R0..=R3` carry syscall/function
+    /// arguments and `R0` return values by software convention.
+    pub const R0: u8 = 0;
+    pub const R1: u8 = 1;
+    pub const R2: u8 = 2;
+    pub const R3: u8 = 3;
+    pub const R4: u8 = 4;
+    pub const R5: u8 = 5;
+    pub const R6: u8 = 6;
+    pub const R7: u8 = 7;
+    pub const R8: u8 = 8;
+    pub const R9: u8 = 9;
+    pub const R10: u8 = 10;
+    pub const R11: u8 = 11;
+    pub const R12: u8 = 12;
+    /// Stack pointer (software convention).
+    pub const SP: u8 = 13;
+    /// Link register written by `Call`.
+    pub const LR: u8 = 14;
+    /// Scratch register reserved for kernel trampolines.
+    pub const KR: u8 = 15;
+
+    /// Number of architectural registers.
+    pub const NUM_REGS: usize = 16;
+}
+
+/// Fixed interrupt/trap vector table (physical addresses holding handler
+/// pointers).
+pub mod vector {
+    /// Syscall trap handler pointer.
+    pub const SYSCALL: u32 = 0x0000_1000;
+    /// Timer IRQ handler pointer.
+    pub const TIMER: u32 = 0x0000_1004;
+    /// NIC IRQ handler pointer.
+    pub const NIC: u32 = 0x0000_1008;
+    /// Machine fault handler pointer (0 = fault halts the machine).
+    pub const FAULT: u32 = 0x0000_100C;
+}
+
+/// IRQ line numbers.
+pub mod irq {
+    /// Interval timer.
+    pub const TIMER: u32 = 0;
+    /// Network interface.
+    pub const NIC: u32 = 1;
+    /// Number of IRQ lines.
+    pub const NUM_IRQS: u32 = 2;
+}
+
+/// Instruction opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0,
+    /// `rd = imm`.
+    MovI,
+    /// `rd = rs1`.
+    Mov,
+    /// `rd = rs1 + rs2`.
+    Add,
+    /// `rd = rs1 - rs2`.
+    Sub,
+    /// `rd = rs1 * rs2` (wrapping).
+    Mul,
+    /// `rd = rs1 / rs2` unsigned; division by zero yields all-ones.
+    Divu,
+    /// `rd = rs1 / rs2` signed.
+    Divs,
+    /// `rd = rs1 % rs2` unsigned; remainder by zero yields `rs1`.
+    Remu,
+    /// `rd = rs1 % rs2` signed.
+    Rems,
+    /// `rd = rs1 & rs2`.
+    And,
+    /// `rd = rs1 | rs2`.
+    Or,
+    /// `rd = rs1 ^ rs2`.
+    Xor,
+    /// `rd = rs1 << rs2` (zero when shift >= 32).
+    Shl,
+    /// `rd = rs1 >> rs2` logical.
+    Shr,
+    /// `rd = rs1 >> rs2` arithmetic.
+    Sar,
+    /// `rd = !rs1` (bitwise complement).
+    Not,
+    /// `rd = rs1 + imm`.
+    AddI,
+    /// `rd = rs1 - imm`.
+    SubI,
+    /// `rd = rs1 * imm`.
+    MulI,
+    /// `rd = rs1 & imm`.
+    AndI,
+    /// `rd = rs1 | imm`.
+    OrI,
+    /// `rd = rs1 ^ imm`.
+    XorI,
+    /// `rd = rs1 << imm`.
+    ShlI,
+    /// `rd = rs1 >> imm` logical.
+    ShrI,
+    /// `rd = rs1 >> imm` arithmetic.
+    SarI,
+    /// `rd = mem8[rs1 + imm]` zero-extended.
+    Ld8,
+    /// `rd = mem16[rs1 + imm]` zero-extended (little-endian).
+    Ld16,
+    /// `rd = mem32[rs1 + imm]` (little-endian).
+    Ld32,
+    /// `mem8[rs1 + imm] = rs2 & 0xff`.
+    St8,
+    /// `mem16[rs1 + imm] = rs2 & 0xffff`.
+    St16,
+    /// `mem32[rs1 + imm] = rs2`.
+    St32,
+    /// `pc = imm`.
+    Jmp,
+    /// `pc = rs1`.
+    JmpR,
+    /// `lr = pc + 8; pc = imm`.
+    Call,
+    /// `lr = pc + 8; pc = rs1`.
+    CallR,
+    /// `pc = lr`.
+    Ret,
+    /// `if rs1 == rs2 { pc = imm }`.
+    Beq,
+    /// `if rs1 != rs2 { pc = imm }`.
+    Bne,
+    /// `if rs1 < rs2 (unsigned) { pc = imm }`.
+    Bltu,
+    /// `if rs1 >= rs2 (unsigned) { pc = imm }`.
+    Bgeu,
+    /// `if rs1 < rs2 (signed) { pc = imm }`.
+    Blts,
+    /// `if rs1 >= rs2 (signed) { pc = imm }`.
+    Bges,
+    /// `sp -= 4; mem32[sp] = rs1`.
+    Push,
+    /// `rd = mem32[sp]; sp += 4`.
+    Pop,
+    /// Software trap: `sp -= 4; mem32[sp] = pc + 8; pc = mem32[SYSCALL
+    /// vector]`; interrupts disabled. Syscall number in `imm`, copied to
+    /// `KR` (r15).
+    Syscall,
+    /// Return from trap/interrupt: `pc = mem32[sp]; sp += 4`; interrupts
+    /// re-enabled.
+    Iret,
+    /// Disable maskable interrupts.
+    Cli,
+    /// Enable maskable interrupts.
+    Sti,
+    /// `rd = port[rs1]` (port I/O read).
+    In,
+    /// `port[rs1] = rs2` (port I/O write).
+    Out,
+    /// Stop the machine with exit code `imm`.
+    Halt,
+    /// S2E custom opcode; sub-operation in `imm` (see [`S2Op`]).
+    S2eOp,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        if b <= Opcode::S2eOp as u8 {
+            // SAFETY in spirit: contiguous repr(u8) enum; use a match-free
+            // decode via transmute-equivalent table to stay in safe code.
+            Some(OPCODE_TABLE[b as usize])
+        } else {
+            None
+        }
+    }
+
+    /// True for instructions that end a translation block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Jmp
+                | Opcode::JmpR
+                | Opcode::Call
+                | Opcode::CallR
+                | Opcode::Ret
+                | Opcode::Beq
+                | Opcode::Bne
+                | Opcode::Bltu
+                | Opcode::Bgeu
+                | Opcode::Blts
+                | Opcode::Bges
+                | Opcode::Syscall
+                | Opcode::Iret
+                | Opcode::Halt
+        )
+    }
+
+    /// True for the conditional branches.
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Bltu | Opcode::Bgeu | Opcode::Blts | Opcode::Bges
+        )
+    }
+
+    /// True for memory loads.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 | Opcode::Pop)
+    }
+
+    /// True for memory stores.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::St8 | Opcode::St16 | Opcode::St32 | Opcode::Push)
+    }
+}
+
+const OPCODE_TABLE: [Opcode; 54] = [
+    Opcode::Nop,
+    Opcode::MovI,
+    Opcode::Mov,
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Divu,
+    Opcode::Divs,
+    Opcode::Remu,
+    Opcode::Rems,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Sar,
+    Opcode::Not,
+    Opcode::AddI,
+    Opcode::SubI,
+    Opcode::MulI,
+    Opcode::AndI,
+    Opcode::OrI,
+    Opcode::XorI,
+    Opcode::ShlI,
+    Opcode::ShrI,
+    Opcode::SarI,
+    Opcode::Ld8,
+    Opcode::Ld16,
+    Opcode::Ld32,
+    Opcode::St8,
+    Opcode::St16,
+    Opcode::St32,
+    Opcode::Jmp,
+    Opcode::JmpR,
+    Opcode::Call,
+    Opcode::CallR,
+    Opcode::Ret,
+    Opcode::Beq,
+    Opcode::Bne,
+    Opcode::Bltu,
+    Opcode::Bgeu,
+    Opcode::Blts,
+    Opcode::Bges,
+    Opcode::Push,
+    Opcode::Pop,
+    Opcode::Syscall,
+    Opcode::Iret,
+    Opcode::Cli,
+    Opcode::Sti,
+    Opcode::In,
+    Opcode::Out,
+    Opcode::Halt,
+    Opcode::S2eOp,
+    // Padding entry so the table length covers `S2eOp as u8` (53).
+    Opcode::Nop,
+];
+
+/// Sub-operations of [`Opcode::S2eOp`] — the paper's custom guest opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u32)]
+pub enum S2Op {
+    /// `r0 = fresh symbolic word` (name pointer in `r1`, 0 for anonymous).
+    /// Equivalent of the paper's `S2SYM`.
+    SymbolicReg = 1,
+    /// Make `r1` bytes of memory at address `r0` symbolic.
+    SymbolicMem = 2,
+    /// Enable multi-path execution (paper: `S2ENA`).
+    EnableForking = 3,
+    /// Disable multi-path execution (paper: `S2DIS`).
+    DisableForking = 4,
+    /// Log the byte string at address `r0`, length `r1` (paper: `S2OUT`).
+    LogMessage = 5,
+    /// Kill the current path with status `r0`.
+    KillPath = 6,
+    /// Assert `r0 != 0`; analyzers report a bug otherwise.
+    Assert = 7,
+    /// Mark the unit/environment boundary: entering environment code.
+    /// Used by consistency-model experiments.
+    EnterEnv = 8,
+    /// Mark the unit/environment boundary: returning to the unit.
+    LeaveEnv = 9,
+    /// Disable timer interrupts for a critical section (paper §5 notes an
+    /// opcode to suppress interrupts during symbolic execution).
+    NoInterrupts = 10,
+    /// Re-enable timer interrupts.
+    AllowInterrupts = 11,
+}
+
+impl S2Op {
+    /// Decodes a sub-operation number.
+    pub fn from_u32(v: u32) -> Option<S2Op> {
+        Some(match v {
+            1 => S2Op::SymbolicReg,
+            2 => S2Op::SymbolicMem,
+            3 => S2Op::EnableForking,
+            4 => S2Op::DisableForking,
+            5 => S2Op::LogMessage,
+            6 => S2Op::KillPath,
+            7 => S2Op::Assert,
+            8 => S2Op::EnterEnv,
+            9 => S2Op::LeaveEnv,
+            10 => S2Op::NoInterrupts,
+            11 => S2Op::AllowInterrupts,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Instr {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register.
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register.
+    pub rs2: u8,
+    /// Immediate operand.
+    pub imm: u32,
+}
+
+impl Instr {
+    /// Creates an instruction; register fields must be < 16.
+    pub fn new(op: Opcode, rd: u8, rs1: u8, rs2: u8, imm: u32) -> Instr {
+        debug_assert!(rd < 16 && rs1 < 16 && rs2 < 16, "register out of range");
+        Instr { op, rd, rs1, rs2, imm }
+    }
+
+    /// Encodes to the 8-byte wire format.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[0] = self.op as u8;
+        out[1] = self.rd;
+        out[2] = self.rs1;
+        out[3] = self.rs2;
+        out[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// Returns `None` for an invalid opcode or register field.
+    pub fn decode(bytes: &[u8; 8]) -> Option<Instr> {
+        let op = Opcode::from_u8(bytes[0])?;
+        let (rd, rs1, rs2) = (bytes[1], bytes[2], bytes[3]);
+        if rd >= 16 || rs1 >= 16 || rs2 >= 16 {
+            return None;
+        }
+        let imm = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        Some(Instr { op, rd, rs1, rs2, imm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_round_trips() {
+        for b in 0u8..=Opcode::S2eOp as u8 {
+            let op = Opcode::from_u8(b).unwrap();
+            assert_eq!(op as u8, b, "table entry {b} mismatched");
+        }
+        assert_eq!(Opcode::from_u8(Opcode::S2eOp as u8 + 1), None);
+        assert_eq!(Opcode::from_u8(255), None);
+    }
+
+    #[test]
+    fn instr_encode_decode_round_trip() {
+        let i = Instr::new(Opcode::AddI, 3, 4, 0, 0xdead_beef);
+        let enc = i.encode();
+        assert_eq!(Instr::decode(&enc), Some(i));
+    }
+
+    #[test]
+    fn decode_rejects_bad_registers() {
+        let mut enc = Instr::new(Opcode::Add, 1, 2, 3, 0).encode();
+        enc[1] = 16;
+        assert_eq!(Instr::decode(&enc), None);
+    }
+
+    #[test]
+    fn terminators_classified() {
+        assert!(Opcode::Jmp.is_terminator());
+        assert!(Opcode::Beq.is_terminator());
+        assert!(Opcode::Halt.is_terminator());
+        assert!(Opcode::Syscall.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+        assert!(!Opcode::Ld32.is_terminator());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Bltu.is_conditional_branch());
+        assert!(!Opcode::Jmp.is_conditional_branch());
+        assert!(Opcode::Ld8.is_load());
+        assert!(Opcode::Pop.is_load());
+        assert!(Opcode::St32.is_store());
+        assert!(Opcode::Push.is_store());
+    }
+
+    #[test]
+    fn s2op_round_trips() {
+        for v in 1..=11u32 {
+            let op = S2Op::from_u32(v).unwrap();
+            assert_eq!(op as u32, v);
+        }
+        assert_eq!(S2Op::from_u32(0), None);
+        assert_eq!(S2Op::from_u32(12), None);
+    }
+
+    #[test]
+    fn imm_encoding_little_endian() {
+        let i = Instr::new(Opcode::MovI, 0, 0, 0, 0x0102_0304);
+        let enc = i.encode();
+        assert_eq!(&enc[4..8], &[0x04, 0x03, 0x02, 0x01]);
+    }
+}

@@ -1,0 +1,52 @@
+//! The guest machine for the S2E platform.
+//!
+//! The original S2E runs a full x86 stack inside QEMU. This crate provides
+//! the equivalent substrate for the reproduction: a 32-bit RISC-style guest
+//! ISA with port-mapped I/O, software interrupts, and custom S2E opcodes
+//! (the paper's §4.2 `S2SYM`/`S2ENA`/`S2DIS`/`S2OUT` instruction family);
+//! an assembler with labels used to author the guest software stack; paged
+//! physical memory with copy-on-write sharing and a per-byte symbolic
+//! overlay (the paper's *shared representation of machine state* between
+//! the concrete and symbolic domains, §5); and a set of virtual devices —
+//! console, interval timer, a synthetic NIC with optional *symbolic
+//! hardware* mode, and a configuration store standing in for the Windows
+//! registry.
+//!
+//! The [`interp`] module is a concrete-only reference interpreter: it
+//! defines the baseline semantics (the "vanilla QEMU" of the overhead
+//! experiments in §6.2) and refuses to touch symbolic data.
+//!
+//! # Example: assemble and run a tiny guest
+//!
+//! ```
+//! use s2e_vm::asm::Assembler;
+//! use s2e_vm::isa::reg;
+//! use s2e_vm::interp::{run_concrete, RunOutcome};
+//! use s2e_vm::machine::Machine;
+//!
+//! let mut a = Assembler::new(0x1000);
+//! a.movi(reg::R0, 2);
+//! a.addi(reg::R0, reg::R0, 40);
+//! a.halt();
+//! let prog = a.finish();
+//!
+//! let mut m = Machine::new();
+//! m.load(&prog);
+//! let outcome = run_concrete(&mut m, 1_000).unwrap();
+//! assert_eq!(outcome, RunOutcome::Halted(0));
+//! assert_eq!(m.cpu.reg(reg::R0).as_concrete(), Some(42));
+//! ```
+
+pub mod asm;
+pub mod cpu;
+pub mod device;
+pub mod interp;
+pub mod isa;
+pub mod machine;
+pub mod mem;
+pub mod value;
+
+pub use cpu::{Cpu, FaultKind};
+pub use machine::Machine;
+pub use mem::Memory;
+pub use value::Value;

@@ -1,0 +1,515 @@
+//! Guest physical memory: copy-on-write pages with a symbolic overlay.
+//!
+//! Memory is the heart of the paper's *shared state representation* (§5):
+//! both the concrete domain (the translator's fast path) and the symbolic
+//! domain (the embedded symbolic executor) read and write the same pages.
+//! Each page stores concrete bytes plus a sparse overlay of symbolic byte
+//! expressions; a byte is symbolic iff it has an overlay entry.
+//!
+//! Pages are shared between forked execution states via `Arc` and copied
+//! only on write, exactly like S2E's aggressive copy-on-write snapshots:
+//! forking an execution state costs one shallow map clone, and two sibling
+//! states share every page neither has written since the fork.
+
+use crate::value::Value;
+use s2e_expr::{ExprBuilder, ExprRef, Width};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bytes per page (4 KiB, like the guest's natural page size).
+pub const PAGE_SIZE: u32 = 4096;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_MASK: u32 = PAGE_SIZE - 1;
+
+/// One physical page: concrete backing bytes plus symbolic overlay.
+#[derive(Clone, Debug, Default)]
+struct Page {
+    bytes: Vec<u8>,
+    /// Sparse symbolic overlay: offset → 8-bit expression.
+    sym: HashMap<u16, ExprRef>,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            bytes: vec![0; PAGE_SIZE as usize],
+            sym: HashMap::new(),
+        }
+    }
+}
+
+/// Access failures reported by memory operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Access to the unmapped null guard page.
+    NullPage {
+        /// Faulting address.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::NullPage { addr } => write!(f, "null-page access at {addr:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Guest physical memory.
+///
+/// Page zero is a null guard: loads and stores to it fault. All other pages
+/// are allocated on demand and zero-filled.
+///
+/// # Example
+///
+/// ```
+/// use s2e_vm::mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u32(0x1000, 0xdead_beef).unwrap();
+/// assert_eq!(m.read_u32_concrete(0x1000).unwrap(), 0xdead_beef);
+///
+/// // Copy-on-write fork:
+/// let fork = m.clone();
+/// m.write_u32(0x1000, 0).unwrap();
+/// assert_eq!(fork.read_u32_concrete(0x1000).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Arc<Page>>,
+    /// Count of symbolic bytes currently stored (kept for statistics).
+    sym_bytes: u64,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn check(addr: u32) -> Result<(), MemError> {
+        if addr >> PAGE_SHIFT == 0 {
+            Err(MemError::NullPage { addr })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn page(&self, addr: u32) -> Option<&Arc<Page>> {
+        self.pages.get(&(addr >> PAGE_SHIFT))
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut Page {
+        let p = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Arc::new(Page::new()));
+        Arc::make_mut(p)
+    }
+
+    /// Number of pages materialized.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of symbolic bytes stored.
+    pub fn symbolic_byte_count(&self) -> u64 {
+        self.sym_bytes
+    }
+
+    /// Approximate number of pages *not* shared with any other memory
+    /// snapshot (i.e., privately owned). Used for the memory-usage
+    /// experiments (Fig. 8).
+    pub fn private_page_count(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| Arc::strong_count(p) == 1)
+            .count()
+    }
+
+    /// Reads one byte as a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null guard page.
+    pub fn read_u8(&self, addr: u32) -> Result<Value, MemError> {
+        Self::check(addr)?;
+        match self.page(addr) {
+            None => Ok(Value::Concrete(0)),
+            Some(p) => {
+                let off = (addr & PAGE_MASK) as u16;
+                match p.sym.get(&off) {
+                    Some(e) => Ok(Value::Symbolic(e.clone())),
+                    None => Ok(Value::Concrete(p.bytes[off as usize] as u32)),
+                }
+            }
+        }
+    }
+
+    /// Writes one byte. Symbolic values must be 8 bits wide.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null guard page.
+    pub fn write_u8(&mut self, addr: u32, v: Value) -> Result<(), MemError> {
+        Self::check(addr)?;
+        let was_sym;
+        let is_sym;
+        {
+            let page = self.page_mut(addr);
+            let off = (addr & PAGE_MASK) as u16;
+            was_sym = page.sym.contains_key(&off);
+            match v {
+                Value::Concrete(c) => {
+                    page.bytes[off as usize] = c as u8;
+                    page.sym.remove(&off);
+                    is_sym = false;
+                }
+                Value::Symbolic(e) => {
+                    debug_assert_eq!(e.width(), Width::W8, "memory bytes are 8-bit");
+                    page.sym.insert(off, e);
+                    is_sym = true;
+                }
+            }
+        }
+        match (was_sym, is_sym) {
+            (false, true) => self.sym_bytes += 1,
+            (true, false) => self.sym_bytes -= 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian word of `width` bytes (1, 2, or 4), composing
+    /// symbolic bytes into a concat expression when needed.
+    ///
+    /// The result is always widened to 32 bits (zero-extension), matching
+    /// register width.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null guard page.
+    pub fn read(
+        &self,
+        addr: u32,
+        width_bytes: u32,
+        builder: &ExprBuilder,
+    ) -> Result<Value, MemError> {
+        debug_assert!(matches!(width_bytes, 1 | 2 | 4));
+        let mut bytes = Vec::with_capacity(width_bytes as usize);
+        let mut all_concrete = true;
+        for i in 0..width_bytes {
+            let b = self.read_u8(addr.wrapping_add(i))?;
+            all_concrete &= b.is_concrete();
+            bytes.push(b);
+        }
+        if all_concrete {
+            let mut v: u32 = 0;
+            for (i, b) in bytes.iter().enumerate() {
+                v |= b.as_concrete().unwrap() << (8 * i);
+            }
+            return Ok(Value::Concrete(v));
+        }
+        // Compose: byte 0 is least significant.
+        let mut expr = bytes[0].to_expr(builder, Width::W8);
+        for b in &bytes[1..] {
+            let hi = b.to_expr(builder, Width::W8);
+            expr = builder.concat(hi, expr);
+        }
+        let expr = builder.zext(expr, Width::W32);
+        Ok(Value::from_expr(expr))
+    }
+
+    /// Writes the low `width_bytes` bytes of `v` little-endian, splitting
+    /// symbolic values into byte extracts (lazy concretization: symbolic
+    /// data passes through memory without talking to the solver).
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null guard page.
+    pub fn write(
+        &mut self,
+        addr: u32,
+        width_bytes: u32,
+        v: &Value,
+        builder: &ExprBuilder,
+    ) -> Result<(), MemError> {
+        debug_assert!(matches!(width_bytes, 1 | 2 | 4));
+        match v {
+            Value::Concrete(c) => {
+                for i in 0..width_bytes {
+                    self.write_u8(addr.wrapping_add(i), Value::Concrete(c >> (8 * i) & 0xff))?;
+                }
+            }
+            Value::Symbolic(e) => {
+                for i in 0..width_bytes {
+                    let byte = builder.extract(e.clone(), 8 * i, Width::W8);
+                    self.write_u8(addr.wrapping_add(i), Value::from_expr(byte))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: writes a concrete 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null guard page.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemError> {
+        for i in 0..4 {
+            self.write_u8(addr.wrapping_add(i), Value::Concrete(v >> (8 * i) & 0xff))?;
+        }
+        Ok(())
+    }
+
+    /// Convenience: reads a 32-bit word that must be concrete.
+    ///
+    /// Symbolic bytes read as 0 (their demand-zero shadow); callers that
+    /// need exactness use [`Memory::read`]. Vector-table reads rely on
+    /// this: a partially-symbolic vector degrades to "handler missing"
+    /// rather than a garbage jump target.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null guard page.
+    pub fn read_u32_concrete(&self, addr: u32) -> Result<u32, MemError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            if let Value::Concrete(b) = self.read_u8(addr.wrapping_add(i))? {
+                v |= b << (8 * i);
+            }
+        }
+        Ok(v)
+    }
+
+    /// Loads a byte image at `base` (used by program loading; bypasses the
+    /// null-page check for the vector table region).
+    pub fn load_image(&mut self, base: u32, image: &[u8]) {
+        for (i, &b) in image.iter().enumerate() {
+            let addr = base.wrapping_add(i as u32);
+            let page = self.page_mut(addr);
+            let off = (addr & PAGE_MASK) as usize;
+            page.bytes[off] = b;
+            if page.sym.remove(&(off as u16)).is_some() {
+                self.sym_bytes -= 1;
+            }
+        }
+    }
+
+    /// Reads `len` concrete bytes (symbolic bytes read as their concrete
+    /// shadow 0). Used by tracers and loaders.
+    pub fn read_bytes_concrete(&self, addr: u32, len: u32) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let a = addr.wrapping_add(i);
+                self.page(a)
+                    .map(|p| {
+                        let off = (a & PAGE_MASK) as usize;
+                        if p.sym.contains_key(&(off as u16)) {
+                            0
+                        } else {
+                            p.bytes[off]
+                        }
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Reads a NUL-terminated string (max 256 bytes, lossy on symbolic
+    /// bytes). Used by the S2E opcode handlers for log messages and names.
+    pub fn read_cstr(&self, addr: u32) -> String {
+        let mut out = Vec::new();
+        for i in 0..256 {
+            let b = self
+                .page(addr.wrapping_add(i))
+                .map(|p| p.bytes[(addr.wrapping_add(i) & PAGE_MASK) as usize])
+                .unwrap_or(0);
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// True if any byte in `[addr, addr+len)` is symbolic.
+    pub fn range_has_symbolic(&self, addr: u32, len: u32) -> bool {
+        (0..len).any(|i| {
+            let a = addr.wrapping_add(i);
+            self.page(a)
+                .map(|p| p.sym.contains_key(&((a & PAGE_MASK) as u16)))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0x5000).unwrap().as_concrete(), Some(0));
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut m = Memory::new();
+        assert!(matches!(m.read_u8(0), Err(MemError::NullPage { .. })));
+        assert!(matches!(m.read_u8(0xfff), Err(MemError::NullPage { .. })));
+        assert!(matches!(
+            m.write_u8(4, Value::Concrete(1)),
+            Err(MemError::NullPage { .. })
+        ));
+        assert!(m.read_u8(0x1000).is_ok());
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = Memory::new();
+        m.write_u32(0x2000, 0x1234_5678).unwrap();
+        assert_eq!(m.read_u32_concrete(0x2000).unwrap(), 0x1234_5678);
+        // Little-endian byte order.
+        assert_eq!(m.read_u8(0x2000).unwrap().as_concrete(), Some(0x78));
+        assert_eq!(m.read_u8(0x2003).unwrap().as_concrete(), Some(0x12));
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = Memory::new();
+        m.write_u32(0x2ffe, 0xaabb_ccdd).unwrap();
+        assert_eq!(m.read_u32_concrete(0x2ffe).unwrap(), 0xaabb_ccdd);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn cow_fork_isolation() {
+        let mut m = Memory::new();
+        m.write_u32(0x3000, 111).unwrap();
+        let mut fork = m.clone();
+        fork.write_u32(0x3000, 222).unwrap();
+        assert_eq!(m.read_u32_concrete(0x3000).unwrap(), 111);
+        assert_eq!(fork.read_u32_concrete(0x3000).unwrap(), 222);
+    }
+
+    #[test]
+    fn unwritten_pages_stay_shared() {
+        let mut m = Memory::new();
+        for p in 0..10u32 {
+            m.write_u32(0x10000 + p * PAGE_SIZE, p).unwrap();
+        }
+        let fork = m.clone();
+        assert_eq!(m.private_page_count(), 0);
+        assert_eq!(fork.private_page_count(), 0);
+        let mut fork2 = fork.clone();
+        fork2.write_u32(0x10000, 99).unwrap();
+        assert_eq!(fork2.private_page_count(), 1);
+    }
+
+    #[test]
+    fn symbolic_byte_round_trip() {
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        let x = b.var("x", Width::W8);
+        m.write_u8(0x4000, Value::Symbolic(x.clone())).unwrap();
+        assert_eq!(m.symbolic_byte_count(), 1);
+        match m.read_u8(0x4000).unwrap() {
+            Value::Symbolic(e) => assert_eq!(e, x),
+            other => panic!("expected symbolic, got {other:?}"),
+        }
+        // Concrete overwrite clears the overlay.
+        m.write_u8(0x4000, Value::Concrete(5)).unwrap();
+        assert_eq!(m.symbolic_byte_count(), 0);
+        assert_eq!(m.read_u8(0x4000).unwrap().as_concrete(), Some(5));
+    }
+
+    #[test]
+    fn symbolic_word_composes() {
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        let x = b.var("x", Width::W32);
+        m.write(0x5000, 4, &Value::Symbolic(x.clone()), &b).unwrap();
+        assert_eq!(m.symbolic_byte_count(), 4);
+        let v = m.read(0x5000, 4, &b).unwrap();
+        // Reading back a symbolic word and constraining it to x must be a
+        // tautology; check via evaluation.
+        match v {
+            Value::Symbolic(e) => {
+                let mut asg = s2e_expr::Assignment::new();
+                asg.set_by_name("x", 0xcafe_babe);
+                assert_eq!(s2e_expr::eval(&e, &asg).unwrap(), 0xcafe_babe);
+            }
+            other => panic!("expected symbolic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_word_partially_symbolic() {
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        m.write_u32(0x6000, 0x0000_00ff).unwrap();
+        let x = b.var("x", Width::W8);
+        m.write_u8(0x6001, Value::Symbolic(x)).unwrap();
+        let v = m.read(0x6000, 4, &b).unwrap();
+        assert!(v.is_symbolic());
+        match v {
+            Value::Symbolic(e) => {
+                let mut asg = s2e_expr::Assignment::new();
+                asg.set_by_name("x", 0xab);
+                assert_eq!(s2e_expr::eval(&e, &asg).unwrap(), 0x0000_abff);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn load_image_clears_symbolic_overlay_and_counter() {
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        let x = b.var("x", Width::W8);
+        m.write_u8(0x7000, Value::Symbolic(x)).unwrap();
+        assert_eq!(m.symbolic_byte_count(), 1);
+        m.load_image(0x7000, b"zz");
+        assert_eq!(m.symbolic_byte_count(), 0);
+        assert_eq!(m.read_u8(0x7000).unwrap().as_concrete(), Some(b'z' as u32));
+    }
+
+    #[test]
+    fn load_image_and_cstr() {
+        let mut m = Memory::new();
+        m.load_image(0x7000, b"hello\0world");
+        assert_eq!(m.read_cstr(0x7000), "hello");
+        assert_eq!(m.read_bytes_concrete(0x7006, 5), b"world".to_vec());
+    }
+
+    #[test]
+    fn range_has_symbolic_detects() {
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        assert!(!m.range_has_symbolic(0x8000, 16));
+        let x = b.var("x", Width::W8);
+        m.write_u8(0x8008, Value::Symbolic(x)).unwrap();
+        assert!(m.range_has_symbolic(0x8000, 16));
+        assert!(!m.range_has_symbolic(0x8000, 8));
+    }
+
+    #[test]
+    fn sub_word_widths() {
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        m.write(0x9000, 2, &Value::Concrete(0xabcd), &b).unwrap();
+        assert_eq!(m.read(0x9000, 2, &b).unwrap().as_concrete(), Some(0xabcd));
+        assert_eq!(m.read(0x9000, 1, &b).unwrap().as_concrete(), Some(0xcd));
+        // Writing 2 bytes must not clobber neighbors.
+        m.write_u32(0xa000, 0xffff_ffff).unwrap();
+        m.write(0xa001, 2, &Value::Concrete(0), &b).unwrap();
+        assert_eq!(m.read_u32_concrete(0xa000).unwrap(), 0xff00_00ff);
+    }
+}

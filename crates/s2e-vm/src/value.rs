@@ -1,0 +1,133 @@
+//! Machine values that are either concrete or symbolic.
+
+use s2e_expr::{ExprBuilder, ExprRef, Width};
+use std::fmt;
+
+/// A guest machine value: a concrete 32-bit word or a symbolic expression.
+///
+/// This is the type that makes the machine state *shared* between the
+/// concrete and symbolic domains (§5 of the paper): registers and memory
+/// cells store `Value`s, the translator checks concreteness per
+/// instruction, and lazy concretization simply means leaving a `Symbolic`
+/// in place until concretely-running code actually reads it.
+///
+/// Symbolic values always have width 32 in registers; memory stores 8-bit
+/// `Value`s per byte cell.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A concrete word (width depends on context; registers use 32 bits).
+    Concrete(u32),
+    /// A symbolic expression.
+    Symbolic(ExprRef),
+}
+
+impl Value {
+    /// The concrete zero word.
+    pub fn zero() -> Value {
+        Value::Concrete(0)
+    }
+
+    /// True if the value is concrete.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, Value::Concrete(_))
+    }
+
+    /// True if the value is symbolic.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, Value::Symbolic(_))
+    }
+
+    /// The concrete value, if any. A symbolic expression that folded to a
+    /// constant also yields its value.
+    pub fn as_concrete(&self) -> Option<u32> {
+        match self {
+            Value::Concrete(v) => Some(*v),
+            Value::Symbolic(e) => e.as_const().map(|v| v as u32),
+        }
+    }
+
+    /// Converts to an expression of the given width, building a constant
+    /// node for concrete values.
+    pub fn to_expr(&self, builder: &ExprBuilder, width: Width) -> ExprRef {
+        match self {
+            Value::Concrete(v) => builder.constant(*v as u64, width),
+            Value::Symbolic(e) => {
+                debug_assert_eq!(e.width(), width, "symbolic value width mismatch");
+                e.clone()
+            }
+        }
+    }
+
+    /// Wraps an expression, collapsing constant expressions back to
+    /// concrete values so the fast path stays fast.
+    pub fn from_expr(e: ExprRef) -> Value {
+        match e.as_const() {
+            Some(v) => Value::Concrete(v as u32),
+            None => Value::Symbolic(e),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::zero()
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Concrete(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Concrete(v) => write!(f, "{v:#x}"),
+            Value::Symbolic(e) => write!(f, "sym({})", **e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_accessors() {
+        let v = Value::Concrete(7);
+        assert!(v.is_concrete());
+        assert_eq!(v.as_concrete(), Some(7));
+    }
+
+    #[test]
+    fn symbolic_constant_collapses() {
+        let b = ExprBuilder::new();
+        let c = b.constant(9, Width::W32);
+        let v = Value::from_expr(c);
+        assert!(v.is_concrete());
+        assert_eq!(v.as_concrete(), Some(9));
+    }
+
+    #[test]
+    fn symbolic_stays_symbolic() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W32);
+        let v = Value::from_expr(x);
+        assert!(v.is_symbolic());
+        assert_eq!(v.as_concrete(), None);
+    }
+
+    #[test]
+    fn to_expr_round_trip() {
+        let b = ExprBuilder::new();
+        let v = Value::Concrete(0x1234);
+        let e = v.to_expr(&b, Width::W32);
+        assert_eq!(e.as_const(), Some(0x1234));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Value::default().as_concrete(), Some(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! The six execution consistency models (paper §3) on one small system.
+//!
+//! A unit calls an environment function (`alloc`) and then branches both
+//! on its own symbolic input and on the environment's result. Each model
+//! admits a different set of paths:
+//!
+//! - SC-CE  — concrete only: one path.
+//! - SC-UE  — symbolic input concretized (hard) at the env boundary.
+//! - SC-SE  — the environment executes symbolically too.
+//! - LC — env runs concretely; its result is re-symbolified within the
+//!   API contract; env branches on unit data abort the path.
+//! - RC-OC  — env results completely unconstrained.
+//! - RC-CC  — all unit branch edges followed, no solver.
+//!
+//! Run with: `cargo run --example consistency_models`
+
+use s2e::core::selectors::make_reg_symbolic;
+use s2e::core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
+use s2e::guests::kernel::{boot, standard_annotations, sys};
+use s2e::guests::layout::APP_BASE;
+use s2e::vm::asm::Assembler;
+use s2e::vm::isa::reg;
+
+fn build_unit() -> s2e::vm::asm::Program {
+    let mut a = Assembler::new(APP_BASE);
+    // Branch on our own symbolic input x (r7)...
+    a.movi(reg::R1, 100);
+    a.bltu(reg::R7, reg::R1, "small_input");
+    a.label("small_input");
+    // ...then call the environment and branch on its result.
+    a.movi(reg::R0, 64);
+    a.syscall(sys::ALLOC);
+    a.movi(reg::R1, 0);
+    a.beq(reg::R0, reg::R1, "alloc_failed");
+    a.halt_code(1); // got memory
+    a.label("alloc_failed");
+    a.halt_code(2); // contract says this can happen
+    a.finish()
+}
+
+fn main() {
+    println!("{:<7} {:>6} {:>6} {:>8}  note", "model", "paths", "forks", "queries");
+    for model in ConsistencyModel::ALL {
+        let (mut machine, _k) = boot();
+        machine.load(&build_unit());
+        let mut config = EngineConfig::with_model(model);
+        config.code_ranges = CodeRanges::all().include(APP_BASE..APP_BASE + 0x1000);
+        if model == ConsistencyModel::Lc {
+            config.annotations = standard_annotations();
+        }
+        let mut engine = Engine::new(machine, config);
+        if model != ConsistencyModel::ScCe {
+            let id = engine.sole_state().unwrap();
+            let b = engine.builder_arc();
+            make_reg_symbolic(engine.state_mut(id).unwrap(), &b, reg::R7, "x");
+        }
+        engine.run(50_000);
+        let note = match model {
+            ConsistencyModel::ScCe => "concrete execution only",
+            ConsistencyModel::ScUe => "input forks; alloc result stays concrete",
+            ConsistencyModel::ScSe => "kernel explored symbolically too",
+            ConsistencyModel::Lc => "alloc-failure path via the API contract",
+            ConsistencyModel::RcOc => "alloc result unconstrained",
+            ConsistencyModel::RcCc => "all CFG edges, solver never consulted",
+        };
+        println!(
+            "{:<7} {:>6} {:>6} {:>8}  {}",
+            model.name(),
+            engine.terminated().len(),
+            engine.stats().forks,
+            engine.solver_stats().queries,
+            note
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! DDT+ walk-through (paper §6.1.1): test a buggy closed-source-style
+//! driver under two consistency models and compare what each finds.
+//!
+//! Run with: `cargo run --example driver_testing`
+
+use s2e::core::ConsistencyModel;
+use s2e::guests::drivers::{pcnet, rtl8029};
+use s2e::tools::ddt::{test_driver, DdtConfig};
+
+fn main() {
+    for driver in [pcnet::build(), rtl8029::build()] {
+        println!("=== {} ===", driver.name);
+        for model in [ConsistencyModel::ScSe, ConsistencyModel::Lc] {
+            let report = test_driver(
+                &driver,
+                &DdtConfig {
+                    model,
+                    max_steps: 60_000,
+                    ..DdtConfig::default()
+                },
+            );
+            println!(
+                "{}: {} distinct bug(s) in {:.1}s across {} paths ({:.0}% block coverage)",
+                model.name(),
+                report.distinct_bugs.len(),
+                report.duration.as_secs_f64(),
+                report.paths,
+                100.0 * report.coverage(),
+            );
+            for bug in &report.distinct_bugs {
+                println!("   - {:?} at pc {:#010x}", bug.kind, bug.pc);
+            }
+            // Every crash report ships with inputs that reproduce it.
+            if let Some(b) = report.raw_bugs.iter().find(|b| b.inputs.is_some()) {
+                println!(
+                    "   e.g. {:?} reproduced by a concrete assignment of {} symbolic input(s)",
+                    b.kind,
+                    b.inputs.as_ref().unwrap().len()
+                );
+            }
+        }
+        println!();
+    }
+    println!("expected shape (paper): hardware-input bugs under SC-SE;");
+    println!("registry/annotation-dependent bugs appear only under LC.");
+}

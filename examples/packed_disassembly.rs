@@ -1,0 +1,41 @@
+//! Dynamic disassembly of packed code — the RC-CC use case (§3.1.3).
+//!
+//! The guest decrypts its own payload at runtime (exercising the
+//! translator's self-modifying-code invalidation); the disassembler runs
+//! the unpacking stub under LC, switches to CFG consistency (RC-CC) on
+//! entry to the decrypted region, and forces every branch edge to recover
+//! the full listing — including blocks no consistent execution reaches.
+//!
+//! Run with: `cargo run --example packed_disassembly`
+
+use s2e::guests::kernel::boot;
+use s2e::guests::packed;
+use s2e::tools::rev::dynamic_disassemble;
+
+fn main() {
+    let guest = packed::build(false);
+    println!(
+        "packed payload: {} instructions at {:#x}..{:#x} (stored XOR {:#x})",
+        guest.payload_instrs,
+        guest.payload_range.start,
+        guest.payload_range.end,
+        packed::KEY
+    );
+
+    let (mut machine, _kernel) = boot();
+    machine.load(&guest.program);
+    let report = dynamic_disassemble(machine, guest.payload_range.clone(), 100_000);
+
+    println!(
+        "disassembled {}/{} instructions across {} blocks and {} paths ({:.0}% recovery)",
+        report.listing.len(),
+        guest.payload_instrs,
+        report.covered_blocks.len(),
+        report.paths,
+        100.0 * report.recovery(guest.payload_instrs),
+    );
+    println!("\nrecovered listing:");
+    for (pc, instr) in &report.listing {
+        println!("  {pc:#010x}: {instr:?}");
+    }
+}

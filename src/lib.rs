@@ -1,0 +1,23 @@
+//! Umbrella crate for the S2E platform reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! - [`expr`] — symbolic bitvector expressions and the bitfield simplifier
+//! - [`solver`] — CDCL SAT solver with bitvector bit-blasting
+//! - [`vm`] — the guest machine: ISA, assembler, memory, devices
+//! - [`dbt`] — dynamic binary translator and translation-block cache
+//! - [`cache`] — cache/TLB/page-fault performance models
+//! - [`core`] — the platform: execution states, the path explorer,
+//!   consistency models, selectors and analyzers
+//! - [`guests`] — the guest software stack (kernel, drivers, programs)
+//! - [`tools`] — the three case-study tools: DDT+, REV+, PROFS
+
+pub use s2e_cache as cache;
+pub use s2e_core as core;
+pub use s2e_dbt as dbt;
+pub use s2e_expr as expr;
+pub use s2e_guests as guests;
+pub use s2e_solver as solver;
+pub use s2e_tools as tools;
+pub use s2e_vm as vm;

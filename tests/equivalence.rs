@@ -1,0 +1,116 @@
+//! Property test: the symbolic-capable engine and the concrete reference
+//! interpreter agree instruction-for-instruction on concrete programs.
+//!
+//! This is the reproduction's analog of S2E's core soundness argument:
+//! the "native" fast path and the symbolic executor share one semantics
+//! (§5's shared state representation) and must never diverge.
+
+use proptest::prelude::*;
+use s2e::core::{ConsistencyModel, Engine, EngineConfig};
+use s2e::vm::asm::Assembler;
+use s2e::vm::interp::{run_concrete, RunOutcome};
+use s2e::vm::isa::reg;
+use s2e::vm::machine::Machine;
+
+/// A recipe for one straight-line instruction over registers r0..r7.
+#[derive(Clone, Debug)]
+enum Op {
+    MovI(u8, u32),
+    Alu(u8, u8, u8, u8),
+    AluI(u8, u8, u8, u32),
+    Store(u8, u32),
+    Load(u8, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<u32>()).prop_map(|(r, v)| Op::MovI(r, v)),
+        (0u8..8, 0u8..8, 0u8..8, 0u8..13).prop_map(|(d, a, b, k)| Op::Alu(d, a, b, k)),
+        (0u8..8, 0u8..8, 0u8..9, any::<u32>()).prop_map(|(d, a, k, v)| Op::AluI(d, a, k, v)),
+        (0u8..8, 0u32..256).prop_map(|(r, off)| Op::Store(r, off)),
+        (0u8..8, 0u32..256).prop_map(|(r, off)| Op::Load(r, off)),
+    ]
+}
+
+fn emit(a: &mut Assembler, op: &Op) {
+    use s2e::vm::isa::{Instr, Opcode};
+    match op {
+        Op::MovI(r, v) => a.movi(*r, *v),
+        Op::Alu(d, x, y, k) => {
+            let ops = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Mul,
+                Opcode::Divu,
+                Opcode::Divs,
+                Opcode::Remu,
+                Opcode::Rems,
+                Opcode::And,
+                Opcode::Or,
+                Opcode::Xor,
+                Opcode::Shl,
+                Opcode::Shr,
+                Opcode::Sar,
+            ];
+            a.emit(Instr::new(ops[*k as usize % ops.len()], *d, *x, *y, 0));
+        }
+        Op::AluI(d, x, k, v) => {
+            let ops = [
+                Opcode::AddI,
+                Opcode::SubI,
+                Opcode::MulI,
+                Opcode::AndI,
+                Opcode::OrI,
+                Opcode::XorI,
+                Opcode::ShlI,
+                Opcode::ShrI,
+                Opcode::SarI,
+            ];
+            a.emit(Instr::new(ops[*k as usize % ops.len()], *d, *x, 0, *v));
+        }
+        Op::Store(r, off) => {
+            a.movi(reg::R9, 0x8000);
+            a.st32(reg::R9, *off & !3, *r);
+        }
+        Op::Load(r, off) => {
+            a.movi(reg::R9, 0x8000);
+            a.ld32(*r, reg::R9, *off & !3);
+        }
+    }
+}
+
+fn final_regs_interp(prog: &s2e::vm::asm::Program) -> Vec<u32> {
+    let mut m = Machine::new();
+    m.load(prog);
+    let out = run_concrete(&mut m, 100_000).unwrap();
+    assert_eq!(out, RunOutcome::Halted(0));
+    (0..8).map(|r| m.cpu.reg(r).as_concrete().unwrap()).collect()
+}
+
+fn final_regs_engine(prog: &s2e::vm::asm::Program) -> Vec<u32> {
+    let mut m = Machine::new();
+    m.load(prog);
+    let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+    e.set_retain_terminated(true);
+    e.run(100_000);
+    assert_eq!(e.terminated().len(), 1);
+    let st = &e.terminated_states()[0];
+    (0..8)
+        .map(|r| st.machine.cpu.reg(r).as_concrete().unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_interpreter_on_concrete_programs(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut a = Assembler::new(0x4000);
+        for op in &ops {
+            emit(&mut a, op);
+        }
+        a.halt();
+        let prog = a.finish();
+        prop_assert_eq!(final_regs_interp(&prog), final_regs_engine(&prog));
+    }
+}
