@@ -1,8 +1,11 @@
 //! Ablation benches for the design decisions DESIGN.md §3 calls out:
 //! the bitfield-theory simplifier, the solver's query cache, copy-on-
 //! write state forking, and the translation-block cache.
+//!
+//! Runs under the in-repo harness (`cargo bench --bench ablations`) and
+//! writes `results/ablations.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::timing::{write_results, Group};
 use s2e_expr::{ExprBuilder, ExprRef, Width};
 use s2e_solver::{Solver, SolverConfig};
 use s2e_vm::machine::Machine;
@@ -32,76 +35,68 @@ fn flaggy_constraint(b: &ExprBuilder) -> Vec<ExprRef> {
     vec![b.eq(masked, b.constant(0xa5, Width::W32))]
 }
 
-fn bench_simplifier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_simplifier");
+fn bench_simplifier() -> Group {
+    let mut g = Group::new("ablation_simplifier").sample_size(20);
     for (name, simplify) in [("with_simplifier", true), ("without_simplifier", false)] {
-        g.bench_function(name, |bench| {
-            bench.iter_batched(
-                || {
-                    let b = ExprBuilder::new();
-                    let cs = flaggy_constraint(&b);
-                    let solver = Solver::with_config(SolverConfig {
-                        simplify_queries: simplify,
-                        enable_cache: false,
-                        ..SolverConfig::default()
-                    });
-                    (cs, solver)
-                },
-                |(cs, mut solver)| solver.check(&cs),
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_setup(
+            name,
+            || {
+                let b = ExprBuilder::new();
+                let cs = flaggy_constraint(&b);
+                let solver = Solver::with_config(SolverConfig {
+                    simplify_queries: simplify,
+                    enable_cache: false,
+                    ..SolverConfig::default()
+                });
+                (cs, solver)
+            },
+            |(cs, mut solver)| solver.check(&cs),
+        );
     }
-    g.finish();
+    g
 }
 
-fn bench_solver_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_solver_cache");
+fn bench_solver_cache() -> Group {
+    let mut g = Group::new("ablation_solver_cache").sample_size(20);
     for (name, cache) in [("with_cache", true), ("without_cache", false)] {
-        g.bench_function(name, |bench| {
-            let b = ExprBuilder::new();
-            let cs = flaggy_constraint(&b);
-            let mut solver = Solver::with_config(SolverConfig {
-                enable_cache: cache,
-                ..SolverConfig::default()
-            });
-            // Warm once, then measure repeat queries (the common pattern:
-            // every fork re-checks the same prefix).
-            solver.check(&cs);
-            bench.iter(|| solver.check(&cs));
+        let b = ExprBuilder::new();
+        let cs = flaggy_constraint(&b);
+        let mut solver = Solver::with_config(SolverConfig {
+            enable_cache: cache,
+            ..SolverConfig::default()
         });
+        // Warm once, then measure repeat queries (the common pattern:
+        // every fork re-checks the same prefix).
+        solver.check(&cs);
+        g.bench(name, || solver.check(&cs));
     }
-    g.finish();
+    g
 }
 
-fn bench_cow_fork(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_cow_fork");
+fn bench_cow_fork() -> Group {
+    let mut g = Group::new("ablation_cow_fork").sample_size(20);
     // A machine with a substantial touched working set.
     let mut big = Machine::new();
     for page in 0..256u32 {
         big.mem.write_u32(0x10_0000 + page * 4096, page).unwrap();
     }
-    g.bench_function("cow_clone", |bench| {
-        bench.iter(|| big.clone());
-    });
-    g.bench_function("deep_rebuild", |bench| {
+    g.bench("cow_clone", || big.clone());
+    g.bench("deep_rebuild", || {
         // What forking would cost without CoW: re-materialize every page.
-        bench.iter(|| {
-            let mut m = Machine::new();
-            for page in 0..256u32 {
-                m.mem.write_u32(0x10_0000 + page * 4096, page).unwrap();
-            }
-            m
-        });
+        let mut m = Machine::new();
+        for page in 0..256u32 {
+            m.mem.write_u32(0x10_0000 + page * 4096, page).unwrap();
+        }
+        m
     });
-    g.finish();
+    g
 }
 
-fn bench_block_cache(c: &mut Criterion) {
+fn bench_block_cache() -> Group {
     use s2e_dbt::BlockCache;
     use s2e_vm::asm::Assembler;
     use s2e_vm::isa::reg;
-    let mut g = c.benchmark_group("ablation_block_cache");
+    let mut g = Group::new("ablation_block_cache").sample_size(20);
     let mut a = Assembler::new(0x2000);
     for i in 0..32 {
         a.addi(reg::R0, reg::R0, i);
@@ -111,23 +106,27 @@ fn bench_block_cache(c: &mut Criterion) {
     let mut mem = s2e_vm::mem::Memory::new();
     mem.load_image(p.base, &p.image);
 
-    g.bench_function("cached_lookup", |bench| {
+    {
         let mut cache = BlockCache::new();
         cache.translate(&mem, 0x2000, &mut |_, _| {});
-        bench.iter(|| cache.translate(&mem, 0x2000, &mut |_, _| {}));
-    });
-    g.bench_function("retranslate_every_time", |bench| {
-        bench.iter(|| {
-            let mut cache = BlockCache::new();
+        g.bench("cached_lookup", || {
             cache.translate(&mem, 0x2000, &mut |_, _| {})
         });
+    }
+    g.bench("retranslate_every_time", || {
+        let mut cache = BlockCache::new();
+        cache.translate(&mem, 0x2000, &mut |_, _| {})
     });
-    g.finish();
+    g
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_simplifier, bench_solver_cache, bench_cow_fork, bench_block_cache
+fn main() {
+    let groups = [
+        bench_simplifier(),
+        bench_solver_cache(),
+        bench_cow_fork(),
+        bench_block_cache(),
+    ];
+    let refs: Vec<&Group> = groups.iter().collect();
+    write_results("ablations.json", &refs).expect("write results/ablations.json");
 }
-criterion_main!(benches);

@@ -4,8 +4,11 @@
 //! mode (symbolic-memory checks) and ~78× in symbolic mode (expression
 //! interpretation + solving). Here "vanilla QEMU" is the reference
 //! interpreter, and the same guest workload runs in three configurations.
+//!
+//! Runs under the in-repo harness (`cargo bench --bench overhead`) and
+//! writes `results/overhead.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{write_results, Group};
 use s2e_core::selectors::make_reg_symbolic;
 use s2e_core::{ConsistencyModel, Engine, EngineConfig};
 use s2e_vm::asm::{Assembler, Program};
@@ -38,26 +41,22 @@ fn machine_with_workload() -> Machine {
     m
 }
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overhead");
+fn main() {
+    let mut g = Group::new("overhead").sample_size(20);
 
     // Baseline: the reference interpreter ("vanilla QEMU").
-    g.bench_function("native_interpreter", |b| {
-        b.iter(|| {
-            let mut m = machine_with_workload();
-            run_concrete(&mut m, 100_000).unwrap()
-        })
+    g.bench("native_interpreter", || {
+        let mut m = machine_with_workload();
+        run_concrete(&mut m, 100_000).unwrap()
     });
 
     // The engine running fully concrete code (fast path + event checks).
-    g.bench_function("engine_concrete", |b| {
-        b.iter(|| {
-            let mut e = Engine::new(
-                machine_with_workload(),
-                EngineConfig::with_model(ConsistencyModel::ScCe),
-            );
-            e.run(100_000)
-        })
+    g.bench("engine_concrete", || {
+        let mut e = Engine::new(
+            machine_with_workload(),
+            EngineConfig::with_model(ConsistencyModel::ScCe),
+        );
+        e.run(100_000)
     });
 
     // The engine with the multiplier operand symbolic: every iteration's
@@ -65,25 +64,22 @@ fn bench_overhead(c: &mut Criterion) {
     // (fresh expression DAGs, byte-split stores, concat loads), while the
     // loop counter stays concrete so the path count remains 1 — this
     // isolates symbolic-interpretation cost from forking.
-    g.bench_function("engine_symbolic", |b| {
-        b.iter(|| {
-            let mut e = Engine::new(
-                machine_with_workload(),
-                EngineConfig::with_model(ConsistencyModel::ScSe),
-            );
-            let id = e.sole_state().unwrap();
-            let bd = e.builder_arc();
-            make_reg_symbolic(e.state_mut(id).unwrap(), &bd, reg::R7, "seed");
-            e.run(100_000)
-        })
+    g.bench("engine_symbolic", || {
+        let mut e = Engine::new(
+            machine_with_workload(),
+            EngineConfig::with_model(ConsistencyModel::ScSe),
+        );
+        let id = e.sole_state().unwrap();
+        let bd = e.builder_arc();
+        make_reg_symbolic(e.state_mut(id).unwrap(), &bd, reg::R7, "seed");
+        e.run(100_000)
     });
 
-    g.finish();
-}
+    let base = g.median_of("native_interpreter").unwrap();
+    for name in ["engine_concrete", "engine_symbolic"] {
+        let m = g.median_of(name).unwrap();
+        println!("{name}: {:.1}x over native", m / base);
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_overhead
+    write_results("overhead.json", &[&g]).expect("write results/overhead.json");
 }
-criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! Work-stealing scaling experiment (DESIGN.md §8): paths/sec, steal
+//! traffic, and cross-worker solver-cache reuse at 1/2/4/8 workers on a
+//! deliberately imbalanced guest, plus the static-partition baseline the
+//! scheduler replaced.
+//!
+//! Writes `results/parallel_scaling.json`.
+
+use bench::json::Json;
+use bench::timing::workspace_root;
+use s2e_core::parallel::{
+    explore_parallel, explore_static, partition_constraint, ParallelConfig, ParallelReport,
+    WorkerContext,
+};
+use s2e_core::selectors::make_mem_symbolic;
+use s2e_core::{ConsistencyModel, Engine, EngineConfig};
+use s2e_expr::Width;
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::reg;
+use s2e_vm::machine::Machine;
+use std::time::Instant;
+
+const INPUT: u32 = 0x8000;
+/// Branch bytes in the deep subtree: 2^8 leaves + 1 gate-fail path.
+const TREE_BYTES: u32 = 8;
+const MAX_STEPS: u64 = 5_000_000;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BASELINE_WORKERS: usize = 4;
+
+/// The load-imbalance stress guest: byte 0 gates a full binary tree over
+/// bytes 1..=8, so >99% of paths live below `byte0 < 8` — under static
+/// 32-bit input partitioning that entire subtree lands on worker 0.
+///
+/// After every branch the guest re-checks the same comparison (the
+/// double-validation pattern real parsers exhibit). The re-check's
+/// implied direction re-issues the exact constraint set the creating
+/// fork already solved, so whichever worker owns the state answers it
+/// from the query cache — cross-worker when the state migrated.
+fn guest() -> Program {
+    let mut a = Assembler::new(0x2000);
+    a.movi(reg::R1, INPUT);
+    a.movi(reg::R6, 128);
+    a.ld8(reg::R2, reg::R1, 0);
+    a.movi(reg::R3, 8);
+    a.bltu(reg::R2, reg::R3, "deep");
+    a.halt_code(1);
+    a.label("deep");
+    for i in 1..=TREE_BYTES {
+        a.ld8(reg::R2, reg::R1, i);
+        a.bltu(reg::R2, reg::R6, &format!("lo{i}"));
+        // hi side: re-validate, then fall through to the join.
+        a.bltu(reg::R2, reg::R6, "unreachable");
+        a.addi(reg::R7, reg::R7, 1);
+        a.jmp(&format!("join{i}"));
+        a.label(&format!("lo{i}"));
+        a.bgeu(reg::R2, reg::R6, "unreachable");
+        a.label(&format!("join{i}"));
+    }
+    a.halt_code(2);
+    a.label("unreachable");
+    a.halt_code(99);
+    a.finish()
+}
+
+fn stealing_worker(ctx: &WorkerContext) -> Engine {
+    let mut m = Machine::new();
+    m.load(&guest());
+    let mut e = ctx.engine(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 1 + TREE_BYTES, "in");
+    e
+}
+
+/// The old architecture: private caches, input space split by value
+/// range of the gate byte. The gate condition `byte0 < 8` lies entirely
+/// inside worker 0's quarter, which therefore owns every deep path.
+fn static_worker(worker: usize, workers: usize) -> Engine {
+    let mut m = Machine::new();
+    m.load(&guest());
+    let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    let vars = make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 1 + TREE_BYTES, "in");
+    let input32 = b.zext(vars[0].clone(), Width::W32);
+    partition_constraint(e.state_mut(id).unwrap(), &b, &input32, worker, workers);
+    e
+}
+
+fn run_stealing(workers: usize) -> (ParallelReport, f64) {
+    let started = Instant::now();
+    let report = explore_parallel(&ParallelConfig::new(workers, MAX_STEPS), stealing_worker);
+    (report, started.elapsed().as_secs_f64())
+}
+
+/// The schedule's critical path: the busiest worker's execution time.
+/// On a machine with at least `workers` cores this *is* the wall clock;
+/// on smaller machines (CI containers are often 1-core) threads
+/// interleave and raw wall clock cannot distinguish schedulers, so the
+/// bench reports both — plus a time-independent critical path in solver
+/// queries, the dominant unit of exploration work (~100µs each here vs
+/// ~1µs per translated block).
+fn makespan_seconds(busy: &[f64]) -> f64 {
+    busy.iter().copied().fold(0.0, f64::max)
+}
+
+fn main() {
+    let expected_paths = (1u64 << TREE_BYTES) + 1;
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut runs = Vec::new();
+    let mut makespan_4w = 0.0;
+    let mut critical_4w = 0u64;
+
+    for &workers in &WORKER_COUNTS {
+        let (report, wall) = run_stealing(workers);
+        let busy: Vec<f64> = report
+            .workers
+            .iter()
+            .map(|w| w.stats.exec_time.as_secs_f64())
+            .collect();
+        let makespan = makespan_seconds(&busy);
+        let shared = &report.shared_cache;
+        let queries: u64 = report.workers.iter().map(|w| w.solver_queries).sum();
+        let shared_hits: u64 = report.workers.iter().map(|w| w.shared_query_hits).sum();
+        let hit_rate = if queries == 0 {
+            0.0
+        } else {
+            shared_hits as f64 / queries as f64
+        };
+        assert_eq!(
+            report.total_paths as u64, expected_paths,
+            "{workers}w explored a different path count"
+        );
+        let critical_queries = report
+            .workers
+            .iter()
+            .map(|w| w.solver_queries)
+            .max()
+            .unwrap_or(0);
+        if workers == BASELINE_WORKERS {
+            makespan_4w = makespan;
+            critical_4w = critical_queries;
+        }
+        println!(
+            "stealing {workers}w: {:.3}s wall, {:.3}s makespan, {} paths ({:.0} paths/s), \
+             {} steals, {} exports, shared cache {}/{} hits ({:.1}% of {} queries)",
+            wall,
+            makespan,
+            report.total_paths,
+            report.total_paths as f64 / makespan,
+            report.steals,
+            report.exports,
+            shared_hits,
+            shared.entries,
+            hit_rate * 100.0,
+            queries,
+        );
+        runs.push(
+            Json::obj()
+                .set("workers", workers)
+                .set("wall_seconds", wall)
+                .set("makespan_seconds", makespan)
+                .set("critical_path_queries", critical_queries)
+                .set("paths", report.total_paths)
+                .set("paths_per_sec", report.total_paths as f64 / makespan)
+                .set("steals", report.steals)
+                .set("exports", report.exports)
+                .set("solver_queries", queries)
+                .set("shared_cache_hits", shared_hits)
+                .set("shared_cache_entries", shared.entries)
+                .set("shared_cache_hit_rate", hit_rate)
+                .set("blocks_executed", report.stats.blocks_executed)
+                .set(
+                    "per_worker",
+                    Json::Arr(
+                        report
+                            .workers
+                            .iter()
+                            .map(|w| {
+                                Json::obj()
+                                    .set("worker", w.worker)
+                                    .set("paths", w.paths)
+                                    .set("steals", w.steals)
+                                    .set("exports", w.exports)
+                                    .set("solver_queries", w.solver_queries)
+                                    .set("blocks", w.stats.blocks_executed)
+                            })
+                            .collect(),
+                    ),
+                ),
+        );
+        for w in &report.workers {
+            println!(
+                "  worker {}: {} paths, {} queries, {} blocks, {} steals/{} exports",
+                w.worker, w.paths, w.solver_queries, w.stats.blocks_executed, w.steals, w.exports
+            );
+        }
+    }
+
+    // Static-partition baseline at the same worker count as the headline
+    // stealing run: worker 0 owns the whole deep subtree, so the
+    // schedule's critical path is essentially the entire exploration.
+    let started = Instant::now();
+    let reports = explore_static(BASELINE_WORKERS, MAX_STEPS, static_worker);
+    let static_wall = started.elapsed().as_secs_f64();
+    let static_paths: usize = reports.iter().map(|r| r.paths).sum();
+    let static_busy: Vec<f64> = reports
+        .iter()
+        .map(|r| r.stats.exec_time.as_secs_f64())
+        .collect();
+    let static_makespan = makespan_seconds(&static_busy);
+    let static_queries: u64 = reports.iter().map(|r| r.solver_queries).sum();
+    let static_critical = reports.iter().map(|r| r.solver_queries).max().unwrap_or(0);
+    let worker0_share = reports[0].paths as f64 / static_paths as f64;
+    println!(
+        "static {BASELINE_WORKERS}w: {:.3}s wall, {:.3}s makespan, {} paths, {} queries, \
+         worker 0 owns {:.1}% of paths",
+        static_wall,
+        static_makespan,
+        static_paths,
+        static_queries,
+        worker0_share * 100.0,
+    );
+    let speedup_time = static_makespan / makespan_4w;
+    let speedup = static_critical as f64 / critical_4w as f64;
+    println!(
+        "work-stealing vs static partitioning at {BASELINE_WORKERS} workers: \
+         {speedup:.2}x on the solver-query critical path \
+         ({static_critical} vs {critical_4w} queries on the busiest worker), \
+         {speedup_time:.2}x on measured per-worker time (this container has {cpus} \
+         cpu(s), so measured times are contention-skewed; the query critical path \
+         is what determines wall clock on >= {BASELINE_WORKERS} cores)"
+    );
+
+    let out = Json::obj()
+        .set(
+            "guest",
+            Json::obj()
+                .set("tree_bytes", TREE_BYTES)
+                .set("feasible_paths", expected_paths)
+                .set("imbalance", "all deep paths behind byte0 < 8"),
+        )
+        .set("cpus", cpus)
+        .set("stealing", Json::Arr(runs))
+        .set(
+            "static_baseline",
+            Json::obj()
+                .set("workers", BASELINE_WORKERS)
+                .set("wall_seconds", static_wall)
+                .set("makespan_seconds", static_makespan)
+                .set("paths", static_paths)
+                .set("solver_queries", static_queries)
+                .set("critical_path_queries", static_critical)
+                .set("worker0_path_share", worker0_share),
+        )
+        .set("stealing_speedup_vs_static", speedup)
+        .set("stealing_speedup_vs_static_measured_time", speedup_time);
+
+    let path = workspace_root().join("results/parallel_scaling.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out.render()).unwrap();
+    println!("wrote {}", path.display());
+}

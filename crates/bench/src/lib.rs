@@ -7,6 +7,9 @@
 //! the *shape* — which consistency model wins, rough factors, crossovers
 //! — is what EXPERIMENTS.md compares.
 
+pub mod json;
+pub mod timing;
+
 use s2e_core::analyzers::{Coverage, PathKiller};
 use s2e_core::selectors::{
     constrain_range, make_config_symbolic, make_cstring_symbolic, make_mem_symbolic,
@@ -99,7 +102,7 @@ impl Default for Budget {
 fn drive_to_exhaustion(
     engine: &mut Engine,
     budget: &Budget,
-    cov: &std::sync::Arc<parking_lot::Mutex<s2e_core::analyzers::CoverageData>>,
+    cov: &std::sync::Arc<std::sync::Mutex<s2e_core::analyzers::CoverageData>>,
 ) -> u64 {
     let mut steps = 0u64;
     let mut last_new = 0u64;
@@ -109,7 +112,7 @@ fn drive_to_exhaustion(
             break;
         }
         steps += 1;
-        let covered = cov.lock().covered();
+        let covered = cov.lock().unwrap().covered();
         if covered > last_count {
             last_count = covered;
             last_new = steps;
@@ -196,7 +199,7 @@ pub fn run_driver_experiment(
     engine.apply_model_hardware_policy();
 
     let steps = drive_to_exhaustion(&mut engine, budget, &cov);
-    let covered = cov.lock().covered();
+    let covered = cov.lock().unwrap().covered();
     collect_stats(
         &engine,
         model,
@@ -254,7 +257,7 @@ pub fn run_script_experiment(model: ConsistencyModel, budget: &Budget) -> ModelR
             let b = engine.builder_arc();
             make_cstring_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, 6, "src");
             let steps = drive_to_exhaustion(&mut engine, budget, &cov);
-            let covered = cov.lock().covered();
+            let covered = cov.lock().unwrap().covered();
             return collect_stats(&engine, model, started.elapsed(), covered, interp_total, steps);
         }
         _ => {}
@@ -301,7 +304,7 @@ pub fn run_script_experiment(model: ConsistencyModel, budget: &Budget) -> ModelR
             break;
         }
         steps += 1;
-        let covered = cov.lock().covered();
+        let covered = cov.lock().unwrap().covered();
         if covered > last_count {
             last_count = covered;
             last_new = steps;
@@ -315,7 +318,7 @@ pub fn run_script_experiment(model: ConsistencyModel, budget: &Budget) -> ModelR
             last_new = steps;
         }
     }
-    let covered = cov.lock().covered();
+    let covered = cov.lock().unwrap().covered();
     collect_stats(&engine, model, started.elapsed(), covered, interp_total, steps)
 }
 

@@ -1,0 +1,234 @@
+//! A minimal timing harness replacing criterion for the `benches/`
+//! binaries (std-only policy, DESIGN.md §7).
+//!
+//! Scope is deliberately small: warm up, take N wall-clock samples of a
+//! closure, report min/median/mean/max. No statistical outlier analysis,
+//! no HTML — the benches feed `results/*.json` and the comparisons in
+//! EXPERIMENTS.md are order-of-magnitude (6× vs 78×), not percent-level.
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name, unique within its group.
+    pub name: String,
+    /// Timed samples per iteration, sorted ascending (ns).
+    pub samples_ns: Vec<f64>,
+}
+
+impl Measurement {
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.first().copied().unwrap_or(0.0)
+    }
+
+    pub fn max_ns(&self) -> f64 {
+        self.samples_ns.last().copied().unwrap_or(0.0)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            0.0
+        } else {
+            self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+        }
+    }
+
+    /// Median (the headline number — robust to a slow first sample).
+    pub fn median_ns(&self) -> f64 {
+        let n = self.samples_ns.len();
+        if n == 0 {
+            0.0
+        } else if n % 2 == 1 {
+            self.samples_ns[n / 2]
+        } else {
+            (self.samples_ns[n / 2 - 1] + self.samples_ns[n / 2]) / 2.0
+        }
+    }
+
+    /// The JSON shape written under `results/`:
+    /// `{name, samples, median_ns, mean_ns, min_ns, max_ns}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("samples", self.samples_ns.len())
+            .set("median_ns", self.median_ns())
+            .set("mean_ns", self.mean_ns())
+            .set("min_ns", self.min_ns())
+            .set("max_ns", self.max_ns())
+    }
+}
+
+/// A named collection of measurements (criterion's `benchmark_group`
+/// analog) that renders to one JSON object.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Group {
+    pub fn new(name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Samples taken per benchmark (default 20, criterion's old setting
+    /// here).
+    pub fn sample_size(mut self, n: usize) -> Group {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `op`, printing a one-line summary as it completes. The
+    /// closure's result is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn bench<T>(&mut self, name: &str, mut op: impl FnMut() -> T) -> &mut Group {
+        self.bench_with_setup(name, || (), |()| op())
+    }
+
+    /// Times `op(setup())` with setup excluded from the measurement —
+    /// criterion's `iter_batched`.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut op: impl FnMut(S) -> T,
+    ) -> &mut Group {
+        // Warmup: fill caches and page in code, untimed.
+        let warmup = (self.sample_size / 10).max(2);
+        for _ in 0..warmup {
+            std::hint::black_box(op(setup()));
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let started = Instant::now();
+            let out = op(input);
+            let elapsed = started.elapsed();
+            std::hint::black_box(out);
+            samples.push(elapsed.as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let m = Measurement {
+            name: name.to_string(),
+            samples_ns: samples,
+        };
+        println!(
+            "{}/{name}: median {} (min {}, max {})",
+            self.name,
+            fmt_ns(m.median_ns()),
+            fmt_ns(m.min_ns()),
+            fmt_ns(m.max_ns()),
+        );
+        self.results.push(m);
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Median of a named benchmark, for computing ratios between entries.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|m| m.name == name)
+            .map(Measurement::median_ns)
+    }
+
+    /// `{"name": ..., "benchmarks": [...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj().set("name", self.name.as_str()).set(
+            "benchmarks",
+            Json::Arr(self.results.iter().map(Measurement::to_json).collect()),
+        )
+    }
+}
+
+/// Writes a bench result file under `results/`, creating the directory
+/// if a bench binary runs in a fresh checkout. `groups` become
+/// `{"groups": [...]}` with one entry per [`Group`].
+pub fn write_results(file_name: &str, groups: &[&Group]) -> std::io::Result<std::path::PathBuf> {
+    let root = workspace_root();
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let json = Json::obj().set(
+        "groups",
+        Json::Arr(groups.iter().map(|g| g.to_json()).collect()),
+    );
+    let path = dir.join(file_name);
+    std::fs::write(&path, json.render())?;
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
+/// The workspace root, two levels up from this crate's manifest.
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives at <root>/crates/bench")
+        .to_path_buf()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    let d = Duration::from_nanos(ns as u64);
+    if d >= Duration::from_millis(10) {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else if d >= Duration::from_micros(10) {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_stats() {
+        let m = Measurement {
+            name: "t".into(),
+            samples_ns: vec![1.0, 2.0, 3.0, 10.0],
+        };
+        assert_eq!(m.min_ns(), 1.0);
+        assert_eq!(m.max_ns(), 10.0);
+        assert_eq!(m.median_ns(), 2.5);
+        assert_eq!(m.mean_ns(), 4.0);
+    }
+
+    #[test]
+    fn group_measures_and_serializes() {
+        let mut g = Group::new("unit").sample_size(5);
+        let mut n = 0u64;
+        g.bench("count", || {
+            n += 1;
+            n
+        });
+        assert_eq!(g.results().len(), 1);
+        assert_eq!(g.results()[0].samples_ns.len(), 5);
+        assert!(g.median_of("count").is_some());
+        assert!(g.median_of("absent").is_none());
+        let text = g.to_json().render();
+        assert!(text.contains("\"name\": \"unit\""));
+        assert!(text.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn setup_excluded_from_timing() {
+        let mut g = Group::new("unit").sample_size(3);
+        g.bench_with_setup("sum", || vec![1u64; 64], |v| v.iter().sum::<u64>());
+        assert!(g.results()[0].min_ns() >= 0.0);
+    }
+}

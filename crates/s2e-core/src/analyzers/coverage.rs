@@ -8,7 +8,7 @@
 
 use crate::plugin::{ExecCtx, Plugin};
 use crate::state::ExecState;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -83,7 +83,7 @@ impl Plugin for Coverage {
                 return;
             }
         }
-        let mut d = self.data.lock();
+        let mut d = self.data.lock().unwrap();
         if let std::collections::hash_map::Entry::Vacant(e) = d.first_seen.entry(pc) {
             let t = self.start.elapsed().as_secs_f64();
             e.insert(t);
@@ -132,7 +132,7 @@ mod tests {
         cov.on_block_start(&mut state, &mut ctx, 0x2000);
         cov.on_block_start(&mut state, &mut ctx, 0x2008);
         cov.on_block_start(&mut state, &mut ctx, 0x5000); // out of range
-        let d = data.lock();
+        let d = data.lock().unwrap();
         assert_eq!(d.covered(), 2);
         assert_eq!(d.order, vec![0x2000, 0x2008]);
         assert!((d.fraction(4) - 0.5).abs() < 1e-9);

@@ -10,7 +10,7 @@
 use crate::impl_plugin_state;
 use crate::plugin::{ExecCtx, MemAccess, Plugin};
 use crate::state::{ExecState, StateId, TerminationReason};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use s2e_vm::isa::{Instr, Opcode};
 use std::sync::Arc;
 
@@ -129,7 +129,7 @@ impl Plugin for EnergyProfile {
         reason: &TerminationReason,
     ) {
         let charge = state.plugin_state_mut::<EnergyState>("energy").charge;
-        self.results.lock().push((state.id, reason.clone(), charge));
+        self.results.lock().unwrap().push((state.id, reason.clone(), charge));
     }
 }
 
@@ -161,7 +161,7 @@ mod tests {
         e.on_instr_execution(&mut state, &mut ctx, 8, &Instr::new(Opcode::Mul, 0, 0, 0, 0));
         e.on_instr_execution(&mut state, &mut ctx, 16, &Instr::new(Opcode::Out, 0, 0, 0, 0));
         e.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
-        let r = results.lock();
+        let r = results.lock().unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].2, 1 + 4 + 30);
     }
@@ -189,7 +189,7 @@ mod tests {
         e.on_instr_execution(&mut child, &mut ctx, 8, &Instr::new(Opcode::Mul, 0, 0, 0, 0));
         e.on_state_terminated(&mut parent, &mut ctx, &TerminationReason::Halted(0));
         e.on_state_terminated(&mut child, &mut ctx, &TerminationReason::Halted(0));
-        let r = results.lock();
+        let r = results.lock().unwrap();
         assert_eq!(r[0].2, 1);
         assert_eq!(r[1].2, 1 + 4);
     }

@@ -10,7 +10,7 @@
 use crate::impl_plugin_state;
 use crate::plugin::{ExecCtx, Plugin};
 use crate::state::{ExecState, TerminationReason};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -85,7 +85,7 @@ impl Plugin for PathKiller {
             }
         }
         if let Some(metric) = &self.metric {
-            if let (Some(cost), Some(best)) = (metric(state), *self.best.lock()) {
+            if let (Some(cost), Some(best)) = (metric(state), *self.best.lock().unwrap()) {
                 if cost > best {
                     state.kill_requested =
                         Some(TerminationReason::Killed(KILLED_BY_PATHKILLER));
@@ -108,7 +108,7 @@ impl Plugin for PathKiller {
         if completed {
             if let Some(metric) = &self.metric {
                 if let Some(cost) = metric(state) {
-                    let mut best = self.best.lock();
+                    let mut best = self.best.lock().unwrap();
                     *best = Some(best.map_or(cost, |b| b.min(cost)));
                 }
             }
@@ -176,7 +176,7 @@ mod tests {
             let mut cheap = ExecState::initial(Machine::new());
             cheap.instrs_retired = 100;
             pk.on_state_terminated(&mut cheap, ctx, &TerminationReason::Halted(0));
-            assert_eq!(*best.lock(), Some(100));
+            assert_eq!(*best.lock().unwrap(), Some(100));
 
             let mut expensive = ExecState::initial(Machine::new());
             expensive.instrs_retired = 500;
@@ -201,7 +201,7 @@ mod tests {
             let mut b2 = ExecState::initial(Machine::new());
             b2.instrs_retired = 200;
             pk.on_state_terminated(&mut b2, ctx, &TerminationReason::Halted(0));
-            assert_eq!(*best.lock(), Some(200));
+            assert_eq!(*best.lock().unwrap(), Some(200));
         });
     }
 }

@@ -10,7 +10,7 @@
 use crate::impl_plugin_state;
 use crate::plugin::{ExecCtx, MemAccess, Plugin};
 use crate::state::{ExecState, StateId, TerminationReason};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use s2e_cache::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};
 use s2e_vm::isa::Instr;
 use std::ops::Range;
@@ -160,7 +160,7 @@ impl Plugin for PerformanceProfile {
     ) {
         let id = state.id;
         let ps = self.state_of(state);
-        self.results.lock().push(PathProfile {
+        self.results.lock().unwrap().push(PathProfile {
             state: id,
             reason: reason.clone(),
             instructions: ps.instructions,
@@ -195,7 +195,7 @@ mod tests {
             let mut state = ExecState::initial(Machine::new());
             f(&mut perf, &mut state, &mut ctx);
         }
-        let r = results.lock().clone();
+        let r = results.lock().unwrap().clone();
         r
     }
 
@@ -254,7 +254,7 @@ mod tests {
             perf.on_state_terminated(&mut parent, &mut ctx, &TerminationReason::Halted(0));
             perf.on_state_terminated(&mut child, &mut ctx, &TerminationReason::Halted(0));
         }
-        let profiles = results.lock();
+        let profiles = results.lock().unwrap();
         assert_eq!(profiles[0].instructions, 1);
         assert_eq!(profiles[1].instructions, 3); // inherited 1 + 2 own
     }
@@ -283,6 +283,6 @@ mod tests {
             perf.on_instr_execution(&mut state, &mut ctx, 0x9000, &i); // filtered
             perf.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
         }
-        assert_eq!(results.lock()[0].instructions, 1);
+        assert_eq!(results.lock().unwrap()[0].instructions, 1);
     }
 }

@@ -9,13 +9,12 @@
 use crate::impl_plugin_state;
 use crate::plugin::{ExecCtx, MemAccess, Plugin, PortAccess};
 use crate::state::{ExecState, StateId, TerminationReason};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::ops::Range;
 use std::sync::Arc;
 
 /// One event in a path trace.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEntry {
     /// A translation block started at this PC.
     Block {
@@ -153,7 +152,7 @@ impl Plugin for ExecutionTracer {
         let entries = std::mem::take(
             &mut state.plugin_state_mut::<PathTrace>("tracer").entries,
         );
-        self.store.lock().push((state.id, reason.clone(), entries));
+        self.store.lock().unwrap().push((state.id, reason.clone(), entries));
     }
 }
 
@@ -189,7 +188,7 @@ mod tests {
             tracer.on_block_start(state, ctx, 0x9000); // filtered
             tracer.on_syscall(state, ctx, 3, [0; 4]);
             tracer.on_state_terminated(state, ctx, &TerminationReason::Halted(0));
-            let s = store.lock();
+            let s = store.lock().unwrap();
             assert_eq!(s.len(), 1);
             let (_, reason, entries) = &s[0];
             assert_eq!(*reason, TerminationReason::Halted(0));
@@ -225,6 +224,6 @@ mod tests {
             tracer.on_block_start(&mut state, &mut ctx, 0x2000 + i * 8);
         }
         tracer.on_state_terminated(&mut state, &mut ctx, &TerminationReason::Halted(0));
-        assert_eq!(store.lock()[0].2.len(), 3);
+        assert_eq!(store.lock().unwrap()[0].2.len(), 3);
     }
 }

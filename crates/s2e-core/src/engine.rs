@@ -13,9 +13,9 @@ use crate::plugin::{BugReport, ExecCtx, Plugin};
 use crate::search::{Dfs, SearchStrategy};
 use crate::state::{ExecState, StateId, TerminationReason};
 use crate::stats::EngineStats;
-use s2e_dbt::BlockCache;
+use s2e_dbt::{CacheHandle, SharedBlockCache};
 use s2e_expr::ExprBuilder;
-use s2e_solver::Solver;
+use s2e_solver::{SharedQueryCache, Solver};
 use s2e_vm::machine::Machine;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -61,12 +61,33 @@ pub struct RunSummary {
     pub stop: StopReason,
 }
 
+/// The pieces of an engine that the parallel explorer's workers share:
+/// one expression factory (so variable ids stay globally unique when
+/// states migrate), one translation-block cache, and one solver query
+/// cache. Clones alias the same underlying storage.
+#[derive(Clone, Debug, Default)]
+pub struct SharedEngineContext {
+    /// Expression factory shared by every worker's states.
+    pub builder: Arc<ExprBuilder>,
+    /// Cross-engine translation-block cache.
+    pub tb_cache: SharedBlockCache,
+    /// Cross-engine solver query cache.
+    pub query_cache: SharedQueryCache,
+}
+
+impl SharedEngineContext {
+    /// Creates a fresh shared context.
+    pub fn new() -> SharedEngineContext {
+        SharedEngineContext::default()
+    }
+}
+
 /// The S2E engine: explorer plus plugin host.
 pub struct Engine {
     builder: Arc<ExprBuilder>,
     solver: Solver,
     config: EngineConfig,
-    cache: BlockCache,
+    cache: CacheHandle,
     marks: HashSet<u32>,
     plugins: Vec<Box<dyn Plugin>>,
     states: HashMap<StateId, ExecState>,
@@ -85,11 +106,47 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine around an initial machine snapshot.
     pub fn new(machine: Machine, config: EngineConfig) -> Engine {
-        let mut engine = Engine {
-            builder: Arc::new(ExprBuilder::new()),
-            solver: Solver::new(),
+        Engine::build(
+            machine,
             config,
-            cache: BlockCache::new(),
+            Arc::new(ExprBuilder::new()),
+            Solver::new(),
+            CacheHandle::private(),
+        )
+    }
+
+    /// Creates an engine wired to a [`SharedEngineContext`]: it uses the
+    /// shared expression builder, translates through the shared block
+    /// cache, and its solver consults the shared query cache after a
+    /// local miss. This is how the parallel explorer builds workers.
+    pub fn with_shared(
+        machine: Machine,
+        config: EngineConfig,
+        shared: &SharedEngineContext,
+    ) -> Engine {
+        let mut solver = Solver::new();
+        solver.attach_shared_cache(shared.query_cache.clone());
+        Engine::build(
+            machine,
+            config,
+            Arc::clone(&shared.builder),
+            solver,
+            CacheHandle::shared(shared.tb_cache.clone()),
+        )
+    }
+
+    fn build(
+        machine: Machine,
+        config: EngineConfig,
+        builder: Arc<ExprBuilder>,
+        solver: Solver,
+        cache: CacheHandle,
+    ) -> Engine {
+        let mut engine = Engine {
+            builder,
+            solver,
+            config,
+            cache,
             marks: HashSet::new(),
             plugins: Vec::new(),
             states: HashMap::new(),
@@ -256,6 +313,60 @@ impl Engine {
         let id = StateId(self.next_state_id);
         self.next_state_id += 1;
         id
+    }
+
+    /// Moves this engine's id allocator into a disjoint per-worker
+    /// namespace so states forked by different workers can never collide
+    /// when they migrate. Call right after construction, before any fork.
+    pub fn set_state_id_namespace(&mut self, worker: usize) {
+        debug_assert!(self.stats.forks == 0, "namespace set after forking");
+        self.next_state_id = ((worker as u64 + 1) << 40) + 1;
+    }
+
+    /// Detaches a live state for migration to another engine. The state
+    /// is removed without firing termination events; stale strategy
+    /// entries for it are skipped naturally by [`Engine::step`].
+    pub fn detach_state(&mut self, id: StateId) -> Option<ExecState> {
+        self.states.remove(&id)
+    }
+
+    /// Detaches every live state (used by parallel workers that start
+    /// empty and pull all their work from the shared queue).
+    pub fn drain_states(&mut self) -> Vec<ExecState> {
+        let ids: Vec<StateId> = self.states.keys().copied().collect();
+        ids.into_iter().filter_map(|id| self.states.remove(&id)).collect()
+    }
+
+    /// Detaches surplus live states, keeping at most `keep`, preferring
+    /// to export the *shallowest* states — the ones closest to the fork
+    /// root, whose unexplored subtrees are the largest and therefore the
+    /// best work units to hand an idle worker.
+    pub fn detach_overflow(&mut self, keep: usize) -> Vec<ExecState> {
+        if self.states.len() <= keep {
+            return Vec::new();
+        }
+        let mut ids: Vec<(u32, StateId)> =
+            self.states.values().map(|s| (s.depth, s.id)).collect();
+        // Sort by (depth, id) so the choice of victims is deterministic.
+        ids.sort_unstable();
+        ids.truncate(self.states.len() - keep);
+        ids.into_iter()
+            .filter_map(|(_, id)| self.states.remove(&id))
+            .collect()
+    }
+
+    /// Attaches a migrated state and schedules it. The state keeps its
+    /// id — per-worker id namespaces ([`Engine::set_state_id_namespace`])
+    /// guarantee it cannot collide with a locally-created one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live state with the same id already exists here.
+    pub fn attach_state(&mut self, state: ExecState) {
+        let id = state.id;
+        let prev = self.states.insert(id, state);
+        assert!(prev.is_none(), "state id collision on attach: {id}");
+        self.strategy.push(id);
     }
 
     fn finish_state(&mut self, state: &mut ExecState, reason: TerminationReason) {

@@ -16,7 +16,7 @@
 use crate::config::ConsistencyModel;
 use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin, PortAccess};
 use crate::state::{EnvFrame, ExecState, TerminationReason};
-use s2e_dbt::{BlockCache, TranslationBlock};
+use s2e_dbt::{CacheHandle, TranslationBlock};
 use s2e_expr::{ExprRef, Width};
 use s2e_vm::cpu::FaultKind;
 use s2e_vm::interp::{alu_binop, branch_taken, mem_width};
@@ -55,7 +55,7 @@ pub struct ExecEnv<'a> {
     /// Plugin services bundle.
     pub ctx: ExecCtx<'a>,
     /// The shared translation-block cache.
-    pub cache: &'a mut BlockCache,
+    pub cache: &'a mut CacheHandle,
     /// Instructions marked by plugins at translation time.
     pub marks: &'a mut HashSet<u32>,
     /// Block start PCs already executed at least once (coverage; used by

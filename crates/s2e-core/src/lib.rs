@@ -51,7 +51,11 @@ pub mod state;
 pub mod stats;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
-pub use engine::{Engine, RunSummary, StepOutcome, StepReport, StopReason};
+pub use engine::{Engine, RunSummary, SharedEngineContext, StepOutcome, StepReport, StopReason};
+pub use parallel::{
+    explore_parallel, explore_static, merge_coverage, partition_constraint, ParallelConfig,
+    ParallelReport, WorkerContext, WorkerReport,
+};
 pub use plugin::{BugKind, BugReport, ExecCtx, MachineSnapshot, MemAccess, Plugin, PortAccess};
 pub use state::{ExecState, StateId, TerminationReason};
 pub use stats::EngineStats;

@@ -1,22 +1,38 @@
-//! Parallel path exploration.
+//! Parallel path exploration with work stealing.
 //!
-//! The S2E project parallelizes exploration by running multiple engine
-//! instances over a *partitioned* input space (each node owns a slice of
-//! the first symbolic input and explores the subtree it induces). This
-//! module reproduces that architecture in-process: N workers each build
-//! an engine, constrain their state to partition `i` of `n`, explore
-//! independently — no shared mutable state, so scaling is embarrassing —
-//! and the reports are merged afterwards.
+//! The original S2E parallelized exploration the simple way: N engine
+//! instances, each statically owning a slice of the input space. That
+//! architecture (kept here as [`explore_static`] for comparison) has the
+//! load-imbalance problem the S2E/Cloud9 lineage ran into — whichever
+//! worker's slice contains the deep subtree finishes last while the rest
+//! idle, and every worker pays for its own cold solver and translation
+//! caches.
+//!
+//! [`explore_parallel`] replaces that with dynamic state migration:
+//!
+//! - a shared **injector queue** of transferable [`ExecState`]s — workers
+//!   export fork-overflow states instead of hoarding them, and idle
+//!   workers steal;
+//! - one shared [`ExprBuilder`] so variable ids stay globally unique as
+//!   states migrate;
+//! - one shared solver **query cache** (`s2e-solver`) and the shared
+//!   translation-block cache (`s2e-dbt`), so a stolen state never re-pays
+//!   solver or translation work its previous owner already did.
+//!
+//! Exploration remains deterministic in outcome: the set of feasible
+//! paths is a property of the guest, not of the schedule, so any worker
+//! count yields the same total path count and the same bug set (see
+//! `tests/parallel_determinism.rs`).
 //!
 //! ```
-//! use s2e_core::parallel::{explore_parallel, partition_constraint};
+//! use s2e_core::parallel::{explore_parallel, ParallelConfig};
 //! use s2e_core::selectors::make_reg_symbolic;
-//! use s2e_core::{ConsistencyModel, Engine, EngineConfig};
+//! use s2e_core::{ConsistencyModel, EngineConfig};
 //! use s2e_vm::asm::Assembler;
 //! use s2e_vm::isa::reg;
 //! use s2e_vm::machine::Machine;
 //!
-//! let reports = explore_parallel(2, 10_000, |worker, workers| {
+//! let report = explore_parallel(&ParallelConfig::new(2, 10_000), |ctx| {
 //!     let mut a = Assembler::new(0x2000);
 //!     a.movi(reg::R1, 128);
 //!     a.bltu(reg::R0, reg::R1, "low");
@@ -25,23 +41,27 @@
 //!     a.halt_code(2);
 //!     let mut m = Machine::new();
 //!     m.load(&a.finish());
-//!     let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+//!     let mut e = ctx.engine(m, EngineConfig::with_model(ConsistencyModel::ScSe));
 //!     let id = e.sole_state().unwrap();
 //!     let b = e.builder_arc();
-//!     let x = make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
-//!     partition_constraint(e.state_mut(id).unwrap(), &b, &x, worker, workers);
+//!     make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
 //!     e
 //! });
-//! let total: usize = reports.iter().map(|r| r.paths).sum();
-//! assert!(total >= 2);
+//! assert_eq!(report.total_paths, 2);
 //! ```
 
-use crate::engine::Engine;
+use crate::config::EngineConfig;
+use crate::engine::{Engine, SharedEngineContext};
 use crate::plugin::BugReport;
 use crate::state::ExecState;
 use crate::stats::EngineStats;
+use s2e_dbt::DbtStats;
 use s2e_expr::{ExprBuilder, ExprRef, Width};
-use std::collections::HashSet;
+use s2e_solver::SharedCacheStats;
+use s2e_vm::machine::Machine;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// What one worker produced.
 #[derive(Debug)]
@@ -56,10 +76,335 @@ pub struct WorkerReport {
     pub covered_blocks: HashSet<u32>,
     /// This worker's engine statistics.
     pub stats: EngineStats,
+    /// States this worker pulled from the shared queue.
+    pub steals: u64,
+    /// States this worker exported to the shared queue.
+    pub exports: u64,
+    /// Solver queries this worker answered from the cross-worker shared
+    /// cache (each one is a solve another worker paid for).
+    pub shared_query_hits: u64,
+    /// Solver queries this worker issued in total.
+    pub solver_queries: u64,
 }
 
-/// Constrains `input` to worker `i`'s slice of the 32-bit value space,
-/// the standard way to partition an exploration across workers.
+/// Tunables for [`explore_parallel`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Global step budget shared by all workers (an engine step is one
+    /// translation block).
+    pub max_steps: u64,
+    /// Steps a worker claims from the global budget per scheduler
+    /// interaction; the granularity of budget accounting and of export
+    /// checks.
+    pub batch: u64,
+    /// A worker exports surplus states beyond this many even when nobody
+    /// is idle, keeping the shared queue warm.
+    pub max_local_states: usize,
+}
+
+impl ParallelConfig {
+    /// Config with default batch size and local-state cap.
+    pub fn new(workers: usize, max_steps: u64) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            max_steps,
+            batch: 64,
+            max_local_states: 8,
+        }
+    }
+}
+
+/// Merged result of a work-stealing exploration.
+#[derive(Debug)]
+pub struct ParallelReport {
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerReport>,
+    /// All workers' engine stats merged ([`EngineStats::merge`]).
+    pub stats: EngineStats,
+    /// All bugs, in worker order.
+    pub bugs: Vec<BugReport>,
+    /// Union of covered blocks.
+    pub covered_blocks: HashSet<u32>,
+    /// Total paths terminated.
+    pub total_paths: usize,
+    /// Total states migrated through the shared queue.
+    pub steals: u64,
+    /// Total states exported to the shared queue.
+    pub exports: u64,
+    /// Shared solver query-cache counters (cross-worker hits).
+    pub shared_cache: SharedCacheStats,
+    /// Shared translation-block cache counters.
+    pub dbt: DbtStats,
+}
+
+/// Per-worker handle passed to the engine-builder closure of
+/// [`explore_parallel`].
+pub struct WorkerContext<'a> {
+    /// This worker's index.
+    pub worker: usize,
+    /// Total worker count.
+    pub workers: usize,
+    shared: &'a SharedEngineContext,
+}
+
+impl WorkerContext<'_> {
+    /// Builds an engine wired to the exploration's shared builder,
+    /// translation cache, and solver cache, with this worker's state-id
+    /// namespace. Always construct worker engines through this — a plain
+    /// [`Engine::new`] would use private caches and colliding state ids.
+    pub fn engine(&self, machine: Machine, config: EngineConfig) -> Engine {
+        let mut engine = Engine::with_shared(machine, config, self.shared);
+        engine.set_state_id_namespace(self.worker);
+        engine
+    }
+
+    /// The shared expression builder.
+    pub fn builder(&self) -> Arc<ExprBuilder> {
+        Arc::clone(&self.shared.builder)
+    }
+}
+
+/// The work-stealing scheduler shared by all workers.
+struct Scheduler {
+    sched: Mutex<SchedState>,
+    cv: Condvar,
+    /// Steps claimed from the global budget so far.
+    steps: AtomicU64,
+    /// Mirror of `SchedState::idle` readable without the lock, used by
+    /// busy workers deciding whether to export.
+    hungry: AtomicUsize,
+    /// Mirror of `SchedState::done` readable without the lock.
+    done: AtomicBool,
+    steals: AtomicU64,
+    exports: AtomicU64,
+}
+
+struct SchedState {
+    queue: VecDeque<ExecState>,
+    idle: usize,
+    done: bool,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            sched: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                idle: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            steps: AtomicU64::new(0),
+            hungry: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            exports: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims up to `batch` steps from the global budget; 0 means the
+    /// budget is spent.
+    fn claim(&self, max_steps: u64, batch: u64) -> u64 {
+        let mut cur = self.steps.load(Ordering::Relaxed);
+        loop {
+            if cur >= max_steps {
+                return 0;
+            }
+            let take = batch.min(max_steps - cur);
+            match self.steps.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns unused claimed steps to the budget.
+    fn refund(&self, unused: u64) {
+        if unused > 0 {
+            self.steps.fetch_sub(unused, Ordering::Relaxed);
+        }
+    }
+
+    fn export(&self, states: Vec<ExecState>) {
+        if states.is_empty() {
+            return;
+        }
+        self.exports.fetch_add(states.len() as u64, Ordering::Relaxed);
+        let mut g = self.sched.lock().unwrap();
+        g.queue.extend(states);
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Ends the exploration for everyone (budget exhausted).
+    fn finish_all(&self) {
+        let mut g = self.sched.lock().unwrap();
+        g.done = true;
+        self.done.store(true, Ordering::Relaxed);
+        drop(g);
+        self.cv.notify_all();
+    }
+}
+
+fn worker_loop<F>(w: usize, cfg: &ParallelConfig, sched: &Scheduler, shared: &SharedEngineContext, build: &F) -> WorkerReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
+    let ctx = WorkerContext {
+        worker: w,
+        workers: cfg.workers,
+        shared,
+    };
+    let mut engine = build(&ctx);
+    if w != 0 {
+        // Every worker builds the same root; only worker 0's is explored.
+        // The rest start empty and pull their first state from the queue.
+        engine.drain_states();
+    }
+    let mut steals = 0u64;
+    let mut exports = 0u64;
+
+    'outer: loop {
+        // Phase 1: run local work, batch by batch.
+        while engine.live_count() > 0 {
+            if sched.done.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let claimed = sched.claim(cfg.max_steps, cfg.batch);
+            if claimed == 0 {
+                sched.finish_all();
+                break 'outer;
+            }
+            let mut used = 0;
+            while used < claimed {
+                if engine.step().is_none() {
+                    break;
+                }
+                used += 1;
+            }
+            sched.refund(claimed - used);
+
+            // Phase 2: export fork overflow instead of hoarding it.
+            let live = engine.live_count();
+            let hungry = sched.hungry.load(Ordering::Relaxed) > 0;
+            let keep = if hungry && live > 1 {
+                // Someone is starving: hand off half our frontier.
+                (live + 1) / 2
+            } else if live > cfg.max_local_states {
+                cfg.max_local_states
+            } else {
+                live
+            };
+            if keep < live {
+                let surplus = engine.detach_overflow(keep);
+                exports += surplus.len() as u64;
+                sched.export(surplus);
+            }
+        }
+
+        // Phase 3: local frontier is dry — steal, or detect completion.
+        let mut g = sched.sched.lock().unwrap();
+        loop {
+            if g.done {
+                break 'outer;
+            }
+            if let Some(state) = g.queue.pop_front() {
+                drop(g);
+                steals += 1;
+                engine.attach_state(state);
+                continue 'outer;
+            }
+            g.idle += 1;
+            sched.hungry.fetch_add(1, Ordering::Relaxed);
+            if g.idle == cfg.workers {
+                // Every worker is idle and the queue is empty: done.
+                g.done = true;
+                sched.done.store(true, Ordering::Relaxed);
+                drop(g);
+                sched.cv.notify_all();
+                break 'outer;
+            }
+            g = sched.cv.wait(g).unwrap();
+            g.idle -= 1;
+            sched.hungry.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    sched.steals.fetch_add(steals, Ordering::Relaxed);
+    let solver = engine.solver_stats();
+    WorkerReport {
+        worker: w,
+        paths: engine.terminated().len(),
+        shared_query_hits: solver.shared_hits,
+        solver_queries: solver.queries,
+        bugs: engine.bugs().to_vec(),
+        covered_blocks: engine.seen_blocks().clone(),
+        stats: engine.stats().clone(),
+        steals,
+        exports,
+    }
+}
+
+/// Runs a work-stealing exploration: `build(ctx)` constructs each
+/// worker's engine (load the image, inject symbolic inputs, register
+/// plugins) through [`WorkerContext::engine`] so all workers share one
+/// expression builder, one translation-block cache, and one solver query
+/// cache. Worker 0's initial state seeds the exploration; all other
+/// initial states are discarded and those workers steal.
+pub fn explore_parallel<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
+    assert!(cfg.workers > 0 && cfg.batch > 0 && cfg.max_local_states > 0);
+    let shared = SharedEngineContext::new();
+    let sched = Scheduler::new();
+    let build = &build;
+    let shared_ref = &shared;
+    let sched_ref = &sched;
+    let mut workers: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| scope.spawn(move || worker_loop(w, cfg, sched_ref, shared_ref, build)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    workers.sort_by_key(|r| r.worker);
+
+    let mut stats = EngineStats::default();
+    let mut bugs = Vec::new();
+    let mut covered_blocks = HashSet::new();
+    let mut total_paths = 0;
+    for r in &workers {
+        stats.merge(&r.stats);
+        bugs.extend(r.bugs.iter().cloned());
+        covered_blocks.extend(r.covered_blocks.iter().copied());
+        total_paths += r.paths;
+    }
+    ParallelReport {
+        stats,
+        bugs,
+        covered_blocks,
+        total_paths,
+        steals: sched.steals.load(Ordering::Relaxed),
+        exports: sched.exports.load(Ordering::Relaxed),
+        shared_cache: shared.query_cache.stats(),
+        dbt: shared.tb_cache.stats(),
+        workers,
+    }
+}
+
+/// Constrains `input` to worker `i`'s slice of the 32-bit value space —
+/// the static partitioning used by [`explore_static`] and kept as the
+/// baseline the work-stealing explorer is benchmarked against.
 pub fn partition_constraint(
     state: &mut ExecState,
     builder: &ExprBuilder,
@@ -85,27 +430,36 @@ pub fn partition_constraint(
     }
 }
 
-/// Runs `workers` independent engines in parallel. `setup(i, n)` builds
-/// worker `i`'s engine (typically: load the same image, inject the same
-/// symbolic inputs, then apply [`partition_constraint`]).
-pub fn explore_parallel<F>(workers: usize, max_steps: u64, setup: F) -> Vec<WorkerReport>
+/// The original static-partition explorer: `workers` fully independent
+/// engines (cold private caches, no migration), each given `max_steps`
+/// of budget. `setup(i, n)` builds worker `i`'s engine — typically
+/// loading the same image and applying [`partition_constraint`].
+///
+/// Kept as the load-imbalance baseline; new code should use
+/// [`explore_parallel`].
+pub fn explore_static<F>(workers: usize, max_steps: u64, setup: F) -> Vec<WorkerReport>
 where
     F: Fn(usize, usize) -> Engine + Sync,
 {
     assert!(workers > 0);
     let setup = &setup;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut engine = setup(w, workers);
                     engine.run(max_steps);
+                    let solver = engine.solver_stats();
                     WorkerReport {
                         worker: w,
                         paths: engine.terminated().len(),
+                        shared_query_hits: solver.shared_hits,
+                        solver_queries: solver.queries,
                         bugs: engine.bugs().to_vec(),
                         covered_blocks: engine.seen_blocks().clone(),
                         stats: engine.stats().clone(),
+                        steals: 0,
+                        exports: 0,
                     }
                 })
             })
@@ -115,7 +469,6 @@ where
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
-    .expect("scope panicked")
 }
 
 /// Merges worker coverage into one set.
@@ -136,9 +489,9 @@ mod tests {
     use s2e_vm::isa::reg;
     use s2e_vm::machine::Machine;
 
-    fn branchy_engine(worker: usize, workers: usize) -> Engine {
+    /// Two nested branches on x: 3 leaf outcomes, 4+ blocks.
+    fn branchy_machine() -> Machine {
         let mut a = Assembler::new(0x2000);
-        // Two nested branches on x: 4 leaf outcomes.
         a.movi(reg::R1, 0x4000_0000);
         a.bltu(reg::R0, reg::R1, "q1");
         a.movi(reg::R1, 0xc000_0000);
@@ -150,7 +503,25 @@ mod tests {
         a.halt_code(1);
         let mut m = Machine::new();
         m.load(&a.finish());
-        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+        m
+    }
+
+    fn branchy_worker(ctx: &WorkerContext) -> Engine {
+        let mut e = ctx.engine(
+            branchy_machine(),
+            EngineConfig::with_model(ConsistencyModel::ScSe),
+        );
+        let id = e.sole_state().unwrap();
+        let b = e.builder_arc();
+        make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
+        e
+    }
+
+    fn static_worker(worker: usize, workers: usize) -> Engine {
+        let mut e = Engine::new(
+            branchy_machine(),
+            EngineConfig::with_model(ConsistencyModel::ScSe),
+        );
         let id = e.sole_state().unwrap();
         let b = e.builder_arc();
         let x = make_reg_symbolic(e.state_mut(id).unwrap(), &b, reg::R0, "x");
@@ -159,28 +530,64 @@ mod tests {
     }
 
     #[test]
-    fn workers_cover_the_whole_space_together() {
-        let reports = explore_parallel(4, 10_000, branchy_engine);
+    fn work_stealing_explores_all_paths() {
+        let report = explore_parallel(&ParallelConfig::new(4, 10_000), branchy_worker);
+        assert_eq!(report.workers.len(), 4);
+        // Work stealing explores each feasible path exactly once — no
+        // duplicated outcomes across workers, unlike static partitions.
+        assert_eq!(report.total_paths, 3, "{report:?}");
+        assert!(report.stats.blocks_executed > 0);
+        assert!(report.covered_blocks.len() >= 4);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let par = explore_parallel(&ParallelConfig::new(1, 10_000), branchy_worker);
+        assert_eq!(par.workers.len(), 1);
+        assert_eq!(par.steals, 0);
+        let mut seq = static_worker(0, 1);
+        seq.run(10_000);
+        assert_eq!(par.total_paths, seq.terminated().len());
+    }
+
+    #[test]
+    fn stealing_matches_sequential_path_count() {
+        let seq = explore_parallel(&ParallelConfig::new(1, 10_000), branchy_worker);
+        // A tiny export threshold forces migration even on a small tree.
+        let mut cfg = ParallelConfig::new(4, 10_000);
+        cfg.batch = 1;
+        cfg.max_local_states = 1;
+        let par = explore_parallel(&cfg, branchy_worker);
+        assert_eq!(par.total_paths, seq.total_paths);
+        assert_eq!(par.exports, par.steals + queued_leftover(&par), "states conserved");
+    }
+
+    /// Exported-but-never-stolen states only exist if the run ended on
+    /// budget; with exhaustive runs the queue drains completely.
+    fn queued_leftover(_r: &ParallelReport) -> u64 {
+        0
+    }
+
+    #[test]
+    fn static_baseline_still_works() {
+        let reports = explore_static(4, 10_000, static_worker);
         assert_eq!(reports.len(), 4);
-        // Each worker's slice admits at most 2 of the 3 outcomes; jointly
-        // they admit all 3 (some outcomes found by several workers).
-        let total_paths: usize = reports.iter().map(|r| r.paths).sum();
-        assert!(total_paths >= 3, "{total_paths}");
-        for r in &reports {
-            assert!(r.paths >= 1, "worker {} found nothing", r.worker);
-            assert!(r.stats.blocks_executed > 0);
-        }
+        let total: usize = reports.iter().map(|r| r.paths).sum();
+        // Static slices duplicate boundary outcomes; together they cover
+        // at least the 3 real paths.
+        assert!(total >= 3, "{total}");
         let merged = merge_coverage(&reports);
         assert!(merged.len() >= 4, "merged coverage {merged:?}");
     }
 
     #[test]
-    fn single_worker_degenerates_to_sequential() {
-        let par = explore_parallel(1, 10_000, branchy_engine);
-        assert_eq!(par.len(), 1);
-        let mut seq = branchy_engine(0, 1);
-        seq.run(10_000);
-        assert_eq!(par[0].paths, seq.terminated().len());
+    fn budget_stops_all_workers() {
+        // A budget far too small to finish: the run must still terminate
+        // and report at most that many steps.
+        let mut cfg = ParallelConfig::new(4, 8);
+        cfg.batch = 2;
+        let report = explore_parallel(&cfg, branchy_worker);
+        assert!(report.stats.blocks_executed <= 8, "{report:?}");
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Path-selection strategies (the paper's priority-based selectors, §4.1).
 
 use crate::state::StateId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use s2e_prng::SplitMix64;
 use std::collections::{HashMap, VecDeque};
 
 /// Chooses which live state the engine runs next.
@@ -88,7 +87,7 @@ impl SearchStrategy for Bfs {
 #[derive(Debug)]
 pub struct RandomSearch {
     pool: Vec<StateId>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomSearch {
@@ -96,7 +95,7 @@ impl RandomSearch {
     pub fn new(seed: u64) -> RandomSearch {
         RandomSearch {
             pool: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 }
@@ -110,7 +109,7 @@ impl SearchStrategy for RandomSearch {
         if self.pool.is_empty() {
             return None;
         }
-        let i = self.rng.gen_range(0..self.pool.len());
+        let i = self.rng.index(self.pool.len());
         Some(self.pool.swap_remove(i))
     }
 

@@ -239,6 +239,13 @@ macro_rules! impl_plugin_state {
     };
 }
 
+// States migrate between worker threads through the work-stealing
+// queue; keep this a compile error rather than a distant trait bound.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ExecState>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

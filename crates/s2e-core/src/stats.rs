@@ -41,6 +41,28 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Folds another engine's counters into this one (parallel workers'
+    /// stats merged into one report). Sums the additive counters and
+    /// takes the maximum of the watermark-style ones — `max_live_states`
+    /// and `memory_watermark_bytes` are per-engine peaks, so the merged
+    /// value is the largest any single worker saw, not a sum.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.states_created += other.states_created;
+        self.states_terminated += other.states_terminated;
+        self.forks += other.forks;
+        self.blocks_executed += other.blocks_executed;
+        self.instrs_concrete += other.instrs_concrete;
+        self.instrs_symbolic += other.instrs_symbolic;
+        self.symbolic_ptr_accesses += other.symbolic_ptr_accesses;
+        self.concretizations += other.concretizations;
+        self.interrupts_delivered += other.interrupts_delivered;
+        self.syscalls += other.syscalls;
+        self.max_live_states = self.max_live_states.max(other.max_live_states);
+        self.memory_watermark_bytes =
+            self.memory_watermark_bytes.max(other.memory_watermark_bytes);
+        self.exec_time += other.exec_time;
+    }
+
     /// Total instructions executed.
     pub fn total_instrs(&self) -> u64 {
         self.instrs_concrete + self.instrs_symbolic

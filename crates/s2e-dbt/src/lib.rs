@@ -44,7 +44,7 @@
 
 pub mod cfg;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use s2e_vm::isa::{Instr, INSTR_SIZE};
 use s2e_vm::mem::Memory;
 use std::collections::{HashMap, HashSet};
@@ -248,27 +248,112 @@ impl SharedBlockCache {
         pc: u32,
         on_translate: &mut dyn FnMut(u32, &Instr),
     ) -> Arc<TranslationBlock> {
-        self.0.lock().translate(mem, pc, on_translate)
+        self.0.lock().unwrap().translate(mem, pc, on_translate)
     }
 
     /// See [`BlockCache::invalidate_write`].
     pub fn invalidate_write(&self, addr: u32, len: u32) {
-        self.0.lock().invalidate_write(addr, len)
+        self.0.lock().unwrap().invalidate_write(addr, len)
     }
 
     /// See [`BlockCache::page_has_code`].
     pub fn page_has_code(&self, addr: u32) -> bool {
-        self.0.lock().page_has_code(addr)
+        self.0.lock().unwrap().page_has_code(addr)
     }
 
     /// See [`BlockCache::stats`].
     pub fn stats(&self) -> DbtStats {
-        self.0.lock().stats()
+        self.0.lock().unwrap().stats()
     }
 
     /// See [`BlockCache::clear`].
     pub fn clear(&self) {
-        self.0.lock().clear()
+        self.0.lock().unwrap().clear()
+    }
+}
+
+/// The translation cache an engine executes against: private to one
+/// engine, or shared between the parallel explorer's workers.
+///
+/// Translation is a pure function of guest memory, so workers exploring
+/// the same image can share one warm cache; a stolen state never pays
+/// for re-translating blocks its previous owner already decoded. The
+/// engine holds this handle rather than a `BlockCache` directly so the
+/// sequential fast path keeps its lock-free cache.
+#[derive(Debug)]
+pub enum CacheHandle {
+    /// A lock-free cache owned by one engine.
+    Private(BlockCache),
+    /// A mutex-guarded cache shared across engines.
+    Shared(SharedBlockCache),
+}
+
+impl Default for CacheHandle {
+    fn default() -> CacheHandle {
+        CacheHandle::Private(BlockCache::new())
+    }
+}
+
+impl CacheHandle {
+    /// A fresh private cache.
+    pub fn private() -> CacheHandle {
+        CacheHandle::default()
+    }
+
+    /// A handle onto an existing shared cache.
+    pub fn shared(cache: SharedBlockCache) -> CacheHandle {
+        CacheHandle::Shared(cache)
+    }
+
+    /// True when backed by a cross-engine shared cache.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, CacheHandle::Shared(_))
+    }
+
+    /// See [`BlockCache::translate`].
+    pub fn translate(
+        &mut self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> Arc<TranslationBlock> {
+        match self {
+            CacheHandle::Private(c) => c.translate(mem, pc, on_translate),
+            CacheHandle::Shared(c) => c.translate(mem, pc, on_translate),
+        }
+    }
+
+    /// See [`BlockCache::invalidate_write`].
+    pub fn invalidate_write(&mut self, addr: u32, len: u32) {
+        match self {
+            CacheHandle::Private(c) => c.invalidate_write(addr, len),
+            CacheHandle::Shared(c) => c.invalidate_write(addr, len),
+        }
+    }
+
+    /// See [`BlockCache::page_has_code`].
+    pub fn page_has_code(&self, addr: u32) -> bool {
+        match self {
+            CacheHandle::Private(c) => c.page_has_code(addr),
+            CacheHandle::Shared(c) => c.page_has_code(addr),
+        }
+    }
+
+    /// See [`BlockCache::stats`]. For a shared handle these counters
+    /// aggregate every participating engine.
+    pub fn stats(&self) -> DbtStats {
+        match self {
+            CacheHandle::Private(c) => c.stats(),
+            CacheHandle::Shared(c) => c.stats(),
+        }
+    }
+
+    /// See [`BlockCache::clear`].
+    pub fn clear(&mut self) {
+        match self {
+            CacheHandle::Private(c) => c.clear(),
+            CacheHandle::Shared(c) => c.clear(),
+        }
     }
 }
 
@@ -413,6 +498,29 @@ mod tests {
         c2.translate(&mem, 0x2000, &mut |_, _| {});
         assert_eq!(c1.stats().translations, 1);
         assert_eq!(c1.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_handle_dispatches_both_backends() {
+        let mem = asm_mem(|a| {
+            a.halt();
+        });
+        let shared = SharedBlockCache::new();
+        let mut h1 = CacheHandle::shared(shared.clone());
+        let mut h2 = CacheHandle::shared(shared);
+        assert!(h1.is_shared());
+        h1.translate(&mem, 0x2000, &mut |_, _| {});
+        // The second handle sees the first handle's translation.
+        h2.translate(&mem, 0x2000, &mut |_, _| panic!("retranslated"));
+        assert_eq!(h2.stats().hits, 1);
+        assert!(h2.page_has_code(0x2000));
+
+        let mut p = CacheHandle::private();
+        assert!(!p.is_shared());
+        p.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(p.stats().translations, 1);
+        p.clear();
+        assert!(!p.page_has_code(0x2000));
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Bit widths of expression values.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Width of a bitvector value in bits, between 1 and 64.
@@ -14,7 +13,7 @@ use std::fmt;
 /// assert_eq!(Width::W8.bits(), 8);
 /// assert_eq!(Width::W8.mask(), 0xff);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Width(u32);
 
 impl Width {

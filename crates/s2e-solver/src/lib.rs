@@ -35,4 +35,6 @@ pub mod bitblast;
 pub mod sat;
 mod solver;
 
-pub use solver::{QueryKind, SatResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    QueryKind, SatResult, SharedCacheStats, SharedQueryCache, Solver, SolverConfig, SolverStats,
+};

@@ -654,16 +654,15 @@ mod tests {
 
     #[test]
     fn randomized_against_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0x52e);
+        let mut rng = s2e_prng::SplitMix64::new(0x52e);
         for _ in 0..200 {
-            let nv = rng.gen_range(1..=6u32);
-            let nc = rng.gen_range(0..=12usize);
+            let nv = rng.range(1, 7) as u32;
+            let nc = rng.index(13);
             let clauses: Vec<Vec<(u32, bool)>> = (0..nc)
                 .map(|_| {
-                    let len = rng.gen_range(1..=3usize);
+                    let len = 1 + rng.index(3);
                     (0..len)
-                        .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                        .map(|_| (rng.below(nv as u64) as u32, rng.next_bool()))
                         .collect()
                 })
                 .collect();

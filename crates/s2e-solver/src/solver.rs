@@ -4,6 +4,8 @@ use crate::bitblast::BitBlaster;
 use crate::sat::{SatOutcome, SatSolver};
 use s2e_expr::{collect_vars, eval, simplify, Assignment, ExprBuilder, ExprRef};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Outcome of a satisfiability query.
@@ -84,6 +86,10 @@ pub struct SolverStats {
     pub unknown: u64,
     /// Queries answered from the exact-match cache.
     pub cache_hits: u64,
+    /// Queries answered from the cross-worker shared cache (always a
+    /// local miss first, so every shared hit is work another solver
+    /// instance did).
+    pub shared_hits: u64,
     /// Queries answered by re-checking a pooled model.
     pub pool_hits: u64,
     /// Wall-clock time spent inside the solver (including cache lookups).
@@ -118,6 +124,79 @@ struct CacheEntry {
     outcome: Cached,
 }
 
+/// Aggregate counters for a [`SharedQueryCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups answered by the shared cache.
+    pub hits: u64,
+    /// Entries published into the shared cache.
+    pub inserts: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// A query cache shared between solver instances — the warm cache the
+/// parallel explorer hands every worker.
+///
+/// Exploration forks re-check near-identical constraint prefixes, and
+/// with work-stealing those prefixes migrate between workers; a private
+/// cold cache per worker would redo every solve the previous owner
+/// already paid for. Entries verify full structural equality of the
+/// constraint set on lookup, so a 64-bit key collision can never return
+/// a wrong cached verdict. Clones share the same underlying storage.
+#[derive(Clone, Debug, Default)]
+pub struct SharedQueryCache {
+    entries: Arc<Mutex<HashMap<u64, CacheEntry>>>,
+    hits: Arc<AtomicU64>,
+    inserts: Arc<AtomicU64>,
+}
+
+impl SharedQueryCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> SharedQueryCache {
+        SharedQueryCache::default()
+    }
+
+    fn get(&self, key: u64, query: &[ExprRef]) -> Option<CacheEntry> {
+        let entries = self.entries.lock().unwrap();
+        let hit = entries.get(&key)?;
+        if !Solver::same_query(&hit.constraints, query) {
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(hit.clone())
+    }
+
+    fn insert(&self, key: u64, entry: CacheEntry) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().unwrap().insert(key, entry);
+    }
+
+    /// Counters (aggregated across every attached solver).
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap().len(),
+        }
+    }
+
+    /// Lookups answered by the shared cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True if nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The constraint solver used by the execution engine.
 ///
 /// Wraps the SAT core with the two optimizations KLEE made standard —
@@ -143,6 +222,9 @@ struct CacheEntry {
 pub struct Solver {
     config: SolverConfig,
     cache: HashMap<u64, CacheEntry>,
+    /// Cross-instance cache, consulted after a local miss and fed by
+    /// every fresh solve (see [`SharedQueryCache`]).
+    shared: Option<SharedQueryCache>,
     model_pool: VecDeque<Assignment>,
     stats: SolverStats,
     /// Private builder used only to materialize constants during
@@ -167,10 +249,22 @@ impl Solver {
         Solver {
             config,
             cache: HashMap::new(),
+            shared: None,
             model_pool: VecDeque::new(),
             stats: SolverStats::default(),
             simp_builder: ExprBuilder::new(),
         }
+    }
+
+    /// Attaches a cross-instance shared query cache. Hits against it are
+    /// counted separately ([`SolverStats::shared_hits`]) from local hits.
+    pub fn attach_shared_cache(&mut self, shared: SharedQueryCache) {
+        self.shared = Some(shared);
+    }
+
+    /// The attached shared cache, if any.
+    pub fn shared_cache(&self) -> Option<&SharedQueryCache> {
+        self.shared.as_ref()
     }
 
     /// Statistics accumulated so far.
@@ -224,7 +318,15 @@ impl Solver {
             match s.as_const() {
                 Some(0) => return SatResult::Unsat,
                 Some(_) => continue,
-                None => simplified.push(s),
+                // X ∧ X = X: dropping duplicates keeps the CNF smaller
+                // and gives re-checks of an already-asserted condition
+                // (a guest re-validating a bound) the same cache key as
+                // the fork query that first solved this constraint set.
+                None => {
+                    if !simplified.contains(&s) {
+                        simplified.push(s);
+                    }
+                }
             }
         }
         if simplified.is_empty() {
@@ -242,11 +344,29 @@ impl Solver {
                     };
                 }
             }
+            // Cross-instance cache: another worker may have solved this
+            // exact query already. Adopt the entry locally so repeats
+            // stay off the shared lock.
+            if let Some(shared) = &self.shared {
+                if let Some(hit) = shared.get(key, &simplified) {
+                    self.stats.shared_hits += 1;
+                    let result = match &hit.outcome {
+                        Cached::Sat(m) => SatResult::Sat(m.clone()),
+                        Cached::Unsat => SatResult::Unsat,
+                    };
+                    if let Cached::Sat(m) = &hit.outcome {
+                        self.model_pool.push_front(m.clone());
+                        self.model_pool.truncate(self.config.model_pool_size);
+                    }
+                    self.cache.insert(key, hit);
+                    return result;
+                }
+            }
             // Counterexample pool: a previous model (extended with zeros
             // for unseen variables) may already satisfy this query.
             if let Some(model) = self.try_model_pool(&simplified) {
                 self.stats.pool_hits += 1;
-                self.cache.insert(
+                self.insert_both(
                     key,
                     CacheEntry {
                         constraints: simplified.clone(),
@@ -265,7 +385,7 @@ impl Solver {
         match sat.solve(self.config.max_conflicts) {
             SatOutcome::Unsat => {
                 if self.config.enable_cache {
-                    self.cache.insert(
+                    self.insert_both(
                         key,
                         CacheEntry {
                             constraints: simplified.clone(),
@@ -288,7 +408,7 @@ impl Solver {
                     model.set(id, v);
                 }
                 if self.config.enable_cache {
-                    self.cache.insert(
+                    self.insert_both(
                         key,
                         CacheEntry {
                             constraints: simplified.clone(),
@@ -301,6 +421,15 @@ impl Solver {
                 SatResult::Sat(model)
             }
         }
+    }
+
+    /// Inserts a finished query into the local cache and, when attached,
+    /// publishes it to the shared cache.
+    fn insert_both(&mut self, key: u64, entry: CacheEntry) {
+        if let Some(shared) = &self.shared {
+            shared.insert(key, entry.clone());
+        }
+        self.cache.insert(key, entry);
     }
 
     /// Structural equality of two queries as unordered constraint sets.
@@ -531,6 +660,57 @@ mod tests {
         assert_eq!(st.sat, 1);
         assert_eq!(st.unsat, 1);
         assert!(st.avg_query_time() <= st.max_query_time.max(st.total_time));
+    }
+
+    #[test]
+    fn shared_cache_crosses_solver_instances() {
+        let b = ExprBuilder::new();
+        let shared = SharedQueryCache::new();
+        let x = b.var("x", Width::W8);
+        let c = b.eq(x.clone(), b.constant(3, Width::W8));
+
+        let mut s1 = Solver::new();
+        s1.attach_shared_cache(shared.clone());
+        assert!(s1.check(std::slice::from_ref(&c)).is_sat());
+        assert_eq!(s1.stats().shared_hits, 0);
+        assert_eq!(shared.stats().inserts, 1);
+
+        // A different solver instance with a cold local cache answers the
+        // same query from the shared cache without re-solving.
+        let mut s2 = Solver::new();
+        s2.attach_shared_cache(shared.clone());
+        match s2.check(std::slice::from_ref(&c)) {
+            SatResult::Sat(m) => assert_eq!(eval(&x, &m).unwrap(), 3),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(s2.stats().shared_hits, 1);
+        assert_eq!(shared.hits(), 1);
+
+        // Repeat on s2 now hits locally, not the shared lock.
+        s2.check(&[c]);
+        assert_eq!(s2.stats().cache_hits, 1);
+        assert_eq!(shared.hits(), 1);
+    }
+
+    #[test]
+    fn shared_cache_unsat_and_stats() {
+        let b = ExprBuilder::new();
+        let shared = SharedQueryCache::new();
+        let x = b.var("x", Width::W8);
+        let c1 = b.ult(x.clone(), b.constant(5, Width::W8));
+        let c2 = b.ult(b.constant(10, Width::W8), x);
+
+        let mut s1 = Solver::new();
+        s1.attach_shared_cache(shared.clone());
+        assert_eq!(s1.check(&[c1.clone(), c2.clone()]), SatResult::Unsat);
+
+        let mut s2 = Solver::new();
+        s2.attach_shared_cache(shared.clone());
+        // Constraint order must not matter for the shared hit.
+        assert_eq!(s2.check(&[c2, c1]), SatResult::Unsat);
+        assert_eq!(s2.stats().shared_hits, 1);
+        assert!(!shared.is_empty());
+        assert_eq!(shared.stats().entries, shared.len());
     }
 
     #[test]

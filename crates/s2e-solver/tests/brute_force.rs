@@ -1,9 +1,10 @@
 //! Property test: the full solver pipeline (simplifier → cache →
 //! bit-blaster → CDCL) agrees with brute-force enumeration on random
-//! 8-bit constraint systems.
+//! 8-bit constraint systems. Cases come from a seeded SplitMix64 stream
+//! so every run checks the same corpus.
 
-use proptest::prelude::*;
 use s2e_expr::{eval, Assignment, BinOp, ExprBuilder, ExprRef, Width};
+use s2e_prng::SplitMix64;
 use s2e_solver::{SatResult, Solver};
 
 #[derive(Clone, Debug)]
@@ -34,16 +35,14 @@ const ARITH: [BinOp; 8] = [
     BinOp::URem,
 ];
 
-fn cmp_strategy() -> impl Strategy<Value = Cmp> {
-    (any::<u8>(), any::<bool>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
-        |(op_idx, lhs_var, k1, k2, arith_idx)| Cmp {
-            op_idx,
-            lhs_var,
-            k1,
-            k2,
-            arith_idx,
-        },
-    )
+fn gen_cmp(rng: &mut SplitMix64) -> Cmp {
+    Cmp {
+        op_idx: rng.next_u8(),
+        lhs_var: rng.next_bool(),
+        k1: rng.next_u8(),
+        k2: rng.next_u8(),
+        arith_idx: rng.next_u8(),
+    }
 }
 
 /// Builds `((x ⊕ k1) cmp k2)` or `((k1 ⊕ y) cmp k2)` over two 8-bit vars.
@@ -55,11 +54,11 @@ fn build_constraint(b: &ExprBuilder, x: &ExprRef, y: &ExprRef, c: &Cmp) -> ExprR
     b.binop(cmp, lhs, b.constant(c.k2 as u64, Width::W8))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn solver_agrees_with_enumeration(cmps in prop::collection::vec(cmp_strategy(), 1..5)) {
+#[test]
+fn solver_agrees_with_enumeration() {
+    let mut rng = SplitMix64::new(0xb407e);
+    for case in 0..48u64 {
+        let cmps: Vec<Cmp> = (0..1 + rng.index(4)).map(|_| gen_cmp(&mut rng)).collect();
         let b = ExprBuilder::new();
         let x = b.var("x", Width::W8);
         let y = b.var("y", Width::W8);
@@ -85,20 +84,23 @@ proptest! {
         let mut solver = Solver::new();
         match solver.check(&constraints) {
             SatResult::Sat(model) => {
-                prop_assert!(feasible, "solver says SAT, enumeration says UNSAT");
+                assert!(feasible, "case {case}: solver says SAT, enumeration says UNSAT");
                 // The model must actually satisfy every constraint.
                 let mut asg = model;
                 // Unmentioned vars default to 0 for evaluation.
                 asg.set_by_name("x", eval(&x, &asg).unwrap_or(0));
                 asg.set_by_name("y", eval(&y, &asg).unwrap_or(0));
                 for c in &constraints {
-                    prop_assert_eq!(eval(c, &asg), Ok(1), "model violates {}", **c);
+                    assert_eq!(eval(c, &asg), Ok(1), "case {case}: model violates {}", **c);
                 }
             }
             SatResult::Unsat => {
-                prop_assert!(!feasible, "solver says UNSAT, enumeration found a model");
+                assert!(
+                    !feasible,
+                    "case {case}: solver says UNSAT, enumeration found a model ({cmps:?})"
+                );
             }
-            SatResult::Unknown => prop_assert!(false, "budget exhausted on a tiny query"),
+            SatResult::Unknown => panic!("case {case}: budget exhausted on a tiny query"),
         }
     }
 }

@@ -175,7 +175,7 @@ pub fn test_driver(driver: &Driver, config: &DdtConfig) -> DdtReport {
             break;
         }
         steps += 1;
-        let covered = cov_data.lock().covered();
+        let covered = cov_data.lock().unwrap().covered();
         if covered > last_covered {
             last_covered = covered;
             last_new_coverage_step = steps;

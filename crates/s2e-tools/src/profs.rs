@@ -131,7 +131,7 @@ pub fn profile(
         engine.kill_state(id, TerminationReason::FuelExhausted);
     }
 
-    let paths = results.lock().clone();
+    let paths = results.lock().unwrap().clone();
     let reasons = paths.iter().map(|p| p.reason.clone()).collect();
     ProfsReport {
         paths,
@@ -207,7 +207,7 @@ pub fn best_case_search(
     inject(&mut engine);
     engine.run(config.max_steps);
 
-    let best_cost = (*best.lock())?;
+    let best_cost = (*best.lock().unwrap())?;
     // Find a completed state achieving the bound and solve its
     // constraints for inputs.
     let states: Vec<_> = engine.terminated_states().to_vec();

@@ -14,8 +14,7 @@
 //! The single-path "RevNIC baseline" used for Table 5 runs the same
 //! harness concretely under randomized configurations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use s2e_prng::SplitMix64;
 use s2e_core::analyzers::{Coverage, ExecutionTracer, PathKiller, TraceEntry};
 use s2e_core::selectors::{constrain_range, make_config_symbolic};
 use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
@@ -25,7 +24,6 @@ use s2e_guests::kernel::boot;
 use s2e_guests::layout::cfg_keys;
 use s2e_vm::isa::{Instr, Opcode, INSTR_SIZE};
 use s2e_vm::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// REV+ configuration.
@@ -50,7 +48,7 @@ impl Default for RevConfig {
 }
 
 /// Port-protocol operation recovered from traces.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PortOp {
     /// Port accessed.
     pub port: u16,
@@ -139,7 +137,7 @@ pub fn trace_driver(driver: &Driver, config: &RevConfig) -> TraceReport {
             break;
         }
         steps += 1;
-        let covered = cov_data.lock().covered();
+        let covered = cov_data.lock().unwrap().covered();
         if covered > last_count {
             last_count = covered;
             last_new = steps;
@@ -159,10 +157,10 @@ pub fn trace_driver(driver: &Driver, config: &RevConfig) -> TraceReport {
         engine.kill_state(id, s2e_core::TerminationReason::Killed(0));
     }
 
-    let traces = store.lock();
+    let traces = store.lock().unwrap();
     let recovered = reconstruct(traces.iter().map(|(_, _, t)| t.as_slice()));
     let timeline = {
-        let d = cov_data.lock();
+        let d = cov_data.lock().unwrap();
         let mut times: Vec<f64> = d.first_seen.values().copied().collect();
         times.sort_by(f64::total_cmp);
         times
@@ -380,7 +378,7 @@ pub fn validate_against_static(
 /// randomized configuration — no symbolic execution, coverage limited to
 /// whatever the concrete inputs happen to reach.
 pub fn revnic_baseline(driver: &Driver, runs: u32, seed: u64) -> BTreeSet<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut covered = BTreeSet::new();
     for _ in 0..runs {
         let (mut machine, _k) = boot();
@@ -388,13 +386,13 @@ pub fn revnic_baseline(driver: &Driver, runs: u32, seed: u64) -> BTreeSet<u32> {
         machine.load(&build_exerciser(driver, false));
         {
             let cfgstore = machine.devices.config_mut().unwrap();
-            cfgstore.set(cfg_keys::CARD_TYPE, Value::Concrete(rng.gen_range(0..8)));
-            cfgstore.set(cfg_keys::FLAGS, Value::Concrete(rng.gen_range(0..4)));
+            cfgstore.set(cfg_keys::CARD_TYPE, Value::Concrete(rng.below(8) as u32));
+            cfgstore.set(cfg_keys::FLAGS, Value::Concrete(rng.below(4) as u32));
         }
         // Random receive payload.
         let nic = machine.devices.nic_mut().unwrap();
-        let n = rng.gen_range(0..32);
-        nic.inject_rx((0..n).map(|_| Value::Concrete(rng.gen_range(0..256))));
+        let n = rng.below(32);
+        nic.inject_rx((0..n).map(|_| Value::Concrete(rng.below(256) as u32)));
 
         let mut ec = EngineConfig::with_model(ConsistencyModel::ScCe);
         ec.max_instrs_per_path = 200_000;
@@ -403,7 +401,7 @@ pub fn revnic_baseline(driver: &Driver, runs: u32, seed: u64) -> BTreeSet<u32> {
         engine.add_plugin(Box::new(coverage));
         engine.add_plugin(Box::new(PathKiller::new(2_000)));
         engine.run(50_000);
-        covered.extend(cov.lock().first_seen.keys().copied());
+        covered.extend(cov.lock().unwrap().first_seen.keys().copied());
     }
     covered
 }
@@ -561,7 +559,7 @@ pub fn dynamic_disassemble(
 
     // Decode the decrypted bytes at every covered block, walking to the
     // block's terminator (a linear-sweep over the traced leaders).
-    let covered_blocks: BTreeSet<u32> = cov_data.lock().first_seen.keys().copied().collect();
+    let covered_blocks: BTreeSet<u32> = cov_data.lock().unwrap().first_seen.keys().copied().collect();
     let mut listing: BTreeMap<u32, Instr> = BTreeMap::new();
     // Memory with decrypted contents: any retained final state works
     // (decryption happened before the first target block on every path).
@@ -625,7 +623,7 @@ mod disasm_tests {
         let (cov, cov_data) = s2e_core::analyzers::Coverage::new(Some(g.payload_range.clone()));
         engine.add_plugin(Box::new(cov));
         engine.run(100_000);
-        let single = cov_data.lock().covered();
+        let single = cov_data.lock().unwrap().covered();
 
         let (mut m2, _k) = s2e_guests::kernel::boot();
         m2.load(&g.program);

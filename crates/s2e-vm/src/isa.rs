@@ -17,7 +17,6 @@
 //! (guests run unmodified outside the platform); the S2E engine interprets
 //! them.
 
-use serde::{Deserialize, Serialize};
 
 /// Size of one encoded instruction in bytes.
 pub const INSTR_SIZE: u32 = 8;
@@ -74,7 +73,7 @@ pub mod irq {
 }
 
 /// Instruction opcodes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[repr(u8)]
 pub enum Opcode {
     /// No operation.

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline, plus the std-only dependency gate
+# (DESIGN.md §7). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Gate 1: no Cargo.toml may carry a non-path (registry) dependency.
+# Path deps are written `foo = { path = ... }` / `foo.workspace = true`;
+# registry deps need a version requirement, which is what we reject:
+#   foo = "1.2"            (bare version string)
+#   foo = { version = .. } (inline table with version)
+# `[workspace.package] version = "..."` (the crates' own version) and
+# `version.workspace = true` stay legal.
+fail=0
+while IFS= read -r manifest; do
+    if grep -nE '^[A-Za-z0-9_-]+ *= *"[0-9^~<>=*]' "$manifest" \
+       | grep -vE '^[0-9]+:(version|edition|rust-version|resolver) *=' ; then
+        echo "error: $manifest declares a registry dependency (bare version)" >&2
+        fail=1
+    fi
+    if grep -nE '^[A-Za-z0-9_-]+ *= *\{[^}]*version' "$manifest"; then
+        echo "error: $manifest declares a registry dependency (inline version)" >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+if [ "$fail" -ne 0 ]; then
+    echo "std-only policy violated: only path dependencies are allowed" >&2
+    exit 1
+fi
+echo "dependency gate: ok (path-only)"
+
+# Gate 2: tier-1 build and tests, offline — the registry must never be
+# needed.
+cargo build --release --offline
+cargo test -q --offline
+echo "verify: ok"

@@ -83,7 +83,7 @@ fn energy_envelope_varies_with_path_family() {
     make_cstring_symbolic(engine.state_mut(id).unwrap(), &b, INPUT_BUF, 3, "url");
     engine.run(200_000);
 
-    let r = results.lock();
+    let r = results.lock().unwrap();
     assert!(r.len() >= 4, "expected several completed paths, got {}", r.len());
     let charges: Vec<u64> = r.iter().map(|(_, _, c)| *c).collect();
     let (lo, hi) = (

@@ -1,0 +1,110 @@
+//! Work-stealing determinism: exploration outcome is a property of the
+//! guest, not of the schedule. The same guest and seed explored with 1
+//! worker and with 4 workers must produce the same total path count and
+//! the same bug set, even though which worker runs which state — and in
+//! what order — differs run to run.
+
+use s2e::core::analyzers::BugCheck;
+use s2e::core::parallel::{explore_parallel, ParallelConfig, WorkerContext};
+use s2e::core::selectors::make_mem_symbolic;
+use s2e::core::{BugKind, ConsistencyModel, Engine, EngineConfig};
+use s2e::vm::asm::{Assembler, Program};
+use s2e::vm::isa::reg;
+use s2e::vm::machine::Machine;
+
+const INPUT: u32 = 0x8000;
+
+/// A deliberately imbalanced path tree over 6 symbolic input bytes:
+///
+/// - byte 0 gates everything — values ≥ 8 halt immediately, values < 8
+///   enter a full binary subtree over bytes 1..=5 (32 leaves);
+/// - the one leaf where all five bytes are ≥ 128 dereferences null.
+///
+/// 33 feasible paths total, >95% of them behind the gate — the shape
+/// static input-space partitioning handles worst.
+fn imbalanced_guest() -> Program {
+    let mut a = Assembler::new(0x2000);
+    a.movi(reg::R1, INPUT);
+    a.movi(reg::R6, 128);
+    a.movi(reg::R7, 0);
+    a.ld8(reg::R2, reg::R1, 0);
+    a.movi(reg::R3, 8);
+    a.bltu(reg::R2, reg::R3, "deep");
+    a.halt_code(1);
+    a.label("deep");
+    for i in 1..=5u32 {
+        a.ld8(reg::R2, reg::R1, i);
+        a.bltu(reg::R2, reg::R6, &format!("skip{i}"));
+        a.addi(reg::R7, reg::R7, 1);
+        a.label(&format!("skip{i}"));
+    }
+    // All five subtree bytes high: the buggy leaf.
+    a.movi(reg::R4, 5);
+    a.bltu(reg::R7, reg::R4, "ok");
+    a.movi(reg::R0, 0);
+    a.ld32(reg::R5, reg::R0, 0);
+    a.label("ok");
+    a.halt_code(2);
+    a.finish()
+}
+
+fn worker_engine(ctx: &WorkerContext) -> Engine {
+    let mut m = Machine::new();
+    m.load(&imbalanced_guest());
+    let mut e = ctx.engine(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+    e.add_plugin(Box::new(BugCheck::new()));
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 6, "in");
+    e
+}
+
+/// Bugs compared by what they are, not which worker/state found them.
+fn bug_set(report: &s2e::core::ParallelReport) -> Vec<(BugKind, u32, String)> {
+    let mut bugs: Vec<_> = report
+        .bugs
+        .iter()
+        .map(|b| (b.kind, b.pc, b.description.clone()))
+        .collect();
+    bugs.sort();
+    bugs
+}
+
+#[test]
+fn one_and_four_workers_agree() {
+    let sequential = explore_parallel(&ParallelConfig::new(1, 100_000), worker_engine);
+
+    // Small batches and a tiny hoard cap force real migration.
+    let mut cfg = ParallelConfig::new(4, 100_000);
+    cfg.batch = 8;
+    cfg.max_local_states = 2;
+    let parallel = explore_parallel(&cfg, worker_engine);
+
+    assert_eq!(sequential.total_paths, 33, "gate + 32 subtree leaves");
+    assert_eq!(
+        parallel.total_paths, sequential.total_paths,
+        "path count must not depend on worker count"
+    );
+    assert_eq!(
+        bug_set(&parallel),
+        bug_set(&sequential),
+        "bug set must not depend on worker count"
+    );
+    assert_eq!(bug_set(&sequential).len(), 1);
+    assert_eq!(bug_set(&sequential)[0].0, BugKind::NullDereference);
+
+    // The imbalanced tree cannot be explored by one worker alone when
+    // migration is forced this aggressively.
+    assert!(parallel.steals > 0, "expected migration: {parallel:?}");
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    let mut cfg = ParallelConfig::new(3, 100_000);
+    cfg.batch = 4;
+    cfg.max_local_states = 1;
+    let a = explore_parallel(&cfg, worker_engine);
+    let b = explore_parallel(&cfg, worker_engine);
+    assert_eq!(a.total_paths, b.total_paths);
+    assert_eq!(bug_set(&a), bug_set(&b));
+}
