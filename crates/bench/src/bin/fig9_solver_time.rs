@@ -10,6 +10,13 @@
 use bench::{run_driver_experiment, run_script_experiment, Budget};
 use s2e_core::ConsistencyModel;
 use s2e_guests::drivers::{pcnet, smc91c111};
+use s2e_solver::QueryKind;
+
+/// `queries (time-ms)` cell for one query kind.
+fn kind_cell(stats: &bench::ModelRunStats, kind: QueryKind) -> String {
+    let k = stats.solver.kind(kind);
+    format!("{} ({:.0}ms)", k.queries, k.time.as_secs_f64() * 1e3)
+}
 
 fn main() {
     let steps: u64 = std::env::args()
@@ -22,7 +29,7 @@ fn main() {
     };
     println!("Fig 9: solver time by consistency model ({steps}-step budget)");
     println!();
-    let widths = [8, 10, 16, 14, 10];
+    let widths = [8, 10, 16, 14, 10, 16, 16, 14];
     bench::print_row(
         &[
             "model".into(),
@@ -30,6 +37,9 @@ fn main() {
             "solver fraction".into(),
             "avg query".into(),
             "queries".into(),
+            "feasibility".into(),
+            "concretize".into(),
+            "other".into(),
         ],
         &widths,
     );
@@ -53,6 +63,9 @@ fn main() {
                     format!("{:.1}%", 100.0 * stats.solver_fraction()),
                     format!("{:.3}ms", stats.avg_query().as_secs_f64() * 1e3),
                     stats.solver_queries.to_string(),
+                    kind_cell(&stats, QueryKind::Feasibility),
+                    kind_cell(&stats, QueryKind::Concretize),
+                    kind_cell(&stats, QueryKind::Other),
                 ],
                 &widths,
             );

@@ -1,0 +1,278 @@
+//! Solver-stack ablation: constraint-independence slicing × subsuming
+//! counterexample cache, on two real guests (the 91C111 driver and the
+//! script interpreter).
+//!
+//! Runs each guest under the four [`SolverConfig`] combinations with an
+//! identical exploration budget and reports SAT-core solves (queries
+//! that missed every cache layer), total solver time, subsumption hits,
+//! and the per-[`QueryKind`] breakdown. The headline claim — the full
+//! stack reduces core solves and solver time versus the exact-match
+//! baseline — is asserted, not just printed.
+//!
+//! Writes `results/solver_opt.json`.
+//!
+//! `--smoke` skips the guest runs and replays a fixed seeded constraint
+//! corpus against two bare [`Solver`] instances (full stack vs. both
+//! optimizations off), asserting verdict agreement and that the
+//! optimized solver issues no more SAT-core solves. This is the cheap
+//! gate `scripts/verify.sh` runs.
+
+use bench::json::Json;
+use bench::timing::workspace_root;
+use bench::{
+    run_driver_experiment_with_solver, run_script_experiment_with_solver, Budget, ModelRunStats,
+};
+use s2e_core::ConsistencyModel;
+use s2e_expr::{eval, ExprBuilder, ExprRef, Width};
+use s2e_guests::drivers::smc91c111;
+use s2e_prng::SplitMix64;
+use s2e_solver::{QueryKind, SatResult, Solver, SolverConfig};
+
+/// The four ablation points, baseline first.
+const CONFIGS: [(&str, bool, bool); 4] = [
+    ("baseline", false, false),
+    ("slicing", true, false),
+    ("subsumption", false, true),
+    ("full", true, true),
+];
+
+fn config(slicing: bool, subsumption: bool) -> SolverConfig {
+    SolverConfig {
+        enable_slicing: slicing,
+        enable_subsumption: subsumption,
+        ..SolverConfig::default()
+    }
+}
+
+/// One guest × config measurement as a JSON object.
+fn stats_json(name: &str, slicing: bool, subsumption: bool, stats: &ModelRunStats) -> Json {
+    let mut kinds = Json::obj();
+    for kind in QueryKind::ALL {
+        let k = stats.solver.kind(kind);
+        kinds = kinds.set(
+            kind.name(),
+            Json::obj()
+                .set("queries", k.queries)
+                .set("sat", k.sat)
+                .set("unsat", k.unsat)
+                .set("time_seconds", k.time.as_secs_f64()),
+        );
+    }
+    Json::obj()
+        .set("config", name)
+        .set("slicing", slicing)
+        .set("subsumption", subsumption)
+        .set("queries", stats.solver.queries)
+        .set("core_solves", stats.solver.core_solves)
+        .set("cache_hits", stats.solver.cache_hits)
+        .set("pool_hits", stats.solver.pool_hits)
+        .set("subsumption_hits", stats.solver.subsumption_hits)
+        .set("sliced_queries", stats.solver.sliced_queries)
+        .set("components_solved", stats.solver.components_solved)
+        .set("solver_time_seconds", stats.solver_time.as_secs_f64())
+        .set("paths", stats.paths)
+        .set("covered_blocks", stats.covered_blocks)
+        .set("by_kind", kinds)
+}
+
+/// Runs one guest across the four configs, prints the table, asserts the
+/// full-stack win, and returns the guest's JSON block.
+fn run_guest(name: &str, run: impl Fn(SolverConfig) -> ModelRunStats) -> Json {
+    println!("{name}");
+    let widths = [12, 10, 12, 12, 14, 8, 12];
+    bench::print_row(
+        &[
+            "config".into(),
+            "queries".into(),
+            "core solves".into(),
+            "subsumed".into(),
+            "sliced".into(),
+            "paths".into(),
+            "solver time".into(),
+        ],
+        &widths,
+    );
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    for (cfg_name, slicing, subsumption) in CONFIGS {
+        let stats = run(config(slicing, subsumption));
+        bench::print_row(
+            &[
+                cfg_name.into(),
+                stats.solver.queries.to_string(),
+                stats.solver.core_solves.to_string(),
+                stats.solver.subsumption_hits.to_string(),
+                stats.solver.sliced_queries.to_string(),
+                stats.paths.to_string(),
+                format!("{:.3}s", stats.solver_time.as_secs_f64()),
+            ],
+            &widths,
+        );
+        rows.push(stats_json(cfg_name, slicing, subsumption, &stats));
+        measured.push(stats);
+    }
+    println!();
+
+    let base = &measured[0];
+    let full = &measured[3];
+    let core_reduction = 1.0 - full.solver.core_solves as f64 / base.solver.core_solves.max(1) as f64;
+    let time_reduction = 1.0 - full.solver_time.as_secs_f64() / base.solver_time.as_secs_f64().max(1e-9);
+    println!(
+        "  {name}: full stack vs baseline — core solves {} -> {} ({:.1}% fewer), solver time {:.3}s -> {:.3}s ({:.1}% less)",
+        base.solver.core_solves,
+        full.solver.core_solves,
+        100.0 * core_reduction,
+        base.solver_time.as_secs_f64(),
+        full.solver_time.as_secs_f64(),
+        100.0 * time_reduction,
+    );
+    println!();
+    assert!(
+        full.solver.core_solves < base.solver.core_solves,
+        "{name}: full stack must reduce SAT-core solves ({} vs baseline {})",
+        full.solver.core_solves,
+        base.solver.core_solves,
+    );
+    assert!(
+        full.solver_time < base.solver_time,
+        "{name}: full stack must reduce solver time ({:?} vs baseline {:?})",
+        full.solver_time,
+        base.solver_time,
+    );
+
+    Json::obj()
+        .set("guest", name)
+        .set("configs", Json::Arr(rows))
+        .set("core_solve_reduction", core_reduction)
+        .set("solver_time_reduction", time_reduction)
+}
+
+/// Builds the fixed smoke corpus: `n` query sets shaped like path
+/// constraint growth — several independent variable clusters, each
+/// accumulating range/equality constraints, queried as prefixes so
+/// subset/superset relationships actually occur.
+fn smoke_corpus(b: &ExprBuilder, rng: &mut SplitMix64, n: usize) -> Vec<Vec<ExprRef>> {
+    let vars: Vec<ExprRef> = (0..6)
+        .map(|i| b.var(&format!("v{i}"), Width::W8))
+        .collect();
+    let mut pool: Vec<ExprRef> = Vec::new();
+    let mut queries = Vec::new();
+    while queries.len() < n {
+        // Grow the pool with a constraint over one cluster (vars pair up
+        // so slicing sees multiple components per query).
+        let i = rng.index(vars.len());
+        let v = vars[i].clone();
+        let c = match rng.below(3) {
+            0 => b.ult(v, b.constant(rng.range(4, 250), Width::W8)),
+            1 => b.ne(v, b.constant(rng.below(256), Width::W8)),
+            _ => {
+                let j = (i + 1) % vars.len();
+                b.ult(v, vars[j].clone())
+            }
+        };
+        pool.push(c);
+        // Query a random prefix of the pool, plus occasionally the whole
+        // pool — prefixes of a growing set are exactly what path
+        // exploration issues.
+        let len = if rng.next_bool() {
+            pool.len()
+        } else {
+            1 + rng.index(pool.len())
+        };
+        queries.push(pool[..len].to_vec());
+        if pool.len() > 24 {
+            pool.clear();
+        }
+    }
+    queries
+}
+
+/// Fixed-corpus comparison of the full stack against the exact-match
+/// baseline: verdicts must agree, SAT models must satisfy their query,
+/// and the optimized solver must not issue more SAT-core solves.
+fn smoke() {
+    let b = ExprBuilder::new();
+    let mut rng = SplitMix64::new(0x5e_0_1_0e);
+    let queries = smoke_corpus(&b, &mut rng, 160);
+
+    let mut opt = Solver::new();
+    opt.set_config(config(true, true));
+    let mut base = Solver::new();
+    base.set_config(config(false, false));
+
+    for (i, q) in queries.iter().enumerate() {
+        let got = opt.check(q);
+        let want = base.check(q);
+        match (&got, &want) {
+            (SatResult::Sat(model), SatResult::Sat(_)) => {
+                for c in q {
+                    assert_eq!(
+                        eval(c, model).ok(),
+                        Some(1),
+                        "query {i}: optimized model violates a constraint"
+                    );
+                }
+            }
+            (SatResult::Unsat, SatResult::Unsat) => {}
+            other => panic!("query {i}: verdict mismatch {other:?}"),
+        }
+    }
+    let (o, s) = (opt.stats().clone(), base.stats().clone());
+    println!(
+        "smoke: {} queries; core solves optimized={} baseline={}; subsumption hits={}; sliced={}",
+        queries.len(),
+        o.core_solves,
+        s.core_solves,
+        o.subsumption_hits,
+        o.sliced_queries,
+    );
+    assert!(
+        o.core_solves <= s.core_solves,
+        "optimized stack issued more SAT-core solves ({}) than baseline ({})",
+        o.core_solves,
+        s.core_solves,
+    );
+    assert!(o.core_solves < s.core_solves, "expected a strict win on the fixed corpus");
+    println!("smoke ok");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let steps: u64 = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let budget = Budget {
+        max_steps: steps,
+        ..Budget::default()
+    };
+    println!("Solver-stack ablation ({steps}-step budget): slicing x subsumption");
+    println!();
+
+    let c111 = smc91c111::build();
+    let driver_json = run_guest("91C111 driver (LC)", |cfg| {
+        run_driver_experiment_with_solver(&c111, ConsistencyModel::Lc, &budget, cfg)
+    });
+    let script_json = run_guest("script interpreter (LC)", |cfg| {
+        run_script_experiment_with_solver(ConsistencyModel::Lc, &budget, cfg)
+    });
+
+    let out = Json::obj()
+        .set("experiment", "solver_opt")
+        .set(
+            "description",
+            "independence slicing x subsuming counterexample cache ablation; \
+             baseline = exact-match cache only",
+        )
+        .set("budget_steps", steps)
+        .set("guests", Json::Arr(vec![driver_json, script_json]));
+
+    let path = workspace_root().join("results/solver_opt.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out.render()).unwrap();
+    println!("wrote {}", path.display());
+}

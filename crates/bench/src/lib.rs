@@ -16,6 +16,7 @@ use s2e_core::selectors::{
 };
 use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
 use s2e_expr::Width;
+use s2e_solver::{SolverConfig, SolverStats};
 use s2e_guests::drivers::{build_exerciser, Driver};
 use s2e_guests::kernel::{boot, standard_annotations};
 use s2e_guests::layout::{cfg_keys, INPUT_BUF};
@@ -44,6 +45,10 @@ pub struct ModelRunStats {
     pub solver_time: Duration,
     /// Solver queries issued.
     pub solver_queries: u64,
+    /// Full solver statistics (per-`QueryKind` breakdown, cache layer
+    /// hits, SAT-core solves) for the Fig. 9 columns and the solver-stack
+    /// ablation.
+    pub solver: SolverStats,
     /// Instructions executed concretely / symbolically.
     pub instrs: (u64, u64),
 }
@@ -149,6 +154,7 @@ fn collect_stats(
         steps,
         solver_time: ss.total_time,
         solver_queries: ss.queries,
+        solver: ss.clone(),
         instrs: (st.instrs_concrete, st.instrs_symbolic),
     }
 }
@@ -161,6 +167,17 @@ pub fn run_driver_experiment(
     driver: &Driver,
     model: ConsistencyModel,
     budget: &Budget,
+) -> ModelRunStats {
+    run_driver_experiment_with_solver(driver, model, budget, SolverConfig::default())
+}
+
+/// [`run_driver_experiment`] with an explicit solver configuration — the
+/// solver-stack ablation toggles slicing/subsumption through this.
+pub fn run_driver_experiment_with_solver(
+    driver: &Driver,
+    model: ConsistencyModel,
+    budget: &Budget,
+    solver: SolverConfig,
 ) -> ModelRunStats {
     let started = Instant::now();
     let (mut machine, _k) = boot();
@@ -181,6 +198,7 @@ pub fn run_driver_experiment(
     // their identity (see `rc_oc_excluded_syscalls`).
     ec.rc_oc_excluded_syscalls = vec![s2e_guests::kernel::sys::ALLOC];
     let mut engine = Engine::new(machine, ec);
+    engine.solver_mut().set_config(solver);
     // Coverage-guided path selection, as the paper's driver experiments use.
     engine.set_strategy(Box::new(s2e_core::search::MaxCoverage::new()));
     let (coverage, cov) = Coverage::new(Some(driver.code_range.clone()));
@@ -219,6 +237,15 @@ pub fn run_driver_experiment(
 ///   symbolic opcodes are injected after the parsing stage.
 /// - **RC-OC**: as LC but the injected opcodes are unconstrained.
 pub fn run_script_experiment(model: ConsistencyModel, budget: &Budget) -> ModelRunStats {
+    run_script_experiment_with_solver(model, budget, SolverConfig::default())
+}
+
+/// [`run_script_experiment`] with an explicit solver configuration.
+pub fn run_script_experiment_with_solver(
+    model: ConsistencyModel,
+    budget: &Budget,
+    solver: SolverConfig,
+) -> ModelRunStats {
     let started = Instant::now();
     let guest: ScriptGuest = script::build();
     let (mut machine, _k) = boot();
@@ -238,6 +265,7 @@ pub fn run_script_experiment(model: ConsistencyModel, budget: &Budget) -> ModelR
         ec.annotations = standard_annotations();
     }
     let mut engine = Engine::new(machine, ec);
+    engine.solver_mut().set_config(solver);
     let (coverage, cov) = Coverage::new(Some(guest.interp_range.clone()));
     engine.add_plugin(Box::new(coverage));
     engine.add_plugin(Box::new(PathKiller::new(3_000)));

@@ -239,7 +239,7 @@ fn concretize_code_window(state: &mut ExecState, env: &mut ExecEnv, pc: u32) {
             // A solver failure must terminate the path like every other
             // concretization site — fabricating a value would corrupt
             // both the decoded code and the constraint set.
-            let Some((val, _)) = env.ctx.solver.concretize(&state.constraints, &e) else {
+            let Some((val, _)) = env.ctx.solver.concretize_in(&state.partition, &e) else {
                 state.kill_requested = Some(TerminationReason::SolverTimeout);
                 return;
             };
@@ -320,7 +320,7 @@ fn concretize(
     if let Some(v) = e.as_const() {
         return Some(v as u32);
     }
-    let (v, _model) = env.ctx.solver.concretize(&state.constraints, e)?;
+    let (v, _model) = env.ctx.solver.concretize_in(&state.partition, e)?;
     let c = env.ctx.builder.constant(v, e.width());
     let eq = env.ctx.builder.eq(e.clone(), c);
     if soft {
@@ -545,12 +545,12 @@ fn fork_on_null(
     }
     let b: &s2e_expr::ExprBuilder = env.ctx.builder;
     let is_null = b.ult(addr_e.clone(), b.constant(0x1000, Width::W32));
-    let may_null = env.ctx.solver.may_be_true(&state.constraints, &is_null)?;
+    let may_null = env.ctx.solver.may_be_true_in(&state.partition, &is_null)?;
     if !may_null {
         return None;
     }
     let not_null = b.bool_not(is_null.clone());
-    let may_valid = env.ctx.solver.may_be_true(&state.constraints, &not_null)?;
+    let may_valid = env.ctx.solver.may_be_true_in(&state.partition, &not_null)?;
     if !may_valid {
         return None;
     }
@@ -586,7 +586,7 @@ fn exec_symbolic_load(
     }
     // Pick a concrete base consistent with the constraints, but do NOT pin
     // the pointer to it — only to its page.
-    let Some((base_c, _)) = env.ctx.solver.concretize(&state.constraints, &addr_e) else {
+    let Some((base_c, _)) = env.ctx.solver.concretize_in(&state.partition, &addr_e) else {
         return Flow::Stop(TerminationReason::SolverTimeout);
     };
     let base_c = base_c as u32;
@@ -951,9 +951,9 @@ fn resolve_symbolic_branch(
     let may_t = env
         .ctx
         .solver
-        .may_be_true(&state.constraints, &cond);
+        .may_be_true_in(&state.partition, &cond);
     let not_cond = env.ctx.builder.bool_not(cond.clone());
-    let may_f = env.ctx.solver.may_be_true(&state.constraints, &not_cond);
+    let may_f = env.ctx.solver.may_be_true_in(&state.partition, &not_cond);
     match (may_t, may_f) {
         (Some(true), Some(true)) => {
             if forking {
@@ -1281,7 +1281,7 @@ fn exec_s2e_op(
                     let is_zero = env.ctx.builder.eq(e, zero);
                     let fails = env.ctx
                         .solver
-                        .may_be_true(&state.constraints, &is_zero)
+                        .may_be_true_in(&state.partition, &is_zero)
                         .unwrap_or(true);
                     if fails {
                         // Pin the path to the violating case so the bug

@@ -85,6 +85,9 @@ pub struct WorkerReport {
     pub shared_query_hits: u64,
     /// Solver queries this worker issued in total.
     pub solver_queries: u64,
+    /// Queries (or query components) that reached this worker's SAT
+    /// core — missed every cache layer, including the shared one.
+    pub solver_core_solves: u64,
 }
 
 /// Tunables for [`explore_parallel`].
@@ -344,6 +347,7 @@ where
         paths: engine.terminated().len(),
         shared_query_hits: solver.shared_hits,
         solver_queries: solver.queries,
+        solver_core_solves: solver.core_solves,
         bugs: engine.bugs().to_vec(),
         covered_blocks: engine.seen_blocks().clone(),
         stats: engine.stats().clone(),
@@ -455,6 +459,7 @@ where
                         paths: engine.terminated().len(),
                         shared_query_hits: solver.shared_hits,
                         solver_queries: solver.queries,
+                        solver_core_solves: solver.core_solves,
                         bugs: engine.bugs().to_vec(),
                         covered_blocks: engine.seen_blocks().clone(),
                         stats: engine.stats().clone(),

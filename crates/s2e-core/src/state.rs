@@ -1,6 +1,7 @@
 //! Execution states: one forkable snapshot of the entire system per path.
 
 use s2e_expr::ExprRef;
+use s2e_solver::ConstraintPartition;
 use s2e_vm::cpu::FaultKind;
 use s2e_vm::machine::Machine;
 use std::collections::HashMap;
@@ -102,6 +103,14 @@ pub struct ExecState {
     pub machine: Machine,
     /// Hard path constraints (boolean expressions, conjoined).
     pub constraints: Vec<ExprRef>,
+    /// `constraints`, pre-partitioned into independence components
+    /// (grouped by shared variables) — maintained incrementally by
+    /// [`ExecState::add_constraint`] and cloned with the state on fork,
+    /// so fork-time feasibility checks can hand the solver only the
+    /// component(s) a branch condition touches
+    /// ([`s2e_solver::Solver::may_be_true_in`]). Constraints are never
+    /// retracted, so the two views cannot drift.
+    pub partition: ConstraintPartition,
     /// Indices into `constraints` of *soft* constraints — added by
     /// concretization at the symbolic→concrete boundary rather than by
     /// guest branches (§2.2). SC-SE can retract them; stricter models
@@ -135,6 +144,7 @@ impl ExecState {
             parent: None,
             machine,
             constraints: Vec::new(),
+            partition: ConstraintPartition::new(),
             soft_constraints: Vec::new(),
             forking_enabled: true,
             env_stack: Vec::new(),
@@ -166,12 +176,14 @@ impl ExecState {
 
     /// Adds a hard path constraint.
     pub fn add_constraint(&mut self, c: ExprRef) {
+        self.partition.add(c.clone());
         self.constraints.push(c);
     }
 
     /// Adds a soft constraint (from boundary concretization).
     pub fn add_soft_constraint(&mut self, c: ExprRef) {
         self.soft_constraints.push(self.constraints.len());
+        self.partition.add(c.clone());
         self.constraints.push(c);
     }
 
@@ -280,6 +292,25 @@ mod tests {
         assert_eq!(s.constraints.len(), 3);
         assert_eq!(s.soft_constraints, vec![1]);
         assert_eq!(s.soft_constraint_count(), 1);
+        assert_eq!(s.partition.len(), 3);
+    }
+
+    #[test]
+    fn partition_tracks_constraints_and_forks() {
+        let b = ExprBuilder::new();
+        let mut s = state();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        s.add_constraint(b.ult(x.clone(), b.constant(5, Width::W8)));
+        s.add_soft_constraint(b.eq(y.clone(), b.constant(1, Width::W8)));
+        assert_eq!(s.partition.len(), s.constraints.len());
+        assert_eq!(s.partition.components().len(), 2);
+
+        // The child's partition diverges independently of the parent's.
+        let mut child = s.fork_child(StateId(1));
+        child.add_constraint(b.eq(x, y));
+        assert_eq!(child.partition.components().len(), 1);
+        assert_eq!(s.partition.components().len(), 2);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::width::Width;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a symbolic variable.
 ///
@@ -129,6 +129,10 @@ pub struct Expr {
     kind: ExprKind,
     width: Width,
     hash: u64,
+    /// Sorted, deduplicated ids of the variables below this node, filled
+    /// lazily by [`ExprRef::var_ids`]. Excluded from equality and hashing
+    /// (it is derived from `kind`).
+    vars: OnceLock<Arc<[VarId]>>,
 }
 
 impl Expr {
@@ -137,7 +141,12 @@ impl Expr {
         kind.hash(&mut hasher);
         width.hash(&mut hasher);
         let hash = hasher.finish();
-        Expr { kind, width, hash }
+        Expr {
+            kind,
+            width,
+            hash,
+            vars: OnceLock::new(),
+        }
     }
 
     /// The shape of this node.
@@ -199,6 +208,99 @@ impl ExprRef {
     /// True if both references point at the very same node.
     pub fn ptr_eq(&self, other: &ExprRef) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Sorted, deduplicated ids of the variables occurring in this DAG.
+    ///
+    /// Computed at most once per node and memoized inside the node, so
+    /// repeated calls — and calls on any expression sharing sub-DAGs with
+    /// one already queried — cost a pointer read. Constraint-independence
+    /// slicing leans on this: partitioning a path-constraint set touches
+    /// each DAG node once over the whole exploration, not once per query.
+    pub fn var_ids(&self) -> &[VarId] {
+        if let Some(v) = self.0.vars.get() {
+            return v;
+        }
+        self.fill_vars();
+        self.0.vars.get().expect("fill_vars populates this node")
+    }
+
+    /// Fills the `vars` memo for every node below `self` that lacks one.
+    /// Explicit stack: constraint DAGs can be deep enough to overflow the
+    /// call stack.
+    fn fill_vars(&self) {
+        // (node, children_done) pairs, as in `visit::postorder`.
+        let mut stack: Vec<(ExprRef, bool)> = vec![(self.clone(), false)];
+        while let Some((node, children_done)) = stack.pop() {
+            if node.0.vars.get().is_some() {
+                continue;
+            }
+            if !children_done {
+                stack.push((node.clone(), true));
+                match node.kind() {
+                    ExprKind::Const(_) | ExprKind::Var(..) => {}
+                    ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a) => {
+                        stack.push((a.clone(), false));
+                    }
+                    ExprKind::Extract { src, .. } => stack.push((src.clone(), false)),
+                    ExprKind::Binary(_, a, b) => {
+                        stack.push((a.clone(), false));
+                        stack.push((b.clone(), false));
+                    }
+                    ExprKind::Ite(c, t, e) => {
+                        stack.push((c.clone(), false));
+                        stack.push((t.clone(), false));
+                        stack.push((e.clone(), false));
+                    }
+                }
+                continue;
+            }
+            let vars: Arc<[VarId]> = match node.kind() {
+                ExprKind::Const(_) => Vec::new().into(),
+                ExprKind::Var(id, _) => vec![*id].into(),
+                ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a) => {
+                    child_vars(a).clone()
+                }
+                ExprKind::Extract { src, .. } => child_vars(src).clone(),
+                ExprKind::Binary(_, a, b) => merge_var_sets(&[a, b]),
+                ExprKind::Ite(c, t, e) => merge_var_sets(&[c, t, e]),
+            };
+            // A concurrent fill of a shared sub-DAG may have won the race;
+            // both sides computed the same set, so the loser's is dropped.
+            let _ = node.0.vars.set(vars);
+        }
+    }
+}
+
+fn child_vars(child: &ExprRef) -> &Arc<[VarId]> {
+    child
+        .0
+        .vars
+        .get()
+        .expect("children are filled before their parents")
+}
+
+/// Union of the children's (sorted) variable sets. Single-owner sets are
+/// shared, not copied — in a constraint DAG most interior nodes only
+/// narrow one variable.
+fn merge_var_sets(children: &[&ExprRef]) -> Arc<[VarId]> {
+    let mut nonempty: Vec<&Arc<[VarId]>> = Vec::with_capacity(children.len());
+    for c in children {
+        let s = child_vars(c);
+        if !s.is_empty() {
+            nonempty.push(s);
+        }
+    }
+    match nonempty.len() {
+        0 => Vec::new().into(),
+        1 => nonempty[0].clone(),
+        _ => {
+            let mut merged: Vec<VarId> =
+                nonempty.iter().flat_map(|s| s.iter().copied()).collect();
+            merged.sort_unstable();
+            merged.dedup();
+            merged.into()
+        }
     }
 }
 
@@ -268,6 +370,39 @@ mod tests {
         assert!(!BinOp::Sub.is_commutative());
         assert!(!BinOp::Shl.is_commutative());
         assert!(!BinOp::Concat.is_commutative());
+    }
+
+    #[test]
+    fn var_ids_sorted_deduped_and_memoized() {
+        let x = ExprRef::new(ExprKind::Var(VarId(2), "x".into()), Width::W8);
+        let y = ExprRef::new(ExprKind::Var(VarId(1), "y".into()), Width::W8);
+        let sum = ExprRef::new(ExprKind::Binary(BinOp::Add, x.clone(), y.clone()), Width::W8);
+        let e = ExprRef::new(
+            ExprKind::Binary(BinOp::Add, sum.clone(), x.clone()),
+            Width::W8,
+        );
+        assert_eq!(e.var_ids(), &[VarId(1), VarId(2)]);
+        // The walk above filled the shared sub-DAG's memo too.
+        assert!(sum.0.vars.get().is_some());
+        assert_eq!(sum.var_ids(), &[VarId(1), VarId(2)]);
+        assert_eq!(x.var_ids(), &[VarId(2)]);
+    }
+
+    #[test]
+    fn var_ids_of_const_is_empty() {
+        let c = ExprRef::new(ExprKind::Const(3), Width::W8);
+        assert!(c.var_ids().is_empty());
+        let n = ExprRef::new(ExprKind::Unary(UnOp::Not, c), Width::W8);
+        assert!(n.var_ids().is_empty());
+    }
+
+    #[test]
+    fn var_ids_does_not_disturb_equality() {
+        let a = ExprRef::new(ExprKind::Var(VarId(0), "v".into()), Width::W8);
+        let b = ExprRef::new(ExprKind::Var(VarId(0), "v".into()), Width::W8);
+        let _ = a.var_ids(); // a memoized, b not
+        assert_eq!(a, b);
+        assert_eq!(a.cached_hash(), b.cached_hash());
     }
 
     #[test]

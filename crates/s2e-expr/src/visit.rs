@@ -114,6 +114,22 @@ mod tests {
     }
 
     #[test]
+    fn var_ids_agrees_with_collect_vars() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let z = b.var("z", Width::W8);
+        let e = b.ite(
+            b.ult(x.clone(), y.clone()),
+            b.add(y, b.constant(1, Width::W8)),
+            z,
+        );
+        let from_collect: Vec<_> = collect_vars(&e).iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(e.var_ids(), &from_collect[..]);
+        assert_eq!(e.var_ids().len(), 3);
+    }
+
+    #[test]
     fn depth_of_leaf_is_one() {
         let b = ExprBuilder::new();
         assert_eq!(depth(&b.constant(0, Width::W8)), 1);

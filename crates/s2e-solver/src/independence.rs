@@ -1,0 +1,436 @@
+//! Constraint-independence slicing (KLEE's "independent solver" layer).
+//!
+//! Two constraints are *independent* when they share no symbolic
+//! variables. Satisfiability of a conjunction factors across the
+//! connected components of the constraint graph (constraints as nodes,
+//! edges between constraints sharing a variable): the conjunction is SAT
+//! iff every component is SAT, and the union of per-component models —
+//! which bind disjoint variables — is a model of the whole set.
+//!
+//! This module provides the two shapes the solver stack needs:
+//!
+//! - [`partition`] — one-shot union–find split of an arbitrary query
+//!   into components, used by `Solver::check` so each component gets its
+//!   own cache entry and its own (smaller) SAT instance;
+//! - [`ConstraintPartition`] — an incrementally-maintained partition
+//!   that `ExecState` keeps alongside its path condition, so fork-time
+//!   feasibility checks can send the solver only the component(s) the
+//!   branch condition touches.
+//!
+//! Variable footprints come from [`ExprRef::var_ids`], which memoizes
+//! the sorted variable set per DAG node — partitioning is O(total vars)
+//! per call, with each expression node visited once ever.
+//!
+//! Constraints with *no* variables get special treatment: the expression
+//! builder constant-folds them away, but a hand-built (or
+//! simplification-disabled) variable-free constraint could still be
+//! `false`, so [`ConstraintPartition`] keeps them in a `ground` residue
+//! that every slice includes — a slicing layer must never drop an
+//! unconditional contradiction.
+
+use s2e_expr::{ExprRef, VarId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// True if two sorted variable-id slices share an element.
+pub fn vars_overlap(a: &[VarId], b: &[VarId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Union of two sorted variable-id slices, sorted and deduplicated.
+pub fn merge_vars(a: &[VarId], b: &[VarId]) -> Vec<VarId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Array-based union–find with path halving and union by size.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Splits a constraint set into its connected components under shared
+/// variables: union–find over constraint indices, linked through the
+/// first constraint seen for each variable (so the pass is linear in the
+/// total variable count, not quadratic in constraints). Components come
+/// back in first-occurrence order, each preserving input order —
+/// deterministic for a given input, which keeps cache keys and stitched
+/// models schedule-independent. Variable-free constraints become
+/// singleton components.
+pub fn partition(constraints: &[ExprRef]) -> Vec<Vec<ExprRef>> {
+    if constraints.len() <= 1 {
+        return constraints.iter().map(|c| vec![c.clone()]).collect();
+    }
+    let mut uf = UnionFind::new(constraints.len());
+    let mut owner: HashMap<VarId, usize> = HashMap::new();
+    for (i, c) in constraints.iter().enumerate() {
+        for &v in c.var_ids() {
+            match owner.entry(v) {
+                Entry::Occupied(o) => {
+                    uf.union(i, *o.get());
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<ExprRef>> = Vec::new();
+    let mut slot_of_root: HashMap<usize, usize> = HashMap::new();
+    for (i, c) in constraints.iter().enumerate() {
+        let root = uf.find(i);
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[slot].push(c.clone());
+    }
+    groups
+}
+
+/// One connected component of a constraint set: the constraints plus the
+/// sorted union of their variables.
+#[derive(Clone, Debug, Default)]
+pub struct Component {
+    constraints: Vec<ExprRef>,
+    vars: Vec<VarId>,
+}
+
+impl Component {
+    /// The component's constraints.
+    pub fn constraints(&self) -> &[ExprRef] {
+        &self.constraints
+    }
+
+    /// Sorted union of the constraints' variables.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// True if the component shares a variable with `vars` (sorted).
+    pub fn touches(&self, vars: &[VarId]) -> bool {
+        vars_overlap(&self.vars, vars)
+    }
+}
+
+/// A constraint set maintained as connected components under shared
+/// variables.
+///
+/// `ExecState` keeps one of these beside its flat constraint vector:
+/// [`ConstraintPartition::add`] runs at constraint-add time (and the
+/// partition clones with the state on fork), so by the time a branch
+/// asks "may this condition be true?", the components are already
+/// there and the solver can be handed just the slice the condition
+/// touches via [`ConstraintPartition::slice_for`].
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintPartition {
+    components: Vec<Component>,
+    /// Variable-free constraints; included in every slice (see module
+    /// docs — a var-free `false` must never be sliced away).
+    ground: Vec<ExprRef>,
+    total: usize,
+}
+
+impl ConstraintPartition {
+    /// An empty partition.
+    pub fn new() -> ConstraintPartition {
+        ConstraintPartition::default()
+    }
+
+    /// Partitions an existing constraint set.
+    pub fn from_constraints(constraints: &[ExprRef]) -> ConstraintPartition {
+        let mut p = ConstraintPartition::new();
+        for c in constraints {
+            p.add(c.clone());
+        }
+        p
+    }
+
+    /// Adds one constraint, merging every component it bridges. The cost
+    /// is one overlap check per existing component — path conditions over
+    /// `m` symbolic inputs have at most `m` components, and typically far
+    /// fewer.
+    pub fn add(&mut self, c: ExprRef) {
+        self.total += 1;
+        let vars = c.var_ids();
+        if vars.is_empty() {
+            self.ground.push(c);
+            return;
+        }
+        let mut merged = Component {
+            constraints: vec![c.clone()],
+            vars: vars.to_vec(),
+        };
+        let mut first_hit: Option<usize> = None;
+        let mut i = 0;
+        while i < self.components.len() {
+            // Components are pairwise disjoint, so checking against the
+            // new constraint's own vars (not the growing union) suffices.
+            if vars_overlap(self.components[i].vars(), vars) {
+                let old = self.components.remove(i);
+                merged.vars = merge_vars(&old.vars, &merged.vars);
+                let mut constraints = old.constraints;
+                constraints.append(&mut merged.constraints);
+                merged.constraints = constraints;
+                if first_hit.is_none() {
+                    first_hit = Some(i);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        match first_hit {
+            Some(i) => self.components.insert(i, merged),
+            None => self.components.push(merged),
+        }
+    }
+
+    /// The current components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The variable-free residue.
+    pub fn ground(&self) -> &[ExprRef] {
+        &self.ground
+    }
+
+    /// Total number of constraints added.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True if no constraints were added.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Every constraint (components in order, then the ground residue).
+    pub fn all(&self) -> Vec<ExprRef> {
+        let mut out = Vec::with_capacity(self.total);
+        for comp in &self.components {
+            out.extend(comp.constraints.iter().cloned());
+        }
+        out.extend(self.ground.iter().cloned());
+        out
+    }
+
+    /// The slice relevant to a query over `vars` (sorted): every
+    /// component sharing a variable, plus the ground residue.
+    pub fn slice_for(&self, vars: &[VarId]) -> Vec<ExprRef> {
+        let mut out = self.ground.clone();
+        for comp in &self.components {
+            if comp.touches(vars) {
+                out.extend(comp.constraints.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// [`ConstraintPartition::slice_for`] on an expression's variables.
+    pub fn slice_for_expr(&self, e: &ExprRef) -> Vec<ExprRef> {
+        self.slice_for(e.var_ids())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_expr::{ExprBuilder, Width};
+
+    fn b() -> ExprBuilder {
+        ExprBuilder::new()
+    }
+
+    #[test]
+    fn overlap_and_merge_on_sorted_slices() {
+        let a = [VarId(1), VarId(3), VarId(5)];
+        let c = [VarId(2), VarId(4)];
+        let d = [VarId(4), VarId(5)];
+        assert!(!vars_overlap(&a, &c));
+        assert!(vars_overlap(&a, &d));
+        assert!(vars_overlap(&c, &d));
+        assert_eq!(
+            merge_vars(&a, &d),
+            vec![VarId(1), VarId(3), VarId(4), VarId(5)]
+        );
+        assert_eq!(merge_vars(&[], &c), c.to_vec());
+    }
+
+    #[test]
+    fn union_find_groups() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 2));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(2, 0));
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_ne!(uf.find(1), uf.find(4));
+    }
+
+    #[test]
+    fn partition_splits_independent_constraints() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let z = b.var("z", Width::W8);
+        let cx = b.ult(x.clone(), b.constant(5, Width::W8));
+        let cy = b.ult(y.clone(), b.constant(5, Width::W8));
+        let cxz = b.eq(b.add(x, z), b.constant(9, Width::W8));
+        let groups = partition(&[cx.clone(), cy.clone(), cxz.clone()]);
+        // x and x+z connect through x; y stands alone.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![cx, cxz]);
+        assert_eq!(groups[1], vec![cy]);
+    }
+
+    #[test]
+    fn partition_bridging_constraint_merges_components() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let cx = b.ult(x.clone(), b.constant(5, Width::W8));
+        let cy = b.ult(y.clone(), b.constant(5, Width::W8));
+        let bridge = b.eq(x, y);
+        let groups = partition(&[cx, cy, bridge]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn incremental_partition_matches_batch() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let z = b.var("z", Width::W8);
+        let cs = vec![
+            b.ult(x.clone(), b.constant(5, Width::W8)),
+            b.ult(y.clone(), b.constant(6, Width::W8)),
+            b.ult(z.clone(), b.constant(7, Width::W8)),
+            b.eq(y, z), // bridges components 2 and 3
+        ];
+        let p = ConstraintPartition::from_constraints(&cs);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.components().len(), 2);
+        let batch = partition(&cs);
+        assert_eq!(batch.len(), 2);
+        for (comp, group) in p.components().iter().zip(&batch) {
+            let mut a = comp.constraints().to_vec();
+            let mut g = group.clone();
+            a.sort_by_key(|c| c.cached_hash());
+            g.sort_by_key(|c| c.cached_hash());
+            assert_eq!(a, g);
+        }
+    }
+
+    #[test]
+    fn slice_for_picks_touching_components_only() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let cx = b.ult(x.clone(), b.constant(5, Width::W8));
+        let cy = b.ult(y.clone(), b.constant(5, Width::W8));
+        let p = ConstraintPartition::from_constraints(&[cx.clone(), cy.clone()]);
+        assert_eq!(p.slice_for_expr(&x), vec![cx.clone()]);
+        assert_eq!(p.slice_for_expr(&y), vec![cy.clone()]);
+        assert_eq!(p.slice_for(&[]), Vec::<s2e_expr::ExprRef>::new());
+        let both = b.eq(x, y);
+        assert_eq!(p.slice_for_expr(&both), vec![cx, cy]);
+    }
+
+    #[test]
+    fn ground_constraints_survive_every_slice() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let cx = b.ult(x.clone(), b.constant(5, Width::W8));
+        // A var-free constraint (the solver normally folds these before
+        // partitioning, but the partition must not rely on that).
+        let falsum = b.false_();
+        let mut p = ConstraintPartition::new();
+        p.add(cx.clone());
+        p.add(falsum.clone());
+        assert_eq!(p.ground(), &[falsum.clone()]);
+        assert_eq!(p.slice_for_expr(&x), vec![falsum.clone(), cx]);
+        // Even a slice for an unrelated variable keeps the contradiction.
+        assert_eq!(p.slice_for(&[VarId(999)]), vec![falsum]);
+    }
+
+    #[test]
+    fn partition_clones_independently() {
+        let b = b();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let mut parent = ConstraintPartition::new();
+        parent.add(b.ult(x, b.constant(5, Width::W8)));
+        let mut child = parent.clone();
+        child.add(b.ult(y, b.constant(5, Width::W8)));
+        assert_eq!(parent.components().len(), 1);
+        assert_eq!(child.components().len(), 2);
+        assert_eq!(parent.len(), 1);
+        assert_eq!(child.len(), 2);
+    }
+}

@@ -8,9 +8,13 @@
 //! - [`bitblast`] — a Tseitin bit-blaster translating
 //!   [`s2e_expr`] bitvector DAGs into CNF (ripple-carry adders, shift-add
 //!   multipliers, restoring dividers, barrel shifters);
+//! - [`independence`] — constraint-independence slicing: splits
+//!   constraint sets into connected components under shared variables so
+//!   queries solve (and cache) each component separately;
 //! - [`Solver`] — the high-level query interface used by the execution
-//!   engine, with a query cache, a counterexample (model) pool as in KLEE,
-//!   and the per-query timing statistics that the paper's Fig. 9 reports.
+//!   engine, with a subsuming query cache, a counterexample (model) pool
+//!   as in KLEE, and the per-query timing statistics that the paper's
+//!   Fig. 9 reports.
 //!
 //! # Example
 //!
@@ -32,9 +36,12 @@
 //! ```
 
 pub mod bitblast;
+pub mod independence;
 pub mod sat;
 mod solver;
 
+pub use independence::{Component, ConstraintPartition};
 pub use solver::{
-    QueryKind, SatResult, SharedCacheStats, SharedQueryCache, Solver, SolverConfig, SolverStats,
+    KindStats, QueryKind, SatResult, SharedCacheStats, SharedQueryCache, Solver, SolverConfig,
+    SolverStats,
 };

@@ -1,9 +1,10 @@
 //! High-level constraint-solving interface with caching and statistics.
 
 use crate::bitblast::BitBlaster;
+use crate::independence::{self, ConstraintPartition};
 use crate::sat::{SatOutcome, SatSolver};
-use s2e_expr::{collect_vars, eval, simplify, Assignment, ExprBuilder, ExprRef};
-use std::collections::{HashMap, VecDeque};
+use s2e_expr::{eval, simplify, Assignment, ExprBuilder, ExprRef, VarId};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -46,6 +47,29 @@ pub enum QueryKind {
     Other,
 }
 
+impl QueryKind {
+    /// Every kind, in display order.
+    pub const ALL: [QueryKind; 3] = [QueryKind::Feasibility, QueryKind::Concretize, QueryKind::Other];
+
+    /// Position in per-kind stats arrays ([`SolverStats::by_kind`]).
+    pub fn index(self) -> usize {
+        match self {
+            QueryKind::Feasibility => 0,
+            QueryKind::Concretize => 1,
+            QueryKind::Other => 2,
+        }
+    }
+
+    /// Short lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Feasibility => "feasibility",
+            QueryKind::Concretize => "concretize",
+            QueryKind::Other => "other",
+        }
+    }
+}
+
 /// Tunables for the solver frontend.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
@@ -60,6 +84,16 @@ pub struct SolverConfig {
     pub simplify_queries: bool,
     /// Whether to consult the query cache and model pool.
     pub enable_cache: bool,
+    /// Whether to split queries into independent components (no shared
+    /// variables) and solve/cache each separately (see
+    /// [`crate::independence`]). Also gates the sliced entry points
+    /// ([`Solver::may_be_true_in`] etc.), which fall back to the full
+    /// constraint set when this is off.
+    pub enable_slicing: bool,
+    /// Whether cache lookups may answer from subsuming entries: a cached
+    /// superset's SAT model (after an `eval` recheck) answers a subset
+    /// query, and a cached subset's UNSAT verdict answers any superset.
+    pub enable_subsumption: bool,
 }
 
 impl Default for SolverConfig {
@@ -69,8 +103,25 @@ impl Default for SolverConfig {
             model_pool_size: 8,
             simplify_queries: true,
             enable_cache: true,
+            enable_slicing: true,
+            enable_subsumption: true,
         }
     }
+}
+
+/// Per-[`QueryKind`] slice of the solver statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KindStats {
+    /// Queries of this kind.
+    pub queries: u64,
+    /// ... answered satisfiable.
+    pub sat: u64,
+    /// ... answered unsatisfiable.
+    pub unsat: u64,
+    /// ... that exhausted the conflict budget.
+    pub unknown: u64,
+    /// Wall-clock time spent on queries of this kind.
+    pub time: Duration,
 }
 
 /// Aggregate statistics over all queries issued to a [`Solver`].
@@ -92,10 +143,27 @@ pub struct SolverStats {
     pub shared_hits: u64,
     /// Queries answered by re-checking a pooled model.
     pub pool_hits: u64,
+    /// Component queries answered by cache subsumption (a superset's SAT
+    /// model or a subset's UNSAT verdict), local or shared, instead of an
+    /// exact entry.
+    pub subsumption_hits: u64,
+    /// Component sets that reached the SAT core — every cache layer
+    /// missed. This is the number the optimization stack exists to drive
+    /// down.
+    pub core_solves: u64,
+    /// Queries where slicing changed the solved set: a `check` that
+    /// split into more than one independent component, or a
+    /// partition-aware query ([`Solver::check_relevant`] and friends)
+    /// whose slice dropped at least one untouched component.
+    pub sliced_queries: u64,
+    /// Components solved separately on behalf of sliced queries.
+    pub components_solved: u64,
     /// Wall-clock time spent inside the solver (including cache lookups).
     pub total_time: Duration,
     /// Longest single query.
     pub max_query_time: Duration,
+    /// Per-[`QueryKind`] breakdown, indexed by [`QueryKind::index`].
+    pub by_kind: [KindStats; 3],
 }
 
 impl SolverStats {
@@ -106,6 +174,11 @@ impl SolverStats {
         } else {
             self.total_time / self.queries as u32
         }
+    }
+
+    /// The per-kind slice for `kind`.
+    pub fn kind(&self, kind: QueryKind) -> &KindStats {
+        &self.by_kind[kind.index()]
     }
 }
 
@@ -124,11 +197,156 @@ struct CacheEntry {
     outcome: Cached,
 }
 
+/// How many indexed candidates a subsumption lookup may examine before
+/// giving up — bounds the lookup cost on pathological stores where one
+/// constraint appears in thousands of cached sets.
+const MAX_SUBSUMPTION_CANDIDATES: usize = 32;
+
+/// What a [`QueryStore`] lookup found beyond an exact match.
+enum StoreAnswer {
+    /// An exact entry's outcome.
+    Exact(Cached),
+    /// A cached SAT superset's model; the caller must still eval-recheck
+    /// it against the query before trusting it.
+    SupersetSat(Assignment),
+    /// Some cached UNSAT set is a subset of the query.
+    SubsetUnsat,
+}
+
+/// Cache storage shared by the local and cross-worker caches: exact
+/// entries keyed by order-independent query hash, plus the two inverted
+/// indexes subsumption lookups walk.
+///
+/// Both indexes store candidate *keys*; the lookup re-verifies the
+/// subset/superset relation structurally against the live entry, so
+/// stale index rows (an entry overwritten under its key) and 64-bit
+/// constraint-hash collisions cost a wasted check, never a wrong answer.
+#[derive(Debug, Default)]
+struct QueryStore {
+    entries: HashMap<u64, CacheEntry>,
+    /// constraint hash → keys of SAT entries containing that constraint.
+    /// A superset of a query must contain every query constraint, so the
+    /// query member with the smallest bucket anchors the candidate scan.
+    by_member: HashMap<u64, Vec<u64>>,
+    /// Representative constraint hash (minimum over the set) → keys of
+    /// UNSAT entries. A superset query necessarily contains the
+    /// representative, so scanning the buckets of the query's own
+    /// members finds every subsumed core.
+    unsat_by_rep: HashMap<u64, Vec<u64>>,
+}
+
+impl QueryStore {
+    fn get_exact(&self, key: u64, query: &[ExprRef]) -> Option<&CacheEntry> {
+        let hit = self.entries.get(&key)?;
+        Solver::same_query(&hit.constraints, query).then_some(hit)
+    }
+
+    fn insert(&mut self, key: u64, entry: CacheEntry) {
+        match &entry.outcome {
+            Cached::Sat(_) => {
+                for c in &entry.constraints {
+                    let bucket = self.by_member.entry(c.cached_hash()).or_default();
+                    if bucket.last() != Some(&key) {
+                        bucket.push(key);
+                    }
+                }
+            }
+            Cached::Unsat => {
+                if let Some(rep) = entry.constraints.iter().map(|c| c.cached_hash()).min() {
+                    let bucket = self.unsat_by_rep.entry(rep).or_default();
+                    if bucket.last() != Some(&key) {
+                        bucket.push(key);
+                    }
+                }
+            }
+        }
+        self.entries.insert(key, entry);
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// A SAT entry whose constraint set is a superset of `query`. Its
+    /// model satisfies every query constraint by construction; the
+    /// caller eval-rechecks anyway to stay sound under hash collisions.
+    fn find_superset_sat(&self, query: &[ExprRef]) -> Option<&Assignment> {
+        // Every query constraint must appear in the candidate, so a
+        // member nobody cached rules out any superset — and the member
+        // with the smallest bucket gives the shortest scan.
+        let buckets: Option<Vec<&Vec<u64>>> = query
+            .iter()
+            .map(|c| self.by_member.get(&c.cached_hash()))
+            .collect();
+        let anchor = buckets?.into_iter().min_by_key(|b| b.len())?;
+        let mut scanned = 0;
+        // Newest entries last; scan them first — recent queries resemble
+        // the current path.
+        for key in anchor.iter().rev() {
+            if scanned == MAX_SUBSUMPTION_CANDIDATES {
+                break;
+            }
+            let Some(entry) = self.entries.get(key) else {
+                continue;
+            };
+            let Cached::Sat(model) = &entry.outcome else {
+                continue;
+            };
+            if entry.constraints.len() < query.len() {
+                continue;
+            }
+            scanned += 1;
+            let members: HashSet<&ExprRef> = entry.constraints.iter().collect();
+            if query.iter().all(|c| members.contains(c)) {
+                return Some(model);
+            }
+        }
+        None
+    }
+
+    /// True if some cached UNSAT set is a subset of `query` — adding
+    /// constraints never revives an unsatisfiable core.
+    fn find_subset_unsat(&self, query: &[ExprRef]) -> bool {
+        if self.unsat_by_rep.is_empty() {
+            return false;
+        }
+        let members: HashSet<&ExprRef> = query.iter().collect();
+        let mut scanned = 0;
+        for c in query {
+            let Some(bucket) = self.unsat_by_rep.get(&c.cached_hash()) else {
+                continue;
+            };
+            for key in bucket.iter().rev() {
+                if scanned == MAX_SUBSUMPTION_CANDIDATES {
+                    return false;
+                }
+                let Some(entry) = self.entries.get(key) else {
+                    continue;
+                };
+                if !matches!(entry.outcome, Cached::Unsat) {
+                    continue;
+                }
+                if entry.constraints.len() > query.len() {
+                    continue;
+                }
+                scanned += 1;
+                if entry.constraints.iter().all(|c| members.contains(c)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
 /// Aggregate counters for a [`SharedQueryCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SharedCacheStats {
-    /// Lookups answered by the shared cache.
+    /// Lookups answered by an exact shared entry.
     pub hits: u64,
+    /// Lookups answered by a subsuming shared entry (superset SAT model
+    /// or subset UNSAT core).
+    pub subsumption_hits: u64,
     /// Entries published into the shared cache.
     pub inserts: u64,
     /// Entries currently held.
@@ -146,8 +364,9 @@ pub struct SharedCacheStats {
 /// a wrong cached verdict. Clones share the same underlying storage.
 #[derive(Clone, Debug, Default)]
 pub struct SharedQueryCache {
-    entries: Arc<Mutex<HashMap<u64, CacheEntry>>>,
+    store: Arc<Mutex<QueryStore>>,
     hits: Arc<AtomicU64>,
+    subsumption_hits: Arc<AtomicU64>,
     inserts: Arc<AtomicU64>,
 }
 
@@ -157,38 +376,56 @@ impl SharedQueryCache {
         SharedQueryCache::default()
     }
 
-    fn get(&self, key: u64, query: &[ExprRef]) -> Option<CacheEntry> {
-        let entries = self.entries.lock().unwrap();
-        let hit = entries.get(&key)?;
-        if !Solver::same_query(&hit.constraints, query) {
+    /// One lock acquisition for the whole waterfall: exact, then (when
+    /// enabled) subset-UNSAT and superset-SAT subsumption. A
+    /// `SupersetSat` answer is *not* counted as a hit here — the caller
+    /// must eval-recheck the model and report back via
+    /// [`SharedQueryCache::note_subsumption_hit`] only if it validates.
+    fn lookup(&self, key: u64, query: &[ExprRef], subsumption: bool) -> Option<StoreAnswer> {
+        let store = self.store.lock().unwrap();
+        if let Some(hit) = store.get_exact(key, query) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(StoreAnswer::Exact(hit.outcome.clone()));
+        }
+        if !subsumption {
             return None;
         }
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(hit.clone())
+        if store.find_subset_unsat(query) {
+            self.subsumption_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(StoreAnswer::SubsetUnsat);
+        }
+        store
+            .find_superset_sat(query)
+            .map(|m| StoreAnswer::SupersetSat(m.clone()))
+    }
+
+    fn note_subsumption_hit(&self) {
+        self.subsumption_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     fn insert(&self, key: u64, entry: CacheEntry) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().unwrap().insert(key, entry);
+        self.store.lock().unwrap().insert(key, entry);
     }
 
     /// Counters (aggregated across every attached solver).
     pub fn stats(&self) -> SharedCacheStats {
         SharedCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            subsumption_hits: self.subsumption_hits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            entries: self.entries.lock().unwrap().len(),
+            entries: self.store.lock().unwrap().len(),
         }
     }
 
-    /// Lookups answered by the shared cache.
+    /// Lookups answered by an exact shared entry.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cached queries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.store.lock().unwrap().len()
     }
 
     /// True if nothing has been published yet.
@@ -221,7 +458,7 @@ impl SharedQueryCache {
 #[derive(Debug)]
 pub struct Solver {
     config: SolverConfig,
-    cache: HashMap<u64, CacheEntry>,
+    cache: QueryStore,
     /// Cross-instance cache, consulted after a local miss and fed by
     /// every fresh solve (see [`SharedQueryCache`]).
     shared: Option<SharedQueryCache>,
@@ -248,7 +485,7 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Solver {
         Solver {
             config,
-            cache: HashMap::new(),
+            cache: QueryStore::default(),
             shared: None,
             model_pool: VecDeque::new(),
             stats: SolverStats::default(),
@@ -282,6 +519,13 @@ impl Solver {
         &self.config
     }
 
+    /// Replaces the configuration (benches use this to ablate features
+    /// on an engine-owned solver). Caches and statistics are kept; every
+    /// lookup re-consults the flags, so toggles take effect immediately.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
     /// Checks the conjunction of `constraints` for satisfiability.
     pub fn check(&mut self, constraints: &[ExprRef]) -> SatResult {
         self.check_kind(constraints, QueryKind::Other)
@@ -290,17 +534,28 @@ impl Solver {
     /// Checks satisfiability, attributing the query to `kind` for
     /// statistics.
     pub fn check_kind(&mut self, constraints: &[ExprRef], kind: QueryKind) -> SatResult {
-        let _ = kind;
         let start = Instant::now();
         let result = self.check_inner(constraints);
         let elapsed = start.elapsed();
         self.stats.queries += 1;
         self.stats.total_time += elapsed;
         self.stats.max_query_time = self.stats.max_query_time.max(elapsed);
+        let by_kind = &mut self.stats.by_kind[kind.index()];
+        by_kind.queries += 1;
+        by_kind.time += elapsed;
         match &result {
-            SatResult::Sat(_) => self.stats.sat += 1,
-            SatResult::Unsat => self.stats.unsat += 1,
-            SatResult::Unknown => self.stats.unknown += 1,
+            SatResult::Sat(_) => {
+                self.stats.sat += 1;
+                by_kind.sat += 1;
+            }
+            SatResult::Unsat => {
+                self.stats.unsat += 1;
+                by_kind.unsat += 1;
+            }
+            SatResult::Unknown => {
+                self.stats.unknown += 1;
+                by_kind.unknown += 1;
+            }
         }
         result
     }
@@ -308,6 +563,12 @@ impl Solver {
     fn check_inner(&mut self, constraints: &[ExprRef]) -> SatResult {
         // Simplify and strip trivially-true constraints.
         let mut simplified: Vec<ExprRef> = Vec::with_capacity(constraints.len());
+        // X ∧ X = X: dropping duplicates keeps the CNF smaller and gives
+        // re-checks of an already-asserted condition (a guest
+        // re-validating a bound) the same cache key as the fork query
+        // that first solved this constraint set. Keyed on the hash-consed
+        // `ExprRef`, so dedup is O(n) rather than a quadratic scan.
+        let mut seen: HashSet<ExprRef> = HashSet::with_capacity(constraints.len());
         for c in constraints {
             debug_assert_eq!(c.width(), s2e_expr::Width::BOOL, "constraints are boolean");
             let s = if self.config.simplify_queries {
@@ -318,12 +579,8 @@ impl Solver {
             match s.as_const() {
                 Some(0) => return SatResult::Unsat,
                 Some(_) => continue,
-                // X ∧ X = X: dropping duplicates keeps the CNF smaller
-                // and gives re-checks of an already-asserted condition
-                // (a guest re-validating a bound) the same cache key as
-                // the fork query that first solved this constraint set.
                 None => {
-                    if !simplified.contains(&s) {
+                    if seen.insert(s.clone()) {
                         simplified.push(s);
                     }
                 }
@@ -333,43 +590,133 @@ impl Solver {
             return SatResult::Sat(Assignment::new());
         }
 
-        let key = Self::cache_key(&simplified);
+        if !self.config.enable_slicing {
+            return self.check_set(simplified);
+        }
+        let mut components = independence::partition(&simplified);
+        if components.len() == 1 {
+            return self.check_set(components.pop().expect("non-empty"));
+        }
+        // Independent components share no variables: the conjunction is
+        // SAT iff each component is, and per-component models stitch into
+        // a model of the whole set. Each component gets its own cache
+        // entry, so a hit survives growth in *unrelated* components.
+        self.stats.sliced_queries += 1;
+        let mut model = Assignment::new();
+        for component in components {
+            self.stats.components_solved += 1;
+            // A component's answer may come from the model pool or a
+            // superset cache entry, whose model can assign variables
+            // *outside* this component (zero-extensions, stale values
+            // from the query it originally solved). Stitch only the
+            // component's own variables so those strays cannot clobber
+            // another component's correct assignment.
+            let mut own: HashSet<VarId> = HashSet::new();
+            for c in &component {
+                own.extend(c.var_ids().iter().copied());
+            }
+            match self.check_set(component) {
+                SatResult::Sat(m) => {
+                    for (id, v) in m.iter() {
+                        if own.contains(&id) {
+                            model.set(id, v);
+                        }
+                    }
+                }
+                SatResult::Unsat => return SatResult::Unsat,
+                SatResult::Unknown => return SatResult::Unknown,
+            }
+        }
+        SatResult::Sat(model)
+    }
+
+    /// Solves one already-simplified, deduplicated constraint set — a
+    /// whole query when slicing is off, one independent component
+    /// otherwise — through the cache waterfall: local exact → local
+    /// subsumption → shared (exact + subsumption) → model pool → SAT
+    /// core.
+    fn check_set(&mut self, query: Vec<ExprRef>) -> SatResult {
+        let key = Self::cache_key(&query);
         if self.config.enable_cache {
-            if let Some(hit) = self.cache.get(&key) {
-                if Self::same_query(&hit.constraints, &simplified) {
-                    self.stats.cache_hits += 1;
-                    return match &hit.outcome {
-                        Cached::Sat(m) => SatResult::Sat(m.clone()),
-                        Cached::Unsat => SatResult::Unsat,
-                    };
+            if let Some(hit) = self.cache.get_exact(key, &query) {
+                self.stats.cache_hits += 1;
+                return match &hit.outcome {
+                    Cached::Sat(m) => SatResult::Sat(m.clone()),
+                    Cached::Unsat => SatResult::Unsat,
+                };
+            }
+            if self.config.enable_subsumption {
+                if self.cache.find_subset_unsat(&query) {
+                    self.stats.subsumption_hits += 1;
+                    // Promote to an exact entry so the next identical
+                    // query skips the index walk.
+                    self.cache.insert(
+                        key,
+                        CacheEntry {
+                            constraints: query,
+                            outcome: Cached::Unsat,
+                        },
+                    );
+                    return SatResult::Unsat;
+                }
+                if let Some(model) = self.cache.find_superset_sat(&query).cloned() {
+                    if let Some(model) = Self::recheck_model(&model, &query) {
+                        self.stats.subsumption_hits += 1;
+                        return self.adopt_sat(key, query, model);
+                    }
                 }
             }
-            // Cross-instance cache: another worker may have solved this
-            // exact query already. Adopt the entry locally so repeats
-            // stay off the shared lock.
-            if let Some(shared) = &self.shared {
-                if let Some(hit) = shared.get(key, &simplified) {
-                    self.stats.shared_hits += 1;
-                    let result = match &hit.outcome {
-                        Cached::Sat(m) => SatResult::Sat(m.clone()),
-                        Cached::Unsat => SatResult::Unsat,
-                    };
-                    if let Cached::Sat(m) = &hit.outcome {
-                        self.model_pool.push_front(m.clone());
-                        self.model_pool.truncate(self.config.model_pool_size);
+            // Cross-instance cache: another worker may have answered this
+            // component (or a subsuming one) already. Adopt the entry
+            // locally so repeats stay off the shared lock.
+            if let Some(shared) = self.shared.clone() {
+                match shared.lookup(key, &query, self.config.enable_subsumption) {
+                    Some(StoreAnswer::Exact(Cached::Sat(m))) => {
+                        self.stats.shared_hits += 1;
+                        return self.adopt_sat(key, query, m);
                     }
-                    self.cache.insert(key, hit);
-                    return result;
+                    Some(StoreAnswer::Exact(Cached::Unsat)) => {
+                        self.stats.shared_hits += 1;
+                        self.cache.insert(
+                            key,
+                            CacheEntry {
+                                constraints: query,
+                                outcome: Cached::Unsat,
+                            },
+                        );
+                        return SatResult::Unsat;
+                    }
+                    Some(StoreAnswer::SubsetUnsat) => {
+                        self.stats.shared_hits += 1;
+                        self.stats.subsumption_hits += 1;
+                        self.cache.insert(
+                            key,
+                            CacheEntry {
+                                constraints: query,
+                                outcome: Cached::Unsat,
+                            },
+                        );
+                        return SatResult::Unsat;
+                    }
+                    Some(StoreAnswer::SupersetSat(m)) => {
+                        if let Some(model) = Self::recheck_model(&m, &query) {
+                            shared.note_subsumption_hit();
+                            self.stats.shared_hits += 1;
+                            self.stats.subsumption_hits += 1;
+                            return self.adopt_sat(key, query, model);
+                        }
+                    }
+                    None => {}
                 }
             }
             // Counterexample pool: a previous model (extended with zeros
             // for unseen variables) may already satisfy this query.
-            if let Some(model) = self.try_model_pool(&simplified) {
+            if let Some(model) = self.try_model_pool(&query) {
                 self.stats.pool_hits += 1;
                 self.insert_both(
                     key,
                     CacheEntry {
-                        constraints: simplified.clone(),
+                        constraints: query,
                         outcome: Cached::Sat(model.clone()),
                     },
                 );
@@ -377,9 +724,10 @@ impl Solver {
             }
         }
 
+        self.stats.core_solves += 1;
         let mut sat = SatSolver::new();
         let mut bb = BitBlaster::new(&mut sat);
-        for c in &simplified {
+        for c in &query {
             bb.assert_true(&mut sat, c);
         }
         match sat.solve(self.config.max_conflicts) {
@@ -388,7 +736,7 @@ impl Solver {
                     self.insert_both(
                         key,
                         CacheEntry {
-                            constraints: simplified.clone(),
+                            constraints: query,
                             outcome: Cached::Unsat,
                         },
                     );
@@ -411,7 +759,7 @@ impl Solver {
                     self.insert_both(
                         key,
                         CacheEntry {
-                            constraints: simplified.clone(),
+                            constraints: query,
                             outcome: Cached::Sat(model.clone()),
                         },
                     );
@@ -421,6 +769,21 @@ impl Solver {
                 SatResult::Sat(model)
             }
         }
+    }
+
+    /// Records a SAT answer obtained without the SAT core (shared or
+    /// subsuming entry): local exact entry, model pool, and the result.
+    fn adopt_sat(&mut self, key: u64, query: Vec<ExprRef>, model: Assignment) -> SatResult {
+        self.model_pool.push_front(model.clone());
+        self.model_pool.truncate(self.config.model_pool_size);
+        self.cache.insert(
+            key,
+            CacheEntry {
+                constraints: query,
+                outcome: Cached::Sat(model.clone()),
+            },
+        );
+        SatResult::Sat(model)
     }
 
     /// Inserts a finished query into the local cache and, when attached,
@@ -450,23 +813,30 @@ impl Solver {
     }
 
     fn try_model_pool(&self, constraints: &[ExprRef]) -> Option<Assignment> {
-        'pool: for model in &self.model_pool {
-            let extended = Self::extend_model(model, constraints);
-            for c in constraints {
-                match eval(c, &extended) {
-                    Ok(1) => {}
-                    _ => continue 'pool,
-                }
+        self.model_pool
+            .iter()
+            .find_map(|m| Self::recheck_model(m, constraints))
+    }
+
+    /// Extends a candidate model with zeros for unmentioned variables and
+    /// keeps it only if it satisfies every constraint — the cheap `eval`
+    /// recheck that makes pool and subsumption answers trustworthy even
+    /// across 64-bit hash collisions.
+    fn recheck_model(model: &Assignment, constraints: &[ExprRef]) -> Option<Assignment> {
+        let extended = Self::extend_model(model, constraints);
+        for c in constraints {
+            match eval(c, &extended) {
+                Ok(1) => {}
+                _ => return None,
             }
-            return Some(extended);
         }
-        None
+        Some(extended)
     }
 
     fn extend_model(model: &Assignment, constraints: &[ExprRef]) -> Assignment {
         let mut out = model.clone();
         for c in constraints {
-            for (id, _, _) in collect_vars(c) {
+            for &id in c.var_ids() {
                 if out.get(id, "").is_none() {
                     out.set(id, 0);
                 }
@@ -514,25 +884,117 @@ impl Solver {
         if let Some(v) = expr.as_const() {
             return Some((v, Assignment::new()));
         }
-        // Mention the expression in the query so its variables get blasted
-        // and appear in the model: assert expr == expr-placeholder-free
-        // trivial constraint `expr == expr` folds away, so instead add
-        // `(expr == 0) or (expr != 0)`... simpler: solve constraints, then
-        // extend the model with zeros for unmentioned variables.
-        let start = Instant::now();
-        let result = self.check_kind(constraints, QueryKind::Concretize);
-        let _ = start;
-        match result {
-            SatResult::Sat(model) => {
-                let mut extended = model;
-                for (id, _, _) in collect_vars(expr) {
-                    if extended.get(id, "").is_none() {
-                        extended.set(id, 0);
-                    }
-                }
-                let v = eval(expr, &extended).ok()?;
-                Some((v, extended))
+        // Solve the constraints, then extend the model with zeros for the
+        // expression's unmentioned variables — any consistent extension of
+        // a model stays a model, since constraints don't mention the
+        // extended variables.
+        match self.check_kind(constraints, QueryKind::Concretize) {
+            SatResult::Sat(model) => Self::value_from_model(model, expr),
+            _ => None,
+        }
+    }
+
+    fn value_from_model(model: Assignment, expr: &ExprRef) -> Option<(u64, Assignment)> {
+        let mut extended = model;
+        for &id in expr.var_ids() {
+            if extended.get(id, "").is_none() {
+                extended.set(id, 0);
             }
+        }
+        let v = eval(expr, &extended).ok()?;
+        Some((v, extended))
+    }
+
+    /// Like [`Solver::check_kind`], against a pre-partitioned constraint
+    /// set: only the components sharing variables with `extra` (plus the
+    /// partition's variable-free residue) are sent to the solver; the
+    /// rest of the path condition never leaves the state.
+    ///
+    /// # Soundness
+    ///
+    /// Skipping components is sound only when the partition's full
+    /// constraint set is known satisfiable. That holds for execution-
+    /// state path conditions by construction — every constraint is added
+    /// only after the branch it encodes was proven feasible — and it is
+    /// exactly what makes the verdict of the sliced query equal that of
+    /// the full query: the skipped components are satisfiable and share
+    /// no variables with the slice, so their models conjoin freely.
+    /// Falls back to the full set when `enable_slicing` is off.
+    pub fn check_relevant(
+        &mut self,
+        partition: &ConstraintPartition,
+        extra: &[ExprRef],
+        kind: QueryKind,
+    ) -> SatResult {
+        let mut query = if self.config.enable_slicing {
+            let mut vars: Vec<VarId> = Vec::new();
+            for e in extra {
+                vars = independence::merge_vars(&vars, e.var_ids());
+            }
+            let slice = partition.slice_for(&vars);
+            if slice.len() < partition.len() {
+                self.stats.sliced_queries += 1;
+            }
+            slice
+        } else {
+            partition.all()
+        };
+        query.extend(extra.iter().cloned());
+        self.check_kind(&query, kind)
+    }
+
+    /// [`Solver::may_be_true`] against a pre-partitioned constraint set
+    /// (see [`Solver::check_relevant`] for the soundness argument).
+    pub fn may_be_true_in(
+        &mut self,
+        partition: &ConstraintPartition,
+        cond: &ExprRef,
+    ) -> Option<bool> {
+        match self.check_relevant(partition, std::slice::from_ref(cond), QueryKind::Feasibility) {
+            SatResult::Sat(_) => Some(true),
+            SatResult::Unsat => Some(false),
+            SatResult::Unknown => None,
+        }
+    }
+
+    /// [`Solver::must_be_true`] against a pre-partitioned constraint set.
+    pub fn must_be_true_in(
+        &mut self,
+        partition: &ConstraintPartition,
+        cond: &ExprRef,
+    ) -> Option<bool> {
+        let not_cond = {
+            let b = &self.simp_builder;
+            b.eq(cond.clone(), b.constant(0, cond.width()))
+        };
+        self.may_be_true_in(partition, &not_cond).map(|x| !x)
+    }
+
+    /// [`Solver::concretize`] against a pre-partitioned constraint set:
+    /// solves only the components constraining the expression's
+    /// variables. Components the expression doesn't touch cannot affect
+    /// its feasible values, so the sliced model (zero-extended over the
+    /// expression's unconstrained variables) concretizes it exactly as
+    /// the full path condition would.
+    pub fn concretize_in(
+        &mut self,
+        partition: &ConstraintPartition,
+        expr: &ExprRef,
+    ) -> Option<(u64, Assignment)> {
+        if let Some(v) = expr.as_const() {
+            return Some((v, Assignment::new()));
+        }
+        let constraints = if self.config.enable_slicing {
+            let slice = partition.slice_for_expr(expr);
+            if slice.len() < partition.len() {
+                self.stats.sliced_queries += 1;
+            }
+            slice
+        } else {
+            partition.all()
+        };
+        match self.check_kind(&constraints, QueryKind::Concretize) {
+            SatResult::Sat(model) => Self::value_from_model(model, expr),
             _ => None,
         }
     }
@@ -744,6 +1206,201 @@ mod tests {
             }
             other => panic!("expected sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sliced_query_stitches_model_across_components() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let cx = b.eq(x.clone(), b.constant(3, Width::W8));
+        let cy = b.eq(y.clone(), b.constant(7, Width::W8));
+        match s.check(&[cx, cy]) {
+            SatResult::Sat(m) => {
+                assert_eq!(eval(&x, &m).unwrap(), 3);
+                assert_eq!(eval(&y, &m).unwrap(), 7);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(s.stats().sliced_queries, 1);
+        assert_eq!(s.stats().components_solved, 2);
+    }
+
+    #[test]
+    fn stitched_model_ignores_stray_pool_assignments() {
+        // A pooled model can carry assignments for variables outside the
+        // component it answers (here x=5 *and* y=7 from the first
+        // query). When it answers the x-component of a later query, the
+        // stale y=7 must not clobber the y-component's freshly solved
+        // y=3.
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let both = b.and(
+            b.eq(x.clone(), b.constant(5, Width::W8)),
+            b.eq(y.clone(), b.constant(7, Width::W8)),
+        );
+        assert!(s.check(&[both]).is_sat());
+        let q = [
+            b.eq(y.clone(), b.constant(3, Width::W8)),
+            b.eq(x.clone(), b.constant(5, Width::W8)),
+        ];
+        match s.check(&q) {
+            SatResult::Sat(m) => {
+                assert_eq!(eval(&x, &m).unwrap(), 5);
+                assert_eq!(eval(&y, &m).unwrap(), 3);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sliced_component_cache_survives_unrelated_growth() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let cx = b.eq(x.clone(), b.constant(3, Width::W8));
+        s.check(std::slice::from_ref(&cx));
+        let solves = s.stats().core_solves;
+        // A second query adds an unrelated constraint: the x-component is
+        // answered from cache, only the y-component hits the SAT core.
+        let y = b.var("y", Width::W8);
+        let cy = b.eq(y, b.constant(7, Width::W8));
+        assert!(s.check(&[cx, cy]).is_sat());
+        assert_eq!(s.stats().cache_hits, 1);
+        assert_eq!(s.stats().core_solves, solves + 1);
+    }
+
+    #[test]
+    fn sliced_unsat_component_fails_whole_query() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let cy = b.eq(y, b.constant(7, Width::W8));
+        let lo = b.ult(x.clone(), b.constant(5, Width::W8));
+        let hi = b.ult(b.constant(10, Width::W8), x);
+        assert_eq!(s.check(&[cy, lo, hi]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn subset_unsat_answers_superset_query() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let lo = b.ult(x.clone(), b.constant(5, Width::W8));
+        let hi = b.ult(b.constant(10, Width::W8), x.clone());
+        assert_eq!(s.check(&[lo.clone(), hi.clone()]), SatResult::Unsat);
+        let solves = s.stats().core_solves;
+        // Tighten with a third constraint over the same variable (so
+        // slicing keeps one component and the set is a strict superset).
+        let extra = b.ne(x, b.constant(7, Width::W8));
+        assert_eq!(s.check(&[lo, hi, extra]), SatResult::Unsat);
+        assert_eq!(s.stats().subsumption_hits, 1);
+        assert_eq!(s.stats().core_solves, solves, "no new SAT-core solve");
+    }
+
+    #[test]
+    fn superset_sat_model_answers_subset_query() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let lo = b.ule(b.constant(100, Width::W8), x.clone());
+        let hi = b.ule(x.clone(), b.constant(110, Width::W8));
+        assert!(s.check(&[lo.clone(), hi]).is_sat());
+        let solves = s.stats().core_solves;
+        // Drop a constraint: the cached superset model still applies.
+        // (It would also be a pool hit; subsumption answers first.)
+        assert!(s.check(&[lo]).is_sat());
+        assert_eq!(s.stats().subsumption_hits, 1);
+        assert_eq!(s.stats().core_solves, solves);
+    }
+
+    #[test]
+    fn subsumption_disabled_still_correct() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            enable_subsumption: false,
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W8);
+        let lo = b.ult(x.clone(), b.constant(5, Width::W8));
+        let hi = b.ult(b.constant(10, Width::W8), x.clone());
+        assert_eq!(s.check(&[lo.clone(), hi.clone()]), SatResult::Unsat);
+        let extra = b.ne(x, b.constant(7, Width::W8));
+        assert_eq!(s.check(&[lo, hi, extra]), SatResult::Unsat);
+        assert_eq!(s.stats().subsumption_hits, 0);
+        assert_eq!(s.stats().core_solves, 2);
+    }
+
+    #[test]
+    fn slicing_disabled_still_correct() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            enable_slicing: false,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let cx = b.eq(x.clone(), b.constant(3, Width::W8));
+        let cy = b.eq(y.clone(), b.constant(7, Width::W8));
+        match s.check(&[cx, cy]) {
+            SatResult::Sat(m) => {
+                assert_eq!(eval(&x, &m).unwrap(), 3);
+                assert_eq!(eval(&y, &m).unwrap(), 7);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(s.stats().sliced_queries, 0);
+    }
+
+    #[test]
+    fn shared_cache_subsumption_crosses_instances() {
+        let b = ExprBuilder::new();
+        let shared = SharedQueryCache::new();
+        let x = b.var("x", Width::W8);
+        let lo = b.ult(x.clone(), b.constant(5, Width::W8));
+        let hi = b.ult(b.constant(10, Width::W8), x.clone());
+
+        let mut s1 = Solver::new();
+        s1.attach_shared_cache(shared.clone());
+        assert_eq!(s1.check(&[lo.clone(), hi.clone()]), SatResult::Unsat);
+
+        // A different instance asks a strict superset: answered by the
+        // shared subset-UNSAT entry, no SAT-core work.
+        let mut s2 = Solver::new();
+        s2.attach_shared_cache(shared.clone());
+        let extra = b.ne(x, b.constant(7, Width::W8));
+        assert_eq!(s2.check(&[lo, hi, extra]), SatResult::Unsat);
+        assert_eq!(s2.stats().core_solves, 0);
+        assert_eq!(s2.stats().subsumption_hits, 1);
+        assert_eq!(shared.stats().subsumption_hits, 1);
+    }
+
+    #[test]
+    fn check_relevant_slices_by_query_vars() {
+        let (b, mut s) = setup();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        let mut p = ConstraintPartition::new();
+        p.add(b.ult(x.clone(), b.constant(5, Width::W8)));
+        p.add(b.ult(y.clone(), b.constant(5, Width::W8)));
+
+        // Feasibility of a condition on x consults only the x component.
+        let eq7 = b.eq(x.clone(), b.constant(7, Width::W8));
+        assert_eq!(s.may_be_true_in(&p, &eq7), Some(false));
+        let eq2 = b.eq(x.clone(), b.constant(2, Width::W8));
+        assert_eq!(s.may_be_true_in(&p, &eq2), Some(true));
+        let lt10 = b.ult(x.clone(), b.constant(10, Width::W8));
+        assert_eq!(s.must_be_true_in(&p, &lt10), Some(true));
+
+        // Concretization slices on the expression's variables.
+        let (v, model) = s.concretize_in(&p, &x).unwrap();
+        assert!(v < 5);
+        assert_eq!(eval(&x, &model).unwrap(), v);
+
+        // Sliced answers agree with the full-set entry points.
+        let all = p.all();
+        let mut full = Solver::new();
+        assert_eq!(full.may_be_true(&all, &eq7), Some(false));
+        assert_eq!(full.may_be_true(&all, &eq2), Some(true));
     }
 
     #[test]

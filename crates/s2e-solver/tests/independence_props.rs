@@ -1,0 +1,169 @@
+//! Property tests for the optimization stack: on random constraint
+//! corpora, the sliced + subsuming solver must agree verdict-for-verdict
+//! with a reference solver that has slicing, subsumption, the query
+//! cache, and the model pool all disabled — and every stitched SAT model
+//! must satisfy the *full* constraint set under evaluation. Cases come
+//! from a seeded SplitMix64 stream so every run checks the same corpus.
+
+use s2e_expr::{eval, Assignment, ExprBuilder, ExprRef, VarId, Width};
+use s2e_prng::SplitMix64;
+use s2e_solver::{SatResult, Solver, SolverConfig};
+
+const SEED: u64 = 0x1d5eed; // fixed corpus seed
+const CASES: usize = 24;
+const QUERIES_PER_CASE: usize = 12;
+const VARS: usize = 5;
+
+/// One random constraint over one or two of the `vars`. Pairing each
+/// variable with its neighbour produces several genuinely independent
+/// clusters per query, plus occasional bridges that merge them.
+fn gen_constraint(b: &ExprBuilder, vars: &[ExprRef], rng: &mut SplitMix64) -> ExprRef {
+    let i = rng.index(vars.len());
+    let v = vars[i].clone();
+    match rng.below(4) {
+        0 => b.ult(v, b.constant(rng.range(2, 250), Width::W8)),
+        1 => b.ne(v, b.constant(rng.below(256), Width::W8)),
+        2 => b.eq(
+            b.add(v, b.constant(rng.below(256), Width::W8)),
+            b.constant(rng.below(256), Width::W8),
+        ),
+        _ => {
+            let j = (i + 1) % vars.len();
+            b.ule(v, vars[j].clone())
+        }
+    }
+}
+
+/// Zero-extends `model` over every variable appearing in `constraints`,
+/// mirroring what the engine does before evaluating under a model.
+fn extend(model: &Assignment, constraints: &[ExprRef]) -> Assignment {
+    let assigned: std::collections::HashSet<VarId> = model.iter().map(|(id, _)| id).collect();
+    let mut full = model.clone();
+    for c in constraints {
+        for &id in c.var_ids() {
+            if !assigned.contains(&id) {
+                full.set(id, 0);
+            }
+        }
+    }
+    full
+}
+
+fn optimized() -> Solver {
+    let mut s = Solver::new();
+    s.set_config(SolverConfig {
+        enable_slicing: true,
+        enable_subsumption: true,
+        ..SolverConfig::default()
+    });
+    s
+}
+
+fn reference() -> Solver {
+    let mut s = Solver::new();
+    s.set_config(SolverConfig {
+        enable_slicing: false,
+        enable_subsumption: false,
+        enable_cache: false,
+        model_pool_size: 0,
+        ..SolverConfig::default()
+    });
+    s
+}
+
+/// Issues growing-prefix queries (the shape path exploration produces)
+/// and cross-checks the two solvers on each.
+#[test]
+fn sliced_subsuming_solver_agrees_with_plain_solver() {
+    let mut rng = SplitMix64::new(SEED);
+    for case in 0..CASES {
+        let b = ExprBuilder::new();
+        let vars: Vec<ExprRef> = (0..VARS)
+            .map(|i| b.var(&format!("v{i}"), Width::W8))
+            .collect();
+        // One optimized solver *per case* accumulates cache state across
+        // the case's queries, so subsumption and component reuse are
+        // actually exercised against earlier answers.
+        let mut opt = optimized();
+        let mut refs = reference();
+        let mut pool: Vec<ExprRef> = Vec::new();
+        for qi in 0..QUERIES_PER_CASE {
+            pool.push(gen_constraint(&b, &vars, &mut rng));
+            // Alternate whole-pool queries with random prefixes so both
+            // subset→superset and superset→subset cache orders occur.
+            let query: Vec<ExprRef> = if rng.next_bool() {
+                pool.clone()
+            } else {
+                pool[..1 + rng.index(pool.len())].to_vec()
+            };
+            let got = opt.check(&query);
+            let want = refs.check(&query);
+            match (&got, &want) {
+                (SatResult::Sat(m), SatResult::Sat(_)) => {
+                    let full = extend(m, &query);
+                    for c in &query {
+                        assert_eq!(
+                            eval(c, &full).ok(),
+                            Some(1),
+                            "case {case} query {qi}: stitched model violates {c:?}"
+                        );
+                    }
+                }
+                (SatResult::Unsat, SatResult::Unsat) => {}
+                other => panic!("case {case} query {qi}: verdict mismatch {other:?}"),
+            }
+        }
+        // The reference does all the work from scratch; the optimized
+        // stack must never reach the SAT core more often.
+        assert!(
+            opt.stats().core_solves <= refs.stats().core_solves,
+            "case {case}: optimized core solves {} > reference {}",
+            opt.stats().core_solves,
+            refs.stats().core_solves,
+        );
+    }
+}
+
+/// Same corpus shape, but cross-checks the partition-aware entry point
+/// (`check_relevant` over an incrementally maintained partition) against
+/// a plain full-set `check` — the invariant the engine's fork-time
+/// feasibility queries rely on.
+#[test]
+fn check_relevant_agrees_with_full_check_on_feasible_paths() {
+    use s2e_solver::{ConstraintPartition, QueryKind};
+    let mut rng = SplitMix64::new(SEED ^ 0x9e37_79b9);
+    for case in 0..CASES {
+        let b = ExprBuilder::new();
+        let vars: Vec<ExprRef> = (0..VARS)
+            .map(|i| b.var(&format!("v{i}"), Width::W8))
+            .collect();
+        let mut opt = optimized();
+        let mut refs = reference();
+        let mut partition = ConstraintPartition::new();
+        let mut path: Vec<ExprRef> = Vec::new();
+        for qi in 0..QUERIES_PER_CASE {
+            let cand = gen_constraint(&b, &vars, &mut rng);
+            // Mimic the engine: extend the path only along feasible
+            // branches, so the partition invariant (path constraints are
+            // satisfiable by construction) holds.
+            let mut with = path.clone();
+            with.push(cand.clone());
+            if !refs.check(&with).is_sat() {
+                continue;
+            }
+            path.push(cand.clone());
+            partition.add(cand.clone());
+
+            let probe = gen_constraint(&b, &vars, &mut rng);
+            let got = opt.check_relevant(&partition, std::slice::from_ref(&probe), QueryKind::Feasibility);
+            let mut full = path.clone();
+            full.push(probe.clone());
+            let want = refs.check(&full);
+            assert_eq!(
+                got.is_sat(),
+                want.is_sat(),
+                "case {case} step {qi}: check_relevant disagrees with full check"
+            );
+        }
+    }
+}

@@ -33,4 +33,9 @@ echo "dependency gate: ok (path-only)"
 # needed.
 cargo build --release --offline
 cargo test -q --offline
+
+# Gate 3: solver-stack smoke — on a fixed seeded corpus the sliced +
+# subsuming configuration must agree with the exact-match baseline and
+# issue no more SAT-core solves (exits nonzero otherwise).
+cargo run -q --release --offline -p bench --bin solver_opt -- --smoke
 echo "verify: ok"
