@@ -10,17 +10,21 @@
 pub mod json;
 pub mod timing;
 
+use s2e_analysis::{analyze, PrepassBuilder, PrepassInfo, RegSet, TaintSeed};
 use s2e_core::analyzers::{Coverage, PathKiller};
 use s2e_core::selectors::{
     constrain_range, make_config_symbolic, make_cstring_symbolic, make_mem_symbolic,
 };
-use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
+use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig, EngineStats};
 use s2e_expr::Width;
 use s2e_solver::{SolverConfig, SolverStats};
-use s2e_guests::drivers::{build_exerciser, Driver};
+use s2e_guests::drivers::{build_exerciser, Driver, ENTRY_ORDER};
 use s2e_guests::kernel::{boot, standard_annotations};
 use s2e_guests::layout::{cfg_keys, INPUT_BUF};
 use s2e_guests::script::{self, ScriptGuest};
+use s2e_vm::asm::Program;
+use s2e_vm::isa::reg;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Metrics from one exploration run (the columns of Table 6 and
@@ -51,6 +55,9 @@ pub struct ModelRunStats {
     pub solver: SolverStats,
     /// Instructions executed concretely / symbolically.
     pub instrs: (u64, u64),
+    /// Full engine counters (lean-dispatch, dead-write, and probe-skip
+    /// columns for the static pre-pass ablation).
+    pub engine: EngineStats,
 }
 
 impl ModelRunStats {
@@ -156,7 +163,79 @@ fn collect_stats(
         solver_queries: ss.queries,
         solver: ss.clone(),
         instrs: (st.instrs_concrete, st.instrs_symbolic),
+        engine: st.clone(),
     }
+}
+
+/// The static pre-pass for the driver corpus, mirroring the experiment's
+/// run-time setup: forking confined to the driver's code range, kernel
+/// entered from arbitrary unit context (everything tainted), driver
+/// entries seeded with the harness calling convention (symbolic
+/// `r0`/`r1` and tainted memory under the relaxed models), the IRQ
+/// handler preempting arbitrary code (everything tainted), and the
+/// exerciser's symbolic data entering through its own `S2Op::Symbolic*`
+/// sites, which the taint pass seeds by itself.
+fn driver_prepass(
+    driver: &Driver,
+    kernel: &Program,
+    exerciser: &Program,
+    symbolic_args: bool,
+) -> PrepassInfo {
+    let cfg = s2e_tools::deadcode::driver_analysis_config();
+    let args = if symbolic_args {
+        TaintSeed { regs: RegSet::single(reg::R0).with(reg::R1), mem: true }
+    } else {
+        TaintSeed::clean()
+    };
+    let roots: Vec<(u32, TaintSeed)> = ENTRY_ORDER
+        .iter()
+        .map(|e| (driver.entry(e), args))
+        .chain([(driver.entry("irq"), TaintSeed::all())])
+        .collect();
+    let mut b = PrepassBuilder::new().allow_fork_range(driver.code_range.clone());
+    for a in [
+        analyze(kernel, &[(kernel.entry, TaintSeed::all())], &cfg),
+        analyze(&driver.program, &roots, &cfg),
+        analyze(exerciser, &[(exerciser.entry, TaintSeed::clean())], &cfg),
+    ] {
+        b = b.add(&a.expect("static pre-pass exceeded its iteration bound"));
+    }
+    b.build()
+}
+
+/// The static pre-pass for the script-interpreter corpus. The taint
+/// roots depend on where each consistency model injects symbolic data:
+/// the strict models make the source text in memory symbolic from the
+/// start, the relaxed models run the parser concretely and inject
+/// symbolic bytecode at the interpreter boundary, and SC-CE injects
+/// nothing at all.
+fn script_prepass(guest: &ScriptGuest, kernel: &Program, model: ConsistencyModel) -> PrepassInfo {
+    let cfg = s2e_tools::deadcode::driver_analysis_config();
+    let mem = TaintSeed { regs: RegSet::EMPTY, mem: true };
+    let roots: Vec<(u32, TaintSeed)> = match model {
+        ConsistencyModel::ScSe | ConsistencyModel::ScUe => vec![(guest.program.entry, mem)],
+        ConsistencyModel::ScCe => vec![(guest.program.entry, TaintSeed::clean())],
+        _ => vec![
+            (guest.program.entry, TaintSeed::clean()),
+            (guest.program.symbol("interp"), mem),
+        ],
+    };
+    let mut b = PrepassBuilder::new().allow_fork_range(guest.interp_range.clone());
+    for a in [
+        analyze(kernel, &[(kernel.entry, TaintSeed::all())], &cfg),
+        analyze(&guest.program, &roots, &cfg),
+    ] {
+        b = b.add(&a.expect("static pre-pass exceeded its iteration bound"));
+    }
+    b.build()
+}
+
+/// Installs a built pre-pass on the engine and returns the path killer
+/// extended with statically-dead-block pruning.
+fn install_prepass(engine: &mut Engine, info: PrepassInfo, killer: PathKiller) -> PathKiller {
+    let dead = Arc::new(info.unreachable().clone());
+    engine.set_annotator(Some(Arc::new(info)));
+    killer.with_dead_blocks(dead)
 }
 
 /// Runs the §6.3 driver experiment: exercise every entry point of
@@ -179,14 +258,30 @@ pub fn run_driver_experiment_with_solver(
     budget: &Budget,
     solver: SolverConfig,
 ) -> ModelRunStats {
+    run_driver_experiment_configured(driver, model, budget, solver, false)
+}
+
+/// [`run_driver_experiment_with_solver`] plus the static pre-pass
+/// toggle: with `prepass` the three loaded programs are analyzed at load
+/// time, the resulting annotations installed on the block cache, and the
+/// path killer extended with statically-dead-block pruning — the on-arm
+/// of the `static_prepass` ablation.
+pub fn run_driver_experiment_configured(
+    driver: &Driver,
+    model: ConsistencyModel,
+    budget: &Budget,
+    solver: SolverConfig,
+    prepass: bool,
+) -> ModelRunStats {
     let started = Instant::now();
-    let (mut machine, _k) = boot();
+    let (mut machine, kernel) = boot();
     machine.load_aux(&driver.program);
     let symbolic_args = matches!(
         model,
         ConsistencyModel::Lc | ConsistencyModel::RcOc | ConsistencyModel::RcCc
     );
-    machine.load(&build_exerciser(driver, symbolic_args));
+    let exerciser = build_exerciser(driver, symbolic_args);
+    machine.load(&exerciser);
 
     let mut ec = EngineConfig::with_model(model);
     ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
@@ -203,7 +298,12 @@ pub fn run_driver_experiment_with_solver(
     engine.set_strategy(Box::new(s2e_core::search::MaxCoverage::new()));
     let (coverage, cov) = Coverage::new(Some(driver.code_range.clone()));
     engine.add_plugin(Box::new(coverage));
-    engine.add_plugin(Box::new(PathKiller::new(2_000)));
+    let mut killer = PathKiller::new(2_000);
+    if prepass {
+        let info = driver_prepass(driver, &kernel, &exerciser, symbolic_args);
+        killer = install_prepass(&mut engine, info, killer);
+    }
+    engine.add_plugin(Box::new(killer));
 
     if symbolic_args {
         let id = engine.sole_state().unwrap();
@@ -246,9 +346,20 @@ pub fn run_script_experiment_with_solver(
     budget: &Budget,
     solver: SolverConfig,
 ) -> ModelRunStats {
+    run_script_experiment_configured(model, budget, solver, false)
+}
+
+/// [`run_script_experiment_with_solver`] plus the static pre-pass
+/// toggle (see [`run_driver_experiment_configured`]).
+pub fn run_script_experiment_configured(
+    model: ConsistencyModel,
+    budget: &Budget,
+    solver: SolverConfig,
+    prepass: bool,
+) -> ModelRunStats {
     let started = Instant::now();
     let guest: ScriptGuest = script::build();
-    let (mut machine, _k) = boot();
+    let (mut machine, kernel) = boot();
     let seed_src = b"a = 1 + 2; p a;";
     machine.mem.load_image(INPUT_BUF, seed_src);
     machine
@@ -268,7 +379,12 @@ pub fn run_script_experiment_with_solver(
     engine.solver_mut().set_config(solver);
     let (coverage, cov) = Coverage::new(Some(guest.interp_range.clone()));
     engine.add_plugin(Box::new(coverage));
-    engine.add_plugin(Box::new(PathKiller::new(3_000)));
+    let mut killer = PathKiller::new(3_000);
+    if prepass {
+        let info = script_prepass(&guest, &kernel, model);
+        killer = install_prepass(&mut engine, info, killer);
+    }
+    engine.add_plugin(Box::new(killer));
 
     let interp_total = {
         let cfg = s2e_dbt::cfg::build_cfg(&guest.program, &[guest.program.symbol("interp")]);

@@ -1,0 +1,381 @@
+//! Conditional constant propagation and infeasible-branch detection.
+//!
+//! Lattice: per block entry, `Option<[Const; 16]>` — `None` for "not
+//! yet reached", otherwise one flat constant lattice per register
+//! (`Val(k)` ⊓ `Val(k)` = `Val(k)`, anything else = `NonConst`). The
+//! height per block is 33 (a reached bit plus at most two liftings per
+//! register), so the worklist bound of [`crate::graph::iteration_bound`]
+//! holds.
+//!
+//! ALU and branch evaluation reuse the interpreter's own
+//! [`apply_binop`]/[`branch_taken`], so a branch judged one-sided here
+//! is one-sided under the VM's exact wrapping/shift/division semantics
+//! — that is what makes it safe to feed the dead edges to `pathkiller`
+//! as statically-infeasible path cutoffs.
+//!
+//! Environment effects widen: direct calls propagate the argument state
+//! into the callee but havoc the return site's clobber set (the
+//! environment convention from [`AnalysisConfig`]); unknown callees and
+//! indirect jumps havoc everything they can reach.
+
+use crate::graph::{run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, Term};
+use s2e_expr::fold::apply_binop;
+use s2e_vm::interp::{alu_binop, branch_taken};
+use s2e_vm::isa::{reg, Instr, Opcode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Flat constant lattice element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Const {
+    /// Statically known value.
+    Val(u32),
+    /// Possibly many values.
+    NonConst,
+}
+
+impl Const {
+    fn join(self, other: Const) -> Const {
+        match (self, other) {
+            (Const::Val(a), Const::Val(b)) if a == b => Const::Val(a),
+            _ => Const::NonConst,
+        }
+    }
+}
+
+/// Per-block-entry register state.
+pub type RegConsts = [Const; reg::NUM_REGS];
+
+fn havoc() -> RegConsts {
+    [Const::NonConst; reg::NUM_REGS]
+}
+
+fn join_into(dst: &mut RegConsts, src: &RegConsts) -> bool {
+    let mut changed = false;
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        let j = d.join(*s);
+        if j != *d {
+            *d = j;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Constant-propagation fixpoint over one program.
+#[derive(Clone, Debug, Default)]
+pub struct ConstProp {
+    /// Entry register state per reached block.
+    pub entry: BTreeMap<u32, RegConsts>,
+    /// CFG edges `(from_block, to_block)` proven never taken: the
+    /// source block's branch condition is a compile-time constant that
+    /// always selects the other side.
+    pub dead_edges: BTreeSet<(u32, u32)>,
+    /// CFG blocks never reached once dead edges are pruned.
+    pub unreachable: BTreeSet<u32>,
+    /// Conditional branches whose condition folded to a constant.
+    pub folded_branches: usize,
+    /// Worklist pops used to reach the fixpoint.
+    pub iterations: usize,
+}
+
+/// One instruction's forward constant transfer.
+fn transfer(i: &Instr, s: &mut RegConsts, cfg: &AnalysisConfig) {
+    let rd = i.rd as usize & 0xf;
+    let get = |s: &RegConsts, r: u8| s[r as usize & 0xf];
+    match i.op {
+        Opcode::MovI => s[rd] = Const::Val(i.imm),
+        Opcode::Mov => s[rd] = get(s, i.rs1),
+        Opcode::Not => {
+            s[rd] = match get(s, i.rs1) {
+                Const::Val(v) => Const::Val(!v),
+                Const::NonConst => Const::NonConst,
+            }
+        }
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Divu
+        | Opcode::Divs
+        | Opcode::Remu
+        | Opcode::Rems
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar => {
+            s[rd] = match (get(s, i.rs1), get(s, i.rs2), alu_binop(i.op)) {
+                (Const::Val(a), Const::Val(b), Some(op)) => {
+                    Const::Val(apply_binop(op, a as u64, b as u64, s2e_expr::Width::W32) as u32)
+                }
+                _ => Const::NonConst,
+            }
+        }
+        Opcode::AddI
+        | Opcode::SubI
+        | Opcode::MulI
+        | Opcode::AndI
+        | Opcode::OrI
+        | Opcode::XorI
+        | Opcode::ShlI
+        | Opcode::ShrI
+        | Opcode::SarI => {
+            s[rd] = match (get(s, i.rs1), alu_binop(i.op)) {
+                (Const::Val(a), Some(op)) => {
+                    Const::Val(apply_binop(op, a as u64, i.imm as u64, s2e_expr::Width::W32) as u32)
+                }
+                _ => Const::NonConst,
+            }
+        }
+        // Anything read from memory, a port, or the environment is
+        // unknown; stack pointer arithmetic stays tracked.
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 | Opcode::In => s[rd] = Const::NonConst,
+        Opcode::Pop => {
+            s[rd] = Const::NonConst;
+            let sp = reg::SP as usize;
+            s[sp] = match s[sp] {
+                Const::Val(v) => Const::Val(v.wrapping_add(4)),
+                Const::NonConst => Const::NonConst,
+            };
+        }
+        Opcode::Push => {
+            let sp = reg::SP as usize;
+            s[sp] = match s[sp] {
+                Const::Val(v) => Const::Val(v.wrapping_sub(4)),
+                Const::NonConst => Const::NonConst,
+            };
+        }
+        Opcode::Call | Opcode::CallR => s[reg::LR as usize] = Const::NonConst,
+        Opcode::Syscall => {
+            for r in cfg.env_clobbers.iter() {
+                s[r as usize] = Const::NonConst;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs conditional constant propagation on `g` from its roots.
+pub fn analyze(g: &FlowGraph, cfg: &AnalysisConfig) -> Result<ConstProp, BoundExceeded> {
+    let mut states: BTreeMap<u32, RegConsts> = BTreeMap::new();
+    for &r in &g.roots {
+        states.insert(r, havoc());
+    }
+    let seeds: Vec<u32> = g.roots.clone();
+
+    let mut folded: BTreeSet<u32> = BTreeSet::new();
+    let iterations = run_worklist("constprop", seeds, g.bound(), |b, changed| {
+        let Some(&inn) = states.get(&b) else { return };
+        let Some(block) = g.cfg.blocks.get(&b) else { return };
+        let mut s = inn;
+        for i in &block.instrs {
+            transfer(i, &mut s, cfg);
+        }
+        let mut flow = |target: u32, st: &RegConsts, changed: &mut Vec<u32>| {
+            if !g.cfg.blocks.contains_key(&target) {
+                return;
+            }
+            match states.get_mut(&target) {
+                Some(cur) => {
+                    if join_into(cur, st) {
+                        changed.push(target);
+                    }
+                }
+                None => {
+                    states.insert(target, *st);
+                    changed.push(target);
+                }
+            }
+        };
+        match g.term.get(&b) {
+            Some(Term::Goto(t)) => flow(*t, &s, changed),
+            Some(Term::Branch { taken, fall }) => {
+                let last = block.instrs.last().expect("branch block nonempty");
+                let a = s[last.rs1 as usize & 0xf];
+                let c = s[last.rs2 as usize & 0xf];
+                match (a, c) {
+                    (Const::Val(x), Const::Val(y)) => {
+                        // One-sided: propagate only along the feasible edge.
+                        folded.insert(b);
+                        if branch_taken(last.op, x, y) {
+                            flow(*taken, &s, changed);
+                        } else {
+                            flow(*fall, &s, changed);
+                        }
+                    }
+                    _ => {
+                        folded.remove(&b);
+                        flow(*taken, &s, changed);
+                        flow(*fall, &s, changed);
+                    }
+                }
+            }
+            Some(Term::Call { callee, ret }) => {
+                flow(*callee, &s, changed);
+                // The callee may compute anything before returning here.
+                flow(*ret, &havoc(), changed);
+            }
+            Some(Term::CallUnknown { ret }) => {
+                for &t in &g.address_taken {
+                    flow(t, &havoc(), changed);
+                }
+                flow(*ret, &havoc(), changed);
+            }
+            Some(Term::Syscall { ret }) => flow(*ret, &s, changed),
+            Some(Term::Ret) => {
+                if let Some(sites) = g.ret_sites.get(&b) {
+                    for &t in sites {
+                        flow(t, &havoc(), changed);
+                    }
+                }
+            }
+            Some(Term::IndirectJump) => {
+                for &t in &g.address_taken {
+                    flow(t, &havoc(), changed);
+                }
+            }
+            Some(Term::Iret) | Some(Term::Halt) | None => {}
+        }
+    })?;
+
+    // Classify from the fixpoint: re-evaluate each reached branch and
+    // record the never-taken side; blocks with no final state are
+    // unreachable under the pruned edges.
+    let mut result = ConstProp { iterations, ..ConstProp::default() };
+    for (&b, block) in &g.cfg.blocks {
+        let Some(&inn) = states.get(&b) else {
+            result.unreachable.insert(b);
+            continue;
+        };
+        result.entry.insert(b, inn);
+        if let Some(Term::Branch { taken, fall }) = g.term.get(&b) {
+            let mut s = inn;
+            for i in &block.instrs {
+                transfer(i, &mut s, cfg);
+            }
+            let last = block.instrs.last().expect("branch block nonempty");
+            if let (Const::Val(x), Const::Val(y)) =
+                (s[last.rs1 as usize & 0xf], s[last.rs2 as usize & 0xf])
+            {
+                result.folded_branches += 1;
+                if branch_taken(last.op, x, y) {
+                    if taken != fall {
+                        result.dead_edges.insert((b, *fall));
+                    }
+                } else if taken != fall {
+                    result.dead_edges.insert((b, *taken));
+                }
+            }
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defuse::RegSet;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn constant_branch_kills_edge_and_block() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 3);
+        a.movi(reg::R2, 5);
+        a.bltu(reg::R1, reg::R2, "live"); // 3 < 5: always taken
+        a.label("dead");
+        a.movi(reg::R9, 1); // never executes
+        a.halt();
+        a.label("live");
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let c = analyze(&g, &cfg()).unwrap();
+        let dead = p.symbol("dead");
+        assert_eq!(c.folded_branches, 1);
+        assert!(c.dead_edges.contains(&(0x2000, dead)));
+        assert!(c.unreachable.contains(&dead));
+        assert!(!c.unreachable.contains(&p.symbol("live")));
+    }
+
+    #[test]
+    fn loads_widen_to_nonconst() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 0x8000);
+        a.ld32(reg::R2, reg::R1, 0);
+        a.movi(reg::R3, 0);
+        a.beq(reg::R2, reg::R3, "maybe"); // data-dependent: both live
+        a.halt();
+        a.label("maybe");
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let c = analyze(&g, &cfg()).unwrap();
+        assert!(c.dead_edges.is_empty());
+        assert!(c.unreachable.is_empty());
+        assert_eq!(c.folded_branches, 0);
+    }
+
+    #[test]
+    fn alu_folds_with_vm_semantics() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 7);
+        a.movi(reg::R2, 0);
+        a.divu(reg::R3, reg::R1, reg::R2); // division by zero: all-ones
+        a.movi(reg::R4, 0xffff_ffff);
+        a.beq(reg::R3, reg::R4, "allones"); // must fold taken
+        a.label("dead");
+        a.halt();
+        a.label("allones");
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let c = analyze(&g, &cfg()).unwrap();
+        assert!(c.unreachable.contains(&p.symbol("dead")));
+    }
+
+    #[test]
+    fn call_havocs_return_site() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R5, 1);
+        a.call("f");
+        // r5 could have been changed by f: this branch must not fold.
+        a.movi(reg::R6, 1);
+        a.beq(reg::R5, reg::R6, "maybe");
+        a.halt();
+        a.label("maybe");
+        a.halt();
+        a.label("f");
+        a.movi(reg::R5, 2);
+        a.ret();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let c = analyze(&g, &cfg()).unwrap();
+        assert!(c.dead_edges.is_empty());
+    }
+
+    #[test]
+    fn environment_clobbers_widen() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R0, 1);
+        a.syscall(3);
+        a.movi(reg::R1, 1);
+        a.beq(reg::R0, reg::R1, "maybe"); // r0 clobbered by env
+        a.halt();
+        a.label("maybe");
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let c = analyze(&g, &cfg()).unwrap();
+        assert!(c.dead_edges.is_empty());
+        // With r0 spared from the clobber set, the branch folds.
+        let narrow = AnalysisConfig { env_clobbers: RegSet::single(10), env_taints_memory: true };
+        let c2 = analyze(&g, &narrow).unwrap();
+        assert_eq!(c2.dead_edges.len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-instruction register def/use sets.
+//!
+//! Three views of the same instruction, used by different passes:
+//!
+//! - [`defs`]: registers the instruction writes (liveness kill set,
+//!   taint/constant transfer targets);
+//! - [`uses`]: registers whose *values* the instruction semantics read
+//!   (liveness gen set — conservative, includes environment reads);
+//! - [`observed`]: registers whose symbolic-ness the engine's dynamic
+//!   `touches_symbolic` check inspects. This is the set that matters for
+//!   the concrete-only claim: a block is concrete-only exactly when no
+//!   instruction in it can observe a symbolic register, and `observed`
+//!   mirrors the engine's per-instruction read set instruction for
+//!   instruction.
+//!
+//! `uses` is always a superset of `observed` except for `Syscall` and
+//! `S2eOp`, where the engine checks fewer registers than the environment
+//! may semantically read; liveness needs the wide set (a dead-write
+//! replacement must never change a value the environment reads), taint
+//! needs the narrow one plus its own environment modeling.
+
+use s2e_vm::isa::{reg, Instr, Opcode};
+
+/// A set of the 16 architectural registers, as a bitmask.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RegSet(pub u16);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// All sixteen registers.
+    pub const ALL: RegSet = RegSet(0xffff);
+
+    /// The singleton set `{r}`.
+    pub fn single(r: u8) -> RegSet {
+        RegSet(1 << (r as u16 & 0xf))
+    }
+
+    /// Set membership.
+    pub fn contains(self, r: u8) -> bool {
+        self.0 & (1 << (r as u16 & 0xf)) != 0
+    }
+
+    /// Inserts `r`, returning the new set.
+    pub fn with(self, r: u8) -> RegSet {
+        RegSet(self.0 | RegSet::single(r).0)
+    }
+
+    /// Removes `r`, returning the new set.
+    pub fn without(self, r: u8) -> RegSet {
+        RegSet(self.0 & !RegSet::single(r).0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn inter(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// True when no register is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the register numbers in the set, ascending.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0u8..16).filter(move |&r| self.contains(r))
+    }
+}
+
+fn is_alu3(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::Divu
+            | Opcode::Divs
+            | Opcode::Remu
+            | Opcode::Rems
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::Sar
+    )
+}
+
+fn is_alui(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::AddI
+            | Opcode::SubI
+            | Opcode::MulI
+            | Opcode::AndI
+            | Opcode::OrI
+            | Opcode::XorI
+            | Opcode::ShlI
+            | Opcode::ShrI
+            | Opcode::SarI
+    )
+}
+
+/// Registers written by `i`.
+///
+/// `Syscall` reports no defs here: what the environment clobbers is a
+/// software convention, so the passes model it separately (see
+/// `AnalysisConfig::env_clobbers`). Reporting no defs is conservative
+/// for liveness (nothing is killed across the call).
+pub fn defs(i: &Instr) -> RegSet {
+    match i.op {
+        Opcode::MovI | Opcode::Mov | Opcode::Not | Opcode::In => RegSet::single(i.rd),
+        op if is_alu3(op) || is_alui(op) => RegSet::single(i.rd),
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => RegSet::single(i.rd),
+        Opcode::Pop => RegSet::single(i.rd).with(reg::SP),
+        Opcode::Push => RegSet::single(reg::SP),
+        Opcode::Call | Opcode::CallR => RegSet::single(reg::LR),
+        _ => RegSet::EMPTY,
+    }
+}
+
+/// Registers whose values `i` semantically reads, including reads the
+/// environment may perform on the instruction's behalf (`Syscall` passes
+/// the whole register file to the kernel; `S2eOp` sub-operations read
+/// `R0`/`R1`).
+pub fn uses(i: &Instr) -> RegSet {
+    match i.op {
+        Opcode::Mov | Opcode::Not => RegSet::single(i.rs1),
+        op if is_alui(op) => RegSet::single(i.rs1),
+        op if is_alu3(op) => RegSet::single(i.rs1).with(i.rs2),
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => RegSet::single(i.rs1),
+        Opcode::St8 | Opcode::St16 | Opcode::St32 => RegSet::single(i.rs1).with(i.rs2),
+        Opcode::Push => RegSet::single(i.rs1).with(reg::SP),
+        Opcode::Pop | Opcode::Iret => RegSet::single(reg::SP),
+        Opcode::In => RegSet::single(i.rs1),
+        Opcode::Out => RegSet::single(i.rs1).with(i.rs2),
+        Opcode::JmpR | Opcode::CallR => RegSet::single(i.rs1),
+        Opcode::Ret => RegSet::single(reg::LR),
+        Opcode::Beq | Opcode::Bne | Opcode::Bltu | Opcode::Bgeu | Opcode::Blts | Opcode::Bges => {
+            RegSet::single(i.rs1).with(i.rs2)
+        }
+        Opcode::Syscall => RegSet::ALL,
+        Opcode::S2eOp => RegSet::single(reg::R0).with(reg::R1),
+        _ => RegSet::EMPTY,
+    }
+}
+
+/// Registers the engine's dynamic `touches_symbolic` check inspects for
+/// `i` — the exact read set that decides whether an instruction counts
+/// as symbolic at execution time.
+pub fn observed(i: &Instr) -> RegSet {
+    match i.op {
+        Opcode::Syscall => RegSet::single(reg::SP),
+        Opcode::S2eOp => RegSet::EMPTY,
+        _ => uses(i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::isa::Instr;
+
+    fn ins(op: Opcode, rd: u8, rs1: u8, rs2: u8, imm: u32) -> Instr {
+        Instr { op, rd, rs1, rs2, imm }
+    }
+
+    #[test]
+    fn regset_basics() {
+        let s = RegSet::single(3).with(7).with(15);
+        assert!(s.contains(3) && s.contains(7) && s.contains(15));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7, 15]);
+        assert_eq!(s.without(7).len(), 2);
+        assert_eq!(s.minus(RegSet::single(3)).len(), 2);
+        assert_eq!(s.inter(RegSet::single(3)), RegSet::single(3));
+        assert!(RegSet::EMPTY.is_empty());
+        assert_eq!(RegSet::ALL.len(), 16);
+    }
+
+    #[test]
+    fn alu_def_use() {
+        let i = ins(Opcode::Add, 1, 2, 3, 0);
+        assert_eq!(defs(&i), RegSet::single(1));
+        assert_eq!(uses(&i), RegSet::single(2).with(3));
+        assert_eq!(observed(&i), uses(&i));
+        let j = ins(Opcode::AddI, 4, 5, 0, 9);
+        assert_eq!(defs(&j), RegSet::single(4));
+        assert_eq!(uses(&j), RegSet::single(5));
+    }
+
+    #[test]
+    fn stack_and_env_def_use() {
+        let push = ins(Opcode::Push, 0, 6, 0, 0);
+        assert_eq!(defs(&push), RegSet::single(reg::SP));
+        assert_eq!(uses(&push), RegSet::single(6).with(reg::SP));
+        let pop = ins(Opcode::Pop, 6, 0, 0, 0);
+        assert_eq!(defs(&pop), RegSet::single(6).with(reg::SP));
+        assert_eq!(uses(&pop), RegSet::single(reg::SP));
+        let sys = ins(Opcode::Syscall, 0, 0, 0, 1);
+        assert_eq!(defs(&sys), RegSet::EMPTY);
+        assert_eq!(uses(&sys), RegSet::ALL);
+        // The engine only checks SP for a syscall's symbolic-ness.
+        assert_eq!(observed(&sys), RegSet::single(reg::SP));
+        let s2e = ins(Opcode::S2eOp, 0, 0, 0, 1);
+        assert_eq!(uses(&s2e), RegSet::single(reg::R0).with(reg::R1));
+        assert_eq!(observed(&s2e), RegSet::EMPTY);
+    }
+}

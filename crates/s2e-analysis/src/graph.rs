@@ -1,0 +1,299 @@
+//! The flow graph the dataflow passes run over.
+//!
+//! Wraps a [`StaticCfg`] with the facts the passes share: a terminator
+//! classification per block, the address-taken target set for indirect
+//! jumps, and direct-call/return matching. Matching pairs each `Ret`
+//! block with the return sites of the direct calls whose callee can
+//! reach it — the classic context-insensitive approximation, but
+//! *return-site matched* so dataflow leaving one function's `ret` does
+//! not leak into every other function's call sites.
+//!
+//! Termination: every pass here is a monotone function over a finite
+//! lattice, driven by a worklist whose pop count is bounded by
+//! [`iteration_bound`]; [`run_worklist`] fails loudly rather than
+//! looping if a non-monotone transfer ever violates the bound.
+
+use crate::defuse::RegSet;
+use s2e_dbt::cfg::{StaticCfg, UNKNOWN_SINK};
+use s2e_vm::asm::Program;
+use s2e_vm::isa::{Instr, Opcode, INSTR_SIZE};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How a block leaves: the edge shapes the passes care about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// Fall-through or unconditional jump to one block.
+    Goto(u32),
+    /// Conditional branch: taken target, fall-through.
+    Branch { taken: u32, fall: u32 },
+    /// Direct call: callee entry and return site.
+    Call { callee: u32, ret: u32 },
+    /// Indirect call: unknown callee (address-taken set), known return
+    /// site.
+    CallUnknown { ret: u32 },
+    /// Environment trap; control resumes at the return site with the
+    /// environment's effects applied.
+    Syscall { ret: u32 },
+    /// Function return: flows to the matched callers' return sites, or
+    /// out of the analyzed region if unmatched.
+    Ret,
+    /// Computed jump: flows to every address-taken block.
+    IndirectJump,
+    /// Return from interrupt: leaves the analyzed region (handlers are
+    /// assumed transparent to the interrupted context).
+    Iret,
+    /// No successors (halt, or decoding stopped).
+    Halt,
+}
+
+/// A per-pass iteration budget, linear in the graph size. Each pass's
+/// per-block state is a finite lattice of height ≤ 33 (16 registers ×
+/// at most two liftings plus a reached bit), and a block is re-queued
+/// only when its state strictly grows, so `64·(blocks + edges) + 128`
+/// pops is far beyond any monotone fixpoint on these graphs.
+pub fn iteration_bound(blocks: usize, edges: usize) -> usize {
+    64 * (blocks + edges) + 128
+}
+
+/// Error raised when a pass exceeds its iteration bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundExceeded {
+    /// Which pass overran.
+    pub pass: &'static str,
+    /// The bound it overran.
+    pub bound: usize,
+}
+
+impl std::fmt::Display for BoundExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} pass exceeded its iteration bound of {}", self.pass, self.bound)
+    }
+}
+
+impl std::error::Error for BoundExceeded {}
+
+/// Deduplicating bounded worklist: `step` processes one block and pushes
+/// the blocks whose state it changed. Returns the number of pops.
+pub fn run_worklist(
+    pass: &'static str,
+    seeds: impl IntoIterator<Item = u32>,
+    bound: usize,
+    mut step: impl FnMut(u32, &mut Vec<u32>),
+) -> Result<usize, BoundExceeded> {
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut queued: BTreeSet<u32> = BTreeSet::new();
+    for s in seeds {
+        if queued.insert(s) {
+            queue.push_back(s);
+        }
+    }
+    let mut iterations = 0usize;
+    let mut changed = Vec::new();
+    while let Some(b) = queue.pop_front() {
+        queued.remove(&b);
+        iterations += 1;
+        if iterations > bound {
+            return Err(BoundExceeded { pass, bound });
+        }
+        changed.clear();
+        step(b, &mut changed);
+        for &c in &changed {
+            if queued.insert(c) {
+                queue.push_back(c);
+            }
+        }
+    }
+    Ok(iterations)
+}
+
+/// The analysis-ready view of one program's CFG.
+pub struct FlowGraph {
+    /// The underlying static CFG.
+    pub cfg: StaticCfg,
+    /// Root block addresses (entry points).
+    pub roots: Vec<u32>,
+    /// Terminator classification per block.
+    pub term: BTreeMap<u32, Term>,
+    /// Blocks whose address is taken (`movi` immediate naming a block
+    /// start) plus the roots: the conservative target set of indirect
+    /// jumps and unknown callees.
+    pub address_taken: Vec<u32>,
+    /// `Ret` block → return sites of the direct calls it can serve.
+    /// Absent ⇒ the return escapes the analyzed region.
+    pub ret_sites: BTreeMap<u32, Vec<u32>>,
+    /// Total edge count (for the iteration bound).
+    pub edges: usize,
+}
+
+fn classify(block_start: u32, instrs: &[Instr], successors: &[u32]) -> Term {
+    let Some(last) = instrs.last() else {
+        return Term::Halt;
+    };
+    let last_pc = block_start + (instrs.len() as u32 - 1) * INSTR_SIZE;
+    let next = last_pc + INSTR_SIZE;
+    match last.op {
+        Opcode::Jmp => Term::Goto(last.imm),
+        Opcode::Beq | Opcode::Bne | Opcode::Bltu | Opcode::Bgeu | Opcode::Blts | Opcode::Bges => {
+            Term::Branch { taken: last.imm, fall: next }
+        }
+        Opcode::Call => Term::Call { callee: last.imm, ret: next },
+        Opcode::CallR => Term::CallUnknown { ret: next },
+        Opcode::Syscall => Term::Syscall { ret: next },
+        Opcode::Ret => Term::Ret,
+        Opcode::JmpR => Term::IndirectJump,
+        Opcode::Iret => Term::Iret,
+        Opcode::Halt => Term::Halt,
+        // Split block (leader or size cap): single fall-through edge.
+        _ => match successors.first() {
+            Some(&s) if s != UNKNOWN_SINK => Term::Goto(s),
+            _ => Term::Halt,
+        },
+    }
+}
+
+impl FlowGraph {
+    /// Builds the flow graph for `prog` rooted at `roots`.
+    pub fn build(prog: &Program, roots: &[u32]) -> FlowGraph {
+        let cfg = s2e_dbt::cfg::build_cfg(prog, roots);
+        FlowGraph::from_cfg(cfg, roots)
+    }
+
+    /// Builds the flow graph from an already-recovered CFG.
+    pub fn from_cfg(cfg: StaticCfg, roots: &[u32]) -> FlowGraph {
+        let mut term = BTreeMap::new();
+        let mut taken: BTreeSet<u32> = roots.iter().copied().collect();
+        for (&start, b) in &cfg.blocks {
+            term.insert(start, classify(start, &b.instrs, &b.successors));
+            for i in &b.instrs {
+                if i.op == Opcode::MovI && cfg.blocks.contains_key(&i.imm) {
+                    taken.insert(i.imm);
+                }
+            }
+        }
+        let roots: Vec<u32> = roots.iter().copied().filter(|r| cfg.blocks.contains_key(r)).collect();
+        let address_taken: Vec<u32> = taken.into_iter().filter(|a| cfg.blocks.contains_key(a)).collect();
+
+        // Direct-call/return matching: for each direct callee, collect
+        // the blocks of its intra-procedural body (calls step over their
+        // callee via the return site; Ret/JmpR/Iret/Halt stop the walk),
+        // then give every Ret block in that body the callee's return
+        // sites.
+        let mut callees: BTreeMap<u32, Vec<u32>> = BTreeMap::new(); // callee -> return sites
+        for t in term.values() {
+            if let Term::Call { callee, ret } = t {
+                callees.entry(*callee).or_default().push(*ret);
+            }
+        }
+        let mut ret_sites: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (&callee, sites) in &callees {
+            let mut body: BTreeSet<u32> = BTreeSet::new();
+            let mut stack = vec![callee];
+            while let Some(b) = stack.pop() {
+                if !cfg.blocks.contains_key(&b) || !body.insert(b) {
+                    continue;
+                }
+                match term.get(&b) {
+                    Some(Term::Goto(t)) => stack.push(*t),
+                    Some(Term::Branch { taken, fall }) => {
+                        stack.push(*taken);
+                        stack.push(*fall);
+                    }
+                    Some(Term::Call { ret, .. })
+                    | Some(Term::CallUnknown { ret })
+                    | Some(Term::Syscall { ret }) => stack.push(*ret),
+                    _ => {}
+                }
+            }
+            for &b in &body {
+                if matches!(term.get(&b), Some(Term::Ret)) {
+                    let e = ret_sites.entry(b).or_default();
+                    for &s in sites {
+                        if !e.contains(&s) {
+                            e.push(s);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut edges = 0usize;
+        for (b, t) in &term {
+            edges += match t {
+                Term::Goto(_) | Term::Call { .. } | Term::CallUnknown { .. } | Term::Syscall { .. } => 2,
+                Term::Branch { .. } => 2,
+                Term::Ret => ret_sites.get(b).map(|s| s.len()).unwrap_or(0),
+                Term::IndirectJump => address_taken.len(),
+                Term::Iret | Term::Halt => 0,
+            };
+        }
+
+        FlowGraph { cfg, roots, term, address_taken, ret_sites, edges }
+    }
+
+    /// The per-pass iteration bound for this graph.
+    pub fn bound(&self) -> usize {
+        iteration_bound(self.cfg.block_count(), self.edges)
+    }
+
+    /// Forward-successor blocks of `b` for may-analyses, with the
+    /// environment/indirect widening each pass applies at these edges
+    /// handled by the caller via the [`Term`] it can also inspect.
+    pub fn forward_succs(&self, b: u32) -> Vec<u32> {
+        match self.term.get(&b) {
+            Some(Term::Goto(t)) => vec![*t],
+            Some(Term::Branch { taken, fall }) => vec![*taken, *fall],
+            Some(Term::Call { callee, ret }) => vec![*callee, *ret],
+            Some(Term::CallUnknown { ret }) => {
+                let mut v = self.address_taken.clone();
+                if !v.contains(ret) {
+                    v.push(*ret);
+                }
+                v
+            }
+            Some(Term::Syscall { ret }) => vec![*ret],
+            Some(Term::Ret) => self.ret_sites.get(&b).cloned().unwrap_or_default(),
+            Some(Term::IndirectJump) => self.address_taken.clone(),
+            Some(Term::Iret) | Some(Term::Halt) | None => vec![],
+        }
+    }
+}
+
+/// Seed taint state at a root block: which registers (and whether
+/// memory) may already hold symbolic data when control enters there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaintSeed {
+    /// Possibly-symbolic registers at entry.
+    pub regs: RegSet,
+    /// Whether guest memory may already contain symbolic bytes.
+    pub mem: bool,
+}
+
+impl TaintSeed {
+    /// Nothing symbolic at entry.
+    pub fn clean() -> TaintSeed {
+        TaintSeed::default()
+    }
+
+    /// Everything possibly symbolic (sound default for an entry point
+    /// reached from unanalyzed code).
+    pub fn all() -> TaintSeed {
+        TaintSeed { regs: RegSet::ALL, mem: true }
+    }
+}
+
+/// Tunables that encode software conventions the analysis cannot see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Registers the environment may modify across a `Syscall` (and may
+    /// hand back symbolic). Defaults to all registers; embedders that
+    /// know their kernel's clobber convention can narrow this.
+    pub env_clobbers: RegSet,
+    /// Whether a `Syscall` may leave symbolic bytes in guest memory.
+    pub env_taints_memory: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig { env_clobbers: RegSet::ALL, env_taints_memory: true }
+    }
+}

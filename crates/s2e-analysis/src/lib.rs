@@ -1,0 +1,358 @@
+//! Static dataflow pre-pass over the guest CFG.
+//!
+//! S2E's selectivity is dynamic: the engine inspects every instruction's
+//! operands at run time to decide whether symbolic machinery is needed
+//! (`touches_symbolic`), and probes the constraint solver at every
+//! symbolic branch to decide feasibility. This crate moves the decisions
+//! that are *statically forced* out of the hot loop, computing three
+//! classical dataflow analyses once per program image at load time:
+//!
+//! 1. **Liveness** ([`liveness`]) — backward may-analysis over guest
+//!    registers. Produces per-block live-in masks and per-instruction
+//!    dead-write bits; the engine skips building symbolic expressions
+//!    for values that are never read.
+//! 2. **Symbolic-reachability taint** ([`taint`]) — forward may-analysis
+//!    seeded at port-I/O reads, `S2Op::Symbolic*` sites, and
+//!    embedder-declared root states. Produces the set of *concrete-only*
+//!    blocks, which the engine executes on a lean dispatch path that
+//!    skips per-instruction symbolic-operand checks.
+//! 3. **Constant propagation** ([`constprop`]) — forward conditional
+//!    constant propagation using the interpreter's exact ALU/branch
+//!    semantics. Produces statically-dead CFG edges and unreachable
+//!    blocks, feeding the `pathkiller` analyzer and the dead-code
+//!    report in `s2e-tools`.
+//!
+//! All passes run over the [`graph::FlowGraph`] worklist framework with
+//! a hard linear iteration bound ([`graph::iteration_bound`]) — a
+//! non-monotone transfer is a loud error, never a hang.
+//!
+//! The engine-facing product is [`PrepassInfo`], built by
+//! [`PrepassBuilder`] from one analysis per loaded program. It
+//! implements [`s2e_dbt::BlockAnnotator`], so the shared block cache
+//! stamps every freshly translated block with its static facts; dynamic
+//! blocks that start mid-static-block or cover unanalyzed code degrade
+//! to the conservative annotation per instruction, never unsoundly.
+
+pub mod constprop;
+pub mod defuse;
+pub mod graph;
+pub mod liveness;
+pub mod taint;
+
+pub use constprop::{Const, ConstProp};
+pub use defuse::{defs, observed, uses, RegSet};
+pub use graph::{
+    iteration_bound, run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, TaintSeed, Term,
+};
+pub use liveness::Liveness;
+pub use taint::{Taint, TaintState};
+
+use s2e_dbt::{BlockAnnotation, BlockAnnotator};
+use s2e_vm::asm::Program;
+use s2e_vm::isa::{Instr, INSTR_SIZE};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// All three fixpoints over one program image.
+pub struct ProgramAnalysis {
+    /// The flow graph the passes ran over.
+    pub graph: FlowGraph,
+    /// Guest-register liveness.
+    pub liveness: Liveness,
+    /// Symbolic-reachability taint.
+    pub taint: Taint,
+    /// Conditional constant propagation.
+    pub constprop: ConstProp,
+}
+
+impl ProgramAnalysis {
+    /// Total worklist pops across the three passes.
+    pub fn iterations(&self) -> usize {
+        self.liveness.iterations + self.taint.iterations + self.constprop.iterations
+    }
+
+    /// The shared per-pass iteration bound.
+    pub fn bound(&self) -> usize {
+        self.graph.bound()
+    }
+
+    /// Statically-dead CFG edges `(from, to)`.
+    pub fn dead_edges(&self) -> &BTreeSet<(u32, u32)> {
+        &self.constprop.dead_edges
+    }
+
+    /// Blocks unreachable once dead edges are pruned.
+    pub fn unreachable(&self) -> &BTreeSet<u32> {
+        &self.constprop.unreachable
+    }
+}
+
+/// Runs all three passes on `prog`.
+///
+/// `roots` pairs each entry point with the embedder-declared taint seed
+/// (symbolic data injected by a harness is invisible in the instruction
+/// stream, so declaring it here is part of the soundness contract).
+/// `config` encodes the environment's register-clobber convention.
+pub fn analyze(
+    prog: &Program,
+    roots: &[(u32, TaintSeed)],
+    config: &AnalysisConfig,
+) -> Result<ProgramAnalysis, BoundExceeded> {
+    let root_addrs: Vec<u32> = roots.iter().map(|&(r, _)| r).collect();
+    let graph = FlowGraph::build(prog, &root_addrs);
+    let liveness = liveness::analyze(&graph)?;
+    let taint = taint::analyze(&graph, roots, config)?;
+    let constprop = constprop::analyze(&graph, config)?;
+    Ok(ProgramAnalysis { graph, liveness, taint, constprop })
+}
+
+/// Per-static-block facts flattened for annotation lookup.
+#[derive(Clone, Copy, Debug)]
+struct BlockFacts {
+    end: u32,
+    concrete_only: bool,
+    live_in: RegSet,
+}
+
+/// Aggregated static facts for every analyzed program, ready to stamp
+/// onto translated blocks. Build with [`PrepassBuilder`]; install on the
+/// engine's block cache via [`s2e_dbt::BlockAnnotator`].
+pub struct PrepassInfo {
+    /// Static block facts keyed by block start.
+    blocks: BTreeMap<u32, BlockFacts>,
+    /// PCs whose single-register write is dead.
+    dead_write_pcs: BTreeSet<u32>,
+    /// Include-list mirror of the engine's fork-enabling `CodeRanges`.
+    /// Empty ⇒ the engine allows forking everywhere ⇒ `fork_free` is
+    /// never claimed.
+    fork_ranges: Vec<Range<u32>>,
+    /// Union of statically-dead edges across programs.
+    dead_edges: BTreeSet<(u32, u32)>,
+    /// Union of statically-unreachable blocks across programs.
+    unreachable: BTreeSet<u32>,
+    /// Sum of worklist pops across all programs and passes.
+    total_iterations: usize,
+}
+
+impl PrepassInfo {
+    fn covering(&self, pc: u32) -> Option<&BlockFacts> {
+        self.blocks
+            .range(..=pc)
+            .next_back()
+            .map(|(_, f)| f)
+            .filter(|f| pc < f.end)
+    }
+
+    /// Statically-dead CFG edges across all analyzed programs.
+    pub fn dead_edges(&self) -> &BTreeSet<(u32, u32)> {
+        &self.dead_edges
+    }
+
+    /// Statically-unreachable block starts across all analyzed programs.
+    pub fn unreachable(&self) -> &BTreeSet<u32> {
+        &self.unreachable
+    }
+
+    /// Total worklist pops spent building this info.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+
+    /// Whether the static block starting exactly at `start` is
+    /// concrete-only.
+    pub fn is_concrete_only(&self, start: u32) -> bool {
+        self.blocks.get(&start).map(|f| f.concrete_only).unwrap_or(false)
+    }
+}
+
+impl BlockAnnotator for PrepassInfo {
+    fn annotate(&self, start: u32, instrs: &[Instr]) -> BlockAnnotation {
+        let mut ann = BlockAnnotation::conservative();
+        // Live-in is an entry fact: only valid when the dynamic block
+        // starts exactly where a static block does.
+        if let Some(f) = self.blocks.get(&start) {
+            ann.live_in = f.live_in.0;
+        }
+        let mut concrete = true;
+        // No include ranges ⇒ the engine may fork anywhere.
+        let mut fork_free = !self.fork_ranges.is_empty();
+        for (idx, _) in instrs.iter().enumerate() {
+            let pc = start + idx as u32 * INSTR_SIZE;
+            // A dynamic block suffix inherits block-level facts: the
+            // concrete-only walk checked *every* instruction of the
+            // covering static block, and a dead write is a fact about
+            // what follows the pc, not how it was reached.
+            match self.covering(pc) {
+                Some(f) if f.concrete_only => {}
+                _ => concrete = false,
+            }
+            if idx < 64 && self.dead_write_pcs.contains(&pc) {
+                ann.dead_writes |= 1u64 << idx;
+            }
+            if self.fork_ranges.iter().any(|r| r.contains(&pc)) {
+                fork_free = false;
+            }
+        }
+        ann.concrete_only = concrete;
+        ann.fork_free = fork_free;
+        ann
+    }
+}
+
+/// Builder aggregating per-program analyses into one [`PrepassInfo`].
+#[derive(Default)]
+pub struct PrepassBuilder {
+    blocks: BTreeMap<u32, BlockFacts>,
+    dead_write_pcs: BTreeSet<u32>,
+    fork_ranges: Vec<Range<u32>>,
+    dead_edges: BTreeSet<(u32, u32)>,
+    unreachable: BTreeSet<u32>,
+    total_iterations: usize,
+}
+
+impl PrepassBuilder {
+    /// Empty builder.
+    pub fn new() -> PrepassBuilder {
+        PrepassBuilder::default()
+    }
+
+    /// Adds one program's analysis results. Overlapping address ranges
+    /// (which do not occur with the standard loader layout) merge
+    /// conservatively: concrete-only ANDs, live-in unions.
+    pub fn add(mut self, a: &ProgramAnalysis) -> PrepassBuilder {
+        for (&start, block) in &a.graph.cfg.blocks {
+            let concrete_only = a.taint.concrete_only.contains(&start);
+            let live_in = a.liveness.live_in.get(&start).copied().unwrap_or(RegSet::ALL);
+            let facts = BlockFacts { end: block.end(), concrete_only, live_in };
+            self.blocks
+                .entry(start)
+                .and_modify(|f| {
+                    f.end = f.end.max(facts.end);
+                    f.concrete_only &= facts.concrete_only;
+                    f.live_in = f.live_in.union(facts.live_in);
+                })
+                .or_insert(facts);
+            if let Some(&bits) = a.liveness.dead_writes.get(&start) {
+                for (idx, _) in block.instrs.iter().enumerate().take(64) {
+                    if bits & (1u64 << idx) != 0 {
+                        self.dead_write_pcs.insert(start + idx as u32 * INSTR_SIZE);
+                    }
+                }
+            }
+        }
+        self.dead_edges.extend(a.constprop.dead_edges.iter().copied());
+        self.unreachable.extend(a.constprop.unreachable.iter().copied());
+        self.total_iterations += a.iterations();
+        self
+    }
+
+    /// Declares one include range of the engine's fork-enabling
+    /// `CodeRanges`. Mirror *every* include range the engine config
+    /// uses; with none declared, `fork_free` stays false everywhere
+    /// (the engine's empty include list means "fork anywhere").
+    pub fn allow_fork_range(mut self, range: Range<u32>) -> PrepassBuilder {
+        self.fork_ranges.push(range);
+        self
+    }
+
+    /// Finalizes the aggregate.
+    pub fn build(self) -> PrepassInfo {
+        PrepassInfo {
+            blocks: self.blocks,
+            dead_write_pcs: self.dead_write_pcs,
+            fork_ranges: self.fork_ranges,
+            dead_edges: self.dead_edges,
+            unreachable: self.unreachable,
+            total_iterations: self.total_iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+
+    fn program() -> Program {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 0x10);
+        a.inp(reg::R2, reg::R1); // symbolic source
+        a.jmp("use");
+        a.label("use");
+        a.add(reg::R3, reg::R2, reg::R2); // observes symbolic r2
+        a.movi(reg::R9, 7); // dead write
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn analyze_bundles_all_passes() {
+        let p = program();
+        let a = analyze(&p, &[(p.entry, TaintSeed::clean())], &AnalysisConfig::default()).unwrap();
+        assert!(a.iterations() > 0);
+        assert!(a.iterations() <= 3 * a.bound());
+        assert!(a.taint.concrete_only.contains(&0x2000));
+        assert!(!a.taint.concrete_only.contains(&p.symbol("use")));
+        assert!(a.dead_edges().is_empty());
+    }
+
+    #[test]
+    fn annotator_stamps_static_facts() {
+        let p = program();
+        let a = analyze(&p, &[(p.entry, TaintSeed::clean())], &AnalysisConfig::default()).unwrap();
+        let info = PrepassBuilder::new().add(&a).build();
+        let use_b = p.symbol("use");
+        let entry = &a.graph.cfg.blocks[&0x2000];
+        let ann = info.annotate(0x2000, &entry.instrs);
+        assert!(ann.concrete_only);
+        assert!(!ann.fork_free, "no fork ranges declared: stay conservative");
+        assert_eq!(ann.live_in, a.liveness.live_in[&0x2000].0);
+        let ub = &a.graph.cfg.blocks[&use_b];
+        let ann2 = info.annotate(use_b, &ub.instrs);
+        assert!(!ann2.concrete_only);
+        // The movi r9 write (instruction index 1 of "use") is dead.
+        assert_eq!(ann2.dead_writes & 0b10, 0b10);
+    }
+
+    #[test]
+    fn annotator_conservative_off_the_map() {
+        let p = program();
+        let a = analyze(&p, &[(p.entry, TaintSeed::clean())], &AnalysisConfig::default()).unwrap();
+        let info = PrepassBuilder::new().add(&a).build();
+        // A block in unanalyzed address space gets the conservative
+        // annotation: not concrete-only, live-in ALL.
+        let foreign = [Instr { op: s2e_vm::isa::Opcode::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 }];
+        let ann = info.annotate(0x9_0000, &foreign);
+        assert!(!ann.concrete_only);
+        assert_eq!(ann.live_in, 0xffff);
+        assert_eq!(ann.dead_writes, 0);
+    }
+
+    #[test]
+    fn fork_ranges_mirror_include_semantics() {
+        let p = program();
+        let a = analyze(&p, &[(p.entry, TaintSeed::clean())], &AnalysisConfig::default()).unwrap();
+        // Include range covering other code: blocks here are fork-free.
+        let info = PrepassBuilder::new().add(&a).allow_fork_range(0x8000..0x9000).build();
+        let entry = &a.graph.cfg.blocks[&0x2000];
+        assert!(info.annotate(0x2000, &entry.instrs).fork_free);
+        // Include range covering this block: not fork-free.
+        let info2 = PrepassBuilder::new().add(&a).allow_fork_range(0x2000..0x3000).build();
+        assert!(!info2.annotate(0x2000, &entry.instrs).fork_free);
+    }
+
+    #[test]
+    fn suffix_blocks_inherit_block_facts() {
+        let p = program();
+        let a = analyze(&p, &[(p.entry, TaintSeed::clean())], &AnalysisConfig::default()).unwrap();
+        let info = PrepassBuilder::new().add(&a).build();
+        // A dynamic block starting at the entry block's second
+        // instruction: still covered, still concrete-only, but live-in
+        // must stay conservative (no static block starts there).
+        let entry = &a.graph.cfg.blocks[&0x2000];
+        let ann = info.annotate(0x2000 + INSTR_SIZE, &entry.instrs[1..]);
+        assert!(ann.concrete_only);
+        assert_eq!(ann.live_in, 0xffff);
+    }
+}

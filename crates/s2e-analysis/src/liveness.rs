@@ -1,0 +1,257 @@
+//! Backward guest-register liveness (may-analysis).
+//!
+//! Lattice: per block, the set of live-in registers ([`RegSet`], a
+//! 16-element powerset ordered by inclusion). Transfer is the classic
+//! `live = (live − defs) ∪ uses` walked backward over the block;
+//! join is set union over the dynamic successor relation:
+//!
+//! - direct calls: union of the callee's live-in and the return site's
+//!   live-in (conservative — the callee may preserve registers the
+//!   return site reads);
+//! - matched `ret`s: union over the matched callers' return sites;
+//! - indirect exits (`jmpr`, `iret`, unmatched `ret`, unknown callees):
+//!   everything live — code we cannot see may read any register.
+//!
+//! The per-instruction dead-write bits are what the engine consumes: a
+//! write is dead when its target is not live immediately after the
+//! instruction, so materializing the value (in particular, building a
+//! symbolic expression for it) can be skipped. That judgment leans on
+//! one software assumption, documented in DESIGN.md §10: interrupt
+//! handlers are register-transparent (they restore every register they
+//! touch), so a value dead along all *visible* paths is not secretly
+//! read by a handler that fires between blocks.
+
+use crate::defuse::{defs, uses, RegSet};
+use crate::graph::{run_worklist, BoundExceeded, FlowGraph, Term};
+use std::collections::BTreeMap;
+
+/// Liveness fixpoint over one program.
+#[derive(Clone, Debug, Default)]
+pub struct Liveness {
+    /// Live-in registers per block.
+    pub live_in: BTreeMap<u32, RegSet>,
+    /// Live-out registers per block.
+    pub live_out: BTreeMap<u32, RegSet>,
+    /// Per block: bit *i* set ⇒ the register written by instruction *i*
+    /// is dead immediately after it.
+    pub dead_writes: BTreeMap<u32, u64>,
+    /// Worklist pops used to reach the fixpoint.
+    pub iterations: usize,
+}
+
+fn block_live_in(g: &FlowGraph, b: u32, live_out: RegSet) -> RegSet {
+    let block = &g.cfg.blocks[&b];
+    let mut live = live_out;
+    for i in block.instrs.iter().rev() {
+        live = live.minus(defs(i)).union(uses(i));
+    }
+    live
+}
+
+fn block_live_out(g: &FlowGraph, b: u32, live_in: &BTreeMap<u32, RegSet>) -> RegSet {
+    let at = |t: u32| live_in.get(&t).copied().unwrap_or(RegSet::EMPTY);
+    match g.term.get(&b) {
+        Some(Term::Goto(t)) => at(*t),
+        Some(Term::Branch { taken, fall }) => at(*taken).union(at(*fall)),
+        Some(Term::Call { callee, ret }) => at(*callee).union(at(*ret)),
+        // Unknown callee: it may read anything.
+        Some(Term::CallUnknown { .. }) => RegSet::ALL,
+        Some(Term::Syscall { ret }) => at(*ret),
+        Some(Term::Ret) => match g.ret_sites.get(&b) {
+            Some(sites) => sites.iter().fold(RegSet::EMPTY, |acc, s| acc.union(at(*s))),
+            // Escaping return: the unseen caller may read anything.
+            None => RegSet::ALL,
+        },
+        Some(Term::IndirectJump) | Some(Term::Iret) => RegSet::ALL,
+        Some(Term::Halt) | None => RegSet::EMPTY,
+    }
+}
+
+/// Runs the liveness fixpoint on `g`.
+pub fn analyze(g: &FlowGraph) -> Result<Liveness, BoundExceeded> {
+    // Reverse edges of the *liveness* successor relation, so a changed
+    // live-in re-queues exactly the blocks whose live-out reads it.
+    let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &b in g.cfg.blocks.keys() {
+        let succs: Vec<u32> = match g.term.get(&b) {
+            Some(Term::Goto(t)) => vec![*t],
+            Some(Term::Branch { taken, fall }) => vec![*taken, *fall],
+            Some(Term::Call { callee, ret }) => vec![*callee, *ret],
+            Some(Term::Syscall { ret }) => vec![*ret],
+            Some(Term::Ret) => g.ret_sites.get(&b).cloned().unwrap_or_default(),
+            _ => vec![],
+        };
+        for s in succs {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+
+    let mut live_in: BTreeMap<u32, RegSet> = BTreeMap::new();
+    let iterations = run_worklist(
+        "liveness",
+        g.cfg.blocks.keys().copied(),
+        g.bound(),
+        |b, changed| {
+            let out = block_live_out(g, b, &live_in);
+            let inn = block_live_in(g, b, out);
+            let slot = live_in.entry(b).or_insert(RegSet::EMPTY);
+            let grown = RegSet(slot.0 | inn.0);
+            if grown != *slot {
+                *slot = grown;
+                if let Some(ps) = preds.get(&b) {
+                    changed.extend(ps.iter().copied());
+                }
+            }
+        },
+    )?;
+
+    // Final states: recompute live-out and the dead-write bits from the
+    // fixpoint live-ins.
+    let mut result = Liveness { iterations, ..Liveness::default() };
+    for (&b, block) in &g.cfg.blocks {
+        let out = block_live_out(g, b, &live_in);
+        result.live_out.insert(b, out);
+        result.live_in.insert(b, live_in.get(&b).copied().unwrap_or(RegSet::EMPTY));
+        // Walk backward recording liveness *after* each instruction.
+        let n = block.instrs.len();
+        let mut after = vec![RegSet::EMPTY; n];
+        let mut live = out;
+        for idx in (0..n).rev() {
+            after[idx] = live;
+            let i = &block.instrs[idx];
+            live = live.minus(defs(i)).union(uses(i));
+        }
+        let mut dead = 0u64;
+        for (idx, i) in block.instrs.iter().enumerate().take(64) {
+            let d = defs(i);
+            // Only single-register writes qualify; multi-reg effects
+            // (pop: rd + sp) stay materialized.
+            if d.len() == 1 && d.inter(after[idx]).is_empty() {
+                dead |= 1 << idx;
+            }
+        }
+        result.dead_writes.insert(b, dead);
+    }
+    Ok(result)
+}
+
+/// Brute-force reference: is `r` live at the entry of `b`? Enumerates
+/// every path through the exploded (block, instruction) graph with a
+/// visited set, answering "can some path read `r` before writing it".
+/// Exponentially dumber than the worklist but obviously correct; the
+/// property tests compare the two.
+pub fn brute_force_live_in(g: &FlowGraph, b: u32, r: u8) -> bool {
+    let mut visited = std::collections::BTreeSet::new();
+    let mut stack = vec![b];
+    while let Some(cur) = stack.pop() {
+        if !visited.insert(cur) {
+            continue;
+        }
+        let Some(block) = g.cfg.blocks.get(&cur) else { continue };
+        let mut written = false;
+        for i in &block.instrs {
+            if uses(i).contains(r) {
+                return true;
+            }
+            if defs(i).contains(r) {
+                written = true;
+                break;
+            }
+        }
+        if written {
+            continue;
+        }
+        match g.term.get(&cur) {
+            Some(Term::CallUnknown { .. }) | Some(Term::IndirectJump) | Some(Term::Iret) => {
+                return true; // unseen code may read r
+            }
+            Some(Term::Ret) if !g.ret_sites.contains_key(&cur) => return true,
+            Some(Term::Goto(t)) => stack.push(*t),
+            Some(Term::Branch { taken, fall }) => {
+                stack.push(*taken);
+                stack.push(*fall);
+            }
+            Some(Term::Call { callee, ret }) => {
+                stack.push(*callee);
+                stack.push(*ret);
+            }
+            Some(Term::Syscall { ret }) => stack.push(*ret),
+            Some(Term::Ret) => stack.extend(g.ret_sites[&cur].iter().copied()),
+            Some(Term::Halt) | None => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+
+    #[test]
+    fn straight_line_dead_write() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 1); // dead: overwritten below, never read
+        a.movi(reg::R1, 2);
+        a.add(reg::R2, reg::R1, reg::R1);
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let l = analyze(&g).unwrap();
+        let dead = l.dead_writes[&0x2000];
+        assert!(dead & 1 != 0, "first movi should be dead");
+        assert!(dead & 0b10 == 0, "second movi is read by add");
+        // r2's write is dead too (halt follows).
+        assert!(dead & 0b100 != 0);
+        assert!(l.live_in[&0x2000].is_empty());
+    }
+
+    #[test]
+    fn branch_keeps_value_live() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 7);
+        a.beq(reg::R0, reg::R0, "use");
+        a.halt();
+        a.label("use");
+        a.add(reg::R2, reg::R1, reg::R1);
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let l = analyze(&g).unwrap();
+        // r1 is read on the taken side, so its write is not dead.
+        assert!(l.dead_writes[&0x2000] & 1 == 0);
+        // r0 is live-in at the entry (branch reads it).
+        assert!(l.live_in[&0x2000].contains(reg::R0));
+    }
+
+    #[test]
+    fn escaping_ret_pins_everything_live() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R4, 9); // looks dead, but the caller is unseen
+        a.ret();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let l = analyze(&g).unwrap();
+        assert_eq!(l.dead_writes[&0x2000], 0);
+        assert_eq!(l.live_out[&0x2000], RegSet::ALL);
+    }
+
+    #[test]
+    fn matched_ret_uses_return_site_liveness() {
+        let mut a = Assembler::new(0x2000);
+        a.call("f");
+        a.add(reg::R2, reg::R0, reg::R0); // return site reads r0 only
+        a.halt();
+        a.label("f");
+        a.movi(reg::R4, 9); // dead: return site never reads r4
+        a.movi(reg::R0, 1);
+        a.ret();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let l = analyze(&g).unwrap();
+        let f = p.symbol("f");
+        assert!(l.dead_writes[&f] & 1 != 0, "r4 write is dead via matched ret");
+        assert!(l.dead_writes[&f] & 0b10 == 0, "r0 is read at the return site");
+    }
+}

@@ -1,0 +1,390 @@
+//! Forward symbolic-reachability taint (may-analysis).
+//!
+//! Lattice: per block entry, a [`TaintState`] — the set of registers
+//! that may hold a symbolic value plus one bit for "guest memory may
+//! contain symbolic bytes" (17 bits total, ordered pointwise; join is
+//! union). Seeds are the statically visible symbolic sources — port-I/O
+//! reads (`In`) and the `S2Op::SymbolicReg` / `S2Op::SymbolicMem`
+//! custom opcodes — plus whatever the embedder declares at the roots
+//! via [`TaintSeed`] (harness-injected symbolic data is invisible in
+//! the instruction stream, so root seeds are part of the contract).
+//!
+//! Environment and indirect edges widen:
+//!
+//! - `Syscall`: the configured clobber set becomes tainted at the
+//!   return site (and memory, unless the embedder vouches otherwise);
+//! - unknown callees (`callr`): the return site is fully tainted, and
+//!   the pre-call state flows to every address-taken block;
+//! - `jmpr`: the state flows to every address-taken block;
+//! - matched `ret`: the exit state flows to the matched return sites;
+//!   unmatched `ret` and `iret` leave the analyzed region (re-entry is
+//!   covered by root seeds, handler transparency by the documented
+//!   interrupt assumption).
+//!
+//! The product the engine consumes is [`Taint::concrete_only`]: blocks
+//! in which no instruction can ever *observe* a symbolic register, in
+//! exactly the sense of the engine's dynamic `touches_symbolic` check
+//! (see [`crate::defuse::observed`]). Such blocks skip per-instruction
+//! symbolic dispatch entirely.
+
+use crate::defuse::{observed, RegSet};
+use crate::graph::{run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, TaintSeed, Term};
+use s2e_vm::isa::{reg, Instr, Opcode, S2Op};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// May-be-symbolic state at a program point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaintState {
+    /// Registers that may hold symbolic values.
+    pub regs: RegSet,
+    /// Whether memory may hold symbolic bytes.
+    pub mem: bool,
+}
+
+impl TaintState {
+    fn join(self, other: TaintState) -> TaintState {
+        TaintState { regs: self.regs.union(other.regs), mem: self.mem || other.mem }
+    }
+
+    fn includes(self, other: TaintState) -> bool {
+        other.regs.minus(self.regs).is_empty() && (self.mem || !other.mem)
+    }
+
+    /// Fully tainted.
+    pub fn all() -> TaintState {
+        TaintState { regs: RegSet::ALL, mem: true }
+    }
+}
+
+/// Taint fixpoint over one program.
+#[derive(Clone, Debug, Default)]
+pub struct Taint {
+    /// Entry state per reached block (unreached blocks are absent and
+    /// trivially concrete-only, but also never execute).
+    pub entry: BTreeMap<u32, TaintState>,
+    /// Blocks in which no instruction can observe a symbolic register.
+    pub concrete_only: BTreeSet<u32>,
+    /// Worklist pops used to reach the fixpoint.
+    pub iterations: usize,
+}
+
+/// One instruction's forward taint transfer.
+fn transfer(i: &Instr, s: &mut TaintState, cfg: &AnalysisConfig) {
+    let t = |s: &TaintState, r: u8| s.regs.contains(r);
+    match i.op {
+        Opcode::MovI => s.regs = s.regs.without(i.rd),
+        Opcode::Mov | Opcode::Not => {
+            s.regs = if t(s, i.rs1) { s.regs.with(i.rd) } else { s.regs.without(i.rd) }
+        }
+        Opcode::AddI
+        | Opcode::SubI
+        | Opcode::MulI
+        | Opcode::AndI
+        | Opcode::OrI
+        | Opcode::XorI
+        | Opcode::ShlI
+        | Opcode::ShrI
+        | Opcode::SarI => {
+            s.regs = if t(s, i.rs1) { s.regs.with(i.rd) } else { s.regs.without(i.rd) }
+        }
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Divu
+        | Opcode::Divs
+        | Opcode::Remu
+        | Opcode::Rems
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar => {
+            s.regs = if t(s, i.rs1) || t(s, i.rs2) {
+                s.regs.with(i.rd)
+            } else {
+                s.regs.without(i.rd)
+            }
+        }
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => {
+            // A load observes memory and (via address forking) the base.
+            s.regs = if s.mem || t(s, i.rs1) { s.regs.with(i.rd) } else { s.regs.without(i.rd) }
+        }
+        Opcode::Pop => {
+            let sp = t(s, reg::SP);
+            s.regs = if s.mem || sp { s.regs.with(i.rd) } else { s.regs.without(i.rd) };
+        }
+        Opcode::Push => s.mem = s.mem || t(s, i.rs1) || t(s, reg::SP),
+        Opcode::St8 | Opcode::St16 | Opcode::St32 => {
+            s.mem = s.mem || t(s, i.rs1) || t(s, i.rs2)
+        }
+        // Port I/O read: the canonical symbolic source (symbolic
+        // hardware); always a seed.
+        Opcode::In => s.regs = s.regs.with(i.rd),
+        Opcode::Call | Opcode::CallR => s.regs = s.regs.without(reg::LR),
+        Opcode::S2eOp => match S2Op::from_u32(i.imm) {
+            Some(S2Op::SymbolicReg) => s.regs = s.regs.with(reg::R0),
+            Some(S2Op::SymbolicMem) => s.mem = true,
+            Some(_) => {}
+            // Undecodable sub-op faults at runtime; widen anyway.
+            None => {
+                s.regs = s.regs.with(reg::R0);
+                s.mem = true;
+            }
+        },
+        Opcode::Syscall => {
+            // Applied here (not at the edge) so the return-site state
+            // sees the environment's effects exactly once.
+            s.regs = s.regs.union(cfg.env_clobbers);
+            s.mem = s.mem || cfg.env_taints_memory;
+        }
+        _ => {}
+    }
+}
+
+/// Runs the taint fixpoint on `g`. `roots` pairs each root block with
+/// the embedder-declared entry state; roots of `g` not named here start
+/// clean.
+pub fn analyze(
+    g: &FlowGraph,
+    roots: &[(u32, TaintSeed)],
+    cfg: &AnalysisConfig,
+) -> Result<Taint, BoundExceeded> {
+    let mut entry: BTreeMap<u32, TaintState> = BTreeMap::new();
+    let mut seeds: Vec<u32> = Vec::new();
+    for &r in &g.roots {
+        entry.insert(r, TaintState::default());
+        seeds.push(r);
+    }
+    for &(r, seed) in roots {
+        if g.cfg.blocks.contains_key(&r) {
+            let st = TaintState { regs: seed.regs, mem: seed.mem };
+            entry.insert(r, entry.get(&r).copied().unwrap_or_default().join(st));
+            if !seeds.contains(&r) {
+                seeds.push(r);
+            }
+        }
+    }
+
+    // `entry` only ever grows (pointwise union), so the fixpoint is
+    // monotone and the bound argument of `graph::iteration_bound`
+    // applies.
+    let mut states = entry;
+    let iterations = run_worklist("taint", seeds, g.bound(), |b, changed| {
+        let Some(&inn) = states.get(&b) else { return };
+        let Some(block) = g.cfg.blocks.get(&b) else { return };
+        let mut s = inn;
+        for i in &block.instrs {
+            transfer(i, &mut s, cfg);
+        }
+        let mut flow = |target: u32, st: TaintState, changed: &mut Vec<u32>| {
+            if !g.cfg.blocks.contains_key(&target) {
+                return;
+            }
+            let cur = states.get(&target).copied().unwrap_or_default();
+            if !cur.includes(st) {
+                states.insert(target, cur.join(st));
+                changed.push(target);
+            } else if !states.contains_key(&target) {
+                states.insert(target, cur);
+                changed.push(target);
+            }
+        };
+        match g.term.get(&b) {
+            Some(Term::Goto(t)) => flow(*t, s, changed),
+            Some(Term::Branch { taken, fall }) => {
+                flow(*taken, s, changed);
+                flow(*fall, s, changed);
+            }
+            Some(Term::Call { callee, ret: _ }) => {
+                // The return site is fed by the callee's matched rets,
+                // not directly — otherwise the callee's effects would be
+                // bypassed.
+                flow(*callee, s, changed);
+            }
+            Some(Term::CallUnknown { ret }) => {
+                for &t in &g.address_taken {
+                    flow(t, s, changed);
+                }
+                // Unknown callee: anything may come back.
+                flow(*ret, TaintState::all(), changed);
+            }
+            Some(Term::Syscall { ret }) => flow(*ret, s, changed),
+            Some(Term::Ret) => {
+                if let Some(sites) = g.ret_sites.get(&b) {
+                    for &t in sites {
+                        flow(t, s, changed);
+                    }
+                }
+                // Unmatched: leaves the region; root seeds cover re-entry.
+            }
+            Some(Term::IndirectJump) => {
+                for &t in &g.address_taken {
+                    flow(t, s, changed);
+                }
+            }
+            Some(Term::Iret) | Some(Term::Halt) | None => {}
+        }
+    })?;
+
+    // Classify: walk each reached block once more, checking every
+    // instruction's observed set against the running state.
+    let mut result = Taint { iterations, ..Taint::default() };
+    for (&b, block) in &g.cfg.blocks {
+        let Some(&inn) = states.get(&b) else {
+            // Unreached from the analyzed roots. If the root set really
+            // covers every entry this block never executes, but stay
+            // conservative rather than trusting that silently.
+            continue;
+        };
+        result.entry.insert(b, inn);
+        let mut s = inn;
+        let mut clean = true;
+        for i in &block.instrs {
+            if !observed(i).inter(s.regs).is_empty() {
+                clean = false;
+                break;
+            }
+            transfer(i, &mut s, cfg);
+        }
+        if clean {
+            result.concrete_only.insert(b);
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::isa::reg;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn port_read_seeds_taint() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 0x10);
+        a.inp(reg::R2, reg::R1); // r2 <- symbolic hardware
+        a.jmp("use");
+        a.label("use");
+        a.add(reg::R3, reg::R2, reg::R2); // observes r2
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let t = analyze(&g, &[], &cfg()).unwrap();
+        let use_b = p.symbol("use");
+        assert!(t.entry[&use_b].regs.contains(reg::R2));
+        assert!(!t.concrete_only.contains(&use_b));
+        // The seeding block itself never *reads* a symbolic register.
+        assert!(t.concrete_only.contains(&0x2000));
+    }
+
+    #[test]
+    fn movi_kills_taint() {
+        let mut a = Assembler::new(0x2000);
+        a.inp(reg::R2, reg::R1);
+        a.jmp("next");
+        a.label("next");
+        a.movi(reg::R2, 0); // kill before any read
+        a.add(reg::R3, reg::R2, reg::R2);
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let t = analyze(&g, &[], &cfg()).unwrap();
+        let next = p.symbol("next");
+        assert!(t.entry[&next].regs.contains(reg::R2));
+        // Entry taint is killed before the only read: concrete-only.
+        assert!(t.concrete_only.contains(&next));
+    }
+
+    #[test]
+    fn memory_taint_reaches_loads() {
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R1, 0x10);
+        a.inp(reg::R2, reg::R1);
+        a.movi(reg::R4, 0x8000);
+        a.st32(reg::R4, 0, reg::R2); // symbolic into memory
+        a.jmp("later");
+        a.label("later");
+        a.movi(reg::R5, 0x9000);
+        a.ld32(reg::R6, reg::R5, 0); // any load may now see it
+        a.outp(reg::R1, reg::R6);
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let t = analyze(&g, &[], &cfg()).unwrap();
+        let later = p.symbol("later");
+        assert!(t.entry[&later].mem);
+        assert!(!t.concrete_only.contains(&later));
+    }
+
+    #[test]
+    fn root_seed_declares_injected_symbolics() {
+        let mut a = Assembler::new(0x2000);
+        a.add(reg::R3, reg::R0, reg::R0);
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let clean = analyze(&g, &[], &cfg()).unwrap();
+        assert!(clean.concrete_only.contains(&0x2000));
+        let seeded = analyze(
+            &g,
+            &[(p.entry, TaintSeed { regs: RegSet::single(reg::R0), mem: false })],
+            &cfg(),
+        )
+        .unwrap();
+        assert!(!seeded.concrete_only.contains(&0x2000));
+    }
+
+    #[test]
+    fn syscall_clobbers_are_configurable() {
+        let mut a = Assembler::new(0x2000);
+        a.syscall(5);
+        a.add(reg::R3, reg::R0, reg::R0); // reads the env's return value
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let t = analyze(&g, &[], &cfg()).unwrap();
+        let ret_site = 0x2008;
+        assert!(t.entry[&ret_site].regs.contains(reg::R0));
+        assert!(t.entry[&ret_site].mem);
+        assert!(!t.concrete_only.contains(&ret_site));
+        // With a narrow clobber convention that spares r0 the read is
+        // clean (not our kernel's convention — just exercising the knob).
+        let narrow = AnalysisConfig {
+            env_clobbers: RegSet::single(reg::R10),
+            env_taints_memory: false,
+        };
+        let t2 = analyze(&g, &[], &narrow).unwrap();
+        assert!(t2.concrete_only.contains(&ret_site));
+    }
+
+    #[test]
+    fn matched_ret_does_not_leak_across_functions() {
+        // main: call f (tainted work), then call h (clean); h's body must
+        // stay concrete-only even though f's ret carries taint.
+        let mut a = Assembler::new(0x2000);
+        a.call("f");
+        a.call("h");
+        a.halt();
+        a.label("f");
+        a.inp(reg::R2, reg::R1);
+        a.ret();
+        a.label("h");
+        a.movi(reg::R6, 1);
+        a.add(reg::R7, reg::R6, reg::R6);
+        a.ret();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let t = analyze(&g, &[], &cfg()).unwrap();
+        assert!(t.concrete_only.contains(&p.symbol("h")));
+        // f's return site (the `call h` block) sees f's tainted r2 but
+        // doesn't read it: still concrete-only.
+        assert!(t.concrete_only.contains(&0x2008));
+        assert!(t.entry[&0x2008].regs.contains(reg::R2));
+    }
+}

@@ -1,0 +1,107 @@
+//! Seeded property tests: the liveness worklist fixpoint must agree with
+//! the exploded-path brute-force reference on randomly generated CFGs —
+//! loops, diamonds, calls, and unreachable tails included.
+
+use s2e_analysis::liveness::{analyze, brute_force_live_in};
+use s2e_analysis::FlowGraph;
+use s2e_prng::SplitMix64;
+use s2e_vm::asm::{Assembler, Program};
+
+/// Emits a random program of `n` labelled blocks over registers r0..r7.
+/// Every branch targets a block label, so the CFG is arbitrary (cycles,
+/// converging paths, dead tails) while staying decodable.
+fn random_program(rng: &mut SplitMix64) -> Program {
+    let n = 3 + rng.index(6);
+    let mut a = Assembler::new(0x2000);
+    for b in 0..n {
+        a.label(&format!("b{b}"));
+        for _ in 0..1 + rng.index(4) {
+            let rd = rng.index(8) as u8;
+            let rs1 = rng.index(8) as u8;
+            let rs2 = rng.index(8) as u8;
+            match rng.index(5) {
+                0 => a.movi(rd, rng.next_u32() & 0xff),
+                1 => a.add(rd, rs1, rs2),
+                2 => a.xor(rd, rs1, rs2),
+                3 => a.mov(rd, rs1),
+                _ => a.addi(rd, rs1, 1),
+            }
+        }
+        let target = format!("b{}", rng.index(n));
+        match rng.index(5) {
+            0 => a.jmp(&target),
+            1 | 2 => {
+                let rs1 = rng.index(8) as u8;
+                let rs2 = rng.index(8) as u8;
+                a.beq(rs1, rs2, &target);
+                // Falls through to the next block (or the trailing halt).
+            }
+            3 => a.call("f"),
+            _ => a.halt(),
+        }
+    }
+    a.halt();
+    // One shared callee so matched-return joining is exercised.
+    a.label("f");
+    let rd = rng.index(8) as u8;
+    let rs1 = rng.index(8) as u8;
+    a.add(rd, rs1, rs1);
+    a.ret();
+    a.finish()
+}
+
+#[test]
+fn liveness_matches_brute_force_on_random_cfgs() {
+    let mut rng = SplitMix64::new(0x5eed_11fe);
+    for round in 0..60 {
+        let p = random_program(&mut rng);
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let l = analyze(&g).expect("liveness bound exceeded on a random CFG");
+        for &b in g.cfg.blocks.keys() {
+            let live = l.live_in[&b];
+            for r in 0..16u8 {
+                assert_eq!(
+                    live.contains(r),
+                    brute_force_live_in(&g, b, r),
+                    "round {round}: live-in mismatch for r{r} at {b:#x}\n{:?}",
+                    g.cfg.blocks[&b].instrs,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_write_bits_are_sound_on_random_cfgs() {
+    // A write flagged dead means the written register is not live right
+    // after the instruction. Check against brute force applied to the
+    // block suffix: append the suffix as a synthetic entry... simpler and
+    // just as strong: re-derive per-instruction liveness by brute force
+    // over successors, walking the block backward.
+    use s2e_analysis::{defs, uses};
+    let mut rng = SplitMix64::new(0xdead_beef);
+    for _ in 0..40 {
+        let p = random_program(&mut rng);
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let l = analyze(&g).expect("liveness bound exceeded");
+        for (&b, block) in &g.cfg.blocks {
+            let dead = l.dead_writes[&b];
+            // Liveness after the last instruction is the block's
+            // live-out; walk backward accumulating the transfer.
+            let mut after = l.live_out[&b];
+            for (idx, i) in block.instrs.iter().enumerate().rev() {
+                if idx < 64 && dead >> idx & 1 == 1 {
+                    let d = defs(i);
+                    assert_eq!(d.len(), 1, "only single-reg writes may be dead");
+                    assert!(
+                        d.inter(after).is_empty(),
+                        "dead-flagged write at {b:#x}[{idx}] is live-after"
+                    );
+                }
+                after = after.minus(defs(i)).union(uses(i));
+            }
+            // And the backward walk must land on the fixpoint live-in.
+            assert_eq!(after, l.live_in[&b], "block transfer inconsistent at {b:#x}");
+        }
+    }
+}

@@ -11,7 +11,7 @@ use crate::impl_plugin_state;
 use crate::plugin::{ExecCtx, Plugin};
 use crate::state::{ExecState, TerminationReason};
 use std::sync::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Exit code used by killer-terminated paths.
@@ -33,6 +33,9 @@ pub struct PathKiller {
     /// killed (lower-bound pruning).
     metric: Option<Box<BoundFn>>,
     best: Arc<Mutex<Option<u64>>>,
+    /// Block starts the static pre-pass proved unreachable; entering one
+    /// means the path escaped the analyzed CFG and is killed defensively.
+    dead_blocks: Option<Arc<BTreeSet<u32>>>,
 }
 
 impl std::fmt::Debug for PathKiller {
@@ -51,7 +54,18 @@ impl PathKiller {
             repeat_threshold,
             metric: None,
             best: Arc::new(Mutex::new(None)),
+            dead_blocks: None,
         }
+    }
+
+    /// Adds statically-dead-block pruning: any path entering a block the
+    /// constant-propagation pre-pass proved unreachable is killed. On a
+    /// sound analysis this never fires — it is a defensive cutoff for
+    /// paths that left the analyzed region (e.g. through self-modifying
+    /// code the static CFG cannot see).
+    pub fn with_dead_blocks(mut self, blocks: Arc<BTreeSet<u32>>) -> PathKiller {
+        self.dead_blocks = Some(blocks);
+        self
     }
 
     /// Adds lower-bound pruning: `metric` extracts a running cost from a
@@ -73,6 +87,12 @@ impl Plugin for PathKiller {
     }
 
     fn on_block_start(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, pc: u32) {
+        if let Some(dead) = &self.dead_blocks {
+            if dead.contains(&pc) {
+                state.kill_requested = Some(TerminationReason::Killed(KILLED_BY_PATHKILLER));
+                return;
+            }
+        }
         let threshold = self.repeat_threshold;
         {
             let ks = state.plugin_state_mut::<KillerState>("pathkiller");

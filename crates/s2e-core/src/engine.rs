@@ -168,6 +168,15 @@ impl Engine {
         engine
     }
 
+    /// Installs (or removes) a static-analysis block annotator on the
+    /// translation cache. Newly translated blocks are stamped with the
+    /// annotator's facts (lean dispatch, dead writes, fork-freedom);
+    /// already-cached blocks are discarded so they re-translate under the
+    /// new annotator. On a shared cache this affects every worker.
+    pub fn set_annotator(&mut self, annotator: Option<Arc<dyn s2e_dbt::BlockAnnotator>>) {
+        self.cache.set_annotator(annotator);
+    }
+
     /// Replaces the search strategy (default: depth-first).
     pub fn set_strategy(&mut self, strategy: Box<dyn SearchStrategy>) {
         // Re-offer all live states to the new strategy.

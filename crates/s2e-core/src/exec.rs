@@ -110,6 +110,15 @@ pub fn execute_block(
     }
     env.ctx.stats.blocks_executed += 1;
 
+    // Lean dispatch: the static pre-pass proved no instruction in this
+    // block can observe a symbolic register, so the per-instruction
+    // operand scan is discharged at translation time. The conservative
+    // default annotation never claims this.
+    let lean = tb.annotation.concrete_only;
+    if lean {
+        env.ctx.stats.concrete_only_blocks += 1;
+    }
+
     let mut concrete_count: u64 = 0;
     let mut symbolic_count: u64 = 0;
 
@@ -135,14 +144,22 @@ pub fn execute_block(
             break;
         }
 
-        let symbolic_instr = touches_symbolic(state, instr);
+        let symbolic_instr = if lean {
+            debug_assert!(
+                !touches_symbolic(state, instr),
+                "concrete-only annotation violated at {ipc:#x}"
+            );
+            false
+        } else {
+            touches_symbolic(state, instr)
+        };
         if symbolic_instr {
             symbolic_count += 1;
         } else {
             concrete_count += 1;
         }
 
-        match execute_instr(state, env, plugins, instr, ipc, &tb) {
+        match execute_instr(state, env, plugins, instr, ipc, idx, &tb) {
             Flow::Next => {}
             Flow::Jump(target) => {
                 state.machine.cpu.pc = target;
@@ -167,6 +184,9 @@ pub fn execute_block(
 
     env.ctx.stats.instrs_concrete += concrete_count;
     env.ctx.stats.instrs_symbolic += symbolic_count;
+    if lean {
+        env.ctx.stats.lean_instrs += concrete_count;
+    }
 
     // Per-state virtual time, slowed down in symbolic mode (§5). The
     // fractional remainder carries across blocks so sparse symbolic
@@ -272,7 +292,12 @@ fn translate(
 
 /// True if any operand the instruction reads is symbolic (registers only;
 /// memory symbolically is discovered during the access itself).
-fn touches_symbolic(state: &ExecState, i: &Instr) -> bool {
+///
+/// Public so the static pre-pass soundness tests can cross-check the
+/// `s2e_analysis::defuse::observed` read-set model against the engine's
+/// actual dispatch decision; the read-sets must stay in exact agreement
+/// or the lean dispatch path becomes unsound.
+pub fn touches_symbolic(state: &ExecState, i: &Instr) -> bool {
     let cpu = &state.machine.cpu;
     let r = |x: u8| cpu.reg(x).is_symbolic();
     match i.op {
@@ -321,8 +346,20 @@ fn concretize(
         return Some(v as u32);
     }
     let (v, _model) = env.ctx.solver.concretize_in(&state.partition, e)?;
-    let c = env.ctx.builder.constant(v, e.width());
-    let eq = env.ctx.builder.eq(e.clone(), c);
+    // Boolean conditions pin to the condition or its negation directly —
+    // the same expression a one-sided feasibility probe adds — so branch
+    // resolutions that statically skip the probes build constraint sets
+    // identical to the probing path's.
+    let eq = if e.width() == Width::BOOL {
+        if v == 1 {
+            e.clone()
+        } else {
+            env.ctx.builder.bool_not(e.clone())
+        }
+    } else {
+        let c = env.ctx.builder.constant(v, e.width());
+        env.ctx.builder.eq(e.clone(), c)
+    };
     if soft {
         state.add_soft_constraint(eq);
     } else {
@@ -364,10 +401,11 @@ fn execute_instr(
     plugins: &mut [Box<dyn Plugin>],
     i: &Instr,
     pc: u32,
+    idx: usize,
     tb: &TranslationBlock,
 ) -> Flow {
     let next_pc = pc.wrapping_add(INSTR_SIZE);
-    let _ = tb;
+    let ann = &tb.annotation;
     match i.op {
         Opcode::Nop => Flow::Next,
         Opcode::MovI => {
@@ -390,7 +428,10 @@ fn execute_instr(
             }
             Flow::Next
         }
-        op if alu_binop(op).is_some() => exec_alu(state, env, i),
+        op if alu_binop(op).is_some() => {
+            let dead = idx < 64 && ann.dead_writes >> idx & 1 == 1;
+            exec_alu(state, env, i, dead)
+        }
         Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => exec_load(state, env, plugins, i, pc),
         Opcode::St8 | Opcode::St16 | Opcode::St32 => exec_store(state, env, plugins, i, pc),
         Opcode::Push => exec_push(state, env, plugins, i, pc),
@@ -403,7 +444,9 @@ fn execute_instr(
         Opcode::JmpR => exec_indirect(state, env, i.rs1, pc, None),
         Opcode::CallR => exec_indirect(state, env, i.rs1, pc, Some(next_pc)),
         Opcode::Ret => exec_indirect(state, env, reg::LR, pc, None),
-        op if op.is_conditional_branch() => exec_branch(state, env, i, pc, next_pc),
+        op if op.is_conditional_branch() => {
+            exec_branch(state, env, i, pc, next_pc, ann.fork_free)
+        }
         Opcode::Syscall => exec_syscall(state, env, plugins, i, pc, next_pc),
         Opcode::Iret => exec_iret(state, env, plugins, pc),
         Opcode::Cli => {
@@ -441,7 +484,7 @@ fn uses_imm(op: Opcode) -> bool {
     )
 }
 
-fn exec_alu(state: &mut ExecState, env: &mut ExecEnv, i: &Instr) -> Flow {
+fn exec_alu(state: &mut ExecState, env: &mut ExecEnv, i: &Instr, dead: bool) -> Flow {
     let bop = alu_binop(i.op).expect("checked by caller");
     let a = state.machine.cpu.reg(i.rs1).clone();
     let b = if uses_imm(i.op) {
@@ -456,6 +499,14 @@ fn exec_alu(state: &mut ExecState, env: &mut ExecEnv, i: &Instr) -> Flow {
             y as u64,
             Width::W32,
         ) as u32),
+        // Liveness proved this register is overwritten before any read
+        // (along every path, including the engine's own operand scans),
+        // so the symbolic expression never needs to exist. The placeholder
+        // value is unobservable by construction.
+        _ if dead => {
+            env.ctx.stats.dead_writes_skipped += 1;
+            Value::Concrete(0)
+        }
         _ => {
             let ea = a.to_expr(env.ctx.builder, Width::W32);
             let eb = b.to_expr(env.ctx.builder, Width::W32);
@@ -862,6 +913,7 @@ fn exec_branch(
     i: &Instr,
     pc: u32,
     next_pc: u32,
+    fork_free: bool,
 ) -> Flow {
     let a = state.machine.cpu.reg(i.rs1).clone();
     let b = state.machine.cpu.reg(i.rs2).clone();
@@ -895,7 +947,7 @@ fn exec_branch(
     let ea = a.to_expr(env.ctx.builder, Width::W32);
     let eb = b.to_expr(env.ctx.builder, Width::W32);
     let cond = branch_cond_expr(env, i.op, ea, eb);
-    resolve_symbolic_branch(state, env, cond, then_pc, next_pc, pc)
+    resolve_symbolic_branch(state, env, cond, then_pc, next_pc, pc, fork_free)
 }
 
 fn forking_allowed(state: &ExecState, env: &ExecEnv, pc: u32) -> bool {
@@ -915,6 +967,7 @@ fn resolve_symbolic_branch(
     then_pc: u32,
     else_pc: u32,
     pc: u32,
+    fork_free: bool,
 ) -> Flow {
     let model = env.ctx.config.consistency;
     let in_env = state.env_depth() > 0;
@@ -946,6 +999,21 @@ fn resolve_symbolic_branch(
             else_pc,
             constrained: false,
         });
+    }
+
+    // Statically fork-free (no pc of this block is in a fork-enabled
+    // code range) and forking dynamically disabled: every probe outcome
+    // funnels into concretize-and-follow, so go there directly and save
+    // both feasibility queries. `fork_free` implies `!forking` when the
+    // annotation mirrors the engine's include ranges; the dynamic check
+    // stays as defense in depth against a mismatched annotator.
+    if fork_free && !forking {
+        env.ctx.stats.feasibility_probes_skipped += 2;
+        let soft = concretization_is_soft(model);
+        return match concretize(state, env, &cond, soft) {
+            Some(v) => Flow::Jump(if v == 1 { then_pc } else { else_pc }),
+            None => Flow::Stop(TerminationReason::SolverTimeout),
+        };
     }
 
     let may_t = env

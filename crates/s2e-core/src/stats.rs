@@ -22,6 +22,18 @@ pub struct EngineStats {
     /// Instructions that touched symbolic data (dispatched to the
     /// embedded symbolic executor).
     pub instrs_symbolic: u64,
+    /// Translation blocks executed on the lean dispatch path (statically
+    /// proven concrete-only by the `s2e-analysis` pre-pass).
+    pub concrete_only_blocks: u64,
+    /// Instructions whose per-operand symbolic check was statically
+    /// discharged (subset of `instrs_concrete`).
+    pub lean_instrs: u64,
+    /// Symbolic ALU results never materialized because the destination
+    /// register was statically dead.
+    pub dead_writes_skipped: u64,
+    /// Branch feasibility probes skipped because the block is statically
+    /// fork-free (two per skipped branch resolution).
+    pub feasibility_probes_skipped: u64,
     /// Memory accesses with a symbolic address (solver-backed page
     /// handling).
     pub symbolic_ptr_accesses: u64,
@@ -53,6 +65,10 @@ impl EngineStats {
         self.blocks_executed += other.blocks_executed;
         self.instrs_concrete += other.instrs_concrete;
         self.instrs_symbolic += other.instrs_symbolic;
+        self.concrete_only_blocks += other.concrete_only_blocks;
+        self.lean_instrs += other.lean_instrs;
+        self.dead_writes_skipped += other.dead_writes_skipped;
+        self.feasibility_probes_skipped += other.feasibility_probes_skipped;
         self.symbolic_ptr_accesses += other.symbolic_ptr_accesses;
         self.concretizations += other.concretizations;
         self.interrupts_delivered += other.interrupts_delivered;

@@ -8,14 +8,23 @@
 //!   and synthesizes equivalent code — the static CFG of the original
 //!   driver is what the synthesized output is checked against.
 //!
-//! Static recovery is *best effort* (indirect jumps contribute no edges);
-//! for the assembled guests in this repository, whose indirect control
-//! flow is limited to returns, the leader analysis is exact.
+//! Static recovery is *best effort*: indirect terminators (`Ret`, `JmpR`,
+//! `Iret`, and the callee side of `CallR`) cannot name their targets, so
+//! they contribute a conservative edge to the designated [`UNKNOWN_SINK`]
+//! pseudo-block instead of silently dropping successors. Dataflow clients
+//! (the `s2e-analysis` pre-pass) treat anything flowing into the sink as
+//! escaping to an unknown location and widen accordingly.
 
 use crate::MAX_BLOCK_INSTRS;
 use s2e_vm::asm::Program;
 use s2e_vm::isa::{Instr, Opcode, INSTR_SIZE};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Pseudo-address used as the successor of indirect control flow whose
+/// target cannot be resolved statically. Never a real block start: code
+/// is 8-byte aligned instructions, and an image would need to end past
+/// the top of the address space to place a block here.
+pub const UNKNOWN_SINK: u32 = u32::MAX;
 
 /// A static basic block.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,7 +33,8 @@ pub struct BasicBlock {
     pub start: u32,
     /// Instructions in the block.
     pub instrs: Vec<Instr>,
-    /// Static successor addresses (indirect targets omitted).
+    /// Static successor addresses. Indirect targets appear as
+    /// [`UNKNOWN_SINK`] rather than being dropped.
     pub successors: Vec<u32>,
 }
 
@@ -32,6 +42,11 @@ impl BasicBlock {
     /// Address one past the block.
     pub fn end(&self) -> u32 {
         self.start + self.instrs.len() as u32 * INSTR_SIZE
+    }
+
+    /// Whether any successor is the unresolved-indirect sink.
+    pub fn has_unknown_successor(&self) -> bool {
+        self.successors.contains(&UNKNOWN_SINK)
     }
 }
 
@@ -81,9 +96,14 @@ fn static_successors(i: &Instr, pc: u32) -> (Vec<u32>, bool) {
             (vec![i.imm, next], true)
         }
         Opcode::Halt => (vec![], true),
-        // Indirect flow and traps: fall-through edge only where meaningful.
-        Opcode::Ret | Opcode::JmpR | Opcode::Iret => (vec![], true),
-        Opcode::CallR | Opcode::Syscall => (vec![next], true),
+        // Indirect flow: a conservative edge to the unknown sink, plus the
+        // fall-through return site where one exists. Syscall transfers to
+        // the environment but resumes at the return site via iret, so it
+        // keeps only the fall-through edge (dataflow clients model the
+        // environment's effects at the call site instead).
+        Opcode::Ret | Opcode::JmpR | Opcode::Iret => (vec![UNKNOWN_SINK], true),
+        Opcode::CallR => (vec![UNKNOWN_SINK, next], true),
+        Opcode::Syscall => (vec![next], true),
         _ => (vec![next], false),
     }
 }
@@ -112,6 +132,10 @@ pub fn build_cfg(prog: &Program, roots: &[u32]) -> StaticCfg {
             let (succs, is_term) = static_successors(&i, pc);
             if is_term {
                 for s in &succs {
+                    // The sink is a pseudo-block: never decoded or walked.
+                    if *s == UNKNOWN_SINK {
+                        continue;
+                    }
                     if leaders.insert(*s) && !reachable.contains(s) {
                         work.push(*s);
                     } else if leaders.insert(*s) {
@@ -135,9 +159,18 @@ pub fn build_cfg(prog: &Program, roots: &[u32]) -> StaticCfg {
     }
 
     // Pass 2: linear sweep within reachable code, splitting at leaders.
+    // Blocks split at the size cap leave a successor that is not a
+    // leader; those are queued and swept too, so every reachable
+    // instruction ends up covered by exactly one block.
     let mut cfg = StaticCfg::default();
-    for &start in &leaders {
-        if !reachable.contains(&start) {
+    let mut pending: Vec<u32> = leaders
+        .iter()
+        .copied()
+        .filter(|s| reachable.contains(s))
+        .collect();
+    let mut done: BTreeSet<u32> = BTreeSet::new();
+    while let Some(start) = pending.pop() {
+        if !done.insert(start) {
             continue;
         }
         let mut instrs = Vec::new();
@@ -160,6 +193,11 @@ pub fn build_cfg(prog: &Program, roots: &[u32]) -> StaticCfg {
                 break;
             }
             pc = next;
+        }
+        for &s in &successors {
+            if s != UNKNOWN_SINK && reachable.contains(&s) && !done.contains(&s) {
+                pending.push(s);
+            }
         }
         if !instrs.is_empty() {
             cfg.blocks.insert(
@@ -228,6 +266,30 @@ mod tests {
         // Blocks: entry(call), return-site(halt), f(ret).
         assert_eq!(cfg.block_count(), 3);
         assert!(cfg.blocks.contains_key(&0x3008));
+        // The ret's unknown target is represented by the sink edge.
+        let f = &cfg.blocks[&p.symbol("f")];
+        assert_eq!(f.successors, vec![UNKNOWN_SINK]);
+        assert!(f.has_unknown_successor());
+    }
+
+    #[test]
+    fn indirect_flow_points_at_unknown_sink() {
+        let mut a = Assembler::new(0x6000);
+        a.movi(reg::R5, 0x6010);
+        a.callr(reg::R5); // B0: unknown callee + return-site edge
+        a.halt(); // B1 (return site)
+        a.jmpr(reg::R5); // B2: unknown target only
+        let p = a.finish();
+        let cfg = build_cfg(&p, &[p.entry, 0x6010]);
+        let entry = &cfg.blocks[&0x6000];
+        assert_eq!(entry.successors, vec![UNKNOWN_SINK, 0x6010]);
+        let tail = &cfg.blocks[&0x6010];
+        // halt splits the block; jmpr block is only reachable as a root.
+        assert!(tail.successors.is_empty());
+        let jr = build_cfg(&p, &[0x6018]);
+        assert_eq!(jr.blocks[&0x6018].successors, vec![UNKNOWN_SINK]);
+        // The sink itself never materializes as a block.
+        assert!(!cfg.blocks.contains_key(&UNKNOWN_SINK));
     }
 
     #[test]
@@ -253,6 +315,24 @@ mod tests {
         let p = a.finish();
         let cfg = build_cfg(&p, &[p.symbol("f1"), p.symbol("f2")]);
         assert_eq!(cfg.block_count(), 2);
+    }
+
+    #[test]
+    fn size_cap_split_covers_whole_run() {
+        let mut a = Assembler::new(0x7000);
+        for _ in 0..(MAX_BLOCK_INSTRS + 10) {
+            a.nop();
+        }
+        a.halt();
+        let p = a.finish();
+        let cfg = build_cfg(&p, &[p.entry]);
+        // The run splits at the cap; the tail must still be a block.
+        assert_eq!(cfg.block_count(), 2);
+        let head = &cfg.blocks[&0x7000];
+        assert_eq!(head.instrs.len(), MAX_BLOCK_INSTRS);
+        let tail_start = head.successors[0];
+        let tail = &cfg.blocks[&tail_start];
+        assert_eq!(tail.end(), p.base + p.image.len() as u32);
     }
 
     #[test]

@@ -53,6 +53,56 @@ use std::sync::Arc;
 /// Maximum instructions per translation block.
 pub const MAX_BLOCK_INSTRS: usize = 64;
 
+/// Static pre-pass facts attached to a translation block at translation
+/// time (see the `s2e-analysis` crate for the producer).
+///
+/// The default is fully conservative: every field claims nothing, so an
+/// unannotated block behaves exactly as before the pre-pass existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockAnnotation {
+    /// No symbolic value can ever be *read* by an instruction in this
+    /// block: the engine may skip per-instruction symbolic dispatch.
+    pub concrete_only: bool,
+    /// No pc in this block is eligible for forking under the engine's
+    /// code ranges: symbolic branches may concretize without feasibility
+    /// probes.
+    pub fork_free: bool,
+    /// Registers possibly read before being written on some path from
+    /// the block entry (bit *r* set ⇒ register *r* is live-in).
+    pub live_in: u16,
+    /// Bit *i* set ⇒ the register written by instruction *i* is dead
+    /// (never read before being overwritten on every outgoing path).
+    pub dead_writes: u64,
+}
+
+impl Default for BlockAnnotation {
+    fn default() -> BlockAnnotation {
+        BlockAnnotation::conservative()
+    }
+}
+
+impl BlockAnnotation {
+    /// The no-information annotation (all optimizations disabled).
+    pub fn conservative() -> BlockAnnotation {
+        BlockAnnotation {
+            concrete_only: false,
+            fork_free: false,
+            live_in: 0xffff,
+            dead_writes: 0,
+        }
+    }
+}
+
+/// Producer of [`BlockAnnotation`]s, installed on a [`BlockCache`] via
+/// [`BlockCache::set_annotator`]. Implemented by the static pre-pass;
+/// the trait lives here so the cache does not depend on the analysis
+/// crate.
+pub trait BlockAnnotator: Send + Sync {
+    /// Annotates the dynamic block starting at `start` covering `instrs`.
+    /// Must be conservative for any code it has not analyzed.
+    fn annotate(&self, start: u32, instrs: &[Instr]) -> BlockAnnotation;
+}
+
 /// A decoded straight-line block of guest code.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TranslationBlock {
@@ -63,6 +113,9 @@ pub struct TranslationBlock {
     /// True if decoding stopped at an undecodable instruction; executing
     /// past the last decoded instruction must fault.
     pub ends_in_invalid: bool,
+    /// Static pre-pass facts (conservative default when no annotator is
+    /// installed).
+    pub annotation: BlockAnnotation,
 }
 
 impl TranslationBlock {
@@ -101,12 +154,24 @@ pub struct DbtStats {
 /// code is a pure function of guest memory contents, and stores into
 /// translated pages invalidate the affected blocks
 /// ([`BlockCache::invalidate_write`]).
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct BlockCache {
     blocks: HashMap<u32, Arc<TranslationBlock>>,
     /// Page index → block start addresses translated from that page.
     page_index: HashMap<u32, HashSet<u32>>,
     stats: DbtStats,
+    /// Optional static pre-pass annotator applied at translation time.
+    annotator: Option<Arc<dyn BlockAnnotator>>,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("blocks", &self.blocks.len())
+            .field("stats", &self.stats)
+            .field("annotated", &self.annotator.is_some())
+            .finish()
+    }
 }
 
 const PAGE_SHIFT: u32 = 12;
@@ -146,7 +211,11 @@ impl BlockCache {
             self.stats.hits += 1;
             return Arc::clone(tb);
         }
-        let tb = Arc::new(Self::decode_block(mem, pc, on_translate));
+        let mut decoded = Self::decode_block(mem, pc, on_translate);
+        if let Some(ann) = &self.annotator {
+            decoded.annotation = ann.annotate(decoded.start, &decoded.instrs);
+        }
+        let tb = Arc::new(decoded);
         self.stats.translations += 1;
         self.stats.instrs_translated += tb.instrs.len() as u64;
         for page in (tb.start >> PAGE_SHIFT)..=(tb.end().max(tb.start) >> PAGE_SHIFT) {
@@ -187,7 +256,15 @@ impl BlockCache {
             start: pc,
             instrs,
             ends_in_invalid,
+            annotation: BlockAnnotation::conservative(),
         }
+    }
+
+    /// Installs (or removes) the static pre-pass annotator. Drops all
+    /// cached blocks so stale annotations never mix with fresh ones.
+    pub fn set_annotator(&mut self, annotator: Option<Arc<dyn BlockAnnotator>>) {
+        self.annotator = annotator;
+        self.clear();
     }
 
     /// Invalidates every block overlapping a guest store at `addr` of
@@ -269,6 +346,12 @@ impl SharedBlockCache {
     /// See [`BlockCache::clear`].
     pub fn clear(&self) {
         self.0.lock().unwrap().clear()
+    }
+
+    /// See [`BlockCache::set_annotator`]. Affects every worker sharing
+    /// this cache.
+    pub fn set_annotator(&self, annotator: Option<Arc<dyn BlockAnnotator>>) {
+        self.0.lock().unwrap().set_annotator(annotator)
     }
 }
 
@@ -353,6 +436,14 @@ impl CacheHandle {
         match self {
             CacheHandle::Private(c) => c.clear(),
             CacheHandle::Shared(c) => c.clear(),
+        }
+    }
+
+    /// See [`BlockCache::set_annotator`].
+    pub fn set_annotator(&mut self, annotator: Option<Arc<dyn BlockAnnotator>>) {
+        match self {
+            CacheHandle::Private(c) => c.set_annotator(annotator),
+            CacheHandle::Shared(c) => c.set_annotator(annotator),
         }
     }
 }
@@ -521,6 +612,38 @@ mod tests {
         assert_eq!(p.stats().translations, 1);
         p.clear();
         assert!(!p.page_has_code(0x2000));
+    }
+
+    struct MarkAll;
+    impl BlockAnnotator for MarkAll {
+        fn annotate(&self, _start: u32, instrs: &[Instr]) -> BlockAnnotation {
+            BlockAnnotation {
+                concrete_only: true,
+                fork_free: true,
+                live_in: 0,
+                dead_writes: (1 << instrs.len()) - 1,
+            }
+        }
+    }
+
+    #[test]
+    fn annotator_applies_at_translation_time() {
+        let mem = asm_mem(|a| {
+            a.movi(reg::R0, 1);
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert_eq!(tb.annotation, BlockAnnotation::conservative());
+        c.set_annotator(Some(Arc::new(MarkAll)));
+        // Installing the annotator dropped the cached block.
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert!(tb.annotation.concrete_only);
+        assert_eq!(tb.annotation.dead_writes, 0b11);
+        assert_eq!(c.stats().translations, 2);
+        // Cached hits keep the annotation.
+        let tb = c.translate(&mem, 0x2000, &mut |_, _| {});
+        assert!(tb.annotation.fork_free);
     }
 
     #[test]

@@ -94,7 +94,21 @@ pub struct SolverConfig {
     /// superset's SAT model (after an `eval` recheck) answers a subset
     /// query, and a cached subset's UNSAT verdict answers any superset.
     pub enable_subsumption: bool,
+    /// Maximum entries held by the query cache. When an insert pushes the
+    /// store past this cap, the coldest eighth — fewest exact hits,
+    /// oldest insertion as the tie-break — is evicted in one batch and
+    /// the subsumption indexes are pruned, so long explorations hold
+    /// memory steady instead of accreting every constraint set they ever
+    /// solved. Applies to the solver-local store; the cross-worker
+    /// [`SharedQueryCache`] takes its own cap at construction.
+    pub cache_capacity: usize,
 }
+
+/// Default query-cache capacity (entries), shared by the solver-local
+/// store and [`SharedQueryCache::new`]. Sized so steady-state exploration
+/// of the bundled guests never evicts, while a pathological workload
+/// (fresh constraints every fork, no reuse) stays bounded.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 impl Default for SolverConfig {
     fn default() -> SolverConfig {
@@ -105,6 +119,7 @@ impl Default for SolverConfig {
             enable_cache: true,
             enable_slicing: true,
             enable_subsumption: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -213,6 +228,20 @@ enum StoreAnswer {
     SubsetUnsat,
 }
 
+/// A [`CacheEntry`] plus the retention metadata eviction ranks on.
+#[derive(Debug)]
+struct StoredEntry {
+    entry: CacheEntry,
+    /// Exact-match lookups this entry has answered. Subsumption answers
+    /// do not bump it: a useful subsuming entry gets promoted to an
+    /// exact entry at the querying key anyway, and that promotion is
+    /// what repeats will hit.
+    hits: u64,
+    /// Monotonic insertion counter; breaks hit-count ties so the oldest
+    /// cold entry is evicted first.
+    stamp: u64,
+}
+
 /// Cache storage shared by the local and cross-worker caches: exact
 /// entries keyed by order-independent query hash, plus the two inverted
 /// indexes subsumption lookups walk.
@@ -221,9 +250,12 @@ enum StoreAnswer {
 /// subset/superset relation structurally against the live entry, so
 /// stale index rows (an entry overwritten under its key) and 64-bit
 /// constraint-hash collisions cost a wasted check, never a wrong answer.
-#[derive(Debug, Default)]
+///
+/// The store is capacity-capped: inserts past `capacity` trigger a batch
+/// eviction of the least-hit entries (see [`QueryStore::evict_cold`]).
+#[derive(Debug)]
 struct QueryStore {
-    entries: HashMap<u64, CacheEntry>,
+    entries: HashMap<u64, StoredEntry>,
     /// constraint hash → keys of SAT entries containing that constraint.
     /// A superset of a query must contain every query constraint, so the
     /// query member with the smallest bucket anchors the candidate scan.
@@ -233,12 +265,31 @@ struct QueryStore {
     /// representative, so scanning the buckets of the query's own
     /// members finds every subsumed core.
     unsat_by_rep: HashMap<u64, Vec<u64>>,
+    /// Hard cap on `entries`; see [`SolverConfig::cache_capacity`].
+    capacity: usize,
+    next_stamp: u64,
+}
+
+impl Default for QueryStore {
+    fn default() -> QueryStore {
+        QueryStore {
+            entries: HashMap::new(),
+            by_member: HashMap::new(),
+            unsat_by_rep: HashMap::new(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            next_stamp: 0,
+        }
+    }
 }
 
 impl QueryStore {
-    fn get_exact(&self, key: u64, query: &[ExprRef]) -> Option<&CacheEntry> {
-        let hit = self.entries.get(&key)?;
-        Solver::same_query(&hit.constraints, query).then_some(hit)
+    fn get_exact(&mut self, key: u64, query: &[ExprRef]) -> Option<&CacheEntry> {
+        let hit = self.entries.get_mut(&key)?;
+        if !Solver::same_query(&hit.entry.constraints, query) {
+            return None;
+        }
+        hit.hits += 1;
+        Some(&hit.entry)
     }
 
     fn insert(&mut self, key: u64, entry: CacheEntry) {
@@ -260,7 +311,52 @@ impl QueryStore {
                 }
             }
         }
-        self.entries.insert(key, entry);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.insert(key, StoredEntry { entry, hits: 0, stamp });
+        if self.entries.len() > self.capacity {
+            self.evict_cold();
+        }
+    }
+
+    /// Replaces the capacity cap, evicting immediately if the store is
+    /// already over it.
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if self.entries.len() > self.capacity {
+            self.evict_cold();
+        }
+    }
+
+    /// Batch-evicts down to 7/8 of capacity, dropping the entries with
+    /// the fewest exact hits (oldest first among ties), then prunes the
+    /// inverted indexes of keys that no longer resolve. Evicting an
+    /// eighth at a time keeps the ranking sort off the per-insert path:
+    /// one O(n log n) wave amortizes over capacity/8 subsequent inserts.
+    fn evict_cold(&mut self) {
+        let keep = self.capacity - self.capacity / 8;
+        if self.entries.len() <= keep {
+            return;
+        }
+        let excess = self.entries.len() - keep;
+        let mut ranked: Vec<(u64, u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&key, stored)| (stored.hits, stored.stamp, key))
+            .collect();
+        ranked.sort_unstable();
+        for &(_, _, key) in ranked.iter().take(excess) {
+            self.entries.remove(&key);
+        }
+        let live = &self.entries;
+        self.by_member.retain(|_, bucket| {
+            bucket.retain(|key| live.contains_key(key));
+            !bucket.is_empty()
+        });
+        self.unsat_by_rep.retain(|_, bucket| {
+            bucket.retain(|key| live.contains_key(key));
+            !bucket.is_empty()
+        });
     }
 
     fn len(&self) -> usize {
@@ -286,9 +382,10 @@ impl QueryStore {
             if scanned == MAX_SUBSUMPTION_CANDIDATES {
                 break;
             }
-            let Some(entry) = self.entries.get(key) else {
+            let Some(stored) = self.entries.get(key) else {
                 continue;
             };
+            let entry = &stored.entry;
             let Cached::Sat(model) = &entry.outcome else {
                 continue;
             };
@@ -320,9 +417,10 @@ impl QueryStore {
                 if scanned == MAX_SUBSUMPTION_CANDIDATES {
                     return false;
                 }
-                let Some(entry) = self.entries.get(key) else {
+                let Some(stored) = self.entries.get(key) else {
                     continue;
                 };
+                let entry = &stored.entry;
                 if !matches!(entry.outcome, Cached::Unsat) {
                     continue;
                 }
@@ -371,9 +469,25 @@ pub struct SharedQueryCache {
 }
 
 impl SharedQueryCache {
-    /// Creates an empty shared cache.
+    /// Creates an empty shared cache capped at
+    /// [`DEFAULT_CACHE_CAPACITY`] entries.
     pub fn new() -> SharedQueryCache {
         SharedQueryCache::default()
+    }
+
+    /// Creates an empty shared cache holding at most `capacity` entries;
+    /// inserts past the cap batch-evict the least-hit entries (see
+    /// [`SolverConfig::cache_capacity`] for the policy).
+    pub fn with_capacity(capacity: usize) -> SharedQueryCache {
+        let cache = SharedQueryCache::default();
+        cache.store.lock().unwrap().capacity = capacity;
+        cache
+    }
+
+    /// Replaces the capacity cap, evicting immediately if the store is
+    /// already over it.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.store.lock().unwrap().set_capacity(capacity);
     }
 
     /// One lock acquisition for the whole waterfall: exact, then (when
@@ -382,7 +496,7 @@ impl SharedQueryCache {
     /// must eval-recheck the model and report back via
     /// [`SharedQueryCache::note_subsumption_hit`] only if it validates.
     fn lookup(&self, key: u64, query: &[ExprRef], subsumption: bool) -> Option<StoreAnswer> {
-        let store = self.store.lock().unwrap();
+        let mut store = self.store.lock().unwrap();
         if let Some(hit) = store.get_exact(key, query) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(StoreAnswer::Exact(hit.outcome.clone()));
@@ -483,9 +597,11 @@ impl Solver {
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Solver {
+        let mut cache = QueryStore::default();
+        cache.set_capacity(config.cache_capacity);
         Solver {
             config,
-            cache: QueryStore::default(),
+            cache,
             shared: None,
             model_pool: VecDeque::new(),
             stats: SolverStats::default(),
@@ -523,6 +639,7 @@ impl Solver {
     /// on an engine-owned solver). Caches and statistics are kept; every
     /// lookup re-consults the flags, so toggles take effect immediately.
     pub fn set_config(&mut self, config: SolverConfig) {
+        self.cache.set_capacity(config.cache_capacity);
         self.config = config;
     }
 
@@ -1055,6 +1172,93 @@ mod tests {
         let before = s.stats().cache_hits;
         s.check(&[c]);
         assert_eq!(s.stats().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn eviction_caps_store_under_churn() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            cache_capacity: 32,
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W16);
+        for i in 0..400u64 {
+            let eq = b.eq(x.clone(), b.constant(i, Width::W16));
+            if i % 3 == 0 {
+                // UNSAT sets exercise the unsat_by_rep index too.
+                let clash = b.eq(x.clone(), b.constant(i + 1, Width::W16));
+                assert_eq!(s.check(&[eq, clash]), SatResult::Unsat);
+            } else {
+                assert!(s.check(&[eq]).is_sat());
+            }
+            assert!(s.cache.len() <= 32, "cache grew past capacity");
+        }
+        // Eviction waves prune the inverted indexes, so they stay
+        // proportional to the live entries (at most one row per entry
+        // here) plus the handful of inserts since the last wave — not
+        // to the 400 total inserts.
+        let rows: usize = s.cache.by_member.values().map(Vec::len).sum::<usize>()
+            + s.cache.unsat_by_rep.values().map(Vec::len).sum::<usize>();
+        assert!(rows <= 2 * 32, "stale index rows accreted: {rows}");
+        // Shrinking the cap evicts immediately.
+        s.set_config(SolverConfig {
+            cache_capacity: 8,
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        assert!(s.cache.len() <= 8);
+    }
+
+    #[test]
+    fn hot_entries_survive_churn_eviction() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            cache_capacity: 16,
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W16);
+        let hot = b.eq(x.clone(), b.constant(9999, Width::W16));
+        assert!(s.check(std::slice::from_ref(&hot)).is_sat());
+        for i in 0..200u64 {
+            assert!(s
+                .check(&[b.eq(x.clone(), b.constant(i, Width::W16))])
+                .is_sat());
+            // Touch the hot entry so its hit count outranks the churn.
+            assert!(s.check(std::slice::from_ref(&hot)).is_sat());
+        }
+        let before = s.stats().cache_hits;
+        assert!(s.check(&[hot]).is_sat());
+        assert_eq!(
+            s.stats().cache_hits,
+            before + 1,
+            "the frequently-hit entry was evicted"
+        );
+        // Every churn query was distinct, so exactly hot + churn reached
+        // the SAT core; none of the hot repeats did.
+        assert_eq!(s.stats().core_solves, 201);
+    }
+
+    #[test]
+    fn shared_cache_eviction_caps_under_churn() {
+        let b = ExprBuilder::new();
+        let shared = SharedQueryCache::with_capacity(16);
+        let mut s = Solver::with_config(SolverConfig {
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        s.attach_shared_cache(shared.clone());
+        let x = b.var("x", Width::W16);
+        for i in 0..200u64 {
+            let c = b.eq(x.clone(), b.constant(i, Width::W16));
+            assert!(s.check(&[c]).is_sat());
+        }
+        assert_eq!(shared.stats().inserts, 200);
+        assert!(shared.len() <= 16, "shared cache grew past capacity");
+        // Tightening the cap takes effect immediately.
+        shared.set_capacity(4);
+        assert!(shared.len() <= 4);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   (the first use of symbolic execution for performance analysis).
 //!   Produces per-path instruction/cache/TLB/page-fault envelopes.
 
+//! - [`deadcode`] — the static pre-pass report: dead edges, unreachable
+//!   blocks, dead writes, and concrete-only fractions per driver,
+//!   computed offline by `s2e-analysis` without executing anything.
+
 pub mod ddt;
+pub mod deadcode;
 pub mod profs;
 pub mod rev;

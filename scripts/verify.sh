@@ -38,4 +38,11 @@ cargo test -q --offline
 # subsuming configuration must agree with the exact-match baseline and
 # issue no more SAT-core solves (exits nonzero otherwise).
 cargo run -q --release --offline -p bench --bin solver_opt -- --smoke
+
+# Gate 4: static pre-pass smoke — a warnings-clean build, then the
+# dataflow ablation under a small budget: identical path counts and
+# block coverage with the pre-pass on vs off, every analysis within its
+# worklist iteration bound (exits nonzero otherwise).
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
+cargo run -q --release --offline -p bench --bin static_prepass -- --smoke
 echo "verify: ok"

@@ -7,12 +7,15 @@
 //! - [`solver`] — CDCL SAT solver with bitvector bit-blasting
 //! - [`vm`] — the guest machine: ISA, assembler, memory, devices
 //! - [`dbt`] — dynamic binary translator and translation-block cache
+//! - [`analysis`] — static dataflow pre-pass over the guest CFG
+//!   (liveness, symbolic-reachability taint, constant propagation)
 //! - [`cache`] — cache/TLB/page-fault performance models
 //! - [`core`] — the platform: execution states, the path explorer,
 //!   consistency models, selectors and analyzers
 //! - [`guests`] — the guest software stack (kernel, drivers, programs)
 //! - [`tools`] — the three case-study tools: DDT+, REV+, PROFS
 
+pub use s2e_analysis as analysis;
 pub use s2e_cache as cache;
 pub use s2e_core as core;
 pub use s2e_dbt as dbt;

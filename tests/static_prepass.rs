@@ -1,0 +1,211 @@
+//! Static pre-pass vs. dynamic execution: the contracts that make the
+//! `s2e-analysis` results safe to act on at run time.
+//!
+//! 1. Every translation block the engine actually executes on the driver
+//!    corpora is covered by some block of the static CFGs (kernel,
+//!    driver, exerciser) — the annotator's range lookup never faces code
+//!    the pre-pass did not see.
+//! 2. No instruction inside a block the taint pass proved concrete-only
+//!    ever observes a symbolic operand during exploration — the lean
+//!    dispatch path the annotation enables is sound.
+//! 3. Installing the annotations does not change what is explored: path
+//!    counts and the set of executed blocks are identical with the
+//!    pre-pass on and off, while the lean-dispatch counters show it
+//!    actually engaged.
+
+use s2e::analysis::{analyze, PrepassBuilder, ProgramAnalysis, RegSet, TaintSeed};
+use s2e::core::exec::touches_symbolic;
+use s2e::core::selectors::make_config_symbolic;
+use s2e::core::{
+    CodeRanges, ConsistencyModel, Engine, EngineConfig, ExecCtx, ExecState, Plugin,
+};
+use s2e::dbt::cfg::{build_cfg, StaticCfg};
+use s2e::guests::drivers::{all_drivers, build_exerciser, Driver, ENTRY_ORDER};
+use s2e::guests::kernel::{boot, standard_annotations};
+use s2e::guests::layout::cfg_keys;
+use s2e::solver::SolverConfig;
+use s2e::tools::deadcode::driver_analysis_config;
+use s2e::vm::asm::Program;
+use s2e::vm::isa::{reg, Instr};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// Boots the standard LC driver corpus: kernel + driver + symbolic-args
+/// exerciser, forking confined to the driver's code range, CardType
+/// hardware config symbolic. Returns the engine plus the exerciser
+/// program (needed for its static CFG).
+fn lc_corpus(d: &Driver) -> (Engine, Program, Program) {
+    let (mut machine, kernel) = boot();
+    machine.load_aux(&d.program);
+    let exerciser = build_exerciser(d, true);
+    machine.load(&exerciser);
+    let mut config = EngineConfig::with_model(ConsistencyModel::Lc);
+    config.code_ranges = CodeRanges::all().include(d.code_range.clone());
+    config.annotations = standard_annotations();
+    let mut engine = Engine::new(machine, config);
+    // Pin the solver to the bare SAT core so both pre-pass arms of the
+    // equivalence test see identical answer provenance.
+    engine.solver_mut().set_config(SolverConfig {
+        model_pool_size: 0,
+        enable_subsumption: false,
+        ..SolverConfig::default()
+    });
+    {
+        let id = engine.sole_state().unwrap();
+        let b = engine.builder_arc();
+        make_config_symbolic(engine.state_mut(id).unwrap(), &b, cfg_keys::CARD_TYPE, "CardType");
+    }
+    (engine, kernel, exerciser)
+}
+
+/// Range-containment lookup: interrupt and syscall resumption create
+/// dynamic blocks that start mid-static-block, so coverage means "inside
+/// some block", not "at a block start".
+fn covered(cfg: &StaticCfg, pc: u32) -> bool {
+    cfg.blocks
+        .range(..=pc)
+        .next_back()
+        .is_some_and(|(_, b)| pc < b.end())
+}
+
+/// The pre-pass over one corpus, mirroring the engine's setup: the
+/// kernel is entered from arbitrary unit context (everything tainted),
+/// driver entries get the harness calling convention (symbolic `r0`/`r1`
+/// arguments, tainted memory), the IRQ handler preempts arbitrary code
+/// (everything tainted), and the exerciser's own symbolic data enters
+/// through `S2Op::Symbolic*` sites the taint pass seeds by itself.
+fn corpus_analyses(d: &Driver, kernel: &Program, exerciser: &Program) -> [ProgramAnalysis; 3] {
+    let cfg = driver_analysis_config();
+    let args = TaintSeed { regs: RegSet::single(reg::R0).with(reg::R1), mem: true };
+    let roots: Vec<(u32, TaintSeed)> = ENTRY_ORDER
+        .iter()
+        .map(|e| (d.entry(e), args))
+        .chain([(d.entry("irq"), TaintSeed::all())])
+        .collect();
+    [
+        analyze(kernel, &[(kernel.entry, TaintSeed::all())], &cfg).unwrap(),
+        analyze(&d.program, &roots, &cfg).unwrap(),
+        analyze(exerciser, &[(exerciser.entry, TaintSeed::clean())], &cfg).unwrap(),
+    ]
+}
+
+/// Satellite check 1: every dynamic block on the seeded corpora lies
+/// inside a static CFG block of one of the three loaded programs.
+#[test]
+fn dynamic_blocks_are_covered_by_the_static_cfg() {
+    for d in all_drivers() {
+        let (mut engine, kernel, exerciser) = lc_corpus(&d);
+        engine.run(15_000);
+        let cfgs = [
+            build_cfg(&kernel, &[kernel.entry]),
+            d.static_cfg(),
+            build_cfg(&exerciser, &[exerciser.entry]),
+        ];
+        assert!(!engine.seen_blocks().is_empty(), "{}: corpus executed nothing", d.name);
+        for &pc in engine.seen_blocks() {
+            assert!(
+                cfgs.iter().any(|c| covered(c, pc)),
+                "{}: dynamic block at {pc:#x} is outside every static CFG",
+                d.name
+            );
+        }
+    }
+}
+
+/// Records every pc where the interpreter's own symbolic-operand check
+/// fires. `touches_symbolic` is exactly the predicate the lean dispatch
+/// path skips, so this is the ground truth the static claim must cover.
+struct SymbolicPcRecorder {
+    pcs: Arc<Mutex<BTreeSet<u32>>>,
+}
+
+impl Plugin for SymbolicPcRecorder {
+    fn name(&self) -> &'static str {
+        "symbolic-pc-recorder"
+    }
+
+    fn wants_all_instructions(&self) -> bool {
+        true
+    }
+
+    fn on_instr_execution(
+        &mut self,
+        state: &mut ExecState,
+        _ctx: &mut ExecCtx,
+        pc: u32,
+        instr: &Instr,
+    ) {
+        if touches_symbolic(state, instr) {
+            self.pcs.lock().unwrap().insert(pc);
+        }
+    }
+}
+
+/// Satellite check 3: no instruction in a statically concrete-only block
+/// observes a symbolic operand anywhere on the explored corpora.
+#[test]
+fn concrete_only_blocks_never_observe_symbolic_operands() {
+    let mut any_symbolic = false;
+    let mut any_concrete_only = false;
+    for d in all_drivers() {
+        let (mut engine, kernel, exerciser) = lc_corpus(&d);
+        let pcs = Arc::new(Mutex::new(BTreeSet::new()));
+        engine.add_plugin(Box::new(SymbolicPcRecorder { pcs: Arc::clone(&pcs) }));
+        engine.run(15_000);
+
+        let mut concrete_ranges: Vec<(u32, u32)> = Vec::new();
+        for a in &corpus_analyses(&d, &kernel, &exerciser) {
+            for &start in &a.taint.concrete_only {
+                concrete_ranges.push((start, a.graph.cfg.blocks[&start].end()));
+            }
+        }
+        any_concrete_only |= !concrete_ranges.is_empty();
+        let observed = pcs.lock().unwrap();
+        any_symbolic |= !observed.is_empty();
+        for &pc in observed.iter() {
+            if let Some(&(start, end)) =
+                concrete_ranges.iter().find(|&&(s, e)| s <= pc && pc < e)
+            {
+                panic!(
+                    "{}: symbolic operand observed at {pc:#x} inside \
+                     concrete-only block {start:#x}..{end:#x}",
+                    d.name
+                );
+            }
+        }
+    }
+    // The check must not pass vacuously.
+    assert!(any_symbolic, "no corpus ever observed a symbolic operand");
+    assert!(any_concrete_only, "no corpus had a concrete-only block");
+}
+
+/// Tentpole contract: the pre-pass is a pure optimization. With the
+/// annotator installed, exploration visits the same blocks and
+/// terminates the same number of paths — while the lean-dispatch
+/// counters prove the annotations actually took effect.
+#[test]
+fn prepass_annotations_preserve_exploration() {
+    let d = all_drivers().into_iter().find(|d| d.name == "91c111").unwrap();
+    let budget = 12_000;
+
+    let (mut plain, kernel, exerciser) = lc_corpus(&d);
+    plain.run(budget);
+    let plain_paths = plain.terminated().len();
+    let plain_blocks: BTreeSet<u32> = plain.seen_blocks().iter().copied().collect();
+
+    let (mut annotated, _, _) = lc_corpus(&d);
+    let mut builder = PrepassBuilder::new().allow_fork_range(d.code_range.clone());
+    for a in &corpus_analyses(&d, &kernel, &exerciser) {
+        builder = builder.add(a);
+    }
+    annotated.set_annotator(Some(Arc::new(builder.build())));
+    annotated.run(budget);
+    let annotated_paths = annotated.terminated().len();
+    let annotated_blocks: BTreeSet<u32> = annotated.seen_blocks().iter().copied().collect();
+
+    assert_eq!(plain_paths, annotated_paths, "path counts diverged");
+    assert_eq!(plain_blocks, annotated_blocks, "block coverage diverged");
+    let st = annotated.stats();
+    assert!(st.concrete_only_blocks > 0, "no block ran on the lean path");
+    assert!(st.lean_instrs > 0, "lean dispatch never engaged");
+}
