@@ -115,7 +115,7 @@ fn main() {
         let busy: Vec<f64> = report
             .workers
             .iter()
-            .map(|w| w.stats.exec_time.as_secs_f64())
+            .map(|w| w.stats.cpu_time.as_secs_f64())
             .collect();
         let makespan = makespan_seconds(&busy);
         let shared = &report.shared_cache;
@@ -205,7 +205,7 @@ fn main() {
     let static_paths: usize = reports.iter().map(|r| r.paths).sum();
     let static_busy: Vec<f64> = reports
         .iter()
-        .map(|r| r.stats.exec_time.as_secs_f64())
+        .map(|r| r.stats.cpu_time.as_secs_f64())
         .collect();
     let static_makespan = makespan_seconds(&static_busy);
     let static_queries: u64 = reports.iter().map(|r| r.solver_queries).sum();

@@ -1,197 +1,9 @@
-//! A minimal JSON writer for benchmark result files.
+//! JSON for benchmark result files — re-exported from [`s2e_obs::json`].
 //!
-//! The workspace is std-only by policy (see DESIGN.md §7), so the
-//! handful of machine-readable files under `results/` are emitted by
-//! this ~100-line serializer instead of serde. It only writes — the
-//! consumers are plotting scripts and EXPERIMENTS.md diffing, none of
-//! which feed JSON back in.
+//! The writer used to live here; when the observability layer gained a
+//! reader (run reports are parsed back by tools and overhead checks),
+//! the whole std-only implementation moved to `s2e-obs` so there is one
+//! `Json` type across the workspace. This shim keeps the historical
+//! `bench::json::Json` path working.
 
-use std::fmt::Write as _;
-
-/// A JSON value tree. Object keys keep insertion order so emitted files
-/// diff cleanly run-to-run.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    /// All numbers are f64, like JSON itself; integers up to 2^53 round-trip.
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object, to be filled with [`Json::set`].
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Inserts (or replaces) `key` in an object; panics on non-objects.
-    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(pairs) => {
-                let value = value.into();
-                if let Some(p) = pairs.iter_mut().find(|(k, _)| k == key) {
-                    p.1 = value;
-                } else {
-                    pairs.push((key.to_string(), value));
-                }
-            }
-            other => panic!("Json::set on non-object {other:?}"),
-        }
-        self
-    }
-
-    /// Renders with two-space indentation and a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if !n.is_finite() {
-                    out.push_str("null");
-                } else if n.fract() == 0.0 && n.abs() < 9e15 {
-                    let _ = write!(out, "{}", *n as i64);
-                } else {
-                    let _ = write!(out, "{n}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    item.write(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}]");
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    let _ = write!(out, "{pad}  ");
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
-                }
-                let _ = write!(out, "{pad}}}");
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-impl From<u64> for Json {
-    fn from(n: u64) -> Json {
-        Json::Num(n as f64)
-    }
-}
-impl From<usize> for Json {
-    fn from(n: usize) -> Json {
-        Json::Num(n as f64)
-    }
-}
-impl From<u32> for Json {
-    fn from(n: u32) -> Json {
-        Json::Num(n as f64)
-    }
-}
-impl From<i64> for Json {
-    fn from(n: i64) -> Json {
-        Json::Num(n as f64)
-    }
-}
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(items: Vec<T>) -> Json {
-        Json::Arr(items.into_iter().map(Into::into).collect())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_structures() {
-        let j = Json::obj()
-            .set("name", "overhead")
-            .set("ratio", 6.5)
-            .set("count", 3u64)
-            .set("ok", true)
-            .set("series", vec![1u64, 2, 3])
-            .set("nested", Json::obj().set("empty", Json::Arr(Vec::new())));
-        let text = j.render();
-        assert!(text.contains("\"name\": \"overhead\""));
-        assert!(text.contains("\"ratio\": 6.5"));
-        assert!(text.contains("\"count\": 3"));
-        assert!(text.contains("\"empty\": []"));
-        assert!(text.ends_with("}\n"));
-    }
-
-    #[test]
-    fn escapes_strings() {
-        let j = Json::Str("a\"b\\c\nd\u{1}".to_string());
-        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
-    }
-
-    #[test]
-    fn integral_floats_render_without_point() {
-        assert_eq!(Json::Num(1e9).render(), "1000000000\n");
-        assert_eq!(Json::Num(0.25).render(), "0.25\n");
-    }
-}
+pub use s2e_obs::json::*;

@@ -69,6 +69,29 @@ impl HierarchyStats {
     pub fn total_cache_misses(&self) -> u64 {
         self.i1.misses + self.d1.misses + self.lower.iter().map(|s| s.misses).sum::<u64>()
     }
+
+    /// Folds another hierarchy's counters into this one, element-wise
+    /// (profiles of different paths aggregated into one report). Lower
+    /// levels are matched by position; if the other profile has more
+    /// levels, the extras are appended.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        let add = |a: &mut CacheStats, b: &CacheStats| {
+            a.hits += b.hits;
+            a.misses += b.misses;
+        };
+        add(&mut self.i1, &other.i1);
+        add(&mut self.d1, &other.d1);
+        for (i, theirs) in other.lower.iter().enumerate() {
+            match self.lower.get_mut(i) {
+                Some(mine) => add(mine, theirs),
+                None => self.lower.push(theirs.clone()),
+            }
+        }
+        self.tlb_misses += other.tlb_misses;
+        self.page_faults += other.page_faults;
+        self.instructions += other.instructions;
+        self.data_accesses += other.data_accesses;
+    }
 }
 
 /// A complete simulated memory hierarchy.
@@ -247,6 +270,29 @@ mod tests {
         let h = Hierarchy::paper_config();
         let s = h.stats();
         assert_eq!(s.lower.len(), 1);
+    }
+
+    #[test]
+    fn stats_merge_is_elementwise() {
+        let mut a = tiny();
+        a.access(AccessKind::Read, 0);
+        a.access(AccessKind::Read, 0);
+        let mut b = tiny();
+        b.access(AccessKind::Instruction, 0x1000);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.d1.hits, 1);
+        assert_eq!(merged.d1.misses, 1);
+        assert_eq!(merged.i1.misses, 1);
+        assert_eq!(merged.instructions, 1);
+        assert_eq!(merged.data_accesses, 2);
+        assert_eq!(merged.page_faults, a.stats().page_faults + b.stats().page_faults);
+
+        // Mismatched lower-level depth: extras are appended.
+        let mut shallow = HierarchyStats::default();
+        shallow.merge(&a.stats());
+        assert_eq!(shallow.lower.len(), 1);
+        assert_eq!(shallow.lower[0].misses, a.stats().lower[0].misses);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::state::{ExecState, StateId, TerminationReason};
 use crate::stats::EngineStats;
 use s2e_dbt::{CacheHandle, SharedBlockCache};
 use s2e_expr::ExprBuilder;
+use s2e_obs::{EventKind, Phase, Recorder, WorkerTimeline};
 use s2e_solver::{SharedQueryCache, Solver};
 use s2e_vm::machine::Machine;
 use std::collections::{HashMap, HashSet};
@@ -101,6 +102,7 @@ pub struct Engine {
     retained: Vec<ExecState>,
     seen_blocks: HashSet<u32>,
     steps_since_watermark: u32,
+    obs: Recorder,
 }
 
 impl Engine {
@@ -160,6 +162,7 @@ impl Engine {
             retained: Vec::new(),
             seen_blocks: HashSet::new(),
             steps_since_watermark: 0,
+            obs: Recorder::disabled(),
         };
         let initial = ExecState::initial(machine);
         engine.stats.states_created = 1;
@@ -231,6 +234,31 @@ impl Engine {
     /// Translator statistics.
     pub fn dbt_stats(&self) -> s2e_dbt::DbtStats {
         self.cache.stats()
+    }
+
+    /// Installs an observability recorder. The engine ships with a
+    /// disabled one, which costs one branch per entry point and never
+    /// reads the clock (DESIGN.md §11).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = recorder;
+    }
+
+    /// The current recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable recorder access (for callers that wrap engine-external
+    /// work — migration, scheduling — in spans).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    /// Finishes recording and returns this engine's timeline, leaving a
+    /// disabled recorder behind. The timeline of a never-enabled engine
+    /// is empty.
+    pub fn take_timeline(&mut self) -> WorkerTimeline {
+        std::mem::replace(&mut self.obs, Recorder::disabled()).finish()
     }
 
     /// Bugs reported so far.
@@ -395,6 +423,7 @@ impl Engine {
         }
         self.plugins = plugins;
         self.stats.states_terminated += 1;
+        self.obs.note(EventKind::PathEnd { state: state.id.0 });
         self.terminated.push((state.id, reason.clone()));
         if self.retain_terminated {
             let mut retained = state.clone();
@@ -432,6 +461,7 @@ impl Engine {
                 cache: &mut self.cache,
                 marks: &mut self.marks,
                 seen_blocks: &self.seen_blocks,
+                obs: &mut self.obs,
             };
             execute_block(&mut state, &mut env, &mut plugins)
         };
@@ -460,7 +490,7 @@ impl Engine {
             self.stats.memory_watermark_bytes = self.stats.memory_watermark_bytes.max(mem);
         }
         self.stats.max_live_states = self.stats.max_live_states.max(self.states.len());
-        self.stats.exec_time += started.elapsed();
+        self.stats.cpu_time += started.elapsed();
 
         Some(StepReport {
             state: id,
@@ -489,6 +519,7 @@ impl Engine {
             return StepOutcome::Continued;
         }
 
+        self.obs.enter(Phase::Fork);
         let child_id = self.alloc_state_id();
         let mut child = parent.fork_child(child_id);
         parent.machine.cpu.pc = fork.then_pc;
@@ -515,6 +546,11 @@ impl Engine {
             }
         }
         self.plugins = plugins;
+        self.obs.note(EventKind::Fork {
+            parent: parent.id.0,
+            child: child_id.0,
+        });
+        self.obs.exit(Phase::Fork);
 
         let pid = parent.id;
         self.states.insert(pid, parent);

@@ -18,12 +18,14 @@ use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin, PortAccess};
 use crate::state::{EnvFrame, ExecState, TerminationReason};
 use s2e_dbt::{CacheHandle, TranslationBlock};
 use s2e_expr::{ExprRef, Width};
+use s2e_obs::{Phase, Recorder};
 use s2e_vm::cpu::FaultKind;
 use s2e_vm::interp::{alu_binop, branch_taken, mem_width};
 use s2e_vm::isa::{irq, reg, vector, Instr, Opcode, S2Op, INSTR_SIZE};
 use s2e_vm::value::Value;
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A fork requested by a symbolic branch.
 #[derive(Clone, Debug)]
@@ -61,6 +63,8 @@ pub struct ExecEnv<'a> {
     /// Block start PCs already executed at least once (coverage; used by
     /// RC-CC edge forcing).
     pub seen_blocks: &'a HashSet<u32>,
+    /// Observability recorder (disabled by default; DESIGN.md §11).
+    pub obs: &'a mut Recorder,
 }
 
 enum Flow {
@@ -93,12 +97,26 @@ pub fn execute_block(
 
     let pc = state.machine.cpu.pc;
 
+    // Open the block span. It is entered as Concrete and reclassified at
+    // exit if any instruction dispatched symbolically; solver time inside
+    // it is carved out via the solver's own per-query clock. Blocks run
+    // back-to-back, so the open reuses the timestamp the previous close
+    // read — one clock read per block when observing, zero otherwise.
+    let observing = env.obs.is_enabled();
+    let solve_before = if observing {
+        env.ctx.solver.stats().total_time
+    } else {
+        Duration::ZERO
+    };
+    env.obs.enter_adjacent(Phase::Concrete);
+
     // Self-modifying / decrypting code support: concretize any symbolic
     // code bytes in the upcoming block window before translation.
     concretize_code_window(state, env, pc);
 
     let tb = translate(state, env, plugins, pc);
     if tb.instrs.is_empty() {
+        close_block_span(env, observing, solve_before, false);
         state.machine.cpu.fault = Some(FaultKind::InvalidOpcode { pc });
         return BlockOutcome::Terminated(TerminationReason::Fault(FaultKind::InvalidOpcode {
             pc,
@@ -201,14 +219,29 @@ pub fn execute_block(
     }
 
     if let Some(reason) = state.kill_requested.take() {
-        return BlockOutcome::Terminated(reason);
-    }
-    if let BlockOutcome::Continue = outcome {
+        outcome = BlockOutcome::Terminated(reason);
+    } else if let BlockOutcome::Continue = outcome {
         if let Some(reason) = pending_termination(state) {
-            return BlockOutcome::Terminated(reason);
+            outcome = BlockOutcome::Terminated(reason);
         }
     }
+    close_block_span(env, observing, solve_before, symbolic_count > 0);
     outcome
+}
+
+/// Closes the block span opened in [`execute_block`]: attributes the
+/// solver time the block accrued (delta of the solver's cumulative
+/// per-query clock) to [`Phase::Solve`], then classifies the remainder
+/// as concrete or symbolic execution.
+fn close_block_span(env: &mut ExecEnv, observing: bool, solve_before: Duration, symbolic: bool) {
+    if !observing {
+        return;
+    }
+    let solved = env.ctx.solver.stats().total_time.saturating_sub(solve_before);
+    if solved > Duration::ZERO {
+        env.obs.add_external(Phase::Solve, solved);
+    }
+    env.obs.exit_as(if symbolic { Phase::Symbolic } else { Phase::Concrete });
 }
 
 fn pending_termination(state: &ExecState) -> Option<TerminationReason> {
@@ -281,11 +314,16 @@ fn translate(
     pc: u32,
 ) -> Arc<TranslationBlock> {
     let mut requests = crate::plugin::MarkRequests::default();
-    let tb = env.cache.translate(&state.machine.mem, pc, &mut |ipc, instr| {
+    // Decode time comes from the cache's own per-miss clock so the
+    // (overwhelmingly hit) lookup is never wrapped in a timed span.
+    let (tb, decoded) = env.cache.translate_timed(&state.machine.mem, pc, &mut |ipc, instr| {
         for p in plugins.iter_mut() {
             p.on_instr_translation(ipc, instr, &mut requests);
         }
     });
+    if decoded > Duration::ZERO {
+        env.obs.add_external(Phase::Translate, decoded);
+    }
     env.marks.extend(requests.take());
     tb
 }

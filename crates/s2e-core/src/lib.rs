@@ -43,6 +43,7 @@ pub mod analyzers;
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod observe;
 pub mod parallel;
 pub mod plugin;
 pub mod search;
@@ -52,6 +53,7 @@ pub mod stats;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
 pub use engine::{Engine, RunSummary, SharedEngineContext, StepOutcome, StepReport, StopReason};
+pub use observe::build_run_report;
 pub use parallel::{
     explore_parallel, explore_static, merge_coverage, partition_constraint, ParallelConfig,
     ParallelReport, WorkerContext, WorkerReport,

@@ -1,0 +1,203 @@
+//! Snapshotting engine state into a unified [`RunReport`].
+//!
+//! One call — [`build_run_report`] — folds everything a parallel run
+//! produced into the `s2e-run-report-v1` schema: merged phase totals and
+//! per-worker timelines from the recorders, plus named metric sections
+//! snapshotting [`EngineStats`], [`SolverStats`] (with its per-kind
+//! breakdown and cache eviction counters), the shared solver cache, the
+//! translation-block cache, the scheduler, and optionally a
+//! [`HierarchyStats`] cache profile. The report renders to JSON via
+//! [`RunReport::render`] and to a Chrome trace via
+//! [`s2e_obs::chrome_trace`].
+
+use crate::parallel::ParallelReport;
+use crate::stats::EngineStats;
+use s2e_cache::HierarchyStats;
+use s2e_dbt::DbtStats;
+use s2e_obs::{MetricSection, RunReport};
+use s2e_solver::{QueryKind, SharedCacheStats, SolverStats};
+
+/// Builds the unified run report for a completed parallel exploration.
+/// `hierarchy` attaches a merged cache profile when a
+/// [`crate::analyzers::PerformanceProfile`] ran.
+pub fn build_run_report(report: &ParallelReport, hierarchy: Option<&HierarchyStats>) -> RunReport {
+    let mut out = RunReport::new(report.wall_time.as_nanos() as u64);
+    for w in &report.workers {
+        out.add_worker(w.timeline.clone());
+    }
+    out.add_section(engine_section(&report.stats));
+    out.add_section(solver_section(&report.solver));
+    out.add_section(solver_by_kind_section(&report.solver));
+    out.add_section(shared_cache_section(&report.shared_cache));
+    out.add_section(dbt_section(&report.dbt));
+    out.add_section(parallel_section(report));
+    if let Some(h) = hierarchy {
+        out.add_section(hierarchy_section(h));
+    }
+    out
+}
+
+fn engine_section(s: &EngineStats) -> MetricSection {
+    MetricSection::new("engine")
+        .counter("states_created", s.states_created as f64)
+        .counter("states_terminated", s.states_terminated as f64)
+        .counter("forks", s.forks as f64)
+        .counter("blocks_executed", s.blocks_executed as f64)
+        .counter("instrs_concrete", s.instrs_concrete as f64)
+        .counter("instrs_symbolic", s.instrs_symbolic as f64)
+        .counter("concrete_only_blocks", s.concrete_only_blocks as f64)
+        .counter("lean_instrs", s.lean_instrs as f64)
+        .counter("dead_writes_skipped", s.dead_writes_skipped as f64)
+        .counter("feasibility_probes_skipped", s.feasibility_probes_skipped as f64)
+        .counter("symbolic_ptr_accesses", s.symbolic_ptr_accesses as f64)
+        .counter("concretizations", s.concretizations as f64)
+        .counter("interrupts_delivered", s.interrupts_delivered as f64)
+        .counter("syscalls", s.syscalls as f64)
+        .counter("max_live_states", s.max_live_states as f64)
+        .counter("memory_watermark_bytes", s.memory_watermark_bytes as f64)
+        .counter("cpu_time_ns", s.cpu_time.as_nanos() as f64)
+}
+
+fn solver_section(s: &SolverStats) -> MetricSection {
+    MetricSection::new("solver")
+        .counter("queries", s.queries as f64)
+        .counter("sat", s.sat as f64)
+        .counter("unsat", s.unsat as f64)
+        .counter("unknown", s.unknown as f64)
+        .counter("cache_hits", s.cache_hits as f64)
+        .counter("shared_hits", s.shared_hits as f64)
+        .counter("pool_hits", s.pool_hits as f64)
+        .counter("subsumption_hits", s.subsumption_hits as f64)
+        .counter("core_solves", s.core_solves as f64)
+        .counter("sliced_queries", s.sliced_queries as f64)
+        .counter("components_solved", s.components_solved as f64)
+        .counter("cache_evictions", s.cache_evictions as f64)
+        .counter("cache_entries", s.cache_entries as f64)
+        .counter("total_time_ns", s.total_time.as_nanos() as f64)
+        .counter("max_query_time_ns", s.max_query_time.as_nanos() as f64)
+}
+
+fn solver_by_kind_section(s: &SolverStats) -> MetricSection {
+    let mut section = MetricSection::new("solver_by_kind");
+    for kind in QueryKind::ALL {
+        let k = &s.by_kind[kind.index()];
+        let name = kind.name();
+        section = section
+            .counter(&format!("{name}.queries"), k.queries as f64)
+            .counter(&format!("{name}.sat"), k.sat as f64)
+            .counter(&format!("{name}.unsat"), k.unsat as f64)
+            .counter(&format!("{name}.unknown"), k.unknown as f64)
+            .counter(&format!("{name}.time_ns"), k.time.as_nanos() as f64);
+    }
+    section
+}
+
+fn shared_cache_section(s: &SharedCacheStats) -> MetricSection {
+    MetricSection::new("shared_cache")
+        .counter("hits", s.hits as f64)
+        .counter("subsumption_hits", s.subsumption_hits as f64)
+        .counter("inserts", s.inserts as f64)
+        .counter("entries", s.entries as f64)
+        .counter("evictions", s.evictions as f64)
+}
+
+fn dbt_section(s: &DbtStats) -> MetricSection {
+    MetricSection::new("dbt")
+        .counter("translations", s.translations as f64)
+        .counter("hits", s.hits as f64)
+        .counter("instrs_translated", s.instrs_translated as f64)
+        .counter("invalidations", s.invalidations as f64)
+        .counter("translation_time_ns", s.translation_time.as_nanos() as f64)
+}
+
+fn parallel_section(r: &ParallelReport) -> MetricSection {
+    MetricSection::new("parallel")
+        .counter("workers", r.workers.len() as f64)
+        .counter("total_paths", r.total_paths as f64)
+        .counter("bugs", r.bugs.len() as f64)
+        .counter("covered_blocks", r.covered_blocks.len() as f64)
+        .counter("steals", r.steals as f64)
+        .counter("exports", r.exports as f64)
+        .counter("wall_time_ns", r.wall_time.as_nanos() as f64)
+}
+
+fn hierarchy_section(h: &HierarchyStats) -> MetricSection {
+    let mut section = MetricSection::new("hierarchy")
+        .counter("i1.hits", h.i1.hits as f64)
+        .counter("i1.misses", h.i1.misses as f64)
+        .counter("d1.hits", h.d1.hits as f64)
+        .counter("d1.misses", h.d1.misses as f64);
+    for (i, level) in h.lower.iter().enumerate() {
+        let name = format!("l{}", i + 2);
+        section = section
+            .counter(&format!("{name}.hits"), level.hits as f64)
+            .counter(&format!("{name}.misses"), level.misses as f64);
+    }
+    section
+        .counter("tlb_misses", h.tlb_misses as f64)
+        .counter("page_faults", h.page_faults as f64)
+        .counter("instructions", h.instructions as f64)
+        .counter("data_accesses", h.data_accesses as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::time::Duration;
+
+    fn empty_report() -> ParallelReport {
+        ParallelReport {
+            workers: Vec::new(),
+            stats: EngineStats::default(),
+            bugs: Vec::new(),
+            covered_blocks: HashSet::new(),
+            total_paths: 0,
+            steals: 0,
+            exports: 0,
+            shared_cache: SharedCacheStats::default(),
+            dbt: DbtStats::default(),
+            solver: SolverStats::default(),
+            wall_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn report_has_all_sections() {
+        let mut r = empty_report();
+        r.stats.forks = 3;
+        r.solver.queries = 7;
+        r.total_paths = 4;
+        let report = build_run_report(&r, None);
+        assert_eq!(report.wall_ns, 5_000_000);
+        assert_eq!(report.section("engine").unwrap().get("forks"), Some(3.0));
+        assert_eq!(report.section("solver").unwrap().get("queries"), Some(7.0));
+        assert_eq!(report.section("parallel").unwrap().get("total_paths"), Some(4.0));
+        assert!(report.section("solver_by_kind").unwrap().get("feasibility.queries").is_some());
+        assert!(report.section("shared_cache").is_some());
+        assert!(report.section("dbt").is_some());
+        assert!(report.section("hierarchy").is_none());
+    }
+
+    #[test]
+    fn hierarchy_section_is_optional_and_per_level() {
+        let r = empty_report();
+        let mut h = HierarchyStats::default();
+        h.i1.hits = 10;
+        h.lower.push(s2e_cache::CacheStats { hits: 2, misses: 1 });
+        let report = build_run_report(&r, Some(&h));
+        let section = report.section("hierarchy").unwrap();
+        assert_eq!(section.get("i1.hits"), Some(10.0));
+        assert_eq!(section.get("l2.misses"), Some(1.0));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = empty_report();
+        r.stats.blocks_executed = 11;
+        let report = build_run_report(&r, None);
+        let text = report.render();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+    }
+}

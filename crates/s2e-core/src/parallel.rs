@@ -57,11 +57,13 @@ use crate::state::ExecState;
 use crate::stats::EngineStats;
 use s2e_dbt::DbtStats;
 use s2e_expr::{ExprBuilder, ExprRef, Width};
-use s2e_solver::SharedCacheStats;
+use s2e_obs::{EventKind, ObsConfig, Phase, Recorder, WorkerTimeline};
+use s2e_solver::{SharedCacheStats, SolverStats};
 use s2e_vm::machine::Machine;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What one worker produced.
 #[derive(Debug)]
@@ -88,6 +90,12 @@ pub struct WorkerReport {
     /// Queries (or query components) that reached this worker's SAT
     /// core — missed every cache layer, including the shared one.
     pub solver_core_solves: u64,
+    /// This worker's full solver statistics (per-kind breakdown, cache
+    /// eviction counters, query timing).
+    pub solver: SolverStats,
+    /// This worker's observability timeline (empty unless
+    /// [`ParallelConfig::obs`] enabled recording).
+    pub timeline: WorkerTimeline,
 }
 
 /// Tunables for [`explore_parallel`].
@@ -105,6 +113,9 @@ pub struct ParallelConfig {
     /// A worker exports surplus states beyond this many even when nobody
     /// is idle, keeping the shared queue warm.
     pub max_local_states: usize,
+    /// Observability: when enabled, every worker records phase timers
+    /// and an event timeline (disabled by default; DESIGN.md §11).
+    pub obs: ObsConfig,
 }
 
 impl ParallelConfig {
@@ -115,6 +126,7 @@ impl ParallelConfig {
             max_steps,
             batch: 64,
             max_local_states: 8,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -140,6 +152,11 @@ pub struct ParallelReport {
     pub shared_cache: SharedCacheStats,
     /// Shared translation-block cache counters.
     pub dbt: DbtStats,
+    /// All workers' solver stats merged ([`SolverStats::merge`]).
+    pub solver: SolverStats,
+    /// End-to-end wall-clock time of the exploration, distinct from the
+    /// summed per-worker CPU time in [`EngineStats::cpu_time`].
+    pub wall_time: Duration,
 }
 
 /// Per-worker handle passed to the engine-builder closure of
@@ -256,6 +273,9 @@ impl Scheduler {
     }
 }
 
+/// Batches between [`EventKind::CacheSnapshot`] events when recording.
+const SNAPSHOT_EVERY_BATCHES: u64 = 16;
+
 fn worker_loop<F>(w: usize, cfg: &ParallelConfig, sched: &Scheduler, shared: &SharedEngineContext, build: &F) -> WorkerReport
 where
     F: Fn(&WorkerContext) -> Engine + Sync,
@@ -266,6 +286,9 @@ where
         shared,
     };
     let mut engine = build(&ctx);
+    if cfg.obs.enabled {
+        engine.set_recorder(Recorder::new(w, &cfg.obs));
+    }
     if w != 0 {
         // Every worker builds the same root; only worker 0's is explored.
         // The rest start empty and pull their first state from the queue.
@@ -273,6 +296,7 @@ where
     }
     let mut steals = 0u64;
     let mut exports = 0u64;
+    let mut batches = 0u64;
 
     'outer: loop {
         // Phase 1: run local work, batch by batch.
@@ -293,6 +317,24 @@ where
                 used += 1;
             }
             sched.refund(claimed - used);
+            batches += 1;
+
+            // Periodic cache-effectiveness snapshot (cumulative counters;
+            // deltas between snapshots show warm-up). Throttled because
+            // reading the shared translation-cache counters takes the
+            // cache lock — per batch that contends with workers
+            // translating.
+            if engine.recorder().is_enabled() && batches % SNAPSHOT_EVERY_BATCHES == 0 {
+                let dbt = engine.dbt_stats();
+                let sv = engine.solver_stats();
+                let snapshot = EventKind::CacheSnapshot {
+                    tb_hits: dbt.hits,
+                    tb_translations: dbt.translations,
+                    query_cache_hits: sv.cache_hits + sv.shared_hits,
+                    queries: sv.queries,
+                };
+                engine.recorder_mut().note(snapshot);
+            }
 
             // Phase 2: export fork overflow instead of hoarding it.
             let live = engine.live_count();
@@ -306,21 +348,34 @@ where
                 live
             };
             if keep < live {
+                engine.recorder_mut().enter(Phase::Migrate);
                 let surplus = engine.detach_overflow(keep);
-                exports += surplus.len() as u64;
+                let count = surplus.len();
+                exports += count as u64;
                 sched.export(surplus);
+                engine.recorder_mut().note(EventKind::Export { count: count as u32 });
+                engine.recorder_mut().exit(Phase::Migrate);
             }
         }
 
         // Phase 3: local frontier is dry — steal, or detect completion.
+        // The whole scheduler interaction is one Migrate span, with the
+        // time parked on the condvar carved out as Idle.
+        engine.recorder_mut().enter(Phase::Migrate);
         let mut g = sched.sched.lock().unwrap();
         loop {
             if g.done {
+                engine.recorder_mut().exit(Phase::Migrate);
                 break 'outer;
             }
             if let Some(state) = g.queue.pop_front() {
+                let depth = g.queue.len() as u32;
                 drop(g);
                 steals += 1;
+                let obs = engine.recorder_mut();
+                obs.note(EventKind::QueueDepth { depth });
+                obs.note(EventKind::Steal { state: state.id.0 });
+                obs.exit(Phase::Migrate);
                 engine.attach_state(state);
                 continue 'outer;
             }
@@ -332,16 +387,19 @@ where
                 sched.done.store(true, Ordering::Relaxed);
                 drop(g);
                 sched.cv.notify_all();
+                engine.recorder_mut().exit(Phase::Migrate);
                 break 'outer;
             }
+            engine.recorder_mut().enter(Phase::Idle);
             g = sched.cv.wait(g).unwrap();
+            engine.recorder_mut().exit(Phase::Idle);
             g.idle -= 1;
             sched.hungry.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     sched.steals.fetch_add(steals, Ordering::Relaxed);
-    let solver = engine.solver_stats();
+    let solver = engine.solver_stats().clone();
     WorkerReport {
         worker: w,
         paths: engine.terminated().len(),
@@ -351,8 +409,10 @@ where
         bugs: engine.bugs().to_vec(),
         covered_blocks: engine.seen_blocks().clone(),
         stats: engine.stats().clone(),
+        solver,
         steals,
         exports,
+        timeline: engine.take_timeline(),
     }
 }
 
@@ -372,6 +432,7 @@ where
     let build = &build;
     let shared_ref = &shared;
     let sched_ref = &sched;
+    let started = Instant::now();
     let mut workers: Vec<WorkerReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.workers)
             .map(|w| scope.spawn(move || worker_loop(w, cfg, sched_ref, shared_ref, build)))
@@ -381,20 +442,24 @@ where
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
+    let wall_time = started.elapsed();
     workers.sort_by_key(|r| r.worker);
 
     let mut stats = EngineStats::default();
+    let mut solver = SolverStats::default();
     let mut bugs = Vec::new();
     let mut covered_blocks = HashSet::new();
     let mut total_paths = 0;
     for r in &workers {
         stats.merge(&r.stats);
+        solver.merge(&r.solver);
         bugs.extend(r.bugs.iter().cloned());
         covered_blocks.extend(r.covered_blocks.iter().copied());
         total_paths += r.paths;
     }
     ParallelReport {
         stats,
+        solver,
         bugs,
         covered_blocks,
         total_paths,
@@ -402,6 +467,7 @@ where
         exports: sched.exports.load(Ordering::Relaxed),
         shared_cache: shared.query_cache.stats(),
         dbt: shared.tb_cache.stats(),
+        wall_time,
         workers,
     }
 }
@@ -453,7 +519,7 @@ where
                 scope.spawn(move || {
                     let mut engine = setup(w, workers);
                     engine.run(max_steps);
-                    let solver = engine.solver_stats();
+                    let solver = engine.solver_stats().clone();
                     WorkerReport {
                         worker: w,
                         paths: engine.terminated().len(),
@@ -463,8 +529,10 @@ where
                         bugs: engine.bugs().to_vec(),
                         covered_blocks: engine.seen_blocks().clone(),
                         stats: engine.stats().clone(),
+                        solver,
                         steals: 0,
                         exports: 0,
+                        timeline: engine.take_timeline(),
                     }
                 })
             })

@@ -48,8 +48,11 @@ pub struct EngineStats {
     /// High-watermark of estimated private state memory across live
     /// states, in bytes (Fig. 8's metric).
     pub memory_watermark_bytes: usize,
-    /// Wall-clock time spent in [`crate::engine::Engine::step`].
-    pub exec_time: Duration,
+    /// CPU time spent in [`crate::engine::Engine::step`], summed across
+    /// engines when merged. On a parallel run this exceeds wall-clock
+    /// time (workers run concurrently); wall-clock is reported
+    /// separately by `ParallelReport::wall_time`.
+    pub cpu_time: Duration,
 }
 
 impl EngineStats {
@@ -76,7 +79,7 @@ impl EngineStats {
         self.max_live_states = self.max_live_states.max(other.max_live_states);
         self.memory_watermark_bytes =
             self.memory_watermark_bytes.max(other.memory_watermark_bytes);
-        self.exec_time += other.exec_time;
+        self.cpu_time += other.cpu_time;
     }
 
     /// Total instructions executed.

@@ -49,6 +49,7 @@ use s2e_vm::isa::{Instr, INSTR_SIZE};
 use s2e_vm::mem::Memory;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Maximum instructions per translation block.
 pub const MAX_BLOCK_INSTRS: usize = 64;
@@ -146,6 +147,9 @@ pub struct DbtStats {
     pub instrs_translated: u64,
     /// Blocks discarded by invalidation (self-modifying code).
     pub invalidations: u64,
+    /// Wall-clock time spent decoding and annotating blocks (cache
+    /// misses only; hits cost a map lookup, not measured).
+    pub translation_time: Duration,
 }
 
 /// Cache of translation blocks, keyed by start address.
@@ -207,14 +211,30 @@ impl BlockCache {
         pc: u32,
         on_translate: &mut dyn FnMut(u32, &Instr),
     ) -> Arc<TranslationBlock> {
+        self.translate_timed(mem, pc, on_translate).0
+    }
+
+    /// [`BlockCache::translate`], also returning the time spent decoding
+    /// — `Duration::ZERO` on a cache hit, so hits never read the clock.
+    /// The observability layer attributes this to its translate phase
+    /// without wrapping the (overwhelmingly hit) lookup in a timed span.
+    pub fn translate_timed(
+        &mut self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> (Arc<TranslationBlock>, Duration) {
         if let Some(tb) = self.blocks.get(&pc) {
             self.stats.hits += 1;
-            return Arc::clone(tb);
+            return (Arc::clone(tb), Duration::ZERO);
         }
+        let started = Instant::now();
         let mut decoded = Self::decode_block(mem, pc, on_translate);
         if let Some(ann) = &self.annotator {
             decoded.annotation = ann.annotate(decoded.start, &decoded.instrs);
         }
+        let decode_time = started.elapsed();
+        self.stats.translation_time += decode_time;
         let tb = Arc::new(decoded);
         self.stats.translations += 1;
         self.stats.instrs_translated += tb.instrs.len() as u64;
@@ -222,7 +242,7 @@ impl BlockCache {
             self.page_index.entry(page).or_default().insert(pc);
         }
         self.blocks.insert(pc, Arc::clone(&tb));
-        tb
+        (tb, decode_time)
     }
 
     fn decode_block(
@@ -328,6 +348,16 @@ impl SharedBlockCache {
         self.0.lock().unwrap().translate(mem, pc, on_translate)
     }
 
+    /// See [`BlockCache::translate_timed`].
+    pub fn translate_timed(
+        &self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> (Arc<TranslationBlock>, Duration) {
+        self.0.lock().unwrap().translate_timed(mem, pc, on_translate)
+    }
+
     /// See [`BlockCache::invalidate_write`].
     pub fn invalidate_write(&self, addr: u32, len: u32) {
         self.0.lock().unwrap().invalidate_write(addr, len)
@@ -403,6 +433,19 @@ impl CacheHandle {
         match self {
             CacheHandle::Private(c) => c.translate(mem, pc, on_translate),
             CacheHandle::Shared(c) => c.translate(mem, pc, on_translate),
+        }
+    }
+
+    /// See [`BlockCache::translate_timed`].
+    pub fn translate_timed(
+        &mut self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> (Arc<TranslationBlock>, Duration) {
+        match self {
+            CacheHandle::Private(c) => c.translate_timed(mem, pc, on_translate),
+            CacheHandle::Shared(c) => c.translate_timed(mem, pc, on_translate),
         }
     }
 

@@ -1,0 +1,124 @@
+//! Chrome trace-event export.
+//!
+//! Emits the Trace Event Format's JSON object form (`traceEvents`
+//! array), loadable in `chrome://tracing` and Perfetto. Span events
+//! become complete ("X") events with microsecond start/duration; point
+//! events become instant ("i") events with their payload under `args`.
+//! One process (pid 0), one track per worker (tid = worker index).
+
+use crate::json::Json;
+use crate::ring::{EventKind, WorkerTimeline};
+
+/// Renders per-worker timelines as a Chrome trace-event JSON document.
+pub fn chrome_trace(timelines: &[WorkerTimeline]) -> String {
+    let mut order: Vec<&WorkerTimeline> = timelines.iter().collect();
+    order.sort_by_key(|t| t.worker);
+    let mut events = Vec::new();
+    for t in order {
+        events.push(
+            Json::obj()
+                .set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", 0u32)
+                .set("tid", t.worker)
+                .set(
+                    "args",
+                    Json::obj().set("name", format!("worker {}", t.worker)),
+                ),
+        );
+        for e in &t.events {
+            let ts_us = e.ts_ns as f64 / 1_000.0;
+            let ev = match e.kind {
+                EventKind::Span { phase, dur_ns } => Json::obj()
+                    .set("name", phase.name())
+                    .set("cat", "phase")
+                    .set("ph", "X")
+                    .set("ts", ts_us)
+                    .set("dur", dur_ns as f64 / 1_000.0)
+                    .set("pid", 0u32)
+                    .set("tid", t.worker),
+                kind => {
+                    let args = match kind {
+                        EventKind::Span { .. } => unreachable!(),
+                        EventKind::Fork { parent, child } => {
+                            Json::obj().set("parent", parent).set("child", child)
+                        }
+                        EventKind::PathEnd { state } => Json::obj().set("state", state),
+                        EventKind::QueueDepth { depth } => Json::obj().set("depth", depth),
+                        EventKind::Steal { state } => Json::obj().set("state", state),
+                        EventKind::Export { count } => Json::obj().set("count", count),
+                        EventKind::CacheSnapshot {
+                            tb_hits,
+                            tb_translations,
+                            query_cache_hits,
+                            queries,
+                        } => Json::obj()
+                            .set("tb_hits", tb_hits)
+                            .set("tb_translations", tb_translations)
+                            .set("query_cache_hits", query_cache_hits)
+                            .set("queries", queries),
+                    };
+                    Json::obj()
+                        .set("name", kind.name())
+                        .set("cat", "event")
+                        .set("ph", "i")
+                        .set("ts", ts_us)
+                        .set("pid", 0u32)
+                        .set("tid", t.worker)
+                        .set("s", "t")
+                        .set("args", args)
+                }
+            };
+            events.push(ev);
+        }
+    }
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ms")
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::phase::Phase;
+    use crate::ring::Event;
+
+    #[test]
+    fn trace_is_valid_json_with_expected_events() {
+        let mut t = WorkerTimeline::empty(3);
+        t.events = vec![
+            Event {
+                seq: 0,
+                ts_ns: 2_500,
+                kind: EventKind::Span {
+                    phase: Phase::Translate,
+                    dur_ns: 1_000,
+                },
+            },
+            Event {
+                seq: 1,
+                ts_ns: 4_000,
+                kind: EventKind::Steal { state: 42 },
+            },
+        ];
+        let text = chrome_trace(&[t]);
+        let j = parse(&text).expect("valid json");
+        let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+        // Thread-name metadata + one X + one i.
+        assert_eq!(events.len(), 3);
+        let span = &events[1];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("name").unwrap().as_str(), Some("translate"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(2.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("tid").unwrap().as_u64(), Some(3));
+        let instant = &events[2];
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(
+            instant.get("args").unwrap().get("state").unwrap().as_u64(),
+            Some(42)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Engine self-observability (DESIGN.md §11).
+//!
+//! The paper's performance envelope (§6.2, Fig. 9) explains S2E's cost by
+//! breaking a run down into where time actually goes — translation,
+//! concrete execution, symbolic interpretation, constraint solving — and
+//! none of the remaining performance work on this reproduction can be
+//! attributed without the same breakdown. This crate provides the three
+//! pieces the rest of the workspace instruments itself with:
+//!
+//! - **[`Recorder`]** — hierarchical phase timers (span enter/exit on a
+//!   monotonic clock) over the [`Phase`] taxonomy, plus a bounded
+//!   per-worker [`EventRing`] of span / fork / kill / queue-depth /
+//!   cache-snapshot events. A disabled recorder is a near-no-op: every
+//!   entry point checks one boolean and returns without reading the
+//!   clock, so the default (observability off) configuration costs a
+//!   handful of predictable branches per *block*, never per instruction.
+//! - **[`WorkerTimeline`]** — one worker's finished recording, merged
+//!   deterministically across workers by [`merge_timelines`] (ordered by
+//!   `(worker, seq)`, never by wall-clock timestamps, so the merged
+//!   stream does not depend on the thread schedule).
+//! - **[`RunReport`]** — the unified end-of-run artifact: wall clock,
+//!   Fig.-9-style phase totals, per-worker timelines, and a registry of
+//!   named metric sections snapshotting engine / solver / cache counters.
+//!   Serializes to the in-repo [`json`] harness (which this crate hosts,
+//!   including the parser) and to the Chrome trace-event format
+//!   ([`chrome_trace`]) for external viewers.
+//!
+//! The crate is std-only and dependency-free by policy (DESIGN.md §7);
+//! `s2e-core`, `s2e-tools`, and `bench` build on it.
+
+pub mod chrome;
+pub mod json;
+pub mod phase;
+pub mod recorder;
+pub mod report;
+pub mod ring;
+
+pub use chrome::chrome_trace;
+pub use phase::{Phase, PhaseTotals};
+pub use recorder::{ObsConfig, Recorder};
+pub use report::{MetricSection, RunReport};
+pub use ring::{merge_timelines, Event, EventKind, EventRing, MergedEvent, WorkerTimeline};

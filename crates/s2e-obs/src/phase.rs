@@ -1,0 +1,161 @@
+//! The span taxonomy: where a worker's time goes.
+
+use std::time::Duration;
+
+/// The phases of Fig. 9, plus the two the parallel explorer adds.
+///
+/// `Concrete` and `Symbolic` classify whole translation blocks by
+/// whether any instruction in them dispatched to the embedded symbolic
+/// executor; `Solve` is carved out of them using the solver's own
+/// per-query clock, and `Translate` is the nested span around the block
+/// cache. `Fork` covers state copy-on-write plus fork plugin dispatch;
+/// `Migrate` is work-stealing scheduler interaction (export, steal,
+/// completion detection); `Idle` is time parked on the scheduler's
+/// condition variable waiting for work.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Phase {
+    /// Decoding guest code into translation blocks (cache misses).
+    Translate,
+    /// Executing blocks in which every instruction ran concretely.
+    Concrete,
+    /// Executing blocks in which at least one instruction touched
+    /// symbolic data.
+    Symbolic,
+    /// Inside the constraint solver (attributed from `SolverStats`'s
+    /// per-query clock, excluded from the enclosing block span).
+    Solve,
+    /// Forking: state copy-on-write, constraint push, fork plugins.
+    Fork,
+    /// Work-stealing migration: exporting surplus states, stealing,
+    /// completion detection.
+    Migrate,
+    /// Parked waiting for work (excluded from busy time).
+    Idle,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 7;
+
+    /// Every phase, in report order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Translate,
+        Phase::Concrete,
+        Phase::Symbolic,
+        Phase::Solve,
+        Phase::Fork,
+        Phase::Migrate,
+        Phase::Idle,
+    ];
+
+    /// Dense index for per-phase arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Translate => 0,
+            Phase::Concrete => 1,
+            Phase::Symbolic => 2,
+            Phase::Solve => 3,
+            Phase::Fork => 4,
+            Phase::Migrate => 5,
+            Phase::Idle => 6,
+        }
+    }
+
+    /// Stable report/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Translate => "translate",
+            Phase::Concrete => "concrete",
+            Phase::Symbolic => "symbolic",
+            Phase::Solve => "solve",
+            Phase::Fork => "fork",
+            Phase::Migrate => "migrate",
+            Phase::Idle => "idle",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Accumulated self-time and span count per phase.
+///
+/// Self-time: a span's children (nested spans and externally-attributed
+/// solver time) are subtracted from it, so summing all phases never
+/// double-counts and approximates the worker's wall clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Self-time per phase in nanoseconds, indexed by [`Phase::index`].
+    pub nanos: [u64; Phase::COUNT],
+    /// Completed spans per phase (external attributions not counted).
+    pub spans: [u64; Phase::COUNT],
+}
+
+impl PhaseTotals {
+    /// Adds `nanos` of self-time to `phase` without counting a span.
+    pub fn add_nanos(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()] += nanos;
+    }
+
+    /// Adds one completed span of `nanos` self-time to `phase`.
+    pub fn add_span(&mut self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()] += nanos;
+        self.spans[phase.index()] += 1;
+    }
+
+    /// Folds another worker's totals into this one.
+    pub fn merge(&mut self, other: &PhaseTotals) {
+        for i in 0..Phase::COUNT {
+            self.nanos[i] += other.nanos[i];
+            self.spans[i] += other.spans[i];
+        }
+    }
+
+    /// Self-time of one phase.
+    pub fn duration(&self, phase: Phase) -> Duration {
+        Duration::from_nanos(self.nanos[phase.index()])
+    }
+
+    /// Total recorded time excluding [`Phase::Idle`].
+    pub fn busy(&self) -> Duration {
+        let idle = self.nanos[Phase::Idle.index()];
+        let total: u64 = self.nanos.iter().sum();
+        Duration::from_nanos(total - idle)
+    }
+
+    /// Time parked on the scheduler.
+    pub fn idle(&self) -> Duration {
+        self.duration(Phase::Idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+            assert_eq!(Phase::ALL[p.index()], p);
+        }
+        assert_eq!(Phase::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn totals_merge_and_busy() {
+        let mut a = PhaseTotals::default();
+        a.add_span(Phase::Solve, 100);
+        a.add_nanos(Phase::Solve, 50);
+        a.add_span(Phase::Idle, 1_000);
+        let mut b = PhaseTotals::default();
+        b.add_span(Phase::Concrete, 200);
+        a.merge(&b);
+        assert_eq!(a.duration(Phase::Solve), Duration::from_nanos(150));
+        assert_eq!(a.spans[Phase::Solve.index()], 1);
+        assert_eq!(a.busy(), Duration::from_nanos(350));
+        assert_eq!(a.idle(), Duration::from_nanos(1_000));
+    }
+}

@@ -1,0 +1,263 @@
+//! The bounded per-worker event ring and the deterministic merge.
+
+use crate::phase::{Phase, PhaseTotals};
+
+/// What happened at one point of a worker's timeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A completed span; `ts_ns` on the carrying [`Event`] is the span
+    /// *start*, `dur_ns` its self-time (children excluded).
+    Span { phase: Phase, dur_ns: u64 },
+    /// A state forked.
+    Fork { parent: u64, child: u64 },
+    /// A path terminated.
+    PathEnd { state: u64 },
+    /// Shared injector queue depth observed after a pop.
+    QueueDepth { depth: u32 },
+    /// A state pulled from the shared queue.
+    Steal { state: u64 },
+    /// States pushed to the shared queue.
+    Export { count: u32 },
+    /// Point-in-time cache effectiveness snapshot (translation-block
+    /// cache and solver query cache, cumulative counters).
+    CacheSnapshot {
+        tb_hits: u64,
+        tb_translations: u64,
+        query_cache_hits: u64,
+        queries: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable report/JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Span { .. } => "span",
+            EventKind::Fork { .. } => "fork",
+            EventKind::PathEnd { .. } => "path_end",
+            EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::Steal { .. } => "steal",
+            EventKind::Export { .. } => "export",
+            EventKind::CacheSnapshot { .. } => "cache_snapshot",
+        }
+    }
+}
+
+/// One timeline entry. `seq` is the worker-local sequence number (dense,
+/// starting at 0, *including* events later overwritten by the ring), and
+/// `ts_ns` is nanoseconds since the recorder's epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    pub seq: u64,
+    pub ts_ns: u64,
+    pub kind: EventKind,
+}
+
+/// A bounded ring of [`Event`]s.
+///
+/// Memory is bounded by construction: the backing buffer never grows
+/// past `capacity`. When full, a push overwrites the oldest event and
+/// `dropped` counts it, so a reader always knows whether the window is
+/// complete.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events. Capacity 0 drops
+    /// everything.
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten (or refused at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained window in chronological (sequence) order.
+    pub fn into_vec(self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// One worker's finished recording: phase totals, the retained event
+/// window, and how many events fell out of it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTimeline {
+    /// Worker index (0 for a sequential engine).
+    pub worker: usize,
+    /// Per-phase self-time totals.
+    pub totals: PhaseTotals,
+    /// Retained events in sequence order.
+    pub events: Vec<Event>,
+    /// Events that fell out of the bounded ring.
+    pub dropped: u64,
+}
+
+impl WorkerTimeline {
+    /// An empty timeline for `worker` (what a disabled recorder yields).
+    pub fn empty(worker: usize) -> WorkerTimeline {
+        WorkerTimeline {
+            worker,
+            ..WorkerTimeline::default()
+        }
+    }
+}
+
+/// An event tagged with its worker, as produced by [`merge_timelines`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MergedEvent {
+    pub worker: usize,
+    pub event: Event,
+}
+
+/// Merges per-worker event streams into one deterministic sequence.
+///
+/// Ordering is `(worker, seq)` — worker-local sequence numbers, never
+/// wall-clock timestamps — so the merged stream is a pure function of
+/// what each worker recorded, independent of the thread schedule that
+/// produced it. Two runs that record the same per-worker streams merge
+/// identically even if their clocks differ.
+pub fn merge_timelines(timelines: &[WorkerTimeline]) -> Vec<MergedEvent> {
+    let mut order: Vec<&WorkerTimeline> = timelines.iter().collect();
+    order.sort_by_key(|t| t.worker);
+    let mut out = Vec::with_capacity(order.iter().map(|t| t.events.len()).sum());
+    for t in order {
+        debug_assert!(
+            t.events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "worker {} events out of sequence order",
+            t.worker
+        );
+        out.extend(t.events.iter().map(|&event| MergedEvent {
+            worker: t.worker,
+            event,
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            ts_ns: seq * 10,
+            kind: EventKind::QueueDepth { depth: seq as u32 },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let v = r.into_vec();
+        assert_eq!(v.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_wraps_dropping_oldest() {
+        let mut r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let v = r.into_vec();
+        // The newest 4 survive, still in order.
+        assert_eq!(v.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_memory_is_bounded() {
+        let mut r = EventRing::new(16);
+        for i in 0..100_000 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 16);
+        assert!(r.buf.capacity() <= 16);
+        assert_eq!(r.dropped(), 100_000 - 16);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = EventRing::new(0);
+        r.push(ev(0));
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+        assert!(r.into_vec().is_empty());
+    }
+
+    #[test]
+    fn merge_orders_by_worker_then_seq() {
+        let t2 = WorkerTimeline {
+            worker: 2,
+            events: vec![ev(0), ev(1)],
+            ..WorkerTimeline::default()
+        };
+        let t0 = WorkerTimeline {
+            worker: 0,
+            // Later wall-clock timestamps than worker 2's events — the
+            // merge must ignore that and order by (worker, seq).
+            events: vec![
+                Event {
+                    seq: 0,
+                    ts_ns: 999_999,
+                    kind: EventKind::Export { count: 1 },
+                },
+            ],
+            ..WorkerTimeline::default()
+        };
+        let merged = merge_timelines(&[t2.clone(), t0.clone()]);
+        let keys: Vec<(usize, u64)> =
+            merged.iter().map(|m| (m.worker, m.event.seq)).collect();
+        assert_eq!(keys, vec![(0, 0), (2, 0), (2, 1)]);
+        // Input order must not matter.
+        assert_eq!(merge_timelines(&[t0, t2]), merged);
+    }
+}

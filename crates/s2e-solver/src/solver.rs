@@ -173,6 +173,11 @@ pub struct SolverStats {
     pub sliced_queries: u64,
     /// Components solved separately on behalf of sliced queries.
     pub components_solved: u64,
+    /// Entries the local exact-match cache has evicted under capacity
+    /// pressure (snapshot of [`QueryStore`]'s counter).
+    pub cache_evictions: u64,
+    /// Entries currently held by the local exact-match cache (snapshot).
+    pub cache_entries: u64,
     /// Wall-clock time spent inside the solver (including cache lookups).
     pub total_time: Duration,
     /// Longest single query.
@@ -194,6 +199,37 @@ impl SolverStats {
     /// The per-kind slice for `kind`.
     pub fn kind(&self, kind: QueryKind) -> &KindStats {
         &self.by_kind[kind.index()]
+    }
+
+    /// Folds another solver's statistics into this one (parallel
+    /// workers' per-engine solvers merged into one report). Counters and
+    /// times are summed — per-solver CPU time, like
+    /// `EngineStats::cpu_time` — except `max_query_time`, which takes
+    /// the maximum, and the two cache snapshots, which sum entries and
+    /// evictions across the disjoint per-worker caches.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.cache_hits += other.cache_hits;
+        self.shared_hits += other.shared_hits;
+        self.pool_hits += other.pool_hits;
+        self.subsumption_hits += other.subsumption_hits;
+        self.core_solves += other.core_solves;
+        self.sliced_queries += other.sliced_queries;
+        self.components_solved += other.components_solved;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_entries += other.cache_entries;
+        self.total_time += other.total_time;
+        self.max_query_time = self.max_query_time.max(other.max_query_time);
+        for (mine, theirs) in self.by_kind.iter_mut().zip(other.by_kind.iter()) {
+            mine.queries += theirs.queries;
+            mine.sat += theirs.sat;
+            mine.unsat += theirs.unsat;
+            mine.unknown += theirs.unknown;
+            mine.time += theirs.time;
+        }
     }
 }
 
@@ -268,6 +304,8 @@ struct QueryStore {
     /// Hard cap on `entries`; see [`SolverConfig::cache_capacity`].
     capacity: usize,
     next_stamp: u64,
+    /// Entries removed by [`QueryStore::evict_cold`] so far.
+    evictions: u64,
 }
 
 impl Default for QueryStore {
@@ -278,6 +316,7 @@ impl Default for QueryStore {
             unsat_by_rep: HashMap::new(),
             capacity: DEFAULT_CACHE_CAPACITY,
             next_stamp: 0,
+            evictions: 0,
         }
     }
 }
@@ -339,6 +378,7 @@ impl QueryStore {
             return;
         }
         let excess = self.entries.len() - keep;
+        self.evictions += excess as u64;
         let mut ranked: Vec<(u64, u64, u64)> = self
             .entries
             .iter()
@@ -449,6 +489,8 @@ pub struct SharedCacheStats {
     pub inserts: u64,
     /// Entries currently held.
     pub entries: usize,
+    /// Entries evicted under capacity pressure.
+    pub evictions: u64,
 }
 
 /// A query cache shared between solver instances — the warm cache the
@@ -524,11 +566,13 @@ impl SharedQueryCache {
 
     /// Counters (aggregated across every attached solver).
     pub fn stats(&self) -> SharedCacheStats {
+        let store = self.store.lock().unwrap();
         SharedCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             subsumption_hits: self.subsumption_hits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            entries: self.store.lock().unwrap().len(),
+            entries: store.len(),
+            evictions: store.evictions,
         }
     }
 
@@ -674,6 +718,11 @@ impl Solver {
                 by_kind.unknown += 1;
             }
         }
+        // Snapshot the local cache's occupancy and eviction counters;
+        // every query funnels through here, so the snapshot is always
+        // current when stats are read.
+        self.stats.cache_evictions = self.cache.evictions;
+        self.stats.cache_entries = self.cache.len() as u64;
         result
     }
 

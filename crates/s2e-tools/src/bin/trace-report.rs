@@ -1,0 +1,51 @@
+//! Render a `results/run_report.json` as a terminal summary.
+//!
+//! ```text
+//! trace-report <run_report.json> [--top N]
+//! ```
+//!
+//! `--top` limits the phase table to the N largest phases (default: all).
+
+use s2e_tools::trace_report::render_json_text;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut top = usize::MAX;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                let n = it.next().and_then(|v| v.parse().ok());
+                let Some(n) = n else {
+                    eprintln!("error: --top needs a number");
+                    std::process::exit(2);
+                };
+                top = n;
+            }
+            _ if path.is_none() => path = Some(a.clone()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace-report <run_report.json> [--top N]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match render_json_text(&text, top) {
+        Ok(rendered) => print!("{rendered}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,8 +21,11 @@
 //! - [`deadcode`] — the static pre-pass report: dead edges, unreachable
 //!   blocks, dead writes, and concrete-only fractions per driver,
 //!   computed offline by `s2e-analysis` without executing anything.
+//! - [`trace_report`] — plain-text renderer for the unified run report
+//!   produced by the observability layer (DESIGN.md §11).
 
 pub mod ddt;
 pub mod deadcode;
 pub mod profs;
 pub mod rev;
+pub mod trace_report;

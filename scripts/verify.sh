@@ -45,4 +45,15 @@ cargo run -q --release --offline -p bench --bin solver_opt -- --smoke
 # worklist iteration bound (exits nonzero otherwise).
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 cargo run -q --release --offline -p bench --bin static_prepass -- --smoke
+
+# Gate 5: observability smoke — identical path counts across the
+# baseline/off/on arms (recording must never perturb exploration) and a
+# well-formed unified run report. Smoke mode skips the 2% overhead
+# assertion (CI containers are too noisy); the emitted report must parse
+# back and carry a phase breakdown plus per-worker timelines, which the
+# trace-report renderer then consumes as a final self-check.
+cargo run -q --release --offline -p bench --bin obs_overhead -- --smoke
+test -s results/run_report.json
+cargo run -q --release --offline -p s2e-tools --bin trace-report -- \
+    results/run_report.json > /dev/null
 echo "verify: ok"

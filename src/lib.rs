@@ -12,6 +12,8 @@
 //! - [`cache`] — cache/TLB/page-fault performance models
 //! - [`core`] — the platform: execution states, the path explorer,
 //!   consistency models, selectors and analyzers
+//! - [`obs`] — self-observability: phase timers, per-worker event
+//!   timelines, and the unified run report (DESIGN.md §11)
 //! - [`guests`] — the guest software stack (kernel, drivers, programs)
 //! - [`tools`] — the three case-study tools: DDT+, REV+, PROFS
 
@@ -21,6 +23,7 @@ pub use s2e_core as core;
 pub use s2e_dbt as dbt;
 pub use s2e_expr as expr;
 pub use s2e_guests as guests;
+pub use s2e_obs as obs;
 pub use s2e_solver as solver;
 pub use s2e_tools as tools;
 pub use s2e_vm as vm;

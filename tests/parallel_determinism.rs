@@ -7,7 +7,8 @@
 use s2e::core::analyzers::BugCheck;
 use s2e::core::parallel::{explore_parallel, ParallelConfig, WorkerContext};
 use s2e::core::selectors::make_mem_symbolic;
-use s2e::core::{BugKind, ConsistencyModel, Engine, EngineConfig};
+use s2e::core::{build_run_report, BugKind, ConsistencyModel, Engine, EngineConfig};
+use s2e::obs::{merge_timelines, ObsConfig};
 use s2e::vm::asm::{Assembler, Program};
 use s2e::vm::isa::reg;
 use s2e::vm::machine::Machine;
@@ -96,6 +97,68 @@ fn one_and_four_workers_agree() {
     // The imbalanced tree cannot be explored by one worker alone when
     // migration is forced this aggressively.
     assert!(parallel.steals > 0, "expected migration: {parallel:?}");
+}
+
+/// Observability is a read-only passenger: recording the run must not
+/// change what gets explored, and the timelines it produces must merge
+/// deterministically — ordered by (worker, per-worker sequence number),
+/// never by timestamp, so the merged view is stable run to run even
+/// though raw clock values are not.
+#[test]
+fn observed_runs_explore_identically_and_merge_deterministically() {
+    let mut cfg = ParallelConfig::new(4, 100_000);
+    cfg.batch = 8;
+    cfg.max_local_states = 2;
+    let plain = explore_parallel(&cfg, worker_engine);
+
+    cfg.obs = ObsConfig::enabled();
+    let observed = explore_parallel(&cfg, worker_engine);
+
+    assert_eq!(
+        observed.total_paths, plain.total_paths,
+        "recording must not change the path count"
+    );
+    assert_eq!(
+        bug_set(&observed),
+        bug_set(&plain),
+        "recording must not change the bug set"
+    );
+    assert!(
+        plain.workers.iter().all(|w| w.timeline.events.is_empty()),
+        "no events recorded when observability is disabled"
+    );
+    let timelines: Vec<_> = observed.workers.iter().map(|w| w.timeline.clone()).collect();
+    assert_eq!(timelines.len(), 4, "one timeline per worker");
+
+    let merged = merge_timelines(&timelines);
+    assert!(!merged.is_empty(), "an observed run produces events");
+    for pair in merged.windows(2) {
+        assert!(
+            (pair[0].worker, pair[0].event.seq) < (pair[1].worker, pair[1].event.seq),
+            "merge order is (worker, seq), strictly increasing"
+        );
+    }
+    // Per-worker sequence numbers are dense from 0 even if the ring
+    // dropped nothing; with drops the retained tail stays contiguous.
+    for t in &timelines {
+        let seqs: Vec<u64> = merged
+            .iter()
+            .filter(|m| m.worker == t.worker)
+            .map(|m| m.event.seq)
+            .collect();
+        for pair in seqs.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1, "worker {} seqs contiguous", t.worker);
+        }
+    }
+
+    // The unified report reflects the same run the reports agree on.
+    let report = build_run_report(&observed, None);
+    let paths = report
+        .section("parallel")
+        .and_then(|s| s.get("total_paths"))
+        .expect("parallel section carries total_paths");
+    assert_eq!(paths as usize, observed.total_paths);
+    assert!(report.phases.busy().as_nanos() > 0, "phases populated");
 }
 
 #[test]
