@@ -1,7 +1,13 @@
-//! Work-stealing scaling experiment (DESIGN.md §8): paths/sec, steal
-//! traffic, and cross-worker solver-cache reuse at 1/2/4/8 workers on a
-//! deliberately imbalanced guest, plus the static-partition baseline the
-//! scheduler replaced.
+//! Work-stealing scaling experiment (DESIGN.md §8, §12): paths/sec,
+//! migration traffic, scheduler-overhead phase shares, and cross-worker
+//! solver-cache reuse at 1/2/4/8 workers on a deliberately imbalanced
+//! guest — with both migration schedulers (per-worker deques and the
+//! injector-queue baseline) run as ablation arms at every worker count,
+//! plus the static-partition baseline the dynamic schedulers replaced.
+//!
+//! `--smoke` runs a reduced corpus and asserts the two schedulers
+//! explore the identical path set (verify.sh gate 6); the full run
+//! additionally measures the 8-worker point on the deep tree.
 //!
 //! Writes `results/parallel_scaling.json`.
 
@@ -9,33 +15,32 @@ use bench::json::Json;
 use bench::timing::workspace_root;
 use s2e_core::parallel::{
     explore_parallel, explore_static, partition_constraint, ParallelConfig, ParallelReport,
-    WorkerContext,
+    SchedulerKind, WorkerContext,
 };
 use s2e_core::selectors::make_mem_symbolic;
 use s2e_core::{ConsistencyModel, Engine, EngineConfig};
 use s2e_expr::Width;
+use s2e_obs::{ObsConfig, Phase};
 use s2e_vm::asm::{Assembler, Program};
 use s2e_vm::isa::reg;
 use s2e_vm::machine::Machine;
 use std::time::Instant;
 
 const INPUT: u32 = 0x8000;
-/// Branch bytes in the deep subtree: 2^8 leaves + 1 gate-fail path.
-const TREE_BYTES: u32 = 8;
 const MAX_STEPS: u64 = 5_000_000;
-const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const BASELINE_WORKERS: usize = 4;
 
 /// The load-imbalance stress guest: byte 0 gates a full binary tree over
-/// bytes 1..=8, so >99% of paths live below `byte0 < 8` — under static
-/// 32-bit input partitioning that entire subtree lands on worker 0.
+/// bytes 1..=tree_bytes, so >99% of paths live below `byte0 < 8` — under
+/// static 32-bit input partitioning that entire subtree lands on
+/// worker 0.
 ///
 /// After every branch the guest re-checks the same comparison (the
 /// double-validation pattern real parsers exhibit). The re-check's
 /// implied direction re-issues the exact constraint set the creating
 /// fork already solved, so whichever worker owns the state answers it
 /// from the query cache — cross-worker when the state migrated.
-fn guest() -> Program {
+fn guest(tree_bytes: u32) -> Program {
     let mut a = Assembler::new(0x2000);
     a.movi(reg::R1, INPUT);
     a.movi(reg::R6, 128);
@@ -44,7 +49,7 @@ fn guest() -> Program {
     a.bltu(reg::R2, reg::R3, "deep");
     a.halt_code(1);
     a.label("deep");
-    for i in 1..=TREE_BYTES {
+    for i in 1..=tree_bytes {
         a.ld8(reg::R2, reg::R1, i);
         a.bltu(reg::R2, reg::R6, &format!("lo{i}"));
         // hi side: re-validate, then fall through to the join.
@@ -61,34 +66,45 @@ fn guest() -> Program {
     a.finish()
 }
 
-fn stealing_worker(ctx: &WorkerContext) -> Engine {
+fn stealing_worker(ctx: &WorkerContext, tree_bytes: u32) -> Engine {
     let mut m = Machine::new();
-    m.load(&guest());
+    m.load(&guest(tree_bytes));
     let mut e = ctx.engine(m, EngineConfig::with_model(ConsistencyModel::ScSe));
     let id = e.sole_state().unwrap();
     let b = e.builder_arc();
-    make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 1 + TREE_BYTES, "in");
+    make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 1 + tree_bytes, "in");
     e
 }
 
 /// The old architecture: private caches, input space split by value
 /// range of the gate byte. The gate condition `byte0 < 8` lies entirely
 /// inside worker 0's quarter, which therefore owns every deep path.
-fn static_worker(worker: usize, workers: usize) -> Engine {
+fn static_worker(worker: usize, workers: usize, tree_bytes: u32) -> Engine {
     let mut m = Machine::new();
-    m.load(&guest());
+    m.load(&guest(tree_bytes));
     let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::ScSe));
     let id = e.sole_state().unwrap();
     let b = e.builder_arc();
-    let vars = make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 1 + TREE_BYTES, "in");
+    let vars = make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 1 + tree_bytes, "in");
     let input32 = b.zext(vars[0].clone(), Width::W32);
     partition_constraint(e.state_mut(id).unwrap(), &b, &input32, worker, workers);
     e
 }
 
-fn run_stealing(workers: usize) -> (ParallelReport, f64) {
+fn scheduler_name(kind: SchedulerKind) -> &'static str {
+    match kind {
+        SchedulerKind::Deque => "deque",
+        SchedulerKind::Injector => "injector",
+    }
+}
+
+fn run_arm(workers: usize, kind: SchedulerKind, tree_bytes: u32) -> (ParallelReport, f64) {
+    let mut cfg = ParallelConfig::new(workers, MAX_STEPS).with_scheduler(kind);
+    // Recording costs <2% (see the obs_overhead gate) and yields the
+    // phase breakdown the scheduler comparison is about.
+    cfg.obs = ObsConfig::enabled();
     let started = Instant::now();
-    let report = explore_parallel(&ParallelConfig::new(workers, MAX_STEPS), stealing_worker);
+    let report = explore_parallel(&cfg, |ctx| stealing_worker(ctx, tree_bytes));
     (report, started.elapsed().as_secs_f64())
 }
 
@@ -103,104 +119,168 @@ fn makespan_seconds(busy: &[f64]) -> f64 {
     busy.iter().copied().fold(0.0, f64::max)
 }
 
+/// Scheduler overhead: the share of all recorded worker time spent in
+/// `Migrate` (export/steal/completion) or `Idle` (parked waiting for
+/// work). The export heuristic exists to push this down.
+fn migrate_idle_share(report: &ParallelReport) -> (f64, f64, f64) {
+    let mut migrate = 0u64;
+    let mut idle = 0u64;
+    let mut total = 0u64;
+    for w in &report.workers {
+        let t = &w.timeline.totals;
+        migrate += t.nanos[Phase::Migrate.index()];
+        idle += t.nanos[Phase::Idle.index()];
+        total += t.nanos.iter().sum::<u64>();
+    }
+    if total == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    (
+        migrate as f64 / total as f64,
+        idle as f64 / total as f64,
+        (migrate + idle) as f64 / total as f64,
+    )
+}
+
 fn main() {
-    let expected_paths = (1u64 << TREE_BYTES) + 1;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke keeps the tree small enough for a CI gate; the deque arm
+    // still migrates (idle pressure makes exports eager), while the
+    // injector arm only exports if live states overflow the hoard cap.
+    let tree_bytes: u32 = if smoke { 5 } else { 8 };
+    let worker_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let expected_paths = (1u64 << tree_bytes) + 1;
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let mut runs = Vec::new();
     let mut makespan_4w = 0.0;
     let mut critical_4w = 0u64;
 
-    for &workers in &WORKER_COUNTS {
-        let (report, wall) = run_stealing(workers);
-        let busy: Vec<f64> = report
-            .workers
-            .iter()
-            .map(|w| w.stats.cpu_time.as_secs_f64())
-            .collect();
-        let makespan = makespan_seconds(&busy);
-        let shared = &report.shared_cache;
-        let queries: u64 = report.workers.iter().map(|w| w.solver_queries).sum();
-        let shared_hits: u64 = report.workers.iter().map(|w| w.shared_query_hits).sum();
-        let hit_rate = if queries == 0 {
-            0.0
-        } else {
-            shared_hits as f64 / queries as f64
-        };
-        assert_eq!(
-            report.total_paths as u64, expected_paths,
-            "{workers}w explored a different path count"
-        );
-        let critical_queries = report
-            .workers
-            .iter()
-            .map(|w| w.solver_queries)
-            .max()
-            .unwrap_or(0);
-        if workers == BASELINE_WORKERS {
-            makespan_4w = makespan;
-            critical_4w = critical_queries;
-        }
-        println!(
-            "stealing {workers}w: {:.3}s wall, {:.3}s makespan, {} paths ({:.0} paths/s), \
-             {} steals, {} exports, shared cache {}/{} hits ({:.1}% of {} queries)",
-            wall,
-            makespan,
-            report.total_paths,
-            report.total_paths as f64 / makespan,
-            report.steals,
-            report.exports,
-            shared_hits,
-            shared.entries,
-            hit_rate * 100.0,
-            queries,
-        );
-        runs.push(
-            Json::obj()
-                .set("workers", workers)
-                .set("wall_seconds", wall)
-                .set("makespan_seconds", makespan)
-                .set("critical_path_queries", critical_queries)
-                .set("paths", report.total_paths)
-                .set("paths_per_sec", report.total_paths as f64 / makespan)
-                .set("steals", report.steals)
-                .set("exports", report.exports)
-                .set("solver_queries", queries)
-                .set("shared_cache_hits", shared_hits)
-                .set("shared_cache_entries", shared.entries)
-                .set("shared_cache_hit_rate", hit_rate)
-                .set("blocks_executed", report.stats.blocks_executed)
-                .set(
-                    "per_worker",
-                    Json::Arr(
-                        report
-                            .workers
-                            .iter()
-                            .map(|w| {
-                                Json::obj()
-                                    .set("worker", w.worker)
-                                    .set("paths", w.paths)
-                                    .set("steals", w.steals)
-                                    .set("exports", w.exports)
-                                    .set("solver_queries", w.solver_queries)
-                                    .set("blocks", w.stats.blocks_executed)
-                            })
-                            .collect(),
-                    ),
-                ),
-        );
-        for w in &report.workers {
+    for &workers in worker_counts {
+        let mut arm_paths = Vec::new();
+        let mut arm_blocks = Vec::new();
+        for kind in [SchedulerKind::Deque, SchedulerKind::Injector] {
+            let name = scheduler_name(kind);
+            let (report, wall) = run_arm(workers, kind, tree_bytes);
+            let busy: Vec<f64> = report
+                .workers
+                .iter()
+                .map(|w| w.stats.cpu_time.as_secs_f64())
+                .collect();
+            let makespan = makespan_seconds(&busy);
+            let shared = &report.shared_cache;
+            let queries: u64 = report.workers.iter().map(|w| w.solver_queries).sum();
+            let shared_hits: u64 = report.workers.iter().map(|w| w.shared_query_hits).sum();
+            let hit_rate = if queries == 0 {
+                0.0
+            } else {
+                shared_hits as f64 / queries as f64
+            };
+            assert_eq!(
+                report.total_paths as u64, expected_paths,
+                "{name} at {workers}w explored a different path count"
+            );
+            assert_eq!(
+                report.exports,
+                report.steals + report.reclaims + report.queue_leftover,
+                "{name} at {workers}w violated state conservation"
+            );
+            assert_eq!(
+                report.queue_leftover, 0,
+                "{name} at {workers}w stranded states on an exhaustive run"
+            );
+            arm_paths.push(report.total_paths);
+            let mut blocks: Vec<u32> = report.covered_blocks.iter().copied().collect();
+            blocks.sort_unstable();
+            arm_blocks.push(blocks);
+            let critical_queries = report
+                .workers
+                .iter()
+                .map(|w| w.solver_queries)
+                .max()
+                .unwrap_or(0);
+            let (migrate_share, idle_share, overhead_share) = migrate_idle_share(&report);
+            if workers == BASELINE_WORKERS && kind == SchedulerKind::Deque {
+                makespan_4w = makespan;
+                critical_4w = critical_queries;
+            }
             println!(
-                "  worker {}: {} paths, {} queries, {} blocks, {} steals/{} exports",
-                w.worker, w.paths, w.solver_queries, w.stats.blocks_executed, w.steals, w.exports
+                "{name} {workers}w: {:.3}s wall, {:.3}s makespan, {} paths ({:.0} paths/s), \
+                 {} steals + {} reclaims / {} exports, migrate+idle {:.2}% of recorded time, \
+                 shared cache {}/{} hits ({:.1}% of {} queries)",
+                wall,
+                makespan,
+                report.total_paths,
+                report.total_paths as f64 / makespan,
+                report.steals,
+                report.reclaims,
+                report.exports,
+                overhead_share * 100.0,
+                shared_hits,
+                shared.entries,
+                hit_rate * 100.0,
+                queries,
+            );
+            runs.push(
+                Json::obj()
+                    .set("scheduler", name)
+                    .set("workers", workers)
+                    .set("wall_seconds", wall)
+                    .set("makespan_seconds", makespan)
+                    .set("critical_path_queries", critical_queries)
+                    .set("paths", report.total_paths)
+                    .set("paths_per_sec", report.total_paths as f64 / makespan)
+                    .set("steals", report.steals)
+                    .set("reclaims", report.reclaims)
+                    .set("exports", report.exports)
+                    .set("queue_leftover", report.queue_leftover)
+                    .set("migrate_share", migrate_share)
+                    .set("idle_share", idle_share)
+                    .set("migrate_idle_share", overhead_share)
+                    .set("solver_queries", queries)
+                    .set("shared_cache_hits", shared_hits)
+                    .set("shared_cache_entries", shared.entries)
+                    .set("shared_cache_hit_rate", hit_rate)
+                    .set("blocks_executed", report.stats.blocks_executed)
+                    .set(
+                        "per_worker",
+                        Json::Arr(
+                            report
+                                .workers
+                                .iter()
+                                .map(|w| {
+                                    Json::obj()
+                                        .set("worker", w.worker)
+                                        .set("paths", w.paths)
+                                        .set("steals", w.steals)
+                                        .set("reclaims", w.reclaims)
+                                        .set("exports", w.exports)
+                                        .set("solver_queries", w.solver_queries)
+                                        .set("blocks", w.stats.blocks_executed)
+                                })
+                                .collect(),
+                        ),
+                    ),
             );
         }
+        // The scheduler ablation gate: both arms must have explored the
+        // identical path set — same count, same covered blocks.
+        assert_eq!(
+            arm_paths[0], arm_paths[1],
+            "{workers}w: deque and injector path counts diverged"
+        );
+        assert_eq!(
+            arm_blocks[0], arm_blocks[1],
+            "{workers}w: deque and injector covered different blocks"
+        );
     }
 
     // Static-partition baseline at the same worker count as the headline
     // stealing run: worker 0 owns the whole deep subtree, so the
     // schedule's critical path is essentially the entire exploration.
     let started = Instant::now();
-    let reports = explore_static(BASELINE_WORKERS, MAX_STEPS, static_worker);
+    let reports = explore_static(BASELINE_WORKERS, MAX_STEPS, |worker, workers| {
+        static_worker(worker, workers, tree_bytes)
+    });
     let static_wall = started.elapsed().as_secs_f64();
     let static_paths: usize = reports.iter().map(|r| r.paths).sum();
     let static_busy: Vec<f64> = reports
@@ -223,7 +303,7 @@ fn main() {
     let speedup_time = static_makespan / makespan_4w;
     let speedup = static_critical as f64 / critical_4w as f64;
     println!(
-        "work-stealing vs static partitioning at {BASELINE_WORKERS} workers: \
+        "deque scheduler vs static partitioning at {BASELINE_WORKERS} workers: \
          {speedup:.2}x on the solver-query critical path \
          ({static_critical} vs {critical_4w} queries on the busiest worker), \
          {speedup_time:.2}x on measured per-worker time (this container has {cpus} \
@@ -235,12 +315,13 @@ fn main() {
         .set(
             "guest",
             Json::obj()
-                .set("tree_bytes", TREE_BYTES)
+                .set("tree_bytes", tree_bytes)
                 .set("feasible_paths", expected_paths)
                 .set("imbalance", "all deep paths behind byte0 < 8"),
         )
+        .set("smoke", smoke)
         .set("cpus", cpus)
-        .set("stealing", Json::Arr(runs))
+        .set("runs", Json::Arr(runs))
         .set(
             "static_baseline",
             Json::obj()
@@ -259,4 +340,7 @@ fn main() {
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     std::fs::write(&path, out.render()).unwrap();
     println!("wrote {}", path.display());
+    if smoke {
+        println!("parallel_scaling smoke: ok (deque and injector arms identical)");
+    }
 }

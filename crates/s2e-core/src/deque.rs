@@ -1,0 +1,489 @@
+//! A Chase–Lev work-stealing deque, std-only.
+//!
+//! The lock-free backbone of the deque scheduler (DESIGN.md §12): each
+//! parallel worker owns one deque and pushes/pops its fork-overflow
+//! states on the *bottom* without ever taking a lock, while idle workers
+//! steal single states off the *top* with one CAS. The only mutex in the
+//! scheduler guards the park path (all deques empty), never the data
+//! path.
+//!
+//! This is the algorithm of Chase & Lev ("Dynamic circular work-stealing
+//! deque", SPAA'05) with the memory orderings of Lê, Pop, Cohen &
+//! Zappa Nardelli ("Correct and efficient work-stealing for weak memory
+//! models", PPoPP'13). Values are heap-boxed and the ring stores raw
+//! pointers in `AtomicPtr` slots, which keeps every racy slot access a
+//! single atomic word — no torn reads, no `MaybeUninit`.
+//!
+//! Ownership protocol (the entire unsafe surface):
+//!
+//! - every pointer stored in a slot comes from [`Box::into_raw`] in
+//!   [`Worker::push`];
+//! - a logical index is *claimed* exactly once — by the owner's `pop`
+//!   (which first lowers `bottom`, then wins any race for the last item
+//!   with a CAS on `top`) or by exactly one stealer's successful CAS on
+//!   `top` — and only the claimant calls [`Box::from_raw`];
+//! - retired ring buffers (outgrown by [`Worker::push`]) are kept alive
+//!   until the deque itself drops, because a stalled stealer may still
+//!   read a slot of an old buffer; the grow copy preserves values at
+//!   their logical indices, so such a read is stale-but-correct and the
+//!   CAS on `top` decides whether it wins the element.
+//!
+//! ```
+//! let (w, s) = s2e_core::deque::deque::<u32>();
+//! w.push(1);
+//! w.push(2);
+//! assert_eq!(w.pop(), Some(2)); // owner side is LIFO
+//! assert_eq!(s.steal().success(), Some(1)); // stealers take the top
+//! ```
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Initial ring capacity (slots). Grows by doubling; 32 is enough that
+/// steady-state exploration with default `max_local_states` never grows.
+const INITIAL_CAPACITY: usize = 32;
+
+/// One ring buffer: a power-of-two array of pointer slots addressed by
+/// logical index modulo capacity. Buffers are immutable in size; growing
+/// allocates a bigger one and retires this one.
+struct Buffer<T> {
+    mask: u64,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(capacity: usize) -> Buffer<T> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots: Vec<AtomicPtr<T>> = (0..capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Buffer {
+            mask: capacity as u64 - 1,
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.mask + 1
+    }
+
+    fn slot(&self, index: u64) -> &AtomicPtr<T> {
+        &self.slots[(index & self.mask) as usize]
+    }
+}
+
+/// State shared by the [`Worker`] and its [`Stealer`]s.
+struct Inner<T> {
+    /// Next index stealers claim. Monotonically increasing; advanced
+    /// only by successful CAS (stealers, and the owner when it races
+    /// for the last element).
+    top: AtomicU64,
+    /// Next index the owner pushes at. Written only by the owner.
+    bottom: AtomicU64,
+    /// The current ring. Swapped only by the owner (grow); read racily
+    /// by stealers, which is why old buffers must outlive them.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Outgrown buffers, freed on drop. Only the owner pushes here, but
+    /// drop can run on any thread, hence the mutex (never contended on
+    /// the data path).
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the raw pointers are owned boxes handed between threads under
+// the claim protocol above; T crossing threads needs T: Send, nothing
+// more (no &T is ever shared).
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: the last handle is going away, so plain
+        // loads are race-free here.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        for i in top..bottom {
+            // SAFETY: indices [top, bottom) are unclaimed pushed items;
+            // each was Box::into_raw exactly once and never from_raw.
+            unsafe {
+                drop(Box::from_raw((*buffer).slot(i).load(Ordering::Relaxed)));
+            }
+        }
+        // SAFETY: the current buffer and every retired one were leaked
+        // from Box::into_raw by new()/grow() and never freed since.
+        unsafe {
+            drop(Box::from_raw(buffer));
+            for &old in self.retired.lock().unwrap().iter() {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The owner's handle: lock-free `push`/`pop` on the deque bottom.
+/// `Send` (each parallel worker thread takes its own) but deliberately
+/// not `Sync` — the algorithm requires a single owner.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// `Cell` is `Send + !Sync`, which is exactly the owner contract.
+    _single_owner: PhantomData<Cell<()>>,
+}
+
+/// A thief's handle: `steal` takes one element off the deque top with a
+/// CAS. Clone freely; every clone races against the others.
+#[derive(Clone)]
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Outcome of a [`Stealer::steal`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race (another thief, or the owner taking the last item);
+    /// the deque may still be non-empty — retry or move on.
+    Retry,
+    /// Stole the top element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// The stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Creates an empty deque, returning the owner handle and a cloneable
+/// stealer handle.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicU64::new(0),
+        bottom: AtomicU64::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(INITIAL_CAPACITY)))),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _single_owner: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Pushes a value on the bottom. Lock-free and wait-free except for
+    /// the (rare, owner-only) buffer grow.
+    pub fn push(&self, value: T) {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        // Only the owner swaps the buffer, so a relaxed self-read is
+        // always current.
+        let mut buffer = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: buffers are freed only at drop; this handle keeps the
+        // deque alive.
+        if b - t >= unsafe { (*buffer).capacity() } {
+            buffer = self.grow(t, b, buffer);
+        }
+        let ptr = Box::into_raw(Box::new(value));
+        // SAFETY: as above; slot (b mod cap) cannot hold an unclaimed
+        // element because b - top < capacity was just established and
+        // top never decreases.
+        unsafe { (*buffer).slot(b).store(ptr, Ordering::Relaxed) };
+        // Publish the slot before the new bottom: a stealer that reads
+        // bottom > t is guaranteed to see the pointer.
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops the most recently pushed value (LIFO), racing stealers only
+    /// for the very last element.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        if b == inner.top.load(Ordering::Relaxed) {
+            // Owner-exact bottom equals a top that can only have grown:
+            // definitely empty, and b-1 below would underflow at 0.
+            return None;
+        }
+        let b = b - 1;
+        inner.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the bottom write against the top read
+        // below, pairing with the fence in steal(): either a concurrent
+        // thief sees the lowered bottom and backs off, or we see its
+        // incremented top and race with a CAS.
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        let buffer = inner.buffer.load(Ordering::Relaxed);
+        if t < b {
+            // More than one element: the bottom one is ours alone.
+            // SAFETY: index b is published, unclaimed, and now
+            // unreachable to stealers (top can reach at most b - 1 + 1).
+            let ptr = unsafe { (*buffer).slot(b).load(Ordering::Relaxed) };
+            return Some(unsafe { *Box::from_raw(ptr) });
+        }
+        let result = if t == b {
+            // Exactly one element: win it with the same CAS stealers
+            // use, so exactly one side claims index t.
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS claimed index t == b uniquely.
+                let ptr = unsafe { (*buffer).slot(b).load(Ordering::Relaxed) };
+                Some(unsafe { *Box::from_raw(ptr) })
+            } else {
+                None
+            }
+        } else {
+            // A thief emptied the deque after our first read.
+            None
+        };
+        // Either way the deque is now empty at bottom == top == t + 1
+        // (CAS won or lost — the loser's index is gone too).
+        inner.bottom.store(t + 1, Ordering::Relaxed);
+        result
+    }
+
+    /// True if the deque currently holds no elements (owner-exact).
+    pub fn is_empty(&self) -> bool {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    /// Doubles the ring, copying live indices `[t, b)` into the new
+    /// buffer at the same logical positions, and retires the old buffer
+    /// (stalled stealers may still be reading it).
+    fn grow(&self, t: u64, b: u64, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        // SAFETY: old is the live buffer; only the owner grows.
+        let new = Box::new(Buffer::new((unsafe { (*old).capacity() } as usize) * 2));
+        for i in t..b {
+            // SAFETY: both buffers alive; indices in [t, b) are
+            // published and unclaimed, their slots hold valid pointers.
+            unsafe {
+                new.slot(i)
+                    .store((*old).slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        let new = Box::into_raw(new);
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().unwrap().push(old);
+        new
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts to steal the top element.
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // Pairs with the fence in pop(): see the owner's lowered bottom
+        // or let the owner see our CAS.
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Load the buffer *after* reading a bottom that covers index t;
+        // if the owner grew since, the retired buffer still holds the
+        // correct value for t (grow copies, never clears, and the owner
+        // never writes a retired buffer again).
+        let buffer = inner.buffer.load(Ordering::Acquire);
+        // SAFETY: buffers live until drop. Read the candidate before
+        // claiming it — after a successful CAS the owner may recycle
+        // the slot for a new push.
+        let ptr = unsafe { (*buffer).slot(t).load(Ordering::Relaxed) };
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: the CAS claimed index t uniquely, and ptr was the
+            // value published there.
+            Steal::Success(unsafe { *Box::from_raw(ptr) })
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// A racy emptiness check (may be stale by the time it returns):
+    /// used by parked workers re-scanning for work.
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+
+    /// A racy element count (stale the moment it returns); observability
+    /// queue-depth sampling only.
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b.saturating_sub(t) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_is_lifo_stealer_takes_oldest() {
+        let (w, s) = deque::<u32>();
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (w, s) = deque::<usize>();
+        let n = INITIAL_CAPACITY * 4 + 7;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(s.len(), n);
+        // Stealers drain FIFO from the top across the grown buffer.
+        for i in 0..n {
+            assert_eq!(s.steal().success(), Some(i));
+        }
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn drop_frees_unclaimed_elements() {
+        // Leak-checked implicitly under miri-like tooling; here we at
+        // least verify drops run by counting them.
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (w, s) = deque::<Counted>();
+        for _ in 0..10 {
+            w.push(Counted);
+        }
+        drop(w.pop()); // one claimed by the owner
+        drop(s.steal().success()); // one claimed by a thief
+        drop(w);
+        drop(s);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    /// Every pushed element is claimed exactly once across one owner
+    /// (push/pop) and several concurrent stealers, including through
+    /// buffer growth — the conservation property the scheduler's
+    /// `exports == steals + reclaims + leftover` invariant rests on.
+    #[test]
+    fn concurrent_conservation() {
+        const PER_ROUND: u64 = 500;
+        const ROUNDS: u64 = 8;
+        const THIEVES: usize = 3;
+        let (w, s) = deque::<u64>();
+        let popped = std::thread::scope(|scope| {
+            let stolen: Vec<_> = (0..THIEVES)
+                .map(|_| {
+                    let s = s.clone();
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        let mut misses = 0u32;
+                        // Spin until the owner is done and the deque
+                        // stays empty.
+                        while misses < 1_000 {
+                            match s.steal() {
+                                Steal::Success(v) => {
+                                    got.push(v);
+                                    misses = 0;
+                                }
+                                Steal::Retry => std::hint::spin_loop(),
+                                Steal::Empty => {
+                                    misses += 1;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut popped = Vec::new();
+            for round in 0..ROUNDS {
+                for i in 0..PER_ROUND {
+                    w.push(round * PER_ROUND + i);
+                }
+                // Pop roughly half back, interleaved with the thieves.
+                for _ in 0..PER_ROUND / 2 {
+                    if let Some(v) = w.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                popped.push(v);
+            }
+            for h in stolen {
+                popped.extend(h.join().unwrap());
+            }
+            popped
+        });
+        let mut all = popped;
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..ROUNDS * PER_ROUND).collect();
+        assert_eq!(all, expect, "every element claimed exactly once");
+    }
+
+    /// The owner and one thief racing for single elements: exactly one
+    /// side wins each, none duplicated, none lost.
+    #[test]
+    fn last_element_race_is_exclusive() {
+        let (w, s) = deque::<u64>();
+        let won = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let thief = scope.spawn(|| {
+                let mut got = 0usize;
+                for _ in 0..20_000 {
+                    if let Steal::Success(_) = s.steal() {
+                        got += 1;
+                    }
+                }
+                got
+            });
+            let mut own = 0usize;
+            for i in 0..10_000u64 {
+                w.push(i);
+                if w.pop().is_some() {
+                    own += 1;
+                }
+            }
+            // Whatever the thief didn't take while racing, we drain now.
+            while w.pop().is_some() {
+                own += 1;
+            }
+            let stolen = thief.join().unwrap();
+            won.store(own + stolen, Ordering::Relaxed);
+        });
+        assert_eq!(won.load(Ordering::Relaxed), 10_000);
+    }
+}

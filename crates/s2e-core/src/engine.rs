@@ -375,20 +375,26 @@ impl Engine {
     }
 
     /// Detaches surplus live states, keeping at most `keep`, preferring
-    /// to export the *shallowest* states — the ones closest to the fork
-    /// root, whose unexplored subtrees are the largest and therefore the
-    /// best work units to hand an idle worker.
+    /// to export the states with the largest
+    /// [`ExecState::subtree_estimate`] — the paths forking most per
+    /// block executed, whose unexplored subtrees are likely the largest
+    /// and therefore the best work units to hand an idle worker
+    /// (DESIGN.md §12; replaces the PR-1 shallowest-first rule).
     pub fn detach_overflow(&mut self, keep: usize) -> Vec<ExecState> {
         if self.states.len() <= keep {
             return Vec::new();
         }
-        let mut ids: Vec<(u32, StateId)> =
-            self.states.values().map(|s| (s.depth, s.id)).collect();
-        // Sort by (depth, id) so the choice of victims is deterministic.
+        let mut ids: Vec<(std::cmp::Reverse<u64>, u32, StateId)> = self
+            .states
+            .values()
+            .map(|s| (std::cmp::Reverse(s.subtree_estimate()), s.depth, s.id))
+            .collect();
+        // Largest estimate first; (depth, id) tie-break keeps the victim
+        // choice deterministic when estimates collide.
         ids.sort_unstable();
         ids.truncate(self.states.len() - keep);
         ids.into_iter()
-            .filter_map(|(_, id)| self.states.remove(&id))
+            .filter_map(|(_, _, id)| self.states.remove(&id))
             .collect()
     }
 
@@ -444,6 +450,7 @@ impl Engine {
             }
         };
         let mut state = self.states.remove(&id).expect("live state");
+        state.blocks_on_path += 1;
         let pc = state.machine.cpu.pc;
         let newly_seen = self.seen_blocks.insert(pc);
 
@@ -520,6 +527,9 @@ impl Engine {
         }
 
         self.obs.enter(Phase::Fork);
+        // Count the fork on the parent *before* cloning so both sides
+        // carry it in their subtree estimate.
+        parent.forks_on_path += 1;
         let child_id = self.alloc_state_id();
         let mut child = parent.fork_child(child_id);
         parent.machine.cpu.pc = fork.then_pc;

@@ -41,6 +41,7 @@
 
 pub mod analyzers;
 pub mod config;
+pub mod deque;
 pub mod engine;
 pub mod exec;
 pub mod observe;
@@ -56,7 +57,7 @@ pub use engine::{Engine, RunSummary, SharedEngineContext, StepOutcome, StepRepor
 pub use observe::build_run_report;
 pub use parallel::{
     explore_parallel, explore_static, merge_coverage, partition_constraint, ParallelConfig,
-    ParallelReport, WorkerContext, WorkerReport,
+    ParallelReport, SchedulerKind, WorkerContext, WorkerReport,
 };
 pub use plugin::{BugKind, BugReport, ExecCtx, MachineSnapshot, MemAccess, Plugin, PortAccess};
 pub use state::{ExecState, StateId, TerminationReason};

@@ -117,7 +117,9 @@ fn parallel_section(r: &ParallelReport) -> MetricSection {
         .counter("bugs", r.bugs.len() as f64)
         .counter("covered_blocks", r.covered_blocks.len() as f64)
         .counter("steals", r.steals as f64)
+        .counter("reclaims", r.reclaims as f64)
         .counter("exports", r.exports as f64)
+        .counter("queue_leftover", r.queue_leftover as f64)
         .counter("wall_time_ns", r.wall_time.as_nanos() as f64)
 }
 
@@ -154,7 +156,9 @@ mod tests {
             covered_blocks: HashSet::new(),
             total_paths: 0,
             steals: 0,
+            reclaims: 0,
             exports: 0,
+            queue_leftover: 0,
             shared_cache: SharedCacheStats::default(),
             dbt: DbtStats::default(),
             solver: SolverStats::default(),

@@ -8,21 +8,38 @@
 //! idle, and every worker pays for its own cold solver and translation
 //! caches.
 //!
-//! [`explore_parallel`] replaces that with dynamic state migration:
+//! [`explore_parallel`] replaces that with dynamic state migration. Two
+//! schedulers implement it ([`SchedulerKind`]):
 //!
-//! - a shared **injector queue** of transferable [`ExecState`]s — workers
-//!   export fork-overflow states instead of hoarding them, and idle
-//!   workers steal;
-//! - one shared [`ExprBuilder`] so variable ids stay globally unique as
-//!   states migrate;
-//! - one shared solver **query cache** (`s2e-solver`) and the shared
-//!   translation-block cache (`s2e-dbt`), so a stolen state never re-pays
-//!   solver or translation work its previous owner already did.
+//! - **[`SchedulerKind::Deque`]** (default): each worker owns a
+//!   Chase–Lev deque ([`crate::deque`]) and pushes/pops fork-overflow
+//!   states on its own bottom lock-free; idle workers steal single
+//!   states off victims' tops with one CAS, scanning victims in an
+//!   order shuffled per worker by a seeded [`s2e_prng::SplitMix64`].
+//!   The only mutex guards the park path — taken when every deque is
+//!   observed empty, never on the data path. Workers observed parking
+//!   feed an *idle pressure* signal back into the export decision
+//!   (DESIGN.md §12), so exports get eager exactly while starvation is
+//!   being observed.
+//! - **[`SchedulerKind::Injector`]**: the PR-1 baseline — one shared
+//!   injector queue behind a `Mutex` + `Condvar`. Kept as the ablation
+//!   arm `bench --bin parallel_scaling` compares against.
+//!
+//! Both share one [`ExprBuilder`] so variable ids stay globally unique
+//! as states migrate, one solver query cache (`s2e-solver`), and the
+//! shared translation-block cache (`s2e-dbt`), so a stolen state never
+//! re-pays solver or translation work its previous owner already did.
+//!
+//! Every migrated state is accounted: `exports == steals + reclaims +
+//! queue_leftover` ([`ParallelReport`]), asserted after every run —
+//! states are exported exactly once and then either stolen by another
+//! worker, reclaimed by their exporter, or counted as leftover when the
+//! step budget ends the run first.
 //!
 //! Exploration remains deterministic in outcome: the set of feasible
 //! paths is a property of the guest, not of the schedule, so any worker
-//! count yields the same total path count and the same bug set (see
-//! `tests/parallel_determinism.rs`).
+//! count and either scheduler yields the same total path count and the
+//! same bug set (see `tests/parallel_determinism.rs`).
 //!
 //! ```
 //! use s2e_core::parallel::{explore_parallel, ParallelConfig};
@@ -51,6 +68,7 @@
 //! ```
 
 use crate::config::EngineConfig;
+use crate::deque::{self, Steal, Stealer};
 use crate::engine::{Engine, SharedEngineContext};
 use crate::plugin::BugReport;
 use crate::state::ExecState;
@@ -58,10 +76,11 @@ use crate::stats::EngineStats;
 use s2e_dbt::DbtStats;
 use s2e_expr::{ExprBuilder, ExprRef, Width};
 use s2e_obs::{EventKind, ObsConfig, Phase, Recorder, WorkerTimeline};
+use s2e_prng::SplitMix64;
 use s2e_solver::{SharedCacheStats, SolverStats};
 use s2e_vm::machine::Machine;
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,9 +97,14 @@ pub struct WorkerReport {
     pub covered_blocks: HashSet<u32>,
     /// This worker's engine statistics.
     pub stats: EngineStats,
-    /// States this worker pulled from the shared queue.
+    /// States this worker took that *another* worker exported (injector
+    /// pops, or cross-worker deque steals).
     pub steals: u64,
-    /// States this worker exported to the shared queue.
+    /// States this worker popped back off its *own* deque after
+    /// exporting them (always 0 in injector mode, where exports go to
+    /// the shared queue and never return to their exporter directly).
+    pub reclaims: u64,
+    /// States this worker exported (shared queue or own deque).
     pub exports: u64,
     /// Solver queries this worker answered from the cross-worker shared
     /// cache (each one is a solve another worker paid for).
@@ -98,6 +122,17 @@ pub struct WorkerReport {
     pub timeline: WorkerTimeline,
 }
 
+/// Which migration scheduler [`explore_parallel`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Per-worker Chase–Lev deques, lock-free on the data path
+    /// (default; DESIGN.md §12).
+    Deque,
+    /// The PR-1 single shared injector queue (`Mutex` + `Condvar`),
+    /// kept as the ablation baseline.
+    Injector,
+}
+
 /// Tunables for [`explore_parallel`].
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelConfig {
@@ -111,23 +146,34 @@ pub struct ParallelConfig {
     /// checks.
     pub batch: u64,
     /// A worker exports surplus states beyond this many even when nobody
-    /// is idle, keeping the shared queue warm.
+    /// is idle, keeping migratable work visible (halved while idle
+    /// pressure is observed in deque mode).
     pub max_local_states: usize,
+    /// Which migration scheduler to use.
+    pub scheduler: SchedulerKind,
     /// Observability: when enabled, every worker records phase timers
     /// and an event timeline (disabled by default; DESIGN.md §11).
     pub obs: ObsConfig,
 }
 
 impl ParallelConfig {
-    /// Config with default batch size and local-state cap.
+    /// Config with default batch size, local-state cap, and the deque
+    /// scheduler.
     pub fn new(workers: usize, max_steps: u64) -> ParallelConfig {
         ParallelConfig {
             workers,
             max_steps,
             batch: 64,
             max_local_states: 8,
+            scheduler: SchedulerKind::Deque,
             obs: ObsConfig::default(),
         }
+    }
+
+    /// The same config running the injector baseline.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> ParallelConfig {
+        self.scheduler = scheduler;
+        self
     }
 }
 
@@ -144,10 +190,17 @@ pub struct ParallelReport {
     pub covered_blocks: HashSet<u32>,
     /// Total paths terminated.
     pub total_paths: usize,
-    /// Total states migrated through the shared queue.
+    /// Total exported states taken by a *different* worker.
     pub steals: u64,
-    /// Total states exported to the shared queue.
+    /// Total exported states popped back by their own exporter (deque
+    /// mode only).
+    pub reclaims: u64,
+    /// Total states exported for migration.
     pub exports: u64,
+    /// Exported states never taken before the run ended — nonzero only
+    /// when the step budget truncated exploration. Every export is
+    /// accounted: `exports == steals + reclaims + queue_leftover`.
+    pub queue_leftover: u64,
     /// Shared solver query-cache counters (cross-worker hits).
     pub shared_cache: SharedCacheStats,
     /// Shared translation-block cache counters.
@@ -186,41 +239,15 @@ impl WorkerContext<'_> {
     }
 }
 
-/// The work-stealing scheduler shared by all workers.
-struct Scheduler {
-    sched: Mutex<SchedState>,
-    cv: Condvar,
-    /// Steps claimed from the global budget so far.
+/// The global step budget, claimed batch-wise by workers.
+struct StepBudget {
     steps: AtomicU64,
-    /// Mirror of `SchedState::idle` readable without the lock, used by
-    /// busy workers deciding whether to export.
-    hungry: AtomicUsize,
-    /// Mirror of `SchedState::done` readable without the lock.
-    done: AtomicBool,
-    steals: AtomicU64,
-    exports: AtomicU64,
 }
 
-struct SchedState {
-    queue: VecDeque<ExecState>,
-    idle: usize,
-    done: bool,
-}
-
-impl Scheduler {
-    fn new() -> Scheduler {
-        Scheduler {
-            sched: Mutex::new(SchedState {
-                queue: VecDeque::new(),
-                idle: 0,
-                done: false,
-            }),
-            cv: Condvar::new(),
+impl StepBudget {
+    fn new() -> StepBudget {
+        StepBudget {
             steps: AtomicU64::new(0),
-            hungry: AtomicUsize::new(0),
-            done: AtomicBool::new(false),
-            steals: AtomicU64::new(0),
-            exports: AtomicU64::new(0),
         }
     }
 
@@ -251,6 +278,46 @@ impl Scheduler {
             self.steps.fetch_sub(unused, Ordering::Relaxed);
         }
     }
+}
+
+/// The PR-1 injector scheduler: one shared queue behind a mutex, kept
+/// as the ablation baseline ([`SchedulerKind::Injector`]).
+struct InjectorScheduler {
+    sched: Mutex<InjectorState>,
+    cv: Condvar,
+    budget: StepBudget,
+    /// Mirror of `InjectorState::idle` readable without the lock, used
+    /// by busy workers deciding whether to export. Balanced on every
+    /// worker exit path — asserted 0 after join.
+    hungry: AtomicUsize,
+    /// Mirror of `InjectorState::done` readable without the lock.
+    done: AtomicBool,
+    steals: AtomicU64,
+    exports: AtomicU64,
+}
+
+struct InjectorState {
+    queue: VecDeque<ExecState>,
+    idle: usize,
+    done: bool,
+}
+
+impl InjectorScheduler {
+    fn new() -> InjectorScheduler {
+        InjectorScheduler {
+            sched: Mutex::new(InjectorState {
+                queue: VecDeque::new(),
+                idle: 0,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            budget: StepBudget::new(),
+            hungry: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            exports: AtomicU64::new(0),
+        }
+    }
 
     fn export(&self, states: Vec<ExecState>) {
         if states.is_empty() {
@@ -276,7 +343,136 @@ impl Scheduler {
 /// Batches between [`EventKind::CacheSnapshot`] events when recording.
 const SNAPSHOT_EVERY_BATCHES: u64 = 16;
 
-fn worker_loop<F>(w: usize, cfg: &ParallelConfig, sched: &Scheduler, shared: &SharedEngineContext, build: &F) -> WorkerReport
+/// Idle-pressure bookkeeping (deque scheduler): each observed park adds
+/// [`IDLE_PRESSURE_BUMP`], capped at [`IDLE_PRESSURE_CAP`]; every export
+/// decision decays the signal by 1/8 (at least 1). While nonzero, the
+/// local-state cap is halved so starving workers find exports sooner.
+const IDLE_PRESSURE_BUMP: u32 = 256;
+const IDLE_PRESSURE_CAP: u32 = 4096;
+
+/// The deque scheduler: per-worker Chase–Lev deques, a lock only for
+/// parking, and cross-worker termination detection (DESIGN.md §12).
+struct DequeScheduler {
+    /// Stealer handles for every worker's deque, indexed by worker.
+    stealers: Vec<Stealer<ExecState>>,
+    budget: StepBudget,
+    /// Workers currently in the steal phase (no local work). The
+    /// lock-free starvation hint: exporters notify the condvar and halve
+    /// their keep threshold only when it is nonzero. Balanced on every
+    /// exit path — asserted 0 after join.
+    hungry: AtomicUsize,
+    /// Exported states not yet taken (incremented *before* the push,
+    /// decremented *after* a successful take, so 0 proves no state is
+    /// resident in or in flight toward any deque).
+    pending: AtomicU64,
+    done: AtomicBool,
+    /// Decayed park-frequency signal fed back into export decisions.
+    idle_pressure: AtomicU32,
+    /// Workers inside the park section. Guarded by `park` — the only
+    /// lock, never touched while any deque has work.
+    park: Mutex<usize>,
+    cv: Condvar,
+    steals: AtomicU64,
+    reclaims: AtomicU64,
+    exports: AtomicU64,
+}
+
+impl DequeScheduler {
+    fn new(stealers: Vec<Stealer<ExecState>>) -> DequeScheduler {
+        DequeScheduler {
+            stealers,
+            budget: StepBudget::new(),
+            hungry: AtomicUsize::new(0),
+            pending: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            idle_pressure: AtomicU32::new(0),
+            park: Mutex::new(0),
+            cv: Condvar::new(),
+            steals: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            exports: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes surplus states on the exporting worker's own deque and
+    /// wakes parked workers if anyone is starving.
+    fn export(&self, own: &deque::Worker<ExecState>, states: Vec<ExecState>) {
+        if states.is_empty() {
+            return;
+        }
+        let n = states.len() as u64;
+        self.exports.fetch_add(n, Ordering::Relaxed);
+        // Raise `pending` before the states become stealable: a parker
+        // that misses the pushes in its scan still sees pending > 0 in
+        // its under-lock recheck and rescans instead of sleeping.
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        for s in states {
+            own.push(s);
+        }
+        // SeqCst pairing with the parker (hungry increment → scan):
+        // if we read hungry == 0 here, the parker's increment is later
+        // in the total order, so its pending recheck is later than our
+        // fetch_add above and it will not sleep — skipping the notify
+        // (and the lock) is safe.
+        if self.hungry.load(Ordering::SeqCst) > 0 {
+            // Empty critical section: the notify must not land between
+            // a parker's predicate check and its wait.
+            drop(self.park.lock().unwrap());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Ends the exploration for everyone (budget exhausted, or all
+    /// workers parked with nothing pending).
+    fn finish_all(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        drop(self.park.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    fn bump_idle_pressure(&self) {
+        let _ = self.idle_pressure.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+            Some((p + IDLE_PRESSURE_BUMP).min(IDLE_PRESSURE_CAP))
+        });
+    }
+
+    /// Decays the pressure signal and returns its pre-decay value.
+    fn decay_idle_pressure(&self) -> u32 {
+        match self.idle_pressure.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+            if p == 0 {
+                None
+            } else {
+                Some(p - (p / 8).max(1))
+            }
+        }) {
+            Ok(prev) => prev,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// Emits a cumulative cache-effectiveness snapshot (throttled by the
+/// caller — reading the shared translation-cache counters takes its
+/// lock).
+fn note_cache_snapshot(engine: &mut Engine) {
+    let dbt = engine.dbt_stats();
+    let sv = engine.solver_stats();
+    let snapshot = EventKind::CacheSnapshot {
+        tb_hits: dbt.hits,
+        tb_translations: dbt.translations,
+        query_cache_hits: sv.cache_hits + sv.shared_hits,
+        queries: sv.queries,
+    };
+    engine.recorder_mut().note(snapshot);
+}
+
+fn injector_worker_loop<F>(
+    w: usize,
+    cfg: &ParallelConfig,
+    sched: &InjectorScheduler,
+    shared: &SharedEngineContext,
+    build: &F,
+) -> WorkerReport
 where
     F: Fn(&WorkerContext) -> Engine + Sync,
 {
@@ -304,7 +500,7 @@ where
             if sched.done.load(Ordering::Relaxed) {
                 break 'outer;
             }
-            let claimed = sched.claim(cfg.max_steps, cfg.batch);
+            let claimed = sched.budget.claim(cfg.max_steps, cfg.batch);
             if claimed == 0 {
                 sched.finish_all();
                 break 'outer;
@@ -316,24 +512,13 @@ where
                 }
                 used += 1;
             }
-            sched.refund(claimed - used);
+            sched.budget.refund(claimed - used);
             batches += 1;
 
             // Periodic cache-effectiveness snapshot (cumulative counters;
-            // deltas between snapshots show warm-up). Throttled because
-            // reading the shared translation-cache counters takes the
-            // cache lock — per batch that contends with workers
-            // translating.
+            // deltas between snapshots show warm-up).
             if engine.recorder().is_enabled() && batches % SNAPSHOT_EVERY_BATCHES == 0 {
-                let dbt = engine.dbt_stats();
-                let sv = engine.solver_stats();
-                let snapshot = EventKind::CacheSnapshot {
-                    tb_hits: dbt.hits,
-                    tb_translations: dbt.translations,
-                    query_cache_hits: sv.cache_hits + sv.shared_hits,
-                    queries: sv.queries,
-                };
-                engine.recorder_mut().note(snapshot);
+                note_cache_snapshot(&mut engine);
             }
 
             // Phase 2: export fork overflow instead of hoarding it.
@@ -383,6 +568,10 @@ where
             sched.hungry.fetch_add(1, Ordering::Relaxed);
             if g.idle == cfg.workers {
                 // Every worker is idle and the queue is empty: done.
+                // Balance our own idle/hungry increment before leaving so
+                // the mirrors read 0 after join.
+                g.idle -= 1;
+                sched.hungry.fetch_sub(1, Ordering::Relaxed);
                 g.done = true;
                 sched.done.store(true, Ordering::Relaxed);
                 drop(g);
@@ -399,6 +588,200 @@ where
     }
 
     sched.steals.fetch_add(steals, Ordering::Relaxed);
+    finish_worker_report(w, engine, steals, 0, exports)
+}
+
+fn deque_worker_loop<F>(
+    w: usize,
+    cfg: &ParallelConfig,
+    sched: &DequeScheduler,
+    shared: &SharedEngineContext,
+    own: deque::Worker<ExecState>,
+    build: &F,
+) -> WorkerReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
+    let ctx = WorkerContext {
+        worker: w,
+        workers: cfg.workers,
+        shared,
+    };
+    let mut engine = build(&ctx);
+    if cfg.obs.enabled {
+        engine.set_recorder(Recorder::new(w, &cfg.obs));
+    }
+    if w != 0 {
+        engine.drain_states();
+    }
+    // Victim scan order is reshuffled per scan with a per-worker seeded
+    // generator: workers don't all hammer the same victim, runs with the
+    // same schedule reproduce, and the *outcome* never depends on the
+    // order (every state is explored wherever it lands).
+    let mut rng = SplitMix64::new(0x5_2e5_7ea1 ^ ((w as u64 + 1) << 32));
+    let mut victims: Vec<usize> = (0..cfg.workers).filter(|&v| v != w).collect();
+    let mut steals = 0u64;
+    let mut reclaims = 0u64;
+    let mut exports = 0u64;
+    let mut batches = 0u64;
+
+    'outer: loop {
+        // Phase 1: run local work, batch by batch.
+        while engine.live_count() > 0 {
+            if sched.done.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let claimed = sched.budget.claim(cfg.max_steps, cfg.batch);
+            if claimed == 0 {
+                sched.finish_all();
+                break 'outer;
+            }
+            let mut used = 0;
+            while used < claimed {
+                if engine.step().is_none() {
+                    break;
+                }
+                used += 1;
+            }
+            sched.budget.refund(claimed - used);
+            batches += 1;
+
+            if engine.recorder().is_enabled() && batches % SNAPSHOT_EVERY_BATCHES == 0 {
+                note_cache_snapshot(&mut engine);
+            }
+
+            // Phase 2: export fork overflow onto our own deque bottom.
+            // Eagerness is observability-fed: instantaneous starvation
+            // (`hungry`) halves the frontier outright; decayed park
+            // pressure halves the keep cap. Neither changes the outcome,
+            // only how soon surplus becomes stealable.
+            let live = engine.live_count();
+            let hungry_now = sched.hungry.load(Ordering::Relaxed);
+            let pressure = sched.decay_idle_pressure();
+            let keep = if hungry_now > 0 && live > 1 {
+                (live + 1) / 2
+            } else if pressure > 0 {
+                (cfg.max_local_states / 2).max(1).min(live)
+            } else if live > cfg.max_local_states {
+                cfg.max_local_states
+            } else {
+                live
+            };
+            if keep < live {
+                let obs = engine.recorder_mut();
+                obs.enter(Phase::Migrate);
+                obs.note(EventKind::ExportDecision {
+                    keep: keep as u32,
+                    idle_pressure: pressure,
+                    hungry: hungry_now as u32,
+                });
+                let surplus = engine.detach_overflow(keep);
+                let count = surplus.len();
+                exports += count as u64;
+                sched.export(&own, surplus);
+                engine.recorder_mut().note(EventKind::Export { count: count as u32 });
+                engine.recorder_mut().exit(Phase::Migrate);
+            }
+        }
+
+        // Phase 3: local frontier dry. Reclaim our own overflow first
+        // (newest first — depth-first locality, no contention), then
+        // steal from victims, then park.
+        engine.recorder_mut().enter(Phase::Migrate);
+        if let Some(state) = own.pop() {
+            sched.pending.fetch_sub(1, Ordering::SeqCst);
+            reclaims += 1;
+            engine.recorder_mut().exit(Phase::Migrate);
+            engine.attach_state(state);
+            continue 'outer;
+        }
+        sched.hungry.fetch_add(1, Ordering::SeqCst);
+        loop {
+            if sched.done.load(Ordering::SeqCst) {
+                sched.hungry.fetch_sub(1, Ordering::SeqCst);
+                engine.recorder_mut().exit(Phase::Migrate);
+                break 'outer;
+            }
+            // Our own deque cannot refill (only its owner pushes), so
+            // scan the victims. A Retry means we raced another thief on
+            // a non-empty deque — spin and rescan rather than park.
+            let mut saw_retry = false;
+            rng.shuffle(&mut victims);
+            for &v in &victims {
+                match sched.stealers[v].steal() {
+                    Steal::Success(state) => {
+                        // Leave the steal phase *before* lowering
+                        // `pending`: the park-section completion check
+                        // reads pending under the lock, and this order
+                        // guarantees a worker holding a just-taken state
+                        // is never counted as parked.
+                        sched.hungry.fetch_sub(1, Ordering::SeqCst);
+                        sched.pending.fetch_sub(1, Ordering::SeqCst);
+                        steals += 1;
+                        let obs = engine.recorder_mut();
+                        obs.note(EventKind::QueueDepth {
+                            depth: sched.stealers[v].len() as u32,
+                        });
+                        obs.note(EventKind::Steal { state: state.id.0 });
+                        obs.exit(Phase::Migrate);
+                        engine.attach_state(state);
+                        continue 'outer;
+                    }
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if saw_retry {
+                std::hint::spin_loop();
+                continue;
+            }
+            // Every deque observed empty: enter the park section.
+            let mut idle = sched.park.lock().unwrap();
+            // Recheck under the lock — an exporter raises `pending`
+            // before its pushes and notifies while holding this lock,
+            // so a true wait predicate here cannot lose a wakeup.
+            if sched.done.load(Ordering::SeqCst) || sched.pending.load(Ordering::SeqCst) > 0 {
+                drop(idle);
+                continue;
+            }
+            *idle += 1;
+            if *idle == cfg.workers {
+                // All workers are inside the park section and nothing is
+                // pending: exploration is complete. `pending` cannot
+                // rise while idle == workers — an exporter is by
+                // definition a worker outside this section.
+                *idle -= 1;
+                drop(idle);
+                sched.finish_all();
+                continue; // loop top observes done and exits
+            }
+            // We are about to sleep: that observation *is* the idle
+            // signal the export heuristic feeds on.
+            sched.bump_idle_pressure();
+            engine.recorder_mut().enter(Phase::Idle);
+            while !sched.done.load(Ordering::SeqCst)
+                && sched.pending.load(Ordering::SeqCst) == 0
+            {
+                idle = sched.cv.wait(idle).unwrap();
+            }
+            engine.recorder_mut().exit(Phase::Idle);
+            *idle -= 1;
+            drop(idle);
+        }
+    }
+
+    sched.steals.fetch_add(steals, Ordering::Relaxed);
+    sched.reclaims.fetch_add(reclaims, Ordering::Relaxed);
+    finish_worker_report(w, engine, steals, reclaims, exports)
+}
+
+fn finish_worker_report(
+    w: usize,
+    mut engine: Engine,
+    steals: u64,
+    reclaims: u64,
+    exports: u64,
+) -> WorkerReport {
     let solver = engine.solver_stats().clone();
     WorkerReport {
         worker: w,
@@ -411,40 +794,34 @@ where
         stats: engine.stats().clone(),
         solver,
         steals,
+        reclaims,
         exports,
         timeline: engine.take_timeline(),
     }
 }
 
-/// Runs a work-stealing exploration: `build(ctx)` constructs each
-/// worker's engine (load the image, inject symbolic inputs, register
-/// plugins) through [`WorkerContext::engine`] so all workers share one
-/// expression builder, one translation-block cache, and one solver query
-/// cache. Worker 0's initial state seeds the exploration; all other
-/// initial states are discarded and those workers steal.
-pub fn explore_parallel<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
-where
-    F: Fn(&WorkerContext) -> Engine + Sync,
-{
-    assert!(cfg.workers > 0 && cfg.batch > 0 && cfg.max_local_states > 0);
-    let shared = SharedEngineContext::new();
-    let sched = Scheduler::new();
-    let build = &build;
-    let shared_ref = &shared;
-    let sched_ref = &sched;
-    let started = Instant::now();
-    let mut workers: Vec<WorkerReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.workers)
-            .map(|w| scope.spawn(move || worker_loop(w, cfg, sched_ref, shared_ref, build)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let wall_time = started.elapsed();
-    workers.sort_by_key(|r| r.worker);
+struct MigrationTotals {
+    steals: u64,
+    reclaims: u64,
+    exports: u64,
+    queue_leftover: u64,
+}
 
+fn merge_reports(
+    mut workers: Vec<WorkerReport>,
+    shared: &SharedEngineContext,
+    totals: MigrationTotals,
+    wall_time: Duration,
+) -> ParallelReport {
+    workers.sort_by_key(|r| r.worker);
+    // Every exported state must be accounted for: taken by another
+    // worker, reclaimed by its exporter, or left in a queue when the
+    // budget ended the run.
+    assert_eq!(
+        totals.exports,
+        totals.steals + totals.reclaims + totals.queue_leftover,
+        "state conservation violated"
+    );
     let mut stats = EngineStats::default();
     let mut solver = SolverStats::default();
     let mut bugs = Vec::new();
@@ -463,13 +840,142 @@ where
         bugs,
         covered_blocks,
         total_paths,
-        steals: sched.steals.load(Ordering::Relaxed),
-        exports: sched.exports.load(Ordering::Relaxed),
+        steals: totals.steals,
+        reclaims: totals.reclaims,
+        exports: totals.exports,
+        queue_leftover: totals.queue_leftover,
         shared_cache: shared.query_cache.stats(),
         dbt: shared.tb_cache.stats(),
         wall_time,
         workers,
     }
+}
+
+/// Runs a work-stealing exploration: `build(ctx)` constructs each
+/// worker's engine (load the image, inject symbolic inputs, register
+/// plugins) through [`WorkerContext::engine`] so all workers share one
+/// expression builder, one translation-block cache, and one solver query
+/// cache. Worker 0's initial state seeds the exploration; all other
+/// initial states are discarded and those workers steal.
+///
+/// [`ParallelConfig::scheduler`] picks the migration scheduler; the
+/// outcome (paths, bugs, coverage) is identical either way.
+pub fn explore_parallel<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
+    assert!(cfg.workers > 0 && cfg.batch > 0 && cfg.max_local_states > 0);
+    match cfg.scheduler {
+        SchedulerKind::Deque => explore_deque(cfg, build),
+        SchedulerKind::Injector => explore_injector(cfg, build),
+    }
+}
+
+fn explore_injector<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
+    let shared = SharedEngineContext::new();
+    let sched = InjectorScheduler::new();
+    let build = &build;
+    let shared_ref = &shared;
+    let sched_ref = &sched;
+    let started = Instant::now();
+    let workers: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| scope.spawn(move || injector_worker_loop(w, cfg, sched_ref, shared_ref, build)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let wall_time = started.elapsed();
+    assert_eq!(
+        sched.hungry.load(Ordering::Relaxed),
+        0,
+        "hungry accounting unbalanced after join"
+    );
+    // Whatever is still in the queue was exported but never stolen —
+    // possible only on budget-truncated runs.
+    let queue_leftover = sched.sched.lock().unwrap().queue.len() as u64;
+    merge_reports(
+        workers,
+        &shared,
+        MigrationTotals {
+            steals: sched.steals.load(Ordering::Relaxed),
+            reclaims: 0,
+            exports: sched.exports.load(Ordering::Relaxed),
+            queue_leftover,
+        },
+        wall_time,
+    )
+}
+
+fn explore_deque<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
+    let shared = SharedEngineContext::new();
+    let mut owners = Vec::with_capacity(cfg.workers);
+    let mut stealers = Vec::with_capacity(cfg.workers);
+    for _ in 0..cfg.workers {
+        let (worker, stealer) = deque::deque::<ExecState>();
+        owners.push(worker);
+        stealers.push(stealer);
+    }
+    let sched = DequeScheduler::new(stealers);
+    let build = &build;
+    let shared_ref = &shared;
+    let sched_ref = &sched;
+    let started = Instant::now();
+    let workers: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = owners
+            .into_iter()
+            .enumerate()
+            .map(|(w, own)| {
+                scope.spawn(move || deque_worker_loop(w, cfg, sched_ref, shared_ref, own, build))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let wall_time = started.elapsed();
+    assert_eq!(
+        sched.hungry.load(Ordering::Relaxed),
+        0,
+        "hungry accounting unbalanced after join"
+    );
+    // Drain what the budget stranded in the deques; workers are joined,
+    // so steals cannot race and Retry cannot occur.
+    let mut queue_leftover = 0u64;
+    for s in &sched.stealers {
+        loop {
+            match s.steal() {
+                Steal::Success(_) => queue_leftover += 1,
+                Steal::Retry => std::hint::spin_loop(),
+                Steal::Empty => break,
+            }
+        }
+    }
+    assert_eq!(
+        queue_leftover,
+        sched.pending.load(Ordering::Relaxed),
+        "pending counter out of sync with resident states"
+    );
+    merge_reports(
+        workers,
+        &shared,
+        MigrationTotals {
+            steals: sched.steals.load(Ordering::Relaxed),
+            reclaims: sched.reclaims.load(Ordering::Relaxed),
+            exports: sched.exports.load(Ordering::Relaxed),
+            queue_leftover,
+        },
+        wall_time,
+    )
 }
 
 /// Constrains `input` to worker `i`'s slice of the 32-bit value space —
@@ -519,21 +1025,7 @@ where
                 scope.spawn(move || {
                     let mut engine = setup(w, workers);
                     engine.run(max_steps);
-                    let solver = engine.solver_stats().clone();
-                    WorkerReport {
-                        worker: w,
-                        paths: engine.terminated().len(),
-                        shared_query_hits: solver.shared_hits,
-                        solver_queries: solver.queries,
-                        solver_core_solves: solver.core_solves,
-                        bugs: engine.bugs().to_vec(),
-                        covered_blocks: engine.seen_blocks().clone(),
-                        stats: engine.stats().clone(),
-                        solver,
-                        steals: 0,
-                        exports: 0,
-                        timeline: engine.take_timeline(),
-                    }
+                    finish_worker_report(w, engine, 0, 0, 0)
                 })
             })
             .collect();
@@ -614,10 +1106,18 @@ mod tests {
     }
 
     #[test]
+    fn injector_baseline_explores_all_paths() {
+        let cfg = ParallelConfig::new(4, 10_000).with_scheduler(SchedulerKind::Injector);
+        let report = explore_parallel(&cfg, branchy_worker);
+        assert_eq!(report.total_paths, 3, "{report:?}");
+        assert_eq!(report.reclaims, 0, "injector never reclaims");
+    }
+
+    #[test]
     fn single_worker_degenerates_to_sequential() {
         let par = explore_parallel(&ParallelConfig::new(1, 10_000), branchy_worker);
         assert_eq!(par.workers.len(), 1);
-        assert_eq!(par.steals, 0);
+        assert_eq!(par.steals, 0, "one worker has no one to steal from");
         let mut seq = static_worker(0, 1);
         seq.run(10_000);
         assert_eq!(par.total_paths, seq.terminated().len());
@@ -626,19 +1126,66 @@ mod tests {
     #[test]
     fn stealing_matches_sequential_path_count() {
         let seq = explore_parallel(&ParallelConfig::new(1, 10_000), branchy_worker);
-        // A tiny export threshold forces migration even on a small tree.
-        let mut cfg = ParallelConfig::new(4, 10_000);
-        cfg.batch = 1;
-        cfg.max_local_states = 1;
-        let par = explore_parallel(&cfg, branchy_worker);
-        assert_eq!(par.total_paths, seq.total_paths);
-        assert_eq!(par.exports, par.steals + queued_leftover(&par), "states conserved");
+        for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+            // A tiny export threshold forces migration even on a small
+            // tree.
+            let mut cfg = ParallelConfig::new(4, 10_000).with_scheduler(scheduler);
+            cfg.batch = 1;
+            cfg.max_local_states = 1;
+            let par = explore_parallel(&cfg, branchy_worker);
+            assert_eq!(par.total_paths, seq.total_paths, "{scheduler:?}");
+            // Exhaustive run: nothing may be stranded.
+            assert_eq!(par.queue_leftover, 0, "{scheduler:?}");
+            assert_eq!(
+                par.exports,
+                par.steals + par.reclaims + par.queue_leftover,
+                "{scheduler:?}: states conserved"
+            );
+        }
     }
 
-    /// Exported-but-never-stolen states only exist if the run ended on
-    /// budget; with exhaustive runs the queue drains completely.
-    fn queued_leftover(_r: &ParallelReport) -> u64 {
-        0
+    /// Budget-truncated runs strand exported states; they must be
+    /// counted, not silently dropped — and conservation must hold at
+    /// every truncation point, not just on exhaustive runs.
+    #[test]
+    fn truncated_budget_reports_nonzero_leftover() {
+        for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+            let mut saw_leftover = false;
+            for budget in 1..=12u64 {
+                // Single worker, single-state cap: every fork surplus is
+                // exported, and nobody else can drain it when the budget
+                // dies first. Deterministic, so the sweep is stable.
+                let mut cfg = ParallelConfig::new(1, budget).with_scheduler(scheduler);
+                cfg.batch = 1;
+                cfg.max_local_states = 1;
+                let r = explore_parallel(&cfg, branchy_worker);
+                assert_eq!(
+                    r.exports,
+                    r.steals + r.reclaims + r.queue_leftover,
+                    "{scheduler:?} budget {budget}: states conserved"
+                );
+                if r.queue_leftover > 0 {
+                    saw_leftover = true;
+                }
+            }
+            assert!(
+                saw_leftover,
+                "{scheduler:?}: no truncation point stranded a state — \
+                 the leftover accounting is untested"
+            );
+        }
+    }
+
+    #[test]
+    fn deque_and_injector_agree() {
+        let mut deque_cfg = ParallelConfig::new(3, 10_000);
+        deque_cfg.batch = 1;
+        deque_cfg.max_local_states = 1;
+        let injector_cfg = deque_cfg.with_scheduler(SchedulerKind::Injector);
+        let a = explore_parallel(&deque_cfg, branchy_worker);
+        let b = explore_parallel(&injector_cfg, branchy_worker);
+        assert_eq!(a.total_paths, b.total_paths);
+        assert_eq!(a.covered_blocks, b.covered_blocks);
     }
 
     #[test]
@@ -655,12 +1202,14 @@ mod tests {
 
     #[test]
     fn budget_stops_all_workers() {
-        // A budget far too small to finish: the run must still terminate
-        // and report at most that many steps.
-        let mut cfg = ParallelConfig::new(4, 8);
-        cfg.batch = 2;
-        let report = explore_parallel(&cfg, branchy_worker);
-        assert!(report.stats.blocks_executed <= 8, "{report:?}");
+        for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+            // A budget far too small to finish: the run must still
+            // terminate and report at most that many steps.
+            let mut cfg = ParallelConfig::new(4, 8).with_scheduler(scheduler);
+            cfg.batch = 2;
+            let report = explore_parallel(&cfg, branchy_worker);
+            assert!(report.stats.blocks_executed <= 8, "{report:?}");
+        }
     }
 
     #[test]

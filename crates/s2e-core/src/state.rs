@@ -122,6 +122,12 @@ pub struct ExecState {
     pub env_stack: Vec<EnvFrame>,
     /// Fork depth.
     pub depth: u32,
+    /// Forks this path has survived (parent or child side) — the
+    /// numerator of [`ExecState::subtree_estimate`].
+    pub forks_on_path: u32,
+    /// Translation blocks executed on this path — the fork-rate
+    /// denominator of [`ExecState::subtree_estimate`].
+    pub blocks_on_path: u64,
     /// Instructions retired on this path.
     pub instrs_retired: u64,
     /// Fractional symbolic-instruction cycles not yet charged to the
@@ -149,6 +155,8 @@ impl ExecState {
             forking_enabled: true,
             env_stack: Vec::new(),
             depth: 0,
+            forks_on_path: 0,
+            blocks_on_path: 0,
             instrs_retired: 0,
             sym_time_accum: 0,
             kill_requested: None,
@@ -220,6 +228,24 @@ impl ExecState {
         child.parent = Some(self.id);
         child.depth = self.depth + 1;
         child
+    }
+
+    /// Deterministic integer estimate of the size of the subtree rooted
+    /// at this state, used by `Engine::detach_overflow` to pick export
+    /// victims (DESIGN.md §12): a path that has been forking frequently
+    /// per block executed, and is still shallow, is likely to keep
+    /// spawning work, so exporting it moves the most future work per
+    /// migrated state.
+    ///
+    /// `(forks + 1) << 20` over `(blocks + 1) * (depth + 1)`: the fork
+    /// *rate* rewards recently-branchy paths, the depth divisor damps
+    /// near-exhausted deep subtrees. Pure integer arithmetic on path
+    /// counters carried by the state, so equal inputs give equal scores
+    /// on every worker and run — ties are broken by `(depth, id)`.
+    pub fn subtree_estimate(&self) -> u64 {
+        let forks = u64::from(self.forks_on_path) + 1;
+        let damp = (self.blocks_on_path + 1).saturating_mul(u64::from(self.depth) + 1);
+        (forks << 20) / damp
     }
 }
 
@@ -332,6 +358,30 @@ mod tests {
         assert_eq!(c.parent, Some(StateId(0)));
         assert_eq!(c.depth, 1);
         assert_eq!(c.id, StateId(5));
+    }
+
+    #[test]
+    fn subtree_estimate_orders_branchy_shallow_paths_first() {
+        let mut hot = state();
+        hot.forks_on_path = 6;
+        hot.blocks_on_path = 10;
+        hot.depth = 2;
+
+        // Same forks but spread over many more blocks: lower fork rate.
+        let mut cold = hot.clone();
+        cold.blocks_on_path = 500;
+        assert!(hot.subtree_estimate() > cold.subtree_estimate());
+
+        // Same fork rate but much deeper: damped.
+        let mut deep = hot.clone();
+        deep.depth = 40;
+        assert!(hot.subtree_estimate() > deep.subtree_estimate());
+
+        // Pure function of the carried counters — identical on a clone.
+        assert_eq!(hot.subtree_estimate(), hot.clone().subtree_estimate());
+
+        // Fresh state never divides by zero.
+        assert!(state().subtree_estimate() > 0);
     }
 
     #[test]

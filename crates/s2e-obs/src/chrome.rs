@@ -47,6 +47,14 @@ pub fn chrome_trace(timelines: &[WorkerTimeline]) -> String {
                         EventKind::QueueDepth { depth } => Json::obj().set("depth", depth),
                         EventKind::Steal { state } => Json::obj().set("state", state),
                         EventKind::Export { count } => Json::obj().set("count", count),
+                        EventKind::ExportDecision {
+                            keep,
+                            idle_pressure,
+                            hungry,
+                        } => Json::obj()
+                            .set("keep", keep)
+                            .set("idle_pressure", idle_pressure)
+                            .set("hungry", hungry),
                         EventKind::CacheSnapshot {
                             tb_hits,
                             tb_translations,

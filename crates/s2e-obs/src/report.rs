@@ -230,6 +230,14 @@ fn event_to_json(e: &Event) -> Json {
         EventKind::QueueDepth { depth } => base.set("depth", depth),
         EventKind::Steal { state } => base.set("state", state),
         EventKind::Export { count } => base.set("count", count),
+        EventKind::ExportDecision {
+            keep,
+            idle_pressure,
+            hungry,
+        } => base
+            .set("keep", keep)
+            .set("idle_pressure", idle_pressure)
+            .set("hungry", hungry),
         EventKind::CacheSnapshot {
             tb_hits,
             tb_translations,
@@ -267,6 +275,11 @@ fn event_from_json(j: &Json) -> Option<Event> {
         },
         "export" => EventKind::Export {
             count: field("count")? as u32,
+        },
+        "export_decision" => EventKind::ExportDecision {
+            keep: field("keep")? as u32,
+            idle_pressure: field("idle_pressure")? as u32,
+            hungry: field("hungry")? as u32,
         },
         "cache_snapshot" => EventKind::CacheSnapshot {
             tb_hits: field("tb_hits")?,
@@ -308,16 +321,27 @@ mod tests {
         let mut t1 = WorkerTimeline::empty(1);
         t1.totals.add_span(Phase::Idle, 5_000);
         t1.dropped = 2;
-        t1.events = vec![Event {
-            seq: 7,
-            ts_ns: 3,
-            kind: EventKind::CacheSnapshot {
-                tb_hits: 10,
-                tb_translations: 2,
-                query_cache_hits: 4,
-                queries: 9,
+        t1.events = vec![
+            Event {
+                seq: 7,
+                ts_ns: 3,
+                kind: EventKind::CacheSnapshot {
+                    tb_hits: 10,
+                    tb_translations: 2,
+                    query_cache_hits: 4,
+                    queries: 9,
+                },
             },
-        }];
+            Event {
+                seq: 8,
+                ts_ns: 5,
+                kind: EventKind::ExportDecision {
+                    keep: 4,
+                    idle_pressure: 512,
+                    hungry: 1,
+                },
+            },
+        ];
         let mut r = RunReport::new(123_456);
         // Out of order on purpose: add_worker keeps them sorted.
         r.add_worker(t1);

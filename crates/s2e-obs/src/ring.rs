@@ -18,6 +18,15 @@ pub enum EventKind {
     Steal { state: u64 },
     /// States pushed to the shared queue.
     Export { count: u32 },
+    /// An export-eagerness decision in the deque scheduler (DESIGN.md
+    /// §12): `keep` is the local-state cap chosen, `idle_pressure` the
+    /// decayed park-frequency signal that chose it, and `hungry` the
+    /// number of workers observed starving at that instant.
+    ExportDecision {
+        keep: u32,
+        idle_pressure: u32,
+        hungry: u32,
+    },
     /// Point-in-time cache effectiveness snapshot (translation-block
     /// cache and solver query cache, cumulative counters).
     CacheSnapshot {
@@ -38,6 +47,7 @@ impl EventKind {
             EventKind::QueueDepth { .. } => "queue_depth",
             EventKind::Steal { .. } => "steal",
             EventKind::Export { .. } => "export",
+            EventKind::ExportDecision { .. } => "export_decision",
             EventKind::CacheSnapshot { .. } => "cache_snapshot",
         }
     }

@@ -332,6 +332,12 @@ impl QueryStore {
     }
 
     fn insert(&mut self, key: u64, entry: CacheEntry) {
+        // A zero-capacity store caches nothing; inserting just to evict
+        // the same entry one line later would churn the inverted
+        // indexes for no retention at all.
+        if self.capacity == 0 {
+            return;
+        }
         match &entry.outcome {
             Cached::Sat(_) => {
                 for c in &entry.constraints {
@@ -372,8 +378,13 @@ impl QueryStore {
     /// inverted indexes of keys that no longer resolve. Evicting an
     /// eighth at a time keeps the ranking sort off the per-insert path:
     /// one O(n log n) wave amortizes over capacity/8 subsequent inserts.
+    /// The batch is clamped to at least one entry — below 8 entries
+    /// `capacity / 8` rounds to zero, which would leave `keep ==
+    /// capacity` and charge a full ranking sort to every single insert
+    /// past the cap.
     fn evict_cold(&mut self) {
-        let keep = self.capacity - self.capacity / 8;
+        let batch = (self.capacity / 8).max(1);
+        let keep = self.capacity.saturating_sub(batch);
         if self.entries.len() <= keep {
             return;
         }
@@ -1308,6 +1319,92 @@ mod tests {
         // Tightening the cap takes effect immediately.
         shared.set_capacity(4);
         assert!(shared.len() <= 4);
+    }
+
+    #[test]
+    fn tiny_capacity_eviction_batch_is_clamped() {
+        // Below 8 entries `capacity / 8` rounds to zero; the eviction
+        // batch must still be at least one below capacity, so a wave
+        // leaves the store strictly under the cap (and the ranking sort
+        // amortizes over the refill instead of running every insert).
+        let b = ExprBuilder::new();
+        for cap in [2usize, 4, 7] {
+            let mut s = Solver::with_config(SolverConfig {
+                cache_capacity: cap,
+                model_pool_size: 0,
+                ..SolverConfig::default()
+            });
+            let x = b.var("x", Width::W16);
+            for i in 0..=cap as u64 {
+                assert!(s.check(&[b.eq(x.clone(), b.constant(i, Width::W16))]).is_sat());
+                assert!(s.cache.len() <= cap, "cap {cap}: store exceeded capacity");
+            }
+            assert!(
+                s.cache.len() < cap,
+                "cap {cap}: an eviction wave must dip below capacity, got {}",
+                s.cache.len()
+            );
+            assert!(s.cache.evictions > 0, "cap {cap}: churn past the cap evicts");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_store_drops_inserts_instead_of_thrashing() {
+        let b = ExprBuilder::new();
+        let mut s = Solver::with_config(SolverConfig {
+            cache_capacity: 0,
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        let x = b.var("x", Width::W16);
+        for i in 0..20u64 {
+            let eq = b.eq(x.clone(), b.constant(i, Width::W16));
+            assert!(s.check(std::slice::from_ref(&eq)).is_sat());
+            let clash = b.eq(x.clone(), b.constant(i + 1, Width::W16));
+            assert_eq!(s.check(&[eq, clash]), SatResult::Unsat);
+        }
+        assert_eq!(s.cache.len(), 0, "zero-capacity store holds nothing");
+        assert_eq!(
+            s.cache.evictions, 0,
+            "inserts must be dropped up front, not inserted and evicted"
+        );
+        assert!(s.cache.by_member.is_empty(), "no index rows without entries");
+        assert!(s.cache.unsat_by_rep.is_empty(), "no index rows without entries");
+    }
+
+    #[test]
+    fn shared_cache_survives_tiny_and_zero_capacities() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W16);
+
+        let tiny = SharedQueryCache::with_capacity(2);
+        let mut s = Solver::with_config(SolverConfig {
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        s.attach_shared_cache(tiny.clone());
+        for i in 0..50u64 {
+            assert!(s.check(&[b.eq(x.clone(), b.constant(i, Width::W16))]).is_sat());
+            assert!(tiny.len() <= 2, "shared cache exceeded tiny capacity");
+        }
+        assert!(tiny.stats().evictions > 0);
+
+        let zero = SharedQueryCache::with_capacity(0);
+        let mut s0 = Solver::with_config(SolverConfig {
+            model_pool_size: 0,
+            ..SolverConfig::default()
+        });
+        s0.attach_shared_cache(zero.clone());
+        for i in 0..20u64 {
+            assert!(s0.check(&[b.eq(x.clone(), b.constant(i, Width::W16))]).is_sat());
+        }
+        assert_eq!(zero.len(), 0);
+        assert_eq!(zero.stats().inserts, 20, "publication attempts are still counted");
+        assert_eq!(zero.stats().evictions, 0, "dropped inserts never become evictions");
+
+        // Zeroing the cap on a warm cache flushes it outright.
+        tiny.set_capacity(0);
+        assert_eq!(tiny.len(), 0);
     }
 
     #[test]

@@ -56,4 +56,13 @@ cargo run -q --release --offline -p bench --bin obs_overhead -- --smoke
 test -s results/run_report.json
 cargo run -q --release --offline -p s2e-tools --bin trace-report -- \
     results/run_report.json > /dev/null
+
+# Gate 6: scheduler-ablation smoke — the per-worker-deque scheduler and
+# the injector-queue baseline must explore the identical path set (same
+# count, same covered blocks) at every worker count, with state
+# conservation (exports == steals + reclaims + leftover) holding on
+# every run; emits results/parallel_scaling.json with both arms (exits
+# nonzero otherwise).
+cargo run -q --release --offline -p bench --bin parallel_scaling -- --smoke
+test -s results/parallel_scaling.json
 echo "verify: ok"

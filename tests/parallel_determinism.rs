@@ -1,13 +1,19 @@
 //! Work-stealing determinism: exploration outcome is a property of the
-//! guest, not of the schedule. The same guest and seed explored with 1
-//! worker and with 4 workers must produce the same total path count and
-//! the same bug set, even though which worker runs which state — and in
-//! what order — differs run to run.
+//! guest, not of the schedule. The same guest explored with any worker
+//! count, and with either migration scheduler (per-worker deques or the
+//! injector-queue baseline), must produce the same total path count and
+//! the same bug set — even though which worker runs which state, and in
+//! what order, differs run to run.
 
 use s2e::core::analyzers::BugCheck;
-use s2e::core::parallel::{explore_parallel, ParallelConfig, WorkerContext};
-use s2e::core::selectors::make_mem_symbolic;
-use s2e::core::{build_run_report, BugKind, ConsistencyModel, Engine, EngineConfig};
+use s2e::core::parallel::{explore_parallel, ParallelConfig, SchedulerKind, WorkerContext};
+use s2e::core::selectors::{constrain_range, make_config_symbolic, make_mem_symbolic};
+use s2e::core::{
+    build_run_report, BugKind, CodeRanges, ConsistencyModel, Engine, EngineConfig,
+};
+use s2e::guests::drivers::{build_exerciser, smc91c111};
+use s2e::guests::kernel::{boot, standard_annotations};
+use s2e::guests::layout::cfg_keys;
 use s2e::obs::{merge_timelines, ObsConfig};
 use s2e::vm::asm::{Assembler, Program};
 use s2e::vm::isa::reg;
@@ -71,32 +77,132 @@ fn bug_set(report: &s2e::core::ParallelReport) -> Vec<(BugKind, u32, String)> {
     bugs
 }
 
+/// Every exported state must be accounted for — taken by another worker,
+/// reclaimed by its exporter, or (on budget-truncated runs only) left in
+/// a queue.
+fn assert_conserved(r: &s2e::core::ParallelReport) {
+    assert_eq!(
+        r.exports,
+        r.steals + r.reclaims + r.queue_leftover,
+        "state conservation"
+    );
+}
+
 #[test]
-fn one_and_four_workers_agree() {
-    let sequential = explore_parallel(&ParallelConfig::new(1, 100_000), worker_engine);
+fn path_count_identical_across_worker_counts() {
+    let baseline = explore_parallel(&ParallelConfig::new(1, 100_000), worker_engine);
+    assert_eq!(baseline.total_paths, 33, "gate + 32 subtree leaves");
+    assert_eq!(bug_set(&baseline).len(), 1);
+    assert_eq!(bug_set(&baseline)[0].0, BugKind::NullDereference);
+    assert_conserved(&baseline);
 
-    // Small batches and a tiny hoard cap force real migration.
-    let mut cfg = ParallelConfig::new(4, 100_000);
-    cfg.batch = 8;
-    cfg.max_local_states = 2;
-    let parallel = explore_parallel(&cfg, worker_engine);
+    for workers in [2usize, 3, 8] {
+        // Small batches and a tiny hoard cap force real migration.
+        let mut cfg = ParallelConfig::new(workers, 100_000);
+        cfg.batch = 8;
+        cfg.max_local_states = 2;
+        let parallel = explore_parallel(&cfg, worker_engine);
+        assert_eq!(
+            parallel.total_paths, baseline.total_paths,
+            "path count must not depend on worker count ({workers} workers)"
+        );
+        assert_eq!(
+            bug_set(&parallel),
+            bug_set(&baseline),
+            "bug set must not depend on worker count ({workers} workers)"
+        );
+        // The imbalanced tree cannot be explored by one engine alone
+        // when overflow is capped this aggressively: surplus states
+        // must have moved through the scheduler. (Whether another
+        // worker stole them or the exporter popped them back is
+        // timing-dependent; that they migrated is not.)
+        assert!(
+            parallel.exports > 0,
+            "expected migration at {workers} workers: {parallel:?}"
+        );
+        assert_conserved(&parallel);
+    }
+}
 
-    assert_eq!(sequential.total_paths, 33, "gate + 32 subtree leaves");
-    assert_eq!(
-        parallel.total_paths, sequential.total_paths,
-        "path count must not depend on worker count"
-    );
-    assert_eq!(
-        bug_set(&parallel),
-        bug_set(&sequential),
-        "bug set must not depend on worker count"
-    );
-    assert_eq!(bug_set(&sequential).len(), 1);
-    assert_eq!(bug_set(&sequential)[0].0, BugKind::NullDereference);
+/// The harshest migration schedule the config space allows: every batch
+/// is one block, and a worker may hoard exactly one state — every other
+/// live state is exported the moment it exists, so states cross the
+/// scheduler constantly (including mid-path, between two blocks of the
+/// same state).
+#[test]
+fn migration_stress_single_state_batches() {
+    let baseline = explore_parallel(&ParallelConfig::new(1, 100_000), worker_engine);
+    for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+        let mut cfg = ParallelConfig::new(4, 100_000).with_scheduler(scheduler);
+        cfg.batch = 1;
+        cfg.max_local_states = 1;
+        let stressed = explore_parallel(&cfg, worker_engine);
+        assert_eq!(
+            stressed.total_paths, baseline.total_paths,
+            "{scheduler:?}: path count survives per-block migration"
+        );
+        assert_eq!(
+            bug_set(&stressed),
+            bug_set(&baseline),
+            "{scheduler:?}: bug set survives per-block migration"
+        );
+        assert!(stressed.exports > 0, "{scheduler:?}: stress must migrate");
+        assert_eq!(
+            stressed.queue_leftover, 0,
+            "{scheduler:?}: exhaustive runs strand nothing"
+        );
+        assert_conserved(&stressed);
+    }
+}
 
-    // The imbalanced tree cannot be explored by one worker alone when
-    // migration is forced this aggressively.
-    assert!(parallel.steals > 0, "expected migration: {parallel:?}");
+/// A worker engine over the paper's 91C111 network-driver corpus under
+/// local consistency: kernel boot image + driver + entry exerciser with
+/// symbolic CardType/Flags config and symbolic hardware.
+fn driver_worker(ctx: &WorkerContext) -> Engine {
+    let driver = smc91c111::build();
+    let (mut machine, _kernel) = boot();
+    machine.load_aux(&driver.program);
+    let exerciser = build_exerciser(&driver, true);
+    machine.load(&exerciser);
+    let mut ec = EngineConfig::with_model(ConsistencyModel::Lc);
+    ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
+    ec.annotations = standard_annotations();
+    let mut e = ctx.engine(machine, ec);
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    let state = e.state_mut(id).unwrap();
+    let card = make_config_symbolic(state, &b, cfg_keys::CARD_TYPE, "CardType");
+    constrain_range(state, &b, &card, 0, 7);
+    let flags = make_config_symbolic(state, &b, cfg_keys::FLAGS, "Flags");
+    constrain_range(state, &b, &flags, 0, 3);
+    e.apply_model_hardware_policy();
+    e
+}
+
+/// Scheduler ablation on a real corpus: the per-worker-deque scheduler
+/// and the injector baseline must exhaust the identical path set on the
+/// 91C111 driver, from a single worker up past the physical core count.
+#[test]
+fn deque_and_injector_agree_on_91c111() {
+    let baseline = explore_parallel(&ParallelConfig::new(1, 5_000_000), driver_worker);
+    assert!(baseline.total_paths > 100, "corpus is nontrivial: {}", baseline.total_paths);
+    assert_eq!(baseline.queue_leftover, 0, "baseline runs to exhaustion");
+    for workers in [2usize, 4] {
+        for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+            let cfg = ParallelConfig::new(workers, 5_000_000).with_scheduler(scheduler);
+            let r = explore_parallel(&cfg, driver_worker);
+            assert_eq!(
+                r.total_paths, baseline.total_paths,
+                "{scheduler:?} at {workers} workers diverged from sequential"
+            );
+            assert_eq!(
+                r.covered_blocks, baseline.covered_blocks,
+                "{scheduler:?} at {workers} workers covered different blocks"
+            );
+            assert_eq!(r.queue_leftover, 0);
+            assert_conserved(&r);
+        }
+    }
 }
 
 /// Observability is a read-only passenger: recording the run must not
