@@ -1,0 +1,129 @@
+//! Epoch-based retention for checkpoint-style registries.
+//!
+//! The record/replay checkpoint layer (s2e-core §13) needs a registry
+//! that keeps *recent* snapshots reachable by key — so a compact state
+//! shipped elsewhere can still name the checkpoint it replays from —
+//! while letting old generations fall away instead of pinning every
+//! snapshot ever taken. This crate cannot depend on the engine, so the
+//! map is generic: keys are opaque `u64`s (the engine uses `StateId`s),
+//! values are whatever the caller retains (the engine uses
+//! `Arc<ExecState>` snapshots, so dropping an entry here only drops the
+//! registry's share — live holders keep theirs).
+//!
+//! Time is counted in *epochs*, advanced explicitly by the owner (the
+//! engine ticks one epoch per memory-watermark sample). An entry
+//! inserted or re-inserted at epoch `e` survives `advance()` until the
+//! current epoch exceeds `e + retain`.
+
+use std::collections::HashMap;
+
+/// A key→value map whose entries expire `retain` epochs after their
+/// last insertion.
+#[derive(Clone, Debug)]
+pub struct EpochMap<V> {
+    entries: HashMap<u64, (u64, V)>,
+    epoch: u64,
+    retain: u64,
+}
+
+impl<V> EpochMap<V> {
+    /// An empty map whose entries survive `retain` whole epochs beyond
+    /// the one they were inserted in.
+    pub fn new(retain: u64) -> EpochMap<V> {
+        EpochMap {
+            entries: HashMap::new(),
+            epoch: 0,
+            retain,
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, stamping it with the current
+    /// epoch. Returns the value it replaced, if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        self.entries.insert(key, (self.epoch, value)).map(|(_, v)| v)
+    }
+
+    /// Looks an entry up without refreshing its epoch.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.entries.get(&key).map(|(_, v)| v)
+    }
+
+    /// Removes an entry regardless of age.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        self.entries.remove(&key).map(|(_, v)| v)
+    }
+
+    /// Advances the epoch clock and prunes entries whose last insertion
+    /// is more than `retain` epochs old. Returns how many were pruned.
+    pub fn advance(&mut self) -> usize {
+        self.epoch += 1;
+        let cutoff = self.epoch.saturating_sub(self.retain);
+        let before = self.entries.len();
+        self.entries.retain(|_, (stamp, _)| *stamp >= cutoff);
+        before - self.entries.len()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_survive_retain_epochs() {
+        let mut m = EpochMap::new(2);
+        m.insert(1, "a");
+        assert_eq!(m.advance(), 0); // epoch 1: age 1 ≤ 2
+        assert_eq!(m.advance(), 0); // epoch 2: age 2 ≤ 2
+        assert_eq!(m.get(1), Some(&"a"));
+        assert_eq!(m.advance(), 1); // epoch 3: age 3 > 2 — pruned
+        assert!(m.get(1).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_age() {
+        let mut m = EpochMap::new(1);
+        m.insert(7, 10);
+        m.advance();
+        m.insert(7, 11); // refreshed at epoch 1
+        m.advance(); // epoch 2: age 1 — kept
+        assert_eq!(m.get(7), Some(&11));
+        m.advance(); // epoch 3: age 2 — pruned
+        assert!(m.get(7).is_none());
+    }
+
+    #[test]
+    fn zero_retention_prunes_every_epoch() {
+        let mut m = EpochMap::new(0);
+        m.insert(1, ());
+        m.insert(2, ());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.advance(), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let mut m = EpochMap::new(4);
+        assert_eq!(m.insert(3, 1), None);
+        assert_eq!(m.insert(3, 2), Some(1));
+        assert_eq!(m.remove(3), Some(2));
+        assert_eq!(m.remove(3), None);
+        assert_eq!(m.epoch(), 0);
+    }
+}

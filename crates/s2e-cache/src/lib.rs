@@ -12,11 +12,13 @@
 //! [`Hierarchy::paper_config`].
 
 mod cache;
+mod epoch;
 mod hierarchy;
 mod page;
 mod tlb;
 
 pub use cache::{CacheConfig, CacheLevel, CacheStats};
+pub use epoch::EpochMap;
 pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HierarchyStats};
 pub use page::PageModel;
 pub use tlb::Tlb;

@@ -209,6 +209,11 @@ pub struct EngineConfig {
     /// When false, even `S2Op::EnableForking` cannot enable multi-path
     /// (used to implement SC-CE).
     pub allow_forking: bool,
+    /// Forks a state survives before its checkpoint is refreshed (§13):
+    /// smaller values shorten replay distance (cheap rehydration) at the
+    /// cost of more frequent snapshots and less page sharing between the
+    /// checkpoint and its holders.
+    pub checkpoint_interval: u32,
     /// Syscalls whose return values RC-OC does *not* overapproximate.
     /// Tools exclude pointer-returning calls here: overapproximating an
     /// opaque pointer merely makes the unit scribble over arbitrary
@@ -229,6 +234,7 @@ impl Default for EngineConfig {
             symbolic_page_size: 256,
             symbolic_time_slowdown: 16,
             allow_forking: true,
+            checkpoint_interval: 8,
             rc_oc_excluded_syscalls: Vec::new(),
         }
     }

@@ -9,10 +9,12 @@
 
 use crate::config::{ConsistencyModel, EngineConfig};
 use crate::exec::{execute_block, BlockOutcome, ExecEnv, ForkRequest};
+use crate::journal::JournalEvent;
 use crate::plugin::{BugReport, ExecCtx, Plugin};
 use crate::search::{Dfs, SearchStrategy};
-use crate::state::{ExecState, StateId, TerminationReason};
+use crate::state::{CompactState, ExecState, StateId, TerminationReason};
 use crate::stats::EngineStats;
+use s2e_cache::EpochMap;
 use s2e_dbt::{CacheHandle, SharedBlockCache};
 use s2e_expr::ExprBuilder;
 use s2e_obs::{EventKind, Phase, Recorder, WorkerTimeline};
@@ -103,7 +105,17 @@ pub struct Engine {
     seen_blocks: HashSet<u32>,
     steps_since_watermark: u32,
     obs: Recorder,
+    checkpoints: EpochMap<Arc<ExecState>>,
 }
+
+/// Journal size (bytes) past which [`Engine::step`] refreshes a state's
+/// checkpoint even without a fork: bounds both the shipping cost of a
+/// compact state and its replay distance on long fork-free stretches.
+const JOURNAL_SOFT_CAP: usize = 4096;
+
+/// Epochs a checkpoint survives in the engine's retention registry after
+/// its last refresh (epochs advance on the 32-step watermark tick).
+const CHECKPOINT_RETAIN_EPOCHS: u64 = 4;
 
 impl Engine {
     /// Creates an engine around an initial machine snapshot.
@@ -163,6 +175,7 @@ impl Engine {
             seen_blocks: HashSet::new(),
             steps_since_watermark: 0,
             obs: Recorder::disabled(),
+            checkpoints: EpochMap::new(CHECKPOINT_RETAIN_EPOCHS),
         };
         let initial = ExecState::initial(machine);
         engine.stats.states_created = 1;
@@ -450,11 +463,22 @@ impl Engine {
             }
         };
         let mut state = self.states.remove(&id).expect("live state");
+        // Every state carries a checkpoint from its first step on, so
+        // eviction is always `{nearest checkpoint, journal suffix}` with a
+        // bounded suffix — never a from-the-beginning replay.
+        if state.checkpoint().is_none() {
+            self.checkpoint_state(&mut state);
+        }
         state.blocks_on_path += 1;
         let pc = state.machine.cpu.pc;
         let newly_seen = self.seen_blocks.insert(pc);
 
         let mut plugins = std::mem::take(&mut self.plugins);
+        // Capture any variable ids this block mints (symbolic hardware,
+        // `SymbolicReg`/`SymbolicMem`, relaxed-model return conversion):
+        // the builder's counter is shared engine-wide, so the ids are a
+        // nondeterministic input replay must reissue verbatim.
+        s2e_expr::begin_var_capture();
         let outcome = {
             let mut env = ExecEnv {
                 ctx: ExecCtx {
@@ -472,6 +496,12 @@ impl Engine {
             };
             execute_block(&mut state, &mut env, &mut plugins)
         };
+        // Flush before `handle_fork` clones the journal: a forking block's
+        // mints precede the fork decision on both sides' replays.
+        let minted = s2e_expr::end_var_capture();
+        if !minted.is_empty() {
+            state.record_var_ids(&minted);
+        }
         self.plugins = plugins;
         if newly_seen {
             self.strategy.notify_coverage(id, 1);
@@ -479,6 +509,9 @@ impl Engine {
 
         let report_outcome = match outcome {
             BlockOutcome::Continue => {
+                if state.journal().byte_len() >= JOURNAL_SOFT_CAP {
+                    self.checkpoint_state(&mut state);
+                }
                 self.states.insert(id, state);
                 self.strategy.push(id);
                 StepOutcome::Continued
@@ -491,10 +524,18 @@ impl Engine {
         };
 
         self.steps_since_watermark += 1;
-        if self.steps_since_watermark >= 32 || matches!(report_outcome, StepOutcome::Forked(_)) {
+        let tick = self.steps_since_watermark >= 32;
+        if tick || matches!(report_outcome, StepOutcome::Forked(_)) {
             self.steps_since_watermark = 0;
             let mem = self.live_memory_bytes();
             self.stats.memory_watermark_bytes = self.stats.memory_watermark_bytes.max(mem);
+        }
+        if tick {
+            // Age the checkpoint retention registry on the same cadence as
+            // the watermark sampler; snapshots not refreshed for
+            // CHECKPOINT_RETAIN_EPOCHS ticks drop out (live states still
+            // hold their own Arc, so this only trims the registry).
+            self.checkpoints.advance();
         }
         self.stats.max_live_states = self.stats.max_live_states.max(self.states.len());
         self.stats.cpu_time += started.elapsed();
@@ -514,6 +555,10 @@ impl Engine {
             // the else side under ¬cond — for a fork_on_null request the
             // then side is the guaranteed crash, and for branch forks
             // both sides were proven feasible, so ¬cond is always safe.
+            //
+            // The fork-vs-curtail choice depends on the live-state census,
+            // which depends on scheduling — journal it.
+            parent.record_event(JournalEvent::Curtail);
             if fork.constrained {
                 parent.add_constraint(self.builder.bool_not(fork.cond));
                 parent.machine.cpu.pc = fork.else_pc;
@@ -528,10 +573,17 @@ impl Engine {
 
         self.obs.enter(Phase::Fork);
         // Count the fork on the parent *before* cloning so both sides
-        // carry it in their subtree estimate.
+        // carry it in their subtree estimate — and toward the checkpoint
+        // interval, so both children measure distance from the snapshot
+        // they share.
         parent.forks_on_path += 1;
+        parent.count_fork_toward_checkpoint();
         let child_id = self.alloc_state_id();
         let mut child = parent.fork_child(child_id);
+        // Journal the branch decision *after* the clone: each side's
+        // journal ends with its own direction, not the sibling's.
+        parent.record_event(JournalEvent::Fork { taken: true });
+        child.record_event(JournalEvent::Fork { taken: false });
         parent.machine.cpu.pc = fork.then_pc;
         child.machine.cpu.pc = fork.else_pc;
         if fork.constrained {
@@ -562,6 +614,16 @@ impl Engine {
         });
         self.obs.exit(Phase::Fork);
 
+        // Periodic checkpoint refresh at fork points (§13): forks are
+        // where the COW sharing is already being paid for, so a snapshot
+        // here is a shallow page-map clone.
+        if parent.forks_since_checkpoint() >= self.config.checkpoint_interval {
+            self.checkpoint_state(&mut parent);
+        }
+        if child.forks_since_checkpoint() >= self.config.checkpoint_interval {
+            self.checkpoint_state(&mut child);
+        }
+
         let pid = parent.id;
         self.states.insert(pid, parent);
         self.states.insert(child_id, child);
@@ -588,6 +650,193 @@ impl Engine {
         let mem = self.live_memory_bytes();
         self.stats.memory_watermark_bytes = self.stats.memory_watermark_bytes.max(mem);
         RunSummary { steps, stop }
+    }
+
+    /// Takes a fresh checkpoint of `state` and registers it in the
+    /// engine's epoch-based retention registry, keyed by state id. The
+    /// registry is bookkeeping for checkpoint reuse (and staging for a
+    /// distributed tier that ships snapshots separately from journals);
+    /// the state itself holds the authoritative `Arc`.
+    fn checkpoint_state(&mut self, state: &mut ExecState) {
+        let snap = state.take_checkpoint();
+        self.checkpoints.insert(state.id.0, snap);
+    }
+
+    /// The checkpoint retention registry: state id → most recent
+    /// snapshot, pruned [`CHECKPOINT_RETAIN_EPOCHS`] watermark ticks
+    /// after its last refresh.
+    pub fn checkpoint_registry(&self) -> &EpochMap<Arc<ExecState>> {
+        &self.checkpoints
+    }
+
+    /// Evicts a detached live state to compact `{checkpoint, journal
+    /// suffix}` form (§13). With `verify`, the original's fingerprint is
+    /// embedded so [`Engine::rehydrate`] can assert bit-identity.
+    pub fn evict_state(&mut self, state: ExecState, verify: bool) -> CompactState {
+        let compact = state.into_compact(verify);
+        let journal_bytes = compact.journal.byte_len() as u64;
+        self.stats.evictions += 1;
+        self.stats.journal_bytes += journal_bytes;
+        self.obs.note(EventKind::Evict {
+            state: compact.id.0,
+            journal_bytes,
+        });
+        compact
+    }
+
+    /// Reconstructs a live state from its compact form by deterministic
+    /// replay: clone the checkpoint, then re-execute block by block with
+    /// every journaled nondeterministic input (solver probes,
+    /// concretizations, fork directions) substituted from the journal, so
+    /// the solver is never consulted and schedule-dependent decisions
+    /// come out exactly as recorded.
+    ///
+    /// Replayed work is *not* new exploration: stats, bugs, and log lines
+    /// from re-executed blocks go to scratch sinks (only
+    /// `EngineStats::rehydrations` / `replayed_instrs` record the replay
+    /// itself), and coverage is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replay diverges from the journal — which, given the
+    /// deterministic interpreter, indicates a missed nondeterminism
+    /// source — or, when the compact state carries a fingerprint, if the
+    /// reconstruction is not bit-identical to the evicted original.
+    pub fn rehydrate(&mut self, compact: CompactState) -> ExecState {
+        self.obs.enter(Phase::Replay);
+        let mut state = (*compact.checkpoint).clone();
+        let instrs_at_checkpoint = state.instrs_retired;
+        state.begin_replay(&compact.journal);
+        // Reissue the recorded variable ids at every mint site, in order,
+        // so replayed expressions are structurally identical to the live
+        // run's (same `VarId`s, not merely isomorphic ones).
+        s2e_expr::begin_var_replay(compact.journal.var_ids());
+
+        let mut scratch_stats = EngineStats::default();
+        let mut scratch_bugs = Vec::new();
+        let mut scratch_log = Vec::new();
+        let mut scratch_obs = Recorder::disabled();
+        let mut plugins = std::mem::take(&mut self.plugins);
+        let mut replayed_blocks = 0u64;
+
+        while state.blocks_on_path < compact.blocks_on_path {
+            state.blocks_on_path += 1;
+            replayed_blocks += 1;
+            let outcome = {
+                let mut env = ExecEnv {
+                    ctx: ExecCtx {
+                        builder: &self.builder,
+                        solver: &mut self.solver,
+                        config: &self.config,
+                        stats: &mut scratch_stats,
+                        bugs: &mut scratch_bugs,
+                        log: &mut scratch_log,
+                    },
+                    cache: &mut self.cache,
+                    marks: &mut self.marks,
+                    seen_blocks: &self.seen_blocks,
+                    obs: &mut scratch_obs,
+                };
+                execute_block(&mut state, &mut env, &mut plugins)
+            };
+            match outcome {
+                BlockOutcome::Continue => {}
+                BlockOutcome::Fork(fork) => {
+                    let decision =
+                        state.replay_fork_decision().expect("cursor active during replay");
+                    match decision {
+                        JournalEvent::Curtail => {
+                            // Mirror handle_fork's curtail arm.
+                            if fork.constrained {
+                                state.add_constraint(self.builder.bool_not(fork.cond));
+                                state.machine.cpu.pc = fork.else_pc;
+                            } else {
+                                state.machine.cpu.pc = fork.then_pc;
+                            }
+                        }
+                        JournalEvent::Fork { taken } => {
+                            // Re-run the fork exactly as handle_fork did —
+                            // constraints and plugin callbacks on both
+                            // sides — then keep only the journaled side.
+                            // The discarded sibling gets a scratch id (no
+                            // allocator traffic); the kept side's identity
+                            // is restored from `compact` below.
+                            state.forks_on_path += 1;
+                            state.count_fork_toward_checkpoint();
+                            let mut child = state.fork_child(StateId(u64::MAX));
+                            state.machine.cpu.pc = fork.then_pc;
+                            child.machine.cpu.pc = fork.else_pc;
+                            if fork.constrained {
+                                state.add_constraint(fork.cond.clone());
+                                child.add_constraint(self.builder.bool_not(fork.cond.clone()));
+                            }
+                            {
+                                let mut ctx = ExecCtx {
+                                    builder: &self.builder,
+                                    solver: &mut self.solver,
+                                    config: &self.config,
+                                    stats: &mut scratch_stats,
+                                    bugs: &mut scratch_bugs,
+                                    log: &mut scratch_log,
+                                };
+                                for p in plugins.iter_mut() {
+                                    p.on_fork(&mut state, &mut child, &mut ctx, &fork.cond);
+                                }
+                            }
+                            if !taken {
+                                state = child;
+                            }
+                        }
+                        other => {
+                            panic!("replay diverged: fork point journaled as {other:?}")
+                        }
+                    }
+                }
+                BlockOutcome::Terminated(reason) => panic!(
+                    "replay diverged: state {} terminated ({reason:?}) after {replayed_blocks} \
+                     replayed blocks",
+                    compact.id
+                ),
+            }
+        }
+        self.plugins = plugins;
+
+        let leftover_vars = s2e_expr::end_var_replay();
+        assert_eq!(
+            leftover_vars, 0,
+            "replay of state {} minted fewer variables than the live run recorded",
+            compact.id
+        );
+        let cursor = state.end_replay();
+        assert!(
+            cursor.finished(),
+            "replay of state {} stopped with journal events left after {} consumed",
+            compact.id,
+            cursor.consumed()
+        );
+        assert_eq!(state.depth, compact.depth, "replay diverged: depth mismatch");
+        assert_eq!(
+            state.forks_on_path, compact.forks_on_path,
+            "replay diverged: fork-count mismatch"
+        );
+        state.adopt_compact_identity(&compact);
+        if let Some(expect) = compact.fingerprint {
+            assert_eq!(
+                state.fingerprint(),
+                expect,
+                "replayed state {} is not bit-identical to the evicted original",
+                state.id
+            );
+        }
+
+        self.stats.rehydrations += 1;
+        self.stats.replayed_instrs += state.instrs_retired - instrs_at_checkpoint;
+        self.obs.note(EventKind::Rehydrate {
+            state: compact.id.0,
+            replayed_blocks,
+        });
+        self.obs.exit(Phase::Replay);
+        state
     }
 
     /// Enables the consistency model's default hardware symbolication:

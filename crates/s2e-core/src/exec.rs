@@ -289,12 +289,20 @@ fn concretize_code_window(state: &mut ExecState, env: &mut ExecEnv, pc: u32) {
     for i in 0..window {
         let addr = pc.wrapping_add(i);
         if let Ok(Value::Symbolic(e)) = state.machine.mem.read_u8(addr) {
-            // A solver failure must terminate the path like every other
-            // concretization site — fabricating a value would corrupt
-            // both the decoded code and the constraint set.
-            let Some((val, _)) = env.ctx.solver.concretize_in(&state.partition, &e) else {
-                state.kill_requested = Some(TerminationReason::SolverTimeout);
-                return;
+            let val = match state.replay_concretize() {
+                Some(v) => v,
+                None => {
+                    // A solver failure must terminate the path like every
+                    // other concretization site — fabricating a value would
+                    // corrupt both the decoded code and the constraint set.
+                    let Some((val, _)) = env.ctx.solver.concretize_in(&state.partition, &e)
+                    else {
+                        state.kill_requested = Some(TerminationReason::SolverTimeout);
+                        return;
+                    };
+                    state.record_concretize(val);
+                    val
+                }
             };
             let val = val as u32;
             let c = env.ctx.builder.constant(val as u64, Width::W8);
@@ -383,7 +391,14 @@ fn concretize(
     if let Some(v) = e.as_const() {
         return Some(v as u32);
     }
-    let (v, _model) = env.ctx.solver.concretize_in(&state.partition, e)?;
+    let v = match state.replay_concretize() {
+        Some(v) => v,
+        None => {
+            let (v, _model) = env.ctx.solver.concretize_in(&state.partition, e)?;
+            state.record_concretize(v);
+            v
+        }
+    };
     // Boolean conditions pin to the condition or its negation directly —
     // the same expression a one-sided feasibility probe adds — so branch
     // resolutions that statically skip the probes build constraint sets
@@ -634,13 +649,26 @@ fn fork_on_null(
     }
     let b: &s2e_expr::ExprBuilder = env.ctx.builder;
     let is_null = b.ult(addr_e.clone(), b.constant(0x1000, Width::W32));
-    let may_null = env.ctx.solver.may_be_true_in(&state.partition, &is_null)?;
-    if !may_null {
-        return None;
-    }
-    let not_null = b.bool_not(is_null.clone());
-    let may_valid = env.ctx.solver.may_be_true_in(&state.partition, &not_null)?;
-    if !may_valid {
+    // The two probes collapse to one journaled bit: "did this access fork
+    // on null". A solver timeout here means "no fork" (the access proceeds
+    // and concretizes), not path death, so the *effective* decision is
+    // what replay must reproduce — not the raw probe outcomes.
+    let forks = match state.replay_feasible() {
+        Some(v) => v,
+        None => {
+            let v = (|| {
+                if !env.ctx.solver.may_be_true_in(&state.partition, &is_null)? {
+                    return Some(false);
+                }
+                let not_null = b.bool_not(is_null.clone());
+                env.ctx.solver.may_be_true_in(&state.partition, &not_null)
+            })()
+            .unwrap_or(false);
+            state.record_feasible(v);
+            v
+        }
+    };
+    if !forks {
         return None;
     }
     Some(Flow::Fork(ForkRequest {
@@ -675,8 +703,15 @@ fn exec_symbolic_load(
     }
     // Pick a concrete base consistent with the constraints, but do NOT pin
     // the pointer to it — only to its page.
-    let Some((base_c, _)) = env.ctx.solver.concretize_in(&state.partition, &addr_e) else {
-        return Flow::Stop(TerminationReason::SolverTimeout);
+    let base_c = match state.replay_concretize() {
+        Some(v) => v,
+        None => {
+            let Some((v, _)) = env.ctx.solver.concretize_in(&state.partition, &addr_e) else {
+                return Flow::Stop(TerminationReason::SolverTimeout);
+            };
+            state.record_concretize(v);
+            v
+        }
     };
     let base_c = base_c as u32;
     let psz = env.ctx.config.symbolic_page_size.max(8);
@@ -965,7 +1000,18 @@ fn exec_branch(
             && forking_allowed(state, env, pc)
         {
             let other = if taken { next_pc } else { then_pc };
-            if !env.seen_blocks.contains(&other) {
+            // `seen_blocks` is engine-global coverage, so whether the edge
+            // is forced depends on what *other* paths have executed by now
+            // — schedule nondeterminism that must be journaled.
+            let force = match state.replay_edge_force() {
+                Some(v) => v,
+                None => {
+                    let v = !env.seen_blocks.contains(&other);
+                    state.record_edge_force(v);
+                    v
+                }
+            };
+            if force {
                 let (t, e) = if taken {
                     (then_pc, next_pc)
                 } else {
@@ -986,6 +1032,20 @@ fn exec_branch(
     let eb = b.to_expr(env.ctx.builder, Width::W32);
     let cond = branch_cond_expr(env, i.op, ea, eb);
     resolve_symbolic_branch(state, env, cond, then_pc, next_pc, pc, fork_free)
+}
+
+/// One journaled feasibility probe: served from the journal when the
+/// state is being reconstructed, otherwise asked of the solver and
+/// recorded. A solver timeout (`None`) terminates the path at every call
+/// site of this helper, so it never needs a journal entry — journals only
+/// ever describe a path's surviving prefix.
+fn probe_feasible(state: &mut ExecState, env: &mut ExecEnv, e: &ExprRef) -> Option<bool> {
+    if let Some(v) = state.replay_feasible() {
+        return Some(v);
+    }
+    let v = env.ctx.solver.may_be_true_in(&state.partition, e)?;
+    state.record_feasible(v);
+    Some(v)
 }
 
 fn forking_allowed(state: &ExecState, env: &ExecEnv, pc: u32) -> bool {
@@ -1054,12 +1114,9 @@ fn resolve_symbolic_branch(
         };
     }
 
-    let may_t = env
-        .ctx
-        .solver
-        .may_be_true_in(&state.partition, &cond);
+    let may_t = probe_feasible(state, env, &cond);
     let not_cond = env.ctx.builder.bool_not(cond.clone());
-    let may_f = env.ctx.solver.may_be_true_in(&state.partition, &not_cond);
+    let may_f = probe_feasible(state, env, &not_cond);
     match (may_t, may_f) {
         (Some(true), Some(true)) => {
             if forking {
@@ -1385,10 +1442,21 @@ fn exec_s2e_op(
                     let e = v.to_expr(env.ctx.builder, Width::W32);
                     let zero = env.ctx.builder.constant(0, Width::W32);
                     let is_zero = env.ctx.builder.eq(e, zero);
-                    let fails = env.ctx
-                        .solver
-                        .may_be_true_in(&state.partition, &is_zero)
-                        .unwrap_or(true);
+                    // Journal the effective decision: a timeout fails the
+                    // assertion (conservative), and that choice — not the
+                    // raw probe — is what steers the path.
+                    let fails = match state.replay_feasible() {
+                        Some(v) => v,
+                        None => {
+                            let v = env
+                                .ctx
+                                .solver
+                                .may_be_true_in(&state.partition, &is_zero)
+                                .unwrap_or(true);
+                            state.record_feasible(v);
+                            v
+                        }
+                    };
                     if fails {
                         // Pin the path to the violating case so the bug
                         // report's inputs actually trigger the assertion.

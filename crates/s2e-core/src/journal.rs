@@ -1,0 +1,452 @@
+//! The deterministic record/replay journal (DESIGN.md §13).
+//!
+//! Per the rr engineering lineage (O'Callahan et al., PAPERS.md), an
+//! execution state is reconstructible from `{checkpoint, log of
+//! nondeterministic inputs}`: everything else the interpreter does is a
+//! deterministic function of the checkpointed machine. In this engine
+//! the nondeterminism sources are *solver-driven* (feasibility probes
+//! and concretizations, whose results depend on query-cache and timeout
+//! state) and *schedule-driven* (fork-vs-curtail decisions that consult
+//! the live-state census, and RC-CC edge forcing that consults the
+//! engine-global coverage set). Device reads, DMA, and interrupt timing
+//! are deterministic here by construction — devices live inside the
+//! copy-on-write `Machine` and tick on virtual time — so they need no
+//! journal entries; the format still reserves a `PrngDraw` tag for
+//! guests wired to the `s2e-prng` captured-stream API.
+//!
+//! One more input rides in a side stream rather than the event log:
+//! the [`s2e_expr::VarId`]s a path mints while it runs (symbolic
+//! hardware reads, `SymbolicReg`/`SymbolicMem` opcodes, relaxed-model
+//! return conversion). The builder's counter is shared by every state
+//! and worker, so the ids a replayed path would mint depend on global
+//! interleaving. Their *consumption order* along one path is fully
+//! deterministic, though, so they need no interleaving with the event
+//! log — a flat varint list replayed front to back suffices.
+//!
+//! Encoding is the workspace's hand-rolled std-only style (no serde):
+//! one tag byte per event followed by LEB128 varint payloads, ~2 bytes
+//! per event in practice.
+
+use std::fmt;
+
+/// One recorded nondeterministic input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// Result of a solver feasibility probe (`may_be_true_in`), after
+    /// any timeout fallback the call site applies.
+    Feasible(bool),
+    /// Value returned by a solver-driven concretization.
+    Concretize(u64),
+    /// A fork decision at a fork request: `taken = true` is the
+    /// then-side (the forking parent), `false` the else-side (the
+    /// child). Recorded because forking at all depends on the live
+    /// state census (`max_states`) — a schedule artifact.
+    Fork {
+        /// Which side of the fork this state's path continued on.
+        taken: bool,
+    },
+    /// The engine curtailed a fork request (state or depth budget
+    /// exhausted) instead of forking.
+    Curtail,
+    /// RC-CC edge forcing: whether a concrete branch was forked anyway
+    /// because the untaken edge was globally unseen. Depends on the
+    /// engine-global coverage set, hence schedule-dependent.
+    EdgeForce(bool),
+    /// One draw from a captured `s2e-prng` stream.
+    PrngDraw(u64),
+}
+
+const TAG_FEASIBLE: u8 = 1;
+const TAG_CONCRETIZE: u8 = 2;
+const TAG_FORK: u8 = 3;
+const TAG_CURTAIL: u8 = 4;
+const TAG_EDGE_FORCE: u8 = 5;
+const TAG_PRNG_DRAW: u8 = 6;
+
+/// LEB128 varint append.
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// LEB128 varint read; panics on truncation (a truncated journal is a
+/// corrupt compact state — never recoverable).
+fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+impl JournalEvent {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            JournalEvent::Feasible(v) => {
+                buf.push(TAG_FEASIBLE);
+                buf.push(v as u8);
+            }
+            JournalEvent::Concretize(v) => {
+                buf.push(TAG_CONCRETIZE);
+                write_varint(buf, v);
+            }
+            JournalEvent::Fork { taken } => {
+                buf.push(TAG_FORK);
+                buf.push(taken as u8);
+            }
+            JournalEvent::Curtail => buf.push(TAG_CURTAIL),
+            JournalEvent::EdgeForce(v) => {
+                buf.push(TAG_EDGE_FORCE);
+                buf.push(v as u8);
+            }
+            JournalEvent::PrngDraw(v) => {
+                buf.push(TAG_PRNG_DRAW);
+                write_varint(buf, v);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> JournalEvent {
+        let tag = buf[*pos];
+        *pos += 1;
+        match tag {
+            TAG_FEASIBLE => {
+                let v = buf[*pos] != 0;
+                *pos += 1;
+                JournalEvent::Feasible(v)
+            }
+            TAG_CONCRETIZE => JournalEvent::Concretize(read_varint(buf, pos)),
+            TAG_FORK => {
+                let taken = buf[*pos] != 0;
+                *pos += 1;
+                JournalEvent::Fork { taken }
+            }
+            TAG_CURTAIL => JournalEvent::Curtail,
+            TAG_EDGE_FORCE => {
+                let v = buf[*pos] != 0;
+                *pos += 1;
+                JournalEvent::EdgeForce(v)
+            }
+            TAG_PRNG_DRAW => JournalEvent::PrngDraw(read_varint(buf, pos)),
+            other => panic!("corrupt journal: unknown tag {other}"),
+        }
+    }
+
+    /// Stable name for reports and the `journal-dump` tool.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JournalEvent::Feasible(_) => "feasible",
+            JournalEvent::Concretize(_) => "concretize",
+            JournalEvent::Fork { .. } => "fork",
+            JournalEvent::Curtail => "curtail",
+            JournalEvent::EdgeForce(_) => "edge_force",
+            JournalEvent::PrngDraw(_) => "prng_draw",
+        }
+    }
+}
+
+/// An append-only log of the nondeterministic inputs one path consumed
+/// since its last checkpoint.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    buf: Vec<u8>,
+    events: u32,
+    var_buf: Vec<u8>,
+    var_count: u32,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, ev: JournalEvent) {
+        ev.encode(&mut self.buf);
+        self.events += 1;
+    }
+
+    /// Appends minted variable ids to the side stream.
+    pub fn record_var_ids(&mut self, ids: &[u64]) {
+        for &id in ids {
+            write_varint(&mut self.var_buf, id);
+        }
+        self.var_count += ids.len() as u32;
+    }
+
+    /// Decodes the variable-id side stream, in mint order.
+    pub fn var_ids(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.var_count as usize);
+        let mut pos = 0;
+        while pos < self.var_buf.len() {
+            out.push(read_varint(&self.var_buf, &mut pos));
+        }
+        out
+    }
+
+    /// Number of variable ids recorded.
+    pub fn var_count(&self) -> u32 {
+        self.var_count
+    }
+
+    /// Encoded size in bytes — what a compact state pays to retain this
+    /// journal.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len() + self.var_buf.len()
+    }
+
+    /// Number of events recorded.
+    pub fn event_count(&self) -> u32 {
+        self.events
+    }
+
+    /// True if nothing has been recorded since the last checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0 && self.var_count == 0
+    }
+
+    /// Forgets everything (taken when a fresh checkpoint subsumes the
+    /// recorded history).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.events = 0;
+        self.var_buf.clear();
+        self.var_count = 0;
+    }
+
+    /// Decodes the journal front to back.
+    pub fn iter(&self) -> JournalIter<'_> {
+        JournalIter {
+            buf: &self.buf,
+            pos: 0,
+        }
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Journal({} events, {} vars, {} bytes)",
+            self.events,
+            self.var_count,
+            self.byte_len()
+        )
+    }
+}
+
+/// Iterator over a journal's decoded events.
+pub struct JournalIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Iterator for JournalIter<'_> {
+    type Item = JournalEvent;
+
+    fn next(&mut self) -> Option<JournalEvent> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        Some(JournalEvent::decode(self.buf, &mut self.pos))
+    }
+}
+
+/// A consuming cursor over a journal, used while replaying: each
+/// nondeterminism site pops the event it expects and panics loudly on
+/// any mismatch — a divergence means replay is not deterministic, which
+/// is a bug, never a recoverable condition.
+#[derive(Clone, Debug)]
+pub struct ReplayCursor {
+    buf: Vec<u8>,
+    pos: usize,
+    consumed: u32,
+    total: u32,
+}
+
+impl ReplayCursor {
+    /// A cursor over `journal`'s events.
+    pub fn new(journal: &Journal) -> ReplayCursor {
+        ReplayCursor {
+            buf: journal.buf.clone(),
+            pos: 0,
+            consumed: 0,
+            total: journal.events,
+        }
+    }
+
+    fn next(&mut self, expected: &str) -> JournalEvent {
+        assert!(
+            self.pos < self.buf.len(),
+            "replay diverged: journal exhausted after {} events, wanted {expected}",
+            self.consumed
+        );
+        let ev = JournalEvent::decode(&self.buf, &mut self.pos);
+        self.consumed += 1;
+        ev
+    }
+
+    fn mismatch(&self, expected: &str, got: JournalEvent) -> ! {
+        panic!(
+            "replay diverged at event {}/{}: expected {expected}, journal has {got:?}",
+            self.consumed, self.total
+        );
+    }
+
+    /// Pops a [`JournalEvent::Feasible`].
+    pub fn expect_feasible(&mut self) -> bool {
+        match self.next("feasible") {
+            JournalEvent::Feasible(v) => v,
+            other => self.mismatch("feasible", other),
+        }
+    }
+
+    /// Pops a [`JournalEvent::Concretize`].
+    pub fn expect_concretize(&mut self) -> u64 {
+        match self.next("concretize") {
+            JournalEvent::Concretize(v) => v,
+            other => self.mismatch("concretize", other),
+        }
+    }
+
+    /// Pops a [`JournalEvent::EdgeForce`].
+    pub fn expect_edge_force(&mut self) -> bool {
+        match self.next("edge_force") {
+            JournalEvent::EdgeForce(v) => v,
+            other => self.mismatch("edge_force", other),
+        }
+    }
+
+    /// Pops the decision recorded at a fork request: either
+    /// [`JournalEvent::Fork`] or [`JournalEvent::Curtail`].
+    pub fn expect_fork_decision(&mut self) -> JournalEvent {
+        match self.next("fork or curtail") {
+            ev @ (JournalEvent::Fork { .. } | JournalEvent::Curtail) => ev,
+            other => self.mismatch("fork or curtail", other),
+        }
+    }
+
+    /// Events consumed so far.
+    pub fn consumed(&self) -> u32 {
+        self.consumed
+    }
+
+    /// True once every recorded event has been consumed — required when
+    /// a replay segment completes.
+    pub fn finished(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_prng::SplitMix64;
+
+    fn arbitrary_event(rng: &mut SplitMix64) -> JournalEvent {
+        match rng.below(6) {
+            0 => JournalEvent::Feasible(rng.next_bool()),
+            1 => JournalEvent::Concretize(rng.next_u64() >> rng.below(64)),
+            2 => JournalEvent::Fork {
+                taken: rng.next_bool(),
+            },
+            3 => JournalEvent::Curtail,
+            4 => JournalEvent::EdgeForce(rng.next_bool()),
+            _ => JournalEvent::PrngDraw(rng.next_u64() >> rng.below(64)),
+        }
+    }
+
+    #[test]
+    fn round_trip_random_event_streams() {
+        for seed in 0..64u64 {
+            let mut rng = SplitMix64::new(0x10c0 ^ seed);
+            let events: Vec<JournalEvent> =
+                (0..rng.below(200)).map(|_| arbitrary_event(&mut rng)).collect();
+            let mut j = Journal::new();
+            for ev in &events {
+                j.record(*ev);
+            }
+            assert_eq!(j.event_count() as usize, events.len());
+            assert_eq!(j.iter().collect::<Vec<_>>(), events);
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let mut j = Journal::new();
+        for _ in 0..100 {
+            j.record(JournalEvent::Feasible(true));
+        }
+        assert_eq!(j.byte_len(), 200, "2 bytes per boolean event");
+        let mut k = Journal::new();
+        k.record(JournalEvent::Concretize(0x7f));
+        k.record(JournalEvent::Concretize(u64::MAX));
+        assert_eq!(k.byte_len(), 2 + 11, "varint: 1 byte small, 10 max");
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn cursor_consumes_in_order() {
+        let mut j = Journal::new();
+        j.record(JournalEvent::Feasible(true));
+        j.record(JournalEvent::Concretize(42));
+        j.record(JournalEvent::Fork { taken: false });
+        j.record(JournalEvent::Curtail);
+        let mut c = ReplayCursor::new(&j);
+        assert!(c.expect_feasible());
+        assert_eq!(c.expect_concretize(), 42);
+        assert_eq!(c.expect_fork_decision(), JournalEvent::Fork { taken: false });
+        assert!(!c.finished());
+        assert_eq!(c.expect_fork_decision(), JournalEvent::Curtail);
+        assert!(c.finished());
+        assert_eq!(c.consumed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay diverged")]
+    fn cursor_panics_on_kind_mismatch() {
+        let mut j = Journal::new();
+        j.record(JournalEvent::Concretize(1));
+        ReplayCursor::new(&j).expect_feasible();
+    }
+
+    #[test]
+    #[should_panic(expected = "journal exhausted")]
+    fn cursor_panics_on_exhaustion() {
+        ReplayCursor::new(&Journal::new()).expect_concretize();
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut j = Journal::new();
+        j.record(JournalEvent::Curtail);
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.byte_len(), 0);
+        assert!(j.iter().next().is_none());
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod deque;
 pub mod engine;
 pub mod exec;
+pub mod journal;
 pub mod observe;
 pub mod parallel;
 pub mod plugin;
@@ -54,11 +55,12 @@ pub mod stats;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
 pub use engine::{Engine, RunSummary, SharedEngineContext, StepOutcome, StepReport, StopReason};
+pub use journal::{Journal, JournalEvent, ReplayCursor};
 pub use observe::build_run_report;
 pub use parallel::{
-    explore_parallel, explore_static, merge_coverage, partition_constraint, ParallelConfig,
-    ParallelReport, SchedulerKind, WorkerContext, WorkerReport,
+    explore_parallel, explore_static, merge_coverage, partition_constraint, EvictionPolicy,
+    ParallelConfig, ParallelReport, SchedulerKind, WorkerContext, WorkerReport,
 };
 pub use plugin::{BugKind, BugReport, ExecCtx, MachineSnapshot, MemAccess, Plugin, PortAccess};
-pub use state::{ExecState, StateId, TerminationReason};
+pub use state::{CompactState, ExecState, StateId, TerminationReason};
 pub use stats::EngineStats;

@@ -53,6 +53,10 @@ fn engine_section(s: &EngineStats) -> MetricSection {
         .counter("concretizations", s.concretizations as f64)
         .counter("interrupts_delivered", s.interrupts_delivered as f64)
         .counter("syscalls", s.syscalls as f64)
+        .counter("evictions", s.evictions as f64)
+        .counter("rehydrations", s.rehydrations as f64)
+        .counter("replayed_instrs", s.replayed_instrs as f64)
+        .counter("journal_bytes", s.journal_bytes as f64)
         .counter("max_live_states", s.max_live_states as f64)
         .counter("memory_watermark_bytes", s.memory_watermark_bytes as f64)
         .counter("cpu_time_ns", s.cpu_time.as_nanos() as f64)
@@ -120,6 +124,8 @@ fn parallel_section(r: &ParallelReport) -> MetricSection {
         .counter("reclaims", r.reclaims as f64)
         .counter("exports", r.exports as f64)
         .counter("queue_leftover", r.queue_leftover as f64)
+        .counter("evicted_leftover", r.evicted_leftover as f64)
+        .counter("queue_bytes_peak", r.queue_bytes_peak as f64)
         .counter("wall_time_ns", r.wall_time.as_nanos() as f64)
 }
 
@@ -159,6 +165,8 @@ mod tests {
             reclaims: 0,
             exports: 0,
             queue_leftover: 0,
+            evicted_leftover: 0,
+            queue_bytes_peak: 0,
             shared_cache: SharedCacheStats::default(),
             dbt: DbtStats::default(),
             solver: SolverStats::default(),

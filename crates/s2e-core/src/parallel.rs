@@ -36,6 +36,14 @@
 //! worker, reclaimed by their exporter, or counted as leftover when the
 //! step budget ends the run first.
 //!
+//! Under an [`EvictionPolicy`], exported states may ride the queues in
+//! compact `{checkpoint, journal}` form (§13) instead of as full live
+//! states: the exporter evicts ([`Engine::evict_state`]), the taker
+//! rehydrates by deterministic replay ([`Engine::rehydrate`]), and the
+//! conservation invariant extends to `evictions == rehydrations +
+//! evicted_leftover` — every compact state is either reconstructed or
+//! counted when the budget strands it.
+//!
 //! Exploration remains deterministic in outcome: the set of feasible
 //! paths is a property of the guest, not of the schedule, so any worker
 //! count and either scheduler yields the same total path count and the
@@ -71,7 +79,7 @@ use crate::config::EngineConfig;
 use crate::deque::{self, Steal, Stealer};
 use crate::engine::{Engine, SharedEngineContext};
 use crate::plugin::BugReport;
-use crate::state::ExecState;
+use crate::state::{CompactState, ExecState, StateId};
 use crate::stats::EngineStats;
 use s2e_dbt::DbtStats;
 use s2e_expr::{ExprBuilder, ExprRef, Width};
@@ -122,6 +130,51 @@ pub struct WorkerReport {
     pub timeline: WorkerTimeline,
 }
 
+/// What sits in a scheduler queue: a live state, or one evicted to its
+/// compact `{checkpoint, journal}` form under the [`EvictionPolicy`].
+#[derive(Debug)]
+pub enum QueuedState {
+    /// A full live state, attached directly on take.
+    Live(ExecState),
+    /// A compact state, rehydrated by deterministic replay on take.
+    Compact(CompactState),
+}
+
+impl QueuedState {
+    /// The queued state's id, whichever form it rides in.
+    pub fn id(&self) -> StateId {
+        match self {
+            QueuedState::Live(s) => s.id,
+            QueuedState::Compact(c) => c.id,
+        }
+    }
+
+    /// Bytes this entry keeps resident while queued — the quantity the
+    /// eviction policy caps and `queue_bytes_peak` watermarks. Live
+    /// states count their private machine memory; compact states count
+    /// their journal plus header (the shared checkpoint `Arc` is
+    /// amortized across siblings).
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            QueuedState::Live(s) => s.machine.private_state_bytes(),
+            QueuedState::Compact(c) => c.resident_bytes(),
+        }
+    }
+}
+
+/// When exported states are evicted to compact form (§13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Never evict: queues hold live states (the pre-§13 behavior).
+    Off,
+    /// Evict an export when the bytes already resident in the queues
+    /// plus the candidate's own would exceed this many.
+    Cap(usize),
+    /// Evict every export — the stress and verification mode, and the
+    /// fig8 checkpointed arm.
+    Aggressive,
+}
+
 /// Which migration scheduler [`explore_parallel`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchedulerKind {
@@ -151,6 +204,13 @@ pub struct ParallelConfig {
     pub max_local_states: usize,
     /// Which migration scheduler to use.
     pub scheduler: SchedulerKind,
+    /// When exported states are shipped compact instead of live (§13).
+    pub eviction: EvictionPolicy,
+    /// Embed a fingerprint in every evicted state and assert the
+    /// rehydrated reconstruction is bit-identical (replay-identity
+    /// checking; costs a full-state digest per eviction and per
+    /// rehydration).
+    pub verify_replay: bool,
     /// Observability: when enabled, every worker records phase timers
     /// and an event timeline (disabled by default; DESIGN.md §11).
     pub obs: ObsConfig,
@@ -166,6 +226,8 @@ impl ParallelConfig {
             batch: 64,
             max_local_states: 8,
             scheduler: SchedulerKind::Deque,
+            eviction: EvictionPolicy::Off,
+            verify_replay: false,
             obs: ObsConfig::default(),
         }
     }
@@ -201,6 +263,15 @@ pub struct ParallelReport {
     /// when the step budget truncated exploration. Every export is
     /// accounted: `exports == steals + reclaims + queue_leftover`.
     pub queue_leftover: u64,
+    /// Evicted states stranded compact in a queue when the run ended —
+    /// the compact-form share of `queue_leftover`. Every eviction is
+    /// accounted: `stats.evictions == stats.rehydrations +
+    /// evicted_leftover`.
+    pub evicted_leftover: u64,
+    /// High-watermark of bytes resident in scheduler queues across the
+    /// run — the quantity eviction exists to cap, and the metric the
+    /// fig8 checkpointed arm reports.
+    pub queue_bytes_peak: usize,
     /// Shared solver query-cache counters (cross-worker hits).
     pub shared_cache: SharedCacheStats,
     /// Shared translation-block cache counters.
@@ -280,12 +351,43 @@ impl StepBudget {
     }
 }
 
+/// Queue-resident byte accounting shared by both schedulers: `add` on
+/// export (before the state becomes takeable), `sub` on take. The peak
+/// is the run's queue-memory high-watermark.
+struct QueueBytes {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl QueueBytes {
+    fn new() -> QueueBytes {
+        QueueBytes {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    fn add(&self, n: usize) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, n: usize) {
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+}
+
 /// The PR-1 injector scheduler: one shared queue behind a mutex, kept
 /// as the ablation baseline ([`SchedulerKind::Injector`]).
 struct InjectorScheduler {
     sched: Mutex<InjectorState>,
     cv: Condvar,
     budget: StepBudget,
+    bytes: QueueBytes,
     /// Mirror of `InjectorState::idle` readable without the lock, used
     /// by busy workers deciding whether to export. Balanced on every
     /// worker exit path — asserted 0 after join.
@@ -297,7 +399,7 @@ struct InjectorScheduler {
 }
 
 struct InjectorState {
-    queue: VecDeque<ExecState>,
+    queue: VecDeque<QueuedState>,
     idle: usize,
     done: bool,
 }
@@ -312,6 +414,7 @@ impl InjectorScheduler {
             }),
             cv: Condvar::new(),
             budget: StepBudget::new(),
+            bytes: QueueBytes::new(),
             hungry: AtomicUsize::new(0),
             done: AtomicBool::new(false),
             steals: AtomicU64::new(0),
@@ -319,11 +422,12 @@ impl InjectorScheduler {
         }
     }
 
-    fn export(&self, states: Vec<ExecState>) {
+    fn export(&self, states: Vec<QueuedState>) {
         if states.is_empty() {
             return;
         }
         self.exports.fetch_add(states.len() as u64, Ordering::Relaxed);
+        self.bytes.add(states.iter().map(QueuedState::resident_bytes).sum());
         let mut g = self.sched.lock().unwrap();
         g.queue.extend(states);
         drop(g);
@@ -354,8 +458,9 @@ const IDLE_PRESSURE_CAP: u32 = 4096;
 /// parking, and cross-worker termination detection (DESIGN.md §12).
 struct DequeScheduler {
     /// Stealer handles for every worker's deque, indexed by worker.
-    stealers: Vec<Stealer<ExecState>>,
+    stealers: Vec<Stealer<QueuedState>>,
     budget: StepBudget,
+    bytes: QueueBytes,
     /// Workers currently in the steal phase (no local work). The
     /// lock-free starvation hint: exporters notify the condvar and halve
     /// their keep threshold only when it is nonzero. Balanced on every
@@ -378,10 +483,11 @@ struct DequeScheduler {
 }
 
 impl DequeScheduler {
-    fn new(stealers: Vec<Stealer<ExecState>>) -> DequeScheduler {
+    fn new(stealers: Vec<Stealer<QueuedState>>) -> DequeScheduler {
         DequeScheduler {
             stealers,
             budget: StepBudget::new(),
+            bytes: QueueBytes::new(),
             hungry: AtomicUsize::new(0),
             pending: AtomicU64::new(0),
             done: AtomicBool::new(false),
@@ -396,12 +502,13 @@ impl DequeScheduler {
 
     /// Publishes surplus states on the exporting worker's own deque and
     /// wakes parked workers if anyone is starving.
-    fn export(&self, own: &deque::Worker<ExecState>, states: Vec<ExecState>) {
+    fn export(&self, own: &deque::Worker<QueuedState>, states: Vec<QueuedState>) {
         if states.is_empty() {
             return;
         }
         let n = states.len() as u64;
         self.exports.fetch_add(n, Ordering::Relaxed);
+        self.bytes.add(states.iter().map(QueuedState::resident_bytes).sum());
         // Raise `pending` before the states become stealable: a parker
         // that misses the pushes in its scan still sees pending > 0 in
         // its under-lock recheck and rescans instead of sleeping.
@@ -464,6 +571,45 @@ fn note_cache_snapshot(engine: &mut Engine) {
         queries: sv.queries,
     };
     engine.recorder_mut().note(snapshot);
+}
+
+/// Converts detached surplus states to queue form, evicting to compact
+/// per the configured policy. Under `Cap`, a state ships compact when
+/// the bytes already queued plus its own would break the cap — an
+/// advisory read of a racing counter, so the cap is a target, not a
+/// hard bound.
+fn pack_exports(
+    engine: &mut Engine,
+    cfg: &ParallelConfig,
+    bytes: &QueueBytes,
+    surplus: Vec<ExecState>,
+) -> Vec<QueuedState> {
+    surplus
+        .into_iter()
+        .map(|s| {
+            let evict = match cfg.eviction {
+                EvictionPolicy::Off => false,
+                EvictionPolicy::Aggressive => true,
+                EvictionPolicy::Cap(cap) => {
+                    bytes.current() + s.machine.private_state_bytes() > cap
+                }
+            };
+            if evict {
+                QueuedState::Compact(engine.evict_state(s, cfg.verify_replay))
+            } else {
+                QueuedState::Live(s)
+            }
+        })
+        .collect()
+}
+
+/// Takes a queued state into live form, rehydrating compact ones by
+/// deterministic replay on the taking worker's engine.
+fn take_queued(engine: &mut Engine, qs: QueuedState) -> ExecState {
+    match qs {
+        QueuedState::Live(s) => s,
+        QueuedState::Compact(c) => engine.rehydrate(c),
+    }
 }
 
 fn injector_worker_loop<F>(
@@ -537,7 +683,8 @@ where
                 let surplus = engine.detach_overflow(keep);
                 let count = surplus.len();
                 exports += count as u64;
-                sched.export(surplus);
+                let packed = pack_exports(&mut engine, cfg, &sched.bytes, surplus);
+                sched.export(packed);
                 engine.recorder_mut().note(EventKind::Export { count: count as u32 });
                 engine.recorder_mut().exit(Phase::Migrate);
             }
@@ -553,14 +700,16 @@ where
                 engine.recorder_mut().exit(Phase::Migrate);
                 break 'outer;
             }
-            if let Some(state) = g.queue.pop_front() {
+            if let Some(qs) = g.queue.pop_front() {
                 let depth = g.queue.len() as u32;
                 drop(g);
                 steals += 1;
+                sched.bytes.sub(qs.resident_bytes());
                 let obs = engine.recorder_mut();
                 obs.note(EventKind::QueueDepth { depth });
-                obs.note(EventKind::Steal { state: state.id.0 });
+                obs.note(EventKind::Steal { state: qs.id().0 });
                 obs.exit(Phase::Migrate);
+                let state = take_queued(&mut engine, qs);
                 engine.attach_state(state);
                 continue 'outer;
             }
@@ -596,7 +745,7 @@ fn deque_worker_loop<F>(
     cfg: &ParallelConfig,
     sched: &DequeScheduler,
     shared: &SharedEngineContext,
-    own: deque::Worker<ExecState>,
+    own: deque::Worker<QueuedState>,
     build: &F,
 ) -> WorkerReport
 where
@@ -678,7 +827,8 @@ where
                 let surplus = engine.detach_overflow(keep);
                 let count = surplus.len();
                 exports += count as u64;
-                sched.export(&own, surplus);
+                let packed = pack_exports(&mut engine, cfg, &sched.bytes, surplus);
+                sched.export(&own, packed);
                 engine.recorder_mut().note(EventKind::Export { count: count as u32 });
                 engine.recorder_mut().exit(Phase::Migrate);
             }
@@ -688,10 +838,12 @@ where
         // (newest first — depth-first locality, no contention), then
         // steal from victims, then park.
         engine.recorder_mut().enter(Phase::Migrate);
-        if let Some(state) = own.pop() {
+        if let Some(qs) = own.pop() {
             sched.pending.fetch_sub(1, Ordering::SeqCst);
+            sched.bytes.sub(qs.resident_bytes());
             reclaims += 1;
             engine.recorder_mut().exit(Phase::Migrate);
+            let state = take_queued(&mut engine, qs);
             engine.attach_state(state);
             continue 'outer;
         }
@@ -709,7 +861,7 @@ where
             rng.shuffle(&mut victims);
             for &v in &victims {
                 match sched.stealers[v].steal() {
-                    Steal::Success(state) => {
+                    Steal::Success(qs) => {
                         // Leave the steal phase *before* lowering
                         // `pending`: the park-section completion check
                         // reads pending under the lock, and this order
@@ -717,13 +869,15 @@ where
                         // is never counted as parked.
                         sched.hungry.fetch_sub(1, Ordering::SeqCst);
                         sched.pending.fetch_sub(1, Ordering::SeqCst);
+                        sched.bytes.sub(qs.resident_bytes());
                         steals += 1;
                         let obs = engine.recorder_mut();
                         obs.note(EventKind::QueueDepth {
                             depth: sched.stealers[v].len() as u32,
                         });
-                        obs.note(EventKind::Steal { state: state.id.0 });
+                        obs.note(EventKind::Steal { state: qs.id().0 });
                         obs.exit(Phase::Migrate);
+                        let state = take_queued(&mut engine, qs);
                         engine.attach_state(state);
                         continue 'outer;
                     }
@@ -805,6 +959,8 @@ struct MigrationTotals {
     reclaims: u64,
     exports: u64,
     queue_leftover: u64,
+    evicted_leftover: u64,
+    queue_bytes_peak: usize,
 }
 
 fn merge_reports(
@@ -834,6 +990,13 @@ fn merge_reports(
         covered_blocks.extend(r.covered_blocks.iter().copied());
         total_paths += r.paths;
     }
+    // Same discipline for evictions: every compact state was either
+    // rehydrated by some worker or stranded in a queue at budget end.
+    assert_eq!(
+        stats.evictions,
+        stats.rehydrations + totals.evicted_leftover,
+        "eviction conservation violated"
+    );
     ParallelReport {
         stats,
         solver,
@@ -844,6 +1007,8 @@ fn merge_reports(
         reclaims: totals.reclaims,
         exports: totals.exports,
         queue_leftover: totals.queue_leftover,
+        evicted_leftover: totals.evicted_leftover,
+        queue_bytes_peak: totals.queue_bytes_peak,
         shared_cache: shared.query_cache.stats(),
         dbt: shared.tb_cache.stats(),
         wall_time,
@@ -898,7 +1063,15 @@ where
     );
     // Whatever is still in the queue was exported but never stolen —
     // possible only on budget-truncated runs.
-    let queue_leftover = sched.sched.lock().unwrap().queue.len() as u64;
+    let (queue_leftover, evicted_leftover) = {
+        let g = sched.sched.lock().unwrap();
+        let compact = g
+            .queue
+            .iter()
+            .filter(|qs| matches!(qs, QueuedState::Compact(_)))
+            .count() as u64;
+        (g.queue.len() as u64, compact)
+    };
     merge_reports(
         workers,
         &shared,
@@ -907,6 +1080,8 @@ where
             reclaims: 0,
             exports: sched.exports.load(Ordering::Relaxed),
             queue_leftover,
+            evicted_leftover,
+            queue_bytes_peak: sched.bytes.peak.load(Ordering::Relaxed),
         },
         wall_time,
     )
@@ -920,7 +1095,7 @@ where
     let mut owners = Vec::with_capacity(cfg.workers);
     let mut stealers = Vec::with_capacity(cfg.workers);
     for _ in 0..cfg.workers {
-        let (worker, stealer) = deque::deque::<ExecState>();
+        let (worker, stealer) = deque::deque::<QueuedState>();
         owners.push(worker);
         stealers.push(stealer);
     }
@@ -951,10 +1126,16 @@ where
     // Drain what the budget stranded in the deques; workers are joined,
     // so steals cannot race and Retry cannot occur.
     let mut queue_leftover = 0u64;
+    let mut evicted_leftover = 0u64;
     for s in &sched.stealers {
         loop {
             match s.steal() {
-                Steal::Success(_) => queue_leftover += 1,
+                Steal::Success(qs) => {
+                    queue_leftover += 1;
+                    if matches!(qs, QueuedState::Compact(_)) {
+                        evicted_leftover += 1;
+                    }
+                }
                 Steal::Retry => std::hint::spin_loop(),
                 Steal::Empty => break,
             }
@@ -973,6 +1154,8 @@ where
             reclaims: sched.reclaims.load(Ordering::Relaxed),
             exports: sched.exports.load(Ordering::Relaxed),
             queue_leftover,
+            evicted_leftover,
+            queue_bytes_peak: sched.bytes.peak.load(Ordering::Relaxed),
         },
         wall_time,
     )
@@ -1141,6 +1324,31 @@ mod tests {
                 par.steals + par.reclaims + par.queue_leftover,
                 "{scheduler:?}: states conserved"
             );
+        }
+    }
+
+    /// Aggressive eviction ships every export compact; rehydration by
+    /// replay must reproduce the same outcome, and the eviction ledger
+    /// must balance.
+    #[test]
+    fn aggressive_eviction_matches_live_shipping() {
+        let base = explore_parallel(&ParallelConfig::new(1, 10_000), branchy_worker);
+        for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+            let mut cfg = ParallelConfig::new(3, 10_000).with_scheduler(scheduler);
+            cfg.batch = 1;
+            cfg.max_local_states = 1;
+            cfg.eviction = EvictionPolicy::Aggressive;
+            cfg.verify_replay = true;
+            let r = explore_parallel(&cfg, branchy_worker);
+            assert_eq!(r.total_paths, base.total_paths, "{scheduler:?}");
+            assert_eq!(r.bugs.len(), base.bugs.len(), "{scheduler:?}");
+            assert!(r.stats.evictions > 0, "{scheduler:?}: nothing was evicted");
+            assert_eq!(
+                r.stats.evictions,
+                r.stats.rehydrations + r.evicted_leftover,
+                "{scheduler:?}: evictions conserved"
+            );
+            assert!(r.queue_bytes_peak > 0, "{scheduler:?}");
         }
     }
 

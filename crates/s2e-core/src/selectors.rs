@@ -138,7 +138,14 @@ pub fn concretize_reg_soft(
         return Some(c);
     }
     let e = v.to_expr(ctx.builder, Width::W32);
-    let (val, _) = ctx.solver.concretize_in(&state.partition, &e)?;
+    let val = match state.replay_concretize() {
+        Some(v) => v,
+        None => {
+            let (val, _) = ctx.solver.concretize_in(&state.partition, &e)?;
+            state.record_concretize(val);
+            val
+        }
+    };
     let c = ctx.builder.constant(val, Width::W32);
     let eq = ctx.builder.eq(e, c);
     state.add_soft_constraint(eq);

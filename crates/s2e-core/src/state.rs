@@ -1,11 +1,15 @@
 //! Execution states: one forkable snapshot of the entire system per path.
 
+use crate::journal::{Journal, JournalEvent, ReplayCursor};
 use s2e_expr::ExprRef;
 use s2e_solver::ConstraintPartition;
 use s2e_vm::cpu::FaultKind;
 use s2e_vm::machine::Machine;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Identifier of an execution state (unique within an engine).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -70,7 +74,11 @@ pub enum EnvFrame {
 
 /// Per-path plugin state (the paper's `PluginState`, §4.2): cloned with
 /// the execution state on every fork.
-pub trait PluginState: fmt::Debug + Send {
+///
+/// `Sync` because checkpoint snapshots are shared between sibling states
+/// (and across worker threads) behind `Arc<ExecState>`; plugin state is
+/// plain data, only ever mutated through the owning state's `&mut`.
+pub trait PluginState: fmt::Debug + Send + Sync {
     /// Clones the state (object-safe `Clone`).
     fn clone_box(&self) -> Box<dyn PluginState>;
 
@@ -140,6 +148,18 @@ pub struct ExecState {
     pub status: Option<TerminationReason>,
     /// Per-path plugin state, keyed by plugin name.
     plugin_state: HashMap<&'static str, Box<dyn PluginState>>,
+    /// Nearest checkpoint: a full snapshot of this path at an earlier
+    /// block boundary, shared (`Arc`) with every sibling forked since.
+    /// `{checkpoint, journal}` reconstructs this state exactly (§13).
+    checkpoint: Option<Arc<ExecState>>,
+    /// Nondeterministic inputs consumed since `checkpoint` was taken.
+    journal: Journal,
+    /// Forks survived since `checkpoint`; drives periodic refresh.
+    forks_since_checkpoint: u32,
+    /// Present while this state is being reconstructed by deterministic
+    /// replay: nondeterminism sites read recorded values from the cursor
+    /// instead of consulting the solver or engine-global sets.
+    replay: Option<ReplayCursor>,
 }
 
 impl ExecState {
@@ -162,6 +182,10 @@ impl ExecState {
             kill_requested: None,
             status: None,
             plugin_state: HashMap::new(),
+            checkpoint: None,
+            journal: Journal::new(),
+            forks_since_checkpoint: 0,
+            replay: None,
         }
     }
 
@@ -182,17 +206,27 @@ impl ExecState {
             .any(|f| matches!(f, EnvFrame::Irq { .. }))
     }
 
-    /// Adds a hard path constraint.
-    pub fn add_constraint(&mut self, c: ExprRef) {
+    /// The single point every constraint passes through: keeps the
+    /// incremental independence partition in sync with the flat list and
+    /// tags soft constraints by index. Having one call site is what lets
+    /// constraint bookkeeping stay consistent between live execution and
+    /// journal replay.
+    fn push_constraint(&mut self, c: ExprRef, soft: bool) {
+        if soft {
+            self.soft_constraints.push(self.constraints.len());
+        }
         self.partition.add(c.clone());
         self.constraints.push(c);
     }
 
+    /// Adds a hard path constraint.
+    pub fn add_constraint(&mut self, c: ExprRef) {
+        self.push_constraint(c, false);
+    }
+
     /// Adds a soft constraint (from boundary concretization).
     pub fn add_soft_constraint(&mut self, c: ExprRef) {
-        self.soft_constraints.push(self.constraints.len());
-        self.partition.add(c.clone());
-        self.constraints.push(c);
+        self.push_constraint(c, true);
     }
 
     /// Number of soft constraints on this path.
@@ -247,6 +281,211 @@ impl ExecState {
         let damp = (self.blocks_on_path + 1).saturating_mul(u64::from(self.depth) + 1);
         (forks << 20) / damp
     }
+
+    // ---- Checkpoints and the record/replay journal (§13) -------------
+
+    /// Takes a fresh checkpoint: the current state becomes its own
+    /// replay base, and the journal restarts empty. COW memory makes the
+    /// snapshot a shallow map clone; siblings forked afterwards share it.
+    pub fn take_checkpoint(&mut self) -> Arc<ExecState> {
+        debug_assert!(self.status.is_none(), "checkpointing a dead state");
+        debug_assert!(self.replay.is_none(), "checkpointing mid-replay");
+        self.journal.clear();
+        self.forks_since_checkpoint = 0;
+        let mut snap = self.clone();
+        snap.checkpoint = None; // no chains: one hop from any state
+        let snap = Arc::new(snap);
+        self.checkpoint = Some(snap.clone());
+        snap
+    }
+
+    /// The checkpoint this state replays from, if one has been taken.
+    pub fn checkpoint(&self) -> Option<&Arc<ExecState>> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The nondeterminism journal accumulated since the checkpoint.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Forks survived since the last checkpoint (drives refresh).
+    pub fn forks_since_checkpoint(&self) -> u32 {
+        self.forks_since_checkpoint
+    }
+
+    /// Counts one survived fork toward the next checkpoint refresh.
+    pub(crate) fn count_fork_toward_checkpoint(&mut self) {
+        self.forks_since_checkpoint += 1;
+    }
+
+    /// True while this state is being reconstructed by replay.
+    pub fn replaying(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    pub(crate) fn record_event(&mut self, ev: JournalEvent) {
+        debug_assert!(self.replay.is_none(), "recording during replay");
+        self.journal.record(ev);
+    }
+
+    /// Appends the variable ids a just-executed block minted (captured by
+    /// the builder's thread-local hook) to the journal's side stream.
+    pub(crate) fn record_var_ids(&mut self, ids: &[u64]) {
+        debug_assert!(self.replay.is_none(), "recording during replay");
+        self.journal.record_var_ids(ids);
+    }
+
+    /// Replay-side read of a feasibility probe; `None` when live.
+    pub(crate) fn replay_feasible(&mut self) -> Option<bool> {
+        self.replay.as_mut().map(ReplayCursor::expect_feasible)
+    }
+
+    pub(crate) fn record_feasible(&mut self, v: bool) {
+        self.record_event(JournalEvent::Feasible(v));
+    }
+
+    /// Replay-side read of a concretization; `None` when live.
+    pub(crate) fn replay_concretize(&mut self) -> Option<u64> {
+        self.replay.as_mut().map(ReplayCursor::expect_concretize)
+    }
+
+    pub(crate) fn record_concretize(&mut self, v: u64) {
+        self.record_event(JournalEvent::Concretize(v));
+    }
+
+    /// Replay-side read of an RC-CC edge-force decision; `None` when live.
+    pub(crate) fn replay_edge_force(&mut self) -> Option<bool> {
+        self.replay.as_mut().map(ReplayCursor::expect_edge_force)
+    }
+
+    pub(crate) fn record_edge_force(&mut self, v: bool) {
+        self.record_event(JournalEvent::EdgeForce(v));
+    }
+
+    /// Replay-side read of a fork/curtail decision; `None` when live.
+    pub(crate) fn replay_fork_decision(&mut self) -> Option<JournalEvent> {
+        self.replay.as_mut().map(ReplayCursor::expect_fork_decision)
+    }
+
+    /// Arms the replay cursor over `journal` (the engine's rehydration
+    /// driver owns the block loop).
+    pub(crate) fn begin_replay(&mut self, journal: &Journal) {
+        debug_assert!(self.replay.is_none(), "nested replay");
+        self.replay = Some(ReplayCursor::new(journal));
+    }
+
+    /// Disarms the replay cursor, returning it for exhaustion checks.
+    pub(crate) fn end_replay(&mut self) -> ReplayCursor {
+        self.replay.take().expect("end_replay without begin_replay")
+    }
+
+    /// Evicts this state to compact `{checkpoint, journal}` form,
+    /// dropping the live machine image. A state that has never been
+    /// checkpointed becomes its own checkpoint first (zero-length
+    /// journal). With `verify`, the compact form carries a fingerprint
+    /// the rehydrated state must reproduce bit-for-bit.
+    pub fn into_compact(mut self, verify: bool) -> CompactState {
+        if self.checkpoint.is_none() {
+            self.take_checkpoint();
+        }
+        CompactState {
+            id: self.id,
+            parent: self.parent,
+            depth: self.depth,
+            forks_on_path: self.forks_on_path,
+            blocks_on_path: self.blocks_on_path,
+            forks_since_checkpoint: self.forks_since_checkpoint,
+            fingerprint: if verify { Some(self.fingerprint()) } else { None },
+            journal: self.journal.clone(),
+            checkpoint: self.checkpoint.clone().unwrap(),
+        }
+    }
+
+    /// Restores the identity and journaling context a freshly replayed
+    /// state inherits from its compact form: id, parent link, journal,
+    /// refresh counter, and the checkpoint `Arc` itself. Everything else
+    /// was reproduced by replay (and is asserted, not assigned).
+    pub(crate) fn adopt_compact_identity(&mut self, compact: &CompactState) {
+        self.id = compact.id;
+        self.parent = compact.parent;
+        self.journal = compact.journal.clone();
+        self.forks_since_checkpoint = compact.forks_since_checkpoint;
+        self.checkpoint = Some(Arc::clone(&compact.checkpoint));
+    }
+
+    /// A deterministic digest of everything replay must reproduce:
+    /// registers, memory (concrete bytes and symbolic overlay), devices,
+    /// virtual time, the constraint set (hard and soft), the environment
+    /// stack, path counters, and per-path plugin state. Scheduler
+    /// identity (`id`, `parent`) and the replay bookkeeping itself are
+    /// excluded. Stable within a process, which is all replay-identity
+    /// assertions need.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{:?}", self.machine.cpu).hash(&mut h);
+        self.machine.mem.digest(&mut h);
+        format!("{:?}", self.machine.devices).hash(&mut h);
+        self.machine.vtime.hash(&mut h);
+        for c in &self.constraints {
+            format!("{c:?}").hash(&mut h);
+        }
+        self.soft_constraints.hash(&mut h);
+        format!("{:?}", self.env_stack).hash(&mut h);
+        self.forking_enabled.hash(&mut h);
+        self.depth.hash(&mut h);
+        self.forks_on_path.hash(&mut h);
+        self.blocks_on_path.hash(&mut h);
+        self.instrs_retired.hash(&mut h);
+        self.sym_time_accum.hash(&mut h);
+        let mut plugins: Vec<&&'static str> = self.plugin_state.keys().collect();
+        plugins.sort_unstable();
+        for name in plugins {
+            name.hash(&mut h);
+            format!("{:?}", self.plugin_state[*name]).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// A state evicted to its reconstructible form: a shared checkpoint
+/// `Arc` plus the journal suffix recorded since (§13). This is what sits
+/// in a scheduler queue in place of a live state — and, in the
+/// distributed tier, what crosses the wire.
+#[derive(Clone, Debug)]
+pub struct CompactState {
+    /// The evicted state's id (restored verbatim on rehydration).
+    pub id: StateId,
+    /// Its parent link (restored verbatim on rehydration).
+    pub parent: Option<StateId>,
+    /// Fork depth at eviction — replay must reproduce it exactly.
+    pub depth: u32,
+    /// Forks survived at eviction — replay must reproduce it exactly.
+    pub forks_on_path: u32,
+    /// Blocks executed at eviction: replay runs until this count.
+    pub blocks_on_path: u64,
+    /// Fork count toward the next checkpoint refresh, restored on
+    /// rehydration so refresh cadence is schedule-independent.
+    pub forks_since_checkpoint: u32,
+    /// Fingerprint of the live original, when verification is on.
+    pub fingerprint: Option<u64>,
+    /// Nondeterministic inputs consumed between checkpoint and eviction.
+    pub journal: Journal,
+    /// The snapshot replay starts from, shared with sibling states.
+    pub checkpoint: Arc<ExecState>,
+}
+
+impl CompactState {
+    /// Blocks of deterministic re-execution rehydration costs.
+    pub fn checkpoint_distance(&self) -> u64 {
+        self.blocks_on_path - self.checkpoint.blocks_on_path
+    }
+
+    /// Bytes this compact form keeps resident, *excluding* the shared
+    /// checkpoint (amortized over every sibling holding the same `Arc`).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<CompactState>() + self.journal.byte_len()
+    }
 }
 
 /// Declares a type as per-path plugin state.
@@ -278,10 +517,13 @@ macro_rules! impl_plugin_state {
 }
 
 // States migrate between worker threads through the work-stealing
-// queue; keep this a compile error rather than a distant trait bound.
+// queue (live or compact); checkpoints are shared across threads behind
+// `Arc`, which needs `Sync` too. Keep these compile errors rather than
+// distant trait bounds.
 const _: fn() = || {
-    fn assert_send<T: Send>() {}
-    assert_send::<ExecState>();
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExecState>();
+    assert_send_sync::<CompactState>();
 };
 
 #[cfg(test)]
@@ -393,6 +635,49 @@ mod tests {
         s.env_stack.push(EnvFrame::Irq { line: 0 });
         assert!(s.in_irq());
         assert_eq!(s.env_depth(), 2);
+    }
+
+    #[test]
+    fn checkpoint_resets_journal_and_is_shared_by_forks() {
+        let mut s = state();
+        s.record_feasible(true);
+        s.record_concretize(7);
+        assert_eq!(s.journal().event_count(), 2);
+        let snap = s.take_checkpoint();
+        assert!(s.journal().is_empty(), "checkpoint subsumes the journal");
+        assert!(snap.journal().is_empty(), "snapshot starts a fresh segment");
+        assert!(snap.checkpoint().is_none(), "no checkpoint chains");
+        // Children share the parent's checkpoint by Arc.
+        let child = s.fork_child(StateId(1));
+        assert!(Arc::ptr_eq(child.checkpoint().unwrap(), s.checkpoint().unwrap()));
+    }
+
+    #[test]
+    fn into_compact_self_checkpoints_when_fresh() {
+        let mut s = state();
+        s.blocks_on_path = 5;
+        let c = s.clone().into_compact(true);
+        assert_eq!(c.id, StateId(0));
+        assert_eq!(c.checkpoint_distance(), 0, "own snapshot, empty journal");
+        assert!(c.journal.is_empty());
+        assert_eq!(c.fingerprint, Some(s.fingerprint()));
+        assert!(c.resident_bytes() < 1024, "compact form is small");
+    }
+
+    #[test]
+    fn fingerprint_sees_machine_and_constraints() {
+        let b = ExprBuilder::new();
+        let s = state();
+        assert_eq!(s.fingerprint(), s.clone().fingerprint(), "clone-stable");
+        let mut wrote = s.clone();
+        wrote.machine.mem.write_u32(0x5000, 1).unwrap();
+        assert_ne!(s.fingerprint(), wrote.fingerprint());
+        let mut constrained = s.clone();
+        constrained.add_constraint(b.var("x", Width::BOOL));
+        assert_ne!(s.fingerprint(), constrained.fingerprint());
+        let mut plugin = s.clone();
+        plugin.plugin_state_mut::<TestState>("t").count = 3;
+        assert_ne!(s.fingerprint(), plugin.fingerprint());
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub struct EngineStats {
     pub interrupts_delivered: u64,
     /// Syscall traps.
     pub syscalls: u64,
+    /// Live states evicted to compact `{checkpoint, journal}` form (§13).
+    pub evictions: u64,
+    /// Compact states rehydrated by deterministic replay.
+    pub rehydrations: u64,
+    /// Instructions re-executed during rehydration replay (not new
+    /// exploration work; excluded from the instruction-mix counters).
+    pub replayed_instrs: u64,
+    /// Total encoded journal bytes shipped into compact states.
+    pub journal_bytes: u64,
     /// Maximum number of simultaneously live states.
     pub max_live_states: usize,
     /// High-watermark of estimated private state memory across live
@@ -76,6 +85,10 @@ impl EngineStats {
         self.concretizations += other.concretizations;
         self.interrupts_delivered += other.interrupts_delivered;
         self.syscalls += other.syscalls;
+        self.evictions += other.evictions;
+        self.rehydrations += other.rehydrations;
+        self.replayed_instrs += other.replayed_instrs;
+        self.journal_bytes += other.journal_bytes;
         self.max_live_states = self.max_live_states.max(other.max_live_states);
         self.memory_watermark_bytes =
             self.memory_watermark_bytes.max(other.memory_watermark_bytes);

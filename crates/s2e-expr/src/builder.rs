@@ -3,8 +3,73 @@
 use crate::expr::{BinOp, ExprKind, ExprRef, UnOp, VarId};
 use crate::fold::{apply_binop, apply_concat, apply_extract, apply_unop};
 use crate::width::Width;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How [`ExprBuilder::var`] assigns ids on the current thread.
+///
+/// Variable ids minted while a guest runs are a nondeterministic input:
+/// the counter is shared by every state and worker, so a replayed path
+/// would observe different ids than its live run did. Record/replay
+/// (DESIGN.md §13) therefore captures the ids a path mints and feeds
+/// them back verbatim during reconstruction. The mode is thread-local
+/// because each worker replays at most one state at a time, while the
+/// builder itself is shared engine-wide.
+enum VarIdMode {
+    /// Mint from the shared counter (the default).
+    Fresh,
+    /// Mint from the shared counter and remember each id.
+    Capture(Vec<u64>),
+    /// Reissue recorded ids instead of minting.
+    Replay(VecDeque<u64>),
+}
+
+thread_local! {
+    static VAR_ID_MODE: RefCell<VarIdMode> = const { RefCell::new(VarIdMode::Fresh) };
+}
+
+/// Starts capturing the ids of variables minted on this thread.
+/// Any capture already in progress is discarded.
+pub fn begin_var_capture() {
+    VAR_ID_MODE.with(|m| *m.borrow_mut() = VarIdMode::Capture(Vec::new()));
+}
+
+/// Returns the ids captured so far without ending the capture.
+pub fn drain_var_capture() -> Vec<u64> {
+    VAR_ID_MODE.with(|m| match &mut *m.borrow_mut() {
+        VarIdMode::Capture(buf) => std::mem::take(buf),
+        _ => Vec::new(),
+    })
+}
+
+/// Ends the capture, returning any ids minted since the last drain.
+pub fn end_var_capture() -> Vec<u64> {
+    VAR_ID_MODE.with(|m| {
+        match std::mem::replace(&mut *m.borrow_mut(), VarIdMode::Fresh) {
+            VarIdMode::Capture(buf) => buf,
+            _ => Vec::new(),
+        }
+    })
+}
+
+/// Makes [`ExprBuilder::var`] on this thread reissue `ids` in order
+/// instead of minting fresh ones.
+pub fn begin_var_replay(ids: Vec<u64>) {
+    VAR_ID_MODE.with(|m| *m.borrow_mut() = VarIdMode::Replay(ids.into()));
+}
+
+/// Ends id replay, returning how many recorded ids were left unconsumed
+/// (nonzero means the replayed path diverged).
+pub fn end_var_replay() -> usize {
+    VAR_ID_MODE.with(|m| {
+        match std::mem::replace(&mut *m.borrow_mut(), VarIdMode::Fresh) {
+            VarIdMode::Replay(q) => q.len(),
+            _ => 0,
+        }
+    })
+}
 
 /// Factory for expression nodes.
 ///
@@ -46,9 +111,21 @@ impl ExprBuilder {
         self.next_var.load(Ordering::Relaxed)
     }
 
-    /// Creates a fresh symbolic variable.
+    /// Creates a fresh symbolic variable (or, under
+    /// [`begin_var_replay`], re-creates the recorded one).
     pub fn var(&self, name: &str, width: Width) -> ExprRef {
-        let id = self.next_var.fetch_add(1, Ordering::Relaxed);
+        let id = VAR_ID_MODE.with(|m| match &mut *m.borrow_mut() {
+            VarIdMode::Replay(q) => q
+                .pop_front()
+                .expect("replay diverged: path minted more variables than were recorded"),
+            mode => {
+                let id = self.next_var.fetch_add(1, Ordering::Relaxed);
+                if let VarIdMode::Capture(buf) = mode {
+                    buf.push(id);
+                }
+                id
+            }
+        });
         ExprRef::new(ExprKind::Var(VarId(id), Arc::from(name)), width)
     }
 

@@ -124,7 +124,6 @@ pub enum ExprKind {
 }
 
 /// An expression node: kind, result width, and a cached structural hash.
-#[derive(Debug)]
 pub struct Expr {
     kind: ExprKind,
     width: Width,
@@ -175,6 +174,19 @@ impl Expr {
     /// True if the expression is a constant.
     pub fn is_const(&self) -> bool {
         matches!(self.kind, ExprKind::Const(_))
+    }
+}
+
+/// Manual impl so the lazily-filled `vars` memo stays invisible: like
+/// equality and hashing, `Debug` must not depend on whether a derived
+/// cache happens to be populated yet (state fingerprints render
+/// expressions via `Debug` and must be stable over time).
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Expr")
+            .field("kind", &self.kind)
+            .field("width", &self.width)
+            .finish()
     }
 }
 

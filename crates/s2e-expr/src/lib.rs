@@ -36,7 +36,10 @@ mod simplify;
 mod visit;
 mod width;
 
-pub use builder::ExprBuilder;
+pub use builder::{
+    begin_var_capture, begin_var_replay, drain_var_capture, end_var_capture, end_var_replay,
+    ExprBuilder,
+};
 pub use eval::{eval, Assignment, EvalError};
 pub use expr::{BinOp, Expr, ExprKind, ExprRef, UnOp, VarId};
 pub use simplify::{known_bits, simplify, simplify_with_demanded, KnownBits};

@@ -65,6 +65,18 @@ pub fn chrome_trace(timelines: &[WorkerTimeline]) -> String {
                             .set("tb_translations", tb_translations)
                             .set("query_cache_hits", query_cache_hits)
                             .set("queries", queries),
+                        EventKind::Evict {
+                            state,
+                            journal_bytes,
+                        } => Json::obj()
+                            .set("state", state)
+                            .set("journal_bytes", journal_bytes),
+                        EventKind::Rehydrate {
+                            state,
+                            replayed_blocks,
+                        } => Json::obj()
+                            .set("state", state)
+                            .set("replayed_blocks", replayed_blocks),
                     };
                     Json::obj()
                         .set("name", kind.name())

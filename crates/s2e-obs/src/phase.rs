@@ -31,11 +31,14 @@ pub enum Phase {
     Migrate,
     /// Parked waiting for work (excluded from busy time).
     Idle,
+    /// Rehydrating a compact state: deterministic re-execution from its
+    /// checkpoint with journaled nondeterminism substituted (§13).
+    Replay,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every phase, in report order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -46,6 +49,7 @@ impl Phase {
         Phase::Fork,
         Phase::Migrate,
         Phase::Idle,
+        Phase::Replay,
     ];
 
     /// Dense index for per-phase arrays.
@@ -58,6 +62,7 @@ impl Phase {
             Phase::Fork => 4,
             Phase::Migrate => 5,
             Phase::Idle => 6,
+            Phase::Replay => 7,
         }
     }
 
@@ -71,6 +76,7 @@ impl Phase {
             Phase::Fork => "fork",
             Phase::Migrate => "migrate",
             Phase::Idle => "idle",
+            Phase::Replay => "replay",
         }
     }
 

@@ -248,6 +248,16 @@ fn event_to_json(e: &Event) -> Json {
             .set("tb_translations", tb_translations)
             .set("query_cache_hits", query_cache_hits)
             .set("queries", queries),
+        EventKind::Evict {
+            state,
+            journal_bytes,
+        } => base.set("state", state).set("journal_bytes", journal_bytes),
+        EventKind::Rehydrate {
+            state,
+            replayed_blocks,
+        } => base
+            .set("state", state)
+            .set("replayed_blocks", replayed_blocks),
     }
 }
 
@@ -286,6 +296,14 @@ fn event_from_json(j: &Json) -> Option<Event> {
             tb_translations: field("tb_translations")?,
             query_cache_hits: field("query_cache_hits")?,
             queries: field("queries")?,
+        },
+        "evict" => EventKind::Evict {
+            state: field("state")?,
+            journal_bytes: field("journal_bytes")?,
+        },
+        "rehydrate" => EventKind::Rehydrate {
+            state: field("state")?,
+            replayed_blocks: field("replayed_blocks")?,
         },
         _ => return None,
     };

@@ -35,6 +35,12 @@ pub enum EventKind {
         query_cache_hits: u64,
         queries: u64,
     },
+    /// A live state was evicted to compact `{checkpoint, journal}` form;
+    /// `journal_bytes` is the encoded journal-suffix size it shrank to.
+    Evict { state: u64, journal_bytes: u64 },
+    /// A compact state was rehydrated by deterministic replay;
+    /// `replayed_blocks` is the checkpoint distance re-executed.
+    Rehydrate { state: u64, replayed_blocks: u64 },
 }
 
 impl EventKind {
@@ -49,6 +55,8 @@ impl EventKind {
             EventKind::Export { .. } => "export",
             EventKind::ExportDecision { .. } => "export_decision",
             EventKind::CacheSnapshot { .. } => "cache_snapshot",
+            EventKind::Evict { .. } => "evict",
+            EventKind::Rehydrate { .. } => "rehydrate",
         }
     }
 }

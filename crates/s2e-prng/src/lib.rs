@@ -129,6 +129,126 @@ impl SplitMix64 {
     }
 }
 
+/// A random stream that can be captured once and replayed exactly —
+/// the PRNG half of the record/replay journal (s2e-core §13).
+///
+/// In *record* mode every draw comes from an inner [`SplitMix64`] and is
+/// appended to a log; [`RandomStream::into_log`] yields the captured
+/// draws, which `Journal::record_prng` encodes as `PrngDraw` events. In
+/// *replay* mode draws are served from a previously captured log, so a
+/// consumer re-executed deterministically sees the identical stream even
+/// if the generator that produced it (or its seed) is long gone.
+///
+/// All the derived helpers (`below`, `index`, `shuffle`, ...) are built
+/// on `next_u64`, so recording at that single point captures them all —
+/// including the extra draws Lemire rejection sampling may consume.
+#[derive(Clone, Debug)]
+pub struct RandomStream {
+    mode: StreamMode,
+}
+
+#[derive(Clone, Debug)]
+enum StreamMode {
+    Record { rng: SplitMix64, log: Vec<u64> },
+    Replay { log: Vec<u64>, pos: usize },
+}
+
+impl RandomStream {
+    /// A recording stream seeded like [`SplitMix64::new`].
+    pub fn record(seed: u64) -> RandomStream {
+        RandomStream {
+            mode: StreamMode::Record {
+                rng: SplitMix64::new(seed),
+                log: Vec::new(),
+            },
+        }
+    }
+
+    /// A replaying stream serving exactly the captured draws.
+    pub fn replay(log: Vec<u64>) -> RandomStream {
+        RandomStream {
+            mode: StreamMode::Replay { log, pos: 0 },
+        }
+    }
+
+    /// True while in replay mode with draws still pending.
+    pub fn replaying(&self) -> bool {
+        matches!(&self.mode, StreamMode::Replay { log, pos } if *pos < log.len())
+    }
+
+    /// Draws the next 64-bit value, recording or replaying it.
+    ///
+    /// # Panics
+    ///
+    /// In replay mode, panics if the log is exhausted: the consumer
+    /// diverged from the recorded run.
+    pub fn next_u64(&mut self) -> u64 {
+        match &mut self.mode {
+            StreamMode::Record { rng, log } => {
+                let v = rng.next_u64();
+                log.push(v);
+                v
+            }
+            StreamMode::Replay { log, pos } => {
+                let v = *log.get(*pos).unwrap_or_else(|| {
+                    panic!("random-stream replay diverged: {} draws exhausted", log.len())
+                });
+                *pos += 1;
+                v
+            }
+        }
+    }
+
+    /// A value in `[0, n)` (Lemire rejection, same as [`SplitMix64::below`]).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// A `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle over the recorded/replayed stream.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws captured so far (record mode) or total draws in the log
+    /// (replay mode).
+    pub fn log_len(&self) -> usize {
+        match &self.mode {
+            StreamMode::Record { log, .. } => log.len(),
+            StreamMode::Replay { log, .. } => log.len(),
+        }
+    }
+
+    /// Finishes recording and yields the captured draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics in replay mode — a replayed stream has no new log.
+    pub fn into_log(self) -> Vec<u64> {
+        match self.mode {
+            StreamMode::Record { log, .. } => log,
+            StreamMode::Replay { .. } => panic!("replay stream has no captured log"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +338,44 @@ mod tests {
         let mut g = SplitMix64::new(6);
         let trues = (0..10_000).filter(|_| g.next_bool()).count();
         assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+
+    #[test]
+    fn recorded_stream_replays_identically() {
+        let mut rec = RandomStream::record(99);
+        let mut drawn = Vec::new();
+        let mut order: Vec<u32> = (0..20).collect();
+        for _ in 0..50 {
+            drawn.push(rec.below(13));
+        }
+        rec.shuffle(&mut order);
+        assert!(!rec.replaying());
+        let log = rec.into_log();
+
+        // Replay reproduces every derived draw, not just raw u64s.
+        let mut rep = RandomStream::replay(log.clone());
+        assert!(rep.replaying());
+        assert_eq!(rep.log_len(), log.len());
+        let mut order2: Vec<u32> = (0..20).collect();
+        for d in &drawn {
+            assert_eq!(rep.below(13), *d);
+        }
+        rep.shuffle(&mut order2);
+        assert_eq!(order2, order);
+        assert!(!rep.replaying(), "log fully consumed");
+
+        // The recorded stream matches a bare generator with the seed.
+        let mut bare = SplitMix64::new(99);
+        assert!(log.iter().all(|&v| v == bare.next_u64()));
+    }
+
+    #[test]
+    #[should_panic(expected = "replay diverged")]
+    fn exhausted_replay_panics() {
+        let mut rec = RandomStream::record(1);
+        rec.next_u64();
+        let mut rep = RandomStream::replay(rec.into_log());
+        rep.next_u64();
+        rep.next_u64(); // one draw past the recording
     }
 }

@@ -1,0 +1,150 @@
+//! Render the record/replay journals of live states (DESIGN.md §13).
+//!
+//! ```text
+//! journal-dump [--steps N] [--top K]
+//! ```
+//!
+//! Runs the 91C111 driver corpus under local consistency for `N` engine
+//! steps (default 2000; the corpus exhausts near 5700), then evicts
+//! every live state to compact
+//! `{checkpoint, journal}` form and prints what each journal holds:
+//! event counts by kind, minted-variable count, encoded byte size, and
+//! the replay distance back to the nearest checkpoint. Every compact
+//! state is then rehydrated with fingerprint verification on, so a
+//! successful run doubles as a replay-identity check over whatever the
+//! corpus journaled.
+
+use s2e_core::journal::JournalEvent;
+use s2e_core::selectors::{constrain_range, make_config_symbolic};
+use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
+use s2e_guests::drivers::{build_exerciser, smc91c111};
+use s2e_guests::kernel::{boot, standard_annotations};
+use s2e_guests::layout::cfg_keys;
+
+const EVENT_KINDS: [&str; 6] =
+    ["feasible", "concretize", "fork", "curtail", "edge_force", "prng_draw"];
+
+fn build_engine() -> Engine {
+    let driver = smc91c111::build();
+    let (mut machine, _kernel) = boot();
+    machine.load_aux(&driver.program);
+    let exerciser = build_exerciser(&driver, true);
+    machine.load(&exerciser);
+    let mut ec = EngineConfig::with_model(ConsistencyModel::Lc);
+    ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
+    ec.annotations = standard_annotations();
+    let mut e = Engine::new(machine, ec);
+    let id = e.sole_state().unwrap();
+    let b = e.builder_arc();
+    let state = e.state_mut(id).unwrap();
+    let card = make_config_symbolic(state, &b, cfg_keys::CARD_TYPE, "CardType");
+    constrain_range(state, &b, &card, 0, 7);
+    let flags = make_config_symbolic(state, &b, cfg_keys::FLAGS, "Flags");
+    constrain_range(state, &b, &flags, 0, 3);
+    e.apply_model_hardware_policy();
+    e
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut steps: u64 = 2_000;
+    let mut top: usize = 16;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {what} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--steps" => steps = num("--steps"),
+            "--top" => top = num("--top") as usize,
+            other => {
+                eprintln!("usage: journal-dump [--steps N] [--top K] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut engine = build_engine();
+    let mut executed = 0u64;
+    while executed < steps && engine.step().is_some() {
+        executed += 1;
+    }
+    let live = engine.drain_states();
+    println!(
+        "91C111-LC after {executed} steps: {} paths done, {} states live",
+        engine.terminated().len(),
+        live.len()
+    );
+    if live.is_empty() {
+        println!("exploration exhausted — nothing left to dump (try fewer --steps)");
+        return;
+    }
+
+    // Evict everything (verified), largest journals first.
+    let mut compacts: Vec<_> = live
+        .into_iter()
+        .map(|s| engine.evict_state(s, true))
+        .collect();
+    compacts.sort_by_key(|c| std::cmp::Reverse(c.journal.byte_len()));
+
+    println!();
+    println!(
+        "{:>14} {:>6} {:>6} {:>6} {:>5} | {}",
+        "state", "dist", "events", "vars", "bytes", "event counts"
+    );
+    for (i, c) in compacts.iter().enumerate() {
+        if i >= top {
+            println!("... {} more (raise --top)", compacts.len() - top);
+            break;
+        }
+        let mut counts = [0u32; EVENT_KINDS.len()];
+        for ev in c.journal.iter() {
+            let slot = match ev {
+                JournalEvent::Feasible(_) => 0,
+                JournalEvent::Concretize(_) => 1,
+                JournalEvent::Fork { .. } => 2,
+                JournalEvent::Curtail => 3,
+                JournalEvent::EdgeForce(_) => 4,
+                JournalEvent::PrngDraw(_) => 5,
+            };
+            counts[slot] += 1;
+        }
+        let breakdown: Vec<String> = EVENT_KINDS
+            .iter()
+            .zip(counts)
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{k}:{n}"))
+            .collect();
+        println!(
+            "{:>14} {:>6} {:>6} {:>6} {:>5} | {}",
+            c.id.to_string(),
+            c.checkpoint_distance(),
+            c.journal.event_count(),
+            c.journal.var_count(),
+            c.journal.byte_len(),
+            if breakdown.is_empty() { "-".to_string() } else { breakdown.join(" ") },
+        );
+    }
+
+    let total_bytes: usize = compacts.iter().map(|c| c.journal.byte_len()).sum();
+    let total_events: u32 = compacts.iter().map(|c| c.journal.event_count()).sum();
+    let total_vars: u32 = compacts.iter().map(|c| c.journal.var_count()).sum();
+    let n = compacts.len();
+    println!();
+    println!(
+        "{n} compact states: {total_events} events + {total_vars} minted vars in \
+         {total_bytes} journal bytes ({:.1} bytes/state)",
+        total_bytes as f64 / n as f64
+    );
+
+    // Rehydrate everything; `evict_state(_, true)` embedded fingerprints,
+    // so each reconstruction is asserted bit-identical.
+    for c in compacts {
+        let state = engine.rehydrate(c);
+        engine.attach_state(state);
+    }
+    println!("replay identity: ok ({n} states rehydrated bit-identical)");
+}

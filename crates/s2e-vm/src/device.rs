@@ -70,7 +70,11 @@ pub mod nic_cmd {
 }
 
 /// A virtual device attached to the port bus.
-pub trait Device: fmt::Debug + Send {
+///
+/// `Sync` is required (not just `Send`) because checkpoints share whole
+/// machines across workers as `Arc<ExecState>` (§13); devices are only
+/// ever *mutated* through the owning state's `&mut`.
+pub trait Device: fmt::Debug + Send + Sync {
     /// Device name for diagnostics.
     fn name(&self) -> &str;
 

@@ -347,6 +347,28 @@ impl Memory {
                 .unwrap_or(false)
         })
     }
+
+    /// Folds the full memory contents — concrete bytes and the symbolic
+    /// overlay, in page order — into `h`. Two memories with identical
+    /// contents digest identically regardless of page sharing or map
+    /// iteration order; used by the replay-identity fingerprint (§13).
+    pub fn digest(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut page_nos: Vec<u32> = self.pages.keys().copied().collect();
+        page_nos.sort_unstable();
+        self.sym_bytes.hash(h);
+        for no in page_nos {
+            let p = &self.pages[&no];
+            no.hash(h);
+            p.bytes.hash(h);
+            let mut offs: Vec<u16> = p.sym.keys().copied().collect();
+            offs.sort_unstable();
+            for off in offs {
+                off.hash(h);
+                format!("{:?}", p.sym[&off]).hash(h);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +520,85 @@ mod tests {
         m.write_u8(0x8008, Value::Symbolic(x)).unwrap();
         assert!(m.range_has_symbolic(0x8000, 16));
         assert!(!m.range_has_symbolic(0x8000, 8));
+    }
+
+    /// Brute-force recount of the overlay the `sym_bytes` counter tracks
+    /// incrementally.
+    fn recount(m: &Memory) -> u64 {
+        m.pages.values().map(|p| p.sym.len() as u64).sum()
+    }
+
+    /// Property: across seeded random interleavings of concrete writes,
+    /// symbolic writes, symbolic→concrete overwrites, image loads, and
+    /// COW forks, `sym_bytes` equals a brute-force recount of the
+    /// overlay — on both halves of every fork.
+    #[test]
+    fn sym_bytes_matches_recount_under_random_interleavings() {
+        let b = ExprBuilder::new();
+        for seed in 0..32u64 {
+            let mut rng = s2e_prng::SplitMix64::new(0x5e1f_c0de ^ seed);
+            let mut m = Memory::new();
+            let mut forks: Vec<Memory> = Vec::new();
+            for step in 0..400 {
+                // A small address pool makes overwrites (both
+                // concrete→symbolic and symbolic→concrete) common.
+                let addr = 0x1000 + rng.below(3 * PAGE_SIZE as u64) as u32;
+                match rng.below(100) {
+                    0..=39 => {
+                        m.write_u8(addr, Value::Concrete(rng.next_u8() as u32)).unwrap();
+                    }
+                    40..=79 => {
+                        let x = b.var(&format!("s{seed}_{step}"), Width::W8);
+                        m.write_u8(addr, Value::Symbolic(x)).unwrap();
+                    }
+                    80..=89 => {
+                        let mut img = vec![0u8; rng.below(64) as usize + 1];
+                        rng.fill_bytes(&mut img);
+                        m.load_image(addr, &img);
+                    }
+                    90..=94 => forks.push(m.clone()),
+                    _ => {
+                        // Swap a fork back in: exercises counter state
+                        // carried across COW boundaries in both directions.
+                        if let Some(f) = forks.pop() {
+                            forks.push(std::mem::replace(&mut m, f));
+                        }
+                    }
+                }
+                assert_eq!(
+                    m.symbolic_byte_count(),
+                    recount(&m),
+                    "seed {seed} step {step}: live counter drifted"
+                );
+            }
+            for (i, f) in forks.iter().enumerate() {
+                assert_eq!(
+                    f.symbolic_byte_count(),
+                    recount(f),
+                    "seed {seed} fork {i}: forked counter drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_ignores_sharing_but_sees_content() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        let d = |m: &Memory| {
+            let mut h = DefaultHasher::new();
+            m.digest(&mut h);
+            h.finish()
+        };
+        let b = ExprBuilder::new();
+        let mut m = Memory::new();
+        m.write_u32(0x2000, 0xdead_beef).unwrap();
+        m.write_u8(0x3000, Value::Symbolic(b.var("x", Width::W8))).unwrap();
+        let fork = m.clone(); // shared pages, identical content
+        assert_eq!(d(&m), d(&fork));
+        let mut changed = m.clone();
+        changed.write_u8(0x2000, Value::Concrete(1)).unwrap();
+        assert_ne!(d(&m), d(&changed));
     }
 
     #[test]

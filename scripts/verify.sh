@@ -65,4 +65,14 @@ cargo run -q --release --offline -p s2e-tools --bin trace-report -- \
 # nonzero otherwise).
 cargo run -q --release --offline -p bench --bin parallel_scaling -- --smoke
 test -s results/parallel_scaling.json
+
+# Gate 7: replay-identity smoke — on the 91C111-LC corpus, aggressive
+# eviction (every exported state shipped as compact
+# `{checkpoint, journal}` and rehydrated by deterministic replay, with
+# per-state fingerprint verification on) must explore the identical
+# path set as live shipping while holding materially fewer resident
+# bytes in scheduler queues; emits results/fig8_checkpoint.json (exits
+# nonzero otherwise).
+cargo run -q --release --offline -p bench --bin fig8_consistency_memory -- --smoke
+test -s results/fig8_checkpoint.json
 echo "verify: ok"

@@ -6,7 +6,9 @@
 //! what order, differs run to run.
 
 use s2e::core::analyzers::BugCheck;
-use s2e::core::parallel::{explore_parallel, ParallelConfig, SchedulerKind, WorkerContext};
+use s2e::core::parallel::{
+    explore_parallel, EvictionPolicy, ParallelConfig, SchedulerKind, WorkerContext,
+};
 use s2e::core::selectors::{constrain_range, make_config_symbolic, make_mem_symbolic};
 use s2e::core::{
     build_run_report, BugKind, CodeRanges, ConsistencyModel, Engine, EngineConfig,
@@ -265,6 +267,65 @@ fn observed_runs_explore_identically_and_merge_deterministically() {
         .expect("parallel section carries total_paths");
     assert_eq!(paths as usize, observed.total_paths);
     assert!(report.phases.busy().as_nanos() > 0, "phases populated");
+}
+
+/// Replay identity (§13): with every export evicted to compact
+/// `{checkpoint, journal}` form and rehydrated by deterministic replay —
+/// with `verify_replay` fingerprint-checking each reconstruction against
+/// the evicted original — exploration must reach the same path count and
+/// bug set as live shipping, under both schedulers and any worker count.
+#[test]
+fn eviction_replay_reaches_identical_outcome() {
+    let baseline = explore_parallel(&ParallelConfig::new(1, 100_000), worker_engine);
+    assert_eq!(baseline.total_paths, 33);
+    for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+        for workers in [1usize, 2, 3, 8] {
+            let mut cfg = ParallelConfig::new(workers, 100_000).with_scheduler(scheduler);
+            cfg.batch = 4;
+            cfg.max_local_states = 1;
+            cfg.eviction = EvictionPolicy::Aggressive;
+            cfg.verify_replay = true;
+            let r = explore_parallel(&cfg, worker_engine);
+            assert_eq!(
+                r.total_paths, baseline.total_paths,
+                "{scheduler:?}/{workers}w: replayed exploration diverged"
+            );
+            assert_eq!(
+                bug_set(&r),
+                bug_set(&baseline),
+                "{scheduler:?}/{workers}w: bug set diverged under eviction"
+            );
+            assert!(r.stats.evictions > 0, "{scheduler:?}/{workers}w: nothing evicted");
+            assert!(
+                r.stats.rehydrations > 0,
+                "{scheduler:?}/{workers}w: nothing rehydrated"
+            );
+            assert_eq!(
+                r.stats.evictions,
+                r.stats.rehydrations + r.evicted_leftover,
+                "{scheduler:?}/{workers}w: eviction conservation"
+            );
+            assert_conserved(&r);
+        }
+    }
+}
+
+/// The same replay-identity property on the real 91C111 driver corpus
+/// under local consistency — annotations concretize through the journal,
+/// so this exercises every journal event kind the corpus produces.
+#[test]
+fn eviction_replay_matches_on_91c111() {
+    let baseline = explore_parallel(&ParallelConfig::new(2, 5_000_000), driver_worker);
+    assert_eq!(baseline.queue_leftover, 0, "baseline runs to exhaustion");
+    let mut cfg = ParallelConfig::new(2, 5_000_000);
+    cfg.eviction = EvictionPolicy::Aggressive;
+    cfg.verify_replay = true;
+    let r = explore_parallel(&cfg, driver_worker);
+    assert_eq!(r.total_paths, baseline.total_paths, "91C111 path set diverged");
+    assert_eq!(r.covered_blocks, baseline.covered_blocks);
+    assert!(r.stats.evictions > 0 && r.stats.rehydrations > 0);
+    assert_eq!(r.stats.evictions, r.stats.rehydrations + r.evicted_leftover);
+    assert_conserved(&r);
 }
 
 #[test]
