@@ -1,0 +1,336 @@
+//! DBT dispatch ablation (DESIGN.md §14): superblock chaining +
+//! direct-threaded dispatch + the per-worker L1 front cache, on vs off,
+//! on a concrete-heavy checksum kernel and a symbolic-heavy fork tree.
+//!
+//! The fast path is required to be a *pure* optimization, so the
+//! headline assertions are bit-identity: the chained arm must terminate
+//! the identical path sequence (same states, same reasons, same order —
+//! fork order is a prefix of state ids), the same fork count, and the
+//! same block coverage as the unchained arm, on both corpora. The win is
+//! measured on top of that — concrete self-time per retired instruction
+//! (the `Phase::Concrete` span total over `instrs_concrete`) must drop
+//! ≥2× on the concrete-heavy corpus.
+//!
+//! A parallel run checks the steady-state locking discipline: with the
+//! L1 front in place, the majority of block lookups must be answered
+//! without touching the shared-cache mutex (`l1_hits` dominates
+//! `hits - l1_hits`).
+//!
+//! Writes `results/dbt_dispatch.json`.
+//!
+//! `--smoke` runs the same corpora under a small budget with the same
+//! identity and counter assertions (timing asserts are skipped — CI
+//! machines are noisy). This is the cheap gate `scripts/verify.sh` runs.
+
+use bench::json::Json;
+use bench::timing::workspace_root;
+use s2e_analysis::{analyze, PrepassBuilder, TaintSeed};
+use s2e_core::parallel::{explore_parallel, ParallelConfig, WorkerContext};
+use s2e_core::selectors::make_mem_symbolic;
+use s2e_core::{ConsistencyModel, Engine, EngineConfig};
+use s2e_dbt::DbtStats;
+use s2e_obs::{ObsConfig, Phase, Recorder};
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::{reg, S2Op};
+use s2e_vm::machine::Machine;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BUF: u32 = 0x8000;
+const INPUT: u32 = 0x9000;
+
+/// Concrete-heavy corpus: initialize a 256-word table, then run `outer`
+/// checksum sweeps over it. Every block is straight-line ALU/memory work
+/// linked by direct edges — the shape chaining + threading targets. The
+/// final checksum rides out in the kill status so a dispatch bug cannot
+/// hide.
+fn checksum_guest(outer: u32) -> Program {
+    let mut a = Assembler::new(0x2000);
+    a.movi(reg::R1, BUF);
+    a.movi(reg::R3, 0);
+    a.movi(reg::R4, 1024);
+    a.label("init");
+    a.add(reg::R6, reg::R1, reg::R3);
+    a.st32(reg::R6, 0, reg::R3);
+    a.addi(reg::R3, reg::R3, 4);
+    a.bltu(reg::R3, reg::R4, "init");
+    a.movi(reg::R2, 0);
+    a.movi(reg::R8, 0);
+    a.movi(reg::R9, outer);
+    a.label("outer");
+    a.movi(reg::R3, 0);
+    a.label("loop");
+    a.add(reg::R6, reg::R1, reg::R3);
+    a.ld32(reg::R5, reg::R6, 0);
+    a.xor(reg::R2, reg::R2, reg::R5);
+    a.muli(reg::R2, reg::R2, 0x9e37_79b1);
+    a.addi(reg::R3, reg::R3, 4);
+    a.bltu(reg::R3, reg::R4, "loop");
+    a.addi(reg::R8, reg::R8, 1);
+    a.bltu(reg::R8, reg::R9, "outer");
+    a.mov(reg::R0, reg::R2);
+    a.s2e(S2Op::KillPath);
+    a.finish()
+}
+
+/// Symbolic-heavy corpus: a fork tree over 6 symbolic input bytes (a
+/// gate byte plus a 32-leaf subtree). Nearly every block ends in a
+/// symbolic branch, so chains cannot form across forks and the solver
+/// dominates — chaining must be neutral here.
+fn forktree_guest() -> Program {
+    let mut a = Assembler::new(0x2000);
+    a.movi(reg::R1, INPUT);
+    a.movi(reg::R6, 128);
+    a.movi(reg::R7, 0);
+    a.ld8(reg::R2, reg::R1, 0);
+    a.movi(reg::R3, 8);
+    a.bltu(reg::R2, reg::R3, "deep");
+    a.halt_code(1);
+    a.label("deep");
+    for i in 1..=5u32 {
+        a.ld8(reg::R2, reg::R1, i);
+        a.bltu(reg::R2, reg::R6, &format!("skip{i}"));
+        a.addi(reg::R7, reg::R7, 1);
+        a.label(&format!("skip{i}"));
+    }
+    a.halt_code(2);
+    a.finish()
+}
+
+/// Engine over a bare machine with the corpus loaded and the dispatch
+/// arms set. The concrete corpus gets the real static pre-pass (clean
+/// taint roots → every block proves `concrete_only`, which gates the
+/// threaded path exactly as production setups do).
+fn build_engine(prog: &Program, chain: bool, prepass: bool, symbolic_input: bool) -> Engine {
+    let mut m = Machine::new();
+    m.load(prog);
+    let mut ec = EngineConfig::with_model(ConsistencyModel::ScSe);
+    ec.chain_blocks = chain;
+    ec.threaded_dispatch = chain;
+    let mut e = Engine::new(m, ec);
+    if prepass {
+        let cfg = s2e_tools::deadcode::driver_analysis_config();
+        let analysis = analyze(prog, &[(prog.entry, TaintSeed::clean())], &cfg)
+            .expect("static pre-pass exceeded its iteration bound");
+        let info = PrepassBuilder::new().add(&analysis).build();
+        e.set_annotator(Some(Arc::new(info)));
+    }
+    if symbolic_input {
+        let id = e.sole_state().unwrap();
+        let b = e.builder_arc();
+        make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 6, "in");
+    }
+    e
+}
+
+/// One arm's outcome: the identity fingerprint (termination sequence,
+/// fork count, coverage) plus the performance counters.
+struct ArmResult {
+    wall: Duration,
+    concrete_ns: u64,
+    translate_ns: u64,
+    retired_concrete: u64,
+    paths: Vec<String>,
+    forks: u64,
+    covered: Vec<u32>,
+    dbt: DbtStats,
+}
+
+impl ArmResult {
+    /// Concrete self-time per retired concrete instruction.
+    fn ns_per_instr(&self) -> f64 {
+        self.concrete_ns as f64 / self.retired_concrete.max(1) as f64
+    }
+
+    fn json(&self) -> Json {
+        Json::obj()
+            .set("paths", self.paths.len())
+            .set("forks", self.forks)
+            .set("covered_blocks", self.covered.len())
+            .set("instrs_concrete", self.retired_concrete)
+            .set("concrete_self_time_seconds", self.concrete_ns as f64 / 1e9)
+            .set("translate_time_seconds", self.translate_ns as f64 / 1e9)
+            .set("ns_per_retired_instr", self.ns_per_instr())
+            .set("wall_seconds", self.wall.as_secs_f64())
+            .set("dbt_hits", self.dbt.hits)
+            .set("dbt_l1_hits", self.dbt.l1_hits)
+            .set("dbt_translations", self.dbt.translations)
+            .set("chains_formed", self.dbt.chains_formed)
+            .set("chain_entries", self.dbt.chain_entries)
+            .set("chain_exits", self.dbt.chain_exits)
+            .set("unlinks", self.dbt.unlinks)
+    }
+}
+
+fn run_arm(mut e: Engine) -> ArmResult {
+    *e.recorder_mut() = Recorder::new(0, &ObsConfig::enabled());
+    let started = Instant::now();
+    e.run(5_000_000);
+    let wall = started.elapsed();
+    let tl = e.take_timeline();
+    // Termination order is the fork order made observable: state ids are
+    // minted at fork time and the sequential engine drains them
+    // deterministically, so any fork-order divergence reorders this list.
+    let paths: Vec<String> = e
+        .terminated()
+        .iter()
+        .map(|(id, reason)| format!("{id:?}={reason:?}"))
+        .collect();
+    let mut covered: Vec<u32> = e.seen_blocks().iter().copied().collect();
+    covered.sort_unstable();
+    ArmResult {
+        wall,
+        concrete_ns: tl.totals.nanos[Phase::Concrete.index()],
+        translate_ns: tl.totals.nanos[Phase::Translate.index()],
+        retired_concrete: e.stats().instrs_concrete,
+        paths,
+        forks: e.stats().forks,
+        covered,
+        dbt: e.dbt_stats(),
+    }
+}
+
+/// The bit-identity contract between the two arms of one corpus.
+fn assert_identity(name: &str, off: &ArmResult, on: &ArmResult) {
+    assert_eq!(
+        off.paths, on.paths,
+        "{name}: chained arm changed the terminated path sequence"
+    );
+    assert_eq!(off.forks, on.forks, "{name}: chained arm changed the fork count");
+    assert_eq!(off.covered, on.covered, "{name}: chained arm changed coverage");
+    assert_eq!(
+        off.retired_concrete, on.retired_concrete,
+        "{name}: chained arm retired a different instruction count"
+    );
+    assert_eq!(on.dbt.l1_hits, on.dbt.hits.min(on.dbt.l1_hits), "l1_hits ⊆ hits");
+    assert_eq!(
+        off.dbt.chain_entries, 0,
+        "{name}: unchained arm must not chain: {:?}",
+        off.dbt
+    );
+}
+
+fn run_corpus(
+    name: &str,
+    build: impl Fn(bool) -> Engine,
+) -> (Json, ArmResult, ArmResult) {
+    let off = run_arm(build(false));
+    let on = run_arm(build(true));
+    assert_identity(name, &off, &on);
+    let ratio = off.ns_per_instr() / on.ns_per_instr().max(f64::MIN_POSITIVE);
+    println!(
+        "{name:<24} {:>10} instrs  off {:>7.1} ns/i  on {:>7.1} ns/i  ({ratio:.2}x)  \
+         chains {} entries {} l1 {}",
+        on.retired_concrete,
+        off.ns_per_instr(),
+        on.ns_per_instr(),
+        on.dbt.chains_formed,
+        on.dbt.chain_entries,
+        on.dbt.l1_hits,
+    );
+    let json = Json::obj()
+        .set("corpus", name)
+        .set("off", off.json())
+        .set("on", on.json())
+        .set("speedup_ns_per_instr", ratio);
+    (json, off, on)
+}
+
+/// Steady-state locking discipline under `explore_parallel`: across all
+/// workers, most lookups must be L1 hits (lock-free); the shared mutex
+/// is reserved for cold misses and invalidations.
+fn check_parallel_mutex_discipline(workers: usize) -> Json {
+    let guest = Arc::new(forktree_guest());
+    let build = move |ctx: &WorkerContext| {
+        let mut m = Machine::new();
+        m.load(&guest);
+        let mut e = ctx.engine(m, EngineConfig::with_model(ConsistencyModel::ScSe));
+        let id = e.sole_state().unwrap();
+        let b = e.builder_arc();
+        make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 6, "in");
+        e
+    };
+    let mut cfg = ParallelConfig::new(workers, 100_000);
+    cfg.batch = 4;
+    cfg.max_local_states = 2;
+    let r = explore_parallel(&cfg, build);
+    let shared_lookups = r.dbt.hits - r.dbt.l1_hits;
+    assert!(
+        r.dbt.l1_hits > shared_lookups,
+        "L1 must answer the majority of steady-state lookups: {:?}",
+        r.dbt
+    );
+    println!(
+        "parallel({workers}w): {} lookups lock-free (L1), {} took the shared mutex \
+         ({} cold misses, {} invalidations)",
+        r.dbt.l1_hits, shared_lookups, r.dbt.translations, r.dbt.invalidations
+    );
+    Json::obj()
+        .set("workers", workers)
+        .set("total_paths", r.total_paths)
+        .set("l1_hits", r.dbt.l1_hits)
+        .set("shared_hits", shared_lookups)
+        .set("translations", r.dbt.translations)
+        .set("invalidations", r.dbt.invalidations)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let outer: u32 = if smoke { 60 } else { 2_000 };
+
+    println!("DBT dispatch ablation: chaining + threading + L1 on vs off");
+    println!();
+
+    let checksum = checksum_guest(outer);
+    let (concrete_json, _c_off, c_on) = run_corpus("concrete checksum", |chain| {
+        build_engine(&checksum, chain, true, false)
+    });
+    let forktree = forktree_guest();
+    let (symbolic_json, _f_off, f_on) =
+        run_corpus("symbolic fork tree", |chain| build_engine(&forktree, chain, false, true));
+
+    // The chained arm must actually exercise the machinery it claims to
+    // measure.
+    assert!(
+        c_on.dbt.chains_formed > 0 && c_on.dbt.chain_entries > 0,
+        "concrete corpus never chained: {:?}",
+        c_on.dbt
+    );
+    assert!(c_on.dbt.l1_hits > 0, "concrete corpus never hit the L1: {:?}", c_on.dbt);
+    assert_eq!(f_on.paths.len(), 33, "fork tree explores gate + 32 leaves");
+
+    let parallel_json = check_parallel_mutex_discipline(4);
+
+    let ratio = _c_off.ns_per_instr() / c_on.ns_per_instr().max(f64::MIN_POSITIVE);
+    if smoke {
+        println!("smoke ok");
+    } else {
+        assert!(
+            ratio >= 2.0,
+            "chaining + threading must cut concrete self-time per retired \
+             instruction at least 2x on the concrete corpus (got {ratio:.2}x)"
+        );
+    }
+
+    let out = Json::obj()
+        .set("experiment", "dbt_dispatch")
+        .set(
+            "description",
+            "superblock chaining + direct-threaded dispatch + per-worker L1 \
+             ablation; bit-identical path sequence/fork count/coverage asserted, \
+             concrete self-time per retired instruction compared",
+        )
+        .set("smoke", smoke)
+        .set("outer_iterations", outer)
+        .set(
+            "corpora",
+            Json::Arr(vec![concrete_json, symbolic_json]),
+        )
+        .set("parallel_mutex_discipline", parallel_json);
+
+    let path = workspace_root().join("results/dbt_dispatch.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out.render()).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -117,6 +117,10 @@ impl Plugin for EnergyProfile {
         state.plugin_state_mut::<EnergyState>("energy").charge += cost;
     }
 
+    fn wants_memory_events(&self) -> bool {
+        true
+    }
+
     fn on_memory_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &MemAccess) {
         let cost = self.model.per_byte * a.width as u64;
         state.plugin_state_mut::<EnergyState>("energy").charge += cost;

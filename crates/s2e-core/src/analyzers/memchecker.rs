@@ -137,6 +137,10 @@ impl Plugin for MemoryChecker {
         }
     }
 
+    fn wants_memory_events(&self) -> bool {
+        true
+    }
+
     fn on_memory_access(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, a: &MemAccess) {
         if !self.config.heap_range.contains(&a.addr) {
             return;

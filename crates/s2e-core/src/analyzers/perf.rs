@@ -133,6 +133,10 @@ impl Plugin for PerformanceProfile {
         ps.hierarchy.access(AccessKind::Instruction, pc as u64);
     }
 
+    fn wants_memory_events(&self) -> bool {
+        true
+    }
+
     fn on_memory_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &MemAccess) {
         if !self.in_range(a.pc) {
             return;

@@ -56,6 +56,10 @@ impl Plugin for DataRaceDetector {
         "racedetector"
     }
 
+    fn wants_memory_events(&self) -> bool {
+        true
+    }
+
     fn on_memory_access(&mut self, state: &mut ExecState, ctx: &mut ExecCtx, a: &MemAccess) {
         if !a.is_write || !self.watch.contains(&a.addr) {
             return;

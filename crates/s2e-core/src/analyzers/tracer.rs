@@ -110,6 +110,10 @@ impl Plugin for ExecutionTracer {
         }
     }
 
+    fn wants_memory_events(&self) -> bool {
+        true
+    }
+
     fn on_memory_access(&mut self, state: &mut ExecState, _ctx: &mut ExecCtx, a: &MemAccess) {
         if self.in_range(a.pc) {
             self.push(

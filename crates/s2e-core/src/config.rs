@@ -220,6 +220,16 @@ pub struct EngineConfig {
     /// memory, whereas the paper's RC-OC use case (RevNIC) targets
     /// hardware inputs and value-typed results.
     pub rc_oc_excluded_syscalls: Vec<u32>,
+    /// Chain blocks along observed direct edges into superblock runs, so
+    /// straight-line regions execute many blocks per engine step
+    /// (DESIGN.md §14). Exploration is bit-identical either way; off is
+    /// the ablation/measurement arm. Ignored (always off) under RC-CC,
+    /// whose edge forcing reads engine-global coverage per branch.
+    pub chain_blocks: bool,
+    /// Run `concrete_only` blocks through the direct-threaded micro-op
+    /// table instead of the match-dispatch loop (DESIGN.md §14).
+    /// Bit-identical to the legacy loop; off is the ablation arm.
+    pub threaded_dispatch: bool,
 }
 
 impl Default for EngineConfig {
@@ -236,6 +246,8 @@ impl Default for EngineConfig {
             allow_forking: true,
             checkpoint_interval: 8,
             rc_oc_excluded_syscalls: Vec::new(),
+            chain_blocks: true,
+            threaded_dispatch: true,
         }
     }
 }

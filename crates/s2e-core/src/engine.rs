@@ -8,8 +8,9 @@
 //! [`Engine::step`] from a custom loop, as the driver-exerciser tools do).
 
 use crate::config::{ConsistencyModel, EngineConfig};
-use crate::exec::{execute_block, BlockOutcome, ExecEnv, ForkRequest};
+use crate::exec::{execute_block, BlockOutcome, ExecEnv, ForkRequest, MAX_CHAIN};
 use crate::journal::JournalEvent;
+use crate::l1::ExecCache;
 use crate::plugin::{BugReport, ExecCtx, Plugin};
 use crate::search::{Dfs, SearchStrategy};
 use crate::state::{CompactState, ExecState, StateId, TerminationReason};
@@ -90,7 +91,7 @@ pub struct Engine {
     builder: Arc<ExprBuilder>,
     solver: Solver,
     config: EngineConfig,
-    cache: CacheHandle,
+    cache: ExecCache,
     marks: HashSet<u32>,
     plugins: Vec<Box<dyn Plugin>>,
     states: HashMap<StateId, ExecState>,
@@ -106,6 +107,8 @@ pub struct Engine {
     steps_since_watermark: u32,
     obs: Recorder,
     checkpoints: EpochMap<Arc<ExecState>>,
+    /// Scratch for chain-hop block starts (reused across steps).
+    hop_scratch: Vec<u32>,
 }
 
 /// Journal size (bytes) past which [`Engine::step`] refreshes a state's
@@ -160,7 +163,7 @@ impl Engine {
             builder,
             solver,
             config,
-            cache,
+            cache: ExecCache::new(cache),
             marks: HashSet::new(),
             plugins: Vec::new(),
             states: HashMap::new(),
@@ -176,6 +179,7 @@ impl Engine {
             steps_since_watermark: 0,
             obs: Recorder::disabled(),
             checkpoints: EpochMap::new(CHECKPOINT_RETAIN_EPOCHS),
+            hop_scratch: Vec::new(),
         };
         let initial = ExecState::initial(machine);
         engine.stats.states_created = 1;
@@ -244,9 +248,17 @@ impl Engine {
         &mut self.solver
     }
 
-    /// Translator statistics.
+    /// Translator statistics: the backing cache's counters (shared across
+    /// workers on a shared cache) merged with this engine's L1-local ones.
     pub fn dbt_stats(&self) -> s2e_dbt::DbtStats {
         self.cache.stats()
+    }
+
+    /// Only this engine's L1-local translator counters (l1 hits, chain
+    /// entries/exits). The parallel explorer sums these across workers
+    /// and adds the shared cache's counters exactly once.
+    pub fn local_dbt_stats(&self) -> s2e_dbt::DbtStats {
+        self.cache.local_stats()
     }
 
     /// Installs an observability recorder. The engine ships with a
@@ -451,7 +463,9 @@ impl Engine {
         }
     }
 
-    /// Runs one live state for one translation block.
+    /// Runs one live state for one translation block — or, when block
+    /// chaining is enabled (the default), for a chained run of up to
+    /// [`MAX_CHAIN`] blocks along observed direct edges (DESIGN.md §14).
     ///
     /// Returns `None` when no live states remain.
     pub fn step(&mut self) -> Option<StepReport> {
@@ -469,7 +483,6 @@ impl Engine {
         if state.checkpoint().is_none() {
             self.checkpoint_state(&mut state);
         }
-        state.blocks_on_path += 1;
         let pc = state.machine.cpu.pc;
         let newly_seen = self.seen_blocks.insert(pc);
 
@@ -479,6 +492,7 @@ impl Engine {
         // the builder's counter is shared engine-wide, so the ids are a
         // nondeterministic input replay must reissue verbatim.
         s2e_expr::begin_var_capture();
+        self.hop_scratch.clear();
         let outcome = {
             let mut env = ExecEnv {
                 ctx: ExecCtx {
@@ -493,6 +507,8 @@ impl Engine {
                 marks: &mut self.marks,
                 seen_blocks: &self.seen_blocks,
                 obs: &mut self.obs,
+                block_budget: MAX_CHAIN,
+                hops: &mut self.hop_scratch,
             };
             execute_block(&mut state, &mut env, &mut plugins)
         };
@@ -503,8 +519,16 @@ impl Engine {
             state.record_var_ids(&minted);
         }
         self.plugins = plugins;
-        if newly_seen {
-            self.strategy.notify_coverage(id, 1);
+        // Coverage: the step's entry block plus every block entered via a
+        // chain hop inside the call.
+        let mut new_blocks = u64::from(newly_seen);
+        for &hop in &self.hop_scratch {
+            if self.seen_blocks.insert(hop) {
+                new_blocks += 1;
+            }
+        }
+        if new_blocks > 0 {
+            self.strategy.notify_coverage(id, new_blocks as u32);
         }
 
         let report_outcome = match outcome {
@@ -716,12 +740,11 @@ impl Engine {
         let mut scratch_bugs = Vec::new();
         let mut scratch_log = Vec::new();
         let mut scratch_obs = Recorder::disabled();
+        let mut scratch_hops = Vec::new();
         let mut plugins = std::mem::take(&mut self.plugins);
-        let mut replayed_blocks = 0u64;
+        let blocks_at_checkpoint = state.blocks_on_path;
 
         while state.blocks_on_path < compact.blocks_on_path {
-            state.blocks_on_path += 1;
-            replayed_blocks += 1;
             let outcome = {
                 let mut env = ExecEnv {
                     ctx: ExecCtx {
@@ -736,9 +759,16 @@ impl Engine {
                     marks: &mut self.marks,
                     seen_blocks: &self.seen_blocks,
                     obs: &mut scratch_obs,
+                    // Chain freely during replay, but never past the
+                    // recorded boundary: `blocks_on_path` advances inside
+                    // `execute_block`, so the budget is exactly the
+                    // remaining distance.
+                    block_budget: compact.blocks_on_path - state.blocks_on_path,
+                    hops: &mut scratch_hops,
                 };
                 execute_block(&mut state, &mut env, &mut plugins)
             };
+            scratch_hops.clear();
             match outcome {
                 BlockOutcome::Continue => {}
                 BlockOutcome::Fork(fork) => {
@@ -793,9 +823,9 @@ impl Engine {
                     }
                 }
                 BlockOutcome::Terminated(reason) => panic!(
-                    "replay diverged: state {} terminated ({reason:?}) after {replayed_blocks} \
-                     replayed blocks",
-                    compact.id
+                    "replay diverged: state {} terminated ({reason:?}) after {} replayed blocks",
+                    compact.id,
+                    state.blocks_on_path - blocks_at_checkpoint
                 ),
             }
         }
@@ -833,7 +863,7 @@ impl Engine {
         self.stats.replayed_instrs += state.instrs_retired - instrs_at_checkpoint;
         self.obs.note(EventKind::Rehydrate {
             state: compact.id.0,
-            replayed_blocks,
+            replayed_blocks: state.blocks_on_path - blocks_at_checkpoint,
         });
         self.obs.exit(Phase::Replay);
         state

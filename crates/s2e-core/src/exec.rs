@@ -14,9 +14,11 @@
 //! solver-free forking.
 
 use crate::config::ConsistencyModel;
+use crate::l1::ExecCache;
 use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin, PortAccess};
 use crate::state::{EnvFrame, ExecState, TerminationReason};
-use s2e_dbt::{CacheHandle, TranslationBlock};
+use crate::threaded::{MicroCtx, ThreadedRun};
+use s2e_dbt::TranslationBlock;
 use s2e_expr::{ExprRef, Width};
 use s2e_obs::{Phase, Recorder};
 use s2e_vm::cpu::FaultKind;
@@ -56,8 +58,8 @@ pub enum BlockOutcome {
 pub struct ExecEnv<'a> {
     /// Plugin services bundle.
     pub ctx: ExecCtx<'a>,
-    /// The shared translation-block cache.
-    pub cache: &'a mut CacheHandle,
+    /// The L1-fronted translation-block cache (DESIGN.md §14).
+    pub cache: &'a mut ExecCache,
     /// Instructions marked by plugins at translation time.
     pub marks: &'a mut HashSet<u32>,
     /// Block start PCs already executed at least once (coverage; used by
@@ -65,7 +67,20 @@ pub struct ExecEnv<'a> {
     pub seen_blocks: &'a HashSet<u32>,
     /// Observability recorder (disabled by default; DESIGN.md §11).
     pub obs: &'a mut Recorder,
+    /// Maximum blocks one [`execute_block`] call may run (chain length
+    /// cap). The engine passes [`MAX_CHAIN`]; replay passes the exact
+    /// remaining block count so rehydration stops on the recorded
+    /// boundary.
+    pub block_budget: u64,
+    /// Block starts entered via chain hops this call (the engine folds
+    /// them into coverage, which normally only sees step entry PCs).
+    pub hops: &'a mut Vec<u32>,
 }
+
+/// Chain-length cap per engine step: bounds scheduler latency (fork
+/// requests, strategy rotation, interrupt windows are only serviced
+/// between calls) without measurably capping the chaining win.
+pub const MAX_CHAIN: u64 = 64;
 
 enum Flow {
     Next,
@@ -95,13 +110,12 @@ pub fn execute_block(
         dispatch_interrupt(state, env);
     }
 
-    let pc = state.machine.cpu.pc;
-
-    // Open the block span. It is entered as Concrete and reclassified at
-    // exit if any instruction dispatched symbolically; solver time inside
-    // it is carved out via the solver's own per-query clock. Blocks run
+    // Open the (chain) span. It is entered as Concrete and reclassified
+    // at exit if any instruction dispatched symbolically; solver time
+    // inside it is carved out via the solver's own per-query clock, and
+    // translation time via the cache's per-miss clock. Calls run
     // back-to-back, so the open reuses the timestamp the previous close
-    // read — one clock read per block when observing, zero otherwise.
+    // read — one clock read per call when observing, zero otherwise.
     let observing = env.obs.is_enabled();
     let solve_before = if observing {
         env.ctx.solver.stats().total_time
@@ -110,17 +124,78 @@ pub fn execute_block(
     };
     env.obs.enter_adjacent(Phase::Concrete);
 
+    let wants_all = plugins.iter().any(|p| p.wants_all_instructions());
+    let wants_mem = plugins.iter().any(|p| p.wants_memory_events());
+    // RC-CC's solver-free edge forcing reads the engine-global coverage
+    // set at every concrete branch, which grows between steps — merging
+    // steps would change forced-edge decisions, so RC-CC always runs one
+    // block per call.
+    let chain_ok =
+        env.ctx.config.chain_blocks && env.ctx.config.consistency != ConsistencyModel::RcCc;
+
+    let mut any_symbolic = false;
+    let mut blocks_run: u64 = 0;
+    let outcome = loop {
+        let pc = state.machine.cpu.pc;
+        let (outcome, symbolic, direct_slot) =
+            run_block_at(state, env, plugins, pc, wants_all, wants_mem);
+        any_symbolic |= symbolic;
+        blocks_run += 1;
+        if !matches!(outcome, BlockOutcome::Continue) {
+            break outcome;
+        }
+        // Chain hop: keep running in this call only along an observed
+        // direct edge, within budget, and never past a deliverable
+        // interrupt (the next call's entry dispatch must see exactly the
+        // windows the unchained arm sees).
+        let Some(slot) = direct_slot else {
+            break outcome;
+        };
+        if !chain_ok || blocks_run >= env.block_budget {
+            break outcome;
+        }
+        if state.machine.cpu.interrupts_enabled && state.machine.cpu.pending_irqs != 0 {
+            break outcome;
+        }
+        env.cache.note_chain(pc, state.machine.cpu.pc, slot);
+        env.cache.count_chain_entry();
+        env.hops.push(state.machine.cpu.pc);
+    };
+    if blocks_run > 1 {
+        env.cache.count_chain_exit();
+    }
+    close_block_span(env, observing, solve_before, any_symbolic);
+    outcome
+}
+
+/// Runs the single block at `pc` on `state`: translation, plugin block
+/// events, the threaded fast path when eligible, the legacy
+/// per-instruction loop otherwise, then per-block stats/vtime/device
+/// work. Returns the outcome, whether any instruction dispatched
+/// symbolically, and — when control left along a direct edge — the chain
+/// slot for it (0 = taken branch/jump/call, 1 = fall-through).
+fn run_block_at(
+    state: &mut ExecState,
+    env: &mut ExecEnv,
+    plugins: &mut [Box<dyn Plugin>],
+    pc: u32,
+    wants_all: bool,
+    wants_mem: bool,
+) -> (BlockOutcome, bool, Option<usize>) {
+    state.blocks_on_path += 1;
+
     // Self-modifying / decrypting code support: concretize any symbolic
     // code bytes in the upcoming block window before translation.
     concretize_code_window(state, env, pc);
 
     let tb = translate(state, env, plugins, pc);
     if tb.instrs.is_empty() {
-        close_block_span(env, observing, solve_before, false);
         state.machine.cpu.fault = Some(FaultKind::InvalidOpcode { pc });
-        return BlockOutcome::Terminated(TerminationReason::Fault(FaultKind::InvalidOpcode {
-            pc,
-        }));
+        return (
+            BlockOutcome::Terminated(TerminationReason::Fault(FaultKind::InvalidOpcode { pc })),
+            false,
+            None,
+        );
     }
 
     for p in plugins.iter_mut() {
@@ -137,66 +212,128 @@ pub fn execute_block(
         env.ctx.stats.concrete_only_blocks += 1;
     }
 
+    // Per-block mark bitmap: one set probe per instruction only when any
+    // marks exist at all; unmarked blocks (the common case) pay zero
+    // per-instruction lookups. MAX_BLOCK_INSTRS is 64, so u64 covers
+    // every index. Marks only grow during translation, never inside a
+    // block's execution, so the bitmap cannot go stale mid-block.
+    let mark_bits: u64 = if env.marks.is_empty() {
+        0
+    } else {
+        let mut bits = 0u64;
+        for idx in 0..tb.instrs.len() {
+            if env.marks.contains(&tb.pc_of(idx)) {
+                bits |= 1 << idx;
+            }
+        }
+        bits
+    };
+
     let mut concrete_count: u64 = 0;
     let mut symbolic_count: u64 = 0;
-
+    let mut start_idx = 0usize;
     let mut outcome = BlockOutcome::Continue;
-    for (idx, instr) in tb.instrs.iter().enumerate() {
-        let ipc = tb.pc_of(idx);
-        state.machine.cpu.pc = ipc;
+    let mut direct_slot: Option<usize> = None;
+    let mut done = false;
 
-        if state.instrs_retired >= env.ctx.config.max_instrs_per_path {
-            outcome = BlockOutcome::Terminated(TerminationReason::FuelExhausted);
-            break;
-        }
-        state.instrs_retired += 1;
-
-        let marked = env.marks.contains(&ipc);
-        for p in plugins.iter_mut() {
-            if marked || p.wants_all_instructions() {
-                p.on_instr_execution(state, &mut env.ctx, ipc, instr);
+    // Direct-threaded fast path (DESIGN.md §14): a concrete-only block
+    // with no per-instruction observers and whole-block fuel headroom
+    // runs through the micro-op table — no operand scan, no dispatch
+    // match, one fuel check for the block. Any micro-op that cannot
+    // reproduce the legacy path exactly bails *before* mutating, and the
+    // legacy loop resumes at that exact instruction.
+    if lean
+        && env.ctx.config.threaded_dispatch
+        && env.ctx.config.consistency != ConsistencyModel::RcCc
+        && mark_bits == 0
+        && !wants_all
+        && state.instrs_retired.saturating_add(tb.instrs.len() as u64)
+            <= env.ctx.config.max_instrs_per_path
+    {
+        let threaded = env.cache.threaded_for(pc, &tb);
+        // Memory micro-ops skip `on_memory_access` dispatch entirely, so
+        // they are only exact when no plugin consumes memory events.
+        if !(threaded.has_mem_ops && wants_mem) {
+            let cx = MicroCtx {
+                builder: env.ctx.builder,
+                filter: env.cache.filter(),
+            };
+            match crate::threaded::run(&threaded, state, &cx) {
+                ThreadedRun::Completed { executed } => {
+                    state.instrs_retired += executed;
+                    concrete_count += executed;
+                    direct_slot = Some(if state.machine.cpu.pc == tb.end() { 1 } else { 0 });
+                    done = true;
+                }
+                ThreadedRun::Bail { executed, resume_idx } => {
+                    state.instrs_retired += executed;
+                    concrete_count += executed;
+                    start_idx = resume_idx;
+                }
             }
         }
-        if let Some(reason) = state.kill_requested.take() {
-            outcome = BlockOutcome::Terminated(reason);
-            break;
-        }
+    }
 
-        let symbolic_instr = if lean {
-            debug_assert!(
-                !touches_symbolic(state, instr),
-                "concrete-only annotation violated at {ipc:#x}"
-            );
-            false
-        } else {
-            touches_symbolic(state, instr)
-        };
-        if symbolic_instr {
-            symbolic_count += 1;
-        } else {
-            concrete_count += 1;
-        }
+    if !done {
+        for (idx, instr) in tb.instrs.iter().enumerate().skip(start_idx) {
+            let ipc = tb.pc_of(idx);
+            state.machine.cpu.pc = ipc;
 
-        match execute_instr(state, env, plugins, instr, ipc, idx, &tb) {
-            Flow::Next => {}
-            Flow::Jump(target) => {
-                state.machine.cpu.pc = target;
-                outcome = BlockOutcome::Continue;
+            if state.instrs_retired >= env.ctx.config.max_instrs_per_path {
+                outcome = BlockOutcome::Terminated(TerminationReason::FuelExhausted);
                 break;
             }
-            Flow::Fork(f) => {
-                outcome = BlockOutcome::Fork(f);
-                break;
+            state.instrs_retired += 1;
+
+            let marked = mark_bits >> idx & 1 == 1;
+            for p in plugins.iter_mut() {
+                if marked || p.wants_all_instructions() {
+                    p.on_instr_execution(state, &mut env.ctx, ipc, instr);
+                }
             }
-            Flow::Stop(reason) => {
+            if let Some(reason) = state.kill_requested.take() {
                 outcome = BlockOutcome::Terminated(reason);
                 break;
             }
-        }
 
-        // Fall-through off the end of the block.
-        if idx + 1 == tb.instrs.len() {
-            state.machine.cpu.pc = tb.end();
+            let symbolic_instr = if lean {
+                debug_assert!(
+                    !touches_symbolic(state, instr),
+                    "concrete-only annotation violated at {ipc:#x}"
+                );
+                false
+            } else {
+                touches_symbolic(state, instr)
+            };
+            if symbolic_instr {
+                symbolic_count += 1;
+            } else {
+                concrete_count += 1;
+            }
+
+            match execute_instr(state, env, plugins, instr, ipc, idx, &tb) {
+                Flow::Next => {}
+                Flow::Jump(target) => {
+                    state.machine.cpu.pc = target;
+                    outcome = BlockOutcome::Continue;
+                    direct_slot = direct_edge_slot(instr, symbolic_instr, target, &tb);
+                    break;
+                }
+                Flow::Fork(f) => {
+                    outcome = BlockOutcome::Fork(f);
+                    break;
+                }
+                Flow::Stop(reason) => {
+                    outcome = BlockOutcome::Terminated(reason);
+                    break;
+                }
+            }
+
+            // Fall-through off the end of the block.
+            if idx + 1 == tb.instrs.len() {
+                state.machine.cpu.pc = tb.end();
+                direct_slot = Some(1);
+            }
         }
     }
 
@@ -225,8 +362,25 @@ pub fn execute_block(
             outcome = BlockOutcome::Terminated(reason);
         }
     }
-    close_block_span(env, observing, solve_before, symbolic_count > 0);
-    outcome
+    (outcome, symbolic_count > 0, direct_slot)
+}
+
+/// Classifies a `Flow::Jump` as a chainable direct edge. Only statically
+/// determined transfers qualify: `Jmp`/`Call`, and conditional branches
+/// whose operands were concrete (a symbolically resolved branch consulted
+/// the solver; indirect jumps and env-crossing transfers never chain).
+fn direct_edge_slot(
+    instr: &Instr,
+    symbolic_instr: bool,
+    target: u32,
+    tb: &TranslationBlock,
+) -> Option<usize> {
+    let direct = matches!(instr.op, Opcode::Jmp | Opcode::Call)
+        || (instr.op.is_conditional_branch() && !symbolic_instr);
+    if !direct {
+        return None;
+    }
+    Some(if target == tb.end() { 1 } else { 0 })
 }
 
 /// Closes the block span opened in [`execute_block`]: attributes the
@@ -522,7 +676,7 @@ fn execute_instr(
     }
 }
 
-fn uses_imm(op: Opcode) -> bool {
+pub(crate) fn uses_imm(op: Opcode) -> bool {
     matches!(
         op,
         Opcode::AddI

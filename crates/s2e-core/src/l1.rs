@@ -1,0 +1,347 @@
+//! Per-worker L1 front for the translation-block cache.
+//!
+//! Under `explore_parallel` every worker shares one
+//! [`s2e_dbt::SharedBlockCache`] behind a mutex; before this layer every
+//! executed block took that lock just to *look up* an already-translated
+//! block. The [`ExecCache`] is a small direct-mapped, completely
+//! lock-free table private to one engine: steady-state lookups hit here
+//! and never touch the mutex, which is taken only on L1 misses
+//! (translation), chain-link updates the L1 hint cannot prove redundant,
+//! and invalidations (DESIGN.md §14).
+//!
+//! Coherence is epoch-based: the backing [`s2e_dbt::BlockCache`] bumps a
+//! shared atomic epoch whenever any worker invalidates blocks (SMC
+//! stores, `clear`, annotator swaps). Every L1 operation first compares
+//! that epoch against the last one it observed and wipes itself on
+//! change — the same retention discipline as [`s2e_cache::EpochMap`],
+//! which this module reuses to keep lowered (direct-threaded) block
+//! bodies alive across L1 slot conflicts.
+
+use crate::threaded::{self, ThreadedBlock};
+use s2e_cache::EpochMap;
+use s2e_dbt::{BlockAnnotator, CacheHandle, CodePageFilter, DbtStats, TranslationBlock};
+use s2e_vm::isa::Instr;
+use s2e_vm::mem::Memory;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Direct-mapped L1 size (power of two). 512 slots comfortably covers
+/// every corpus in the repo (the largest guest has ~60 blocks) while
+/// keeping the table cache-resident.
+const L1_SLOTS: usize = 512;
+
+/// Epochs a spilled lowered block survives in [`ExecCache::lowered`]
+/// after its last touch.
+const LOWERED_RETAIN_EPOCHS: u64 = 2;
+
+/// L1 misses between [`EpochMap::advance`] ticks on the spill map.
+const LOWERED_ADVANCE_MISSES: u64 = 4096;
+
+struct L1Slot {
+    start: u32,
+    tb: Arc<TranslationBlock>,
+    /// Lazily lowered direct-threaded body (concrete-only blocks).
+    threaded: Option<Arc<ThreadedBlock>>,
+    /// Local mirror of the shared chain links (slot 0 = taken/jump,
+    /// slot 1 = fall-through): [`ExecCache::note_chain`] skips the
+    /// shared-cache lock when the hint already matches.
+    succ: [Option<u32>; 2],
+}
+
+/// The translation cache an engine actually executes against: a
+/// lock-free per-worker L1 in front of a [`CacheHandle`].
+pub struct ExecCache {
+    handle: CacheHandle,
+    slots: Box<[Option<L1Slot>]>,
+    /// Shared invalidation epoch (bumped by any worker's invalidation).
+    epoch: Arc<AtomicU64>,
+    /// Epoch this L1's contents were valid for.
+    seen_epoch: u64,
+    /// Lock-free shared code-page bitmap (store fast-path SMC check).
+    filter: Arc<CodePageFilter>,
+    /// Lowered blocks evicted from L1 slots by conflicts, epoch-aged so
+    /// cold spills drop out instead of accumulating.
+    lowered: EpochMap<Arc<ThreadedBlock>>,
+    misses_since_tick: u64,
+    /// This engine's own counters (L1 hits, chain entries/exits); shared
+    /// counters live in the backing cache. [`ExecCache::stats`] merges.
+    local: DbtStats,
+}
+
+impl ExecCache {
+    /// Wraps a cache handle in a fresh (cold) L1.
+    pub fn new(handle: CacheHandle) -> ExecCache {
+        let epoch = handle.epoch_handle();
+        let filter = handle.code_page_filter();
+        let seen_epoch = epoch.load(Ordering::Acquire);
+        ExecCache {
+            handle,
+            slots: (0..L1_SLOTS).map(|_| None).collect(),
+            epoch,
+            seen_epoch,
+            filter,
+            lowered: EpochMap::new(LOWERED_RETAIN_EPOCHS),
+            misses_since_tick: 0,
+            local: DbtStats::default(),
+        }
+    }
+
+    fn slot_index(pc: u32) -> usize {
+        // Block starts are instruction-aligned; drop the low bits so
+        // consecutive blocks map to consecutive slots.
+        (pc as usize >> 3) & (L1_SLOTS - 1)
+    }
+
+    /// Drops every L1 entry if any worker invalidated since the last
+    /// sync. Called on the translate path (once per executed block) and
+    /// after local invalidations, so a block re-translated after SMC is
+    /// never served from a stale slot.
+    fn sync(&mut self) {
+        let now = self.epoch.load(Ordering::Acquire);
+        if now != self.seen_epoch {
+            for slot in self.slots.iter_mut() {
+                *slot = None;
+            }
+            self.lowered = EpochMap::new(LOWERED_RETAIN_EPOCHS);
+            self.seen_epoch = now;
+        }
+    }
+
+    /// See [`s2e_dbt::BlockCache::translate_timed`]; L1 hits return with
+    /// zero duration and never take the shared lock.
+    pub fn translate_timed(
+        &mut self,
+        mem: &Memory,
+        pc: u32,
+        on_translate: &mut dyn FnMut(u32, &Instr),
+    ) -> (Arc<TranslationBlock>, Duration) {
+        self.sync();
+        let idx = Self::slot_index(pc);
+        if let Some(slot) = &self.slots[idx] {
+            if slot.start == pc {
+                self.local.hits += 1;
+                self.local.l1_hits += 1;
+                return (Arc::clone(&slot.tb), Duration::ZERO);
+            }
+        }
+        let (tb, decoded) = self.handle.translate_timed(mem, pc, on_translate);
+        self.misses_since_tick += 1;
+        if self.misses_since_tick >= LOWERED_ADVANCE_MISSES {
+            self.misses_since_tick = 0;
+            self.lowered.advance();
+        }
+        // Spill the conflict victim's lowering so bouncing between two
+        // same-slot blocks doesn't re-lower either of them.
+        if let Some(old) = self.slots[idx].take() {
+            if let Some(t) = old.threaded {
+                self.lowered.insert(old.start as u64, t);
+            }
+        }
+        let threaded = self.lowered.remove(pc as u64);
+        self.slots[idx] = Some(L1Slot {
+            start: pc,
+            tb: Arc::clone(&tb),
+            threaded,
+            succ: [None, None],
+        });
+        (tb, decoded)
+    }
+
+    /// The direct-threaded form of the block at `pc`, lowering on first
+    /// request and caching in the L1 slot. `tb` must be the block the
+    /// immediately preceding [`ExecCache::translate_timed`] returned.
+    pub fn threaded_for(&mut self, pc: u32, tb: &Arc<TranslationBlock>) -> Arc<ThreadedBlock> {
+        let idx = Self::slot_index(pc);
+        if let Some(slot) = &mut self.slots[idx] {
+            if slot.start == pc {
+                if let Some(t) = &slot.threaded {
+                    return Arc::clone(t);
+                }
+                let t = Arc::new(threaded::lower(tb));
+                slot.threaded = Some(Arc::clone(&t));
+                return t;
+            }
+        }
+        Arc::new(threaded::lower(tb))
+    }
+
+    /// Records an observed direct edge `from → to` (slot 0 = taken
+    /// branch/jump/call, slot 1 = fall-through). The shared cache is
+    /// consulted only when the L1 hint doesn't already prove the link
+    /// exists.
+    pub fn note_chain(&mut self, from: u32, to: u32, slot: usize) {
+        let idx = Self::slot_index(from);
+        let hinted = matches!(
+            &self.slots[idx],
+            Some(l1) if l1.start == from && l1.succ[slot] == Some(to)
+        );
+        if hinted {
+            return;
+        }
+        self.handle.chain(from, to, slot);
+        if let Some(l1) = &mut self.slots[idx] {
+            if l1.start == from {
+                l1.succ[slot] = Some(to);
+            }
+        }
+    }
+
+    /// Counts one entry into an already-running chain (a block hop).
+    pub fn count_chain_entry(&mut self) {
+        self.local.chain_entries += 1;
+    }
+
+    /// Counts one chain ending (a multi-block segment returning control).
+    pub fn count_chain_exit(&mut self) {
+        self.local.chain_exits += 1;
+    }
+
+    /// Lock-free: see [`CodePageFilter::page_has_code`]. A stale positive
+    /// costs one locked probe; bits are only ever reset together with a
+    /// full cache clear.
+    pub fn page_has_code(&self, addr: u32) -> bool {
+        self.filter.page_has_code(addr)
+    }
+
+    /// The shared code-page bitmap (for the threaded store micro-op).
+    pub fn filter(&self) -> &CodePageFilter {
+        &self.filter
+    }
+
+    /// See [`s2e_dbt::BlockCache::invalidate_write`]; also resyncs the L1
+    /// so a severed block is never served locally afterwards.
+    pub fn invalidate_write(&mut self, addr: u32, len: u32) {
+        self.handle.invalidate_write(addr, len);
+        self.sync();
+    }
+
+    /// See [`s2e_dbt::BlockCache::set_annotator`] (clears the backing
+    /// cache, which bumps the epoch; the L1 resync happens here).
+    pub fn set_annotator(&mut self, annotator: Option<Arc<dyn BlockAnnotator>>) {
+        self.handle.set_annotator(annotator);
+        self.sync();
+    }
+
+    /// See [`s2e_dbt::BlockCache::clear`].
+    pub fn clear(&mut self) {
+        self.handle.clear();
+        self.sync();
+    }
+
+    /// See [`s2e_dbt::BlockCache::chained_succ`] (takes the shared lock;
+    /// diagnostics only).
+    pub fn chained_succ(&self, from: u32) -> [Option<u32>; 2] {
+        self.handle.chained_succ(from)
+    }
+
+    /// True if the backing cache is shared between workers.
+    pub fn is_shared(&self) -> bool {
+        self.handle.is_shared()
+    }
+
+    /// Merged statistics: the backing cache's counters (shared across
+    /// every worker on a shared cache) plus this L1's local ones.
+    pub fn stats(&self) -> DbtStats {
+        let mut s = self.handle.stats();
+        s.merge(&self.local);
+        s
+    }
+
+    /// Only this engine's local counters (L1 hits, chain entries/exits).
+    /// The parallel explorer sums these across workers and adds the
+    /// shared cache's counters exactly once.
+    pub fn local_stats(&self) -> DbtStats {
+        self.local
+    }
+}
+
+impl std::fmt::Debug for ExecCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self.slots.iter().filter(|s| s.is_some()).count();
+        f.debug_struct("ExecCache")
+            .field("l1_filled", &filled)
+            .field("seen_epoch", &self.seen_epoch)
+            .field("local", &self.local)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+    use s2e_vm::machine::Machine;
+
+    fn two_block_machine() -> Machine {
+        let mut a = Assembler::new(0x2000);
+        a.movi(2, 7);
+        a.jmp("next");
+        a.label("next");
+        a.movi(3, 9);
+        a.halt_code(0);
+        let prog = a.finish();
+        let mut m = Machine::new();
+        m.load(&prog);
+        m
+    }
+
+    #[test]
+    fn l1_hit_avoids_shared_lookup_and_counts() {
+        let m = two_block_machine();
+        let mut cache = ExecCache::new(CacheHandle::private());
+        let mut nop = |_: u32, _: &Instr| {};
+        let (tb1, _) = cache.translate_timed(&m.mem, 0x2000, &mut nop);
+        let (tb2, _) = cache.translate_timed(&m.mem, 0x2000, &mut nop);
+        assert!(Arc::ptr_eq(&tb1, &tb2));
+        let local = cache.local_stats();
+        assert_eq!(local.l1_hits, 1);
+        assert_eq!(local.hits, 1);
+        // Merged view: one shared translation (miss) + one L1 hit.
+        let merged = cache.stats();
+        assert_eq!(merged.translations, 1);
+        assert_eq!(merged.hits, 1);
+        assert_eq!(merged.l1_hits, 1);
+    }
+
+    #[test]
+    fn invalidation_epoch_wipes_l1() {
+        let m = two_block_machine();
+        let mut cache = ExecCache::new(CacheHandle::private());
+        let mut nop = |_: u32, _: &Instr| {};
+        let (tb1, _) = cache.translate_timed(&m.mem, 0x2000, &mut nop);
+        cache.invalidate_write(0x2000, 4);
+        let (tb2, _) = cache.translate_timed(&m.mem, 0x2000, &mut nop);
+        // Fresh translation, not the stale L1 entry.
+        assert!(!Arc::ptr_eq(&tb1, &tb2));
+        assert_eq!(cache.local_stats().l1_hits, 0);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn cross_worker_invalidation_reaches_sibling_l1() {
+        let m = two_block_machine();
+        let shared = s2e_dbt::SharedBlockCache::new();
+        let mut a = ExecCache::new(CacheHandle::shared(shared.clone()));
+        let mut b = ExecCache::new(CacheHandle::shared(shared.clone()));
+        let mut nop = |_: u32, _: &Instr| {};
+        let (tb_a, _) = a.translate_timed(&m.mem, 0x2000, &mut nop);
+        let (_, _) = b.translate_timed(&m.mem, 0x2000, &mut nop);
+        // Worker B invalidates; worker A's next lookup must resync.
+        b.invalidate_write(0x2000, 4);
+        let (tb_a2, _) = a.translate_timed(&m.mem, 0x2000, &mut nop);
+        assert!(!Arc::ptr_eq(&tb_a, &tb_a2));
+    }
+
+    #[test]
+    fn note_chain_hint_suppresses_repeat_shared_calls() {
+        let m = two_block_machine();
+        let mut cache = ExecCache::new(CacheHandle::private());
+        let mut nop = |_: u32, _: &Instr| {};
+        let _ = cache.translate_timed(&m.mem, 0x2000, &mut nop);
+        cache.note_chain(0x2000, 0x2010, 0);
+        cache.note_chain(0x2000, 0x2010, 0);
+        assert_eq!(cache.stats().chains_formed, 1);
+        assert_eq!(cache.chained_succ(0x2000), [Some(0x2010), None]);
+    }
+}

@@ -45,6 +45,7 @@ pub mod deque;
 pub mod engine;
 pub mod exec;
 pub mod journal;
+pub mod l1;
 pub mod observe;
 pub mod parallel;
 pub mod plugin;
@@ -52,6 +53,7 @@ pub mod search;
 pub mod selectors;
 pub mod state;
 pub mod stats;
+pub mod threaded;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
 pub use engine::{Engine, RunSummary, SharedEngineContext, StepOutcome, StepReport, StopReason};

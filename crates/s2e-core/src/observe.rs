@@ -111,6 +111,11 @@ fn dbt_section(s: &DbtStats) -> MetricSection {
         .counter("hits", s.hits as f64)
         .counter("instrs_translated", s.instrs_translated as f64)
         .counter("invalidations", s.invalidations as f64)
+        .counter("chains_formed", s.chains_formed as f64)
+        .counter("chain_entries", s.chain_entries as f64)
+        .counter("chain_exits", s.chain_exits as f64)
+        .counter("unlinks", s.unlinks as f64)
+        .counter("l1_hits", s.l1_hits as f64)
         .counter("translation_time_ns", s.translation_time.as_nanos() as f64)
 }
 

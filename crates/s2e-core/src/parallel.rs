@@ -128,6 +128,10 @@ pub struct WorkerReport {
     /// This worker's observability timeline (empty unless
     /// [`ParallelConfig::obs`] enabled recording).
     pub timeline: WorkerTimeline,
+    /// This worker's private DBT counters (L1 hits, chain entries/exits)
+    /// — the shared-cache counters live in [`ParallelReport::dbt`]
+    /// alongside these, merged.
+    pub dbt: DbtStats,
 }
 
 /// What sits in a scheduler queue: a live state, or one evicted to its
@@ -274,7 +278,9 @@ pub struct ParallelReport {
     pub queue_bytes_peak: usize,
     /// Shared solver query-cache counters (cross-worker hits).
     pub shared_cache: SharedCacheStats,
-    /// Shared translation-block cache counters.
+    /// Translation-block cache counters: the shared cache's totals
+    /// merged with every worker's private L1/chain counters, so `hits`
+    /// counts L1 and shared hits consistently.
     pub dbt: DbtStats,
     /// All workers' solver stats merged ([`SolverStats::merge`]).
     pub solver: SolverStats,
@@ -951,6 +957,7 @@ fn finish_worker_report(
         reclaims,
         exports,
         timeline: engine.take_timeline(),
+        dbt: engine.local_dbt_stats(),
     }
 }
 
@@ -1010,7 +1017,15 @@ fn merge_reports(
         evicted_leftover: totals.evicted_leftover,
         queue_bytes_peak: totals.queue_bytes_peak,
         shared_cache: shared.query_cache.stats(),
-        dbt: shared.tb_cache.stats(),
+        dbt: {
+            // Shared-cache counters (translations, invalidations, shared
+            // hits) plus every worker's private L1/chain counters.
+            let mut dbt = shared.tb_cache.stats();
+            for r in &workers {
+                dbt.merge(&r.dbt);
+            }
+            dbt
+        },
         wall_time,
         workers,
     }

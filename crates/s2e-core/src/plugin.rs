@@ -214,6 +214,15 @@ pub trait Plugin: Send {
         false
     }
 
+    /// If true, blocks containing memory accesses never take the
+    /// direct-threaded fast path (which skips `on_memory_access`
+    /// dispatch). **Any plugin that implements
+    /// [`Plugin::on_memory_access`] must return true here**, or it will
+    /// miss accesses in concrete-only blocks.
+    fn wants_memory_events(&self) -> bool {
+        false
+    }
+
     /// A new instruction is being translated (fires once per cached
     /// block).
     fn on_instr_translation(&mut self, pc: u32, instr: &Instr, marks: &mut MarkRequests) {}

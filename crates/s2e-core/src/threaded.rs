@@ -1,0 +1,365 @@
+//! Direct-threaded dispatch for concrete-only blocks.
+//!
+//! The legacy executor walks a translation block through a match on the
+//! opcode, with a `touches_symbolic` operand scan and plugin/fuel checks
+//! per instruction. For blocks the static pre-pass proved `concrete_only`
+//! (DESIGN.md §10) none of that can fire, so at first execution the block
+//! is *lowered* once into a table of per-op function pointers over a
+//! compact micro-instruction layout ([`MicroInstr`]), and subsequent runs
+//! execute `fn`-pointer to `fn`-pointer with no dispatch match, no operand
+//! scan, and a single fuel check for the whole block (DESIGN.md §14).
+//!
+//! The cardinal rule is **exact deoptimization**: a micro-op either
+//! performs the instruction's complete architectural effect and returns
+//! [`MicroFlow::Next`]/[`MicroFlow::Jump`], or it mutates *nothing* and
+//! returns [`MicroFlow::Exit`]. On `Exit` the caller re-enters the legacy
+//! loop at the same instruction index, which re-executes it with full
+//! machinery (symbolic operands, faults, memory events, SMC
+//! invalidation). Exploration is therefore bit-identical whether a block
+//! runs threaded, legacy, or half-and-half.
+//!
+//! Micro-ops bail (`Exit`) on: any non-concrete operand the legacy
+//! concrete path would special-case (defensive — the `concrete_only`
+//! annotation should preclude it), memory faults (the legacy loop
+//! re-executes the access and raises the fault), stores into pages that
+//! ever held translated code (the legacy store path owns SMC
+//! invalidation), and every environment-crossing opcode (`In`/`Out`/
+//! `Syscall`/`Iret`/`Halt`/`S2eOp`, indirect jumps).
+
+use crate::state::ExecState;
+use s2e_dbt::{CodePageFilter, TranslationBlock};
+use s2e_expr::{BinOp, ExprBuilder, Width};
+use s2e_vm::interp::{alu_binop, branch_taken, mem_width};
+use s2e_vm::isa::{reg, Opcode, INSTR_SIZE};
+use s2e_vm::value::Value;
+
+/// What a micro-op did with control flow.
+pub enum MicroFlow {
+    /// Instruction fully executed; continue with the next micro-op.
+    Next,
+    /// Instruction fully executed and transferred control (the caller
+    /// stores the target into `cpu.pc`).
+    Jump(u32),
+    /// Nothing was executed: deoptimize to the legacy loop at this index.
+    Exit,
+}
+
+/// Read-only services a micro-op may need.
+pub struct MicroCtx<'a> {
+    /// Expression factory (memory reads can surface symbolic bytes).
+    pub builder: &'a ExprBuilder,
+    /// Lock-free code-page bitmap: stores that might hit translated code
+    /// bail to the legacy path, which owns invalidation.
+    pub filter: &'a CodePageFilter,
+}
+
+type MicroFn = fn(&mut ExecState, &MicroInstr, &MicroCtx) -> MicroFlow;
+
+/// One lowered instruction: a function pointer plus the operands it
+/// needs, pre-decoded so the hot loop never touches the `Instr` again.
+pub struct MicroInstr {
+    exec: MicroFn,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    width: u8,
+    op: Opcode,
+    bop: BinOp,
+    imm: u32,
+    next_pc: u32,
+}
+
+/// A `concrete_only` block lowered to micro-ops.
+pub struct ThreadedBlock {
+    micro: Vec<MicroInstr>,
+    /// True if any micro-op reads or writes guest memory; such a block
+    /// may only run threaded when no plugin wants memory events.
+    pub has_mem_ops: bool,
+    /// PC after the last instruction (fall-through target).
+    pub end_pc: u32,
+}
+
+impl std::fmt::Debug for ThreadedBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedBlock")
+            .field("micro_ops", &self.micro.len())
+            .field("has_mem_ops", &self.has_mem_ops)
+            .field("end_pc", &self.end_pc)
+            .finish()
+    }
+}
+
+/// Result of a threaded run over a block.
+pub enum ThreadedRun {
+    /// The whole block executed; `cpu.pc` holds the next block start and
+    /// `executed` instructions retired.
+    Completed {
+        /// Instructions fully executed (to be bulk-retired by the caller).
+        executed: u64,
+    },
+    /// A micro-op deoptimized. `executed` instructions before it ran to
+    /// completion; the instruction at `resume_idx` did NOT execute and
+    /// must be re-dispatched by the legacy loop.
+    Bail {
+        /// Instructions fully executed before the bail.
+        executed: u64,
+        /// Index of the first unexecuted instruction.
+        resume_idx: usize,
+    },
+}
+
+/// Lowers a translation block. Only called for `concrete_only` blocks;
+/// opcodes the threaded engine does not model lower to an
+/// unconditional-bail micro-op.
+pub fn lower(tb: &TranslationBlock) -> ThreadedBlock {
+    let mut micro = Vec::with_capacity(tb.instrs.len());
+    let mut has_mem_ops = false;
+    for (idx, i) in tb.instrs.iter().enumerate() {
+        let mut width = 0u8;
+        let exec: MicroFn = match i.op {
+            Opcode::Nop => mi_nop,
+            Opcode::MovI => mi_movi,
+            Opcode::Mov => mi_mov,
+            Opcode::Not => mi_not,
+            Opcode::Jmp => mi_jmp,
+            Opcode::Call => mi_call,
+            Opcode::Cli => mi_cli,
+            Opcode::Sti => mi_sti,
+            Opcode::Push => {
+                has_mem_ops = true;
+                width = 4;
+                mi_push
+            }
+            Opcode::Pop => {
+                has_mem_ops = true;
+                width = 4;
+                mi_pop
+            }
+            Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 => {
+                has_mem_ops = true;
+                width = mem_width(i.op) as u8;
+                mi_load
+            }
+            Opcode::St8 | Opcode::St16 | Opcode::St32 => {
+                has_mem_ops = true;
+                width = mem_width(i.op) as u8;
+                mi_store
+            }
+            op if op.is_conditional_branch() => mi_branch,
+            op if alu_binop(op).is_some() => {
+                if crate::exec::uses_imm(op) {
+                    mi_alu_imm
+                } else {
+                    mi_alu_reg
+                }
+            }
+            // JmpR/CallR/Ret/Syscall/Iret/In/Out/Halt/S2eOp/invalid: the
+            // legacy loop owns these (solver consultation, env-boundary
+            // conversions, termination); a completed threaded run thus
+            // always ends on a *direct* edge.
+            _ => mi_exit,
+        };
+        micro.push(MicroInstr {
+            exec,
+            rd: i.rd,
+            rs1: i.rs1,
+            rs2: i.rs2,
+            width,
+            op: i.op,
+            bop: alu_binop(i.op).unwrap_or(BinOp::Add),
+            imm: i.imm,
+            next_pc: tb.pc_of(idx).wrapping_add(INSTR_SIZE),
+        });
+    }
+    ThreadedBlock {
+        micro,
+        has_mem_ops,
+        end_pc: tb.end(),
+    }
+}
+
+/// Runs a lowered block from its first instruction. The caller has
+/// already verified fuel for the whole block, that no instruction is
+/// marked, and that no plugin wants per-instruction or (if
+/// `has_mem_ops`) memory events — so the loop is pure dispatch.
+pub fn run(tb: &ThreadedBlock, state: &mut ExecState, cx: &MicroCtx) -> ThreadedRun {
+    let n = tb.micro.len();
+    let mut idx = 0usize;
+    while idx < n {
+        let mi = &tb.micro[idx];
+        match (mi.exec)(state, mi, cx) {
+            MicroFlow::Next => idx += 1,
+            MicroFlow::Jump(target) => {
+                state.machine.cpu.pc = target;
+                return ThreadedRun::Completed {
+                    executed: (idx + 1) as u64,
+                };
+            }
+            MicroFlow::Exit => {
+                return ThreadedRun::Bail {
+                    executed: idx as u64,
+                    resume_idx: idx,
+                }
+            }
+        }
+    }
+    // Fall-through off the end of the block.
+    state.machine.cpu.pc = tb.end_pc;
+    ThreadedRun::Completed { executed: n as u64 }
+}
+
+fn mi_nop(_s: &mut ExecState, _mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    MicroFlow::Next
+}
+
+fn mi_movi(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    s.machine.cpu.set_reg(mi.rd, Value::Concrete(mi.imm));
+    MicroFlow::Next
+}
+
+fn mi_mov(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    // The legacy path clones whatever is in rs1, symbolic or not — a
+    // register-to-register move never *observes* the value.
+    let v = s.machine.cpu.reg(mi.rs1).clone();
+    s.machine.cpu.set_reg(mi.rd, v);
+    MicroFlow::Next
+}
+
+fn mi_not(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    match s.machine.cpu.reg(mi.rs1).as_concrete() {
+        Some(v) => {
+            s.machine.cpu.set_reg(mi.rd, Value::Concrete(!v));
+            MicroFlow::Next
+        }
+        None => MicroFlow::Exit,
+    }
+}
+
+fn mi_alu_reg(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    let cpu = &s.machine.cpu;
+    match (cpu.reg(mi.rs1).as_concrete(), cpu.reg(mi.rs2).as_concrete()) {
+        (Some(x), Some(y)) => {
+            let r = s2e_expr::fold::apply_binop(mi.bop, x as u64, y as u64, Width::W32) as u32;
+            s.machine.cpu.set_reg(mi.rd, Value::Concrete(r));
+            MicroFlow::Next
+        }
+        _ => MicroFlow::Exit,
+    }
+}
+
+fn mi_alu_imm(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    match s.machine.cpu.reg(mi.rs1).as_concrete() {
+        Some(x) => {
+            let r =
+                s2e_expr::fold::apply_binop(mi.bop, x as u64, mi.imm as u64, Width::W32) as u32;
+            s.machine.cpu.set_reg(mi.rd, Value::Concrete(r));
+            MicroFlow::Next
+        }
+        None => MicroFlow::Exit,
+    }
+}
+
+fn mi_load(s: &mut ExecState, mi: &MicroInstr, cx: &MicroCtx) -> MicroFlow {
+    let Some(base) = s.machine.cpu.reg(mi.rs1).as_concrete() else {
+        return MicroFlow::Exit;
+    };
+    let addr = base.wrapping_add(mi.imm);
+    match s.machine.mem.read(addr, mi.width as u32, cx.builder) {
+        // The loaded value may be symbolic (symbolic *memory* is
+        // discovered at the access, not by the operand scan) — storing it
+        // into rd matches the legacy load exactly.
+        Ok(v) => {
+            s.machine.cpu.set_reg(mi.rd, v);
+            MicroFlow::Next
+        }
+        Err(_) => MicroFlow::Exit,
+    }
+}
+
+fn mi_store(s: &mut ExecState, mi: &MicroInstr, cx: &MicroCtx) -> MicroFlow {
+    let Some(base) = s.machine.cpu.reg(mi.rs1).as_concrete() else {
+        return MicroFlow::Exit;
+    };
+    let addr = base.wrapping_add(mi.imm);
+    let Value::Concrete(val) = *s.machine.cpu.reg(mi.rs2) else {
+        return MicroFlow::Exit;
+    };
+    if cx.filter.page_has_code(addr) {
+        return MicroFlow::Exit;
+    }
+    match s.machine.mem.write(addr, mi.width as u32, &Value::Concrete(val), cx.builder) {
+        Ok(()) => MicroFlow::Next,
+        // A failed write mutated nothing the legacy retry won't rewrite
+        // identically before raising the same fault.
+        Err(_) => MicroFlow::Exit,
+    }
+}
+
+fn mi_push(s: &mut ExecState, mi: &MicroInstr, cx: &MicroCtx) -> MicroFlow {
+    let Some(sp) = s.machine.cpu.reg(reg::SP).as_concrete() else {
+        return MicroFlow::Exit;
+    };
+    let Value::Concrete(val) = *s.machine.cpu.reg(mi.rs1) else {
+        return MicroFlow::Exit;
+    };
+    let sp = sp.wrapping_sub(4);
+    match s.machine.mem.write(sp, 4, &Value::Concrete(val), cx.builder) {
+        Ok(()) => {
+            s.machine.cpu.set_reg(reg::SP, Value::Concrete(sp));
+            MicroFlow::Next
+        }
+        Err(_) => MicroFlow::Exit,
+    }
+}
+
+fn mi_pop(s: &mut ExecState, mi: &MicroInstr, cx: &MicroCtx) -> MicroFlow {
+    let Some(sp) = s.machine.cpu.reg(reg::SP).as_concrete() else {
+        return MicroFlow::Exit;
+    };
+    match s.machine.mem.read(sp, 4, cx.builder) {
+        Ok(v) => {
+            // Same write order as the legacy pop: rd first, then SP.
+            s.machine.cpu.set_reg(mi.rd, v);
+            s.machine.cpu.set_reg(reg::SP, Value::Concrete(sp.wrapping_add(4)));
+            MicroFlow::Next
+        }
+        Err(_) => MicroFlow::Exit,
+    }
+}
+
+fn mi_jmp(_s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    MicroFlow::Jump(mi.imm)
+}
+
+fn mi_call(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    s.machine.cpu.set_reg(reg::LR, Value::Concrete(mi.next_pc));
+    MicroFlow::Jump(mi.imm)
+}
+
+fn mi_branch(s: &mut ExecState, mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    let cpu = &s.machine.cpu;
+    match (cpu.reg(mi.rs1).as_concrete(), cpu.reg(mi.rs2).as_concrete()) {
+        (Some(x), Some(y)) => {
+            if branch_taken(mi.op, x, y) {
+                MicroFlow::Jump(mi.imm)
+            } else {
+                MicroFlow::Jump(mi.next_pc)
+            }
+        }
+        _ => MicroFlow::Exit,
+    }
+}
+
+fn mi_cli(s: &mut ExecState, _mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    s.machine.cpu.interrupts_enabled = false;
+    MicroFlow::Next
+}
+
+fn mi_sti(s: &mut ExecState, _mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    s.machine.cpu.interrupts_enabled = true;
+    MicroFlow::Next
+}
+
+fn mi_exit(_s: &mut ExecState, _mi: &MicroInstr, _cx: &MicroCtx) -> MicroFlow {
+    MicroFlow::Exit
+}

@@ -9,7 +9,7 @@ use s2e_core::{
 };
 use s2e_expr::{eval, Width};
 use s2e_vm::asm::{Assembler, Program};
-use s2e_vm::isa::{reg, vector, S2Op};
+use s2e_vm::isa::{reg, vector, Instr, Opcode, S2Op};
 use s2e_vm::machine::Machine;
 use s2e_vm::value::Value;
 
@@ -671,6 +671,95 @@ fn rc_cc_forces_untaken_concrete_edges() {
         codes.contains(&9),
         "RC-CC must force the dead edge: {codes:?}"
     );
+}
+
+#[test]
+fn smc_overwrite_of_chained_successor_retranslates() {
+    // Iteration 1 chains loop→body, then overwrites body's first
+    // instruction (movi r4,10 → movi r4,90). Iteration 2 must run the
+    // patched code: the invalidation has to sever the chain links and
+    // force a retranslation even though the run is mid-chain.
+    let patched = Instr::new(Opcode::MovI, 4, 0, 0, 90).encode();
+    let lo = u32::from_le_bytes(patched[0..4].try_into().unwrap());
+    let hi = u32::from_le_bytes(patched[4..8].try_into().unwrap());
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R5, 0);
+        a.movi(reg::R6, 0);
+        a.movi_label(reg::R8, "body");
+        a.movi(reg::R9, lo);
+        a.movi(reg::R10, hi);
+        a.label("loop");
+        a.jmp("body");
+        a.label("body");
+        a.movi(reg::R4, 10);
+        a.add(reg::R5, reg::R5, reg::R4);
+        a.addi(reg::R6, reg::R6, 1);
+        a.movi(reg::R7, 2);
+        a.bltu(reg::R6, reg::R7, "patch");
+        a.mov(reg::R0, reg::R5);
+        a.s2e(S2Op::KillPath);
+        a.label("patch");
+        a.st32(reg::R8, 0, reg::R9);
+        a.st32(reg::R8, 4, reg::R10);
+        a.jmp("loop");
+    });
+    e.run(10_000);
+    // 10 (original body) + 90 (patched body) — a stale chained block
+    // would yield 20.
+    assert!(
+        matches!(e.terminated()[0].1, TerminationReason::Killed(100)),
+        "{:?}",
+        e.terminated()[0].1
+    );
+    let dbt = e.dbt_stats();
+    assert!(dbt.invalidations >= 1, "{dbt:?}");
+    assert!(dbt.chains_formed >= 1, "{dbt:?}");
+    assert!(dbt.chain_entries >= 1, "{dbt:?}");
+    assert!(dbt.unlinks >= 1, "{dbt:?}");
+}
+
+#[test]
+fn page_spanning_smc_write_invalidates_chained_block() {
+    // The victim block sits exactly on a 4 KiB page boundary and the
+    // 4-byte store starts 2 bytes before it: invalidate_write must
+    // cover the whole [addr, addr+width) span, not just addr's page,
+    // to discard (and unlink) the chained victim on the next page.
+    let v = u32::from_le_bytes([0, 0, Opcode::Nop as u8, 0]);
+    let mut e = engine_with(ConsistencyModel::ScSe, |a| {
+        a.movi(reg::R4, 77);
+        a.movi(reg::R5, 0);
+        a.movi(reg::R6, 0);
+        a.movi_label(reg::R8, "victim");
+        a.subi(reg::R3, reg::R8, 2);
+        a.movi(reg::R9, v);
+        a.label("loop");
+        a.jmp("victim");
+        a.align(4096);
+        a.label("victim");
+        a.movi(reg::R4, 10);
+        a.add(reg::R5, reg::R5, reg::R4);
+        a.addi(reg::R6, reg::R6, 1);
+        a.movi(reg::R7, 2);
+        a.bltu(reg::R6, reg::R7, "patch");
+        a.mov(reg::R0, reg::R5);
+        a.s2e(S2Op::KillPath);
+        a.label("patch");
+        a.st32(reg::R3, 0, reg::R9); // spans the page boundary
+        a.movi(reg::R4, 77);
+        a.jmp("loop");
+    });
+    e.run(10_000);
+    // Iter 1: movi r4,10 → +10. Patch turns that movi into a nop, so
+    // iter 2 adds the r4=77 set by the patch block: 87 total. A stale
+    // victim block would yield 20.
+    assert!(
+        matches!(e.terminated()[0].1, TerminationReason::Killed(87)),
+        "{:?}",
+        e.terminated()[0].1
+    );
+    let dbt = e.dbt_stats();
+    assert!(dbt.invalidations >= 1, "{dbt:?}");
+    assert!(dbt.unlinks >= 1, "{dbt:?}");
 }
 
 #[test]

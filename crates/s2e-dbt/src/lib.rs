@@ -48,6 +48,7 @@ use std::sync::Mutex;
 use s2e_vm::isa::{Instr, INSTR_SIZE};
 use s2e_vm::mem::Memory;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -141,15 +142,103 @@ impl TranslationBlock {
 pub struct DbtStats {
     /// Blocks translated (cache misses).
     pub translations: u64,
-    /// Cache hits.
+    /// Cache hits (L1 hits plus shared/private map hits — every lookup
+    /// that avoided a retranslation).
     pub hits: u64,
     /// Instructions decoded in total.
     pub instrs_translated: u64,
     /// Blocks discarded by invalidation (self-modifying code).
     pub invalidations: u64,
+    /// Superblock links recorded along observed direct edges.
+    pub chains_formed: u64,
+    /// Block→block hops taken inside a chained run (no scheduler
+    /// round-trip between the two blocks).
+    pub chain_entries: u64,
+    /// Chained runs that executed more than one block before returning
+    /// to the scheduler.
+    pub chain_exits: u64,
+    /// Chain links severed by invalidation (inbound + outbound edges of
+    /// every discarded block).
+    pub unlinks: u64,
+    /// Lookups answered by a per-worker L1 front cache without touching
+    /// the shared cache (subset of `hits`).
+    pub l1_hits: u64,
     /// Wall-clock time spent decoding and annotating blocks (cache
     /// misses only; hits cost a map lookup, not measured).
     pub translation_time: Duration,
+}
+
+impl DbtStats {
+    /// Accumulates another counter set into this one (used to combine
+    /// the shared cache's counters with each worker's L1 counters).
+    pub fn merge(&mut self, other: &DbtStats) {
+        self.translations += other.translations;
+        self.hits += other.hits;
+        self.instrs_translated += other.instrs_translated;
+        self.invalidations += other.invalidations;
+        self.chains_formed += other.chains_formed;
+        self.chain_entries += other.chain_entries;
+        self.chain_exits += other.chain_exits;
+        self.unlinks += other.unlinks;
+        self.l1_hits += other.l1_hits;
+        self.translation_time += other.translation_time;
+    }
+}
+
+/// Lock-free monotone bitmap of guest pages containing translated code.
+///
+/// Shared (behind `Arc`) between the owning [`BlockCache`] and every
+/// per-worker L1 front so the store fast path can ask "might this write
+/// hit code?" without taking the shared-cache mutex. Bits are only ever
+/// set while the cache lock is held and only cleared by [`clear`], so a
+/// stale *set* bit costs one spurious locked probe and a cleared bit is
+/// exactly as stale as the racy locked check it replaces.
+///
+/// [`clear`]: CodePageFilter::reset
+pub struct CodePageFilter {
+    bits: Box<[AtomicU64]>,
+}
+
+/// One bit per 4 KiB page of the 32-bit guest address space: 128 KiB.
+const FILTER_WORDS: usize = (1usize << (32 - PAGE_SHIFT)) / 64;
+
+impl Default for CodePageFilter {
+    fn default() -> CodePageFilter {
+        let bits = (0..FILTER_WORDS).map(|_| AtomicU64::new(0)).collect();
+        CodePageFilter { bits }
+    }
+}
+
+impl std::fmt::Debug for CodePageFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set: u64 = self
+            .bits
+            .iter()
+            .map(|w| u64::from(w.load(Ordering::Relaxed).count_ones()))
+            .sum();
+        f.debug_struct("CodePageFilter").field("pages", &set).finish()
+    }
+}
+
+impl CodePageFilter {
+    fn mark_page(&self, page: u32) {
+        let word = (page as usize) / 64;
+        self.bits[word].fetch_or(1 << (page % 64), Ordering::Release);
+    }
+
+    /// True if `addr` lies in a page that has (or recently had)
+    /// translated code. Lock-free.
+    pub fn page_has_code(&self, addr: u32) -> bool {
+        let page = addr >> PAGE_SHIFT;
+        let word = (page as usize) / 64;
+        self.bits[word].load(Ordering::Acquire) >> (page % 64) & 1 == 1
+    }
+
+    fn reset(&self) {
+        for w in self.bits.iter() {
+            w.store(0, Ordering::Release);
+        }
+    }
 }
 
 /// Cache of translation blocks, keyed by start address.
@@ -163,6 +252,17 @@ pub struct BlockCache {
     blocks: HashMap<u32, Arc<TranslationBlock>>,
     /// Page index → block start addresses translated from that page.
     page_index: HashMap<u32, HashSet<u32>>,
+    /// Superblock links: block start → `[taken/jump target, fall-through]`
+    /// successors observed at execution time ([`BlockCache::chain`]).
+    links: HashMap<u32, [Option<u32>; 2]>,
+    /// Inverse of `links`: block start → predecessors linking to it, so
+    /// invalidating a block can sever *inbound* edges without a scan.
+    rev_links: HashMap<u32, HashSet<u32>>,
+    /// Bumped on every invalidation (and on `clear`); per-worker L1
+    /// fronts compare it lock-free to know when to flush.
+    epoch: Arc<AtomicU64>,
+    /// Lock-free page bitmap mirroring `page_index` occupancy.
+    code_pages: Arc<CodePageFilter>,
     stats: DbtStats,
     /// Optional static pre-pass annotator applied at translation time.
     annotator: Option<Arc<dyn BlockAnnotator>>,
@@ -172,6 +272,8 @@ impl std::fmt::Debug for BlockCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockCache")
             .field("blocks", &self.blocks.len())
+            .field("links", &self.links.len())
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
             .field("stats", &self.stats)
             .field("annotated", &self.annotator.is_some())
             .finish()
@@ -240,9 +342,79 @@ impl BlockCache {
         self.stats.instrs_translated += tb.instrs.len() as u64;
         for page in (tb.start >> PAGE_SHIFT)..=(tb.end().max(tb.start) >> PAGE_SHIFT) {
             self.page_index.entry(page).or_default().insert(pc);
+            self.code_pages.mark_page(page);
         }
         self.blocks.insert(pc, Arc::clone(&tb));
         (tb, decode_time)
+    }
+
+    /// Records a superblock link: executing the block at `from` was
+    /// observed to continue directly at `to`. `slot` 0 is the taken
+    /// branch / jump / call edge, slot 1 the fall-through edge. Returns
+    /// true when the link changed (new or retargeted).
+    pub fn chain(&mut self, from: u32, to: u32, slot: usize) -> bool {
+        debug_assert!(slot < 2);
+        let entry = self.links.entry(from).or_default();
+        if entry[slot] == Some(to) {
+            return false;
+        }
+        if let Some(old) = entry[slot].replace(to) {
+            // Retargeted (e.g. the successor was retranslated at a new
+            // boundary): drop the stale inbound edge unless the other
+            // slot still points there.
+            if !entry.contains(&Some(old)) {
+                if let Some(preds) = self.rev_links.get_mut(&old) {
+                    preds.remove(&from);
+                }
+            }
+        }
+        self.rev_links.entry(to).or_default().insert(from);
+        self.stats.chains_formed += 1;
+        true
+    }
+
+    /// The recorded successors of the block at `from`:
+    /// `[taken/jump, fall-through]`.
+    pub fn chained_succ(&self, from: u32) -> [Option<u32>; 2] {
+        self.links.get(&from).copied().unwrap_or([None, None])
+    }
+
+    /// Severs every chain edge touching the block at `pc` — outbound
+    /// links it holds and inbound links other blocks hold to it —
+    /// returning the number of edges removed.
+    fn unlink(&mut self, pc: u32) -> u64 {
+        let mut severed = 0u64;
+        if let Some(succs) = self.links.remove(&pc) {
+            for to in succs.into_iter().flatten() {
+                severed += 1;
+                if let Some(preds) = self.rev_links.get_mut(&to) {
+                    preds.remove(&pc);
+                }
+            }
+        }
+        if let Some(preds) = self.rev_links.remove(&pc) {
+            for pred in preds {
+                if let Some(slots) = self.links.get_mut(&pred) {
+                    for slot in slots.iter_mut() {
+                        if *slot == Some(pc) {
+                            *slot = None;
+                            severed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        severed
+    }
+
+    /// The invalidation-epoch counter per-worker L1 fronts watch.
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// The lock-free code-page bitmap shared with L1 fronts.
+    pub fn code_page_filter(&self) -> Arc<CodePageFilter> {
+        Arc::clone(&self.code_pages)
     }
 
     fn decode_block(
@@ -306,9 +478,21 @@ impl BlockCache {
                 }
             }
         }
+        // A page-spanning block is indexed on every page it covers;
+        // count (and unlink) it once.
+        victims.sort_unstable();
+        victims.dedup();
+        let invalidated = !victims.is_empty();
         for s in victims {
             self.blocks.remove(&s);
             self.stats.invalidations += 1;
+            self.stats.unlinks += self.unlink(s);
+        }
+        if invalidated {
+            // Publish after the maps are consistent: an L1 front that
+            // observes the new epoch re-reads through the lock and sees
+            // the post-invalidation cache.
+            self.epoch.fetch_add(1, Ordering::Release);
         }
     }
 
@@ -321,10 +505,14 @@ impl BlockCache {
             .unwrap_or(false)
     }
 
-    /// Drops all cached blocks.
+    /// Drops all cached blocks, chain links, and the page filter.
     pub fn clear(&mut self) {
         self.blocks.clear();
         self.page_index.clear();
+        self.links.clear();
+        self.rev_links.clear();
+        self.code_pages.reset();
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -366,6 +554,26 @@ impl SharedBlockCache {
     /// See [`BlockCache::page_has_code`].
     pub fn page_has_code(&self, addr: u32) -> bool {
         self.0.lock().unwrap().page_has_code(addr)
+    }
+
+    /// See [`BlockCache::chain`].
+    pub fn chain(&self, from: u32, to: u32, slot: usize) -> bool {
+        self.0.lock().unwrap().chain(from, to, slot)
+    }
+
+    /// See [`BlockCache::chained_succ`].
+    pub fn chained_succ(&self, from: u32) -> [Option<u32>; 2] {
+        self.0.lock().unwrap().chained_succ(from)
+    }
+
+    /// See [`BlockCache::epoch_handle`].
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        self.0.lock().unwrap().epoch_handle()
+    }
+
+    /// See [`BlockCache::code_page_filter`].
+    pub fn code_page_filter(&self) -> Arc<CodePageFilter> {
+        self.0.lock().unwrap().code_page_filter()
     }
 
     /// See [`BlockCache::stats`].
@@ -462,6 +670,38 @@ impl CacheHandle {
         match self {
             CacheHandle::Private(c) => c.page_has_code(addr),
             CacheHandle::Shared(c) => c.page_has_code(addr),
+        }
+    }
+
+    /// See [`BlockCache::chain`].
+    pub fn chain(&mut self, from: u32, to: u32, slot: usize) -> bool {
+        match self {
+            CacheHandle::Private(c) => c.chain(from, to, slot),
+            CacheHandle::Shared(c) => c.chain(from, to, slot),
+        }
+    }
+
+    /// See [`BlockCache::chained_succ`].
+    pub fn chained_succ(&self, from: u32) -> [Option<u32>; 2] {
+        match self {
+            CacheHandle::Private(c) => c.chained_succ(from),
+            CacheHandle::Shared(c) => c.chained_succ(from),
+        }
+    }
+
+    /// See [`BlockCache::epoch_handle`].
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        match self {
+            CacheHandle::Private(c) => c.epoch_handle(),
+            CacheHandle::Shared(c) => c.epoch_handle(),
+        }
+    }
+
+    /// See [`BlockCache::code_page_filter`].
+    pub fn code_page_filter(&self) -> Arc<CodePageFilter> {
+        match self {
+            CacheHandle::Private(c) => c.code_page_filter(),
+            CacheHandle::Shared(c) => c.code_page_filter(),
         }
     }
 
@@ -696,8 +936,115 @@ mod tests {
         });
         let mut c = BlockCache::new();
         c.translate(&mem, 0x2000, &mut |_, _| {});
+        c.chain(0x2000, 0x2008, 1);
+        let epoch = c.epoch_handle();
+        let before = epoch.load(Ordering::Relaxed);
         c.clear();
         assert!(c.is_empty());
         assert!(!c.page_has_code(0x2000));
+        assert!(!c.code_page_filter().page_has_code(0x2000));
+        assert_eq!(c.chained_succ(0x2000), [None, None]);
+        assert!(epoch.load(Ordering::Relaxed) > before, "clear publishes an epoch");
+    }
+
+    #[test]
+    fn chain_records_and_dedups_links() {
+        let mut c = BlockCache::new();
+        assert!(c.chain(0x2000, 0x3000, 0));
+        assert!(!c.chain(0x2000, 0x3000, 0), "idempotent re-link");
+        assert!(c.chain(0x2000, 0x2020, 1));
+        assert_eq!(c.chained_succ(0x2000), [Some(0x3000), Some(0x2020)]);
+        assert_eq!(c.stats().chains_formed, 2);
+        // Retargeting a slot replaces the link and keeps rev_links sane.
+        assert!(c.chain(0x2000, 0x3008, 0));
+        assert_eq!(c.chained_succ(0x2000), [Some(0x3008), Some(0x2020)]);
+    }
+
+    #[test]
+    fn invalidation_severs_inbound_and_outbound_links() {
+        let mem = asm_mem(|a| {
+            a.movi(reg::R0, 1); // block A @0x2000
+            a.jmp("b");
+            a.label("b"); // block B @0x2010
+            a.movi(reg::R1, 2);
+            a.jmp("c");
+            a.label("c"); // block C @0x2020
+            a.halt();
+        });
+        let mut c = BlockCache::new();
+        c.translate(&mem, 0x2000, &mut |_, _| {});
+        c.translate(&mem, 0x2010, &mut |_, _| {});
+        c.translate(&mem, 0x2020, &mut |_, _| {});
+        c.chain(0x2000, 0x2010, 0); // A → B (inbound edge of B)
+        c.chain(0x2010, 0x2020, 0); // B → C (outbound edge of B)
+        let epoch = c.epoch_handle();
+        let before = epoch.load(Ordering::Relaxed);
+
+        // Overwrite B: both of its edges must be severed; A → and → C
+        // survive as blocks but hold no link through B.
+        c.invalidate_write(0x2010, 4);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.stats().unlinks, 2, "inbound + outbound severed");
+        assert_eq!(c.chained_succ(0x2000), [None, None]);
+        assert_eq!(c.chained_succ(0x2010), [None, None]);
+        assert!(epoch.load(Ordering::Relaxed) > before, "invalidation publishes an epoch");
+
+        // A disjoint write severs nothing and publishes nothing.
+        let quiet = epoch.load(Ordering::Relaxed);
+        c.invalidate_write(0x2f00, 4);
+        assert_eq!(epoch.load(Ordering::Relaxed), quiet, "no victims, no epoch");
+    }
+
+    #[test]
+    fn page_spanning_write_severs_links_on_both_pages() {
+        let mut mem = Memory::new();
+        // One block at the end of page 2 (0x2ff8) and one at the start
+        // of page 3 (0x3000), chained; a write spanning the boundary
+        // must invalidate and unlink both.
+        let mut a = Assembler::new(0x2ff8);
+        a.halt(); // block X: single instr at 0x2ff8
+        let p = a.finish();
+        mem.load_image(p.base, &p.image);
+        let mut a = Assembler::new(0x3000);
+        a.halt(); // block Y at 0x3000
+        let p = a.finish();
+        mem.load_image(p.base, &p.image);
+
+        let mut c = BlockCache::new();
+        c.translate(&mem, 0x2ff8, &mut |_, _| {});
+        c.translate(&mem, 0x3000, &mut |_, _| {});
+        c.chain(0x2ff8, 0x3000, 1);
+        assert!(c.code_page_filter().page_has_code(0x2fff));
+        assert!(c.code_page_filter().page_has_code(0x3000));
+
+        c.invalidate_write(0x2ffe, 4); // spans pages 2 and 3
+        assert_eq!(c.len(), 0, "both blocks invalidated");
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.chained_succ(0x2ff8), [None, None]);
+        assert!(c.stats().unlinks >= 1, "the X→Y link was severed");
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let mut a = DbtStats { hits: 3, l1_hits: 2, ..DbtStats::default() };
+        let b = DbtStats {
+            hits: 5,
+            translations: 1,
+            chains_formed: 4,
+            chain_entries: 7,
+            chain_exits: 2,
+            unlinks: 1,
+            translation_time: Duration::from_nanos(10),
+            ..DbtStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 8);
+        assert_eq!(a.l1_hits, 2);
+        assert_eq!(a.translations, 1);
+        assert_eq!(a.chains_formed, 4);
+        assert_eq!(a.chain_entries, 7);
+        assert_eq!(a.chain_exits, 2);
+        assert_eq!(a.unlinks, 1);
+        assert_eq!(a.translation_time, Duration::from_nanos(10));
     }
 }

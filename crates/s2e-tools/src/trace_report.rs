@@ -24,6 +24,23 @@ pub fn render(report: &RunReport, top: usize) -> String {
         write!(headline, ", solver queries {}", queries as u64).unwrap();
     }
     writeln!(out, "{headline}").unwrap();
+    if let Some(dbt) = report.section("dbt") {
+        let c = |key: &str| dbt.get(key).unwrap_or(0.0) as u64;
+        writeln!(
+            out,
+            "dbt: hits {} (l1 {}), translations {}, chains {} (entries {}, exits {}), \
+             invalidations {}, unlinks {}",
+            c("hits"),
+            c("l1_hits"),
+            c("translations"),
+            c("chains_formed"),
+            c("chain_entries"),
+            c("chain_exits"),
+            c("invalidations"),
+            c("unlinks"),
+        )
+        .unwrap();
+    }
     writeln!(out).unwrap();
 
     // Phase table: non-idle phases by descending self-time, percentages

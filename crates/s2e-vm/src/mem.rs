@@ -340,11 +340,35 @@ impl Memory {
 
     /// True if any byte in `[addr, addr+len)` is symbolic.
     pub fn range_has_symbolic(&self, addr: u32, len: u32) -> bool {
-        (0..len).any(|i| {
-            let a = addr.wrapping_add(i);
-            self.page(a)
-                .map(|p| p.sym.contains_key(&((a & PAGE_MASK) as u16)))
-                .unwrap_or(false)
+        // The overlay counter makes the all-concrete case O(1) — this
+        // runs once per executed block (the SMC code-window probe), so a
+        // per-byte scan here would dominate concrete dispatch.
+        if self.sym_bytes == 0 || len == 0 {
+            return false;
+        }
+        let last = addr.wrapping_add(len - 1);
+        if last < addr {
+            // Wrapped range: rare, fall back to the byte scan.
+            return (0..len).any(|i| {
+                let a = addr.wrapping_add(i);
+                self.page(a)
+                    .map(|p| p.sym.contains_key(&((a & PAGE_MASK) as u16)))
+                    .unwrap_or(false)
+            });
+        }
+        ((addr >> PAGE_SHIFT)..=(last >> PAGE_SHIFT)).any(|no| {
+            let Some(p) = self.pages.get(&no) else {
+                return false;
+            };
+            if p.sym.is_empty() {
+                return false;
+            }
+            let base = no << PAGE_SHIFT;
+            // Sparse overlay: test the page's few symbolic offsets
+            // against the range instead of probing every byte.
+            p.sym
+                .keys()
+                .any(|&off| (base + off as u32) >= addr && (base + off as u32) <= last)
         })
     }
 

@@ -75,4 +75,15 @@ test -s results/parallel_scaling.json
 # nonzero otherwise).
 cargo run -q --release --offline -p bench --bin fig8_consistency_memory -- --smoke
 test -s results/fig8_checkpoint.json
+
+# Gate 8: DBT dispatch smoke — superblock chaining + direct-threaded
+# dispatch + the per-worker L1 front must be a pure optimization: the
+# chained arm terminates the bit-identical path sequence, fork count,
+# and block coverage as the unchained arm on both corpora, the chained
+# arm actually forms/traverses chains and serves lookups from the L1,
+# and under explore_parallel the majority of steady-state lookups never
+# touch the shared-cache mutex; emits results/dbt_dispatch.json (exits
+# nonzero otherwise).
+cargo run -q --release --offline -p bench --bin dbt_dispatch -- --smoke
+test -s results/dbt_dispatch.json
 echo "verify: ok"

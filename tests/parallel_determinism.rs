@@ -328,6 +328,111 @@ fn eviction_replay_matches_on_91c111() {
     assert_conserved(&r);
 }
 
+/// Superblock chaining + direct-threaded dispatch (DESIGN.md §14) are
+/// pure performance arms: switching both off must leave the explored
+/// path set, bug set, coverage, and fork count bit-identical, under
+/// both schedulers and any worker count.
+#[test]
+fn chained_and_unchained_dispatch_agree() {
+    let arm = |chain: bool| {
+        move |ctx: &WorkerContext| {
+            let mut m = Machine::new();
+            m.load(&imbalanced_guest());
+            let mut ec = EngineConfig::with_model(ConsistencyModel::ScSe);
+            ec.chain_blocks = chain;
+            ec.threaded_dispatch = chain;
+            let mut e = ctx.engine(m, ec);
+            e.add_plugin(Box::new(BugCheck::new()));
+            let id = e.sole_state().unwrap();
+            let b = e.builder_arc();
+            make_mem_symbolic(e.state_mut(id).unwrap(), &b, INPUT, 6, "in");
+            e
+        }
+    };
+    let unchained = explore_parallel(&ParallelConfig::new(1, 100_000), arm(false));
+    assert_eq!(unchained.total_paths, 33);
+    for scheduler in [SchedulerKind::Deque, SchedulerKind::Injector] {
+        for workers in [1usize, 2, 3, 8] {
+            let mut cfg = ParallelConfig::new(workers, 100_000).with_scheduler(scheduler);
+            cfg.batch = 4;
+            cfg.max_local_states = 1;
+            let r = explore_parallel(&cfg, arm(true));
+            assert_eq!(
+                r.total_paths, unchained.total_paths,
+                "{scheduler:?}/{workers}w: chained arm changed the path set"
+            );
+            assert_eq!(
+                bug_set(&r),
+                bug_set(&unchained),
+                "{scheduler:?}/{workers}w: chained arm changed the bug set"
+            );
+            assert_eq!(
+                r.covered_blocks, unchained.covered_blocks,
+                "{scheduler:?}/{workers}w: chained arm changed coverage"
+            );
+            assert_eq!(
+                r.stats.forks, unchained.stats.forks,
+                "{scheduler:?}/{workers}w: chained arm changed the fork tree"
+            );
+            assert_conserved(&r);
+        }
+    }
+}
+
+/// The same dispatch ablation on the 91C111 driver corpus, whose
+/// concrete-heavy boot and polling code actually takes the fast path:
+/// the chained arm must form and traverse chains (and serve lookups
+/// from the per-worker L1) yet reach the identical exploration outcome.
+#[test]
+fn chained_dispatch_agrees_on_91c111() {
+    let arm = |chain: bool| {
+        move |ctx: &WorkerContext| {
+            let driver = smc91c111::build();
+            let (mut machine, _kernel) = boot();
+            machine.load_aux(&driver.program);
+            let exerciser = build_exerciser(&driver, true);
+            machine.load(&exerciser);
+            let mut ec = EngineConfig::with_model(ConsistencyModel::Lc);
+            ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
+            ec.annotations = standard_annotations();
+            ec.chain_blocks = chain;
+            ec.threaded_dispatch = chain;
+            let mut e = ctx.engine(machine, ec);
+            let id = e.sole_state().unwrap();
+            let b = e.builder_arc();
+            let state = e.state_mut(id).unwrap();
+            let card = make_config_symbolic(state, &b, cfg_keys::CARD_TYPE, "CardType");
+            constrain_range(state, &b, &card, 0, 7);
+            let flags = make_config_symbolic(state, &b, cfg_keys::FLAGS, "Flags");
+            constrain_range(state, &b, &flags, 0, 3);
+            e.apply_model_hardware_policy();
+            e
+        }
+    };
+    let unchained = explore_parallel(&ParallelConfig::new(2, 5_000_000), arm(false));
+    assert_eq!(unchained.queue_leftover, 0, "baseline runs to exhaustion");
+    let chained = explore_parallel(&ParallelConfig::new(2, 5_000_000), arm(true));
+    assert_eq!(chained.total_paths, unchained.total_paths, "91C111 path set diverged");
+    assert_eq!(chained.covered_blocks, unchained.covered_blocks);
+    assert_eq!(chained.stats.forks, unchained.stats.forks);
+    assert!(
+        chained.dbt.chains_formed > 0 && chained.dbt.chain_entries > 0,
+        "chained arm never chained: {:?}",
+        chained.dbt
+    );
+    assert!(
+        chained.dbt.l1_hits > 0,
+        "chained arm never hit the L1: {:?}",
+        chained.dbt
+    );
+    assert_eq!(
+        unchained.dbt.chain_entries, 0,
+        "unchained arm must not chain: {:?}",
+        unchained.dbt
+    );
+    assert_conserved(&chained);
+}
+
 #[test]
 fn repeated_runs_are_stable() {
     let mut cfg = ParallelConfig::new(3, 100_000);
