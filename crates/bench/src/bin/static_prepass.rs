@@ -25,6 +25,7 @@ use bench::json::Json;
 use bench::timing::workspace_root;
 use bench::{
     run_driver_experiment_configured, run_script_experiment_configured, Budget, ModelRunStats,
+    PrepassMode,
 };
 use s2e_core::ConsistencyModel;
 use s2e_guests::drivers::smc91c111;
@@ -68,9 +69,9 @@ fn arm_json(s: &ModelRunStats) -> Json {
 /// Runs one corpus with the pre-pass off then on, asserts the equality
 /// contract, prints the comparison row, and returns the JSON block plus
 /// the on-arm stats for the aggregate assertions.
-fn run_corpus(name: &str, run: impl Fn(bool) -> ModelRunStats) -> (Json, ModelRunStats) {
-    let off = run(false);
-    let on = run(true);
+fn run_corpus(name: &str, run: impl Fn(PrepassMode) -> ModelRunStats) -> (Json, ModelRunStats) {
+    let off = run(PrepassMode::Off);
+    let on = run(PrepassMode::Base);
     assert_eq!(
         off.paths, on.paths,
         "{name}: terminated-path counts diverged with the pre-pass on"

@@ -1,0 +1,252 @@
+//! Interprocedural refinement ablation (DESIGN.md §15): the value-range
+//! indirect-target resolution + clobber-summary pipeline on top of the
+//! base static pre-pass, on the 91C111 driver corpus and the script
+//! interpreter, both under LC.
+//!
+//! Like the pre-pass itself, refinement must be a *pure* optimization:
+//! terminated-path counts and unit block coverage are asserted equal
+//! across all three arms (off / base pre-pass / refined pre-pass). On
+//! top of that the refined static model must demonstrably tighten:
+//!
+//! - `UNKNOWN_SINK` edges in the merged CFG drop (indirect sites proven
+//!   into concrete successor sets);
+//! - the concrete-only block count does not shrink, and the
+//!   instrumented-instruction count (per-operand symbolic checks not
+//!   discharged statically) on both corpora drops against the base arm;
+//! - every indirect retirement is classified — resolved, escaped, or
+//!   discovered — with nothing silently absorbed.
+//!
+//! Writes `results/static_refine.json`. `--smoke` runs the same
+//! corpora and assertions under a small budget; `scripts/verify.sh`
+//! runs it as gate 9.
+
+use bench::json::Json;
+use bench::timing::workspace_root;
+use bench::{
+    driver_base_analyses, driver_refined_prepass, run_driver_experiment_configured,
+    run_script_experiment_configured, script_base_analyses, script_refined_prepass, Budget,
+    ModelRunStats, PrepassMode,
+};
+use s2e_analysis::RefinedAnalysis;
+use s2e_core::ConsistencyModel;
+use s2e_guests::drivers::smc91c111;
+use s2e_guests::kernel::boot;
+use s2e_guests::script;
+use s2e_solver::SolverConfig;
+
+/// Both comparisons pin the solver to the bare SAT core, as the base
+/// pre-pass ablation does, so exploration schedules are comparable.
+fn solver_config() -> SolverConfig {
+    SolverConfig {
+        model_pool_size: 0,
+        enable_subsumption: false,
+        ..SolverConfig::default()
+    }
+}
+
+/// Instructions that went through the per-operand symbolic check.
+fn instrumented(s: &ModelRunStats) -> u64 {
+    s.engine.total_instrs() - s.engine.lean_instrs
+}
+
+/// Static-model comparison for one corpus: the unrefined per-program
+/// analyses vs the refined whole-image model.
+struct StaticComparison {
+    /// Concrete-only blocks in the unrefined per-program analyses.
+    base_concrete_only: usize,
+    /// Blocks in the unrefined per-program analyses.
+    base_blocks: usize,
+    /// Concrete-only blocks in the refined merged graph.
+    refined_concrete_only: usize,
+    /// Blocks in the refined merged graph.
+    refined_blocks: usize,
+    /// `UNKNOWN_SINK` edges before/after refinement on the merged image.
+    unknown_before: usize,
+    unknown_after: usize,
+    /// Indirect sites proven into concrete successor sets.
+    resolved_sites: usize,
+    /// Refinement rounds used.
+    rounds: usize,
+}
+
+fn compare_static(
+    base: &[s2e_analysis::ProgramAnalysis],
+    ra: &RefinedAnalysis,
+) -> StaticComparison {
+    let r = &ra.prepass.refinement;
+    StaticComparison {
+        base_concrete_only: base.iter().map(|a| a.taint.concrete_only.len()).sum(),
+        base_blocks: base.iter().map(|a| a.graph.cfg.blocks.len()).sum(),
+        refined_concrete_only: ra.prepass.taint.concrete_only.len(),
+        refined_blocks: r.graph.cfg.blocks.len(),
+        unknown_before: r.unknown_edges_before,
+        unknown_after: r.unknown_edges_after,
+        resolved_sites: r.resolved_sites.len(),
+        rounds: r.rounds,
+    }
+}
+
+fn static_json(c: &StaticComparison) -> Json {
+    Json::obj()
+        .set("base_blocks", c.base_blocks)
+        .set("base_concrete_only_blocks", c.base_concrete_only)
+        .set("refined_blocks", c.refined_blocks)
+        .set("refined_concrete_only_blocks", c.refined_concrete_only)
+        .set(
+            "refined_concrete_only_share",
+            c.refined_concrete_only as f64 / c.refined_blocks.max(1) as f64,
+        )
+        .set("unknown_edges_before", c.unknown_before)
+        .set("unknown_edges_after", c.unknown_after)
+        .set("resolved_indirect_sites", c.resolved_sites)
+        .set("refinement_rounds", c.rounds)
+}
+
+fn arm_json(s: &ModelRunStats) -> Json {
+    Json::obj()
+        .set("paths", s.paths)
+        .set("covered_blocks", s.covered_blocks)
+        .set("steps", s.steps)
+        .set("instrumented_instrs", instrumented(s))
+        .set("lean_instrs", s.engine.lean_instrs)
+        .set("concrete_only_blocks", s.engine.concrete_only_blocks)
+        .set("indirect_retirements", s.engine.indirect_retirements)
+        .set("indirect_targets_resolved", s.engine.indirect_targets_resolved)
+        .set("indirect_targets_escaped", s.engine.indirect_targets_escaped)
+        .set("indirect_targets_discovered", s.engine.indirect_targets_discovered)
+        .set("time_seconds", s.time.as_secs_f64())
+}
+
+/// Runs one corpus across all three arms, asserts the purity contract
+/// and the static-model wins, and returns the corpus' JSON block.
+fn run_corpus(
+    name: &str,
+    cmp: &StaticComparison,
+    run: impl Fn(PrepassMode) -> ModelRunStats,
+) -> Json {
+    let off = run(PrepassMode::Off);
+    let base = run(PrepassMode::Base);
+    let refined = run(PrepassMode::Refined);
+    for (arm, s) in [("base", &base), ("refined", &refined)] {
+        assert_eq!(
+            off.paths, s.paths,
+            "{name}: terminated-path counts diverged in the {arm} arm"
+        );
+        assert_eq!(
+            off.covered_blocks, s.covered_blocks,
+            "{name}: unit block coverage diverged in the {arm} arm"
+        );
+    }
+    assert!(
+        cmp.unknown_after < cmp.unknown_before,
+        "{name}: refinement left all {} unknown edges in place",
+        cmp.unknown_before
+    );
+    assert!(
+        cmp.refined_concrete_only >= cmp.base_concrete_only,
+        "{name}: refinement lost concrete-only blocks ({} -> {})",
+        cmp.base_concrete_only,
+        cmp.refined_concrete_only
+    );
+    assert!(
+        instrumented(&refined) < instrumented(&base),
+        "{name}: refined arm instrumented {} instrs, base {}",
+        instrumented(&refined),
+        instrumented(&base)
+    );
+    let st = &refined.engine;
+    assert_eq!(
+        st.indirect_retirements,
+        st.indirect_targets_resolved + st.indirect_targets_escaped + st.indirect_targets_discovered,
+        "{name}: unaccounted indirect retirement"
+    );
+    println!(
+        "{name}: unknown edges {} -> {}, concrete-only {} -> {}, \
+         instrumented {} -> {} -> {}, retired {} ({} resolved / {} escaped / {} discovered)",
+        cmp.unknown_before,
+        cmp.unknown_after,
+        cmp.base_concrete_only,
+        cmp.refined_concrete_only,
+        instrumented(&off),
+        instrumented(&base),
+        instrumented(&refined),
+        st.indirect_retirements,
+        st.indirect_targets_resolved,
+        st.indirect_targets_escaped,
+        st.indirect_targets_discovered,
+    );
+    Json::obj()
+        .set("corpus", name)
+        .set("static", static_json(cmp))
+        .set("off", arm_json(&off))
+        .set("base", arm_json(&base))
+        .set("refined", arm_json(&refined))
+        .set(
+            "instrumented_drop_vs_base",
+            instrumented(&base).saturating_sub(instrumented(&refined)),
+        )
+        .set(
+            "unknown_edge_drop",
+            cmp.unknown_before.saturating_sub(cmp.unknown_after),
+        )
+}
+
+fn run(budget: &Budget) -> Vec<Json> {
+    let c111 = smc91c111::build();
+    let (_, kernel) = boot();
+    let exerciser = s2e_guests::drivers::build_exerciser(&c111, true);
+    let driver_cmp = compare_static(
+        &driver_base_analyses(&c111, &kernel, &exerciser, true),
+        &driver_refined_prepass(&c111, &kernel, &exerciser, true),
+    );
+    let guest = script::build();
+    let script_cmp = compare_static(
+        &script_base_analyses(&guest, &kernel, ConsistencyModel::Lc),
+        &script_refined_prepass(&guest, &kernel, ConsistencyModel::Lc),
+    );
+    vec![
+        run_corpus("91C111 driver (LC)", &driver_cmp, |mode| {
+            run_driver_experiment_configured(
+                &c111,
+                ConsistencyModel::Lc,
+                budget,
+                solver_config(),
+                mode,
+            )
+        }),
+        run_corpus("script interpreter (LC)", &script_cmp, |mode| {
+            run_script_experiment_configured(ConsistencyModel::Lc, budget, solver_config(), mode)
+        }),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let budget = Budget { max_steps: 6_000, max_states: 32, stagnation: 1_500 };
+        run(&budget);
+        println!("smoke ok");
+        return;
+    }
+    let steps: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let budget = Budget { max_steps: steps, ..Budget::default() };
+    println!("Static refinement ablation ({steps}-step budget): off vs base vs refined");
+    println!();
+
+    let corpora = run(&budget);
+    let out = Json::obj()
+        .set("experiment", "static_refine")
+        .set(
+            "description",
+            "interprocedural value-range refinement ablation; equal paths and \
+             coverage asserted across off/base/refined, UNKNOWN_SINK-edge and \
+             instrumented-instruction drops recorded",
+        )
+        .set("budget_steps", steps)
+        .set("corpora", Json::Arr(corpora));
+
+    let path = workspace_root().join("results/static_refine.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out.render()).unwrap();
+    println!("wrote {}", path.display());
+}

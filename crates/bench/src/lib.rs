@@ -10,12 +10,16 @@
 pub mod json;
 pub mod timing;
 
-use s2e_analysis::{analyze, PrepassBuilder, PrepassInfo, RegSet, TaintSeed};
+use s2e_analysis::{
+    analyze, analyze_refined, PrepassBuilder, PrepassInfo, RefinedAnalysis, RegSet, TaintSeed,
+};
 use s2e_core::analyzers::{Coverage, PathKiller};
 use s2e_core::selectors::{
     constrain_range, make_config_symbolic, make_cstring_symbolic, make_mem_symbolic,
 };
-use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig, EngineStats};
+use s2e_core::{
+    CodeRanges, ConsistencyModel, Engine, EngineConfig, EngineStats, RefinementUpdate,
+};
 use s2e_expr::Width;
 use s2e_solver::{SolverConfig, SolverStats};
 use s2e_guests::drivers::{build_exerciser, Driver, ENTRY_ORDER};
@@ -24,8 +28,24 @@ use s2e_guests::layout::{cfg_keys, INPUT_BUF};
 use s2e_guests::script::{self, ScriptGuest};
 use s2e_vm::asm::Program;
 use s2e_vm::isa::reg;
-use std::sync::Arc;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which static pre-pass the `*_configured` runners install.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrepassMode {
+    /// No load-time analysis: the dynamic-only baseline.
+    Off,
+    /// Per-program liveness + taint + const-prop (the original
+    /// `static_prepass` ablation arm).
+    Base,
+    /// The whole-image refined pipeline (DESIGN.md §15): interprocedural
+    /// value ranges resolve indirect sites, clobber summaries tighten
+    /// call boundaries, per-instruction concrete masks are stamped, and
+    /// the dynamic discovery feedback loop is armed.
+    Refined,
+}
 
 /// Metrics from one exploration run (the columns of Table 6 and
 /// Figs 7–9).
@@ -175,12 +195,15 @@ fn collect_stats(
 /// handler preempting arbitrary code (everything tainted), and the
 /// exerciser's symbolic data entering through its own `S2Op::Symbolic*`
 /// sites, which the taint pass seeds by itself.
-fn driver_prepass(
+/// The three per-program analyses behind the base driver pre-pass
+/// (kernel, driver, exerciser), exposed so the refinement report can
+/// compare the unrefined static model against the refined one.
+pub fn driver_base_analyses(
     driver: &Driver,
     kernel: &Program,
     exerciser: &Program,
     symbolic_args: bool,
-) -> PrepassInfo {
+) -> [s2e_analysis::ProgramAnalysis; 3] {
     let cfg = s2e_tools::deadcode::driver_analysis_config();
     let args = if symbolic_args {
         TaintSeed { regs: RegSet::single(reg::R0).with(reg::R1), mem: true }
@@ -192,13 +215,23 @@ fn driver_prepass(
         .map(|e| (driver.entry(e), args))
         .chain([(driver.entry("irq"), TaintSeed::all())])
         .collect();
-    let mut b = PrepassBuilder::new().allow_fork_range(driver.code_range.clone());
-    for a in [
+    [
         analyze(kernel, &[(kernel.entry, TaintSeed::all())], &cfg),
         analyze(&driver.program, &roots, &cfg),
         analyze(exerciser, &[(exerciser.entry, TaintSeed::clean())], &cfg),
-    ] {
-        b = b.add(&a.expect("static pre-pass exceeded its iteration bound"));
+    ]
+    .map(|a| a.expect("static pre-pass exceeded its iteration bound"))
+}
+
+fn driver_prepass(
+    driver: &Driver,
+    kernel: &Program,
+    exerciser: &Program,
+    symbolic_args: bool,
+) -> PrepassInfo {
+    let mut b = PrepassBuilder::new().allow_fork_range(driver.code_range.clone());
+    for a in &driver_base_analyses(driver, kernel, exerciser, symbolic_args) {
+        b = b.add(a);
     }
     b.build()
 }
@@ -209,7 +242,13 @@ fn driver_prepass(
 /// start, the relaxed models run the parser concretely and inject
 /// symbolic bytecode at the interpreter boundary, and SC-CE injects
 /// nothing at all.
-fn script_prepass(guest: &ScriptGuest, kernel: &Program, model: ConsistencyModel) -> PrepassInfo {
+/// The two per-program analyses behind the base script pre-pass
+/// (kernel, interpreter guest), exposed for the refinement report.
+pub fn script_base_analyses(
+    guest: &ScriptGuest,
+    kernel: &Program,
+    model: ConsistencyModel,
+) -> [s2e_analysis::ProgramAnalysis; 2] {
     let cfg = s2e_tools::deadcode::driver_analysis_config();
     let mem = TaintSeed { regs: RegSet::EMPTY, mem: true };
     let roots: Vec<(u32, TaintSeed)> = match model {
@@ -220,12 +259,17 @@ fn script_prepass(guest: &ScriptGuest, kernel: &Program, model: ConsistencyModel
             (guest.program.symbol("interp"), mem),
         ],
     };
-    let mut b = PrepassBuilder::new().allow_fork_range(guest.interp_range.clone());
-    for a in [
+    [
         analyze(kernel, &[(kernel.entry, TaintSeed::all())], &cfg),
         analyze(&guest.program, &roots, &cfg),
-    ] {
-        b = b.add(&a.expect("static pre-pass exceeded its iteration bound"));
+    ]
+    .map(|a| a.expect("static pre-pass exceeded its iteration bound"))
+}
+
+fn script_prepass(guest: &ScriptGuest, kernel: &Program, model: ConsistencyModel) -> PrepassInfo {
+    let mut b = PrepassBuilder::new().allow_fork_range(guest.interp_range.clone());
+    for a in &script_base_analyses(guest, kernel, model) {
+        b = b.add(a);
     }
     b.build()
 }
@@ -235,6 +279,85 @@ fn script_prepass(guest: &ScriptGuest, kernel: &Program, model: ConsistencyModel
 fn install_prepass(engine: &mut Engine, info: PrepassInfo, killer: PathKiller) -> PathKiller {
     let dead = Arc::new(info.unreachable().clone());
     engine.set_annotator(Some(Arc::new(info)));
+    killer.with_dead_blocks(dead)
+}
+
+/// The refined whole-image analysis for the driver corpus: same roots
+/// and seeds as [`driver_prepass`], but kernel + driver + exerciser are
+/// analyzed as one merged image so call summaries and indirect-target
+/// resolution cross program boundaries.
+pub fn driver_refined_prepass(
+    driver: &Driver,
+    kernel: &Program,
+    exerciser: &Program,
+    symbolic_args: bool,
+) -> RefinedAnalysis {
+    let cfg = s2e_tools::deadcode::driver_analysis_config();
+    let args = if symbolic_args {
+        TaintSeed { regs: RegSet::single(reg::R0).with(reg::R1), mem: true }
+    } else {
+        TaintSeed::clean()
+    };
+    let roots: Vec<(u32, TaintSeed)> = [(kernel.entry, TaintSeed::all())]
+        .into_iter()
+        .chain(ENTRY_ORDER.iter().map(|e| (driver.entry(e), args)))
+        .chain([(driver.entry("irq"), TaintSeed::all())])
+        .chain([(exerciser.entry, TaintSeed::clean())])
+        .collect();
+    analyze_refined(&[kernel, &driver.program, exerciser], &roots, &cfg)
+        .expect("refined pre-pass exceeded its iteration bound")
+}
+
+/// The refined whole-image analysis for the script corpus, with the
+/// same per-model taint roots as [`script_prepass`].
+pub fn script_refined_prepass(
+    guest: &ScriptGuest,
+    kernel: &Program,
+    model: ConsistencyModel,
+) -> RefinedAnalysis {
+    let cfg = s2e_tools::deadcode::driver_analysis_config();
+    let mem = TaintSeed { regs: RegSet::EMPTY, mem: true };
+    let mut roots: Vec<(u32, TaintSeed)> = vec![(kernel.entry, TaintSeed::all())];
+    match model {
+        ConsistencyModel::ScSe | ConsistencyModel::ScUe => {
+            roots.push((guest.program.entry, mem));
+        }
+        ConsistencyModel::ScCe => roots.push((guest.program.entry, TaintSeed::clean())),
+        _ => {
+            roots.push((guest.program.entry, TaintSeed::clean()));
+            roots.push((guest.program.symbol("interp"), mem));
+        }
+    }
+    analyze_refined(&[kernel, &guest.program], &roots, &cfg)
+        .expect("refined pre-pass exceeded its iteration bound")
+}
+
+/// Installs the refined pre-pass: annotations (with per-instruction
+/// concrete masks), the indirect-target prediction table, and the
+/// dynamic discovery refiner that re-stamps annotations through the
+/// epoch path after incremental re-analysis.
+fn install_refined(
+    engine: &mut Engine,
+    ra: RefinedAnalysis,
+    fork_range: Range<u32>,
+    killer: PathKiller,
+) -> PathKiller {
+    let build_info = move |ra: &RefinedAnalysis, range: &Range<u32>| {
+        PrepassBuilder::new().allow_fork_range(range.clone()).add_refined(ra).build()
+    };
+    let info = build_info(&ra, &fork_range);
+    let dead = Arc::new(info.unreachable().clone());
+    engine.set_predictions(Some(Arc::new(ra.predictions())));
+    engine.set_annotator(Some(Arc::new(info)));
+    let shared = Arc::new(Mutex::new(ra));
+    engine.set_refiner(Some(Box::new(move |site, target| {
+        let mut ra = shared.lock().unwrap();
+        ra.absorb(site, target).ok()?;
+        Some(RefinementUpdate {
+            annotator: Arc::new(build_info(&ra, &fork_range)),
+            predictions: Arc::new(ra.predictions()),
+        })
+    })));
     killer.with_dead_blocks(dead)
 }
 
@@ -258,20 +381,22 @@ pub fn run_driver_experiment_with_solver(
     budget: &Budget,
     solver: SolverConfig,
 ) -> ModelRunStats {
-    run_driver_experiment_configured(driver, model, budget, solver, false)
+    run_driver_experiment_configured(driver, model, budget, solver, PrepassMode::Off)
 }
 
 /// [`run_driver_experiment_with_solver`] plus the static pre-pass
-/// toggle: with `prepass` the three loaded programs are analyzed at load
-/// time, the resulting annotations installed on the block cache, and the
-/// path killer extended with statically-dead-block pruning — the on-arm
-/// of the `static_prepass` ablation.
+/// selector: with [`PrepassMode::Base`] the three loaded programs are
+/// analyzed at load time, the resulting annotations installed on the
+/// block cache, and the path killer extended with statically-dead-block
+/// pruning; [`PrepassMode::Refined`] additionally runs the
+/// interprocedural refinement pipeline and arms the dynamic
+/// discovery feedback loop.
 pub fn run_driver_experiment_configured(
     driver: &Driver,
     model: ConsistencyModel,
     budget: &Budget,
     solver: SolverConfig,
-    prepass: bool,
+    prepass: PrepassMode,
 ) -> ModelRunStats {
     let started = Instant::now();
     let (mut machine, kernel) = boot();
@@ -299,9 +424,16 @@ pub fn run_driver_experiment_configured(
     let (coverage, cov) = Coverage::new(Some(driver.code_range.clone()));
     engine.add_plugin(Box::new(coverage));
     let mut killer = PathKiller::new(2_000);
-    if prepass {
-        let info = driver_prepass(driver, &kernel, &exerciser, symbolic_args);
-        killer = install_prepass(&mut engine, info, killer);
+    match prepass {
+        PrepassMode::Off => {}
+        PrepassMode::Base => {
+            let info = driver_prepass(driver, &kernel, &exerciser, symbolic_args);
+            killer = install_prepass(&mut engine, info, killer);
+        }
+        PrepassMode::Refined => {
+            let ra = driver_refined_prepass(driver, &kernel, &exerciser, symbolic_args);
+            killer = install_refined(&mut engine, ra, driver.code_range.clone(), killer);
+        }
     }
     engine.add_plugin(Box::new(killer));
 
@@ -346,16 +478,16 @@ pub fn run_script_experiment_with_solver(
     budget: &Budget,
     solver: SolverConfig,
 ) -> ModelRunStats {
-    run_script_experiment_configured(model, budget, solver, false)
+    run_script_experiment_configured(model, budget, solver, PrepassMode::Off)
 }
 
 /// [`run_script_experiment_with_solver`] plus the static pre-pass
-/// toggle (see [`run_driver_experiment_configured`]).
+/// selector (see [`run_driver_experiment_configured`]).
 pub fn run_script_experiment_configured(
     model: ConsistencyModel,
     budget: &Budget,
     solver: SolverConfig,
-    prepass: bool,
+    prepass: PrepassMode,
 ) -> ModelRunStats {
     let started = Instant::now();
     let guest: ScriptGuest = script::build();
@@ -380,9 +512,16 @@ pub fn run_script_experiment_configured(
     let (coverage, cov) = Coverage::new(Some(guest.interp_range.clone()));
     engine.add_plugin(Box::new(coverage));
     let mut killer = PathKiller::new(3_000);
-    if prepass {
-        let info = script_prepass(&guest, &kernel, model);
-        killer = install_prepass(&mut engine, info, killer);
+    match prepass {
+        PrepassMode::Off => {}
+        PrepassMode::Base => {
+            let info = script_prepass(&guest, &kernel, model);
+            killer = install_prepass(&mut engine, info, killer);
+        }
+        PrepassMode::Refined => {
+            let ra = script_refined_prepass(&guest, &kernel, model);
+            killer = install_refined(&mut engine, ra, guest.interp_range.clone(), killer);
+        }
     }
     engine.add_plugin(Box::new(killer));
 

@@ -13,12 +13,19 @@
 //! — that is what makes it safe to feed the dead edges to `pathkiller`
 //! as statically-infeasible path cutoffs.
 //!
-//! Environment effects widen: direct calls propagate the argument state
-//! into the callee but havoc the return site's clobber set (the
-//! environment convention from [`AnalysisConfig`]); unknown callees and
-//! indirect jumps havoc everything they can reach.
+//! Call boundaries use clobber summaries ([`crate::interproc`]): a call
+//! propagates the argument state into the callee (with the link
+//! register pinned to the return address) and havocs at the return site
+//! only the registers the callee's summary says any path through it may
+//! write — `ret` itself flows nothing, since the call-site edge already
+//! over-approximates every exit state. Unresolved indirect edges flow
+//! the pre-jump state to the address-taken set (the same modeled-edges ⊇
+//! real-edges argument the taint pass uses); with no summary available
+//! a callee havocs everything.
 
+use crate::defuse::RegSet;
 use crate::graph::{run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, Term};
+use crate::interproc::ClobberSummaries;
 use s2e_expr::fold::apply_binop;
 use s2e_vm::interp::{alu_binop, branch_taken};
 use s2e_vm::isa::{reg, Instr, Opcode};
@@ -151,19 +158,80 @@ fn transfer(i: &Instr, s: &mut RegConsts, cfg: &AnalysisConfig) {
                 s[r as usize] = Const::NonConst;
             }
         }
+        // `SymbolicReg` hands r0 a fresh symbolic word: any value.
+        Opcode::S2eOp => s[reg::R0 as usize] = Const::NonConst,
         _ => {}
     }
 }
 
-/// Runs conditional constant propagation on `g` from its roots.
+/// Runs conditional constant propagation on `g` from its roots with no
+/// callee summaries (every call havocs its return site).
 pub fn analyze(g: &FlowGraph, cfg: &AnalysisConfig) -> Result<ConstProp, BoundExceeded> {
+    analyze_with(g, &ClobberSummaries::new(), cfg)
+}
+
+/// Runs conditional constant propagation with per-callee clobber
+/// summaries narrowing what each call havocs at its return site
+/// (summary lookup misses havoc everything).
+pub fn analyze_with(
+    g: &FlowGraph,
+    sums: &ClobberSummaries,
+    cfg: &AnalysisConfig,
+) -> Result<ConstProp, BoundExceeded> {
     let mut states: BTreeMap<u32, RegConsts> = BTreeMap::new();
     for &r in &g.roots {
         states.insert(r, havoc());
     }
     let seeds: Vec<u32> = g.roots.clone();
+    fixpoint(g, sums, cfg, states, seeds)
+}
 
-    let mut folded: BTreeSet<u32> = BTreeSet::new();
+/// Incremental restart after the graph grew (see
+/// [`crate::interproc::IncrementalPrepass`]): resume from `prev`'s
+/// fixpoint with `dirty` blocks re-queued. Sound because the pass is
+/// monotone join-only and a rebuild only adds blocks and edges, so the
+/// previous fixpoint is below the new one and re-queueing exactly the
+/// changed blocks converges to it.
+pub fn analyze_from(
+    g: &FlowGraph,
+    prev: &ConstProp,
+    sums: &ClobberSummaries,
+    dirty: &[u32],
+    cfg: &AnalysisConfig,
+) -> Result<ConstProp, BoundExceeded> {
+    let mut states = prev.entry.clone();
+    let mut seeds: Vec<u32> = Vec::new();
+    for &r in &g.roots {
+        if !states.contains_key(&r) {
+            states.insert(r, havoc());
+            seeds.push(r);
+        }
+    }
+    seeds.extend(dirty.iter().copied());
+    fixpoint(g, sums, cfg, states, seeds)
+}
+
+fn fixpoint(
+    g: &FlowGraph,
+    sums: &ClobberSummaries,
+    cfg: &AnalysisConfig,
+    mut states: BTreeMap<u32, RegConsts>,
+    seeds: Vec<u32>,
+) -> Result<ConstProp, BoundExceeded> {
+    let summary = |callee: u32| sums.get(&callee).copied().unwrap_or(RegSet::ALL);
+    // State delivered to a call's return site: the caller's, with the
+    // callee's may-write set havocked; if the callee provably never
+    // touches LR, it still names the return site on arrival.
+    let call_return = |s: &RegConsts, clobbers: RegSet, ret: u32| -> RegConsts {
+        let mut out = *s;
+        for r in clobbers.iter() {
+            out[r as usize] = Const::NonConst;
+        }
+        if !clobbers.contains(reg::LR) {
+            out[reg::LR as usize] = Const::Val(ret);
+        }
+        out
+    };
     let iterations = run_worklist("constprop", seeds, g.bound(), |b, changed| {
         let Some(&inn) = states.get(&b) else { return };
         let Some(block) = g.cfg.blocks.get(&b) else { return };
@@ -196,7 +264,6 @@ pub fn analyze(g: &FlowGraph, cfg: &AnalysisConfig) -> Result<ConstProp, BoundEx
                 match (a, c) {
                     (Const::Val(x), Const::Val(y)) => {
                         // One-sided: propagate only along the feasible edge.
-                        folded.insert(b);
                         if branch_taken(last.op, x, y) {
                             flow(*taken, &s, changed);
                         } else {
@@ -204,34 +271,51 @@ pub fn analyze(g: &FlowGraph, cfg: &AnalysisConfig) -> Result<ConstProp, BoundEx
                         }
                     }
                     _ => {
-                        folded.remove(&b);
                         flow(*taken, &s, changed);
                         flow(*fall, &s, changed);
                     }
                 }
             }
             Some(Term::Call { callee, ret }) => {
-                flow(*callee, &s, changed);
-                // The callee may compute anything before returning here.
-                flow(*ret, &havoc(), changed);
+                let mut into = s;
+                into[reg::LR as usize] = Const::Val(*ret);
+                flow(*callee, &into, changed);
+                flow(*ret, &call_return(&s, summary(*callee), *ret), changed);
             }
             Some(Term::CallUnknown { ret }) => {
-                for &t in &g.address_taken {
-                    flow(t, &havoc(), changed);
+                if let Some(targets) = g.resolved.get(&b) {
+                    // Proven-complete callee set: exactly like direct
+                    // calls, with the clobber union at the return site.
+                    let mut clobbers = RegSet::EMPTY;
+                    let mut into = s;
+                    into[reg::LR as usize] = Const::Val(*ret);
+                    for &t in targets {
+                        flow(t, &into, changed);
+                        clobbers = clobbers.union(summary(t));
+                    }
+                    flow(*ret, &call_return(&s, clobbers, *ret), changed);
+                } else {
+                    let mut into = s;
+                    into[reg::LR as usize] = Const::Val(*ret);
+                    for &t in &g.address_taken {
+                        flow(t, &into, changed);
+                    }
+                    flow(*ret, &havoc(), changed);
                 }
-                flow(*ret, &havoc(), changed);
             }
             Some(Term::Syscall { ret }) => flow(*ret, &s, changed),
-            Some(Term::Ret) => {
-                if let Some(sites) = g.ret_sites.get(&b) {
-                    for &t in sites {
-                        flow(t, &havoc(), changed);
-                    }
-                }
-            }
+            // The matched call sites' summary-havoc edges already
+            // over-approximate every state a `ret` can deliver.
+            Some(Term::Ret) => {}
             Some(Term::IndirectJump) => {
-                for &t in &g.address_taken {
-                    flow(t, &havoc(), changed);
+                if let Some(targets) = g.resolved.get(&b) {
+                    for &t in targets {
+                        flow(t, &s, changed);
+                    }
+                } else {
+                    for &t in &g.address_taken {
+                        flow(t, &s, changed);
+                    }
                 }
             }
             Some(Term::Iret) | Some(Term::Halt) | None => {}
@@ -357,6 +441,32 @@ mod tests {
         let g = FlowGraph::build(&p, &[p.entry]);
         let c = analyze(&g, &cfg()).unwrap();
         assert!(c.dead_edges.is_empty());
+    }
+
+    #[test]
+    fn summary_narrows_call_havoc() {
+        // f writes only r5; under its clobber summary the branch on the
+        // untouched r7 folds, where summary-less analysis must not fold.
+        let mut a = Assembler::new(0x2000);
+        a.movi(reg::R7, 1);
+        a.call("f");
+        a.movi(reg::R6, 1);
+        a.beq(reg::R7, reg::R6, "always");
+        a.label("dead");
+        a.halt();
+        a.label("always");
+        a.halt();
+        a.label("f");
+        a.movi(reg::R5, 2);
+        a.ret();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let c = analyze(&g, &cfg()).unwrap();
+        assert!(c.dead_edges.is_empty());
+        let sums = crate::interproc::summaries(&g, &cfg());
+        let c2 = analyze_with(&g, &sums, &cfg()).unwrap();
+        assert!(c2.unreachable.contains(&p.symbol("dead")));
+        assert!(!c2.unreachable.contains(&p.symbol("always")));
     }
 
     #[test]

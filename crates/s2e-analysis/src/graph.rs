@@ -121,6 +121,11 @@ pub struct FlowGraph {
     /// `Ret` block → return sites of the direct calls it can serve.
     /// Absent ⇒ the return escapes the analyzed region.
     pub ret_sites: BTreeMap<u32, Vec<u32>>,
+    /// Indirect blocks (`CallUnknown`/`IndirectJump`) whose *complete*
+    /// successor set was proven by the value-range pass, keyed by block
+    /// start. Flows at these blocks use the proven targets instead of
+    /// the address-taken widening.
+    pub resolved: BTreeMap<u32, Vec<u32>>,
     /// Total edge count (for the iteration bound).
     pub edges: usize,
 }
@@ -151,6 +156,22 @@ fn classify(block_start: u32, instrs: &[Instr], successors: &[u32]) -> Term {
     }
 }
 
+/// Recovers one merged [`StaticCfg`] covering several programs at
+/// disjoint load addresses (kernel + driver + exerciser, say). Roots are
+/// routed to the program whose image covers them, so cross-program
+/// `movi entry; callr` patterns become address-taken (and resolvable)
+/// edges in a single graph instead of escaping each per-program one.
+pub fn merged_cfg(progs: &[&Program], roots: &[u32]) -> StaticCfg {
+    let mut merged = StaticCfg::default();
+    for prog in progs {
+        let own: Vec<u32> =
+            roots.iter().copied().filter(|&r| r >= prog.base && r < prog.end()).collect();
+        let cfg = s2e_dbt::cfg::build_cfg(prog, &own);
+        merged.blocks.extend(cfg.blocks);
+    }
+    merged
+}
+
 impl FlowGraph {
     /// Builds the flow graph for `prog` rooted at `roots`.
     pub fn build(prog: &Program, roots: &[u32]) -> FlowGraph {
@@ -158,8 +179,33 @@ impl FlowGraph {
         FlowGraph::from_cfg(cfg, roots)
     }
 
+    /// Builds one merged flow graph over several programs (see
+    /// [`merged_cfg`]), with `resolved_sites` mapping indirect
+    /// *instruction* pcs to proven-complete target sets.
+    pub fn build_merged(
+        progs: &[&Program],
+        roots: &[u32],
+        resolved_sites: &BTreeMap<u32, Vec<u32>>,
+    ) -> FlowGraph {
+        FlowGraph::from_cfg_resolved(merged_cfg(progs, roots), roots, resolved_sites)
+    }
+
     /// Builds the flow graph from an already-recovered CFG.
     pub fn from_cfg(cfg: StaticCfg, roots: &[u32]) -> FlowGraph {
+        FlowGraph::from_cfg_resolved(cfg, roots, &BTreeMap::new())
+    }
+
+    /// Builds the flow graph from an already-recovered CFG plus resolved
+    /// indirect sites. `resolved_sites` is keyed by the pc of the
+    /// indirect instruction itself (stable across block re-splits);
+    /// entries whose targets are not all block starts in `cfg` are
+    /// dropped rather than narrowed — a partial successor set is not a
+    /// sound replacement for the address-taken widening.
+    pub fn from_cfg_resolved(
+        cfg: StaticCfg,
+        roots: &[u32],
+        resolved_sites: &BTreeMap<u32, Vec<u32>>,
+    ) -> FlowGraph {
         let mut term = BTreeMap::new();
         let mut taken: BTreeSet<u32> = roots.iter().copied().collect();
         for (&start, b) in &cfg.blocks {
@@ -173,15 +219,40 @@ impl FlowGraph {
         let roots: Vec<u32> = roots.iter().copied().filter(|r| cfg.blocks.contains_key(r)).collect();
         let address_taken: Vec<u32> = taken.into_iter().filter(|a| cfg.blocks.contains_key(a)).collect();
 
+        // Re-key resolved sites (instruction pc) by the block that ends
+        // at each site in *this* cfg, dropping any entry whose targets
+        // did not all materialize as blocks.
+        let mut resolved: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (&start, b) in &cfg.blocks {
+            if !matches!(term.get(&start), Some(Term::CallUnknown { .. } | Term::IndirectJump)) {
+                continue;
+            }
+            let site = start + (b.instrs.len() as u32 - 1) * INSTR_SIZE;
+            if let Some(targets) = resolved_sites.get(&site) {
+                if !targets.is_empty() && targets.iter().all(|t| cfg.blocks.contains_key(t)) {
+                    resolved.insert(start, targets.clone());
+                }
+            }
+        }
+
         // Direct-call/return matching: for each direct callee, collect
         // the blocks of its intra-procedural body (calls step over their
         // callee via the return site; Ret/JmpR/Iret/Halt stop the walk),
         // then give every Ret block in that body the callee's return
-        // sites.
+        // sites. Resolved indirect calls participate exactly like direct
+        // ones: their proven callees' rets gain the `callr` return site.
         let mut callees: BTreeMap<u32, Vec<u32>> = BTreeMap::new(); // callee -> return sites
-        for t in term.values() {
-            if let Term::Call { callee, ret } = t {
-                callees.entry(*callee).or_default().push(*ret);
+        for (b, t) in &term {
+            match t {
+                Term::Call { callee, ret } => callees.entry(*callee).or_default().push(*ret),
+                Term::CallUnknown { ret } => {
+                    if let Some(targets) = resolved.get(b) {
+                        for &callee in targets {
+                            callees.entry(callee).or_default().push(*ret);
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         let mut ret_sites: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
@@ -201,6 +272,13 @@ impl FlowGraph {
                     Some(Term::Call { ret, .. })
                     | Some(Term::CallUnknown { ret })
                     | Some(Term::Syscall { ret }) => stack.push(*ret),
+                    // A resolved computed jump stays inside the function:
+                    // its proven targets are part of the body.
+                    Some(Term::IndirectJump) => {
+                        if let Some(targets) = resolved.get(&b) {
+                            stack.extend(targets.iter().copied());
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -219,15 +297,20 @@ impl FlowGraph {
         let mut edges = 0usize;
         for (b, t) in &term {
             edges += match t {
-                Term::Goto(_) | Term::Call { .. } | Term::CallUnknown { .. } | Term::Syscall { .. } => 2,
+                Term::Goto(_) | Term::Call { .. } | Term::Syscall { .. } => 2,
                 Term::Branch { .. } => 2,
+                Term::CallUnknown { .. } => {
+                    1 + resolved.get(b).map(|t| t.len()).unwrap_or(address_taken.len())
+                }
                 Term::Ret => ret_sites.get(b).map(|s| s.len()).unwrap_or(0),
-                Term::IndirectJump => address_taken.len(),
+                Term::IndirectJump => {
+                    resolved.get(b).map(|t| t.len()).unwrap_or(address_taken.len())
+                }
                 Term::Iret | Term::Halt => 0,
             };
         }
 
-        FlowGraph { cfg, roots, term, address_taken, ret_sites, edges }
+        FlowGraph { cfg, roots, term, address_taken, ret_sites, resolved, edges }
     }
 
     /// The per-pass iteration bound for this graph.
@@ -244,7 +327,11 @@ impl FlowGraph {
             Some(Term::Branch { taken, fall }) => vec![*taken, *fall],
             Some(Term::Call { callee, ret }) => vec![*callee, *ret],
             Some(Term::CallUnknown { ret }) => {
-                let mut v = self.address_taken.clone();
+                let mut v = self
+                    .resolved
+                    .get(&b)
+                    .cloned()
+                    .unwrap_or_else(|| self.address_taken.clone());
                 if !v.contains(ret) {
                     v.push(*ret);
                 }
@@ -252,9 +339,26 @@ impl FlowGraph {
             }
             Some(Term::Syscall { ret }) => vec![*ret],
             Some(Term::Ret) => self.ret_sites.get(&b).cloned().unwrap_or_default(),
-            Some(Term::IndirectJump) => self.address_taken.clone(),
+            Some(Term::IndirectJump) => self
+                .resolved
+                .get(&b)
+                .cloned()
+                .unwrap_or_else(|| self.address_taken.clone()),
             Some(Term::Iret) | Some(Term::Halt) | None => vec![],
         }
+    }
+
+    /// The pc of the indirect instruction ending block `b` (its site
+    /// key in a resolved-sites map), if `b` ends indirectly.
+    pub fn indirect_site_pc(&self, b: u32) -> Option<u32> {
+        if !matches!(
+            self.term.get(&b),
+            Some(Term::CallUnknown { .. } | Term::IndirectJump | Term::Ret)
+        ) {
+            return None;
+        }
+        let blk = self.cfg.blocks.get(&b)?;
+        Some(b + (blk.instrs.len() as u32 - 1) * INSTR_SIZE)
     }
 }
 

@@ -1,0 +1,621 @@
+//! Interprocedural glue: clobber summaries, range-driven indirect-target
+//! resolution, and the dynamic-discovery absorption path.
+//!
+//! Three layers, each feeding the next:
+//!
+//! 1. **Clobber summaries** ([`summaries`]) — per function entry, the
+//!    may-write register set of any path through its body, computed as
+//!    the least fixpoint of `S(f) = defs(body f) ∪ ⋃ S(callees of f)`,
+//!    widened to all registers when the body escapes analysis
+//!    (unresolved indirect, `iret`). Summaries let `range` and
+//!    `constprop` havoc only what a callee can actually touch at return
+//!    sites, so root-seeded facts survive call boundaries.
+//! 2. **Refinement loop** ([`refine`]) — build the merged whole-system
+//!    flow graph, run the range fixpoint under current summaries,
+//!    enumerate each unresolved `jmpr`/`callr` target register's range,
+//!    and where it proves a bounded in-image target set, record the site
+//!    as resolved and re-root the CFG at the proven targets. Rebuilding
+//!    grows the graph (new blocks, tighter edges), which can resolve
+//!    more sites, so the loop iterates to a fixpoint (bounded by
+//!    [`MAX_ROUNDS`]). The proven edges replace `UNKNOWN_SINK` in the
+//!    underlying [`StaticCfg`] and become [`IndirectPredictions`] for
+//!    the engine's retirement check.
+//! 3. **Incremental absorption** ([`IncrementalPrepass`]) — when the
+//!    engine retires an indirect target the static model did not
+//!    predict, [`IncrementalPrepass::absorb_discovery`] extends the
+//!    model (never narrows it): the target joins the prediction set and
+//!    the root set, the graph is rebuilt, and taint/const-prop restart
+//!    from their previous fixpoints with only the blocks the rebuild
+//!    actually changed re-queued — monotone join-only passes over a
+//!    graph that only grows reach the same fixpoint as a from-scratch
+//!    run, within the same iteration bound.
+
+use crate::constprop::{self, ConstProp};
+use crate::defuse::{defs, RegSet};
+use crate::graph::{AnalysisConfig, BoundExceeded, FlowGraph, TaintSeed, Term};
+use crate::range::{self, RangeAnalysis, ENUM_MAX};
+use crate::taint::{self, Taint};
+use s2e_dbt::{IndirectPredictions, IndirectSite};
+use s2e_vm::asm::Program;
+use s2e_vm::isa::{reg, Opcode, INSTR_SIZE};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Function entry block → registers any path through it may clobber.
+pub type ClobberSummaries = BTreeMap<u32, RegSet>;
+
+/// Cap on refinement rebuild rounds. Each productive round resolves at
+/// least one new site or adds one new root, and the corpora resolve in
+/// one or two; the cap only guards against a pathological image.
+pub const MAX_ROUNDS: usize = 8;
+
+/// Intra-procedural body of the function entered at `entry`: blocks
+/// reachable without leaving the function (calls step over via their
+/// return site; a resolved computed jump stays inside; `ret`, escapes,
+/// and halts stop the walk).
+fn function_body(g: &FlowGraph, entry: u32) -> BTreeSet<u32> {
+    let mut body = BTreeSet::new();
+    let mut stack = vec![entry];
+    while let Some(b) = stack.pop() {
+        if !g.cfg.blocks.contains_key(&b) || !body.insert(b) {
+            continue;
+        }
+        match g.term.get(&b) {
+            Some(Term::Goto(t)) => stack.push(*t),
+            Some(Term::Branch { taken, fall }) => {
+                stack.push(*taken);
+                stack.push(*fall);
+            }
+            Some(Term::Call { ret, .. })
+            | Some(Term::CallUnknown { ret })
+            | Some(Term::Syscall { ret }) => stack.push(*ret),
+            Some(Term::IndirectJump) => {
+                if let Some(targets) = g.resolved.get(&b) {
+                    stack.extend(targets.iter().copied());
+                }
+            }
+            _ => {}
+        }
+    }
+    body
+}
+
+/// May-clobber effect of one body under the current summary map.
+/// Returns all registers as soon as the body escapes analysis.
+fn body_effect(
+    g: &FlowGraph,
+    body: &BTreeSet<u32>,
+    sums: &ClobberSummaries,
+    cfg: &AnalysisConfig,
+) -> RegSet {
+    let callee_sum = |c: u32| sums.get(&c).copied().unwrap_or(RegSet::ALL);
+    let mut s = RegSet::EMPTY;
+    for &b in body {
+        let Some(blk) = g.cfg.blocks.get(&b) else { continue };
+        for i in &blk.instrs {
+            s = s.union(defs(i));
+            if i.op == Opcode::S2eOp {
+                // `SymbolicReg` writes r0; `defs` reports none for S2eOp.
+                s = s.with(reg::R0);
+            }
+        }
+        match g.term.get(&b) {
+            Some(Term::Call { callee, .. }) => s = s.union(callee_sum(*callee)),
+            Some(Term::CallUnknown { .. }) => match g.resolved.get(&b) {
+                Some(targets) => {
+                    for &t in targets {
+                        s = s.union(callee_sum(t));
+                    }
+                }
+                None => return RegSet::ALL,
+            },
+            Some(Term::IndirectJump) if g.resolved.get(&b).is_none() => return RegSet::ALL,
+            Some(Term::Iret) => return RegSet::ALL,
+            Some(Term::Syscall { .. }) => s = s.union(cfg.env_clobbers),
+            _ => {}
+        }
+        if s == RegSet::ALL {
+            return s;
+        }
+    }
+    s
+}
+
+/// Computes per-function clobber summaries for every block that can be
+/// entered as a function (roots, address-taken blocks, direct and
+/// resolved-indirect callees) as a least fixpoint over the call graph.
+pub fn summaries(g: &FlowGraph, cfg: &AnalysisConfig) -> ClobberSummaries {
+    let mut entries: BTreeSet<u32> = g.roots.iter().copied().collect();
+    entries.extend(g.address_taken.iter().copied());
+    for (b, t) in &g.term {
+        match t {
+            Term::Call { callee, .. } => {
+                entries.insert(*callee);
+            }
+            Term::CallUnknown { .. } => {
+                if let Some(targets) = g.resolved.get(b) {
+                    entries.extend(targets.iter().copied());
+                }
+            }
+            _ => {}
+        }
+    }
+    let bodies: BTreeMap<u32, BTreeSet<u32>> =
+        entries.iter().map(|&e| (e, function_body(g, e))).collect();
+    let mut sums: ClobberSummaries = entries.iter().map(|&e| (e, RegSet::EMPTY)).collect();
+    // Union-only recomputation from EMPTY: at most 16·|entries| sweeps,
+    // in practice two or three.
+    loop {
+        let mut changed = false;
+        for &e in &entries {
+            let s = body_effect(g, &bodies[&e], &sums, cfg);
+            if sums[&e] != s {
+                sums.insert(e, s);
+                changed = true;
+            }
+        }
+        if !changed {
+            return sums;
+        }
+    }
+}
+
+/// Whether `pc` is an instruction-aligned address inside one of the
+/// analyzed program images.
+fn in_image(progs: &[&Program], pc: u32) -> bool {
+    progs.iter().any(|p| pc >= p.base && pc < p.end() && (pc - p.base) % INSTR_SIZE == 0)
+}
+
+/// Enumerates every provable indirect site from the range fixpoint:
+/// `jmpr`/`callr` blocks whose target register holds a bounded range of
+/// in-image instruction addresses. Keyed by the indirect instruction's
+/// pc. The range over-approximates the runtime value, so its
+/// enumeration is a *complete* successor set — but it is only usable if
+/// every member is a plausible code address; one stray value
+/// disqualifies the site rather than narrowing it.
+///
+/// Already-resolved sites are re-proposed, not skipped: resolving a
+/// site grows the graph, which can widen the range at that very site on
+/// the next round, so a frozen first-round set would silently
+/// under-approximate. The refinement loop compares proposals across
+/// rounds and only stops at a self-consistent map.
+fn resolve_sites(
+    g: &FlowGraph,
+    ranges: &RangeAnalysis,
+    progs: &[&Program],
+) -> BTreeMap<u32, Vec<u32>> {
+    let mut found = BTreeMap::new();
+    for (&b, t) in &g.term {
+        if !matches!(t, Term::CallUnknown { .. } | Term::IndirectJump) {
+            continue;
+        }
+        let Some(blk) = g.cfg.blocks.get(&b) else { continue };
+        let Some(last) = blk.instrs.last() else { continue };
+        let Some(state) = ranges.state_before_term(g, b) else { continue };
+        let Some(vals) = state[last.rs1 as usize & 0xf].enumerate(ENUM_MAX) else { continue };
+        if !vals.is_empty() && vals.iter().all(|&v| in_image(progs, v)) {
+            let site = b + (blk.instrs.len() as u32 - 1) * INSTR_SIZE;
+            found.insert(site, vals);
+        }
+    }
+    found
+}
+
+/// Result of the static refinement loop over one merged system image.
+pub struct Refinement {
+    /// The final merged flow graph; resolved blocks' `UNKNOWN_SINK`
+    /// successors in its `cfg` have been replaced by the proven sets.
+    pub graph: FlowGraph,
+    /// Clobber summaries over the final graph.
+    pub summaries: ClobberSummaries,
+    /// Range fixpoint over the final graph.
+    pub ranges: RangeAnalysis,
+    /// Proven indirect sites, keyed by the indirect instruction's pc.
+    pub resolved_sites: BTreeMap<u32, Vec<u32>>,
+    /// Roots added beyond the embedder's (resolved targets that were
+    /// not statically address-taken).
+    pub extra_roots: Vec<u32>,
+    /// Refinement rounds used (1 = nothing newly resolved).
+    pub rounds: usize,
+    /// Blocks with an `UNKNOWN_SINK` successor before/after refinement.
+    pub unknown_edges_before: usize,
+    pub unknown_edges_after: usize,
+}
+
+impl Refinement {
+    /// The engine-facing prediction table: every indirect site's
+    /// statically known target set. Unresolved sites predict nothing
+    /// (their first retirement reports as discovered); unmatched `ret`s
+    /// escape the analyzed region by construction.
+    pub fn predictions(&self) -> IndirectPredictions {
+        let mut sites = BTreeMap::new();
+        for (&b, t) in &self.graph.term {
+            let Some(pc) = self.graph.indirect_site_pc(b) else { continue };
+            let site = match t {
+                Term::CallUnknown { .. } | Term::IndirectJump => match self.graph.resolved.get(&b)
+                {
+                    Some(targets) => IndirectSite {
+                        targets: targets.iter().copied().collect(),
+                        escapes: false,
+                    },
+                    None => IndirectSite::default(),
+                },
+                Term::Ret => match self.graph.ret_sites.get(&b) {
+                    Some(s) => {
+                        IndirectSite { targets: s.iter().copied().collect(), escapes: false }
+                    }
+                    None => IndirectSite { targets: BTreeSet::new(), escapes: true },
+                },
+                _ => continue,
+            };
+            sites.insert(pc, site);
+        }
+        IndirectPredictions { sites }
+    }
+}
+
+/// How many blocks still end in a genuinely unknown edge: an
+/// unresolved indirect, or a `ret` with no matched call site.
+pub fn unresolved_blocks(g: &FlowGraph) -> usize {
+    g.term
+        .iter()
+        .filter(|(b, t)| match t {
+            Term::CallUnknown { .. } | Term::IndirectJump => !g.resolved.contains_key(b),
+            Term::Ret => !g.ret_sites.contains_key(b),
+            _ => false,
+        })
+        .count()
+}
+
+/// Replaces `UNKNOWN_SINK` successors of proven blocks in the CFG with
+/// their proven sets (resolved indirects and matched rets).
+fn apply_cfg_refinement(g: &mut FlowGraph) {
+    let proven: Vec<(u32, Vec<u32>)> = g
+        .term
+        .iter()
+        .filter_map(|(&b, t)| match t {
+            Term::CallUnknown { .. } | Term::IndirectJump => {
+                g.resolved.get(&b).map(|v| (b, v.clone()))
+            }
+            Term::Ret => g.ret_sites.get(&b).map(|v| (b, v.clone())),
+            _ => None,
+        })
+        .collect();
+    for (b, targets) in proven {
+        g.cfg.refine_successors(b, &targets);
+    }
+}
+
+/// Runs the static refinement loop over the merged system image.
+pub fn refine(
+    progs: &[&Program],
+    roots: &[u32],
+    cfg: &AnalysisConfig,
+) -> Result<Refinement, BoundExceeded> {
+    let mut resolved_sites: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    let mut extra_roots: Vec<u32> = Vec::new();
+    let mut g = FlowGraph::build_merged(progs, roots, &resolved_sites);
+    let unknown_edges_before = g.cfg.unknown_edge_count();
+    let mut rounds = 0usize;
+    let (sums, ranges) = loop {
+        rounds += 1;
+        let sums = summaries(&g, cfg);
+        let ranges = range::analyze(&g, &sums, cfg)?;
+        // Full re-proposal every round: resolving a site adds blocks,
+        // which can widen ranges at sites resolved earlier. The loop is
+        // done only when the proposal reproduces the map the graph was
+        // built from (a self-consistent fixpoint).
+        let proposal = resolve_sites(&g, &ranges, progs);
+        if proposal == resolved_sites {
+            break (sums, ranges);
+        }
+        if rounds >= MAX_ROUNDS {
+            // Round budget exhausted while the proposal was still
+            // moving. Keep only sites whose proven set is stable and
+            // demote the rest to unresolved (always sound: they fall
+            // back to havoc + `UNKNOWN_SINK`), then recompute the
+            // fixpoints so the returned facts match the returned graph.
+            resolved_sites.retain(|s, t| proposal.get(s) == Some(t));
+            let mut all_roots = roots.to_vec();
+            all_roots.extend(extra_roots.iter().copied());
+            g = FlowGraph::build_merged(progs, &all_roots, &resolved_sites);
+            let sums = summaries(&g, cfg);
+            let ranges = range::analyze(&g, &sums, cfg)?;
+            break (sums, ranges);
+        }
+        for targets in proposal.values() {
+            for &t in targets {
+                if !roots.contains(&t) && !extra_roots.contains(&t) {
+                    // Sticky: targets stay roots even if their site is
+                    // later demoted, so the graph only ever grows.
+                    extra_roots.push(t);
+                }
+            }
+        }
+        resolved_sites = proposal;
+        let mut all_roots = roots.to_vec();
+        all_roots.extend(extra_roots.iter().copied());
+        g = FlowGraph::build_merged(progs, &all_roots, &resolved_sites);
+    };
+    apply_cfg_refinement(&mut g);
+    let unknown_edges_after = g.cfg.unknown_edge_count();
+    Ok(Refinement {
+        summaries: sums,
+        ranges,
+        resolved_sites,
+        extra_roots,
+        rounds,
+        unknown_edges_before,
+        unknown_edges_after,
+        graph: g,
+    })
+}
+
+/// Blocks of `new` whose transfer or outgoing edges differ from `old`:
+/// the worklist seeds for an incremental restart after a graph rebuild.
+/// Blocks the rebuild did not touch keep their fixpoint states and are
+/// not re-queued (they re-enter the worklist only if a changed
+/// predecessor grows their entry, exactly as in a from-scratch run).
+pub fn affected_blocks(old: &FlowGraph, new: &FlowGraph) -> Vec<u32> {
+    let widening_changed =
+        old.address_taken != new.address_taken || old.roots != new.roots;
+    new.cfg
+        .blocks
+        .iter()
+        .filter_map(|(&b, blk)| {
+            let changed = match old.cfg.blocks.get(&b) {
+                // Brand-new block: seeding is harmless (no state yet ⇒
+                // the step is a no-op until a predecessor reaches it).
+                None => true,
+                Some(oblk) => {
+                    oblk.instrs.len() != blk.instrs.len()
+                        || old.term.get(&b) != new.term.get(&b)
+                        || old.resolved.get(&b) != new.resolved.get(&b)
+                        || old.ret_sites.get(&b) != new.ret_sites.get(&b)
+                        || (widening_changed
+                            && !new.resolved.contains_key(&b)
+                            && matches!(
+                                new.term.get(&b),
+                                Some(Term::CallUnknown { .. } | Term::IndirectJump)
+                            ))
+                }
+            };
+            changed.then_some(b)
+        })
+        .collect()
+}
+
+/// The whole-system static model plus the taint/const-prop fixpoints
+/// over it, retained across execution so dynamically discovered
+/// indirect targets can be absorbed incrementally.
+pub struct IncrementalPrepass {
+    /// The analyzed program images.
+    pub progs: Vec<Program>,
+    /// Embedder-declared entry points.
+    pub base_roots: Vec<u32>,
+    /// Embedder-declared taint seeds per root.
+    pub taint_roots: Vec<(u32, TaintSeed)>,
+    /// Environment conventions.
+    pub config: AnalysisConfig,
+    /// The current static refinement.
+    pub refinement: Refinement,
+    /// Taint fixpoint over the refinement's graph.
+    pub taint: Taint,
+    /// Const-prop fixpoint over the refinement's graph.
+    pub constprop: ConstProp,
+    /// Runtime-discovered targets absorbed so far, by site pc. Kept as
+    /// an overlay so predictions rebuilt from a new static model never
+    /// forget a dynamically observed edge.
+    pub absorbed: BTreeMap<u32, BTreeSet<u32>>,
+    /// Discovered targets that behave like region re-entries (escaping
+    /// `ret`s): seeded fully tainted, like any other external entry.
+    escape_roots: Vec<u32>,
+    /// Worklist pops used by the most recent incremental restart
+    /// (taint + const-prop), for bound accounting.
+    pub last_incremental_iterations: usize,
+}
+
+impl IncrementalPrepass {
+    /// Builds the refined static model and both dependent fixpoints.
+    pub fn build(
+        progs: Vec<Program>,
+        roots: Vec<u32>,
+        taint_roots: Vec<(u32, TaintSeed)>,
+        config: AnalysisConfig,
+    ) -> Result<IncrementalPrepass, BoundExceeded> {
+        let prog_refs: Vec<&Program> = progs.iter().collect();
+        let refinement = refine(&prog_refs, &roots, &config)?;
+        let taint = taint::analyze(&refinement.graph, &taint_roots, &config)?;
+        let constprop =
+            constprop::analyze_with(&refinement.graph, &refinement.summaries, &config)?;
+        Ok(IncrementalPrepass {
+            progs,
+            base_roots: roots,
+            taint_roots,
+            config,
+            refinement,
+            taint,
+            constprop,
+            absorbed: BTreeMap::new(),
+            escape_roots: Vec::new(),
+            last_incremental_iterations: 0,
+        })
+    }
+
+    /// The current prediction table: static predictions plus every
+    /// absorbed runtime discovery.
+    pub fn predictions(&self) -> IndirectPredictions {
+        let mut p = self.refinement.predictions();
+        for (&pc, targets) in &self.absorbed {
+            let site = p.sites.entry(pc).or_default();
+            site.targets.extend(targets.iter().copied());
+        }
+        p
+    }
+
+    /// Absorbs one dynamically retired `(site pc, target)` the static
+    /// model did not predict. The prediction table is extended (never
+    /// narrowed), the target joins the analyzed root set if it lies in
+    /// an image, the graph is rebuilt, and taint/const-prop restart
+    /// from their previous fixpoints with only the changed blocks
+    /// re-queued.
+    pub fn absorb_discovery(&mut self, site_pc: u32, target: u32) -> Result<(), BoundExceeded> {
+        self.absorbed.entry(site_pc).or_default().insert(target);
+
+        let prog_refs: Vec<&Program> = self.progs.iter().collect();
+        if !in_image(&prog_refs, target) {
+            // Retired into unanalyzed space (embedder trampoline, say):
+            // nothing static to grow; the overlay already records it.
+            return Ok(());
+        }
+
+        // Classify the site in the current graph to repair the model.
+        let g = &self.refinement.graph;
+        let site_block =
+            g.term.keys().copied().find(|&b| g.indirect_site_pc(b) == Some(site_pc));
+        match site_block.and_then(|b| g.term.get(&b).map(|t| (b, t.clone()))) {
+            Some((b, Term::CallUnknown { .. } | Term::IndirectJump))
+                if g.resolved.contains_key(&b) =>
+            {
+                // A "complete" proven set turned out incomplete (the
+                // soundness invariant was violated upstream): extend it.
+                self.refinement
+                    .resolved_sites
+                    .entry(site_pc)
+                    .or_default()
+                    .push(target);
+            }
+            Some((_, Term::Ret)) | None => {
+                // Control re-enters the region at `target` with state the
+                // graph does not model: treat it like an external entry.
+                if !self.escape_roots.contains(&target) {
+                    self.escape_roots.push(target);
+                }
+            }
+            _ => {}
+        }
+        if !self.refinement.extra_roots.contains(&target)
+            && !self.base_roots.contains(&target)
+            && !self.escape_roots.contains(&target)
+        {
+            self.refinement.extra_roots.push(target);
+        }
+
+        // Rebuild the graph over the grown model and restart the
+        // dependent fixpoints from the previous ones, seeded at the
+        // blocks the rebuild changed.
+        let mut all_roots = self.base_roots.clone();
+        all_roots.extend(self.refinement.extra_roots.iter().copied());
+        all_roots.extend(self.escape_roots.iter().copied());
+        all_roots.dedup();
+        let mut new_g =
+            FlowGraph::build_merged(&prog_refs, &all_roots, &self.refinement.resolved_sites);
+        apply_cfg_refinement(&mut new_g);
+        let dirty = affected_blocks(&self.refinement.graph, &new_g);
+
+        let mut taint_roots = self.taint_roots.clone();
+        for &r in &self.escape_roots {
+            taint_roots.push((r, TaintSeed::all()));
+        }
+        let taint = taint::analyze_from(&new_g, &self.taint, &taint_roots, &dirty, &self.config)?;
+        let sums = summaries(&new_g, &self.config);
+        let cp = constprop::analyze_from(&new_g, &self.constprop, &sums, &dirty, &self.config)?;
+
+        self.last_incremental_iterations = taint.iterations + cp.iterations;
+        self.refinement.summaries = sums;
+        self.refinement.unknown_edges_after = new_g.cfg.unknown_edge_count();
+        self.refinement.graph = new_g;
+        self.taint = taint;
+        self.constprop = cp;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+
+    /// main calls f directly and g through a register; f clobbers r1,
+    /// g clobbers r2.
+    fn call_prog() -> Program {
+        let mut a = Assembler::new(0x1000);
+        a.movi(5, 7);
+        a.call("f");
+        a.movi_label(6, "g");
+        a.callr(6);
+        a.halt();
+        a.label("f");
+        a.movi(1, 1);
+        a.ret();
+        a.label("g");
+        a.movi(2, 2);
+        a.ret();
+        a.finish()
+    }
+
+    #[test]
+    fn summaries_are_per_function_def_sets() {
+        let p = call_prog();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let sums = summaries(&g, &AnalysisConfig::default());
+        // f writes only r1 (and its `ret` reads LR without writing).
+        assert_eq!(sums[&p.symbol("f")], RegSet::single(1));
+        // g is reached only through the register call: invisible to the
+        // unrefined graph (not a decoded block), so no summary yet.
+        assert!(!sums.contains_key(&p.symbol("g")));
+        // Refinement roots it and the summary appears.
+        let r = refine(&[&p], &[p.entry], &AnalysisConfig::default()).unwrap();
+        assert_eq!(r.summaries[&p.symbol("g")], RegSet::single(2));
+    }
+
+    #[test]
+    fn refine_resolves_register_call_and_keeps_summaries_tight() {
+        let p = call_prog();
+        let r = refine(&[&p], &[p.entry], &AnalysisConfig::default()).unwrap();
+        // The callr's target register is a movi'd label: resolved.
+        assert_eq!(r.resolved_sites.len(), 1);
+        assert_eq!(r.resolved_sites.values().next().unwrap(), &vec![p.symbol("g")]);
+        assert!(r.unknown_edges_after < r.unknown_edges_before);
+        // main's entry r5 survives both calls under the summaries.
+        let preds = r.predictions();
+        assert!(preds
+            .sites
+            .values()
+            .filter(|s| !s.targets.is_empty())
+            .count()
+            >= 1);
+    }
+
+    #[test]
+    fn discovery_absorption_extends_and_stays_bounded() {
+        // A jmpr whose target comes from memory: statically opaque.
+        let mut a = Assembler::new(0x1000);
+        a.movi(1, 0x2000);
+        a.ld32(2, 1, 0);
+        a.jmpr(2);
+        a.label("landing");
+        a.halt();
+        let p = a.finish();
+        let landing = p.symbol("landing");
+        let site_pc = 0x1010;
+        let mut ip = IncrementalPrepass::build(
+            vec![p],
+            vec![0x1000],
+            vec![],
+            AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            ip.predictions().classify(site_pc, landing),
+            s2e_dbt::IndirectClass::Discovered
+        );
+        ip.absorb_discovery(site_pc, landing).unwrap();
+        assert_eq!(
+            ip.predictions().classify(site_pc, landing),
+            s2e_dbt::IndirectClass::Resolved
+        );
+        assert!(ip.last_incremental_iterations <= ip.refinement.graph.bound());
+        // The landing pad is now an analyzed block.
+        assert!(ip.refinement.graph.cfg.blocks.contains_key(&landing));
+    }
+}

@@ -36,7 +36,9 @@
 pub mod constprop;
 pub mod defuse;
 pub mod graph;
+pub mod interproc;
 pub mod liveness;
+pub mod range;
 pub mod taint;
 
 pub use constprop::{Const, ConstProp};
@@ -44,10 +46,12 @@ pub use defuse::{defs, observed, uses, RegSet};
 pub use graph::{
     iteration_bound, run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, TaintSeed, Term,
 };
+pub use interproc::{ClobberSummaries, IncrementalPrepass, Refinement};
 pub use liveness::Liveness;
+pub use range::{RangeAnalysis, ValueRange};
 pub use taint::{Taint, TaintState};
 
-use s2e_dbt::{BlockAnnotation, BlockAnnotator};
+use s2e_dbt::{BlockAnnotation, BlockAnnotator, IndirectPredictions};
 use s2e_vm::asm::Program;
 use s2e_vm::isa::{Instr, INSTR_SIZE};
 use std::collections::{BTreeMap, BTreeSet};
@@ -106,6 +110,60 @@ pub fn analyze(
     Ok(ProgramAnalysis { graph, liveness, taint, constprop })
 }
 
+/// Refinement-augmented analysis over a *set* of programs (DESIGN.md
+/// §15): interval-based indirect-target resolution, clobber-summary
+/// taint and const-prop over the refined merged graph, liveness over the
+/// same graph, and per-instruction concrete masks. Where [`analyze`] is
+/// per-program and call-boundary-conservative, this is the whole-image
+/// interprocedural model — and it stays live at run time through
+/// [`RefinedAnalysis::absorb`].
+pub struct RefinedAnalysis {
+    /// Incremental state: refinement, dependent fixpoints, and the
+    /// dynamic-discovery absorption entry point.
+    pub prepass: IncrementalPrepass,
+    /// Liveness over the refined merged graph.
+    pub liveness: Liveness,
+}
+
+impl RefinedAnalysis {
+    /// Builds the annotator for the refined model: block facts from the
+    /// merged graph, per-instruction concrete masks enabled.
+    pub fn annotator(&self) -> PrepassInfo {
+        PrepassBuilder::new().add_refined(self).build()
+    }
+
+    /// The current indirect-target prediction table (static resolutions
+    /// plus absorbed discoveries).
+    pub fn predictions(&self) -> IndirectPredictions {
+        self.prepass.predictions()
+    }
+
+    /// Absorbs one runtime-discovered `(site, target)` pair: extends the
+    /// static model, restarts taint/const-prop incrementally from the
+    /// affected blocks, and refreshes liveness over the grown graph.
+    pub fn absorb(&mut self, site: u32, target: u32) -> Result<(), BoundExceeded> {
+        self.prepass.absorb_discovery(site, target)?;
+        self.liveness = liveness::analyze(&self.prepass.refinement.graph)?;
+        Ok(())
+    }
+}
+
+/// Runs the refined interprocedural pipeline over `progs` (analyzed as
+/// one merged image). `roots` declares entry points and taint seeds as
+/// in [`analyze`].
+pub fn analyze_refined(
+    progs: &[&Program],
+    roots: &[(u32, TaintSeed)],
+    config: &AnalysisConfig,
+) -> Result<RefinedAnalysis, BoundExceeded> {
+    let owned: Vec<Program> = progs.iter().map(|p| (*p).clone()).collect();
+    let root_addrs: Vec<u32> = roots.iter().map(|&(r, _)| r).collect();
+    let prepass =
+        IncrementalPrepass::build(owned, root_addrs, roots.to_vec(), config.clone())?;
+    let liveness = liveness::analyze(&prepass.refinement.graph)?;
+    Ok(RefinedAnalysis { prepass, liveness })
+}
+
 /// Per-static-block facts flattened for annotation lookup.
 #[derive(Clone, Copy, Debug)]
 struct BlockFacts {
@@ -130,6 +188,11 @@ pub struct PrepassInfo {
     dead_edges: BTreeSet<(u32, u32)>,
     /// Union of statically-unreachable blocks across programs.
     unreachable: BTreeSet<u32>,
+    /// PCs proven to never observe symbolic data, for per-instruction
+    /// mask stamping. Populated only by the refined pipeline
+    /// ([`PrepassBuilder::add_refined`]); the base prepass leaves it
+    /// empty so block-level numbers stay comparable across PRs.
+    concrete_pcs: BTreeSet<u32>,
     /// Sum of worklist pops across all programs and passes.
     total_iterations: usize,
 }
@@ -189,6 +252,9 @@ impl BlockAnnotator for PrepassInfo {
             if idx < 64 && self.dead_write_pcs.contains(&pc) {
                 ann.dead_writes |= 1u64 << idx;
             }
+            if idx < 64 && self.concrete_pcs.contains(&pc) {
+                ann.concrete_mask |= 1u64 << idx;
+            }
             if self.fork_ranges.iter().any(|r| r.contains(&pc)) {
                 fork_free = false;
             }
@@ -207,6 +273,7 @@ pub struct PrepassBuilder {
     fork_ranges: Vec<Range<u32>>,
     dead_edges: BTreeSet<(u32, u32)>,
     unreachable: BTreeSet<u32>,
+    concrete_pcs: BTreeSet<u32>,
     total_iterations: usize,
 }
 
@@ -219,10 +286,37 @@ impl PrepassBuilder {
     /// Adds one program's analysis results. Overlapping address ranges
     /// (which do not occur with the standard loader layout) merge
     /// conservatively: concrete-only ANDs, live-in unions.
-    pub fn add(mut self, a: &ProgramAnalysis) -> PrepassBuilder {
-        for (&start, block) in &a.graph.cfg.blocks {
-            let concrete_only = a.taint.concrete_only.contains(&start);
-            let live_in = a.liveness.live_in.get(&start).copied().unwrap_or(RegSet::ALL);
+    pub fn add(self, a: &ProgramAnalysis) -> PrepassBuilder {
+        self.add_parts(&a.graph, &a.liveness, &a.taint, &a.constprop, a.iterations())
+    }
+
+    /// Adds a refined whole-image analysis, enabling per-instruction
+    /// concrete masks from its taint fixpoint.
+    pub fn add_refined(mut self, r: &RefinedAnalysis) -> PrepassBuilder {
+        self.concrete_pcs.extend(r.prepass.taint.concrete_pcs.iter().copied());
+        let iters = r.liveness.iterations
+            + r.prepass.taint.iterations
+            + r.prepass.constprop.iterations;
+        self.add_parts(
+            &r.prepass.refinement.graph,
+            &r.liveness,
+            &r.prepass.taint,
+            &r.prepass.constprop,
+            iters,
+        )
+    }
+
+    fn add_parts(
+        mut self,
+        graph: &FlowGraph,
+        liveness: &Liveness,
+        taint: &Taint,
+        constprop: &ConstProp,
+        iterations: usize,
+    ) -> PrepassBuilder {
+        for (&start, block) in &graph.cfg.blocks {
+            let concrete_only = taint.concrete_only.contains(&start);
+            let live_in = liveness.live_in.get(&start).copied().unwrap_or(RegSet::ALL);
             let facts = BlockFacts { end: block.end(), concrete_only, live_in };
             self.blocks
                 .entry(start)
@@ -232,7 +326,7 @@ impl PrepassBuilder {
                     f.live_in = f.live_in.union(facts.live_in);
                 })
                 .or_insert(facts);
-            if let Some(&bits) = a.liveness.dead_writes.get(&start) {
+            if let Some(&bits) = liveness.dead_writes.get(&start) {
                 for (idx, _) in block.instrs.iter().enumerate().take(64) {
                     if bits & (1u64 << idx) != 0 {
                         self.dead_write_pcs.insert(start + idx as u32 * INSTR_SIZE);
@@ -240,9 +334,9 @@ impl PrepassBuilder {
                 }
             }
         }
-        self.dead_edges.extend(a.constprop.dead_edges.iter().copied());
-        self.unreachable.extend(a.constprop.unreachable.iter().copied());
-        self.total_iterations += a.iterations();
+        self.dead_edges.extend(constprop.dead_edges.iter().copied());
+        self.unreachable.extend(constprop.unreachable.iter().copied());
+        self.total_iterations += iterations;
         self
     }
 
@@ -263,6 +357,7 @@ impl PrepassBuilder {
             fork_ranges: self.fork_ranges,
             dead_edges: self.dead_edges,
             unreachable: self.unreachable,
+            concrete_pcs: self.concrete_pcs,
             total_iterations: self.total_iterations,
         }
     }

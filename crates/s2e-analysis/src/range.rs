@@ -1,0 +1,768 @@
+//! Forward value-range (interval) analysis over guest registers.
+//!
+//! The domain goes beyond `constprop`'s flat constants: a register's
+//! abstract value is a small explicit set, a strided interval, or ⊤.
+//! Transfer reuses the interpreter's own [`apply_binop`], folding small
+//! operand sets *pairwise exactly* (so division-by-zero, wrapping, and
+//! shift-overflow semantics are inherited rather than re-derived), and
+//! falls back to sound interval rules only when an operand is too wide
+//! to enumerate. The pass is interprocedural: direct (and resolved
+//! indirect) calls flow the caller's state into the callee with
+//! `LR = exact(return site)`, and return sites are havocked only by the
+//! callee's *clobber summary* (see `interproc`), so root-seeded facts
+//! survive `Call`/`Ret` boundaries instead of dying at every call.
+//!
+//! Termination is enforced by widening, not lattice height: each block
+//! entry may strictly grow at most [`WIDEN_LIMIT`] times; past that,
+//! any register that still changes snaps to ⊤ (which is absorbing), so
+//! the per-block change count — and with it the worklist pop count — is
+//! bounded well inside [`crate::graph::iteration_bound`].
+
+use crate::defuse::{defs, RegSet};
+use crate::graph::{run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, Term};
+use s2e_expr::fold::apply_binop;
+use s2e_expr::{BinOp, Width};
+use s2e_vm::interp::alu_binop;
+use s2e_vm::isa::{reg, Instr, Opcode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Largest explicit set before a value degrades to a strided interval.
+pub const SET_MAX: usize = 8;
+
+/// Largest operand-pair product folded exactly through [`apply_binop`];
+/// also the enumeration cap for indirect-target resolution.
+pub const ENUM_MAX: usize = 64;
+
+/// Block-entry strict-growth budget before widening to ⊤ kicks in.
+const WIDEN_LIMIT: u32 = 32;
+
+/// Abstract value of one register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueRange {
+    /// A small explicit value set (sorted, deduplicated, non-empty,
+    /// at most [`SET_MAX`] entries).
+    Set(Vec<u32>),
+    /// `{lo, lo+stride, …, hi}` with `stride ≥ 1`, `lo ≤ hi`, and
+    /// `(hi − lo) % stride == 0`. Never wraps around `u32::MAX`.
+    Interval { lo: u32, hi: u32, stride: u32 },
+    /// Any value.
+    Top,
+}
+
+impl ValueRange {
+    /// The singleton range `{v}`.
+    pub fn exact(v: u32) -> ValueRange {
+        ValueRange::Set(vec![v])
+    }
+
+    /// The tightest representable range covering `values`.
+    pub fn from_values(values: impl IntoIterator<Item = u32>) -> ValueRange {
+        let set: BTreeSet<u32> = values.into_iter().collect();
+        assert!(!set.is_empty(), "a value range is never empty");
+        if set.len() <= SET_MAX {
+            return ValueRange::Set(set.into_iter().collect());
+        }
+        let lo = *set.iter().next().expect("non-empty");
+        let hi = *set.iter().next_back().expect("non-empty");
+        let mut stride = 0u32;
+        for &v in &set {
+            stride = gcd(stride, v - lo);
+        }
+        normalize(lo, hi, stride.max(1))
+    }
+
+    /// Whether `v` is possibly in this range.
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            ValueRange::Set(vs) => vs.binary_search(&v).is_ok(),
+            ValueRange::Interval { lo, hi, stride } => {
+                v >= *lo && v <= *hi && (v - lo) % stride == 0
+            }
+            ValueRange::Top => true,
+        }
+    }
+
+    /// Number of concrete values, or `None` for ⊤.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            ValueRange::Set(vs) => Some(vs.len() as u64),
+            ValueRange::Interval { lo, hi, stride } => {
+                Some(u64::from((hi - lo) / stride) + 1)
+            }
+            ValueRange::Top => None,
+        }
+    }
+
+    /// The concrete values, if there are at most `limit` of them.
+    pub fn enumerate(&self, limit: usize) -> Option<Vec<u32>> {
+        match self {
+            ValueRange::Set(vs) if vs.len() <= limit => Some(vs.clone()),
+            ValueRange::Interval { lo, hi: _, stride } => {
+                let n = self.count().expect("interval is finite");
+                if n > limit as u64 {
+                    return None;
+                }
+                Some((0..n as u32).map(|k| lo + k * stride).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether every value of `other` is contained in `self`.
+    pub fn includes(&self, other: &ValueRange) -> bool {
+        match (self, other) {
+            (ValueRange::Top, _) => true,
+            (_, ValueRange::Top) => false,
+            (_, ValueRange::Set(vs)) => vs.iter().all(|&v| self.contains(v)),
+            (
+                ValueRange::Interval { lo, hi, stride },
+                ValueRange::Interval { lo: lo2, hi: hi2, stride: stride2 },
+            ) => {
+                lo2 >= lo
+                    && hi2 <= hi
+                    && (lo2 - lo) % stride == 0
+                    && (if lo2 == hi2 { true } else { stride2 % stride == 0 })
+            }
+            (ValueRange::Set(_), ValueRange::Interval { .. }) => other
+                .enumerate(SET_MAX)
+                .is_some_and(|vs| vs.iter().all(|&v| self.contains(v))),
+        }
+    }
+
+    /// Least representable upper bound of `self` and `other`.
+    pub fn join(&self, other: &ValueRange) -> ValueRange {
+        if self.includes(other) {
+            return self.clone();
+        }
+        if other.includes(self) {
+            return other.clone();
+        }
+        match (self, other) {
+            (ValueRange::Top, _) | (_, ValueRange::Top) => ValueRange::Top,
+            (ValueRange::Set(a), ValueRange::Set(b)) => {
+                ValueRange::from_values(a.iter().chain(b.iter()).copied())
+            }
+            _ => {
+                let (lo1, hi1, s1) = self.bounds().expect("not top");
+                let (lo2, hi2, s2) = other.bounds().expect("not top");
+                let lo = lo1.min(lo2);
+                let hi = hi1.max(hi2);
+                let stride = gcd(gcd(s1, s2), lo1.abs_diff(lo2)).max(1);
+                normalize(lo, hi, stride)
+            }
+        }
+    }
+
+    /// `(lo, hi, stride)` cover of a finite range (`None` for ⊤). A
+    /// set's stride is the gcd of its gaps.
+    fn bounds(&self) -> Option<(u32, u32, u32)> {
+        match self {
+            ValueRange::Set(vs) => {
+                let lo = vs[0];
+                let hi = *vs.last().expect("non-empty");
+                let mut stride = 0u32;
+                for &v in vs {
+                    stride = gcd(stride, v - lo);
+                }
+                Some((lo, hi, stride.max(1)))
+            }
+            ValueRange::Interval { lo, hi, stride } => Some((*lo, *hi, *stride)),
+            ValueRange::Top => None,
+        }
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Canonicalizes `(lo, hi, stride)` — clamping `hi` onto the stride grid
+/// and materializing an explicit set when small enough.
+fn normalize(lo: u32, hi: u32, stride: u32) -> ValueRange {
+    debug_assert!(stride >= 1 && lo <= hi);
+    let hi = lo + ((hi - lo) / stride) * stride;
+    let count = u64::from((hi - lo) / stride) + 1;
+    if count <= SET_MAX as u64 {
+        ValueRange::Set((0..count as u32).map(|k| lo + k * stride).collect())
+    } else {
+        ValueRange::Interval { lo, hi, stride }
+    }
+}
+
+/// Per-block-entry register state.
+pub type RegRanges = [ValueRange; reg::NUM_REGS];
+
+/// The no-information state (all registers ⊤).
+pub fn havoc() -> RegRanges {
+    std::array::from_fn(|_| ValueRange::Top)
+}
+
+fn join_into(dst: &mut RegRanges, src: &RegRanges) -> RegSet {
+    let mut changed = RegSet::EMPTY;
+    for (r, (d, s)) in dst.iter_mut().zip(src.iter()).enumerate() {
+        let j = d.join(s);
+        if j != *d {
+            *d = j;
+            changed = changed.with(r as u8);
+        }
+    }
+    changed
+}
+
+/// The abstract counterpart of one `apply_binop` application. Exact
+/// (pairwise through the interpreter's own fold) whenever both operands
+/// enumerate within [`ENUM_MAX`] pairs; otherwise sound interval rules
+/// for the shapes jump-table math uses (add/sub/mul/shift by a constant,
+/// masking, remainder), and ⊤ for the rest.
+pub fn range_binop(op: BinOp, a: &ValueRange, b: &ValueRange) -> ValueRange {
+    if let (Some(na), Some(nb)) = (a.count(), b.count()) {
+        if na.saturating_mul(nb) <= ENUM_MAX as u64 {
+            let av = a.enumerate(ENUM_MAX).expect("within cap");
+            let bv = b.enumerate(ENUM_MAX).expect("within cap");
+            let vals = av.iter().flat_map(|&x| {
+                bv.iter()
+                    .map(move |&y| apply_binop(op, x as u64, y as u64, Width::W32) as u32)
+            });
+            return ValueRange::from_values(vals);
+        }
+    }
+    let k_b = b.enumerate(1).map(|v| v[0]);
+    let k_a = a.enumerate(1).map(|v| v[0]);
+    match op {
+        // x ± k / k − x: shift the cover when no u32 wraparound is
+        // possible; x·k and x<<k likewise scale it.
+        BinOp::Add => match (a.bounds(), k_b, b.bounds(), k_a) {
+            (Some((lo, hi, s)), Some(k), _, _) | (_, _, Some((lo, hi, s)), Some(k)) => {
+                if u64::from(hi) + u64::from(k) <= u64::from(u32::MAX) {
+                    normalize(lo + k, hi + k, s)
+                } else {
+                    ValueRange::Top
+                }
+            }
+            _ => ValueRange::Top,
+        },
+        BinOp::Sub => match (a.bounds(), k_b, k_a, b.bounds()) {
+            (Some((lo, hi, s)), Some(k), _, _) if lo >= k => normalize(lo - k, hi - k, s),
+            (_, _, Some(k), Some((lo, hi, s))) if k >= hi => normalize(k - hi, k - lo, s),
+            _ => ValueRange::Top,
+        },
+        BinOp::Mul => match (a.bounds(), k_b, b.bounds(), k_a) {
+            (Some((lo, hi, s)), Some(k), _, _) | (_, _, Some((lo, hi, s)), Some(k)) => {
+                if k == 0 {
+                    ValueRange::exact(0)
+                } else if u64::from(hi) * u64::from(k) <= u64::from(u32::MAX) {
+                    normalize(lo * k, hi * k, s * k)
+                } else {
+                    ValueRange::Top
+                }
+            }
+            _ => ValueRange::Top,
+        },
+        BinOp::Shl => match (a.bounds(), k_b) {
+            (_, Some(k)) if k >= 32 => ValueRange::exact(0),
+            (Some((lo, hi, s)), Some(k)) if (u64::from(hi) << k) <= u64::from(u32::MAX) => {
+                normalize(lo << k, hi << k, (s << k).max(1))
+            }
+            _ => ValueRange::Top,
+        },
+        BinOp::LShr => match (a.bounds(), k_b) {
+            (_, Some(k)) if k >= 32 => ValueRange::exact(0),
+            (Some((lo, hi, _)), Some(k)) => normalize(lo >> k, hi >> k, 1),
+            _ => ValueRange::Top,
+        },
+        // x & m ≤ min(x, m): sound even for an ⊤ operand, which is what
+        // re-bounds a widened loop counter at an `andi` mask.
+        BinOp::And => {
+            let bound = |r: &ValueRange, k: u32| {
+                let hi = r.bounds().map(|(_, hi, _)| hi.min(k)).unwrap_or(k);
+                normalize(0, hi, 1)
+            };
+            match (k_a, k_b) {
+                (_, Some(k)) => bound(a, k),
+                (Some(k), _) => bound(b, k),
+                _ => ValueRange::Top,
+            }
+        }
+        // x % k ∈ [0, k−1] for k > 0 (k == 0 keeps x per VM semantics).
+        BinOp::URem => match k_b {
+            Some(0) => a.clone(),
+            Some(k) => {
+                let hi = a.bounds().map(|(_, hi, _)| hi.min(k - 1)).unwrap_or(k - 1);
+                normalize(0, hi, 1)
+            }
+            None => ValueRange::Top,
+        },
+        _ => ValueRange::Top,
+    }
+}
+
+/// One instruction's forward range transfer. Mirrors
+/// [`crate::constprop::transfer`]'s structure; any opcode without a
+/// precise rule havocs exactly its def set.
+pub fn transfer(i: &Instr, s: &mut RegRanges, cfg: &AnalysisConfig) {
+    let rd = i.rd as usize & 0xf;
+    let get = |s: &RegRanges, r: u8| s[r as usize & 0xf].clone();
+    match i.op {
+        Opcode::MovI => s[rd] = ValueRange::exact(i.imm),
+        Opcode::Mov => s[rd] = get(s, i.rs1),
+        Opcode::Not => {
+            s[rd] = match get(s, i.rs1).enumerate(SET_MAX) {
+                Some(vs) => ValueRange::from_values(vs.into_iter().map(|v| !v)),
+                None => ValueRange::Top,
+            }
+        }
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Divu
+        | Opcode::Divs
+        | Opcode::Remu
+        | Opcode::Rems
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar => {
+            let op = alu_binop(i.op).expect("ALU opcode");
+            s[rd] = range_binop(op, &get(s, i.rs1), &get(s, i.rs2));
+        }
+        Opcode::AddI
+        | Opcode::SubI
+        | Opcode::MulI
+        | Opcode::AndI
+        | Opcode::OrI
+        | Opcode::XorI
+        | Opcode::ShlI
+        | Opcode::ShrI
+        | Opcode::SarI => {
+            let op = alu_binop(i.op).expect("ALU opcode");
+            s[rd] = range_binop(op, &get(s, i.rs1), &ValueRange::exact(i.imm));
+        }
+        Opcode::Ld8 | Opcode::Ld16 | Opcode::Ld32 | Opcode::In => s[rd] = ValueRange::Top,
+        Opcode::Pop => {
+            s[rd] = ValueRange::Top;
+            let sp = reg::SP as usize;
+            s[sp] = range_binop(BinOp::Add, &s[sp], &ValueRange::exact(4));
+        }
+        Opcode::Push => {
+            let sp = reg::SP as usize;
+            s[sp] = range_binop(BinOp::Sub, &s[sp], &ValueRange::exact(4));
+        }
+        // The link value a call installs is modeled precisely at the
+        // interprocedural edge; inside a straight-line walk it is ⊤.
+        Opcode::Call | Opcode::CallR => s[reg::LR as usize] = ValueRange::Top,
+        Opcode::Syscall => {
+            for r in cfg.env_clobbers.iter() {
+                s[r as usize] = ValueRange::Top;
+            }
+        }
+        // `SymbolicReg` writes a fresh symbolic word into r0, which can
+        // then hold any concretized value ([`crate::defuse::defs`]
+        // reports no defs for `S2eOp`, so the default arm would miss it).
+        Opcode::S2eOp => s[reg::R0 as usize] = ValueRange::Top,
+        Opcode::St8 | Opcode::St16 | Opcode::St32 | Opcode::Out | Opcode::Nop => {}
+        // Anything else (Iret, branches, …): havoc what it defines.
+        _ => {
+            for r in defs(i).iter() {
+                s[r as usize] = ValueRange::Top;
+            }
+        }
+    }
+}
+
+/// Restricts `r` (the range of a branch's variable operand) along one
+/// side of a comparison against the constant `k`. Only equality and the
+/// unsigned orders are refined — the shapes a jump-table bounds check
+/// takes; everything else passes through. A refinement that would be
+/// empty (statically infeasible edge) degrades to the unrestricted
+/// range: edge pruning is `constprop`'s job, not this pass's.
+fn restrict(r: &ValueRange, op: Opcode, k: u32, taken: bool, var_is_lhs: bool) -> ValueRange {
+    // Normalize to a predicate on the variable side.
+    enum Rel {
+        Eq,
+        Ne,
+        Lt,  // var < k (unsigned)
+        Ge,  // var >= k (unsigned)
+        Gt,  // var > k (unsigned)
+        Le,  // var <= k (unsigned)
+        Any,
+    }
+    let rel = match (op, var_is_lhs, taken) {
+        (Opcode::Beq, _, true) | (Opcode::Bne, _, false) => Rel::Eq,
+        (Opcode::Beq, _, false) | (Opcode::Bne, _, true) => Rel::Ne,
+        (Opcode::Bltu, true, true) | (Opcode::Bgeu, true, false) => Rel::Lt,
+        (Opcode::Bltu, true, false) | (Opcode::Bgeu, true, true) => Rel::Ge,
+        (Opcode::Bltu, false, true) | (Opcode::Bgeu, false, false) => Rel::Gt,
+        (Opcode::Bltu, false, false) | (Opcode::Bgeu, false, true) => Rel::Le,
+        _ => Rel::Any,
+    };
+    let clamped: Option<ValueRange> = match rel {
+        Rel::Eq => Some(ValueRange::exact(k)),
+        Rel::Ne => match r {
+            ValueRange::Set(vs) if vs.contains(&k) && vs.len() > 1 => Some(
+                ValueRange::from_values(vs.iter().copied().filter(|&v| v != k)),
+            ),
+            _ => None,
+        },
+        Rel::Lt | Rel::Le => {
+            let ub = if matches!(rel, Rel::Lt) { k.checked_sub(1) } else { Some(k) };
+            ub.and_then(|ub| clamp(r, 0, ub))
+        }
+        Rel::Ge | Rel::Gt => {
+            let lb = if matches!(rel, Rel::Gt) { k.checked_add(1) } else { Some(k) };
+            lb.and_then(|lb| clamp(r, lb, u32::MAX))
+        }
+        Rel::Any => None,
+    };
+    match clamped {
+        Some(c) if r.includes(&c) => c,
+        _ => r.clone(),
+    }
+}
+
+/// Intersects `r` with `[lb, ub]`; `None` if the intersection is empty.
+fn clamp(r: &ValueRange, lb: u32, ub: u32) -> Option<ValueRange> {
+    if lb > ub {
+        return None;
+    }
+    match r {
+        ValueRange::Top => {
+            if lb == 0 && ub == u32::MAX {
+                Some(ValueRange::Top)
+            } else {
+                Some(normalize(lb, ub, 1))
+            }
+        }
+        ValueRange::Set(vs) => {
+            let kept: Vec<u32> = vs.iter().copied().filter(|&v| v >= lb && v <= ub).collect();
+            if kept.is_empty() {
+                None
+            } else {
+                Some(ValueRange::from_values(kept))
+            }
+        }
+        ValueRange::Interval { lo, hi, stride } => {
+            let (lo64, s64) = (u64::from(*lo), u64::from(*stride));
+            let new_lo = if lb <= *lo {
+                u64::from(*lo)
+            } else {
+                lo64 + (u64::from(lb) - lo64).div_ceil(s64) * s64
+            };
+            let new_hi =
+                if ub >= *hi { u64::from(*hi) } else { lo64 + (u64::from(ub) - lo64) / s64 * s64 };
+            if new_lo > new_hi || new_lo > u64::from(*hi) {
+                None
+            } else {
+                Some(normalize(new_lo as u32, new_hi as u32, *stride))
+            }
+        }
+    }
+}
+
+/// Range-analysis fixpoint result.
+#[derive(Clone, Debug, Default)]
+pub struct RangeAnalysis {
+    /// Entry register ranges per reached block.
+    pub entry: BTreeMap<u32, RegRanges>,
+    /// Blocks whose entry hit the widening budget.
+    pub widened_blocks: usize,
+    /// Worklist pops used to reach the fixpoint.
+    pub iterations: usize,
+}
+
+impl RangeAnalysis {
+    /// The register state right *before* block `b`'s terminator — what
+    /// an indirect terminator's target register holds. `None` if `b`
+    /// was never reached.
+    pub fn state_before_term(&self, g: &FlowGraph, b: u32) -> Option<RegRanges> {
+        let entry = self.entry.get(&b)?;
+        let block = g.cfg.blocks.get(&b)?;
+        let mut s = entry.clone();
+        let n = block.instrs.len();
+        for i in &block.instrs[..n.saturating_sub(1)] {
+            transfer(i, &mut s, &AnalysisConfig::default());
+        }
+        Some(s)
+    }
+}
+
+/// Runs the interprocedural range fixpoint on `g` from its roots.
+///
+/// `summaries` maps a callee entry block to the registers any path
+/// through it may clobber (lookup miss ⇒ all registers — the sound
+/// default for a callee whose body escapes analysis).
+pub fn analyze(
+    g: &FlowGraph,
+    summaries: &BTreeMap<u32, RegSet>,
+    cfg: &AnalysisConfig,
+) -> Result<RangeAnalysis, BoundExceeded> {
+    let mut states: BTreeMap<u32, RegRanges> = BTreeMap::new();
+    for &r in &g.roots {
+        states.insert(r, havoc());
+    }
+    let seeds: Vec<u32> = g.roots.clone();
+    let mut growth: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut widened: BTreeSet<u32> = BTreeSet::new();
+
+    let summary = |callee: u32| summaries.get(&callee).copied().unwrap_or(RegSet::ALL);
+    let apply_call_return = |s: &RegRanges, clobbers: RegSet, ret: u32| -> RegRanges {
+        let mut out = s.clone();
+        for r in clobbers.iter() {
+            out[r as usize] = ValueRange::Top;
+        }
+        if !clobbers.contains(reg::LR) {
+            // The call wrote `ret` into LR and the callee provably
+            // never touches it, so it still names the return site here.
+            out[reg::LR as usize] = ValueRange::exact(ret);
+        }
+        out
+    };
+
+    let iterations = run_worklist("range", seeds, g.bound(), |b, changed| {
+        let Some(inn) = states.get(&b).cloned() else { return };
+        let Some(block) = g.cfg.blocks.get(&b) else { return };
+        let mut s = inn;
+        for i in &block.instrs {
+            transfer(i, &mut s, cfg);
+        }
+        let mut flow = |target: u32, st: &RegRanges, changed: &mut Vec<u32>| {
+            if !g.cfg.blocks.contains_key(&target) {
+                return;
+            }
+            match states.get_mut(&target) {
+                Some(cur) => {
+                    let grew = join_into(cur, st);
+                    if grew.is_empty() {
+                        return;
+                    }
+                    let n = growth.entry(target).or_insert(0);
+                    *n += 1;
+                    if *n > WIDEN_LIMIT {
+                        // Widen: every register still in motion snaps to
+                        // ⊤ (absorbing), bounding this block's changes.
+                        widened.insert(target);
+                        for r in grew.iter() {
+                            cur[r as usize] = ValueRange::Top;
+                        }
+                    }
+                    changed.push(target);
+                }
+                None => {
+                    states.insert(target, st.clone());
+                    growth.insert(target, 0);
+                    changed.push(target);
+                }
+            }
+        };
+        match g.term.get(&b) {
+            Some(Term::Goto(t)) => flow(*t, &s, changed),
+            Some(Term::Branch { taken, fall }) => {
+                let last = block.instrs.last().expect("branch block nonempty");
+                let (r1, r2) = (last.rs1 as usize & 0xf, last.rs2 as usize & 0xf);
+                for (side, is_taken) in [(*taken, true), (*fall, false)] {
+                    let mut st = s.clone();
+                    if let Some(k) = s[r2].enumerate(1).map(|v| v[0]) {
+                        st[r1] = restrict(&s[r1], last.op, k, is_taken, true);
+                    }
+                    if let Some(k) = s[r1].enumerate(1).map(|v| v[0]) {
+                        st[r2] = restrict(&s[r2], last.op, k, is_taken, false);
+                    }
+                    flow(side, &st, changed);
+                }
+            }
+            Some(Term::Call { callee, ret }) => {
+                let mut into = s.clone();
+                into[reg::LR as usize] = ValueRange::exact(*ret);
+                flow(*callee, &into, changed);
+                flow(*ret, &apply_call_return(&s, summary(*callee), *ret), changed);
+            }
+            Some(Term::CallUnknown { ret }) => {
+                if let Some(targets) = g.resolved.get(&b) {
+                    let mut clobbers = RegSet::EMPTY;
+                    for &t in targets {
+                        let mut into = s.clone();
+                        into[reg::LR as usize] = ValueRange::exact(*ret);
+                        flow(t, &into, changed);
+                        clobbers = clobbers.union(summary(t));
+                    }
+                    flow(*ret, &apply_call_return(&s, clobbers, *ret), changed);
+                } else {
+                    // Unknown callee: the call still installs the link
+                    // register, but the callee may compute anything by
+                    // the time control returns here.
+                    let mut into = s.clone();
+                    into[reg::LR as usize] = ValueRange::exact(*ret);
+                    for &t in &g.address_taken {
+                        flow(t, &into, changed);
+                    }
+                    flow(*ret, &havoc(), changed);
+                }
+            }
+            Some(Term::Syscall { ret }) => {
+                // `transfer` already applied the env clobbers.
+                flow(*ret, &s, changed);
+            }
+            // The matched call sites' summary-havoc edges already
+            // over-approximate every state a `ret` can deliver.
+            Some(Term::Ret) => {}
+            Some(Term::IndirectJump) => {
+                if let Some(targets) = g.resolved.get(&b) {
+                    for &t in targets {
+                        flow(t, &s, changed);
+                    }
+                } else {
+                    for &t in &g.address_taken {
+                        flow(t, &s, changed);
+                    }
+                }
+            }
+            Some(Term::Iret) | Some(Term::Halt) | None => {}
+        }
+    })?;
+
+    Ok(RangeAnalysis { entry: states, widened_blocks: widened.len(), iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_vm::asm::Assembler;
+
+    #[test]
+    fn set_arithmetic_is_exact_pairwise() {
+        let a = ValueRange::from_values([1, 2, 3]);
+        let b = ValueRange::from_values([10, 20]);
+        let r = range_binop(BinOp::Add, &a, &b);
+        assert_eq!(r, ValueRange::from_values([11, 12, 13, 21, 22, 23]));
+        // Division by zero inherits the VM's all-ones result.
+        let z = range_binop(BinOp::UDiv, &ValueRange::exact(7), &ValueRange::exact(0));
+        assert_eq!(z, ValueRange::exact(u32::MAX));
+    }
+
+    #[test]
+    fn interval_rules_cover_big_operands() {
+        let big = ValueRange::Interval { lo: 0, hi: 1000, stride: 1 };
+        // Masking bounds even ⊤.
+        assert_eq!(
+            range_binop(BinOp::And, &ValueRange::Top, &ValueRange::exact(3)),
+            ValueRange::from_values([0, 1, 2, 3])
+        );
+        // Shifted interval keeps its grid.
+        let r = range_binop(BinOp::Shl, &big, &ValueRange::exact(4));
+        assert_eq!(r, ValueRange::Interval { lo: 0, hi: 16000, stride: 16 });
+        // A small wrapping add folds exactly through the interpreter.
+        let high = ValueRange::Interval { lo: u32::MAX - 10, hi: u32::MAX, stride: 1 };
+        assert_eq!(
+            range_binop(BinOp::Add, &high, &ValueRange::exact(20)),
+            ValueRange::Interval { lo: 9, hi: 19, stride: 1 }
+        );
+        // Too wide to enumerate and possibly wrapping: give up soundly.
+        let huge = ValueRange::Interval { lo: u32::MAX - 1000, hi: u32::MAX, stride: 1 };
+        assert_eq!(range_binop(BinOp::Add, &huge, &ValueRange::exact(20)), ValueRange::Top);
+    }
+
+    #[test]
+    fn join_covers_and_widens_representation() {
+        let a = ValueRange::from_values([0, 16, 32]);
+        let b = ValueRange::from_values([48]);
+        let j = a.join(&b);
+        assert_eq!(j, ValueRange::from_values([0, 16, 32, 48]));
+        assert!(j.includes(&a) && j.includes(&b));
+        let many: Vec<u32> = (0..40).map(|k| k * 8).collect();
+        let wide = ValueRange::from_values(many.clone());
+        assert_eq!(wide, ValueRange::Interval { lo: 0, hi: 312, stride: 8 });
+        for v in many {
+            assert!(wide.contains(v));
+        }
+    }
+
+    #[test]
+    fn jump_table_address_math_enumerates() {
+        // The canonical dispatch shape: idx & 3, << 4, + table.
+        let mut s = havoc();
+        let instrs = |a: &mut Assembler| {
+            a.andi(2, 1, 3);
+            a.shli(2, 2, 4);
+            a.movi(3, 0x9000);
+            a.add(4, 2, 3);
+        };
+        let mut a = Assembler::new(0x100);
+        instrs(&mut a);
+        let p = a.finish();
+        let cfg = s2e_dbt::cfg::build_cfg(&p, &[0x100]);
+        for i in &cfg.blocks[&0x100].instrs {
+            transfer(i, &mut s, &AnalysisConfig::default());
+        }
+        assert_eq!(
+            s[4].enumerate(ENUM_MAX).expect("bounded"),
+            vec![0x9000, 0x9010, 0x9020, 0x9030]
+        );
+    }
+
+    #[test]
+    fn interprocedural_summary_preserves_untouched_registers() {
+        // main: movi r5, 7; call f; jmpr-ish use of r5 — f clobbers only
+        // r1, so r5 survives the call under the summary.
+        let mut a = Assembler::new(0x2000);
+        a.movi(5, 7);
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.movi(1, 9);
+        a.ret();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let mut summaries = BTreeMap::new();
+        summaries.insert(p.symbol("f"), RegSet::single(1));
+        let ra = analyze(&g, &summaries, &AnalysisConfig::default()).unwrap();
+        let ret_site = 0x2010;
+        let at_ret = &ra.entry[&ret_site];
+        assert_eq!(at_ret[5], ValueRange::exact(7));
+        assert_eq!(at_ret[1], ValueRange::Top);
+        // LR untouched by f: still names the return site.
+        assert_eq!(at_ret[reg::LR as usize], ValueRange::exact(ret_site));
+        // Without a summary the callee havocs everything.
+        let ra2 = analyze(&g, &BTreeMap::new(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(ra2.entry[&ret_site][5], ValueRange::Top);
+    }
+
+    #[test]
+    fn branch_restriction_bounds_the_taken_side() {
+        let mut a = Assembler::new(0x3000);
+        a.ld32(1, 2, 0); // r1 unknown
+        a.movi(3, 10);
+        a.bltu(1, 3, "small");
+        a.halt();
+        a.label("small");
+        a.halt();
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let ra = analyze(&g, &BTreeMap::new(), &AnalysisConfig::default()).unwrap();
+        let small = &ra.entry[&p.symbol("small")];
+        assert_eq!(small[1], normalize(0, 9, 1));
+    }
+
+    #[test]
+    fn widening_terminates_unbounded_loops() {
+        // r1 grows without bound; the fixpoint must still terminate and
+        // the loop-carried register must end at ⊤.
+        let mut a = Assembler::new(0x4000);
+        a.movi(1, 0);
+        a.label("loop");
+        a.addi(1, 1, 1);
+        a.jmp("loop");
+        let p = a.finish();
+        let g = FlowGraph::build(&p, &[p.entry]);
+        let ra = analyze(&g, &BTreeMap::new(), &AnalysisConfig::default()).unwrap();
+        assert!(ra.iterations <= g.bound());
+        assert!(ra.widened_blocks >= 1);
+        assert_eq!(ra.entry[&p.symbol("loop")][1], ValueRange::Top);
+    }
+}

@@ -29,7 +29,7 @@
 
 use crate::defuse::{observed, RegSet};
 use crate::graph::{run_worklist, AnalysisConfig, BoundExceeded, FlowGraph, TaintSeed, Term};
-use s2e_vm::isa::{reg, Instr, Opcode, S2Op};
+use s2e_vm::isa::{reg, Instr, Opcode, S2Op, INSTR_SIZE};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// May-be-symbolic state at a program point.
@@ -64,6 +64,11 @@ pub struct Taint {
     pub entry: BTreeMap<u32, TaintState>,
     /// Blocks in which no instruction can observe a symbolic register.
     pub concrete_only: BTreeSet<u32>,
+    /// Instruction pcs (in reached blocks) that can never observe a
+    /// symbolic register — per-instruction refinement of
+    /// `concrete_only`, used for the refined annotator's instruction
+    /// masks. A block is `concrete_only` iff all its pcs are here.
+    pub concrete_pcs: BTreeSet<u32>,
     /// Worklist pops used to reach the fixpoint.
     pub iterations: usize,
 }
@@ -165,7 +170,51 @@ pub fn analyze(
             }
         }
     }
+    fixpoint(g, entry, seeds, cfg)
+}
 
+/// Incremental restart after the graph grew (see
+/// [`crate::interproc::IncrementalPrepass`]): resume from `prev`'s
+/// fixpoint with `dirty` blocks re-queued and any new roots seeded.
+/// Sound because the pass is monotone join-only and a rebuild only adds
+/// blocks and edges, so the previous fixpoint is below the new one.
+pub fn analyze_from(
+    g: &FlowGraph,
+    prev: &Taint,
+    roots: &[(u32, TaintSeed)],
+    dirty: &[u32],
+    cfg: &AnalysisConfig,
+) -> Result<Taint, BoundExceeded> {
+    let mut entry = prev.entry.clone();
+    let mut seeds: Vec<u32> = Vec::new();
+    for &r in &g.roots {
+        if !entry.contains_key(&r) {
+            entry.insert(r, TaintState::default());
+            seeds.push(r);
+        }
+    }
+    for &(r, seed) in roots {
+        if g.cfg.blocks.contains_key(&r) {
+            let st = TaintState { regs: seed.regs, mem: seed.mem };
+            let cur = entry.get(&r).copied().unwrap_or_default();
+            if !cur.includes(st) || !entry.contains_key(&r) {
+                entry.insert(r, cur.join(st));
+                if !seeds.contains(&r) {
+                    seeds.push(r);
+                }
+            }
+        }
+    }
+    seeds.extend(dirty.iter().copied());
+    fixpoint(g, entry, seeds, cfg)
+}
+
+fn fixpoint(
+    g: &FlowGraph,
+    entry: BTreeMap<u32, TaintState>,
+    seeds: Vec<u32>,
+    cfg: &AnalysisConfig,
+) -> Result<Taint, BoundExceeded> {
     // `entry` only ever grows (pointwise union), so the fixpoint is
     // monotone and the bound argument of `graph::iteration_bound`
     // applies.
@@ -203,11 +252,20 @@ pub fn analyze(
                 flow(*callee, s, changed);
             }
             Some(Term::CallUnknown { ret }) => {
-                for &t in &g.address_taken {
-                    flow(t, s, changed);
+                if let Some(targets) = g.resolved.get(&b) {
+                    // Proven-complete callee set: exactly like a direct
+                    // call — the return site is fed by the callees'
+                    // matched rets, not widened to fully tainted.
+                    for &t in targets {
+                        flow(t, s, changed);
+                    }
+                } else {
+                    for &t in &g.address_taken {
+                        flow(t, s, changed);
+                    }
+                    // Unknown callee: anything may come back.
+                    flow(*ret, TaintState::all(), changed);
                 }
-                // Unknown callee: anything may come back.
-                flow(*ret, TaintState::all(), changed);
             }
             Some(Term::Syscall { ret }) => flow(*ret, s, changed),
             Some(Term::Ret) => {
@@ -219,8 +277,14 @@ pub fn analyze(
                 // Unmatched: leaves the region; root seeds cover re-entry.
             }
             Some(Term::IndirectJump) => {
-                for &t in &g.address_taken {
-                    flow(t, s, changed);
+                if let Some(targets) = g.resolved.get(&b) {
+                    for &t in targets {
+                        flow(t, s, changed);
+                    }
+                } else {
+                    for &t in &g.address_taken {
+                        flow(t, s, changed);
+                    }
                 }
             }
             Some(Term::Iret) | Some(Term::Halt) | None => {}
@@ -240,10 +304,11 @@ pub fn analyze(
         result.entry.insert(b, inn);
         let mut s = inn;
         let mut clean = true;
-        for i in &block.instrs {
-            if !observed(i).inter(s.regs).is_empty() {
+        for (idx, i) in block.instrs.iter().enumerate() {
+            if observed(i).inter(s.regs).is_empty() {
+                result.concrete_pcs.insert(b + idx as u32 * INSTR_SIZE);
+            } else {
                 clean = false;
-                break;
             }
             transfer(i, &mut s, cfg);
         }

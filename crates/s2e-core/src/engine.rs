@@ -16,7 +16,7 @@ use crate::search::{Dfs, SearchStrategy};
 use crate::state::{CompactState, ExecState, StateId, TerminationReason};
 use crate::stats::EngineStats;
 use s2e_cache::EpochMap;
-use s2e_dbt::{CacheHandle, SharedBlockCache};
+use s2e_dbt::{CacheHandle, IndirectPredictions, SharedBlockCache};
 use s2e_expr::ExprBuilder;
 use s2e_obs::{EventKind, Phase, Recorder, WorkerTimeline};
 use s2e_solver::{SharedQueryCache, Solver};
@@ -109,7 +109,33 @@ pub struct Engine {
     checkpoints: EpochMap<Arc<ExecState>>,
     /// Scratch for chain-hop block starts (reused across steps).
     hop_scratch: Vec<u32>,
+    /// Static indirect-target predictions consulted at every
+    /// `jmpr`/`callr`/`ret` retirement (`None` disables classification).
+    predictions: Option<Arc<IndirectPredictions>>,
+    /// `(site, target)` pairs already fed through the refiner — each
+    /// discovery triggers incremental re-analysis at most once.
+    discovered_seen: HashSet<(u32, u32)>,
+    /// Scratch for discoveries surfaced by one step (reused).
+    discovery_scratch: Vec<(u32, u32)>,
+    /// Incremental re-analysis callback for discovered targets.
+    refiner: Option<IndirectRefiner>,
 }
+
+/// Result of an indirect-target refinement callback: freshly re-stamped
+/// block annotations (installing them bumps the cache epoch, which
+/// severs superblock chains and wipes per-worker L1s) plus the updated
+/// prediction table covering the discovered target.
+pub struct RefinementUpdate {
+    /// Annotator carrying the re-analyzed facts.
+    pub annotator: Arc<dyn s2e_dbt::BlockAnnotator>,
+    /// Prediction table after absorbing the discovery.
+    pub predictions: Arc<IndirectPredictions>,
+}
+
+/// Callback invoked once per newly discovered `(site pc, target)` pair;
+/// returning `None` leaves the current annotations and predictions in
+/// place (the discovery stays accounted via `indirect_targets_discovered`).
+pub type IndirectRefiner = Box<dyn FnMut(u32, u32) -> Option<RefinementUpdate> + Send>;
 
 /// Journal size (bytes) past which [`Engine::step`] refreshes a state's
 /// checkpoint even without a fork: bounds both the shipping cost of a
@@ -180,6 +206,10 @@ impl Engine {
             obs: Recorder::disabled(),
             checkpoints: EpochMap::new(CHECKPOINT_RETAIN_EPOCHS),
             hop_scratch: Vec::new(),
+            predictions: None,
+            discovered_seen: HashSet::new(),
+            discovery_scratch: Vec::new(),
+            refiner: None,
         };
         let initial = ExecState::initial(machine);
         engine.stats.states_created = 1;
@@ -195,6 +225,23 @@ impl Engine {
     /// new annotator. On a shared cache this affects every worker.
     pub fn set_annotator(&mut self, annotator: Option<Arc<dyn s2e_dbt::BlockAnnotator>>) {
         self.cache.set_annotator(annotator);
+    }
+
+    /// Installs (or removes) the static indirect-target prediction table.
+    /// While installed, every retired indirect transfer is classified as
+    /// resolved / escaped / discovered in [`EngineStats`], and discovered
+    /// targets are handed to the refiner (if one is set).
+    pub fn set_predictions(&mut self, predictions: Option<Arc<IndirectPredictions>>) {
+        self.predictions = predictions;
+    }
+
+    /// Installs (or removes) the incremental re-analysis callback. Each
+    /// newly discovered `(site, target)` pair is passed to it exactly
+    /// once across the engine's lifetime; a returned update is applied
+    /// through [`Engine::set_annotator`] (epoch bump: chains severed,
+    /// L1s wiped) and replaces the prediction table.
+    pub fn set_refiner(&mut self, refiner: Option<IndirectRefiner>) {
+        self.refiner = refiner;
     }
 
     /// Replaces the search strategy (default: depth-first).
@@ -493,6 +540,7 @@ impl Engine {
         // nondeterministic input replay must reissue verbatim.
         s2e_expr::begin_var_capture();
         self.hop_scratch.clear();
+        self.discovery_scratch.clear();
         let outcome = {
             let mut env = ExecEnv {
                 ctx: ExecCtx {
@@ -509,6 +557,8 @@ impl Engine {
                 obs: &mut self.obs,
                 block_budget: MAX_CHAIN,
                 hops: &mut self.hop_scratch,
+                predictions: self.predictions.as_deref(),
+                discoveries: &mut self.discovery_scratch,
             };
             execute_block(&mut state, &mut env, &mut plugins)
         };
@@ -519,6 +569,29 @@ impl Engine {
             state.record_var_ids(&minted);
         }
         self.plugins = plugins;
+        // Close the dynamic feedback loop: hand each *new* discovered
+        // indirect target to the refiner once. A returned update re-stamps
+        // annotations (epoch bump severs chains and wipes L1s) and swaps
+        // in the extended prediction table, so the same target retires as
+        // `resolved` from then on.
+        if !self.discovery_scratch.is_empty() {
+            let fresh: Vec<(u32, u32)> = self
+                .discovery_scratch
+                .drain(..)
+                .filter(|d| self.discovered_seen.insert(*d))
+                .collect();
+            if !fresh.is_empty() {
+                if let Some(mut refiner) = self.refiner.take() {
+                    for (site, target) in fresh {
+                        if let Some(update) = refiner(site, target) {
+                            self.set_annotator(Some(update.annotator));
+                            self.predictions = Some(update.predictions);
+                        }
+                    }
+                    self.refiner = Some(refiner);
+                }
+            }
+        }
         // Coverage: the step's entry block plus every block entered via a
         // chain hop inside the call.
         let mut new_blocks = u64::from(newly_seen);
@@ -741,6 +814,9 @@ impl Engine {
         let mut scratch_log = Vec::new();
         let mut scratch_obs = Recorder::disabled();
         let mut scratch_hops = Vec::new();
+        // Replay must not re-report discoveries the live run already fed
+        // back — classification stays off during rehydration.
+        let mut scratch_discoveries = Vec::new();
         let mut plugins = std::mem::take(&mut self.plugins);
         let blocks_at_checkpoint = state.blocks_on_path;
 
@@ -765,6 +841,8 @@ impl Engine {
                     // remaining distance.
                     block_budget: compact.blocks_on_path - state.blocks_on_path,
                     hops: &mut scratch_hops,
+                    predictions: None,
+                    discoveries: &mut scratch_discoveries,
                 };
                 execute_block(&mut state, &mut env, &mut plugins)
             };

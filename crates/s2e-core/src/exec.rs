@@ -18,7 +18,7 @@ use crate::l1::ExecCache;
 use crate::plugin::{BugKind, ExecCtx, MemAccess, Plugin, PortAccess};
 use crate::state::{EnvFrame, ExecState, TerminationReason};
 use crate::threaded::{MicroCtx, ThreadedRun};
-use s2e_dbt::TranslationBlock;
+use s2e_dbt::{IndirectClass, IndirectPredictions, TranslationBlock};
 use s2e_expr::{ExprRef, Width};
 use s2e_obs::{Phase, Recorder};
 use s2e_vm::cpu::FaultKind;
@@ -75,6 +75,14 @@ pub struct ExecEnv<'a> {
     /// Block starts entered via chain hops this call (the engine folds
     /// them into coverage, which normally only sees step entry PCs).
     pub hops: &'a mut Vec<u32>,
+    /// Static indirect-target predictions, when the refinement loop is
+    /// closed (`None` disables retirement classification entirely —
+    /// also during rehydration replay, which must not re-report
+    /// discoveries the original run already fed back).
+    pub predictions: Option<&'a IndirectPredictions>,
+    /// Unpredicted `(site pc, target)` retirements collected this call;
+    /// the engine drains them into incremental re-analysis.
+    pub discoveries: &'a mut Vec<(u32, u32)>,
 }
 
 /// Chain-length cap per engine step: bounds scheduler latency (fork
@@ -231,6 +239,7 @@ fn run_block_at(
 
     let mut concrete_count: u64 = 0;
     let mut symbolic_count: u64 = 0;
+    let mut masked_count: u64 = 0;
     let mut start_idx = 0usize;
     let mut outcome = BlockOutcome::Continue;
     let mut direct_slot: Option<usize> = None;
@@ -302,6 +311,16 @@ fn run_block_at(
                     "concrete-only annotation violated at {ipc:#x}"
                 );
                 false
+            } else if tb.annotation.concrete_mask >> idx & 1 == 1 {
+                // Per-instruction refinement: the block as a whole is
+                // not concrete-only, but this instruction provably never
+                // observes a symbolic register.
+                debug_assert!(
+                    !touches_symbolic(state, instr),
+                    "concrete-mask annotation violated at {ipc:#x}"
+                );
+                masked_count += 1;
+                false
             } else {
                 touches_symbolic(state, instr)
             };
@@ -341,6 +360,10 @@ fn run_block_at(
     env.ctx.stats.instrs_symbolic += symbolic_count;
     if lean {
         env.ctx.stats.lean_instrs += concrete_count;
+    } else {
+        // Instructions whose operand scan the per-instruction mask
+        // discharged count as lean too: the check was statically paid.
+        env.ctx.stats.lean_instrs += masked_count;
     }
 
     // Per-state virtual time, slowed down in symbolic mode (§5). The
@@ -1117,6 +1140,20 @@ fn exec_indirect(
     };
     if let Some(ret) = link {
         state.machine.cpu.set_reg(reg::LR, Value::Concrete(ret));
+    }
+    // Retirement check against the static prediction table: the single
+    // point every indirect transfer (`jmpr`/`callr`/`ret`) funnels
+    // through (the threaded dispatcher has no micro-ops for them).
+    if let Some(preds) = env.predictions {
+        env.ctx.stats.indirect_retirements += 1;
+        match preds.classify(pc, target) {
+            IndirectClass::Resolved => env.ctx.stats.indirect_targets_resolved += 1,
+            IndirectClass::Escaped => env.ctx.stats.indirect_targets_escaped += 1,
+            IndirectClass::Discovered => {
+                env.ctx.stats.indirect_targets_discovered += 1;
+                env.discoveries.push((pc, target));
+            }
+        }
     }
     Flow::Jump(target)
 }

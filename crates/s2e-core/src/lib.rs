@@ -56,7 +56,10 @@ pub mod stats;
 pub mod threaded;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
-pub use engine::{Engine, RunSummary, SharedEngineContext, StepOutcome, StepReport, StopReason};
+pub use engine::{
+    Engine, IndirectRefiner, RefinementUpdate, RunSummary, SharedEngineContext, StepOutcome,
+    StepReport, StopReason,
+};
 pub use journal::{Journal, JournalEvent, ReplayCursor};
 pub use observe::build_run_report;
 pub use parallel::{

@@ -43,6 +43,17 @@ pub struct EngineStats {
     pub interrupts_delivered: u64,
     /// Syscall traps.
     pub syscalls: u64,
+    /// Indirect control transfers retired through `exec_indirect`
+    /// (`jmpr`/`callr`/`ret`) while a prediction table was installed.
+    pub indirect_retirements: u64,
+    /// Retired indirect targets the static analysis predicted.
+    pub indirect_targets_resolved: u64,
+    /// Retired indirect targets at sites known to escape the analyzed
+    /// region (unmatched `ret`s leaving the unit).
+    pub indirect_targets_escaped: u64,
+    /// Retired indirect targets the static CFG did not predict — each
+    /// one is fed back through incremental re-analysis.
+    pub indirect_targets_discovered: u64,
     /// Live states evicted to compact `{checkpoint, journal}` form (§13).
     pub evictions: u64,
     /// Compact states rehydrated by deterministic replay.
@@ -85,6 +96,10 @@ impl EngineStats {
         self.concretizations += other.concretizations;
         self.interrupts_delivered += other.interrupts_delivered;
         self.syscalls += other.syscalls;
+        self.indirect_retirements += other.indirect_retirements;
+        self.indirect_targets_resolved += other.indirect_targets_resolved;
+        self.indirect_targets_escaped += other.indirect_targets_escaped;
+        self.indirect_targets_discovered += other.indirect_targets_discovered;
         self.evictions += other.evictions;
         self.rehydrations += other.rehydrations;
         self.replayed_instrs += other.replayed_instrs;

@@ -76,6 +76,40 @@ impl StaticCfg {
             .map(|(_, b)| b)
             .filter(|b| pc < b.end())
     }
+
+    /// Number of [`UNKNOWN_SINK`] edges across all blocks — the metric
+    /// the value-range refinement pass exists to reduce.
+    pub fn unknown_edge_count(&self) -> usize {
+        self.blocks
+            .values()
+            .filter(|b| b.has_unknown_successor())
+            .count()
+    }
+
+    /// Replaces the `UNKNOWN_SINK` edge of the block starting at `block`
+    /// with the proven concrete `targets` (other successors — e.g. a
+    /// `CallR` fall-through return site — are kept). Only call this with
+    /// a *complete* target set established by a sound analysis; a partial
+    /// set would silently drop feasible edges. No-op if the block has no
+    /// sink edge.
+    pub fn refine_successors(&mut self, block: u32, targets: &[u32]) {
+        let Some(b) = self.blocks.get_mut(&block) else {
+            return;
+        };
+        if !b.has_unknown_successor() {
+            return;
+        }
+        let mut refined: Vec<u32> = Vec::with_capacity(b.successors.len() + targets.len());
+        for &s in &b.successors {
+            let replacements: &[u32] = if s == UNKNOWN_SINK { targets } else { std::slice::from_ref(&s) };
+            for &t in replacements {
+                if !refined.contains(&t) {
+                    refined.push(t);
+                }
+            }
+        }
+        b.successors = refined;
+    }
 }
 
 fn decode_at(image: &[u8], base: u32, addr: u32) -> Option<Instr> {
@@ -333,6 +367,27 @@ mod tests {
         let tail_start = head.successors[0];
         let tail = &cfg.blocks[&tail_start];
         assert_eq!(tail.end(), p.base + p.image.len() as u32);
+    }
+
+    #[test]
+    fn refine_replaces_sink_edges_in_place() {
+        let mut a = Assembler::new(0x6000);
+        a.movi(reg::R5, 0x6018);
+        a.callr(reg::R5); // B0: [sink, return-site]
+        a.halt(); // B1
+        a.label("f");
+        a.ret(); // f: [sink]
+        let p = a.finish();
+        let mut cfg = build_cfg(&p, &[p.entry, p.symbol("f")]);
+        assert_eq!(cfg.unknown_edge_count(), 2);
+        cfg.refine_successors(0x6000, &[p.symbol("f")]);
+        assert_eq!(cfg.blocks[&0x6000].successors, vec![p.symbol("f"), 0x6010]);
+        cfg.refine_successors(p.symbol("f"), &[0x6010]);
+        assert_eq!(cfg.blocks[&p.symbol("f")].successors, vec![0x6010]);
+        assert_eq!(cfg.unknown_edge_count(), 0);
+        // Refining a block with no sink edge is a no-op.
+        cfg.refine_successors(0x6000, &[0x9999]);
+        assert_eq!(cfg.blocks[&0x6000].successors, vec![p.symbol("f"), 0x6010]);
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct BlockAnnotation {
     /// Bit *i* set ⇒ the register written by instruction *i* is dead
     /// (never read before being overwritten on every outgoing path).
     pub dead_writes: u64,
+    /// Bit *i* set ⇒ instruction *i* can never observe a symbolic
+    /// register, even when the block as a whole is not `concrete_only`:
+    /// the engine may skip that instruction's operand scan. Strictly
+    /// weaker than `concrete_only` (which implies every bit).
+    pub concrete_mask: u64,
 }
 
 impl Default for BlockAnnotation {
@@ -91,6 +96,56 @@ impl BlockAnnotation {
             fork_free: false,
             live_in: 0xffff,
             dead_writes: 0,
+            concrete_mask: 0,
+        }
+    }
+}
+
+/// How a retired indirect control transfer relates to the static CFG's
+/// prediction for its site (see [`IndirectPredictions::classify`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndirectClass {
+    /// The target was in the site's statically predicted successor set.
+    Resolved,
+    /// The analysis explicitly declined to predict this site (e.g. a
+    /// `ret` with no matched call sites — control leaves the analyzed
+    /// region).
+    Escaped,
+    /// The site claimed a (possibly empty) prediction and the target was
+    /// not in it: a genuinely new edge the static CFG missed.
+    Discovered,
+}
+
+/// Per-site successor prediction for one indirect control-flow site.
+#[derive(Clone, Debug, Default)]
+pub struct IndirectSite {
+    /// Predicted concrete successors (block starts).
+    pub targets: std::collections::BTreeSet<u32>,
+    /// The analysis explicitly declined to predict: any retirement here
+    /// classifies as [`IndirectClass::Escaped`], never `Discovered`.
+    pub escapes: bool,
+}
+
+/// The static analysis' successor predictions for every indirect
+/// control-flow site (`JmpR`/`CallR`/`Ret` instruction pcs), consumed by
+/// the executor to classify retired targets and feed unpredicted ones
+/// back into incremental re-analysis.
+#[derive(Clone, Debug, Default)]
+pub struct IndirectPredictions {
+    /// Keyed by the pc of the indirect instruction itself.
+    pub sites: std::collections::BTreeMap<u32, IndirectSite>,
+}
+
+impl IndirectPredictions {
+    /// Classifies a retired `(site pc, target)` pair. Sites the analysis
+    /// never saw classify as `Discovered` — an unknown site is exactly
+    /// the "silent `UNKNOWN_SINK` absorption" the feedback loop exists
+    /// to surface.
+    pub fn classify(&self, pc: u32, target: u32) -> IndirectClass {
+        match self.sites.get(&pc) {
+            Some(site) if site.targets.contains(&target) => IndirectClass::Resolved,
+            Some(site) if site.escapes => IndirectClass::Escaped,
+            _ => IndirectClass::Discovered,
         }
     }
 }
@@ -905,6 +960,7 @@ mod tests {
                 fork_free: true,
                 live_in: 0,
                 dead_writes: (1 << instrs.len()) - 1,
+                concrete_mask: (1 << instrs.len()) - 1,
             }
         }
     }

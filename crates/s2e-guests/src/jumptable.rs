@@ -1,0 +1,140 @@
+//! A jump-table guest for the value-range refinement loop (DESIGN.md §15).
+//!
+//! The dispatcher iterates `i = 0..4` and transfers through a computed
+//! indirect jump into one of four 16-byte handler stubs. Two variants:
+//!
+//! - **computed** — the target is pure register arithmetic
+//!   (`base + (i & 3) << 4`), so the interval analysis enumerates the
+//!   exact four-stub set and the `jmpr` is statically resolved;
+//! - **laundered** — the stub addresses are stored as words in a data
+//!   table and fetched with `ld32`. Loads map to ⊤ in the range domain,
+//!   so the site stays unresolved statically and every retired target
+//!   surfaces as a *discovered* indirect — the dynamic feedback path.
+//!
+//! After the dispatch loop a symbolic tail branch forks the state, so
+//! exploration produces multiple paths whose set must be bit-identical
+//! with refinement on and off.
+
+use crate::layout::APP_BASE;
+use s2e_vm::asm::{Assembler, Program};
+use s2e_vm::isa::reg;
+
+/// Number of handler stubs (and loop iterations).
+pub const STUBS: usize = 4;
+
+/// The assembled guest plus the ground truth the tests assert against.
+#[derive(Clone, Debug)]
+pub struct JumpTableGuest {
+    /// The program image.
+    pub program: Program,
+    /// PC of the `jmpr` dispatch instruction.
+    pub dispatch_site: u32,
+    /// The four stub entry points, in table order.
+    pub stub_targets: Vec<u32>,
+    /// Whether the table is memory-laundered (statically unresolvable).
+    pub laundered: bool,
+}
+
+/// Builds the guest. `laundered` selects the memory-table variant.
+pub fn build(laundered: bool) -> JumpTableGuest {
+    let mut a = Assembler::new(APP_BASE);
+    a.label("entry");
+    a.movi(reg::R4, 0); // i
+    a.movi(reg::R9, 0); // accumulator checked at exit
+    a.label("loop");
+    a.mov(reg::R1, reg::R4);
+    a.andi(reg::R1, reg::R1, 3);
+    if laundered {
+        // Word-indexed load from the data table: opaque to the range
+        // domain, resolved only by dynamic discovery.
+        a.shli(reg::R1, reg::R1, 2);
+        a.movi_label(reg::R2, "table");
+        a.add(reg::R2, reg::R2, reg::R1);
+        a.ld32(reg::R2, reg::R2, 0);
+    } else {
+        // Pure address arithmetic: stubs are 2 instructions = 16 bytes
+        // apart, so the target is `stubs + (i & 3) * 16`.
+        a.shli(reg::R1, reg::R1, 4);
+        a.movi_label(reg::R2, "stubs");
+        a.add(reg::R2, reg::R2, reg::R1);
+    }
+    a.label("dispatch");
+    a.jmpr(reg::R2);
+    a.label("join");
+    a.addi(reg::R4, reg::R4, 1);
+    a.movi(reg::R5, STUBS as u32);
+    a.bltu(reg::R4, reg::R5, "loop");
+    // Symbolic tail: fork after the dispatch loop so the explored path
+    // set exercises scheduling order on top of the refinement machinery.
+    a.s2e(s2e_vm::isa::S2Op::SymbolicReg);
+    a.movi(reg::R6, 2);
+    a.bltu(reg::R0, reg::R6, "low");
+    a.halt_code(1);
+    a.label("low");
+    a.halt_code(2);
+    // Handler stubs: exactly two instructions each (16 bytes), matching
+    // the `<< 4` stride above.
+    a.label("stubs");
+    for k in 0..STUBS as u32 {
+        a.label(&format!("stub{k}"));
+        a.addi(reg::R9, reg::R9, k + 1);
+        a.jmp("join");
+    }
+    a.label("table");
+    for k in 0..STUBS {
+        a.word_label(&format!("stub{k}"));
+    }
+    let program = a.finish();
+    let dispatch_site = program.symbol("dispatch");
+    let stub_targets = (0..STUBS)
+        .map(|k| program.symbol(&format!("stub{k}")))
+        .collect();
+    JumpTableGuest {
+        program,
+        dispatch_site,
+        stub_targets,
+        laundered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::boot;
+    use s2e_core::{ConsistencyModel, Engine, EngineConfig, TerminationReason};
+
+    fn run(laundered: bool) -> Vec<u32> {
+        let g = build(laundered);
+        let (mut m, _k) = boot();
+        m.load(&g.program);
+        let mut e = Engine::new(m, EngineConfig::with_model(ConsistencyModel::Lc));
+        e.run(200_000);
+        let mut codes: Vec<u32> = e
+            .terminated()
+            .iter()
+            .filter_map(|(_, r)| match r {
+                TerminationReason::Halted(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        codes.sort_unstable();
+        codes
+    }
+
+    #[test]
+    fn both_variants_fork_on_the_tail_branch() {
+        // Each variant dispatches through all four stubs, then forks on
+        // the symbolic tail: exactly one path per exit code.
+        assert_eq!(run(false), vec![1, 2]);
+        assert_eq!(run(true), vec![1, 2]);
+    }
+
+    #[test]
+    fn stub_stride_matches_the_address_math() {
+        let g = build(false);
+        for w in g.stub_targets.windows(2) {
+            assert_eq!(w[1] - w[0], 16, "stubs must be 16 bytes apart");
+        }
+        assert_eq!(g.stub_targets[0], g.program.symbol("stubs"));
+    }
+}

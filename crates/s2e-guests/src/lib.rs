@@ -23,9 +23,12 @@
 //! - [`lookup`] — a table-lookup utility exercising symbolic pointers
 //!   (§6.2's page-size experiments);
 //! - [`packed`] — a self-decrypting (packed) binary for the RC-CC
-//!   dynamic-disassembly use case (§3.1.3).
+//!   dynamic-disassembly use case (§3.1.3);
+//! - [`jumptable`] — a computed-dispatch guest (register-arithmetic and
+//!   memory-laundered jump tables) for the value-range refinement loop.
 
 pub mod drivers;
+pub mod jumptable;
 pub mod kernel;
 pub mod layout;
 pub mod license;

@@ -10,8 +10,10 @@
 //! fraction as an upper bound on how much of a driver its symbolic
 //! exploration can skip per-instruction checks for.
 
-use s2e_analysis::{analyze, AnalysisConfig, RegSet, TaintSeed};
-use s2e_guests::drivers::{all_drivers, Driver, ENTRY_ORDER};
+use s2e_analysis::range::ValueRange;
+use s2e_analysis::{analyze, analyze_refined, interproc, AnalysisConfig, RegSet, TaintSeed};
+use s2e_guests::drivers::{all_drivers, build_exerciser, Driver, ENTRY_ORDER};
+use s2e_guests::kernel::boot;
 use s2e_vm::isa::reg;
 
 /// What the pre-pass proved about one driver.
@@ -108,6 +110,122 @@ pub fn report() -> Vec<DriverDeadCode> {
     all_drivers().iter().map(|d| analyze_driver(d, true)).collect()
 }
 
+/// What the interprocedural value-range refinement (DESIGN.md §15)
+/// proved about one driver's whole loaded image (kernel + driver +
+/// exerciser).
+#[derive(Clone, Debug)]
+pub struct DriverRefinement {
+    /// Driver name.
+    pub name: &'static str,
+    /// Indirect sites proven into concrete successor sets, as
+    /// `(site pc, resolved target count)`.
+    pub resolved_sites: Vec<(u32, usize)>,
+    /// Blocks still ending in an unresolved indirect transfer.
+    pub unresolved_blocks: usize,
+    /// `UNKNOWN_SINK` edges in the merged CFG before/after refinement.
+    pub unknown_before: usize,
+    pub unknown_after: usize,
+    /// Refinement rounds to the resolved-site fixpoint.
+    pub rounds: usize,
+    /// Blocks whose entry state carries at least one finite range fact.
+    pub blocks_with_facts: usize,
+    /// Finite register facts at block entries, by shape.
+    pub set_facts: usize,
+    pub interval_facts: usize,
+    /// Blocks whose entry state hit the widening budget.
+    pub widened_blocks: usize,
+}
+
+/// Runs the refinement over one driver's full image with the same roots
+/// and seeds the DDT+/LC engine harness uses: the kernel entered from
+/// arbitrary unit context, driver entries under the harness calling
+/// convention, the IRQ handler fully tainted, the exerciser clean.
+pub fn refine_driver(driver: &Driver) -> DriverRefinement {
+    let (_, kernel) = boot();
+    let exerciser = build_exerciser(driver, true);
+    let args = TaintSeed { regs: RegSet::single(reg::R0).with(reg::R1), mem: true };
+    let roots: Vec<(u32, TaintSeed)> = [(kernel.entry, TaintSeed::all())]
+        .into_iter()
+        .chain(ENTRY_ORDER.iter().map(|e| (driver.entry(e), args)))
+        .chain([(driver.entry("irq"), TaintSeed::all())])
+        .chain([(exerciser.entry, TaintSeed::clean())])
+        .collect();
+    let ra = analyze_refined(
+        &[&kernel, &driver.program, &exerciser],
+        &roots,
+        &driver_analysis_config(),
+    )
+    .expect("refined image analysis exceeded its iteration bound");
+    let r = &ra.prepass.refinement;
+    let (mut blocks_with_facts, mut set_facts, mut interval_facts) = (0, 0, 0);
+    for regs in r.ranges.entry.values() {
+        let mut any = false;
+        for vr in regs {
+            match vr {
+                ValueRange::Set(_) => {
+                    set_facts += 1;
+                    any = true;
+                }
+                ValueRange::Interval { .. } => {
+                    interval_facts += 1;
+                    any = true;
+                }
+                ValueRange::Top => {}
+            }
+        }
+        blocks_with_facts += any as usize;
+    }
+    DriverRefinement {
+        name: driver.name,
+        resolved_sites: r
+            .resolved_sites
+            .iter()
+            .map(|(&site, targets)| (site, targets.len()))
+            .collect(),
+        unresolved_blocks: interproc::unresolved_blocks(&r.graph),
+        unknown_before: r.unknown_edges_before,
+        unknown_after: r.unknown_edges_after,
+        rounds: r.rounds,
+        blocks_with_facts,
+        set_facts,
+        interval_facts,
+        widened_blocks: r.ranges.widened_blocks,
+    }
+}
+
+/// The refinement report: every bundled driver's image.
+pub fn refinement_report() -> Vec<DriverRefinement> {
+    all_drivers().iter().map(refine_driver).collect()
+}
+
+/// Renders the resolved-indirect and range-fact tables.
+pub fn render_refinement(rows: &[DriverRefinement]) -> String {
+    let mut out = String::from(
+        "driver      resolved  targets  unresolved  unknown-edges  rounds\n",
+    );
+    for r in rows {
+        let targets: usize = r.resolved_sites.iter().map(|&(_, n)| n).sum();
+        out.push_str(&format!(
+            "{:<11} {:>8}  {:>7}  {:>10}  {:>6} -> {:>3}  {:>6}\n",
+            r.name,
+            r.resolved_sites.len(),
+            targets,
+            r.unresolved_blocks,
+            r.unknown_before,
+            r.unknown_after,
+            r.rounds,
+        ));
+    }
+    out.push_str("\ndriver      fact-blocks  set-facts  interval-facts  widened\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:>11}  {:>9}  {:>14}  {:>7}\n",
+            r.name, r.blocks_with_facts, r.set_facts, r.interval_facts, r.widened_blocks,
+        ));
+    }
+    out
+}
+
 /// Renders rows as a fixed-width text table.
 pub fn render(rows: &[DriverDeadCode]) -> String {
     let mut out = String::from(
@@ -170,6 +288,38 @@ mod tests {
     fn render_lists_every_driver() {
         let rows = report();
         let table = render(&rows);
+        for r in &rows {
+            assert!(table.contains(r.name), "{} missing from table", r.name);
+        }
+    }
+
+    #[test]
+    fn refinement_resolves_sites_on_every_image() {
+        let rows = refinement_report();
+        assert_eq!(rows.len(), all_drivers().len());
+        for r in &rows {
+            assert!(
+                !r.resolved_sites.is_empty(),
+                "{}: refinement resolved no indirect site",
+                r.name
+            );
+            assert!(
+                r.unknown_after < r.unknown_before,
+                "{}: unknown edges did not drop ({} -> {})",
+                r.name,
+                r.unknown_before,
+                r.unknown_after
+            );
+            for &(site, n) in &r.resolved_sites {
+                assert!(n > 0, "{}: site {site:#x} resolved to nothing", r.name);
+            }
+            assert!(
+                r.blocks_with_facts > 0,
+                "{}: range analysis produced no finite fact",
+                r.name
+            );
+        }
+        let table = render_refinement(&rows);
         for r in &rows {
             assert!(table.contains(r.name), "{} missing from table", r.name);
         }

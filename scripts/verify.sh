@@ -86,4 +86,14 @@ test -s results/fig8_checkpoint.json
 # nonzero otherwise).
 cargo run -q --release --offline -p bench --bin dbt_dispatch -- --smoke
 test -s results/dbt_dispatch.json
+
+# Gate 9: interprocedural-refinement smoke — the value-range pipeline
+# must be a pure optimization (identical path counts and block coverage
+# across off/base/refined on both corpora) while provably tightening
+# the static model: UNKNOWN_SINK edges drop, the refined arm
+# instruments strictly fewer instructions than the base pre-pass, and
+# every dynamically retired indirect target is classified (resolved /
+# escaped / discovered — nothing silently absorbed); exits nonzero
+# otherwise.
+cargo run -q --release --offline -p bench --bin static_refine -- --smoke
 echo "verify: ok"

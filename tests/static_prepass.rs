@@ -12,8 +12,14 @@
 //!    counts and the set of executed blocks are identical with the
 //!    pre-pass on and off, while the lean-dispatch counters show it
 //!    actually engaged.
+//! 4. With the refined prediction table installed, every dynamically
+//!    retired indirect target is accounted for — statically predicted,
+//!    explicitly escaping, or reported through the discovery counter.
+//!    Nothing is silently absorbed into `UNKNOWN_SINK`.
 
-use s2e::analysis::{analyze, PrepassBuilder, ProgramAnalysis, RegSet, TaintSeed};
+use s2e::analysis::{
+    analyze, analyze_refined, PrepassBuilder, ProgramAnalysis, RefinedAnalysis, RegSet, TaintSeed,
+};
 use s2e::core::exec::touches_symbolic;
 use s2e::core::selectors::make_config_symbolic;
 use s2e::core::{
@@ -89,12 +95,33 @@ fn corpus_analyses(d: &Driver, kernel: &Program, exerciser: &Program) -> [Progra
     ]
 }
 
-/// Satellite check 1: every dynamic block on the seeded corpora lies
-/// inside a static CFG block of one of the three loaded programs.
+/// The refined whole-image analysis over one corpus, with the same
+/// roots and seeds as [`corpus_analyses`].
+fn corpus_refined(d: &Driver, kernel: &Program, exerciser: &Program) -> RefinedAnalysis {
+    let cfg = driver_analysis_config();
+    let args = TaintSeed { regs: RegSet::single(reg::R0).with(reg::R1), mem: true };
+    let roots: Vec<(u32, TaintSeed)> = [(kernel.entry, TaintSeed::all())]
+        .into_iter()
+        .chain(ENTRY_ORDER.iter().map(|e| (d.entry(e), args)))
+        .chain([(d.entry("irq"), TaintSeed::all())])
+        .chain([(exerciser.entry, TaintSeed::clean())])
+        .collect();
+    analyze_refined(&[kernel, &d.program, exerciser], &roots, &cfg).unwrap()
+}
+
+/// Satellite checks 1 and 4: every dynamic block on the seeded corpora
+/// lies inside a static CFG block of one of the three loaded programs,
+/// and — with the refined prediction table installed — every retired
+/// indirect target is classified (resolved, escaped, or discovered),
+/// never silently absorbed into `UNKNOWN_SINK`.
 #[test]
 fn dynamic_blocks_are_covered_by_the_static_cfg() {
+    let mut any_retired = false;
     for d in all_drivers() {
         let (mut engine, kernel, exerciser) = lc_corpus(&d);
+        engine.set_predictions(Some(Arc::new(
+            corpus_refined(&d, &kernel, &exerciser).predictions(),
+        )));
         engine.run(15_000);
         let cfgs = [
             build_cfg(&kernel, &[kernel.entry]),
@@ -109,7 +136,26 @@ fn dynamic_blocks_are_covered_by_the_static_cfg() {
                 d.name
             );
         }
+        // Retirement accounting: the three classes partition the
+        // retirements — a target the static CFG missed must show up in
+        // the discovery counter, not vanish into an unknown edge.
+        let st = engine.stats();
+        assert_eq!(
+            st.indirect_retirements,
+            st.indirect_targets_resolved
+                + st.indirect_targets_escaped
+                + st.indirect_targets_discovered,
+            "{}: unaccounted indirect retirement",
+            d.name
+        );
+        any_retired |= st.indirect_retirements > 0;
+        assert!(
+            st.indirect_targets_resolved > 0,
+            "{}: refinement resolved nothing the corpus actually retired",
+            d.name
+        );
     }
+    assert!(any_retired, "no corpus retired an indirect transfer");
 }
 
 /// Records every pc where the interpreter's own symbolic-operand check

@@ -1,0 +1,194 @@
+//! End-to-end value-range refinement on the jump-table guest
+//! (DESIGN.md §15): static resolution of computed dispatch, dynamic
+//! discovery of memory-laundered dispatch, incremental absorption, and
+//! the bit-identity contract with refinement on vs. off.
+
+use s2e::analysis::{analyze_refined, RefinedAnalysis, TaintSeed};
+use s2e::core::search::{Bfs, Dfs, SearchStrategy};
+use s2e::core::{ConsistencyModel, Engine, EngineConfig, RefinementUpdate};
+use s2e::guests::jumptable::{build, JumpTableGuest, STUBS};
+use s2e::guests::kernel::boot;
+use s2e::tools::deadcode::driver_analysis_config;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// The refined whole-image analysis over kernel + guest.
+fn refined(g: &JumpTableGuest) -> RefinedAnalysis {
+    let (_, kernel) = boot();
+    let roots = [
+        (kernel.entry, TaintSeed::all()),
+        (g.program.entry, TaintSeed::clean()),
+    ];
+    analyze_refined(&[&kernel, &g.program], &roots, &driver_analysis_config()).unwrap()
+}
+
+fn engine(g: &JumpTableGuest) -> Engine {
+    let (mut m, _k) = boot();
+    m.load(&g.program);
+    Engine::new(m, EngineConfig::with_model(ConsistencyModel::Lc))
+}
+
+/// Everything exploration-visible: termination reasons in order (fork
+/// and scheduling order are encoded in it) plus the covered block set.
+fn run_fingerprint(e: &mut Engine) -> (Vec<String>, BTreeSet<u32>) {
+    e.run(200_000);
+    let reasons = e.terminated().iter().map(|(_, r)| format!("{r:?}")).collect();
+    (reasons, e.seen_blocks().iter().copied().collect())
+}
+
+#[test]
+fn computed_dispatch_is_resolved_statically() {
+    let g = build(false);
+    let ra = refined(&g);
+    let r = &ra.prepass.refinement;
+    assert!(
+        r.unknown_edges_after < r.unknown_edges_before,
+        "refinement must remove unknown edges: {} -> {}",
+        r.unknown_edges_before,
+        r.unknown_edges_after
+    );
+    let preds = ra.predictions();
+    let site = preds
+        .sites
+        .get(&g.dispatch_site)
+        .expect("dispatch site must carry a prediction");
+    let expected: BTreeSet<u32> = g.stub_targets.iter().copied().collect();
+    assert_eq!(site.targets, expected, "range analysis must enumerate the stub table");
+    // The stubs only become CFG blocks through refinement — check they
+    // were actually decoded, not just predicted.
+    for &t in &g.stub_targets {
+        assert!(
+            r.graph.cfg.blocks.contains_key(&t),
+            "stub {t:#x} must be a block in the refined CFG"
+        );
+    }
+}
+
+#[test]
+fn resolved_predictions_classify_every_retirement() {
+    let g = build(false);
+    let ra = refined(&g);
+    let mut e = engine(&g);
+    e.set_predictions(Some(Arc::new(ra.predictions())));
+    e.run(200_000);
+    let st = e.stats();
+    assert!(st.indirect_retirements > 0, "dispatch loop must retire indirects");
+    assert_eq!(
+        st.indirect_retirements,
+        st.indirect_targets_resolved + st.indirect_targets_escaped + st.indirect_targets_discovered,
+        "every retirement must be classified"
+    );
+    assert_eq!(
+        st.indirect_targets_discovered, 0,
+        "computed dispatch is fully predicted: nothing to discover"
+    );
+    assert!(st.indirect_targets_resolved >= STUBS as u64);
+}
+
+#[test]
+fn laundered_dispatch_is_discovered_and_absorbed() {
+    let g = build(true);
+    let ra = refined(&g);
+    // The memory-laundered table is opaque to the range domain: the
+    // site must NOT claim the stub targets statically.
+    let static_preds = ra.predictions();
+    let statically_predicted = static_preds
+        .sites
+        .get(&g.dispatch_site)
+        .map(|s| s.targets.clone())
+        .unwrap_or_default();
+    for &t in &g.stub_targets {
+        assert!(
+            !statically_predicted.contains(&t),
+            "laundered target {t:#x} must not be statically predicted"
+        );
+    }
+
+    let shared = Arc::new(Mutex::new(ra));
+    let absorbed: Arc<Mutex<Vec<(u32, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut e = engine(&g);
+    e.set_predictions(Some(Arc::new(static_preds)));
+    {
+        let shared = Arc::clone(&shared);
+        let absorbed = Arc::clone(&absorbed);
+        e.set_refiner(Some(Box::new(move |site, target| {
+            let mut ra = shared.lock().unwrap();
+            ra.absorb(site, target).expect("incremental restart within bound");
+            let bound = ra.prepass.refinement.graph.bound();
+            assert!(
+                ra.prepass.last_incremental_iterations <= bound,
+                "incremental restart used {} pops, bound is {bound}",
+                ra.prepass.last_incremental_iterations
+            );
+            absorbed.lock().unwrap().push((site, target));
+            Some(RefinementUpdate {
+                annotator: Arc::new(ra.annotator()),
+                predictions: Arc::new(ra.predictions()),
+            })
+        })));
+    }
+    e.run(200_000);
+
+    let st = e.stats();
+    assert!(
+        st.indirect_targets_discovered > 0,
+        "laundered dispatch must surface discoveries"
+    );
+    assert_eq!(
+        st.indirect_retirements,
+        st.indirect_targets_resolved + st.indirect_targets_escaped + st.indirect_targets_discovered
+    );
+    let absorbed = absorbed.lock().unwrap();
+    let seen: BTreeSet<u32> = absorbed.iter().map(|&(_, t)| t).collect();
+    let expected: BTreeSet<u32> = g.stub_targets.iter().copied().collect();
+    assert_eq!(seen, expected, "every stub must be discovered exactly once");
+    for &(site, _) in absorbed.iter() {
+        assert_eq!(site, g.dispatch_site);
+    }
+    // After absorption the model predicts all four stubs, and the
+    // landing pads are real blocks in the grown CFG.
+    let ra = shared.lock().unwrap();
+    let preds = ra.predictions();
+    assert_eq!(preds.sites[&g.dispatch_site].targets, expected);
+    for &t in &g.stub_targets {
+        assert!(ra.prepass.refinement.graph.cfg.blocks.contains_key(&t));
+    }
+}
+
+/// Refinement is a pure optimization: path order, termination reasons,
+/// and block coverage are bit-identical with it on and off, under both
+/// schedulers, for both guest variants.
+#[test]
+fn refinement_preserves_exploration_across_schedulers() {
+    for laundered in [false, true] {
+        let g = build(laundered);
+        let ra = Arc::new(Mutex::new(refined(&g)));
+        let schedulers: [fn() -> Box<dyn SearchStrategy>; 2] =
+            [|| Box::new(Dfs::new()), || Box::new(Bfs::new())];
+        for make in schedulers {
+            let mut off = engine(&g);
+            off.set_strategy(make());
+            let base = run_fingerprint(&mut off);
+
+            let mut on = engine(&g);
+            on.set_strategy(make());
+            on.set_annotator(Some(Arc::new(ra.lock().unwrap().annotator())));
+            on.set_predictions(Some(Arc::new(ra.lock().unwrap().predictions())));
+            {
+                let ra = Arc::clone(&ra);
+                on.set_refiner(Some(Box::new(move |site, target| {
+                    let mut ra = ra.lock().unwrap();
+                    ra.absorb(site, target).unwrap();
+                    Some(RefinementUpdate {
+                        annotator: Arc::new(ra.annotator()),
+                        predictions: Arc::new(ra.predictions()),
+                    })
+                })));
+            }
+            let refined_fp = run_fingerprint(&mut on);
+
+            assert_eq!(base.0, refined_fp.0, "termination order diverged (laundered={laundered})");
+            assert_eq!(base.1, refined_fp.1, "block coverage diverged (laundered={laundered})");
+        }
+    }
+}
