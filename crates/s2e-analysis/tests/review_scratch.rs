@@ -1,0 +1,23 @@
+use s2e_analysis::range;
+use s2e_analysis::{AnalysisConfig, FlowGraph};
+use s2e_vm::asm::Assembler;
+use std::collections::BTreeMap;
+
+#[test]
+fn clamp_underflow_repro() {
+    // r1 in [100, 1123] (interval), branch bltu r1, 50: taken-side
+    // restriction clamps to [0, 49], entirely below lo=100.
+    let mut a = Assembler::new(0x100);
+    a.ld32(1, 2, 0); // r1 unknown
+    a.andi(1, 1, 1023); // r1 in [0, 1023]
+    a.addi(1, 1, 100); // r1 in [100, 1123]
+    a.movi(3, 50);
+    a.bltu(1, 3, "t");
+    a.halt();
+    a.label("t");
+    a.halt();
+    let p = a.finish();
+    let g = FlowGraph::build(&p, &[p.entry]);
+    let ra = range::analyze(&g, &BTreeMap::new(), &AnalysisConfig::default()).unwrap();
+    assert!(ra.entry.len() >= 2);
+}
