@@ -29,7 +29,7 @@ use s2e_core::analyzers::{BugCheck, PerformanceProfile, ProfileResults};
 use s2e_core::parallel::{explore_parallel, ParallelConfig, ParallelReport, WorkerContext};
 use s2e_core::selectors::make_mem_symbolic;
 use s2e_core::{build_run_report, ConsistencyModel, Engine, EngineConfig};
-use s2e_obs::{chrome_trace, ObsConfig, RunReport};
+use s2e_obs::{chrome_trace_report, ObsConfig, RunReport};
 use s2e_vm::asm::{Assembler, Program};
 use s2e_vm::isa::reg;
 use s2e_vm::machine::Machine;
@@ -172,7 +172,7 @@ fn write_artifacts(report: &ParallelReport, hierarchy: &HierarchyStats) -> RunRe
     let text = run_report.render();
     std::fs::write(&report_path, &text).unwrap();
     let trace_path = root.join("results/run_trace.json");
-    std::fs::write(&trace_path, chrome_trace(&run_report.workers)).unwrap();
+    std::fs::write(&trace_path, chrome_trace_report(&run_report)).unwrap();
     println!("wrote {}", report_path.display());
     println!("wrote {}", trace_path.display());
 

@@ -449,6 +449,11 @@ fn clamp(r: &ValueRange, lb: u32, ub: u32) -> Option<ValueRange> {
             }
         }
         ValueRange::Interval { lo, hi, stride } => {
+            // Disjoint clamp window (entirely below lo or above hi):
+            // empty intersection, not an underflowing subtraction.
+            if ub < *lo || lb > *hi {
+                return None;
+            }
             let (lo64, s64) = (u64::from(*lo), u64::from(*stride));
             let new_lo = if lb <= *lo {
                 u64::from(*lo)

@@ -234,3 +234,29 @@ fn widening_join_chain_stabilizes() {
         );
     }
 }
+
+#[test]
+fn branch_clamp_below_interval_lo_stays_sound() {
+    // Regression: r1 holds the interval [100, 1123] when `bltu r1, 50`
+    // restricts the taken side to [0, 49] — entirely below the
+    // interval's lo. The clamp must underflow to ⊥/an empty refinement
+    // gracefully and the whole-program analysis must still converge
+    // with per-block entry states for both branch successors.
+    use s2e_analysis::{range, AnalysisConfig, FlowGraph};
+    use s2e_vm::asm::Assembler;
+    use std::collections::BTreeMap;
+
+    let mut a = Assembler::new(0x100);
+    a.ld32(1, 2, 0); // r1 unknown
+    a.andi(1, 1, 1023); // r1 in [0, 1023]
+    a.addi(1, 1, 100); // r1 in [100, 1123]
+    a.movi(3, 50);
+    a.bltu(1, 3, "t");
+    a.halt();
+    a.label("t");
+    a.halt();
+    let p = a.finish();
+    let g = FlowGraph::build(&p, &[p.entry]);
+    let ra = range::analyze(&g, &BTreeMap::new(), &AnalysisConfig::default()).unwrap();
+    assert!(ra.entry.len() >= 2);
+}

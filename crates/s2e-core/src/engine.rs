@@ -18,7 +18,7 @@ use crate::stats::EngineStats;
 use s2e_cache::EpochMap;
 use s2e_dbt::{CacheHandle, IndirectPredictions, SharedBlockCache};
 use s2e_expr::ExprBuilder;
-use s2e_obs::{EventKind, Phase, Recorder, WorkerTimeline};
+use s2e_obs::{EventKind, Hist, Phase, Recorder, TelemetryHandle, WorkerTimeline};
 use s2e_solver::{SharedQueryCache, Solver};
 use s2e_vm::machine::Machine;
 use std::collections::{HashMap, HashSet};
@@ -119,6 +119,9 @@ pub struct Engine {
     discovery_scratch: Vec<(u32, u32)>,
     /// Incremental re-analysis callback for discovered targets.
     refiner: Option<IndirectRefiner>,
+    /// Live-telemetry shard (DESIGN.md §16). `None` — the default —
+    /// costs one branch at publish points and nothing per block.
+    telemetry: Option<TelemetryHandle>,
 }
 
 /// Result of an indirect-target refinement callback: freshly re-stamped
@@ -210,6 +213,7 @@ impl Engine {
             discovered_seen: HashSet::new(),
             discovery_scratch: Vec::new(),
             refiner: None,
+            telemetry: None,
         };
         let initial = ExecState::initial(machine);
         engine.stats.states_created = 1;
@@ -313,6 +317,43 @@ impl Engine {
     /// reads the clock (DESIGN.md §11).
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.obs = recorder;
+    }
+
+    /// Attaches (or detaches) a live-telemetry shard (DESIGN.md §16).
+    /// The handle is forwarded to the solver for per-kind query-latency
+    /// histograms; translation and replay latencies record here. Plain
+    /// stat counters are *not* touched per event — callers publish them
+    /// in bulk via [`Engine::publish_telemetry`] at batch boundaries.
+    pub fn set_telemetry(&mut self, telemetry: Option<TelemetryHandle>) {
+        self.solver.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached live-telemetry shard, if any.
+    pub fn telemetry(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
+    }
+
+    /// Publishes this engine's cumulative stats (engine, solver,
+    /// L1-local + shared-mirror DBT) and liveness gauges into the
+    /// attached telemetry shard; a no-op without one. The parallel
+    /// explorer calls this once per batch and once at worker exit —
+    /// that final flush is what makes the sampler's last JSONL line
+    /// exactly equal the end-of-run `RunReport`.
+    pub fn publish_telemetry(&self) {
+        let Some(t) = &self.telemetry else { return };
+        crate::telemetry::publish_engine_stats(
+            t,
+            &self.stats,
+            self.seen_blocks.len(),
+            self.states.len(),
+        );
+        crate::telemetry::publish_solver_stats(t, self.solver.stats());
+        crate::telemetry::publish_dbt_stats(
+            t,
+            &self.cache.local_stats(),
+            &self.cache.shared_stats(),
+        );
     }
 
     /// The current recorder.
@@ -555,6 +596,7 @@ impl Engine {
                 marks: &mut self.marks,
                 seen_blocks: &self.seen_blocks,
                 obs: &mut self.obs,
+                telemetry: self.telemetry.as_ref(),
                 block_budget: MAX_CHAIN,
                 hops: &mut self.hop_scratch,
                 predictions: self.predictions.as_deref(),
@@ -800,6 +842,9 @@ impl Engine {
     /// source — or, when the compact state carries a fingerprint, if the
     /// reconstruction is not bit-identical to the evicted original.
     pub fn rehydrate(&mut self, compact: CompactState) -> ExecState {
+        // Replay latency is one histogram sample per rehydration; only
+        // read the clock when someone is listening.
+        let replay_started = self.telemetry.as_ref().map(|_| Instant::now());
         self.obs.enter(Phase::Replay);
         let mut state = (*compact.checkpoint).clone();
         let instrs_at_checkpoint = state.instrs_retired;
@@ -835,6 +880,9 @@ impl Engine {
                     marks: &mut self.marks,
                     seen_blocks: &self.seen_blocks,
                     obs: &mut scratch_obs,
+                    // Replay work is accounted once, in the Replay
+                    // histogram below — not as fresh translations.
+                    telemetry: None,
                     // Chain freely during replay, but never past the
                     // recorded boundary: `blocks_on_path` advances inside
                     // `execute_block`, so the budget is exactly the
@@ -944,6 +992,9 @@ impl Engine {
             replayed_blocks: state.blocks_on_path - blocks_at_checkpoint,
         });
         self.obs.exit(Phase::Replay);
+        if let (Some(t), Some(started)) = (&self.telemetry, replay_started) {
+            t.observe_duration(Hist::HistReplay, started.elapsed());
+        }
         state
     }
 

@@ -67,6 +67,9 @@ pub struct ExecEnv<'a> {
     pub seen_blocks: &'a HashSet<u32>,
     /// Observability recorder (disabled by default; DESIGN.md §11).
     pub obs: &'a mut Recorder,
+    /// Live-telemetry shard for per-event latency samples
+    /// (DESIGN.md §16); `None` costs one branch per translation miss.
+    pub telemetry: Option<&'a s2e_obs::TelemetryHandle>,
     /// Maximum blocks one [`execute_block`] call may run (chain length
     /// cap). The engine passes [`MAX_CHAIN`]; replay passes the exact
     /// remaining block count so rehydration stops on the recorded
@@ -508,6 +511,9 @@ fn translate(
     });
     if decoded > Duration::ZERO {
         env.obs.add_external(Phase::Translate, decoded);
+        if let Some(t) = env.telemetry {
+            t.observe_duration(s2e_obs::Hist::HistTranslate, decoded);
+        }
     }
     env.marks.extend(requests.take());
     tb

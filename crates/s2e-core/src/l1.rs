@@ -254,6 +254,12 @@ impl ExecCache {
     pub fn local_stats(&self) -> DbtStats {
         self.local
     }
+
+    /// Only the backing cache's counters — global across workers on a
+    /// shared cache. Telemetry publishes these as max-merged mirrors.
+    pub fn shared_stats(&self) -> DbtStats {
+        self.handle.stats()
+    }
 }
 
 impl std::fmt::Debug for ExecCache {

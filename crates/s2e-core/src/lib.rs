@@ -53,6 +53,7 @@ pub mod search;
 pub mod selectors;
 pub mod state;
 pub mod stats;
+pub mod telemetry;
 pub mod threaded;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
@@ -63,9 +64,11 @@ pub use engine::{
 pub use journal::{Journal, JournalEvent, ReplayCursor};
 pub use observe::build_run_report;
 pub use parallel::{
-    explore_parallel, explore_static, merge_coverage, partition_constraint, EvictionPolicy,
-    ParallelConfig, ParallelReport, SchedulerKind, WorkerContext, WorkerReport,
+    explore_parallel, explore_parallel_live, explore_static, merge_coverage,
+    partition_constraint, EvictionPolicy, ParallelConfig, ParallelReport, SchedulerKind,
+    WorkerContext, WorkerReport,
 };
 pub use plugin::{BugKind, BugReport, ExecCtx, MachineSnapshot, MemAccess, Plugin, PortAccess};
 pub use state::{CompactState, ExecState, StateId, TerminationReason};
 pub use stats::EngineStats;
+pub use telemetry::runreport_twins;

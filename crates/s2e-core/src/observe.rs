@@ -53,6 +53,10 @@ fn engine_section(s: &EngineStats) -> MetricSection {
         .counter("concretizations", s.concretizations as f64)
         .counter("interrupts_delivered", s.interrupts_delivered as f64)
         .counter("syscalls", s.syscalls as f64)
+        .counter("indirect_retirements", s.indirect_retirements as f64)
+        .counter("indirect_targets_resolved", s.indirect_targets_resolved as f64)
+        .counter("indirect_targets_escaped", s.indirect_targets_escaped as f64)
+        .counter("indirect_targets_discovered", s.indirect_targets_discovered as f64)
         .counter("evictions", s.evictions as f64)
         .counter("rehydrations", s.rehydrations as f64)
         .counter("replayed_instrs", s.replayed_instrs as f64)

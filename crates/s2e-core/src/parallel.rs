@@ -83,7 +83,11 @@ use crate::state::{CompactState, ExecState, StateId};
 use crate::stats::EngineStats;
 use s2e_dbt::DbtStats;
 use s2e_expr::{ExprBuilder, ExprRef, Width};
-use s2e_obs::{EventKind, ObsConfig, Phase, Recorder, WorkerTimeline};
+use crate::telemetry::publish_shared_cache_stats;
+use s2e_obs::{
+    Counter, EventKind, Gauge, Hist, LiveTelemetry, ObsConfig, Phase, Recorder, TelemetryHandle,
+    WorkerTimeline,
+};
 use s2e_prng::SplitMix64;
 use s2e_solver::{SharedCacheStats, SolverStats};
 use s2e_vm::machine::Machine;
@@ -579,6 +583,16 @@ fn note_cache_snapshot(engine: &mut Engine) {
     engine.recorder_mut().note(snapshot);
 }
 
+/// Publishes the migration-loop counters this worker owns. Cumulative
+/// stores into the worker's shard, `Sum`-merged on read: after every
+/// worker's final flush the merged values equal the scheduler's own
+/// atomic totals (the `parallel.*` RunReport twins).
+fn publish_loop_counters(t: &TelemetryHandle, steals: u64, reclaims: u64, exports: u64) {
+    t.set_counter(Counter::ParallelSteals, steals);
+    t.set_counter(Counter::ParallelReclaims, reclaims);
+    t.set_counter(Counter::ParallelExports, exports);
+}
+
 /// Converts detached surplus states to queue form, evicting to compact
 /// per the configured policy. Under `Cap`, a state ships compact when
 /// the bytes already queued plus its own would break the cap — an
@@ -623,6 +637,7 @@ fn injector_worker_loop<F>(
     cfg: &ParallelConfig,
     sched: &InjectorScheduler,
     shared: &SharedEngineContext,
+    live: Option<&LiveTelemetry>,
     build: &F,
 ) -> WorkerReport
 where
@@ -636,6 +651,10 @@ where
     let mut engine = build(&ctx);
     if cfg.obs.enabled {
         engine.set_recorder(Recorder::new(w, &cfg.obs));
+    }
+    let tel = live.map(|lt| lt.handle(w));
+    if tel.is_some() {
+        engine.set_telemetry(tel.clone());
     }
     if w != 0 {
         // Every worker builds the same root; only worker 0's is explored.
@@ -673,6 +692,21 @@ where
                 note_cache_snapshot(&mut engine);
             }
 
+            if let Some(t) = &tel {
+                engine.publish_telemetry();
+                publish_loop_counters(t, steals, 0, exports);
+                t.set_gauge(Gauge::GaugeQueueBytes, sched.bytes.current() as u64);
+                t.set_gauge(
+                    Gauge::GaugeHungryWorkers,
+                    sched.hungry.load(Ordering::Relaxed) as u64,
+                );
+                // The shared query cache snapshot takes its lock; ride
+                // the existing recorder throttle cadence.
+                if batches % SNAPSHOT_EVERY_BATCHES == 0 {
+                    publish_shared_cache_stats(t, &shared.query_cache.stats());
+                }
+            }
+
             // Phase 2: export fork overflow instead of hoarding it.
             let live = engine.live_count();
             let hungry = sched.hungry.load(Ordering::Relaxed) > 0;
@@ -700,6 +734,10 @@ where
         // The whole scheduler interaction is one Migrate span, with the
         // time parked on the condvar carved out as Idle.
         engine.recorder_mut().enter(Phase::Migrate);
+        // Steal latency is dry-to-fed: from the moment this worker ran
+        // out of local work until it holds a queued state (parks
+        // included; the rehydration replay is accounted separately).
+        let dry_started = tel.as_ref().map(|_| Instant::now());
         let mut g = sched.sched.lock().unwrap();
         loop {
             if g.done {
@@ -711,6 +749,10 @@ where
                 drop(g);
                 steals += 1;
                 sched.bytes.sub(qs.resident_bytes());
+                if let (Some(t), Some(started)) = (&tel, dry_started) {
+                    t.observe_duration(Hist::HistSteal, started.elapsed());
+                    t.set_gauge(Gauge::GaugeQueueDepth, depth as u64);
+                }
                 let obs = engine.recorder_mut();
                 obs.note(EventKind::QueueDepth { depth });
                 obs.note(EventKind::Steal { state: qs.id().0 });
@@ -735,7 +777,11 @@ where
                 break 'outer;
             }
             engine.recorder_mut().enter(Phase::Idle);
+            let park_started = tel.as_ref().map(|_| Instant::now());
             g = sched.cv.wait(g).unwrap();
+            if let (Some(t), Some(started)) = (&tel, park_started) {
+                t.observe_duration(Hist::HistPark, started.elapsed());
+            }
             engine.recorder_mut().exit(Phase::Idle);
             g.idle -= 1;
             sched.hungry.fetch_sub(1, Ordering::Relaxed);
@@ -743,6 +789,14 @@ where
     }
 
     sched.steals.fetch_add(steals, Ordering::Relaxed);
+    if let Some(t) = &tel {
+        // Final flush: pins every cumulative counter at its end-of-run
+        // value so the merged registry matches the RunReport exactly.
+        engine.publish_telemetry();
+        publish_loop_counters(t, steals, 0, exports);
+        publish_shared_cache_stats(t, &shared.query_cache.stats());
+        t.set_gauge(Gauge::GaugeQueueBytes, sched.bytes.current() as u64);
+    }
     finish_worker_report(w, engine, steals, 0, exports)
 }
 
@@ -751,6 +805,7 @@ fn deque_worker_loop<F>(
     cfg: &ParallelConfig,
     sched: &DequeScheduler,
     shared: &SharedEngineContext,
+    live: Option<&LiveTelemetry>,
     own: deque::Worker<QueuedState>,
     build: &F,
 ) -> WorkerReport
@@ -765,6 +820,10 @@ where
     let mut engine = build(&ctx);
     if cfg.obs.enabled {
         engine.set_recorder(Recorder::new(w, &cfg.obs));
+    }
+    let tel = live.map(|lt| lt.handle(w));
+    if tel.is_some() {
+        engine.set_telemetry(tel.clone());
     }
     if w != 0 {
         engine.drain_states();
@@ -803,6 +862,24 @@ where
 
             if engine.recorder().is_enabled() && batches % SNAPSHOT_EVERY_BATCHES == 0 {
                 note_cache_snapshot(&mut engine);
+            }
+
+            if let Some(t) = &tel {
+                engine.publish_telemetry();
+                publish_loop_counters(t, steals, reclaims, exports);
+                t.set_gauge(Gauge::GaugeQueueDepth, sched.pending.load(Ordering::Relaxed));
+                t.set_gauge(Gauge::GaugeQueueBytes, sched.bytes.current() as u64);
+                t.set_gauge(
+                    Gauge::GaugeHungryWorkers,
+                    sched.hungry.load(Ordering::Relaxed) as u64,
+                );
+                t.set_gauge(
+                    Gauge::GaugeIdlePressure,
+                    sched.idle_pressure.load(Ordering::Relaxed) as u64,
+                );
+                if batches % SNAPSHOT_EVERY_BATCHES == 0 {
+                    publish_shared_cache_stats(t, &shared.query_cache.stats());
+                }
             }
 
             // Phase 2: export fork overflow onto our own deque bottom.
@@ -844,10 +921,16 @@ where
         // (newest first — depth-first locality, no contention), then
         // steal from victims, then park.
         engine.recorder_mut().enter(Phase::Migrate);
+        // Dry-to-fed latency: reclaim hits make the fast-path samples,
+        // cross-worker steals (parks included) the slow tail.
+        let dry_started = tel.as_ref().map(|_| Instant::now());
         if let Some(qs) = own.pop() {
             sched.pending.fetch_sub(1, Ordering::SeqCst);
             sched.bytes.sub(qs.resident_bytes());
             reclaims += 1;
+            if let (Some(t), Some(started)) = (&tel, dry_started) {
+                t.observe_duration(Hist::HistSteal, started.elapsed());
+            }
             engine.recorder_mut().exit(Phase::Migrate);
             let state = take_queued(&mut engine, qs);
             engine.attach_state(state);
@@ -877,6 +960,13 @@ where
                         sched.pending.fetch_sub(1, Ordering::SeqCst);
                         sched.bytes.sub(qs.resident_bytes());
                         steals += 1;
+                        if let (Some(t), Some(started)) = (&tel, dry_started) {
+                            t.observe_duration(Hist::HistSteal, started.elapsed());
+                            t.set_gauge(
+                                Gauge::GaugeQueueDepth,
+                                sched.pending.load(Ordering::Relaxed),
+                            );
+                        }
                         let obs = engine.recorder_mut();
                         obs.note(EventKind::QueueDepth {
                             depth: sched.stealers[v].len() as u32,
@@ -919,10 +1009,14 @@ where
             // signal the export heuristic feeds on.
             sched.bump_idle_pressure();
             engine.recorder_mut().enter(Phase::Idle);
+            let park_started = tel.as_ref().map(|_| Instant::now());
             while !sched.done.load(Ordering::SeqCst)
                 && sched.pending.load(Ordering::SeqCst) == 0
             {
                 idle = sched.cv.wait(idle).unwrap();
+            }
+            if let (Some(t), Some(started)) = (&tel, park_started) {
+                t.observe_duration(Hist::HistPark, started.elapsed());
             }
             engine.recorder_mut().exit(Phase::Idle);
             *idle -= 1;
@@ -932,6 +1026,15 @@ where
 
     sched.steals.fetch_add(steals, Ordering::Relaxed);
     sched.reclaims.fetch_add(reclaims, Ordering::Relaxed);
+    if let Some(t) = &tel {
+        // Final flush: pins every cumulative counter at its end-of-run
+        // value so the merged registry matches the RunReport exactly.
+        engine.publish_telemetry();
+        publish_loop_counters(t, steals, reclaims, exports);
+        publish_shared_cache_stats(t, &shared.query_cache.stats());
+        t.set_gauge(Gauge::GaugeQueueDepth, sched.pending.load(Ordering::Relaxed));
+        t.set_gauge(Gauge::GaugeQueueBytes, sched.bytes.current() as u64);
+    }
     finish_worker_report(w, engine, steals, reclaims, exports)
 }
 
@@ -1044,14 +1147,37 @@ pub fn explore_parallel<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
 where
     F: Fn(&WorkerContext) -> Engine + Sync,
 {
+    explore_parallel_live(cfg, None, build)
+}
+
+/// [`explore_parallel`] with a live telemetry registry attached
+/// (DESIGN.md §16). Each worker publishes its cumulative stats into its
+/// own registry shard at batch boundaries, records steal/park/replay/
+/// solve/translate latencies into the shared histograms, and flushes
+/// once more on exit — so the registry's merged view converges on the
+/// end-of-run [`ParallelReport`] exactly. `live` must have been started
+/// with at least `cfg.workers` shards; `None` runs telemetry-free with
+/// zero overhead.
+pub fn explore_parallel_live<F>(
+    cfg: &ParallelConfig,
+    live: Option<&LiveTelemetry>,
+    build: F,
+) -> ParallelReport
+where
+    F: Fn(&WorkerContext) -> Engine + Sync,
+{
     assert!(cfg.workers > 0 && cfg.batch > 0 && cfg.max_local_states > 0);
     match cfg.scheduler {
-        SchedulerKind::Deque => explore_deque(cfg, build),
-        SchedulerKind::Injector => explore_injector(cfg, build),
+        SchedulerKind::Deque => explore_deque(cfg, live, build),
+        SchedulerKind::Injector => explore_injector(cfg, live, build),
     }
 }
 
-fn explore_injector<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
+fn explore_injector<F>(
+    cfg: &ParallelConfig,
+    live: Option<&LiveTelemetry>,
+    build: F,
+) -> ParallelReport
 where
     F: Fn(&WorkerContext) -> Engine + Sync,
 {
@@ -1063,7 +1189,11 @@ where
     let started = Instant::now();
     let workers: Vec<WorkerReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.workers)
-            .map(|w| scope.spawn(move || injector_worker_loop(w, cfg, sched_ref, shared_ref, build)))
+            .map(|w| {
+                scope.spawn(move || {
+                    injector_worker_loop(w, cfg, sched_ref, shared_ref, live, build)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -1102,7 +1232,7 @@ where
     )
 }
 
-fn explore_deque<F>(cfg: &ParallelConfig, build: F) -> ParallelReport
+fn explore_deque<F>(cfg: &ParallelConfig, live: Option<&LiveTelemetry>, build: F) -> ParallelReport
 where
     F: Fn(&WorkerContext) -> Engine + Sync,
 {
@@ -1124,7 +1254,9 @@ where
             .into_iter()
             .enumerate()
             .map(|(w, own)| {
-                scope.spawn(move || deque_worker_loop(w, cfg, sched_ref, shared_ref, own, build))
+                scope.spawn(move || {
+                    deque_worker_loop(w, cfg, sched_ref, shared_ref, live, own, build)
+                })
             })
             .collect();
         handles

@@ -5,12 +5,52 @@
 //! become complete ("X") events with microsecond start/duration; point
 //! events become instant ("i") events with their payload under `args`.
 //! One process (pid 0), one track per worker (tid = worker index).
+//! [`chrome_trace_report`] additionally emits one counter ("C") event
+//! per [`RunReport`] metric section, so every end-of-run counter is
+//! visible as a counter track in the viewer.
 
 use crate::json::Json;
+use crate::report::RunReport;
 use crate::ring::{EventKind, WorkerTimeline};
 
 /// Renders per-worker timelines as a Chrome trace-event JSON document.
 pub fn chrome_trace(timelines: &[WorkerTimeline]) -> String {
+    finish(timeline_events(timelines))
+}
+
+/// Renders a full [`RunReport`] as a Chrome trace: the per-worker
+/// timelines plus one counter ("C") event per metric section at
+/// end-of-run, carrying every counter of that section under `args`.
+pub fn chrome_trace_report(report: &RunReport) -> String {
+    let mut events = timeline_events(&report.workers);
+    let ts_us = report.wall_ns as f64 / 1_000.0;
+    for section in &report.sections {
+        let mut args = Json::obj();
+        for (key, value) in &section.counters {
+            args = args.set(key.as_str(), *value);
+        }
+        events.push(
+            Json::obj()
+                .set("name", section.name.as_str())
+                .set("cat", "counter")
+                .set("ph", "C")
+                .set("ts", ts_us)
+                .set("pid", 0u32)
+                .set("tid", 0u32)
+                .set("args", args),
+        );
+    }
+    finish(events)
+}
+
+fn finish(events: Vec<Json>) -> String {
+    Json::obj()
+        .set("traceEvents", Json::Arr(events))
+        .set("displayTimeUnit", "ms")
+        .render()
+}
+
+fn timeline_events(timelines: &[WorkerTimeline]) -> Vec<Json> {
     let mut order: Vec<&WorkerTimeline> = timelines.iter().collect();
     order.sort_by_key(|t| t.worker);
     let mut events = Vec::new();
@@ -92,10 +132,7 @@ pub fn chrome_trace(timelines: &[WorkerTimeline]) -> String {
             events.push(ev);
         }
     }
-    Json::obj()
-        .set("traceEvents", Json::Arr(events))
-        .set("displayTimeUnit", "ms")
-        .render()
+    events
 }
 
 #[cfg(test)]
@@ -140,5 +177,26 @@ mod tests {
             instant.get("args").unwrap().get("state").unwrap().as_u64(),
             Some(42)
         );
+    }
+
+    #[test]
+    fn report_trace_carries_every_section_counter() {
+        let mut report = RunReport::new(3_000);
+        report.add_worker(WorkerTimeline::empty(0));
+        report.add_section(
+            crate::report::MetricSection::new("engine")
+                .counter("forks", 5.0)
+                .counter("blocks_executed", 90.0),
+        );
+        let text = chrome_trace_report(&report);
+        let j = parse(&text).expect("valid json");
+        let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let counter = events.last().unwrap();
+        assert_eq!(counter.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(counter.get("name").unwrap().as_str(), Some("engine"));
+        assert_eq!(counter.get("ts").unwrap().as_f64(), Some(3.0));
+        let args = counter.get("args").unwrap();
+        assert_eq!(args.get("forks").unwrap().as_f64(), Some(5.0));
+        assert_eq!(args.get("blocks_executed").unwrap().as_f64(), Some(90.0));
     }
 }

@@ -1,0 +1,245 @@
+//! Log2-bucketed latency histograms (DESIGN.md §16).
+//!
+//! The recording side is [`AtomicHistogram`]: a fixed array of 64
+//! relaxed `AtomicU64` buckets, one per power-of-two value range.
+//! Recording a sample is exactly one `fetch_add` on the owning worker's
+//! shard — no locks, no allocation, no clock reads beyond the sample
+//! itself — so it is safe to leave enabled on hot paths (solver
+//! queries, translations, steals, parks, replays).
+//!
+//! The read side is [`HistogramSnapshot`]: a plain copy of the bucket
+//! counts that merges across shards by element-wise addition and
+//! estimates quantiles by rank-walking the buckets. Estimates are
+//! bracketed by the true bucket bounds: for any quantile `q`, the
+//! brute-force sorted sample at that rank lands in the same bucket the
+//! estimate was taken from, so estimate and truth differ by at most the
+//! bucket width (a factor of two) — the property suite in
+//! `tests/hist_props.rs` pins this against sorted raw samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets. Bucket 0 holds exact zeros; bucket `i`
+/// (1..=62) holds values in `[2^(i-1), 2^i)`; bucket 63 is the
+/// overflow bucket `[2^62, u64::MAX]`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Index of the bucket a value lands in (see [`HIST_BUCKETS`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (saturated for the overflow
+/// bucket, whose range is closed at `u64::MAX`).
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Representative value reported for bucket `i`: the midpoint of its
+/// range (0 for the zero bucket). Quantile estimates return this.
+pub fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_lo(i);
+    let hi = bucket_hi(i);
+    lo + (hi - lo) / 2
+}
+
+/// Lock-free recording side of one histogram. Lives inside a worker's
+/// metrics shard; every `record` is a single relaxed `fetch_add`.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> Self {
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHistogram { buckets: [ZERO; HIST_BUCKETS] }
+    }
+
+    /// Records one sample. One atomic add, relaxed ordering — counts
+    /// are only ever read as a monotonic snapshot, never synchronized
+    /// against.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts. Concurrent recorders may race
+    /// ahead mid-copy; each bucket is individually exact and monotonic,
+    /// which is all the delta sampler needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+/// Plain-data histogram: merged view of one or more shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Element-wise merge of another shard's counts into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`); both must come from
+    /// the same monotonic histogram, earlier first.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (dst, src) in out.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *dst -= *src;
+        }
+        out
+    }
+
+    /// Approximate sum of all samples (Σ count × bucket midpoint),
+    /// saturating — overflow-bucket samples alone exceed `u64`.
+    pub fn approx_sum(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_mul(bucket_mid(i)))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: the midpoint of the bucket
+    /// containing the sample of rank `ceil(q · count)` (1-based, so
+    /// `q = 0.5` of 10 samples is the 5th smallest). Returns `None`
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i));
+            }
+        }
+        Some(bucket_mid(HIST_BUCKETS - 1))
+    }
+
+    /// Index of the bucket holding the sample of rank `ceil(q · count)`
+    /// — the bracket a brute-force quantile must land in.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        Some(HIST_BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Every value lands inside its bucket's [lo, hi) range.
+        for v in [0u64, 1, 2, 7, 255, 4096, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v >= bucket_lo(i));
+            assert!(v < bucket_hi(i) || i == HIST_BUCKETS - 1);
+        }
+    }
+
+    #[test]
+    fn record_and_count() {
+        let h = AtomicHistogram::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[bucket_index(5)], 2);
+    }
+
+    #[test]
+    fn quantile_of_uniform_singletons() {
+        let h = AtomicHistogram::new();
+        h.record(10);
+        let s = h.snapshot();
+        let q = s.quantile(0.5).unwrap();
+        let i = bucket_index(10);
+        assert!(q >= bucket_lo(i) && q < bucket_hi(i));
+        assert!(HistogramSnapshot::default().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_and_delta_roundtrip() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        a.record(3);
+        a.record(100);
+        b.record(3);
+        let earlier = a.snapshot();
+        a.record(7);
+        let later = a.snapshot();
+        let d = later.delta(&earlier);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.buckets[bucket_index(7)], 1);
+        let mut m = later;
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 4);
+    }
+}

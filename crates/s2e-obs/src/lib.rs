@@ -25,18 +25,41 @@
 //!   including the parser) and to the Chrome trace-event format
 //!   ([`chrome_trace`]) for external viewers.
 //!
+//! PR 9 adds the *live* half (DESIGN.md §16): a lock-free,
+//! per-worker-sharded [`MetricsRegistry`] of counters, gauges, and
+//! log2-bucketed latency [`hist`]ograms merged on read; a [`Sampler`]
+//! thread streaming periodic delta snapshots as `s2e-live-v1` JSONL; a
+//! std-only TCP [`TelemetryServer`] exposing `/metrics` (Prometheus
+//! text) and `/report` (JSON snapshot); and the [`LiveTelemetry`]
+//! lifecycle wrapper tying the three together.
+//!
 //! The crate is std-only and dependency-free by policy (DESIGN.md §7);
-//! `s2e-core`, `s2e-tools`, and `bench` build on it.
+//! `s2e-core`, `s2e-solver`, `s2e-tools`, and `bench` build on it.
 
 pub mod chrome;
+pub mod hist;
 pub mod json;
+pub mod live;
+pub mod metrics;
 pub mod phase;
 pub mod recorder;
 pub mod report;
 pub mod ring;
+pub mod sampler;
+pub mod serve;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_report};
+pub use hist::{
+    bucket_hi, bucket_index, bucket_lo, bucket_mid, AtomicHistogram, HistogramSnapshot,
+    HIST_BUCKETS,
+};
+pub use live::{LiveConfig, LiveSummary, LiveTelemetry};
+pub use metrics::{
+    Counter, Gauge, Hist, MergeKind, MetricsRegistry, MetricsSnapshot, TelemetryHandle,
+};
 pub use phase::{Phase, PhaseTotals};
 pub use recorder::{ObsConfig, Recorder};
 pub use report::{MetricSection, RunReport};
 pub use ring::{merge_timelines, Event, EventKind, EventRing, MergedEvent, WorkerTimeline};
+pub use sampler::{snapshot_line, Sampler, SamplerSummary, LIVE_SCHEMA};
+pub use serve::{http_get, TelemetryServer};

@@ -1,0 +1,596 @@
+//! Lock-free, per-worker-sharded live metrics registry (DESIGN.md §16).
+//!
+//! One [`MetricsRegistry`] per run holds one shard per worker; each
+//! worker writes only its own shard through a cloned
+//! [`TelemetryHandle`], so the hot path never takes a lock and never
+//! shares a cache line with another writer's counters. Readers (the
+//! sampler thread, the TCP endpoint) merge all shards on demand into a
+//! plain [`MetricsSnapshot`].
+//!
+//! Writers come in two shapes:
+//!
+//! * **Published counters** — the engine already maintains plain
+//!   (non-atomic) `EngineStats`/`SolverStats`/`DbtStats` structs on its
+//!   hot path. At batch boundaries the worker *publishes* the current
+//!   cumulative values into its shard with relaxed atomic stores. The
+//!   per-event cost is zero; freshness is one batch.
+//! * **Histogram samples** — rare, latency-bearing events (solver
+//!   queries, translations, steals, parks, replays) record directly:
+//!   one relaxed `fetch_add` per sample into a log2 bucket.
+//!
+//! Merge rules per metric, applied on read:
+//!
+//! * [`MergeKind::Sum`] — per-worker quantities; the merged value is
+//!   the sum of the shards' last-published values. Exact at any
+//!   instant for whatever each worker last published.
+//! * [`MergeKind::Max`] — mirrors of *global monotonic* values (the
+//!   shared TB cache, the cross-worker query cache) that every worker
+//!   re-publishes. The max across shards is the most recent read, and
+//!   after the last worker's final flush it equals the global final
+//!   value exactly.
+//! * [`MergeKind::Latest`] — non-monotonic globals (queue depth).
+//!   Every store is stamped from a registry-wide sequence; the merged
+//!   value is the one with the highest stamp.
+//!
+//! Counter names are `section.key`, matching the end-of-run
+//! [`crate::RunReport`] sections byte-for-byte wherever a counter has
+//! an exact report twin ([`Counter::runreport_twin`]); the
+//! `telemetry_overhead` bench asserts that equality at run end.
+
+use crate::hist::{bucket_hi, AtomicHistogram, HistogramSnapshot};
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a metric's per-shard values combine into one merged value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Sum across shards (per-worker quantities).
+    Sum,
+    /// Max across shards (mirrors of global monotonic values).
+    Max,
+    /// Value with the highest publish stamp (non-monotonic globals).
+    Latest,
+}
+
+macro_rules! define_metric_enum {
+    ($enum_name:ident, $count_const:ident, $( $variant:ident => ($name:literal, $merge:ident) ),* $(,)?) => {
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum $enum_name {
+            $($variant),*
+        }
+
+        impl $enum_name {
+            pub const ALL: &'static [$enum_name] = &[$($enum_name::$variant),*];
+
+            #[inline]
+            pub fn index(self) -> usize {
+                self as usize
+            }
+
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($enum_name::$variant => $name),*
+                }
+            }
+
+            pub fn merge(self) -> MergeKind {
+                match self {
+                    $($enum_name::$variant => MergeKind::$merge),*
+                }
+            }
+        }
+
+        pub const $count_const: usize = $enum_name::ALL.len();
+    };
+}
+
+define_metric_enum!(
+    Counter,
+    COUNTER_COUNT,
+    // Engine — per-worker, published cumulatively at batch cadence.
+    EngineStatesCreated => ("engine.states_created", Sum),
+    EngineStatesTerminated => ("engine.states_terminated", Sum),
+    EngineForks => ("engine.forks", Sum),
+    EngineBlocksExecuted => ("engine.blocks_executed", Sum),
+    EngineInstrsConcrete => ("engine.instrs_concrete", Sum),
+    EngineInstrsSymbolic => ("engine.instrs_symbolic", Sum),
+    EngineConcreteOnlyBlocks => ("engine.concrete_only_blocks", Sum),
+    EngineLeanInstrs => ("engine.lean_instrs", Sum),
+    EngineDeadWritesSkipped => ("engine.dead_writes_skipped", Sum),
+    EngineFeasibilityProbesSkipped => ("engine.feasibility_probes_skipped", Sum),
+    EngineSymbolicPtrAccesses => ("engine.symbolic_ptr_accesses", Sum),
+    EngineConcretizations => ("engine.concretizations", Sum),
+    EngineInterruptsDelivered => ("engine.interrupts_delivered", Sum),
+    EngineSyscalls => ("engine.syscalls", Sum),
+    EngineIndirectRetirements => ("engine.indirect_retirements", Sum),
+    EngineIndirectTargetsResolved => ("engine.indirect_targets_resolved", Sum),
+    EngineIndirectTargetsEscaped => ("engine.indirect_targets_escaped", Sum),
+    EngineIndirectTargetsDiscovered => ("engine.indirect_targets_discovered", Sum),
+    EngineEvictions => ("engine.evictions", Sum),
+    EngineRehydrations => ("engine.rehydrations", Sum),
+    EngineReplayedInstrs => ("engine.replayed_instrs", Sum),
+    EngineJournalBytes => ("engine.journal_bytes", Sum),
+    EngineCpuTimeNs => ("engine.cpu_time_ns", Sum),
+    EngineMaxLiveStates => ("engine.max_live_states", Max),
+    EngineMemoryWatermarkBytes => ("engine.memory_watermark_bytes", Max),
+    // Sum of per-worker coverage-set sizes: an upper bound on the true
+    // block-set union (blocks seen by several workers count once per
+    // worker). No exact RunReport twin.
+    EngineSeenBlocks => ("engine.seen_blocks", Sum),
+    // Solver — per-worker, published from SolverStats.
+    SolverQueries => ("solver.queries", Sum),
+    SolverSat => ("solver.sat", Sum),
+    SolverUnsat => ("solver.unsat", Sum),
+    SolverUnknown => ("solver.unknown", Sum),
+    SolverCacheHits => ("solver.cache_hits", Sum),
+    SolverSharedHits => ("solver.shared_hits", Sum),
+    SolverPoolHits => ("solver.pool_hits", Sum),
+    SolverSubsumptionHits => ("solver.subsumption_hits", Sum),
+    SolverCoreSolves => ("solver.core_solves", Sum),
+    SolverSlicedQueries => ("solver.sliced_queries", Sum),
+    SolverComponentsSolved => ("solver.components_solved", Sum),
+    SolverCacheEvictions => ("solver.cache_evictions", Sum),
+    SolverCacheEntries => ("solver.cache_entries", Sum),
+    SolverTotalTimeNs => ("solver.total_time_ns", Sum),
+    SolverMaxQueryTimeNs => ("solver.max_query_time_ns", Max),
+    // Per-kind solver share (the Fig 9 axes, live).
+    SolverFeasibilityQueries => ("solver_by_kind.feasibility.queries", Sum),
+    SolverFeasibilityTimeNs => ("solver_by_kind.feasibility.time_ns", Sum),
+    SolverConcretizeQueries => ("solver_by_kind.concretize.queries", Sum),
+    SolverConcretizeTimeNs => ("solver_by_kind.concretize.time_ns", Sum),
+    SolverOtherQueries => ("solver_by_kind.other.queries", Sum),
+    SolverOtherTimeNs => ("solver_by_kind.other.time_ns", Sum),
+    // DBT — worker-local L1/chain counters (summed) plus mirrors of the
+    // shared translation cache (monotonic, max-merged).
+    DbtL1Hits => ("dbt.l1_hits", Sum),
+    DbtLocalHits => ("dbt.local_hits", Sum),
+    DbtChainEntries => ("dbt.chain_entries", Sum),
+    DbtChainExits => ("dbt.chain_exits", Sum),
+    DbtTranslations => ("dbt.translations", Max),
+    DbtSharedHits => ("dbt.shared_hits", Max),
+    DbtInstrsTranslated => ("dbt.instrs_translated", Max),
+    DbtInvalidations => ("dbt.invalidations", Max),
+    DbtChainsFormed => ("dbt.chains_formed", Max),
+    DbtUnlinks => ("dbt.unlinks", Max),
+    DbtTranslationTimeNs => ("dbt.translation_time_ns", Max),
+    // Cross-worker solver cache mirrors (monotonic fields only; the
+    // non-monotonic entry count is Gauge::SharedCacheEntries).
+    SharedCacheHits => ("shared_cache.hits", Max),
+    SharedCacheSubsumptionHits => ("shared_cache.subsumption_hits", Max),
+    SharedCacheInserts => ("shared_cache.inserts", Max),
+    SharedCacheEvictions => ("shared_cache.evictions", Max),
+    // Scheduler — per-worker loop counters.
+    ParallelSteals => ("parallel.steals", Sum),
+    ParallelReclaims => ("parallel.reclaims", Sum),
+    ParallelExports => ("parallel.exports", Sum),
+);
+
+impl Counter {
+    /// The `(section, key)` of this counter's exact end-of-run
+    /// [`crate::RunReport`] twin, or `None` for counters that are
+    /// live-only (components or bounds with no report equivalent).
+    /// Twin-ness is what the `telemetry_overhead` bench asserts: after
+    /// the final flush, the merged registry value equals the report
+    /// counter exactly.
+    pub fn runreport_twin(self) -> Option<(&'static str, &'static str)> {
+        match self {
+            // `dbt.hits` in the report is shared hits + per-worker L1
+            // locals; the live registry keeps the components instead.
+            Counter::DbtLocalHits | Counter::DbtSharedHits => None,
+            Counter::EngineSeenBlocks => None,
+            _ => self.name().split_once('.'),
+        }
+    }
+}
+
+define_metric_enum!(
+    Gauge,
+    GAUGE_COUNT,
+    // Instantaneous values; Sum gauges are per-worker, Latest gauges
+    // mirror one global (stamped, newest store wins).
+    GaugeLiveStates => ("live_states", Sum),
+    GaugeQueueDepth => ("queue_depth", Latest),
+    GaugeQueueBytes => ("queue_bytes", Latest),
+    GaugeIdlePressure => ("idle_pressure", Latest),
+    GaugeHungryWorkers => ("hungry_workers", Latest),
+    GaugeSharedCacheEntries => ("shared_cache.entries", Latest),
+);
+
+define_metric_enum!(
+    Hist,
+    HIST_COUNT,
+    // Latency histograms, all in nanoseconds. Merge kind is nominal —
+    // histograms always merge by bucket-wise addition.
+    HistSolveFeasibility => ("latency.solve_feasibility", Sum),
+    HistSolveConcretize => ("latency.solve_concretize", Sum),
+    HistSolveOther => ("latency.solve_other", Sum),
+    HistTranslate => ("latency.translate", Sum),
+    HistSteal => ("latency.steal", Sum),
+    HistPark => ("latency.park", Sum),
+    HistReplay => ("latency.replay", Sum),
+);
+
+impl Hist {
+    /// Histogram for a solver query kind, by `QueryKind::index()`
+    /// (0 = feasibility, 1 = concretize, 2 = other).
+    pub fn solve_kind(index: usize) -> Hist {
+        match index {
+            0 => Hist::HistSolveFeasibility,
+            1 => Hist::HistSolveConcretize,
+            _ => Hist::HistSolveOther,
+        }
+    }
+}
+
+/// One worker's private slice of the registry.
+#[derive(Debug)]
+pub struct MetricsShard {
+    counters: Box<[AtomicU64]>,
+    gauges: Box<[AtomicU64]>,
+    gauge_stamps: Box<[AtomicU64]>,
+    hists: Box<[AtomicHistogram]>,
+}
+
+fn atomic_slice(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl MetricsShard {
+    fn new() -> Self {
+        MetricsShard {
+            counters: atomic_slice(COUNTER_COUNT),
+            gauges: atomic_slice(GAUGE_COUNT),
+            gauge_stamps: atomic_slice(GAUGE_COUNT),
+            hists: (0..HIST_COUNT).map(|_| AtomicHistogram::new()).collect(),
+        }
+    }
+}
+
+/// The per-run registry: one shard per worker, merged on read.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Box<[MetricsShard]>,
+    stamp: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry with `shards` independent writer slots
+    /// (typically one per worker; a sequential engine uses shard 0).
+    pub fn new(shards: usize) -> Arc<MetricsRegistry> {
+        let shards = shards.max(1);
+        Arc::new(MetricsRegistry {
+            shards: (0..shards).map(|_| MetricsShard::new()).collect(),
+            stamp: AtomicU64::new(0),
+        })
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Writer handle for shard `shard`. Panics on out-of-range.
+    pub fn handle(self: &Arc<MetricsRegistry>, shard: usize) -> TelemetryHandle {
+        assert!(shard < self.shards.len(), "telemetry shard out of range");
+        TelemetryHandle { registry: Arc::clone(self), shard }
+    }
+
+    /// Merges all shards into a plain snapshot (see [`MergeKind`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = vec![0u64; COUNTER_COUNT];
+        for &c in Counter::ALL {
+            let i = c.index();
+            let mut acc = 0u64;
+            for shard in self.shards.iter() {
+                let v = shard.counters[i].load(Ordering::Relaxed);
+                acc = match c.merge() {
+                    MergeKind::Sum => acc + v,
+                    MergeKind::Max | MergeKind::Latest => acc.max(v),
+                };
+            }
+            counters[i] = acc;
+        }
+        let mut gauges = vec![0u64; GAUGE_COUNT];
+        for &g in Gauge::ALL {
+            let i = g.index();
+            match g.merge() {
+                MergeKind::Sum => {
+                    gauges[i] = self
+                        .shards
+                        .iter()
+                        .map(|s| s.gauges[i].load(Ordering::Relaxed))
+                        .sum();
+                }
+                MergeKind::Max => {
+                    gauges[i] = self
+                        .shards
+                        .iter()
+                        .map(|s| s.gauges[i].load(Ordering::Relaxed))
+                        .max()
+                        .unwrap_or(0);
+                }
+                MergeKind::Latest => {
+                    let mut best_stamp = 0u64;
+                    let mut best = 0u64;
+                    for shard in self.shards.iter() {
+                        let stamp = shard.gauge_stamps[i].load(Ordering::Acquire);
+                        if stamp >= best_stamp {
+                            best_stamp = stamp;
+                            best = shard.gauges[i].load(Ordering::Relaxed);
+                        }
+                    }
+                    gauges[i] = best;
+                }
+            }
+        }
+        let mut hists = vec![HistogramSnapshot::default(); HIST_COUNT];
+        for &h in Hist::ALL {
+            let i = h.index();
+            for shard in self.shards.iter() {
+                hists[i].merge(&shard.hists[i].snapshot());
+            }
+        }
+        MetricsSnapshot { counters, gauges, hists }
+    }
+}
+
+/// Cloneable writer handle bound to one shard. All writes are relaxed
+/// atomics on that shard only; clones share the shard (the engine and
+/// its solver both write worker `w`'s shard).
+#[derive(Clone, Debug)]
+pub struct TelemetryHandle {
+    registry: Arc<MetricsRegistry>,
+    shard: usize,
+}
+
+impl TelemetryHandle {
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Publishes a cumulative counter value (relaxed store).
+    #[inline]
+    pub fn set_counter(&self, c: Counter, value: u64) {
+        self.registry.shards[self.shard].counters[c.index()].store(value, Ordering::Relaxed);
+    }
+
+    /// Event-increments a counter (relaxed add). Prefer `set_counter`
+    /// publishes from batch-cadence stats; this is for counters with no
+    /// plain-struct source.
+    #[inline]
+    pub fn add_counter(&self, c: Counter, delta: u64) {
+        self.registry.shards[self.shard].counters[c.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Publishes a gauge. `Latest` gauges take a registry-wide stamp so
+    /// the merge can pick the newest store.
+    #[inline]
+    pub fn set_gauge(&self, g: Gauge, value: u64) {
+        let shard = &self.registry.shards[self.shard];
+        shard.gauges[g.index()].store(value, Ordering::Relaxed);
+        if g.merge() == MergeKind::Latest {
+            let stamp = self.registry.stamp.fetch_add(1, Ordering::Relaxed) + 1;
+            shard.gauge_stamps[g.index()].store(stamp, Ordering::Release);
+        }
+    }
+
+    /// Records one histogram sample — a single relaxed `fetch_add`.
+    #[inline]
+    pub fn observe(&self, h: Hist, value: u64) {
+        self.registry.shards[self.shard].hists[h.index()].record(value);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    #[inline]
+    pub fn observe_duration(&self, h: Hist, d: Duration) {
+        self.observe(h, d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+/// Plain merged view of the registry at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<u64>,
+    pub gauges: Vec<u64>,
+    pub hists: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g.index()]
+    }
+
+    pub fn hist(&self, h: Hist) -> &HistogramSnapshot {
+        &self.hists[h.index()]
+    }
+
+    /// JSON object with `counters`, `gauges`, and `hists` sub-objects;
+    /// histogram buckets are emitted sparsely as `[index, count]`
+    /// pairs. Served by `/report` and embedded in the JSONL stream.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for &c in Counter::ALL {
+            counters = counters.set(c.name(), self.counter(c));
+        }
+        let mut gauges = Json::obj();
+        for &g in Gauge::ALL {
+            gauges = gauges.set(g.name(), self.gauge(g));
+        }
+        let mut hists = Json::obj();
+        for &h in Hist::ALL {
+            let s = self.hist(h);
+            let mut buckets = Vec::new();
+            for (i, &n) in s.buckets.iter().enumerate() {
+                if n > 0 {
+                    buckets.push(Json::Arr(vec![Json::from(i), Json::from(n)]));
+                }
+            }
+            let mut entry = Json::obj()
+                .set("count", s.count())
+                .set("buckets", Json::Arr(buckets));
+            if let Some(p50) = s.quantile(0.5) {
+                entry = entry
+                    .set("p50", p50)
+                    .set("p90", s.quantile(0.9).unwrap())
+                    .set("p99", s.quantile(0.99).unwrap());
+            }
+            hists = hists.set(h.name(), entry);
+        }
+        Json::obj()
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("hists", hists)
+    }
+
+    /// Prometheus text exposition of the snapshot: every counter and
+    /// gauge as a single sample, every histogram in cumulative
+    /// `_bucket{le=...}` form with `_sum`/`_count` (the sum is the
+    /// bucket-midpoint approximation — exact time totals live in the
+    /// `*_time_ns` counters).
+    pub fn prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("s2e_");
+            for ch in name.chars() {
+                out.push(if ch == '.' { '_' } else { ch });
+            }
+            out
+        }
+        let mut out = String::new();
+        for &c in Counter::ALL {
+            let name = sanitize(c.name());
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", self.counter(c)));
+        }
+        for &g in Gauge::ALL {
+            let name = sanitize(g.name());
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", self.gauge(g)));
+        }
+        for &h in Hist::ALL {
+            let name = sanitize(h.name());
+            let s = self.hist(h);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            let last = s
+                .buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .unwrap_or(0);
+            for (i, &n) in s.buckets.iter().enumerate().take(last + 1) {
+                cum += n;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    bucket_hi(i)
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count()));
+            out.push_str(&format!("{name}_sum {}\n", s.approx_sum()));
+            out.push_str(&format!("{name}_count {}\n", s.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_indexed() {
+        let mut seen = std::collections::HashSet::new();
+        for &c in Counter::ALL {
+            assert!(seen.insert(c.name()), "duplicate counter {}", c.name());
+        }
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, &g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        for (i, &h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+
+    #[test]
+    fn twins_point_into_known_sections() {
+        let sections =
+            ["engine", "solver", "solver_by_kind", "shared_cache", "dbt", "parallel"];
+        let mut twins = 0;
+        for &c in Counter::ALL {
+            if let Some((section, key)) = c.runreport_twin() {
+                assert!(sections.contains(&section), "unknown section {section}");
+                assert!(!key.is_empty());
+                twins += 1;
+            }
+        }
+        assert!(twins > 50, "most counters should have report twins, got {twins}");
+    }
+
+    #[test]
+    fn sum_and_max_merge() {
+        let reg = MetricsRegistry::new(3);
+        reg.handle(0).set_counter(Counter::EngineForks, 5);
+        reg.handle(2).set_counter(Counter::EngineForks, 7);
+        reg.handle(0).set_counter(Counter::DbtTranslations, 100);
+        reg.handle(1).set_counter(Counter::DbtTranslations, 140);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::EngineForks), 12);
+        assert_eq!(snap.counter(Counter::DbtTranslations), 140);
+    }
+
+    #[test]
+    fn latest_gauge_wins_by_stamp() {
+        let reg = MetricsRegistry::new(2);
+        reg.handle(0).set_gauge(Gauge::GaugeQueueDepth, 9);
+        reg.handle(1).set_gauge(Gauge::GaugeQueueDepth, 2);
+        assert_eq!(reg.snapshot().gauge(Gauge::GaugeQueueDepth), 2);
+        reg.handle(0).set_gauge(Gauge::GaugeQueueDepth, 4);
+        assert_eq!(reg.snapshot().gauge(Gauge::GaugeQueueDepth), 4);
+        // Sum gauges add across shards.
+        reg.handle(0).set_gauge(Gauge::GaugeLiveStates, 3);
+        reg.handle(1).set_gauge(Gauge::GaugeLiveStates, 4);
+        assert_eq!(reg.snapshot().gauge(Gauge::GaugeLiveStates), 7);
+    }
+
+    #[test]
+    fn histograms_merge_across_shards() {
+        let reg = MetricsRegistry::new(2);
+        reg.handle(0).observe(Hist::HistSteal, 1000);
+        reg.handle(1).observe(Hist::HistSteal, 1000);
+        reg.handle(1).observe_duration(Hist::HistSteal, Duration::from_nanos(3));
+        let snap = reg.snapshot();
+        assert_eq!(snap.hist(Hist::HistSteal).count(), 3);
+    }
+
+    #[test]
+    fn json_and_prometheus_render() {
+        let reg = MetricsRegistry::new(1);
+        let h = reg.handle(0);
+        h.set_counter(Counter::SolverQueries, 42);
+        h.set_gauge(Gauge::GaugeLiveStates, 3);
+        h.observe(Hist::HistSolveFeasibility, 512);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("counters").and_then(|c| c.get("solver.queries")).and_then(|v| v.as_u64()),
+            Some(42)
+        );
+        let hist = json.get("hists").and_then(|h| h.get("latency.solve_feasibility")).unwrap();
+        assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(1));
+        let text = snap.prometheus();
+        assert!(text.contains("s2e_solver_queries 42"));
+        assert!(text.contains("# TYPE s2e_live_states gauge"));
+        assert!(text.contains("s2e_latency_solve_feasibility_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("s2e_latency_solve_feasibility_count 1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Std-only TCP endpoint over a live [`MetricsRegistry`]
+//! (DESIGN.md §16): `GET /metrics` serves the Prometheus text
+//! exposition, `GET /report` the current merged snapshot as JSON. One
+//! accept thread, nonblocking listener polled every few milliseconds,
+//! one short-lived connection handled at a time — a scrape endpoint,
+//! not a web server. This is the substrate the ROADMAP's distributed
+//! job API streams `RunReport` snapshots over.
+
+use crate::metrics::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between nonblocking polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Per-connection read/write deadline.
+const CONN_TIMEOUT: Duration = Duration::from_millis(500);
+/// Largest request we bother reading.
+const MAX_REQUEST: usize = 4096;
+
+/// Background scrape endpoint. Dropping (or [`TelemetryServer::stop`])
+/// shuts the accept thread down; in-flight connections finish first.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving snapshots of `registry`.
+    pub fn start(registry: Arc<MetricsRegistry>, addr: &str) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("s2e-telemetry-serve".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Scrape errors (slow clients, resets) are
+                            // the client's problem, never the run's.
+                            let _ = handle_connection(stream, &registry);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?;
+        Ok(TelemetryServer { addr: local, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONN_TIMEOUT))?;
+    let mut request = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") && request.len() < MAX_REQUEST {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => request.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&request);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4", registry.snapshot().prometheus())
+            }
+            "/report" => {
+                let mut body = registry.snapshot().to_json().render();
+                body.push('\n');
+                ("200 OK", "application/json", body)
+            }
+            _ => ("404 Not Found", "text/plain", "try /metrics or /report\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal HTTP/1.1 GET against a telemetry endpoint; returns the body.
+/// Used by `live-top --url` and the endpoint tests.
+pub fn http_get(addr: &str, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let Some(split) = raw.find("\r\n\r\n") else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"));
+    };
+    let status = raw.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::Other,
+            format!("endpoint returned: {status}"),
+        ));
+    }
+    Ok(raw[split + 4..].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::metrics::Counter;
+
+    #[test]
+    fn serves_metrics_and_report() {
+        let reg = MetricsRegistry::new(1);
+        reg.handle(0).set_counter(Counter::EngineForks, 21);
+        let server = TelemetryServer::start(Arc::clone(&reg), "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        let metrics = http_get(&addr, "/metrics").unwrap();
+        assert!(metrics.contains("s2e_engine_forks 21"));
+        let report = http_get(&addr, "/report").unwrap();
+        let parsed = json::parse(report.trim()).unwrap();
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("engine.forks")).and_then(|v| v.as_u64()),
+            Some(21)
+        );
+        assert!(http_get(&addr, "/nope").is_err());
+        server.stop();
+    }
+}

@@ -1,0 +1,137 @@
+//! Seeded property suite for the log2-bucketed latency histograms
+//! (DESIGN.md §16): bucketing brackets every value, merging shards is
+//! exactly the histogram of the concatenated samples, snapshot deltas
+//! are the histogram of the samples in between, and every quantile
+//! estimate shares a bucket with the brute-force sorted answer (so the
+//! two differ by at most the factor-two bucket width).
+
+use s2e_obs::{bucket_hi, bucket_index, bucket_lo, AtomicHistogram, HistogramSnapshot, HIST_BUCKETS};
+use s2e_prng::SplitMix64;
+
+/// A sample with a random magnitude: uniform bits shifted by a uniform
+/// amount, so every bucket (tiny and huge) gets exercised.
+fn arbitrary_value(rng: &mut SplitMix64) -> u64 {
+    let shift = rng.below(64) as u32;
+    rng.next_u64() >> shift
+}
+
+fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = AtomicHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn bucketing_brackets_every_value() {
+    let mut rng = SplitMix64::new(0x4157_0001);
+    for _ in 0..20_000 {
+        let v = arbitrary_value(&mut rng);
+        let i = bucket_index(v);
+        assert!(i < HIST_BUCKETS);
+        assert!(
+            v >= bucket_lo(i),
+            "{v} below bucket {i} lo {}",
+            bucket_lo(i)
+        );
+        if i < HIST_BUCKETS - 1 {
+            assert!(v < bucket_hi(i), "{v} at/above bucket {i} hi {}", bucket_hi(i));
+        }
+        // Monotone: a larger value never lands in an earlier bucket.
+        assert!(bucket_index(v.saturating_add(1)) >= i);
+    }
+    // Exhaustive at the power-of-two boundaries, where an off-by-one in
+    // the leading_zeros arithmetic would hide.
+    for b in 1..HIST_BUCKETS - 1 {
+        let lo = bucket_lo(b);
+        let hi = bucket_hi(b);
+        assert_eq!(bucket_index(lo), b);
+        assert_eq!(bucket_index(hi - 1), b);
+        assert_eq!(bucket_index(hi), b + 1);
+    }
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+}
+
+#[test]
+fn merge_of_shards_equals_histogram_of_concatenation() {
+    let mut rng = SplitMix64::new(0x4157_0002);
+    for _ in 0..200 {
+        let shards = 1 + rng.index(6);
+        let mut all = Vec::new();
+        let mut merged = HistogramSnapshot::default();
+        for _ in 0..shards {
+            let n = rng.index(200);
+            let samples: Vec<u64> = (0..n).map(|_| arbitrary_value(&mut rng)).collect();
+            merged.merge(&hist_of(&samples));
+            all.extend(samples);
+        }
+        let direct = hist_of(&all);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count(), all.len() as u64);
+        assert_eq!(merged.approx_sum(), direct.approx_sum());
+    }
+}
+
+#[test]
+fn snapshot_delta_is_the_histogram_of_the_interval() {
+    let mut rng = SplitMix64::new(0x4157_0003);
+    for _ in 0..200 {
+        let h = AtomicHistogram::new();
+        let before: Vec<u64> = (0..rng.index(300)).map(|_| arbitrary_value(&mut rng)).collect();
+        for &v in &before {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        let between: Vec<u64> = (0..rng.index(300)).map(|_| arbitrary_value(&mut rng)).collect();
+        for &v in &between {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        assert_eq!(later.delta(&earlier), hist_of(&between));
+    }
+}
+
+#[test]
+fn quantiles_bracket_the_brute_force_answer() {
+    let mut rng = SplitMix64::new(0x4157_0004);
+    for round in 0..300 {
+        let n = 1 + rng.index(1_000);
+        // Cap below the overflow bucket so the factor-two claim is
+        // meaningful (the overflow bucket's width is unbounded).
+        let samples: Vec<u64> =
+            (0..n).map(|_| arbitrary_value(&mut rng) >> 2).collect();
+        let hist = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.9, 0.99] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = sorted[rank - 1];
+            let bucket = hist.quantile_bucket(q).unwrap();
+            assert_eq!(
+                bucket,
+                bucket_index(truth),
+                "round {round} q {q}: estimate bucket {bucket} vs true sample {truth} \
+                 (bucket {})",
+                bucket_index(truth)
+            );
+            let estimate = hist.quantile(q).unwrap();
+            // Same bucket ⇒ both inside [lo, hi): at most a factor of
+            // two apart (exact for the zero bucket).
+            assert!(estimate >= bucket_lo(bucket));
+            if bucket < HIST_BUCKETS - 1 {
+                assert!(estimate < bucket_hi(bucket));
+            }
+            if truth == 0 {
+                assert_eq!(estimate, 0);
+            } else {
+                let ratio = estimate.max(truth) as f64 / estimate.min(truth).max(1) as f64;
+                assert!(
+                    ratio <= 2.0,
+                    "round {round} q {q}: estimate {estimate} vs truth {truth} (ratio {ratio})"
+                );
+            }
+        }
+    }
+}

@@ -633,6 +633,9 @@ pub struct Solver {
     shared: Option<SharedQueryCache>,
     model_pool: VecDeque<Assignment>,
     stats: SolverStats,
+    /// Live per-kind query-latency histograms (one atomic add per
+    /// query when attached; see DESIGN.md §16).
+    telemetry: Option<s2e_obs::TelemetryHandle>,
     /// Private builder used only to materialize constants during
     /// simplification; it never creates variables.
     simp_builder: ExprBuilder,
@@ -660,8 +663,17 @@ impl Solver {
             shared: None,
             model_pool: VecDeque::new(),
             stats: SolverStats::default(),
+            telemetry: None,
             simp_builder: ExprBuilder::new(),
         }
+    }
+
+    /// Attaches (or detaches) a live-telemetry shard. When set, every
+    /// query records its wall latency into the per-kind log2 histogram
+    /// — exactly one relaxed atomic add per query, so this is safe to
+    /// leave on (the `telemetry_overhead` bench gates it at ≤2%).
+    pub fn set_telemetry(&mut self, telemetry: Option<s2e_obs::TelemetryHandle>) {
+        self.telemetry = telemetry;
     }
 
     /// Attaches a cross-instance shared query cache. Hits against it are
@@ -709,6 +721,9 @@ impl Solver {
         let start = Instant::now();
         let result = self.check_inner(constraints);
         let elapsed = start.elapsed();
+        if let Some(t) = &self.telemetry {
+            t.observe_duration(s2e_obs::Hist::solve_kind(kind.index()), elapsed);
+        }
         self.stats.queries += 1;
         self.stats.total_time += elapsed;
         self.stats.max_query_time = self.stats.max_query_time.max(elapsed);

@@ -1,0 +1,107 @@
+//! Watch a live telemetry stream in the terminal.
+//!
+//! ```text
+//! live-top [results/run_live.jsonl] [--follow] [--interval-ms N]
+//! live-top --url HOST:PORT [--follow] [--interval-ms N]
+//! ```
+//!
+//! Default mode renders the newest snapshot line of the JSONL stream
+//! once and exits. `--follow` redraws whenever a new line lands and
+//! exits after the `"final": true` line. `--url` scrapes a running
+//! engine's `/report` endpoint instead of reading the file.
+
+use s2e_tools::live_top::{render_latest, render_report};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut url = None;
+    let mut follow = false;
+    let mut interval = Duration::from_millis(250);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--follow" => follow = true,
+            "--url" => {
+                let Some(u) = it.next() else {
+                    eprintln!("error: --url needs HOST:PORT");
+                    std::process::exit(2);
+                };
+                url = Some(u.clone());
+            }
+            "--interval-ms" => {
+                let Some(ms) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --interval-ms needs a number");
+                    std::process::exit(2);
+                };
+                interval = Duration::from_millis(ms);
+            }
+            _ if path.is_none() && !a.starts_with("--") => path = Some(a.clone()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(addr) = url {
+        loop {
+            let body = match s2e_obs::http_get(&addr, "/report") {
+                Ok(b) => b,
+                Err(e) => fail(&format!("cannot scrape {addr}: {e}")),
+            };
+            match render_report(&body) {
+                Ok(text) => draw(&text, follow),
+                Err(e) => fail(&e),
+            }
+            if !follow {
+                return;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    let path = path.unwrap_or_else(|| "results/run_live.jsonl".to_string());
+    let mut last_rendered = String::new();
+    loop {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("cannot read {path}: {e}")),
+        };
+        match render_latest(&text) {
+            Ok(rendered) => {
+                if rendered != last_rendered {
+                    draw(&rendered, follow);
+                    last_rendered = rendered;
+                }
+            }
+            // A follow that starts before the sampler's first line sees
+            // an empty file; keep polling instead of dying.
+            Err(e) if follow => {
+                let _ = e;
+            }
+            Err(e) => fail(&e),
+        }
+        if !follow || last_rendered.contains("[final]") {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// In follow mode, repaint from the top-left; one-shot mode just
+/// prints.
+fn draw(text: &str, follow: bool) {
+    if follow {
+        print!("\x1b[2J\x1b[H");
+    }
+    print!("{text}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -26,6 +26,7 @@
 
 pub mod ddt;
 pub mod deadcode;
+pub mod live_top;
 pub mod profs;
 pub mod rev;
 pub mod trace_report;

@@ -85,6 +85,19 @@ pub fn render(report: &RunReport, top: usize) -> String {
         )
         .unwrap();
     }
+
+    // Full counter dump: every metric section, every key, no
+    // abridging — the completeness contract (tests/counter_drift.rs)
+    // holds new engine/solver/dbt counters to appearing here.
+    if !report.sections.is_empty() {
+        writeln!(out).unwrap();
+        writeln!(out, "counters").unwrap();
+        for section in &report.sections {
+            for (key, value) in &section.counters {
+                writeln!(out, "  {}.{} {}", section.name, key, fmt_counter(*value)).unwrap();
+            }
+        }
+    }
     out
 }
 
@@ -100,6 +113,16 @@ fn percent(part: u64, whole: u64) -> f64 {
         0.0
     } else {
         part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Counter values are f64 in the report schema but almost always whole
+/// numbers; print those without the trailing `.0`.
+fn fmt_counter(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
     }
 }
 
@@ -149,6 +172,14 @@ mod tests {
         assert!(text.contains("55.0%"), "{text}");
         // Worker 0 never went idle.
         assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn counter_dump_lists_every_section_key() {
+        let text = render(&canned(), 3);
+        assert!(text.contains("counters"), "{text}");
+        assert!(text.contains("  parallel.total_paths 33"), "{text}");
+        assert!(text.contains("  solver.queries 64"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Counter-drift tripwire: every field of the engine/solver/translator
+//! stat structs must surface in all three report renderings — the
+//! `RunReport` JSON, the Chrome trace, and the `trace-report` text.
+//!
+//! Field names are recovered by reflection over the structs' `Debug`
+//! output, so adding a counter to `EngineStats`, `SolverStats`,
+//! `DbtStats`, or `SharedCacheStats` without threading it through
+//! `build_run_report` (and thus through every renderer) fails this test
+//! immediately instead of silently dropping the number from the
+//! operator-facing reports. Duration-typed fields are expected under
+//! their `<name>_ns` spelling.
+
+use s2e_core::{build_run_report, runreport_twins, EngineStats, ParallelReport};
+use s2e_dbt::DbtStats;
+use s2e_obs::chrome_trace_report;
+use s2e_solver::{SharedCacheStats, SolverStats};
+use s2e_tools::trace_report;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Extracts `(field, value_token)` pairs — at every nesting level —
+/// from a struct's `Debug` rendering.
+fn debug_fields(s: &str) -> Vec<(String, String)> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(j) = s[i..].find(": ").map(|off| i + off) {
+        let mut k = j;
+        while k > 0 && (bytes[k - 1].is_ascii_alphanumeric() || bytes[k - 1] == b'_') {
+            k -= 1;
+        }
+        let name = &s[k..j];
+        let rest = &s[j + 2..];
+        let end = rest
+            .find(|c: char| matches!(c, ',' | ' ' | '}' | ']'))
+            .unwrap_or(rest.len());
+        if name.chars().next().is_some_and(|c| c.is_ascii_lowercase()) {
+            out.push((name.to_string(), rest[..end].to_string()));
+        }
+        i = j + 2;
+    }
+    out
+}
+
+/// A `Debug` value token like `0ns`, `1.5ms`, or `2s` marks a
+/// `Duration` field; those are reported in nanoseconds under `_ns`.
+fn is_duration(value: &str) -> bool {
+    value.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && value.chars().last().is_some_and(|c| c.is_ascii_alphabetic())
+}
+
+/// The report keys implied by one stats struct's `Debug` output.
+fn expected_keys(debug: &str) -> Vec<String> {
+    let mut seen = HashSet::new();
+    debug_fields(debug)
+        .into_iter()
+        .map(|(name, value)| {
+            if is_duration(&value) && !name.ends_with("_ns") {
+                format!("{name}_ns")
+            } else {
+                name
+            }
+        })
+        .filter(|k| seen.insert(k.clone()))
+        .collect()
+}
+
+fn empty_report() -> ParallelReport {
+    ParallelReport {
+        workers: Vec::new(),
+        stats: EngineStats::default(),
+        bugs: Vec::new(),
+        covered_blocks: HashSet::new(),
+        total_paths: 0,
+        steals: 0,
+        reclaims: 0,
+        exports: 0,
+        queue_leftover: 0,
+        evicted_leftover: 0,
+        queue_bytes_peak: 0,
+        shared_cache: SharedCacheStats::default(),
+        dbt: DbtStats::default(),
+        solver: SolverStats::default(),
+        wall_time: Duration::from_millis(1),
+    }
+}
+
+#[test]
+fn every_stats_field_reaches_all_three_renderings() {
+    let run_report = build_run_report(&empty_report(), None);
+    let json = run_report.render();
+    let chrome = chrome_trace_report(&run_report);
+    let text = trace_report::render(&run_report, 16);
+
+    let sources = [
+        format!("{:?}", EngineStats::default()),
+        format!("{:?}", SolverStats::default()),
+        format!("{:?}", DbtStats::default()),
+        format!("{:?}", SharedCacheStats::default()),
+    ];
+    for debug in &sources {
+        let keys = expected_keys(debug);
+        assert!(!keys.is_empty(), "reflection found no fields in {debug}");
+        for key in keys {
+            assert!(json.contains(&key), "RunReport JSON dropped counter {key}");
+            assert!(chrome.contains(&key), "Chrome trace dropped counter {key}");
+            assert!(text.contains(&key), "trace-report text dropped counter {key}");
+        }
+    }
+}
+
+#[test]
+fn every_registry_twin_resolves_in_the_report() {
+    let run_report = build_run_report(&empty_report(), None);
+    for (counter, section, key) in runreport_twins() {
+        let found = run_report
+            .section(section)
+            .and_then(|s| s.get(key))
+            .is_some();
+        assert!(
+            found,
+            "registry counter {} claims twin {section}.{key}, absent from the RunReport",
+            counter.name()
+        );
+    }
+}

@@ -96,4 +96,16 @@ test -s results/dbt_dispatch.json
 # escaped / discovered — nothing silently absorbed); exits nonzero
 # otherwise.
 cargo run -q --release --offline -p bench --bin static_refine -- --smoke
+
+# Gate 10: live-telemetry smoke — the sharded registry, delta sampler,
+# and scrape endpoint must never perturb exploration: bit-identical
+# path sets across off/sampling/endpoint arms on both schedulers, and
+# the final run_live.jsonl line's cumulative counters must exactly
+# equal their RunReport twins (plus the documented composites). Smoke
+# mode skips the 2% overhead assertion (single-core CI noise); emits
+# results/telemetry_overhead.json and results/run_live.jsonl (exits
+# nonzero otherwise).
+cargo run -q --release --offline -p bench --bin telemetry_overhead -- --smoke
+test -s results/telemetry_overhead.json
+test -s results/run_live.jsonl
 echo "verify: ok"
