@@ -1,0 +1,159 @@
+//! Distributed-exploration identity gate (DESIGN.md §17): coordinator
+//! + 2 worker processes on localhost vs `explore_parallel`, on the
+//! 91C111-LC corpus.
+//!
+//! Both arms run the identical guest recipe (`s2e_dist::guest`) to
+//! exhaustion, so the explored path tree — not the schedule — is the
+//! only thing being compared. The gate demands:
+//!
+//! * bit-identical sorted path-digest multisets across the two tiers,
+//! * identical path counts, fork counts, and covered-block sets,
+//! * the global conservation invariant
+//!   `exports == steals + reclaims + queue_leftover` on the
+//!   distributed ledger (exhaustive ⇒ leftover 0 on both arms).
+//!
+//! Per-state integrity across the wire is enforced inside the run:
+//! every export is evicted with verification on, so the compact state
+//! carries a fingerprint that `rehydrate` asserts in the importing
+//! process. Writes `results/dist_explore.json`; `--smoke` is the
+//! verify.sh gate-11 entry point (same arms, same assertions).
+//!
+//! This binary is also its own worker executable: the coordinator arm
+//! re-executes it with `--role worker`.
+
+use bench::json::Json;
+use bench::timing::workspace_root;
+use s2e_core::parallel::{explore_parallel, ParallelConfig, ParallelReport, WorkerContext};
+use s2e_core::{ConsistencyModel, Engine};
+use s2e_dist::{Coordinator, DistReport, JobSpec};
+use std::process::{Child, Command, Stdio};
+
+const GUEST: &str = "91c111";
+const MODEL: ConsistencyModel = ConsistencyModel::Lc;
+const WORKERS: usize = 2;
+const MAX_STEPS: u64 = 5_000_000;
+
+fn build_worker(ctx: &WorkerContext) -> Engine {
+    let (machine, config) = s2e_dist::guest::build(GUEST, MODEL).unwrap();
+    let mut e = ctx.engine(machine, config);
+    s2e_dist::guest::inject(&mut e, GUEST).unwrap();
+    e.set_retain_terminated(true);
+    e
+}
+
+fn run_in_process() -> ParallelReport {
+    let report = explore_parallel(&ParallelConfig::new(WORKERS, MAX_STEPS), build_worker);
+    assert_eq!(report.queue_leftover, 0, "in-process arm must run to exhaustion");
+    report
+}
+
+fn spawn_worker(addr: &str, worker: usize) -> Child {
+    Command::new(std::env::current_exe().unwrap())
+        .args(["--role", "worker", "--addr", addr, "--worker", &worker.to_string()])
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn worker process")
+}
+
+fn run_distributed() -> (DistReport, u64) {
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind coordinator");
+    let addr = coordinator.addr().unwrap().to_string();
+    let mut children: Vec<Child> = (0..WORKERS).map(|w| spawn_worker(&addr, w)).collect();
+    let spec = JobSpec::new(GUEST, MODEL, MAX_STEPS, WORKERS as u32);
+    let mut feed_lines = 0u64;
+    let result = coordinator.run_job(&spec, Some(|_line: &str| feed_lines += 1));
+    for c in &mut children {
+        let status = c.wait().expect("wait worker process");
+        assert!(status.success(), "worker process failed: {status:?}");
+    }
+    let report = result.expect("distributed run");
+    (report, feed_lines)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--role") {
+        assert_eq!(args.get(i + 1).map(String::as_str), Some("worker"));
+        let addr = &args[args.iter().position(|a| a == "--addr").unwrap() + 1];
+        let worker: usize = args[args.iter().position(|a| a == "--worker").unwrap() + 1]
+            .parse()
+            .unwrap();
+        s2e_dist::run_worker(addr, worker).expect("worker run");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let par = run_in_process();
+    let (dist, feed_lines) = run_distributed();
+
+    // The identity bar: same path multiset, bit for bit. Diff the
+    // multisets before asserting so a gate failure names the paths.
+    if dist.path_digests != par.path_digests {
+        let mut only_dist = dist.path_digests.clone();
+        let mut only_par = par.path_digests.clone();
+        for d in &par.path_digests {
+            if let Some(i) = only_dist.iter().position(|x| x == d) {
+                only_dist.remove(i);
+            }
+        }
+        for d in &dist.path_digests {
+            if let Some(i) = only_par.iter().position(|x| x == d) {
+                only_par.remove(i);
+            }
+        }
+        panic!(
+            "path digests diverge: {} paths only in distributed {only_dist:x?}, \
+             {} only in-process {only_par:x?}",
+            only_dist.len(),
+            only_par.len()
+        );
+    }
+    assert_eq!(dist.total_paths, par.total_paths as u64, "path counts diverge");
+    assert_eq!(dist.forks, par.stats.forks, "fork counts diverge");
+    let mut par_blocks: Vec<u32> = par.covered_blocks.iter().copied().collect();
+    par_blocks.sort_unstable();
+    assert_eq!(dist.covered_blocks, par_blocks, "covered blocks diverge");
+
+    // The global ledger (run_job checked it too; assert loudly here).
+    s2e_dist::coordinator::check_conservation(&dist).expect("conservation invariant");
+    assert_eq!(dist.queue_leftover, 0, "exhaustive run strands nothing");
+    assert!(dist.snapshots_relayed > 0, "merged feed must carry snapshots");
+    assert_eq!(dist.snapshots_relayed, feed_lines, "every snapshot reaches the feed");
+
+    let out = Json::obj()
+        .set("experiment", "dist_explore")
+        .set("guest", GUEST)
+        .set("model", MODEL.name())
+        .set("workers", WORKERS as u64)
+        .set("smoke", smoke)
+        .set("paths", dist.total_paths)
+        .set("path_digests_identical", dist.path_digests == par.path_digests)
+        .set("covered_blocks", dist.covered_blocks.len() as u64)
+        .set("exports", dist.exports)
+        .set("steals", dist.steals)
+        .set("reclaims", dist.reclaims)
+        .set("queue_leftover", dist.queue_leftover)
+        .set("evictions", dist.evictions)
+        .set("rehydrations", dist.rehydrations)
+        .set("cache_entries", dist.cache_entries)
+        .set("cache_imports", dist.cache_imports)
+        .set("snapshots_relayed", dist.snapshots_relayed)
+        .set("steps_used_dist", dist.steps_used)
+        .set("wall_ms_dist", dist.wall_ms)
+        .set("wall_ms_in_process", par.wall_time.as_millis() as u64)
+        .set("paths_in_process", par.total_paths)
+        .set("exports_in_process", par.exports);
+    let path = workspace_root().join("results/dist_explore.json");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out.render()).unwrap();
+    println!(
+        "dist_explore: {} paths, digests identical across tiers, \
+         {} exports ({} steals + {} reclaims), {} cache entries, wrote {}",
+        dist.total_paths,
+        dist.exports,
+        dist.steals,
+        dist.reclaims,
+        dist.cache_entries,
+        path.display()
+    );
+}

@@ -235,6 +235,65 @@ impl Journal {
             pos: 0,
         }
     }
+
+    /// Appends a portable encoding of the journal — both the event log
+    /// and the variable-id side stream — for cross-process state
+    /// shipping (DESIGN.md §17). Lives here because the buffers are
+    /// private to this module.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        use s2e_expr::wire::write_varint;
+        write_varint(out, u64::from(self.events));
+        write_varint(out, self.buf.len() as u64);
+        out.extend_from_slice(&self.buf);
+        write_varint(out, u64::from(self.var_count));
+        write_varint(out, self.var_buf.len() as u64);
+        out.extend_from_slice(&self.var_buf);
+    }
+
+    /// Decodes a journal written by [`Journal::encode_wire`].
+    ///
+    /// Unlike replay (which panics on corruption, because a corrupt
+    /// *local* journal is an engine bug), wire decoding fully validates
+    /// both streams up front and returns a clean error — bytes from
+    /// another process are untrusted input. A journal this returns is
+    /// safe to hand to [`ReplayCursor`] and [`Journal::var_ids`].
+    pub fn decode_wire(r: &mut s2e_expr::wire::WireReader<'_>) -> std::io::Result<Journal> {
+        use s2e_expr::wire::{bad_data, WireReader};
+        let events = r.read_len(u64::from(u32::MAX), "journal event count")? as u32;
+        let buf_len = r.read_len(1 << 28, "journal event log")?;
+        let buf = r.read_bytes(buf_len)?.to_vec();
+        let var_count = r.read_len(u64::from(u32::MAX), "journal var count")? as u32;
+        let var_len = r.read_len(1 << 28, "journal var stream")?;
+        let var_buf = r.read_bytes(var_len)?.to_vec();
+
+        let mut v = WireReader::new(&buf);
+        for _ in 0..events {
+            match v.read_u8()? {
+                TAG_FEASIBLE | TAG_FORK | TAG_EDGE_FORCE => {
+                    let b = v.read_u8()?;
+                    if b > 1 {
+                        return Err(bad_data(format!("journal flag byte {b} is not 0/1")));
+                    }
+                }
+                TAG_CONCRETIZE | TAG_PRNG_DRAW => {
+                    v.read_varint()?;
+                }
+                TAG_CURTAIL => {}
+                t => return Err(bad_data(format!("unknown journal event tag {t}"))),
+            }
+        }
+        if !v.is_empty() {
+            return Err(bad_data("journal event log has trailing bytes"));
+        }
+        let mut v = WireReader::new(&var_buf);
+        for _ in 0..var_count {
+            v.read_varint()?;
+        }
+        if !v.is_empty() {
+            return Err(bad_data("journal var stream has trailing bytes"));
+        }
+        Ok(Journal { buf, events, var_buf, var_count })
+    }
 }
 
 impl fmt::Debug for Journal {

@@ -55,6 +55,7 @@ pub mod state;
 pub mod stats;
 pub mod telemetry;
 pub mod threaded;
+pub mod wire;
 
 pub use config::{Annotation, CodeRanges, ConsistencyModel, EngineConfig};
 pub use engine::{

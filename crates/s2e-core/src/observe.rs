@@ -170,6 +170,7 @@ mod tests {
             bugs: Vec::new(),
             covered_blocks: HashSet::new(),
             total_paths: 0,
+            path_digests: Vec::new(),
             steals: 0,
             reclaims: 0,
             exports: 0,

@@ -103,6 +103,11 @@ pub struct WorkerReport {
     pub worker: usize,
     /// Paths terminated by this worker.
     pub paths: usize,
+    /// Sorted [`ExecState::path_digest`] values of this worker's
+    /// terminated paths — nonempty only when the engine-builder closure
+    /// enabled [`Engine::set_retain_terminated`]. The distributed tier
+    /// compares the merged multiset against its own (DESIGN.md §17).
+    pub path_digests: Vec<u64>,
     /// Bugs found by this worker's analyzers.
     pub bugs: Vec<BugReport>,
     /// Block-start addresses this worker executed.
@@ -260,6 +265,9 @@ pub struct ParallelReport {
     pub covered_blocks: HashSet<u32>,
     /// Total paths terminated.
     pub total_paths: usize,
+    /// All workers' [`WorkerReport::path_digests`], merged and sorted —
+    /// the schedule-independent identity of the explored path set.
+    pub path_digests: Vec<u64>,
     /// Total exported states taken by a *different* worker.
     pub steals: u64,
     /// Total exported states popped back by their own exporter (deque
@@ -1046,9 +1054,13 @@ fn finish_worker_report(
     exports: u64,
 ) -> WorkerReport {
     let solver = engine.solver_stats().clone();
+    let mut path_digests: Vec<u64> =
+        engine.terminated_states().iter().map(ExecState::path_digest).collect();
+    path_digests.sort_unstable();
     WorkerReport {
         worker: w,
         paths: engine.terminated().len(),
+        path_digests,
         shared_query_hits: solver.shared_hits,
         solver_queries: solver.queries,
         solver_core_solves: solver.core_solves,
@@ -1093,13 +1105,16 @@ fn merge_reports(
     let mut bugs = Vec::new();
     let mut covered_blocks = HashSet::new();
     let mut total_paths = 0;
+    let mut path_digests = Vec::new();
     for r in &workers {
         stats.merge(&r.stats);
         solver.merge(&r.solver);
         bugs.extend(r.bugs.iter().cloned());
         covered_blocks.extend(r.covered_blocks.iter().copied());
         total_paths += r.paths;
+        path_digests.extend(r.path_digests.iter().copied());
     }
+    path_digests.sort_unstable();
     // Same discipline for evictions: every compact state was either
     // rehydrated by some worker or stranded in a queue at budget end.
     assert_eq!(
@@ -1113,6 +1128,7 @@ fn merge_reports(
         bugs,
         covered_blocks,
         total_paths,
+        path_digests,
         steals: totals.steals,
         reclaims: totals.reclaims,
         exports: totals.exports,

@@ -254,6 +254,14 @@ impl ExecState {
             .and_then(|b| b.as_any().downcast_ref::<T>())
     }
 
+    /// Number of plugins holding per-path state. The wire codec
+    /// (DESIGN.md §17) refuses to ship states with any: `Box<dyn
+    /// PluginState>` has no portable encoding, and silently dropping
+    /// analysis state would corrupt results.
+    pub fn plugin_state_count(&self) -> usize {
+        self.plugin_state.len()
+    }
+
     /// Creates a child state for a fork; the caller sets PC/registers and
     /// the differing constraint.
     pub fn fork_child(&self, id: StateId) -> ExecState {
@@ -444,6 +452,27 @@ impl ExecState {
             name.hash(&mut h);
             format!("{:?}", self.plugin_state[*name]).hash(&mut h);
         }
+        h.finish()
+    }
+
+    /// A schedule-independent digest of the *path* this state walked:
+    /// its termination status, fork depth, and execution counters. All
+    /// inputs are properties of the path through the guest, not of
+    /// which worker (or process) happened to explore it — unlike
+    /// [`ExecState::fingerprint`], no expression (and hence no
+    /// worker-namespaced `VarId`) enters the hash. The sorted multiset
+    /// of these digests over all terminated paths is therefore
+    /// identical for any worker count, either scheduler, and the
+    /// in-process vs distributed tiers — the bit-identity bar the
+    /// `dist_explore` gate holds the coordinator to.
+    pub fn path_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{:?}", self.status).hash(&mut h);
+        self.depth.hash(&mut h);
+        self.forks_on_path.hash(&mut h);
+        self.blocks_on_path.hash(&mut h);
+        self.instrs_retired.hash(&mut h);
+        self.sym_time_accum.hash(&mut h);
         h.finish()
     }
 }

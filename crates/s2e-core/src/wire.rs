@@ -1,0 +1,398 @@
+//! Portable binary encoding of execution states (DESIGN.md §17).
+//!
+//! What crosses a process boundary in the distributed tier is a
+//! [`CompactState`]: a checkpoint snapshot plus the journal of
+//! nondeterministic inputs recorded since — exactly the PR 6 eviction
+//! representation, given a wire form here. A checkpoint is a *narrow*
+//! `ExecState`: [`ExecState::take_checkpoint`] clears the journal and
+//! refresh counter and severs the checkpoint chain before cloning, so a
+//! snapshot always has an empty journal, no checkpoint of its own, and
+//! no replay cursor. That is what makes it encodable through public
+//! state surface alone — everything else is pub fields plus
+//! `add_constraint`/`add_soft_constraint`, which rebuild the
+//! independence partition on the receiving side.
+//!
+//! Per-path plugin state is the one unencodable part (`Box<dyn
+//! PluginState>`); shipping a state that carries any is a hard *encode*
+//! error, never a silent drop. The distributed corpus registers no
+//! analyzers, so its states are always clean.
+//!
+//! Decoding untrusted bytes errors cleanly (`InvalidData` /
+//! `UnexpectedEof`); it never panics.
+
+use crate::journal::Journal;
+use crate::state::{CompactState, EnvFrame, ExecState, StateId, TerminationReason};
+use s2e_expr::wire::{bad_data, decode_expr, encode_expr, write_varint, WireReader};
+use s2e_vm::wire::{decode_fault, decode_machine, encode_fault, encode_machine};
+use std::io;
+use std::sync::Arc;
+
+fn read_u32(r: &mut WireReader<'_>, what: &str) -> io::Result<u32> {
+    let v = r.read_varint()?;
+    if v > u64::from(u32::MAX) {
+        return Err(bad_data(format!("{what} {v:#x} exceeds 32 bits")));
+    }
+    Ok(v as u32)
+}
+
+fn read_bool(r: &mut WireReader<'_>, what: &str) -> io::Result<bool> {
+    match r.read_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(bad_data(format!("{what} flag byte {b} is not 0/1"))),
+    }
+}
+
+fn encode_termination(t: &TerminationReason, out: &mut Vec<u8>) {
+    match t {
+        TerminationReason::Halted(code) => {
+            out.push(0);
+            write_varint(out, u64::from(*code));
+        }
+        TerminationReason::Fault(f) => {
+            out.push(1);
+            encode_fault(f, out);
+        }
+        TerminationReason::Killed(code) => {
+            out.push(2);
+            write_varint(out, u64::from(*code));
+        }
+        TerminationReason::EnvInconsistency => out.push(3),
+        TerminationReason::Infeasible => out.push(4),
+        TerminationReason::SolverTimeout => out.push(5),
+        TerminationReason::FuelExhausted => out.push(6),
+        TerminationReason::MaxDepth => out.push(7),
+    }
+}
+
+fn decode_termination(r: &mut WireReader<'_>) -> io::Result<TerminationReason> {
+    Ok(match r.read_u8()? {
+        0 => TerminationReason::Halted(read_u32(r, "halt code")?),
+        1 => TerminationReason::Fault(decode_fault(r)?),
+        2 => TerminationReason::Killed(read_u32(r, "kill code")?),
+        3 => TerminationReason::EnvInconsistency,
+        4 => TerminationReason::Infeasible,
+        5 => TerminationReason::SolverTimeout,
+        6 => TerminationReason::FuelExhausted,
+        7 => TerminationReason::MaxDepth,
+        t => return Err(bad_data(format!("unknown termination tag {t}"))),
+    })
+}
+
+fn encode_env_frame(f: &EnvFrame, out: &mut Vec<u8>) {
+    match f {
+        EnvFrame::Syscall { num, args } => {
+            out.push(0);
+            write_varint(out, u64::from(*num));
+            for a in args {
+                write_varint(out, u64::from(*a));
+            }
+        }
+        EnvFrame::Irq { line } => {
+            out.push(1);
+            write_varint(out, u64::from(*line));
+        }
+        EnvFrame::Marker => out.push(2),
+    }
+}
+
+fn decode_env_frame(r: &mut WireReader<'_>) -> io::Result<EnvFrame> {
+    Ok(match r.read_u8()? {
+        0 => {
+            let num = read_u32(r, "syscall num")?;
+            let mut args = [0u32; 4];
+            for a in &mut args {
+                *a = read_u32(r, "syscall arg")?;
+            }
+            EnvFrame::Syscall { num, args }
+        }
+        1 => EnvFrame::Irq { line: read_u32(r, "irq line")? },
+        2 => EnvFrame::Marker,
+        t => return Err(bad_data(format!("unknown env-frame tag {t}"))),
+    })
+}
+
+fn encode_opt_termination(t: &Option<TerminationReason>, out: &mut Vec<u8>) {
+    match t {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            encode_termination(t, out);
+        }
+    }
+}
+
+fn decode_opt_termination(r: &mut WireReader<'_>) -> io::Result<Option<TerminationReason>> {
+    match r.read_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_termination(r)?)),
+        t => Err(bad_data(format!("unknown option tag {t}"))),
+    }
+}
+
+/// Appends a checkpoint snapshot of an execution state.
+///
+/// # Errors
+///
+/// Fails if `state` is not in checkpoint form (non-empty journal, a
+/// checkpoint of its own, or an armed replay cursor), carries per-path
+/// plugin state, or has a device with no wire encoding.
+pub fn encode_checkpoint(state: &ExecState, out: &mut Vec<u8>) -> io::Result<()> {
+    if !state.journal().is_empty()
+        || state.checkpoint().is_some()
+        || state.forks_since_checkpoint() != 0
+        || state.replaying()
+    {
+        return Err(bad_data("state is not in checkpoint form"));
+    }
+    if state.plugin_state_count() != 0 {
+        return Err(bad_data(format!(
+            "state {} carries plugin state, which has no wire encoding",
+            state.id
+        )));
+    }
+    write_varint(out, state.id.0);
+    match state.parent {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            write_varint(out, p.0);
+        }
+    }
+    encode_machine(&state.machine, out)?;
+    write_varint(out, state.constraints.len() as u64);
+    for c in &state.constraints {
+        encode_expr(c, out);
+    }
+    write_varint(out, state.soft_constraints.len() as u64);
+    for &i in &state.soft_constraints {
+        write_varint(out, i as u64);
+    }
+    out.push(state.forking_enabled as u8);
+    write_varint(out, state.env_stack.len() as u64);
+    for f in &state.env_stack {
+        encode_env_frame(f, out);
+    }
+    write_varint(out, u64::from(state.depth));
+    write_varint(out, u64::from(state.forks_on_path));
+    write_varint(out, state.blocks_on_path);
+    write_varint(out, state.instrs_retired);
+    write_varint(out, state.sym_time_accum);
+    encode_opt_termination(&state.kill_requested, out);
+    encode_opt_termination(&state.status, out);
+    Ok(())
+}
+
+/// Decodes a checkpoint written by [`encode_checkpoint`].
+///
+/// Constraints are re-added through `add_constraint` /
+/// `add_soft_constraint`, so the independence partition is rebuilt
+/// identical to the source state's.
+pub fn decode_checkpoint(r: &mut WireReader<'_>) -> io::Result<ExecState> {
+    let id = StateId(r.read_varint()?);
+    let parent = match r.read_u8()? {
+        0 => None,
+        1 => Some(StateId(r.read_varint()?)),
+        t => return Err(bad_data(format!("unknown option tag {t}"))),
+    };
+    let machine = decode_machine(r)?;
+    let mut state = ExecState::initial(machine);
+    state.id = id;
+    state.parent = parent;
+    let n_constraints = r.read_len(1 << 24, "constraint list")?;
+    let mut constraints = Vec::with_capacity(n_constraints.min(1024));
+    for _ in 0..n_constraints {
+        constraints.push(decode_expr(r)?);
+    }
+    let n_soft = r.read_len(n_constraints as u64, "soft-constraint list")?;
+    let mut soft = Vec::with_capacity(n_soft);
+    for _ in 0..n_soft {
+        let i = r.read_varint()? as usize;
+        if i >= n_constraints || soft.last().is_some_and(|&last| i <= last) {
+            return Err(bad_data(format!("soft-constraint index {i} invalid")));
+        }
+        soft.push(i);
+    }
+    let mut soft_iter = soft.iter().peekable();
+    for (i, c) in constraints.into_iter().enumerate() {
+        if soft_iter.peek() == Some(&&i) {
+            soft_iter.next();
+            state.add_soft_constraint(c);
+        } else {
+            state.add_constraint(c);
+        }
+    }
+    state.forking_enabled = read_bool(r, "forking_enabled")?;
+    let n_env = r.read_len(1 << 16, "env stack")?;
+    for _ in 0..n_env {
+        state.env_stack.push(decode_env_frame(r)?);
+    }
+    state.depth = read_u32(r, "depth")?;
+    state.forks_on_path = read_u32(r, "forks_on_path")?;
+    state.blocks_on_path = r.read_varint()?;
+    state.instrs_retired = r.read_varint()?;
+    state.sym_time_accum = r.read_varint()?;
+    state.kill_requested = decode_opt_termination(r)?;
+    state.status = decode_opt_termination(r)?;
+    Ok(state)
+}
+
+/// Appends a [`CompactState`] — the unit the coordinator queues and
+/// ships between worker processes.
+pub fn encode_compact(c: &CompactState, out: &mut Vec<u8>) -> io::Result<()> {
+    write_varint(out, c.id.0);
+    match c.parent {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            write_varint(out, p.0);
+        }
+    }
+    write_varint(out, u64::from(c.depth));
+    write_varint(out, u64::from(c.forks_on_path));
+    write_varint(out, c.blocks_on_path);
+    write_varint(out, u64::from(c.forks_since_checkpoint));
+    match c.fingerprint {
+        None => out.push(0),
+        Some(fp) => {
+            out.push(1);
+            write_varint(out, fp);
+        }
+    }
+    c.journal.encode_wire(out);
+    encode_checkpoint(&c.checkpoint, out)
+}
+
+/// Decodes a compact state written by [`encode_compact`].
+pub fn decode_compact(r: &mut WireReader<'_>) -> io::Result<CompactState> {
+    let id = StateId(r.read_varint()?);
+    let parent = match r.read_u8()? {
+        0 => None,
+        1 => Some(StateId(r.read_varint()?)),
+        t => return Err(bad_data(format!("unknown option tag {t}"))),
+    };
+    let depth = read_u32(r, "depth")?;
+    let forks_on_path = read_u32(r, "forks_on_path")?;
+    let blocks_on_path = r.read_varint()?;
+    let forks_since_checkpoint = read_u32(r, "forks_since_checkpoint")?;
+    let fingerprint = match r.read_u8()? {
+        0 => None,
+        1 => Some(r.read_varint()?),
+        t => return Err(bad_data(format!("unknown option tag {t}"))),
+    };
+    let journal = Journal::decode_wire(r)?;
+    let checkpoint = decode_checkpoint(r)?;
+    if blocks_on_path < checkpoint.blocks_on_path {
+        return Err(bad_data(format!(
+            "compact state claims {blocks_on_path} blocks but its checkpoint already has {}",
+            checkpoint.blocks_on_path
+        )));
+    }
+    Ok(CompactState {
+        id,
+        parent,
+        depth,
+        forks_on_path,
+        blocks_on_path,
+        forks_since_checkpoint,
+        fingerprint,
+        journal,
+        checkpoint: Arc::new(checkpoint),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_expr::{ExprBuilder, Width};
+    use s2e_vm::Machine;
+
+    fn sample_state() -> ExecState {
+        let b = ExprBuilder::new();
+        let mut s = ExecState::initial(Machine::new());
+        s.id = StateId(42);
+        s.parent = Some(StateId(7));
+        s.machine.cpu.pc = 0x3000;
+        s.machine.mem.write_u32(0x5000, 0xabcd).unwrap();
+        let x = b.var("x", Width::W8);
+        let y = b.var("y", Width::W8);
+        s.add_constraint(b.ult(x.clone(), b.constant(5, Width::W8)));
+        s.add_soft_constraint(b.eq(y.clone(), b.constant(1, Width::W8)));
+        s.add_constraint(b.ne(x, y));
+        s.env_stack.push(EnvFrame::Syscall { num: 3, args: [1, 2, 3, 4] });
+        s.env_stack.push(EnvFrame::Irq { line: 1 });
+        s.depth = 4;
+        s.forks_on_path = 2;
+        s.blocks_on_path = 99;
+        s.instrs_retired = 1234;
+        s.sym_time_accum = 5;
+        s
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_fingerprint() {
+        let s = sample_state();
+        let mut buf = Vec::new();
+        encode_checkpoint(&s, &mut buf).unwrap();
+        let mut r = WireReader::new(&buf);
+        let back = decode_checkpoint(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.id, s.id);
+        assert_eq!(back.parent, s.parent);
+        assert_eq!(back.fingerprint(), s.fingerprint());
+        assert_eq!(back.soft_constraints, s.soft_constraints);
+        assert_eq!(back.partition.components().len(), s.partition.components().len());
+    }
+
+    #[test]
+    fn non_checkpoint_states_refuse_to_encode() {
+        let mut with_journal = sample_state();
+        with_journal.record_feasible(true);
+        assert!(encode_checkpoint(&with_journal, &mut Vec::new()).is_err());
+
+        let mut with_checkpoint = sample_state();
+        with_checkpoint.take_checkpoint();
+        assert!(encode_checkpoint(&with_checkpoint, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn compact_round_trip_with_journal_suffix() {
+        let mut s = sample_state();
+        s.take_checkpoint();
+        s.record_feasible(true);
+        s.record_concretize(7);
+        s.record_var_ids(&[900, 901]);
+        s.blocks_on_path += 3;
+        s.forks_on_path += 1;
+        s.count_fork_toward_checkpoint();
+        let compact = s.into_compact(true);
+        let mut buf = Vec::new();
+        encode_compact(&compact, &mut buf).unwrap();
+        let mut r = WireReader::new(&buf);
+        let back = decode_compact(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.id, compact.id);
+        assert_eq!(back.fingerprint, compact.fingerprint);
+        assert_eq!(back.journal.event_count(), 2);
+        assert_eq!(back.journal.var_ids(), vec![900, 901]);
+        assert_eq!(back.forks_since_checkpoint, 1);
+        assert_eq!(back.checkpoint.fingerprint(), compact.checkpoint.fingerprint());
+        assert_eq!(back.checkpoint_distance(), compact.checkpoint_distance());
+    }
+
+    #[test]
+    fn truncated_compact_errors_cleanly() {
+        let mut s = sample_state();
+        s.take_checkpoint();
+        let compact = s.into_compact(false);
+        let mut buf = Vec::new();
+        encode_compact(&compact, &mut buf).unwrap();
+        for cut in [0, 1, buf.len() / 3, buf.len() / 2, buf.len() - 1] {
+            assert!(decode_compact(&mut WireReader::new(&buf[..cut])).is_err());
+        }
+        // Garbage prefix.
+        let mut garbage = vec![0xff; 64];
+        garbage.extend_from_slice(&buf);
+        assert!(decode_compact(&mut WireReader::new(&garbage)).is_err());
+    }
+}

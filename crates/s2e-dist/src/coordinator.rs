@@ -1,0 +1,529 @@
+//! The coordinator process: global step budget, compact-state queue,
+//! master query cache, merged telemetry feed, and the job API
+//! (DESIGN.md §17).
+//!
+//! One handler thread per worker connection serves the lock-step RPCs
+//! from [`crate::worker`]. All scheduling state lives in one mutex —
+//! the coordinator is the deque scheduler's shared half with frames in
+//! place of shared memory:
+//!
+//! * `CLAIM` debits the global budget; a zero grant marks the run done
+//!   (mirroring the in-process budget-exhaustion path, which strands
+//!   whatever is still queued as `queue_leftover`).
+//! * `EXPORT` queues compact states tagged with their exporter, never
+//!   decoding them — routing needs no expression interner.
+//! * `NEED_WORK` parks the worker server-side on a condvar. Assignment
+//!   back to the exporter is a reclaim, to anyone else a steal. When
+//!   every worker is parked and the queue is empty, the job is done —
+//!   sound for the same reason as in-process: exports are acked before
+//!   the exporter proceeds, so a parked count of `workers` means no
+//!   state is in flight.
+//! * `CACHE_SYNC` merges the worker's delta into the master query
+//!   cache and returns everything the worker hasn't seen. The
+//!   returned delta is computed *before* the import, so a worker's own
+//!   entries are echoed back at most once (its import skips keys it
+//!   already holds) and other workers' entries are never missed.
+//! * `SNAPSHOT` wraps the worker's `s2e-live-v1` line in an
+//!   `s2e-live-dist-v1` envelope with a global sequence number and
+//!   relays it to the job's feed sink.
+//!
+//! After the last `DONE`, the coordinator reconciles the global
+//! ledger: `exports == steals + reclaims + queue_leftover`, worker
+//! export counts against its own receipt count, and evictions against
+//! rehydrations — a violated invariant is an error, not a statistic.
+
+use crate::frame;
+use crate::proto::{
+    self, Assign, Claim, DistReport, ExportBatch, Hello, JobSpec, Refund, WorkerDone,
+};
+use s2e_expr::wire::bad_data;
+use s2e_solver::SharedQueryCache;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::Child;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Scheduling state shared by the per-worker handler threads.
+struct Shared {
+    /// Compact states awaiting assignment, tagged with their exporter.
+    queue: VecDeque<(u32, Vec<u8>)>,
+    /// Workers currently parked in `NEED_WORK`.
+    waiting: usize,
+    /// Set on budget exhaustion or global completion; never cleared.
+    done: bool,
+    /// Steps still grantable.
+    budget_left: u64,
+    steps_granted: u64,
+    steps_refunded: u64,
+    exports: u64,
+    steals: u64,
+    reclaims: u64,
+    cache_imports: u64,
+    snapshots_relayed: u64,
+    reports: Vec<Option<WorkerDone>>,
+}
+
+/// A coordinator bound to a listening socket. One instance runs one
+/// job at a time; the job server ([`serve_jobs`]) binds a fresh one
+/// per submission.
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+impl Coordinator {
+    /// Binds the worker-facing listener (use port 0 for an ephemeral
+    /// port, then read it back with [`Coordinator::addr`]).
+    pub fn bind(addr: &str) -> io::Result<Coordinator> {
+        Ok(Coordinator { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address workers should connect to.
+    pub fn addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs one job to completion: accepts `spec.workers` worker
+    /// connections, serves the protocol, and returns the reconciled
+    /// report. `feed` receives each merged `s2e-live-dist-v1` line.
+    ///
+    /// Any worker-connection failure (including a mid-stream
+    /// disconnect) marks the job done so the remaining workers wind
+    /// down instead of hanging, then surfaces as the job's error.
+    pub fn run_job<F>(&self, spec: &JobSpec, feed: Option<F>) -> io::Result<DistReport>
+    where
+        F: FnMut(&str) + Send,
+    {
+        let started = Instant::now();
+        let workers = spec.workers as usize;
+        let mut conns: Vec<Option<TcpStream>> = (0..workers).map(|_| None).collect();
+        for _ in 0..workers {
+            let (mut conn, _) = self.listener.accept()?;
+            conn.set_nodelay(true)?;
+            let hello = Hello::decode(&proto::recv(&mut conn, proto::T_HELLO, "hello")?)?;
+            let w = hello.worker as usize;
+            if w >= workers {
+                return Err(bad_data(format!("worker index {w} out of range")));
+            }
+            if conns[w].is_some() {
+                return Err(bad_data(format!("duplicate worker index {w}")));
+            }
+            proto::send(&mut conn, proto::T_JOB, &spec.encode())?;
+            conns[w] = Some(conn);
+        }
+
+        let mut reports = Vec::new();
+        reports.resize_with(workers, || None);
+        let st = Mutex::new(Shared {
+            queue: VecDeque::new(),
+            waiting: 0,
+            done: false,
+            budget_left: spec.max_steps,
+            steps_granted: 0,
+            steps_refunded: 0,
+            exports: 0,
+            steals: 0,
+            reclaims: 0,
+            cache_imports: 0,
+            snapshots_relayed: 0,
+            reports,
+        });
+        let cv = Condvar::new();
+        let master = SharedQueryCache::default();
+        let marks = Mutex::new(vec![0u64; workers]);
+        let feed = Mutex::new(feed);
+
+        let results: Vec<io::Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = conns
+                .into_iter()
+                .enumerate()
+                .map(|(w, conn)| {
+                    let conn = conn.unwrap();
+                    let (st, cv, master, marks, feed, spec) =
+                        (&st, &cv, &master, &marks, &feed, &*spec);
+                    scope.spawn(move || {
+                        let r = serve_worker(w, conn, spec, st, cv, master, marks, feed);
+                        if r.is_err() {
+                            // Don't strand the other workers on a dead
+                            // peer: declare the run over and wake parkers.
+                            let mut g = st.lock().unwrap();
+                            g.done = true;
+                            drop(g);
+                            cv.notify_all();
+                        }
+                        r
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            r?;
+        }
+
+        let g = st.into_inner().unwrap();
+        let mut workers_done = Vec::with_capacity(workers);
+        for (w, r) in g.reports.into_iter().enumerate() {
+            workers_done.push(r.ok_or_else(|| bad_data(format!("worker {w} never reported")))?);
+        }
+
+        let mut path_digests = Vec::new();
+        let mut covered_blocks = Vec::new();
+        for w in &workers_done {
+            path_digests.extend(w.path_digests.iter().copied());
+            covered_blocks.extend(w.covered_blocks.iter().copied());
+        }
+        path_digests.sort_unstable();
+        covered_blocks.sort_unstable();
+        covered_blocks.dedup();
+
+        let report = DistReport {
+            total_paths: workers_done.iter().map(|w| w.paths).sum(),
+            path_digests,
+            covered_blocks,
+            forks: workers_done.iter().map(|w| w.forks).sum(),
+            states_created: workers_done.iter().map(|w| w.states_created).sum(),
+            blocks_executed: workers_done.iter().map(|w| w.blocks_executed).sum(),
+            exports: g.exports,
+            steals: g.steals,
+            reclaims: g.reclaims,
+            queue_leftover: g.queue.len() as u64,
+            evictions: workers_done.iter().map(|w| w.evictions).sum(),
+            rehydrations: workers_done.iter().map(|w| w.rehydrations).sum(),
+            cache_entries: master.len() as u64,
+            cache_imports: g.cache_imports,
+            snapshots_relayed: g.snapshots_relayed,
+            steps_used: g.steps_granted - g.steps_refunded,
+            wall_ms: started.elapsed().as_millis() as u64,
+            workers: workers_done,
+        };
+        check_conservation(&report)?;
+        Ok(report)
+    }
+}
+
+/// The global conservation check: every exported state must be
+/// accounted as stolen, reclaimed, or left queued, across all
+/// processes — and since every export ships compact, the
+/// eviction/rehydration ledger must balance the same way.
+pub fn check_conservation(r: &DistReport) -> io::Result<()> {
+    if r.exports != r.steals + r.reclaims + r.queue_leftover {
+        return Err(bad_data(format!(
+            "conservation violated: exports {} != steals {} + reclaims {} + leftover {}",
+            r.exports, r.steals, r.reclaims, r.queue_leftover
+        )));
+    }
+    let worker_exports: u64 = r.workers.iter().map(|w| w.exports).sum();
+    if worker_exports != r.exports {
+        return Err(bad_data(format!(
+            "conservation violated: workers exported {} states, coordinator received {}",
+            worker_exports, r.exports
+        )));
+    }
+    if r.evictions != r.rehydrations + r.queue_leftover {
+        return Err(bad_data(format!(
+            "conservation violated: evictions {} != rehydrations {} + leftover {}",
+            r.evictions, r.rehydrations, r.queue_leftover
+        )));
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_worker<F>(
+    w: usize,
+    mut conn: TcpStream,
+    spec: &JobSpec,
+    st: &Mutex<Shared>,
+    cv: &Condvar,
+    master: &SharedQueryCache,
+    marks: &Mutex<Vec<u64>>,
+    feed: &Mutex<Option<F>>,
+) -> io::Result<()>
+where
+    F: FnMut(&str) + Send,
+{
+    loop {
+        let (ty, payload) = frame::read_frame(&mut conn)?;
+        match ty {
+            proto::T_CLAIM => {
+                let c = Claim::decode(&payload)?;
+                let mut g = st.lock().unwrap();
+                g.budget_left += c.refund;
+                g.steps_refunded += c.refund;
+                let steps = if g.done { 0 } else { c.batch.min(g.budget_left) };
+                g.budget_left -= steps;
+                g.steps_granted += steps;
+                if steps == 0 && !g.done {
+                    // Budget exhausted: the run is over; whatever is
+                    // still queued becomes queue_leftover.
+                    g.done = true;
+                    cv.notify_all();
+                }
+                let hungry = g.waiting as u32;
+                drop(g);
+                proto::send(&mut conn, proto::T_GRANT, &proto::Grant { steps, hungry }.encode())?;
+            }
+            proto::T_EXPORT => {
+                let b = ExportBatch::decode(&payload)?;
+                let mut g = st.lock().unwrap();
+                g.exports += b.states.len() as u64;
+                for s in b.states {
+                    g.queue.push_back((w as u32, s));
+                }
+                drop(g);
+                cv.notify_all();
+                proto::send(&mut conn, proto::T_EXPORT_ACK, &[])?;
+            }
+            proto::T_NEED_WORK => {
+                let r = Refund::decode(&payload)?;
+                let mut g = st.lock().unwrap();
+                g.budget_left += r.refund;
+                g.steps_refunded += r.refund;
+                loop {
+                    if let Some((from, bytes)) = g.queue.pop_front() {
+                        if from == w as u32 {
+                            g.reclaims += 1;
+                        } else {
+                            g.steals += 1;
+                        }
+                        drop(g);
+                        let a = Assign { from_worker: from, state: bytes };
+                        proto::send(&mut conn, proto::T_ASSIGN, &a.encode())?;
+                        break;
+                    }
+                    if g.done {
+                        drop(g);
+                        proto::send(&mut conn, proto::T_FINISHED, &[])?;
+                        break;
+                    }
+                    g.waiting += 1;
+                    if g.waiting == spec.workers as usize {
+                        // Everyone is parked and the queue is empty:
+                        // exploration is complete.
+                        g.waiting -= 1;
+                        g.done = true;
+                        drop(g);
+                        cv.notify_all();
+                        proto::send(&mut conn, proto::T_FINISHED, &[])?;
+                        break;
+                    }
+                    g = cv.wait(g).unwrap();
+                    g.waiting -= 1;
+                }
+            }
+            proto::T_CACHE_SYNC => {
+                let batch = proto::decode_cache_batch(&payload)?;
+                let mut m = marks.lock().unwrap();
+                // Export before import: the worker's fresh entries are
+                // echoed back at most once (its import skips existing
+                // keys); other workers' entries are never skipped.
+                let (delta, stamp_now) = master.export_since(m[w]);
+                let added = master.import(batch);
+                m[w] = stamp_now;
+                drop(m);
+                st.lock().unwrap().cache_imports += added as u64;
+                proto::send(&mut conn, proto::T_CACHE_DELTA, &proto::encode_cache_batch(&delta))?;
+            }
+            proto::T_SNAPSHOT => {
+                let line = proto::decode_line(&payload)?;
+                let gseq = {
+                    let mut g = st.lock().unwrap();
+                    g.snapshots_relayed += 1;
+                    g.snapshots_relayed - 1
+                };
+                // The worker line is itself a JSON object; embed it
+                // verbatim under a dist envelope.
+                let merged = format!(
+                    "{{\"schema\":\"s2e-live-dist-v1\",\"gseq\":{gseq},\"worker\":{w},\"inner\":{line}}}"
+                );
+                if let Some(f) = feed.lock().unwrap().as_mut() {
+                    f(&merged);
+                }
+                proto::send(&mut conn, proto::T_SNAPSHOT_ACK, &[])?;
+            }
+            proto::T_DONE => {
+                let d = WorkerDone::decode(&payload)?;
+                if d.worker as usize != w {
+                    return Err(bad_data(format!(
+                        "worker {w} reported as worker {}",
+                        d.worker
+                    )));
+                }
+                let mut g = st.lock().unwrap();
+                g.budget_left += d.refund;
+                g.steps_refunded += d.refund;
+                g.reports[w] = Some(d);
+                drop(g);
+                proto::send(&mut conn, proto::T_DONE_ACK, &[])?;
+                return Ok(());
+            }
+            other => {
+                return Err(bad_data(format!(
+                    "unexpected frame type {other} from worker {w}"
+                )))
+            }
+        }
+    }
+}
+
+/// A minimal long-running job server: accepts client connections,
+/// runs one submitted job at a time (fresh coordinator + worker
+/// processes spawned through `spawn_worker`), streams the merged feed
+/// back as `JOB_EVENT` frames, and finishes each job with a
+/// `JOB_REPORT`. A `SHUTDOWN` frame stops the server.
+///
+/// `spawn_worker(addr, index)` launches one worker process pointed at
+/// `addr` — typically the current executable re-invoked in worker
+/// mode, so the server stays free of any exec-path policy.
+pub fn serve_jobs(
+    listener: TcpListener,
+    spawn_worker: &dyn Fn(&str, usize) -> io::Result<Child>,
+) -> io::Result<()> {
+    for conn in listener.incoming() {
+        let mut conn = conn?;
+        let (ty, payload) = match frame::read_frame(&mut conn) {
+            Ok(f) => f,
+            Err(_) => continue, // a client that sent garbage only hurts itself
+        };
+        match ty {
+            proto::T_SHUTDOWN => return Ok(()),
+            proto::T_SUBMIT => {
+                // A failed job reports its error to the client (as a
+                // dropped connection) but must not take the server down.
+                let _ = run_submitted_job(&mut conn, &payload, spawn_worker);
+            }
+            _ => continue,
+        }
+    }
+    Ok(())
+}
+
+fn run_submitted_job(
+    conn: &mut TcpStream,
+    payload: &[u8],
+    spawn_worker: &dyn Fn(&str, usize) -> io::Result<Child>,
+) -> io::Result<()> {
+    let spec = JobSpec::decode(payload)?;
+    let coordinator = Coordinator::bind("127.0.0.1:0")?;
+    let addr = coordinator.addr()?.to_string();
+    let mut children = Vec::new();
+    for w in 0..spec.workers as usize {
+        match spawn_worker(&addr, w) {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let feed_conn = Mutex::new(&mut *conn);
+    let result = coordinator.run_job(
+        &spec,
+        Some(|line: &str| {
+            let mut c = feed_conn.lock().unwrap();
+            let _ = proto::send(&mut **c, proto::T_JOB_EVENT, &proto::encode_line(line));
+        }),
+    );
+    for mut c in children {
+        match &result {
+            Ok(_) => {
+                let _ = c.wait();
+            }
+            Err(_) => {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+    let report = result?;
+    proto::send(conn, proto::T_JOB_REPORT, &report.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_core::ConsistencyModel;
+
+    fn spec(workers: u32, max_steps: u64) -> JobSpec {
+        let mut s = JobSpec::new("branchy", ConsistencyModel::ScSe, max_steps, workers);
+        // Force migration even on a 3-path tree.
+        s.batch = 1;
+        s.max_local_states = 1;
+        s
+    }
+
+    fn run_dist(spec: &JobSpec) -> DistReport {
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.addr().unwrap().to_string();
+        std::thread::scope(|scope| {
+            for w in 0..spec.workers as usize {
+                let addr = addr.clone();
+                scope.spawn(move || crate::worker::run_worker(&addr, w).unwrap());
+            }
+            coordinator.run_job(spec, None::<fn(&str)>).unwrap()
+        })
+    }
+
+    /// The correctness bar: a distributed exhaustive run reports the
+    /// same sorted path-digest multiset as a sequential engine on the
+    /// same guest.
+    #[test]
+    fn distributed_matches_sequential_path_digests() {
+        let mut engine = {
+            let (m, ec) = crate::guest::build("branchy", ConsistencyModel::ScSe).unwrap();
+            s2e_core::Engine::new(m, ec)
+        };
+        crate::guest::inject(&mut engine, "branchy").unwrap();
+        engine.set_retain_terminated(true);
+        engine.run(10_000);
+        let mut seq_digests: Vec<u64> = engine
+            .terminated_states()
+            .iter()
+            .map(s2e_core::ExecState::path_digest)
+            .collect();
+        seq_digests.sort_unstable();
+        assert_eq!(seq_digests.len(), 3);
+
+        let report = run_dist(&spec(2, 10_000));
+        assert_eq!(report.total_paths, 3, "{report:?}");
+        assert_eq!(report.path_digests, seq_digests, "{report:?}");
+        assert_eq!(report.queue_leftover, 0, "exhaustive run strands nothing");
+        assert!(report.exports > 0, "batch=1 must force migration");
+    }
+
+    /// Budget truncation: grants stop, workers wind down, and the
+    /// conservation ledger still balances (leftover included).
+    #[test]
+    fn truncated_budget_still_balances() {
+        let report = run_dist(&spec(2, 4));
+        assert!(report.steps_used <= 4, "{report:?}");
+        check_conservation(&report).unwrap();
+    }
+
+    /// A worker that dies mid-protocol must fail the job cleanly — no
+    /// hang, no panic — and release the other workers.
+    #[test]
+    fn mid_stream_disconnect_fails_cleanly() {
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            proto::send(&mut c, proto::T_HELLO, &Hello { worker: 0 }.encode()).unwrap();
+            let _job = proto::recv(&mut c, proto::T_JOB, "job").unwrap();
+            // Promise a claim, deliver half of it, vanish.
+            use std::io::Write;
+            c.write_all(&10u32.to_le_bytes()).unwrap();
+            c.write_all(&[proto::T_CLAIM, 0, 0]).unwrap();
+        });
+        let err = coordinator
+            .run_job(&spec(1, 100), None::<fn(&str)>)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        client.join().unwrap();
+    }
+}

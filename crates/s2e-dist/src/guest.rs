@@ -1,0 +1,145 @@
+//! The guest-id registry: maps a [`crate::proto::JobSpec`] guest string
+//! to a concrete machine image, engine config, and symbolic-input
+//! injection.
+//!
+//! Both tiers build guests through this module — distributed worker
+//! processes ([`crate::worker`]) and the in-process comparison arm of
+//! `bench --bin dist_explore`. Using the same recipe verbatim is what
+//! makes the path-digest identity check meaningful: any drift in the
+//! guest image or its symbolic inputs would change the path set itself,
+//! not just the schedule.
+
+use s2e_core::selectors::{constrain_range, make_config_symbolic, make_reg_symbolic};
+use s2e_core::{CodeRanges, ConsistencyModel, Engine, EngineConfig};
+use s2e_expr::wire::bad_data;
+use s2e_guests::drivers::{build_exerciser, smc91c111};
+use s2e_guests::kernel::{boot, standard_annotations};
+use s2e_guests::layout::cfg_keys;
+use s2e_vm::asm::Assembler;
+use s2e_vm::isa::reg;
+use s2e_vm::machine::Machine;
+use std::io;
+
+/// Guest ids this registry resolves.
+pub const GUESTS: &[&str] = &["91c111", "branchy"];
+
+/// Builds the machine image and engine config for `guest`. The caller
+/// wires them into an engine (shared context + state-id namespace) and
+/// then calls [`inject`] on the result.
+pub fn build(guest: &str, model: ConsistencyModel) -> io::Result<(Machine, EngineConfig)> {
+    match guest {
+        // The 91C111 driver corpus from the fig8 checkpoint arm: kernel
+        // boot image + driver + entry exerciser, driver code ranges
+        // instrumented, standard kernel annotations.
+        "91c111" => {
+            let driver = smc91c111::build();
+            let (mut machine, _kernel) = boot();
+            machine.load_aux(&driver.program);
+            let exerciser = build_exerciser(&driver, true);
+            machine.load(&exerciser);
+            let mut ec = EngineConfig::with_model(model);
+            ec.code_ranges = CodeRanges::all().include(driver.code_range.clone());
+            ec.annotations = standard_annotations();
+            Ok((machine, ec))
+        }
+        // Two nested branches on a symbolic register: 3 paths, cheap
+        // enough for protocol tests that don't need a driver boot.
+        "branchy" => {
+            let mut a = Assembler::new(0x2000);
+            a.movi(reg::R1, 0x4000_0000);
+            a.bltu(reg::R0, reg::R1, "q1");
+            a.movi(reg::R1, 0xc000_0000);
+            a.bltu(reg::R0, reg::R1, "mid");
+            a.halt_code(3);
+            a.label("mid");
+            a.halt_code(2);
+            a.label("q1");
+            a.halt_code(1);
+            let mut m = Machine::new();
+            m.load(&a.finish());
+            Ok((m, EngineConfig::with_model(model)))
+        }
+        other => Err(bad_data(format!("unknown guest id {other:?}"))),
+    }
+}
+
+/// Injects `guest`'s symbolic inputs into the engine's sole initial
+/// state and applies the model's hardware policy. Must run before the
+/// first step, on every engine built from [`build`].
+pub fn inject(engine: &mut Engine, guest: &str) -> io::Result<()> {
+    let id = engine
+        .sole_state()
+        .ok_or_else(|| bad_data("guest injection requires exactly one initial state"))?;
+    let b = engine.builder_arc();
+    match guest {
+        "91c111" => {
+            let state = engine.state_mut(id).unwrap();
+            let card = make_config_symbolic(state, &b, cfg_keys::CARD_TYPE, "CardType");
+            constrain_range(state, &b, &card, 0, 7);
+            let flags = make_config_symbolic(state, &b, cfg_keys::FLAGS, "Flags");
+            constrain_range(state, &b, &flags, 0, 3);
+            engine.apply_model_hardware_policy();
+        }
+        "branchy" => {
+            make_reg_symbolic(engine.state_mut(id).unwrap(), &b, reg::R0, "x");
+        }
+        other => return Err(bad_data(format!("unknown guest id {other:?}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_guest_is_invalid_data() {
+        let err = build("no-such-guest", ConsistencyModel::ScSe).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// The driver corpus exercises devices, interrupts, and config
+    /// state that the branchy guest never touches — a compact state
+    /// from it must survive the wire encoding and still rehydrate
+    /// bit-identical.
+    #[test]
+    fn driver_compact_state_survives_wire_round_trip() {
+        use s2e_core::wire::{decode_compact, encode_compact};
+        use s2e_core::SharedEngineContext;
+        use s2e_expr::wire::WireReader;
+
+        let shared = SharedEngineContext::new();
+        let (m, ec) = build("91c111", ConsistencyModel::Lc).unwrap();
+        let mut e = Engine::with_shared(m, ec, &shared);
+        inject(&mut e, "91c111").unwrap();
+        for _ in 0..500_000 {
+            if e.live_count() >= 2 {
+                break;
+            }
+            if e.step().is_none() {
+                break;
+            }
+        }
+        assert!(e.live_count() >= 2, "driver corpus must fork");
+        let s = e.detach_overflow(1).pop().unwrap();
+        let fp = s.fingerprint();
+        // verify=true proves replay identity holds before the wire.
+        let compact = e.evict_state(s, true);
+        let mut buf = Vec::new();
+        encode_compact(&compact, &mut buf).unwrap();
+        let mut r = WireReader::new(&buf);
+        let back = decode_compact(&mut r).unwrap();
+        assert!(r.is_empty());
+        let rehydrated = e.rehydrate(back);
+        assert_eq!(rehydrated.fingerprint(), fp);
+    }
+
+    #[test]
+    fn branchy_builds_and_injects() {
+        let (m, ec) = build("branchy", ConsistencyModel::ScSe).unwrap();
+        let mut e = Engine::new(m, ec);
+        inject(&mut e, "branchy").unwrap();
+        e.run(10_000);
+        assert_eq!(e.terminated().len(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Distributed exploration tier: a coordinator process load-balancing
+//! compact states across worker processes over std-only TCP
+//! (DESIGN.md §17).
+//!
+//! The in-process parallel explorer (`s2e_core::parallel`) shares one
+//! address space: workers exchange `CompactState`s through a deque and
+//! share one `SharedQueryCache` behind a mutex. This crate lifts the
+//! same scheduler shape across process boundaries:
+//!
+//! * [`frame`] — length-prefixed frames, the hardened wire unit;
+//! * [`proto`] — message codecs for the coordinator/worker protocol;
+//! * [`guest`] — guest-id registry, shared verbatim by workers and the
+//!   in-process comparison arm so path identity is meaningful;
+//! * [`worker`] — a worker process: a local engine run under the
+//!   three-phase claim/export/steal loop, with budget claims, state
+//!   exports, cache syncs, and telemetry snapshots as RPCs;
+//! * [`coordinator`] — the coordinator: global step budget, compact
+//!   state queue, master query cache, merged `s2e-live-dist-v1` feed,
+//!   the global conservation check
+//!   `exports == steals + reclaims + queue_leftover`, and a
+//!   long-running job server (submit a [`proto::JobSpec`], stream
+//!   events, receive a [`proto::DistReport`]).
+//!
+//! Correctness bar: an exhaustive distributed run reports the same
+//! sorted path-digest multiset as `explore_parallel` on the same guest
+//! — bit-identical, any worker count. Per-state integrity is enforced
+//! end-to-end by the fingerprint embedded in every exported compact
+//! state, asserted on rehydration in the importing process.
+
+pub mod coordinator;
+pub mod frame;
+pub mod guest;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::Coordinator;
+pub use proto::{DistReport, JobSpec, WorkerDone};
+pub use worker::run_worker;

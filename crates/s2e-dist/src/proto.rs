@@ -1,0 +1,844 @@
+//! Message codecs for the coordinator/worker protocol (DESIGN.md §17).
+//!
+//! Every message is the payload of one [`crate::frame`] frame, encoded
+//! with the same varint/expression primitives as the state codecs
+//! (`s2e_expr::wire`). The protocol is strict request/response: each
+//! worker message type has exactly one coordinator reply type, so both
+//! sides always know which frame to expect next ([`frame::expect_frame`]).
+//!
+//! Decoding is hardened like every other wire surface: unknown tags,
+//! truncated payloads, trailing bytes, and allocation-bomb counts all
+//! yield clean [`std::io::Error`]s.
+//!
+//! ```text
+//! worker -> coordinator        coordinator -> worker
+//! ---------------------        ---------------------
+//! HELLO{worker}                JOB{spec}
+//! CLAIM{refund, batch}         GRANT{steps, hungry}
+//! EXPORT{compact states}       EXPORT_ACK
+//! NEED_WORK{refund}            ASSIGN{from, state} | FINISHED
+//! CACHE_SYNC{entries}          CACHE_DELTA{entries}
+//! SNAPSHOT{jsonl line}         SNAPSHOT_ACK
+//! DONE{refund, report}         DONE_ACK
+//!
+//! client -> coordinator        coordinator -> client
+//! ---------------------        ---------------------
+//! SUBMIT{spec}                 JOB_EVENT{line}* then JOB_REPORT{report}
+//! SHUTDOWN                     (server exits)
+//! ```
+
+use crate::frame;
+use s2e_core::ConsistencyModel;
+use s2e_expr::wire::{bad_data, write_varint, WireReader};
+use s2e_expr::VarId;
+use s2e_solver::PortableCacheEntry;
+use std::io::{self, Read, Write};
+
+/// Worker's first frame after connecting: its assigned index.
+pub const T_HELLO: u8 = 1;
+/// Coordinator's reply to HELLO: the job to run.
+pub const T_JOB: u8 = 2;
+/// Worker claims a step batch from the global budget.
+pub const T_CLAIM: u8 = 3;
+/// Budget grant; 0 steps means the budget is spent and the run is over.
+pub const T_GRANT: u8 = 4;
+/// Worker ships surplus states, evicted to compact form.
+pub const T_EXPORT: u8 = 5;
+/// Coordinator acknowledged an export batch.
+pub const T_EXPORT_ACK: u8 = 6;
+/// Worker's frontier is dry; blocks until work or termination.
+pub const T_NEED_WORK: u8 = 7;
+/// One compact state assigned to the requesting worker.
+pub const T_ASSIGN: u8 = 8;
+/// Exploration is over (all workers dry, or budget spent).
+pub const T_FINISHED: u8 = 9;
+/// Worker's shared-cache delta since its last sync.
+pub const T_CACHE_SYNC: u8 = 10;
+/// Coordinator's cache delta back to the worker.
+pub const T_CACHE_DELTA: u8 = 11;
+/// One `s2e-live-v1` snapshot line relayed for the merged feed.
+pub const T_SNAPSHOT: u8 = 12;
+/// Coordinator acknowledged a snapshot line.
+pub const T_SNAPSHOT_ACK: u8 = 13;
+/// Worker's final report.
+pub const T_DONE: u8 = 14;
+/// Coordinator acknowledged the report; the worker may exit.
+pub const T_DONE_ACK: u8 = 15;
+
+/// Client submits a job to a serving coordinator.
+pub const T_SUBMIT: u8 = 20;
+/// One merged-feed line streamed back to the job's client.
+pub const T_JOB_EVENT: u8 = 21;
+/// The job's final [`DistReport`].
+pub const T_JOB_REPORT: u8 = 22;
+/// Client asks the job server to exit once idle.
+pub const T_SHUTDOWN: u8 = 23;
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(r: &mut WireReader<'_>, cap: u64, what: &str) -> io::Result<String> {
+    let len = r.read_len(cap, what)?;
+    let bytes = r.read_bytes(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| bad_data(format!("{what} is not valid UTF-8")))
+}
+
+fn write_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(b as u8);
+}
+
+fn read_bool(r: &mut WireReader<'_>, what: &str) -> io::Result<bool> {
+    match r.read_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(bad_data(format!("{what} flag byte {b} is not 0/1"))),
+    }
+}
+
+fn write_u64_list(out: &mut Vec<u8>, xs: &[u64]) {
+    write_varint(out, xs.len() as u64);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn read_u64_list(r: &mut WireReader<'_>, cap: u64, what: &str) -> io::Result<Vec<u64>> {
+    let n = r.read_len(cap, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let bytes = r.read_bytes(8)?;
+        out.push(u64::from_le_bytes(bytes.try_into().unwrap()));
+    }
+    Ok(out)
+}
+
+fn write_u32_list(out: &mut Vec<u8>, xs: &[u32]) {
+    write_varint(out, xs.len() as u64);
+    for x in xs {
+        write_varint(out, u64::from(*x));
+    }
+}
+
+fn read_u32_list(r: &mut WireReader<'_>, cap: u64, what: &str) -> io::Result<Vec<u32>> {
+    let n = r.read_len(cap, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.read_varint()?;
+        if v > u64::from(u32::MAX) {
+            return Err(bad_data(format!("{what} entry {v:#x} exceeds 32 bits")));
+        }
+        out.push(v as u32);
+    }
+    Ok(out)
+}
+
+fn model_tag(m: ConsistencyModel) -> u8 {
+    match m {
+        ConsistencyModel::ScCe => 0,
+        ConsistencyModel::ScUe => 1,
+        ConsistencyModel::ScSe => 2,
+        ConsistencyModel::Lc => 3,
+        ConsistencyModel::RcOc => 4,
+        ConsistencyModel::RcCc => 5,
+    }
+}
+
+fn model_from_tag(t: u8) -> io::Result<ConsistencyModel> {
+    Ok(match t {
+        0 => ConsistencyModel::ScCe,
+        1 => ConsistencyModel::ScUe,
+        2 => ConsistencyModel::ScSe,
+        3 => ConsistencyModel::Lc,
+        4 => ConsistencyModel::RcOc,
+        5 => ConsistencyModel::RcCc,
+        t => return Err(bad_data(format!("unknown consistency-model tag {t}"))),
+    })
+}
+
+/// Ensures a decode consumed its whole payload — trailing garbage is an
+/// error, not something to silently ignore.
+fn finish(r: &WireReader<'_>, what: &str) -> io::Result<()> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(bad_data(format!("{} trailing bytes after {what}", r.remaining())))
+    }
+}
+
+/// What a client submits and a worker executes: the guest image, the
+/// execution consistency model, and the exploration budget/tuning. The
+/// scheduler knobs mirror [`s2e_core::parallel::ParallelConfig`] so the
+/// distributed run is parameter-for-parameter comparable with the
+/// in-process one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Guest id resolved by [`crate::guest::build`] (e.g. `"91c111"`).
+    pub guest: String,
+    /// Execution consistency model for the run.
+    pub model: ConsistencyModel,
+    /// Global step budget shared by all worker processes.
+    pub max_steps: u64,
+    /// Worker-process count.
+    pub workers: u32,
+    /// Steps claimed from the global budget per round trip.
+    pub batch: u64,
+    /// A worker exports surplus states beyond this many.
+    pub max_local_states: u32,
+    /// Retain terminated states and report their path digests.
+    pub collect_digests: bool,
+    /// Worker telemetry-snapshot cadence in batches (0 = no snapshots).
+    pub snapshot_every: u64,
+}
+
+impl JobSpec {
+    /// A spec with the in-process explorer's default tuning.
+    pub fn new(guest: &str, model: ConsistencyModel, max_steps: u64, workers: u32) -> JobSpec {
+        JobSpec {
+            guest: guest.to_string(),
+            model,
+            max_steps,
+            workers,
+            batch: 64,
+            max_local_states: 8,
+            collect_digests: true,
+            snapshot_every: 8,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_string(&mut out, &self.guest);
+        out.push(model_tag(self.model));
+        write_varint(&mut out, self.max_steps);
+        write_varint(&mut out, u64::from(self.workers));
+        write_varint(&mut out, self.batch);
+        write_varint(&mut out, u64::from(self.max_local_states));
+        write_bool(&mut out, self.collect_digests);
+        write_varint(&mut out, self.snapshot_every);
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<JobSpec> {
+        let mut r = WireReader::new(payload);
+        let guest = read_string(&mut r, 256, "guest id")?;
+        let model = model_from_tag(r.read_u8()?)?;
+        let max_steps = r.read_varint()?;
+        let workers = r.read_len(4096, "worker count")? as u32;
+        let batch = r.read_varint()?;
+        let max_local_states = r.read_len(1 << 20, "max_local_states")? as u32;
+        let collect_digests = read_bool(&mut r, "collect_digests")?;
+        let snapshot_every = r.read_varint()?;
+        finish(&r, "job spec")?;
+        if workers == 0 || batch == 0 || max_local_states == 0 {
+            return Err(bad_data("job spec: workers, batch, max_local_states must be nonzero"));
+        }
+        Ok(JobSpec {
+            guest,
+            model,
+            max_steps,
+            workers,
+            batch,
+            max_local_states,
+            collect_digests,
+            snapshot_every,
+        })
+    }
+}
+
+/// `HELLO`: the worker's first frame — its assigned index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    pub worker: u32,
+}
+
+impl Hello {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, u64::from(self.worker));
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<Hello> {
+        let mut r = WireReader::new(payload);
+        let worker = r.read_len(4096, "worker index")? as u32;
+        finish(&r, "hello")?;
+        Ok(Hello { worker })
+    }
+}
+
+/// `CLAIM`: take up to `batch` steps from the global budget, returning
+/// `refund` unused steps from the previous grant first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Claim {
+    pub refund: u64,
+    pub batch: u64,
+}
+
+impl Claim {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.refund);
+        write_varint(&mut out, self.batch);
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<Claim> {
+        let mut r = WireReader::new(payload);
+        let refund = r.read_varint()?;
+        let batch = r.read_varint()?;
+        finish(&r, "claim")?;
+        Ok(Claim { refund, batch })
+    }
+}
+
+/// `GRANT`: the claimed steps (0 = budget spent, stop exploring) plus
+/// the number of workers currently starving — the instantaneous idle
+/// signal the export heuristic feeds on, exactly like the in-process
+/// scheduler's `hungry` counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    pub steps: u64,
+    pub hungry: u32,
+}
+
+impl Grant {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.steps);
+        write_varint(&mut out, u64::from(self.hungry));
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<Grant> {
+        let mut r = WireReader::new(payload);
+        let steps = r.read_varint()?;
+        let hungry = r.read_len(1 << 20, "hungry count")? as u32;
+        finish(&r, "grant")?;
+        Ok(Grant { steps, hungry })
+    }
+}
+
+/// `EXPORT`: surplus states, each already encoded in compact wire form
+/// (`s2e_core::wire::encode_compact`). The coordinator queues the raw
+/// bytes without decoding them — only the taking worker pays the
+/// decode + replay cost, and the coordinator needs no expression
+/// interner of its own.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExportBatch {
+    pub states: Vec<Vec<u8>>,
+}
+
+impl ExportBatch {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.states.len() as u64);
+        for s in &self.states {
+            write_varint(&mut out, s.len() as u64);
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<ExportBatch> {
+        let mut r = WireReader::new(payload);
+        let n = r.read_len(1 << 20, "export count")?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.read_len(frame::MAX_FRAME as u64, "compact state size")?;
+            states.push(r.read_bytes(len)?.to_vec());
+        }
+        finish(&r, "export batch")?;
+        Ok(ExportBatch { states })
+    }
+}
+
+/// `NEED_WORK` / `DONE` both return unused budget before blocking or
+/// exiting, so truncated runs account every step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Refund {
+    pub refund: u64,
+}
+
+impl Refund {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.refund);
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<Refund> {
+        let mut r = WireReader::new(payload);
+        let refund = r.read_varint()?;
+        finish(&r, "refund")?;
+        Ok(Refund { refund })
+    }
+}
+
+/// `ASSIGN`: one queued compact state handed to a hungry worker, tagged
+/// with its exporter so both sides can classify the migration as a
+/// steal (taker != exporter) or a reclaim (taker == exporter).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assign {
+    pub from_worker: u32,
+    pub state: Vec<u8>,
+}
+
+impl Assign {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, u64::from(self.from_worker));
+        write_varint(&mut out, self.state.len() as u64);
+        out.extend_from_slice(&self.state);
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<Assign> {
+        let mut r = WireReader::new(payload);
+        let from_worker = r.read_len(4096, "exporter index")? as u32;
+        let len = r.read_len(frame::MAX_FRAME as u64, "compact state size")?;
+        let state = r.read_bytes(len)?.to_vec();
+        finish(&r, "assignment")?;
+        Ok(Assign { from_worker, state })
+    }
+}
+
+/// `CACHE_SYNC` / `CACHE_DELTA`: a batch of portable solver query-cache
+/// entries. Keys are order-independent query hashes built from
+/// `Expr::cached_hash`, deterministic across processes, so an entry
+/// answers the same query wherever it lands; lookups verify full
+/// structural equality, so a corrupt entry costs a wasted comparison,
+/// never a wrong verdict.
+pub fn encode_cache_batch(entries: &[PortableCacheEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, entries.len() as u64);
+    for e in entries {
+        out.extend_from_slice(&e.key.to_le_bytes());
+        write_varint(&mut out, e.constraints.len() as u64);
+        for c in &e.constraints {
+            s2e_expr::wire::encode_expr(c, &mut out);
+        }
+        match &e.model {
+            None => out.push(0),
+            Some(pairs) => {
+                out.push(1);
+                write_varint(&mut out, pairs.len() as u64);
+                for (var, val) in pairs {
+                    write_varint(&mut out, var.0);
+                    write_varint(&mut out, *val);
+                }
+            }
+        }
+        write_bool(&mut out, e.canonical);
+    }
+    out
+}
+
+/// Decodes a cache batch written by [`encode_cache_batch`].
+pub fn decode_cache_batch(payload: &[u8]) -> io::Result<Vec<PortableCacheEntry>> {
+    let mut r = WireReader::new(payload);
+    let n = r.read_len(1 << 20, "cache batch size")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = u64::from_le_bytes(r.read_bytes(8)?.try_into().unwrap());
+        let n_constraints = r.read_len(1 << 16, "cache entry constraint count")?;
+        let mut constraints = Vec::with_capacity(n_constraints);
+        for _ in 0..n_constraints {
+            constraints.push(s2e_expr::wire::decode_expr(&mut r)?);
+        }
+        let model = match r.read_u8()? {
+            0 => None,
+            1 => {
+                let n_pairs = r.read_len(1 << 16, "cache model binding count")?;
+                let mut pairs = Vec::with_capacity(n_pairs);
+                for _ in 0..n_pairs {
+                    let var = VarId(r.read_varint()?);
+                    let val = r.read_varint()?;
+                    pairs.push((var, val));
+                }
+                Some(pairs)
+            }
+            t => return Err(bad_data(format!("unknown cache-model tag {t}"))),
+        };
+        let canonical = read_bool(&mut r, "cache entry canonical flag")?;
+        entries.push(PortableCacheEntry { key, constraints, model, canonical });
+    }
+    finish(&r, "cache batch")?;
+    Ok(entries)
+}
+
+/// `SNAPSHOT` / `JOB_EVENT`: one JSONL line, relayed verbatim.
+pub fn encode_line(line: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_string(&mut out, line);
+    out
+}
+
+/// Decodes a line written by [`encode_line`].
+pub fn decode_line(payload: &[u8]) -> io::Result<String> {
+    let mut r = WireReader::new(payload);
+    let line = read_string(&mut r, 1 << 20, "feed line")?;
+    finish(&r, "feed line")?;
+    Ok(line)
+}
+
+/// `DONE`: everything a worker process knows at exit. Migration
+/// classification (steals/reclaims) is coordinator-side knowledge and
+/// deliberately absent — the worker reports what it *did* (exports,
+/// evictions, rehydrations), the coordinator reconciles the ledgers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerDone {
+    pub worker: u32,
+    pub refund: u64,
+    pub paths: u64,
+    pub exports: u64,
+    /// Sorted [`s2e_core::ExecState::path_digest`] multiset.
+    pub path_digests: Vec<u64>,
+    /// Sorted block-start addresses this worker executed.
+    pub covered_blocks: Vec<u32>,
+    pub forks: u64,
+    pub states_created: u64,
+    pub states_terminated: u64,
+    pub blocks_executed: u64,
+    pub instrs_concrete: u64,
+    pub instrs_symbolic: u64,
+    pub concretizations: u64,
+    pub evictions: u64,
+    pub rehydrations: u64,
+    pub replayed_instrs: u64,
+    pub journal_bytes: u64,
+    pub solver_queries: u64,
+    pub shared_query_hits: u64,
+    pub solver_core_solves: u64,
+}
+
+impl WorkerDone {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, u64::from(self.worker));
+        write_varint(&mut out, self.refund);
+        write_varint(&mut out, self.paths);
+        write_varint(&mut out, self.exports);
+        write_u64_list(&mut out, &self.path_digests);
+        write_u32_list(&mut out, &self.covered_blocks);
+        for v in self.counters() {
+            write_varint(&mut out, v);
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<WorkerDone> {
+        let mut r = WireReader::new(payload);
+        let mut d = WorkerDone {
+            worker: r.read_len(4096, "worker index")? as u32,
+            refund: r.read_varint()?,
+            paths: r.read_varint()?,
+            exports: r.read_varint()?,
+            path_digests: read_u64_list(&mut r, 1 << 24, "path digest count")?,
+            covered_blocks: read_u32_list(&mut r, 1 << 24, "covered block count")?,
+            ..WorkerDone::default()
+        };
+        let mut counters = [0u64; 14];
+        for c in counters.iter_mut() {
+            *c = r.read_varint()?;
+        }
+        finish(&r, "worker report")?;
+        [
+            d.forks,
+            d.states_created,
+            d.states_terminated,
+            d.blocks_executed,
+            d.instrs_concrete,
+            d.instrs_symbolic,
+            d.concretizations,
+            d.evictions,
+            d.rehydrations,
+            d.replayed_instrs,
+            d.journal_bytes,
+            d.solver_queries,
+            d.shared_query_hits,
+            d.solver_core_solves,
+        ] = counters;
+        Ok(d)
+    }
+
+    fn counters(&self) -> [u64; 14] {
+        [
+            self.forks,
+            self.states_created,
+            self.states_terminated,
+            self.blocks_executed,
+            self.instrs_concrete,
+            self.instrs_symbolic,
+            self.concretizations,
+            self.evictions,
+            self.rehydrations,
+            self.replayed_instrs,
+            self.journal_bytes,
+            self.solver_queries,
+            self.shared_query_hits,
+            self.solver_core_solves,
+        ]
+    }
+}
+
+/// The coordinator's merged end-of-job report: per-worker breakdowns
+/// plus the global migration ledger the conservation invariant is
+/// checked against (DESIGN.md §17).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DistReport {
+    /// Per-worker reports, in worker order.
+    pub workers: Vec<WorkerDone>,
+    /// Total paths terminated across all worker processes.
+    pub total_paths: u64,
+    /// Merged, sorted path-digest multiset — the schedule-independent
+    /// identity compared bit-for-bit against the in-process explorer.
+    pub path_digests: Vec<u64>,
+    /// Union of covered block-start addresses, sorted.
+    pub covered_blocks: Vec<u32>,
+    pub forks: u64,
+    pub states_created: u64,
+    pub blocks_executed: u64,
+    /// States shipped to the coordinator, counted on receipt.
+    pub exports: u64,
+    /// Assignments where the taker differed from the exporter.
+    pub steals: u64,
+    /// Assignments back to the exporting worker.
+    pub reclaims: u64,
+    /// States still queued when the run ended (budget truncation only).
+    pub queue_leftover: u64,
+    /// Evictions summed across workers (every export is one).
+    pub evictions: u64,
+    /// Rehydrations summed across workers (every assignment is one).
+    pub rehydrations: u64,
+    /// Entries resident in the coordinator's master query cache at end.
+    pub cache_entries: u64,
+    /// Worker-shipped cache entries that were new to the master.
+    pub cache_imports: u64,
+    /// Snapshot lines relayed into the merged feed.
+    pub snapshots_relayed: u64,
+    /// Steps actually consumed from the global budget.
+    pub steps_used: u64,
+    /// End-to-end wall-clock of the job, in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl DistReport {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.workers.len() as u64);
+        for w in &self.workers {
+            let enc = w.encode();
+            write_varint(&mut out, enc.len() as u64);
+            out.extend_from_slice(&enc);
+        }
+        write_varint(&mut out, self.total_paths);
+        write_u64_list(&mut out, &self.path_digests);
+        write_u32_list(&mut out, &self.covered_blocks);
+        for v in self.counters() {
+            write_varint(&mut out, v);
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> io::Result<DistReport> {
+        let mut r = WireReader::new(payload);
+        let n = r.read_len(4096, "worker count")?;
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.read_len(frame::MAX_FRAME as u64, "worker report size")?;
+            workers.push(WorkerDone::decode(r.read_bytes(len)?)?);
+        }
+        let mut d = DistReport {
+            workers,
+            total_paths: r.read_varint()?,
+            path_digests: read_u64_list(&mut r, 1 << 24, "path digest count")?,
+            covered_blocks: read_u32_list(&mut r, 1 << 24, "covered block count")?,
+            ..DistReport::default()
+        };
+        let mut counters = [0u64; 14];
+        for c in counters.iter_mut() {
+            *c = r.read_varint()?;
+        }
+        finish(&r, "dist report")?;
+        [
+            d.forks,
+            d.states_created,
+            d.blocks_executed,
+            d.exports,
+            d.steals,
+            d.reclaims,
+            d.queue_leftover,
+            d.evictions,
+            d.rehydrations,
+            d.cache_entries,
+            d.cache_imports,
+            d.snapshots_relayed,
+            d.steps_used,
+            d.wall_ms,
+        ] = counters;
+        Ok(d)
+    }
+
+    fn counters(&self) -> [u64; 14] {
+        [
+            self.forks,
+            self.states_created,
+            self.blocks_executed,
+            self.exports,
+            self.steals,
+            self.reclaims,
+            self.queue_leftover,
+            self.evictions,
+            self.rehydrations,
+            self.cache_entries,
+            self.cache_imports,
+            self.snapshots_relayed,
+            self.steps_used,
+            self.wall_ms,
+        ]
+    }
+}
+
+/// Sends one message frame.
+pub fn send<W: Write>(w: &mut W, ty: u8, payload: &[u8]) -> io::Result<()> {
+    frame::write_frame(w, ty, payload)
+}
+
+/// Receives a frame that must be of type `want`.
+pub fn recv<R: Read>(r: &mut R, want: u8, what: &str) -> io::Result<Vec<u8>> {
+    frame::expect_frame(r, want, what)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2e_expr::{ExprBuilder, Width};
+
+    fn sample_spec() -> JobSpec {
+        JobSpec::new("91c111", ConsistencyModel::Lc, 1_000_000, 2)
+    }
+
+    #[test]
+    fn job_spec_round_trip() {
+        let spec = sample_spec();
+        assert_eq!(JobSpec::decode(&spec.encode()).unwrap(), spec);
+    }
+
+    #[test]
+    fn job_spec_rejects_garbage() {
+        let spec = sample_spec();
+        let enc = spec.encode();
+        for cut in 0..enc.len() {
+            assert!(JobSpec::decode(&enc[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(JobSpec::decode(&trailing).is_err());
+        // Unknown model tag.
+        let mut bad = enc;
+        let tag_at = 1 + spec.guest.len(); // varint(6) is one byte
+        bad[tag_at] = 99;
+        assert!(JobSpec::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn small_messages_round_trip() {
+        let c = Claim { refund: 3, batch: 64 };
+        assert_eq!(Claim::decode(&c.encode()).unwrap(), c);
+        let g = Grant { steps: 64, hungry: 1 };
+        assert_eq!(Grant::decode(&g.encode()).unwrap(), g);
+        let r = Refund { refund: 17 };
+        assert_eq!(Refund::decode(&r.encode()).unwrap(), r);
+        let a = Assign { from_worker: 1, state: vec![1, 2, 3] };
+        assert_eq!(Assign::decode(&a.encode()).unwrap(), a);
+        let e = ExportBatch { states: vec![vec![9; 4], vec![]] };
+        assert_eq!(ExportBatch::decode(&e.encode()).unwrap(), e);
+        assert_eq!(decode_line(&encode_line("{\"a\":1}")).unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn cache_batch_round_trip() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let entries = vec![
+            PortableCacheEntry {
+                key: 0xdead_beef_dead_beef,
+                constraints: vec![b.eq(x.clone(), b.constant(3, Width::W8))],
+                model: Some(vec![(VarId(7), 3)]),
+                canonical: true,
+            },
+            PortableCacheEntry {
+                key: 42,
+                constraints: vec![b.ult(x.clone(), b.constant(2, Width::W8)), b.ult(b.constant(5, Width::W8), x)],
+                model: None,
+                canonical: false,
+            },
+        ];
+        let back = decode_cache_batch(&encode_cache_batch(&entries)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].key, entries[0].key);
+        assert_eq!(back[0].model, entries[0].model);
+        assert!(back[0].canonical);
+        assert!(!back[1].canonical);
+        assert_eq!(
+            format!("{:?}", back[0].constraints),
+            format!("{:?}", entries[0].constraints)
+        );
+        assert_eq!(back[1].model, None);
+        // Truncations and unknown tags error cleanly.
+        let enc = encode_cache_batch(&entries);
+        for cut in 0..enc.len() {
+            assert!(decode_cache_batch(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn worker_done_round_trip() {
+        let d = WorkerDone {
+            worker: 1,
+            refund: 2,
+            paths: 11,
+            exports: 5,
+            path_digests: vec![3, 9, 9, 14],
+            covered_blocks: vec![0x2000, 0x2010],
+            forks: 10,
+            states_created: 11,
+            states_terminated: 11,
+            blocks_executed: 400,
+            instrs_concrete: 3000,
+            instrs_symbolic: 40,
+            concretizations: 2,
+            evictions: 5,
+            rehydrations: 4,
+            replayed_instrs: 77,
+            journal_bytes: 512,
+            solver_queries: 60,
+            shared_query_hits: 8,
+            solver_core_solves: 21,
+        };
+        assert_eq!(WorkerDone::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn dist_report_round_trip() {
+        let mut rep = DistReport::default();
+        rep.workers.push(WorkerDone { worker: 0, paths: 3, ..WorkerDone::default() });
+        rep.workers.push(WorkerDone { worker: 1, paths: 4, ..WorkerDone::default() });
+        rep.total_paths = 7;
+        rep.path_digests = vec![1, 2, 3];
+        rep.covered_blocks = vec![0x2000];
+        rep.exports = 6;
+        rep.steals = 4;
+        rep.reclaims = 2;
+        rep.cache_entries = 31;
+        rep.wall_ms = 1234;
+        assert_eq!(DistReport::decode(&rep.encode()).unwrap(), rep);
+        let enc = rep.encode();
+        for cut in 0..enc.len() {
+            assert!(DistReport::decode(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-process journal round trip (DESIGN.md §17): a state evicted
+//! in one OS process must rehydrate bit-identical — fingerprint
+//! checked — in another process with a different id namespace.
+//!
+//! The parent builds the branchy guest under namespace 0, forks the
+//! frontier, evicts one surplus state to compact wire form, and writes
+//! it to a file. It then re-executes this test binary filtered to the
+//! child test, which (under namespace 1, a genuinely fresh interner
+//! and engine) decodes, rehydrates — `Engine::rehydrate` panics on any
+//! replay divergence or fingerprint mismatch — and writes the
+//! rehydrated state's fingerprint back. The parent compares it against
+//! the fingerprint of the live original.
+
+use s2e_core::wire::{decode_compact, encode_compact};
+use s2e_core::{ConsistencyModel, Engine, SharedEngineContext};
+use s2e_expr::wire::WireReader;
+use std::process::Command;
+
+const COMPACT_ENV: &str = "S2E_CROSS_PROCESS_COMPACT";
+const OUT_ENV: &str = "S2E_CROSS_PROCESS_OUT";
+
+fn build_engine(worker: usize) -> Engine {
+    let shared = SharedEngineContext::new();
+    shared.builder.set_var_id_namespace(worker);
+    let (machine, config) = s2e_dist::guest::build("branchy", ConsistencyModel::ScSe).unwrap();
+    let mut engine = Engine::with_shared(machine, config, &shared);
+    engine.set_state_id_namespace(worker);
+    s2e_dist::guest::inject(&mut engine, "branchy").unwrap();
+    engine
+}
+
+/// Child half: only active when re-executed by the parent test.
+#[test]
+fn child_rehydrates_in_fresh_process() {
+    let (Ok(compact_path), Ok(out_path)) =
+        (std::env::var(COMPACT_ENV), std::env::var(OUT_ENV))
+    else {
+        return; // normal test runs skip the child half
+    };
+    let bytes = std::fs::read(compact_path).unwrap();
+    let mut r = WireReader::new(&bytes);
+    let compact = decode_compact(&mut r).unwrap();
+    assert!(r.is_empty(), "trailing bytes after compact state");
+
+    let mut engine = build_engine(1);
+    engine.drain_states();
+    // Rehydration replays the journal and asserts the embedded
+    // fingerprint of the exporting process's live original.
+    let state = engine.rehydrate(compact);
+    std::fs::write(out_path, state.fingerprint().to_le_bytes()).unwrap();
+}
+
+#[test]
+fn state_evicted_here_rehydrates_bit_identical_there() {
+    let mut engine = build_engine(0);
+    // Step until the first fork gives us a detachable surplus state.
+    for _ in 0..10_000 {
+        if engine.live_count() >= 2 {
+            break;
+        }
+        engine.step().unwrap();
+    }
+    assert!(engine.live_count() >= 2, "branchy guest must fork");
+    let mut surplus = engine.detach_overflow(1);
+    let state = surplus.pop().unwrap();
+    let expected = state.fingerprint();
+    let compact = engine.evict_state(state, true);
+    let mut bytes = Vec::new();
+    encode_compact(&compact, &mut bytes).unwrap();
+
+    let dir = std::env::temp_dir();
+    let compact_path = dir.join(format!("s2e-cross-compact-{}", std::process::id()));
+    let out_path = dir.join(format!("s2e-cross-out-{}", std::process::id()));
+    std::fs::write(&compact_path, &bytes).unwrap();
+    let _ = std::fs::remove_file(&out_path);
+
+    let status = Command::new(std::env::current_exe().unwrap())
+        .args(["child_rehydrates_in_fresh_process", "--exact"])
+        .env(COMPACT_ENV, &compact_path)
+        .env(OUT_ENV, &out_path)
+        .status()
+        .unwrap();
+    assert!(status.success(), "child process failed: {status:?}");
+
+    let got = std::fs::read(&out_path).unwrap();
+    let got = u64::from_le_bytes(got.try_into().unwrap());
+    assert_eq!(got, expected, "cross-process fingerprint mismatch");
+    let _ = std::fs::remove_file(&compact_path);
+    let _ = std::fs::remove_file(&out_path);
+}

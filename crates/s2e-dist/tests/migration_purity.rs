@@ -1,0 +1,123 @@
+//! Migration purity: moving one state to another process must not
+//! change the explored path tree.
+//!
+//! At a sampled batch boundary, one live state is evicted from engine A
+//! (worker 0), wire-round-tripped as a compact `{checkpoint, journal}`,
+//! and rehydrated into a *fresh* engine B (worker 1: own builder
+//! namespace, cold caches — exactly what a remote worker sees). Both
+//! engines then run to exhaustion and the union of their path digests
+//! must equal the sequential baseline's, as a multiset.
+//!
+//! Boundary 65 is pinned because it reproduced a real divergence: the
+//! bitblaster allocated fresh SAT variables per `Var` *node* rather
+//! than per `VarId`, so a rehydrated state — whose constraints mix
+//! wire-decoded and journal-replay-minted allocations of the same
+//! variable — could satisfy `x == 0 && x == 1` and fork paths the
+//! home process had proven infeasible.
+
+use s2e_core::wire::{decode_compact, encode_compact};
+use s2e_core::{ConsistencyModel, Engine, SharedEngineContext};
+use s2e_expr::wire::WireReader;
+
+const GUEST: &str = "91c111";
+const MODEL: ConsistencyModel = ConsistencyModel::Lc;
+/// Batch boundaries (64-step batches) at which to try the migration.
+const BOUNDARIES: &[u64] = &[0, 33, 65];
+
+fn build_engine(worker: usize) -> Engine {
+    let shared = SharedEngineContext::new();
+    shared.builder.set_var_id_namespace(worker);
+    let (machine, config) = s2e_dist::guest::build(GUEST, MODEL).unwrap();
+    let mut e = Engine::with_shared(machine, config, &shared);
+    e.set_state_id_namespace(worker);
+    s2e_dist::guest::inject(&mut e, GUEST).unwrap();
+    e.set_retain_terminated(true);
+    e
+}
+
+fn digests(e: &Engine) -> Vec<u64> {
+    e.terminated_states().iter().map(s2e_core::ExecState::path_digest).collect()
+}
+
+fn run_to_exhaustion(e: &mut Engine, budget: u64) {
+    let mut left = budget;
+    while e.live_count() > 0 && left > 0 {
+        if e.step().is_none() {
+            break;
+        }
+        left -= 1;
+    }
+    assert!(left > 0, "budget exhausted");
+}
+
+#[test]
+fn migrating_one_state_preserves_the_path_tree() {
+    let mut base = build_engine(0);
+    run_to_exhaustion(&mut base, 10_000_000);
+    let mut expected = digests(&base);
+    expected.sort_unstable();
+    assert!(expected.len() > 1, "corpus must fork");
+
+    for &boundary in BOUNDARIES {
+        let mut a = build_engine(0);
+        let mut b = build_engine(1);
+        b.drain_states();
+
+        let mut batches = 0u64;
+        let mut migrated = false;
+        let mut left: u64 = 10_000_000;
+        while a.live_count() > 0 && left > 0 {
+            for _ in 0..64 {
+                if a.live_count() == 0 || left == 0 {
+                    break;
+                }
+                if a.step().is_none() {
+                    break;
+                }
+                left -= 1;
+            }
+            if !migrated && a.live_count() > 1 {
+                if batches == boundary {
+                    // Detach exactly one state; keep the rest scheduled.
+                    let keep = a.live_count() - 1;
+                    let s = a.detach_overflow(keep).pop().unwrap();
+                    let compact = a.evict_state(s, true);
+                    let mut buf = Vec::new();
+                    encode_compact(&compact, &mut buf).unwrap();
+                    let mut r = WireReader::new(&buf);
+                    let back = decode_compact(&mut r).unwrap();
+                    let st = b.rehydrate(back);
+                    b.attach_state(st);
+                    migrated = true;
+                }
+                batches += 1;
+            }
+        }
+        assert!(migrated, "boundary {boundary} never had a surplus state");
+        run_to_exhaustion(&mut b, 10_000_000);
+
+        let mut got = digests(&a);
+        got.extend(digests(&b));
+        got.sort_unstable();
+        if got != expected {
+            let mut only_got = got.clone();
+            let mut only_exp = expected.clone();
+            for d in &expected {
+                if let Some(p) = only_got.iter().position(|x| x == d) {
+                    only_got.remove(p);
+                }
+            }
+            for d in &got {
+                if let Some(p) = only_exp.iter().position(|x| x == d) {
+                    only_exp.remove(p);
+                }
+            }
+            panic!(
+                "boundary {boundary}: migrated run diverged ({} vs {} paths): \
+                 extra {only_got:x?}, missing {only_exp:x?}",
+                got.len(),
+                expected.len()
+            );
+        }
+    }
+}

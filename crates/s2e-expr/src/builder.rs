@@ -111,6 +111,22 @@ impl ExprBuilder {
         self.next_var.load(Ordering::Relaxed)
     }
 
+    /// Moves the fresh-id counter into a per-process namespace
+    /// (mirroring `Engine::set_state_id_namespace`): worker `w` mints
+    /// ids from `(w + 1) << 40`. Separate worker processes each start
+    /// their own builder at zero, so without this, two processes would
+    /// mint colliding `VarId`s and shipped constraints could alias.
+    /// Journal replay reissues recorded ids verbatim regardless, so a
+    /// migrated state keeps its original-namespace ids.
+    pub fn set_var_id_namespace(&self, worker: usize) {
+        let base = (worker as u64 + 1) << 40;
+        debug_assert!(
+            self.next_var.load(Ordering::Relaxed) < (1 << 40),
+            "var-id namespace set after a namespace was already applied"
+        );
+        self.next_var.store(base, Ordering::Relaxed);
+    }
+
     /// Creates a fresh symbolic variable (or, under
     /// [`begin_var_replay`], re-creates the recorded one).
     pub fn var(&self, name: &str, width: Width) -> ExprRef {

@@ -35,6 +35,7 @@ pub mod fold;
 mod simplify;
 mod visit;
 mod width;
+pub mod wire;
 
 pub use builder::{
     begin_var_capture, begin_var_replay, drain_var_capture, end_var_capture, end_var_replay,

@@ -1,0 +1,434 @@
+//! Portable binary encoding of expression DAGs (DESIGN.md §17).
+//!
+//! The distributed tier ships constraints, journals, and cached solver
+//! models between processes; everything symbolic bottoms out in
+//! [`ExprRef`] DAGs, and this module is the one place that knows how to
+//! flatten them. The encoding is a post-order node table — shared
+//! sub-DAGs are written once and referenced by index — with `VarId`s,
+//! names, and widths recorded verbatim, so the decoded DAG is
+//! *structurally identical* to the source: equal under `Eq`, equal
+//! `Debug` rendering, equal [`ExprRef::cached_hash`]. That structural
+//! fidelity is what lets state fingerprints and shared-cache keys
+//! transfer across process boundaries unchanged.
+//!
+//! Decoding never panics on malformed input: truncation yields
+//! [`std::io::ErrorKind::UnexpectedEof`], anything else malformed
+//! (bad tags, out-of-range widths, forward node references, oversized
+//! tables) yields [`std::io::ErrorKind::InvalidData`].
+
+use crate::eval::Assignment;
+use crate::expr::{BinOp, ExprKind, ExprRef, UnOp, VarId};
+use crate::visit::postorder;
+use crate::width::Width;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// Hard cap on decoded node-table sizes: no legitimate constraint in
+/// this engine comes close, and the cap keeps a hostile length prefix
+/// from turning into an allocation bomb.
+const MAX_NODES: u64 = 1 << 22;
+
+/// LEB128-encodes `v` (the same varint the journal uses).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Cursor over a byte slice with checked, never-panicking reads.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Shorthand for a malformed-input error.
+pub fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn eof(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, format!("truncated input reading {what}"))
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> WireReader<'a> {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn read_u8(&mut self) -> io::Result<u8> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| eof("byte"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn read_bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(eof("byte run"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a LEB128 varint, rejecting non-canonical over-length runs.
+    pub fn read_varint(&mut self) -> io::Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8().map_err(|_| eof("varint"))?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(bad_data("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a varint and checks it fits a `usize` bounded by `cap`.
+    pub fn read_len(&mut self, cap: u64, what: &str) -> io::Result<usize> {
+        let v = self.read_varint()?;
+        if v > cap {
+            return Err(bad_data(format!("{what} length {v} exceeds cap {cap}")));
+        }
+        Ok(v as usize)
+    }
+}
+
+fn unop_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Not => 0,
+        UnOp::Neg => 1,
+    }
+}
+
+fn unop_from(tag: u8) -> io::Result<UnOp> {
+    match tag {
+        0 => Ok(UnOp::Not),
+        1 => Ok(UnOp::Neg),
+        t => Err(bad_data(format!("unknown unary op tag {t}"))),
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::UDiv => 3,
+        BinOp::SDiv => 4,
+        BinOp::URem => 5,
+        BinOp::SRem => 6,
+        BinOp::And => 7,
+        BinOp::Or => 8,
+        BinOp::Xor => 9,
+        BinOp::Shl => 10,
+        BinOp::LShr => 11,
+        BinOp::AShr => 12,
+        BinOp::Eq => 13,
+        BinOp::Ne => 14,
+        BinOp::ULt => 15,
+        BinOp::ULe => 16,
+        BinOp::SLt => 17,
+        BinOp::SLe => 18,
+        BinOp::Concat => 19,
+    }
+}
+
+fn binop_from(tag: u8) -> io::Result<BinOp> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::UDiv,
+        4 => BinOp::SDiv,
+        5 => BinOp::URem,
+        6 => BinOp::SRem,
+        7 => BinOp::And,
+        8 => BinOp::Or,
+        9 => BinOp::Xor,
+        10 => BinOp::Shl,
+        11 => BinOp::LShr,
+        12 => BinOp::AShr,
+        13 => BinOp::Eq,
+        14 => BinOp::Ne,
+        15 => BinOp::ULt,
+        16 => BinOp::ULe,
+        17 => BinOp::SLt,
+        18 => BinOp::SLe,
+        19 => BinOp::Concat,
+        t => return Err(bad_data(format!("unknown binary op tag {t}"))),
+    })
+}
+
+const TAG_CONST: u8 = 0;
+const TAG_VAR: u8 = 1;
+const TAG_UNARY: u8 = 2;
+const TAG_BINARY: u8 = 3;
+const TAG_EXTRACT: u8 = 4;
+const TAG_ZEXT: u8 = 5;
+const TAG_SEXT: u8 = 6;
+const TAG_ITE: u8 = 7;
+
+fn node_key(e: &ExprRef) -> usize {
+    let p: &crate::expr::Expr = e;
+    p as *const _ as usize
+}
+
+/// Appends the post-order node-table encoding of `root` to `out`.
+pub fn encode_expr(root: &ExprRef, out: &mut Vec<u8>) {
+    let mut nodes: Vec<ExprRef> = Vec::new();
+    postorder(root, |n| nodes.push(n.clone()));
+    let index: HashMap<usize, u64> =
+        nodes.iter().enumerate().map(|(i, n)| (node_key(n), i as u64)).collect();
+    let idx = |e: &ExprRef| -> u64 { index[&node_key(e)] };
+    write_varint(out, nodes.len() as u64);
+    for node in &nodes {
+        out.push(node.width().bits() as u8);
+        match node.kind() {
+            ExprKind::Const(v) => {
+                out.push(TAG_CONST);
+                write_varint(out, *v);
+            }
+            ExprKind::Var(id, name) => {
+                out.push(TAG_VAR);
+                write_varint(out, id.0);
+                write_varint(out, name.len() as u64);
+                out.extend_from_slice(name.as_bytes());
+            }
+            ExprKind::Unary(op, a) => {
+                out.push(TAG_UNARY);
+                out.push(unop_tag(*op));
+                write_varint(out, idx(a));
+            }
+            ExprKind::Binary(op, a, b) => {
+                out.push(TAG_BINARY);
+                out.push(binop_tag(*op));
+                write_varint(out, idx(a));
+                write_varint(out, idx(b));
+            }
+            ExprKind::Extract { src, lo } => {
+                out.push(TAG_EXTRACT);
+                write_varint(out, idx(src));
+                write_varint(out, u64::from(*lo));
+            }
+            ExprKind::ZExt(a) => {
+                out.push(TAG_ZEXT);
+                write_varint(out, idx(a));
+            }
+            ExprKind::SExt(a) => {
+                out.push(TAG_SEXT);
+                write_varint(out, idx(a));
+            }
+            ExprKind::Ite(c, t, e) => {
+                out.push(TAG_ITE);
+                write_varint(out, idx(c));
+                write_varint(out, idx(t));
+                write_varint(out, idx(e));
+            }
+        }
+    }
+}
+
+/// Decodes one expression DAG written by [`encode_expr`].
+///
+/// The rebuilt DAG is structurally identical to the encoded one: node
+/// shapes, widths, variable ids, and names are reproduced verbatim, so
+/// `Eq`, `Debug`, and `cached_hash` all agree across the round trip.
+pub fn decode_expr(r: &mut WireReader<'_>) -> io::Result<ExprRef> {
+    let count = r.read_len(MAX_NODES, "expr node table")?;
+    if count == 0 {
+        return Err(bad_data("empty expr node table"));
+    }
+    let mut nodes: Vec<ExprRef> = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let bits = r.read_u8()?;
+        if !(1..=64).contains(&bits) {
+            return Err(bad_data(format!("expr width {bits} out of range")));
+        }
+        let width = Width::new(u32::from(bits));
+        let tag = r.read_u8()?;
+        // Post-order: children always precede their parent, so any
+        // index must point strictly backwards into the table.
+        let child = |r: &mut WireReader<'_>| -> io::Result<ExprRef> {
+            let i = r.read_varint()? as usize;
+            nodes
+                .get(i)
+                .cloned()
+                .ok_or_else(|| bad_data(format!("expr node references forward index {i}")))
+        };
+        let kind = match tag {
+            TAG_CONST => ExprKind::Const(r.read_varint()?),
+            TAG_VAR => {
+                let id = r.read_varint()?;
+                let len = r.read_len(1 << 16, "var name")?;
+                let bytes = r.read_bytes(len)?;
+                let name = std::str::from_utf8(bytes)
+                    .map_err(|_| bad_data("var name is not UTF-8"))?;
+                ExprKind::Var(VarId(id), Arc::from(name))
+            }
+            TAG_UNARY => {
+                let op = unop_from(r.read_u8()?)?;
+                ExprKind::Unary(op, child(r)?)
+            }
+            TAG_BINARY => {
+                let op = binop_from(r.read_u8()?)?;
+                ExprKind::Binary(op, child(r)?, child(r)?)
+            }
+            TAG_EXTRACT => {
+                let src = child(r)?;
+                let lo = r.read_varint()?;
+                if lo > 63 {
+                    return Err(bad_data(format!("extract offset {lo} out of range")));
+                }
+                ExprKind::Extract { src, lo: lo as u32 }
+            }
+            TAG_ZEXT => ExprKind::ZExt(child(r)?),
+            TAG_SEXT => ExprKind::SExt(child(r)?),
+            TAG_ITE => ExprKind::Ite(child(r)?, child(r)?, child(r)?),
+            t => return Err(bad_data(format!("unknown expr node tag {t}"))),
+        };
+        nodes.push(ExprRef::new(kind, width));
+    }
+    Ok(nodes.pop().expect("count >= 1 checked above"))
+}
+
+/// Appends an [`Assignment`]'s id-keyed bindings to `out`.
+pub fn encode_assignment(a: &Assignment, out: &mut Vec<u8>) {
+    let mut pairs: Vec<(VarId, u64)> = a.iter().collect();
+    pairs.sort_by_key(|(id, _)| *id);
+    write_varint(out, pairs.len() as u64);
+    for (id, v) in pairs {
+        write_varint(out, id.0);
+        write_varint(out, v);
+    }
+}
+
+/// Decodes an [`Assignment`] written by [`encode_assignment`].
+pub fn decode_assignment(r: &mut WireReader<'_>) -> io::Result<Assignment> {
+    let len = r.read_len(MAX_NODES, "assignment")?;
+    let mut a = Assignment::new();
+    for _ in 0..len {
+        let id = VarId(r.read_varint()?);
+        let v = r.read_varint()?;
+        a.set(id, v);
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ExprBuilder;
+
+    fn sample_dag(b: &ExprBuilder) -> ExprRef {
+        let x = b.var("card_type", Width::W32);
+        let y = b.var("flags", Width::W32);
+        let shared = b.add(x.clone(), b.constant(3, Width::W32));
+        let byte = b.extract(shared.clone(), 8, Width::W8);
+        let wide = b.concat(byte.clone(), b.extract(y.clone(), 0, Width::W8));
+        b.ite(
+            b.ult(shared, y),
+            b.zext(wide, Width::W32),
+            b.sext(b.neg(byte), Width::W32),
+        )
+    }
+
+    #[test]
+    fn round_trip_is_structurally_identical() {
+        let b = ExprBuilder::new();
+        let e = sample_dag(&b);
+        let mut buf = Vec::new();
+        encode_expr(&e, &mut buf);
+        let mut r = WireReader::new(&buf);
+        let back = decode_expr(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(e, back);
+        assert_eq!(e.cached_hash(), back.cached_hash());
+        assert_eq!(format!("{e:?}"), format!("{back:?}"));
+        assert_eq!(e.var_ids(), back.var_ids());
+    }
+
+    #[test]
+    fn shared_subdags_written_once() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W32);
+        let shared = b.add(x, b.constant(1, Width::W32));
+        let e = b.mul(shared.clone(), shared.clone());
+        let mut buf = Vec::new();
+        encode_expr(&e, &mut buf);
+        // Nodes: x, 1, shared, e — the name "x" appears exactly once.
+        assert_eq!(buf.iter().filter(|&&byte| byte == b'x').count(), 1);
+        let back = decode_expr(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(e, back);
+        // Decoding rebuilds the sharing, not just the shape.
+        if let ExprKind::Binary(_, a, bb) = back.kind() {
+            assert!(a.ptr_eq(bb));
+        } else {
+            panic!("expected binary root");
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error_cleanly() {
+        let b = ExprBuilder::new();
+        let e = sample_dag(&b);
+        let mut buf = Vec::new();
+        encode_expr(&e, &mut buf);
+        // Every truncation errors; none panic or loop.
+        for cut in 0..buf.len() {
+            assert!(decode_expr(&mut WireReader::new(&buf[..cut])).is_err());
+        }
+        // Garbage tag.
+        assert!(decode_expr(&mut WireReader::new(&[1, 8, 99])).is_err());
+        // Width out of range.
+        assert!(decode_expr(&mut WireReader::new(&[1, 65, 0, 0])).is_err());
+        // Forward/out-of-range child reference.
+        assert!(decode_expr(&mut WireReader::new(&[1, 8, TAG_ZEXT, 5])).is_err());
+        // Node-table allocation bomb.
+        let mut bomb = Vec::new();
+        write_varint(&mut bomb, u64::MAX);
+        assert!(decode_expr(&mut WireReader::new(&bomb)).is_err());
+    }
+
+    #[test]
+    fn assignment_round_trip() {
+        let mut a = Assignment::new();
+        a.set(VarId(7), 0xdead_beef);
+        a.set(VarId(1 << 41), 3);
+        let mut buf = Vec::new();
+        encode_assignment(&a, &mut buf);
+        let back = decode_assignment(&mut WireReader::new(&buf)).unwrap();
+        let mut got: Vec<_> = back.iter().collect();
+        got.sort_by_key(|(id, _)| *id);
+        assert_eq!(got, vec![(VarId(7), 0xdead_beef), (VarId(1 << 41), 3)]);
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert!(WireReader::new(&over).read_varint().is_err());
+        let max = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        assert_eq!(WireReader::new(&max).read_varint().unwrap(), u64::MAX);
+    }
+}

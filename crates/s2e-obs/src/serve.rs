@@ -2,9 +2,9 @@
 //! (DESIGN.md §16): `GET /metrics` serves the Prometheus text
 //! exposition, `GET /report` the current merged snapshot as JSON. One
 //! accept thread, nonblocking listener polled every few milliseconds,
-//! one short-lived connection handled at a time — a scrape endpoint,
-//! not a web server. This is the substrate the ROADMAP's distributed
-//! job API streams `RunReport` snapshots over.
+//! each connection handled on a bounded short-lived thread — a scrape
+//! endpoint, not a web server. This is the substrate the distributed
+//! tier's job API streams `RunReport` snapshots over (DESIGN.md §17).
 
 use crate::metrics::MetricsRegistry;
 use std::io::{self, Read, Write};
@@ -20,6 +20,11 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 const CONN_TIMEOUT: Duration = Duration::from_millis(500);
 /// Largest request we bother reading.
 const MAX_REQUEST: usize = 4096;
+/// Connection threads allowed in flight at once. Past this the accept
+/// loop joins the oldest before taking another connection, so a burst
+/// of wedged scrapers degrades to the old serialized behavior instead
+/// of unbounded thread growth.
+const MAX_INFLIGHT: usize = 8;
 
 /// Background scrape endpoint. Dropping (or [`TelemetryServer::stop`])
 /// shuts the accept thread down; in-flight connections finish first.
@@ -41,18 +46,39 @@ impl TelemetryServer {
         let thread = std::thread::Builder::new()
             .name("s2e-telemetry-serve".into())
             .spawn(move || {
+                // One short-lived thread per connection: a scraper that
+                // stalls inside its CONN_TIMEOUT window must not block
+                // other scrapes (or stop() latency) behind it.
+                let mut inflight: Vec<JoinHandle<()>> = Vec::new();
                 while !thread_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            // Scrape errors (slow clients, resets) are
-                            // the client's problem, never the run's.
-                            let _ = handle_connection(stream, &registry);
+                            inflight.retain(|h| !h.is_finished());
+                            while inflight.len() >= MAX_INFLIGHT {
+                                let _ = inflight.remove(0).join();
+                            }
+                            let registry = Arc::clone(&registry);
+                            let conn = std::thread::Builder::new()
+                                .name("s2e-telemetry-conn".into())
+                                .spawn(move || {
+                                    // Scrape errors (slow clients,
+                                    // resets) are the client's problem,
+                                    // never the run's.
+                                    let _ = handle_connection(stream, &registry);
+                                });
+                            match conn {
+                                Ok(h) => inflight.push(h),
+                                Err(_) => {} // spawn failure drops the connection
+                            }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(ACCEPT_POLL);
                         }
                         Err(_) => std::thread::sleep(ACCEPT_POLL),
                     }
+                }
+                for h in inflight {
+                    let _ = h.join();
                 }
             })?;
         Ok(TelemetryServer { addr: local, stop, thread: Some(thread) })
@@ -83,6 +109,11 @@ impl Drop for TelemetryServer {
 }
 
 fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    // On BSD-lineage platforms an accepted stream inherits the
+    // listener's nonblocking mode (Rust does not normalize this), which
+    // would turn the blocking read loop below into a spurious-WouldBlock
+    // generator. Force blocking mode before arming the timeouts.
+    stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(CONN_TIMEOUT))?;
     stream.set_write_timeout(Some(CONN_TIMEOUT))?;
     let mut request = Vec::new();
@@ -91,6 +122,18 @@ fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::R
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => request.extend_from_slice(&chunk[..n]),
+            // A read deadline expiring (surfaced as TimedOut, or as
+            // WouldBlock on platforms where the timeout reuses the
+            // nonblocking machinery) means the client has sent all it
+            // is going to: answer what we have rather than hard-fail.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
             Err(e) => return Err(e),
         }
     }
@@ -165,6 +208,29 @@ mod tests {
             Some(21)
         );
         assert!(http_get(&addr, "/nope").is_err());
+        server.stop();
+    }
+
+    #[test]
+    fn stalled_scraper_does_not_serialize_endpoint() {
+        let reg = MetricsRegistry::new(1);
+        reg.handle(0).set_counter(Counter::EngineForks, 7);
+        let server = TelemetryServer::start(Arc::clone(&reg), "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        // A client that connects and then goes silent pins its
+        // connection thread for the full CONN_TIMEOUT...
+        let stalled = TcpStream::connect(&addr).unwrap();
+        std::thread::sleep(ACCEPT_POLL * 4); // let the accept loop take it
+        // ...while a well-behaved scrape still completes promptly.
+        let started = std::time::Instant::now();
+        let metrics = http_get(&addr, "/metrics").unwrap();
+        assert!(metrics.contains("s2e_engine_forks 7"));
+        assert!(
+            started.elapsed() < CONN_TIMEOUT,
+            "scrape serialized behind a stalled client: {:?}",
+            started.elapsed()
+        );
+        drop(stalled);
         server.stop();
     }
 }

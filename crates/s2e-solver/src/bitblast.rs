@@ -93,8 +93,21 @@ impl BitBlaster {
         let bits = match e.kind() {
             ExprKind::Const(v) => self.const_bits(*v, w),
             ExprKind::Var(id, _) => {
-                let vars: Vec<Var> = (0..w.bits()).map(|_| sat.new_var()).collect();
-                self.var_bits.insert(*id, vars.clone());
+                // Keyed by `VarId`, not node identity: the pointer memo
+                // cannot see that two distinct allocations (a wire-decoded
+                // constraint and a journal-replay-minted node in a
+                // rehydrated state) name the same variable. Allocating
+                // fresh SAT variables for each would split one symbolic
+                // variable into two unlinked copies and admit models that
+                // satisfy no assignment of the real variable.
+                let vars: Vec<Var> = match self.var_bits.get(id) {
+                    Some(v) => v.clone(),
+                    None => {
+                        let v: Vec<Var> = (0..w.bits()).map(|_| sat.new_var()).collect();
+                        self.var_bits.insert(*id, v.clone());
+                        v
+                    }
+                };
                 vars.into_iter().map(Lit::pos).collect()
             }
             ExprKind::Unary(UnOp::Not, a) => {
@@ -528,6 +541,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Two distinct `Var` allocations naming the same `VarId` — exactly
+    /// what a rehydrated state holds after wire-decoded constraints are
+    /// mixed with journal-replay-minted nodes — must blast to the *same*
+    /// SAT variables. A pointer-keyed memo alone would split the
+    /// variable into two unlinked copies and admit `x == 0 && x == 1`.
+    #[test]
+    fn duplicate_var_allocations_share_sat_vars() {
+        let b = ExprBuilder::new();
+        let x = b.var("x", Width::W8);
+        let id = x.var_ids()[0];
+        // Re-mint the recorded id, as journal replay does: a fresh
+        // allocation, not pointer-identical to `x`.
+        s2e_expr::begin_var_replay(vec![id.0]);
+        let x2 = b.var("x", Width::W8);
+        assert_eq!(s2e_expr::end_var_replay(), 0, "replay id consumed");
+        assert_eq!(x.var_ids(), x2.var_ids());
+        assert!(!x.ptr_eq(&x2), "test needs two distinct allocations");
+
+        let c1 = b.eq(x, b.constant(0, Width::W8));
+        let c2 = b.eq(x2, b.constant(1, Width::W8));
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        bb.assert_true(&mut sat, &c1);
+        bb.assert_true(&mut sat, &c2);
+        assert_eq!(
+            sat.solve(u64::MAX),
+            SatOutcome::Unsat,
+            "x == 0 && x == 1 must be unsat even across duplicate allocations"
+        );
     }
 
     #[test]

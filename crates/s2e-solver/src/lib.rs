@@ -42,6 +42,6 @@ mod solver;
 
 pub use independence::{Component, ConstraintPartition};
 pub use solver::{
-    KindStats, QueryKind, SatResult, SharedCacheStats, SharedQueryCache, Solver, SolverConfig,
-    SolverStats,
+    KindStats, PortableCacheEntry, QueryKind, SatResult, SharedCacheStats, SharedQueryCache,
+    Solver, SolverConfig, SolverStats,
 };

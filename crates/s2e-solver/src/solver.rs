@@ -102,6 +102,12 @@ pub struct SolverConfig {
     /// solved. Applies to the solver-local store; the cross-worker
     /// [`SharedQueryCache`] takes its own cap at construction.
     pub cache_capacity: usize,
+    /// Debugging cross-check (set `S2E_SOLVER_PARANOID=1`): every
+    /// waterfall verdict is re-derived by a fresh cache-free core solve
+    /// and every sliced verdict re-checked against the full constraint
+    /// set; any disagreement panics with the offending query. Orders of
+    /// magnitude slower — never enabled in benches or gates.
+    pub paranoid: bool,
 }
 
 /// Default query-cache capacity (entries), shared by the solver-local
@@ -120,6 +126,7 @@ impl Default for SolverConfig {
             enable_slicing: true,
             enable_subsumption: true,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            paranoid: std::env::var_os("S2E_SOLVER_PARANOID").is_some(),
         }
     }
 }
@@ -246,6 +253,15 @@ enum Cached {
 struct CacheEntry {
     constraints: Vec<ExprRef>,
     outcome: Cached,
+    /// Whether a SAT model is the *canonical* one — produced by a core
+    /// solve of exactly this constraint set, which is deterministic
+    /// across processes and schedules. Models adopted from the model
+    /// pool or a subsuming entry are sound witnesses but depend on query
+    /// history; concretization must not consume them, or the value an
+    /// expression concretizes to (and every path decision downstream of
+    /// it) would vary with scheduling and state placement. Verdicts are
+    /// facts, so UNSAT entries are always canonical.
+    canonical: bool,
 }
 
 /// How many indexed candidates a subsumption lookup may examine before
@@ -255,8 +271,8 @@ const MAX_SUBSUMPTION_CANDIDATES: usize = 32;
 
 /// What a [`QueryStore`] lookup found beyond an exact match.
 enum StoreAnswer {
-    /// An exact entry's outcome.
-    Exact(Cached),
+    /// An exact entry's outcome, plus whether its model is canonical.
+    Exact(Cached, bool),
     /// A cached SAT superset's model; the caller must still eval-recheck
     /// it against the query before trusting it.
     SupersetSat(Assignment),
@@ -548,11 +564,24 @@ impl SharedQueryCache {
     /// `SupersetSat` answer is *not* counted as a hit here — the caller
     /// must eval-recheck the model and report back via
     /// [`SharedQueryCache::note_subsumption_hit`] only if it validates.
-    fn lookup(&self, key: u64, query: &[ExprRef], subsumption: bool) -> Option<StoreAnswer> {
+    ///
+    /// `canonical_only` restricts SAT answers to canonical models (see
+    /// [`CacheEntry::canonical`]): a non-canonical exact SAT entry is
+    /// treated as a miss and the superset-SAT path is skipped entirely,
+    /// while UNSAT answers — verdicts, not choices — still come back.
+    fn lookup(
+        &self,
+        key: u64,
+        query: &[ExprRef],
+        subsumption: bool,
+        canonical_only: bool,
+    ) -> Option<StoreAnswer> {
         let mut store = self.store.lock().unwrap();
         if let Some(hit) = store.get_exact(key, query) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(StoreAnswer::Exact(hit.outcome.clone()));
+            if !canonical_only || hit.canonical || matches!(hit.outcome, Cached::Unsat) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(StoreAnswer::Exact(hit.outcome.clone(), hit.canonical));
+            }
         }
         if !subsumption {
             return None;
@@ -560,6 +589,9 @@ impl SharedQueryCache {
         if store.find_subset_unsat(query) {
             self.subsumption_hits.fetch_add(1, Ordering::Relaxed);
             return Some(StoreAnswer::SubsetUnsat);
+        }
+        if canonical_only {
+            return None;
         }
         store
             .find_superset_sat(query)
@@ -601,6 +633,85 @@ impl SharedQueryCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Exports every entry whose insertion stamp is at least `since`,
+    /// plus the store's next stamp — pass that back as the next `since`
+    /// to receive only entries inserted after this call. Used by the
+    /// distributed tier (DESIGN.md §17) to ship cache deltas between a
+    /// worker's local shared cache and the coordinator's.
+    ///
+    /// Keys combine `Expr::cached_hash` values, which are deterministic
+    /// across processes (fixed-key `DefaultHasher`), so exported keys
+    /// are valid in any process's store.
+    pub fn export_since(&self, since: u64) -> (Vec<PortableCacheEntry>, u64) {
+        let store = self.store.lock().unwrap();
+        let mut out = Vec::new();
+        for (&key, stored) in &store.entries {
+            if stored.stamp < since {
+                continue;
+            }
+            let model = match &stored.entry.outcome {
+                Cached::Sat(a) => Some(a.iter().collect()),
+                Cached::Unsat => None,
+            };
+            out.push(PortableCacheEntry {
+                key,
+                constraints: stored.entry.constraints.clone(),
+                model,
+                canonical: stored.entry.canonical,
+            });
+        }
+        (out, store.next_stamp)
+    }
+
+    /// Imports entries exported from another process's cache; returns
+    /// how many were new. Existing keys are left untouched (the local
+    /// entry already answers the query), and imports do not bump the
+    /// `inserts` counter — they were counted where they originated.
+    /// Lookups still verify full structural equality, so a malicious or
+    /// stale imported entry costs a wasted check, never a wrong answer.
+    pub fn import(&self, entries: Vec<PortableCacheEntry>) -> usize {
+        let mut store = self.store.lock().unwrap();
+        let mut added = 0;
+        for e in entries {
+            if store.entries.contains_key(&e.key) {
+                continue;
+            }
+            let outcome = match e.model {
+                Some(pairs) => Cached::Sat(pairs.into_iter().collect()),
+                None => Cached::Unsat,
+            };
+            store.insert(
+                e.key,
+                CacheEntry { constraints: e.constraints, outcome, canonical: e.canonical },
+            );
+            added += 1;
+        }
+        added
+    }
+
+    /// The monotonic insertion stamp the next insert will receive.
+    pub fn next_stamp(&self) -> u64 {
+        self.store.lock().unwrap().next_stamp
+    }
+}
+
+/// One shared-cache entry in portable form, for cross-process cache
+/// sync. `model: None` encodes an UNSAT verdict; `Some(bindings)` a SAT
+/// model as `(variable, value)` pairs.
+#[derive(Clone, Debug)]
+pub struct PortableCacheEntry {
+    /// The order-independent query-hash key the entry answers under.
+    pub key: u64,
+    /// The constraint set, verified structurally on every lookup.
+    pub constraints: Vec<ExprRef>,
+    /// SAT model bindings, or `None` for UNSAT.
+    pub model: Option<Vec<(VarId, u64)>>,
+    /// Whether the model came from a core solve of exactly this set
+    /// (deterministic across processes) rather than a pool or
+    /// subsumption adoption. Concretization only trusts canonical
+    /// models; see [`SolverConfig::enable_cache`]'s determinism note.
+    pub canonical: bool,
 }
 
 /// The constraint solver used by the execution engine.
@@ -719,7 +830,13 @@ impl Solver {
     /// statistics.
     pub fn check_kind(&mut self, constraints: &[ExprRef], kind: QueryKind) -> SatResult {
         let start = Instant::now();
-        let result = self.check_inner(constraints);
+        // Concretization consumes the *model*, not just the verdict, so
+        // it must get the canonical (core-solve) model: pool and
+        // subsumption models vary with query history, and a
+        // history-dependent concrete value makes the explored path tree
+        // depend on scheduling and state placement — the distributed
+        // tier's bit-identity gate (DESIGN.md §17) would flake.
+        let result = self.check_inner(constraints, matches!(kind, QueryKind::Concretize));
         let elapsed = start.elapsed();
         if let Some(t) = &self.telemetry {
             t.observe_duration(s2e_obs::Hist::solve_kind(kind.index()), elapsed);
@@ -752,7 +869,7 @@ impl Solver {
         result
     }
 
-    fn check_inner(&mut self, constraints: &[ExprRef]) -> SatResult {
+    fn check_inner(&mut self, constraints: &[ExprRef], want_canonical: bool) -> SatResult {
         // Simplify and strip trivially-true constraints.
         let mut simplified: Vec<ExprRef> = Vec::with_capacity(constraints.len());
         // X ∧ X = X: dropping duplicates keeps the CNF smaller and gives
@@ -783,11 +900,11 @@ impl Solver {
         }
 
         if !self.config.enable_slicing {
-            return self.check_set(simplified);
+            return self.check_set(simplified, want_canonical);
         }
         let mut components = independence::partition(&simplified);
         if components.len() == 1 {
-            return self.check_set(components.pop().expect("non-empty"));
+            return self.check_set(components.pop().expect("non-empty"), want_canonical);
         }
         // Independent components share no variables: the conjunction is
         // SAT iff each component is, and per-component models stitch into
@@ -807,7 +924,7 @@ impl Solver {
             for c in &component {
                 own.extend(c.var_ids().iter().copied());
             }
-            match self.check_set(component) {
+            match self.check_set(component, want_canonical) {
                 SatResult::Sat(m) => {
                     for (id, v) in m.iter() {
                         if own.contains(&id) {
@@ -827,15 +944,80 @@ impl Solver {
     /// otherwise — through the cache waterfall: local exact → local
     /// subsumption → shared (exact + subsumption) → model pool → SAT
     /// core.
-    fn check_set(&mut self, query: Vec<ExprRef>) -> SatResult {
+    ///
+    /// With `want_canonical`, SAT answers must carry the canonical
+    /// core-solve model: non-canonical cached models are passed over
+    /// (the core solve then *replaces* the entry with the canonical
+    /// one), and the model-pool and superset-SAT fast paths are skipped.
+    /// UNSAT fast paths always apply — a verdict is a deterministic fact
+    /// however it was derived.
+    fn check_set(&mut self, query: Vec<ExprRef>, want_canonical: bool) -> SatResult {
+        if !self.config.paranoid {
+            return self.check_set_impl(query, want_canonical);
+        }
+        let reference = Self::raw_outcome(&query, self.config.max_conflicts);
+        let r = self.check_set_impl(query.clone(), want_canonical);
+        match (&r, &reference) {
+            (SatResult::Sat(_), SatOutcome::Unsat) => {
+                panic!("paranoid: waterfall SAT but core solve UNSAT for {query:#?}")
+            }
+            (SatResult::Unsat, SatOutcome::Sat) => {
+                panic!("paranoid: waterfall UNSAT but core solve SAT for {query:#?}")
+            }
+            _ => {}
+        }
+        if let SatResult::Sat(m) = &r {
+            if Self::recheck_model(m, &query).is_none() {
+                let extended = Self::extend_model(m, &query);
+                let per: Vec<String> = query
+                    .iter()
+                    .map(|c| format!("{:?}", eval(c, &extended)))
+                    .collect();
+                panic!(
+                    "paranoid: returned model does not satisfy query\n\
+                     raw verdict: {reference:?}\nmodel: {m:?}\nper-constraint eval: {per:#?}\n\
+                     var_ids per constraint: {:#?}\nquery: {query:#?}",
+                    query.iter().map(|c| c.var_ids().to_vec()).collect::<Vec<_>>()
+                );
+            }
+        }
+        r
+    }
+
+    /// Cache-free reference solve for the paranoid cross-check.
+    fn raw_outcome(query: &[ExprRef], max_conflicts: u64) -> SatOutcome {
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new(&mut sat);
+        for c in query {
+            bb.assert_true(&mut sat, c);
+        }
+        sat.solve(max_conflicts)
+    }
+
+    fn check_set_impl(&mut self, mut query: Vec<ExprRef>, want_canonical: bool) -> SatResult {
+        // Canonical constraint order. The SAT core's model depends on
+        // clause order, so without this two processes building the same
+        // constraint *set* along different paths would core-solve
+        // different (both correct) models — and a state migrating
+        // between them would concretize differently than it would have
+        // at home. Sorting by structural hash makes the core solve a
+        // pure function of the set; cache-entry set-equality checks and
+        // the subsumption indexes never depended on order.
+        query.sort_unstable_by_key(|c| c.cached_hash());
         let key = Self::cache_key(&query);
         if self.config.enable_cache {
             if let Some(hit) = self.cache.get_exact(key, &query) {
-                self.stats.cache_hits += 1;
-                return match &hit.outcome {
-                    Cached::Sat(m) => SatResult::Sat(m.clone()),
-                    Cached::Unsat => SatResult::Unsat,
-                };
+                match &hit.outcome {
+                    Cached::Sat(m) if !want_canonical || hit.canonical => {
+                        self.stats.cache_hits += 1;
+                        return SatResult::Sat(m.clone());
+                    }
+                    Cached::Sat(_) => {} // non-canonical; core-solve below
+                    Cached::Unsat => {
+                        self.stats.cache_hits += 1;
+                        return SatResult::Unsat;
+                    }
+                }
             }
             if self.config.enable_subsumption {
                 if self.cache.find_subset_unsat(&query) {
@@ -847,14 +1029,17 @@ impl Solver {
                         CacheEntry {
                             constraints: query,
                             outcome: Cached::Unsat,
+                            canonical: true,
                         },
                     );
                     return SatResult::Unsat;
                 }
-                if let Some(model) = self.cache.find_superset_sat(&query).cloned() {
-                    if let Some(model) = Self::recheck_model(&model, &query) {
-                        self.stats.subsumption_hits += 1;
-                        return self.adopt_sat(key, query, model);
+                if !want_canonical {
+                    if let Some(model) = self.cache.find_superset_sat(&query).cloned() {
+                        if let Some(model) = Self::recheck_model(&model, &query) {
+                            self.stats.subsumption_hits += 1;
+                            return self.adopt_sat(key, query, model);
+                        }
                     }
                 }
             }
@@ -862,18 +1047,19 @@ impl Solver {
             // component (or a subsuming one) already. Adopt the entry
             // locally so repeats stay off the shared lock.
             if let Some(shared) = self.shared.clone() {
-                match shared.lookup(key, &query, self.config.enable_subsumption) {
-                    Some(StoreAnswer::Exact(Cached::Sat(m))) => {
+                match shared.lookup(key, &query, self.config.enable_subsumption, want_canonical) {
+                    Some(StoreAnswer::Exact(Cached::Sat(m), canonical)) => {
                         self.stats.shared_hits += 1;
-                        return self.adopt_sat(key, query, m);
+                        return self.adopt_sat_canonical(key, query, m, canonical);
                     }
-                    Some(StoreAnswer::Exact(Cached::Unsat)) => {
+                    Some(StoreAnswer::Exact(Cached::Unsat, _)) => {
                         self.stats.shared_hits += 1;
                         self.cache.insert(
                             key,
                             CacheEntry {
                                 constraints: query,
                                 outcome: Cached::Unsat,
+                                canonical: true,
                             },
                         );
                         return SatResult::Unsat;
@@ -886,6 +1072,7 @@ impl Solver {
                             CacheEntry {
                                 constraints: query,
                                 outcome: Cached::Unsat,
+                                canonical: true,
                             },
                         );
                         return SatResult::Unsat;
@@ -903,16 +1090,19 @@ impl Solver {
             }
             // Counterexample pool: a previous model (extended with zeros
             // for unseen variables) may already satisfy this query.
-            if let Some(model) = self.try_model_pool(&query) {
-                self.stats.pool_hits += 1;
-                self.insert_both(
-                    key,
-                    CacheEntry {
-                        constraints: query,
-                        outcome: Cached::Sat(model.clone()),
-                    },
-                );
-                return SatResult::Sat(model);
+            if !want_canonical {
+                if let Some(model) = self.try_model_pool(&query) {
+                    self.stats.pool_hits += 1;
+                    self.insert_both(
+                        key,
+                        CacheEntry {
+                            constraints: query,
+                            outcome: Cached::Sat(model.clone()),
+                            canonical: false,
+                        },
+                    );
+                    return SatResult::Sat(model);
+                }
             }
         }
 
@@ -930,6 +1120,7 @@ impl Solver {
                         CacheEntry {
                             constraints: query,
                             outcome: Cached::Unsat,
+                            canonical: true,
                         },
                     );
                 }
@@ -953,6 +1144,7 @@ impl Solver {
                         CacheEntry {
                             constraints: query,
                             outcome: Cached::Sat(model.clone()),
+                            canonical: true,
                         },
                     );
                     self.model_pool.push_front(model.clone());
@@ -966,6 +1158,19 @@ impl Solver {
     /// Records a SAT answer obtained without the SAT core (shared or
     /// subsuming entry): local exact entry, model pool, and the result.
     fn adopt_sat(&mut self, key: u64, query: Vec<ExprRef>, model: Assignment) -> SatResult {
+        self.adopt_sat_canonical(key, query, model, false)
+    }
+
+    /// [`Solver::adopt_sat`], preserving the source entry's canonical
+    /// flag (a shared exact hit may carry another worker's core-solve
+    /// model, which stays canonical through adoption).
+    fn adopt_sat_canonical(
+        &mut self,
+        key: u64,
+        query: Vec<ExprRef>,
+        model: Assignment,
+        canonical: bool,
+    ) -> SatResult {
         self.model_pool.push_front(model.clone());
         self.model_pool.truncate(self.config.model_pool_size);
         self.cache.insert(
@@ -973,6 +1178,7 @@ impl Solver {
             CacheEntry {
                 constraints: query,
                 outcome: Cached::Sat(model.clone()),
+                canonical,
             },
         );
         SatResult::Sat(model)
@@ -1132,7 +1338,22 @@ impl Solver {
             partition.all()
         };
         query.extend(extra.iter().cloned());
-        self.check_kind(&query, kind)
+        let r = self.check_kind(&query, kind);
+        if self.config.paranoid && self.config.enable_slicing {
+            let mut full = partition.all();
+            full.extend(extra.iter().cloned());
+            let reference = Self::raw_outcome(&full, self.config.max_conflicts);
+            match (&r, &reference) {
+                (SatResult::Sat(_), SatOutcome::Unsat) => panic!(
+                    "paranoid: sliced query SAT but full set UNSAT\nslice: {query:#?}\nfull: {full:#?}"
+                ),
+                (SatResult::Unsat, SatOutcome::Sat) => panic!(
+                    "paranoid: sliced query UNSAT but full set SAT\nslice: {query:#?}\nfull: {full:#?}"
+                ),
+                _ => {}
+            }
+        }
+        r
     }
 
     /// [`Solver::may_be_true`] against a pre-partitioned constraint set
@@ -1538,6 +1759,41 @@ mod tests {
         assert_eq!(s2.stats().shared_hits, 1);
         assert!(!shared.is_empty());
         assert_eq!(shared.stats().entries, shared.len());
+    }
+
+    #[test]
+    fn shared_cache_export_import_round_trip() {
+        let b = ExprBuilder::new();
+        let src = SharedQueryCache::new();
+        let x = b.var("x", Width::W8);
+        let sat = b.eq(x.clone(), b.constant(3, Width::W8));
+        let c1 = b.ult(x.clone(), b.constant(5, Width::W8));
+        let c2 = b.ult(b.constant(10, Width::W8), x.clone());
+
+        let mut s = Solver::new();
+        s.attach_shared_cache(src.clone());
+        assert!(s.check(std::slice::from_ref(&sat)).is_sat());
+        assert_eq!(s.check(&[c1.clone(), c2.clone()]), SatResult::Unsat);
+
+        // Ship the delta into a fresh cache (another process's, in the
+        // distributed tier) and hit both verdicts there without solving.
+        let (delta, stamp) = src.export_since(0);
+        assert_eq!(delta.len(), 2);
+        let dst = SharedQueryCache::new();
+        assert_eq!(dst.import(delta), 2);
+        assert_eq!(dst.len(), src.len());
+        let mut s2 = Solver::new();
+        s2.attach_shared_cache(dst.clone());
+        let solves = s2.stats().core_solves;
+        assert!(s2.check(&[sat]).is_sat());
+        assert_eq!(s2.check(&[c2, c1]), SatResult::Unsat);
+        assert_eq!(s2.stats().core_solves, solves);
+        assert_eq!(s2.stats().shared_hits, 2);
+        // Imports do not echo: re-exporting from the returned stamp on
+        // the source, and from zero on the import side after a
+        // round-trip mark update, yields nothing new.
+        assert!(src.export_since(stamp).0.is_empty());
+        assert_eq!(src.import(dst.export_since(0).0), 0);
     }
 
     #[test]

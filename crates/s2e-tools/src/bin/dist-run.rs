@@ -1,0 +1,179 @@
+//! Drive the distributed exploration service from the command line.
+//!
+//! ```text
+//! dist-run serve    --listen ADDR
+//! dist-run submit   --addr ADDR --guest G [--model M] [--workers N]
+//!                   [--max-steps S] [--quiet]
+//! dist-run worker   --addr ADDR --worker N
+//! dist-run shutdown --addr ADDR
+//! ```
+//!
+//! `serve` runs the long-lived job server (DESIGN.md §17): one job at a
+//! time, each with a fresh coordinator and worker *processes* spawned
+//! from this same executable in `worker` mode. `submit` sends a
+//! [`JobSpec`], streams the job's merged `s2e-live-dist-v1` feed to
+//! stdout as it arrives, and prints the final report. `shutdown` stops
+//! a server once its current job (if any) finishes draining.
+
+use s2e_core::ConsistencyModel;
+use s2e_dist::{frame, proto, JobSpec};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+    };
+    match cmd.as_str() {
+        "serve" => serve(&args[1..]),
+        "submit" => submit(&args[1..]),
+        "worker" => worker(&args[1..]),
+        "shutdown" => shutdown(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dist-run serve --listen ADDR\n\
+         \x20      dist-run submit --addr ADDR --guest G [--model M] \
+         [--workers N] [--max-steps S] [--quiet]\n\
+         \x20      dist-run worker --addr ADDR --worker N\n\
+         \x20      dist-run shutdown --addr ADDR"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {name} needs a value");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn parse_model(name: &str) -> ConsistencyModel {
+    let want = name.to_ascii_uppercase().replace('_', "-");
+    for m in ConsistencyModel::ALL {
+        if m.name() == want {
+            return m;
+        }
+    }
+    eprintln!(
+        "error: unknown model {name:?} (one of: {})",
+        ConsistencyModel::ALL.map(|m| m.name()).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn serve(args: &[String]) -> ! {
+    let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:7208".into());
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("dist-run: serving jobs on {listen}");
+    let exe = std::env::current_exe().expect("own executable path");
+    let spawn = move |addr: &str, w: usize| {
+        Command::new(&exe)
+            .args(["worker", "--addr", addr, "--worker", &w.to_string()])
+            .stdout(Stdio::null())
+            .spawn()
+    };
+    match s2e_dist::coordinator::serve_jobs(listener, &spawn) {
+        Ok(()) => {
+            eprintln!("dist-run: shutdown requested, exiting");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: job server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn submit(args: &[String]) -> ! {
+    let addr = flag(args, "--addr").unwrap_or_else(|| usage());
+    let guest = flag(args, "--guest").unwrap_or_else(|| usage());
+    let model = parse_model(&flag(args, "--model").unwrap_or_else(|| "LC".into()));
+    let workers: u32 = flag(args, "--workers").map_or(2, |v| v.parse().expect("--workers"));
+    let max_steps: u64 =
+        flag(args, "--max-steps").map_or(5_000_000, |v| v.parse().expect("--max-steps"));
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let spec = JobSpec::new(&guest, model, max_steps, workers);
+    let mut conn = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot reach server at {addr}: {e}");
+        std::process::exit(1);
+    });
+    proto::send(&mut conn, proto::T_SUBMIT, &spec.encode()).expect("submit job");
+
+    // The server streams JOB_EVENT lines (the merged worker feed) and
+    // finishes with one JOB_REPORT frame.
+    loop {
+        let (ty, payload) = match frame::read_frame(&mut conn) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: job failed on the server: {e}");
+                std::process::exit(1);
+            }
+        };
+        match ty {
+            proto::T_JOB_EVENT => {
+                if !quiet {
+                    println!("{}", proto::decode_line(&payload).expect("feed line"));
+                }
+            }
+            proto::T_JOB_REPORT => {
+                let r = s2e_dist::DistReport::decode(&payload).expect("job report");
+                println!(
+                    "job done: {} paths, {} covered blocks, {} forks, {} exports \
+                     ({} steals + {} reclaims, {} leftover), {} cache entries, \
+                     {} steps, {} ms",
+                    r.total_paths,
+                    r.covered_blocks.len(),
+                    r.forks,
+                    r.exports,
+                    r.steals,
+                    r.reclaims,
+                    r.queue_leftover,
+                    r.cache_entries,
+                    r.steps_used,
+                    r.wall_ms
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unexpected frame type {other} from server");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn worker(args: &[String]) -> ! {
+    let addr = flag(args, "--addr").unwrap_or_else(|| usage());
+    let w: usize = flag(args, "--worker")
+        .unwrap_or_else(|| usage())
+        .parse()
+        .expect("--worker");
+    match s2e_dist::run_worker(&addr, w) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: worker {w} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn shutdown(args: &[String]) -> ! {
+    let addr = flag(args, "--addr").unwrap_or_else(|| usage());
+    let mut conn = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot reach server at {addr}: {e}");
+        std::process::exit(1);
+    });
+    proto::send(&mut conn, proto::T_SHUTDOWN, &[]).expect("send shutdown");
+    std::process::exit(0);
+}

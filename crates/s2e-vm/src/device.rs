@@ -392,10 +392,37 @@ impl Device for Nic {
 }
 
 /// Key/value configuration store (the "registry").
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ConfigStore {
     values: HashMap<u32, Value>,
     selected: u32,
+}
+
+// Manual Debug with entries sorted by key: the state fingerprint hashes
+// the devices' Debug rendering, and a `HashMap` rebuilt from the wire
+// (different insertion history) iterates in a different order than a
+// cloned one. The rendering must be canonical or rehydrated states fail
+// their fingerprint check across processes.
+impl std::fmt::Debug for ConfigStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut entries: Vec<(&u32, &Value)> = self.values.iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| **k);
+        f.debug_struct("ConfigStore")
+            .field("values", &MapEntries(&entries))
+            .field("selected", &self.selected)
+            .finish()
+    }
+}
+
+/// Renders sorted `(key, value)` pairs like a map literal.
+struct MapEntries<'a>(&'a [(&'a u32, &'a Value)]);
+
+impl std::fmt::Debug for MapEntries<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.0.iter().map(|(k, v)| (*k, *v)))
+            .finish()
+    }
 }
 
 impl ConfigStore {
@@ -558,5 +585,163 @@ impl DeviceSet {
             .iter_mut()
             .find(|d| d.name() == "timer")
             .and_then(|d| d.as_any_mut().downcast_mut::<Timer>())
+    }
+}
+
+// --- Portable wire encoding (DESIGN.md §17) ---------------------------
+//
+// Device internals are private to this module, so the cross-process
+// codec lives here. Each device is tagged by concrete type; a device
+// the codec does not know about is a hard error at *encode* time — a
+// state with unshippable hardware must never silently lose it.
+
+const DEV_CONSOLE: u8 = 0;
+const DEV_TIMER: u8 = 1;
+const DEV_NIC: u8 = 2;
+const DEV_CONFIG: u8 = 3;
+
+fn encode_values<'a>(vals: impl ExactSizeIterator<Item = &'a Value>, out: &mut Vec<u8>) {
+    use s2e_expr::wire::write_varint;
+    write_varint(out, vals.len() as u64);
+    for v in vals {
+        crate::wire::encode_value(v, out);
+    }
+}
+
+fn decode_values(r: &mut s2e_expr::wire::WireReader<'_>) -> std::io::Result<Vec<Value>> {
+    let len = r.read_len(1 << 24, "value list")?;
+    let mut vals = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        vals.push(crate::wire::decode_value(r)?);
+    }
+    Ok(vals)
+}
+
+impl DeviceSet {
+    /// Appends a portable encoding of every attached device, in bus
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if a device on the bus has no wire
+    /// encoding (only the standard complement is shippable).
+    pub fn encode_wire(&self, out: &mut Vec<u8>) -> std::io::Result<()> {
+        use s2e_expr::wire::{bad_data, write_varint};
+        write_varint(out, self.devices.len() as u64);
+        for d in &self.devices {
+            let any = d.as_any();
+            if let Some(c) = any.downcast_ref::<Console>() {
+                out.push(DEV_CONSOLE);
+                write_varint(out, c.output.len() as u64);
+                out.extend_from_slice(&c.output);
+            } else if let Some(t) = any.downcast_ref::<Timer>() {
+                out.push(DEV_TIMER);
+                write_varint(out, u64::from(t.reload));
+                write_varint(out, t.remaining);
+                out.push(t.enabled as u8);
+            } else if let Some(n) = any.downcast_ref::<Nic>() {
+                out.push(DEV_NIC);
+                out.push(n.ready as u8);
+                out.push(n.link_up as u8);
+                out.push(n.irq_pending as u8);
+                out.push(n.symbolic_hardware as u8);
+                write_varint(out, u64::from(n.sym_counter));
+                encode_values(n.rx.iter(), out);
+                encode_values(n.tx.iter(), out);
+                write_varint(out, n.sent_frames.len() as u64);
+                for frame in &n.sent_frames {
+                    encode_values(frame.iter(), out);
+                }
+            } else if let Some(c) = any.downcast_ref::<ConfigStore>() {
+                out.push(DEV_CONFIG);
+                write_varint(out, u64::from(c.selected));
+                let mut keys: Vec<u32> = c.values.keys().copied().collect();
+                keys.sort_unstable();
+                write_varint(out, keys.len() as u64);
+                for k in keys {
+                    write_varint(out, u64::from(k));
+                    crate::wire::encode_value(&c.values[&k], out);
+                }
+            } else {
+                return Err(bad_data(format!(
+                    "device '{}' has no wire encoding",
+                    d.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a device set written by [`DeviceSet::encode_wire`].
+    pub fn decode_wire(r: &mut s2e_expr::wire::WireReader<'_>) -> std::io::Result<DeviceSet> {
+        use s2e_expr::wire::bad_data;
+        let read_u32 = |r: &mut s2e_expr::wire::WireReader<'_>, what: &str| {
+            let v = r.read_varint()?;
+            if v > u64::from(u32::MAX) {
+                return Err(bad_data(format!("{what} {v:#x} exceeds 32 bits")));
+            }
+            Ok(v as u32)
+        };
+        let read_bool = |r: &mut s2e_expr::wire::WireReader<'_>, what: &str| match r.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(bad_data(format!("{what} flag byte {b} is not 0/1"))),
+        };
+        let count = r.read_len(256, "device table")?;
+        let mut set = DeviceSet::empty();
+        for _ in 0..count {
+            let dev: Box<dyn Device> = match r.read_u8()? {
+                DEV_CONSOLE => {
+                    let len = r.read_len(1 << 24, "console output")?;
+                    Box::new(Console { output: r.read_bytes(len)?.to_vec() })
+                }
+                DEV_TIMER => {
+                    let reload = read_u32(r, "timer reload")?;
+                    let remaining = r.read_varint()?;
+                    let enabled = read_bool(r, "timer enabled")?;
+                    Box::new(Timer { reload, remaining, enabled })
+                }
+                DEV_NIC => {
+                    let ready = read_bool(r, "nic ready")?;
+                    let link_up = read_bool(r, "nic link_up")?;
+                    let irq_pending = read_bool(r, "nic irq_pending")?;
+                    let symbolic_hardware = read_bool(r, "nic symbolic_hardware")?;
+                    let sym_counter = read_u32(r, "nic sym_counter")?;
+                    let rx: VecDeque<Value> = decode_values(r)?.into();
+                    let tx = decode_values(r)?;
+                    let frames = r.read_len(1 << 20, "sent frames")?;
+                    let mut sent_frames = Vec::with_capacity(frames.min(1024));
+                    for _ in 0..frames {
+                        sent_frames.push(decode_values(r)?);
+                    }
+                    Box::new(Nic {
+                        ready,
+                        link_up,
+                        rx,
+                        tx,
+                        sent_frames,
+                        irq_pending,
+                        symbolic_hardware,
+                        sym_counter,
+                    })
+                }
+                DEV_CONFIG => {
+                    let selected = read_u32(r, "config selected")?;
+                    let len = r.read_len(1 << 24, "config entries")?;
+                    let mut values = HashMap::with_capacity(len.min(1024));
+                    for _ in 0..len {
+                        let k = read_u32(r, "config key")?;
+                        let v = crate::wire::decode_value(r)?;
+                        if values.insert(k, v).is_some() {
+                            return Err(bad_data(format!("duplicate config key {k}")));
+                        }
+                    }
+                    Box::new(ConfigStore { values, selected })
+                }
+                t => return Err(bad_data(format!("unknown device tag {t}"))),
+            };
+            set.attach(dev);
+        }
+        Ok(set)
     }
 }

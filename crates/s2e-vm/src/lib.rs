@@ -45,6 +45,7 @@ pub mod isa;
 pub mod machine;
 pub mod mem;
 pub mod value;
+pub mod wire;
 
 pub use cpu::{Cpu, FaultKind};
 pub use machine::Machine;

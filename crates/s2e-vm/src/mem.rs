@@ -393,6 +393,62 @@ impl Memory {
             }
         }
     }
+
+    /// Appends a portable encoding of every materialized page — sorted
+    /// page order, raw backing bytes, then the symbolic overlay — for
+    /// cross-process state shipping (DESIGN.md §17). Lives here (not in
+    /// `crate::wire`) because pages are private to this module.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        use s2e_expr::wire::{encode_expr, write_varint};
+        let mut page_nos: Vec<u32> = self.pages.keys().copied().collect();
+        page_nos.sort_unstable();
+        write_varint(out, page_nos.len() as u64);
+        for no in page_nos {
+            let p = &self.pages[&no];
+            write_varint(out, u64::from(no));
+            out.extend_from_slice(&p.bytes);
+            let mut offs: Vec<u16> = p.sym.keys().copied().collect();
+            offs.sort_unstable();
+            write_varint(out, offs.len() as u64);
+            for off in offs {
+                write_varint(out, u64::from(off));
+                encode_expr(&p.sym[&off], out);
+            }
+        }
+    }
+
+    /// Decodes memory written by [`Memory::encode_wire`]. Malformed
+    /// input errors cleanly; it never panics.
+    pub fn decode_wire(r: &mut s2e_expr::wire::WireReader<'_>) -> std::io::Result<Memory> {
+        use s2e_expr::wire::{bad_data, decode_expr};
+        let count = r.read_len(1 << 20, "memory page table")?;
+        let mut pages: HashMap<u32, Arc<Page>> = HashMap::with_capacity(count.min(1024));
+        let mut sym_bytes = 0u64;
+        for _ in 0..count {
+            let no = r.read_varint()?;
+            if no > u64::from(u32::MAX) || no == 0 {
+                return Err(bad_data(format!("page number {no:#x} out of range")));
+            }
+            let bytes = r.read_bytes(PAGE_SIZE as usize)?.to_vec();
+            let overlay = r.read_len(u64::from(PAGE_SIZE), "symbolic overlay")?;
+            let mut sym = HashMap::with_capacity(overlay);
+            for _ in 0..overlay {
+                let off = r.read_varint()?;
+                if off >= u64::from(PAGE_SIZE) {
+                    return Err(bad_data(format!("overlay offset {off} out of range")));
+                }
+                let expr = decode_expr(r)?;
+                if sym.insert(off as u16, expr).is_some() {
+                    return Err(bad_data(format!("duplicate overlay offset {off}")));
+                }
+            }
+            sym_bytes += sym.len() as u64;
+            if pages.insert(no as u32, Arc::new(Page { bytes, sym })).is_some() {
+                return Err(bad_data(format!("duplicate page number {no:#x}")));
+            }
+        }
+        Ok(Memory { pages, sym_bytes })
+    }
 }
 
 #[cfg(test)]

@@ -108,4 +108,15 @@ cargo run -q --release --offline -p bench --bin static_refine -- --smoke
 cargo run -q --release --offline -p bench --bin telemetry_overhead -- --smoke
 test -s results/telemetry_overhead.json
 test -s results/run_live.jsonl
+
+# Gate 11: distributed-identity smoke — a coordinator plus two worker
+# *processes* on localhost must explore the bit-identical path-digest
+# multiset, fork count, and covered-block set as in-process
+# `explore_parallel` on the 91C111-LC corpus, with the global state
+# ledger conserved (exports == steals + reclaims + leftover, leftover 0
+# on an exhaustive run) and every relayed telemetry snapshot reaching
+# the merged feed; emits results/dist_explore.json (exits nonzero
+# otherwise).
+cargo run -q --release --offline -p bench --bin dist_explore -- --smoke
+test -s results/dist_explore.json
 echo "verify: ok"
